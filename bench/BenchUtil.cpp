@@ -1,0 +1,120 @@
+//===- bench/BenchUtil.cpp - Paper-figure benchmark harness ----------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dsm;
+using namespace dsmbench;
+
+RunOutcome dsmbench::runVersion(const std::string &BenchName,
+                                const SourceGen &Gen, Version V,
+                                bool Serial, int NumProcs,
+                                const numa::MachineConfig &MC,
+                                const std::string &ChecksumArray) {
+  std::string Src = Gen(V, Serial);
+  CompileOptions COpts; // Full optimization, as shipped.
+  auto Prog = buildProgram({{BenchName + ".f", Src}}, COpts);
+  if (!Prog) {
+    std::fprintf(stderr, "%s: compile failed:\n%s\n", BenchName.c_str(),
+                 Prog.error().str().c_str());
+    std::exit(1);
+  }
+  numa::MemorySystem Mem(MC);
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = Serial ? 1 : NumProcs;
+  ROpts.DefaultPolicy = V == Version::RoundRobin
+                            ? numa::PlacementPolicy::RoundRobin
+                            : numa::PlacementPolicy::FirstTouch;
+  exec::Engine Engine(*Prog, Mem, ROpts);
+  auto Run = Engine.run();
+  if (!Run) {
+    std::fprintf(stderr, "%s (%s, P=%d): run failed:\n%s\n",
+                 BenchName.c_str(), versionName(V), NumProcs,
+                 Run.error().str().c_str());
+    std::exit(1);
+  }
+  RunOutcome Out;
+  Out.Cycles = Run->TimedCycles ? Run->TimedCycles : Run->WallCycles;
+  Out.Counters = Run->Counters;
+  Out.ParallelRegions = Run->ParallelRegions;
+  if (!ChecksumArray.empty()) {
+    auto Sum = Engine.arrayWeightedChecksum(ChecksumArray);
+    if (!Sum) {
+      std::fprintf(stderr, "%s: checksum failed: %s\n", BenchName.c_str(),
+                   Sum.error().str().c_str());
+      std::exit(1);
+    }
+    Out.Checksum = *Sum;
+  }
+  return Out;
+}
+
+SweepResult dsmbench::runSweep(const std::string &BenchName,
+                               const SourceGen &Gen,
+                               const std::vector<int> &Procs,
+                               const numa::MachineConfig &MC,
+                               const std::string &ChecksumArray) {
+  SweepResult R;
+  R.Procs = Procs;
+  RunOutcome Serial = runVersion(BenchName, Gen, Version::FirstTouch,
+                                 /*Serial=*/true, 1, MC, ChecksumArray);
+  R.SerialCycles = Serial.Cycles;
+  R.SerialChecksum = Serial.Checksum;
+  for (Version V : {Version::FirstTouch, Version::RoundRobin,
+                    Version::Regular, Version::Reshaped}) {
+    auto &Row = R.Runs[V];
+    for (int P : Procs) {
+      Row.push_back(
+          runVersion(BenchName, Gen, V, /*Serial=*/false, P, MC,
+                     ChecksumArray));
+      if (!ChecksumArray.empty() &&
+          std::fabs(Row.back().Checksum - Serial.Checksum) >
+              1e-6 * (1.0 + std::fabs(Serial.Checksum))) {
+        std::fprintf(stderr,
+                     "%s (%s, P=%d): checksum mismatch: %.17g vs serial "
+                     "%.17g\n",
+                     BenchName.c_str(), versionName(V), P,
+                     Row.back().Checksum, Serial.Checksum);
+        std::exit(1);
+      }
+    }
+  }
+  return R;
+}
+
+void dsmbench::printSpeedupTable(const std::string &Title,
+                                 const SweepResult &R) {
+  std::printf("# %s\n", Title.c_str());
+  std::printf("# speedup over the serial version (simulated cycles; "
+              "serial = %llu cycles)\n",
+              static_cast<unsigned long long>(R.SerialCycles));
+  std::printf("%6s %12s %12s %12s %12s\n", "procs", "first-touch",
+              "round-robin", "regular", "reshaped");
+  for (size_t I = 0; I < R.Procs.size(); ++I) {
+    std::printf("%6d %12.2f %12.2f %12.2f %12.2f\n", R.Procs[I],
+                R.speedup(Version::FirstTouch, I),
+                R.speedup(Version::RoundRobin, I),
+                R.speedup(Version::Regular, I),
+                R.speedup(Version::Reshaped, I));
+  }
+}
+
+int dsmbench::reportShapeChecks(const std::vector<ShapeCheck> &Checks,
+                                const SweepResult &R) {
+  int Failures = 0;
+  std::printf("# paper-shape checks:\n");
+  for (const ShapeCheck &C : Checks) {
+    bool Ok = C.Check(R);
+    Failures += !Ok;
+    std::printf("#   [%s] %s\n", Ok ? "PASS" : "DEVIATION",
+                C.Claim.c_str());
+  }
+  return Failures;
+}

@@ -1,0 +1,103 @@
+//===- bench/BenchUtil.h - Paper-figure benchmark harness -------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared harness for the paper's Section 8 experiments.  Each figure
+/// compares four versions of a workload (paper terminology):
+///
+///  * first-touch: no distribution directives, IRIX default policy;
+///  * round-robin: no directives, round-robin page placement;
+///  * regular:     c$distribute (page placement only);
+///  * reshaped:    c$distribute_reshape (layout change).
+///
+/// Speedups are simulated-cycle ratios against the serial version of
+/// the code, exactly as the paper plots them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_BENCH_BENCHUTIL_H
+#define DSM_BENCH_BENCHUTIL_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/Driver.h"
+
+namespace dsmbench {
+
+enum class Version { FirstTouch, RoundRobin, Regular, Reshaped };
+inline const char *versionName(Version V) {
+  switch (V) {
+  case Version::FirstTouch:
+    return "first-touch";
+  case Version::RoundRobin:
+    return "round-robin";
+  case Version::Regular:
+    return "regular";
+  case Version::Reshaped:
+    return "reshaped";
+  }
+  return "?";
+}
+
+/// Generates the workload source for a version; Serial==true means the
+/// plain sequential code (no directives at all), the speedup baseline.
+using SourceGen = std::function<std::string(Version, bool Serial)>;
+
+struct RunOutcome {
+  uint64_t Cycles = 0;
+  double Checksum = 0.0;
+  dsm::numa::Counters Counters;
+  unsigned ParallelRegions = 0;
+};
+
+/// Builds and runs one version at one processor count.  Aborts the
+/// process with a message on any pipeline error (benchmarks are
+/// programs, not tests).
+RunOutcome runVersion(const std::string &BenchName, const SourceGen &Gen,
+                      Version V, bool Serial, int NumProcs,
+                      const dsm::numa::MachineConfig &MC,
+                      const std::string &ChecksumArray);
+
+struct SweepResult {
+  uint64_t SerialCycles = 0;
+  double SerialChecksum = 0.0;
+  std::vector<int> Procs;
+  /// [version][proc index] simulated cycles.
+  std::map<Version, std::vector<RunOutcome>> Runs;
+
+  double speedup(Version V, size_t ProcIdx) const {
+    return static_cast<double>(SerialCycles) /
+           static_cast<double>(Runs.at(V)[ProcIdx].Cycles);
+  }
+};
+
+/// Runs the full four-version sweep.
+SweepResult runSweep(const std::string &BenchName, const SourceGen &Gen,
+                     const std::vector<int> &Procs,
+                     const dsm::numa::MachineConfig &MC,
+                     const std::string &ChecksumArray);
+
+/// Prints the figure in the paper's row format:
+///   P, first-touch, round-robin, regular, reshaped
+void printSpeedupTable(const std::string &Title, const SweepResult &R);
+
+/// A qualitative expectation; Check returns true when the measured
+/// shape matches the paper's claim.
+struct ShapeCheck {
+  std::string Claim;
+  std::function<bool(const SweepResult &)> Check;
+};
+/// Evaluates and prints PASS/DEVIATION lines; returns the failures.
+int reportShapeChecks(const std::vector<ShapeCheck> &Checks,
+                      const SweepResult &R);
+
+} // namespace dsmbench
+
+#endif // DSM_BENCH_BENCHUTIL_H

@@ -1,0 +1,267 @@
+//===- bench/Workloads.h - Paper Section 8 workload sources -----*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DSM Fortran source generators for the paper's three applications:
+/// NAS-LU (scaled SSOR kernel), matrix transpose, and 2-D convolution,
+/// each in the four versions of Section 8 plus the serial baseline.
+/// Problem sizes are scaled with the machine (see DESIGN.md Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_BENCH_WORKLOADS_H
+#define DSM_BENCH_WORKLOADS_H
+
+#include <string>
+
+#include "bench/BenchUtil.h"
+#include "support/StringUtils.h"
+
+namespace dsmbench {
+
+/// Matrix transpose (paper Section 8.2): serial initialization, then
+/// repeated A(j,i) = B(i,j) with A(*,block), B(block,*).
+inline SourceGen transposeWorkload(int N, int Reps) {
+  return [N, Reps](Version V, bool Serial) {
+    const char *Dist = "";
+    std::string Doacross;
+    if (!Serial) {
+      switch (V) {
+      case Version::FirstTouch:
+      case Version::RoundRobin:
+        Doacross = "c$doacross local(i,j)\n";
+        break;
+      case Version::Regular:
+        Dist = "c$distribute A(*, block), B(block, *)\n";
+        Doacross =
+            "c$doacross local(i,j) affinity(i) = data(A(1, i))\n";
+        break;
+      case Version::Reshaped:
+        Dist = "c$distribute_reshape A(*, block), B(block, *)\n";
+        Doacross =
+            "c$doacross local(i,j) affinity(i) = data(A(1, i))\n";
+        break;
+      }
+    }
+    return dsm::formatString(R"(
+      program transp
+      integer i, j, r, n, reps
+      parameter (n = %d, reps = %d)
+      real*8 A(n, n), B(n, n)
+%s
+* serial initialization (paper Section 8.2)
+      do j = 1, n
+        do i = 1, n
+          B(i,j) = i + 2*j
+          A(i,j) = 0.0
+        enddo
+      enddo
+      call dsm_timer_start
+      do r = 1, reps
+%s      do i = 1, n
+        do j = 1, n
+          A(j,i) = B(i,j)
+        enddo
+      enddo
+      enddo
+      call dsm_timer_stop
+      end
+)",
+                             N, Reps, Dist, Doacross.c_str());
+  };
+}
+
+/// 2-D convolution (paper Section 8.3), single level of parallelism:
+/// (*, block) distributions, parallel over the column dimension.
+inline SourceGen convolution1DWorkload(int N, int Reps) {
+  return [N, Reps](Version V, bool Serial) {
+    const char *Dist = "";
+    std::string Doacross;
+    if (!Serial) {
+      switch (V) {
+      case Version::FirstTouch:
+      case Version::RoundRobin:
+        Doacross = "c$doacross local(i,j)\n";
+        break;
+      case Version::Regular:
+        Dist = "c$distribute A(*, block), B(*, block)\n";
+        Doacross =
+            "c$doacross local(i,j) affinity(j) = data(A(1, j))\n";
+        break;
+      case Version::Reshaped:
+        Dist = "c$distribute_reshape A(*, block), B(*, block)\n";
+        Doacross =
+            "c$doacross local(i,j) affinity(j) = data(A(1, j))\n";
+        break;
+      }
+    }
+    return dsm::formatString(R"(
+      program conv1
+      integer i, j, r, n, reps
+      parameter (n = %d, reps = %d)
+      real*8 A(n, n), B(n, n)
+%s
+* serial initialization (paper Section 8.3)
+      do j = 1, n
+        do i = 1, n
+          B(i,j) = i + 3*j
+          A(i,j) = 0.0
+        enddo
+      enddo
+      call dsm_timer_start
+      do r = 1, reps
+%s      do j = 2, n-1
+        do i = 2, n-1
+          A(i,j) = (B(i-1,j) + B(i,j-1) + B(i,j) + B(i,j+1) + B(i+1,j)) / 5.0
+        enddo
+      enddo
+      enddo
+      call dsm_timer_stop
+      end
+)",
+                             N, Reps, Dist, Doacross.c_str());
+  };
+}
+
+/// 2-D convolution with two levels of parallelism: (block, block)
+/// distributions and a doacross nest (paper Section 8.3).
+inline SourceGen convolution2DWorkload(int N, int Reps) {
+  return [N, Reps](Version V, bool Serial) {
+    const char *Dist = "";
+    std::string Doacross;
+    if (!Serial) {
+      switch (V) {
+      case Version::FirstTouch:
+      case Version::RoundRobin:
+        Doacross = "c$doacross nest(j,i) local(i,j)\n";
+        break;
+      case Version::Regular:
+        Dist = "c$distribute A(block, block), B(block, block)\n";
+        Doacross = "c$doacross nest(j,i) local(i,j) affinity(j,i) = "
+                   "data(A(i,j))\n";
+        break;
+      case Version::Reshaped:
+        Dist = "c$distribute_reshape A(block, block), B(block, block)\n";
+        Doacross = "c$doacross nest(j,i) local(i,j) affinity(j,i) = "
+                   "data(A(i,j))\n";
+        break;
+      }
+    }
+    return dsm::formatString(R"(
+      program conv2
+      integer i, j, r, n, reps
+      parameter (n = %d, reps = %d)
+      real*8 A(n, n), B(n, n)
+%s
+* serial initialization (paper Section 8.3)
+      do j = 1, n
+        do i = 1, n
+          B(i,j) = i + 3*j
+          A(i,j) = 0.0
+        enddo
+      enddo
+      call dsm_timer_start
+      do r = 1, reps
+%s      do j = 2, n-1
+        do i = 2, n-1
+          A(i,j) = (B(i-1,j) + B(i,j-1) + B(i,j) + B(i,j+1) + B(i+1,j)) / 5.0
+        enddo
+      enddo
+      enddo
+      call dsm_timer_stop
+      end
+)",
+                             N, Reps, Dist, Doacross.c_str());
+  };
+}
+
+/// Scaled NAS-LU SSOR kernel (paper Section 8.1): two 4-D arrays
+/// (5,n,n,nz) distributed (*,block,block,*), parallel initialization,
+/// alternating U->V and V->U relaxation sweeps.
+inline SourceGen luWorkload(int N, int Nz, int Iters) {
+  return [N, Nz, Iters](Version V, bool Serial) {
+    const char *Dist = "";
+    std::string Par, ParU, ParV;
+    if (!Serial) {
+      switch (V) {
+      case Version::FirstTouch:
+      case Version::RoundRobin:
+        Par = "c$doacross nest(k,j) local(m,j,k,l)\n";
+        ParU = ParV = Par;
+        break;
+      case Version::Regular:
+        Dist = "c$distribute U(*, block, block, *), "
+               "V(*, block, block, *)\n";
+        Par = "c$doacross nest(k,j) local(m,j,k,l) affinity(k,j) = "
+              "data(U(1,j,k,1))\n";
+        ParV = "c$doacross nest(k,j) local(m,j,k,l) affinity(k,j) = "
+               "data(V(1,j,k,1))\n";
+        ParU = Par;
+        break;
+      case Version::Reshaped:
+        Dist = "c$distribute_reshape U(*, block, block, *), "
+               "V(*, block, block, *)\n";
+        Par = "c$doacross nest(k,j) local(m,j,k,l) affinity(k,j) = "
+              "data(U(1,j,k,1))\n";
+        ParV = "c$doacross nest(k,j) local(m,j,k,l) affinity(k,j) = "
+               "data(V(1,j,k,1))\n";
+        ParU = Par;
+        break;
+      }
+    }
+    return dsm::formatString(R"(
+      program lu
+      integer m, j, k, l, it, n, nz, iters
+      parameter (n = %d, nz = %d, iters = %d)
+      real*8 U(5, n, n, nz), V(5, n, n, nz)
+%s
+* parallel initialization (paper Section 8.1)
+      do l = 1, nz
+%s      do k = 1, n
+        do j = 1, n
+          do m = 1, 5
+            U(m,j,k,l) = m + j + 2*k + 3*l
+            V(m,j,k,l) = 0.0
+          enddo
+        enddo
+      enddo
+      enddo
+      call dsm_timer_start
+      do it = 1, iters
+* lower sweep: V from U, plane by plane (SSOR structure)
+      do l = 1, nz
+%s      do k = 2, n-1
+        do j = 2, n-1
+          do m = 1, 5
+            V(m,j,k,l) = U(m,j,k,l) + 0.25 * (U(m,j-1,k,l) + &
+              U(m,j+1,k,l) + U(m,j,k-1,l) + U(m,j,k+1,l))
+          enddo
+        enddo
+      enddo
+      enddo
+* upper sweep: U from V
+      do l = 1, nz
+%s      do k = 2, n-1
+        do j = 2, n-1
+          do m = 1, 5
+            U(m,j,k,l) = V(m,j,k,l) + 0.2 * (V(m,j-1,k,l) + &
+              V(m,j+1,k,l) + V(m,j,k-1,l) + V(m,j,k+1,l))
+          enddo
+        enddo
+      enddo
+      enddo
+      enddo
+      call dsm_timer_stop
+      end
+)",
+                             N, Nz, Iters, Dist, Par.c_str(),
+                             ParV.c_str(), ParU.c_str());
+  };
+}
+
+} // namespace dsmbench
+
+#endif // DSM_BENCH_WORKLOADS_H

@@ -1,0 +1,87 @@
+//===- bench/bench_divmod_fp.cpp - Section 7.3 FP div/mod ------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Micro-benchmark for the Section 7.3 optimization: simulating the
+// 35-cycle integer divide with the 11-cycle FP unit.  Reports simulated
+// cycles per element for naive reshaped addressing with and without the
+// optimization (google-benchmark wall time measures the simulator
+// itself and is incidental).
+//
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "bench/BenchUtil.h"
+#include "support/StringUtils.h"
+
+using namespace dsm;
+
+namespace {
+
+const char *kernelSource() {
+  return R"(
+      program main
+      integer i, n
+      parameter (n = 4096)
+      real*8 A(n)
+c$distribute_reshape A(cyclic(8))
+      do i = 1, n
+        A(i) = 0.0
+      enddo
+      call dsm_timer_start
+      do i = 1, n
+        A(i) = A(i) + 1.5
+      enddo
+      call dsm_timer_stop
+      end
+)";
+}
+
+uint64_t simulate(bool FpDivMod) {
+  CompileOptions COpts;
+  COpts.Xform.Level = xform::ReshapeOptLevel::None; // Keep the div/mod.
+  COpts.Xform.FpDivMod = FpDivMod;
+  auto Prog = buildProgram({{"k.f", kernelSource()}}, COpts);
+  if (!Prog)
+    return 0;
+  numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 1;
+  exec::Engine E(*Prog, Mem, ROpts);
+  auto R = E.run();
+  return R ? R->TimedCycles : 0;
+}
+
+void BM_IntegerDivMod(benchmark::State &State) {
+  uint64_t Cycles = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Cycles = simulate(false));
+  State.counters["sim_cycles_per_elem"] =
+      static_cast<double>(Cycles) / 4096.0;
+}
+BENCHMARK(BM_IntegerDivMod);
+
+void BM_FpDivMod(benchmark::State &State) {
+  uint64_t Cycles = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Cycles = simulate(true));
+  State.counters["sim_cycles_per_elem"] =
+      static_cast<double>(Cycles) / 4096.0;
+}
+BENCHMARK(BM_FpDivMod);
+
+// The paper's R10000 numbers: 35-cycle integer divide, 11-cycle FP.
+void BM_PaperRatioCheck(benchmark::State &State) {
+  uint64_t IntCycles = simulate(false);
+  uint64_t FpCycles = simulate(true);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(IntCycles);
+  State.counters["int_over_fp"] =
+      static_cast<double>(IntCycles) / static_cast<double>(FpCycles);
+}
+BENCHMARK(BM_PaperRatioCheck);
+
+} // namespace
+
+BENCHMARK_MAIN();

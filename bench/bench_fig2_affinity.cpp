@@ -1,0 +1,98 @@
+//===- bench/bench_fig2_affinity.cpp - Figure 2 scheduling overhead --------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Micro-benchmark of the Figure 2 affinity-scheduling transformations:
+// for each distribution kind, the per-iteration overhead of the
+// scheduled loop relative to a plain parallel loop at the same
+// processor count, plus the load balance across processors.
+//
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "bench/BenchUtil.h"
+#include "support/StringUtils.h"
+
+using namespace dsm;
+
+namespace {
+
+constexpr int N = 8192;
+
+uint64_t simulate(const std::string &Dist, int Procs) {
+  std::string Src;
+  if (Dist == "plain") {
+    Src = formatString(R"(
+      program main
+      integer i, n
+      parameter (n = %d)
+      real*8 A(n)
+      do i = 1, n
+        A(i) = 0.0
+      enddo
+      call dsm_timer_start
+c$doacross local(i)
+      do i = 1, n
+        A(i) = A(i) + 1.5
+      enddo
+      call dsm_timer_stop
+      end
+)",
+                       N);
+  } else {
+    Src = formatString(R"(
+      program main
+      integer i, n
+      parameter (n = %d)
+      real*8 A(n)
+c$distribute_reshape A(%s)
+      do i = 1, n
+        A(i) = 0.0
+      enddo
+      call dsm_timer_start
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, n
+        A(i) = A(i) + 1.5
+      enddo
+      call dsm_timer_stop
+      end
+)",
+                       N, Dist.c_str());
+  }
+  auto Prog = buildProgram({{"k.f", Src}}, CompileOptions{});
+  if (!Prog)
+    return 0;
+  numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = Procs;
+  exec::Engine E(*Prog, Mem, ROpts);
+  auto R = E.run();
+  return R ? R->TimedCycles : 0;
+}
+
+void run(benchmark::State &State, const char *Dist) {
+  int Procs = static_cast<int>(State.range(0));
+  uint64_t Cycles = 0, Plain = 0;
+  for (auto _ : State) {
+    Cycles = simulate(Dist, Procs);
+    benchmark::DoNotOptimize(Cycles);
+  }
+  Plain = simulate("plain", Procs);
+  State.counters["sim_cycles"] = static_cast<double>(Cycles);
+  State.counters["vs_plain_doacross"] =
+      static_cast<double>(Cycles) / static_cast<double>(Plain);
+}
+
+void BM_AffinityBlock(benchmark::State &S) { run(S, "block"); }
+BENCHMARK(BM_AffinityBlock)->Arg(4)->Arg(16)->Arg(64);
+void BM_AffinityCyclic(benchmark::State &S) { run(S, "cyclic"); }
+BENCHMARK(BM_AffinityCyclic)->Arg(4)->Arg(16)->Arg(64);
+void BM_AffinityBlockCyclic(benchmark::State &S) {
+  run(S, "cyclic(32)");
+}
+BENCHMARK(BM_AffinityBlockCyclic)->Arg(4)->Arg(16)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+//===- bench/bench_fig4_lu.cpp - Paper Figure 4 ----------------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Reproduces Figure 4: NAS-LU (scaled SSOR kernel) speedup with
+// (*,block,block,*) distribution and parallel initialization.  Paper
+// shape: all four versions land close together (parallel first-touch
+// already spreads the data); reshaping is best at high processor counts
+// but only modestly (~6% over first-touch at 64); speedups exceed
+// linear because the dataset both spills one node's memory at P=1 and
+// fits the aggregate caches at high P.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/BenchUtil.h"
+#include "bench/Workloads.h"
+
+using namespace dsm;
+using namespace dsmbench;
+
+int main(int argc, char **argv) {
+  int N = 160;
+  int Nz = 10;
+  int Iters = 1;
+  if (argc > 1)
+    N = std::atoi(argv[1]);
+  if (argc > 2)
+    Nz = std::atoi(argv[2]);
+  if (argc > 3)
+    Iters = std::atoi(argv[3]);
+
+  numa::MachineConfig MC = numa::MachineConfig::scaledOrigin();
+  // Paper Section 8.1: the class C dataset (360 MB) exceeds one node's
+  // memory (~250 MB), so even the uniprocessor run has remote
+  // references.  Scale the node memory to reproduce that regime:
+  // 2 x 5*N*N*Nz*8 bytes total vs. a smaller node.
+  uint64_t DataBytes = 2ull * 5 * N * N * Nz * 8;
+  MC.NodeMemoryBytes = DataBytes * 3 / 4;
+  // Keep whole pages.
+  MC.NodeMemoryBytes -= MC.NodeMemoryBytes % MC.PageSize;
+
+  std::vector<int> Procs = {1, 4, 8, 16, 32, 64};
+
+  std::printf("# Reproduction of Figure 4: NAS-LU class C (scaled SSOR "
+              "kernel, U/V(5,%d,%d,%d))\n",
+              N, N, Nz);
+  std::printf("# dataset %llu KB, node memory %llu KB (dataset spills "
+              "one node, as in the paper)\n",
+              static_cast<unsigned long long>(DataBytes / 1024),
+              static_cast<unsigned long long>(MC.NodeMemoryBytes / 1024));
+
+  SweepResult R = runSweep("fig4_lu", luWorkload(N, Nz, Iters), Procs,
+                           MC, "v");
+  printSpeedupTable("Figure 4: NAS-LU speedup", R);
+
+  auto At = [&](Version V, int P) {
+    for (size_t I = 0; I < R.Procs.size(); ++I)
+      if (R.Procs[I] == P)
+        return R.speedup(V, I);
+    return 0.0;
+  };
+  std::vector<ShapeCheck> Checks = {
+      {"all four versions land within 2x of each other at 32 procs "
+       "(paper: 'all four versions spread the data ... they all "
+       "achieve good performance')",
+       [&](const SweepResult &) {
+         double Lo = 1e300, Hi = 0;
+         for (Version V :
+              {Version::FirstTouch, Version::RoundRobin,
+               Version::Regular, Version::Reshaped}) {
+           Lo = std::min(Lo, At(V, 32));
+           Hi = std::max(Hi, At(V, 32));
+         }
+         return Hi < 2.0 * Lo;
+       }},
+      {"reshaped is within 8% of the best version at 64 procs "
+       "(paper: best, by ~6% over first-touch; the curves nearly "
+       "coincide -- see EXPERIMENTS.md deviation 2)",
+       [&](const SweepResult &) {
+         double Best = std::max(
+             std::max(At(Version::FirstTouch, 64),
+                      At(Version::RoundRobin, 64)),
+             At(Version::Regular, 64));
+         return At(Version::Reshaped, 64) >= 0.92 * Best;
+       }},
+      {"reshaped's win over first-touch is modest (< 35%) at 64 procs "
+       "(paper: ~6%)",
+       [&](const SweepResult &) {
+         return At(Version::Reshaped, 64) <
+                1.35 * At(Version::FirstTouch, 64);
+       }},
+      {"parallel-init first-touch beats round-robin at 32 procs",
+       [&](const SweepResult &) {
+         return At(Version::FirstTouch, 32) >=
+                0.95 * At(Version::RoundRobin, 32);
+       }},
+      {"near-linear scaling: reshaped efficiency at 64 procs >= 80% "
+       "(paper's curves run at or above linear)",
+       [&](const SweepResult &) {
+         return R.speedup(Version::Reshaped, 5) >= 0.8 * 64.0;
+       }},
+      {"every version scales: 64-proc speedup > 8x for all",
+       [&](const SweepResult &) {
+         for (Version V :
+              {Version::FirstTouch, Version::RoundRobin,
+               Version::Regular, Version::Reshaped})
+           if (At(V, 64) <= 8.0)
+             return false;
+         return true;
+       }},
+  };
+  int Failures = reportShapeChecks(Checks, R);
+
+  // The paper verifies with the R10000 counters that secondary-cache
+  // misses drop by ~3x from 1 to 16 processors.
+  uint64_t Miss1 = R.Runs.at(Version::Reshaped)[0].Counters.L2Misses;
+  uint64_t Miss16 = R.Runs.at(Version::Reshaped)[3].Counters.L2Misses;
+  std::printf("# L2 misses (reshaped): P=1 %llu vs P=16 %llu (paper "
+              "reports ~3x fewer at 16; our scaled dataset still "
+              "exceeds the aggregate cache there -- EXPERIMENTS.md)\n",
+              static_cast<unsigned long long>(Miss1),
+              static_cast<unsigned long long>(Miss16));
+  return Failures == 0 ? 0 : 2;
+}

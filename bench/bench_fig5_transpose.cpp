@@ -1,0 +1,113 @@
+//===- bench/bench_fig5_transpose.cpp - Paper Figure 5 ---------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Reproduces Figure 5: speedup of the parallel matrix transpose
+// (paper: 5000x5000 on a 128-processor Origin-2000; here scaled with
+// the simulated machine per DESIGN.md Section 5).  Expected shape:
+// first-touch and regular distribution flatten out (serial
+// initialization + page-granularity leave the data on few nodes);
+// round-robin scales via bandwidth spreading; reshaping wins by 30-50%
+// over round-robin at moderate processor counts and goes superlinear
+// once the aggregate cache holds the dataset.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/BenchUtil.h"
+#include "bench/Workloads.h"
+
+using namespace dsm;
+using namespace dsmbench;
+
+int main(int argc, char **argv) {
+  int N = 1024;
+  int Reps = 5;
+  if (argc > 1)
+    N = std::atoi(argv[1]);
+  if (argc > 2)
+    Reps = std::atoi(argv[2]);
+
+  numa::MachineConfig MC = numa::MachineConfig::scaledOrigin();
+  std::vector<int> Procs = {1, 2, 4, 8, 16, 32, 64, 96};
+
+  std::printf("# Reproduction of Figure 5: Matrix Transpose %dx%d "
+              "(paper: 5000x5000)\n",
+              N, N);
+  std::printf("# machine: %d nodes x %d procs, %llu B pages, %llu KB "
+              "L2/proc\n",
+              MC.NumNodes, MC.ProcsPerNode,
+              static_cast<unsigned long long>(MC.PageSize),
+              static_cast<unsigned long long>(MC.L2.SizeBytes / 1024));
+
+  SweepResult R = runSweep("fig5_transpose", transposeWorkload(N, Reps),
+                           Procs, MC, "a");
+  printSpeedupTable("Figure 5: matrix transpose speedup", R);
+
+  auto At = [&](Version V, int P) {
+    for (size_t I = 0; I < R.Procs.size(); ++I)
+      if (R.Procs[I] == P)
+        return R.speedup(V, I);
+    return 0.0;
+  };
+  std::vector<ShapeCheck> Checks = {
+      {"reshaped beats round-robin by >= 1.25x at 16 procs",
+       [&](const SweepResult &) {
+         return At(Version::Reshaped, 16) >=
+                1.25 * At(Version::RoundRobin, 16);
+       }},
+      {"reshaped beats round-robin by >= 1.25x at 32 procs (paper: "
+       "30-50% at moderate counts)",
+       [&](const SweepResult &) {
+         return At(Version::Reshaped, 32) >=
+                1.25 * At(Version::RoundRobin, 32);
+       }},
+      {"round-robin beats first-touch at 16+ procs",
+       [&](const SweepResult &) {
+         return At(Version::RoundRobin, 16) >
+                    At(Version::FirstTouch, 16) &&
+                At(Version::RoundRobin, 64) >
+                    At(Version::FirstTouch, 64);
+       }},
+      {"round-robin overtakes regular by 32 procs (regular cannot "
+       "place the (block,*) pieces)",
+       [&](const SweepResult &) {
+         return At(Version::RoundRobin, 32) > At(Version::Regular, 32);
+       }},
+      {"first-touch is flat: 64-proc speedup < 1.35x its 8-proc value",
+       [&](const SweepResult &) {
+         return At(Version::FirstTouch, 64) <
+                1.35 * At(Version::FirstTouch, 8);
+       }},
+      {"regular saturates well below reshaped at 64 procs",
+       [&](const SweepResult &) {
+         return At(Version::Regular, 64) <
+                0.6 * At(Version::Reshaped, 64);
+       }},
+      {"reshaped keeps scaling from 8 to 32 procs",
+       [&](const SweepResult &) {
+         return At(Version::Reshaped, 32) >
+                1.4 * At(Version::Reshaped, 8);
+       }},
+      {"reshaping cuts TLB-miss time by more than half vs round-robin "
+       "at 32 procs (paper Section 8.2)",
+       [&](const SweepResult &) {
+         return 2 * R.Runs.at(Version::Reshaped)[5]
+                        .Counters.TlbMissCycles <
+                R.Runs.at(Version::RoundRobin)[5]
+                    .Counters.TlbMissCycles;
+       }},
+  };
+  int Failures = reportShapeChecks(Checks, R);
+  std::printf("# TLB-miss cycles at P=32: round-robin=%llu reshaped=%llu "
+              "(paper Section 8.2: reshaping needs less than half)\n",
+              static_cast<unsigned long long>(
+                  R.Runs.at(Version::RoundRobin)[5]
+                      .Counters.TlbMissCycles),
+              static_cast<unsigned long long>(
+                  R.Runs.at(Version::Reshaped)[5]
+                      .Counters.TlbMissCycles));
+  return Failures == 0 ? 0 : 2;
+}

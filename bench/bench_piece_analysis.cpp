@@ -1,0 +1,81 @@
+//===- bench/bench_piece_analysis.cpp - Section 3.2 piece sizes ------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Regenerates the paper's Section 3.2 motivating analysis: the size of
+// the physically contiguous same-owner pieces of a distribution,
+// compared with the page size -- the quantity that decides between
+// regular and reshaped distribution.  Uses the paper's own example
+// (real*8 A(1000,1000)) plus the evaluation workloads' shapes.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "dist/ArrayLayout.h"
+#include "numa/MachineConfig.h"
+
+using namespace dsm::dist;
+
+namespace {
+
+DistSpec spec(std::initializer_list<DimDist> Dims) {
+  DistSpec S;
+  S.Dims = Dims;
+  return S;
+}
+
+void report(const char *Label, const DistSpec &S,
+            std::vector<int64_t> Dims, int64_t Procs,
+            uint64_t PageBytes) {
+  ArrayLayout L = ArrayLayout::make(S, std::move(Dims), Procs);
+  PieceStats Stats = analyzeContiguousPieces(L);
+  std::printf("%-34s P=%-3lld pieces=%-8lld avg=%-10.0f max=%-10lld %s\n",
+              Label, static_cast<long long>(Procs),
+              static_cast<long long>(Stats.NumPieces),
+              Stats.AvgPieceBytes,
+              static_cast<long long>(Stats.MaxPieceBytes),
+              static_cast<uint64_t>(Stats.AvgPieceBytes) >= PageBytes
+                  ? "regular OK"
+                  : "NEEDS RESHAPE");
+}
+
+} // namespace
+
+int main() {
+  const uint64_t Page = 16384; // The Origin-2000 page of the paper.
+  std::printf("# Section 3.2 contiguous-piece analysis (page = %llu "
+              "bytes)\n",
+              static_cast<unsigned long long>(Page));
+  std::printf("%-34s %-5s %-15s %-15s %-15s\n", "# distribution", "",
+              "", "", "");
+
+  // The paper's two examples: A(1000,1000) distributed (*,block) has
+  // one 8e6/P-byte piece per processor; (block,*) has 8e3/P pieces.
+  for (int64_t P : {4, 16, 64}) {
+    report("A(1000,1000) (*,block)",
+           spec({{DistKind::None, 1}, {DistKind::Block, 1}}),
+           {1000, 1000}, P, Page);
+    report("A(1000,1000) (block,*)",
+           spec({{DistKind::Block, 1}, {DistKind::None, 1}}),
+           {1000, 1000}, P, Page);
+  }
+  // The evaluation shapes.
+  for (int64_t P : {16, 64}) {
+    report("conv A(1000,1000) (block,block)",
+           spec({{DistKind::Block, 1}, {DistKind::Block, 1}}),
+           {1000, 1000}, P, Page);
+    report("LU U(5,166,166,166) (*,b,b,*)",
+           spec({{DistKind::None, 1},
+                 {DistKind::Block, 1},
+                 {DistKind::Block, 1},
+                 {DistKind::None, 1}}),
+           {5, 166, 166, 166}, P, Page);
+    report("A(1000) cyclic(5)",
+           spec({{DistKind::BlockCyclic, 5}}), {1000}, P, Page);
+  }
+  std::printf("# pieces far below the page need c$distribute_reshape; "
+              "large pieces are fine with c$distribute (paper "
+              "Section 8.4).\n");
+  return 0;
+}

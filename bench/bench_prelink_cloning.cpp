@@ -1,0 +1,104 @@
+//===- bench/bench_prelink_cloning.cpp - Section 5 cloning behaviour -------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Benchmarks the pre-linker's reshape-directive propagation (paper
+// Section 5): host time to link call chains of increasing depth, and
+// the clone / recompilation counts ("the first compilation of a program
+// can potentially result in several recompilations as the directives
+// are propagated all the way down the call graph").
+//
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "bench/BenchUtil.h"
+#include "support/StringUtils.h"
+
+using namespace dsm;
+
+namespace {
+
+/// main passes K reshaped arrays (distinct distributions) into a chain
+/// of Depth subroutines, each forwarding to the next.
+std::vector<SourceFile> chainProgram(int Depth, int Distinct) {
+  std::vector<SourceFile> Sources;
+  std::string Main = "      program main\n      real*8 ";
+  for (int D = 0; D < Distinct; ++D)
+    Main += formatString("%sA%d(64)", D ? ", " : "", D);
+  Main += "\n";
+  for (int D = 0; D < Distinct; ++D)
+    Main += formatString("c$distribute_reshape A%d(cyclic(%d))\n", D,
+                         D + 2);
+  for (int D = 0; D < Distinct; ++D)
+    Main += formatString("      A%d(1) = 0.0\n      call chain0(A%d)\n",
+                         D, D);
+  Main += "      end\n";
+  Sources.push_back({"main.f", Main});
+
+  for (int L = 0; L < Depth; ++L) {
+    std::string Sub = formatString(
+        "      subroutine chain%d(X)\n      real*8 X(64)\n", L);
+    if (L + 1 < Depth)
+      Sub += formatString("      call chain%d(X)\n", L + 1);
+    else
+      Sub += "      X(1) = X(1) + 1.0\n";
+    Sub += "      end\n";
+    Sources.push_back({formatString("chain%d.f", L), Sub});
+  }
+  return Sources;
+}
+
+void BM_PrelinkChain(benchmark::State &State) {
+  int Depth = static_cast<int>(State.range(0));
+  int Distinct = static_cast<int>(State.range(1));
+  unsigned Clones = 0, Recompiles = 0;
+  for (auto _ : State) {
+    auto Prog = buildProgram(chainProgram(Depth, Distinct),
+                             CompileOptions{});
+    if (!Prog)
+      State.SkipWithError("link failed");
+    else {
+      Clones = Prog->ClonesCreated;
+      Recompiles = Prog->Recompilations;
+    }
+  }
+  State.counters["clones"] = Clones;
+  State.counters["recompilations"] = Recompiles;
+}
+// Depth x distinct-distribution sweep: clones = depth * distinct.
+BENCHMARK(BM_PrelinkChain)
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({16, 1})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Args({16, 4});
+
+/// Same-signature calls from many sites reuse one clone.
+void BM_PrelinkSharedClone(benchmark::State &State) {
+  int Sites = static_cast<int>(State.range(0));
+  unsigned Clones = 0;
+  for (auto _ : State) {
+    std::string Main = "      program main\n      real*8 A(64)\n"
+                       "c$distribute_reshape A(block)\n"
+                       "      A(1) = 0.0\n";
+    for (int S = 0; S < Sites; ++S)
+      Main += "      call work(A)\n";
+    Main += "      end\n";
+    const char *Sub = "      subroutine work(X)\n      real*8 X(64)\n"
+                      "      X(1) = X(1) + 1.0\n      end\n";
+    auto Prog = buildProgram({{"m.f", Main}, {"w.f", Sub}},
+                             CompileOptions{});
+    if (!Prog)
+      State.SkipWithError("link failed");
+    else
+      Clones = Prog->ClonesCreated;
+  }
+  State.counters["clones"] = Clones;
+}
+BENCHMARK(BM_PrelinkSharedClone)->Arg(1)->Arg(8)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

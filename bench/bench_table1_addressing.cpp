@@ -1,0 +1,89 @@
+//===- bench/bench_table1_addressing.cpp - Table 1 addressing forms --------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Micro-benchmark of the reshaped-reference transformation (paper
+// Table 1) under each distribution kind and optimization level.
+// Reports simulated cycles per element; the wall time google-benchmark
+// measures is the simulator's own speed.
+//
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "bench/BenchUtil.h"
+#include "support/StringUtils.h"
+
+using namespace dsm;
+
+namespace {
+
+constexpr int N = 4096;
+
+std::string kernel(const char *Dist) {
+  return formatString(R"(
+      program main
+      integer i, n
+      parameter (n = %d)
+      real*8 A(n)
+c$distribute_reshape A(%s)
+      do i = 1, n
+        A(i) = 0.0
+      enddo
+      call dsm_timer_start
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, n
+        A(i) = A(i) + 1.5
+      enddo
+      call dsm_timer_stop
+      end
+)",
+                      N, Dist);
+}
+
+uint64_t simulate(const std::string &Src, xform::ReshapeOptLevel Level,
+                  int Procs) {
+  CompileOptions COpts;
+  COpts.Xform.Level = Level;
+  auto Prog = buildProgram({{"k.f", Src}}, COpts);
+  if (!Prog)
+    return 0;
+  numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = Procs;
+  exec::Engine E(*Prog, Mem, ROpts);
+  auto R = E.run();
+  return R ? R->TimedCycles : 0;
+}
+
+void run(benchmark::State &State, const char *Dist,
+         xform::ReshapeOptLevel Level) {
+  std::string Src = kernel(Dist);
+  uint64_t Cycles = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Cycles = simulate(Src, Level, 4));
+  State.counters["sim_cycles_per_elem"] =
+      static_cast<double>(Cycles) * 4.0 / N; // Per-processor share.
+}
+
+#define ADDRESSING_BENCH(NAME, DIST)                                     \
+  void BM_##NAME##_Naive(benchmark::State &S) {                          \
+    run(S, DIST, xform::ReshapeOptLevel::None);                          \
+  }                                                                      \
+  BENCHMARK(BM_##NAME##_Naive);                                          \
+  void BM_##NAME##_TilePeel(benchmark::State &S) {                       \
+    run(S, DIST, xform::ReshapeOptLevel::TilePeel);                      \
+  }                                                                      \
+  BENCHMARK(BM_##NAME##_TilePeel);                                       \
+  void BM_##NAME##_Hoisted(benchmark::State &S) {                        \
+    run(S, DIST, xform::ReshapeOptLevel::Full);                          \
+  }                                                                      \
+  BENCHMARK(BM_##NAME##_Hoisted);
+
+ADDRESSING_BENCH(Block, "block")
+ADDRESSING_BENCH(Cyclic, "cyclic")
+ADDRESSING_BENCH(BlockCyclic, "cyclic(16)")
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+//===- examples/error_detection.cpp - Section 6 diagnostics tour -----------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Demonstrates the error-detection support of the paper's Section 6:
+// compile-time (EQUIVALENCE of reshaped arrays), link-time
+// (inconsistent COMMON declarations), and runtime (formal parameter
+// larger than the distributed-array portion passed in).  Each case
+// feeds a deliberately broken program through the pipeline and shows
+// the diagnostic.
+//
+// Build & run:  ./build/examples/error_detection
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <vector>
+
+#include "core/Driver.h"
+
+using namespace dsm;
+
+namespace {
+
+void showCompileOrLink(const char *Title,
+                       std::vector<SourceFile> Sources) {
+  std::printf("--- %s ---\n", Title);
+  auto Prog = buildProgram(Sources, CompileOptions{});
+  if (Prog) {
+    std::printf("unexpectedly compiled cleanly!\n\n");
+    return;
+  }
+  std::printf("%s\n\n", Prog.error().str().c_str());
+}
+
+void showRuntime(const char *Title, std::vector<SourceFile> Sources) {
+  std::printf("--- %s ---\n", Title);
+  auto Prog = buildProgram(Sources, CompileOptions{});
+  if (!Prog) {
+    std::printf("(failed earlier than expected)\n%s\n\n",
+                Prog.error().str().c_str());
+    return;
+  }
+  numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 8;
+  ROpts.RuntimeArgChecks = true; // The paper's optional runtime checks.
+  exec::Engine Engine(*Prog, Mem, ROpts);
+  auto Run = Engine.run();
+  if (Run) {
+    std::printf("unexpectedly ran cleanly!\n\n");
+    return;
+  }
+  std::printf("%s\n\n", Run.error().str().c_str());
+}
+
+} // namespace
+
+int main() {
+  std::printf("The paper's Section 6: errors in reshaped distributions "
+              "\"are otherwise\nextremely difficult to detect, since "
+              "they are not easily distinguished from\nother "
+              "algorithmic or coding errors.\"\n\n");
+
+  // 1. Compile time: a reshaped array cannot be equivalenced.
+  showCompileOrLink("compile-time: EQUIVALENCE of a reshaped array",
+                    {{"equiv.f", R"(
+      program main
+      real*8 A(100), B(100)
+c$distribute_reshape A(block)
+      equivalence (A, B)
+      A(1) = 0.0
+      end
+)"}});
+
+  // 2. Link time: every declaration of a COMMON block containing a
+  //    reshaped array must match in offset, shape, and distribution.
+  showCompileOrLink(
+      "link-time: inconsistent COMMON declarations of a reshaped array",
+      {{"main.f", R"(
+      program main
+      real*8 C(32)
+      common /blk/ C
+c$distribute_reshape C(block)
+      C(1) = 0.0
+      call touch
+      end
+)"},
+       {"touch.f", R"(
+      subroutine touch
+      real*8 C(32)
+      common /blk/ C
+c$distribute_reshape C(cyclic)
+      C(2) = 1.0
+      end
+)"}});
+
+  // 3. Runtime: the paper's mysub example with the formal declared one
+  //    element too large for the cyclic(5) portion.
+  showRuntime(
+      "runtime: formal parameter exceeds the distributed-array portion",
+      {{"main.f", R"(
+      program main
+      real*8 A(1000)
+      integer i
+c$distribute_reshape A(cyclic(5))
+      do i = 1, 1000, 5
+        call mysub(A(i))
+      enddo
+      end
+)"},
+       {"mysub.f", R"(
+      subroutine mysub(X)
+      real*8 X(6)
+      integer j
+      do j = 1, 6
+        X(j) = j
+      enddo
+      end
+)"}});
+
+  std::printf("All three classes of error were caught with source-level "
+              "diagnostics.\n");
+  return 0;
+}

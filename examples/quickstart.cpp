@@ -1,0 +1,90 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library -----------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Compiles and runs the paper's Section 3 examples: a doacross loop
+// with a block-distributed array, executed on a simulated Origin-2000
+// at several processor counts.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "core/Driver.h"
+
+using namespace dsm;
+
+int main() {
+  // The paper's Section 3.4 example: distribute an array block-wise and
+  // schedule the loop so iteration i runs on the processor owning A(i).
+  const char *Source = R"(
+      program quickstart
+      integer i, n
+      parameter (n = 100000)
+      real*8 A(n)
+c$distribute_reshape A(block)
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, n
+        A(i) = i * i
+      enddo
+      call dsm_timer_start
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, n
+        A(i) = (A(i) + i) / 2.0
+      enddo
+      call dsm_timer_stop
+      end
+)";
+
+  // Compile with the full Section 7 optimization pipeline (tiling,
+  // peeling, hoisting, FP div/mod), exactly as MIPSpro shipped it.
+  CompileOptions COpts;
+  auto Prog = buildProgram({{"quickstart.f", Source}}, COpts);
+  if (!Prog) {
+    std::fprintf(stderr, "compile error:\n%s\n",
+                 Prog.error().str().c_str());
+    return 1;
+  }
+
+  std::printf("quickstart: c$distribute_reshape A(block) + affinity "
+              "scheduling\n");
+  std::printf("%8s %16s %10s %14s\n", "procs", "kernel cycles",
+              "speedup", "remote misses");
+
+  uint64_t Serial = 0;
+  for (int Procs : {1, 2, 4, 8, 16, 32}) {
+    // A fresh simulated Origin-2000 for each run.
+    numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
+    exec::RunOptions ROpts;
+    ROpts.NumProcs = Procs;
+    exec::Engine Engine(*Prog, Mem, ROpts);
+    auto Run = Engine.run();
+    if (!Run) {
+      std::fprintf(stderr, "run error:\n%s\n", Run.error().str().c_str());
+      return 1;
+    }
+    if (Procs == 1)
+      Serial = Run->TimedCycles;
+    std::printf("%8d %16llu %9.2fx %14llu\n", Procs,
+                static_cast<unsigned long long>(Run->TimedCycles),
+                static_cast<double>(Serial) /
+                    static_cast<double>(Run->TimedCycles),
+                static_cast<unsigned long long>(
+                    Run->Counters.RemoteMemAccesses));
+
+    // Results are readable back out of the simulated memory.
+    if (Procs == 1) {
+      auto V = Engine.readArrayF64("a", {10});
+      if (V)
+        std::printf("%8s A(10) = %.1f (expected %.1f)\n", "", *V,
+                    (10.0 * 10.0 + 10.0) / 2.0);
+    }
+  }
+  std::printf("\nEach processor's portion of A lives in its node's local "
+              "memory;\naffinity scheduling sends iteration i to the "
+              "owner of A(i), so the\nkernel's misses stay local and "
+              "the loop scales.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+//===- examples/transpose_policies.cpp - Placement policies compared -------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// The paper's Section 8.2 experiment in miniature: a parallel matrix
+// transpose whose (block,*) operand cannot be placed at page
+// granularity, run under first-touch, round-robin, regular
+// distribution, and reshaped distribution.  Prints per-policy cycles
+// and the hardware-counter evidence (remote misses, TLB-miss time) the
+// paper uses to explain the result.
+//
+// Build & run:  ./build/examples/transpose_policies [N]
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/Driver.h"
+#include "support/StringUtils.h"
+
+using namespace dsm;
+
+namespace {
+
+std::string transposeSource(int N, const char *DistDirective,
+                            bool Affinity) {
+  return formatString(R"(
+      program transp
+      integer i, j, r, n
+      parameter (n = %d)
+      real*8 A(n, n), B(n, n)
+%s
+      do j = 1, n
+        do i = 1, n
+          B(i,j) = i + 2*j
+        enddo
+      enddo
+      call dsm_timer_start
+      do r = 1, 3
+%s      do i = 1, n
+        do j = 1, n
+          A(j,i) = B(i,j)
+        enddo
+      enddo
+      enddo
+      call dsm_timer_stop
+      end
+)",
+                      N, DistDirective,
+                      Affinity
+                          ? "c$doacross local(i,j) affinity(i) = "
+                            "data(A(1, i))\n"
+                          : "c$doacross local(i,j)\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int N = argc > 1 ? std::atoi(argv[1]) : 512;
+  int Procs = 32;
+
+  struct Policy {
+    const char *Name;
+    std::string Source;
+    numa::PlacementPolicy Default;
+  };
+  Policy Policies[] = {
+      {"first-touch", transposeSource(N, "", false),
+       numa::PlacementPolicy::FirstTouch},
+      {"round-robin", transposeSource(N, "", false),
+       numa::PlacementPolicy::RoundRobin},
+      {"regular",
+       transposeSource(N, "c$distribute A(*, block), B(block, *)", true),
+       numa::PlacementPolicy::FirstTouch},
+      {"reshaped",
+       transposeSource(
+           N, "c$distribute_reshape A(*, block), B(block, *)", true),
+       numa::PlacementPolicy::FirstTouch},
+  };
+
+  std::printf("matrix transpose %dx%d at %d processors (3 repetitions, "
+              "serial initialization)\n\n",
+              N, N, Procs);
+  std::printf("%-12s %14s %12s %12s %12s\n", "policy", "kernel cycles",
+              "remote miss", "local miss", "tlb cycles");
+
+  for (const Policy &P : Policies) {
+    auto Prog = buildProgram({{"transp.f", P.Source}}, CompileOptions{});
+    if (!Prog) {
+      std::fprintf(stderr, "%s: compile error:\n%s\n", P.Name,
+                   Prog.error().str().c_str());
+      return 1;
+    }
+    numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
+    exec::RunOptions ROpts;
+    ROpts.NumProcs = Procs;
+    ROpts.DefaultPolicy = P.Default;
+    exec::Engine Engine(*Prog, Mem, ROpts);
+    auto Run = Engine.run();
+    if (!Run) {
+      std::fprintf(stderr, "%s: run error:\n%s\n", P.Name,
+                   Run.error().str().c_str());
+      return 1;
+    }
+    std::printf("%-12s %14llu %12llu %12llu %12llu\n", P.Name,
+                static_cast<unsigned long long>(Run->TimedCycles),
+                static_cast<unsigned long long>(
+                    Run->Counters.RemoteMemAccesses),
+                static_cast<unsigned long long>(
+                    Run->Counters.LocalMemAccesses),
+                static_cast<unsigned long long>(
+                    Run->Counters.TlbMissCycles));
+  }
+
+  std::printf(
+      "\nThe (block,*) matrix B has %d-byte contiguous pieces per "
+      "processor --\nfar below the %llu-byte page -- so only reshaping "
+      "places it correctly;\nround-robin at least spreads the pages for "
+      "bandwidth (paper Section 8.2).\n",
+      8 * N / Procs,
+      static_cast<unsigned long long>(
+          numa::MachineConfig::scaledOrigin().PageSize));
+  return 0;
+}

@@ -1,0 +1,130 @@
+//===- examples/two_phase_redistribute.cpp - c$redistribute in action ------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// The paper's Section 3.3: "dynamic data redistribution may be useful
+// when an application needs a different distribution on the same array
+// in two distinct phases".  This example runs an ADI-style computation
+// -- a row sweep followed by a column sweep -- and compares keeping one
+// regular distribution throughout against redistributing between the
+// phases.
+//
+// Build & run:  ./build/examples/two_phase_redistribute
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <string>
+
+#include "core/Driver.h"
+#include "support/StringUtils.h"
+
+using namespace dsm;
+
+namespace {
+
+// Both phases are parallel over columns, but phase 1 uses the simple
+// (chunked) schedule -- contiguous column blocks per processor, matching
+// a (*,block) placement -- while phase 2 uses schedtype(interleave) --
+// every P-th column per processor, matching (*,cyclic).  With a single
+// static distribution one of the phases always misses remotely; with
+// c$redistribute the array's pages follow the phase (paper Section 3.3).
+std::string adiSource(int N, int Sweeps, bool Redistribute) {
+  const char *Redist1 = Redistribute ? "c$redistribute A(*, block)\n" : "";
+  const char *Redist2 = Redistribute ? "c$redistribute A(*, cyclic)\n" : "";
+  return formatString(R"(
+      program adi
+      integer i, j, s, r, n, reps
+      parameter (n = %d, reps = 24)
+      real*8 A(n, n)
+c$distribute A(*, block)
+      do j = 1, n
+        do i = 1, n
+          A(i,j) = i + j
+        enddo
+      enddo
+      call dsm_timer_start
+      do s = 1, %d
+* phase 1: blocked column schedule (wants (*,block) placement)
+%s
+      do r = 1, reps
+c$doacross local(i,j)
+      do j = 1, n
+        do i = 2, n
+          A(i,j) = (A(i,j) + A(i-1,j)) / 2.0
+        enddo
+      enddo
+      enddo
+* phase 2: interleaved column schedule (wants (*,cyclic) placement)
+%s
+      do r = 1, reps
+c$doacross local(i,j) schedtype(interleave)
+      do j = 1, n
+        do i = 2, n
+          A(i,j) = (A(i,j) + A(i-1,j)) / 2.0
+        enddo
+      enddo
+      enddo
+      enddo
+      call dsm_timer_stop
+      end
+)",
+                      N, Sweeps, Redist1, Redist2);
+}
+
+} // namespace
+
+int main() {
+  int N = 768;
+  int Sweeps = 2;
+  int Procs = 16;
+
+  std::printf("ADI-style two-phase sweep, %dx%d, %d sweeps of 24 passes each, %d procs\n\n",
+              N, N, Sweeps, Procs);
+  std::printf("%-24s %14s %12s %12s\n", "configuration", "kernel cycles",
+              "remote miss", "pages moved");
+
+  double Checksum[2] = {0, 0};
+  int Idx = 0;
+  for (bool Redistribute : {false, true}) {
+    std::string Src = adiSource(N, Sweeps, Redistribute);
+    auto Prog = buildProgram({{"adi.f", Src}}, CompileOptions{});
+    if (!Prog) {
+      std::fprintf(stderr, "compile error:\n%s\n",
+                   Prog.error().str().c_str());
+      return 1;
+    }
+    numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
+    exec::RunOptions ROpts;
+    ROpts.NumProcs = Procs;
+    exec::Engine Engine(*Prog, Mem, ROpts);
+    auto Run = Engine.run();
+    if (!Run) {
+      std::fprintf(stderr, "run error:\n%s\n", Run.error().str().c_str());
+      return 1;
+    }
+    auto Sum = Engine.arrayWeightedChecksum("a");
+    Checksum[Idx++] = Sum ? *Sum : 0.0;
+    std::printf("%-24s %14llu %12llu %12llu\n",
+                Redistribute ? "redistribute per phase"
+                             : "static (*,block) only",
+                static_cast<unsigned long long>(Run->TimedCycles),
+                static_cast<unsigned long long>(
+                    Run->Counters.RemoteMemAccesses),
+                static_cast<unsigned long long>(
+                    Run->Counters.PageMigrations));
+  }
+
+  std::printf("\nresults identical: %s\n",
+              Checksum[0] == Checksum[1] ? "yes" : "NO (bug!)");
+  std::printf(
+      "Redistribution eliminates nearly all remote misses, at the cost "
+      "of page\nmigrations and the cache refills they force.  Whether "
+      "it pays depends on how\nmuch work each phase does per "
+      "redistribution -- which is why the paper keeps\nredistribution "
+      "an explicit, executable directive under programmer control\n"
+      "(Section 3.3), and why reshaped arrays, whose layout the "
+      "compiler must know\nstatically, cannot be redistributed at "
+      "all.\n");
+  return 0;
+}

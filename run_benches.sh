@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerates every paper table/figure plus the micro-benchmarks.
+set -e
+cd "$(dirname "$0")"
+for b in bench_table2_reshape_opts bench_fig4_lu bench_fig5_transpose \
+         bench_fig6_conv_small bench_fig7_conv_large \
+         bench_piece_analysis; do
+  echo "==== $b ===="
+  ./build/bench/$b || echo "($b reported shape deviations)"
+  echo
+done
+for b in bench_table1_addressing bench_fig2_affinity bench_divmod_fp \
+         bench_prelink_cloning; do
+  echo "==== $b ===="
+  ./build/bench/$b --benchmark_min_time=0.02 2>&1 | grep -E 'BM_|Benchmark|^--'
+  echo
+done

@@ -1,0 +1,73 @@
+//===- core/Driver.cpp - Public compile-and-run API ------------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+using namespace dsm;
+
+Expected<link::Program>
+dsm::buildProgram(const std::vector<SourceFile> &Sources,
+                  const CompileOptions &Opts) {
+  std::vector<std::unique_ptr<ir::Module>> Modules;
+  for (const SourceFile &S : Sources) {
+    auto M = lang::parseSource(S.Text, S.Name);
+    if (!M)
+      return M.takeError();
+    if (Error E = lang::checkModule(**M))
+      return E;
+    Modules.push_back(std::move(*M));
+  }
+
+  auto Prog = link::linkProgram(std::move(Modules));
+  if (!Prog)
+    return Prog.takeError();
+
+  if (Opts.Transform) {
+    // The pre-linker may have added clones; transform every procedure
+    // of every module (clones included), then verify the IR invariants
+    // the passes must preserve.
+    for (auto &M : Prog->Modules)
+      for (auto &P : M->Procedures) {
+        if (Error E = xform::transformProcedure(*P, Opts.Xform))
+          return E;
+        if (Error E = ir::verifyProcedure(*P))
+          return E;
+      }
+  }
+  return Prog;
+}
+
+Expected<BuildAndRunResult>
+dsm::buildAndRun(const std::vector<SourceFile> &Sources,
+                 const CompileOptions &COpts,
+                 const numa::MachineConfig &MC,
+                 const exec::RunOptions &ROpts,
+                 const std::string &ChecksumArray) {
+  auto Prog = buildProgram(Sources, COpts);
+  if (!Prog)
+    return Prog.takeError();
+  numa::MemorySystem Mem(MC);
+  exec::Engine Engine(*Prog, Mem, ROpts);
+  auto Run = Engine.run();
+  if (!Run)
+    return Run.takeError();
+  BuildAndRunResult Out;
+  Out.Run = *Run;
+  if (!ChecksumArray.empty()) {
+    auto Sum = Engine.arrayChecksum(ChecksumArray);
+    if (!Sum)
+      return Sum.takeError();
+    Out.Checksum = *Sum;
+    auto WSum = Engine.arrayWeightedChecksum(ChecksumArray);
+    if (!WSum)
+      return WSum.takeError();
+    Out.WeightedChecksum = *WSum;
+  }
+  return Out;
+}

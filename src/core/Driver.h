@@ -1,0 +1,72 @@
+//===- core/Driver.h - Public compile-and-run API ---------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level API a user of this library sees: compile DSM Fortran
+/// sources (with the paper's data-distribution directives), link them
+/// (propagating reshape directives and cloning subroutines), and run
+/// the result on a simulated Origin-2000.
+///
+/// Typical use:
+/// \code
+///   dsm::CompileOptions Opts;                // defaults = full opt
+///   auto Prog = dsm::buildProgram({{"main.f", Source}}, Opts);
+///   dsm::numa::MemorySystem Mem(dsm::numa::MachineConfig::scaledOrigin());
+///   dsm::exec::RunOptions Run;
+///   Run.NumProcs = 16;
+///   dsm::exec::Engine Engine(*Prog, Mem, Run);
+///   auto Result = Engine.run();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_CORE_DRIVER_H
+#define DSM_CORE_DRIVER_H
+
+#include <string>
+#include <vector>
+
+#include "exec/Engine.h"
+#include "link/Linker.h"
+#include "xform/Xform.h"
+
+namespace dsm {
+
+/// One source file ("translation unit") of the program.
+struct SourceFile {
+  std::string Name;
+  std::string Text;
+};
+
+/// Compilation options: the transformation pipeline configuration.
+struct CompileOptions {
+  xform::XformOptions Xform;
+  /// Skip the transformation pipeline entirely (functional reference
+  /// builds for transformation-equivalence testing).
+  bool Transform = true;
+};
+
+/// Parses, checks, links (with reshape propagation and cloning), and
+/// optimizes a whole program.
+Expected<link::Program> buildProgram(const std::vector<SourceFile> &Sources,
+                                     const CompileOptions &Opts = {});
+
+/// Convenience: build + run in one call; returns the result and leaves
+/// inspection to the caller-provided engine if needed.
+struct BuildAndRunResult {
+  exec::RunResult Run;
+  double Checksum = 0.0; ///< Checksum of \p ChecksumArray if requested.
+  double WeightedChecksum = 0.0; ///< Position-weighted variant.
+};
+Expected<BuildAndRunResult>
+buildAndRun(const std::vector<SourceFile> &Sources,
+            const CompileOptions &COpts, const numa::MachineConfig &MC,
+            const exec::RunOptions &ROpts,
+            const std::string &ChecksumArray = "");
+
+} // namespace dsm
+
+#endif // DSM_CORE_DRIVER_H

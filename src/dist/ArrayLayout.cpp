@@ -1,0 +1,155 @@
+//===- dist/ArrayLayout.cpp - Memory layouts of distributed arrays --------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/ArrayLayout.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+using namespace dsm::dist;
+
+ArrayLayout ArrayLayout::make(const DistSpec &Spec,
+                              std::vector<int64_t> DimSizes,
+                              int64_t TotalProcs) {
+  assert(Spec.Dims.size() == DimSizes.size() &&
+         "distribution rank must match array rank");
+  ArrayLayout L;
+  L.Spec = Spec;
+  L.DimSizes = std::move(DimSizes);
+  L.Grid = computeProcGrid(Spec, TotalProcs);
+  L.Maps.reserve(L.DimSizes.size());
+  L.PortionExtents.reserve(L.DimSizes.size());
+  for (unsigned D = 0; D < L.DimSizes.size(); ++D) {
+    L.Maps.push_back(
+        DimMap::make(Spec.Dims[D], L.DimSizes[D], L.Grid.Extents[D]));
+    L.PortionExtents.push_back(paddedPortionSize(L.Maps.back()));
+  }
+  return L;
+}
+
+int64_t ArrayLayout::totalElems() const {
+  int64_t T = 1;
+  for (int64_t N : DimSizes)
+    T *= N;
+  return T;
+}
+
+int64_t ArrayLayout::cellOf(const int64_t *Idx) const {
+  int64_t Cell = 0;
+  int64_t Stride = 1;
+  for (unsigned D = 0; D < rank(); ++D) {
+    Cell += ownerOf(Maps[D], Idx[D]) * Stride;
+    Stride *= Grid.Extents[D];
+  }
+  return Cell;
+}
+
+int64_t ArrayLayout::cellOfLinear(int64_t Linear) const {
+  std::vector<int64_t> Idx = delinearize(Linear);
+  return cellOf(Idx.data());
+}
+
+int64_t ArrayLayout::linearIndex(const int64_t *Idx) const {
+  int64_t Linear = 0;
+  int64_t Stride = 1;
+  for (unsigned D = 0; D < rank(); ++D) {
+    assert(Idx[D] >= 1 && Idx[D] <= DimSizes[D] &&
+           "index out of declared bounds");
+    Linear += (Idx[D] - 1) * Stride;
+    Stride *= DimSizes[D];
+  }
+  return Linear;
+}
+
+std::vector<int64_t> ArrayLayout::delinearize(int64_t Linear) const {
+  assert(Linear >= 0 && Linear < totalElems() && "linear out of range");
+  std::vector<int64_t> Idx(rank());
+  for (unsigned D = 0; D < rank(); ++D) {
+    Idx[D] = Linear % DimSizes[D] + 1;
+    Linear /= DimSizes[D];
+  }
+  return Idx;
+}
+
+int64_t ArrayLayout::portionElems() const {
+  int64_t T = 1;
+  for (int64_t E : PortionExtents)
+    T *= E;
+  return T;
+}
+
+int64_t ArrayLayout::localLinearIndex(const int64_t *Idx) const {
+  int64_t Linear = 0;
+  int64_t Stride = 1;
+  for (unsigned D = 0; D < rank(); ++D) {
+    Linear += localOf(Maps[D], Idx[D]) * Stride;
+    Stride *= PortionExtents[D];
+  }
+  return Linear;
+}
+
+std::vector<int64_t>
+ArrayLayout::globalFromLocal(int64_t Cell,
+                             const std::vector<int64_t> &Local) const {
+  assert(Local.size() == rank() && "rank mismatch");
+  std::vector<int64_t> Coord = Grid.delinearize(Cell);
+  std::vector<int64_t> Idx(rank());
+  for (unsigned D = 0; D < rank(); ++D)
+    Idx[D] = globalOf(Maps[D], Coord[D], Local[D]);
+  return Idx;
+}
+
+int64_t ArrayLayout::contiguousRunElems(const int64_t *Idx) const {
+  assert(rank() >= 1 && "scalar arrays have no runs");
+  const DimMap &M = Maps[0];
+  int64_t E = Idx[0] - 1; // 0-based position in dimension 1.
+  switch (M.Kind) {
+  case DistKind::None:
+    return M.N - E;
+  case DistKind::Block: {
+    int64_t BlockEnd = (E / M.B + 1) * M.B;
+    return (BlockEnd < M.N ? BlockEnd : M.N) - E;
+  }
+  case DistKind::Cyclic:
+    return 1;
+  case DistKind::BlockCyclic: {
+    int64_t ChunkEnd = (E / M.K + 1) * M.K;
+    return (ChunkEnd < M.N ? ChunkEnd : M.N) - E;
+  }
+  }
+  return 1;
+}
+
+PieceStats dsm::dist::analyzeContiguousPieces(const ArrayLayout &Layout) {
+  PieceStats Stats;
+  int64_t Total = Layout.totalElems();
+  if (Total == 0)
+    return Stats;
+  int64_t RunStart = 0;
+  int64_t RunCell = Layout.cellOfLinear(0);
+  int64_t SumBytes = 0;
+  Stats.MinPieceBytes = INT64_MAX;
+  auto CloseRun = [&](int64_t End) {
+    int64_t Bytes = (End - RunStart) * Layout.elemBytes();
+    Stats.MinPieceBytes = std::min(Stats.MinPieceBytes, Bytes);
+    Stats.MaxPieceBytes = std::max(Stats.MaxPieceBytes, Bytes);
+    SumBytes += Bytes;
+    ++Stats.NumPieces;
+  };
+  for (int64_t L = 1; L < Total; ++L) {
+    int64_t Cell = Layout.cellOfLinear(L);
+    if (Cell != RunCell) {
+      CloseRun(L);
+      RunStart = L;
+      RunCell = Cell;
+    }
+  }
+  CloseRun(Total);
+  Stats.AvgPieceBytes =
+      static_cast<double>(SumBytes) / static_cast<double>(Stats.NumPieces);
+  return Stats;
+}

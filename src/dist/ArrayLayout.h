@@ -1,0 +1,143 @@
+//===- dist/ArrayLayout.h - Memory layouts of distributed arrays *- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete memory layouts for the two kinds of distribution the paper
+/// provides (Section 3.2):
+///
+///  * regular: the array keeps its Fortran column-major layout; only the
+///    OS page placement changes;
+///  * reshaped: the array becomes a processor-array of portion pointers,
+///    with each grid cell's portion stored densely in that processor's
+///    local memory (paper Figure 3 / Table 1).
+///
+/// ArrayLayout is pure arithmetic; the runtime binds it to simulated
+/// addresses and the compiler emits IR implementing the same formulas.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_DIST_ARRAYLAYOUT_H
+#define DSM_DIST_ARRAYLAYOUT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/DistSpec.h"
+#include "dist/IndexMap.h"
+#include "dist/ProcGrid.h"
+
+namespace dsm::dist {
+
+/// Resolved layout of one array instance (extents and processor counts
+/// are bound; addresses may still be unbound until the runtime
+/// allocates storage).
+class ArrayLayout {
+public:
+  ArrayLayout() = default;
+
+  /// Builds the layout for extents \p DimSizes distributed per \p Spec
+  /// over \p TotalProcs processors.
+  static ArrayLayout make(const DistSpec &Spec,
+                          std::vector<int64_t> DimSizes,
+                          int64_t TotalProcs);
+
+  unsigned rank() const { return static_cast<unsigned>(DimSizes.size()); }
+  bool isReshaped() const { return Spec.Reshaped; }
+  const DistSpec &spec() const { return Spec; }
+  const std::vector<int64_t> &dimSizes() const { return DimSizes; }
+  const DimMap &dimMap(unsigned D) const { return Maps[D]; }
+  const ProcGrid &grid() const { return Grid; }
+  int64_t elemBytes() const { return ElemBytes; }
+
+  int64_t totalElems() const;
+  uint64_t totalBytes() const {
+    return static_cast<uint64_t>(totalElems()) *
+           static_cast<uint64_t>(ElemBytes);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Ownership (both layout kinds).
+  //===--------------------------------------------------------------===//
+
+  /// Grid cell owning element \p Idx (1-based, one entry per dim).
+  int64_t cellOf(const int64_t *Idx) const;
+
+  /// Owning cell of the element at column-major linear position
+  /// \p Linear (0-based).
+  int64_t cellOfLinear(int64_t Linear) const;
+
+  /// Machine processor executing for grid cell \p Cell.  Cells map to
+  /// processors 0..totalCells()-1 directly.
+  int64_t procOfCell(int64_t Cell) const { return Cell; }
+
+  //===--------------------------------------------------------------===//
+  // Regular layout addressing.
+  //===--------------------------------------------------------------===//
+
+  /// Column-major offset (in elements) of \p Idx from the array base.
+  int64_t linearIndex(const int64_t *Idx) const;
+
+  /// 1-based multi-index of column-major linear position \p Linear.
+  std::vector<int64_t> delinearize(int64_t Linear) const;
+
+  //===--------------------------------------------------------------===//
+  // Reshaped layout addressing (paper Table 1).
+  //===--------------------------------------------------------------===//
+
+  /// Padded extent of a portion along dimension \p D.
+  int64_t portionExtent(unsigned D) const { return PortionExtents[D]; }
+
+  /// Elements per (padded) portion.
+  int64_t portionElems() const;
+  uint64_t portionBytes() const {
+    return static_cast<uint64_t>(portionElems()) *
+           static_cast<uint64_t>(ElemBytes);
+  }
+
+  /// Column-major offset (in elements) of \p Idx within its owning
+  /// portion.
+  int64_t localLinearIndex(const int64_t *Idx) const;
+
+  /// Round-trip helper for tests: the 1-based global index whose owning
+  /// cell is \p Cell and whose portion offsets are \p Local (0-based,
+  /// per dimension).
+  std::vector<int64_t> globalFromLocal(int64_t Cell,
+                                       const std::vector<int64_t> &Local)
+      const;
+
+  /// Number of elements, starting at \p Idx and walking dimension 1,
+  /// that are both globally consecutive and stored consecutively in the
+  /// owner's portion.  This is "the size of the distributed array
+  /// portion" a callee may legally assume when an element is passed as
+  /// an argument (paper Section 3.2.1).
+  int64_t contiguousRunElems(const int64_t *Idx) const;
+
+private:
+  DistSpec Spec;
+  std::vector<int64_t> DimSizes;
+  std::vector<DimMap> Maps;
+  std::vector<int64_t> PortionExtents;
+  ProcGrid Grid;
+  int64_t ElemBytes = 8;
+};
+
+/// Statistics about physically contiguous same-owner runs in a regular
+/// layout; this is the page-granularity analysis of paper Section 3.2
+/// (the "8*10^6/P bytes vs 8*10^3/P bytes" discussion).
+struct PieceStats {
+  int64_t MinPieceBytes = 0;
+  int64_t MaxPieceBytes = 0;
+  double AvgPieceBytes = 0.0;
+  int64_t NumPieces = 0;
+};
+
+/// Walks the column-major element order of \p Layout and measures runs
+/// of elements owned by the same grid cell.
+PieceStats analyzeContiguousPieces(const ArrayLayout &Layout);
+
+} // namespace dsm::dist
+
+#endif // DSM_DIST_ARRAYLAYOUT_H

@@ -1,0 +1,41 @@
+//===- dist/DistSpec.cpp - Distribution specifications --------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/DistSpec.h"
+
+#include "support/StringUtils.h"
+
+using namespace dsm::dist;
+
+const char *dsm::dist::distKindName(DistKind Kind) {
+  switch (Kind) {
+  case DistKind::None:
+    return "*";
+  case DistKind::Block:
+    return "block";
+  case DistKind::Cyclic:
+    return "cyclic";
+  case DistKind::BlockCyclic:
+    return "cyclic(k)";
+  }
+  return "?";
+}
+
+std::string DistSpec::str() const {
+  std::string Out = Reshaped ? "reshape(" : "(";
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    if (I)
+      Out += ", ";
+    const DimDist &D = Dims[I];
+    if (D.Kind == DistKind::BlockCyclic)
+      Out += dsm::formatString("cyclic(%lld)",
+                               static_cast<long long>(D.Chunk));
+    else
+      Out += distKindName(D.Kind);
+  }
+  Out += ")";
+  return Out;
+}

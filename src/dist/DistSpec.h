@@ -1,0 +1,75 @@
+//===- dist/DistSpec.h - Distribution specifications ------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-dimension distribution specifiers of the paper's Section 3.2:
+/// block, cyclic, cyclic(k), and '*', plus the optional onto weights,
+/// for both c$distribute (regular) and c$distribute_reshape arrays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_DIST_DISTSPEC_H
+#define DSM_DIST_DISTSPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsm::dist {
+
+/// Distribution of one array dimension.
+enum class DistKind {
+  None,       ///< '*': the dimension is not distributed.
+  Block,      ///< Contiguous blocks of ceil(N/P) elements.
+  Cyclic,     ///< Round-robin single elements.
+  BlockCyclic ///< cyclic(k): round-robin chunks of k elements.
+};
+
+const char *distKindName(DistKind Kind);
+
+/// One dimension's specifier; Chunk is meaningful for BlockCyclic only.
+struct DimDist {
+  DistKind Kind = DistKind::None;
+  int64_t Chunk = 1;
+
+  bool isDistributed() const { return Kind != DistKind::None; }
+  bool operator==(const DimDist &O) const {
+    return Kind == O.Kind &&
+           (Kind != DistKind::BlockCyclic || Chunk == O.Chunk);
+  }
+};
+
+/// A whole array's distribution: one DimDist per dimension, a reshaped
+/// flag, and optional onto weights over the distributed dimensions.
+struct DistSpec {
+  std::vector<DimDist> Dims;
+  std::vector<int64_t> OntoWeights; ///< Empty means equal weights.
+  bool Reshaped = false;
+
+  bool anyDistributed() const {
+    for (const DimDist &D : Dims)
+      if (D.isDistributed())
+        return true;
+    return false;
+  }
+  unsigned numDistributedDims() const {
+    unsigned N = 0;
+    for (const DimDist &D : Dims)
+      N += D.isDistributed();
+    return N;
+  }
+  bool operator==(const DistSpec &O) const {
+    return Dims == O.Dims && Reshaped == O.Reshaped &&
+           OntoWeights == O.OntoWeights;
+  }
+
+  /// "(block, *, cyclic(4))" style rendering, with a reshape marker.
+  std::string str() const;
+};
+
+} // namespace dsm::dist
+
+#endif // DSM_DIST_DISTSPEC_H

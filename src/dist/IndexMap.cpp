@@ -1,0 +1,55 @@
+//===- dist/IndexMap.cpp - Ownership and local-index arithmetic -----------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/IndexMap.h"
+
+using namespace dsm::dist;
+
+int64_t dsm::dist::portionCount(const DimMap &M, int64_t Proc) {
+  assert(Proc >= 0 && Proc < M.P && "processor out of range");
+  switch (M.Kind) {
+  case DistKind::None:
+    return M.N;
+  case DistKind::Block: {
+    int64_t Lo = Proc * M.B;
+    int64_t Hi = (Proc + 1) * M.B;
+    if (Lo >= M.N)
+      return 0;
+    return (Hi < M.N ? Hi : M.N) - Lo;
+  }
+  case DistKind::Cyclic:
+    return Proc < M.N ? (M.N - Proc - 1) / M.P + 1 : 0;
+  case DistKind::BlockCyclic: {
+    // Chunks c = 0 .. ceil(N/K)-1; chunk c belongs to proc c % P and has
+    // min(K, N - c*K) elements.
+    int64_t NumChunks = (M.N + M.K - 1) / M.K;
+    int64_t Count = 0;
+    for (int64_t C = Proc; C < NumChunks; C += M.P) {
+      int64_t Size = M.N - C * M.K;
+      Count += Size < M.K ? Size : M.K;
+    }
+    return Count;
+  }
+  }
+  return 0;
+}
+
+int64_t dsm::dist::paddedPortionSize(const DimMap &M) {
+  switch (M.Kind) {
+  case DistKind::None:
+    return M.N;
+  case DistKind::Block:
+    return M.B;
+  case DistKind::Cyclic:
+    return (M.N + M.P - 1) / M.P;
+  case DistKind::BlockCyclic: {
+    int64_t NumChunks = (M.N + M.K - 1) / M.K;
+    int64_t ChunkRows = (NumChunks + M.P - 1) / M.P;
+    return ChunkRows * M.K;
+  }
+  }
+  return M.N;
+}

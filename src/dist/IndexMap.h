@@ -1,0 +1,108 @@
+//===- dist/IndexMap.h - Ownership and local-index arithmetic ---*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The index arithmetic of the paper's Table 1 for one distributed
+/// dimension: which processor owns a global index, what the local offset
+/// within that processor's portion is, and the inverse map used by the
+/// portion-traversal intrinsics.  Global indices are 1-based (Fortran);
+/// processors and local offsets are 0-based.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_DIST_INDEXMAP_H
+#define DSM_DIST_INDEXMAP_H
+
+#include <cassert>
+#include <cstdint>
+
+#include "dist/DistSpec.h"
+
+namespace dsm::dist {
+
+/// Resolved per-dimension map: the distribution kind bound to a concrete
+/// extent N and processor count P.
+struct DimMap {
+  DistKind Kind = DistKind::None;
+  int64_t N = 1; ///< Dimension extent.
+  int64_t P = 1; ///< Processors assigned to this dimension.
+  int64_t B = 1; ///< Block size ceil(N/P) (Block only).
+  int64_t K = 1; ///< Chunk size (BlockCyclic only).
+
+  static DimMap make(DimDist Dist, int64_t N, int64_t P) {
+    assert(N >= 1 && P >= 1 && "degenerate dimension");
+    DimMap M;
+    M.Kind = Dist.Kind;
+    M.N = N;
+    M.P = Dist.isDistributed() ? P : 1;
+    M.B = (N + M.P - 1) / M.P;
+    M.K = Dist.Kind == DistKind::BlockCyclic ? Dist.Chunk : 1;
+    assert(M.K >= 1 && "chunk must be positive");
+    return M;
+  }
+};
+
+/// Processor (0-based) owning 1-based global index \p I.
+inline int64_t ownerOf(const DimMap &M, int64_t I) {
+  assert(I >= 1 && I <= M.N && "index out of declared bounds");
+  int64_t E = I - 1;
+  switch (M.Kind) {
+  case DistKind::None:
+    return 0;
+  case DistKind::Block:
+    return E / M.B;
+  case DistKind::Cyclic:
+    return E % M.P;
+  case DistKind::BlockCyclic:
+    return (E / M.K) % M.P;
+  }
+  return 0;
+}
+
+/// 0-based offset of global index \p I within its owner's portion.
+inline int64_t localOf(const DimMap &M, int64_t I) {
+  assert(I >= 1 && I <= M.N && "index out of declared bounds");
+  int64_t E = I - 1;
+  switch (M.Kind) {
+  case DistKind::None:
+    return E;
+  case DistKind::Block:
+    return E % M.B;
+  case DistKind::Cyclic:
+    return E / M.P;
+  case DistKind::BlockCyclic:
+    return (E / (M.K * M.P)) * M.K + E % M.K;
+  }
+  return E;
+}
+
+/// Inverse map: 1-based global index of local offset \p L on \p Proc.
+inline int64_t globalOf(const DimMap &M, int64_t Proc, int64_t L) {
+  assert(Proc >= 0 && Proc < M.P && "processor out of range");
+  assert(L >= 0 && "negative local offset");
+  switch (M.Kind) {
+  case DistKind::None:
+    return L + 1;
+  case DistKind::Block:
+    return Proc * M.B + L + 1;
+  case DistKind::Cyclic:
+    return L * M.P + Proc + 1;
+  case DistKind::BlockCyclic:
+    return (L / M.K) * M.K * M.P + Proc * M.K + L % M.K + 1;
+  }
+  return L + 1;
+}
+
+/// Number of elements \p Proc actually owns in this dimension.
+int64_t portionCount(const DimMap &M, int64_t Proc);
+
+/// Portion extent used for storage allocation (uniform across
+/// processors; the trailing processor's portion may be partly unused).
+int64_t paddedPortionSize(const DimMap &M);
+
+} // namespace dsm::dist
+
+#endif // DSM_DIST_INDEXMAP_H

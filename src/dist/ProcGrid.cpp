@@ -1,0 +1,85 @@
+//===- dist/ProcGrid.cpp - Processor-grid factorization -------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/ProcGrid.h"
+
+#include <cassert>
+
+using namespace dsm::dist;
+
+int64_t ProcGrid::linearize(const std::vector<int64_t> &Coord) const {
+  assert(Coord.size() == Extents.size() && "rank mismatch");
+  int64_t Linear = 0;
+  int64_t Stride = 1;
+  for (size_t D = 0; D < Extents.size(); ++D) {
+    assert(Coord[D] >= 0 && Coord[D] < Extents[D] && "coord out of range");
+    Linear += Coord[D] * Stride;
+    Stride *= Extents[D];
+  }
+  return Linear;
+}
+
+std::vector<int64_t> ProcGrid::delinearize(int64_t Cell) const {
+  assert(Cell >= 0 && Cell < totalCells() && "cell out of range");
+  std::vector<int64_t> Coord(Extents.size());
+  for (size_t D = 0; D < Extents.size(); ++D) {
+    Coord[D] = Cell % Extents[D];
+    Cell /= Extents[D];
+  }
+  return Coord;
+}
+
+ProcGrid dsm::dist::computeProcGrid(const DistSpec &Spec,
+                                    int64_t TotalProcs) {
+  assert(TotalProcs >= 1 && "need at least one processor");
+  ProcGrid Grid;
+  Grid.Extents.assign(Spec.Dims.size(), 1);
+
+  std::vector<size_t> DistDims;
+  for (size_t D = 0; D < Spec.Dims.size(); ++D)
+    if (Spec.Dims[D].isDistributed())
+      DistDims.push_back(D);
+  if (DistDims.empty())
+    return Grid;
+  if (DistDims.size() == 1) {
+    Grid.Extents[DistDims[0]] = TotalProcs;
+    return Grid;
+  }
+
+  std::vector<int64_t> Weights(DistDims.size(), 1);
+  if (!Spec.OntoWeights.empty()) {
+    assert(Spec.OntoWeights.size() == DistDims.size() &&
+           "onto weight count must match distributed dimension count");
+    Weights = Spec.OntoWeights;
+  }
+
+  // Factor TotalProcs into primes (largest first) and hand each factor
+  // to the dimension whose extent is currently smallest relative to its
+  // onto weight.
+  std::vector<int64_t> Factors;
+  int64_t Rest = TotalProcs;
+  for (int64_t F = 2; F * F <= Rest; ++F)
+    while (Rest % F == 0) {
+      Factors.push_back(F);
+      Rest /= F;
+    }
+  if (Rest > 1)
+    Factors.push_back(Rest);
+
+  for (size_t I = Factors.size(); I-- > 0;) {
+    int64_t F = Factors[I]; // Largest factors first (sorted ascending).
+    size_t Best = 0;
+    for (size_t D = 1; D < DistDims.size(); ++D) {
+      // Compare Extents[d]/Weights[d] without division.
+      int64_t Lhs = Grid.Extents[DistDims[D]] * Weights[Best];
+      int64_t Rhs = Grid.Extents[DistDims[Best]] * Weights[D];
+      if (Lhs < Rhs)
+        Best = D;
+    }
+    Grid.Extents[DistDims[Best]] *= F;
+  }
+  return Grid;
+}

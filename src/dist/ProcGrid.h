@@ -1,0 +1,58 @@
+//===- dist/ProcGrid.h - Processor-grid factorization -----------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assignment of the machine's processors across the distributed
+/// dimensions of an array.  "The number of processors in each
+/// distributed dimension is determined at program start-up time", and
+/// the optional onto clause "specif[ies] how the total number of
+/// processors should be assigned across multiple distributed array
+/// dimensions" (paper Section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_DIST_PROCGRID_H
+#define DSM_DIST_PROCGRID_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/DistSpec.h"
+
+namespace dsm::dist {
+
+/// A grid of processors over the distributed dimensions of one array.
+/// Extents has one entry per *array* dimension; undistributed dimensions
+/// get extent 1.  The product of extents never exceeds the total
+/// processor count.
+struct ProcGrid {
+  std::vector<int64_t> Extents;
+
+  int64_t totalCells() const {
+    int64_t T = 1;
+    for (int64_t E : Extents)
+      T *= E;
+    return T;
+  }
+
+  /// Column-major linearization of a grid coordinate (one entry per
+  /// array dimension; undistributed coordinates must be 0).
+  int64_t linearize(const std::vector<int64_t> &Coord) const;
+
+  /// Inverse of linearize().
+  std::vector<int64_t> delinearize(int64_t Cell) const;
+};
+
+/// Factors \p TotalProcs across the distributed dimensions of \p Spec,
+/// honouring onto weights when present.  Every prime factor of
+/// TotalProcs is assigned greedily to the dimension whose current extent
+/// is smallest relative to its weight, so the product of extents equals
+/// TotalProcs exactly when at least one dimension is distributed.
+ProcGrid computeProcGrid(const DistSpec &Spec, int64_t TotalProcs);
+
+} // namespace dsm::dist
+
+#endif // DSM_DIST_PROCGRID_H

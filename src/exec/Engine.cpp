@@ -1,0 +1,967 @@
+//===- exec/Engine.cpp - IR execution engine -------------------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Engine.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::exec;
+using namespace dsm::ir;
+using namespace dsm::runtime;
+
+namespace {
+
+/// A scalar value; the live member is determined by the expression type.
+struct Value {
+  int64_t I = 0;
+  double F = 0.0;
+
+  static Value ofInt(int64_t V) { return Value{V, 0.0}; }
+  static Value ofFp(double V) { return Value{0, V}; }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Engine implementation
+//===----------------------------------------------------------------------===//
+
+struct Engine::Impl {
+  Impl(link::Program &Prog, numa::MemorySystem &Mem, RunOptions Opts,
+       runtime::Runtime &Rt)
+      : Prog(Prog), Mem(Mem), Opts(Opts), Rt(Rt),
+        Costs(Mem.config().Costs) {}
+
+  //===-- State ------------------------------------------------------===//
+
+  struct Frame {
+    const Procedure *Proc = nullptr;
+    std::vector<Value> Scalars;
+    std::vector<ArrayInstance *> Arrays;
+  };
+
+  link::Program &Prog;
+  numa::MemorySystem &Mem;
+  RunOptions Opts;
+  runtime::Runtime &Rt;
+  const numa::CostModel &Costs;
+
+  std::vector<std::unique_ptr<Frame>> FrameStack;
+  Frame *Cur = nullptr;
+  int CurProc = 0;
+  uint64_t Clock = 0;
+  unsigned Depth = 0;
+  bool Failed = false;
+  Error Fail;
+  RunResult Result;
+
+  std::vector<std::unique_ptr<ArrayInstance>> OwnedInstances;
+  std::unordered_map<const ArraySymbol *, ArrayInstance *> StaticLocals;
+  std::unordered_map<std::string, uint64_t> CommonBases;
+  std::map<std::pair<std::string, int64_t>, ArrayInstance *>
+      CommonArrayInstances;
+  std::map<std::pair<std::string, int64_t>, Value> CommonScalarValues;
+  ArgCheckTable ArgTable;
+
+  //===-- Helpers ----------------------------------------------------===//
+
+  void fail(const std::string &Message, int Line = 0) {
+    if (Failed)
+      return;
+    Failed = true;
+    Fail.addError(Message, Line ? Cur->Proc->Name : "", Line);
+  }
+
+  void charge(uint64_t Cycles) {
+    if (Opts.Perf)
+      Clock += Cycles;
+  }
+
+  /// A simulated memory access: charged in Perf mode only.
+  void memAccess(uint64_t Addr, bool IsWrite) {
+    if (Opts.Perf)
+      Clock += Mem.access(CurProc, Addr, 8, IsWrite);
+  }
+
+  uint64_t barrierCost(int64_t Procs) const {
+    unsigned Levels =
+        Procs <= 1 ? 0
+                   : std::bit_width(static_cast<uint64_t>(Procs - 1));
+    return Costs.BarrierBase + Costs.BarrierPerLevel * Levels;
+  }
+
+  //===-- Scalars ----------------------------------------------------===//
+
+  Value getScalar(const ScalarSymbol *S) {
+    if (!Prog.CommonScalarSlots.empty()) {
+      auto It = Prog.CommonScalarSlots.find(S);
+      if (It != Prog.CommonScalarSlots.end())
+        return CommonScalarValues[It->second];
+    }
+    assert(S->SlotIndex >= 0 && "scalar not slotted");
+    return Cur->Scalars[static_cast<size_t>(S->SlotIndex)];
+  }
+
+  void setScalar(const ScalarSymbol *S, Value V) {
+    if (!Prog.CommonScalarSlots.empty()) {
+      auto It = Prog.CommonScalarSlots.find(S);
+      if (It != Prog.CommonScalarSlots.end()) {
+        CommonScalarValues[It->second] = V;
+        return;
+      }
+    }
+    assert(S->SlotIndex >= 0 && "scalar not slotted");
+    Cur->Scalars[static_cast<size_t>(S->SlotIndex)] = V;
+  }
+
+  //===-- Arrays -----------------------------------------------------===//
+
+  static dist::DistSpec specOf(const ArraySymbol *A) {
+    if (A->HasDist)
+      return A->Dist;
+    dist::DistSpec S;
+    S.Dims.resize(A->rank());
+    return S;
+  }
+
+  ArrayInstance *makeLinearView(uint64_t Base,
+                                std::vector<int64_t> Dims) {
+    dist::DistSpec S;
+    S.Dims.resize(Dims.size());
+    auto Inst = std::make_unique<ArrayInstance>();
+    Inst->Layout = dist::ArrayLayout::make(S, std::move(Dims), 1);
+    Inst->Base = Base;
+    Inst->IsView = true;
+    OwnedInstances.push_back(std::move(Inst));
+    return OwnedInstances.back().get();
+  }
+
+  /// Evaluates an array's declared extents in the current frame.
+  bool evalDims(const ArraySymbol *A, std::vector<int64_t> &Dims) {
+    Dims.clear();
+    for (const ExprPtr &D : A->DimSizes) {
+      Value V = evalExpr(*D);
+      if (Failed)
+        return false;
+      if (V.I < 1) {
+        fail("array '" + A->Name + "' has nonpositive extent " +
+             std::to_string(V.I));
+        return false;
+      }
+      Dims.push_back(V.I);
+    }
+    return true;
+  }
+
+  ArrayInstance *arrayInstance(const ArraySymbol *A) {
+    assert(A->SlotIndex >= 0 && "array not slotted");
+    ArrayInstance *&Slot =
+        Cur->Arrays[static_cast<size_t>(A->SlotIndex)];
+    if (Slot)
+      return Slot;
+    switch (A->Storage) {
+    case StorageClass::Formal:
+      fail("formal array '" + A->Name + "' used without a binding");
+      return nullptr;
+    case StorageClass::Common: {
+      auto SlotIt = Prog.CommonArraySlots.find(A);
+      if (SlotIt == Prog.CommonArraySlots.end()) {
+        fail("common array '" + A->Name + "' has no slot");
+        return nullptr;
+      }
+      auto InstIt = CommonArrayInstances.find(SlotIt->second);
+      assert(InstIt != CommonArrayInstances.end() &&
+             "common instance not created at startup");
+      Slot = InstIt->second;
+      return Slot;
+    }
+    case StorageClass::Local: {
+      // EQUIVALENCE: share the target's storage.
+      if (A->EquivalencedTo) {
+        ArrayInstance *Target = arrayInstance(A->EquivalencedTo);
+        if (!Target)
+          return nullptr;
+        Slot = Target;
+        return Slot;
+      }
+      auto StaticIt = StaticLocals.find(A);
+      if (StaticIt != StaticLocals.end()) {
+        Slot = StaticIt->second;
+        return Slot;
+      }
+      std::vector<int64_t> Dims;
+      if (!evalDims(A, Dims))
+        return nullptr;
+      dist::ArrayLayout Layout =
+          dist::ArrayLayout::make(specOf(A), Dims, Rt.numProcs());
+      auto Inst = std::make_unique<ArrayInstance>(Rt.allocate(Layout));
+      OwnedInstances.push_back(std::move(Inst));
+      Slot = OwnedInstances.back().get();
+      // Constant-shaped locals are allocated once (Fortran-77 static
+      // storage); adjustable ones are re-created per activation.
+      bool AllConst = true;
+      for (const ExprPtr &D : A->DimSizes) {
+        int64_t V;
+        AllConst &= constEvalInt(*D, V);
+      }
+      if (AllConst)
+        StaticLocals[A] = Slot;
+      return Slot;
+    }
+    }
+    return nullptr;
+  }
+
+  //===-- Expression evaluation --------------------------------------===//
+
+  uint64_t opCost(BinOp Op, ScalarType OperandType) const {
+    switch (Op) {
+    case BinOp::FDiv:
+    case BinOp::IDivFp:
+    case BinOp::IModFp:
+      return Costs.FpDiv;
+    case BinOp::IDiv:
+    case BinOp::IMod:
+      return Costs.IntDiv;
+    default:
+      return OperandType == ScalarType::F64 ? Costs.FpOp : Costs.IntOp;
+    }
+  }
+
+  Value evalExpr(const Expr &E) {
+    if (Failed)
+      return Value();
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      return Value::ofInt(E.IntVal);
+    case ExprKind::FpLit:
+      return Value::ofFp(E.FpVal);
+    case ExprKind::ScalarUse:
+      return getScalar(E.Scalar);
+    case ExprKind::Neg: {
+      Value V = evalExpr(*E.Ops[0]);
+      charge(E.Type == ScalarType::F64 ? Costs.FpOp : Costs.IntOp);
+      return E.Type == ScalarType::F64 ? Value::ofFp(-V.F)
+                                       : Value::ofInt(-V.I);
+    }
+    case ExprKind::Bin:
+      return evalBin(E);
+    case ExprKind::Intrinsic:
+      return evalIntrinsic(E);
+    case ExprKind::ArrayElem:
+      return accessElement(E, /*Store=*/nullptr);
+    case ExprKind::PortionElem:
+      return accessPortionElem(E, /*Store=*/nullptr);
+    case ExprKind::PortionPtr:
+      return evalPortionPtr(E);
+    case ExprKind::DistQuery:
+      return evalDistQuery(E);
+    }
+    return Value();
+  }
+
+  Value evalBin(const Expr &E) {
+    Value L = evalExpr(*E.Ops[0]);
+    Value R = evalExpr(*E.Ops[1]);
+    if (Failed)
+      return Value();
+    ScalarType OpType = E.Ops[0]->Type;
+    charge(opCost(E.Op, OpType));
+    bool Fp = OpType == ScalarType::F64;
+    switch (E.Op) {
+    case BinOp::Add:
+      return Fp ? Value::ofFp(L.F + R.F) : Value::ofInt(L.I + R.I);
+    case BinOp::Sub:
+      return Fp ? Value::ofFp(L.F - R.F) : Value::ofInt(L.I - R.I);
+    case BinOp::Mul:
+      return Fp ? Value::ofFp(L.F * R.F) : Value::ofInt(L.I * R.I);
+    case BinOp::FDiv:
+      return Value::ofFp(L.F / R.F);
+    case BinOp::IDiv:
+    case BinOp::IDivFp:
+      if (R.I == 0) {
+        fail("integer division by zero");
+        return Value();
+      }
+      return Value::ofInt(L.I / R.I);
+    case BinOp::IMod:
+    case BinOp::IModFp:
+      if (R.I == 0) {
+        fail("integer modulo by zero");
+        return Value();
+      }
+      return Value::ofInt(L.I % R.I);
+    case BinOp::Min:
+      return Fp ? Value::ofFp(L.F < R.F ? L.F : R.F)
+                : Value::ofInt(L.I < R.I ? L.I : R.I);
+    case BinOp::Max:
+      return Fp ? Value::ofFp(L.F > R.F ? L.F : R.F)
+                : Value::ofInt(L.I > R.I ? L.I : R.I);
+    case BinOp::CmpLt:
+      return Value::ofInt(Fp ? L.F < R.F : L.I < R.I);
+    case BinOp::CmpLe:
+      return Value::ofInt(Fp ? L.F <= R.F : L.I <= R.I);
+    case BinOp::CmpGt:
+      return Value::ofInt(Fp ? L.F > R.F : L.I > R.I);
+    case BinOp::CmpGe:
+      return Value::ofInt(Fp ? L.F >= R.F : L.I >= R.I);
+    case BinOp::CmpEq:
+      return Value::ofInt(Fp ? L.F == R.F : L.I == R.I);
+    case BinOp::CmpNe:
+      return Value::ofInt(Fp ? L.F != R.F : L.I != R.I);
+    case BinOp::LogAnd:
+      return Value::ofInt((L.I != 0) && (R.I != 0));
+    case BinOp::LogOr:
+      return Value::ofInt((L.I != 0) || (R.I != 0));
+    }
+    return Value();
+  }
+
+  Value evalIntrinsic(const Expr &E) {
+    Value V = evalExpr(*E.Ops[0]);
+    if (Failed)
+      return Value();
+    switch (E.Intr) {
+    case IntrinsicKind::Sqrt:
+      charge(2 * Costs.FpDiv);
+      if (V.F < 0) {
+        fail("sqrt of negative value");
+        return Value();
+      }
+      return Value::ofFp(std::sqrt(V.F));
+    case IntrinsicKind::Abs:
+      charge(E.Type == ScalarType::F64 ? Costs.FpOp : Costs.IntOp);
+      return E.Type == ScalarType::F64 ? Value::ofFp(std::fabs(V.F))
+                                       : Value::ofInt(std::abs(V.I));
+    case IntrinsicKind::ToF64:
+      charge(Costs.FpOp);
+      return Value::ofFp(static_cast<double>(V.I));
+    case IntrinsicKind::ToI64:
+      charge(Costs.FpOp);
+      return Value::ofInt(static_cast<int64_t>(V.F));
+    }
+    return Value();
+  }
+
+  Value evalDistQuery(const Expr &E) {
+    if (E.DQ == DistQueryKind::TotalProcs)
+      return Value::ofInt(Rt.numProcs());
+    ArrayInstance *Inst = arrayInstance(E.Array);
+    if (!Inst)
+      return Value();
+    const dist::ArrayLayout &L = Inst->Layout;
+    if (E.Dim >= L.rank()) {
+      fail("distribution query dimension out of range");
+      return Value();
+    }
+    const dist::DimMap &M = L.dimMap(E.Dim);
+    switch (E.DQ) {
+    case DistQueryKind::NumProcs:
+      return Value::ofInt(M.P);
+    case DistQueryKind::BlockSize:
+      return Value::ofInt(M.B);
+    case DistQueryKind::Chunk:
+      return Value::ofInt(M.K);
+    case DistQueryKind::DimSize:
+      return Value::ofInt(M.N);
+    case DistQueryKind::PortionExtent:
+      return Value::ofInt(L.portionExtent(E.Dim));
+    case DistQueryKind::TotalProcs:
+      break;
+    }
+    return Value();
+  }
+
+  /// High-level A(i1..ir): loads when Store is null, else stores *Store.
+  Value accessElement(const Expr &E, const Value *Store) {
+    ArrayInstance *Inst = arrayInstance(E.Array);
+    if (!Inst)
+      return Value();
+    const dist::ArrayLayout &L = Inst->Layout;
+    unsigned Rank = L.rank();
+    if (E.Ops.size() != Rank) {
+      fail("subscript count mismatch on '" + E.Array->Name + "'");
+      return Value();
+    }
+    int64_t Idx[8];
+    assert(Rank <= 8 && "rank limit");
+    for (unsigned D = 0; D < Rank; ++D) {
+      Idx[D] = evalExpr(*E.Ops[D]).I;
+      if (Failed)
+        return Value();
+      if (Idx[D] < 1 || Idx[D] > L.dimSizes()[D]) {
+        fail(formatString(
+            "subscript %u of '%s' out of bounds: %lld not in [1, %lld]",
+            D + 1, E.Array->Name.c_str(),
+            static_cast<long long>(Idx[D]),
+            static_cast<long long>(L.dimSizes()[D])));
+        return Value();
+      }
+    }
+
+    uint64_t Addr;
+    if (!Inst->isReshaped()) {
+      Addr = Inst->Base +
+             static_cast<uint64_t>(L.linearIndex(Idx)) * 8;
+      charge(Costs.IntOp * 2 * Rank); // Index arithmetic.
+    } else {
+      // Unlowered (naive) reshaped reference: a div and a mod per
+      // distributed dimension plus the indirect load (paper Table 1).
+      int64_t Cell = L.cellOf(Idx);
+      int64_t Local = L.localLinearIndex(Idx);
+      charge(Costs.IntDiv * 2 * L.spec().numDistributedDims());
+      charge(Costs.IntOp * 2 * Rank);
+      memAccess(Inst->ProcArrayBase + static_cast<uint64_t>(Cell) * 8,
+                /*IsWrite=*/false);
+      Addr = Inst->PortionBases[static_cast<size_t>(Cell)] +
+             static_cast<uint64_t>(Local) * 8;
+    }
+    return finishAccess(E, Addr, Store);
+  }
+
+  /// Lowered reshaped reference A[cell][local] (paper Table 1); the two
+  /// children are the pre-linearized cell and local-offset expressions.
+  Value accessPortionElem(const Expr &E, const Value *Store) {
+    ArrayInstance *Inst = arrayInstance(E.Array);
+    if (!Inst)
+      return Value();
+    assert(E.Ops.size() == 2 && "PortionElem has cell + local children");
+    uint64_t Base;
+    if (E.Scalar) {
+      // Hoisted portion base (Section 7.2): no indirect load here.
+      Base = static_cast<uint64_t>(getScalar(E.Scalar).I);
+    } else {
+      Value Cell = evalExpr(*E.Ops[0]);
+      if (Failed)
+        return Value();
+      if (Cell.I < 0 ||
+          Cell.I >= Inst->Layout.grid().totalCells()) {
+        fail(formatString("processor-array index %lld out of range on "
+                          "'%s'",
+                          static_cast<long long>(Cell.I),
+                          E.Array->Name.c_str()));
+        return Value();
+      }
+      memAccess(Inst->ProcArrayBase + static_cast<uint64_t>(Cell.I) * 8,
+                /*IsWrite=*/false);
+      Base = Inst->PortionBases[static_cast<size_t>(Cell.I)];
+    }
+    Value Local = evalExpr(*E.Ops[1]);
+    if (Failed)
+      return Value();
+    if (Local.I < 0 || Local.I >= Inst->Layout.portionElems()) {
+      fail(formatString("portion offset %lld out of range on '%s'",
+                        static_cast<long long>(Local.I),
+                        E.Array->Name.c_str()));
+      return Value();
+    }
+    charge(Costs.IntOp * 2); // base + 8*local.
+    uint64_t Addr = Base + static_cast<uint64_t>(Local.I) * 8;
+    return finishAccess(E, Addr, Store);
+  }
+
+  Value evalPortionPtr(const Expr &E) {
+    ArrayInstance *Inst = arrayInstance(E.Array);
+    if (!Inst)
+      return Value();
+    Value Cell = evalExpr(*E.Ops[0]);
+    if (Failed)
+      return Value();
+    if (Cell.I < 0 || Cell.I >= Inst->Layout.grid().totalCells()) {
+      fail("processor-array index out of range on '" + E.Array->Name +
+           "'");
+      return Value();
+    }
+    charge(Costs.IntOp * 2);
+    memAccess(Inst->ProcArrayBase + static_cast<uint64_t>(Cell.I) * 8,
+              /*IsWrite=*/false);
+    return Value::ofInt(static_cast<int64_t>(
+        Inst->PortionBases[static_cast<size_t>(Cell.I)]));
+  }
+
+  Value finishAccess(const Expr &E, uint64_t Addr, const Value *Store) {
+    memAccess(Addr, Store != nullptr);
+    if (Store) {
+      if (E.Type == ScalarType::F64)
+        Mem.writeF64(Addr, Store->F);
+      else
+        Mem.writeI64(Addr, Store->I);
+      return *Store;
+    }
+    return E.Type == ScalarType::F64 ? Value::ofFp(Mem.readF64(Addr))
+                                     : Value::ofInt(Mem.readI64(Addr));
+  }
+
+  //===-- Statements --------------------------------------------------===//
+
+  void execBlock(const Block &B) {
+    for (const StmtPtr &S : B) {
+      if (Failed)
+        return;
+      execStmt(*S);
+    }
+  }
+
+  void execStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Assign: {
+      Value V = evalExpr(*S.Rhs);
+      if (Failed)
+        return;
+      switch (S.Lhs->Kind) {
+      case ExprKind::ScalarUse:
+        setScalar(S.Lhs->Scalar, V);
+        return;
+      case ExprKind::ArrayElem:
+        accessElement(*S.Lhs, &V);
+        return;
+      case ExprKind::PortionElem:
+        accessPortionElem(*S.Lhs, &V);
+        return;
+      default:
+        fail("invalid assignment target");
+        return;
+      }
+    }
+    case StmtKind::Do:
+      return execDo(S);
+    case StmtKind::ParallelDo:
+      return execParallelDo(S);
+    case StmtKind::If: {
+      Value C = evalExpr(*S.Cond);
+      if (Failed)
+        return;
+      charge(Costs.IntOp);
+      execBlock(C.I != 0 ? S.Then : S.Else);
+      return;
+    }
+    case StmtKind::Call:
+      return execCall(S);
+    case StmtKind::Redistribute: {
+      ArrayInstance *Inst = arrayInstance(S.RedistArray);
+      if (!Inst)
+        return;
+      if (Inst->IsView) {
+        fail("cannot redistribute an array view");
+        return;
+      }
+      uint64_t Cycles = Rt.redistribute(*Inst, S.RedistSpec);
+      charge(Cycles);
+      Result.RedistributeCycles += Cycles;
+      return;
+    }
+    }
+  }
+
+  void execDo(const Stmt &S) {
+    Value Lb = evalExpr(*S.Lb);
+    Value Ub = evalExpr(*S.Ub);
+    Value Step = evalExpr(*S.Step);
+    if (Failed)
+      return;
+    if (Step.I == 0) {
+      fail("DO loop with zero step", S.SourceLine);
+      return;
+    }
+    for (int64_t I = Lb.I; Step.I > 0 ? I <= Ub.I : I >= Ub.I;
+         I += Step.I) {
+      setScalar(S.IndVar, Value::ofInt(I));
+      charge(2 * Costs.IntOp); // Increment + branch.
+      execBlock(S.Body);
+      if (Failed)
+        return;
+    }
+  }
+
+  void execParallelDo(const Stmt &S) {
+    ++Result.ParallelRegions;
+    unsigned NumVars = static_cast<unsigned>(S.ProcVars.size());
+    int64_t Extents[4];
+    int64_t Cells = 1;
+    assert(NumVars >= 1 && NumVars <= 4 && "grid rank limit");
+    for (unsigned D = 0; D < NumVars; ++D) {
+      Extents[D] = evalExpr(*S.ProcExtents[D]).I;
+      if (Failed)
+        return;
+      if (Extents[D] < 1) {
+        fail("parallel region with nonpositive processor extent");
+        return;
+      }
+      Cells *= Extents[D];
+    }
+    if (Cells > Rt.numProcs()) {
+      fail(formatString("parallel region needs %lld processors but the "
+                        "run has %d",
+                        static_cast<long long>(Cells), Rt.numProcs()));
+      return;
+    }
+
+    int SavedProc = CurProc;
+    uint64_t Start = Clock;
+    uint64_t MaxClock = Start;
+    if (Opts.Perf)
+      Mem.beginEpoch();
+    for (int64_t Cell = 0; Cell < Cells; ++Cell) {
+      CurProc = static_cast<int>(Cell);
+      Clock = Start;
+      int64_t Rest = Cell;
+      for (unsigned D = 0; D < NumVars; ++D) {
+        setScalar(S.ProcVars[D], Value::ofInt(Rest % Extents[D]));
+        Rest /= Extents[D];
+      }
+      execBlock(S.Body);
+      if (Failed)
+        return;
+      if (Clock > MaxClock)
+        MaxClock = Clock;
+    }
+    CurProc = SavedProc;
+    if (Opts.Perf) {
+      uint64_t Wall = Mem.epochWallTime(MaxClock - Start);
+      Clock = Start + Wall + barrierCost(Cells);
+    }
+  }
+
+  //===-- Calls -------------------------------------------------------===//
+
+  uint64_t TimerStart = 0;
+  bool TimerRunning = false;
+
+  void execCall(const Stmt &S) {
+    // Runtime-library calls (not user procedures).
+    if (S.Callee == "dsm_timer_start") {
+      if (TimerRunning) {
+        fail("dsm_timer_start while the timer is already running",
+             S.SourceLine);
+        return;
+      }
+      TimerRunning = true;
+      TimerStart = Clock;
+      return;
+    }
+    if (S.Callee == "dsm_timer_stop") {
+      if (!TimerRunning) {
+        fail("dsm_timer_stop without dsm_timer_start", S.SourceLine);
+        return;
+      }
+      TimerRunning = false;
+      Result.TimedCycles += Clock - TimerStart;
+      return;
+    }
+    const Procedure *Callee = Prog.findProcedure(S.Callee);
+    if (!Callee) {
+      fail("call to unknown procedure '" + S.Callee + "'", S.SourceLine);
+      return;
+    }
+    if (Depth + 1 > Opts.MaxCallDepth) {
+      fail("maximum call depth exceeded calling '" + S.Callee + "'",
+           S.SourceLine);
+      return;
+    }
+    if (S.Args.size() != Callee->Formals.size()) {
+      fail(formatString("'%s' called with %zu arguments, takes %zu",
+                        Callee->Name.c_str(), S.Args.size(),
+                        Callee->Formals.size()),
+           S.SourceLine);
+      return;
+    }
+    charge(Costs.CallOverhead);
+
+    // Evaluate actuals in the caller's frame.
+    struct ArgBind {
+      bool IsArray = false;
+      Value V;                       // Scalars.
+      ArrayInstance *Inst = nullptr; // Whole arrays.
+      bool IsElement = false;
+      uint64_t ElemAddr = 0;
+      uint64_t CheckKey = 0; // Address registered for runtime checks.
+      bool Registered = false;
+    };
+    std::vector<ArgBind> Binds(S.Args.size());
+    for (size_t I = 0; I < S.Args.size(); ++I) {
+      const Expr &Arg = *S.Args[I];
+      const FormalParam &Formal = Callee->Formals[I];
+      ArgBind &B = Binds[I];
+      if (Formal.Scalar) {
+        B.V = evalExpr(Arg);
+        if (Failed)
+          return;
+        // Fortran-style implicit conversion at the call boundary.
+        if (Formal.Scalar->Type == ScalarType::F64 &&
+            Arg.Type == ScalarType::I64)
+          B.V = Value::ofFp(static_cast<double>(B.V.I));
+        if (Formal.Scalar->Type == ScalarType::I64 &&
+            Arg.Type == ScalarType::F64)
+          B.V = Value::ofInt(static_cast<int64_t>(B.V.F));
+        continue;
+      }
+      // Array formal.
+      if (Arg.Kind != ExprKind::ArrayElem) {
+        fail(formatString("argument %zu of '%s' must be an array",
+                          I + 1, Callee->Name.c_str()),
+             S.SourceLine);
+        return;
+      }
+      B.IsArray = true;
+      ArrayInstance *ActInst = arrayInstance(Arg.Array);
+      if (!ActInst)
+        return;
+      if (Arg.Ops.empty()) {
+        // Whole-array argument.
+        B.Inst = ActInst;
+        B.CheckKey = ActInst->isReshaped() ? ActInst->ProcArrayBase
+                                           : ActInst->Base;
+        if (Opts.RuntimeArgChecks && ActInst->isReshaped()) {
+          ArgInfo Info;
+          Info.WholeArray = true;
+          Info.Dims = ActInst->Layout.dimSizes();
+          Info.Dist = ActInst->Layout.spec();
+          ArgTable.registerArg(B.CheckKey, std::move(Info));
+          B.Registered = true;
+        }
+      } else {
+        // Element argument: the callee sees a plain array starting at
+        // this element's address (paper Section 3.2.1).
+        B.IsElement = true;
+        const dist::ArrayLayout &L = ActInst->Layout;
+        if (Arg.Ops.size() != L.rank()) {
+          fail("subscript count mismatch on '" + Arg.Array->Name + "'");
+          return;
+        }
+        int64_t Idx[8];
+        for (unsigned D = 0; D < L.rank(); ++D) {
+          Idx[D] = evalExpr(*Arg.Ops[D]).I;
+          if (Failed)
+            return;
+          if (Idx[D] < 1 || Idx[D] > L.dimSizes()[D]) {
+            fail("argument subscript out of bounds on '" +
+                 Arg.Array->Name + "'");
+            return;
+          }
+        }
+        B.ElemAddr = ActInst->addressOf(Idx);
+        B.CheckKey = B.ElemAddr;
+        if (Opts.RuntimeArgChecks && ActInst->isReshaped()) {
+          ArgInfo Info;
+          Info.WholeArray = false;
+          Info.PortionBytes =
+              static_cast<uint64_t>(L.contiguousRunElems(Idx)) * 8;
+          ArgTable.registerArg(B.CheckKey, std::move(Info));
+          B.Registered = true;
+        }
+      }
+    }
+
+    // Activate the callee frame.
+    auto NewFrame = std::make_unique<Frame>();
+    NewFrame->Proc = Callee;
+    NewFrame->Scalars.resize(Callee->Scalars.size());
+    NewFrame->Arrays.assign(Callee->Arrays.size(), nullptr);
+    Frame *Saved = Cur;
+    FrameStack.push_back(std::move(NewFrame));
+    Cur = FrameStack.back().get();
+    ++Depth;
+
+    // Initialize PARAMETER constants and bind scalar formals.
+    for (const auto &Sym : Callee->Scalars)
+      if (Sym->HasInit)
+        setScalar(Sym.get(), Sym->Type == ScalarType::F64
+                                 ? Value::ofFp(Sym->InitFp)
+                                 : Value::ofInt(Sym->InitInt));
+    for (size_t I = 0; I < S.Args.size(); ++I)
+      if (Callee->Formals[I].Scalar)
+        setScalar(Callee->Formals[I].Scalar, Binds[I].V);
+
+    // Bind array formals (views need the scalars bound first, since
+    // their declared extents may reference formal scalars).
+    for (size_t I = 0; I < S.Args.size() && !Failed; ++I) {
+      const FormalParam &Formal = Callee->Formals[I];
+      if (!Formal.Array)
+        continue;
+      const ArgBind &B = Binds[I];
+      ArrayInstance *Bound = nullptr;
+      std::vector<int64_t> FormalDims;
+      if (!evalDims(Formal.Array, FormalDims))
+        break;
+      if (B.IsElement) {
+        Bound = makeLinearView(B.ElemAddr, FormalDims);
+      } else {
+        Bound = B.Inst;
+        // Whole reshaped arrays must match the formal exactly; a
+        // mismatch here is a compile/link bug or a user error the
+        // runtime checks catch below.
+      }
+      Cur->Arrays[static_cast<size_t>(Formal.Array->SlotIndex)] = Bound;
+      if (Opts.RuntimeArgChecks) {
+        const dist::DistSpec *FormalDist =
+            Formal.Array->isReshaped() ? &Formal.Array->Dist : nullptr;
+        Error E = ArgTable.verifyFormal(B.CheckKey, FormalDims,
+                                        FormalDist, Callee->Name,
+                                        Formal.Array->Name);
+        if (E) {
+          Failed = true;
+          Fail.take(std::move(E));
+        }
+      }
+    }
+
+    if (!Failed)
+      execBlock(Callee->Body);
+
+    // Return: unregister checked arguments, pop the frame.
+    for (const ArgBind &B : Binds)
+      if (B.Registered)
+        ArgTable.unregisterArg(B.CheckKey);
+    --Depth;
+    FrameStack.pop_back();
+    Cur = Saved;
+    charge(Costs.CallOverhead);
+  }
+
+  //===-- Startup -----------------------------------------------------===//
+
+  void assignSlots() {
+    for (auto &M : Prog.Modules) {
+      for (auto &P : M->Procedures) {
+        int Slot = 0;
+        for (auto &Sym : P->Scalars)
+          Sym->SlotIndex = Slot++;
+        Slot = 0;
+        for (auto &A : P->Arrays)
+          A->SlotIndex = Slot++;
+      }
+    }
+  }
+
+  void setupCommons() {
+    for (auto &[Name, Info] : Prog.Commons) {
+      uint64_t FlatBase =
+          Mem.allocVirtual(static_cast<uint64_t>(Info.TotalElems) * 8);
+      CommonBases[Name] = FlatBase;
+      for (const link::CommonArrayInfo &AI : Info.Arrays) {
+        auto Inst = std::make_unique<ArrayInstance>();
+        if (AI.HasDist) {
+          dist::ArrayLayout Layout =
+              dist::ArrayLayout::make(AI.Dist, AI.Dims, Rt.numProcs());
+          *Inst = Rt.allocate(Layout);
+        } else {
+          dist::DistSpec Spec;
+          Spec.Dims.resize(AI.Dims.size());
+          Inst->Layout = dist::ArrayLayout::make(Spec, AI.Dims, 1);
+          Inst->Base = FlatBase + static_cast<uint64_t>(AI.OffsetElems) * 8;
+        }
+        CommonArrayInstances[{Name, AI.OffsetElems}] =
+            OwnedInstances.emplace_back(std::move(Inst)).get();
+      }
+    }
+  }
+
+  Expected<RunResult> run() {
+    assignSlots();
+    Mem.setDefaultPolicy(Opts.DefaultPolicy);
+    setupCommons();
+    if (Failed)
+      return std::move(Fail);
+
+    // Activate the main frame (kept alive for post-run inspection).
+    auto MainFrame = std::make_unique<Frame>();
+    MainFrame->Proc = Prog.Main;
+    MainFrame->Scalars.resize(Prog.Main->Scalars.size());
+    MainFrame->Arrays.assign(Prog.Main->Arrays.size(), nullptr);
+    FrameStack.push_back(std::move(MainFrame));
+    Cur = FrameStack.back().get();
+    for (const auto &Sym : Prog.Main->Scalars)
+      if (Sym->HasInit)
+        setScalar(Sym.get(), Sym->Type == ScalarType::F64
+                                 ? Value::ofFp(Sym->InitFp)
+                                 : Value::ofInt(Sym->InitInt));
+
+    execBlock(Prog.Main->Body);
+    if (Failed)
+      return std::move(Fail);
+
+    Result.WallCycles = Clock;
+    Result.Counters = Mem.counters();
+    return Result;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+Engine::Engine(link::Program &Prog, numa::MemorySystem &Mem,
+               RunOptions Opts)
+    : Rt(Mem, Opts.NumProcs) {
+  I = std::make_unique<Impl>(Prog, Mem, Opts, Rt);
+}
+
+Engine::~Engine() = default;
+
+Expected<RunResult> Engine::run() { return I->run(); }
+
+Expected<double>
+Engine::readArrayF64(const std::string &ArrayName,
+                     const std::vector<int64_t> &Idx) {
+  if (I->FrameStack.empty())
+    return Error::make("program has not been run");
+  ArraySymbol *A = I->Prog.Main->findArray(ArrayName);
+  if (!A)
+    return Error::make("no array '" + ArrayName + "' in the main unit");
+  ArrayInstance *Inst = I->arrayInstance(A);
+  if (!Inst || I->Failed)
+    return Error::make("array '" + ArrayName + "' is not allocated");
+  if (Idx.size() != Inst->Layout.rank())
+    return Error::make("index rank mismatch");
+  for (unsigned D = 0; D < Inst->Layout.rank(); ++D)
+    if (Idx[D] < 1 || Idx[D] > Inst->Layout.dimSizes()[D])
+      return Error::make("index out of bounds");
+  return I->Mem.readF64(Inst->addressOf(Idx.data()));
+}
+
+Expected<double> Engine::arrayChecksum(const std::string &ArrayName) {
+  if (I->FrameStack.empty())
+    return Error::make("program has not been run");
+  ArraySymbol *A = I->Prog.Main->findArray(ArrayName);
+  if (!A)
+    return Error::make("no array '" + ArrayName + "' in the main unit");
+  ArrayInstance *Inst = I->arrayInstance(A);
+  if (!Inst || I->Failed)
+    return Error::make("array '" + ArrayName + "' is not allocated");
+  double Sum = 0.0;
+  int64_t Total = Inst->Layout.totalElems();
+  for (int64_t L = 0; L < Total; ++L) {
+    std::vector<int64_t> Idx = Inst->Layout.delinearize(L);
+    Sum += I->Mem.readF64(Inst->addressOf(Idx.data()));
+  }
+  return Sum;
+}
+
+Expected<double>
+Engine::arrayWeightedChecksum(const std::string &ArrayName) {
+  if (I->FrameStack.empty())
+    return Error::make("program has not been run");
+  ArraySymbol *A = I->Prog.Main->findArray(ArrayName);
+  if (!A)
+    return Error::make("no array '" + ArrayName + "' in the main unit");
+  ArrayInstance *Inst = I->arrayInstance(A);
+  if (!Inst || I->Failed)
+    return Error::make("array '" + ArrayName + "' is not allocated");
+  double Sum = 0.0;
+  int64_t Total = Inst->Layout.totalElems();
+  for (int64_t L = 0; L < Total; ++L) {
+    std::vector<int64_t> Idx = Inst->Layout.delinearize(L);
+    Sum += I->Mem.readF64(Inst->addressOf(Idx.data())) *
+           static_cast<double>(L + 1);
+  }
+  return Sum;
+}

@@ -1,0 +1,103 @@
+//===- exec/Engine.h - IR execution engine ----------------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a linked program on the simulated CC-NUMA machine.  The
+/// engine is both the functional reference (bit-exact array results,
+/// used to validate compiler transformations) and the performance model:
+/// in Perf mode every load/store goes through numa::MemorySystem and
+/// every arithmetic operation is charged R10000-style cycles, including
+/// the 35-cycle integer divides that the paper's Section 7 works so hard
+/// to eliminate.
+///
+/// Parallel execution model: a ParallelDo runs its body once per grid
+/// cell (SPMD).  Simulated processors execute sequentially -- the
+/// programming model requires fully concurrent iterations, so this is
+/// semantics-preserving -- but each keeps its own clock, caches, and
+/// TLB.  An epoch's wall time is max(slowest processor, busiest memory
+/// node service time) plus a logarithmic barrier cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_EXEC_ENGINE_H
+#define DSM_EXEC_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "link/Program.h"
+#include "numa/MemorySystem.h"
+#include "runtime/ArgCheck.h"
+#include "runtime/Runtime.h"
+#include "support/Error.h"
+
+namespace dsm::exec {
+
+/// Options for one execution.
+struct RunOptions {
+  int NumProcs = 1;
+  numa::PlacementPolicy DefaultPolicy = numa::PlacementPolicy::FirstTouch;
+  bool Perf = true;             ///< Charge cycles; false = functional only.
+  bool RuntimeArgChecks = false; ///< Paper Section 6 runtime checks.
+  unsigned MaxCallDepth = 100;
+};
+
+/// Outcome of one execution.
+struct RunResult {
+  uint64_t WallCycles = 0;
+  /// Cycles inside dsm_timer_start/dsm_timer_stop regions (0 when the
+  /// program never calls them).  Benchmarks time their kernels this way,
+  /// like the paper's measured regions.
+  uint64_t TimedCycles = 0;
+  numa::Counters Counters;
+  unsigned ParallelRegions = 0;
+  uint64_t RedistributeCycles = 0;
+  unsigned ClonesExecuted = 0;
+
+  double tlbMissFraction() const {
+    return WallCycles == 0 ? 0.0
+                           : static_cast<double>(Counters.TlbMissCycles) /
+                                 static_cast<double>(WallCycles);
+  }
+};
+
+/// One engine executes one program on one machine.  After run(), array
+/// contents can be inspected for validation.
+class Engine {
+public:
+  Engine(link::Program &Prog, numa::MemorySystem &Mem, RunOptions Opts);
+  ~Engine();
+
+  /// Executes the program from its main unit.
+  Expected<RunResult> run();
+
+  /// Reads an element of an array declared in the main unit (or a
+  /// COMMON member) after run(); 1-based indices.
+  Expected<double> readArrayF64(const std::string &ArrayName,
+                                const std::vector<int64_t> &Idx);
+
+  /// Checksum (sum of elements) of a main-unit array, for golden-run
+  /// comparisons.
+  Expected<double> arrayChecksum(const std::string &ArrayName);
+
+  /// Position-weighted checksum (sum of element * (1 + column-major
+  /// position)); unlike arrayChecksum it detects value permutations and
+  /// misdirected stores.
+  Expected<double> arrayWeightedChecksum(const std::string &ArrayName);
+
+  runtime::Runtime &runtime() { return Rt; }
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+  runtime::Runtime Rt;
+};
+
+} // namespace dsm::exec
+
+#endif // DSM_EXEC_ENGINE_H

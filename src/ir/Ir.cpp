@@ -1,0 +1,541 @@
+//===- ir/Ir.cpp - Loop-level intermediate representation -----------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+#include <unordered_map>
+
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::ir;
+
+const char *dsm::ir::scalarTypeName(ScalarType T) {
+  return T == ScalarType::I64 ? "i64" : "f64";
+}
+
+//===----------------------------------------------------------------------===//
+// Expression constructors
+//===----------------------------------------------------------------------===//
+
+ExprPtr dsm::ir::intLit(int64_t V) {
+  auto E = std::make_unique<Expr>(ExprKind::IntLit);
+  E->Type = ScalarType::I64;
+  E->IntVal = V;
+  return E;
+}
+
+ExprPtr dsm::ir::fpLit(double V) {
+  auto E = std::make_unique<Expr>(ExprKind::FpLit);
+  E->Type = ScalarType::F64;
+  E->FpVal = V;
+  return E;
+}
+
+ExprPtr dsm::ir::scalarUse(ScalarSymbol *S) {
+  assert(S && "null scalar symbol");
+  auto E = std::make_unique<Expr>(ExprKind::ScalarUse);
+  E->Type = S->Type;
+  E->Scalar = S;
+  return E;
+}
+
+static ScalarType binResultType(BinOp Op, const Expr &L, const Expr &R) {
+  switch (Op) {
+  case BinOp::CmpLt:
+  case BinOp::CmpLe:
+  case BinOp::CmpGt:
+  case BinOp::CmpGe:
+  case BinOp::CmpEq:
+  case BinOp::CmpNe:
+  case BinOp::LogAnd:
+  case BinOp::LogOr:
+    return ScalarType::I64;
+  case BinOp::IDiv:
+  case BinOp::IMod:
+  case BinOp::IDivFp:
+  case BinOp::IModFp:
+    assert(L.Type == ScalarType::I64 && R.Type == ScalarType::I64 &&
+           "integer div/mod requires integer operands");
+    return ScalarType::I64;
+  case BinOp::FDiv:
+    assert(L.Type == ScalarType::F64 && R.Type == ScalarType::F64 &&
+           "FP divide requires FP operands");
+    return ScalarType::F64;
+  default:
+    assert(L.Type == R.Type && "mixed-type arithmetic must be converted");
+    return L.Type;
+  }
+}
+
+ExprPtr dsm::ir::bin(BinOp Op, ExprPtr L, ExprPtr R) {
+  assert(L && R && "null operand");
+  auto E = std::make_unique<Expr>(ExprKind::Bin);
+  E->Op = Op;
+  E->Type = binResultType(Op, *L, *R);
+  E->Ops.push_back(std::move(L));
+  E->Ops.push_back(std::move(R));
+  return E;
+}
+
+ExprPtr dsm::ir::neg(ExprPtr V) {
+  assert(V && "null operand");
+  auto E = std::make_unique<Expr>(ExprKind::Neg);
+  E->Type = V->Type;
+  E->Ops.push_back(std::move(V));
+  return E;
+}
+
+ExprPtr dsm::ir::intrinsic(IntrinsicKind K, ExprPtr Arg) {
+  assert(Arg && "null operand");
+  auto E = std::make_unique<Expr>(ExprKind::Intrinsic);
+  E->Intr = K;
+  switch (K) {
+  case IntrinsicKind::Sqrt:
+    E->Type = ScalarType::F64;
+    break;
+  case IntrinsicKind::Abs:
+    E->Type = Arg->Type;
+    break;
+  case IntrinsicKind::ToF64:
+    E->Type = ScalarType::F64;
+    break;
+  case IntrinsicKind::ToI64:
+    E->Type = ScalarType::I64;
+    break;
+  }
+  E->Ops.push_back(std::move(Arg));
+  return E;
+}
+
+ExprPtr dsm::ir::arrayElem(ArraySymbol *A, std::vector<ExprPtr> Indices) {
+  assert(A && "null array symbol");
+  auto E = std::make_unique<Expr>(ExprKind::ArrayElem);
+  E->Type = A->Elem;
+  E->Array = A;
+  E->Ops = std::move(Indices);
+  return E;
+}
+
+ExprPtr dsm::ir::distQuery(DistQueryKind K, ArraySymbol *A, unsigned Dim) {
+  assert((A || K == DistQueryKind::TotalProcs) && "null array symbol");
+  auto E = std::make_unique<Expr>(ExprKind::DistQuery);
+  E->Type = ScalarType::I64;
+  E->Array = A;
+  E->DQ = K;
+  E->Dim = Dim;
+  return E;
+}
+
+bool dsm::ir::constEvalInt(const Expr &E, int64_t &Value) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    Value = E.IntVal;
+    return true;
+  case ExprKind::ScalarUse:
+    if (E.Scalar->HasInit && E.Scalar->Type == ScalarType::I64) {
+      Value = E.Scalar->InitInt;
+      return true;
+    }
+    return false;
+  case ExprKind::Neg: {
+    if (!constEvalInt(*E.Ops[0], Value))
+      return false;
+    Value = -Value;
+    return true;
+  }
+  case ExprKind::Bin: {
+    int64_t L, R;
+    if (!constEvalInt(*E.Ops[0], L) || !constEvalInt(*E.Ops[1], R))
+      return false;
+    switch (E.Op) {
+    case BinOp::Add:
+      Value = L + R;
+      return true;
+    case BinOp::Sub:
+      Value = L - R;
+      return true;
+    case BinOp::Mul:
+      Value = L * R;
+      return true;
+    case BinOp::IDiv:
+      if (R == 0)
+        return false;
+      Value = L / R;
+      return true;
+    case BinOp::Min:
+      Value = L < R ? L : R;
+      return true;
+    case BinOp::Max:
+      Value = L > R ? L : R;
+      return true;
+    default:
+      return false;
+    }
+  }
+  default:
+    return false;
+  }
+}
+
+bool dsm::ir::extractLinear(const Expr &E, const ScalarSymbol *Var,
+                            int64_t &Scale, int64_t &Offset) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    Scale = 0;
+    Offset = E.IntVal;
+    return true;
+  case ExprKind::ScalarUse:
+    if (E.Scalar != Var)
+      return false;
+    Scale = 1;
+    Offset = 0;
+    return true;
+  case ExprKind::Neg: {
+    if (!extractLinear(*E.Ops[0], Var, Scale, Offset))
+      return false;
+    Scale = -Scale;
+    Offset = -Offset;
+    return true;
+  }
+  case ExprKind::Bin: {
+    int64_t Ls, Lo, Rs, Ro;
+    if (!extractLinear(*E.Ops[0], Var, Ls, Lo) ||
+        !extractLinear(*E.Ops[1], Var, Rs, Ro))
+      return false;
+    switch (E.Op) {
+    case BinOp::Add:
+      Scale = Ls + Rs;
+      Offset = Lo + Ro;
+      return true;
+    case BinOp::Sub:
+      Scale = Ls - Rs;
+      Offset = Lo - Ro;
+      return true;
+    case BinOp::Mul:
+      if (Ls == 0) {
+        Scale = Lo * Rs;
+        Offset = Lo * Ro;
+        return true;
+      }
+      if (Rs == 0) {
+        Scale = Ro * Ls;
+        Offset = Ro * Lo;
+        return true;
+      }
+      return false;
+    default:
+      return false;
+    }
+  }
+  default:
+    return false;
+  }
+}
+
+bool dsm::ir::exprStructEq(const Expr &A, const Expr &B) {
+  if (A.Kind != B.Kind || A.Type != B.Type)
+    return false;
+  switch (A.Kind) {
+  case ExprKind::IntLit:
+    if (A.IntVal != B.IntVal)
+      return false;
+    break;
+  case ExprKind::FpLit:
+    if (A.FpVal != B.FpVal)
+      return false;
+    break;
+  case ExprKind::ScalarUse:
+    if (A.Scalar != B.Scalar)
+      return false;
+    break;
+  case ExprKind::Bin:
+    if (A.Op != B.Op)
+      return false;
+    break;
+  case ExprKind::Intrinsic:
+    if (A.Intr != B.Intr)
+      return false;
+    break;
+  case ExprKind::ArrayElem:
+  case ExprKind::PortionElem:
+  case ExprKind::PortionPtr:
+    if (A.Array != B.Array || A.Scalar != B.Scalar)
+      return false;
+    break;
+  case ExprKind::DistQuery:
+    if (A.Array != B.Array || A.DQ != B.DQ || A.Dim != B.Dim)
+      return false;
+    break;
+  case ExprKind::Neg:
+    break; // Operand comparison below suffices.
+  }
+  if (A.Ops.size() != B.Ops.size())
+    return false;
+  for (size_t I = 0; I < A.Ops.size(); ++I)
+    if (!exprStructEq(*A.Ops[I], *B.Ops[I]))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Cloning
+//===----------------------------------------------------------------------===//
+
+static ScalarSymbol *mapScalar(ScalarSymbol *S, const SymbolRemap *Remap) {
+  if (S && Remap && Remap->MapScalar)
+    return Remap->MapScalar(S, Remap->Ctx);
+  return S;
+}
+
+static ArraySymbol *mapArray(ArraySymbol *A, const SymbolRemap *Remap) {
+  if (A && Remap && Remap->MapArray)
+    return Remap->MapArray(A, Remap->Ctx);
+  return A;
+}
+
+ExprPtr dsm::ir::cloneExpr(const Expr &E, const SymbolRemap *Remap) {
+  auto C = std::make_unique<Expr>(E.Kind);
+  C->Type = E.Type;
+  C->IntVal = E.IntVal;
+  C->FpVal = E.FpVal;
+  C->Op = E.Op;
+  C->Intr = E.Intr;
+  C->Scalar = mapScalar(E.Scalar, Remap);
+  C->Array = mapArray(E.Array, Remap);
+  C->DQ = E.DQ;
+  C->Dim = E.Dim;
+  C->Ops.reserve(E.Ops.size());
+  for (const ExprPtr &Op : E.Ops)
+    C->Ops.push_back(cloneExpr(*Op, Remap));
+  return C;
+}
+
+StmtPtr dsm::ir::cloneStmt(const Stmt &S, const SymbolRemap *Remap) {
+  auto C = std::make_unique<Stmt>(S.Kind);
+  C->SourceLine = S.SourceLine;
+  if (S.Lhs)
+    C->Lhs = cloneExpr(*S.Lhs, Remap);
+  if (S.Rhs)
+    C->Rhs = cloneExpr(*S.Rhs, Remap);
+  C->IndVar = mapScalar(S.IndVar, Remap);
+  if (S.Lb)
+    C->Lb = cloneExpr(*S.Lb, Remap);
+  if (S.Ub)
+    C->Ub = cloneExpr(*S.Ub, Remap);
+  if (S.Step)
+    C->Step = cloneExpr(*S.Step, Remap);
+  C->Body = cloneBlock(S.Body, Remap);
+  C->IsProcTile = S.IsProcTile;
+  if (S.Doacross) {
+    auto D = std::make_unique<DoacrossInfo>();
+    D->IsDoacross = S.Doacross->IsDoacross;
+    for (ScalarSymbol *V : S.Doacross->NestVars)
+      D->NestVars.push_back(mapScalar(V, Remap));
+    for (ScalarSymbol *V : S.Doacross->Locals)
+      D->Locals.push_back(mapScalar(V, Remap));
+    D->Sched = S.Doacross->Sched;
+    if (S.Doacross->ChunkExpr)
+      D->ChunkExpr = cloneExpr(*S.Doacross->ChunkExpr, Remap);
+    for (const DoacrossInfo::Affinity &A : S.Doacross->Affinities) {
+      DoacrossInfo::Affinity CA = A;
+      CA.Array = mapArray(A.Array, Remap);
+      D->Affinities.push_back(CA);
+    }
+    C->Doacross = std::move(D);
+  }
+  for (const TileContext &T : S.Tiles) {
+    TileContext CT = T;
+    CT.Array = mapArray(T.Array, Remap);
+    CT.ProcVar = mapScalar(T.ProcVar, Remap);
+    CT.ChunkRowVar = mapScalar(T.ChunkRowVar, Remap);
+    C->Tiles.push_back(CT);
+  }
+  for (ScalarSymbol *V : S.ProcVars)
+    C->ProcVars.push_back(mapScalar(V, Remap));
+  for (const ExprPtr &E : S.ProcExtents)
+    C->ProcExtents.push_back(cloneExpr(*E, Remap));
+  for (ScalarSymbol *V : S.PrivateScalars)
+    C->PrivateScalars.push_back(mapScalar(V, Remap));
+  C->Sched = S.Sched;
+  if (S.Cond)
+    C->Cond = cloneExpr(*S.Cond, Remap);
+  C->Then = cloneBlock(S.Then, Remap);
+  C->Else = cloneBlock(S.Else, Remap);
+  C->Callee = S.Callee;
+  for (const ExprPtr &A : S.Args)
+    C->Args.push_back(cloneExpr(*A, Remap));
+  C->RedistArray = mapArray(S.RedistArray, Remap);
+  C->RedistSpec = S.RedistSpec;
+  return C;
+}
+
+Block dsm::ir::cloneBlock(const Block &B, const SymbolRemap *Remap) {
+  Block Out;
+  Out.reserve(B.size());
+  for (const StmtPtr &S : B)
+    Out.push_back(cloneStmt(*S, Remap));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Statement constructors
+//===----------------------------------------------------------------------===//
+
+StmtPtr dsm::ir::makeAssign(ExprPtr Lhs, ExprPtr Rhs) {
+  assert(Lhs && Rhs && "null assignment side");
+  assert((Lhs->Kind == ExprKind::ScalarUse ||
+          Lhs->Kind == ExprKind::ArrayElem ||
+          Lhs->Kind == ExprKind::PortionElem) &&
+         "assignment target must be a scalar or array element");
+  auto S = std::make_unique<Stmt>(StmtKind::Assign);
+  S->Lhs = std::move(Lhs);
+  S->Rhs = std::move(Rhs);
+  return S;
+}
+
+StmtPtr dsm::ir::makeDo(ScalarSymbol *IndVar, ExprPtr Lb, ExprPtr Ub,
+                        ExprPtr Step) {
+  assert(IndVar && IndVar->Type == ScalarType::I64 &&
+         "loop variable must be an integer scalar");
+  auto S = std::make_unique<Stmt>(StmtKind::Do);
+  S->IndVar = IndVar;
+  S->Lb = std::move(Lb);
+  S->Ub = std::move(Ub);
+  S->Step = Step ? std::move(Step) : intLit(1);
+  return S;
+}
+
+StmtPtr dsm::ir::makeIf(ExprPtr Cond) {
+  auto S = std::make_unique<Stmt>(StmtKind::If);
+  S->Cond = std::move(Cond);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Procedures
+//===----------------------------------------------------------------------===//
+
+ScalarSymbol *Procedure::addScalar(std::string Name, ScalarType Type) {
+  auto S = std::make_unique<ScalarSymbol>();
+  S->Name = std::move(Name);
+  S->Type = Type;
+  Scalars.push_back(std::move(S));
+  return Scalars.back().get();
+}
+
+ScalarSymbol *Procedure::addTemp(const std::string &Hint, ScalarType Type) {
+  ScalarSymbol *S =
+      addScalar(formatString("%s.t%u", Hint.c_str(), NextTempId++), Type);
+  S->IsCompilerTemp = true;
+  return S;
+}
+
+ArraySymbol *Procedure::addArray(std::string Name, ScalarType Elem) {
+  auto A = std::make_unique<ArraySymbol>();
+  A->Name = std::move(Name);
+  A->Elem = Elem;
+  Arrays.push_back(std::move(A));
+  return Arrays.back().get();
+}
+
+ScalarSymbol *Procedure::findScalar(const std::string &Name) const {
+  for (const auto &S : Scalars)
+    if (S->Name == Name)
+      return S.get();
+  return nullptr;
+}
+
+ArraySymbol *Procedure::findArray(const std::string &Name) const {
+  for (const auto &A : Arrays)
+    if (A->Name == Name)
+      return A.get();
+  return nullptr;
+}
+
+std::unique_ptr<Procedure>
+dsm::ir::cloneProcedure(const Procedure &P, const std::string &NewName) {
+  auto C = std::make_unique<Procedure>();
+  C->Name = NewName;
+  C->IsMain = P.IsMain;
+
+  struct Maps {
+    std::unordered_map<const ScalarSymbol *, ScalarSymbol *> Scalars;
+    std::unordered_map<const ArraySymbol *, ArraySymbol *> Arrays;
+  } M;
+
+  for (const auto &S : P.Scalars) {
+    auto N = std::make_unique<ScalarSymbol>(*S);
+    M.Scalars[S.get()] = N.get();
+    C->Scalars.push_back(std::move(N));
+  }
+  SymbolRemap Remap;
+  Remap.Ctx = &M;
+  Remap.MapScalar = [](ScalarSymbol *S, void *Ctx) {
+    auto &MM = *static_cast<Maps *>(Ctx);
+    auto It = MM.Scalars.find(S);
+    return It == MM.Scalars.end() ? S : It->second;
+  };
+  Remap.MapArray = [](ArraySymbol *A, void *Ctx) {
+    auto &MM = *static_cast<Maps *>(Ctx);
+    auto It = MM.Arrays.find(A);
+    return It == MM.Arrays.end() ? A : It->second;
+  };
+
+  // Arrays may reference scalars in their extents and other arrays via
+  // EQUIVALENCE; create the shells first, then fill.
+  for (const auto &A : P.Arrays) {
+    auto N = std::make_unique<ArraySymbol>();
+    N->Name = A->Name;
+    N->Elem = A->Elem;
+    N->Storage = A->Storage;
+    N->CommonBlock = A->CommonBlock;
+    N->CommonOffsetElems = A->CommonOffsetElems;
+    N->HasDist = A->HasDist;
+    N->Dist = A->Dist;
+    M.Arrays[A.get()] = N.get();
+    C->Arrays.push_back(std::move(N));
+  }
+  for (size_t I = 0; I < P.Arrays.size(); ++I) {
+    const ArraySymbol &Old = *P.Arrays[I];
+    ArraySymbol &New = *C->Arrays[I];
+    for (const ExprPtr &D : Old.DimSizes)
+      New.DimSizes.push_back(cloneExpr(*D, &Remap));
+    if (Old.EquivalencedTo)
+      New.EquivalencedTo = M.Arrays[Old.EquivalencedTo];
+  }
+
+  for (const FormalParam &F : P.Formals) {
+    FormalParam N;
+    if (F.Scalar)
+      N.Scalar = M.Scalars[F.Scalar];
+    if (F.Array)
+      N.Array = M.Arrays[F.Array];
+    C->Formals.push_back(N);
+  }
+  for (const CommonDecl &D : P.Commons) {
+    CommonDecl N;
+    N.BlockName = D.BlockName;
+    for (const CommonMember &Member : D.Members) {
+      CommonMember NM;
+      if (Member.Scalar)
+        NM.Scalar = M.Scalars[Member.Scalar];
+      if (Member.Array)
+        NM.Array = M.Arrays[Member.Array];
+      N.Members.push_back(NM);
+    }
+    C->Commons.push_back(std::move(N));
+  }
+  C->Body = cloneBlock(P.Body, &Remap);
+  return C;
+}
+
+Procedure *Module::findProcedure(const std::string &Name) const {
+  for (const auto &P : Procedures)
+    if (P->Name == Name)
+      return P.get();
+  return nullptr;
+}

@@ -1,0 +1,386 @@
+//===- ir/Ir.h - Loop-level intermediate representation ---------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mid-level loop IR the compiler transformations operate on and the
+/// execution engine interprets.  It is deliberately close to the code
+/// fragments in the paper:
+///
+///  * ArrayElem is a high-level Fortran element reference A(i,j);
+///  * PortionElem is the lowered reshaped reference A[p][local] of the
+///    paper's Table 1 (with an optional hoisted portion-base temp, the
+///    Section 7.2 optimization);
+///  * DistQuery reads a distribution parameter (P, b, k) of an array --
+///    runtime values "marked constant" for CSE per Section 7.2;
+///  * ParallelDo is the SPMD processor loop produced by parallelization
+///    (Figure 2's "do p = 0, P-1").
+///
+/// Integer divide / remainder are explicit BinOp nodes whose evaluation
+/// cost the engine charges (35 cycles, or 11 with the Section 7.3
+/// FP-arithmetic variants IDivFp/IModFp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_IR_IR_H
+#define DSM_IR_IR_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/DistSpec.h"
+#include "support/Error.h"
+
+namespace dsm::ir {
+
+enum class ScalarType { I64, F64 };
+
+const char *scalarTypeName(ScalarType T);
+
+//===----------------------------------------------------------------------===//
+// Symbols
+//===----------------------------------------------------------------------===//
+
+/// Where an array's storage comes from.
+enum class StorageClass {
+  Local,  ///< Declared in this procedure; allocated at activation.
+  Common, ///< Member of a COMMON block; program-lifetime storage.
+  Formal  ///< Dummy argument; bound to an actual at call time.
+};
+
+/// A scalar variable or compiler temporary.  Scalars model registers:
+/// reads and writes are not simulated memory accesses (the paper's
+/// kernels keep scalars in registers at -O3).
+struct ScalarSymbol {
+  std::string Name;
+  ScalarType Type = ScalarType::I64;
+  bool IsFormal = false;
+  bool IsCompilerTemp = false;
+  /// Section 7.2: distribution parameters are marked constant so calls
+  /// do not kill CSE of index expressions.
+  bool MarkedConst = false;
+  /// PARAMETER constants carry their value.
+  bool HasInit = false;
+  int64_t InitInt = 0;
+  double InitFp = 0.0;
+  /// Dense per-procedure slot, assigned by the execution engine.
+  int SlotIndex = -1;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// An array variable.  Extents are expressions over scalars/constants
+/// evaluated at procedure activation (program start-up for commons).
+struct ArraySymbol {
+  std::string Name;
+  ScalarType Elem = ScalarType::F64;
+  std::vector<ExprPtr> DimSizes;
+  StorageClass Storage = StorageClass::Local;
+  std::string CommonBlock;       ///< Non-empty for Storage == Common.
+  int64_t CommonOffsetElems = 0; ///< Element offset within the block.
+  bool HasDist = false;
+  dist::DistSpec Dist;
+  /// Set by EQUIVALENCE: the array aliases another array's storage.
+  ArraySymbol *EquivalencedTo = nullptr;
+  /// Dense per-procedure slot, assigned by the execution engine.
+  int SlotIndex = -1;
+
+  unsigned rank() const { return static_cast<unsigned>(DimSizes.size()); }
+  bool isReshaped() const { return HasDist && Dist.Reshaped; }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  IntLit,
+  FpLit,
+  ScalarUse,
+  Bin,
+  Neg,
+  Intrinsic,
+  ArrayElem,   ///< High-level A(i1, ..., ir).
+  PortionElem, ///< Lowered reshaped reference (Table 1).
+  PortionPtr,  ///< Address of a portion: indirect load from the
+               ///< processor array; used when hoisting (Section 7.2).
+  DistQuery    ///< Runtime distribution parameter of an array.
+};
+
+enum class BinOp {
+  Add,
+  Sub,
+  Mul,
+  FDiv,   ///< Floating divide.
+  IDiv,   ///< Integer divide (35 cycles on the R10000).
+  IMod,   ///< Integer remainder (via divide; same cost).
+  IDivFp, ///< Integer divide simulated in FP (Section 7.3; 11 cycles).
+  IModFp,
+  Min,
+  Max,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  CmpEq,
+  CmpNe,
+  LogAnd,
+  LogOr
+};
+
+enum class IntrinsicKind { Sqrt, Abs, ToF64, ToI64 };
+
+enum class DistQueryKind {
+  NumProcs,      ///< Processors assigned to a dimension (P).
+  BlockSize,     ///< ceil(N/P) for a block dimension (b).
+  Chunk,         ///< k of cyclic(k).
+  DimSize,       ///< Extent N of a dimension.
+  PortionExtent, ///< Padded per-processor portion extent of a dimension.
+  TotalProcs     ///< Processors in the run (Array may be null).
+};
+
+/// One IR expression node.  A single tagged struct (rather than a class
+/// hierarchy) keeps deep-cloning, printing, and interpretation simple.
+struct Expr {
+  ExprKind Kind;
+  ScalarType Type = ScalarType::I64;
+
+  // Payloads (which ones are live depends on Kind).
+  int64_t IntVal = 0;             // IntLit.
+  double FpVal = 0.0;             // FpLit.
+  BinOp Op = BinOp::Add;          // Bin.
+  IntrinsicKind Intr = IntrinsicKind::Sqrt;
+  ScalarSymbol *Scalar = nullptr; // ScalarUse; PortionElem hoisted base.
+  ArraySymbol *Array = nullptr;   // ArrayElem/PortionElem/PortionPtr/
+                                  // DistQuery.
+  DistQueryKind DQ = DistQueryKind::NumProcs;
+  unsigned Dim = 0;               // DistQuery dimension (0-based).
+  std::vector<ExprPtr> Ops;
+
+  // PortionElem child layout: the linearized 0-based grid-cell
+  // expression followed by the linearized 0-based local-offset
+  // expression.  When Scalar (the hoisted portion-base temp) is set,
+  // the cell expression is not evaluated and no indirect load is
+  // charged.  PortionPtr child layout: the linearized cell expression.
+
+  explicit Expr(ExprKind Kind) : Kind(Kind) {}
+};
+
+// Convenience constructors.
+ExprPtr intLit(int64_t V);
+ExprPtr fpLit(double V);
+ExprPtr scalarUse(ScalarSymbol *S);
+ExprPtr bin(BinOp Op, ExprPtr L, ExprPtr R);
+ExprPtr neg(ExprPtr E);
+ExprPtr intrinsic(IntrinsicKind K, ExprPtr Arg);
+ExprPtr arrayElem(ArraySymbol *A, std::vector<ExprPtr> Indices);
+ExprPtr distQuery(DistQueryKind K, ArraySymbol *A, unsigned Dim);
+
+/// Deep copy.  \p Remap, when provided, substitutes symbols (used by
+/// subroutine cloning and loop transformations).
+struct SymbolRemap {
+  ScalarSymbol *(*MapScalar)(ScalarSymbol *, void *) = nullptr;
+  ArraySymbol *(*MapArray)(ArraySymbol *, void *) = nullptr;
+  void *Ctx = nullptr;
+};
+ExprPtr cloneExpr(const Expr &E, const SymbolRemap *Remap = nullptr);
+
+/// Evaluates a compile-time-constant integer expression (literals,
+/// PARAMETER scalars, + - * and safe /).  Returns false when the
+/// expression is not constant.
+bool constEvalInt(const Expr &E, int64_t &Value);
+
+/// Matches \p E against Scale * Var + Offset with literal coefficients;
+/// Scale is 0 when Var does not appear.  False if E mentions any other
+/// variable or is non-linear.
+bool extractLinear(const Expr &E, const ScalarSymbol *Var, int64_t &Scale,
+                   int64_t &Offset);
+
+/// Structural equality of two expressions (same kinds, symbols,
+/// literals); used to decide whether two arrays "match in size and
+/// distribution" (paper Section 7.1).
+bool exprStructEq(const Expr &A, const Expr &B);
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+enum class StmtKind {
+  Assign,
+  Do,
+  ParallelDo,
+  If,
+  Call,
+  Redistribute
+};
+
+/// Loop-iteration scheduling for parallel loops (the schedtype clause).
+enum class SchedKind { Simple, Interleave, Dynamic, Affinity };
+
+/// Records that a (generated) data loop iterates over one processor's
+/// portion of a distributed dimension: within the loop, the element
+/// index Scale * IndVar + Offset is owned by processor coordinate
+/// ProcVar in dimension Dim of Array.  The reshaped-reference lowering
+/// uses these to eliminate div/mod (paper Section 7.1).
+struct TileContext {
+  ArraySymbol *Array = nullptr;
+  unsigned Dim = 0;
+  int64_t Scale = 1;
+  int64_t Offset = 0;
+  ScalarSymbol *ProcVar = nullptr;
+  dist::DistKind Kind = dist::DistKind::Block;
+  int64_t Chunk = 1;
+  /// cyclic(k) only: the chunk-row loop variable (counts this
+  /// processor's chunks).
+  ScalarSymbol *ChunkRowVar = nullptr;
+};
+
+/// The doacross / affinity annotation attached to a frontend DO loop
+/// before parallelization (paper Sections 3.1 and 3.4).
+struct DoacrossInfo {
+  bool IsDoacross = false;
+  /// Loop variables named by nest(...); front of the list is this loop.
+  std::vector<ScalarSymbol *> NestVars;
+  std::vector<ScalarSymbol *> Locals;
+  SchedKind Sched = SchedKind::Simple;
+  ExprPtr ChunkExpr; ///< Optional schedtype chunk.
+  /// affinity(i) = data(A(s*i + c)): per nest variable, the target array
+  /// dimension and the literal coefficients (paper requires literals,
+  /// with s non-negative).
+  struct Affinity {
+    bool Present = false;
+    ArraySymbol *Array = nullptr;
+    unsigned Dim = 0; ///< Which subscript position the variable indexes.
+    int64_t Scale = 1;
+    int64_t Offset = 0;
+  };
+  std::vector<Affinity> Affinities; ///< Parallel to NestVars.
+};
+
+struct Stmt {
+  StmtKind Kind;
+  int SourceLine = 0;
+
+  // Assign: Lhs is ScalarUse, ArrayElem, or PortionElem.
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+
+  // Do: induction variable and bounds; ParallelDo: processor variables.
+  ScalarSymbol *IndVar = nullptr;
+  ExprPtr Lb, Ub, Step;
+  Block Body;
+  std::unique_ptr<DoacrossInfo> Doacross; ///< Only on frontend Do loops.
+  bool IsProcTile = false; ///< Marks compiler-generated processor-tile
+                           ///< loops (Section 7.1).
+  std::vector<TileContext> Tiles; ///< Portion contexts this data loop
+                                  ///< establishes (Section 7.1).
+
+  // ParallelDo: SPMD over the processor grid.
+  std::vector<ScalarSymbol *> ProcVars;
+  std::vector<ExprPtr> ProcExtents;
+  std::vector<ScalarSymbol *> PrivateScalars;
+  SchedKind Sched = SchedKind::Simple;
+
+  // If.
+  ExprPtr Cond;
+  Block Then;
+  Block Else;
+
+  // Call.
+  std::string Callee;
+  std::vector<ExprPtr> Args; ///< Scalar exprs; ArrayElem with no indices
+                             ///< denotes a whole-array argument.
+
+  // Redistribute.
+  ArraySymbol *RedistArray = nullptr;
+  dist::DistSpec RedistSpec;
+
+  explicit Stmt(StmtKind Kind) : Kind(Kind) {}
+};
+
+StmtPtr makeAssign(ExprPtr Lhs, ExprPtr Rhs);
+StmtPtr makeDo(ScalarSymbol *IndVar, ExprPtr Lb, ExprPtr Ub, ExprPtr Step);
+StmtPtr makeIf(ExprPtr Cond);
+
+StmtPtr cloneStmt(const Stmt &S, const SymbolRemap *Remap = nullptr);
+Block cloneBlock(const Block &B, const SymbolRemap *Remap = nullptr);
+
+//===----------------------------------------------------------------------===//
+// Procedures and modules
+//===----------------------------------------------------------------------===//
+
+/// A formal parameter: exactly one of Scalar/Array is set.
+struct FormalParam {
+  ScalarSymbol *Scalar = nullptr;
+  ArraySymbol *Array = nullptr;
+};
+
+/// One COMMON block declaration within a procedure: ordered members.
+struct CommonMember {
+  ScalarSymbol *Scalar = nullptr;
+  ArraySymbol *Array = nullptr;
+};
+struct CommonDecl {
+  std::string BlockName;
+  std::vector<CommonMember> Members;
+};
+
+struct Procedure {
+  std::string Name;
+  bool IsMain = false;
+  std::vector<FormalParam> Formals;
+  std::vector<std::unique_ptr<ScalarSymbol>> Scalars;
+  std::vector<std::unique_ptr<ArraySymbol>> Arrays;
+  std::vector<CommonDecl> Commons;
+  Block Body;
+
+  ScalarSymbol *addScalar(std::string Name, ScalarType Type);
+  /// Creates a fresh compiler temporary.
+  ScalarSymbol *addTemp(const std::string &Hint, ScalarType Type);
+  ArraySymbol *addArray(std::string Name, ScalarType Elem);
+  ScalarSymbol *findScalar(const std::string &Name) const;
+  ArraySymbol *findArray(const std::string &Name) const;
+
+private:
+  unsigned NextTempId = 0;
+};
+
+/// Deep-copies \p P (fresh symbols, remapped bodies) under a new name.
+/// Used by the pre-linker to clone subroutines per incoming combination
+/// of distribute_reshape directives (paper Section 5).
+std::unique_ptr<Procedure> cloneProcedure(const Procedure &P,
+                                          const std::string &NewName);
+
+/// A compiled translation unit (one source file).
+struct Module {
+  std::string SourceName;
+  std::string SourceText; ///< Retained so the pre-linker can recompile
+                          ///< for clone requests (paper Section 5).
+  std::vector<std::unique_ptr<Procedure>> Procedures;
+
+  Procedure *findProcedure(const std::string &Name) const;
+};
+
+/// Checks the structural invariants the transformation passes must
+/// preserve (symbol ownership, operand counts, types, tile contexts).
+/// Returns a failure Error listing every violation.
+Error verifyProcedure(const Procedure &P);
+
+/// Renders IR to text (tests and -print-ir debugging).
+std::string printExpr(const Expr &E);
+std::string printStmt(const Stmt &S, unsigned Indent = 0);
+std::string printProcedure(const Procedure &P);
+
+} // namespace dsm::ir
+
+#endif // DSM_IR_IR_H

@@ -1,0 +1,258 @@
+//===- ir/IrPrinter.cpp - IR textual rendering -----------------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::ir;
+
+static const char *binOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::FDiv:
+    return "/";
+  case BinOp::IDiv:
+    return "div";
+  case BinOp::IMod:
+    return "mod";
+  case BinOp::IDivFp:
+    return "fdivi";
+  case BinOp::IModFp:
+    return "fmodi";
+  case BinOp::Min:
+    return "min";
+  case BinOp::Max:
+    return "max";
+  case BinOp::CmpLt:
+    return "<";
+  case BinOp::CmpLe:
+    return "<=";
+  case BinOp::CmpGt:
+    return ">";
+  case BinOp::CmpGe:
+    return ">=";
+  case BinOp::CmpEq:
+    return "==";
+  case BinOp::CmpNe:
+    return "!=";
+  case BinOp::LogAnd:
+    return ".and.";
+  case BinOp::LogOr:
+    return ".or.";
+  }
+  return "?";
+}
+
+std::string dsm::ir::printExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return std::to_string(E.IntVal);
+  case ExprKind::FpLit:
+    return formatString("%g", E.FpVal);
+  case ExprKind::ScalarUse:
+    return E.Scalar->Name;
+  case ExprKind::Neg:
+    return "-(" + printExpr(*E.Ops[0]) + ")";
+  case ExprKind::Bin: {
+    BinOp Op = E.Op;
+    if (Op == BinOp::Min || Op == BinOp::Max || Op == BinOp::IDiv ||
+        Op == BinOp::IMod || Op == BinOp::IDivFp || Op == BinOp::IModFp)
+      return formatString("%s(%s, %s)", binOpName(Op),
+                          printExpr(*E.Ops[0]).c_str(),
+                          printExpr(*E.Ops[1]).c_str());
+    return formatString("(%s %s %s)", printExpr(*E.Ops[0]).c_str(),
+                        binOpName(Op), printExpr(*E.Ops[1]).c_str());
+  }
+  case ExprKind::Intrinsic: {
+    const char *Name = "?";
+    switch (E.Intr) {
+    case IntrinsicKind::Sqrt:
+      Name = "sqrt";
+      break;
+    case IntrinsicKind::Abs:
+      Name = "abs";
+      break;
+    case IntrinsicKind::ToF64:
+      Name = "dble";
+      break;
+    case IntrinsicKind::ToI64:
+      Name = "int";
+      break;
+    }
+    return formatString("%s(%s)", Name, printExpr(*E.Ops[0]).c_str());
+  }
+  case ExprKind::ArrayElem: {
+    std::string Out = E.Array->Name;
+    if (E.Ops.empty())
+      return Out; // Whole-array argument.
+    Out += "(";
+    for (size_t I = 0; I < E.Ops.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += printExpr(*E.Ops[I]);
+    }
+    Out += ")";
+    return Out;
+  }
+  case ExprKind::PortionElem: {
+    unsigned Rank = static_cast<unsigned>(E.Ops.size() / 2);
+    std::string Out = E.Array->Name;
+    if (E.Scalar)
+      Out += "@" + E.Scalar->Name;
+    Out += "[";
+    for (unsigned D = 0; D < Rank; ++D) {
+      if (D)
+        Out += ",";
+      Out += printExpr(*E.Ops[D]);
+    }
+    Out += "][";
+    for (unsigned D = 0; D < Rank; ++D) {
+      if (D)
+        Out += ",";
+      Out += printExpr(*E.Ops[Rank + D]);
+    }
+    Out += "]";
+    return Out;
+  }
+  case ExprKind::PortionPtr: {
+    std::string Out = "&" + E.Array->Name + "[";
+    for (size_t I = 0; I < E.Ops.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += printExpr(*E.Ops[I]);
+    }
+    Out += "]";
+    return Out;
+  }
+  case ExprKind::DistQuery: {
+    const char *Name = "?";
+    switch (E.DQ) {
+    case DistQueryKind::NumProcs:
+      Name = "nprocs";
+      break;
+    case DistQueryKind::BlockSize:
+      Name = "bsize";
+      break;
+    case DistQueryKind::Chunk:
+      Name = "chunk";
+      break;
+    case DistQueryKind::DimSize:
+      Name = "extent";
+      break;
+    case DistQueryKind::PortionExtent:
+      Name = "pextent";
+      break;
+    case DistQueryKind::TotalProcs:
+      return "nprocs()";
+    }
+    return formatString("%s(%s, %u)", Name, E.Array->Name.c_str(),
+                        E.Dim + 1);
+  }
+  }
+  return "?";
+}
+
+static void printBlock(const Block &B, unsigned Indent, std::string &Out);
+
+static void printStmtInto(const Stmt &S, unsigned Indent,
+                          std::string &Out) {
+  std::string Pad(Indent * 2, ' ');
+  switch (S.Kind) {
+  case StmtKind::Assign:
+    Out += Pad + printExpr(*S.Lhs) + " = " + printExpr(*S.Rhs) + "\n";
+    return;
+  case StmtKind::Do: {
+    Out += Pad + (S.IsProcTile ? "do.ptile " : "do ") + S.IndVar->Name +
+           " = " + printExpr(*S.Lb) + ", " + printExpr(*S.Ub);
+    if (!(S.Step->Kind == ExprKind::IntLit && S.Step->IntVal == 1))
+      Out += ", " + printExpr(*S.Step);
+    if (S.Doacross && S.Doacross->IsDoacross)
+      Out += "  ; doacross";
+    Out += "\n";
+    printBlock(S.Body, Indent + 1, Out);
+    Out += Pad + "enddo\n";
+    return;
+  }
+  case StmtKind::ParallelDo: {
+    Out += Pad + "parallel.do (";
+    for (size_t I = 0; I < S.ProcVars.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += S.ProcVars[I]->Name + " < " + printExpr(*S.ProcExtents[I]);
+    }
+    Out += ")\n";
+    printBlock(S.Body, Indent + 1, Out);
+    Out += Pad + "end parallel.do\n";
+    return;
+  }
+  case StmtKind::If: {
+    Out += Pad + "if (" + printExpr(*S.Cond) + ") then\n";
+    printBlock(S.Then, Indent + 1, Out);
+    if (!S.Else.empty()) {
+      Out += Pad + "else\n";
+      printBlock(S.Else, Indent + 1, Out);
+    }
+    Out += Pad + "endif\n";
+    return;
+  }
+  case StmtKind::Call: {
+    Out += Pad + "call " + S.Callee + "(";
+    for (size_t I = 0; I < S.Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += printExpr(*S.Args[I]);
+    }
+    Out += ")\n";
+    return;
+  }
+  case StmtKind::Redistribute:
+    Out += Pad + "redistribute " + S.RedistArray->Name + " " +
+           S.RedistSpec.str() + "\n";
+    return;
+  }
+}
+
+static void printBlock(const Block &B, unsigned Indent, std::string &Out) {
+  for (const StmtPtr &S : B)
+    printStmtInto(*S, Indent, Out);
+}
+
+std::string dsm::ir::printStmt(const Stmt &S, unsigned Indent) {
+  std::string Out;
+  printStmtInto(S, Indent, Out);
+  return Out;
+}
+
+std::string dsm::ir::printProcedure(const Procedure &P) {
+  std::string Out =
+      (P.IsMain ? "program " : "subroutine ") + P.Name + "\n";
+  for (const auto &A : P.Arrays) {
+    Out += "  array " + A->Name + "(";
+    for (size_t D = 0; D < A->DimSizes.size(); ++D) {
+      if (D)
+        Out += ", ";
+      Out += printExpr(*A->DimSizes[D]);
+    }
+    Out += ")";
+    if (A->HasDist)
+      Out += " " + A->Dist.str();
+    if (A->Storage == StorageClass::Common)
+      Out += " common(/" + A->CommonBlock + "/)";
+    if (A->Storage == StorageClass::Formal)
+      Out += " formal";
+    Out += "\n";
+  }
+  printBlock(P.Body, 1, Out);
+  Out += "end\n";
+  return Out;
+}

@@ -1,0 +1,203 @@
+//===- ir/IrVerifier.cpp - IR consistency checking -------------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+#include <unordered_set>
+
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::ir;
+
+namespace {
+
+/// Structural invariants the transformation passes must preserve; run
+/// after every pipeline stage in tests.
+class Verifier {
+public:
+  Verifier(const Procedure &P) : Proc(P) {
+    for (const auto &S : P.Scalars)
+      Scalars.insert(S.get());
+    for (const auto &A : P.Arrays)
+      Arrays.insert(A.get());
+  }
+
+  Error run() {
+    verifyBlock(Proc.Body);
+    return std::move(Diags);
+  }
+
+private:
+  void error(const std::string &Message) {
+    Diags.addError("verifier: " + Message, Proc.Name);
+  }
+
+  void verifyExpr(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      if (E.Type != ScalarType::I64)
+        error("integer literal with non-integer type");
+      break;
+    case ExprKind::FpLit:
+      if (E.Type != ScalarType::F64)
+        error("FP literal with non-FP type");
+      break;
+    case ExprKind::ScalarUse:
+      if (!E.Scalar)
+        error("scalar use without a symbol");
+      else if (!Scalars.count(E.Scalar))
+        error("scalar '" + E.Scalar->Name +
+              "' does not belong to this procedure");
+      else if (E.Type != E.Scalar->Type)
+        error("scalar use type mismatch for '" + E.Scalar->Name + "'");
+      break;
+    case ExprKind::Bin:
+      if (E.Ops.size() != 2)
+        error("binary operator without two operands");
+      break;
+    case ExprKind::Neg:
+    case ExprKind::Intrinsic:
+      if (E.Ops.size() != 1)
+        error("unary node without exactly one operand");
+      break;
+    case ExprKind::ArrayElem:
+      if (!E.Array) {
+        error("array reference without a symbol");
+        break;
+      }
+      if (!Arrays.count(E.Array))
+        error("array '" + E.Array->Name +
+              "' does not belong to this procedure");
+      if (!E.Ops.empty() && E.Ops.size() != E.Array->rank())
+        error(formatString(
+            "reference to '%s' has %zu subscripts for rank %u",
+            E.Array->Name.c_str(), E.Ops.size(), E.Array->rank()));
+      break;
+    case ExprKind::PortionElem:
+      if (!E.Array || !E.Array->isReshaped())
+        error("PortionElem on a non-reshaped array");
+      if (E.Ops.size() != 2)
+        error("PortionElem must carry cell and local expressions");
+      if (E.Scalar && !Scalars.count(E.Scalar))
+        error("hoisted portion base is foreign to this procedure");
+      break;
+    case ExprKind::PortionPtr:
+      if (!E.Array || !E.Array->isReshaped())
+        error("PortionPtr on a non-reshaped array");
+      if (E.Ops.size() != 1)
+        error("PortionPtr must carry one cell expression");
+      if (E.Type != ScalarType::I64)
+        error("PortionPtr must be an integer (address)");
+      break;
+    case ExprKind::DistQuery:
+      if (E.DQ != DistQueryKind::TotalProcs) {
+        if (!E.Array)
+          error("distribution query without an array");
+        else if (E.Dim >= E.Array->rank())
+          error("distribution query dimension out of range");
+      }
+      break;
+    }
+    for (const ExprPtr &Op : E.Ops) {
+      if (!Op) {
+        error("null operand");
+        continue;
+      }
+      verifyExpr(*Op);
+    }
+  }
+
+  void verifyStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Assign:
+      if (!S.Lhs || !S.Rhs) {
+        error("assignment without both sides");
+        return;
+      }
+      if (S.Lhs->Kind != ExprKind::ScalarUse &&
+          S.Lhs->Kind != ExprKind::ArrayElem &&
+          S.Lhs->Kind != ExprKind::PortionElem)
+        error("invalid assignment target");
+      if (S.Lhs->Type != S.Rhs->Type)
+        error("assignment type mismatch");
+      verifyExpr(*S.Lhs);
+      verifyExpr(*S.Rhs);
+      return;
+    case StmtKind::Do:
+      if (!S.IndVar || S.IndVar->Type != ScalarType::I64)
+        error("DO loop without an integer induction variable");
+      if (!S.Lb || !S.Ub || !S.Step) {
+        error("DO loop missing bounds");
+        return;
+      }
+      verifyExpr(*S.Lb);
+      verifyExpr(*S.Ub);
+      verifyExpr(*S.Step);
+      for (const TileContext &T : S.Tiles) {
+        if (!T.Array || !T.ProcVar)
+          error("tile context missing its array or processor variable");
+        else if (T.Dim >= T.Array->rank())
+          error("tile context dimension out of range");
+      }
+      verifyBlock(S.Body);
+      return;
+    case StmtKind::ParallelDo:
+      if (S.ProcVars.empty() ||
+          S.ProcVars.size() != S.ProcExtents.size())
+        error("parallel region without matching processor variables "
+              "and extents");
+      for (const ExprPtr &E : S.ProcExtents)
+        verifyExpr(*E);
+      verifyBlock(S.Body);
+      return;
+    case StmtKind::If:
+      if (!S.Cond || S.Cond->Type != ScalarType::I64)
+        error("IF without an integer condition");
+      else
+        verifyExpr(*S.Cond);
+      verifyBlock(S.Then);
+      verifyBlock(S.Else);
+      return;
+    case StmtKind::Call:
+      for (const ExprPtr &A : S.Args) {
+        if (!A) {
+          error("null call argument");
+          continue;
+        }
+        verifyExpr(*A);
+      }
+      return;
+    case StmtKind::Redistribute:
+      if (!S.RedistArray)
+        error("redistribute without a target array");
+      else if (S.RedistSpec.Dims.size() != S.RedistArray->rank())
+        error("redistribute rank mismatch");
+      return;
+    }
+  }
+
+  void verifyBlock(const Block &B) {
+    for (const StmtPtr &S : B) {
+      if (!S) {
+        error("null statement");
+        continue;
+      }
+      verifyStmt(*S);
+    }
+  }
+
+  const Procedure &Proc;
+  std::unordered_set<const ScalarSymbol *> Scalars;
+  std::unordered_set<const ArraySymbol *> Arrays;
+  Error Diags;
+};
+
+} // namespace
+
+Error dsm::ir::verifyProcedure(const Procedure &P) {
+  return Verifier(P).run();
+}

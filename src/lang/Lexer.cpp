@@ -1,0 +1,337 @@
+//===- lang/Lexer.cpp - DSM Fortran lexer ----------------------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::lang;
+
+namespace {
+
+class LexerImpl {
+public:
+  LexerImpl(std::string_view Source, const std::string &Filename,
+            std::vector<std::string> &Errors)
+      : Src(Source), Filename(Filename), Errors(Errors) {}
+
+  std::vector<Token> run();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char get() { return Pos < Src.size() ? Src[Pos++] : '\0'; }
+  bool atEnd() const { return Pos >= Src.size(); }
+
+  void push(TokKind Kind) { Tokens.push_back(Token{Kind, "", 0, 0.0, Line}); }
+  void error(const std::string &Message) {
+    Errors.push_back(formatString("%s:%d: %s", Filename.c_str(), Line,
+                                  Message.c_str()));
+  }
+
+  void lexLine();
+  void lexNumber();
+  void lexIdent();
+  void lexDotOperator();
+
+  std::string_view Src;
+  const std::string &Filename;
+  std::vector<std::string> &Errors;
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  int Line = 1;
+};
+
+std::vector<Token> LexerImpl::run() {
+  while (!atEnd()) {
+    // Column-one comment / directive handling.
+    char C0 = peek();
+    bool IsDirective = (C0 == 'c' || C0 == 'C' || C0 == '!') &&
+                       peek(1) == '$';
+    // A column-one 'c' only begins a comment when followed by
+    // whitespace or end-of-line; "call"/"common" are statements.
+    char C1 = peek(1);
+    bool IsComment =
+        !IsDirective &&
+        (C0 == '*' || C0 == '!' ||
+         ((C0 == 'c' || C0 == 'C') &&
+          (C1 == ' ' || C1 == '\t' || C1 == '\n' || C1 == '\0')));
+    if (IsComment) {
+      while (!atEnd() && get() != '\n')
+        ;
+      ++Line;
+      continue;
+    }
+    if (IsDirective) {
+      Pos += 2;
+      push(TokKind::DirStart);
+    }
+    lexLine();
+  }
+  push(TokKind::Eof);
+  return std::move(Tokens);
+}
+
+void LexerImpl::lexLine() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == '\n') {
+      ++Pos;
+      // Suppress Newline tokens for blank lines.
+      if (!Tokens.empty() && Tokens.back().Kind != TokKind::Newline)
+        push(TokKind::Newline);
+      ++Line;
+      return;
+    }
+    if (C == ' ' || C == '\t' || C == '\r') {
+      ++Pos;
+      continue;
+    }
+    if (C == '!') { // Trailing comment.
+      while (!atEnd() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '&') { // Free-form continuation: join the next line.
+      ++Pos;
+      while (!atEnd() && peek() != '\n')
+        ++Pos;
+      if (!atEnd()) {
+        ++Pos; // Consume the newline without emitting a token.
+        ++Line;
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      lexNumber();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      lexIdent();
+      continue;
+    }
+    if (C == '.') {
+      // Either a real literal like .5 or a dot-operator like .lt.
+      if (std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        lexNumber();
+        continue;
+      }
+      lexDotOperator();
+      continue;
+    }
+    ++Pos;
+    switch (C) {
+    case '(':
+      push(TokKind::LParen);
+      break;
+    case ')':
+      push(TokKind::RParen);
+      break;
+    case ',':
+      push(TokKind::Comma);
+      break;
+    case '+':
+      push(TokKind::Plus);
+      break;
+    case '-':
+      push(TokKind::Minus);
+      break;
+    case '*':
+      push(TokKind::Star);
+      break;
+    case '/':
+      if (peek() == '=') {
+        ++Pos;
+        push(TokKind::Ne);
+      } else {
+        push(TokKind::Slash);
+      }
+      break;
+    case '=':
+      if (peek() == '=') {
+        ++Pos;
+        push(TokKind::EqEq);
+      } else {
+        push(TokKind::Assign);
+      }
+      break;
+    case '<':
+      if (peek() == '=') {
+        ++Pos;
+        push(TokKind::Le);
+      } else {
+        push(TokKind::Lt);
+      }
+      break;
+    case '>':
+      if (peek() == '=') {
+        ++Pos;
+        push(TokKind::Ge);
+      } else {
+        push(TokKind::Gt);
+      }
+      break;
+    default:
+      error(formatString("unexpected character '%c'", C));
+      break;
+    }
+  }
+}
+
+void LexerImpl::lexNumber() {
+  size_t Start = Pos;
+  bool IsReal = false;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    ++Pos;
+  if (peek() == '.' &&
+      !std::isalpha(static_cast<unsigned char>(peek(1)))) {
+    // A '.' followed by a letter is a dot-operator (e.g. "1.and."
+    // cannot occur; "2.lt.3" parses as 2 .lt. 3).
+    IsReal = true;
+    ++Pos;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+  }
+  char E = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(peek())));
+  if (E == 'e' || E == 'd') {
+    size_t Save = Pos;
+    ++Pos;
+    if (peek() == '+' || peek() == '-')
+      ++Pos;
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      IsReal = true;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    } else {
+      Pos = Save; // Not an exponent; e.g. "8d" in an identifier context.
+    }
+  }
+  std::string Text(Src.substr(Start, Pos - Start));
+  for (char &C : Text)
+    if (C == 'd' || C == 'D')
+      C = 'e';
+  Token T;
+  T.Line = Line;
+  if (IsReal) {
+    T.Kind = TokKind::RealLit;
+    T.FpVal = std::strtod(Text.c_str(), nullptr);
+  } else {
+    T.Kind = TokKind::IntLit;
+    T.IntVal = std::strtoll(Text.c_str(), nullptr, 10);
+  }
+  Tokens.push_back(std::move(T));
+}
+
+void LexerImpl::lexIdent() {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    ++Pos;
+  Token T;
+  T.Kind = TokKind::Ident;
+  T.Text = toLower(Src.substr(Start, Pos - Start));
+  T.Line = Line;
+  Tokens.push_back(std::move(T));
+}
+
+void LexerImpl::lexDotOperator() {
+  size_t Start = Pos;
+  ++Pos; // Leading '.'.
+  while (std::isalpha(static_cast<unsigned char>(peek())))
+    ++Pos;
+  if (peek() != '.') {
+    error("malformed dot operator");
+    Pos = Start + 1;
+    return;
+  }
+  ++Pos;
+  std::string Op = toLower(Src.substr(Start, Pos - Start));
+  if (Op == ".lt.")
+    push(TokKind::Lt);
+  else if (Op == ".le.")
+    push(TokKind::Le);
+  else if (Op == ".gt.")
+    push(TokKind::Gt);
+  else if (Op == ".ge.")
+    push(TokKind::Ge);
+  else if (Op == ".eq.")
+    push(TokKind::EqEq);
+  else if (Op == ".ne.")
+    push(TokKind::Ne);
+  else if (Op == ".and.")
+    push(TokKind::And);
+  else if (Op == ".or.")
+    push(TokKind::Or);
+  else if (Op == ".not.")
+    push(TokKind::Not);
+  else
+    error("unknown operator '" + Op + "'");
+}
+
+} // namespace
+
+std::vector<Token> dsm::lang::lexSource(std::string_view Source,
+                                        const std::string &Filename,
+                                        std::vector<std::string> &LexErrors) {
+  return LexerImpl(Source, Filename, LexErrors).run();
+}
+
+const char *dsm::lang::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Newline:
+    return "end of line";
+  case TokKind::DirStart:
+    return "directive";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::RealLit:
+    return "real literal";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::Ne:
+    return "'/='";
+  case TokKind::And:
+    return "'.and.'";
+  case TokKind::Or:
+    return "'.or.'";
+  case TokKind::Not:
+    return "'.not.'";
+  }
+  return "?";
+}

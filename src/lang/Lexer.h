@@ -1,0 +1,71 @@
+//===- lang/Lexer.h - DSM Fortran lexer -------------------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the Fortran-77-like subset ("DSM Fortran") the paper's
+/// examples are written in.  Line-oriented and case-insensitive.
+/// Comment lines begin with 'c', 'C', '*' or '!' in column one; directive
+/// lines begin with "c$" or "!$" and produce a DirStart token followed by
+/// the directive's tokens.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_LANG_LEXER_H
+#define DSM_LANG_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsm::lang {
+
+enum class TokKind {
+  Eof,
+  Newline,
+  DirStart, ///< "c$" at the start of a line.
+  Ident,    ///< Lower-cased identifier or keyword.
+  IntLit,
+  RealLit,
+  LParen,
+  RParen,
+  Comma,
+  Assign, ///< '='
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Lt, ///< '<' or '.lt.'
+  Le,
+  Gt,
+  Ge,
+  EqEq, ///< '==' or '.eq.'
+  Ne,
+  And, ///< '.and.'
+  Or,
+  Not
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text; ///< Identifier spelling (lower-cased).
+  int64_t IntVal = 0;
+  double FpVal = 0.0;
+  int Line = 0;
+};
+
+/// Lexes a whole source buffer into a token vector (ending in Eof).
+/// Lexical errors are reported as Ident tokens with Text "<error>" and a
+/// diagnostic appended to \p LexErrors.
+std::vector<Token> lexSource(std::string_view Source,
+                             const std::string &Filename,
+                             std::vector<std::string> &LexErrors);
+
+const char *tokKindName(TokKind Kind);
+
+} // namespace dsm::lang
+
+#endif // DSM_LANG_LEXER_H

@@ -1,0 +1,1091 @@
+//===- lang/Parser.cpp - DSM Fortran parser --------------------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include <cassert>
+#include <optional>
+
+#include "lang/Lexer.h"
+#include "lang/Sema.h"
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::lang;
+using namespace dsm::ir;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Source, const std::string &Filename)
+      : Filename(Filename) {
+    std::vector<std::string> LexErrors;
+    Tokens = lexSource(Source, Filename, LexErrors);
+    for (const std::string &E : LexErrors)
+      Diags.addError(E);
+    SourceText = std::string(Source);
+  }
+
+  Expected<std::unique_ptr<Module>> run();
+
+private:
+  //===-- Token plumbing ---------------------------------------------===//
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Cursor + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &advance() {
+    const Token &T = Tokens[Cursor];
+    if (Cursor + 1 < Tokens.size())
+      ++Cursor;
+    return T;
+  }
+  bool at(TokKind Kind) const { return peek().Kind == Kind; }
+  bool atIdent(const char *Text) const {
+    return at(TokKind::Ident) && peek().Text == Text;
+  }
+  bool accept(TokKind Kind) {
+    if (!at(Kind))
+      return false;
+    advance();
+    return true;
+  }
+  bool acceptIdent(const char *Text) {
+    if (!atIdent(Text))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokKind Kind, const char *Where) {
+    if (accept(Kind))
+      return true;
+    error(formatString("expected %s %s, found %s", tokKindName(Kind),
+                       Where, tokKindName(peek().Kind)));
+    return false;
+  }
+  std::string expectIdent(const char *Where) {
+    if (at(TokKind::Ident))
+      return advance().Text;
+    error(formatString("expected identifier %s", Where));
+    return "";
+  }
+  void skipToNewline() {
+    while (!at(TokKind::Newline) && !at(TokKind::Eof))
+      advance();
+    accept(TokKind::Newline);
+  }
+  void expectNewline() {
+    if (!at(TokKind::Newline) && !at(TokKind::Eof))
+      error(formatString("unexpected %s at end of statement",
+                         tokKindName(peek().Kind)));
+    skipToNewline();
+  }
+  void error(const std::string &Message) {
+    Diags.addError(Message, Filename, peek().Line);
+  }
+
+  //===-- Symbols ----------------------------------------------------===//
+  ScalarSymbol *lookupOrCreateScalar(const std::string &Name);
+  ArraySymbol *lookupArray(const std::string &Name) {
+    return Proc ? Proc->findArray(Name) : nullptr;
+  }
+
+  //===-- Grammar ----------------------------------------------------===//
+  std::unique_ptr<Procedure> parseUnit();
+  bool parseDeclaration(); ///< Returns true if the line was a declaration.
+  void parseTypeDecl(ScalarType Type);
+  void parseCommonDecl();
+  void parseEquivalenceDecl();
+  void parseParameterDecl();
+  void parseDirective(Block &Body);
+  dist::DistSpec parseDistSpec(bool Reshaped);
+  void parseDoacross();
+  void parseStatementInto(Block &Body);
+  StmtPtr parseDoLoop();
+  StmtPtr parseIf();
+  StmtPtr parseCall();
+  StmtPtr parseAssignment();
+
+  ExprPtr parseExpr() { return parseOr(); }
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseNot();
+  ExprPtr parseRelational();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+  ExprPtr parseIntrinsicCall(const std::string &Name);
+
+  /// Inserts numeric conversions so both sides share a type.
+  void unifyTypes(ExprPtr &L, ExprPtr &R);
+  ExprPtr convertTo(ExprPtr E, ScalarType Type);
+
+  std::string Filename;
+  std::string SourceText;
+  std::vector<Token> Tokens;
+  size_t Cursor = 0;
+  Error Diags;
+  Procedure *Proc = nullptr;
+  /// A c$doacross directive waiting for its DO loop.
+  std::unique_ptr<DoacrossInfo> PendingDoacross;
+  int PendingDoacrossLine = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Symbols
+//===----------------------------------------------------------------------===//
+
+ScalarSymbol *Parser::lookupOrCreateScalar(const std::string &Name) {
+  assert(Proc && "no current procedure");
+  if (ScalarSymbol *S = Proc->findScalar(Name))
+    return S;
+  // Fortran implicit typing: i-n integer, otherwise real.
+  ScalarType Type = (!Name.empty() && Name[0] >= 'i' && Name[0] <= 'n')
+                        ? ScalarType::I64
+                        : ScalarType::F64;
+  return Proc->addScalar(Name, Type);
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+Expected<std::unique_ptr<Module>> Parser::run() {
+  auto M = std::make_unique<Module>();
+  M->SourceName = Filename;
+  M->SourceText = SourceText;
+  while (!at(TokKind::Eof)) {
+    if (accept(TokKind::Newline))
+      continue;
+    auto P = parseUnit();
+    if (P)
+      M->Procedures.push_back(std::move(P));
+    if (Diags)
+      break; // Errors tend to cascade; stop at the first bad unit.
+  }
+  if (Diags)
+    return std::move(Diags);
+  if (M->Procedures.empty())
+    return Error::make("no program units found", Filename);
+  return M;
+}
+
+std::unique_ptr<Procedure> Parser::parseUnit() {
+  auto P = std::make_unique<Procedure>();
+  Proc = P.get();
+  std::vector<std::string> ParamNames;
+
+  if (acceptIdent("program")) {
+    P->IsMain = true;
+    P->Name = expectIdent("after 'program'");
+  } else if (acceptIdent("subroutine")) {
+    P->Name = expectIdent("after 'subroutine'");
+    if (accept(TokKind::LParen)) {
+      if (!accept(TokKind::RParen)) {
+        do
+          ParamNames.push_back(expectIdent("in parameter list"));
+        while (accept(TokKind::Comma));
+        expect(TokKind::RParen, "after parameter list");
+      }
+    }
+  } else {
+    error("expected 'program' or 'subroutine'");
+    skipToNewline();
+    Proc = nullptr;
+    return nullptr;
+  }
+  expectNewline();
+
+  // Body: declarations, directives, and statements until END.
+  while (!at(TokKind::Eof)) {
+    if (accept(TokKind::Newline))
+      continue;
+    if (at(TokKind::DirStart)) {
+      advance();
+      parseDirective(P->Body);
+      continue;
+    }
+    if (atIdent("end") &&
+        (peek(1).Kind == TokKind::Newline || peek(1).Kind == TokKind::Eof)) {
+      advance();
+      skipToNewline();
+      break;
+    }
+    if (parseDeclaration())
+      continue;
+    parseStatementInto(P->Body);
+    if (Diags)
+      break;
+  }
+
+  if (PendingDoacross) {
+    error("c$doacross directive not followed by a DO loop");
+    PendingDoacross.reset();
+  }
+
+  // Bind formals now that declarations have been seen.
+  for (const std::string &Name : ParamNames) {
+    FormalParam F;
+    if (ArraySymbol *A = lookupArray(Name)) {
+      A->Storage = StorageClass::Formal;
+      F.Array = A;
+    } else {
+      ScalarSymbol *S = lookupOrCreateScalar(Name);
+      S->IsFormal = true;
+      F.Scalar = S;
+    }
+    P->Formals.push_back(F);
+  }
+
+  Proc = nullptr;
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseDeclaration() {
+  if (atIdent("integer")) {
+    advance();
+    parseTypeDecl(ScalarType::I64);
+    return true;
+  }
+  if (atIdent("real")) {
+    advance();
+    // Accept real, real*8, real*4 (all f64 in the simulator).
+    if (accept(TokKind::Star)) {
+      if (!at(TokKind::IntLit))
+        error("expected width after 'real*'");
+      else
+        advance();
+    }
+    parseTypeDecl(ScalarType::F64);
+    return true;
+  }
+  if (atIdent("common")) {
+    advance();
+    parseCommonDecl();
+    return true;
+  }
+  if (atIdent("equivalence")) {
+    advance();
+    parseEquivalenceDecl();
+    return true;
+  }
+  if (atIdent("parameter")) {
+    advance();
+    parseParameterDecl();
+    return true;
+  }
+  return false;
+}
+
+void Parser::parseTypeDecl(ScalarType Type) {
+  do {
+    std::string Name = expectIdent("in type declaration");
+    if (Name.empty()) {
+      skipToNewline();
+      return;
+    }
+    if (accept(TokKind::LParen)) {
+      // Array declaration.
+      if (lookupArray(Name) || Proc->findScalar(Name)) {
+        error("redeclaration of '" + Name + "'");
+        skipToNewline();
+        return;
+      }
+      ArraySymbol *A = Proc->addArray(Name, Type);
+      do
+        A->DimSizes.push_back(parseExpr());
+      while (accept(TokKind::Comma));
+      expect(TokKind::RParen, "after array bounds");
+    } else {
+      if (Proc->findScalar(Name) || lookupArray(Name)) {
+        error("redeclaration of '" + Name + "'");
+      } else {
+        Proc->addScalar(Name, Type);
+      }
+    }
+  } while (accept(TokKind::Comma));
+  expectNewline();
+}
+
+void Parser::parseCommonDecl() {
+  if (!expect(TokKind::Slash, "before common block name")) {
+    skipToNewline();
+    return;
+  }
+  std::string BlockName = expectIdent("as common block name");
+  expect(TokKind::Slash, "after common block name");
+
+  CommonDecl Decl;
+  Decl.BlockName = BlockName;
+  do {
+    std::string Name = expectIdent("in common member list");
+    if (Name.empty())
+      break;
+    CommonMember Member;
+    if (ArraySymbol *A = lookupArray(Name)) {
+      A->Storage = StorageClass::Common;
+      A->CommonBlock = BlockName;
+      Member.Array = A;
+    } else if (accept(TokKind::LParen)) {
+      // COMMON may itself declare the array shape.
+      ArraySymbol *A = Proc->addArray(Name, ScalarType::F64);
+      A->Storage = StorageClass::Common;
+      A->CommonBlock = BlockName;
+      do
+        A->DimSizes.push_back(parseExpr());
+      while (accept(TokKind::Comma));
+      expect(TokKind::RParen, "after array bounds");
+      Member.Array = A;
+    } else {
+      Member.Scalar = lookupOrCreateScalar(Name);
+    }
+    Decl.Members.push_back(Member);
+  } while (accept(TokKind::Comma));
+  Proc->Commons.push_back(std::move(Decl));
+  expectNewline();
+}
+
+void Parser::parseEquivalenceDecl() {
+  do {
+    if (!expect(TokKind::LParen, "in equivalence"))
+      break;
+    std::string NameA = expectIdent("in equivalence");
+    expect(TokKind::Comma, "in equivalence");
+    std::string NameB = expectIdent("in equivalence");
+    expect(TokKind::RParen, "after equivalence pair");
+    ArraySymbol *A = lookupArray(NameA);
+    ArraySymbol *B = lookupArray(NameB);
+    if (!A || !B) {
+      error("equivalence requires two declared arrays");
+    } else {
+      B->EquivalencedTo = A;
+    }
+  } while (accept(TokKind::Comma));
+  expectNewline();
+}
+
+void Parser::parseParameterDecl() {
+  if (!expect(TokKind::LParen, "after 'parameter'")) {
+    skipToNewline();
+    return;
+  }
+  do {
+    std::string Name = expectIdent("in parameter");
+    expect(TokKind::Assign, "in parameter");
+    ExprPtr Value = parseExpr();
+    ScalarSymbol *S = lookupOrCreateScalar(Name);
+    S->MarkedConst = true;
+    if (Value->Kind == ExprKind::IntLit) {
+      S->HasInit = true;
+      S->InitInt = Value->IntVal;
+      S->InitFp = static_cast<double>(Value->IntVal);
+    } else if (Value->Kind == ExprKind::FpLit) {
+      S->HasInit = true;
+      S->InitFp = Value->FpVal;
+      S->InitInt = static_cast<int64_t>(Value->FpVal);
+    } else {
+      error("parameter value must be a literal constant");
+    }
+  } while (accept(TokKind::Comma));
+  expect(TokKind::RParen, "after parameter list");
+  expectNewline();
+}
+
+//===----------------------------------------------------------------------===//
+// Directives
+//===----------------------------------------------------------------------===//
+
+dist::DistSpec Parser::parseDistSpec(bool Reshaped) {
+  dist::DistSpec Spec;
+  Spec.Reshaped = Reshaped;
+  expect(TokKind::LParen, "after array name in distribution directive");
+  do {
+    dist::DimDist Dim;
+    if (accept(TokKind::Star)) {
+      Dim.Kind = dist::DistKind::None;
+    } else if (acceptIdent("block")) {
+      Dim.Kind = dist::DistKind::Block;
+    } else if (acceptIdent("cyclic")) {
+      if (accept(TokKind::LParen)) {
+        Dim.Kind = dist::DistKind::BlockCyclic;
+        if (at(TokKind::IntLit)) {
+          Dim.Chunk = advance().IntVal;
+          if (Dim.Chunk < 1)
+            error("cyclic chunk must be positive");
+        } else {
+          error("cyclic chunk must be an integer literal");
+        }
+        expect(TokKind::RParen, "after cyclic chunk");
+        if (Dim.Chunk == 1)
+          Dim.Kind = dist::DistKind::Cyclic; // cyclic(1) == cyclic.
+      } else {
+        Dim.Kind = dist::DistKind::Cyclic;
+      }
+    } else {
+      error("expected 'block', 'cyclic', 'cyclic(k)', or '*'");
+    }
+    Spec.Dims.push_back(Dim);
+  } while (accept(TokKind::Comma));
+  expect(TokKind::RParen, "after distribution list");
+
+  if (acceptIdent("onto")) {
+    expect(TokKind::LParen, "after 'onto'");
+    do {
+      if (at(TokKind::IntLit))
+        Spec.OntoWeights.push_back(advance().IntVal);
+      else
+        error("onto weights must be integer literals");
+    } while (accept(TokKind::Comma));
+    expect(TokKind::RParen, "after onto weights");
+  }
+  return Spec;
+}
+
+void Parser::parseDirective(Block &Body) {
+  int Line = peek().Line;
+  std::string Name = expectIdent("after 'c$'");
+  if (Name == "doacross") {
+    parseDoacross();
+    return;
+  }
+  if (Name == "distribute" || Name == "distribute_reshape") {
+    bool Reshaped = Name == "distribute_reshape";
+    // One directive may distribute several arrays:
+    //   c$distribute A(*, block), B(block, *)
+    do {
+      std::string ArrayName = expectIdent("in distribute directive");
+      ArraySymbol *A = lookupArray(ArrayName);
+      dist::DistSpec Spec = parseDistSpec(Reshaped);
+      if (!A) {
+        error("distribute directive names undeclared array '" + ArrayName +
+              "'");
+      } else if (A->HasDist) {
+        error("array '" + ArrayName +
+              "' already has a distribution; an array must be declared "
+              "either distribute or distribute_reshape for the duration "
+              "of the program");
+      } else {
+        A->HasDist = true;
+        A->Dist = std::move(Spec);
+      }
+    } while (accept(TokKind::Comma));
+    expectNewline();
+    return;
+  }
+  if (Name == "redistribute") {
+    std::string ArrayName = expectIdent("in redistribute directive");
+    ArraySymbol *A = lookupArray(ArrayName);
+    dist::DistSpec Spec = parseDistSpec(false);
+    auto S = std::make_unique<Stmt>(StmtKind::Redistribute);
+    S->SourceLine = Line;
+    S->RedistArray = A;
+    S->RedistSpec = std::move(Spec);
+    if (!A)
+      error("redistribute names undeclared array '" + ArrayName + "'");
+    else
+      Body.push_back(std::move(S));
+    expectNewline();
+    return;
+  }
+  error("unknown directive 'c$" + Name + "'");
+  skipToNewline();
+}
+
+void Parser::parseDoacross() {
+  if (PendingDoacross)
+    error("c$doacross directive not followed by a DO loop");
+  auto Info = std::make_unique<DoacrossInfo>();
+  Info->IsDoacross = true;
+  PendingDoacrossLine = peek().Line;
+
+  std::vector<std::string> NestNames;
+  struct RawAffinity {
+    std::vector<std::string> Vars;
+    std::string ArrayName;
+    std::vector<ExprPtr> Subscripts;
+    int Line;
+  };
+  std::optional<RawAffinity> Aff;
+
+  while (!at(TokKind::Newline) && !at(TokKind::Eof)) {
+    std::string Clause = expectIdent("doacross clause");
+    if (Clause.empty()) {
+      skipToNewline();
+      break;
+    }
+    if (Clause == "nest") {
+      expect(TokKind::LParen, "after 'nest'");
+      do
+        NestNames.push_back(expectIdent("in nest clause"));
+      while (accept(TokKind::Comma));
+      expect(TokKind::RParen, "after nest clause");
+    } else if (Clause == "local" || Clause == "lastlocal") {
+      expect(TokKind::LParen, "after 'local'");
+      do {
+        std::string V = expectIdent("in local clause");
+        if (!V.empty())
+          Info->Locals.push_back(lookupOrCreateScalar(V));
+      } while (accept(TokKind::Comma));
+      expect(TokKind::RParen, "after local clause");
+    } else if (Clause == "shared" || Clause == "share") {
+      expect(TokKind::LParen, "after 'shared'");
+      do
+        (void)expectIdent("in shared clause");
+      while (accept(TokKind::Comma));
+      expect(TokKind::RParen, "after shared clause");
+    } else if (Clause == "affinity") {
+      RawAffinity R;
+      R.Line = peek().Line;
+      expect(TokKind::LParen, "after 'affinity'");
+      do
+        R.Vars.push_back(expectIdent("in affinity clause"));
+      while (accept(TokKind::Comma));
+      expect(TokKind::RParen, "after affinity variables");
+      expect(TokKind::Assign, "in affinity clause");
+      if (!acceptIdent("data"))
+        error("expected 'data' in affinity clause");
+      expect(TokKind::LParen, "after 'data'");
+      R.ArrayName = expectIdent("in affinity data clause");
+      expect(TokKind::LParen, "after affinity array name");
+      do
+        R.Subscripts.push_back(parseExpr());
+      while (accept(TokKind::Comma));
+      expect(TokKind::RParen, "after affinity subscripts");
+      expect(TokKind::RParen, "after affinity data clause");
+      Aff = std::move(R);
+    } else if (Clause == "schedtype" || Clause == "mp_schedtype") {
+      expect(TokKind::LParen, "after 'schedtype'");
+      std::string Kind = expectIdent("schedtype kind");
+      if (Kind == "simple" || Kind == "block")
+        Info->Sched = SchedKind::Simple;
+      else if (Kind == "interleave" || Kind == "interleaved")
+        Info->Sched = SchedKind::Interleave;
+      else if (Kind == "dynamic")
+        Info->Sched = SchedKind::Dynamic;
+      else
+        error("unknown schedtype '" + Kind + "'");
+      if (accept(TokKind::Comma))
+        Info->ChunkExpr = parseExpr();
+      expect(TokKind::RParen, "after schedtype");
+    } else {
+      error("unknown doacross clause '" + Clause + "'");
+      skipToNewline();
+      PendingDoacross = std::move(Info);
+      return;
+    }
+  }
+  skipToNewline();
+
+  if (NestNames.empty() && Aff && !Aff->Vars.empty())
+    NestNames.push_back(Aff->Vars[0]);
+  for (const std::string &N : NestNames)
+    Info->NestVars.push_back(lookupOrCreateScalar(N));
+  Info->Affinities.resize(Info->NestVars.size());
+
+  if (Aff) {
+    Info->Sched = SchedKind::Affinity;
+    ArraySymbol *Array = lookupArray(Aff->ArrayName);
+    if (!Array) {
+      error("affinity names undeclared array '" + Aff->ArrayName + "'");
+    } else {
+      // Each affinity variable must appear, linearly with literal
+      // coefficients, in exactly one subscript position.
+      for (size_t V = 0; V < Aff->Vars.size(); ++V) {
+        ScalarSymbol *Var = lookupOrCreateScalar(Aff->Vars[V]);
+        // Locate the nest variable this affinity var corresponds to.
+        size_t NestPos = Info->NestVars.size();
+        for (size_t N = 0; N < Info->NestVars.size(); ++N)
+          if (Info->NestVars[N] == Var)
+            NestPos = N;
+        if (NestPos == Info->NestVars.size()) {
+          Diags.addError("affinity variable '" + Var->Name +
+                             "' is not a nest variable",
+                         Filename, Aff->Line);
+          continue;
+        }
+        DoacrossInfo::Affinity &Slot = Info->Affinities[NestPos];
+        for (size_t D = 0; D < Aff->Subscripts.size(); ++D) {
+          int64_t Scale = 0, Offset = 0;
+          if (!ir::extractLinear(*Aff->Subscripts[D], Var, Scale, Offset) ||
+              Scale == 0)
+            continue;
+          if (Slot.Present) {
+            Diags.addError("affinity variable '" + Var->Name +
+                               "' appears in more than one subscript",
+                           Filename, Aff->Line);
+            break;
+          }
+          if (Scale < 0) {
+            Diags.addError(
+                "affinity expressions require a non-negative literal "
+                "coefficient (paper Section 3.4)",
+                Filename, Aff->Line);
+            break;
+          }
+          Slot.Present = true;
+          Slot.Array = Array;
+          Slot.Dim = static_cast<unsigned>(D);
+          Slot.Scale = Scale;
+          Slot.Offset = Offset;
+        }
+        if (!Slot.Present)
+          Diags.addError(
+              "could not derive a linear affinity expression for '" +
+                  Var->Name + "' (must be s*" + Var->Name +
+                  "+c with literal s, c)",
+              Filename, Aff->Line);
+      }
+    }
+  }
+  PendingDoacross = std::move(Info);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Parser::parseStatementInto(Block &Body) {
+  int Line = peek().Line;
+  // Claim any pending doacross before recursing into the statement body
+  // so nested statements do not see it.
+  std::unique_ptr<DoacrossInfo> Pending = std::move(PendingDoacross);
+  if (Pending && !atIdent("do")) {
+    Diags.addError("c$doacross directive not followed by a DO loop",
+                   Filename, PendingDoacrossLine);
+    Pending.reset();
+  }
+  StmtPtr S;
+  if (atIdent("do")) {
+    S = parseDoLoop();
+  } else if (atIdent("if")) {
+    S = parseIf();
+  } else if (atIdent("call")) {
+    S = parseCall();
+  } else if (atIdent("return") || atIdent("stop")) {
+    error("'" + peek().Text + "' is not supported in this subset");
+    skipToNewline();
+    return;
+  } else {
+    S = parseAssignment();
+  }
+  if (!S)
+    return;
+  S->SourceLine = Line;
+  if (Pending && S->Kind == StmtKind::Do) {
+    if (Pending->NestVars.empty())
+      Pending->NestVars.push_back(S->IndVar);
+    if (Pending->Affinities.size() < Pending->NestVars.size())
+      Pending->Affinities.resize(Pending->NestVars.size());
+    S->Doacross = std::move(Pending);
+  }
+  Body.push_back(std::move(S));
+}
+
+StmtPtr Parser::parseDoLoop() {
+  acceptIdent("do");
+  std::string VarName = expectIdent("as DO variable");
+  ScalarSymbol *Var = lookupOrCreateScalar(VarName);
+  if (Var->Type != ScalarType::I64)
+    error("DO variable '" + VarName + "' must be integer");
+  expect(TokKind::Assign, "in DO statement");
+  ExprPtr Lb = parseExpr();
+  expect(TokKind::Comma, "in DO statement");
+  ExprPtr Ub = parseExpr();
+  ExprPtr Step;
+  if (accept(TokKind::Comma))
+    Step = parseExpr();
+  expectNewline();
+
+  StmtPtr Loop = makeDo(Var, std::move(Lb), std::move(Ub), std::move(Step));
+  while (!at(TokKind::Eof)) {
+    if (accept(TokKind::Newline))
+      continue;
+    if (at(TokKind::DirStart)) {
+      advance();
+      parseDirective(Loop->Body);
+      continue;
+    }
+    if (atIdent("enddo")) {
+      advance();
+      skipToNewline();
+      return Loop;
+    }
+    if (atIdent("end") && peek(1).Kind == TokKind::Ident &&
+        peek(1).Text == "do") {
+      advance();
+      advance();
+      skipToNewline();
+      return Loop;
+    }
+    parseStatementInto(Loop->Body);
+    if (Diags)
+      return Loop;
+  }
+  error("missing 'enddo'");
+  return Loop;
+}
+
+StmtPtr Parser::parseIf() {
+  acceptIdent("if");
+  expect(TokKind::LParen, "after 'if'");
+  ExprPtr Cond = parseExpr();
+  expect(TokKind::RParen, "after IF condition");
+  if (!acceptIdent("then")) {
+    error("expected 'then' (only block IF is supported)");
+    skipToNewline();
+    return nullptr;
+  }
+  expectNewline();
+
+  StmtPtr If = makeIf(std::move(Cond));
+  bool InElse = false;
+  while (!at(TokKind::Eof)) {
+    if (accept(TokKind::Newline))
+      continue;
+    if (at(TokKind::DirStart)) {
+      advance();
+      parseDirective(InElse ? If->Else : If->Then);
+      continue;
+    }
+    if (atIdent("endif")) {
+      advance();
+      skipToNewline();
+      return If;
+    }
+    if (atIdent("end") && peek(1).Kind == TokKind::Ident &&
+        peek(1).Text == "if") {
+      advance();
+      advance();
+      skipToNewline();
+      return If;
+    }
+    if (atIdent("else")) {
+      advance();
+      skipToNewline();
+      InElse = true;
+      continue;
+    }
+    parseStatementInto(InElse ? If->Else : If->Then);
+    if (Diags)
+      return If;
+  }
+  error("missing 'endif'");
+  return If;
+}
+
+StmtPtr Parser::parseCall() {
+  acceptIdent("call");
+  auto S = std::make_unique<Stmt>(StmtKind::Call);
+  S->Callee = expectIdent("as subroutine name");
+  if (accept(TokKind::LParen)) {
+    if (!accept(TokKind::RParen)) {
+      do {
+        // A bare array name is a whole-array argument.
+        if (at(TokKind::Ident) &&
+            (peek(1).Kind == TokKind::Comma ||
+             peek(1).Kind == TokKind::RParen)) {
+          if (ArraySymbol *A = lookupArray(peek().Text)) {
+            advance();
+            S->Args.push_back(arrayElem(A, {}));
+            continue;
+          }
+        }
+        S->Args.push_back(parseExpr());
+      } while (accept(TokKind::Comma));
+      expect(TokKind::RParen, "after call arguments");
+    }
+  }
+  expectNewline();
+  return S;
+}
+
+StmtPtr Parser::parseAssignment() {
+  std::string Name = expectIdent("at start of statement");
+  if (Name.empty()) {
+    skipToNewline();
+    return nullptr;
+  }
+  ExprPtr Lhs;
+  if (ArraySymbol *A = lookupArray(Name)) {
+    if (!expect(TokKind::LParen, "for array element assignment")) {
+      skipToNewline();
+      return nullptr;
+    }
+    std::vector<ExprPtr> Indices;
+    do
+      Indices.push_back(convertTo(parseExpr(), ScalarType::I64));
+    while (accept(TokKind::Comma));
+    expect(TokKind::RParen, "after subscripts");
+    if (Indices.size() != A->rank())
+      error(formatString("array '%s' has rank %u but %zu subscripts given",
+                         A->Name.c_str(), A->rank(), Indices.size()));
+    Lhs = arrayElem(A, std::move(Indices));
+  } else {
+    Lhs = scalarUse(lookupOrCreateScalar(Name));
+  }
+  if (!expect(TokKind::Assign, "in assignment")) {
+    skipToNewline();
+    return nullptr;
+  }
+  ExprPtr Rhs = convertTo(parseExpr(), Lhs->Type);
+  expectNewline();
+  return makeAssign(std::move(Lhs), std::move(Rhs));
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::convertTo(ExprPtr E, ScalarType Type) {
+  if (!E || E->Type == Type)
+    return E;
+  return intrinsic(Type == ScalarType::F64 ? IntrinsicKind::ToF64
+                                           : IntrinsicKind::ToI64,
+                   std::move(E));
+}
+
+void Parser::unifyTypes(ExprPtr &L, ExprPtr &R) {
+  if (!L || !R || L->Type == R->Type)
+    return;
+  if (L->Type == ScalarType::I64)
+    L = convertTo(std::move(L), ScalarType::F64);
+  else
+    R = convertTo(std::move(R), ScalarType::F64);
+}
+
+ExprPtr Parser::parseOr() {
+  ExprPtr L = parseAnd();
+  while (accept(TokKind::Or)) {
+    ExprPtr R = parseAnd();
+    L = bin(BinOp::LogOr, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr L = parseNot();
+  while (accept(TokKind::And)) {
+    ExprPtr R = parseNot();
+    L = bin(BinOp::LogAnd, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseNot() {
+  if (accept(TokKind::Not)) {
+    ExprPtr E = parseNot();
+    // .not. x  ==  (x == 0)
+    return bin(BinOp::CmpEq, std::move(E), intLit(0));
+  }
+  return parseRelational();
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr L = parseAdditive();
+  BinOp Op;
+  switch (peek().Kind) {
+  case TokKind::Lt:
+    Op = BinOp::CmpLt;
+    break;
+  case TokKind::Le:
+    Op = BinOp::CmpLe;
+    break;
+  case TokKind::Gt:
+    Op = BinOp::CmpGt;
+    break;
+  case TokKind::Ge:
+    Op = BinOp::CmpGe;
+    break;
+  case TokKind::EqEq:
+    Op = BinOp::CmpEq;
+    break;
+  case TokKind::Ne:
+    Op = BinOp::CmpNe;
+    break;
+  default:
+    return L;
+  }
+  advance();
+  ExprPtr R = parseAdditive();
+  unifyTypes(L, R);
+  return bin(Op, std::move(L), std::move(R));
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr L = parseMultiplicative();
+  while (at(TokKind::Plus) || at(TokKind::Minus)) {
+    BinOp Op = at(TokKind::Plus) ? BinOp::Add : BinOp::Sub;
+    advance();
+    ExprPtr R = parseMultiplicative();
+    unifyTypes(L, R);
+    L = bin(Op, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr L = parseUnary();
+  while (at(TokKind::Star) || at(TokKind::Slash)) {
+    bool IsDiv = at(TokKind::Slash);
+    advance();
+    ExprPtr R = parseUnary();
+    unifyTypes(L, R);
+    BinOp Op = BinOp::Mul;
+    if (IsDiv)
+      Op = L->Type == ScalarType::F64 ? BinOp::FDiv : BinOp::IDiv;
+    L = bin(Op, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (accept(TokKind::Minus))
+    return neg(parseUnary());
+  if (accept(TokKind::Plus))
+    return parseUnary();
+  return parsePrimary();
+}
+
+ExprPtr Parser::parseIntrinsicCall(const std::string &Name) {
+  // Caller consumed the name; we are at '('.
+  expect(TokKind::LParen, "after intrinsic name");
+  std::vector<ExprPtr> Args;
+  if (!accept(TokKind::RParen)) {
+    do
+      Args.push_back(parseExpr());
+    while (accept(TokKind::Comma));
+    expect(TokKind::RParen, "after intrinsic arguments");
+  }
+  auto Need = [&](size_t N) {
+    if (Args.size() != N) {
+      error(formatString("intrinsic '%s' takes %zu argument(s)",
+                         Name.c_str(), N));
+      return false;
+    }
+    return true;
+  };
+  if (Name == "mod") {
+    if (!Need(2))
+      return intLit(0);
+    if (Args[0]->Type != ScalarType::I64 ||
+        Args[1]->Type != ScalarType::I64)
+      error("mod requires integer arguments in this subset");
+    return bin(BinOp::IMod, std::move(Args[0]), std::move(Args[1]));
+  }
+  if (Name == "min" || Name == "max") {
+    if (Args.size() < 2) {
+      error("min/max need at least two arguments");
+      return intLit(0);
+    }
+    BinOp Op = Name == "min" ? BinOp::Min : BinOp::Max;
+    ExprPtr Acc = std::move(Args[0]);
+    for (size_t I = 1; I < Args.size(); ++I) {
+      unifyTypes(Acc, Args[I]);
+      Acc = bin(Op, std::move(Acc), std::move(Args[I]));
+    }
+    return Acc;
+  }
+  if (Name == "sqrt") {
+    if (!Need(1))
+      return fpLit(0);
+    return intrinsic(IntrinsicKind::Sqrt,
+                     convertTo(std::move(Args[0]), ScalarType::F64));
+  }
+  if (Name == "abs") {
+    if (!Need(1))
+      return intLit(0);
+    return intrinsic(IntrinsicKind::Abs, std::move(Args[0]));
+  }
+  if (Name == "dble" || Name == "real" || Name == "float") {
+    if (!Need(1))
+      return fpLit(0);
+    return convertTo(std::move(Args[0]), ScalarType::F64);
+  }
+  if (Name == "int") {
+    if (!Need(1))
+      return intLit(0);
+    return convertTo(std::move(Args[0]), ScalarType::I64);
+  }
+  // Distribution-query intrinsics (the paper's Section 3.2.1 mentions a
+  // rich set of intrinsics for traversing distributed-array portions).
+  if (Name == "dsm_numprocs" || Name == "dsm_blocksize" ||
+      Name == "dsm_chunk" || Name == "dsm_extent") {
+    if (Args.size() != 2 ||
+        !(Args[0]->Kind == ExprKind::ArrayElem && Args[0]->Ops.empty()) ||
+        Args[1]->Kind != ExprKind::IntLit) {
+      error("usage: " + Name + "(array, dim-literal)");
+      return intLit(1);
+    }
+    DistQueryKind K = DistQueryKind::NumProcs;
+    if (Name == "dsm_blocksize")
+      K = DistQueryKind::BlockSize;
+    else if (Name == "dsm_chunk")
+      K = DistQueryKind::Chunk;
+    else if (Name == "dsm_extent")
+      K = DistQueryKind::DimSize;
+    unsigned Dim = static_cast<unsigned>(Args[1]->IntVal) - 1;
+    return distQuery(K, Args[0]->Array, Dim);
+  }
+  error("unknown function or array '" + Name + "'");
+  return intLit(0);
+}
+
+ExprPtr Parser::parsePrimary() {
+  if (at(TokKind::IntLit))
+    return intLit(advance().IntVal);
+  if (at(TokKind::RealLit))
+    return fpLit(advance().FpVal);
+  if (accept(TokKind::LParen)) {
+    ExprPtr E = parseExpr();
+    expect(TokKind::RParen, "after parenthesized expression");
+    return E;
+  }
+  if (at(TokKind::Ident)) {
+    std::string Name = advance().Text;
+    if (ArraySymbol *A = lookupArray(Name)) {
+      if (at(TokKind::LParen)) {
+        advance();
+        std::vector<ExprPtr> Indices;
+        do
+          Indices.push_back(convertTo(parseExpr(), ScalarType::I64));
+        while (accept(TokKind::Comma));
+        expect(TokKind::RParen, "after subscripts");
+        if (Indices.size() != A->rank())
+          error(formatString(
+              "array '%s' has rank %u but %zu subscripts given",
+              A->Name.c_str(), A->rank(), Indices.size()));
+        return arrayElem(A, std::move(Indices));
+      }
+      // Bare array name in expression context: whole-array reference
+      // (only meaningful as a call argument or intrinsic operand).
+      return arrayElem(A, {});
+    }
+    if (at(TokKind::LParen)) {
+      // Unknown name with parens: intrinsic function call.
+      return parseIntrinsicCall(Name);
+    }
+    return scalarUse(lookupOrCreateScalar(Name));
+  }
+  error(formatString("unexpected %s in expression",
+                     tokKindName(peek().Kind)));
+  advance();
+  return intLit(0);
+}
+
+} // namespace
+
+Expected<std::unique_ptr<Module>>
+dsm::lang::parseSource(std::string_view Source,
+                       const std::string &Filename) {
+  Parser P(Source, Filename);
+  return P.run();
+}

@@ -1,0 +1,35 @@
+//===- lang/Parser.h - DSM Fortran parser -----------------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for DSM Fortran.  Parses declarations,
+/// executable statements, and the paper's directives (c$doacross,
+/// c$distribute, c$distribute_reshape, c$redistribute) straight into the
+/// loop IR.  Front-end semantic checks (directive legality, affinity
+/// restrictions, EQUIVALENCE vs reshape) live in Sema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_LANG_PARSER_H
+#define DSM_LANG_PARSER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ir/Ir.h"
+#include "support/Error.h"
+
+namespace dsm::lang {
+
+/// Parses \p Source into an IR module.  The returned module retains the
+/// source text (the pre-linker recompiles from it when cloning).
+Expected<std::unique_ptr<ir::Module>>
+parseSource(std::string_view Source, const std::string &Filename);
+
+} // namespace dsm::lang
+
+#endif // DSM_LANG_PARSER_H

@@ -1,0 +1,195 @@
+//===- lang/Sema.cpp - Front-end semantic checks ---------------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::lang;
+using namespace dsm::ir;
+
+bool dsm::lang::constEvalInt(const Expr &E, int64_t &Value) {
+  return ir::constEvalInt(E, Value);
+}
+
+//===----------------------------------------------------------------------===//
+// Module checks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Checker {
+public:
+  Checker(const Module &M) : M(M) {}
+
+  Error run() {
+    for (const auto &P : M.Procedures)
+      checkProcedure(*P);
+    return std::move(Diags);
+  }
+
+private:
+  void error(int Line, const std::string &Message) {
+    Diags.addError(Message, M.SourceName, Line);
+  }
+
+  void checkProcedure(const Procedure &P);
+  void checkArrays(const Procedure &P);
+  void checkBlock(const Procedure &P, const Block &B);
+  void checkStmt(const Procedure &P, const Stmt &S);
+  void checkDoacross(const Procedure &P, const Stmt &Loop);
+
+  const Module &M;
+  Error Diags;
+};
+
+void Checker::checkProcedure(const Procedure &P) {
+  checkArrays(P);
+  checkBlock(P, P.Body);
+}
+
+void Checker::checkArrays(const Procedure &P) {
+  for (const auto &A : P.Arrays) {
+    if (A->HasDist) {
+      if (A->Dist.Dims.size() != A->rank())
+        error(0, formatString(
+                     "in %s: distribution of '%s' names %zu dimensions "
+                     "but the array has rank %u",
+                     P.Name.c_str(), A->Name.c_str(), A->Dist.Dims.size(),
+                     A->rank()));
+      if (!A->Dist.OntoWeights.empty() &&
+          A->Dist.OntoWeights.size() != A->Dist.numDistributedDims())
+        error(0, formatString(
+                     "in %s: onto clause of '%s' has %zu weights for %u "
+                     "distributed dimensions",
+                     P.Name.c_str(), A->Name.c_str(),
+                     A->Dist.OntoWeights.size(),
+                     A->Dist.numDistributedDims()));
+    }
+    // Paper Section 3.2.1 / Section 6: a reshaped array cannot be
+    // equivalenced to another array.
+    const ArraySymbol *Other = A->EquivalencedTo;
+    if (Other && (A->isReshaped() || Other->isReshaped()))
+      error(0, formatString(
+                   "in %s: reshaped array '%s' cannot be equivalenced "
+                   "(paper Section 3.2.1)",
+                   P.Name.c_str(),
+                   (A->isReshaped() ? A->Name : Other->Name).c_str()));
+    // COMMON arrays need compile-time shapes so every declaration of
+    // the block can be checked for consistency at link time.
+    if (A->Storage == StorageClass::Common) {
+      for (const ExprPtr &Dim : A->DimSizes) {
+        int64_t V;
+        if (!ir::constEvalInt(*Dim, V))
+          error(0, formatString(
+                       "in %s: COMMON array '%s' requires constant "
+                       "bounds",
+                       P.Name.c_str(), A->Name.c_str()));
+        else if (V < 1)
+          error(0, formatString("in %s: array '%s' has nonpositive extent",
+                                P.Name.c_str(), A->Name.c_str()));
+      }
+    }
+  }
+}
+
+void Checker::checkBlock(const Procedure &P, const Block &B) {
+  for (const StmtPtr &S : B)
+    checkStmt(P, *S);
+}
+
+void Checker::checkStmt(const Procedure &P, const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Redistribute: {
+    const ArraySymbol *A = S.RedistArray;
+    if (!A->HasDist) {
+      error(S.SourceLine,
+            "redistribute target '" + A->Name +
+                "' was never declared with c$distribute");
+      break;
+    }
+    if (A->isReshaped()) {
+      error(S.SourceLine,
+            "redistribution of reshaped array '" + A->Name +
+                "' is not allowed (paper Section 3.3)");
+      break;
+    }
+    if (S.RedistSpec.Reshaped) {
+      error(S.SourceLine,
+            "an array cannot be dynamically switched to a reshaped "
+            "distribution");
+      break;
+    }
+    if (S.RedistSpec.Dims.size() != A->rank())
+      error(S.SourceLine,
+            "redistribute rank does not match array '" + A->Name + "'");
+    break;
+  }
+  case StmtKind::Do:
+    if (S.Doacross && S.Doacross->IsDoacross)
+      checkDoacross(P, S);
+    checkBlock(P, S.Body);
+    break;
+  case StmtKind::If:
+    checkBlock(P, S.Then);
+    checkBlock(P, S.Else);
+    break;
+  default:
+    break;
+  }
+}
+
+void Checker::checkDoacross(const Procedure &P, const Stmt &Loop) {
+  const DoacrossInfo &Info = *Loop.Doacross;
+  if (!Info.NestVars.empty() && Info.NestVars[0] != Loop.IndVar)
+    error(Loop.SourceLine,
+          "first nest variable must be the DO variable '" +
+              Loop.IndVar->Name + "'");
+
+  // nest(i, j, ...) requires a perfect nest of DO loops in order.
+  const Stmt *Cur = &Loop;
+  for (size_t V = 1; V < Info.NestVars.size(); ++V) {
+    if (Cur->Body.size() != 1 || Cur->Body[0]->Kind != StmtKind::Do) {
+      error(Loop.SourceLine,
+            "doacross nest requires perfectly nested DO loops");
+      return;
+    }
+    Cur = Cur->Body[0].get();
+    if (Cur->IndVar != Info.NestVars[V])
+      error(Loop.SourceLine,
+            "nest variable '" + Info.NestVars[V]->Name +
+                "' does not match the loop at this nesting level");
+  }
+
+  for (size_t V = 0; V < Info.Affinities.size(); ++V) {
+    const DoacrossInfo::Affinity &A = Info.Affinities[V];
+    if (!A.Present)
+      continue;
+    if (!A.Array->HasDist) {
+      // Formal arrays may receive their distribution from the caller
+      // via link-time propagation (paper Section 5): defer the check.
+      if (A.Array->Storage != StorageClass::Formal)
+        error(Loop.SourceLine,
+              "affinity names array '" + A.Array->Name +
+                  "' which has no distribution");
+      continue;
+    }
+    if (A.Dim >= A.Array->rank()) {
+      error(Loop.SourceLine, "affinity dimension out of range");
+      continue;
+    }
+    if (!A.Array->Dist.Dims[A.Dim].isDistributed())
+      error(Loop.SourceLine,
+            formatString("affinity subscript %u of '%s' is not a "
+                         "distributed dimension",
+                         A.Dim + 1, A.Array->Name.c_str()));
+  }
+}
+
+} // namespace
+
+Error dsm::lang::checkModule(const Module &M) { return Checker(M).run(); }

@@ -1,0 +1,36 @@
+//===- lang/Sema.h - Front-end semantic checks ------------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time legality checks for the data-distribution programming
+/// model: the EQUIVALENCE restriction on reshaped arrays, redistribute
+/// legality (regular arrays only -- "we do not allow redistribution of
+/// reshaped arrays", paper Section 3.3), doacross-nest structure, and
+/// affinity-expression restrictions (paper Sections 3.4 and 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_LANG_SEMA_H
+#define DSM_LANG_SEMA_H
+
+#include <cstdint>
+
+#include "ir/Ir.h"
+#include "support/Error.h"
+
+namespace dsm::lang {
+
+/// Evaluates a constant expression (literals, PARAMETER scalars,
+/// arithmetic).  Returns false if not compile-time constant.
+bool constEvalInt(const ir::Expr &E, int64_t &Value);
+
+/// Runs all per-module semantic checks; the returned Error lists every
+/// violation found.
+Error checkModule(const ir::Module &M);
+
+} // namespace dsm::lang
+
+#endif // DSM_LANG_SEMA_H

@@ -1,0 +1,493 @@
+//===- link/Linker.cpp - Pre-linker and program resolution ----------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "link/Linker.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::link;
+using namespace dsm::ir;
+
+//===----------------------------------------------------------------------===//
+// Shadow files
+//===----------------------------------------------------------------------===//
+
+std::string dsm::link::signatureString(const ReshapeSignature &Sig) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Sig.size(); ++I) {
+    if (I)
+      Out += ";";
+    Out += Sig[I] ? Sig[I]->str() : "-";
+  }
+  Out += "]";
+  return Out;
+}
+
+bool dsm::link::signaturesEqual(const ReshapeSignature &A,
+                                const ReshapeSignature &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I) {
+    if (A[I].has_value() != B[I].has_value())
+      return false;
+    if (A[I] && !(*A[I] == *B[I]))
+      return false;
+  }
+  return true;
+}
+
+static ReshapeSignature signatureOfCall(const Stmt &Call) {
+  ReshapeSignature Sig;
+  for (const ExprPtr &Arg : Call.Args) {
+    if (Arg->Kind == ExprKind::ArrayElem && Arg->Ops.empty() &&
+        Arg->Array->isReshaped())
+      Sig.push_back(Arg->Array->Dist);
+    else
+      Sig.push_back(std::nullopt);
+  }
+  return Sig;
+}
+
+static bool signatureTrivial(const ReshapeSignature &Sig) {
+  for (const auto &S : Sig)
+    if (S)
+      return false;
+  return true;
+}
+
+static ReshapeSignature signatureOfProcedure(const Procedure &P) {
+  ReshapeSignature Sig;
+  for (const FormalParam &F : P.Formals) {
+    if (F.Array && F.Array->isReshaped())
+      Sig.push_back(F.Array->Dist);
+    else
+      Sig.push_back(std::nullopt);
+  }
+  return Sig;
+}
+
+static void collectCalls(const Block &B,
+                         std::vector<const Stmt *> &Calls) {
+  for (const StmtPtr &S : B) {
+    if (S->Kind == StmtKind::Call)
+      Calls.push_back(S.get());
+    collectCalls(S->Body, Calls);
+    collectCalls(S->Then, Calls);
+    collectCalls(S->Else, Calls);
+  }
+}
+
+static void collectCallsMutable(Block &B, std::vector<Stmt *> &Calls) {
+  for (StmtPtr &S : B) {
+    if (S->Kind == StmtKind::Call)
+      Calls.push_back(S.get());
+    collectCallsMutable(S->Body, Calls);
+    collectCallsMutable(S->Then, Calls);
+    collectCallsMutable(S->Else, Calls);
+  }
+}
+
+ShadowFile dsm::link::buildShadowFile(const ir::Module &M) {
+  ShadowFile Shadow;
+  Shadow.SourceName = M.SourceName;
+  for (const auto &P : M.Procedures) {
+    Shadow.Defs.push_back(
+        ShadowDefEntry{P->Name, signatureOfProcedure(*P)});
+
+    std::vector<const Stmt *> Calls;
+    collectCalls(P->Body, Calls);
+    for (const Stmt *C : Calls) {
+      ReshapeSignature Sig = signatureOfCall(*C);
+      if (!signatureTrivial(Sig))
+        Shadow.Calls.push_back(ShadowCallEntry{P->Name, C->Callee, Sig});
+    }
+
+    for (const CommonDecl &D : P->Commons) {
+      ShadowCommonEntry Entry;
+      Entry.Procedure = P->Name;
+      Entry.BlockName = D.BlockName;
+      int64_t Offset = 0;
+      for (const CommonMember &Member : D.Members) {
+        if (Member.Scalar) {
+          ++Offset;
+          continue;
+        }
+        ShadowCommonEntry::Member Info;
+        Info.Name = Member.Array->Name;
+        Info.OffsetElems = Offset;
+        int64_t Elems = 1;
+        for (const ExprPtr &Dim : Member.Array->DimSizes) {
+          int64_t V = 0;
+          if (constEvalInt(*Dim, V)) {
+            Info.Dims.push_back(V);
+            Elems *= V;
+          }
+        }
+        Info.Reshaped = Member.Array->isReshaped();
+        if (Member.Array->HasDist)
+          Info.Dist = Member.Array->Dist;
+        Entry.Members.push_back(std::move(Info));
+        Offset += Elems;
+      }
+      Shadow.Commons.push_back(std::move(Entry));
+    }
+  }
+  return Shadow;
+}
+
+unsigned ShadowFile::removeRedundantRequests(
+    const std::vector<const ShadowFile *> &AllShadows) {
+  unsigned Removed = 0;
+  std::vector<CloneRequest> Kept;
+  for (CloneRequest &R : Requests) {
+    bool StillCalled = false;
+    for (const ShadowFile *S : AllShadows)
+      for (const ShadowCallEntry &C : S->Calls)
+        if (C.Callee == R.Procedure &&
+            signaturesEqual(C.Signature, R.Signature))
+          StillCalled = true;
+    if (StillCalled)
+      Kept.push_back(std::move(R));
+    else
+      ++Removed;
+  }
+  Requests = std::move(Kept);
+  return Removed;
+}
+
+std::string ShadowFile::serialize() const {
+  std::string Out = "shadow " + SourceName + "\n";
+  for (const ShadowDefEntry &D : Defs)
+    Out += "  def " + D.Procedure + " " + signatureString(D.Signature) +
+           "\n";
+  for (const ShadowCallEntry &C : Calls)
+    Out += "  call " + C.Caller + " -> " + C.Callee + " " +
+           signatureString(C.Signature) + "\n";
+  for (const CloneRequest &R : Requests)
+    Out += "  request " + R.Procedure + " " + signatureString(R.Signature) +
+           " as " + R.CloneName + "\n";
+  for (const ShadowCommonEntry &E : Commons) {
+    Out += "  common /" + E.BlockName + "/ in " + E.Procedure + "\n";
+    for (const auto &M : E.Members)
+      Out += formatString("    %s at %lld%s\n", M.Name.c_str(),
+                          static_cast<long long>(M.OffsetElems),
+                          M.Reshaped ? (" " + M.Dist.str()).c_str() : "");
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Pre-linker
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class PreLinker {
+public:
+  PreLinker(std::vector<std::unique_ptr<Module>> Modules)
+      : Prog() {
+    Prog.Modules = std::move(Modules);
+  }
+
+  Expected<Program> run() {
+    resolveProcedures();
+    if (Diags)
+      return std::move(Diags);
+    propagateReshapes();
+    if (Diags)
+      return std::move(Diags);
+    layoutCommons();
+    if (Diags)
+      return std::move(Diags);
+    return std::move(Prog);
+  }
+
+private:
+  void resolveProcedures();
+  void propagateReshapes();
+  void layoutCommons();
+
+  void error(const std::string &Message, const std::string &Where = "") {
+    Diags.addError(Message, Where);
+  }
+
+  Program Prog;
+  Error Diags;
+  /// Clone bookkeeping: base procedure name of every instance.
+  std::unordered_map<std::string, std::string> BaseNameOf;
+  /// (base name + signature string) -> instance.
+  std::unordered_map<std::string, Procedure *> Instances;
+  /// Module owning each base procedure (clones are appended there).
+  std::unordered_map<std::string, Module *> OwnerModule;
+  unsigned CloneCounter = 0;
+};
+
+void PreLinker::resolveProcedures() {
+  for (auto &M : Prog.Modules) {
+    for (auto &P : M->Procedures) {
+      auto [It, Inserted] = Prog.Procedures.try_emplace(P->Name, P.get());
+      (void)It;
+      if (!Inserted) {
+        error("duplicate definition of '" + P->Name + "'", M->SourceName);
+        continue;
+      }
+      BaseNameOf[P->Name] = P->Name;
+      OwnerModule[P->Name] = M.get();
+      if (P->IsMain) {
+        if (Prog.Main)
+          error("multiple main programs ('" + Prog.Main->Name + "' and '" +
+                    P->Name + "')",
+                M->SourceName);
+        Prog.Main = P.get();
+      }
+    }
+  }
+  if (!Prog.Main)
+    error("no main program unit");
+}
+
+void PreLinker::propagateReshapes() {
+  // Seed the instance table with every defined procedure under its own
+  // formal signature.
+  for (auto &[Name, P] : Prog.Procedures)
+    Instances[Name + signatureString(signatureOfProcedure(*P))] = P;
+
+  std::deque<Procedure *> Work;
+  for (auto &[Name, P] : Prog.Procedures)
+    Work.push_back(P);
+
+  while (!Work.empty()) {
+    Procedure *Caller = Work.front();
+    Work.pop_front();
+    std::vector<Stmt *> Calls;
+    collectCallsMutable(Caller->Body, Calls);
+    for (Stmt *Call : Calls) {
+      // dsm_* names are runtime-library entry points (timers etc.),
+      // not user procedures.
+      if (Call->Callee.rfind("dsm_", 0) == 0)
+        continue;
+      auto BaseIt = BaseNameOf.find(Call->Callee);
+      if (BaseIt == BaseNameOf.end()) {
+        error("call to undefined subroutine '" + Call->Callee + "' in '" +
+              Caller->Name + "'");
+        continue;
+      }
+      const std::string &Base = BaseIt->second;
+      Procedure *BaseProc = Prog.Procedures[Base];
+      if (Call->Args.size() != BaseProc->Formals.size()) {
+        error(formatString(
+            "call to '%s' in '%s' passes %zu arguments but it takes %zu",
+            Base.c_str(), Caller->Name.c_str(), Call->Args.size(),
+            BaseProc->Formals.size()));
+        continue;
+      }
+
+      ReshapeSignature Sig = signatureOfCall(*Call);
+      if (signatureTrivial(Sig) &&
+          signatureTrivial(signatureOfProcedure(*BaseProc)))
+        continue;
+
+      std::string Key = Base + signatureString(Sig);
+      auto InstIt = Instances.find(Key);
+      if (InstIt != Instances.end()) {
+        Call->Callee = InstIt->second->Name;
+        continue;
+      }
+
+      // No instance: verify the signature can be applied, then clone
+      // ("transparently reinvoking the compiler at link time").
+      bool Ok = true;
+      for (size_t I = 0; I < Sig.size(); ++I) {
+        if (!Sig[I])
+          continue;
+        const FormalParam &F = BaseProc->Formals[I];
+        if (!F.Array) {
+          error(formatString(
+              "call to '%s' in '%s' passes a reshaped array for scalar "
+              "parameter %zu",
+              Base.c_str(), Caller->Name.c_str(), I + 1));
+          Ok = false;
+          continue;
+        }
+        if (F.Array->HasDist && !(F.Array->Dist == *Sig[I])) {
+          error(formatString(
+              "call to '%s' in '%s': parameter '%s' is declared %s but "
+              "receives a %s array",
+              Base.c_str(), Caller->Name.c_str(), F.Array->Name.c_str(),
+              F.Array->Dist.str().c_str(), Sig[I]->str().c_str()));
+          Ok = false;
+        }
+        if (F.Array->rank() != Sig[I]->Dims.size()) {
+          error(formatString(
+              "call to '%s' in '%s': parameter '%s' has rank %u but the "
+              "reshaped actual is distributed over %zu dimensions",
+              Base.c_str(), Caller->Name.c_str(), F.Array->Name.c_str(),
+              F.Array->rank(), Sig[I]->Dims.size()));
+          Ok = false;
+        }
+      }
+      if (!Ok)
+        continue;
+
+      std::string CloneName =
+          formatString("%s.r%u", Base.c_str(), ++CloneCounter);
+      std::unique_ptr<Procedure> Clone =
+          cloneProcedure(*BaseProc, CloneName);
+      for (size_t I = 0; I < Sig.size(); ++I) {
+        if (!Sig[I])
+          continue;
+        ArraySymbol *Formal = Clone->Formals[I].Array;
+        Formal->HasDist = true;
+        Formal->Dist = *Sig[I];
+      }
+      Procedure *ClonePtr = Clone.get();
+      Module *Owner = OwnerModule[Base];
+      Owner->Procedures.push_back(std::move(Clone));
+      Prog.Procedures[CloneName] = ClonePtr;
+      BaseNameOf[CloneName] = Base;
+      OwnerModule[CloneName] = Owner;
+      Instances[Key] = ClonePtr;
+      ++Prog.ClonesCreated;
+      ++Prog.Recompilations;
+      Call->Callee = CloneName;
+      Work.push_back(ClonePtr);
+    }
+  }
+}
+
+void PreLinker::layoutCommons() {
+  for (auto &M : Prog.Modules) {
+    for (auto &P : M->Procedures) {
+      for (const CommonDecl &D : P->Commons) {
+        // Compute this declaration's member offsets.
+        struct LocalMember {
+          const CommonMember *Member;
+          int64_t Offset;
+          int64_t Elems;
+          std::vector<int64_t> Dims;
+        };
+        std::vector<LocalMember> Locals;
+        int64_t Offset = 0;
+        for (const CommonMember &Member : D.Members) {
+          LocalMember L;
+          L.Member = &Member;
+          L.Offset = Offset;
+          L.Elems = 1;
+          if (Member.Array) {
+            for (const ExprPtr &Dim : Member.Array->DimSizes) {
+              int64_t V = 0;
+              if (!constEvalInt(*Dim, V)) {
+                error("COMMON array '" + Member.Array->Name +
+                          "' lacks constant bounds",
+                      M->SourceName);
+                V = 1;
+              }
+              L.Dims.push_back(V);
+              L.Elems *= V;
+            }
+          }
+          Offset += L.Elems;
+          Locals.push_back(std::move(L));
+        }
+
+        auto [BlockIt, IsFirst] =
+            Prog.Commons.try_emplace(D.BlockName);
+        CommonInfo &Info = BlockIt->second;
+        if (IsFirst) {
+          Info.BlockName = D.BlockName;
+          Info.TotalElems = Offset;
+          for (const LocalMember &L : Locals) {
+            if (!L.Member->Array)
+              continue;
+            CommonArrayInfo AI;
+            AI.Name = L.Member->Array->Name;
+            AI.OffsetElems = L.Offset;
+            AI.Dims = L.Dims;
+            AI.Elem = L.Member->Array->Elem;
+            AI.HasDist = L.Member->Array->HasDist;
+            AI.Dist = L.Member->Array->Dist;
+            Info.Arrays.push_back(std::move(AI));
+          }
+        } else {
+          if (Offset > Info.TotalElems)
+            Info.TotalElems = Offset;
+          // Link-time consistency check (paper Section 6): only blocks
+          // containing reshaped arrays are checked, and every
+          // declaration must agree on each reshaped member's offset,
+          // shape, size, and distribution.
+          bool CanonicalHasReshaped = false;
+          for (const CommonArrayInfo &AI : Info.Arrays)
+            CanonicalHasReshaped |= AI.HasDist && AI.Dist.Reshaped;
+          bool LocalHasReshaped = false;
+          for (const LocalMember &L : Locals)
+            LocalHasReshaped |=
+                L.Member->Array && L.Member->Array->isReshaped();
+          if (CanonicalHasReshaped || LocalHasReshaped) {
+            for (const CommonArrayInfo &AI : Info.Arrays) {
+              if (!(AI.HasDist && AI.Dist.Reshaped))
+                continue;
+              const LocalMember *Match = nullptr;
+              for (const LocalMember &L : Locals)
+                if (L.Member->Array && L.Offset == AI.OffsetElems)
+                  Match = &L;
+              if (!Match || Match->Dims != AI.Dims ||
+                  !Match->Member->Array->isReshaped() ||
+                  !(Match->Member->Array->Dist == AI.Dist)) {
+                error(formatString(
+                    "inconsistent declarations of common block /%s/: "
+                    "reshaped array '%s' at offset %lld must appear with "
+                    "the same shape, size, and distribution in every "
+                    "declaration (violated in '%s')",
+                    D.BlockName.c_str(), AI.Name.c_str(),
+                    static_cast<long long>(AI.OffsetElems),
+                    P->Name.c_str()));
+              }
+            }
+            for (const LocalMember &L : Locals) {
+              if (!L.Member->Array || !L.Member->Array->isReshaped())
+                continue;
+              bool Found = false;
+              for (const CommonArrayInfo &AI : Info.Arrays)
+                if (AI.OffsetElems == L.Offset && AI.HasDist &&
+                    AI.Dist.Reshaped)
+                  Found = true;
+              if (!Found)
+                error(formatString(
+                    "inconsistent declarations of common block /%s/: "
+                    "'%s' declares reshaped array '%s' at offset %lld "
+                    "which other declarations lay out differently",
+                    D.BlockName.c_str(), P->Name.c_str(),
+                    L.Member->Array->Name.c_str(),
+                    static_cast<long long>(L.Offset)));
+            }
+          }
+        }
+
+        // Record slot bindings for the engine.
+        for (const LocalMember &L : Locals) {
+          if (L.Member->Array)
+            Prog.CommonArraySlots[L.Member->Array] = {D.BlockName,
+                                                      L.Offset};
+          else
+            Prog.CommonScalarSlots[L.Member->Scalar] = {D.BlockName,
+                                                        L.Offset};
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+Expected<Program>
+dsm::link::linkProgram(std::vector<std::unique_ptr<Module>> Modules) {
+  PreLinker L(std::move(Modules));
+  return L.run();
+}

@@ -1,0 +1,42 @@
+//===- link/Linker.h - Pre-linker and program resolution --------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pre-linker of the paper's Section 5: it reads all object files'
+/// shadow information, propagates distribute_reshape directives down the
+/// call graph across separately compiled units, transparently clones
+/// subroutines (one instance per distinct combination of incoming
+/// reshaped distributions), removes redundant clone requests, and
+/// performs the link-time COMMON-block consistency checks of Section 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_LINK_LINKER_H
+#define DSM_LINK_LINKER_H
+
+#include <memory>
+#include <vector>
+
+#include "link/Program.h"
+#include "link/Shadow.h"
+#include "support/Error.h"
+
+namespace dsm::link {
+
+/// Extracts the shadow-file records of one compiled module: defined
+/// procedures with their reshape signatures, call sites that pass whole
+/// reshaped arrays, and COMMON declarations with reshaped-member info.
+ShadowFile buildShadowFile(const ir::Module &M);
+
+/// Links the modules into a Program: resolves procedures, propagates
+/// reshape directives (cloning as needed), and checks COMMON
+/// consistency.  Consumes the modules.
+Expected<Program>
+linkProgram(std::vector<std::unique_ptr<ir::Module>> Modules);
+
+} // namespace dsm::link
+
+#endif // DSM_LINK_LINKER_H

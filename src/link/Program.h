@@ -1,0 +1,75 @@
+//===- link/Program.h - Linked program representation -----------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The output of the pre-linker: all modules (with any clones created
+/// during reshape-directive propagation), a resolved procedure table,
+/// and the canonical layout of every COMMON block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_LINK_PROGRAM_H
+#define DSM_LINK_PROGRAM_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/Ir.h"
+
+namespace dsm::link {
+
+/// Canonical description of one array member of a COMMON block.
+struct CommonArrayInfo {
+  std::string Name;
+  int64_t OffsetElems = 0;
+  std::vector<int64_t> Dims;
+  ir::ScalarType Elem = ir::ScalarType::F64;
+  bool HasDist = false;
+  dist::DistSpec Dist;
+};
+
+/// Canonical layout of one COMMON block (from its first declaration;
+/// later declarations are checked for consistency when reshaped arrays
+/// are involved, paper Section 6).
+struct CommonInfo {
+  std::string BlockName;
+  int64_t TotalElems = 0;
+  std::vector<CommonArrayInfo> Arrays;
+};
+
+/// A fully linked program, ready for optimization and execution.
+struct Program {
+  std::vector<std::unique_ptr<ir::Module>> Modules;
+  ir::Procedure *Main = nullptr;
+  std::unordered_map<std::string, ir::Procedure *> Procedures;
+  std::unordered_map<std::string, CommonInfo> Commons;
+
+  /// Binding of every procedure-local view of a COMMON member to its
+  /// (block, element offset) slot.
+  std::unordered_map<const ir::ArraySymbol *, std::pair<std::string, int64_t>>
+      CommonArraySlots;
+  std::unordered_map<const ir::ScalarSymbol *,
+                     std::pair<std::string, int64_t>>
+      CommonScalarSlots;
+
+  /// Number of subroutine clones the pre-linker created (for tests and
+  /// the cloning benchmark).
+  unsigned ClonesCreated = 0;
+  /// Number of times the pre-linker "re-invoked the compiler".
+  unsigned Recompilations = 0;
+
+  ir::Procedure *findProcedure(const std::string &Name) const {
+    auto It = Procedures.find(Name);
+    return It == Procedures.end() ? nullptr : It->second;
+  }
+};
+
+} // namespace dsm::link
+
+#endif // DSM_LINK_PROGRAM_H

@@ -1,0 +1,94 @@
+//===- link/Shadow.h - Shadow-file records ----------------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shadow-file mechanism of the paper's Section 5.  For each source
+/// file the compiler maintains a shadow file recording (a) every defined
+/// subroutine with the distribute_reshape directives on its parameters,
+/// (b) every call site passing a reshaped array as an argument, and
+/// (c) every declaration of a COMMON block with the shape/size/
+/// distribution of any reshaped members.  The pre-linker reads all
+/// shadow files, matches invocations to definitions, inserts clone
+/// requests for missing instances, and removes requests left redundant
+/// by source changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_LINK_SHADOW_H
+#define DSM_LINK_SHADOW_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/DistSpec.h"
+
+namespace dsm::link {
+
+/// The reshape signature of a procedure: one entry per formal, set when
+/// that formal receives a whole reshaped array.
+using ReshapeSignature = std::vector<std::optional<dist::DistSpec>>;
+
+std::string signatureString(const ReshapeSignature &Sig);
+bool signaturesEqual(const ReshapeSignature &A, const ReshapeSignature &B);
+
+/// (a) A subroutine defined in this file.
+struct ShadowDefEntry {
+  std::string Procedure;
+  ReshapeSignature Signature;
+};
+
+/// (b) A call in this file passing at least one reshaped array.
+struct ShadowCallEntry {
+  std::string Caller;
+  std::string Callee;
+  ReshapeSignature Signature;
+};
+
+/// A pre-linker request for a clone of Procedure with Signature.
+struct CloneRequest {
+  std::string Procedure;
+  ReshapeSignature Signature;
+  std::string CloneName;
+};
+
+/// (c) One declaration of a COMMON block, with reshaped-member info.
+struct ShadowCommonEntry {
+  std::string Procedure;
+  std::string BlockName;
+  struct Member {
+    std::string Name;
+    int64_t OffsetElems = 0;
+    std::vector<int64_t> Dims;
+    bool Reshaped = false;
+    dist::DistSpec Dist;
+  };
+  std::vector<Member> Members;
+};
+
+/// The shadow file of one translation unit.
+struct ShadowFile {
+  std::string SourceName;
+  std::vector<ShadowDefEntry> Defs;
+  std::vector<ShadowCallEntry> Calls;
+  std::vector<ShadowCommonEntry> Commons;
+  std::vector<CloneRequest> Requests;
+
+  /// Drops requests that no call in any shadow file still needs; returns
+  /// how many were removed.  "We avoid unnecessary cloning by removing
+  /// requests from the shadow file for each definition that does not
+  /// have a matching call" (paper Section 5).
+  unsigned removeRedundantRequests(
+      const std::vector<const ShadowFile *> &AllShadows);
+
+  /// Textual round-trip used by tests (the real system persists shadow
+  /// files on disk next to object files).
+  std::string serialize() const;
+};
+
+} // namespace dsm::link
+
+#endif // DSM_LINK_SHADOW_H

@@ -1,0 +1,100 @@
+//===- numa/Cache.cpp - Set-associative cache model -----------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/Cache.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace dsm::numa;
+
+Cache::Cache(const CacheConfig &Config)
+    : LineBytes(Config.LineBytes), NumSets(Config.numSets()),
+      Assoc(Config.Assoc) {
+  assert(LineBytes > 0 && (LineBytes & (LineBytes - 1)) == 0 &&
+         "line size must be a power of two");
+  assert(NumSets > 0 && "cache must have at least one set");
+  Ways.resize(NumSets * Assoc);
+}
+
+Cache::Way *Cache::findWay(uint64_t Addr) {
+  unsigned Set = setIndex(Addr);
+  uint64_t Tag = tagOf(Addr);
+  Way *Base = &Ways[static_cast<size_t>(Set) * Assoc];
+  for (unsigned W = 0; W < Assoc; ++W)
+    if (Base[W].Valid && Base[W].Tag == Tag)
+      return &Base[W];
+  return nullptr;
+}
+
+const Cache::Way *Cache::findWay(uint64_t Addr) const {
+  return const_cast<Cache *>(this)->findWay(Addr);
+}
+
+CacheAccessResult Cache::access(uint64_t Addr, bool IsWrite) {
+  CacheAccessResult Result;
+  ++Clock;
+  if (Way *W = findWay(Addr)) {
+    W->LruStamp = Clock;
+    W->Dirty |= IsWrite;
+    Result.Hit = true;
+    return Result;
+  }
+
+  // Miss: pick the LRU way in the set (preferring invalid ways).
+  unsigned Set = setIndex(Addr);
+  Way *Base = &Ways[static_cast<size_t>(Set) * Assoc];
+  Way *Victim = &Base[0];
+  for (unsigned W = 0; W < Assoc; ++W) {
+    if (!Base[W].Valid) {
+      Victim = &Base[W];
+      break;
+    }
+    if (Base[W].LruStamp < Victim->LruStamp)
+      Victim = &Base[W];
+  }
+
+  if (Victim->Valid) {
+    Result.Evicted = true;
+    Result.EvictedDirty = Victim->Dirty;
+    Result.EvictedLineAddr =
+        (Victim->Tag * NumSets + Set) * LineBytes;
+  }
+
+  Victim->Tag = tagOf(Addr);
+  Victim->Valid = true;
+  Victim->Dirty = IsWrite;
+  Victim->LruStamp = Clock;
+  return Result;
+}
+
+bool Cache::contains(uint64_t Addr) const { return findWay(Addr) != nullptr; }
+
+bool Cache::invalidate(uint64_t Addr) {
+  if (Way *W = findWay(Addr)) {
+    bool WasDirty = W->Dirty;
+    W->Valid = false;
+    W->Dirty = false;
+    return WasDirty;
+  }
+  return false;
+}
+
+bool Cache::cleanLine(uint64_t Addr) {
+  if (Way *W = findWay(Addr)) {
+    W->Dirty = false;
+    return true;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (Way &W : Ways) {
+    W.Valid = false;
+    W.Dirty = false;
+  }
+  Clock = 0;
+}

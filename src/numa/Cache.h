@@ -1,0 +1,84 @@
+//===- numa/Cache.h - Set-associative cache model ---------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic set-associative, write-back, write-allocate cache with true
+/// LRU replacement.  Used for both L1 (32 B lines) and L2 (128 B lines).
+/// Addresses passed in may be virtual (L1) or physical (L2); the cache
+/// itself is agnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_NUMA_CACHE_H
+#define DSM_NUMA_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "numa/MachineConfig.h"
+
+namespace dsm::numa {
+
+/// Result of a cache probe-and-fill operation.
+struct CacheAccessResult {
+  bool Hit = false;
+  bool Evicted = false;      ///< A valid line was evicted on miss fill.
+  bool EvictedDirty = false; ///< ... and it was dirty (needs writeback).
+  uint64_t EvictedLineAddr = 0;
+};
+
+/// Set-associative LRU cache.
+class Cache {
+public:
+  explicit Cache(const CacheConfig &Config);
+
+  /// Probes for the line containing \p Addr; on miss, fills it, possibly
+  /// evicting the LRU way.  \p IsWrite marks the line dirty on hit/fill.
+  CacheAccessResult access(uint64_t Addr, bool IsWrite);
+
+  /// Probes without filling or LRU update.
+  bool contains(uint64_t Addr) const;
+
+  /// Removes the line containing \p Addr if present.  Returns true if the
+  /// invalidated line was dirty.
+  bool invalidate(uint64_t Addr);
+
+  /// Clears the dirty bit of the line containing \p Addr (coherence
+  /// downgrade M->S).  Returns true if the line was present.
+  bool cleanLine(uint64_t Addr);
+
+  /// Drops every line (e.g., after page migration or between runs).
+  void flush();
+
+  uint64_t lineBytes() const { return LineBytes; }
+  uint64_t lineAddr(uint64_t Addr) const { return Addr & ~(LineBytes - 1); }
+
+private:
+  struct Way {
+    uint64_t Tag = 0;
+    uint32_t LruStamp = 0;
+    bool Valid = false;
+    bool Dirty = false;
+  };
+
+  unsigned setIndex(uint64_t Addr) const {
+    return static_cast<unsigned>((Addr / LineBytes) % NumSets);
+  }
+  uint64_t tagOf(uint64_t Addr) const { return Addr / LineBytes / NumSets; }
+
+  Way *findWay(uint64_t Addr);
+  const Way *findWay(uint64_t Addr) const;
+
+  uint64_t LineBytes;
+  uint64_t NumSets;
+  unsigned Assoc;
+  uint32_t Clock = 0;
+  std::vector<Way> Ways; ///< NumSets x Assoc, row-major by set.
+};
+
+} // namespace dsm::numa
+
+#endif // DSM_NUMA_CACHE_H

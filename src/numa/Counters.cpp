@@ -1,0 +1,28 @@
+//===- numa/Counters.cpp - Simulated hardware event counters --------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/Counters.h"
+
+#include "support/StringUtils.h"
+
+using namespace dsm::numa;
+
+std::string Counters::str() const {
+  return dsm::formatString(
+      "loads=%llu stores=%llu l1miss=%llu l2miss=%llu tlbmiss=%llu "
+      "local=%llu remote=%llu inval=%llu wb=%llu migr=%llu faults=%llu",
+      static_cast<unsigned long long>(Loads),
+      static_cast<unsigned long long>(Stores),
+      static_cast<unsigned long long>(L1Misses),
+      static_cast<unsigned long long>(L2Misses),
+      static_cast<unsigned long long>(TlbMisses),
+      static_cast<unsigned long long>(LocalMemAccesses),
+      static_cast<unsigned long long>(RemoteMemAccesses),
+      static_cast<unsigned long long>(Invalidations),
+      static_cast<unsigned long long>(Writebacks),
+      static_cast<unsigned long long>(PageMigrations),
+      static_cast<unsigned long long>(PageFaults));
+}

@@ -1,0 +1,62 @@
+//===- numa/Counters.h - Simulated hardware event counters ------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Event counters mirroring the R10000 performance counters the paper
+/// uses for its analysis (secondary-cache misses, TLB-miss time share).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_NUMA_COUNTERS_H
+#define DSM_NUMA_COUNTERS_H
+
+#include <cstdint>
+#include <string>
+
+namespace dsm::numa {
+
+/// Aggregated machine event counts for a run (or an epoch).
+struct Counters {
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t L1Misses = 0;
+  uint64_t L2Misses = 0;
+  uint64_t TlbMisses = 0;
+  uint64_t TlbMissCycles = 0;
+  uint64_t LocalMemAccesses = 0;
+  uint64_t RemoteMemAccesses = 0;
+  uint64_t MemStallCycles = 0; ///< Cycles spent below L1 (incl. TLB).
+  uint64_t Invalidations = 0;
+  uint64_t DirtyInterventions = 0;
+  uint64_t Writebacks = 0;
+  uint64_t PageMigrations = 0;
+  uint64_t PageFaults = 0;
+
+  Counters &operator+=(const Counters &O) {
+    Loads += O.Loads;
+    Stores += O.Stores;
+    L1Misses += O.L1Misses;
+    L2Misses += O.L2Misses;
+    TlbMisses += O.TlbMisses;
+    TlbMissCycles += O.TlbMissCycles;
+    LocalMemAccesses += O.LocalMemAccesses;
+    RemoteMemAccesses += O.RemoteMemAccesses;
+    MemStallCycles += O.MemStallCycles;
+    Invalidations += O.Invalidations;
+    DirtyInterventions += O.DirtyInterventions;
+    Writebacks += O.Writebacks;
+    PageMigrations += O.PageMigrations;
+    PageFaults += O.PageFaults;
+    return *this;
+  }
+
+  /// One-line human-readable rendering.
+  std::string str() const;
+};
+
+} // namespace dsm::numa
+
+#endif // DSM_NUMA_COUNTERS_H

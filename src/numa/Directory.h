@@ -1,0 +1,89 @@
+//===- numa/Directory.h - Directory-based coherence state -------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// State storage for the hub's directory-based invalidation protocol
+/// (paper Section 2).  The directory tracks, per L2-sized memory line,
+/// which processors hold the line and whether one of them owns it dirty.
+/// The protocol actions (invalidation, intervention, writeback costs)
+/// are driven by MemorySystem; this class only keeps the sharing state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_NUMA_DIRECTORY_H
+#define DSM_NUMA_DIRECTORY_H
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dsm::numa {
+
+/// MSI-style per-line directory entry.
+struct DirEntry {
+  std::vector<uint64_t> Sharers; ///< Bitmap over processors.
+  int Owner = -1;                ///< Processor holding the line dirty.
+
+  bool hasSharer(int Proc) const {
+    unsigned Word = static_cast<unsigned>(Proc) / 64;
+    return Word < Sharers.size() &&
+           (Sharers[Word] >> (static_cast<unsigned>(Proc) % 64)) & 1;
+  }
+  void addSharer(int Proc, unsigned NumWords) {
+    if (Sharers.size() < NumWords)
+      Sharers.resize(NumWords, 0);
+    Sharers[static_cast<unsigned>(Proc) / 64] |=
+        1ull << (static_cast<unsigned>(Proc) % 64);
+  }
+  void removeSharer(int Proc) {
+    unsigned Word = static_cast<unsigned>(Proc) / 64;
+    if (Word < Sharers.size())
+      Sharers[Word] &= ~(1ull << (static_cast<unsigned>(Proc) % 64));
+  }
+  void clearSharers() {
+    for (uint64_t &W : Sharers)
+      W = 0;
+    Owner = -1;
+  }
+  /// Visits every sharer except \p ExceptProc.
+  template <typename Fn> void forEachSharer(int ExceptProc, Fn Visit) const {
+    for (unsigned Word = 0; Word < Sharers.size(); ++Word) {
+      uint64_t Bits = Sharers[Word];
+      while (Bits) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Bits));
+        Bits &= Bits - 1;
+        int Proc = static_cast<int>(Word * 64 + Bit);
+        if (Proc != ExceptProc)
+          Visit(Proc);
+      }
+    }
+  }
+};
+
+/// Map from physical line address to directory entry.
+class Directory {
+public:
+  explicit Directory(int NumProcs)
+      : NumWords((static_cast<unsigned>(NumProcs) + 63) / 64) {}
+
+  DirEntry &entry(uint64_t PhysLine) { return Entries[PhysLine]; }
+  DirEntry *lookup(uint64_t PhysLine) {
+    auto It = Entries.find(PhysLine);
+    return It == Entries.end() ? nullptr : &It->second;
+  }
+  void erase(uint64_t PhysLine) { Entries.erase(PhysLine); }
+  void clear() { Entries.clear(); }
+  unsigned numWords() const { return NumWords; }
+
+private:
+  unsigned NumWords;
+  std::unordered_map<uint64_t, DirEntry> Entries;
+};
+
+} // namespace dsm::numa
+
+#endif // DSM_NUMA_DIRECTORY_H

@@ -1,0 +1,104 @@
+//===- numa/MachineConfig.h - Simulated machine parameters ------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the simulated CC-NUMA machine.  The defaults follow
+/// the Origin-2000 as described in Section 2 of the paper: two 195 MHz
+/// R10000 processors per node, 32 KB / 32 B two-way L1 caches, a 4 MB /
+/// 128 B two-way L2, 16 KB pages, ~70-cycle local and 110-180-cycle
+/// remote miss latencies, and a hypercube interconnect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_NUMA_MACHINECONFIG_H
+#define DSM_NUMA_MACHINECONFIG_H
+
+#include <cstdint>
+
+namespace dsm::numa {
+
+/// Geometry of one set-associative cache.
+struct CacheConfig {
+  uint64_t SizeBytes = 0;
+  uint64_t LineBytes = 0;
+  unsigned Assoc = 1;
+
+  uint64_t numLines() const { return SizeBytes / LineBytes; }
+  uint64_t numSets() const { return numLines() / Assoc; }
+};
+
+/// Cycle costs of machine events.  Arithmetic-operation costs live here
+/// too because the paper's Table 2 depends on the ratio between integer
+/// divide (35 cycles on the R10000, not pipelined) and the FP-simulated
+/// divide (11 cycles).
+struct CostModel {
+  uint64_t L1Hit = 1;
+  uint64_t L2Hit = 10;
+  uint64_t LocalMem = 70;       ///< L2 miss satisfied by local memory.
+  uint64_t RemoteMemBase = 110; ///< One-hop remote miss.
+  uint64_t RemoteMemPerHop = 14;
+  uint64_t RemoteMemMax = 180;
+  uint64_t TlbMiss = 60;
+  uint64_t PageFaultCycles = 800; ///< Demand page-fault handling.
+  uint64_t DirtyIntervention = 40; ///< Extra cost of 3-hop ownership xfer.
+  uint64_t MemServiceCycles = 24;  ///< Per-request occupancy of one node's
+                                   ///< memory/hub (bandwidth model).
+  uint64_t MigratePageCycles = 8000; ///< redistribute page-move cost.
+
+  uint64_t BarrierBase = 100;     ///< Fixed cost of a barrier.
+  uint64_t BarrierPerLevel = 60;  ///< Per log2(P) tree level.
+  uint64_t CallOverhead = 20;     ///< Subroutine call/return.
+
+  uint64_t IntOp = 1;   ///< add/sub/mul/compare on integers.
+  uint64_t FpOp = 2;    ///< FP add/mul.
+  uint64_t FpDiv = 11;  ///< FP divide (also the FP-simulated int divide).
+  uint64_t IntDiv = 35; ///< Integer divide or remainder.
+};
+
+/// Full machine description.
+struct MachineConfig {
+  int NumNodes = 64;
+  int ProcsPerNode = 2;
+  uint64_t PageSize = 16384;
+  uint64_t NodeMemoryBytes = 256ull << 20;
+  CacheConfig L1{32 * 1024, 32, 2};
+  CacheConfig L2{4ull << 20, 128, 2};
+  unsigned TlbEntries = 64;
+  CostModel Costs;
+
+  int numProcs() const { return NumNodes * ProcsPerNode; }
+  uint64_t framesPerNode() const { return NodeMemoryBytes / PageSize; }
+  /// Number of distinct L2 page colors (frames that map to the same L2
+  /// sets are the same color).
+  uint64_t numPageColors() const {
+    uint64_t WaySize = L2.SizeBytes / L2.Assoc;
+    return WaySize > PageSize ? WaySize / PageSize : 1;
+  }
+
+  /// The Origin-2000 of the paper's Section 8: 64 nodes / 128 procs,
+  /// 4 MB secondary caches, 16 GB total memory.
+  static MachineConfig origin2000() { return MachineConfig(); }
+
+  /// A proportionally scaled-down machine for fast benchmarking: cache
+  /// and memory sizes shrink 16x (L2 256 KB, L1 4 KB, node memory
+  /// 16 MB) while pages shrink only 4x (4 KB), preserving the paper's
+  /// page-to-block-size ratio that drives the regular-distribution
+  /// results (DESIGN.md Section 5).  Latencies and op costs are
+  /// unchanged.
+  static MachineConfig scaledOrigin() {
+    MachineConfig C;
+    C.PageSize = 4096;
+    C.NodeMemoryBytes = 16ull << 20;
+    C.L1 = CacheConfig{4 * 1024, 32, 2};
+    C.L2 = CacheConfig{256 * 1024, 128, 2};
+    C.TlbEntries = 64;
+    return C;
+  }
+};
+
+} // namespace dsm::numa
+
+#endif // DSM_NUMA_MACHINECONFIG_H

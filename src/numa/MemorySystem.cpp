@@ -1,0 +1,367 @@
+//===- numa/MemorySystem.cpp - CC-NUMA memory hierarchy model -------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/MemorySystem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "support/Error.h"
+
+using namespace dsm;
+using namespace dsm::numa;
+
+MemorySystem::MemorySystem(const MachineConfig &Config)
+    : Config(Config), Topo(Config), Frames(Config),
+      Dir(Config.numProcs()) {
+  Procs.reserve(Config.numProcs());
+  for (int P = 0; P < Config.numProcs(); ++P)
+    Procs.push_back(std::make_unique<ProcState>(Config));
+  EpochRequests.assign(Config.NumNodes, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Virtual-memory management.
+//===----------------------------------------------------------------------===//
+
+uint64_t MemorySystem::allocVirtual(uint64_t Bytes, uint64_t Align) {
+  assert(Align > 0 && (Align & (Align - 1)) == 0 && "bad alignment");
+  NextVirtual = (NextVirtual + Align - 1) & ~(Align - 1);
+  uint64_t Addr = NextVirtual;
+  NextVirtual += Bytes;
+  // Pad so distinct allocations never share a page: physical placement
+  // is per-page and we do not want accidental inter-array page sharing
+  // to depend on allocation order.
+  NextVirtual =
+      (NextVirtual + Config.PageSize - 1) & ~(Config.PageSize - 1);
+  return Addr;
+}
+
+uint64_t MemorySystem::allocOnNode(uint64_t Bytes, int Node) {
+  uint64_t Addr = allocVirtual(Bytes, Config.PageSize);
+  placeRange(Addr, Bytes, Node, FrameMode::Colored);
+  return Addr;
+}
+
+void MemorySystem::placePage(uint64_t VPage, int Node, FrameMode Mode) {
+  assert(Node >= 0 && Node < Config.NumNodes && "node out of range");
+  PageInfo &PI = Pages[VPage];
+  if (PI.Mapped) {
+    if (PI.Node == Node)
+      return;
+    Frames.free(PI.Node, PI.Frame);
+  }
+  PhysMem::Allocation A = Frames.alloc(Node, VPage, Mode);
+  PI.Node = A.Node;
+  PI.Frame = A.Frame;
+  PI.Mapped = true;
+}
+
+void MemorySystem::placeRange(uint64_t Addr, uint64_t Bytes, int Node,
+                              FrameMode Mode) {
+  if (Bytes == 0)
+    return;
+  uint64_t First = pageOf(Addr);
+  uint64_t Last = pageOf(Addr + Bytes - 1);
+  for (uint64_t VPage = First; VPage <= Last; ++VPage)
+    placePage(VPage, Node, Mode);
+}
+
+void MemorySystem::migratePage(uint64_t VPage, int NewNode) {
+  auto It = Pages.find(VPage);
+  if (It == Pages.end() || !It->second.Mapped) {
+    placePage(VPage, NewNode, FrameMode::Hashed);
+    return;
+  }
+  PageInfo &PI = It->second;
+  if (PI.Node == NewNode)
+    return;
+
+  // Shoot down stale translations and cached lines under the old
+  // physical address.
+  uint64_t OldPhysBase = Frames.physBase(PI.Node, PI.Frame);
+  for (auto &P : Procs) {
+    P->Dtlb.invalidate(VPage);
+    for (uint64_t Off = 0; Off < Config.PageSize;
+         Off += Config.L1.LineBytes)
+      P->L1.invalidate(OldPhysBase + Off);
+    for (uint64_t Off = 0; Off < Config.PageSize;
+         Off += Config.L2.LineBytes)
+      P->L2.invalidate(OldPhysBase + Off);
+  }
+  for (uint64_t Off = 0; Off < Config.PageSize; Off += Config.L2.LineBytes)
+    Dir.erase(OldPhysBase + Off);
+
+  Frames.free(PI.Node, PI.Frame);
+  PhysMem::Allocation A = Frames.alloc(NewNode, VPage, FrameMode::Hashed);
+  PI.Node = A.Node;
+  PI.Frame = A.Frame;
+  ++Stats.PageMigrations;
+}
+
+int MemorySystem::pageHomeNode(uint64_t VPage) const {
+  auto It = Pages.find(VPage);
+  if (It == Pages.end() || !It->second.Mapped)
+    return -1;
+  return It->second.Node;
+}
+
+uint64_t MemorySystem::pagesOnNode(int Node) const {
+  uint64_t N = 0;
+  for (const auto &[VPage, PI] : Pages)
+    if (PI.Mapped && PI.Node == Node)
+      ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Simulated accesses.
+//===----------------------------------------------------------------------===//
+
+MemorySystem::PageInfo &MemorySystem::faultIn(uint64_t VPage, int Proc,
+                                              uint64_t &Cycles) {
+  PageInfo &PI = Pages[VPage];
+  if (PI.Mapped)
+    return PI;
+  ++Stats.PageFaults;
+  Cycles += Config.Costs.PageFaultCycles;
+  int Node;
+  if (DefaultPolicy == PlacementPolicy::FirstTouch) {
+    Node = nodeOfProc(Proc);
+  } else {
+    Node = static_cast<int>(RoundRobinNext++ %
+                            static_cast<uint64_t>(Config.NumNodes));
+  }
+  PhysMem::Allocation A = Frames.alloc(Node, VPage, FrameMode::Hashed);
+  PI.Node = A.Node;
+  PI.Frame = A.Frame;
+  PI.Mapped = true;
+  return PI;
+}
+
+bool MemorySystem::invalidateLineEverywhere(int Proc, uint64_t PhysLine) {
+  ProcState &P = *Procs[Proc];
+  bool Dirty = P.L2.invalidate(PhysLine);
+  for (uint64_t Off = 0; Off < Config.L2.LineBytes;
+       Off += Config.L1.LineBytes)
+    Dirty |= P.L1.invalidate(PhysLine + Off);
+  return Dirty;
+}
+
+uint64_t MemorySystem::coherenceAction(int Proc, uint64_t PhysLine,
+                                       bool IsWrite, int HomeNode,
+                                       bool PaidMemLatency) {
+  DirEntry &E = Dir.entry(PhysLine);
+  uint64_t Extra = 0;
+
+  if (!IsWrite) {
+    if (E.Owner == Proc || E.hasSharer(Proc))
+      return 0;
+    if (E.Owner != -1) {
+      // Dirty (or exclusive) copy elsewhere: 3-hop intervention, the
+      // owner writes back and downgrades to shared.
+      Extra += Config.Costs.DirtyIntervention;
+      ++Stats.DirtyInterventions;
+      ProcState &O = *Procs[E.Owner];
+      bool WasDirty = O.L2.cleanLine(PhysLine);
+      for (uint64_t Off = 0; Off < Config.L2.LineBytes;
+           Off += Config.L1.LineBytes)
+        WasDirty |= O.L1.cleanLine(PhysLine + Off);
+      if (WasDirty) {
+        ++Stats.Writebacks;
+        ++EpochRequests[HomeNode];
+      }
+      E.Owner = -1;
+    }
+    bool SoleSharer = true;
+    E.forEachSharer(Proc, [&](int) { SoleSharer = false; });
+    E.addSharer(Proc, Dir.numWords());
+    if (SoleSharer && E.Owner == -1)
+      E.Owner = Proc; // MESI exclusive grant: later write is silent.
+    return Extra;
+  }
+
+  // Write path.
+  if (E.Owner == Proc)
+    return 0;
+  unsigned NumInvalidated = 0;
+  E.forEachSharer(Proc, [&](int Q) {
+    if (invalidateLineEverywhere(Q, PhysLine)) {
+      ++Stats.Writebacks;
+      ++EpochRequests[HomeNode];
+    }
+    ++NumInvalidated;
+  });
+  Stats.Invalidations += NumInvalidated;
+  if (!PaidMemLatency) {
+    // Upgrade transaction to the home directory.
+    Extra += Topo.memoryLatency(nodeOfProc(Proc), HomeNode);
+    ++EpochRequests[HomeNode];
+  }
+  E.clearSharers();
+  E.addSharer(Proc, Dir.numWords());
+  E.Owner = Proc;
+  return Extra;
+}
+
+uint64_t MemorySystem::access(int Proc, uint64_t Addr, unsigned Bytes,
+                              bool IsWrite) {
+  assert(Proc >= 0 && Proc < numProcs() && "processor out of range");
+  assert(Bytes > 0 && Bytes <= 8 && Addr % Bytes == 0 &&
+         "simulated accesses must be naturally aligned");
+  const CostModel &Costs = Config.Costs;
+  uint64_t Cycles = 0;
+  uint64_t VPage = pageOf(Addr);
+  ProcState &P = *Procs[Proc];
+
+  if (IsWrite)
+    ++Stats.Stores;
+  else
+    ++Stats.Loads;
+
+  // Address translation.
+  if (!P.Dtlb.access(VPage)) {
+    ++Stats.TlbMisses;
+    Cycles += Costs.TlbMiss;
+    Stats.TlbMissCycles += Costs.TlbMiss;
+  }
+  PageInfo &PI = faultIn(VPage, Proc, Cycles);
+  uint64_t Phys =
+      Frames.physBase(PI.Node, PI.Frame) + Addr % Config.PageSize;
+  uint64_t PhysLine = Phys & ~(Config.L2.LineBytes - 1);
+  int HomeNode = PI.Node;
+  int MyNode = nodeOfProc(Proc);
+
+  // Primary cache.
+  CacheAccessResult R1 = P.L1.access(Phys, IsWrite);
+  if (R1.Hit) {
+    Cycles += Costs.L1Hit;
+    Cycles += coherenceAction(Proc, PhysLine, IsWrite, HomeNode,
+                              /*PaidMemLatency=*/false);
+    return Cycles;
+  }
+  ++Stats.L1Misses;
+  if (R1.Evicted && R1.EvictedDirty) {
+    // Dirty L1 victim folds into L2; if L2 already lost it, it goes to
+    // its home memory.
+    if (P.L2.contains(R1.EvictedLineAddr)) {
+      P.L2.access(R1.EvictedLineAddr, /*IsWrite=*/true);
+    } else {
+      uint64_t VictimHome =
+          R1.EvictedLineAddr /
+          (Frames.framesPerNode() * Config.PageSize);
+      ++Stats.Writebacks;
+      if (VictimHome < static_cast<uint64_t>(Config.NumNodes))
+        ++EpochRequests[VictimHome];
+    }
+  }
+
+  // Secondary cache.
+  CacheAccessResult R2 = P.L2.access(Phys, IsWrite);
+  if (R2.Hit) {
+    Cycles += Costs.L2Hit;
+    Cycles += coherenceAction(Proc, PhysLine, IsWrite, HomeNode,
+                              /*PaidMemLatency=*/false);
+    Stats.MemStallCycles += Cycles > Costs.L1Hit ? Cycles - Costs.L1Hit : 0;
+    return Cycles;
+  }
+  ++Stats.L2Misses;
+  if (R2.Evicted) {
+    uint64_t Victim = R2.EvictedLineAddr;
+    if (DirEntry *VE = Dir.lookup(Victim)) {
+      VE->removeSharer(Proc);
+      if (VE->Owner == Proc)
+        VE->Owner = -1;
+    }
+    bool VictimDirty = R2.EvictedDirty;
+    for (uint64_t Off = 0; Off < Config.L2.LineBytes;
+         Off += Config.L1.LineBytes)
+      VictimDirty |= P.L1.invalidate(Victim + Off);
+    if (VictimDirty) {
+      uint64_t VictimHome =
+          Victim / (Frames.framesPerNode() * Config.PageSize);
+      ++Stats.Writebacks;
+      if (VictimHome < static_cast<uint64_t>(Config.NumNodes))
+        ++EpochRequests[VictimHome];
+    }
+  }
+
+  // Memory (through the home node's hub/directory).
+  uint64_t Latency = Topo.memoryLatency(MyNode, HomeNode);
+  Cycles += Costs.L2Hit + Latency;
+  if (HomeNode == MyNode)
+    ++Stats.LocalMemAccesses;
+  else
+    ++Stats.RemoteMemAccesses;
+  ++EpochRequests[HomeNode];
+  Cycles += coherenceAction(Proc, PhysLine, IsWrite, HomeNode,
+                            /*PaidMemLatency=*/true);
+  Stats.MemStallCycles += Cycles > Costs.L1Hit ? Cycles - Costs.L1Hit : 0;
+  return Cycles;
+}
+
+//===----------------------------------------------------------------------===//
+// Functional data.
+//===----------------------------------------------------------------------===//
+
+uint8_t *MemorySystem::dataFor(uint64_t Addr, unsigned Bytes) const {
+  uint64_t VPage = Addr / Config.PageSize;
+  uint64_t Off = Addr % Config.PageSize;
+  assert(Off + Bytes <= Config.PageSize && "access crosses a page");
+  auto It = Data.find(VPage);
+  if (It == Data.end()) {
+    auto Page = std::make_unique<uint8_t[]>(Config.PageSize);
+    std::memset(Page.get(), 0, Config.PageSize);
+    It = Data.emplace(VPage, std::move(Page)).first;
+  }
+  return It->second.get() + Off;
+}
+
+double MemorySystem::readF64(uint64_t Addr) const {
+  double V;
+  std::memcpy(&V, dataFor(Addr, 8), 8);
+  return V;
+}
+
+void MemorySystem::writeF64(uint64_t Addr, double Value) {
+  std::memcpy(dataFor(Addr, 8), &Value, 8);
+}
+
+int64_t MemorySystem::readI64(uint64_t Addr) const {
+  int64_t V;
+  std::memcpy(&V, dataFor(Addr, 8), 8);
+  return V;
+}
+
+void MemorySystem::writeI64(uint64_t Addr, int64_t Value) {
+  std::memcpy(dataFor(Addr, 8), &Value, 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Epochs and statistics.
+//===----------------------------------------------------------------------===//
+
+void MemorySystem::beginEpoch() {
+  std::fill(EpochRequests.begin(), EpochRequests.end(), 0);
+}
+
+uint64_t MemorySystem::epochWallTime(uint64_t MaxProcCycles) const {
+  uint64_t Busiest = 0;
+  for (uint64_t R : EpochRequests)
+    Busiest = std::max(Busiest, R);
+  uint64_t ServiceTime = Busiest * Config.Costs.MemServiceCycles;
+  return std::max(MaxProcCycles, ServiceTime);
+}
+
+void MemorySystem::flushCachesAndTlbs() {
+  for (auto &P : Procs) {
+    P->L1.flush();
+    P->L2.flush();
+    P->Dtlb.flush();
+  }
+  Dir.clear();
+}

@@ -1,0 +1,180 @@
+//===- numa/MemorySystem.h - CC-NUMA memory hierarchy model -----*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated Origin-2000 memory system: one global virtual address
+/// space, per-node physical memory with OS page placement (first-touch,
+/// round-robin, explicit placement, migration), per-processor L1/L2/TLB,
+/// and a directory-based invalidation protocol.  Every simulated load
+/// and store is charged cycles through access(); functional data lives
+/// in a virtual-address-keyed page store so migration never moves bytes.
+///
+/// Bandwidth model: each node's memory/hub serves one request per
+/// CostModel::MemServiceCycles.  Per-epoch request counts let the
+/// execution engine stretch an epoch's wall time when a node saturates
+/// (this is what flattens the first-touch transpose curve in the paper's
+/// Figure 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_NUMA_MEMORYSYSTEM_H
+#define DSM_NUMA_MEMORYSYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "numa/Cache.h"
+#include "numa/Counters.h"
+#include "numa/Directory.h"
+#include "numa/MachineConfig.h"
+#include "numa/PhysMem.h"
+#include "numa/Tlb.h"
+#include "numa/Topology.h"
+
+namespace dsm::numa {
+
+/// OS page-placement policy for pages not explicitly placed.
+enum class PlacementPolicy {
+  FirstTouch, ///< Page allocated on the node of the faulting processor.
+  RoundRobin  ///< Pages allocated round-robin across nodes.
+};
+
+/// The whole simulated memory hierarchy.
+class MemorySystem {
+public:
+  explicit MemorySystem(const MachineConfig &Config);
+
+  const MachineConfig &config() const { return Config; }
+  int numProcs() const { return Config.numProcs(); }
+  int nodeOfProc(int Proc) const { return Proc / Config.ProcsPerNode; }
+
+  //===--------------------------------------------------------------===//
+  // Virtual-memory management (the OS layer).
+  //===--------------------------------------------------------------===//
+
+  /// Reserves \p Bytes of virtual address space (no physical placement;
+  /// pages fault in under the default policy on first access).
+  uint64_t allocVirtual(uint64_t Bytes, uint64_t Align = 64);
+
+  /// Reserves \p Bytes and immediately places every page on \p Node with
+  /// colored frames: the per-processor pool used for reshaped arrays
+  /// (paper Section 4.3).
+  uint64_t allocOnNode(uint64_t Bytes, int Node);
+
+  /// Places (or re-requests placement of) the page containing \p VPage.
+  /// Re-requests override earlier ones: "a page requested by multiple
+  /// processors is simply allocated from within the local memory of the
+  /// processor to last request the page" (paper Section 8.3).
+  void placePage(uint64_t VPage, int Node, FrameMode Mode);
+
+  /// Places every page overlapping [Addr, Addr+Bytes).
+  void placeRange(uint64_t Addr, uint64_t Bytes, int Node, FrameMode Mode);
+
+  /// Moves a mapped page to \p NewNode (redistribute); charges the cost
+  /// to the counters and shoots down TLBs and caches.  No-op if the page
+  /// already lives there or was never mapped.
+  void migratePage(uint64_t VPage, int NewNode);
+
+  void setDefaultPolicy(PlacementPolicy P) { DefaultPolicy = P; }
+  PlacementPolicy defaultPolicy() const { return DefaultPolicy; }
+
+  /// Home node of a page, or -1 if not yet mapped.
+  int pageHomeNode(uint64_t VPage) const;
+
+  uint64_t pageSize() const { return Config.PageSize; }
+  uint64_t pageOf(uint64_t Addr) const { return Addr / Config.PageSize; }
+
+  //===--------------------------------------------------------------===//
+  // Simulated accesses (performance model).
+  //===--------------------------------------------------------------===//
+
+  /// Simulates one aligned load/store of \p Bytes by \p Proc.  Returns
+  /// the cycles charged to that processor.
+  uint64_t access(int Proc, uint64_t Addr, unsigned Bytes, bool IsWrite);
+
+  //===--------------------------------------------------------------===//
+  // Functional data (virtual-address keyed; unaffected by placement).
+  //===--------------------------------------------------------------===//
+
+  double readF64(uint64_t Addr) const;
+  void writeF64(uint64_t Addr, double Value);
+  int64_t readI64(uint64_t Addr) const;
+  void writeI64(uint64_t Addr, int64_t Value);
+
+  //===--------------------------------------------------------------===//
+  // Epochs and statistics.
+  //===--------------------------------------------------------------===//
+
+  /// Starts a parallel epoch: zeroes the per-node request counts.
+  void beginEpoch();
+
+  /// Wall time of the epoch given the slowest participant's cycle count:
+  /// max of computation time and the busiest node's service time.
+  uint64_t epochWallTime(uint64_t MaxProcCycles) const;
+
+  /// Requests served by \p Node in the current epoch.
+  uint64_t epochNodeRequests(int Node) const {
+    return EpochRequests[Node];
+  }
+
+  Counters &counters() { return Stats; }
+  const Counters &counters() const { return Stats; }
+  void resetStats() { Stats = Counters(); }
+
+  /// Drops all cache/TLB contents (not page mappings or data).
+  void flushCachesAndTlbs();
+
+  /// Number of mapped pages homed on \p Node (for tests and reports).
+  uint64_t pagesOnNode(int Node) const;
+
+private:
+  struct PageInfo {
+    int Node = -1;
+    uint64_t Frame = 0;
+    bool Mapped = false;
+  };
+
+  struct ProcState {
+    Cache L1;
+    Cache L2;
+    Tlb Dtlb;
+    ProcState(const MachineConfig &C)
+        : L1(C.L1), L2(C.L2), Dtlb(C.TlbEntries) {}
+  };
+
+  /// Returns the page info, faulting it in under the default policy (on
+  /// behalf of \p Proc) if unmapped.  \p Cycles accumulates fault cost.
+  PageInfo &faultIn(uint64_t VPage, int Proc, uint64_t &Cycles);
+
+  /// Directory actions for an access that reached the coherence point.
+  /// Invalidates / downgrades other processors' cached copies as needed.
+  uint64_t coherenceAction(int Proc, uint64_t PhysLine, bool IsWrite,
+                           int HomeNode, bool PaidMemLatency);
+
+  /// Invalidates one 128 B coherence unit from a processor's caches.
+  bool invalidateLineEverywhere(int Proc, uint64_t PhysLine);
+
+  uint8_t *dataFor(uint64_t Addr, unsigned Bytes) const;
+
+  MachineConfig Config;
+  Topology Topo;
+  PhysMem Frames;
+  Directory Dir;
+  PlacementPolicy DefaultPolicy = PlacementPolicy::FirstTouch;
+  uint64_t NextVirtual = 1ull << 20;
+  uint64_t RoundRobinNext = 0;
+  std::unordered_map<uint64_t, PageInfo> Pages;
+  mutable std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> Data;
+  std::vector<std::unique_ptr<ProcState>> Procs;
+  std::vector<uint64_t> EpochRequests;
+  Counters Stats;
+};
+
+} // namespace dsm::numa
+
+#endif // DSM_NUMA_MEMORYSYSTEM_H

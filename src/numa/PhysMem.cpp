@@ -1,0 +1,85 @@
+//===- numa/PhysMem.cpp - Per-node physical frame allocation --------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/PhysMem.h"
+
+#include <bit>
+#include <cassert>
+
+#include "support/Error.h"
+#include "support/Rng.h"
+
+using namespace dsm;
+using namespace dsm::numa;
+
+PhysMem::PhysMem(const MachineConfig &Config)
+    : NumNodes(Config.NumNodes), PageSize(Config.PageSize),
+      FramesPerNode(Config.framesPerNode()),
+      NumColors(Config.numPageColors()) {
+  assert(FramesPerNode > 0 && "node memory smaller than one page");
+  Used.assign(NumNodes, std::vector<bool>(FramesPerNode, false));
+  UsedCount.assign(NumNodes, 0);
+  NextSeq.assign(NumNodes, 0);
+}
+
+uint64_t PhysMem::findFrame(int Node, uint64_t VPage, FrameMode Mode) {
+  auto &Pool = Used[Node];
+  if (UsedCount[Node] >= FramesPerNode)
+    return FramesPerNode;
+
+  uint64_t Start;
+  if (Mode == FrameMode::Colored) {
+    // Try frames of the matching color first: color repeats every
+    // NumColors frames.
+    uint64_t Color = VPage % NumColors;
+    for (uint64_t F = Color; F < FramesPerNode; F += NumColors)
+      if (!Pool[F])
+        return F;
+    Start = VPage % FramesPerNode;
+  } else {
+    Start = hashMix64(VPage * 2654435761u + static_cast<uint64_t>(Node)) %
+            FramesPerNode;
+  }
+  // Linear probe from the start position.
+  for (uint64_t I = 0; I < FramesPerNode; ++I) {
+    uint64_t F = (Start + I) % FramesPerNode;
+    if (!Pool[F])
+      return F;
+  }
+  return FramesPerNode;
+}
+
+PhysMem::Allocation PhysMem::alloc(int Node, uint64_t VPage, FrameMode Mode) {
+  assert(Node >= 0 && Node < NumNodes && "node out of range");
+  // Visit nodes in increasing hop distance from the preferred node; ties
+  // broken by index, matching nearest-neighbour spill on the hypercube.
+  for (unsigned Hop = 0; Hop <= std::bit_width(
+                                    static_cast<unsigned>(NumNodes));
+       ++Hop) {
+    for (int N = 0; N < NumNodes; ++N) {
+      unsigned H = static_cast<unsigned>(
+          std::popcount(static_cast<unsigned>(N) ^
+                        static_cast<unsigned>(Node)));
+      if (H != Hop)
+        continue;
+      uint64_t F = findFrame(N, VPage, Mode);
+      if (F < FramesPerNode) {
+        Used[N][F] = true;
+        ++UsedCount[N];
+        return Allocation{N, F};
+      }
+    }
+  }
+  reportFatalError("simulated machine out of physical memory");
+}
+
+void PhysMem::free(int Node, uint64_t Frame) {
+  assert(Node >= 0 && Node < NumNodes && "node out of range");
+  assert(Frame < FramesPerNode && "frame out of range");
+  assert(Used[Node][Frame] && "double free of physical frame");
+  Used[Node][Frame] = false;
+  --UsedCount[Node];
+}

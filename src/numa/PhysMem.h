@@ -1,0 +1,80 @@
+//===- numa/PhysMem.h - Per-node physical frame allocation ------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Physical-frame allocators, one per node.  Frames matter for two
+/// paper-visible effects:
+///
+///  * capacity: NAS-LU class C exceeds one node's memory, so even the
+///    uniprocessor run has remote references (paper Section 8.1) -- when a
+///    node is full, allocation spills to the nearest node with free
+///    frames;
+///  * page coloring: the physically-indexed L2 suffers conflict misses
+///    when virtually-contiguous pages land on conflicting frames (paper
+///    Section 8.2).  Colored allocation picks a frame whose L2 color
+///    matches the virtual page's color; hashed allocation models a
+///    fragmented free list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_NUMA_PHYSMEM_H
+#define DSM_NUMA_PHYSMEM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "numa/MachineConfig.h"
+
+namespace dsm::numa {
+
+/// How a physical frame is chosen within a node.
+enum class FrameMode {
+  Colored, ///< Prefer a frame matching the virtual page's L2 color.
+  Hashed   ///< Deterministically pseudo-random frame (fragmented pool).
+};
+
+/// All nodes' frame pools.  Physical addresses are globally unique:
+/// phys = (Node * FramesPerNode + Frame) * PageSize + offset.
+class PhysMem {
+public:
+  explicit PhysMem(const MachineConfig &Config);
+
+  /// Allocates a frame on \p Node (or, if full, the nearest node with
+  /// space by hop count).  \p VPage drives the color/hash choice.
+  /// Returns {node, frame}; aborts if the whole machine is full.
+  struct Allocation {
+    int Node;
+    uint64_t Frame;
+  };
+  Allocation alloc(int Node, uint64_t VPage, FrameMode Mode);
+
+  /// Releases \p Frame on \p Node.
+  void free(int Node, uint64_t Frame);
+
+  /// Global physical base address of a page.
+  uint64_t physBase(int Node, uint64_t Frame) const {
+    return (static_cast<uint64_t>(Node) * FramesPerNode + Frame) * PageSize;
+  }
+
+  uint64_t framesUsed(int Node) const { return UsedCount[Node]; }
+  uint64_t framesPerNode() const { return FramesPerNode; }
+
+private:
+  /// Finds a free frame on \p Node; returns FramesPerNode if none.
+  uint64_t findFrame(int Node, uint64_t VPage, FrameMode Mode);
+
+  int NumNodes;
+  uint64_t PageSize;
+  uint64_t FramesPerNode;
+  uint64_t NumColors;
+  std::vector<std::vector<bool>> Used; ///< Per node, per frame.
+  std::vector<uint64_t> UsedCount;
+  std::vector<uint64_t> NextSeq; ///< Per-node sequential cursor.
+};
+
+} // namespace dsm::numa
+
+#endif // DSM_NUMA_PHYSMEM_H

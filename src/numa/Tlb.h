@@ -1,0 +1,75 @@
+//===- numa/Tlb.h - Per-processor TLB model ---------------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fully-associative LRU TLB over virtual page numbers.  The R10000
+/// has a 64-entry fully-associative TLB; TLB-miss time is what separates
+/// the reshaped and round-robin transpose versions in paper Section 8.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_NUMA_TLB_H
+#define DSM_NUMA_TLB_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dsm::numa {
+
+/// Fully-associative LRU translation lookaside buffer.
+class Tlb {
+public:
+  explicit Tlb(unsigned NumEntries) : Entries(NumEntries) {}
+
+  /// Looks up \p VPage, filling on miss.  Returns true on hit.
+  bool access(uint64_t VPage) {
+    ++Clock;
+    for (Entry &E : Entries)
+      if (E.Valid && E.VPage == VPage) {
+        E.LruStamp = Clock;
+        return true;
+      }
+    Entry *Victim = &Entries[0];
+    for (Entry &E : Entries) {
+      if (!E.Valid) {
+        Victim = &E;
+        break;
+      }
+      if (E.LruStamp < Victim->LruStamp)
+        Victim = &E;
+    }
+    Victim->VPage = VPage;
+    Victim->Valid = true;
+    Victim->LruStamp = Clock;
+    return false;
+  }
+
+  /// Drops the mapping for \p VPage (TLB shootdown on migration).
+  void invalidate(uint64_t VPage) {
+    for (Entry &E : Entries)
+      if (E.Valid && E.VPage == VPage)
+        E.Valid = false;
+  }
+
+  void flush() {
+    for (Entry &E : Entries)
+      E.Valid = false;
+    Clock = 0;
+  }
+
+private:
+  struct Entry {
+    uint64_t VPage = 0;
+    uint32_t LruStamp = 0;
+    bool Valid = false;
+  };
+  std::vector<Entry> Entries;
+  uint32_t Clock = 0;
+};
+
+} // namespace dsm::numa
+
+#endif // DSM_NUMA_TLB_H

@@ -1,0 +1,64 @@
+//===- numa/Topology.h - Hypercube interconnect model -----------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hop-distance model of the Origin-2000's switch-based hypercube
+/// interconnect (paper Section 2, Figure 1).  Nodes are vertices of a
+/// hypercube; the router distance between two nodes is the Hamming
+/// distance of their indices.  Non-power-of-two machines use the same
+/// rule, which matches the generalized (incomplete) hypercube wiring.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_NUMA_TOPOLOGY_H
+#define DSM_NUMA_TOPOLOGY_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "numa/MachineConfig.h"
+
+namespace dsm::numa {
+
+/// Hop distances and remote-latency computation for the hypercube.
+class Topology {
+public:
+  explicit Topology(const MachineConfig &Config)
+      : NumNodes(Config.NumNodes), Costs(Config.Costs) {
+    assert(NumNodes > 0 && "machine must have at least one node");
+  }
+
+  /// Router hops between two nodes (0 when equal).
+  unsigned hops(int NodeA, int NodeB) const {
+    assert(NodeA >= 0 && NodeA < NumNodes && "node out of range");
+    assert(NodeB >= 0 && NodeB < NumNodes && "node out of range");
+    return static_cast<unsigned>(
+        std::popcount(static_cast<unsigned>(NodeA) ^
+                      static_cast<unsigned>(NodeB)));
+  }
+
+  /// Memory latency seen by a processor on \p FromNode accessing memory
+  /// on \p HomeNode.  Local misses cost CostModel::LocalMem; remote
+  /// misses grow with hop count and saturate at RemoteMemMax.
+  uint64_t memoryLatency(int FromNode, int HomeNode) const {
+    unsigned H = hops(FromNode, HomeNode);
+    if (H == 0)
+      return Costs.LocalMem;
+    uint64_t Latency = Costs.RemoteMemBase + Costs.RemoteMemPerHop * (H - 1);
+    return Latency < Costs.RemoteMemMax ? Latency : Costs.RemoteMemMax;
+  }
+
+  int numNodes() const { return NumNodes; }
+
+private:
+  int NumNodes;
+  CostModel Costs;
+};
+
+} // namespace dsm::numa
+
+#endif // DSM_NUMA_TOPOLOGY_H

@@ -1,0 +1,62 @@
+//===- runtime/ArgCheck.cpp - Runtime argument checking -------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ArgCheck.h"
+
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::runtime;
+
+Error ArgCheckTable::verifyFormal(uint64_t Addr,
+                                  const std::vector<int64_t> &FormalDims,
+                                  const dist::DistSpec *FormalDist,
+                                  const std::string &ProcName,
+                                  const std::string &FormalName) const {
+  const ArgInfo *Info = lookup(Addr);
+  if (!Info)
+    return Error::success(); // Not a reshaped argument; nothing to check.
+
+  if (Info->WholeArray) {
+    // "the number of dimensions and the size of each dimension in the
+    // actual and the formal parameter must match exactly."
+    if (FormalDims.size() != Info->Dims.size())
+      return Error::make(formatString(
+          "runtime check failed in %s: formal '%s' has rank %zu but the "
+          "reshaped actual has rank %zu",
+          ProcName.c_str(), FormalName.c_str(), FormalDims.size(),
+          Info->Dims.size()));
+    for (size_t D = 0; D < FormalDims.size(); ++D)
+      if (FormalDims[D] != Info->Dims[D])
+        return Error::make(formatString(
+            "runtime check failed in %s: formal '%s' dimension %zu is %lld "
+            "but the reshaped actual has extent %lld",
+            ProcName.c_str(), FormalName.c_str(), D + 1,
+            static_cast<long long>(FormalDims[D]),
+            static_cast<long long>(Info->Dims[D])));
+    if (FormalDist && !(*FormalDist == Info->Dist))
+      return Error::make(formatString(
+          "runtime check failed in %s: formal '%s' declared %s but the "
+          "actual is distributed %s",
+          ProcName.c_str(), FormalName.c_str(),
+          FormalDist->str().c_str(), Info->Dist.str().c_str()));
+    return Error::success();
+  }
+
+  // Portion argument: "the declared bounds on the formal parameter are
+  // required not to exceed the size of the distributed array portion."
+  uint64_t FormalBytes = 8;
+  for (int64_t D : FormalDims)
+    FormalBytes *= static_cast<uint64_t>(D);
+  if (FormalBytes > Info->PortionBytes)
+    return Error::make(formatString(
+        "runtime check failed in %s: formal '%s' needs %llu bytes but the "
+        "distributed array portion passed in has only %llu",
+        ProcName.c_str(), FormalName.c_str(),
+        static_cast<unsigned long long>(FormalBytes),
+        static_cast<unsigned long long>(Info->PortionBytes)));
+  return Error::success();
+}

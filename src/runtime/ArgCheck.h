@@ -1,0 +1,82 @@
+//===- runtime/ArgCheck.h - Runtime argument checking -----------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optional runtime error-detection of the paper's Section 6: when a
+/// reshaped array (or a portion of one) is passed as an argument, its
+/// address keys a hash table holding the shape/size information; on
+/// subroutine entry the incoming address is looked up and the declared
+/// formal is verified against it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_RUNTIME_ARGCHECK_H
+#define DSM_RUNTIME_ARGCHECK_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/DistSpec.h"
+#include "support/Error.h"
+
+namespace dsm::runtime {
+
+/// The per-call information stored for one reshaped actual argument.
+struct ArgInfo {
+  bool WholeArray = false;
+  /// Whole arrays: the full shape and the reshaped distribution.
+  std::vector<int64_t> Dims;
+  dist::DistSpec Dist;
+  /// Portions: the bytes of the globally contiguous run starting at the
+  /// passed element (the "size of the distributed array portion").
+  uint64_t PortionBytes = 0;
+};
+
+/// Address-keyed hash table of in-flight reshaped arguments.
+class ArgCheckTable {
+public:
+  /// Registers an actual argument for the duration of a call.
+  void registerArg(uint64_t Addr, ArgInfo Info) {
+    Table[Addr].push_back(std::move(Info));
+  }
+
+  /// Removes the most recent registration for \p Addr (on return).
+  void unregisterArg(uint64_t Addr) {
+    auto It = Table.find(Addr);
+    if (It == Table.end())
+      return;
+    It->second.pop_back();
+    if (It->second.empty())
+      Table.erase(It);
+  }
+
+  /// Entry check: nullptr when the address is not a reshaped argument.
+  const ArgInfo *lookup(uint64_t Addr) const {
+    auto It = Table.find(Addr);
+    return It == Table.end() || It->second.empty() ? nullptr
+                                                   : &It->second.back();
+  }
+
+  /// Verifies a formal declared with shape \p FormalDims (and, for
+  /// whole-array formals, distribution \p FormalDist) against the
+  /// registered actual at \p Addr.  Returns a failure Error on
+  /// mismatch, mirroring the paper's runtime error.
+  Error verifyFormal(uint64_t Addr, const std::vector<int64_t> &FormalDims,
+                     const dist::DistSpec *FormalDist,
+                     const std::string &ProcName,
+                     const std::string &FormalName) const;
+
+private:
+  // A vector per address tolerates recursive calls passing the same
+  // array.
+  std::unordered_map<uint64_t, std::vector<ArgInfo>> Table;
+};
+
+} // namespace dsm::runtime
+
+#endif // DSM_RUNTIME_ARGCHECK_H

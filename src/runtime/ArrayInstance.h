@@ -1,0 +1,61 @@
+//===- runtime/ArrayInstance.h - Runtime array descriptors ------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime descriptor of one allocated array: its resolved layout
+/// plus the simulated virtual addresses of its storage.  Regular arrays
+/// have a single column-major base; reshaped arrays have a processor
+/// array (a table of portion pointers, paper Figure 3) and one portion
+/// base per grid cell.  Views describe a portion of a distributed array
+/// passed as a subroutine argument (paper Section 3.2.1): the callee
+/// sees a plain Fortran array at some base address.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_RUNTIME_ARRAYINSTANCE_H
+#define DSM_RUNTIME_ARRAYINSTANCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/ArrayLayout.h"
+
+namespace dsm::runtime {
+
+/// Runtime state of one array (or array view).
+struct ArrayInstance {
+  dist::ArrayLayout Layout;
+
+  /// Column-major storage base (regular and undistributed arrays, and
+  /// views).  Unused for reshaped arrays.
+  uint64_t Base = 0;
+
+  /// Reshaped arrays: virtual address of the processor array (one
+  /// 8-byte portion pointer per grid cell) and the portion bases it
+  /// holds (mirrored here so the runtime does not have to re-read
+  /// simulated memory).
+  uint64_t ProcArrayBase = 0;
+  std::vector<uint64_t> PortionBases;
+
+  bool IsView = false;
+
+  bool isReshaped() const {
+    return Layout.isReshaped() && !IsView;
+  }
+
+  /// Address of element \p Idx (1-based, rank entries).
+  uint64_t addressOf(const int64_t *Idx) const {
+    if (!isReshaped())
+      return Base + static_cast<uint64_t>(Layout.linearIndex(Idx)) * 8;
+    int64_t Cell = Layout.cellOf(Idx);
+    return PortionBases[static_cast<size_t>(Cell)] +
+           static_cast<uint64_t>(Layout.localLinearIndex(Idx)) * 8;
+  }
+};
+
+} // namespace dsm::runtime
+
+#endif // DSM_RUNTIME_ARRAYINSTANCE_H

@@ -1,0 +1,153 @@
+//===- runtime/Runtime.cpp - Distributed-array runtime system -------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace dsm;
+using namespace dsm::runtime;
+using namespace dsm::numa;
+
+Runtime::Runtime(MemorySystem &Mem, int NumProcs)
+    : Mem(Mem), NumProcs(NumProcs) {
+  assert(NumProcs >= 1 && NumProcs <= Mem.numProcs() &&
+         "run uses more processors than the machine has");
+  Pools.resize(NumProcs);
+  PoolUsed.assign(NumProcs, 0);
+}
+
+uint64_t Runtime::poolAlloc(int Proc, uint64_t Bytes) {
+  assert(Proc >= 0 && Proc < NumProcs && "processor out of range");
+  Bytes = (Bytes + 7) & ~7ull; // Keep 8-byte alignment.
+  Pool &P = Pools[Proc];
+  if (P.Cur + Bytes > P.End) {
+    // Grow the pool with a fresh node-local, page-colored chunk.
+    uint64_t ChunkBytes = 4 * Mem.pageSize();
+    if (ChunkBytes < Bytes)
+      ChunkBytes = (Bytes + Mem.pageSize() - 1) / Mem.pageSize() *
+                   Mem.pageSize();
+    P.Cur = Mem.allocOnNode(ChunkBytes, Mem.nodeOfProc(Proc));
+    P.End = P.Cur + ChunkBytes;
+  }
+  uint64_t Addr = P.Cur;
+  P.Cur += Bytes;
+  PoolUsed[Proc] += Bytes;
+  return Addr;
+}
+
+void Runtime::placeRegular(const dist::ArrayLayout &Layout, uint64_t Base) {
+  // Each processor requests placement of the pages its portion
+  // overlaps; the highest-numbered requester wins each page.  Walking
+  // same-owner runs of the column-major layout gives the same result in
+  // one pass.
+  std::unordered_map<uint64_t, int> PageOwner;
+  int64_t Total = Layout.totalElems();
+  int64_t RunStart = 0;
+  int64_t RunCell = Layout.cellOfLinear(0);
+  auto CloseRun = [&](int64_t End) {
+    int Proc = procOfCell(RunCell);
+    uint64_t FirstPage = Mem.pageOf(Base + static_cast<uint64_t>(RunStart) * 8);
+    uint64_t LastPage =
+        Mem.pageOf(Base + static_cast<uint64_t>(End) * 8 - 1);
+    for (uint64_t Page = FirstPage; Page <= LastPage; ++Page) {
+      auto [It, Inserted] = PageOwner.try_emplace(Page, Proc);
+      if (!Inserted && It->second < Proc)
+        It->second = Proc;
+    }
+  };
+  for (int64_t L = 1; L < Total; ++L) {
+    int64_t Cell = Layout.cellOfLinear(L);
+    if (Cell != RunCell) {
+      CloseRun(L);
+      RunStart = L;
+      RunCell = Cell;
+    }
+  }
+  CloseRun(Total);
+  for (const auto &[Page, Proc] : PageOwner)
+    Mem.placePage(Page, Mem.nodeOfProc(Proc), FrameMode::Hashed);
+}
+
+ArrayInstance Runtime::allocate(const dist::ArrayLayout &Layout) {
+  ArrayInstance Inst;
+  Inst.Layout = Layout;
+
+  if (!Layout.isReshaped()) {
+    Inst.Base = Mem.allocVirtual(Layout.totalBytes());
+    if (Layout.spec().anyDistributed())
+      placeRegular(Layout, Inst.Base);
+    return Inst;
+  }
+
+  // Reshaped: one densely stored portion per grid cell, allocated from
+  // the owning processor's local pool, plus the processor array.
+  int64_t Cells = Layout.grid().totalCells();
+  Inst.PortionBases.resize(static_cast<size_t>(Cells));
+  for (int64_t Cell = 0; Cell < Cells; ++Cell)
+    Inst.PortionBases[static_cast<size_t>(Cell)] =
+        poolAlloc(procOfCell(Cell), Layout.portionBytes());
+
+  Inst.ProcArrayBase =
+      Mem.allocVirtual(static_cast<uint64_t>(Cells) * 8);
+  // The pointer table is small, read-only after startup, and cached by
+  // every processor; home it on node 0.
+  Mem.placeRange(Inst.ProcArrayBase, static_cast<uint64_t>(Cells) * 8,
+                 /*Node=*/0, FrameMode::Hashed);
+  for (int64_t Cell = 0; Cell < Cells; ++Cell)
+    Mem.writeI64(Inst.ProcArrayBase + static_cast<uint64_t>(Cell) * 8,
+                 static_cast<int64_t>(
+                     Inst.PortionBases[static_cast<size_t>(Cell)]));
+  return Inst;
+}
+
+uint64_t Runtime::redistribute(ArrayInstance &Inst,
+                               const dist::DistSpec &NewSpec) {
+  assert(!Inst.Layout.isReshaped() &&
+         "reshaped arrays cannot be redistributed (checked by sema)");
+  dist::ArrayLayout NewLayout =
+      dist::ArrayLayout::make(NewSpec, Inst.Layout.dimSizes(), NumProcs);
+
+  // Compute the target node of every page under the new distribution
+  // (same last-requester rule as initial placement), then migrate.
+  std::unordered_map<uint64_t, int> PageOwner;
+  int64_t Total = NewLayout.totalElems();
+  int64_t RunStart = 0;
+  int64_t RunCell = NewLayout.cellOfLinear(0);
+  auto CloseRun = [&](int64_t End) {
+    int Proc = procOfCell(RunCell);
+    uint64_t FirstPage =
+        Mem.pageOf(Inst.Base + static_cast<uint64_t>(RunStart) * 8);
+    uint64_t LastPage =
+        Mem.pageOf(Inst.Base + static_cast<uint64_t>(End) * 8 - 1);
+    for (uint64_t Page = FirstPage; Page <= LastPage; ++Page) {
+      auto [It, Inserted] = PageOwner.try_emplace(Page, Proc);
+      if (!Inserted && It->second < Proc)
+        It->second = Proc;
+    }
+  };
+  for (int64_t L = 1; L < Total; ++L) {
+    int64_t Cell = NewLayout.cellOfLinear(L);
+    if (Cell != RunCell) {
+      CloseRun(L);
+      RunStart = L;
+      RunCell = Cell;
+    }
+  }
+  CloseRun(Total);
+
+  uint64_t Moved = 0;
+  for (const auto &[Page, Proc] : PageOwner) {
+    int Node = Mem.nodeOfProc(Proc);
+    if (Mem.pageHomeNode(Page) != Node) {
+      Mem.migratePage(Page, Node);
+      ++Moved;
+    }
+  }
+  Inst.Layout = std::move(NewLayout);
+  return Moved * Mem.config().Costs.MigratePageCycles;
+}

@@ -1,0 +1,83 @@
+//===- runtime/Runtime.h - Distributed-array runtime system -----*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime library of the paper's Section 4: it makes the page
+/// placement "operating system calls" for regular distributions (the
+/// only OS support the scheme needs), allocates reshaped portions from
+/// per-processor pools mapped in local memory, materializes the
+/// processor array, and remaps pages for c$redistribute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_RUNTIME_RUNTIME_H
+#define DSM_RUNTIME_RUNTIME_H
+
+#include <cstdint>
+#include <vector>
+
+#include "numa/MemorySystem.h"
+#include "runtime/ArrayInstance.h"
+
+namespace dsm::runtime {
+
+/// Per-run runtime services over the simulated machine.
+class Runtime {
+public:
+  /// \p NumProcs is the processor count this run uses (<= machine size).
+  Runtime(numa::MemorySystem &Mem, int NumProcs);
+
+  int numProcs() const { return NumProcs; }
+  numa::MemorySystem &memory() { return Mem; }
+
+  /// Allocates storage for an array with the given resolved layout.
+  ///  * Undistributed: plain virtual allocation (pages fault in under
+  ///    the run's default policy).
+  ///  * Regular distribution: allocation plus the placement request
+  ///    loop -- each processor, in order, requests the pages its
+  ///    portion overlaps; the last requester wins (paper Section 8.3).
+  ///  * Reshaped: one portion per grid cell from the owning processor's
+  ///    local pool, plus the processor array (paper Figure 3).
+  ArrayInstance allocate(const dist::ArrayLayout &Layout);
+
+  /// Implements c$redistribute: recomputes regular placement for the
+  /// new spec and migrates pages.  Returns the cycle cost of the remap.
+  /// The instance's layout is updated in place.
+  uint64_t redistribute(ArrayInstance &Inst,
+                        const dist::DistSpec &NewSpec);
+
+  /// 0-based machine processor executing grid cell \p Cell of any
+  /// array: cells map to processors directly.
+  int procOfCell(int64_t Cell) const {
+    return static_cast<int>(Cell) % NumProcs;
+  }
+
+  /// Bytes of pool storage consumed on behalf of \p Proc (for tests).
+  uint64_t poolBytesUsed(int Proc) const { return PoolUsed[Proc]; }
+
+private:
+  /// Bump-allocates \p Bytes from \p Proc's node-local pool without
+  /// padding portions to page boundaries (paper Section 4.3).
+  uint64_t poolAlloc(int Proc, uint64_t Bytes);
+
+  /// Runs the regular-distribution placement request loop for
+  /// [\p Base, \p Base + bytes) under \p Layout.
+  void placeRegular(const dist::ArrayLayout &Layout, uint64_t Base);
+
+  numa::MemorySystem &Mem;
+  int NumProcs;
+
+  struct Pool {
+    uint64_t Cur = 0;
+    uint64_t End = 0;
+  };
+  std::vector<Pool> Pools;
+  std::vector<uint64_t> PoolUsed;
+};
+
+} // namespace dsm::runtime
+
+#endif // DSM_RUNTIME_RUNTIME_H

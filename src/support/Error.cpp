@@ -1,0 +1,52 @@
+//===- support/Error.cpp - Lightweight error handling --------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+
+using namespace dsm;
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  if (!File.empty()) {
+    Out += File;
+    Out += ':';
+    if (Line > 0) {
+      Out += std::to_string(Line);
+      Out += ':';
+    }
+    Out += ' ';
+  }
+  switch (Kind) {
+  case DiagKind::Error:
+    Out += "error: ";
+    break;
+  case DiagKind::Warning:
+    Out += "warning: ";
+    break;
+  case DiagKind::Note:
+    Out += "note: ";
+    break;
+  }
+  Out += Message;
+  return Out;
+}
+
+std::string Error::str() const {
+  std::string Out;
+  for (const auto &D : Diags) {
+    if (!Out.empty())
+      Out += '\n';
+    Out += D.str();
+  }
+  return Out;
+}
+
+void dsm::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "dsm fatal error: %s\n", Message.c_str());
+  std::abort();
+}

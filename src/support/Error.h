@@ -1,0 +1,141 @@
+//===- support/Error.h - Lightweight error handling ------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project: a reproduction of "Data Distribution
+// Support on Distributed Shared Memory Multiprocessors" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exception-free error propagation primitives in the spirit of
+/// llvm::Error / llvm::Expected.  An Error carries a list of diagnostics
+/// (so the compiler can report several problems at once); an Expected<T>
+/// carries either a value or an Error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_SUPPORT_ERROR_H
+#define DSM_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dsm {
+
+/// Severity of a single diagnostic message.
+enum class DiagKind { Error, Warning, Note };
+
+/// One diagnostic: a severity, an optional source location, and a message.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  std::string File;
+  int Line = 0;
+  std::string Message;
+
+  /// Renders the diagnostic in "file:line: error: message" form.
+  std::string str() const;
+};
+
+/// A (possibly empty) list of diagnostics.  An Error that holds no
+/// error-severity diagnostics converts to false, mirroring the
+/// llvm::Error convention (true means failure).
+class Error {
+public:
+  Error() = default;
+
+  /// Creates a failure value carrying a single error message.
+  static Error make(std::string Message, std::string File = "",
+                    int Line = 0) {
+    Error E;
+    E.Diags.push_back(
+        Diagnostic{DiagKind::Error, std::move(File), Line,
+                   std::move(Message)});
+    return E;
+  }
+
+  static Error success() { return Error(); }
+
+  void addError(std::string Message, std::string File = "", int Line = 0) {
+    Diags.push_back(Diagnostic{DiagKind::Error, std::move(File), Line,
+                               std::move(Message)});
+  }
+
+  void addWarning(std::string Message, std::string File = "", int Line = 0) {
+    Diags.push_back(Diagnostic{DiagKind::Warning, std::move(File), Line,
+                               std::move(Message)});
+  }
+
+  void addNote(std::string Message, std::string File = "", int Line = 0) {
+    Diags.push_back(Diagnostic{DiagKind::Note, std::move(File), Line,
+                               std::move(Message)});
+  }
+
+  /// Appends all diagnostics from \p Other.
+  void take(Error Other) {
+    for (auto &D : Other.Diags)
+      Diags.push_back(std::move(D));
+  }
+
+  /// True if any error-severity diagnostic is present.
+  explicit operator bool() const {
+    for (const auto &D : Diags)
+      if (D.Kind == DiagKind::Error)
+        return true;
+    return false;
+  }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+/// Either a value of type T or an Error.  Success is tested with the
+/// boolean conversion (true means a value is present).
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Error E) : Err(std::move(E)) {
+    assert(Err && "Expected constructed from a success Error");
+  }
+
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &get() {
+    assert(Value && "Expected has no value");
+    return *Value;
+  }
+  const T &get() const {
+    assert(Value && "Expected has no value");
+    return *Value;
+  }
+  T &operator*() { return get(); }
+  T *operator->() { return &get(); }
+
+  Error takeError() {
+    assert(!Value && "Expected holds a value, not an error");
+    return std::move(Err);
+  }
+  const Error &error() const {
+    assert(!Value && "Expected holds a value, not an error");
+    return Err;
+  }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+/// Aborts with \p Message; used for violated internal invariants on paths
+/// where assert may be compiled out.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+} // namespace dsm
+
+#endif // DSM_SUPPORT_ERROR_H

@@ -1,0 +1,63 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SplitMix64 generator.  Used for deterministic frame-assignment
+/// hashing in the NUMA simulator and for property-test input generation;
+/// std::mt19937 is avoided so results are identical across libstdc++
+/// versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_SUPPORT_RNG_H
+#define DSM_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace dsm {
+
+/// SplitMix64: tiny, fast, and statistically adequate for simulation use.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound); Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Stateless 64-bit mix function; used to hash page numbers into frame
+/// colors deterministically.
+inline uint64_t hashMix64(uint64_t X) {
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace dsm
+
+#endif // DSM_SUPPORT_RNG_H

@@ -1,0 +1,67 @@
+//===- support/StringUtils.cpp - Small string helpers ---------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace dsm;
+
+std::string dsm::toLower(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S)
+    Out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(C))));
+  return Out;
+}
+
+std::string_view dsm::trim(std::string_view S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+std::vector<std::string> dsm::splitAndTrim(std::string_view S, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == Sep) {
+      Out.emplace_back(trim(S.substr(Start, I - Start)));
+      Start = I + 1;
+    }
+  }
+  return Out;
+}
+
+bool dsm::startsWithNoCase(std::string_view S, std::string_view Prefix) {
+  if (S.size() < Prefix.size())
+    return false;
+  for (size_t I = 0; I < Prefix.size(); ++I)
+    if (std::tolower(static_cast<unsigned char>(S[I])) !=
+        std::tolower(static_cast<unsigned char>(Prefix[I])))
+      return false;
+  return true;
+}
+
+std::string dsm::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Out(Len > 0 ? static_cast<size_t>(Len) : 0, '\0');
+  if (Len > 0)
+    std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}

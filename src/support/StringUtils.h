@@ -1,0 +1,39 @@
+//===- support/StringUtils.h - Small string helpers -------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers used by the frontend and the report printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_SUPPORT_STRINGUTILS_H
+#define DSM_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsm {
+
+/// Returns \p S lower-cased (ASCII only); DSM Fortran is case-insensitive.
+std::string toLower(std::string_view S);
+
+/// Strips leading and trailing whitespace.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep, trimming each piece; empty pieces are kept.
+std::vector<std::string> splitAndTrim(std::string_view S, char Sep);
+
+/// True if \p S starts with \p Prefix, comparing case-insensitively.
+bool startsWithNoCase(std::string_view S, std::string_view Prefix);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace dsm
+
+#endif // DSM_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,94 @@
+//===- xform/ExprBuild.h - IR expression builders ---------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Terse builders for the integer index expressions the transformation
+/// passes generate.  All operate on i64 expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_XFORM_EXPRBUILD_H
+#define DSM_XFORM_EXPRBUILD_H
+
+#include "ir/Ir.h"
+
+namespace dsm::xform {
+
+inline ir::ExprPtr litE(int64_t V) { return ir::intLit(V); }
+inline ir::ExprPtr useE(ir::ScalarSymbol *S) { return ir::scalarUse(S); }
+
+inline ir::ExprPtr addE(ir::ExprPtr L, ir::ExprPtr R) {
+  return ir::bin(ir::BinOp::Add, std::move(L), std::move(R));
+}
+inline ir::ExprPtr subE(ir::ExprPtr L, ir::ExprPtr R) {
+  return ir::bin(ir::BinOp::Sub, std::move(L), std::move(R));
+}
+inline ir::ExprPtr mulE(ir::ExprPtr L, ir::ExprPtr R) {
+  return ir::bin(ir::BinOp::Mul, std::move(L), std::move(R));
+}
+inline ir::ExprPtr divE(ir::ExprPtr L, ir::ExprPtr R) {
+  return ir::bin(ir::BinOp::IDiv, std::move(L), std::move(R));
+}
+inline ir::ExprPtr modE(ir::ExprPtr L, ir::ExprPtr R) {
+  return ir::bin(ir::BinOp::IMod, std::move(L), std::move(R));
+}
+inline ir::ExprPtr minE(ir::ExprPtr L, ir::ExprPtr R) {
+  return ir::bin(ir::BinOp::Min, std::move(L), std::move(R));
+}
+inline ir::ExprPtr maxE(ir::ExprPtr L, ir::ExprPtr R) {
+  return ir::bin(ir::BinOp::Max, std::move(L), std::move(R));
+}
+
+/// Bias that turns C truncating division into flooring division for
+/// any |X| below Big*D; generated index magnitudes stay far below it.
+inline constexpr int64_t FloorDivBias = int64_t(1) << 30;
+
+/// floor(X / D) for positive D, exact for negative X too: computed as
+/// (X + Big*D) / D - Big so the truncating IDiv sees a positive
+/// numerator.
+inline ir::ExprPtr floorDivE(ir::ExprPtr X, ir::ExprPtr D) {
+  int64_t DV;
+  if (ir::constEvalInt(*D, DV) && DV == 1)
+    return X;
+  ir::ExprPtr Biased =
+      addE(std::move(X), mulE(litE(FloorDivBias), ir::cloneExpr(*D)));
+  return subE(divE(std::move(Biased), std::move(D)),
+              litE(FloorDivBias));
+}
+
+/// ceil(X / D) for positive D, exact for all X: floor((X + D - 1) / D).
+inline ir::ExprPtr ceilDivE(ir::ExprPtr X, ir::ExprPtr D) {
+  int64_t DV;
+  if (ir::constEvalInt(*D, DV) && DV == 1)
+    return X;
+  ir::ExprPtr Dm1 = subE(ir::cloneExpr(*D), litE(1));
+  return floorDivE(addE(std::move(X), std::move(Dm1)), std::move(D));
+}
+
+/// Adds the constant \p C, folding the no-op case.
+inline ir::ExprPtr addConstE(ir::ExprPtr X, int64_t C) {
+  if (C == 0)
+    return X;
+  if (C > 0)
+    return addE(std::move(X), litE(C));
+  return subE(std::move(X), litE(-C));
+}
+
+/// Multiplies by the constant \p C, folding the no-op case.
+inline ir::ExprPtr mulConstE(ir::ExprPtr X, int64_t C) {
+  if (C == 1)
+    return X;
+  return mulE(litE(C), std::move(X));
+}
+
+inline ir::ExprPtr queryE(ir::DistQueryKind K, ir::ArraySymbol *A,
+                          unsigned Dim) {
+  return ir::distQuery(K, A, Dim);
+}
+
+} // namespace dsm::xform
+
+#endif // DSM_XFORM_EXPRBUILD_H

@@ -1,0 +1,685 @@
+//===- xform/LowerReshaped.cpp - Reshaped-reference lowering ---------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Lowers every reference to a reshaped array into the two-level
+// processor-array form of the paper's Table 1, and implements the
+// Section 7 optimizations:
+//
+//  * TileContexts (from affinity scheduling or serial tiling) replace
+//    the div/mod owner computation with the known processor coordinate;
+//  * block loops are peeled so neighbour references (A(i-1), A(i+1))
+//    stay within the portion (Section 7.1's peeling example);
+//  * cyclic and cyclic(k) portions use strength-reduced local-index
+//    induction temporaries ("local_index = local_index + 1");
+//  * at ReshapeOptLevel::Full the indirect portion-pointer loads are
+//    hoisted out of the data loops into portion-base temporaries
+//    (Section 7.2), enabling the CSE the paper describes.
+//
+//===----------------------------------------------------------------------===//
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/StringUtils.h"
+#include "xform/ExprBuild.h"
+#include "xform/Xform.h"
+
+using namespace dsm;
+using namespace dsm::xform;
+using namespace dsm::ir;
+
+namespace {
+
+/// Position of dimension \p D among the distributed dimensions of
+/// \p A (processor-grid factoring assigns extents by this position).
+int distPosition(const ArraySymbol *A, unsigned D) {
+  int Pos = 0;
+  for (unsigned I = 0; I < D; ++I)
+    Pos += A->Dist.Dims[I].isDistributed();
+  return Pos;
+}
+
+/// True when references to dimension \p BD of \p B may reuse a tile
+/// context established for dimension \p CtxD of \p CtxA: the ownership
+/// map (extent, processor count, kind, chunk) must provably coincide.
+/// This is the paper Section 7.1 rule -- "other reshaped arrays that
+/// match the first array in size and distribution" -- applied per
+/// dimension, which also covers the transpose's A(*,block) / B(block,*)
+/// pair.
+bool compatibleDim(const ArraySymbol *CtxA, unsigned CtxD,
+                   const ArraySymbol *B, unsigned BD) {
+  if (CtxA == B)
+    return CtxD == BD;
+  if (!CtxA->isReshaped() || !B->isReshaped())
+    return CtxA->HasDist && B->HasDist && CtxA == B;
+  // Same per-dimension specifier and extent...
+  if (!(CtxA->Dist.Dims[CtxD] == B->Dist.Dims[BD]))
+    return false;
+  if (!exprStructEq(*CtxA->DimSizes[CtxD], *B->DimSizes[BD]))
+    return false;
+  // ... and the same processor count: the grid factoring depends only
+  // on the count of distributed dimensions, the position among them,
+  // and the onto weights.
+  if (CtxA->Dist.numDistributedDims() != B->Dist.numDistributedDims())
+    return false;
+  if (CtxA->Dist.OntoWeights != B->Dist.OntoWeights)
+    return false;
+  return distPosition(CtxA, CtxD) == distPosition(B, BD);
+}
+
+class Lowerer {
+public:
+  Lowerer(Procedure &P, ReshapeOptLevel Level) : Proc(P), Level(Level) {}
+
+  Error run() {
+    Block NewBody;
+    processBlock(Proc.Body, NewBody);
+    Proc.Body = std::move(NewBody);
+    return std::move(Diags);
+  }
+
+private:
+  struct ActiveTile {
+    const TileContext *Tile;
+    ScalarSymbol *IndVar;   ///< The data loop's variable.
+    const Stmt *OwnerLoop;  ///< The data loop itself.
+    ScalarSymbol *InductionTemp = nullptr; ///< Local-offset temp.
+  };
+
+  Procedure &Proc;
+  ReshapeOptLevel Level;
+  Error Diags;
+  std::vector<ActiveTile> Tiles;
+
+  /// Per tiled-loop collectors.
+  struct LoopScope {
+    const Stmt *Loop = nullptr; ///< The tiled loop this scope wraps.
+    Block PreStmts;  ///< Emitted immediately before the loop.
+    Block IncrStmts; ///< Appended to the loop body.
+    std::unordered_map<std::string, ScalarSymbol *> HoistCache;
+    size_t FirstTileIdx = 0;
+  };
+  std::vector<LoopScope> Scopes;
+
+  void error(int Line, const std::string &Message) {
+    Diags.addError(Message, Proc.Name, Line);
+  }
+
+  //===-- Structure walking -------------------------------------------===//
+
+  void processBlock(Block &B, Block &Out) {
+    for (StmtPtr &S : B)
+      processStmt(S, Out);
+  }
+
+  void processStmt(StmtPtr &S, Block &Out);
+  void processTiledLoop(StmtPtr &S, Block &Out);
+  void emitInterior(StmtPtr &S, Block &Out);
+  void lowerAllExprs(Stmt &S);
+  void lowerExpr(ExprPtr &E);
+
+  //===-- Peeling ------------------------------------------------------===//
+
+  struct PeelAmounts {
+    int64_t Front = 0;
+    int64_t Back = 0;
+  };
+  PeelAmounts computePeels(const Stmt &Loop);
+  void scanForPeels(const Expr &E, const Stmt &Loop, PeelAmounts &Peels);
+  void scanBlockForPeels(const Block &B, const Stmt &Loop,
+                         PeelAmounts &Peels);
+
+  //===-- Reference lowering -------------------------------------------===//
+
+  /// The active tile (if any) usable for dimension \p Dim of a
+  /// reference to \p A whose subscript is \p Sub.  On success *Delta is
+  /// the literal element offset from the scheduled footprint.
+  ActiveTile *findContext(const ArraySymbol *A, unsigned Dim,
+                          const Expr &Sub, int64_t *Delta);
+
+  ExprPtr buildNaiveOwner(ArraySymbol *A, unsigned Dim,
+                          const Expr &Sub);
+  ExprPtr buildNaiveLocal(ArraySymbol *A, unsigned Dim, ExprPtr E0);
+  ExprPtr buildPortionElem(Expr &Ref);
+
+  ScalarSymbol *inductionTempFor(ActiveTile &T, const Stmt *OwnerLoop);
+
+  /// At Full level, caches the loop-invariant expression \p E (stride
+  /// products of distribution parameters, which Section 7.2 marks
+  /// constant) in a temp hoisted before the outermost tiled loop.
+  ExprPtr hoistInvariant(ExprPtr E, const char *Hint);
+
+  const Stmt *CurrentLoop = nullptr; ///< Innermost tiled loop.
+
+  /// Loop-level hoisting + CSE of naive owner/local subexpressions
+  /// (the div and mod chains), the paper's Section 7.2: these are
+  /// always safe for reshaped arrays, so each chain is computed once at
+  /// the outermost position where its operands are available -- out of
+  /// inner loops and out of conditionals.  Active only at Full level.
+  struct CseLevel {
+    const ScalarSymbol *IndVar = nullptr; ///< Loop variable (null: base).
+    Block *Out = nullptr; ///< The block being rebuilt at this level.
+    std::unordered_set<const ScalarSymbol *> Assigned;
+    std::unordered_map<std::string, ScalarSymbol *> Cache;
+  };
+  std::vector<CseLevel> CseLevels;
+
+  static void collectAssigned(
+      const Block &B, std::unordered_set<const ScalarSymbol *> &Set) {
+    for (const StmtPtr &S : B) {
+      if (S->Kind == StmtKind::Assign &&
+          S->Lhs->Kind == ExprKind::ScalarUse)
+        Set.insert(S->Lhs->Scalar);
+      if (S->IndVar)
+        Set.insert(S->IndVar);
+      for (const ScalarSymbol *V : S->ProcVars)
+        Set.insert(V);
+      collectAssigned(S->Body, Set);
+      collectAssigned(S->Then, Set);
+      collectAssigned(S->Else, Set);
+    }
+  }
+
+  static void collectMentions(
+      const Expr &E, std::unordered_set<const ScalarSymbol *> &Set) {
+    if (E.Kind == ExprKind::ScalarUse)
+      Set.insert(E.Scalar);
+    for (const ExprPtr &Op : E.Ops)
+      collectMentions(*Op, Set);
+  }
+
+  ExprPtr cseSubexpr(ExprPtr E, const char *Hint) {
+    if (Level != ReshapeOptLevel::Full || CseLevels.empty() ||
+        E->Kind != ExprKind::Bin)
+      return E;
+    std::string Key = printExpr(*E);
+    for (CseLevel &L : CseLevels) {
+      auto It = L.Cache.find(Key);
+      if (It != L.Cache.end())
+        return useE(It->second);
+    }
+    // Deepest level whose loop variable or locally-assigned scalars the
+    // expression depends on; the temp lives there, evaluated once per
+    // that level's iteration.
+    std::unordered_set<const ScalarSymbol *> Mentions;
+    collectMentions(*E, Mentions);
+    size_t Target = 0;
+    for (size_t I = CseLevels.size(); I-- > 0;) {
+      const CseLevel &L = CseLevels[I];
+      bool Depends = L.IndVar && Mentions.count(L.IndVar);
+      for (const ScalarSymbol *V : L.Assigned)
+        Depends |= Mentions.count(V) != 0;
+      if (Depends) {
+        Target = I;
+        break;
+      }
+    }
+    CseLevel &L = CseLevels[Target];
+    ScalarSymbol *Temp = Proc.addTemp(Hint, ScalarType::I64);
+    L.Out->push_back(makeAssign(useE(Temp), std::move(E)));
+    L.Cache.emplace(Key, Temp);
+    return useE(Temp);
+  }
+};
+
+ExprPtr Lowerer::hoistInvariant(ExprPtr E, const char *Hint) {
+  if (Level != ReshapeOptLevel::Full || Scopes.empty())
+    return E;
+  // Literals and single queries are free; only cache composites.
+  if (E->Kind != ExprKind::Bin)
+    return E;
+  LoopScope &Scope = Scopes.front();
+  std::string Key = std::string(Hint) + "|" + printExpr(*E);
+  auto It = Scope.HoistCache.find(Key);
+  if (It != Scope.HoistCache.end())
+    return useE(It->second);
+  ScalarSymbol *Temp = Proc.addTemp(Hint, ScalarType::I64);
+  Scope.PreStmts.push_back(makeAssign(useE(Temp), std::move(E)));
+  Scope.HoistCache.emplace(Key, Temp);
+  return useE(Temp);
+}
+
+void Lowerer::processStmt(StmtPtr &S, Block &Out) {
+  if (S->Kind == StmtKind::Do && !S->Tiles.empty() &&
+      Level >= ReshapeOptLevel::TilePeel) {
+    processTiledLoop(S, Out);
+    return;
+  }
+  // Generic statement: lower its own expressions, then rebuild nested
+  // blocks.  Loop and parallel bodies open a CSE level so invariant
+  // div/mod chains hoist out of them (If arms deliberately do not:
+  // these operations are always safe for reshaped arrays and move
+  // above conditionals, paper Section 7.2).
+  lowerAllExprs(*S);
+  {
+    Block NewBody;
+    if (S->Kind == StmtKind::Do || S->Kind == StmtKind::ParallelDo) {
+      CseLevels.push_back(CseLevel{});
+      CseLevel &L = CseLevels.back();
+      L.IndVar = S->IndVar;
+      L.Out = &NewBody;
+      collectAssigned(S->Body, L.Assigned);
+      for (const ScalarSymbol *V : S->ProcVars)
+        L.Assigned.insert(V);
+      processBlock(S->Body, NewBody);
+      CseLevels.pop_back();
+    } else {
+      processBlock(S->Body, NewBody);
+    }
+    S->Body = std::move(NewBody);
+    Block NewThen;
+    processBlock(S->Then, NewThen);
+    S->Then = std::move(NewThen);
+    Block NewElse;
+    processBlock(S->Else, NewElse);
+    S->Else = std::move(NewElse);
+  }
+  Out.push_back(std::move(S));
+}
+
+void Lowerer::processTiledLoop(StmtPtr &S, Block &Out) {
+  Stmt &Loop = *S;
+  PeelAmounts Peels = computePeels(Loop);
+  int64_t StepLit = 0;
+  bool UnitStep = constEvalInt(*Loop.Step, StepLit) && StepLit == 1;
+
+  if ((Peels.Front > 0 || Peels.Back > 0) && UnitStep) {
+    // Split into front-peel / interior / back-peel; the peeled copies
+    // lose this loop's contexts and lower naively.
+    ExprPtr OrigLb = cloneExpr(*Loop.Lb);
+    ExprPtr OrigUb = cloneExpr(*Loop.Ub);
+
+    if (Peels.Front > 0) {
+      StmtPtr Front = cloneStmt(Loop);
+      Front->Tiles.clear();
+      Front->Ub = minE(cloneExpr(*OrigUb),
+                       addConstE(cloneExpr(*OrigLb), Peels.Front - 1));
+      processStmt(Front, Out);
+    }
+    if (Peels.Back > 0) {
+      StmtPtr Back = cloneStmt(Loop);
+      Back->Tiles.clear();
+      Back->Lb = maxE(addConstE(cloneExpr(*OrigLb), Peels.Front),
+                      addConstE(cloneExpr(*OrigUb), -Peels.Back + 1));
+      Loop.Lb = addConstE(std::move(OrigLb), Peels.Front);
+      Loop.Ub = addConstE(std::move(OrigUb), -Peels.Back);
+      emitInterior(S, Out);
+      processStmt(Back, Out);
+      return;
+    }
+    Loop.Lb = addConstE(std::move(OrigLb), Peels.Front);
+    Loop.Ub = std::move(OrigUb);
+  } else if ((Peels.Front > 0 || Peels.Back > 0) && !UnitStep) {
+    // Cannot peel a non-unit-step loop; drop the contexts so every
+    // reference lowers naively (correct, just slower).
+    Loop.Tiles.clear();
+    processStmt(S, Out);
+    return;
+  }
+  emitInterior(S, Out);
+}
+
+
+void Lowerer::emitInterior(StmtPtr &S, Block &Out) {
+  Stmt &Loop = *S;
+  Scopes.push_back(LoopScope{});
+  Scopes.back().Loop = &Loop;
+  Scopes.back().FirstTileIdx = Tiles.size();
+  for (const TileContext &T : Loop.Tiles)
+    Tiles.push_back(ActiveTile{&T, Loop.IndVar, &Loop, nullptr});
+  const Stmt *SavedLoop = CurrentLoop;
+  CurrentLoop = &Loop;
+
+  // Bounds are loop-entry expressions; lower any reshaped refs inside.
+  lowerExpr(Loop.Lb);
+  lowerExpr(Loop.Ub);
+  lowerExpr(Loop.Step);
+
+  Block NewBody;
+  {
+    CseLevels.push_back(CseLevel{});
+    CseLevel &L = CseLevels.back();
+    L.IndVar = Loop.IndVar;
+    L.Out = &NewBody;
+    collectAssigned(Loop.Body, L.Assigned);
+    processBlock(Loop.Body, NewBody);
+    CseLevels.pop_back();
+  }
+  LoopScope Scope = std::move(Scopes.back());
+  Scopes.pop_back();
+  for (StmtPtr &Incr : Scope.IncrStmts)
+    NewBody.push_back(std::move(Incr));
+  Loop.Body = std::move(NewBody);
+
+  Tiles.resize(Scope.FirstTileIdx);
+  CurrentLoop = SavedLoop;
+
+  for (StmtPtr &Pre : Scope.PreStmts)
+    Out.push_back(std::move(Pre));
+  Out.push_back(std::move(S));
+}
+
+void Lowerer::lowerAllExprs(Stmt &S) {
+  if (S.Lhs)
+    lowerExpr(S.Lhs);
+  if (S.Rhs)
+    lowerExpr(S.Rhs);
+  if (S.Lb)
+    lowerExpr(S.Lb);
+  if (S.Ub)
+    lowerExpr(S.Ub);
+  if (S.Step)
+    lowerExpr(S.Step);
+  if (S.Cond)
+    lowerExpr(S.Cond);
+  for (ExprPtr &E : S.ProcExtents)
+    lowerExpr(E);
+  // Call arguments: an array reference at argument position denotes the
+  // array (or the address of an element/portion), not a value -- keep
+  // the high-level form and lower only the subscripts.
+  for (ExprPtr &A : S.Args) {
+    if (A->Kind == ExprKind::ArrayElem)
+      for (ExprPtr &Op : A->Ops)
+        lowerExpr(Op);
+    else
+      lowerExpr(A);
+  }
+}
+
+void Lowerer::lowerExpr(ExprPtr &E) {
+  // Children first.
+  for (ExprPtr &Op : E->Ops)
+    lowerExpr(Op);
+  if (E->Kind != ExprKind::ArrayElem || E->Ops.empty())
+    return; // Whole-array references stay as-is.
+  if (!E->Array->isReshaped())
+    return;
+  E = buildPortionElem(*E);
+}
+
+//===----------------------------------------------------------------------===//
+// Peeling analysis
+//===----------------------------------------------------------------------===//
+
+void Lowerer::scanForPeels(const Expr &E, const Stmt &Loop,
+                           PeelAmounts &Peels) {
+  for (const ExprPtr &Op : E.Ops)
+    scanForPeels(*Op, Loop, Peels);
+  if (E.Kind != ExprKind::ArrayElem || E.Ops.empty() ||
+      !E.Array->isReshaped())
+    return;
+  for (const TileContext &T : Loop.Tiles) {
+    if (T.Kind != dist::DistKind::Block)
+      continue;
+    for (unsigned D = 0; D < E.Ops.size(); ++D) {
+      if (!compatibleDim(T.Array, T.Dim, E.Array, D))
+        continue;
+      int64_t S, C;
+      if (!extractLinear(*E.Ops[D], Loop.IndVar, S, C))
+        continue;
+      if (S != T.Scale)
+        continue;
+      int64_t Delta = C - T.Offset;
+      if (Delta > 0)
+        Peels.Back =
+            std::max(Peels.Back, (Delta + T.Scale - 1) / T.Scale);
+      else if (Delta < 0)
+        Peels.Front =
+            std::max(Peels.Front, (-Delta + T.Scale - 1) / T.Scale);
+    }
+  }
+}
+
+void Lowerer::scanBlockForPeels(const Block &B, const Stmt &Loop,
+                                PeelAmounts &Peels) {
+  for (const StmtPtr &S : B) {
+    if (S->Lhs)
+      scanForPeels(*S->Lhs, Loop, Peels);
+    if (S->Rhs)
+      scanForPeels(*S->Rhs, Loop, Peels);
+    if (S->Cond)
+      scanForPeels(*S->Cond, Loop, Peels);
+    if (S->Lb)
+      scanForPeels(*S->Lb, Loop, Peels);
+    if (S->Ub)
+      scanForPeels(*S->Ub, Loop, Peels);
+    for (const ExprPtr &A : S->Args)
+      scanForPeels(*A, Loop, Peels);
+    scanBlockForPeels(S->Body, Loop, Peels);
+    scanBlockForPeels(S->Then, Loop, Peels);
+    scanBlockForPeels(S->Else, Loop, Peels);
+  }
+}
+
+Lowerer::PeelAmounts Lowerer::computePeels(const Stmt &Loop) {
+  PeelAmounts Peels;
+  scanBlockForPeels(Loop.Body, Loop, Peels);
+  return Peels;
+}
+
+//===----------------------------------------------------------------------===//
+// Reference lowering
+//===----------------------------------------------------------------------===//
+
+Lowerer::ActiveTile *Lowerer::findContext(const ArraySymbol *A,
+                                          unsigned Dim, const Expr &Sub,
+                                          int64_t *Delta) {
+  for (size_t I = Tiles.size(); I-- > 0;) {
+    ActiveTile &T = Tiles[I];
+    if (!compatibleDim(T.Tile->Array, T.Tile->Dim, A, Dim))
+      continue;
+    int64_t S, C;
+    if (!extractLinear(Sub, T.IndVar, S, C))
+      continue;
+    if (S != T.Tile->Scale)
+      continue;
+    int64_t D = C - T.Tile->Offset;
+    if (T.Tile->Kind != dist::DistKind::Block && D != 0)
+      continue; // Only block portions tolerate offsets (via peeling).
+    *Delta = D;
+    return &T;
+  }
+  return nullptr;
+}
+
+ExprPtr Lowerer::buildNaiveOwner(ArraySymbol *A, unsigned Dim,
+                                 const Expr &Sub) {
+  ExprPtr E0 = addConstE(cloneExpr(Sub), -1); // 0-based element.
+  switch (A->Dist.Dims[Dim].Kind) {
+  case dist::DistKind::Block:
+    return divE(std::move(E0),
+                queryE(DistQueryKind::BlockSize, A, Dim));
+  case dist::DistKind::Cyclic:
+    return modE(std::move(E0), queryE(DistQueryKind::NumProcs, A, Dim));
+  case dist::DistKind::BlockCyclic:
+    return modE(divE(std::move(E0), queryE(DistQueryKind::Chunk, A, Dim)),
+                queryE(DistQueryKind::NumProcs, A, Dim));
+  case dist::DistKind::None:
+    break;
+  }
+  return litE(0);
+}
+
+ExprPtr Lowerer::buildNaiveLocal(ArraySymbol *A, unsigned Dim,
+                                 ExprPtr E0) {
+  switch (A->Dist.Dims[Dim].Kind) {
+  case dist::DistKind::None:
+    return E0;
+  case dist::DistKind::Block:
+    return modE(std::move(E0),
+                queryE(DistQueryKind::BlockSize, A, Dim));
+  case dist::DistKind::Cyclic:
+    return divE(std::move(E0), queryE(DistQueryKind::NumProcs, A, Dim));
+  case dist::DistKind::BlockCyclic: {
+    // (e / (k*P)) * k + e mod k.
+    ExprPtr KP = mulE(queryE(DistQueryKind::Chunk, A, Dim),
+                      queryE(DistQueryKind::NumProcs, A, Dim));
+    ExprPtr Row = divE(cloneExpr(*E0), std::move(KP));
+    ExprPtr InChunk =
+        modE(std::move(E0), queryE(DistQueryKind::Chunk, A, Dim));
+    return addE(mulE(std::move(Row),
+                     queryE(DistQueryKind::Chunk, A, Dim)),
+                std::move(InChunk));
+  }
+  }
+  return litE(0);
+}
+
+ScalarSymbol *Lowerer::inductionTempFor(ActiveTile &T,
+                                        const Stmt *OwnerLoop) {
+  if (T.InductionTemp)
+    return T.InductionTemp;
+
+  // Per-iteration advance of the local offset ("local_index =
+  // local_index + 1" in the paper's generated code).  Block portions
+  // advance Scale*step elements per iteration; cyclic portions advance
+  // Scale (the generated loop step is P); cyclic(k) chunks advance
+  // Scale within the chunk (unit user step).
+  int64_t Advance = T.Tile->Scale;
+  if (T.Tile->Kind == dist::DistKind::Block) {
+    int64_t StepLit = 0;
+    if (!constEvalInt(*OwnerLoop->Step, StepLit))
+      return nullptr; // Symbolic step: caller falls back to the formula.
+    Advance = T.Tile->Scale * StepLit;
+  }
+
+  // The temp lives in the scope of the loop that established the
+  // context: initialized before that loop, advanced once per one of
+  // its iterations.  (Inner scopes requesting an outer dimension's
+  // temp must not capture it.)
+  LoopScope *Owner = nullptr;
+  for (LoopScope &S : Scopes)
+    if (S.Loop == T.OwnerLoop)
+      Owner = &S;
+  assert(Owner && "induction temp outside its owner loop's scope");
+  LoopScope &Scope = *Owner;
+  ScalarSymbol *Temp = Proc.addTemp("lidx", ScalarType::I64);
+
+  // Initial value: the naive local offset of the first iteration's
+  // element, e = Scale*Lb + Offset (computed once, before the loop --
+  // this is where the remaining div/mod lives, paper Section 7.1).
+  ExprPtr E0 = addConstE(
+      mulConstE(cloneExpr(*OwnerLoop->Lb), T.Tile->Scale),
+      T.Tile->Offset - 1);
+  ExprPtr Init = buildNaiveLocal(T.Tile->Array, T.Tile->Dim,
+                                 std::move(E0));
+  Scope.PreStmts.push_back(makeAssign(useE(Temp), std::move(Init)));
+
+  Scope.IncrStmts.push_back(
+      makeAssign(useE(Temp), addConstE(useE(Temp), Advance)));
+  T.InductionTemp = Temp;
+  return Temp;
+}
+
+ExprPtr Lowerer::buildPortionElem(Expr &Ref) {
+  ArraySymbol *A = Ref.Array;
+  unsigned Rank = A->rank();
+  assert(Ref.Ops.size() == Rank && "rank mismatch survived sema");
+
+  // Cell linearization over distributed dimensions, in dimension order.
+  ExprPtr Cell;
+  ExprPtr Stride;
+  bool AllCoordsFromContext = true;
+  for (unsigned D = 0; D < Rank; ++D) {
+    if (!A->Dist.Dims[D].isDistributed())
+      continue;
+    int64_t Delta = 0;
+    ActiveTile *Ctx = findContext(A, D, *Ref.Ops[D], &Delta);
+    ExprPtr Coord;
+    if (Ctx) {
+      Coord = useE(Ctx->Tile->ProcVar);
+    } else {
+      AllCoordsFromContext = false;
+      Coord = cseSubexpr(buildNaiveOwner(A, D, *Ref.Ops[D]), "own");
+    }
+    ExprPtr Term = Stride ? mulE(std::move(Coord), cloneExpr(*Stride))
+                          : std::move(Coord);
+    Cell = Cell ? addE(std::move(Cell), std::move(Term))
+                : std::move(Term);
+    ExprPtr P = queryE(DistQueryKind::NumProcs, A, D);
+    Stride = Stride ? hoistInvariant(
+                          mulE(std::move(Stride), std::move(P)), "cstr")
+                    : std::move(P);
+  }
+  assert(Cell && "reshaped array with no distributed dimension");
+
+  // Local linearization over all dimensions.
+  ExprPtr Local;
+  ExprPtr PStride;
+  for (unsigned D = 0; D < Rank; ++D) {
+    int64_t Delta = 0;
+    ActiveTile *Ctx = A->Dist.Dims[D].isDistributed()
+                          ? findContext(A, D, *Ref.Ops[D], &Delta)
+                          : nullptr;
+    ExprPtr LocalD;
+    if (!A->Dist.Dims[D].isDistributed()) {
+      LocalD = addConstE(cloneExpr(*Ref.Ops[D]), -1);
+    } else if (Ctx && Ctx->Tile->Kind == dist::DistKind::Block) {
+      // Strength-reduced local offset; Delta shifts neighbour
+      // references within the portion (peeling keeps them in range).
+      if (ScalarSymbol *Temp = inductionTempFor(*Ctx, Ctx->OwnerLoop)) {
+        LocalD = addConstE(useE(Temp), Delta);
+      } else {
+        // local = e - 1 - p*b  (symbolic-step fallback).
+        LocalD = subE(addConstE(cloneExpr(*Ref.Ops[D]), -1),
+                      mulE(useE(Ctx->Tile->ProcVar),
+                           queryE(DistQueryKind::BlockSize, A, D)));
+      }
+    } else if (Ctx) {
+      // Cyclic / cyclic(k): strength-reduced induction temp.
+      LocalD = useE(inductionTempFor(*Ctx, Ctx->OwnerLoop));
+    } else {
+      LocalD = cseSubexpr(
+          buildNaiveLocal(A, D, addConstE(cloneExpr(*Ref.Ops[D]), -1)),
+          "loc");
+    }
+    ExprPtr Term = PStride
+                       ? mulE(std::move(LocalD), cloneExpr(*PStride))
+                       : std::move(LocalD);
+    Local = Local ? addE(std::move(Local), std::move(Term))
+                  : std::move(Term);
+    ExprPtr PE = queryE(DistQueryKind::PortionExtent, A, D);
+    PStride = PStride
+                  ? hoistInvariant(
+                        mulE(std::move(PStride), std::move(PE)), "pstr")
+                  : std::move(PE);
+  }
+
+  auto PElem = std::make_unique<Expr>(ExprKind::PortionElem);
+  PElem->Type = Ref.Type;
+  PElem->Array = A;
+
+  // Hoist the indirect portion-pointer load when the cell is invariant
+  // within the current tiled loop (Section 7.2).
+  if (Level == ReshapeOptLevel::Full && AllCoordsFromContext &&
+      !Scopes.empty()) {
+    std::string Key = A->Name + "|" + printExpr(*Cell);
+    LoopScope &Scope = Scopes.back();
+    auto It = Scope.HoistCache.find(Key);
+    ScalarSymbol *BaseTemp;
+    if (It != Scope.HoistCache.end()) {
+      BaseTemp = It->second;
+    } else {
+      BaseTemp = Proc.addTemp("pbase", ScalarType::I64);
+      auto Ptr = std::make_unique<Expr>(ExprKind::PortionPtr);
+      Ptr->Type = ScalarType::I64;
+      Ptr->Array = A;
+      Ptr->Ops.push_back(cloneExpr(*Cell));
+      Scope.PreStmts.push_back(
+          makeAssign(useE(BaseTemp), std::move(Ptr)));
+      Scope.HoistCache.emplace(Key, BaseTemp);
+    }
+    PElem->Scalar = BaseTemp;
+  }
+
+  PElem->Ops.push_back(std::move(Cell));
+  PElem->Ops.push_back(std::move(Local));
+  return PElem;
+}
+
+} // namespace
+
+Error dsm::xform::lowerReshapedRefs(Procedure &P, ReshapeOptLevel Level) {
+  return Lowerer(P, Level).run();
+}

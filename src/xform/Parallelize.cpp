@@ -1,0 +1,417 @@
+//===- xform/Parallelize.cpp - doacross -> SPMD transformation ------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Implements the paper's Section 4.1 (Figure 2): a doacross loop (nest)
+// becomes a ParallelDo over processors; with an affinity clause the
+// iteration bounds are restricted to the processor's portion of the
+// named array dimension for block, cyclic, and cyclic(k) distributions.
+// Without affinity, the schedtype clause selects simple (block-of-
+// iterations) or interleave scheduling.
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+
+#include "support/StringUtils.h"
+#include "xform/ExprBuild.h"
+#include "xform/Xform.h"
+
+using namespace dsm;
+using namespace dsm::xform;
+using namespace dsm::ir;
+
+namespace {
+
+class Parallelizer {
+public:
+  Parallelizer(Procedure &P) : Proc(P) {}
+
+  Error run() {
+    processBlock(Proc.Body, /*InParallel=*/false);
+    return std::move(Diags);
+  }
+
+private:
+  Procedure &Proc;
+  Error Diags;
+  /// A chunk-row wrapper produced by cyclic(k) scheduling, waiting to
+  /// be spliced around the data loop.
+  StmtPtr PendingWrapper;
+
+  void error(int Line, const std::string &Message) {
+    Diags.addError(Message, Proc.Name, Line);
+  }
+
+  void stripInnerDoacross(Block &B) {
+    for (StmtPtr &S : B) {
+      if (S->Doacross)
+        S->Doacross.reset();
+      stripInnerDoacross(S->Body);
+      stripInnerDoacross(S->Then);
+      stripInnerDoacross(S->Else);
+    }
+  }
+
+  void processBlock(Block &B, bool InParallel) {
+    for (StmtPtr &S : B) {
+      if (S->Kind == StmtKind::Do && S->Doacross &&
+          S->Doacross->IsDoacross && !InParallel) {
+        transformDoacross(S);
+        continue;
+      }
+      bool Nested = InParallel || S->Kind == StmtKind::ParallelDo;
+      processBlock(S->Body, Nested);
+      processBlock(S->Then, Nested);
+      processBlock(S->Else, Nested);
+    }
+  }
+
+  /// True when \p E references \p Var anywhere.
+  static bool mentionsVar(const Expr &E, const ScalarSymbol *Var) {
+    if (E.Kind == ExprKind::ScalarUse && E.Scalar == Var)
+      return true;
+    for (const ExprPtr &Op : E.Ops)
+      if (mentionsVar(*Op, Var))
+        return true;
+    return false;
+  }
+
+  /// Coalesces the outer two loops of a rectangular doacross nest into
+  /// one flattened loop partitioned across processors.  On success the
+  /// flattened structure is installed into \p PD's body and *Slot is
+  /// consumed.  Iteration order within each processor stays
+  /// lexicographic.
+  bool coalesceNest(StmtPtr &Slot, Stmt &PD, ScalarSymbol *P,
+                    SchedKind Sched) {
+    Stmt &Outer = *Slot;
+    if (Outer.Body.size() != 1 || Outer.Body[0]->Kind != StmtKind::Do)
+      return false;
+    Stmt &Inner = *Outer.Body[0];
+    if (mentionsVar(*Inner.Lb, Outer.IndVar) ||
+        mentionsVar(*Inner.Ub, Outer.IndVar) ||
+        mentionsVar(*Inner.Step, Outer.IndVar))
+      return false;
+
+    ScalarSymbol *NOut = Proc.addTemp("nout", ScalarType::I64);
+    ScalarSymbol *NIn = Proc.addTemp("nin", ScalarType::I64);
+    ScalarSymbol *T = Proc.addTemp("t", ScalarType::I64);
+    PD.PrivateScalars.push_back(NOut);
+    PD.PrivateScalars.push_back(NIn);
+    PD.PrivateScalars.push_back(T);
+
+    auto TripCount = [&](const Stmt &L) {
+      return maxE(litE(0),
+                  divE(addE(subE(cloneExpr(*L.Ub), cloneExpr(*L.Lb)),
+                            cloneExpr(*L.Step)),
+                       cloneExpr(*L.Step)));
+    };
+    PD.Body.push_back(makeAssign(useE(NOut), TripCount(Outer)));
+    PD.Body.push_back(makeAssign(useE(NIn), TripCount(Inner)));
+    ExprPtr Total = mulE(useE(NOut), useE(NIn));
+
+    // Flattened loop bounds per schedule kind.
+    StmtPtr Flat;
+    if (Sched == SchedKind::Interleave) {
+      Flat = makeDo(T, useE(P), addConstE(std::move(Total), -1),
+                    distQuery(DistQueryKind::TotalProcs, nullptr, 0));
+    } else {
+      ScalarSymbol *Chunk = Proc.addTemp("chunk", ScalarType::I64);
+      PD.PrivateScalars.push_back(Chunk);
+      PD.Body.push_back(makeAssign(
+          useE(Chunk),
+          ceilDivE(cloneExpr(*Total),
+                   distQuery(DistQueryKind::TotalProcs, nullptr, 0))));
+      Flat = makeDo(
+          T, mulE(useE(P), useE(Chunk)),
+          minE(addConstE(std::move(Total), -1),
+               addConstE(mulE(addConstE(useE(P), 1), useE(Chunk)), -1)),
+          litE(1));
+    }
+    // Recover the original loop variables:
+    //   outer = OuterLb + (t / nin) * OuterStep
+    //   inner = InnerLb + (t mod nin) * InnerStep
+    Flat->Body.push_back(makeAssign(
+        useE(Outer.IndVar),
+        addE(cloneExpr(*Outer.Lb),
+             mulE(divE(useE(T), useE(NIn)), cloneExpr(*Outer.Step)))));
+    Flat->Body.push_back(makeAssign(
+        useE(Inner.IndVar),
+        addE(cloneExpr(*Inner.Lb),
+             mulE(modE(useE(T), useE(NIn)), cloneExpr(*Inner.Step)))));
+    for (StmtPtr &S : Inner.Body)
+      Flat->Body.push_back(std::move(S));
+    PD.Body.push_back(std::move(Flat));
+    Slot.reset();
+    return true;
+  }
+
+  /// Rewrites one nest loop's bounds for affinity scheduling; on
+  /// success the loop carries a TileContext.  cyclic(k) additionally
+  /// leaves a chunk-row wrapper in PendingWrapper.
+  bool scheduleAffinityLoop(Stmt &Loop, const DoacrossInfo::Affinity &A,
+                            ScalarSymbol *ProcVar) {
+    ArraySymbol *Arr = A.Array;
+    unsigned Dim = A.Dim;
+    int64_t S = A.Scale;
+    int64_t C = A.Offset;
+    if (S <= 0) {
+      error(Loop.SourceLine,
+            "affinity coefficient must be positive for scheduling");
+      return false;
+    }
+    dist::DistKind Kind = Arr->Dist.Dims[Dim].Kind;
+
+    int64_t StepLit = 0;
+    bool StepIsOne = constEvalInt(*Loop.Step, StepLit) && StepLit == 1;
+
+    auto P = [&] { return queryE(DistQueryKind::NumProcs, Arr, Dim); };
+    auto Bsz = [&] { return queryE(DistQueryKind::BlockSize, Arr, Dim); };
+    auto N = [&] { return queryE(DistQueryKind::DimSize, Arr, Dim); };
+    auto K = [&] { return queryE(DistQueryKind::Chunk, Arr, Dim); };
+    auto Pv = [&] { return useE(ProcVar); };
+
+    TileContext Tile;
+    Tile.Array = Arr;
+    Tile.Dim = Dim;
+    Tile.Scale = S;
+    Tile.Offset = C;
+    Tile.ProcVar = ProcVar;
+    Tile.Kind = Kind;
+    Tile.Chunk = Arr->Dist.Dims[Dim].Chunk;
+
+    switch (Kind) {
+    case dist::DistKind::Block: {
+      // Processor p owns elements e in [p*b+1, min(N, (p+1)*b)];
+      // iterations satisfy s*i + c = e.
+      ExprPtr LoNum = addConstE(mulE(Pv(), Bsz()), 1 - C);
+      ExprPtr HiNum =
+          addConstE(minE(N(), mulE(addConstE(Pv(), 1), Bsz())), -C);
+      ExprPtr ILo = ceilDivE(std::move(LoNum), litE(S));
+      ExprPtr IHi = floorDivE(std::move(HiNum), litE(S));
+      ExprPtr NewLb = maxE(cloneExpr(*Loop.Lb), std::move(ILo));
+      ExprPtr NewUb = minE(cloneExpr(*Loop.Ub), std::move(IHi));
+      if (!StepIsOne) {
+        // Realign onto the original iteration grid LB + k*step
+        // (Figure 2's ceiling adjustment).
+        ExprPtr Delta =
+            maxE(subE(std::move(NewLb), cloneExpr(*Loop.Lb)), litE(0));
+        ExprPtr Steps =
+            ceilDivE(std::move(Delta), cloneExpr(*Loop.Step));
+        NewLb = addE(cloneExpr(*Loop.Lb),
+                     mulE(std::move(Steps), cloneExpr(*Loop.Step)));
+      }
+      Loop.Lb = std::move(NewLb);
+      Loop.Ub = std::move(NewUb);
+      Loop.Tiles.push_back(Tile);
+      return true;
+    }
+    case dist::DistKind::Cyclic: {
+      if (S != 1 || !StepIsOne) {
+        error(Loop.SourceLine,
+              "cyclic affinity scheduling requires unit stride and "
+              "coefficient (the paper omits the general forms)");
+        return false;
+      }
+      // i = LB + ((p + 1 - c - LB) mod P, made non-negative); step P.
+      ExprPtr Phase = modE(
+          addE(modE(subE(addConstE(Pv(), 1 - C), cloneExpr(*Loop.Lb)),
+                    P()),
+               P()),
+          P());
+      Loop.Lb = addE(cloneExpr(*Loop.Lb), std::move(Phase));
+      Loop.Step = P();
+      Loop.Tiles.push_back(Tile);
+      return true;
+    }
+    case dist::DistKind::BlockCyclic: {
+      if (S != 1 || !StepIsOne) {
+        error(Loop.SourceLine,
+              "cyclic(k) affinity scheduling requires unit stride and "
+              "coefficient");
+        return false;
+      }
+      // Triply nested form (Figure 2): an outer chunk-row loop walks
+      // this processor's chunks; the inner loop covers one chunk.
+      ScalarSymbol *RowVar = Proc.addTemp("crow", ScalarType::I64);
+      ScalarSymbol *BaseVar = Proc.addTemp("ebase", ScalarType::I64);
+      Tile.ChunkRowVar = RowVar;
+
+      ExprPtr NumChunks = ceilDivE(N(), K());
+      ExprPtr RowUb =
+          divE(subE(addConstE(std::move(NumChunks), -1), Pv()), P());
+      StmtPtr RowLoop = makeDo(RowVar, litE(0), std::move(RowUb),
+                               litE(1));
+
+      // ebase = (p + m*P) * k  (0-based first element of the chunk).
+      ExprPtr EBase = mulE(addE(Pv(), mulE(useE(RowVar), P())), K());
+      RowLoop->Body.push_back(makeAssign(useE(BaseVar), std::move(EBase)));
+
+      ExprPtr NewLb = maxE(cloneExpr(*Loop.Lb),
+                           addConstE(useE(BaseVar), 1 - C));
+      ExprPtr NewUb =
+          minE(cloneExpr(*Loop.Ub),
+               addConstE(minE(N(), addE(useE(BaseVar), K())), -C));
+      Loop.Lb = std::move(NewLb);
+      Loop.Ub = std::move(NewUb);
+      Loop.Tiles.push_back(Tile);
+      PendingWrapper = std::move(RowLoop);
+      return true;
+    }
+    case dist::DistKind::None:
+      error(Loop.SourceLine, "affinity names an undistributed dimension");
+      return false;
+    }
+    return false;
+  }
+
+  void transformDoacross(StmtPtr &Slot) {
+    Stmt &Loop = *Slot;
+    DoacrossInfo Info = std::move(*Loop.Doacross);
+    Loop.Doacross.reset();
+    stripInnerDoacross(Loop.Body);
+
+    auto PD = std::make_unique<Stmt>(StmtKind::ParallelDo);
+    PD->SourceLine = Loop.SourceLine;
+    PD->Sched = Info.Sched;
+    PD->PrivateScalars = Info.Locals;
+
+    // One processor variable per affinity dimension, ordered by array
+    // dimension so the ParallelDo's cell linearization matches the
+    // processor grid's.  Affinities on undistributed arrays (e.g. in a
+    // base subroutine whose formal only becomes reshaped in clones) are
+    // dropped: the loop falls back to simple scheduling.
+    struct Sched {
+      size_t NestIdx;
+      const DoacrossInfo::Affinity *Aff;
+      ScalarSymbol *ProcVar;
+    };
+    std::vector<Sched> Order;
+    if (Info.Sched == SchedKind::Affinity)
+      for (size_t V = 0; V < Info.NestVars.size(); ++V) {
+        const DoacrossInfo::Affinity &A = Info.Affinities[V];
+        if (A.Present && A.Array->HasDist &&
+            A.Array->Dist.Dims[A.Dim].isDistributed())
+          Order.push_back(Sched{V, &Info.Affinities[V], nullptr});
+      }
+
+    if (!Order.empty()) {
+      // Locate the nest loops (sema verified the perfect nest).
+      std::vector<Stmt *> NestLoops;
+      Stmt *Cur = &Loop;
+      NestLoops.push_back(Cur);
+      for (size_t V = 1; V < Info.NestVars.size(); ++V) {
+        Cur = Cur->Body[0].get();
+        NestLoops.push_back(Cur);
+      }
+
+      std::sort(Order.begin(), Order.end(),
+                [](const Sched &A, const Sched &B) {
+                  return A.Aff->Dim < B.Aff->Dim;
+                });
+      for (Sched &S : Order) {
+        S.ProcVar = Proc.addTemp("p", ScalarType::I64);
+        PD->ProcVars.push_back(S.ProcVar);
+        PD->ProcExtents.push_back(queryE(DistQueryKind::NumProcs,
+                                         S.Aff->Array, S.Aff->Dim));
+        PD->PrivateScalars.push_back(S.ProcVar);
+      }
+
+      // Rewrite each scheduled nest loop's bounds.  Process innermost
+      // first so NestLoops pointers stay valid when cyclic(k) wrappers
+      // splice in.
+      std::sort(Order.begin(), Order.end(),
+                [](const Sched &A, const Sched &B) {
+                  return A.NestIdx > B.NestIdx;
+                });
+      for (const Sched &S : Order) {
+        Stmt *L = NestLoops[S.NestIdx];
+        if (!scheduleAffinityLoop(*L, *S.Aff, S.ProcVar))
+          return;
+        if (PendingWrapper) {
+          StmtPtr Wrapper = std::move(PendingWrapper);
+          if (S.NestIdx == 0) {
+            Wrapper->Body.push_back(std::move(Slot));
+            Slot = std::move(Wrapper);
+          } else {
+            Stmt *Parent = NestLoops[S.NestIdx - 1];
+            StmtPtr Inner = std::move(Parent->Body[0]);
+            Wrapper->Body.push_back(std::move(Inner));
+            Parent->Body[0] = std::move(Wrapper);
+          }
+        }
+      }
+      PD->Body.push_back(std::move(Slot));
+      Slot = std::move(PD);
+      return;
+    }
+
+    // No affinity: partition the iteration space.
+    ScalarSymbol *P = Proc.addTemp("p", ScalarType::I64);
+    PD->ProcVars.push_back(P);
+    PD->ProcExtents.push_back(
+        distQuery(DistQueryKind::TotalProcs, nullptr, 0));
+    PD->PrivateScalars.push_back(P);
+    ExprPtr NumProcs = distQuery(DistQueryKind::TotalProcs, nullptr, 0);
+
+    // A doacross nest without affinity schedules the *flattened*
+    // (outer x inner) iteration space so processor counts beyond the
+    // outer extent still get work (the MP runtime's behaviour).
+    // Requires the inner bounds to be independent of the outer loop
+    // variable (rectangular nest).
+    if (Info.NestVars.size() >= 2 &&
+        coalesceNest(Slot, *PD, P, Info.Sched)) {
+      Slot = std::move(PD);
+      return;
+    }
+
+    if (Info.Sched == SchedKind::Interleave ||
+        Info.Sched == SchedKind::Dynamic) {
+      // Iteration m goes to processor m mod P:
+      //   do i = LB + p*step, UB, P*step
+      // Dynamic scheduling is modeled as interleaving; the simulator's
+      // sequentialized processors cannot express true work stealing
+      // (see DESIGN.md).
+      ExprPtr NewLb = addE(cloneExpr(*Loop.Lb),
+                           mulE(useE(P), cloneExpr(*Loop.Step)));
+      ExprPtr NewStep = mulE(std::move(NumProcs), cloneExpr(*Loop.Step));
+      Loop.Lb = std::move(NewLb);
+      Loop.Step = std::move(NewStep);
+      PD->Body.push_back(std::move(Slot));
+      Slot = std::move(PD);
+      return;
+    }
+
+    // Simple: contiguous blocks of ceil(niter/P) iterations.
+    ScalarSymbol *NIter = Proc.addTemp("niter", ScalarType::I64);
+    ScalarSymbol *Chunk = Proc.addTemp("chunk", ScalarType::I64);
+    PD->PrivateScalars.push_back(NIter);
+    PD->PrivateScalars.push_back(Chunk);
+    PD->Body.push_back(makeAssign(
+        useE(NIter),
+        maxE(litE(0),
+             divE(addE(subE(cloneExpr(*Loop.Ub), cloneExpr(*Loop.Lb)),
+                       cloneExpr(*Loop.Step)),
+                  cloneExpr(*Loop.Step)))));
+    PD->Body.push_back(makeAssign(
+        useE(Chunk), ceilDivE(useE(NIter), std::move(NumProcs))));
+    ExprPtr NewLb =
+        addE(cloneExpr(*Loop.Lb),
+             mulE(mulE(useE(P), useE(Chunk)), cloneExpr(*Loop.Step)));
+    ExprPtr NewUb = minE(
+        cloneExpr(*Loop.Ub),
+        addE(cloneExpr(*Loop.Lb),
+             mulE(addConstE(mulE(addConstE(useE(P), 1), useE(Chunk)), -1),
+                  cloneExpr(*Loop.Step))));
+    Loop.Lb = std::move(NewLb);
+    Loop.Ub = std::move(NewUb);
+    PD->Body.push_back(std::move(Slot));
+    Slot = std::move(PD);
+  }
+};
+
+} // namespace
+
+Error dsm::xform::parallelizeProcedure(Procedure &P) {
+  return Parallelizer(P).run();
+}

@@ -1,0 +1,438 @@
+//===- xform/SerialTile.cpp - Processor-tiling of serial loops -------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Section 7.1: "besides parallel loops with data affinity, we apply
+// [tiling and peeling] to other loops that reference reshaped arrays,
+// such as serial loops and parallel loops without user-declared
+// affinity."  A serial loop whose body references a block-reshaped
+// dimension linearly in the loop variable gains an enclosing
+// processor-tile loop with portion-restricted bounds.  For block
+// distributions the tiles enumerate iterations in their original order,
+// so the transformation is always legal; cyclic tilings would reorder
+// iterations and are therefore not applied to serial loops (the
+// dependence constraint the paper notes).
+//
+//===----------------------------------------------------------------------===//
+
+#include <functional>
+#include <map>
+#include <unordered_set>
+
+#include "xform/ExprBuild.h"
+#include "xform/Xform.h"
+
+using namespace dsm;
+using namespace dsm::xform;
+using namespace dsm::ir;
+
+namespace {
+
+struct Candidate {
+  ArraySymbol *Array = nullptr;
+  unsigned Dim = 0;
+  int64_t Scale = 1;
+  int64_t Offset = 0;
+  unsigned RefCount = 0;
+};
+
+/// Counts block-reshaped references indexed linearly by \p Var, keyed
+/// by (array, dim, scale, offset).
+class CandidateScan {
+public:
+  CandidateScan(const ScalarSymbol *Var) : Var(Var) {}
+
+  void scanBlock(const Block &B) {
+    for (const StmtPtr &S : B) {
+      scanExprIfAny(S->Lhs);
+      scanExprIfAny(S->Rhs);
+      scanExprIfAny(S->Cond);
+      scanExprIfAny(S->Lb);
+      scanExprIfAny(S->Ub);
+      for (const ExprPtr &A : S->Args)
+        scanExprIfAny(A);
+      scanBlock(S->Body);
+      scanBlock(S->Then);
+      scanBlock(S->Else);
+    }
+  }
+
+  /// The most-referenced candidate, if any.
+  bool best(Candidate &Out) const {
+    const Candidate *Best = nullptr;
+    for (const auto &[Key, C] : Cands)
+      if (!Best || C.RefCount > Best->RefCount)
+        Best = &C;
+    if (!Best)
+      return false;
+    Out = *Best;
+    return true;
+  }
+
+private:
+  void scanExprIfAny(const ExprPtr &E) {
+    if (E)
+      scanExpr(*E);
+  }
+  void scanExpr(const Expr &E) {
+    for (const ExprPtr &Op : E.Ops)
+      scanExpr(*Op);
+    if (E.Kind != ExprKind::ArrayElem || E.Ops.empty() ||
+        !E.Array->isReshaped())
+      return;
+    for (unsigned D = 0; D < E.Ops.size(); ++D) {
+      if (E.Array->Dist.Dims[D].Kind != dist::DistKind::Block)
+        continue;
+      int64_t S, C;
+      if (!extractLinear(*E.Ops[D], Var, S, C) || S <= 0)
+        continue;
+      auto Key = std::make_tuple(E.Array, D, S);
+      Candidate &Cand = Cands[Key];
+      if (Cand.RefCount == 0) {
+        Cand.Array = E.Array;
+        Cand.Dim = D;
+        Cand.Scale = S;
+        Cand.Offset = C; // Representative offset; peeling covers the
+                         // spread between references.
+      }
+      ++Cand.RefCount;
+    }
+  }
+
+  const ScalarSymbol *Var;
+  std::map<std::tuple<const ArraySymbol *, unsigned, int64_t>, Candidate>
+      Cands;
+};
+
+//===----------------------------------------------------------------------===//
+// Loop skewing (paper Section 7.1, second extension)
+//===----------------------------------------------------------------------===//
+
+/// Matches \p E against Scale*Var + R where R is a (possibly symbolic)
+/// remainder not mentioning Var.  On success *Rem receives a clone of R
+/// (nullptr for a zero remainder).  Multiplication requires one side to
+/// be Var-free.
+bool extractLinearExpr(const Expr &E, const ScalarSymbol *Var,
+                       int64_t &Scale, ExprPtr *Rem) {
+  switch (E.Kind) {
+  case ExprKind::ScalarUse:
+    if (E.Scalar == Var) {
+      Scale = 1;
+      *Rem = nullptr;
+      return true;
+    }
+    Scale = 0;
+    *Rem = cloneExpr(E);
+    return true;
+  case ExprKind::IntLit:
+    Scale = 0;
+    *Rem = E.IntVal == 0 ? nullptr : cloneExpr(E);
+    return true;
+  case ExprKind::Bin: {
+    int64_t Ls, Rs;
+    ExprPtr Lr, Rr;
+    if (E.Op == BinOp::Add || E.Op == BinOp::Sub) {
+      if (!extractLinearExpr(*E.Ops[0], Var, Ls, &Lr) ||
+          !extractLinearExpr(*E.Ops[1], Var, Rs, &Rr))
+        return false;
+      Scale = E.Op == BinOp::Add ? Ls + Rs : Ls - Rs;
+      if (!Rr) {
+        *Rem = std::move(Lr);
+      } else if (!Lr) {
+        *Rem = E.Op == BinOp::Add
+                   ? std::move(Rr)
+                   : neg(std::move(Rr));
+      } else {
+        *Rem = bin(E.Op, std::move(Lr), std::move(Rr));
+      }
+      return true;
+    }
+    if (E.Op == BinOp::Mul) {
+      // One side must be Var-free AND a literal for the scale to stay
+      // compile-time known.
+      int64_t Lit;
+      if (constEvalInt(*E.Ops[0], Lit)) {
+        if (!extractLinearExpr(*E.Ops[1], Var, Ls, &Lr))
+          return false;
+        Scale = Lit * Ls;
+        *Rem = Lr ? mulE(litE(Lit), std::move(Lr)) : nullptr;
+        return true;
+      }
+      if (constEvalInt(*E.Ops[1], Lit)) {
+        if (!extractLinearExpr(*E.Ops[0], Var, Ls, &Lr))
+          return false;
+        Scale = Lit * Ls;
+        *Rem = Lr ? mulE(litE(Lit), std::move(Lr)) : nullptr;
+        return true;
+      }
+      // Var-free product (e.g. c*k with symbolic k).
+      int64_t S0, S1;
+      ExprPtr R0, R1;
+      if (extractLinearExpr(*E.Ops[0], Var, S0, &R0) &&
+          extractLinearExpr(*E.Ops[1], Var, S1, &R1) && S0 == 0 &&
+          S1 == 0) {
+        Scale = 0;
+        *Rem = cloneExpr(E);
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+  case ExprKind::Neg: {
+    int64_t S;
+    ExprPtr R;
+    if (!extractLinearExpr(*E.Ops[0], Var, S, &R))
+      return false;
+    Scale = -S;
+    *Rem = R ? neg(std::move(R)) : nullptr;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+class SerialTiler {
+public:
+  SerialTiler(Procedure &P) : Proc(P) {}
+
+  void run() {
+    Block NewBody;
+    processBlock(Proc.Body, NewBody);
+    Proc.Body = std::move(NewBody);
+  }
+
+private:
+  Procedure &Proc;
+
+  void processBlock(Block &B, Block &Out) {
+    for (StmtPtr &S : B)
+      processStmt(S, Out);
+  }
+
+  void processStmt(StmtPtr &S, Block &Out) {
+    // Recurse first: inner loops tile independently (block tiling is
+    // order-preserving, so nesting poses no legality issue).
+    {
+      Block NewBody;
+      processBlock(S->Body, NewBody);
+      S->Body = std::move(NewBody);
+      Block NewThen;
+      processBlock(S->Then, NewThen);
+      S->Then = std::move(NewThen);
+      Block NewElse;
+      processBlock(S->Else, NewElse);
+      S->Else = std::move(NewElse);
+    }
+    if (S->Kind != StmtKind::Do || !S->Tiles.empty() || S->IsProcTile) {
+      Out.push_back(std::move(S));
+      return;
+    }
+    int64_t StepLit = 0;
+    if (!constEvalInt(*S->Step, StepLit) || StepLit != 1) {
+      Out.push_back(std::move(S));
+      return;
+    }
+    // Section 7.1: skew loops whose reshaped subscripts have the form
+    // i + <loop-invariant expr>, converting them to plain A(i') so the
+    // tiling below applies.
+    skewLoop(*S, Out);
+    CandidateScan Scan(S->IndVar);
+    Scan.scanBlock(S->Body);
+    Candidate C;
+    if (!Scan.best(C)) {
+      Out.push_back(std::move(S));
+      return;
+    }
+    tileLoop(S, C, Out);
+  }
+
+  /// Collects scalars assigned anywhere in \p B.
+  static void collectAssigned(
+      const Block &B, std::unordered_set<const ScalarSymbol *> &Set) {
+    for (const StmtPtr &St : B) {
+      if (St->Kind == StmtKind::Assign &&
+          St->Lhs->Kind == ExprKind::ScalarUse)
+        Set.insert(St->Lhs->Scalar);
+      if (St->IndVar)
+        Set.insert(St->IndVar);
+      collectAssigned(St->Body, Set);
+      collectAssigned(St->Then, Set);
+      collectAssigned(St->Else, Set);
+    }
+  }
+
+  static bool mentionsAny(
+      const Expr &E, const std::unordered_set<const ScalarSymbol *> &Set) {
+    if (E.Kind == ExprKind::ScalarUse && Set.count(E.Scalar))
+      return true;
+    for (const ExprPtr &Op : E.Ops)
+      if (mentionsAny(*Op, Set))
+        return true;
+    return false;
+  }
+
+  /// Finds the most common loop-invariant remainder R over reshaped
+  /// block-dim subscripts of the form IndVar + R, and skews the loop by
+  /// it: i' = i + R runs over shifted bounds, the original variable is
+  /// recomputed at the body top, and matching subscripts become plain
+  /// i' (enabling tiling).  Emits "skew = R" into \p Out.
+  void skewLoop(Stmt &Loop, Block &Out) {
+    std::unordered_set<const ScalarSymbol *> Assigned;
+    collectAssigned(Loop.Body, Assigned);
+    Assigned.insert(Loop.IndVar);
+
+    // Vote for the remainder (by printed form).
+    std::map<std::string, std::pair<ExprPtr, unsigned>> Votes;
+    std::function<void(const Expr &)> Scan = [&](const Expr &E) {
+      for (const ExprPtr &Op : E.Ops)
+        Scan(*Op);
+      if (E.Kind != ExprKind::ArrayElem || E.Ops.empty() ||
+          !E.Array->isReshaped())
+        return;
+      for (unsigned D = 0; D < E.Ops.size(); ++D) {
+        if (E.Array->Dist.Dims[D].Kind != dist::DistKind::Block)
+          continue;
+        int64_t S;
+        ExprPtr R;
+        if (!extractLinearExpr(*E.Ops[D], Loop.IndVar, S, &R))
+          continue;
+        int64_t ConstRem;
+        if (S != 1 || !R || constEvalInt(*R, ConstRem))
+          continue; // Literal offsets are peeling's job.
+        if (mentionsAny(*R, Assigned))
+          continue; // Not loop-invariant.
+        std::string Key = printExpr(*R);
+        auto It = Votes.find(Key);
+        if (It == Votes.end())
+          Votes.emplace(Key,
+                        std::make_pair(std::move(R), 1u));
+        else
+          ++It->second.second;
+      }
+    };
+    for (const StmtPtr &St : Loop.Body) {
+      if (St->Lhs)
+        Scan(*St->Lhs);
+      if (St->Rhs)
+        Scan(*St->Rhs);
+    }
+    std::string BestKey;
+    unsigned BestVotes = 0;
+    for (auto &[Key, V] : Votes)
+      if (V.second > BestVotes) {
+        BestKey = Key;
+        BestVotes = V.second;
+      }
+    if (BestVotes == 0)
+      return;
+    ExprPtr R = std::move(Votes[BestKey].first);
+
+    // skew = R; do i' = Lb + skew, Ub + skew; i = i' - skew.
+    ScalarSymbol *Skew = Proc.addTemp("skew", ScalarType::I64);
+    ScalarSymbol *NewVar = Proc.addTemp("isk", ScalarType::I64);
+    Out.push_back(makeAssign(useE(Skew), cloneExpr(*R)));
+    ScalarSymbol *OldVar = Loop.IndVar;
+    Loop.IndVar = NewVar;
+    Loop.Lb = addE(std::move(Loop.Lb), useE(Skew));
+    Loop.Ub = addE(std::move(Loop.Ub), useE(Skew));
+
+    // Rewrite subscripts i + R -> i'; everything else reads the
+    // recomputed original variable.
+    std::function<void(ExprPtr &)> Rewrite = [&](ExprPtr &E) {
+      int64_t S;
+      ExprPtr Rem;
+      if (E->Kind != ExprKind::ScalarUse &&
+          extractLinearExpr(*E, OldVar, S, &Rem) && S == 1 && Rem &&
+          printExpr(*Rem) == BestKey) {
+        E = useE(NewVar);
+        return;
+      }
+      for (ExprPtr &Op : E->Ops)
+        Rewrite(Op);
+    };
+    std::function<void(Block &)> RewriteBlock = [&](Block &B) {
+      for (StmtPtr &St : B) {
+        if (St->Lhs)
+          Rewrite(St->Lhs);
+        if (St->Rhs)
+          Rewrite(St->Rhs);
+        if (St->Cond)
+          Rewrite(St->Cond);
+        if (St->Lb)
+          Rewrite(St->Lb);
+        if (St->Ub)
+          Rewrite(St->Ub);
+        for (ExprPtr &A : St->Args)
+          Rewrite(A);
+        RewriteBlock(St->Body);
+        RewriteBlock(St->Then);
+        RewriteBlock(St->Else);
+      }
+    };
+    RewriteBlock(Loop.Body);
+    Loop.Body.insert(
+        Loop.Body.begin(),
+        makeAssign(useE(OldVar), subE(useE(NewVar), useE(Skew))));
+  }
+
+  void tileLoop(StmtPtr &S, const Candidate &C, Block &Out) {
+    Stmt &Loop = *S;
+    ArraySymbol *A = C.Array;
+    unsigned D = C.Dim;
+    auto P = [&] { return queryE(DistQueryKind::NumProcs, A, D); };
+    auto B = [&] { return queryE(DistQueryKind::BlockSize, A, D); };
+    auto N = [&] { return queryE(DistQueryKind::DimSize, A, D); };
+
+    ScalarSymbol *ProcVar = Proc.addTemp("pt", ScalarType::I64);
+    StmtPtr TileLoop = makeDo(ProcVar, litE(0),
+                              addConstE(P(), -1), litE(1));
+    TileLoop->IsProcTile = true;
+    TileLoop->SourceLine = Loop.SourceLine;
+
+    // Same bound restriction as block affinity scheduling: iterations
+    // whose element s*i + c falls in processor pt's block.
+    ExprPtr LoNum = addConstE(mulE(useE(ProcVar), B()), 1 - C.Offset);
+    ExprPtr HiNum = addConstE(
+        minE(N(), mulE(addConstE(useE(ProcVar), 1), B())), -C.Offset);
+    // Residual loops cover any iterations whose element s*i + c falls
+    // outside [1, N]; the tiles cover exactly the in-bounds range, so
+    // the three pieces partition the original iteration space.
+    ExprPtr OrigLb = cloneExpr(*Loop.Lb);
+    ExprPtr OrigUb = cloneExpr(*Loop.Ub);
+    StmtPtr PreResidual = cloneStmt(Loop);
+    PreResidual->Ub =
+        minE(cloneExpr(*OrigUb),
+             floorDivE(litE(0 - C.Offset), litE(C.Scale)));
+    StmtPtr PostResidual = cloneStmt(Loop);
+    PostResidual->Lb =
+        maxE(cloneExpr(*OrigLb),
+             addConstE(floorDivE(subE(N(), litE(C.Offset)),
+                                 litE(C.Scale)),
+                       1));
+
+    ExprPtr ILo = ceilDivE(std::move(LoNum), litE(C.Scale));
+    ExprPtr IHi = floorDivE(std::move(HiNum), litE(C.Scale));
+    Loop.Lb = maxE(std::move(Loop.Lb), std::move(ILo));
+    Loop.Ub = minE(std::move(Loop.Ub), std::move(IHi));
+
+    TileContext Tile;
+    Tile.Array = A;
+    Tile.Dim = D;
+    Tile.Scale = C.Scale;
+    Tile.Offset = C.Offset;
+    Tile.ProcVar = ProcVar;
+    Tile.Kind = dist::DistKind::Block;
+    Loop.Tiles.push_back(Tile);
+
+    TileLoop->Body.push_back(std::move(S));
+    Out.push_back(std::move(PreResidual));
+    Out.push_back(std::move(TileLoop));
+    Out.push_back(std::move(PostResidual));
+  }
+};
+
+} // namespace
+
+void dsm::xform::tileSerialLoops(Procedure &P) { SerialTiler(P).run(); }

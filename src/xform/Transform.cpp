@@ -1,0 +1,77 @@
+//===- xform/Transform.cpp - Pass pipeline and FP div/mod ------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "xform/Xform.h"
+
+using namespace dsm;
+using namespace dsm::xform;
+using namespace dsm::ir;
+
+//===----------------------------------------------------------------------===//
+// Section 7.3: DIV/MOD using floating-point arithmetic
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void reduceExpr(Expr &E) {
+  for (ExprPtr &Op : E.Ops)
+    reduceExpr(*Op);
+  if (E.Kind != ExprKind::Bin)
+    return;
+  if (E.Op == BinOp::IDiv)
+    E.Op = BinOp::IDivFp;
+  else if (E.Op == BinOp::IMod)
+    E.Op = BinOp::IModFp;
+}
+
+void reduceBlock(Block &B) {
+  for (StmtPtr &S : B) {
+    if (S->Lhs)
+      reduceExpr(*S->Lhs);
+    if (S->Rhs)
+      reduceExpr(*S->Rhs);
+    if (S->Lb)
+      reduceExpr(*S->Lb);
+    if (S->Ub)
+      reduceExpr(*S->Ub);
+    if (S->Step)
+      reduceExpr(*S->Step);
+    if (S->Cond)
+      reduceExpr(*S->Cond);
+    for (ExprPtr &E : S->ProcExtents)
+      reduceExpr(*E);
+    for (ExprPtr &A : S->Args)
+      reduceExpr(*A);
+    reduceBlock(S->Body);
+    reduceBlock(S->Then);
+    reduceBlock(S->Else);
+  }
+}
+
+} // namespace
+
+void dsm::xform::strengthReduceDivMod(Procedure &P) {
+  reduceBlock(P.Body);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline (paper Section 7.4 ordering)
+//===----------------------------------------------------------------------===//
+
+Error dsm::xform::transformProcedure(Procedure &P,
+                                     const XformOptions &Opts) {
+  if (Opts.Parallelize) {
+    if (Error E = parallelizeProcedure(P))
+      return E;
+  }
+  if (Opts.Level >= ReshapeOptLevel::TilePeel)
+    tileSerialLoops(P);
+  if (Error E = lowerReshapedRefs(P, Opts.Level))
+    return E;
+  if (Opts.FpDivMod)
+    strengthReduceDivMod(P);
+  return Error::success();
+}

@@ -1,0 +1,70 @@
+//===- xform/Xform.h - Compiler transformation passes -----------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler transformations of the paper's Sections 4.1 and 7, in
+/// the order Section 7.4 prescribes:
+///
+///  1. parallelizeProcedure  -- doacross loops become SPMD ParallelDo
+///     regions; affinity scheduling tiles the iteration space per
+///     Figure 2 (block / cyclic / cyclic(k)), establishing TileContexts.
+///  2. tileSerialLoops       -- serial loops referencing block-reshaped
+///     arrays get processor-tile loops too (Section 7.1's "other
+///     loops"); always order-preserving for block distributions.
+///  3. lowerReshapedRefs     -- every reshaped ArrayElem becomes a
+///     PortionElem (Table 1).  At ReshapeOptLevel::None the cell and
+///     local offsets carry explicit div/mod; at TilePeel, TileContexts
+///     replace them with processor coordinates and cheap strength-
+///     reduced offsets (peeling boundary iterations of block loops so
+///     neighbour references stay in-portion); at Full the indirect
+///     portion-pointer loads are additionally hoisted out of the data
+///     loops (Section 7.2).
+///  4. strengthReduceDivMod  -- remaining integer div/mod in compiler-
+///     generated index code switch to the FP-simulated forms
+///     (Section 7.3: 11 cycles instead of 35 on the R10000).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_XFORM_XFORM_H
+#define DSM_XFORM_XFORM_H
+
+#include "ir/Ir.h"
+#include "support/Error.h"
+
+namespace dsm::xform {
+
+/// How aggressively reshaped references are optimized; the three levels
+/// match the rows of the paper's Table 2.
+enum class ReshapeOptLevel {
+  None,     ///< Naive lowering: div/mod + indirect load per reference.
+  TilePeel, ///< Tiling and peeling remove div/mod from inner loops.
+  Full      ///< + hoisting of indirect loads (and the CSE it enables).
+};
+
+struct XformOptions {
+  bool Parallelize = true;
+  ReshapeOptLevel Level = ReshapeOptLevel::Full;
+  bool FpDivMod = true; ///< Section 7.3 FP-simulated integer divide.
+};
+
+/// Runs the whole pipeline on one procedure.
+Error transformProcedure(ir::Procedure &P, const XformOptions &Opts);
+
+/// Pass 1: doacross -> ParallelDo with Figure 2 affinity scheduling.
+Error parallelizeProcedure(ir::Procedure &P);
+
+/// Pass 2: processor-tiling of serial loops over block-reshaped arrays.
+void tileSerialLoops(ir::Procedure &P);
+
+/// Pass 3: reshaped-reference lowering (with peeling and hoisting).
+Error lowerReshapedRefs(ir::Procedure &P, ReshapeOptLevel Level);
+
+/// Pass 4: IDiv/IMod -> IDivFp/IModFp throughout the procedure.
+void strengthReduceDivMod(ir::Procedure &P);
+
+} // namespace dsm::xform
+
+#endif // DSM_XFORM_XFORM_H

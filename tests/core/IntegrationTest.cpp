@@ -1,0 +1,293 @@
+//===- tests/core/IntegrationTest.cpp - Whole-pipeline integration ----------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// End-to-end programs exercising several subsystems at once: separate
+// compilation with commons and clones, timers, portion-traversal
+// intrinsics, onto clauses, and the performance model's headline
+// orderings.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "core/Driver.h"
+
+using namespace dsm;
+
+namespace {
+
+numa::MachineConfig machine() {
+  numa::MachineConfig C;
+  C.NumNodes = 8;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 8 << 20;
+  C.L1 = numa::CacheConfig{1024, 32, 2};
+  C.L2 = numa::CacheConfig{16 * 1024, 128, 2};
+  C.TlbEntries = 16;
+  return C;
+}
+
+TEST(IntegrationTest, MultiFileCommonAndClones) {
+  // A reshaped array in a COMMON block shared by two separately
+  // compiled files, plus a cloned subroutine taking the whole array.
+  const char *MainSrc = R"(
+      program main
+      integer i, n
+      parameter (n = 128)
+      real*8 W(n)
+      common /state/ W
+c$distribute_reshape W(block)
+c$doacross local(i) affinity(i) = data(W(i))
+      do i = 1, n
+        W(i) = i
+      enddo
+      call smooth(W)
+      call finish
+      end
+)";
+  const char *SmoothSrc = R"(
+      subroutine smooth(X)
+      integer i
+      real*8 X(128)
+c$doacross local(i) affinity(i) = data(X(i))
+      do i = 2, 127
+        X(i) = (X(i-1) + X(i) + X(i+1)) / 3.0
+      enddo
+      end
+)";
+  const char *FinishSrc = R"(
+      subroutine finish
+      integer i, n
+      parameter (n = 128)
+      real*8 W(n)
+      common /state/ W
+c$distribute_reshape W(block)
+      do i = 1, n
+        W(i) = W(i) * 2.0
+      enddo
+      end
+)";
+  auto Prog = buildProgram({{"main.f", MainSrc},
+                            {"smooth.f", SmoothSrc},
+                            {"finish.f", FinishSrc}},
+                           CompileOptions{});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  EXPECT_EQ(Prog->ClonesCreated, 1u);
+
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 8;
+  ROpts.RuntimeArgChecks = true;
+  exec::Engine E(*Prog, Mem, ROpts);
+  auto R = E.run();
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  // Spot value: W(1) = 1 (untouched by smooth) * 2.
+  auto V = E.readArrayF64("w", {1});
+  ASSERT_TRUE(bool(V));
+  EXPECT_DOUBLE_EQ(*V, 2.0);
+  // W(2) = (1 + 2 + 3)/3 * 2 = 4.
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("w", {2}), 4.0);
+}
+
+TEST(IntegrationTest, PortionIntrinsicsAndManualTraversal) {
+  // Manual portion traversal with the dsm_* queries (paper Section 3.2:
+  // "a rich set of intrinsics for traversing the individual portions").
+  const char *Src = R"(
+      program main
+      integer i, p, np, b, lo, hi, n
+      parameter (n = 100)
+      real*8 A(n)
+c$distribute_reshape A(block)
+      do i = 1, n
+        A(i) = 0.0
+      enddo
+      np = dsm_numprocs(A, 1)
+      b = dsm_blocksize(A, 1)
+      do p = 0, np - 1
+        lo = p * b + 1
+        hi = min(n, (p + 1) * b)
+        do i = lo, hi
+          A(i) = A(i) + p + 1
+        enddo
+      enddo
+      end
+)";
+  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 4;
+  exec::Engine E(*Prog, Mem, ROpts);
+  auto R = E.run();
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  // With 4 procs, b = 25: element 30 belongs to proc 1 -> value 2.
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("a", {30}), 2.0);
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("a", {99}), 4.0);
+  // Every element written exactly once: sum = 25*(1+2+3+4).
+  EXPECT_DOUBLE_EQ(*E.arrayChecksum("a"), 250.0);
+}
+
+TEST(IntegrationTest, OntoClauseSkewsGrid) {
+  const char *Src = R"(
+      program main
+      integer n1, n2
+      real*8 A(64, 64)
+c$distribute_reshape A(block, block) onto(1, 4)
+      A(1,1) = 0.0
+      n1 = dsm_numprocs(A, 1)
+      n2 = dsm_numprocs(A, 2)
+      A(2,1) = n1
+      A(3,1) = n2
+      end
+)";
+  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 16;
+  exec::Engine E(*Prog, Mem, ROpts);
+  ASSERT_TRUE(bool(E.run()));
+  double N1 = *E.readArrayF64("a", {2, 1});
+  double N2 = *E.readArrayF64("a", {3, 1});
+  EXPECT_EQ(N1 * N2, 16.0);
+  EXPECT_GT(N2, N1) << "onto(1,4) gives dimension 2 more processors";
+}
+
+TEST(IntegrationTest, TimersMeasureOnlyTheRegion) {
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(4096)
+      do i = 1, 4096
+        A(i) = i
+      enddo
+      call dsm_timer_start
+      do i = 1, 4096
+        A(i) = A(i) + 1.0
+      enddo
+      call dsm_timer_stop
+      do i = 1, 4096
+        A(i) = A(i) * 2.0
+      enddo
+      end
+)";
+  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  numa::MemorySystem Mem(machine());
+  exec::Engine E(*Prog, Mem, exec::RunOptions{});
+  auto R = E.run();
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  EXPECT_GT(R->TimedCycles, 0u);
+  EXPECT_LT(R->TimedCycles, R->WallCycles / 2)
+      << "the timed region is one third of the work";
+}
+
+TEST(IntegrationTest, UnbalancedTimerIsAnError) {
+  const char *Src = R"(
+      program main
+      integer i
+      i = 1
+      call dsm_timer_stop
+      end
+)";
+  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  numa::MemorySystem Mem(machine());
+  exec::Engine E(*Prog, Mem, exec::RunOptions{});
+  auto R = E.run();
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.takeError().str().find("dsm_timer_stop"),
+            std::string::npos);
+}
+
+TEST(IntegrationTest, ReshapedBeatsSerialInitFirstTouchOnStreams) {
+  // Headline performance ordering on a streaming kernel whose data was
+  // initialized serially: explicit distribution must beat first-touch.
+  const char *WithDist = R"(
+      program main
+      integer i, r
+      real*8 A(262144)
+c$distribute_reshape A(block)
+      do i = 1, 262144
+        A(i) = i
+      enddo
+      call dsm_timer_start
+      do r = 1, 3
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, 262144
+        A(i) = A(i) + 1.5
+      enddo
+      enddo
+      call dsm_timer_stop
+      end
+)";
+  const char *NoDist = R"(
+      program main
+      integer i, r
+      real*8 A(262144)
+      do i = 1, 262144
+        A(i) = i
+      enddo
+      call dsm_timer_start
+      do r = 1, 3
+c$doacross local(i)
+      do i = 1, 262144
+        A(i) = A(i) + 1.5
+      enddo
+      enddo
+      call dsm_timer_stop
+      end
+)";
+  auto Run = [&](const char *Src) -> uint64_t {
+    auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+    EXPECT_TRUE(bool(Prog));
+    if (!Prog)
+      return 0;
+    // The paper-regime machine: remote/local gap and per-node bandwidth
+    // matter at this scale (the toy config above is too small to
+    // saturate).
+    numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
+    exec::RunOptions ROpts;
+    ROpts.NumProcs = 32;
+    exec::Engine E(*Prog, Mem, ROpts);
+    auto R = E.run();
+    EXPECT_TRUE(bool(R));
+    return R ? R->TimedCycles : 0;
+  };
+  uint64_t Reshaped = Run(WithDist);
+  uint64_t FirstTouch = Run(NoDist);
+  EXPECT_LT(Reshaped * 3, FirstTouch * 2)
+      << "local portions must beat one-node first-touch data by >= 1.5x";
+}
+
+TEST(IntegrationTest, SameExecutableDifferentProcessorCounts) {
+  // Paper Section 3.2: processor counts bind at start-up, so one
+  // compiled program runs at any count.
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(120)
+c$distribute_reshape A(cyclic(7))
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, 120
+        A(i) = 3 * i
+      enddo
+      end
+)";
+  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  for (int P : {1, 2, 5, 11, 16}) {
+    numa::MemorySystem Mem(machine());
+    exec::RunOptions ROpts;
+    ROpts.NumProcs = P;
+    exec::Engine E(*Prog, Mem, ROpts);
+    auto R = E.run();
+    ASSERT_TRUE(bool(R)) << "P=" << P << ": " << R.error().str();
+    EXPECT_DOUBLE_EQ(*E.arrayChecksum("a"), 3.0 * 120 * 121 / 2)
+        << "P=" << P;
+  }
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+//===- tests/dist/ArrayLayoutTest.cpp - Layout arithmetic tests -----------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/ArrayLayout.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsm::dist;
+
+namespace {
+
+DistSpec spec(std::initializer_list<DimDist> Dims, bool Reshaped = false) {
+  DistSpec S;
+  S.Dims = Dims;
+  S.Reshaped = Reshaped;
+  return S;
+}
+
+TEST(ArrayLayoutTest, ColumnMajorLinearization) {
+  ArrayLayout L = ArrayLayout::make(
+      spec({{DistKind::None, 1}, {DistKind::None, 1}}), {10, 5}, 4);
+  int64_t Idx11[] = {1, 1};
+  int64_t Idx21[] = {2, 1};
+  int64_t Idx12[] = {1, 2};
+  EXPECT_EQ(L.linearIndex(Idx11), 0);
+  EXPECT_EQ(L.linearIndex(Idx21), 1) << "first dim varies fastest";
+  EXPECT_EQ(L.linearIndex(Idx12), 10);
+  EXPECT_EQ(L.totalElems(), 50);
+}
+
+TEST(ArrayLayoutTest, DelinearizeRoundTrip) {
+  ArrayLayout L = ArrayLayout::make(
+      spec({{DistKind::Block, 1}, {DistKind::None, 1}, {DistKind::Cyclic, 1}}),
+      {7, 3, 5}, 6);
+  for (int64_t Lin = 0; Lin < L.totalElems(); ++Lin) {
+    std::vector<int64_t> Idx = L.delinearize(Lin);
+    EXPECT_EQ(L.linearIndex(Idx.data()), Lin);
+  }
+}
+
+TEST(ArrayLayoutTest, PaperExampleColumnBlockIsCoarse) {
+  // real*8 A(1000,1000); c$distribute A(*, block): each portion is one
+  // contiguous piece of 8e6/P bytes (paper Section 3.2).
+  ArrayLayout L = ArrayLayout::make(
+      spec({{DistKind::None, 1}, {DistKind::Block, 1}}), {1000, 1000}, 4);
+  PieceStats S = analyzeContiguousPieces(L);
+  EXPECT_EQ(S.NumPieces, 4);
+  EXPECT_EQ(S.MaxPieceBytes, 8 * 1000 * 250);
+}
+
+TEST(ArrayLayoutTest, PaperExampleRowBlockIsFine) {
+  // c$distribute A(block, *): contiguous pieces are only 8e3/P bytes,
+  // far below a 16 KB page (paper Section 3.2).
+  ArrayLayout L = ArrayLayout::make(
+      spec({{DistKind::Block, 1}, {DistKind::None, 1}}), {1000, 1000}, 4);
+  PieceStats S = analyzeContiguousPieces(L);
+  EXPECT_EQ(S.NumPieces, 4 * 1000);
+  EXPECT_EQ(S.MaxPieceBytes, 8 * 250);
+  EXPECT_LT(S.MaxPieceBytes, 16384) << "motivates reshaping";
+}
+
+TEST(ArrayLayoutTest, ReshapedLocalLinearRoundTrip) {
+  ArrayLayout L = ArrayLayout::make(
+      spec({{DistKind::Block, 1}, {DistKind::Cyclic, 1}}, /*Reshaped=*/true),
+      {9, 10}, 6);
+  // Every element maps into its portion without collisions.
+  std::vector<std::vector<bool>> Seen(
+      static_cast<size_t>(L.grid().totalCells()),
+      std::vector<bool>(static_cast<size_t>(L.portionElems()), false));
+  for (int64_t Lin = 0; Lin < L.totalElems(); ++Lin) {
+    std::vector<int64_t> Idx = L.delinearize(Lin);
+    int64_t Cell = L.cellOf(Idx.data());
+    int64_t Local = L.localLinearIndex(Idx.data());
+    ASSERT_GE(Local, 0);
+    ASSERT_LT(Local, L.portionElems());
+    EXPECT_FALSE(Seen[Cell][Local]) << "two elements share a local slot";
+    Seen[Cell][Local] = true;
+  }
+}
+
+TEST(ArrayLayoutTest, GlobalFromLocalInverse) {
+  ArrayLayout L = ArrayLayout::make(
+      spec({{DistKind::BlockCyclic, 3}, {DistKind::None, 1}},
+           /*Reshaped=*/true),
+      {20, 4}, 4);
+  for (int64_t Lin = 0; Lin < L.totalElems(); ++Lin) {
+    std::vector<int64_t> Idx = L.delinearize(Lin);
+    int64_t Cell = L.cellOf(Idx.data());
+    std::vector<int64_t> Local(L.rank());
+    for (unsigned D = 0; D < L.rank(); ++D) {
+      DimMap M = L.dimMap(D);
+      Local[D] = localOf(M, Idx[D]);
+    }
+    EXPECT_EQ(L.globalFromLocal(Cell, Local), Idx);
+  }
+}
+
+TEST(ArrayLayoutTest, PortionBytesCoverWholeArray) {
+  ArrayLayout L = ArrayLayout::make(
+      spec({{DistKind::Block, 1}, {DistKind::Block, 1}}, /*Reshaped=*/true),
+      {100, 100}, 16);
+  EXPECT_GE(L.portionBytes() *
+                static_cast<uint64_t>(L.grid().totalCells()),
+            L.totalBytes());
+}
+
+TEST(ArrayLayoutTest, LuDistributionCells) {
+  // (*,block,block,*) over 16 procs: 4x4 grid on the middle dims.
+  ArrayLayout L = ArrayLayout::make(
+      spec({{DistKind::None, 1},
+            {DistKind::Block, 1},
+            {DistKind::Block, 1},
+            {DistKind::None, 1}}),
+      {5, 32, 32, 8}, 16);
+  EXPECT_EQ(L.grid().totalCells(), 16);
+  int64_t IdxA[] = {1, 1, 1, 1};
+  int64_t IdxB[] = {5, 8, 8, 8};
+  int64_t IdxC[] = {1, 9, 1, 1};
+  EXPECT_EQ(L.cellOf(IdxA), L.cellOf(IdxB))
+      << "same middle block, same cell";
+  EXPECT_NE(L.cellOf(IdxA), L.cellOf(IdxC));
+}
+
+} // namespace

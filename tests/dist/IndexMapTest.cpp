@@ -1,0 +1,130 @@
+//===- tests/dist/IndexMapTest.cpp - Table 1 index-map tests --------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Property tests for the ownership / local-offset arithmetic of the
+// paper's Table 1, across all distribution kinds and many (N, P, k)
+// combinations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/IndexMap.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+using namespace dsm::dist;
+
+namespace {
+
+TEST(IndexMapTest, BlockExamplesFromPaper) {
+  // real*8 A(1000); c$distribute A(block) on 4 procs: b = 250.
+  DimMap M = DimMap::make({DistKind::Block, 1}, 1000, 4);
+  EXPECT_EQ(M.B, 250);
+  EXPECT_EQ(ownerOf(M, 1), 0);
+  EXPECT_EQ(ownerOf(M, 250), 0);
+  EXPECT_EQ(ownerOf(M, 251), 1);
+  EXPECT_EQ(ownerOf(M, 1000), 3);
+  EXPECT_EQ(localOf(M, 251), 0);
+  EXPECT_EQ(localOf(M, 500), 249);
+}
+
+TEST(IndexMapTest, CyclicFiveExampleFromPaper) {
+  // c$distribute_reshape A(cyclic(5)) with A(1000): the program passes
+  // A(i) for i = 1, 6, 11, ... and each portion holds 5 elements.
+  DimMap M = DimMap::make({DistKind::BlockCyclic, 5}, 1000, 8);
+  for (int64_t I = 1; I <= 1000; I += 5) {
+    int64_t Owner = ownerOf(M, I);
+    for (int64_t J = 0; J < 5; ++J) {
+      EXPECT_EQ(ownerOf(M, I + J), Owner);
+      EXPECT_EQ(localOf(M, I + J), localOf(M, I) + J)
+          << "chunk elements are contiguous in the portion";
+    }
+  }
+}
+
+TEST(IndexMapTest, CyclicOwnership) {
+  DimMap M = DimMap::make({DistKind::Cyclic, 1}, 10, 3);
+  EXPECT_EQ(ownerOf(M, 1), 0);
+  EXPECT_EQ(ownerOf(M, 2), 1);
+  EXPECT_EQ(ownerOf(M, 3), 2);
+  EXPECT_EQ(ownerOf(M, 4), 0);
+  EXPECT_EQ(localOf(M, 4), 1);
+  EXPECT_EQ(localOf(M, 10), 3);
+}
+
+TEST(IndexMapTest, UndistributedDimension) {
+  DimMap M = DimMap::make({DistKind::None, 1}, 100, 7);
+  EXPECT_EQ(M.P, 1) << "'*' dims ignore the processor count";
+  for (int64_t I = 1; I <= 100; I += 13) {
+    EXPECT_EQ(ownerOf(M, I), 0);
+    EXPECT_EQ(localOf(M, I), I - 1);
+  }
+}
+
+struct MapParam {
+  DistKind Kind;
+  int64_t N;
+  int64_t P;
+  int64_t K;
+};
+
+class IndexMapPropertyTest : public ::testing::TestWithParam<MapParam> {};
+
+TEST_P(IndexMapPropertyTest, RoundTripAndPartition) {
+  const MapParam &Param = GetParam();
+  DimMap M = DimMap::make({Param.Kind, Param.K}, Param.N, Param.P);
+
+  // Every index has exactly one owner and round-trips through
+  // (owner, local) -> global.
+  std::vector<int64_t> Counts(M.P, 0);
+  for (int64_t I = 1; I <= Param.N; ++I) {
+    int64_t Owner = ownerOf(M, I);
+    ASSERT_GE(Owner, 0);
+    ASSERT_LT(Owner, M.P);
+    int64_t Local = localOf(M, I);
+    ASSERT_GE(Local, 0);
+    ASSERT_LT(Local, paddedPortionSize(M))
+        << "local offset exceeds the padded portion";
+    EXPECT_EQ(globalOf(M, Owner, Local), I);
+    ++Counts[Owner];
+  }
+
+  // portionCount agrees with enumeration and the portions partition N.
+  int64_t Sum = 0;
+  for (int64_t Proc = 0; Proc < M.P; ++Proc) {
+    EXPECT_EQ(portionCount(M, Proc), Counts[Proc]) << "proc " << Proc;
+    Sum += Counts[Proc];
+  }
+  EXPECT_EQ(Sum, Param.N);
+}
+
+TEST_P(IndexMapPropertyTest, PaddedSizeBoundsRealPortions) {
+  const MapParam &Param = GetParam();
+  DimMap M = DimMap::make({Param.Kind, Param.K}, Param.N, Param.P);
+  int64_t Padded = paddedPortionSize(M);
+  for (int64_t Proc = 0; Proc < M.P; ++Proc)
+    EXPECT_LE(portionCount(M, Proc), Padded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, IndexMapPropertyTest,
+    ::testing::Values(
+        MapParam{DistKind::Block, 100, 4, 1},
+        MapParam{DistKind::Block, 101, 4, 1},
+        MapParam{DistKind::Block, 7, 8, 1},
+        MapParam{DistKind::Block, 1, 1, 1},
+        MapParam{DistKind::Block, 1000, 13, 1},
+        MapParam{DistKind::Cyclic, 100, 4, 1},
+        MapParam{DistKind::Cyclic, 97, 8, 1},
+        MapParam{DistKind::Cyclic, 5, 8, 1},
+        MapParam{DistKind::Cyclic, 64, 64, 1},
+        MapParam{DistKind::BlockCyclic, 100, 4, 5},
+        MapParam{DistKind::BlockCyclic, 103, 4, 5},
+        MapParam{DistKind::BlockCyclic, 100, 7, 3},
+        MapParam{DistKind::BlockCyclic, 12, 5, 8},
+        MapParam{DistKind::BlockCyclic, 1000, 8, 5},
+        MapParam{DistKind::None, 50, 6, 1}));
+
+} // namespace

@@ -1,0 +1,86 @@
+//===- tests/dist/ProcGridTest.cpp - Processor-grid tests -----------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/ProcGrid.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsm::dist;
+
+namespace {
+
+DistSpec spec(std::initializer_list<DistKind> Kinds,
+              std::vector<int64_t> Onto = {}) {
+  DistSpec S;
+  for (DistKind K : Kinds)
+    S.Dims.push_back(DimDist{K, 1});
+  S.OntoWeights = std::move(Onto);
+  return S;
+}
+
+TEST(ProcGridTest, SingleDistributedDimGetsAllProcs) {
+  ProcGrid G = computeProcGrid(
+      spec({DistKind::None, DistKind::Block}), 12);
+  EXPECT_EQ(G.Extents[0], 1);
+  EXPECT_EQ(G.Extents[1], 12);
+  EXPECT_EQ(G.totalCells(), 12);
+}
+
+TEST(ProcGridTest, TwoDimsFactorEvenly) {
+  ProcGrid G = computeProcGrid(spec({DistKind::Block, DistKind::Block}), 16);
+  EXPECT_EQ(G.totalCells(), 16);
+  EXPECT_EQ(G.Extents[0], 4);
+  EXPECT_EQ(G.Extents[1], 4);
+}
+
+TEST(ProcGridTest, NonSquareProcCount) {
+  ProcGrid G = computeProcGrid(spec({DistKind::Block, DistKind::Block}), 8);
+  EXPECT_EQ(G.totalCells(), 8);
+  int64_t A = G.Extents[0], B = G.Extents[1];
+  EXPECT_TRUE((A == 2 && B == 4) || (A == 4 && B == 2));
+}
+
+TEST(ProcGridTest, OntoWeightsSkewTheGrid) {
+  // onto(1, 3): the second distributed dim gets ~3x the processors.
+  ProcGrid G = computeProcGrid(
+      spec({DistKind::Block, DistKind::Block}, {1, 3}), 16);
+  EXPECT_EQ(G.totalCells(), 16);
+  EXPECT_GT(G.Extents[1], G.Extents[0]);
+}
+
+TEST(ProcGridTest, UndistributedDimsHaveExtentOne) {
+  // The LU distribution (*,block,block,*).
+  ProcGrid G = computeProcGrid(
+      spec({DistKind::None, DistKind::Block, DistKind::Block,
+            DistKind::None}),
+      64);
+  EXPECT_EQ(G.Extents[0], 1);
+  EXPECT_EQ(G.Extents[3], 1);
+  EXPECT_EQ(G.Extents[1] * G.Extents[2], 64);
+  EXPECT_EQ(G.Extents[1], 8);
+  EXPECT_EQ(G.Extents[2], 8);
+}
+
+TEST(ProcGridTest, NoDistributedDims) {
+  ProcGrid G = computeProcGrid(spec({DistKind::None, DistKind::None}), 32);
+  EXPECT_EQ(G.totalCells(), 1);
+}
+
+TEST(ProcGridTest, PrimeProcCountTwoDims) {
+  ProcGrid G = computeProcGrid(spec({DistKind::Block, DistKind::Block}), 7);
+  EXPECT_EQ(G.totalCells(), 7) << "a prime count lands on one dim";
+}
+
+TEST(ProcGridTest, LinearizeDelinearizeRoundTrip) {
+  ProcGrid G = computeProcGrid(
+      spec({DistKind::Block, DistKind::None, DistKind::Cyclic}), 24);
+  for (int64_t Cell = 0; Cell < G.totalCells(); ++Cell) {
+    std::vector<int64_t> Coord = G.delinearize(Cell);
+    EXPECT_EQ(G.linearize(Coord), Cell);
+  }
+}
+
+} // namespace

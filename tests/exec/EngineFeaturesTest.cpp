@@ -1,0 +1,238 @@
+//===- tests/exec/EngineFeaturesTest.cpp - Engine feature coverage ---------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Coverage for engine features beyond the core pipeline: distribution
+// queries, adjustable formal arrays, common scalars, schedtype
+// variants, and failure paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "core/Driver.h"
+
+using namespace dsm;
+
+namespace {
+
+numa::MachineConfig machine() {
+  numa::MachineConfig C;
+  C.NumNodes = 4;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 4 << 20;
+  C.L1 = numa::CacheConfig{1024, 32, 2};
+  C.L2 = numa::CacheConfig{16 * 1024, 128, 2};
+  C.TlbEntries = 16;
+  return C;
+}
+
+Expected<BuildAndRunResult> run(std::vector<SourceFile> Sources,
+                                int Procs,
+                                const std::string &Array = "") {
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = Procs;
+  return buildAndRun(std::move(Sources), CompileOptions{}, machine(),
+                     ROpts, Array);
+}
+
+TEST(EngineFeaturesTest, DistQueriesReflectTheLayout) {
+  const char *Src = R"(
+      program main
+      real*8 A(100), B(90)
+c$distribute_reshape A(cyclic(5))
+c$distribute B(block)
+      A(1) = 0.0
+      B(1) = 0.0
+      B(2) = dsm_numprocs(A, 1)
+      B(3) = dsm_chunk(A, 1)
+      B(4) = dsm_extent(A, 1)
+      B(5) = dsm_blocksize(B, 1)
+      end
+)";
+  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 6;
+  exec::Engine E(*Prog, Mem, ROpts);
+  ASSERT_TRUE(bool(E.run()));
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("b", {2}), 6.0);
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("b", {3}), 5.0);
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("b", {4}), 100.0);
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("b", {5}), 15.0);
+}
+
+TEST(EngineFeaturesTest, AdjustableFormalArrays) {
+  // The formal's extent comes from another argument (paper Section 3.2:
+  // "dynamically sized local arrays" / adjustable dummies).
+  auto R = run({{"m.f", R"(
+      program main
+      real*8 A(60)
+      integer i
+      do i = 1, 60
+        A(i) = 0.0
+      enddo
+      call fill(A, 60)
+      call fill(A, 30)
+      end
+)"},
+                {"s.f", R"(
+      subroutine fill(X, n)
+      integer n, i
+      real*8 X(n)
+      do i = 1, n
+        X(i) = X(i) + 1.0
+      enddo
+      end
+)"}},
+               4, "a");
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  EXPECT_DOUBLE_EQ(R->Checksum, 60.0 + 30.0);
+}
+
+TEST(EngineFeaturesTest, CommonScalarsAreShared) {
+  auto R = run({{"m.f", R"(
+      program main
+      integer counter
+      real*8 A(4)
+      common /state/ counter
+      counter = 0
+      call bump
+      call bump
+      call bump
+      A(1) = counter
+      end
+)"},
+                {"s.f", R"(
+      subroutine bump
+      integer counter
+      common /state/ counter
+      counter = counter + 1
+      end
+)"}},
+               1, "a");
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  EXPECT_DOUBLE_EQ(R->Checksum, 3.0);
+}
+
+TEST(EngineFeaturesTest, DynamicSchedtypeExecutesEveryIteration) {
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(97)
+      do i = 1, 97
+        A(i) = 0.0
+      enddo
+c$doacross local(i) schedtype(dynamic)
+      do i = 1, 97
+        A(i) = A(i) + 1.0
+      enddo
+      end
+)";
+  for (int P : {1, 3, 8}) {
+    auto R = run({{"t.f", Src}}, P, "a");
+    ASSERT_TRUE(bool(R)) << R.error().str();
+    EXPECT_DOUBLE_EQ(R->Checksum, 97.0) << "P=" << P;
+  }
+}
+
+TEST(EngineFeaturesTest, EquivalencedArraysShareStorage) {
+  auto R = run({{"t.f", R"(
+      program main
+      integer i
+      real*8 A(10), B(10)
+      equivalence (A, B)
+      do i = 1, 10
+        A(i) = i
+      enddo
+      B(3) = 100.0
+      end
+)"}},
+               1, "a");
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  // A sees B's write: sum(1..10) - 3 + 100.
+  EXPECT_DOUBLE_EQ(R->Checksum, 55.0 - 3.0 + 100.0);
+}
+
+TEST(EngineFeaturesTest, DeepRecursionDiagnosed) {
+  auto R = run({{"m.f", R"(
+      program main
+      call spin
+      end
+)"},
+                {"s.f", R"(
+      subroutine spin
+      call spin
+      end
+)"}},
+               1);
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.takeError().str().find("call depth"), std::string::npos);
+}
+
+TEST(EngineFeaturesTest, DivisionByZeroDiagnosed) {
+  auto R = run({{"t.f", R"(
+      program main
+      integer i, z
+      real*8 A(4)
+      z = 0
+      i = 10 / z
+      A(1) = i
+      end
+)"}},
+               1);
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.takeError().str().find("division by zero"),
+            std::string::npos);
+}
+
+TEST(EngineFeaturesTest, TooManyProcessorsDiagnosed) {
+  // The run asks for more processors than the simulated machine has.
+  const char *Src = R"(
+      program main
+      real*8 A(8)
+      A(1) = 0.0
+      end
+)";
+  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  numa::MemorySystem Mem(machine()); // 8 processors total.
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 9;
+  EXPECT_DEATH(
+      { exec::Engine E(*Prog, Mem, ROpts); },
+      "more processors");
+}
+
+TEST(EngineFeaturesTest, RedistributeKeepsSchedulingCorrect) {
+  // After redistribution the compiled affinity schedule still covers
+  // each iteration exactly once (placement changed, partition did not).
+  const char *Src = R"(
+      program main
+      integer i, r
+      real*8 A(64, 16)
+c$distribute A(*, block)
+      do r = 1, 16
+        do i = 1, 64
+          A(i,r) = 0.0
+        enddo
+      enddo
+c$redistribute A(*, cyclic)
+c$doacross local(i, r) affinity(r) = data(A(1, r))
+      do r = 1, 16
+        do i = 1, 64
+          A(i,r) = A(i,r) + 1.0
+        enddo
+      enddo
+      end
+)";
+  for (int P : {1, 4, 8}) {
+    auto R = run({{"t.f", Src}}, P, "a");
+    ASSERT_TRUE(bool(R)) << R.error().str();
+    EXPECT_DOUBLE_EQ(R->Checksum, 64.0 * 16.0) << "P=" << P;
+  }
+}
+
+} // namespace

@@ -1,0 +1,382 @@
+//===- tests/exec/EngineTest.cpp - Execution engine tests ------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// End-to-end parse -> check -> link -> run tests of the execution
+// engine, covering functional semantics and performance-model sanity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Engine.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "link/Linker.h"
+
+using namespace dsm;
+
+namespace {
+
+link::Program compile(std::vector<std::string> Sources) {
+  std::vector<std::unique_ptr<ir::Module>> Modules;
+  for (size_t I = 0; I < Sources.size(); ++I) {
+    auto M = lang::parseSource(Sources[I],
+                               "test" + std::to_string(I) + ".f");
+    EXPECT_TRUE(bool(M)) << (M ? "" : M.error().str());
+    if (!M)
+      return link::Program();
+    Error E = lang::checkModule(**M);
+    EXPECT_FALSE(E) << E.str();
+    Modules.push_back(std::move(*M));
+  }
+  auto P = link::linkProgram(std::move(Modules));
+  EXPECT_TRUE(bool(P)) << (P ? "" : P.error().str());
+  return P ? std::move(*P) : link::Program();
+}
+
+numa::MachineConfig smallMachine() {
+  numa::MachineConfig C;
+  C.NumNodes = 4;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 4 << 20;
+  C.L1 = numa::CacheConfig{1024, 32, 2};
+  C.L2 = numa::CacheConfig{16 * 1024, 128, 2};
+  C.TlbEntries = 8;
+  return C;
+}
+
+exec::RunResult runOk(link::Program &P, exec::Engine &E) {
+  auto R = E.run();
+  EXPECT_TRUE(bool(R)) << (R ? "" : R.error().str());
+  return R ? *R : exec::RunResult();
+}
+
+TEST(EngineTest, ScalarArithmeticAndLoops) {
+  link::Program P = compile({R"(
+      program main
+      integer i, s
+      real*8 acc
+      s = 0
+      acc = 0.0
+      do i = 1, 10
+        s = s + i
+        acc = acc + 0.5
+      enddo
+      end
+)"});
+  ASSERT_TRUE(P.Main);
+  numa::MemorySystem Mem(smallMachine());
+  exec::Engine E(P, Mem, exec::RunOptions{});
+  runOk(P, E);
+  // Scalars are not externally visible; use an array to check below.
+}
+
+TEST(EngineTest, ArrayWritesAndChecksum) {
+  link::Program P = compile({R"(
+      program main
+      integer i
+      real*8 A(100)
+      do i = 1, 100
+        A(i) = 2*i
+      enddo
+      end
+)"});
+  numa::MemorySystem Mem(smallMachine());
+  exec::Engine E(P, Mem, exec::RunOptions{});
+  runOk(P, E);
+  auto V = E.readArrayF64("a", {7});
+  ASSERT_TRUE(bool(V));
+  EXPECT_DOUBLE_EQ(*V, 14.0);
+  auto Sum = E.arrayChecksum("a");
+  ASSERT_TRUE(bool(Sum));
+  EXPECT_DOUBLE_EQ(*Sum, 101.0 * 100.0); // 2 * (100*101/2).
+}
+
+TEST(EngineTest, TwoDimColumnMajorSemantics) {
+  link::Program P = compile({R"(
+      program main
+      integer i, j
+      real*8 B(4, 3)
+      do j = 1, 3
+        do i = 1, 4
+          B(i,j) = 10*i + j
+        enddo
+      enddo
+      end
+)"});
+  numa::MemorySystem Mem(smallMachine());
+  exec::Engine E(P, Mem, exec::RunOptions{});
+  runOk(P, E);
+  auto V = E.readArrayF64("b", {3, 2});
+  ASSERT_TRUE(bool(V));
+  EXPECT_DOUBLE_EQ(*V, 32.0);
+}
+
+TEST(EngineTest, IfAndIntrinsics) {
+  link::Program P = compile({R"(
+      program main
+      integer i
+      real*8 A(10)
+      do i = 1, 10
+        if (mod(i, 2) .eq. 0) then
+          A(i) = sqrt(dble(i*i))
+        else
+          A(i) = max(dble(i), 5.0)
+        endif
+      enddo
+      end
+)"});
+  numa::MemorySystem Mem(smallMachine());
+  exec::Engine E(P, Mem, exec::RunOptions{});
+  runOk(P, E);
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("a", {4}), 4.0);
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("a", {3}), 5.0);
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("a", {7}), 7.0);
+}
+
+TEST(EngineTest, SubroutineWholeArray) {
+  link::Program P = compile({R"(
+      program main
+      real*8 A(50)
+      integer i
+      do i = 1, 50
+        A(i) = 1.0
+      enddo
+      call scale(A, 50)
+      end
+)",
+                             R"(
+      subroutine scale(X, n)
+      integer n, i
+      real*8 X(n)
+      do i = 1, n
+        X(i) = X(i) * 3.0
+      enddo
+      end
+)"});
+  numa::MemorySystem Mem(smallMachine());
+  exec::Engine E(P, Mem, exec::RunOptions{});
+  runOk(P, E);
+  EXPECT_DOUBLE_EQ(*E.arrayChecksum("a"), 150.0);
+}
+
+TEST(EngineTest, SubroutineElementView) {
+  // The paper's mysub example: pass portions of an array.
+  link::Program P = compile({R"(
+      program main
+      real*8 A(20)
+      integer i
+      do i = 1, 20, 5
+        call fill5(A(i), i)
+      enddo
+      end
+)",
+                             R"(
+      subroutine fill5(X, base)
+      integer base, j
+      real*8 X(5)
+      do j = 1, 5
+        X(j) = base + j
+      enddo
+      end
+)"});
+  numa::MemorySystem Mem(smallMachine());
+  exec::Engine E(P, Mem, exec::RunOptions{});
+  runOk(P, E);
+  // A(6..10) filled by call with base 6: A(8) = 6 + 3.
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("a", {8}), 9.0);
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("a", {20}), 21.0);
+}
+
+TEST(EngineTest, CommonBlockSharedAcrossProcedures) {
+  link::Program P = compile({R"(
+      program main
+      real*8 A(10)
+      common /shared/ A
+      integer i
+      do i = 1, 10
+        A(i) = i
+      enddo
+      call double_it
+      end
+)",
+                             R"(
+      subroutine double_it
+      real*8 A(10)
+      common /shared/ A
+      integer i
+      do i = 1, 10
+        A(i) = A(i) * 2.0
+      enddo
+      end
+)"});
+  numa::MemorySystem Mem(smallMachine());
+  exec::Engine E(P, Mem, exec::RunOptions{});
+  runOk(P, E);
+  EXPECT_DOUBLE_EQ(*E.arrayChecksum("a"), 110.0);
+}
+
+TEST(EngineTest, ReshapedArrayFunctionalSemantics) {
+  // Reshaped storage must be transparent to program semantics.
+  link::Program P = compile({R"(
+      program main
+      integer i, j
+      real*8 A(16, 16)
+c$distribute_reshape A(block, block)
+      do j = 1, 16
+        do i = 1, 16
+          A(i,j) = 100*i + j
+        enddo
+      enddo
+      end
+)"});
+  numa::MemorySystem Mem(smallMachine());
+  exec::RunOptions Opts;
+  Opts.NumProcs = 4;
+  exec::Engine E(P, Mem, Opts);
+  runOk(P, E);
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("a", {3, 9}), 309.0);
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("a", {16, 16}), 1616.0);
+}
+
+TEST(EngineTest, ReshapedCyclicChunkSemantics) {
+  link::Program P = compile({R"(
+      program main
+      integer i
+      real*8 A(100)
+c$distribute_reshape A(cyclic(5))
+      do i = 1, 100
+        A(i) = i * 1.5
+      enddo
+      end
+)"});
+  numa::MemorySystem Mem(smallMachine());
+  exec::RunOptions Opts;
+  Opts.NumProcs = 8;
+  exec::Engine E(P, Mem, Opts);
+  runOk(P, E);
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("a", {42}), 63.0);
+  EXPECT_DOUBLE_EQ(*E.arrayChecksum("a"), 1.5 * 5050.0);
+}
+
+TEST(EngineTest, RegularDistributionPlacesPages) {
+  link::Program P = compile({R"(
+      program main
+      integer i, j
+      real*8 A(64, 64)
+c$distribute A(*, block)
+      do j = 1, 64
+        do i = 1, 64
+          A(i,j) = 1.0
+        enddo
+      enddo
+      end
+)"});
+  numa::MemorySystem Mem(smallMachine());
+  exec::RunOptions Opts;
+  Opts.NumProcs = 8; // 8 procs on 4 nodes.
+  exec::Engine E(P, Mem, Opts);
+  runOk(P, E);
+  // 64*64*8B = 32 KB = 32 pages across 4 nodes: roughly balanced.
+  for (int N = 0; N < 4; ++N)
+    EXPECT_GT(Mem.pagesOnNode(N), 4u) << "node " << N;
+}
+
+TEST(EngineTest, RedistributeMovesPagesAndPreservesData) {
+  link::Program P = compile({R"(
+      program main
+      integer i, j
+      real*8 A(32, 32)
+c$distribute A(*, block)
+      do j = 1, 32
+        do i = 1, 32
+          A(i,j) = i + j
+        enddo
+      enddo
+c$redistribute A(block, *)
+      A(1,1) = A(2,2)
+      end
+)"});
+  numa::MemorySystem Mem(smallMachine());
+  exec::RunOptions Opts;
+  Opts.NumProcs = 8;
+  exec::Engine E(P, Mem, Opts);
+  exec::RunResult R = runOk(P, E);
+  EXPECT_GT(R.RedistributeCycles, 0u);
+  EXPECT_GT(R.Counters.PageMigrations, 0u);
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("a", {1, 1}), 4.0);
+  EXPECT_DOUBLE_EQ(*E.readArrayF64("a", {5, 9}), 14.0);
+}
+
+TEST(EngineTest, PerfModeChargesCycles) {
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(512)
+      do i = 1, 512
+        A(i) = i
+      enddo
+      end
+)";
+  link::Program P1 = compile({Src});
+  numa::MemorySystem Mem1(smallMachine());
+  exec::RunOptions Perf;
+  Perf.Perf = true;
+  exec::Engine E1(P1, Mem1, Perf);
+  exec::RunResult R1 = runOk(P1, E1);
+  EXPECT_GT(R1.WallCycles, 512u);
+  EXPECT_GT(R1.Counters.Stores, 0u);
+
+  link::Program P2 = compile({Src});
+  numa::MemorySystem Mem2(smallMachine());
+  exec::RunOptions Func;
+  Func.Perf = false;
+  exec::Engine E2(P2, Mem2, Func);
+  exec::RunResult R2 = runOk(P2, E2);
+  EXPECT_EQ(R2.WallCycles, 0u);
+  EXPECT_DOUBLE_EQ(*E2.arrayChecksum("a"), *E1.arrayChecksum("a"));
+}
+
+TEST(EngineTest, OutOfBoundsDetected) {
+  link::Program P = compile({R"(
+      program main
+      integer i
+      real*8 A(10)
+      do i = 1, 11
+        A(i) = i
+      enddo
+      end
+)"});
+  numa::MemorySystem Mem(smallMachine());
+  exec::Engine E(P, Mem, exec::RunOptions{});
+  auto R = E.run();
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.takeError().str().find("out of bounds"),
+            std::string::npos);
+}
+
+TEST(EngineTest, SerialCyclesScaleWithWork) {
+  auto Time = [](int N) {
+    std::string Src = "      program main\n      integer i\n"
+                      "      real*8 A(" +
+                      std::to_string(N) +
+                      ")\n      do i = 1, " + std::to_string(N) +
+                      "\n        A(i) = A(i) + 1.0\n      enddo\n"
+                      "      end\n";
+    link::Program P = compile({Src});
+    numa::MemorySystem Mem(smallMachine());
+    exec::Engine E(P, Mem, exec::RunOptions{});
+    auto R = E.run();
+    EXPECT_TRUE(bool(R));
+    return R ? R->WallCycles : 0;
+  };
+  uint64_t T1 = Time(256);
+  uint64_t T4 = Time(1024);
+  EXPECT_GT(T4, 3 * T1);
+  EXPECT_LT(T4, 6 * T1);
+}
+
+} // namespace

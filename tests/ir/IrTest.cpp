@@ -1,0 +1,178 @@
+//===- tests/ir/IrTest.cpp - IR construction/clone/print tests -------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsm;
+using namespace dsm::ir;
+
+namespace {
+
+TEST(IrTest, ExprTypesInferred) {
+  Procedure P;
+  ScalarSymbol *I = P.addScalar("i", ScalarType::I64);
+  ScalarSymbol *X = P.addScalar("x", ScalarType::F64);
+
+  auto Add = bin(BinOp::Add, scalarUse(I), intLit(1));
+  EXPECT_EQ(Add->Type, ScalarType::I64);
+  auto FAdd = bin(BinOp::Add, scalarUse(X), fpLit(1.0));
+  EXPECT_EQ(FAdd->Type, ScalarType::F64);
+  auto Cmp = bin(BinOp::CmpLt, scalarUse(X), fpLit(2.0));
+  EXPECT_EQ(Cmp->Type, ScalarType::I64) << "comparisons are logical";
+  auto Conv = intrinsic(IntrinsicKind::ToF64, scalarUse(I));
+  EXPECT_EQ(Conv->Type, ScalarType::F64);
+}
+
+TEST(IrTest, PrinterRoundsExpressions) {
+  Procedure P;
+  ScalarSymbol *I = P.addScalar("i", ScalarType::I64);
+  ArraySymbol *A = P.addArray("a", ScalarType::F64);
+  A->DimSizes.push_back(intLit(10));
+
+  auto Ref = arrayElem(A, [&] {
+    std::vector<ExprPtr> V;
+    V.push_back(bin(BinOp::Add, scalarUse(I), intLit(1)));
+    return V;
+  }());
+  EXPECT_EQ(printExpr(*Ref), "a((i + 1))");
+  auto Div = bin(BinOp::IDiv, scalarUse(I), intLit(4));
+  EXPECT_EQ(printExpr(*Div), "div(i, 4)");
+  auto Q = distQuery(DistQueryKind::BlockSize, A, 0);
+  EXPECT_EQ(printExpr(*Q), "bsize(a, 1)");
+}
+
+TEST(IrTest, CloneExprIsDeep) {
+  Procedure P;
+  ScalarSymbol *I = P.addScalar("i", ScalarType::I64);
+  auto E = bin(BinOp::Mul, scalarUse(I), intLit(3));
+  auto C = cloneExpr(*E);
+  EXPECT_TRUE(exprStructEq(*E, *C));
+  // Mutating the clone must not touch the original.
+  C->Ops[1]->IntVal = 7;
+  EXPECT_FALSE(exprStructEq(*E, *C));
+  EXPECT_EQ(E->Ops[1]->IntVal, 3);
+}
+
+TEST(IrTest, CloneStmtPreservesStructure) {
+  Procedure P;
+  ScalarSymbol *I = P.addScalar("i", ScalarType::I64);
+  ArraySymbol *A = P.addArray("a", ScalarType::F64);
+  A->DimSizes.push_back(intLit(8));
+
+  StmtPtr Loop = makeDo(I, intLit(1), intLit(8), nullptr);
+  std::vector<ExprPtr> Idx;
+  Idx.push_back(scalarUse(I));
+  Loop->Body.push_back(
+      makeAssign(arrayElem(A, std::move(Idx)), fpLit(1.0)));
+  TileContext T;
+  T.Array = A;
+  T.ProcVar = I;
+  Loop->Tiles.push_back(T);
+
+  StmtPtr C = cloneStmt(*Loop);
+  EXPECT_EQ(C->Kind, StmtKind::Do);
+  EXPECT_EQ(C->IndVar, I) << "no remap: symbols shared";
+  ASSERT_EQ(C->Body.size(), 1u);
+  ASSERT_EQ(C->Tiles.size(), 1u);
+  EXPECT_EQ(C->Tiles[0].Array, A);
+}
+
+TEST(IrTest, CloneProcedureRemapsSymbols) {
+  Procedure P;
+  P.Name = "orig";
+  ScalarSymbol *N = P.addScalar("n", ScalarType::I64);
+  ArraySymbol *A = P.addArray("a", ScalarType::F64);
+  A->DimSizes.push_back(scalarUse(N));
+  A->Storage = StorageClass::Formal;
+  P.Formals.push_back(FormalParam{nullptr, A});
+  P.Formals.push_back(FormalParam{N, nullptr});
+  std::vector<ExprPtr> Idx;
+  Idx.push_back(intLit(1));
+  P.Body.push_back(
+      makeAssign(arrayElem(A, std::move(Idx)),
+                 intrinsic(IntrinsicKind::ToF64, scalarUse(N))));
+
+  auto C = cloneProcedure(P, "clone");
+  EXPECT_EQ(C->Name, "clone");
+  ASSERT_EQ(C->Formals.size(), 2u);
+  ArraySymbol *CA = C->Formals[0].Array;
+  ScalarSymbol *CN = C->Formals[1].Scalar;
+  ASSERT_TRUE(CA && CN);
+  EXPECT_NE(CA, A) << "clone owns fresh symbols";
+  EXPECT_NE(CN, N);
+  // The clone's array extent references the clone's scalar.
+  EXPECT_EQ(CA->DimSizes[0]->Scalar, CN);
+  // Body references remapped too.
+  EXPECT_EQ(C->Body[0]->Lhs->Array, CA);
+  EXPECT_EQ(C->Body[0]->Rhs->Ops[0]->Scalar, CN);
+  // Setting a distribution on the clone leaves the original alone.
+  CA->HasDist = true;
+  EXPECT_FALSE(A->HasDist);
+}
+
+TEST(IrTest, ConstEvalCoversOperators) {
+  Procedure P;
+  ScalarSymbol *K = P.addScalar("k", ScalarType::I64);
+  K->HasInit = true;
+  K->InitInt = 6;
+
+  int64_t V = 0;
+  auto E = bin(BinOp::Add,
+               bin(BinOp::Mul, scalarUse(K), intLit(7)),
+               neg(intLit(2)));
+  ASSERT_TRUE(constEvalInt(*E, V));
+  EXPECT_EQ(V, 40);
+  auto D = bin(BinOp::IDiv, intLit(7), intLit(2));
+  ASSERT_TRUE(constEvalInt(*D, V));
+  EXPECT_EQ(V, 3);
+  auto Z = bin(BinOp::IDiv, intLit(7), intLit(0));
+  EXPECT_FALSE(constEvalInt(*Z, V)) << "division by zero is not const";
+  auto M = bin(BinOp::Min, intLit(4), intLit(9));
+  ASSERT_TRUE(constEvalInt(*M, V));
+  EXPECT_EQ(V, 4);
+  ScalarSymbol *U = P.addScalar("u", ScalarType::I64);
+  auto NonConst = scalarUse(U);
+  EXPECT_FALSE(constEvalInt(*NonConst, V));
+}
+
+TEST(IrTest, ExprStructEqDistinguishesSymbols) {
+  Procedure P;
+  ScalarSymbol *I = P.addScalar("i", ScalarType::I64);
+  ScalarSymbol *J = P.addScalar("j", ScalarType::I64);
+  auto A = bin(BinOp::Add, scalarUse(I), intLit(1));
+  auto B = bin(BinOp::Add, scalarUse(J), intLit(1));
+  auto C = bin(BinOp::Add, scalarUse(I), intLit(1));
+  EXPECT_FALSE(exprStructEq(*A, *B));
+  EXPECT_TRUE(exprStructEq(*A, *C));
+  auto Sub = bin(BinOp::Sub, scalarUse(I), intLit(1));
+  EXPECT_FALSE(exprStructEq(*A, *Sub));
+}
+
+TEST(IrTest, TempNamesAreUnique) {
+  Procedure P;
+  ScalarSymbol *T1 = P.addTemp("p", ScalarType::I64);
+  ScalarSymbol *T2 = P.addTemp("p", ScalarType::I64);
+  EXPECT_NE(T1->Name, T2->Name);
+  EXPECT_TRUE(T1->IsCompilerTemp);
+}
+
+TEST(IrTest, PrintProcedureShowsDistribution) {
+  Procedure P;
+  P.Name = "main";
+  P.IsMain = true;
+  ArraySymbol *A = P.addArray("a", ScalarType::F64);
+  A->DimSizes.push_back(intLit(100));
+  A->HasDist = true;
+  A->Dist.Dims.push_back({dist::DistKind::Block, 1});
+  A->Dist.Reshaped = true;
+  std::string S = printProcedure(P);
+  EXPECT_NE(S.find("program main"), std::string::npos);
+  EXPECT_NE(S.find("reshape(block)"), std::string::npos);
+}
+
+} // namespace

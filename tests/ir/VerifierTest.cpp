@@ -1,0 +1,97 @@
+//===- tests/ir/VerifierTest.cpp - IR verifier tests ------------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "ir/Ir.h"
+
+using namespace dsm;
+using namespace dsm::ir;
+
+namespace {
+
+TEST(VerifierTest, CleanProcedurePasses) {
+  Procedure P;
+  ScalarSymbol *I = P.addScalar("i", ScalarType::I64);
+  ArraySymbol *A = P.addArray("a", ScalarType::F64);
+  A->DimSizes.push_back(intLit(10));
+  StmtPtr Loop = makeDo(I, intLit(1), intLit(10), nullptr);
+  std::vector<ExprPtr> Idx;
+  Idx.push_back(scalarUse(I));
+  Loop->Body.push_back(makeAssign(arrayElem(A, std::move(Idx)),
+                                  fpLit(1.0)));
+  P.Body.push_back(std::move(Loop));
+  EXPECT_FALSE(verifyProcedure(P)) << verifyProcedure(P).str();
+}
+
+TEST(VerifierTest, ForeignSymbolRejected) {
+  Procedure P, Q;
+  ScalarSymbol *Foreign = Q.addScalar("x", ScalarType::I64);
+  P.Body.push_back(makeAssign(scalarUse(Foreign), intLit(1)));
+  Error E = verifyProcedure(P);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("does not belong"), std::string::npos);
+}
+
+TEST(VerifierTest, SubscriptCountRejected) {
+  Procedure P;
+  ArraySymbol *A = P.addArray("a", ScalarType::F64);
+  A->DimSizes.push_back(intLit(10));
+  A->DimSizes.push_back(intLit(10));
+  std::vector<ExprPtr> Idx;
+  Idx.push_back(intLit(1)); // Rank 2, one subscript.
+  P.Body.push_back(makeAssign(arrayElem(A, std::move(Idx)),
+                              fpLit(0.0)));
+  Error E = verifyProcedure(P);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("subscripts"), std::string::npos);
+}
+
+TEST(VerifierTest, AssignmentTypeMismatchRejected) {
+  Procedure P;
+  ScalarSymbol *I = P.addScalar("i", ScalarType::I64);
+  auto S = std::make_unique<Stmt>(StmtKind::Assign);
+  S->Lhs = scalarUse(I);
+  S->Rhs = fpLit(1.5); // F64 into I64.
+  P.Body.push_back(std::move(S));
+  Error E = verifyProcedure(P);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("type mismatch"), std::string::npos);
+}
+
+TEST(VerifierTest, PortionElemOnRegularArrayRejected) {
+  Procedure P;
+  ArraySymbol *A = P.addArray("a", ScalarType::F64);
+  A->DimSizes.push_back(intLit(10)); // No reshaped distribution.
+  auto PE = std::make_unique<Expr>(ExprKind::PortionElem);
+  PE->Type = ScalarType::F64;
+  PE->Array = A;
+  PE->Ops.push_back(intLit(0));
+  PE->Ops.push_back(intLit(0));
+  P.Body.push_back(makeAssign(std::move(PE), fpLit(0.0)));
+  Error E = verifyProcedure(P);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("non-reshaped"), std::string::npos);
+}
+
+TEST(VerifierTest, BadTileContextRejected) {
+  Procedure P;
+  ScalarSymbol *I = P.addScalar("i", ScalarType::I64);
+  ArraySymbol *A = P.addArray("a", ScalarType::F64);
+  A->DimSizes.push_back(intLit(10));
+  StmtPtr Loop = makeDo(I, intLit(1), intLit(10), nullptr);
+  TileContext T;
+  T.Array = A;
+  T.Dim = 5; // Out of range for rank 1.
+  T.ProcVar = I;
+  Loop->Tiles.push_back(T);
+  P.Body.push_back(std::move(Loop));
+  Error E = verifyProcedure(P);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("tile context"), std::string::npos);
+}
+
+} // namespace

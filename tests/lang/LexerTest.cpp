@@ -1,0 +1,129 @@
+//===- tests/lang/LexerTest.cpp - Lexer unit tests -------------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsm::lang;
+
+namespace {
+
+std::vector<Token> lexOk(std::string_view Src) {
+  std::vector<std::string> Errors;
+  std::vector<Token> Toks = lexSource(Src, "test.f", Errors);
+  EXPECT_TRUE(Errors.empty()) << (Errors.empty() ? "" : Errors[0]);
+  return Toks;
+}
+
+TEST(LexerTest, IdentifiersAreLowercased) {
+  auto T = lexOk("Do I = 1, N\n");
+  ASSERT_GE(T.size(), 6u);
+  EXPECT_EQ(T[0].Kind, TokKind::Ident);
+  EXPECT_EQ(T[0].Text, "do");
+  EXPECT_EQ(T[1].Text, "i");
+  EXPECT_EQ(T[2].Kind, TokKind::Assign);
+}
+
+TEST(LexerTest, CommentLinesSkipped) {
+  auto T = lexOk("c this is a comment\n* another\n! third\nx = 1\n");
+  ASSERT_GE(T.size(), 3u);
+  EXPECT_EQ(T[0].Text, "x");
+}
+
+TEST(LexerTest, CallIsNotAComment) {
+  auto T = lexOk("call mysub(x)\n");
+  ASSERT_GE(T.size(), 2u);
+  EXPECT_EQ(T[0].Text, "call");
+  EXPECT_EQ(T[1].Text, "mysub");
+}
+
+TEST(LexerTest, CommonIsNotAComment) {
+  auto T = lexOk("common /blk/ a, b\n");
+  EXPECT_EQ(T[0].Text, "common");
+}
+
+TEST(LexerTest, DirectiveLineProducesDirStart) {
+  auto T = lexOk("c$distribute A(block, *)\n");
+  ASSERT_GE(T.size(), 4u);
+  EXPECT_EQ(T[0].Kind, TokKind::DirStart);
+  EXPECT_EQ(T[1].Text, "distribute");
+  EXPECT_EQ(T[2].Text, "a");
+}
+
+TEST(LexerTest, BangDollarDirective) {
+  auto T = lexOk("!$doacross local(i)\n");
+  EXPECT_EQ(T[0].Kind, TokKind::DirStart);
+  EXPECT_EQ(T[1].Text, "doacross");
+}
+
+TEST(LexerTest, NumbersIncludingDoubleExponent) {
+  auto T = lexOk("x = 1.5d0 + 2e-3 + 42 + .25\n");
+  ASSERT_GE(T.size(), 9u);
+  EXPECT_EQ(T[2].Kind, TokKind::RealLit);
+  EXPECT_DOUBLE_EQ(T[2].FpVal, 1.5);
+  EXPECT_EQ(T[4].Kind, TokKind::RealLit);
+  EXPECT_DOUBLE_EQ(T[4].FpVal, 2e-3);
+  EXPECT_EQ(T[6].Kind, TokKind::IntLit);
+  EXPECT_EQ(T[6].IntVal, 42);
+  EXPECT_EQ(T[8].Kind, TokKind::RealLit);
+  EXPECT_DOUBLE_EQ(T[8].FpVal, 0.25);
+}
+
+TEST(LexerTest, DotOperators) {
+  auto T = lexOk("if (i .lt. n .and. j .ge. 2) then\n");
+  bool SawLt = false, SawAnd = false, SawGe = false;
+  for (const Token &Tok : T) {
+    SawLt |= Tok.Kind == TokKind::Lt;
+    SawAnd |= Tok.Kind == TokKind::And;
+    SawGe |= Tok.Kind == TokKind::Ge;
+  }
+  EXPECT_TRUE(SawLt && SawAnd && SawGe);
+}
+
+TEST(LexerTest, IntDotOperatorDisambiguation) {
+  // "2.lt.3" must lex as 2 .lt. 3, not 2. lt .3.
+  auto T = lexOk("if (2.lt.3) then\n");
+  bool SawLt = false;
+  for (const Token &Tok : T)
+    SawLt |= Tok.Kind == TokKind::Lt;
+  EXPECT_TRUE(SawLt);
+}
+
+TEST(LexerTest, SymbolicRelationalOperators) {
+  auto T = lexOk("x = a <= b\n");
+  bool SawLe = false;
+  for (const Token &Tok : T)
+    SawLe |= Tok.Kind == TokKind::Le;
+  EXPECT_TRUE(SawLe);
+}
+
+TEST(LexerTest, TrailingCommentIgnored) {
+  auto T = lexOk("x = 1  ! trailing words\ny = 2\n");
+  // x = 1 NL y = 2 NL EOF.
+  ASSERT_GE(T.size(), 9u);
+  EXPECT_EQ(T[3].Kind, TokKind::Newline);
+  EXPECT_EQ(T[4].Text, "y");
+}
+
+TEST(LexerTest, AmpersandContinuationJoinsLines) {
+  auto T = lexOk("x = 1 + &\n    2\ny = 3\n");
+  // x = 1 + 2 NL y = 3 NL EOF: the continuation swallows the newline.
+  ASSERT_GE(T.size(), 10u);
+  EXPECT_EQ(T[4].Kind, TokKind::IntLit);
+  EXPECT_EQ(T[4].IntVal, 2);
+  EXPECT_EQ(T[5].Kind, TokKind::Newline);
+  EXPECT_EQ(T[6].Text, "y");
+}
+
+TEST(LexerTest, UnknownCharacterReported) {
+  std::vector<std::string> Errors;
+  lexSource("x = 1 @ 2\n", "test.f", Errors);
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].find("unexpected character"), std::string::npos);
+}
+
+} // namespace

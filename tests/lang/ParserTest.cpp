@@ -1,0 +1,375 @@
+//===- tests/lang/ParserTest.cpp - Parser unit tests ------------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Parses the paper's own code fragments (Sections 3.1-3.4) and checks
+// the resulting IR structure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsm;
+using namespace dsm::ir;
+
+namespace {
+
+std::unique_ptr<Module> parseOk(std::string_view Src) {
+  auto R = lang::parseSource(Src, "test.f");
+  EXPECT_TRUE(bool(R)) << (R ? "" : R.error().str());
+  return R ? std::move(R.get()) : nullptr;
+}
+
+Error parseErr(std::string_view Src) {
+  auto R = lang::parseSource(Src, "test.f");
+  EXPECT_FALSE(bool(R)) << "expected a parse failure";
+  return R ? Error() : R.takeError();
+}
+
+TEST(ParserTest, PaperSection31Doacross) {
+  auto M = parseOk(R"(
+      program main
+      integer n
+      real*8 A(100)
+      n = 100
+c$doacross local(i) shared(n, A)
+      do i = 1, n
+        A(i) = 2*i
+      enddo
+      end
+)");
+  ASSERT_TRUE(M);
+  Procedure *P = M->findProcedure("main");
+  ASSERT_TRUE(P);
+  EXPECT_TRUE(P->IsMain);
+  // Statements: n = 100; the doacross loop.
+  ASSERT_EQ(P->Body.size(), 2u);
+  const Stmt &Loop = *P->Body[1];
+  ASSERT_EQ(Loop.Kind, StmtKind::Do);
+  ASSERT_TRUE(Loop.Doacross);
+  EXPECT_TRUE(Loop.Doacross->IsDoacross);
+  ASSERT_EQ(Loop.Doacross->Locals.size(), 1u);
+  EXPECT_EQ(Loop.Doacross->Locals[0]->Name, "i");
+  EXPECT_EQ(Loop.IndVar->Name, "i");
+  ASSERT_EQ(Loop.Body.size(), 1u);
+  EXPECT_EQ(Loop.Body[0]->Kind, StmtKind::Assign);
+}
+
+TEST(ParserTest, PaperSection31NestedDoacross) {
+  auto M = parseOk(R"(
+      program main
+      integer m, n
+      real*8 B(50, 60)
+c$doacross nest(i,j) local(i,j) shared(m,n,B)
+      do i = 1, 60
+        do j = 1, 50
+          B(j,i) = i+j
+        enddo
+      enddo
+      end
+)");
+  ASSERT_TRUE(M);
+  const Stmt &Loop = *M->Procedures[0]->Body[0];
+  ASSERT_TRUE(Loop.Doacross);
+  ASSERT_EQ(Loop.Doacross->NestVars.size(), 2u);
+  EXPECT_EQ(Loop.Doacross->NestVars[0]->Name, "i");
+  EXPECT_EQ(Loop.Doacross->NestVars[1]->Name, "j");
+}
+
+TEST(ParserTest, DistributeDirective) {
+  auto M = parseOk(R"(
+      program main
+      real*8 A(1000, 1000)
+c$distribute A(*, block)
+      A(1,1) = 0.0
+      end
+)");
+  ASSERT_TRUE(M);
+  ArraySymbol *A = M->Procedures[0]->findArray("a");
+  ASSERT_TRUE(A);
+  ASSERT_TRUE(A->HasDist);
+  EXPECT_FALSE(A->Dist.Reshaped);
+  ASSERT_EQ(A->Dist.Dims.size(), 2u);
+  EXPECT_EQ(A->Dist.Dims[0].Kind, dist::DistKind::None);
+  EXPECT_EQ(A->Dist.Dims[1].Kind, dist::DistKind::Block);
+}
+
+TEST(ParserTest, DistributeReshapeCyclicChunk) {
+  auto M = parseOk(R"(
+      program main
+      real*8 A(1000)
+c$distribute_reshape A(cyclic(5))
+      A(1) = 0.0
+      end
+)");
+  ASSERT_TRUE(M);
+  ArraySymbol *A = M->Procedures[0]->findArray("a");
+  ASSERT_TRUE(A->isReshaped());
+  EXPECT_EQ(A->Dist.Dims[0].Kind, dist::DistKind::BlockCyclic);
+  EXPECT_EQ(A->Dist.Dims[0].Chunk, 5);
+}
+
+TEST(ParserTest, MultipleArraysInOneDirective) {
+  // Paper Section 8.2: c$distribute A(*,block), B(block,*).
+  auto M = parseOk(R"(
+      program main
+      real*8 A(100,100), B(100,100)
+c$distribute A(*, block), B(block, *)
+      A(1,1) = 0.0
+      end
+)");
+  ASSERT_TRUE(M);
+  ArraySymbol *A = M->Procedures[0]->findArray("a");
+  ArraySymbol *B = M->Procedures[0]->findArray("b");
+  ASSERT_TRUE(A->HasDist);
+  ASSERT_TRUE(B->HasDist);
+  EXPECT_EQ(A->Dist.Dims[1].Kind, dist::DistKind::Block);
+  EXPECT_EQ(B->Dist.Dims[0].Kind, dist::DistKind::Block);
+}
+
+TEST(ParserTest, OntoClause) {
+  auto M = parseOk(R"(
+      program main
+      real*8 A(64, 64)
+c$distribute A(block, block) onto(1, 2)
+      A(1,1) = 0.0
+      end
+)");
+  ASSERT_TRUE(M);
+  ArraySymbol *A = M->Procedures[0]->findArray("a");
+  ASSERT_EQ(A->Dist.OntoWeights.size(), 2u);
+  EXPECT_EQ(A->Dist.OntoWeights[1], 2);
+}
+
+TEST(ParserTest, AffinityClauseExtractsLinearForm) {
+  auto M = parseOk(R"(
+      program main
+      integer n
+      real*8 A(1000)
+c$distribute A(block)
+      n = 1000
+c$doacross local(i) shared(n, A) affinity(i) = data(A(2*i + 3))
+      do i = 1, 400
+        A(2*i+3) = 1.0
+      enddo
+      end
+)");
+  ASSERT_TRUE(M);
+  const Stmt &Loop = *M->Procedures[0]->Body[1];
+  ASSERT_TRUE(Loop.Doacross);
+  ASSERT_EQ(Loop.Doacross->Affinities.size(), 1u);
+  const DoacrossInfo::Affinity &A = Loop.Doacross->Affinities[0];
+  ASSERT_TRUE(A.Present);
+  EXPECT_EQ(A.Dim, 0u);
+  EXPECT_EQ(A.Scale, 2);
+  EXPECT_EQ(A.Offset, 3);
+  EXPECT_EQ(Loop.Doacross->Sched, SchedKind::Affinity);
+}
+
+TEST(ParserTest, NestAffinityTwoDims) {
+  // Paper Section 8.3: affinity(j,i) = data(A(i,j)).
+  auto M = parseOk(R"(
+      program main
+      real*8 A(100, 100)
+c$distribute A(block, block)
+c$doacross nest(j,i) local(i,j) affinity(j,i) = data(A(i,j))
+      do j = 2, 99
+        do i = 2, 99
+          A(i,j) = 1.0
+        enddo
+      enddo
+      end
+)");
+  ASSERT_TRUE(M);
+  const Stmt &Loop = *M->Procedures[0]->Body[0];
+  ASSERT_TRUE(Loop.Doacross);
+  const auto &Affs = Loop.Doacross->Affinities;
+  ASSERT_EQ(Affs.size(), 2u);
+  // nest var j indexes dim 2 (0-based 1); i indexes dim 1 (0-based 0).
+  EXPECT_TRUE(Affs[0].Present);
+  EXPECT_EQ(Affs[0].Dim, 1u);
+  EXPECT_TRUE(Affs[1].Present);
+  EXPECT_EQ(Affs[1].Dim, 0u);
+}
+
+TEST(ParserTest, RedistributeBecomesStatement) {
+  auto M = parseOk(R"(
+      program main
+      real*8 A(100, 100)
+c$distribute A(block, *)
+      A(1,1) = 0.0
+c$redistribute A(*, block)
+      A(1,1) = 1.0
+      end
+)");
+  ASSERT_TRUE(M);
+  const Block &Body = M->Procedures[0]->Body;
+  ASSERT_EQ(Body.size(), 3u);
+  EXPECT_EQ(Body[1]->Kind, StmtKind::Redistribute);
+  EXPECT_EQ(Body[1]->RedistSpec.Dims[1].Kind, dist::DistKind::Block);
+}
+
+TEST(ParserTest, SubroutineWithArrayFormal) {
+  auto M = parseOk(R"(
+      subroutine mysub(X, n)
+      integer n
+      real*8 X(5)
+      X(1) = n
+      end
+)");
+  ASSERT_TRUE(M);
+  Procedure *P = M->findProcedure("mysub");
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->Formals.size(), 2u);
+  EXPECT_TRUE(P->Formals[0].Array);
+  EXPECT_EQ(P->Formals[0].Array->Storage, StorageClass::Formal);
+  EXPECT_TRUE(P->Formals[1].Scalar);
+}
+
+TEST(ParserTest, CallWithWholeArrayAndElement) {
+  auto M = parseOk(R"(
+      program main
+      real*8 A(100)
+      call sub1(A)
+      call sub2(A(5), 3)
+      end
+)");
+  ASSERT_TRUE(M);
+  const Block &Body = M->Procedures[0]->Body;
+  ASSERT_EQ(Body.size(), 2u);
+  ASSERT_EQ(Body[0]->Args.size(), 1u);
+  EXPECT_EQ(Body[0]->Args[0]->Kind, ExprKind::ArrayElem);
+  EXPECT_TRUE(Body[0]->Args[0]->Ops.empty()) << "whole-array argument";
+  ASSERT_EQ(Body[1]->Args.size(), 2u);
+  EXPECT_EQ(Body[1]->Args[0]->Ops.size(), 1u) << "element argument";
+}
+
+TEST(ParserTest, CommonBlocksAndEquivalence) {
+  auto M = parseOk(R"(
+      program main
+      real*8 A(10), B(10)
+      common /blk/ A, n
+      equivalence (A, B)
+      A(1) = 1.0
+      end
+)");
+  ASSERT_TRUE(M);
+  Procedure *P = M->Procedures[0].get();
+  ASSERT_EQ(P->Commons.size(), 1u);
+  EXPECT_EQ(P->Commons[0].BlockName, "blk");
+  ASSERT_EQ(P->Commons[0].Members.size(), 2u);
+  ArraySymbol *B = P->findArray("b");
+  ASSERT_TRUE(B);
+  EXPECT_EQ(B->EquivalencedTo, P->findArray("a"));
+}
+
+TEST(ParserTest, ImplicitTyping) {
+  auto M = parseOk(R"(
+      program main
+      x = 1.5
+      i = 2
+      end
+)");
+  ASSERT_TRUE(M);
+  Procedure *P = M->Procedures[0].get();
+  EXPECT_EQ(P->findScalar("x")->Type, ScalarType::F64);
+  EXPECT_EQ(P->findScalar("i")->Type, ScalarType::I64);
+}
+
+TEST(ParserTest, IfThenElse) {
+  auto M = parseOk(R"(
+      program main
+      integer i
+      i = 1
+      if (i .lt. 10) then
+        i = i + 1
+      else
+        i = 0
+      endif
+      end
+)");
+  ASSERT_TRUE(M);
+  const Stmt &If = *M->Procedures[0]->Body[1];
+  ASSERT_EQ(If.Kind, StmtKind::If);
+  EXPECT_EQ(If.Then.size(), 1u);
+  EXPECT_EQ(If.Else.size(), 1u);
+}
+
+TEST(ParserTest, ScheduleTypeClause) {
+  auto M = parseOk(R"(
+      program main
+      real*8 A(100)
+c$doacross local(i) schedtype(interleave)
+      do i = 1, 100
+        A(i) = 0.0
+      enddo
+      end
+)");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->Procedures[0]->Body[0]->Doacross->Sched,
+            SchedKind::Interleave);
+}
+
+TEST(ParserTest, MixedTypeArithmeticGetsConversions) {
+  auto M = parseOk(R"(
+      program main
+      real*8 x
+      integer i
+      i = 3
+      x = i + 1.5
+      end
+)");
+  ASSERT_TRUE(M);
+  const Stmt &S = *M->Procedures[0]->Body[1];
+  EXPECT_EQ(S.Rhs->Type, ScalarType::F64);
+}
+
+TEST(ParserTest, ErrorUndeclaredDistribute) {
+  Error E = parseErr(R"(
+      program main
+c$distribute A(block)
+      end
+)");
+  EXPECT_NE(E.str().find("undeclared array"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorDoubleDistribution) {
+  Error E = parseErr(R"(
+      program main
+      real*8 A(100)
+c$distribute A(block)
+c$distribute_reshape A(block)
+      end
+)");
+  EXPECT_NE(E.str().find("already has a distribution"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorDoacrossWithoutLoop) {
+  Error E = parseErr(R"(
+      program main
+      integer i
+c$doacross local(i)
+      i = 1
+      end
+)");
+  EXPECT_NE(E.str().find("not followed by a DO loop"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorBadAffinityExpression) {
+  Error E = parseErr(R"(
+      program main
+      integer k
+      real*8 A(100)
+c$distribute A(block)
+c$doacross local(i) affinity(i) = data(A(i*i))
+      do i = 1, 10
+        A(i) = 0.0
+      enddo
+      end
+)");
+  EXPECT_NE(E.str().find("linear affinity"), std::string::npos);
+}
+
+} // namespace

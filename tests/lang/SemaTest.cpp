@@ -1,0 +1,234 @@
+//===- tests/lang/SemaTest.cpp - Semantic check tests -----------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/Parser.h"
+
+using namespace dsm;
+using namespace dsm::ir;
+
+namespace {
+
+Error checkSource(std::string_view Src) {
+  auto R = lang::parseSource(Src, "test.f");
+  EXPECT_TRUE(bool(R)) << (R ? "" : R.error().str());
+  if (!R)
+    return Error();
+  return lang::checkModule(**R);
+}
+
+TEST(SemaTest, CleanProgramPasses) {
+  Error E = checkSource(R"(
+      program main
+      integer n
+      real*8 A(1000)
+c$distribute_reshape A(block)
+      n = 1000
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, n
+        A(i) = i*i
+      enddo
+      end
+)");
+  EXPECT_FALSE(E) << E.str();
+}
+
+TEST(SemaTest, ReshapedEquivalenceRejected) {
+  // Paper Section 3.2.1: a reshaped array cannot be equivalenced.
+  Error E = checkSource(R"(
+      program main
+      real*8 A(100), B(100)
+c$distribute_reshape A(block)
+      equivalence (A, B)
+      A(1) = 0.0
+      end
+)");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("cannot be equivalenced"), std::string::npos);
+}
+
+TEST(SemaTest, RegularEquivalenceAllowed) {
+  Error E = checkSource(R"(
+      program main
+      real*8 A(100), B(100)
+c$distribute A(block)
+      equivalence (A, B)
+      A(1) = 0.0
+      end
+)");
+  EXPECT_FALSE(E) << E.str();
+}
+
+TEST(SemaTest, RedistributeOfReshapedRejected) {
+  // Paper Section 3.3: no redistribution of reshaped arrays.
+  Error E = checkSource(R"(
+      program main
+      real*8 A(100, 100)
+c$distribute_reshape A(block, *)
+      A(1,1) = 0.0
+c$redistribute A(*, block)
+      end
+)");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("reshaped"), std::string::npos);
+}
+
+TEST(SemaTest, RedistributeWithoutDistributeRejected) {
+  Error E = checkSource(R"(
+      program main
+      real*8 A(100)
+      A(1) = 0.0
+c$redistribute A(block)
+      end
+)");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("never declared"), std::string::npos);
+}
+
+TEST(SemaTest, RankMismatchRejected) {
+  Error E = checkSource(R"(
+      program main
+      real*8 A(100, 100)
+c$distribute A(block)
+      A(1,1) = 0.0
+      end
+)");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("rank"), std::string::npos);
+}
+
+TEST(SemaTest, OntoWeightCountChecked) {
+  Error E = checkSource(R"(
+      program main
+      real*8 A(100, 100)
+c$distribute A(block, block) onto(1, 2, 3)
+      A(1,1) = 0.0
+      end
+)");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("onto"), std::string::npos);
+}
+
+TEST(SemaTest, ImperfectNestRejected) {
+  Error E = checkSource(R"(
+      program main
+      real*8 B(50, 60)
+c$doacross nest(i,j) local(i,j)
+      do i = 1, 60
+        B(1,i) = 0.0
+        do j = 1, 50
+          B(j,i) = i+j
+        enddo
+      enddo
+      end
+)");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("perfectly nested"), std::string::npos);
+}
+
+TEST(SemaTest, AffinityOnUndistributedArrayRejected) {
+  Error E = checkSource(R"(
+      program main
+      real*8 A(100)
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, 100
+        A(i) = 0.0
+      enddo
+      end
+)");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("no distribution"), std::string::npos);
+}
+
+TEST(SemaTest, AffinityOnStarDimensionRejected) {
+  Error E = checkSource(R"(
+      program main
+      real*8 A(100, 100)
+c$distribute A(*, block)
+c$doacross local(i) affinity(i) = data(A(i, 1))
+      do i = 1, 100
+        A(i, 1) = 0.0
+      enddo
+      end
+)");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("not a distributed dimension"),
+            std::string::npos);
+}
+
+TEST(SemaTest, CommonArrayNeedsConstantBounds) {
+  Error E = checkSource(R"(
+      program main
+      integer n
+      real*8 A(n)
+      common /blk/ A
+      A(1) = 0.0
+      end
+)");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("constant bounds"), std::string::npos);
+}
+
+TEST(SemaTest, ParameterBoundsAreConstant) {
+  Error E = checkSource(R"(
+      program main
+      integer n
+      parameter (n = 64)
+      real*8 A(n)
+      common /blk/ A
+      A(1) = 0.0
+      end
+)");
+  EXPECT_FALSE(E) << E.str();
+}
+
+//===--------------------------------------------------------------------===//
+// extractLinear unit tests
+//===--------------------------------------------------------------------===//
+
+TEST(ExtractLinearTest, Forms) {
+  Procedure P;
+  ScalarSymbol *I = P.addScalar("i", ScalarType::I64);
+  ScalarSymbol *K = P.addScalar("k", ScalarType::I64);
+
+  int64_t S, C;
+  // 3*i + 7
+  auto E1 = bin(BinOp::Add, bin(BinOp::Mul, intLit(3), scalarUse(I)),
+                intLit(7));
+  ASSERT_TRUE(ir::extractLinear(*E1, I, S, C));
+  EXPECT_EQ(S, 3);
+  EXPECT_EQ(C, 7);
+
+  // i - 4
+  auto E2 = bin(BinOp::Sub, scalarUse(I), intLit(4));
+  ASSERT_TRUE(ir::extractLinear(*E2, I, S, C));
+  EXPECT_EQ(S, 1);
+  EXPECT_EQ(C, -4);
+
+  // -(2*i)
+  auto E3 = neg(bin(BinOp::Mul, intLit(2), scalarUse(I)));
+  ASSERT_TRUE(ir::extractLinear(*E3, I, S, C));
+  EXPECT_EQ(S, -2);
+
+  // i*i is non-linear.
+  auto E4 = bin(BinOp::Mul, scalarUse(I), scalarUse(I));
+  EXPECT_FALSE(ir::extractLinear(*E4, I, S, C));
+
+  // i + k mentions another variable.
+  auto E5 = bin(BinOp::Add, scalarUse(I), scalarUse(K));
+  EXPECT_FALSE(ir::extractLinear(*E5, I, S, C));
+
+  // Pure constant: scale 0.
+  auto E6 = intLit(9);
+  ASSERT_TRUE(ir::extractLinear(*E6, I, S, C));
+  EXPECT_EQ(S, 0);
+  EXPECT_EQ(C, 9);
+}
+
+} // namespace

@@ -1,0 +1,421 @@
+//===- tests/link/LinkerTest.cpp - Pre-linker tests -------------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Tests of the paper's Section 5 machinery: shadow files, propagation of
+// distribute_reshape directives down the call graph across files, clone
+// creation per distinct signature, and the Section 6 link-time COMMON
+// consistency checks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "link/Linker.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+using namespace dsm;
+
+namespace {
+
+std::vector<std::unique_ptr<ir::Module>>
+parseAll(std::vector<std::string> Sources) {
+  std::vector<std::unique_ptr<ir::Module>> Modules;
+  for (size_t I = 0; I < Sources.size(); ++I) {
+    auto M = lang::parseSource(Sources[I],
+                               "unit" + std::to_string(I) + ".f");
+    EXPECT_TRUE(bool(M)) << (M ? "" : M.error().str());
+    if (!M)
+      return {};
+    Error E = lang::checkModule(**M);
+    EXPECT_FALSE(E) << E.str();
+    Modules.push_back(std::move(*M));
+  }
+  return Modules;
+}
+
+TEST(LinkerTest, ResolvesProceduresAndMain) {
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      call helper
+      end
+)",
+                                       R"(
+      subroutine helper
+      integer i
+      i = 1
+      end
+)"}));
+  ASSERT_TRUE(bool(P)) << P.error().str();
+  EXPECT_TRUE(P->Main);
+  EXPECT_TRUE(P->findProcedure("helper"));
+  EXPECT_EQ(P->ClonesCreated, 0u);
+}
+
+TEST(LinkerTest, UndefinedCalleeIsALinkError) {
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      call nowhere
+      end
+)"}));
+  ASSERT_FALSE(bool(P));
+  EXPECT_NE(P.takeError().str().find("undefined subroutine"),
+            std::string::npos);
+}
+
+TEST(LinkerTest, DuplicateDefinitionRejected) {
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      end
+)",
+                                       R"(
+      subroutine f
+      end
+)",
+                                       R"(
+      subroutine f
+      end
+)"}));
+  ASSERT_FALSE(bool(P));
+  EXPECT_NE(P.takeError().str().find("duplicate"), std::string::npos);
+}
+
+TEST(LinkerTest, ReshapePropagationClonesCallee) {
+  // sweep is defined in a separately "compiled" file with no directive
+  // on its formal; the pre-linker propagates A's reshaped distribution
+  // and clones sweep for it.
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      real*8 A(64)
+c$distribute_reshape A(block)
+      A(1) = 0.0
+      call sweep(A)
+      end
+)",
+                                       R"(
+      subroutine sweep(X)
+      real*8 X(64)
+      integer i
+      do i = 1, 64
+        X(i) = i
+      enddo
+      end
+)"}));
+  ASSERT_TRUE(bool(P)) << P.error().str();
+  EXPECT_EQ(P->ClonesCreated, 1u);
+  ir::Procedure *Clone = P->findProcedure("sweep.r1");
+  ASSERT_TRUE(Clone);
+  ASSERT_TRUE(Clone->Formals[0].Array);
+  EXPECT_TRUE(Clone->Formals[0].Array->isReshaped());
+  // The original survives untouched for non-reshaped callers.
+  ir::Procedure *Base = P->findProcedure("sweep");
+  ASSERT_TRUE(Base);
+  EXPECT_FALSE(Base->Formals[0].Array->isReshaped());
+}
+
+TEST(LinkerTest, OneCloneRegardlessOfCallSiteCount) {
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      real*8 A(64), B(64)
+c$distribute_reshape A(block), B(block)
+      A(1) = 0.0
+      call sweep(A)
+      call sweep(B)
+      call sweep(A)
+      end
+)",
+                                       R"(
+      subroutine sweep(X)
+      real*8 X(64)
+      X(1) = 1.0
+      end
+)"}));
+  ASSERT_TRUE(bool(P)) << P.error().str();
+  EXPECT_EQ(P->ClonesCreated, 1u)
+      << "same signature must reuse the clone";
+}
+
+TEST(LinkerTest, DistinctDistributionsDistinctClones) {
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      real*8 A(64), B(64)
+c$distribute_reshape A(block)
+c$distribute_reshape B(cyclic)
+      A(1) = 0.0
+      call sweep(A)
+      call sweep(B)
+      end
+)",
+                                       R"(
+      subroutine sweep(X)
+      real*8 X(64)
+      X(1) = 1.0
+      end
+)"}));
+  ASSERT_TRUE(bool(P)) << P.error().str();
+  EXPECT_EQ(P->ClonesCreated, 2u);
+}
+
+TEST(LinkerTest, PropagationFollowsCallChains) {
+  // main -> level1 -> level2: the directive must reach level2 through
+  // the cloned level1 ("propagated all the way down the call graph").
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      real*8 A(64)
+c$distribute_reshape A(block)
+      A(1) = 0.0
+      call level1(A)
+      end
+)",
+                                       R"(
+      subroutine level1(X)
+      real*8 X(64)
+      call level2(X)
+      end
+)",
+                                       R"(
+      subroutine level2(Y)
+      real*8 Y(64)
+      Y(1) = 2.0
+      end
+)"}));
+  ASSERT_TRUE(bool(P)) << P.error().str();
+  EXPECT_EQ(P->ClonesCreated, 2u);
+  EXPECT_GE(P->Recompilations, 2u);
+  // The level1 clone's call site must target the level2 clone.
+  ir::Procedure *L1Clone = nullptr;
+  for (auto &[Name, Proc] : P->Procedures)
+    if (Name.rfind("level1.", 0) == 0)
+      L1Clone = Proc;
+  ASSERT_TRUE(L1Clone);
+  ASSERT_EQ(L1Clone->Body.size(), 1u);
+  EXPECT_NE(L1Clone->Body[0]->Callee, "level2")
+      << "call must be retargeted to the clone";
+}
+
+TEST(LinkerTest, ElementArgumentDoesNotPropagate) {
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      real*8 A(100)
+c$distribute_reshape A(cyclic(5))
+      A(1) = 0.0
+      call mysub(A(1))
+      end
+)",
+                                       R"(
+      subroutine mysub(X)
+      real*8 X(5)
+      X(1) = 1.0
+      end
+)"}));
+  ASSERT_TRUE(bool(P)) << P.error().str();
+  EXPECT_EQ(P->ClonesCreated, 0u)
+      << "portion passing treats the formal as a plain array";
+}
+
+TEST(LinkerTest, ConflictingFormalAnnotationRejected) {
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      real*8 A(64)
+c$distribute_reshape A(block)
+      A(1) = 0.0
+      call sweep(A)
+      end
+)",
+                                       R"(
+      subroutine sweep(X)
+      real*8 X(64)
+c$distribute_reshape X(cyclic)
+      X(1) = 1.0
+      end
+)"}));
+  ASSERT_FALSE(bool(P));
+  EXPECT_NE(P.takeError().str().find("declared"), std::string::npos);
+}
+
+TEST(LinkerTest, MatchingFormalAnnotationUsesBase) {
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      real*8 A(64)
+c$distribute_reshape A(block)
+      A(1) = 0.0
+      call sweep(A)
+      end
+)",
+                                       R"(
+      subroutine sweep(X)
+      real*8 X(64)
+c$distribute_reshape X(block)
+      X(1) = 1.0
+      end
+)"}));
+  ASSERT_TRUE(bool(P)) << P.error().str();
+  EXPECT_EQ(P->ClonesCreated, 0u)
+      << "a matching user annotation needs no clone";
+}
+
+//===--------------------------------------------------------------------===//
+// Shadow files
+//===--------------------------------------------------------------------===//
+
+TEST(LinkerTest, ShadowFileRecordsDefsCallsAndCommons) {
+  auto Modules = parseAll({R"(
+      program main
+      real*8 A(64), C(32)
+      common /blk/ C
+c$distribute_reshape A(block)
+c$distribute_reshape C(cyclic)
+      A(1) = 0.0
+      call sweep(A)
+      end
+)"});
+  ASSERT_EQ(Modules.size(), 1u);
+  link::ShadowFile Shadow = link::buildShadowFile(*Modules[0]);
+  ASSERT_EQ(Shadow.Defs.size(), 1u);
+  EXPECT_EQ(Shadow.Defs[0].Procedure, "main");
+  ASSERT_EQ(Shadow.Calls.size(), 1u);
+  EXPECT_EQ(Shadow.Calls[0].Callee, "sweep");
+  ASSERT_TRUE(Shadow.Calls[0].Signature[0]);
+  ASSERT_EQ(Shadow.Commons.size(), 1u);
+  EXPECT_EQ(Shadow.Commons[0].BlockName, "blk");
+  ASSERT_EQ(Shadow.Commons[0].Members.size(), 1u);
+  EXPECT_TRUE(Shadow.Commons[0].Members[0].Reshaped);
+  EXPECT_FALSE(Shadow.serialize().empty());
+}
+
+TEST(LinkerTest, RedundantRequestRemoval) {
+  link::ShadowFile Shadow;
+  link::ReshapeSignature Sig;
+  dist::DistSpec Spec;
+  Spec.Dims.push_back({dist::DistKind::Block, 1});
+  Spec.Reshaped = true;
+  Sig.push_back(Spec);
+  Shadow.Requests.push_back(link::CloneRequest{"f", Sig, "f.r1"});
+  // No shadow file has a matching call: the request is dropped (the
+  // "user removed a subroutine invocation" case of Section 5).
+  std::vector<const link::ShadowFile *> All = {&Shadow};
+  EXPECT_EQ(Shadow.removeRedundantRequests(All), 1u);
+  EXPECT_TRUE(Shadow.Requests.empty());
+
+  // With a matching call the request survives.
+  link::ShadowFile Shadow2;
+  Shadow2.Requests.push_back(link::CloneRequest{"f", Sig, "f.r1"});
+  Shadow2.Calls.push_back(link::ShadowCallEntry{"main", "f", Sig});
+  std::vector<const link::ShadowFile *> All2 = {&Shadow2};
+  EXPECT_EQ(Shadow2.removeRedundantRequests(All2), 0u);
+  EXPECT_EQ(Shadow2.Requests.size(), 1u);
+}
+
+//===--------------------------------------------------------------------===//
+// Link-time COMMON checks (paper Section 6)
+//===--------------------------------------------------------------------===//
+
+TEST(LinkerTest, ConsistentReshapedCommonAccepted) {
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      real*8 C(32)
+      common /blk/ C
+c$distribute_reshape C(block)
+      C(1) = 0.0
+      call touch
+      end
+)",
+                                       R"(
+      subroutine touch
+      real*8 C(32)
+      common /blk/ C
+c$distribute_reshape C(block)
+      C(2) = 1.0
+      end
+)"}));
+  EXPECT_TRUE(bool(P)) << (P ? "" : P.error().str());
+}
+
+TEST(LinkerTest, InconsistentReshapedCommonShapeRejected) {
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      real*8 C(32)
+      common /blk/ C
+c$distribute_reshape C(block)
+      C(1) = 0.0
+      call touch
+      end
+)",
+                                       R"(
+      subroutine touch
+      real*8 C(16, 2)
+      common /blk/ C
+c$distribute_reshape C(block, *)
+      C(2, 1) = 1.0
+      end
+)"}));
+  ASSERT_FALSE(bool(P));
+  EXPECT_NE(P.takeError().str().find("inconsistent"), std::string::npos);
+}
+
+TEST(LinkerTest, InconsistentReshapedCommonDistRejected) {
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      real*8 C(32)
+      common /blk/ C
+c$distribute_reshape C(block)
+      C(1) = 0.0
+      call touch
+      end
+)",
+                                       R"(
+      subroutine touch
+      real*8 C(32)
+      common /blk/ C
+c$distribute_reshape C(cyclic)
+      C(2) = 1.0
+      end
+)"}));
+  ASSERT_FALSE(bool(P));
+  EXPECT_NE(P.takeError().str().find("inconsistent"), std::string::npos);
+}
+
+TEST(LinkerTest, MismatchedPlainCommonTolerated) {
+  // "common blocks without reshaped arrays are not affected."
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      real*8 C(32)
+      common /blk/ C
+      C(1) = 0.0
+      call touch
+      end
+)",
+                                       R"(
+      subroutine touch
+      real*8 C(8, 2)
+      common /blk/ C
+      C(2, 1) = 1.0
+      end
+)"}));
+  EXPECT_TRUE(bool(P)) << (P ? "" : P.error().str());
+}
+
+TEST(LinkerTest, MissingReshapedMemberInOtherDeclRejected) {
+  auto P = link::linkProgram(parseAll({R"(
+      program main
+      real*8 C(32)
+      common /blk/ C
+c$distribute_reshape C(block)
+      C(1) = 0.0
+      call touch
+      end
+)",
+                                       R"(
+      subroutine touch
+      real*8 C(32)
+      common /blk/ C
+      C(2) = 1.0
+      end
+)"}));
+  ASSERT_FALSE(bool(P));
+  EXPECT_NE(P.takeError().str().find("inconsistent"), std::string::npos);
+}
+
+} // namespace

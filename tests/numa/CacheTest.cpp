@@ -1,0 +1,108 @@
+//===- tests/numa/CacheTest.cpp - Cache model unit tests ------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/Cache.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsm::numa;
+
+namespace {
+
+CacheConfig smallConfig() { return CacheConfig{256, 32, 2}; } // 4 sets.
+
+TEST(CacheTest, MissThenHit) {
+  Cache C(smallConfig());
+  EXPECT_FALSE(C.access(0x100, false).Hit);
+  EXPECT_TRUE(C.access(0x100, false).Hit);
+  // Same line, different offset.
+  EXPECT_TRUE(C.access(0x11f, false).Hit);
+  // Next line misses.
+  EXPECT_FALSE(C.access(0x120, false).Hit);
+}
+
+TEST(CacheTest, LruEvictionWithinSet) {
+  Cache C(smallConfig());
+  // 4 sets x 32B lines: addresses 0x000, 0x080, 0x100 share set 0.
+  C.access(0x000, false);
+  C.access(0x080, false);
+  C.access(0x000, false); // Refresh 0x000; 0x080 becomes LRU.
+  auto R = C.access(0x100, false);
+  EXPECT_FALSE(R.Hit);
+  EXPECT_TRUE(R.Evicted);
+  EXPECT_EQ(R.EvictedLineAddr, 0x080u);
+  EXPECT_TRUE(C.contains(0x000));
+  EXPECT_FALSE(C.contains(0x080));
+}
+
+TEST(CacheTest, DirtyEvictionReported) {
+  Cache C(smallConfig());
+  C.access(0x000, true); // Dirty.
+  C.access(0x080, false);
+  auto R = C.access(0x100, false); // Evicts 0x000 (LRU).
+  EXPECT_TRUE(R.Evicted);
+  EXPECT_TRUE(R.EvictedDirty);
+  EXPECT_EQ(R.EvictedLineAddr, 0x000u);
+}
+
+TEST(CacheTest, WriteHitMarksDirty) {
+  Cache C(smallConfig());
+  C.access(0x000, false);
+  C.access(0x000, true);
+  EXPECT_TRUE(C.invalidate(0x000)) << "invalidate returns dirty bit";
+}
+
+TEST(CacheTest, CleanLineClearsDirty) {
+  Cache C(smallConfig());
+  C.access(0x000, true);
+  EXPECT_TRUE(C.cleanLine(0x000));
+  EXPECT_FALSE(C.invalidate(0x000));
+}
+
+TEST(CacheTest, InvalidateMissingLine) {
+  Cache C(smallConfig());
+  EXPECT_FALSE(C.invalidate(0x500));
+  EXPECT_FALSE(C.cleanLine(0x500));
+}
+
+TEST(CacheTest, FlushDropsEverything) {
+  Cache C(smallConfig());
+  C.access(0x000, true);
+  C.access(0x040, false);
+  C.flush();
+  EXPECT_FALSE(C.contains(0x000));
+  EXPECT_FALSE(C.contains(0x040));
+}
+
+// Working-set sweep: a working set within capacity has no misses on the
+// second pass; one exceeding capacity keeps missing under LRU.
+class CacheSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheSweepTest, SecondPassBehaviour) {
+  CacheConfig Cfg{1024, 32, 2}; // 32 lines.
+  Cache C(Cfg);
+  int NumLines = GetParam();
+  for (int I = 0; I < NumLines; ++I)
+    C.access(static_cast<uint64_t>(I) * 32, false);
+  int Hits = 0;
+  for (int I = 0; I < NumLines; ++I)
+    Hits += C.access(static_cast<uint64_t>(I) * 32, false).Hit;
+  if (NumLines <= 32) {
+    EXPECT_EQ(Hits, NumLines);
+  } else {
+    EXPECT_LT(Hits, NumLines) << "beyond capacity some sets must miss";
+    if (NumLines >= 48) {
+      EXPECT_EQ(Hits, 0)
+          << "with >= 3 lines per 2-way set a cyclic sweep fully "
+             "thrashes";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CacheSweepTest,
+                         ::testing::Values(8, 16, 32, 33, 48, 64, 128));
+
+} // namespace

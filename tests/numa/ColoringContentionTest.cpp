@@ -1,0 +1,121 @@
+//===- tests/numa/ColoringContentionTest.cpp - L2 colors & bandwidth -------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// The two second-order machine effects the paper leans on in
+// Section 8.2: physically-indexed-cache page coloring (reshaped pools
+// get sequential colors; demand-placed pages get hashed frames) and
+// per-node bandwidth saturation.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "numa/MemorySystem.h"
+
+using namespace dsm::numa;
+
+namespace {
+
+MachineConfig config() {
+  MachineConfig C;
+  C.NumNodes = 4;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 1 << 20;
+  C.L1 = CacheConfig{512, 32, 2};
+  // 8 KB 2-way L2: 4 page colors.
+  C.L2 = CacheConfig{8 * 1024, 128, 2};
+  C.TlbEntries = 64;
+  return C;
+}
+
+TEST(ColoringTest, SequentialColorsAvoidConflictsWithinCapacity) {
+  // A working set exactly the size of the L2, allocated as a colored
+  // pool: the second pass must hit completely.
+  MachineConfig C = config();
+  MemorySystem M(C);
+  uint64_t A = M.allocOnNode(8 * 1024, 0); // Colored frames.
+  for (int Pass = 0; Pass < 2; ++Pass)
+    for (uint64_t Off = 0; Off < 8 * 1024; Off += 128)
+      M.access(0, A + Off, 8, false);
+  // First pass: 64 line misses.  Second pass: none.
+  EXPECT_EQ(M.counters().L2Misses, 64u);
+}
+
+TEST(ColoringTest, HashedFramesConflictAtCapacity) {
+  // The same working set via demand placement (hashed frames): random
+  // colors overload some sets and the second pass keeps missing.
+  MachineConfig C = config();
+  MemorySystem M(C);
+  M.setDefaultPolicy(PlacementPolicy::FirstTouch);
+  uint64_t A = M.allocVirtual(8 * 1024);
+  for (int Pass = 0; Pass < 2; ++Pass)
+    for (uint64_t Off = 0; Off < 8 * 1024; Off += 128)
+      M.access(0, A + Off, 8, false);
+  EXPECT_GT(M.counters().L2Misses, 64u)
+      << "fragmented frame colors must produce conflict misses";
+}
+
+TEST(ContentionTest, EpochTimeScalesWithBusiestNode) {
+  MachineConfig C = config();
+  MemorySystem M(C);
+  // Place 16 pages on node 0 and 16 spread across the other nodes.
+  uint64_t Hot = M.allocVirtual(16 * 1024);
+  M.placeRange(Hot, 16 * 1024, 0, FrameMode::Hashed);
+  uint64_t Cool = M.allocVirtual(16 * 1024);
+  for (int P = 0; P < 16; ++P)
+    M.placePage(M.pageOf(Cool) + P, 1 + P % 3, FrameMode::Hashed);
+
+  M.beginEpoch();
+  for (uint64_t Off = 0; Off < 16 * 1024; Off += 128)
+    M.access(0, Hot + Off, 8, false);
+  uint64_t HotReq = M.epochNodeRequests(0);
+  uint64_t HotWall = M.epochWallTime(/*MaxProcCycles=*/1);
+  EXPECT_EQ(HotWall, HotReq * C.Costs.MemServiceCycles);
+
+  M.flushCachesAndTlbs();
+  M.beginEpoch();
+  for (uint64_t Off = 0; Off < 16 * 1024; Off += 128)
+    M.access(0, Cool + Off, 8, false);
+  uint64_t CoolWall = M.epochWallTime(/*MaxProcCycles=*/1);
+  EXPECT_LT(CoolWall * 2, HotWall)
+      << "spreading pages over three nodes must cut the service bound";
+}
+
+TEST(ContentionTest, ComputationBoundEpochsIgnoreIdleMemory) {
+  MemorySystem M(config());
+  M.beginEpoch();
+  EXPECT_EQ(M.epochWallTime(123456), 123456u);
+}
+
+TEST(ContentionTest, WritebacksCountAgainstTheHomeNode) {
+  MachineConfig C = config();
+  MemorySystem M(C);
+  uint64_t A = M.allocVirtual(32 * 1024);
+  M.placeRange(A, 32 * 1024, 2, FrameMode::Hashed);
+  M.beginEpoch();
+  // Dirty more lines than the L2 holds; evictions write back to node 2.
+  for (uint64_t Off = 0; Off < 32 * 1024; Off += 128)
+    M.access(0, A + Off, 8, true);
+  EXPECT_GT(M.counters().Writebacks, 0u);
+  EXPECT_GT(M.epochNodeRequests(2),
+            32u * 1024 / 128 /* fills alone */)
+      << "writebacks add to the home node's service load";
+}
+
+TEST(CountersTest, RenderingIsStable) {
+  Counters A;
+  A.Loads = 3;
+  A.Stores = 1;
+  Counters B;
+  B.Loads = 2;
+  B.TlbMisses = 7;
+  A += B;
+  EXPECT_EQ(A.Loads, 5u);
+  EXPECT_EQ(A.TlbMisses, 7u);
+  EXPECT_NE(A.str().find("loads=5"), std::string::npos);
+  EXPECT_NE(A.str().find("tlbmiss=7"), std::string::npos);
+}
+
+} // namespace

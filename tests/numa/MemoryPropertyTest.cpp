@@ -1,0 +1,106 @@
+//===- tests/numa/MemoryPropertyTest.cpp - Randomized invariants -----------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Deterministic randomized property tests of the memory system: data
+// integrity is independent of placement policy, cache state, sharing,
+// and migration; the performance model never affects values.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "numa/MemorySystem.h"
+#include "support/Rng.h"
+
+using namespace dsm;
+using namespace dsm::numa;
+
+namespace {
+
+MachineConfig config() {
+  MachineConfig C;
+  C.NumNodes = 8;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 1 << 20;
+  C.L1 = CacheConfig{512, 32, 2};
+  C.L2 = CacheConfig{4 * 1024, 128, 2};
+  C.TlbEntries = 8;
+  return C;
+}
+
+class MemoryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MemoryPropertyTest, RandomAccessesPreserveData) {
+  SplitMix64 Rng(GetParam());
+  MemorySystem M(config());
+  M.setDefaultPolicy(GetParam() % 2 ? PlacementPolicy::RoundRobin
+                                    : PlacementPolicy::FirstTouch);
+  uint64_t Base = M.allocVirtual(64 * 1024);
+  std::map<uint64_t, double> Shadow;
+
+  for (int Step = 0; Step < 4000; ++Step) {
+    uint64_t Addr = Base + Rng.nextBelow(8 * 1024) * 8;
+    int Proc = static_cast<int>(Rng.nextBelow(16));
+    if (Rng.nextBelow(3) == 0) {
+      double V = Rng.nextDouble();
+      M.access(Proc, Addr, 8, /*IsWrite=*/true);
+      M.writeF64(Addr, V);
+      Shadow[Addr] = V;
+    } else {
+      M.access(Proc, Addr, 8, /*IsWrite=*/false);
+      auto It = Shadow.find(Addr);
+      double Expect = It == Shadow.end() ? 0.0 : It->second;
+      ASSERT_DOUBLE_EQ(M.readF64(Addr), Expect)
+          << "step " << Step << " addr " << Addr;
+    }
+  }
+}
+
+TEST_P(MemoryPropertyTest, MigrationNeverChangesData) {
+  SplitMix64 Rng(GetParam() ^ 0xfeedULL);
+  MemorySystem M(config());
+  uint64_t Base = M.allocVirtual(32 * 1024);
+  // Populate with known values (and warm caches on several procs).
+  for (uint64_t I = 0; I < 4096; ++I) {
+    uint64_t Addr = Base + I * 8;
+    M.access(static_cast<int>(I % 16), Addr, 8, true);
+    M.writeF64(Addr, static_cast<double>(I) * 1.5);
+  }
+  // Random migrations interleaved with reads.
+  for (int Step = 0; Step < 300; ++Step) {
+    uint64_t Page = M.pageOf(Base) + Rng.nextBelow(32);
+    M.migratePage(Page, static_cast<int>(Rng.nextBelow(8)));
+    uint64_t I = Rng.nextBelow(4096);
+    uint64_t Addr = Base + I * 8;
+    M.access(static_cast<int>(Rng.nextBelow(16)), Addr, 8, false);
+    ASSERT_DOUBLE_EQ(M.readF64(Addr), static_cast<double>(I) * 1.5)
+        << "after migration step " << Step;
+  }
+}
+
+TEST_P(MemoryPropertyTest, AccessCostsAreBounded) {
+  SplitMix64 Rng(GetParam() ^ 0xc0ffeeULL);
+  MachineConfig C = config();
+  MemorySystem M(C);
+  uint64_t Base = M.allocVirtual(64 * 1024);
+  uint64_t WorstCase = C.Costs.TlbMiss + C.Costs.PageFaultCycles +
+                       C.Costs.L2Hit + C.Costs.RemoteMemMax +
+                       C.Costs.DirtyIntervention + C.Costs.RemoteMemMax;
+  for (int Step = 0; Step < 3000; ++Step) {
+    uint64_t Addr = Base + Rng.nextBelow(8 * 1024) * 8;
+    int Proc = static_cast<int>(Rng.nextBelow(16));
+    uint64_t Cost = M.access(Proc, Addr, 8, Rng.nextBelow(2) == 0);
+    ASSERT_GE(Cost, C.Costs.L1Hit);
+    ASSERT_LE(Cost, WorstCase) << "step " << Step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryPropertyTest,
+                         ::testing::Values(1ull, 42ull, 2026ull,
+                                           0xdeadbeefull));
+
+} // namespace

@@ -1,0 +1,189 @@
+//===- tests/numa/MemorySystemTest.cpp - Memory hierarchy tests -----------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/MemorySystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsm::numa;
+
+namespace {
+
+MachineConfig testConfig() {
+  MachineConfig C;
+  C.NumNodes = 4;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 1 << 20;
+  C.L1 = CacheConfig{1024, 32, 2};
+  C.L2 = CacheConfig{8 * 1024, 128, 2};
+  C.TlbEntries = 4;
+  return C;
+}
+
+TEST(MemorySystemTest, FunctionalDataRoundTrip) {
+  MemorySystem M(testConfig());
+  uint64_t A = M.allocVirtual(4096);
+  M.writeF64(A, 3.25);
+  M.writeF64(A + 8, -1.5);
+  M.writeI64(A + 16, -42);
+  EXPECT_DOUBLE_EQ(M.readF64(A), 3.25);
+  EXPECT_DOUBLE_EQ(M.readF64(A + 8), -1.5);
+  EXPECT_EQ(M.readI64(A + 16), -42);
+  EXPECT_DOUBLE_EQ(M.readF64(A + 24), 0.0) << "fresh memory reads zero";
+}
+
+TEST(MemorySystemTest, AllocationsDoNotSharePages) {
+  MemorySystem M(testConfig());
+  uint64_t A = M.allocVirtual(100);
+  uint64_t B = M.allocVirtual(100);
+  EXPECT_NE(M.pageOf(A), M.pageOf(B));
+}
+
+TEST(MemorySystemTest, FirstTouchPlacesOnFaultingNode) {
+  MemorySystem M(testConfig());
+  M.setDefaultPolicy(PlacementPolicy::FirstTouch);
+  uint64_t A = M.allocVirtual(8192);
+  M.access(/*Proc=*/6, A, 8, false); // Proc 6 lives on node 3.
+  EXPECT_EQ(M.pageHomeNode(M.pageOf(A)), 3);
+}
+
+TEST(MemorySystemTest, RoundRobinPlacesAcrossNodes) {
+  MemorySystem M(testConfig());
+  M.setDefaultPolicy(PlacementPolicy::RoundRobin);
+  uint64_t A = M.allocVirtual(8 * 1024);
+  for (int P = 0; P < 8; ++P)
+    M.access(0, A + static_cast<uint64_t>(P) * 1024, 8, false);
+  for (int N = 0; N < 4; ++N)
+    EXPECT_EQ(M.pagesOnNode(N), 2u) << "node " << N;
+}
+
+TEST(MemorySystemTest, ExplicitPlacementOverridesPolicy) {
+  MemorySystem M(testConfig());
+  uint64_t A = M.allocVirtual(2048);
+  M.placeRange(A, 2048, /*Node=*/2, FrameMode::Hashed);
+  M.access(/*Proc=*/0, A, 8, false); // Proc on node 0; page stays on 2.
+  EXPECT_EQ(M.pageHomeNode(M.pageOf(A)), 2);
+}
+
+TEST(MemorySystemTest, LastPlacementRequestWins) {
+  // Paper Section 8.3: a page requested by multiple processors goes to
+  // the last requester.
+  MemorySystem M(testConfig());
+  uint64_t A = M.allocVirtual(1024);
+  M.placePage(M.pageOf(A), 0, FrameMode::Hashed);
+  M.placePage(M.pageOf(A), 3, FrameMode::Hashed);
+  EXPECT_EQ(M.pageHomeNode(M.pageOf(A)), 3);
+}
+
+TEST(MemorySystemTest, LocalCheaperThanRemote) {
+  MachineConfig C = testConfig();
+  MemorySystem MLocal(C), MRemote(C);
+  uint64_t A1 = MLocal.allocVirtual(1024);
+  MLocal.placePage(MLocal.pageOf(A1), 0, FrameMode::Hashed);
+  uint64_t CostLocal = MLocal.access(0, A1, 8, false);
+
+  uint64_t A2 = MRemote.allocVirtual(1024);
+  MRemote.placePage(MRemote.pageOf(A2), 3, FrameMode::Hashed);
+  uint64_t CostRemote = MRemote.access(0, A2, 8, false);
+  EXPECT_GT(CostRemote, CostLocal);
+  EXPECT_EQ(MLocal.counters().LocalMemAccesses, 1u);
+  EXPECT_EQ(MRemote.counters().RemoteMemAccesses, 1u);
+}
+
+TEST(MemorySystemTest, CacheHitAfterMiss) {
+  MemorySystem M(testConfig());
+  uint64_t A = M.allocVirtual(1024);
+  M.placePage(M.pageOf(A), 0, FrameMode::Hashed);
+  uint64_t Miss = M.access(0, A, 8, false);
+  uint64_t Hit = M.access(0, A, 8, false);
+  EXPECT_GT(Miss, Hit);
+  EXPECT_EQ(Hit, testConfig().Costs.L1Hit);
+  EXPECT_EQ(M.counters().L1Misses, 1u);
+}
+
+TEST(MemorySystemTest, TlbMissesCounted) {
+  MachineConfig C = testConfig(); // 4-entry TLB.
+  MemorySystem M(C);
+  uint64_t A = M.allocVirtual(16 * 1024);
+  M.placeRange(A, 16 * 1024, 0, FrameMode::Hashed);
+  // Touch 8 pages cyclically twice: working set exceeds the TLB.
+  for (int Pass = 0; Pass < 2; ++Pass)
+    for (int P = 0; P < 8; ++P)
+      M.access(0, A + static_cast<uint64_t>(P) * 1024, 8, false);
+  EXPECT_EQ(M.counters().TlbMisses, 16u);
+}
+
+TEST(MemorySystemTest, WriteInvalidatesOtherReader) {
+  MemorySystem M(testConfig());
+  uint64_t A = M.allocVirtual(1024);
+  M.placePage(M.pageOf(A), 0, FrameMode::Hashed);
+  M.access(0, A, 8, false); // P0 reads (exclusive grant).
+  M.access(2, A, 8, false); // P2 reads; line now shared.
+  M.access(0, A, 8, true);  // P0 writes; P2 must be invalidated.
+  EXPECT_EQ(M.counters().Invalidations, 1u);
+  uint64_t MissAgain = M.access(2, A, 8, false);
+  EXPECT_GT(MissAgain, testConfig().Costs.L2Hit)
+      << "P2's copy must be gone";
+}
+
+TEST(MemorySystemTest, DirtyInterventionOnRemoteRead) {
+  MemorySystem M(testConfig());
+  uint64_t A = M.allocVirtual(1024);
+  M.placePage(M.pageOf(A), 0, FrameMode::Hashed);
+  M.access(0, A, 8, true);  // P0 dirties the line.
+  M.access(4, A, 8, false); // P4 (node 2) reads: intervention.
+  EXPECT_EQ(M.counters().DirtyInterventions, 1u);
+  EXPECT_GE(M.counters().Writebacks, 1u);
+}
+
+TEST(MemorySystemTest, EpochContentionStretchesWallTime) {
+  MachineConfig C = testConfig();
+  MemorySystem M(C);
+  uint64_t A = M.allocVirtual(64 * 1024);
+  M.placeRange(A, 64 * 1024, 0, FrameMode::Hashed); // All on node 0.
+  M.beginEpoch();
+  // Stream far more lines through node 0 than 100 cycles can serve.
+  for (int I = 0; I < 64; ++I)
+    M.access(0, A + static_cast<uint64_t>(I) * 1024, 8, false);
+  EXPECT_GE(M.epochNodeRequests(0), 64u);
+  uint64_t Wall = M.epochWallTime(/*MaxProcCycles=*/100);
+  EXPECT_EQ(Wall, M.epochNodeRequests(0) * C.Costs.MemServiceCycles);
+  // With idle memory the wall time is just the computation time.
+  M.beginEpoch();
+  EXPECT_EQ(M.epochWallTime(100), 100u);
+}
+
+TEST(MemorySystemTest, MigrationMovesPageAndFlushesState) {
+  MemorySystem M(testConfig());
+  uint64_t A = M.allocVirtual(1024);
+  M.placePage(M.pageOf(A), 0, FrameMode::Hashed);
+  M.writeF64(A, 7.5);
+  M.access(0, A, 8, false);
+  M.migratePage(M.pageOf(A), 3);
+  EXPECT_EQ(M.pageHomeNode(M.pageOf(A)), 3);
+  EXPECT_DOUBLE_EQ(M.readF64(A), 7.5) << "data survives migration";
+  EXPECT_EQ(M.counters().PageMigrations, 1u);
+  // The old cached copy is gone: the next access misses to node 3.
+  uint64_t Before = M.counters().RemoteMemAccesses;
+  M.access(0, A, 8, false);
+  EXPECT_EQ(M.counters().RemoteMemAccesses, Before + 1);
+}
+
+TEST(MemorySystemTest, NodeCapacitySpills) {
+  MachineConfig C = testConfig();
+  C.NodeMemoryBytes = 4 * 1024; // Only 4 frames per node.
+  MemorySystem M(C);
+  uint64_t A = M.allocVirtual(8 * 1024);
+  M.placeRange(A, 8 * 1024, 0, FrameMode::Hashed);
+  EXPECT_EQ(M.pagesOnNode(0), 4u);
+  uint64_t Spilled = 0;
+  for (int N = 1; N < 4; ++N)
+    Spilled += M.pagesOnNode(N);
+  EXPECT_EQ(Spilled, 4u) << "overflow pages spill to neighbours";
+}
+
+} // namespace

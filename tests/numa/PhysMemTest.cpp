@@ -1,0 +1,72 @@
+//===- tests/numa/PhysMemTest.cpp - Frame allocator tests -----------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/PhysMem.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsm::numa;
+
+namespace {
+
+MachineConfig tinyConfig() {
+  MachineConfig C;
+  C.NumNodes = 4;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 8 * 1024; // 8 frames per node.
+  C.L2 = CacheConfig{4 * 1024, 128, 2}; // 2 page colors.
+  return C;
+}
+
+TEST(PhysMemTest, AllocOnPreferredNode) {
+  PhysMem M(tinyConfig());
+  auto A = M.alloc(2, 0, FrameMode::Hashed);
+  EXPECT_EQ(A.Node, 2);
+  EXPECT_EQ(M.framesUsed(2), 1u);
+}
+
+TEST(PhysMemTest, SpillsToNearestNodeWhenFull) {
+  PhysMem M(tinyConfig());
+  for (int I = 0; I < 8; ++I)
+    M.alloc(0, static_cast<uint64_t>(I), FrameMode::Hashed);
+  EXPECT_EQ(M.framesUsed(0), 8u);
+  // Node 0 full; hop-1 neighbours are nodes 1 and 2.
+  auto A = M.alloc(0, 99, FrameMode::Hashed);
+  EXPECT_TRUE(A.Node == 1 || A.Node == 2) << "spilled to node " << A.Node;
+}
+
+TEST(PhysMemTest, ColoredAllocationMatchesPageColor) {
+  MachineConfig C = tinyConfig();
+  PhysMem M(C);
+  uint64_t Colors = C.numPageColors();
+  ASSERT_EQ(Colors, 2u);
+  for (uint64_t VPage = 0; VPage < 6; ++VPage) {
+    auto A = M.alloc(1, VPage, FrameMode::Colored);
+    EXPECT_EQ(A.Frame % Colors, VPage % Colors)
+        << "vpage " << VPage << " got frame " << A.Frame;
+  }
+}
+
+TEST(PhysMemTest, FreeMakesFrameReusable) {
+  PhysMem M(tinyConfig());
+  auto A = M.alloc(3, 0, FrameMode::Colored);
+  M.free(A.Node, A.Frame);
+  EXPECT_EQ(M.framesUsed(3), 0u);
+  auto B = M.alloc(3, 0, FrameMode::Colored);
+  EXPECT_EQ(B.Node, 3);
+  EXPECT_EQ(B.Frame, A.Frame);
+}
+
+TEST(PhysMemTest, PhysicalAddressesAreGloballyUnique) {
+  MachineConfig C = tinyConfig();
+  PhysMem M(C);
+  EXPECT_EQ(M.physBase(0, 0), 0u);
+  EXPECT_EQ(M.physBase(0, 7), 7 * C.PageSize);
+  EXPECT_EQ(M.physBase(1, 0), 8 * C.PageSize);
+  EXPECT_EQ(M.physBase(3, 7), 31 * C.PageSize);
+}
+
+} // namespace

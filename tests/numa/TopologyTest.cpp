@@ -1,0 +1,65 @@
+//===- tests/numa/TopologyTest.cpp - Hypercube topology tests -------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/Topology.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsm::numa;
+
+namespace {
+
+MachineConfig configWithNodes(int Nodes) {
+  MachineConfig C;
+  C.NumNodes = Nodes;
+  return C;
+}
+
+TEST(TopologyTest, HammingHops) {
+  Topology T(configWithNodes(16));
+  EXPECT_EQ(T.hops(0, 0), 0u);
+  EXPECT_EQ(T.hops(0, 1), 1u);
+  EXPECT_EQ(T.hops(0, 3), 2u);
+  EXPECT_EQ(T.hops(5, 10), 4u); // 0101 ^ 1010 = 1111.
+  EXPECT_EQ(T.hops(7, 8), 4u);
+}
+
+TEST(TopologyTest, HopsSymmetric) {
+  Topology T(configWithNodes(32));
+  for (int A = 0; A < 32; A += 5)
+    for (int B = 0; B < 32; B += 3)
+      EXPECT_EQ(T.hops(A, B), T.hops(B, A));
+}
+
+TEST(TopologyTest, LocalLatency) {
+  MachineConfig C = configWithNodes(8);
+  Topology T(C);
+  EXPECT_EQ(T.memoryLatency(3, 3), C.Costs.LocalMem);
+}
+
+TEST(TopologyTest, RemoteLatencyGrowsWithHopsAndSaturates) {
+  MachineConfig C = configWithNodes(64);
+  Topology T(C);
+  uint64_t OneHop = T.memoryLatency(0, 1);
+  uint64_t TwoHop = T.memoryLatency(0, 3);
+  uint64_t SixHop = T.memoryLatency(0, 63);
+  EXPECT_EQ(OneHop, C.Costs.RemoteMemBase);
+  EXPECT_GT(TwoHop, OneHop);
+  EXPECT_LE(SixHop, C.Costs.RemoteMemMax);
+  EXPECT_GE(SixHop, TwoHop);
+}
+
+TEST(TopologyTest, RemoteToLocalRatioInPaperRange) {
+  // Paper Section 1: remote latencies 2-3x local on the Origin-2000.
+  MachineConfig C = configWithNodes(64);
+  Topology T(C);
+  double Ratio = static_cast<double>(T.memoryLatency(0, 63)) /
+                 static_cast<double>(T.memoryLatency(0, 0));
+  EXPECT_GE(Ratio, 1.5);
+  EXPECT_LE(Ratio, 3.0);
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+//===- tests/runtime/ArgCheckUnitTest.cpp - Hash-table unit tests ----------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Unit tests of the Section 6 runtime hash table itself (the end-to-end
+// behaviour is covered in tests/exec/ArgCheckTest.cpp).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ArgCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsm;
+using namespace dsm::runtime;
+
+namespace {
+
+dist::DistSpec blockSpec() {
+  dist::DistSpec S;
+  S.Dims.push_back({dist::DistKind::Block, 1});
+  S.Reshaped = true;
+  return S;
+}
+
+TEST(ArgCheckUnitTest, LookupMissesUnregisteredAddresses) {
+  ArgCheckTable T;
+  EXPECT_EQ(T.lookup(0x1000), nullptr);
+  // Unknown addresses are not reshaped arguments: no error.
+  EXPECT_FALSE(T.verifyFormal(0x1000, {5}, nullptr, "sub", "x"));
+}
+
+TEST(ArgCheckUnitTest, WholeArrayShapeChecked) {
+  ArgCheckTable T;
+  ArgInfo Info;
+  Info.WholeArray = true;
+  Info.Dims = {100};
+  Info.Dist = blockSpec();
+  T.registerArg(0x2000, Info);
+
+  EXPECT_FALSE(T.verifyFormal(0x2000, {100}, nullptr, "sub", "x"));
+  Error Rank = T.verifyFormal(0x2000, {10, 10}, nullptr, "sub", "x");
+  ASSERT_TRUE(Rank);
+  EXPECT_NE(Rank.str().find("rank"), std::string::npos);
+  Error Extent = T.verifyFormal(0x2000, {99}, nullptr, "sub", "x");
+  ASSERT_TRUE(Extent);
+  EXPECT_NE(Extent.str().find("extent"), std::string::npos);
+}
+
+TEST(ArgCheckUnitTest, WholeArrayDistributionChecked) {
+  ArgCheckTable T;
+  ArgInfo Info;
+  Info.WholeArray = true;
+  Info.Dims = {100};
+  Info.Dist = blockSpec();
+  T.registerArg(0x2000, Info);
+
+  dist::DistSpec Cyclic;
+  Cyclic.Dims.push_back({dist::DistKind::Cyclic, 1});
+  Cyclic.Reshaped = true;
+  Error E = T.verifyFormal(0x2000, {100}, &Cyclic, "sub", "x");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("distributed"), std::string::npos);
+  dist::DistSpec Block = blockSpec();
+  EXPECT_FALSE(T.verifyFormal(0x2000, {100}, &Block, "sub", "x"));
+}
+
+TEST(ArgCheckUnitTest, PortionSizeChecked) {
+  ArgCheckTable T;
+  ArgInfo Info;
+  Info.WholeArray = false;
+  Info.PortionBytes = 40; // Five doubles.
+  T.registerArg(0x3000, Info);
+
+  EXPECT_FALSE(T.verifyFormal(0x3000, {5}, nullptr, "mysub", "x"));
+  EXPECT_FALSE(T.verifyFormal(0x3000, {5, 1}, nullptr, "mysub", "x"));
+  Error E = T.verifyFormal(0x3000, {6}, nullptr, "mysub", "x");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.str().find("portion"), std::string::npos);
+}
+
+TEST(ArgCheckUnitTest, UnregisterRestoresPreviousEntry) {
+  // Recursive calls can pass the same address twice; entries stack.
+  ArgCheckTable T;
+  ArgInfo Outer;
+  Outer.WholeArray = false;
+  Outer.PortionBytes = 80;
+  T.registerArg(0x4000, Outer);
+  ArgInfo Inner;
+  Inner.WholeArray = false;
+  Inner.PortionBytes = 40;
+  T.registerArg(0x4000, Inner);
+
+  ASSERT_TRUE(T.lookup(0x4000));
+  EXPECT_EQ(T.lookup(0x4000)->PortionBytes, 40u);
+  T.unregisterArg(0x4000);
+  ASSERT_TRUE(T.lookup(0x4000));
+  EXPECT_EQ(T.lookup(0x4000)->PortionBytes, 80u);
+  T.unregisterArg(0x4000);
+  EXPECT_EQ(T.lookup(0x4000), nullptr);
+  T.unregisterArg(0x4000); // Extra unregister is a no-op.
+}
+
+} // namespace

@@ -1,0 +1,297 @@
+//===- tests/xform/LoweringTest.cpp - Reshaped lowering equivalence ---------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Golden-run equivalence: for every reshaped distribution and every
+// optimization level (the rows of the paper's Table 2), the transformed
+// program must compute bit-identical array contents.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "support/StringUtils.h"
+#include "tests/xform/XformTestUtil.h"
+
+using namespace dsm;
+using namespace dsm::testutil;
+
+namespace {
+
+using xform::ReshapeOptLevel;
+
+struct LevelCase {
+  ReshapeOptLevel Level;
+  bool FpDivMod;
+};
+
+class AllLevelsTest : public ::testing::TestWithParam<LevelCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Levels, AllLevelsTest,
+    ::testing::Values(LevelCase{ReshapeOptLevel::None, false},
+                      LevelCase{ReshapeOptLevel::None, true},
+                      LevelCase{ReshapeOptLevel::TilePeel, true},
+                      LevelCase{ReshapeOptLevel::Full, false},
+                      LevelCase{ReshapeOptLevel::Full, true}));
+
+TEST_P(AllLevelsTest, StencilOnBlockReshaped) {
+  // The paper's Section 7.1 peeling example.
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(128), B(128)
+c$distribute_reshape A(block), B(block)
+      do i = 1, 128
+        A(i) = i * 0.5
+        B(i) = 0.0
+      enddo
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 2, 127
+        B(i) = (A(i-1) + A(i) + A(i+1)) / 3.0
+      enddo
+      end
+)";
+  double Golden = goldenWeightedChecksum(Src, "b");
+  CompileOptions C = withLevel(GetParam().Level, GetParam().FpDivMod);
+  for (int P : {1, 4, 7, 16})
+    EXPECT_DOUBLE_EQ(weightedChecksumOf(Src, "b", P, C), Golden) << "P=" << P;
+}
+
+TEST_P(AllLevelsTest, WiderStencilNeedsDeeperPeel) {
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(96), B(96)
+c$distribute_reshape A(block), B(block)
+      do i = 1, 96
+        A(i) = i
+        B(i) = 0.0
+      enddo
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 4, 93
+        B(i) = A(i-3) + A(i) + A(i+3)
+      enddo
+      end
+)";
+  double Golden = goldenWeightedChecksum(Src, "b");
+  CompileOptions C = withLevel(GetParam().Level, GetParam().FpDivMod);
+  for (int P : {1, 3, 8, 16})
+    EXPECT_DOUBLE_EQ(weightedChecksumOf(Src, "b", P, C), Golden) << "P=" << P;
+}
+
+TEST_P(AllLevelsTest, CyclicReshaped) {
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(100)
+c$distribute_reshape A(cyclic)
+      do i = 1, 100
+        A(i) = 0.0
+      enddo
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, 100
+        A(i) = A(i) + 3*i
+      enddo
+      end
+)";
+  double Golden = goldenWeightedChecksum(Src, "a");
+  CompileOptions C = withLevel(GetParam().Level, GetParam().FpDivMod);
+  for (int P : {1, 4, 13})
+    EXPECT_DOUBLE_EQ(weightedChecksumOf(Src, "a", P, C), Golden) << "P=" << P;
+}
+
+TEST_P(AllLevelsTest, BlockCyclicReshaped) {
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(100)
+c$distribute_reshape A(cyclic(5))
+      do i = 1, 100
+        A(i) = 0.0
+      enddo
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, 100
+        A(i) = A(i) + 2*i
+      enddo
+      end
+)";
+  double Golden = goldenWeightedChecksum(Src, "a");
+  CompileOptions C = withLevel(GetParam().Level, GetParam().FpDivMod);
+  for (int P : {1, 4, 8})
+    EXPECT_DOUBLE_EQ(weightedChecksumOf(Src, "a", P, C), Golden) << "P=" << P;
+}
+
+TEST_P(AllLevelsTest, TwoDimBlockBlock) {
+  // The convolution shape: (block, block) with neighbour references in
+  // both dimensions (peeling in two tiled loops).
+  const char *Src = R"(
+      program main
+      integer i, j
+      real*8 A(48, 48), B(48, 48)
+c$distribute_reshape A(block, block), B(block, block)
+      do j = 1, 48
+        do i = 1, 48
+          B(i,j) = i + 48*j
+          A(i,j) = 0.0
+        enddo
+      enddo
+c$doacross nest(j,i) local(i,j) affinity(j,i) = data(A(i,j))
+      do j = 2, 47
+        do i = 2, 47
+          A(i,j) = (B(i-1,j) + B(i,j-1) + B(i,j) + B(i,j+1) + B(i+1,j)) / 5.0
+        enddo
+      enddo
+      end
+)";
+  double Golden = goldenWeightedChecksum(Src, "a");
+  CompileOptions C = withLevel(GetParam().Level, GetParam().FpDivMod);
+  for (int P : {1, 4, 16})
+    EXPECT_DOUBLE_EQ(weightedChecksumOf(Src, "a", P, C), Golden) << "P=" << P;
+}
+
+TEST_P(AllLevelsTest, MixedDistributedAndStarDims) {
+  // The transpose shape: (*, block) and (block, *) together.
+  const char *Src = R"(
+      program main
+      integer i, j
+      real*8 A(40, 40), B(40, 40)
+c$distribute_reshape A(*, block), B(block, *)
+      do j = 1, 40
+        do i = 1, 40
+          B(i,j) = 100*i + j
+        enddo
+      enddo
+c$doacross local(i,j) affinity(i) = data(A(1, i))
+      do i = 1, 40
+        do j = 1, 40
+          A(j,i) = B(i,j)
+        enddo
+      enddo
+      end
+)";
+  double Golden = goldenWeightedChecksum(Src, "a");
+  CompileOptions C = withLevel(GetParam().Level, GetParam().FpDivMod);
+  for (int P : {1, 4, 10})
+    EXPECT_DOUBLE_EQ(weightedChecksumOf(Src, "a", P, C), Golden) << "P=" << P;
+}
+
+TEST_P(AllLevelsTest, SerialLoopTiling) {
+  // A serial (non-doacross) loop over a reshaped array: Section 7.1's
+  // "other loops"; exercised at 1 and several processors.
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(128)
+c$distribute_reshape A(block)
+      do i = 1, 128
+        A(i) = 2*i
+      enddo
+      do i = 2, 127
+        A(i) = A(i) + A(i-1)
+      enddo
+      end
+)";
+  double Golden = goldenWeightedChecksum(Src, "a");
+  CompileOptions C = withLevel(GetParam().Level, GetParam().FpDivMod);
+  for (int P : {1, 4, 16})
+    EXPECT_DOUBLE_EQ(weightedChecksumOf(Src, "a", P, C), Golden) << "P=" << P;
+}
+
+TEST_P(AllLevelsTest, ScaledSubscript) {
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(200)
+c$distribute_reshape A(block)
+      do i = 1, 200
+        A(i) = 0.0
+      enddo
+c$doacross local(i) affinity(i) = data(A(2*i - 1))
+      do i = 1, 100
+        A(2*i - 1) = A(2*i - 1) + i
+      enddo
+      end
+)";
+  double Golden = goldenWeightedChecksum(Src, "a");
+  CompileOptions C = withLevel(GetParam().Level, GetParam().FpDivMod);
+  for (int P : {1, 4, 9})
+    EXPECT_DOUBLE_EQ(weightedChecksumOf(Src, "a", P, C), Golden) << "P=" << P;
+}
+
+TEST_P(AllLevelsTest, ReshapedThroughCallChain) {
+  // Cloned subroutines must be transformed too.
+  const char *Main = R"(
+      program main
+      integer i
+      real*8 A(64)
+c$distribute_reshape A(block)
+      do i = 1, 64
+        A(i) = i
+      enddo
+      call smooth(A)
+      end
+)";
+  const char *Sub = R"(
+      subroutine smooth(X)
+      integer i
+      real*8 X(64)
+c$doacross local(i) affinity(i) = data(X(i))
+      do i = 2, 63
+        X(i) = X(i) + 0.5
+      enddo
+      end
+)";
+  CompileOptions C = withLevel(GetParam().Level, GetParam().FpDivMod);
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 8;
+  auto R = buildAndRun({{"m.f", Main}, {"s.f", Sub}}, C, testMachine(),
+                       ROpts, "a");
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  // sum(1..64) + 62*0.5.
+  EXPECT_DOUBLE_EQ(R->Checksum, 2080.0 + 31.0);
+}
+
+TEST_P(AllLevelsTest, PortionArgumentSurvivesLowering) {
+  // Passing an element of a reshaped array (a portion) must keep its
+  // high-level form through the lowering pass; the callee sees a plain
+  // array at that address (paper Section 3.2.1).
+  const char *Main = R"(
+      program main
+      integer i
+      real*8 A(100)
+c$distribute_reshape A(cyclic(5))
+      do i = 1, 100, 5
+        call fill5(A(i), i)
+      enddo
+      end
+)";
+  const char *Sub = R"(
+      subroutine fill5(X, base)
+      integer base, j
+      real*8 X(5)
+      do j = 1, 5
+        X(j) = base + 10*j
+      enddo
+      end
+)";
+  CompileOptions C = withLevel(GetParam().Level, GetParam().FpDivMod);
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 8;
+  ROpts.RuntimeArgChecks = true;
+  auto R = buildAndRun({{"m.f", Main}, {"s.f", Sub}}, C, testMachine(),
+                       ROpts, "a");
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  // A(i) for chunk starting at 6: A(8) = 6 + 10*3.
+  CompileOptions Golden;
+  Golden.Transform = false;
+  exec::RunOptions GOpts;
+  GOpts.NumProcs = 1;
+  GOpts.Perf = false;
+  auto G = buildAndRun({{"m.f", Main}, {"s.f", Sub}}, Golden,
+                       testMachine(), GOpts, "a");
+  ASSERT_TRUE(bool(G)) << G.error().str();
+  EXPECT_DOUBLE_EQ(R->WeightedChecksum, G->WeightedChecksum);
+}
+
+} // namespace

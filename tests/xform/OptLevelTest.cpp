@@ -1,0 +1,123 @@
+//===- tests/xform/OptLevelTest.cpp - Table 2 optimization ordering ---------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// The performance claims behind the paper's Table 2, in miniature: on a
+// reshaped kernel the simulated cycle counts must improve monotonically
+// from naive lowering to tile-and-peel to full hoisting, and the fully
+// optimized version must land close to the same code without reshaping.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "support/StringUtils.h"
+#include "tests/xform/XformTestUtil.h"
+
+using namespace dsm;
+using namespace dsm::testutil;
+using xform::ReshapeOptLevel;
+
+namespace {
+
+std::string kernel(bool Reshaped) {
+  return formatString(R"(
+      program main
+      integer i, j
+      real*8 A(64, 64), B(64, 64)
+%s
+      do j = 1, 64
+        do i = 1, 64
+          A(i,j) = i + j
+          B(i,j) = 0.0
+        enddo
+      enddo
+      do j = 2, 63
+        do i = 2, 63
+          B(i,j) = (A(i-1,j) + A(i+1,j) + A(i,j-1) + A(i,j+1)) * 0.25
+        enddo
+      enddo
+      end
+)",
+                      Reshaped ? "c$distribute_reshape A(block, block), "
+                                 "B(block, block)"
+                               : "* no distribution");
+}
+
+uint64_t cyclesAt(const std::string &Src, CompileOptions C) {
+  uint64_t Cycles = 0;
+  double Sum = checksumOf(Src, "b", 1, C, &Cycles);
+  EXPECT_NE(Sum, -1e308);
+  return Cycles;
+}
+
+TEST(OptLevelTest, Table2Ordering) {
+  std::string Reshaped = kernel(true);
+  std::string Plain = kernel(false);
+
+  uint64_t NoOptNoFp =
+      cyclesAt(Reshaped, withLevel(ReshapeOptLevel::None, false));
+  uint64_t NoOpt =
+      cyclesAt(Reshaped, withLevel(ReshapeOptLevel::None, true));
+  uint64_t TilePeel =
+      cyclesAt(Reshaped, withLevel(ReshapeOptLevel::TilePeel, true));
+  uint64_t Full =
+      cyclesAt(Reshaped, withLevel(ReshapeOptLevel::Full, true));
+  uint64_t Original =
+      cyclesAt(Plain, withLevel(ReshapeOptLevel::Full, true));
+
+  // Row ordering of Table 2.
+  EXPECT_GT(NoOptNoFp, NoOpt) << "FP div/mod must help naive lowering";
+  EXPECT_GT(NoOpt, TilePeel) << "tiling/peeling must help";
+  EXPECT_GE(TilePeel, Full) << "hoisting must not hurt";
+  EXPECT_GT(static_cast<double>(NoOpt),
+            1.2 * static_cast<double>(Full))
+      << "naive reshaping overhead must be substantial";
+  // "the final version of the code ran nearly as efficiently as the
+  // original code without reshaping."
+  EXPECT_LT(static_cast<double>(Full),
+            1.25 * static_cast<double>(Original));
+}
+
+TEST(OptLevelTest, AllLevelsAgreeOnResults) {
+  std::string Reshaped = kernel(true);
+  double Golden = goldenWeightedChecksum(Reshaped, "b");
+  for (auto L : {ReshapeOptLevel::None, ReshapeOptLevel::TilePeel,
+                 ReshapeOptLevel::Full})
+    for (bool Fp : {false, true})
+      EXPECT_DOUBLE_EQ(
+          weightedChecksumOf(Reshaped, "b", 1, withLevel(L, Fp)),
+          Golden);
+}
+
+TEST(OptLevelTest, HoistingReducesIndirectLoads) {
+  // The hoisted version performs far fewer loads of the processor
+  // array; observable as a drop in total loads.
+  std::string Src = kernel(true);
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 4;
+
+  auto CountLoads = [&](CompileOptions C) -> uint64_t {
+    auto R = buildAndRun({{"t.f", Src}}, C, testMachine(), ROpts);
+    EXPECT_TRUE(bool(R)) << (R ? "" : R.error().str());
+    return R ? R->Run.Counters.Loads : 0;
+  };
+  uint64_t TilePeelLoads =
+      CountLoads(withLevel(ReshapeOptLevel::TilePeel, true));
+  uint64_t FullLoads = CountLoads(withLevel(ReshapeOptLevel::Full, true));
+  EXPECT_LT(FullLoads, TilePeelLoads);
+}
+
+TEST(OptLevelTest, FpDivModAblation) {
+  // Section 7.3 in isolation: with naive lowering, switching integer
+  // divides to the FP-simulated form must cut a large share of cycles.
+  std::string Src = kernel(true);
+  uint64_t IntDiv =
+      cyclesAt(Src, withLevel(ReshapeOptLevel::None, false));
+  uint64_t FpDiv = cyclesAt(Src, withLevel(ReshapeOptLevel::None, true));
+  double Ratio = static_cast<double>(IntDiv) / static_cast<double>(FpDiv);
+  EXPECT_GT(Ratio, 1.15);
+  EXPECT_LT(Ratio, 3.5);
+}
+
+} // namespace

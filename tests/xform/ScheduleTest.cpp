@@ -1,0 +1,231 @@
+//===- tests/xform/ScheduleTest.cpp - Affinity-scheduling tests -------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Property tests of the Figure 2 loop transformations: for every
+// distribution kind and many (N, P, bounds, scale, offset)
+// combinations, the scheduled parallel loop must execute each iteration
+// exactly once (checked by incrementing array elements).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "support/StringUtils.h"
+#include "tests/xform/XformTestUtil.h"
+
+using namespace dsm;
+using namespace dsm::testutil;
+
+namespace {
+
+struct AffinityCase {
+  const char *DistText; ///< e.g. "block", "cyclic", "cyclic(3)".
+  int N;
+  int NumProcs;
+  int Lb, Ub;
+  int Scale, Offset; ///< affinity(i) = data(A(Scale*i + Offset)).
+};
+
+class AffinityPartitionTest
+    : public ::testing::TestWithParam<AffinityCase> {};
+
+TEST_P(AffinityPartitionTest, EachIterationExactlyOnce) {
+  const AffinityCase &C = GetParam();
+  // Every iteration adds 1 to its element; afterwards the touched range
+  // holds exactly 1 everywhere (duplicates or drops would show).
+  std::string AffExpr;
+  if (C.Scale == 1 && C.Offset == 0)
+    AffExpr = "i";
+  else
+    AffExpr = formatString("%d*i + %d", C.Scale, C.Offset);
+  std::string Src = formatString(R"(
+      program main
+      integer i
+      real*8 A(%d)
+c$distribute_reshape A(%s)
+      do i = 1, %d
+        A(i) = 0.0
+      enddo
+c$doacross local(i) affinity(i) = data(A(%s))
+      do i = %d, %d
+        A(%s) = A(%s) + 1.0
+      enddo
+      end
+)",
+                                  C.N, C.DistText, C.N, AffExpr.c_str(),
+                                  C.Lb, C.Ub, AffExpr.c_str(),
+                                  AffExpr.c_str());
+  double Golden = goldenWeightedChecksum(Src, "a");
+  double Sum = checksumOf(Src, "a", C.NumProcs, CompileOptions{});
+  double WSum = weightedChecksumOf(Src, "a", C.NumProcs,
+                                   CompileOptions{});
+  int Iters = C.Ub >= C.Lb ? C.Ub - C.Lb + 1 : 0;
+  EXPECT_DOUBLE_EQ(Sum, static_cast<double>(Iters));
+  EXPECT_DOUBLE_EQ(WSum, Golden);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Block, AffinityPartitionTest,
+    ::testing::Values(AffinityCase{"block", 100, 4, 1, 100, 1, 0},
+                      AffinityCase{"block", 100, 7, 1, 100, 1, 0},
+                      AffinityCase{"block", 101, 8, 5, 93, 1, 0},
+                      AffinityCase{"block", 64, 16, 1, 64, 1, 0},
+                      AffinityCase{"block", 200, 4, 1, 98, 2, 1},
+                      AffinityCase{"block", 300, 6, 1, 99, 3, 0},
+                      AffinityCase{"block", 120, 5, 10, 50, 2, 4},
+                      AffinityCase{"block", 50, 16, 1, 50, 1, 0},
+                      AffinityCase{"block", 10, 4, 8, 3, 1, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Cyclic, AffinityPartitionTest,
+    ::testing::Values(AffinityCase{"cyclic", 100, 4, 1, 100, 1, 0},
+                      AffinityCase{"cyclic", 97, 8, 1, 97, 1, 0},
+                      AffinityCase{"cyclic", 100, 3, 7, 88, 1, 5},
+                      AffinityCase{"cyclic", 60, 16, 1, 60, 1, 0},
+                      AffinityCase{"cyclic", 100, 6, 1, 94, 1, 6}));
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockCyclic, AffinityPartitionTest,
+    ::testing::Values(AffinityCase{"cyclic(5)", 100, 4, 1, 100, 1, 0},
+                      AffinityCase{"cyclic(3)", 100, 4, 1, 100, 1, 0},
+                      AffinityCase{"cyclic(7)", 95, 3, 4, 88, 1, 2},
+                      AffinityCase{"cyclic(4)", 64, 8, 1, 64, 1, 0},
+                      AffinityCase{"cyclic(16)", 50, 8, 1, 50, 1, 0}));
+
+TEST(ScheduleTest, SimpleSchedulePartitions) {
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(128)
+      do i = 1, 128
+        A(i) = 0.0
+      enddo
+c$doacross local(i)
+      do i = 3, 122
+        A(i) = A(i) + 1.0
+      enddo
+      end
+)";
+  for (int P : {1, 2, 3, 8, 16}) {
+    double Sum = checksumOf(Src, "a", P, CompileOptions{});
+    EXPECT_DOUBLE_EQ(Sum, 120.0) << "P=" << P;
+  }
+}
+
+TEST(ScheduleTest, SimpleScheduleWithStep) {
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(100)
+      do i = 1, 100
+        A(i) = 0.0
+      enddo
+c$doacross local(i)
+      do i = 2, 97, 5
+        A(i) = A(i) + 1.0
+      enddo
+      end
+)";
+  for (int P : {1, 4, 7, 16})
+    EXPECT_DOUBLE_EQ(checksumOf(Src, "a", P, CompileOptions{}), 20.0)
+        << "P=" << P;
+}
+
+TEST(ScheduleTest, InterleaveSchedulePartitions) {
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(100)
+      do i = 1, 100
+        A(i) = 0.0
+      enddo
+c$doacross local(i) schedtype(interleave)
+      do i = 1, 100
+        A(i) = A(i) + 1.0
+      enddo
+      end
+)";
+  for (int P : {1, 3, 8})
+    EXPECT_DOUBLE_EQ(checksumOf(Src, "a", P, CompileOptions{}), 100.0)
+        << "P=" << P;
+}
+
+TEST(ScheduleTest, NestedAffinityTwoDims) {
+  const char *Src = R"(
+      program main
+      integer i, j
+      real*8 A(32, 32)
+c$distribute_reshape A(block, block)
+      do j = 1, 32
+        do i = 1, 32
+          A(i,j) = 0.0
+        enddo
+      enddo
+c$doacross nest(j,i) local(i,j) affinity(j,i) = data(A(i,j))
+      do j = 1, 32
+        do i = 1, 32
+          A(i,j) = A(i,j) + i + 100*j
+        enddo
+      enddo
+      end
+)";
+  double Golden = goldenWeightedChecksum(Src, "a");
+  for (int P : {1, 4, 16})
+    EXPECT_DOUBLE_EQ(
+        weightedChecksumOf(Src, "a", P, CompileOptions{}), Golden)
+        << "P=" << P;
+}
+
+TEST(ScheduleTest, AffinityOnRegularDistribution) {
+  // Affinity scheduling also applies to regular (page-placed) arrays.
+  const char *Src = R"(
+      program main
+      integer i, j
+      real*8 A(64, 64)
+c$distribute A(*, block)
+      do j = 1, 64
+        do i = 1, 64
+          A(i,j) = 0.0
+        enddo
+      enddo
+c$doacross local(i,j) affinity(j) = data(A(1, j))
+      do j = 1, 64
+        do i = 1, 64
+          A(i,j) = A(i,j) + 1.0
+        enddo
+      enddo
+      end
+)";
+  for (int P : {1, 4, 16})
+    EXPECT_DOUBLE_EQ(checksumOf(Src, "a", P, CompileOptions{}), 4096.0)
+        << "P=" << P;
+}
+
+TEST(ScheduleTest, ParallelRegionsCounted) {
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(64)
+c$doacross local(i)
+      do i = 1, 64
+        A(i) = 1.0
+      enddo
+c$doacross local(i)
+      do i = 1, 64
+        A(i) = A(i) + 1.0
+      enddo
+      end
+)";
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 4;
+  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  numa::MemorySystem Mem(testMachine());
+  exec::Engine E(*Prog, Mem, ROpts);
+  auto R = E.run();
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  EXPECT_EQ(R->ParallelRegions, 2u);
+}
+
+} // namespace

@@ -1,0 +1,244 @@
+//===- tests/xform/StructureTest.cpp - Transformed-IR structure ------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// White-box checks that the passes produce the structures the paper
+// describes: ParallelDo regions, processor-tile contexts, peeled loop
+// triples, hoisted portion bases, and coalesced nests.
+//
+//===----------------------------------------------------------------------===//
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "core/Driver.h"
+
+using namespace dsm;
+using namespace dsm::ir;
+
+namespace {
+
+link::Program build(const char *Src,
+                    xform::ReshapeOptLevel L = xform::ReshapeOptLevel::Full) {
+  CompileOptions C;
+  C.Xform.Level = L;
+  auto P = buildProgram({{"t.f", Src}}, C);
+  EXPECT_TRUE(bool(P)) << (P ? "" : P.error().str());
+  return P ? std::move(*P) : link::Program();
+}
+
+/// Counts statements of a kind anywhere in a block.
+unsigned countKind(const Block &B, StmtKind K) {
+  unsigned N = 0;
+  for (const StmtPtr &S : B) {
+    N += S->Kind == K;
+    N += countKind(S->Body, K);
+    N += countKind(S->Then, K);
+    N += countKind(S->Else, K);
+  }
+  return N;
+}
+
+/// Counts Do loops carrying at least one tile context.
+unsigned countTiledLoops(const Block &B) {
+  unsigned N = 0;
+  for (const StmtPtr &S : B) {
+    N += S->Kind == StmtKind::Do && !S->Tiles.empty();
+    N += countTiledLoops(S->Body);
+    N += countTiledLoops(S->Then);
+    N += countTiledLoops(S->Else);
+  }
+  return N;
+}
+
+/// Counts expressions of a kind in the whole procedure.
+void countExprKind(const Expr &E, ExprKind K, unsigned &N) {
+  N += E.Kind == K;
+  for (const ExprPtr &Op : E.Ops)
+    countExprKind(*Op, K, N);
+}
+unsigned countExprs(const Block &B, ExprKind K) {
+  unsigned N = 0;
+  for (const StmtPtr &S : B) {
+    if (S->Lhs)
+      countExprKind(*S->Lhs, K, N);
+    if (S->Rhs)
+      countExprKind(*S->Rhs, K, N);
+    if (S->Cond)
+      countExprKind(*S->Cond, K, N);
+    if (S->Lb)
+      countExprKind(*S->Lb, K, N);
+    if (S->Ub)
+      countExprKind(*S->Ub, K, N);
+    for (const ExprPtr &A : S->Args)
+      countExprKind(*A, K, N);
+    N += countExprs(S->Body, K);
+    N += countExprs(S->Then, K);
+    N += countExprs(S->Else, K);
+  }
+  return N;
+}
+
+TEST(StructureTest, DoacrossBecomesParallelDo) {
+  link::Program P = build(R"(
+      program main
+      integer i
+      real*8 A(64)
+c$doacross local(i)
+      do i = 1, 64
+        A(i) = i
+      enddo
+      end
+)");
+  ASSERT_TRUE(P.Main);
+  EXPECT_EQ(countKind(P.Main->Body, StmtKind::ParallelDo), 1u);
+}
+
+TEST(StructureTest, AffinityLoopCarriesTileContext) {
+  link::Program P = build(R"(
+      program main
+      integer i
+      real*8 A(64)
+c$distribute_reshape A(block)
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, 64
+        A(i) = i
+      enddo
+      end
+)");
+  ASSERT_TRUE(P.Main);
+  EXPECT_EQ(countTiledLoops(P.Main->Body), 1u);
+  // All reshaped references are lowered; none remain at ArrayElem.
+  EXPECT_GT(countExprs(P.Main->Body, ExprKind::PortionElem), 0u);
+}
+
+TEST(StructureTest, StencilPeelsIntoThreeLoops) {
+  link::Program P = build(R"(
+      program main
+      integer i
+      real*8 A(64), B(64)
+c$distribute_reshape A(block), B(block)
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 2, 63
+        B(i) = A(i-1) + A(i+1)
+      enddo
+      end
+)");
+  ASSERT_TRUE(P.Main);
+  // Front peel + interior + back peel inside the parallel region.
+  unsigned Loops = countKind(P.Main->Body, StmtKind::Do);
+  EXPECT_GE(Loops, 3u);
+  // The interior retains a tile context; the peels do not.
+  EXPECT_EQ(countTiledLoops(P.Main->Body), 1u);
+}
+
+TEST(StructureTest, FullLevelHoistsPortionPointers) {
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(64)
+c$distribute_reshape A(block)
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, 64
+        A(i) = A(i) + 1.0
+      enddo
+      end
+)";
+  link::Program Full = build(Src, xform::ReshapeOptLevel::Full);
+  link::Program Tile = build(Src, xform::ReshapeOptLevel::TilePeel);
+  // Hoisting introduces PortionPtr assignments (absent at TilePeel).
+  EXPECT_GT(countExprs(Full.Main->Body, ExprKind::PortionPtr), 0u);
+  EXPECT_EQ(countExprs(Tile.Main->Body, ExprKind::PortionPtr), 0u);
+}
+
+TEST(StructureTest, NaiveLevelKeepsDivMod) {
+  const char *Src = R"(
+      program main
+      integer i
+      real*8 A(64)
+c$distribute_reshape A(block)
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, 64
+        A(i) = A(i) + 1.0
+      enddo
+      end
+)";
+  auto CountDivMod = [](const link::Program &P) {
+    unsigned N = 0;
+    std::function<void(const Expr &)> Walk = [&](const Expr &E) {
+      if (E.Kind == ExprKind::Bin &&
+          (E.Op == BinOp::IDiv || E.Op == BinOp::IMod ||
+           E.Op == BinOp::IDivFp || E.Op == BinOp::IModFp))
+        ++N;
+      for (const ExprPtr &Op : E.Ops)
+        Walk(*Op);
+    };
+    std::function<void(const Block &)> WalkBlock =
+        [&](const Block &B) {
+          for (const StmtPtr &S : B) {
+            if (S->Lhs)
+              Walk(*S->Lhs);
+            if (S->Rhs)
+              Walk(*S->Rhs);
+            WalkBlock(S->Body);
+            WalkBlock(S->Then);
+            WalkBlock(S->Else);
+          }
+        };
+    WalkBlock(P.Main->Body);
+    return N;
+  };
+  link::Program Naive = build(Src, xform::ReshapeOptLevel::None);
+  link::Program Full = build(Src, xform::ReshapeOptLevel::Full);
+  EXPECT_GT(CountDivMod(Naive), 0u)
+      << "naive lowering computes owners with div/mod";
+  // At Full the loop body is free of div/mod (only loop-entry bound
+  // computations may keep some).
+  EXPECT_LT(CountDivMod(Full), CountDivMod(Naive));
+}
+
+TEST(StructureTest, NestWithoutAffinityIsCoalesced) {
+  link::Program P = build(R"(
+      program main
+      integer i, j
+      real*8 A(16, 16)
+c$doacross nest(j,i) local(i,j)
+      do j = 1, 16
+        do i = 1, 16
+          A(i,j) = i + j
+        enddo
+      enddo
+      end
+)");
+  ASSERT_TRUE(P.Main);
+  // Coalescing flattens the two loops into one (plus the ParallelDo).
+  EXPECT_EQ(countKind(P.Main->Body, StmtKind::ParallelDo), 1u);
+  EXPECT_EQ(countKind(P.Main->Body, StmtKind::Do), 1u);
+}
+
+TEST(StructureTest, SerialLoopGainsProcTile) {
+  link::Program P = build(R"(
+      program main
+      integer i
+      real*8 A(64)
+c$distribute_reshape A(block)
+      do i = 1, 64
+        A(i) = i
+      enddo
+      end
+)");
+  ASSERT_TRUE(P.Main);
+  bool FoundProcTile = false;
+  std::function<void(const Block &)> Walk = [&](const Block &B) {
+    for (const StmtPtr &S : B) {
+      FoundProcTile |= S->Kind == StmtKind::Do && S->IsProcTile;
+      Walk(S->Body);
+    }
+  };
+  Walk(P.Main->Body);
+  EXPECT_TRUE(FoundProcTile)
+      << "Section 7.1 applies tiling to serial loops too";
+}
+
+} // namespace

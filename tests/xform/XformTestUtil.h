@@ -1,0 +1,83 @@
+//===- tests/xform/XformTestUtil.h - Shared transformation-test helpers ---===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_TESTS_XFORM_XFORMTESTUTIL_H
+#define DSM_TESTS_XFORM_XFORMTESTUTIL_H
+
+#include <gtest/gtest.h>
+
+#include "core/Driver.h"
+
+namespace dsm::testutil {
+
+inline numa::MachineConfig testMachine() {
+  numa::MachineConfig C;
+  C.NumNodes = 8;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 8 << 20;
+  C.L1 = numa::CacheConfig{1024, 32, 2};
+  C.L2 = numa::CacheConfig{16 * 1024, 128, 2};
+  C.TlbEntries = 8;
+  return C;
+}
+
+/// Compiles and runs \p Src at the given opt configuration and processor
+/// count, returning the checksum of \p Array.  Fails the test on any
+/// pipeline error.
+inline double checksumOf(const std::string &Src, const std::string &Array,
+                         int NumProcs, CompileOptions COpts,
+                         uint64_t *Cycles = nullptr,
+                         bool Perf = true, bool Weighted = false) {
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = NumProcs;
+  ROpts.Perf = Perf;
+  auto R = buildAndRun({{"test.f", Src}}, COpts, testMachine(), ROpts,
+                       Array);
+  EXPECT_TRUE(bool(R)) << (R ? "" : R.error().str());
+  if (!R)
+    return -1e308;
+  if (Cycles)
+    *Cycles = R->Run.WallCycles;
+  return Weighted ? R->WeightedChecksum : R->Checksum;
+}
+
+/// Position-weighted checksum: catches misdirected stores that plain
+/// sums (of += updates) cannot see.
+inline double weightedChecksumOf(const std::string &Src,
+                                 const std::string &Array, int NumProcs,
+                                 CompileOptions COpts) {
+  return checksumOf(Src, Array, NumProcs, COpts, nullptr, true, true);
+}
+
+/// Checksum of the untransformed (serial, functional) program: the
+/// golden reference for transformation equivalence.
+inline double goldenChecksum(const std::string &Src,
+                             const std::string &Array) {
+  CompileOptions COpts;
+  COpts.Transform = false;
+  return checksumOf(Src, Array, 1, COpts, nullptr, /*Perf=*/false);
+}
+
+inline double goldenWeightedChecksum(const std::string &Src,
+                                     const std::string &Array) {
+  CompileOptions COpts;
+  COpts.Transform = false;
+  return checksumOf(Src, Array, 1, COpts, nullptr, /*Perf=*/false,
+                    /*Weighted=*/true);
+}
+
+inline CompileOptions withLevel(xform::ReshapeOptLevel L,
+                                bool FpDivMod = true) {
+  CompileOptions C;
+  C.Xform.Level = L;
+  C.Xform.FpDivMod = FpDivMod;
+  return C;
+}
+
+} // namespace dsm::testutil
+
+#endif // DSM_TESTS_XFORM_XFORMTESTUTIL_H
