@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_divmod_fp.dir/bench_divmod_fp.cpp.o"
+  "CMakeFiles/bench_divmod_fp.dir/bench_divmod_fp.cpp.o.d"
+  "bench_divmod_fp"
+  "bench_divmod_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_divmod_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_affinity.dir/bench_fig2_affinity.cpp.o"
+  "CMakeFiles/bench_fig2_affinity.dir/bench_fig2_affinity.cpp.o.d"
+  "bench_fig2_affinity"
+  "bench_fig2_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lu.dir/bench_fig4_lu.cpp.o"
+  "CMakeFiles/bench_fig4_lu.dir/bench_fig4_lu.cpp.o.d"
+  "bench_fig4_lu"
+  "bench_fig4_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_addressing.dir/bench_table1_addressing.cpp.o"
+  "CMakeFiles/bench_table1_addressing.dir/bench_table1_addressing.cpp.o.d"
+  "bench_table1_addressing"
+  "bench_table1_addressing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

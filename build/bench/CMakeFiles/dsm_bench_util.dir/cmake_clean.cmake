@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_bench_util.dir/BenchUtil.cpp.o"
+  "CMakeFiles/dsm_bench_util.dir/BenchUtil.cpp.o.d"
+  "libdsm_bench_util.a"
+  "libdsm_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose_policies.dir/transpose_policies.cpp.o"
+  "CMakeFiles/transpose_policies.dir/transpose_policies.cpp.o.d"
+  "transpose_policies"
+  "transpose_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/two_phase_redistribute.cpp" "examples/CMakeFiles/two_phase_redistribute.dir/two_phase_redistribute.cpp.o" "gcc" "examples/CMakeFiles/two_phase_redistribute.dir/two_phase_redistribute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/dsm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/dsm_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dsm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/dsm_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dsm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dsm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/dsm_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/dsm_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dsm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

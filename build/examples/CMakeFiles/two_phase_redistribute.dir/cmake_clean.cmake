@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_phase_redistribute.dir/two_phase_redistribute.cpp.o"
+  "CMakeFiles/two_phase_redistribute.dir/two_phase_redistribute.cpp.o.d"
+  "two_phase_redistribute"
+  "two_phase_redistribute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_phase_redistribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

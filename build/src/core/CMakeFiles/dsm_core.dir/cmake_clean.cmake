@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_core.dir/Driver.cpp.o"
+  "CMakeFiles/dsm_core.dir/Driver.cpp.o.d"
+  "libdsm_core.a"
+  "libdsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/ArrayLayout.cpp" "src/dist/CMakeFiles/dsm_dist.dir/ArrayLayout.cpp.o" "gcc" "src/dist/CMakeFiles/dsm_dist.dir/ArrayLayout.cpp.o.d"
+  "/root/repo/src/dist/DistSpec.cpp" "src/dist/CMakeFiles/dsm_dist.dir/DistSpec.cpp.o" "gcc" "src/dist/CMakeFiles/dsm_dist.dir/DistSpec.cpp.o.d"
+  "/root/repo/src/dist/IndexMap.cpp" "src/dist/CMakeFiles/dsm_dist.dir/IndexMap.cpp.o" "gcc" "src/dist/CMakeFiles/dsm_dist.dir/IndexMap.cpp.o.d"
+  "/root/repo/src/dist/ProcGrid.cpp" "src/dist/CMakeFiles/dsm_dist.dir/ProcGrid.cpp.o" "gcc" "src/dist/CMakeFiles/dsm_dist.dir/ProcGrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dsm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

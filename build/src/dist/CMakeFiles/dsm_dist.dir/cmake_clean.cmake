@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_dist.dir/ArrayLayout.cpp.o"
+  "CMakeFiles/dsm_dist.dir/ArrayLayout.cpp.o.d"
+  "CMakeFiles/dsm_dist.dir/DistSpec.cpp.o"
+  "CMakeFiles/dsm_dist.dir/DistSpec.cpp.o.d"
+  "CMakeFiles/dsm_dist.dir/IndexMap.cpp.o"
+  "CMakeFiles/dsm_dist.dir/IndexMap.cpp.o.d"
+  "CMakeFiles/dsm_dist.dir/ProcGrid.cpp.o"
+  "CMakeFiles/dsm_dist.dir/ProcGrid.cpp.o.d"
+  "libdsm_dist.a"
+  "libdsm_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

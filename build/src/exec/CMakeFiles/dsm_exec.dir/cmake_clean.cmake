@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_exec.dir/Engine.cpp.o"
+  "CMakeFiles/dsm_exec.dir/Engine.cpp.o.d"
+  "libdsm_exec.a"
+  "libdsm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

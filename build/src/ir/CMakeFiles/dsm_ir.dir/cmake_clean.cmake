@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_ir.dir/Ir.cpp.o"
+  "CMakeFiles/dsm_ir.dir/Ir.cpp.o.d"
+  "CMakeFiles/dsm_ir.dir/IrPrinter.cpp.o"
+  "CMakeFiles/dsm_ir.dir/IrPrinter.cpp.o.d"
+  "CMakeFiles/dsm_ir.dir/IrVerifier.cpp.o"
+  "CMakeFiles/dsm_ir.dir/IrVerifier.cpp.o.d"
+  "libdsm_ir.a"
+  "libdsm_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/dsm_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/dsm_lang.dir/Parser.cpp.o"
+  "CMakeFiles/dsm_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/dsm_lang.dir/Sema.cpp.o"
+  "CMakeFiles/dsm_lang.dir/Sema.cpp.o.d"
+  "libdsm_lang.a"
+  "libdsm_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_link.dir/Linker.cpp.o"
+  "CMakeFiles/dsm_link.dir/Linker.cpp.o.d"
+  "libdsm_link.a"
+  "libdsm_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

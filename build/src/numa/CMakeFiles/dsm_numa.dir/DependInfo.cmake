@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numa/Cache.cpp" "src/numa/CMakeFiles/dsm_numa.dir/Cache.cpp.o" "gcc" "src/numa/CMakeFiles/dsm_numa.dir/Cache.cpp.o.d"
+  "/root/repo/src/numa/Counters.cpp" "src/numa/CMakeFiles/dsm_numa.dir/Counters.cpp.o" "gcc" "src/numa/CMakeFiles/dsm_numa.dir/Counters.cpp.o.d"
+  "/root/repo/src/numa/MemorySystem.cpp" "src/numa/CMakeFiles/dsm_numa.dir/MemorySystem.cpp.o" "gcc" "src/numa/CMakeFiles/dsm_numa.dir/MemorySystem.cpp.o.d"
+  "/root/repo/src/numa/PhysMem.cpp" "src/numa/CMakeFiles/dsm_numa.dir/PhysMem.cpp.o" "gcc" "src/numa/CMakeFiles/dsm_numa.dir/PhysMem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dsm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_numa.dir/Cache.cpp.o"
+  "CMakeFiles/dsm_numa.dir/Cache.cpp.o.d"
+  "CMakeFiles/dsm_numa.dir/Counters.cpp.o"
+  "CMakeFiles/dsm_numa.dir/Counters.cpp.o.d"
+  "CMakeFiles/dsm_numa.dir/MemorySystem.cpp.o"
+  "CMakeFiles/dsm_numa.dir/MemorySystem.cpp.o.d"
+  "CMakeFiles/dsm_numa.dir/PhysMem.cpp.o"
+  "CMakeFiles/dsm_numa.dir/PhysMem.cpp.o.d"
+  "libdsm_numa.a"
+  "libdsm_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

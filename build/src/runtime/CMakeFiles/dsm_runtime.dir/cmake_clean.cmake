@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_runtime.dir/ArgCheck.cpp.o"
+  "CMakeFiles/dsm_runtime.dir/ArgCheck.cpp.o.d"
+  "CMakeFiles/dsm_runtime.dir/Runtime.cpp.o"
+  "CMakeFiles/dsm_runtime.dir/Runtime.cpp.o.d"
+  "libdsm_runtime.a"
+  "libdsm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_support.dir/Error.cpp.o"
+  "CMakeFiles/dsm_support.dir/Error.cpp.o.d"
+  "CMakeFiles/dsm_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/dsm_support.dir/StringUtils.cpp.o.d"
+  "libdsm_support.a"
+  "libdsm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xform/LowerReshaped.cpp" "src/xform/CMakeFiles/dsm_xform.dir/LowerReshaped.cpp.o" "gcc" "src/xform/CMakeFiles/dsm_xform.dir/LowerReshaped.cpp.o.d"
+  "/root/repo/src/xform/Parallelize.cpp" "src/xform/CMakeFiles/dsm_xform.dir/Parallelize.cpp.o" "gcc" "src/xform/CMakeFiles/dsm_xform.dir/Parallelize.cpp.o.d"
+  "/root/repo/src/xform/SerialTile.cpp" "src/xform/CMakeFiles/dsm_xform.dir/SerialTile.cpp.o" "gcc" "src/xform/CMakeFiles/dsm_xform.dir/SerialTile.cpp.o.d"
+  "/root/repo/src/xform/Transform.cpp" "src/xform/CMakeFiles/dsm_xform.dir/Transform.cpp.o" "gcc" "src/xform/CMakeFiles/dsm_xform.dir/Transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dsm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dsm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/dsm_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_xform.dir/LowerReshaped.cpp.o"
+  "CMakeFiles/dsm_xform.dir/LowerReshaped.cpp.o.d"
+  "CMakeFiles/dsm_xform.dir/Parallelize.cpp.o"
+  "CMakeFiles/dsm_xform.dir/Parallelize.cpp.o.d"
+  "CMakeFiles/dsm_xform.dir/SerialTile.cpp.o"
+  "CMakeFiles/dsm_xform.dir/SerialTile.cpp.o.d"
+  "CMakeFiles/dsm_xform.dir/Transform.cpp.o"
+  "CMakeFiles/dsm_xform.dir/Transform.cpp.o.d"
+  "libdsm_xform.a"
+  "libdsm_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_core_tests.dir/IntegrationTest.cpp.o"
+  "CMakeFiles/dsm_core_tests.dir/IntegrationTest.cpp.o.d"
+  "dsm_core_tests"
+  "dsm_core_tests.pdb"
+  "dsm_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dist/ArrayLayoutTest.cpp" "tests/dist/CMakeFiles/dsm_dist_tests.dir/ArrayLayoutTest.cpp.o" "gcc" "tests/dist/CMakeFiles/dsm_dist_tests.dir/ArrayLayoutTest.cpp.o.d"
+  "/root/repo/tests/dist/IndexMapTest.cpp" "tests/dist/CMakeFiles/dsm_dist_tests.dir/IndexMapTest.cpp.o" "gcc" "tests/dist/CMakeFiles/dsm_dist_tests.dir/IndexMapTest.cpp.o.d"
+  "/root/repo/tests/dist/ProcGridTest.cpp" "tests/dist/CMakeFiles/dsm_dist_tests.dir/ProcGridTest.cpp.o" "gcc" "tests/dist/CMakeFiles/dsm_dist_tests.dir/ProcGridTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/dsm_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dsm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

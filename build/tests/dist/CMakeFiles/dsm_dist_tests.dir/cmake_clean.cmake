@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_dist_tests.dir/ArrayLayoutTest.cpp.o"
+  "CMakeFiles/dsm_dist_tests.dir/ArrayLayoutTest.cpp.o.d"
+  "CMakeFiles/dsm_dist_tests.dir/IndexMapTest.cpp.o"
+  "CMakeFiles/dsm_dist_tests.dir/IndexMapTest.cpp.o.d"
+  "CMakeFiles/dsm_dist_tests.dir/ProcGridTest.cpp.o"
+  "CMakeFiles/dsm_dist_tests.dir/ProcGridTest.cpp.o.d"
+  "dsm_dist_tests"
+  "dsm_dist_tests.pdb"
+  "dsm_dist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_dist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_exec_tests.dir/ArgCheckTest.cpp.o"
+  "CMakeFiles/dsm_exec_tests.dir/ArgCheckTest.cpp.o.d"
+  "CMakeFiles/dsm_exec_tests.dir/EngineFeaturesTest.cpp.o"
+  "CMakeFiles/dsm_exec_tests.dir/EngineFeaturesTest.cpp.o.d"
+  "CMakeFiles/dsm_exec_tests.dir/EngineTest.cpp.o"
+  "CMakeFiles/dsm_exec_tests.dir/EngineTest.cpp.o.d"
+  "dsm_exec_tests"
+  "dsm_exec_tests.pdb"
+  "dsm_exec_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_exec_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

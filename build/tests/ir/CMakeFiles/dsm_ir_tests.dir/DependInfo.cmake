@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/IrTest.cpp" "tests/ir/CMakeFiles/dsm_ir_tests.dir/IrTest.cpp.o" "gcc" "tests/ir/CMakeFiles/dsm_ir_tests.dir/IrTest.cpp.o.d"
+  "/root/repo/tests/ir/VerifierTest.cpp" "tests/ir/CMakeFiles/dsm_ir_tests.dir/VerifierTest.cpp.o" "gcc" "tests/ir/CMakeFiles/dsm_ir_tests.dir/VerifierTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/dsm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/dsm_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dsm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_ir_tests.dir/IrTest.cpp.o"
+  "CMakeFiles/dsm_ir_tests.dir/IrTest.cpp.o.d"
+  "CMakeFiles/dsm_ir_tests.dir/VerifierTest.cpp.o"
+  "CMakeFiles/dsm_ir_tests.dir/VerifierTest.cpp.o.d"
+  "dsm_ir_tests"
+  "dsm_ir_tests.pdb"
+  "dsm_ir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lang/LexerTest.cpp" "tests/lang/CMakeFiles/dsm_lang_tests.dir/LexerTest.cpp.o" "gcc" "tests/lang/CMakeFiles/dsm_lang_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/lang/ParserTest.cpp" "tests/lang/CMakeFiles/dsm_lang_tests.dir/ParserTest.cpp.o" "gcc" "tests/lang/CMakeFiles/dsm_lang_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/lang/SemaTest.cpp" "tests/lang/CMakeFiles/dsm_lang_tests.dir/SemaTest.cpp.o" "gcc" "tests/lang/CMakeFiles/dsm_lang_tests.dir/SemaTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/dsm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dsm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/dsm_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dsm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_lang_tests.dir/LexerTest.cpp.o"
+  "CMakeFiles/dsm_lang_tests.dir/LexerTest.cpp.o.d"
+  "CMakeFiles/dsm_lang_tests.dir/ParserTest.cpp.o"
+  "CMakeFiles/dsm_lang_tests.dir/ParserTest.cpp.o.d"
+  "CMakeFiles/dsm_lang_tests.dir/SemaTest.cpp.o"
+  "CMakeFiles/dsm_lang_tests.dir/SemaTest.cpp.o.d"
+  "dsm_lang_tests"
+  "dsm_lang_tests.pdb"
+  "dsm_lang_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_lang_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

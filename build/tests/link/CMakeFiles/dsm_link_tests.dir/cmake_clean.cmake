@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_link_tests.dir/LinkerTest.cpp.o"
+  "CMakeFiles/dsm_link_tests.dir/LinkerTest.cpp.o.d"
+  "dsm_link_tests"
+  "dsm_link_tests.pdb"
+  "dsm_link_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_link_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

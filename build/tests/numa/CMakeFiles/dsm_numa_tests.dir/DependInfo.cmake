@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/numa/CacheTest.cpp" "tests/numa/CMakeFiles/dsm_numa_tests.dir/CacheTest.cpp.o" "gcc" "tests/numa/CMakeFiles/dsm_numa_tests.dir/CacheTest.cpp.o.d"
+  "/root/repo/tests/numa/ColoringContentionTest.cpp" "tests/numa/CMakeFiles/dsm_numa_tests.dir/ColoringContentionTest.cpp.o" "gcc" "tests/numa/CMakeFiles/dsm_numa_tests.dir/ColoringContentionTest.cpp.o.d"
+  "/root/repo/tests/numa/MemoryPropertyTest.cpp" "tests/numa/CMakeFiles/dsm_numa_tests.dir/MemoryPropertyTest.cpp.o" "gcc" "tests/numa/CMakeFiles/dsm_numa_tests.dir/MemoryPropertyTest.cpp.o.d"
+  "/root/repo/tests/numa/MemorySystemTest.cpp" "tests/numa/CMakeFiles/dsm_numa_tests.dir/MemorySystemTest.cpp.o" "gcc" "tests/numa/CMakeFiles/dsm_numa_tests.dir/MemorySystemTest.cpp.o.d"
+  "/root/repo/tests/numa/PhysMemTest.cpp" "tests/numa/CMakeFiles/dsm_numa_tests.dir/PhysMemTest.cpp.o" "gcc" "tests/numa/CMakeFiles/dsm_numa_tests.dir/PhysMemTest.cpp.o.d"
+  "/root/repo/tests/numa/TopologyTest.cpp" "tests/numa/CMakeFiles/dsm_numa_tests.dir/TopologyTest.cpp.o" "gcc" "tests/numa/CMakeFiles/dsm_numa_tests.dir/TopologyTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numa/CMakeFiles/dsm_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dsm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

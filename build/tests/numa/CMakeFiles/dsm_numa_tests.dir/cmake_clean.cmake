@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_numa_tests.dir/CacheTest.cpp.o"
+  "CMakeFiles/dsm_numa_tests.dir/CacheTest.cpp.o.d"
+  "CMakeFiles/dsm_numa_tests.dir/ColoringContentionTest.cpp.o"
+  "CMakeFiles/dsm_numa_tests.dir/ColoringContentionTest.cpp.o.d"
+  "CMakeFiles/dsm_numa_tests.dir/MemoryPropertyTest.cpp.o"
+  "CMakeFiles/dsm_numa_tests.dir/MemoryPropertyTest.cpp.o.d"
+  "CMakeFiles/dsm_numa_tests.dir/MemorySystemTest.cpp.o"
+  "CMakeFiles/dsm_numa_tests.dir/MemorySystemTest.cpp.o.d"
+  "CMakeFiles/dsm_numa_tests.dir/PhysMemTest.cpp.o"
+  "CMakeFiles/dsm_numa_tests.dir/PhysMemTest.cpp.o.d"
+  "CMakeFiles/dsm_numa_tests.dir/TopologyTest.cpp.o"
+  "CMakeFiles/dsm_numa_tests.dir/TopologyTest.cpp.o.d"
+  "dsm_numa_tests"
+  "dsm_numa_tests.pdb"
+  "dsm_numa_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_numa_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

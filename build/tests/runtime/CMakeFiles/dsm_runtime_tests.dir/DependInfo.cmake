@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/ArgCheckUnitTest.cpp" "tests/runtime/CMakeFiles/dsm_runtime_tests.dir/ArgCheckUnitTest.cpp.o" "gcc" "tests/runtime/CMakeFiles/dsm_runtime_tests.dir/ArgCheckUnitTest.cpp.o.d"
+  "/root/repo/tests/runtime/RuntimeTest.cpp" "tests/runtime/CMakeFiles/dsm_runtime_tests.dir/RuntimeTest.cpp.o" "gcc" "tests/runtime/CMakeFiles/dsm_runtime_tests.dir/RuntimeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/dsm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/dsm_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/dsm_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dsm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

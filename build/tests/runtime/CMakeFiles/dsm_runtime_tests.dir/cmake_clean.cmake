@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_runtime_tests.dir/ArgCheckUnitTest.cpp.o"
+  "CMakeFiles/dsm_runtime_tests.dir/ArgCheckUnitTest.cpp.o.d"
+  "CMakeFiles/dsm_runtime_tests.dir/RuntimeTest.cpp.o"
+  "CMakeFiles/dsm_runtime_tests.dir/RuntimeTest.cpp.o.d"
+  "dsm_runtime_tests"
+  "dsm_runtime_tests.pdb"
+  "dsm_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_xform_tests.dir/LoweringTest.cpp.o"
+  "CMakeFiles/dsm_xform_tests.dir/LoweringTest.cpp.o.d"
+  "CMakeFiles/dsm_xform_tests.dir/OptLevelTest.cpp.o"
+  "CMakeFiles/dsm_xform_tests.dir/OptLevelTest.cpp.o.d"
+  "CMakeFiles/dsm_xform_tests.dir/ScheduleTest.cpp.o"
+  "CMakeFiles/dsm_xform_tests.dir/ScheduleTest.cpp.o.d"
+  "CMakeFiles/dsm_xform_tests.dir/SkewTest.cpp.o"
+  "CMakeFiles/dsm_xform_tests.dir/SkewTest.cpp.o.d"
+  "CMakeFiles/dsm_xform_tests.dir/StructureTest.cpp.o"
+  "CMakeFiles/dsm_xform_tests.dir/StructureTest.cpp.o.d"
+  "dsm_xform_tests"
+  "dsm_xform_tests.pdb"
+  "dsm_xform_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_xform_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
