@@ -6,6 +6,7 @@
 
 #include "bench/BenchUtil.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -17,7 +18,8 @@ RunOutcome dsmbench::runVersion(const std::string &BenchName,
                                 const SourceGen &Gen, Version V,
                                 bool Serial, int NumProcs,
                                 const numa::MachineConfig &MC,
-                                const std::string &ChecksumArray) {
+                                const std::string &ChecksumArray,
+                                int HostThreads) {
   std::string Src = Gen(V, Serial);
   CompileOptions COpts; // Full optimization, as shipped.
   auto Prog = buildProgram({{BenchName + ".f", Src}}, COpts);
@@ -29,11 +31,14 @@ RunOutcome dsmbench::runVersion(const std::string &BenchName,
   numa::MemorySystem Mem(MC);
   exec::RunOptions ROpts;
   ROpts.NumProcs = Serial ? 1 : NumProcs;
+  ROpts.HostThreads = HostThreads;
   ROpts.DefaultPolicy = V == Version::RoundRobin
                             ? numa::PlacementPolicy::RoundRobin
                             : numa::PlacementPolicy::FirstTouch;
   exec::Engine Engine(*Prog, Mem, ROpts);
+  auto T0 = std::chrono::steady_clock::now();
   auto Run = Engine.run();
+  auto T1 = std::chrono::steady_clock::now();
   if (!Run) {
     std::fprintf(stderr, "%s (%s, P=%d): run failed:\n%s\n",
                  BenchName.c_str(), versionName(V), NumProcs,
@@ -44,6 +49,9 @@ RunOutcome dsmbench::runVersion(const std::string &BenchName,
   Out.Cycles = Run->TimedCycles ? Run->TimedCycles : Run->WallCycles;
   Out.Counters = Run->Counters;
   Out.ParallelRegions = Run->ParallelRegions;
+  Out.HostSeconds =
+      std::chrono::duration<double>(T1 - T0).count();
+  Out.ThreadedEpochs = Run->ThreadedEpochs;
   if (!ChecksumArray.empty()) {
     auto Sum = Engine.arrayWeightedChecksum(ChecksumArray);
     if (!Sum) {
@@ -67,6 +75,7 @@ SweepResult dsmbench::runSweep(const std::string &BenchName,
                                  /*Serial=*/true, 1, MC, ChecksumArray);
   R.SerialCycles = Serial.Cycles;
   R.SerialChecksum = Serial.Checksum;
+  appendJsonResult(BenchName, "serial", 1, 1, Serial);
   for (Version V : {Version::FirstTouch, Version::RoundRobin,
                     Version::Regular, Version::Reshaped}) {
     auto &Row = R.Runs[V];
@@ -74,6 +83,7 @@ SweepResult dsmbench::runSweep(const std::string &BenchName,
       Row.push_back(
           runVersion(BenchName, Gen, V, /*Serial=*/false, P, MC,
                      ChecksumArray));
+      appendJsonResult(BenchName, versionName(V), P, 1, Row.back());
       if (!ChecksumArray.empty() &&
           std::fabs(Row.back().Checksum - Serial.Checksum) >
               1e-6 * (1.0 + std::fabs(Serial.Checksum))) {
@@ -104,6 +114,67 @@ void dsmbench::printSpeedupTable(const std::string &Title,
                 R.speedup(Version::Regular, I),
                 R.speedup(Version::Reshaped, I));
   }
+}
+
+void dsmbench::appendJsonResult(const std::string &Bench,
+                                const std::string &Label, int NumProcs,
+                                int HostThreads, const RunOutcome &Out) {
+  const char *Path = std::getenv("DSM_BENCH_JSON");
+  if (!Path || !*Path)
+    return;
+  FILE *F = std::fopen(Path, "a");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot append to DSM_BENCH_JSON=%s\n",
+                 Path);
+    return;
+  }
+  const char *Sha = std::getenv("DSM_GIT_SHA");
+  std::fprintf(F,
+               "{\"bench\": \"%s\", \"label\": \"%s\", \"procs\": %d, "
+               "\"host_threads\": %d, \"sim_cycles\": %llu, "
+               "\"host_seconds\": %.6f, \"threaded_epochs\": %u, "
+               "\"git_sha\": \"%s\"}\n",
+               Bench.c_str(), Label.c_str(), NumProcs, HostThreads,
+               static_cast<unsigned long long>(Out.Cycles),
+               Out.HostSeconds, Out.ThreadedEpochs,
+               Sha && *Sha ? Sha : "unknown");
+  std::fclose(F);
+}
+
+double dsmbench::runHostThreadComparison(const std::string &BenchName,
+                                         const SourceGen &Gen, Version V,
+                                         int NumProcs, int HostThreads,
+                                         const numa::MachineConfig &MC,
+                                         const std::string &ChecksumArray) {
+  RunOutcome S = runVersion(BenchName, Gen, V, /*Serial=*/false,
+                            NumProcs, MC, ChecksumArray, 1);
+  RunOutcome T = runVersion(BenchName, Gen, V, /*Serial=*/false,
+                            NumProcs, MC, ChecksumArray, HostThreads);
+  if (S.Cycles != T.Cycles || S.Checksum != T.Checksum ||
+      !(S.Counters == T.Counters)) {
+    std::fprintf(stderr,
+                 "%s (%s, P=%d): host-threaded run is NOT bit-identical "
+                 "to serial (cycles %llu vs %llu) -- engine bug\n",
+                 BenchName.c_str(), versionName(V), NumProcs,
+                 static_cast<unsigned long long>(S.Cycles),
+                 static_cast<unsigned long long>(T.Cycles));
+    std::exit(1);
+  }
+  double Speedup = T.HostSeconds > 0 ? S.HostSeconds / T.HostSeconds : 0;
+  std::printf("# host-parallel engine (%s, P=%d): 1 thread %.3fs, "
+              "%d threads %.3fs -> %.2fx host speedup; simulated "
+              "results bit-identical (%llu cycles, %u threaded epochs)\n",
+              versionName(V), NumProcs, S.HostSeconds, HostThreads,
+              T.HostSeconds, Speedup,
+              static_cast<unsigned long long>(T.Cycles),
+              T.ThreadedEpochs);
+  appendJsonResult(BenchName, std::string(versionName(V)) + "-host1",
+                   NumProcs, 1, S);
+  appendJsonResult(BenchName,
+                   std::string(versionName(V)) + "-host" +
+                       std::to_string(HostThreads),
+                   NumProcs, HostThreads, T);
+  return Speedup;
 }
 
 int dsmbench::reportShapeChecks(const std::vector<ShapeCheck> &Checks,

@@ -55,15 +55,39 @@ struct RunOutcome {
   double Checksum = 0.0;
   dsm::numa::Counters Counters;
   unsigned ParallelRegions = 0;
+  /// Host-side wall time of Engine::run() (excludes compilation).
+  double HostSeconds = 0.0;
+  unsigned ThreadedEpochs = 0;
 };
 
 /// Builds and runs one version at one processor count.  Aborts the
 /// process with a message on any pipeline error (benchmarks are
-/// programs, not tests).
+/// programs, not tests).  HostThreads is the engine's host-pool size
+/// (1 = classic serial interpreter); simulated results are identical
+/// for every value.
 RunOutcome runVersion(const std::string &BenchName, const SourceGen &Gen,
                       Version V, bool Serial, int NumProcs,
                       const dsm::numa::MachineConfig &MC,
-                      const std::string &ChecksumArray);
+                      const std::string &ChecksumArray,
+                      int HostThreads = 1);
+
+/// Appends one JSON record for a measured run to the file named by the
+/// DSM_BENCH_JSON environment variable (one object per line; no-op when
+/// unset).  Records carry the simulated cycles, the host wall time and
+/// thread count, and the git revision from DSM_GIT_SHA.
+void appendJsonResult(const std::string &Bench, const std::string &Label,
+                      int NumProcs, int HostThreads,
+                      const RunOutcome &Out);
+
+/// Runs one version serially and with \p HostThreads host threads,
+/// verifies the simulated results are bit-identical, and prints (and
+/// JSON-records) the honest host-side timings.  Returns the measured
+/// host speedup (serial seconds / threaded seconds).
+double runHostThreadComparison(const std::string &BenchName,
+                               const SourceGen &Gen, Version V,
+                               int NumProcs, int HostThreads,
+                               const dsm::numa::MachineConfig &MC,
+                               const std::string &ChecksumArray);
 
 struct SweepResult {
   uint64_t SerialCycles = 0;

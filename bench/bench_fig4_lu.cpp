@@ -123,5 +123,14 @@ int main(int argc, char **argv) {
               "exceeds the aggregate cache there -- EXPERIMENTS.md)\n",
               static_cast<unsigned long long>(Miss1),
               static_cast<unsigned long long>(Miss16));
+
+  // Honest host-side timing of the threaded engine on this workload
+  // (bit-identical simulated results are asserted inside).
+  int HostThreads = 8;
+  if (const char *E = std::getenv("DSM_HOST_THREADS"))
+    if (std::atoi(E) > 1)
+      HostThreads = std::atoi(E);
+  runHostThreadComparison("fig4_lu", luWorkload(N, Nz, Iters),
+                          Version::Reshaped, 64, HostThreads, MC, "v");
   return Failures == 0 ? 0 : 2;
 }

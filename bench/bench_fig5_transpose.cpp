@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "bench/BenchUtil.h"
 #include "bench/Workloads.h"
@@ -101,6 +102,20 @@ int main(int argc, char **argv) {
        }},
   };
   int Failures = reportShapeChecks(Checks, R);
+
+  // Host-parallel engine: same simulation, real OS threads per epoch.
+  // The speedup below is honest host wall time on this machine -- on a
+  // single-CPU host it stays near (or below) 1x; the bit-identical
+  // check is what must always hold.
+  int HostThreads = 8;
+  if (const char *E = std::getenv("DSM_HOST_THREADS"))
+    if (std::atoi(E) > 1)
+      HostThreads = std::atoi(E);
+  std::printf("# host CPUs available: %u\n",
+              std::thread::hardware_concurrency());
+  runHostThreadComparison("fig5_transpose", transposeWorkload(N, Reps),
+                          Version::Reshaped, 64, HostThreads, MC, "a");
+
   std::printf("# TLB-miss cycles at P=32: round-robin=%llu reshaped=%llu "
               "(paper Section 8.2: reshaping needs less than half)\n",
               static_cast<unsigned long long>(

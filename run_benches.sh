@@ -1,17 +1,56 @@
 #!/bin/sh
-# Regenerates every paper table/figure plus the micro-benchmarks.
+# Regenerates every paper table/figure plus the micro-benchmarks, and
+# collects machine-readable results into BENCH_results.json.
+#
+# Usage: ./run_benches.sh [BUILD_DIR]     (default: build)
 set -e
 cd "$(dirname "$0")"
+
+BUILD_DIR=${1:-build}
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: '$BUILD_DIR/bench' does not exist." >&2
+  echo "Build first:  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+require_bin() {
+  if [ ! -x "$BUILD_DIR/bench/$1" ]; then
+    echo "error: benchmark binary '$BUILD_DIR/bench/$1' is missing or not" >&2
+    echo "executable -- did the build finish?  Rebuild with:" >&2
+    echo "  cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+}
+
+# Benchmarks append one JSON object per measured run to this file; the
+# git revision tags every record.
+DSM_GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+export DSM_GIT_SHA
+DSM_BENCH_JSON=$(pwd)/BENCH_results.jsonl
+export DSM_BENCH_JSON
+: > "$DSM_BENCH_JSON"
+
 for b in bench_table2_reshape_opts bench_fig4_lu bench_fig5_transpose \
          bench_fig6_conv_small bench_fig7_conv_large \
          bench_piece_analysis; do
+  require_bin $b
   echo "==== $b ===="
-  ./build/bench/$b || echo "($b reported shape deviations)"
+  "$BUILD_DIR/bench/$b" || echo "($b reported shape deviations)"
   echo
 done
 for b in bench_table1_addressing bench_fig2_affinity bench_divmod_fp \
          bench_prelink_cloning; do
+  require_bin $b
   echo "==== $b ===="
-  ./build/bench/$b --benchmark_min_time=0.02 2>&1 | grep -E 'BM_|Benchmark|^--'
+  "$BUILD_DIR/bench/$b" --benchmark_min_time=0.02 2>&1 | grep -E 'BM_|Benchmark|^--'
   echo
 done
+
+# Wrap the collected JSON lines into one JSON array.
+{
+  printf '[\n'
+  sed '$!s/$/,/' "$DSM_BENCH_JSON"
+  printf ']\n'
+} > BENCH_results.json
+rm -f "$DSM_BENCH_JSON"
+echo "wrote BENCH_results.json ($(grep -c '"bench"' BENCH_results.json) records)"

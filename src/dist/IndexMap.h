@@ -96,6 +96,47 @@ inline int64_t globalOf(const DimMap &M, int64_t Proc, int64_t L) {
   return L + 1;
 }
 
+/// Advances a cached (owner, local) pair from global index I-1 to its
+/// successor \p I without division: the incremental form of ownerOf /
+/// localOf used by the engine's addressing-translation cache.  \p Owner
+/// and \p Local must hold the values for I-1 on entry (2 <= I <= N).
+inline void stepOwnerLocal(const DimMap &M, int64_t I, int64_t &Owner,
+                           int64_t &Local) {
+  assert(I >= 2 && I <= M.N && "step must stay in declared bounds");
+  switch (M.Kind) {
+  case DistKind::None:
+    ++Local;
+    return;
+  case DistKind::Block:
+    if (++Local == M.B) {
+      Local = 0;
+      ++Owner;
+    }
+    return;
+  case DistKind::Cyclic:
+    if (++Owner == M.P) {
+      Owner = 0;
+      ++Local;
+    }
+    return;
+  case DistKind::BlockCyclic:
+    // Within a chunk both the local offset and the chunk position grow
+    // together; at a chunk boundary ownership passes to the next
+    // processor and the local offset rewinds to the start of the chunk
+    // (advancing by a whole chunk when the cycle wraps).
+    if ((I - 1) % M.K != 0) {
+      ++Local;
+      return;
+    }
+    Local -= M.K - 1;
+    if (++Owner == M.P) {
+      Owner = 0;
+      Local += M.K;
+    }
+    return;
+  }
+}
+
 /// Number of elements \p Proc actually owns in this dimension.
 int64_t portionCount(const DimMap &M, int64_t Proc);
 

@@ -14,11 +14,23 @@
 /// to eliminate.
 ///
 /// Parallel execution model: a ParallelDo runs its body once per grid
-/// cell (SPMD).  Simulated processors execute sequentially -- the
-/// programming model requires fully concurrent iterations, so this is
-/// semantics-preserving -- but each keeps its own clock, caches, and
-/// TLB.  An epoch's wall time is max(slowest processor, busiest memory
-/// node service time) plus a logarithmic barrier cost.
+/// cell (SPMD).  Each simulated processor keeps its own clock, caches,
+/// and TLB.  An epoch's wall time is max(slowest processor, busiest
+/// memory node service time) plus a logarithmic barrier cost.
+///
+/// With RunOptions::HostThreads > 1 (or DSM_HOST_THREADS set), eligible
+/// epochs run their cells on real OS threads: phase one executes each
+/// cell's body functionally in parallel while recording its operation
+/// cycles and the exact load/store stream, phase two replays the
+/// streams through the memory system serially in ascending cell order.
+/// Because the performance model never depends on a processor's clock
+/// and the cells of a data-race-free program touch disjoint data, the
+/// replay reproduces the serial engine's access sequence exactly, so
+/// cycle counts, counters, and functional results are bit-identical to
+/// HostThreads == 1.  Epochs whose bodies could mutate shared engine
+/// state (allocation, redistribution, nested epochs, timers, writes to
+/// COMMON scalars, scalars read before written) fall back to the
+/// classic serial loop for that epoch.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +57,11 @@ struct RunOptions {
   bool Perf = true;             ///< Charge cycles; false = functional only.
   bool RuntimeArgChecks = false; ///< Paper Section 6 runtime checks.
   unsigned MaxCallDepth = 100;
+  /// Host OS threads executing the cells of a parallel epoch.  1 runs
+  /// the classic serial loop; 0 reads DSM_HOST_THREADS from the
+  /// environment (defaulting to 1).  Simulated results are bit-exact
+  /// across all values.
+  int HostThreads = 0;
 };
 
 /// Outcome of one execution.
@@ -58,6 +75,9 @@ struct RunResult {
   unsigned ParallelRegions = 0;
   uint64_t RedistributeCycles = 0;
   unsigned ClonesExecuted = 0;
+  /// Epochs that actually ran on the host thread pool (0 when
+  /// HostThreads <= 1 or every epoch fell back to the serial loop).
+  unsigned ThreadedEpochs = 0;
 
   double tlbMissFraction() const {
     return WallCycles == 0 ? 0.0

@@ -161,6 +161,10 @@ struct Expr {
                                   // DistQuery.
   DistQueryKind DQ = DistQueryKind::NumProcs;
   unsigned Dim = 0;               // DistQuery dimension (0-based).
+  /// Dense per-procedure slot into the engine's addressing-translation
+  /// cache, assigned to reshaped ArrayElem references by the execution
+  /// engine (-1 when uncached).
+  int TransSlot = -1;
   std::vector<ExprPtr> Ops;
 
   // PortionElem child layout: the linearized 0-based grid-cell

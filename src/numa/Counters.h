@@ -53,6 +53,10 @@ struct Counters {
     return *this;
   }
 
+  /// Memberwise equality (used by the threaded-vs-serial determinism
+  /// tests to assert bit-exact accounting).
+  bool operator==(const Counters &O) const = default;
+
   /// One-line human-readable rendering.
   std::string str() const;
 };

@@ -229,7 +229,15 @@ uint64_t MemorySystem::access(int Proc, uint64_t Addr, unsigned Bytes,
     Cycles += Costs.TlbMiss;
     Stats.TlbMissCycles += Costs.TlbMiss;
   }
-  PageInfo &PI = faultIn(VPage, Proc, Cycles);
+  PageInfo *PIPtr;
+  if (P.LastVPage == VPage) {
+    PIPtr = P.LastPI;
+  } else {
+    PIPtr = &faultIn(VPage, Proc, Cycles);
+    P.LastVPage = VPage;
+    P.LastPI = PIPtr;
+  }
+  PageInfo &PI = *PIPtr;
   uint64_t Phys =
       Frames.physBase(PI.Node, PI.Frame) + Addr % Config.PageSize;
   uint64_t PhysLine = Phys & ~(Config.L2.LineBytes - 1);
@@ -308,17 +316,23 @@ uint64_t MemorySystem::access(int Proc, uint64_t Addr, unsigned Bytes,
 // Functional data.
 //===----------------------------------------------------------------------===//
 
-uint8_t *MemorySystem::dataFor(uint64_t Addr, unsigned Bytes) const {
-  uint64_t VPage = Addr / Config.PageSize;
-  uint64_t Off = Addr % Config.PageSize;
-  assert(Off + Bytes <= Config.PageSize && "access crosses a page");
+uint8_t *MemorySystem::funcPageData(uint64_t VPage) const {
+  std::lock_guard<std::mutex> Lock(DataMu);
   auto It = Data.find(VPage);
   if (It == Data.end()) {
     auto Page = std::make_unique<uint8_t[]>(Config.PageSize);
     std::memset(Page.get(), 0, Config.PageSize);
     It = Data.emplace(VPage, std::move(Page)).first;
   }
-  return It->second.get() + Off;
+  return It->second.get();
+}
+
+uint8_t *MemorySystem::dataFor(uint64_t Addr, unsigned Bytes) const {
+  uint64_t VPage = Addr / Config.PageSize;
+  uint64_t Off = Addr % Config.PageSize;
+  assert(Off + Bytes <= Config.PageSize && "access crosses a page");
+  (void)Bytes;
+  return funcPageData(VPage) + Off;
 }
 
 double MemorySystem::readF64(uint64_t Addr) const {

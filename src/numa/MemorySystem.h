@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -106,6 +107,12 @@ public:
   int64_t readI64(uint64_t Addr) const;
   void writeI64(uint64_t Addr, int64_t Value);
 
+  /// Base pointer of the functional-data page holding \p VPage, creating
+  /// (zero-filled) if absent.  Thread-safe; the returned pointer stays
+  /// valid for the lifetime of the MemorySystem, so callers may cache it
+  /// and read/write page bytes directly (distinct byte ranges only).
+  uint8_t *funcPageData(uint64_t VPage) const;
+
   //===--------------------------------------------------------------===//
   // Epochs and statistics.
   //===--------------------------------------------------------------===//
@@ -143,6 +150,11 @@ private:
     Cache L1;
     Cache L2;
     Tlb Dtlb;
+    /// Last page touched by this processor; skips the page-table hash
+    /// lookup on the (very common) same-page-as-last-time access.  The
+    /// pointer stays valid because Pages entries are never erased.
+    uint64_t LastVPage = ~0ull;
+    PageInfo *LastPI = nullptr;
     ProcState(const MachineConfig &C)
         : L1(C.L1), L2(C.L2), Dtlb(C.TlbEntries) {}
   };
@@ -169,6 +181,10 @@ private:
   uint64_t NextVirtual = 1ull << 20;
   uint64_t RoundRobinNext = 0;
   std::unordered_map<uint64_t, PageInfo> Pages;
+  /// Functional data may be touched concurrently by the engine's host
+  /// worker threads, so page creation is serialized; page contents are
+  /// raced only on disjoint byte ranges (data-race-free programs).
+  mutable std::mutex DataMu;
   mutable std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> Data;
   std::vector<std::unique_ptr<ProcState>> Procs;
   std::vector<uint64_t> EpochRequests;

@@ -14,6 +14,7 @@
 #ifndef DSM_NUMA_TLB_H
 #define DSM_NUMA_TLB_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -27,9 +28,20 @@ public:
   /// Looks up \p VPage, filling on miss.  Returns true on hit.
   bool access(uint64_t VPage) {
     ++Clock;
+    // MRU fast path: loop nests touch the same page many times in a row,
+    // and in a fully-associative TLB checking the last-hit entry first
+    // cannot change hit/miss outcomes or victim choice.
+    if (Mru < Entries.size()) {
+      Entry &M = Entries[Mru];
+      if (M.Valid && M.VPage == VPage) {
+        M.LruStamp = Clock;
+        return true;
+      }
+    }
     for (Entry &E : Entries)
       if (E.Valid && E.VPage == VPage) {
         E.LruStamp = Clock;
+        Mru = static_cast<size_t>(&E - Entries.data());
         return true;
       }
     Entry *Victim = &Entries[0];
@@ -44,6 +56,7 @@ public:
     Victim->VPage = VPage;
     Victim->Valid = true;
     Victim->LruStamp = Clock;
+    Mru = static_cast<size_t>(Victim - Entries.data());
     return false;
   }
 
@@ -58,6 +71,7 @@ public:
     for (Entry &E : Entries)
       E.Valid = false;
     Clock = 0;
+    Mru = SIZE_MAX;
   }
 
 private:
@@ -68,6 +82,7 @@ private:
   };
   std::vector<Entry> Entries;
   uint32_t Clock = 0;
+  size_t Mru = SIZE_MAX; ///< Index of the last entry hit or filled.
 };
 
 } // namespace dsm::numa

@@ -16,7 +16,8 @@ Error ArgCheckTable::verifyFormal(uint64_t Addr,
                                   const dist::DistSpec *FormalDist,
                                   const std::string &ProcName,
                                   const std::string &FormalName) const {
-  const ArgInfo *Info = lookup(Addr);
+  std::lock_guard<std::mutex> Lock(Mu);
+  const ArgInfo *Info = lookupUnlocked(Addr);
   if (!Info)
     return Error::success(); // Not a reshaped argument; nothing to check.
 

@@ -17,6 +17,7 @@
 #define DSM_RUNTIME_ARGCHECK_H
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,16 +38,20 @@ struct ArgInfo {
   uint64_t PortionBytes = 0;
 };
 
-/// Address-keyed hash table of in-flight reshaped arguments.
+/// Address-keyed hash table of in-flight reshaped arguments.  All
+/// operations take an internal lock: host worker threads executing the
+/// simulated processors of one epoch register and verify concurrently.
 class ArgCheckTable {
 public:
   /// Registers an actual argument for the duration of a call.
   void registerArg(uint64_t Addr, ArgInfo Info) {
+    std::lock_guard<std::mutex> Lock(Mu);
     Table[Addr].push_back(std::move(Info));
   }
 
   /// Removes the most recent registration for \p Addr (on return).
   void unregisterArg(uint64_t Addr) {
+    std::lock_guard<std::mutex> Lock(Mu);
     auto It = Table.find(Addr);
     if (It == Table.end())
       return;
@@ -56,10 +61,12 @@ public:
   }
 
   /// Entry check: nullptr when the address is not a reshaped argument.
+  /// The pointer is invalidated by the next register/unregister, so
+  /// concurrent callers should prefer verifyFormal (which holds the
+  /// lock across the whole check).
   const ArgInfo *lookup(uint64_t Addr) const {
-    auto It = Table.find(Addr);
-    return It == Table.end() || It->second.empty() ? nullptr
-                                                   : &It->second.back();
+    std::lock_guard<std::mutex> Lock(Mu);
+    return lookupUnlocked(Addr);
   }
 
   /// Verifies a formal declared with shape \p FormalDims (and, for
@@ -72,6 +79,13 @@ public:
                      const std::string &FormalName) const;
 
 private:
+  const ArgInfo *lookupUnlocked(uint64_t Addr) const {
+    auto It = Table.find(Addr);
+    return It == Table.end() || It->second.empty() ? nullptr
+                                                   : &It->second.back();
+  }
+
+  mutable std::mutex Mu;
   // A vector per address tolerates recursive calls passing the same
   // array.
   std::unordered_map<uint64_t, std::vector<ArgInfo>> Table;

@@ -1,0 +1,143 @@
+//===- support/ThreadPool.h - Host worker-thread pool -----------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small persistent thread pool used by the execution engine to run
+/// the simulated processors of a parallel epoch on real OS threads.
+/// One pool lives for the whole engine so the many short epochs of an
+/// iterative benchmark do not pay thread creation each time.
+///
+/// The only operation is a blocking parallel-for: indices are handed
+/// out through a shared atomic counter (self-balancing when cells have
+/// uneven cost) and the calling thread participates, so a pool of size
+/// N uses N-1 background workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_SUPPORT_THREADPOOL_H
+#define DSM_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsm::support {
+
+/// Persistent pool running blocking parallel-for jobs.
+class ThreadPool {
+public:
+  /// \p Threads is the total parallelism including the calling thread;
+  /// values <= 1 create no background workers.
+  explicit ThreadPool(unsigned Threads) {
+    unsigned Workers = Threads > 1 ? Threads - 1 : 0;
+    Background.reserve(Workers);
+    for (unsigned W = 0; W < Workers; ++W)
+      Background.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ShuttingDown = true;
+    }
+    JobReady.notify_all();
+    for (std::thread &T : Background)
+      T.join();
+  }
+
+  unsigned size() const {
+    return static_cast<unsigned>(Background.size()) + 1;
+  }
+
+  /// Runs Fn(0) .. Fn(N-1) across the pool and the calling thread;
+  /// returns when every index has completed.  Not reentrant.
+  void parallelFor(int64_t N, std::function<void(int64_t)> Fn) {
+    if (N <= 0)
+      return;
+    if (Background.empty()) {
+      for (int64_t I = 0; I < N; ++I)
+        Fn(I);
+      return;
+    }
+    {
+      // Workers from the previous job may still be unwinding out of
+      // drain(); wait until every one is parked before rearming the
+      // counters they read.
+      std::unique_lock<std::mutex> Lock(Mu);
+      JobDone.wait(Lock, [this] { return InDrain == 0; });
+      Job = std::move(Fn);
+      JobEnd = N;
+      Next.store(0, std::memory_order_relaxed);
+      Pending.store(N, std::memory_order_relaxed);
+      ++JobGeneration;
+    }
+    JobReady.notify_all();
+    drain();
+    std::unique_lock<std::mutex> Lock(Mu);
+    JobDone.wait(Lock, [this] {
+      return Pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+private:
+  void drain() {
+    for (;;) {
+      int64_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= JobEnd)
+        return;
+      Job(I);
+      if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        JobDone.notify_all();
+      }
+    }
+  }
+
+  void workerLoop() {
+    uint64_t SeenGeneration = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        JobReady.wait(Lock, [&] {
+          return ShuttingDown || JobGeneration != SeenGeneration;
+        });
+        if (ShuttingDown)
+          return;
+        SeenGeneration = JobGeneration;
+        ++InDrain;
+      }
+      drain();
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        --InDrain;
+      }
+      JobDone.notify_all();
+    }
+  }
+
+  std::vector<std::thread> Background;
+  std::mutex Mu;
+  std::condition_variable JobReady;
+  std::condition_variable JobDone;
+  std::function<void(int64_t)> Job;
+  int64_t JobEnd = 0;
+  uint64_t JobGeneration = 0;
+  int InDrain = 0;
+  bool ShuttingDown = false;
+  std::atomic<int64_t> Next{0};
+  std::atomic<int64_t> Pending{0};
+};
+
+} // namespace dsm::support
+
+#endif // DSM_SUPPORT_THREADPOOL_H

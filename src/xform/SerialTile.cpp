@@ -86,7 +86,11 @@ private:
       int64_t S, C;
       if (!extractLinear(*E.Ops[D], Var, S, C) || S <= 0)
         continue;
-      auto Key = std::make_tuple(E.Array, D, S);
+      // Keyed by name, not symbol address: iteration order feeds the
+      // RefCount tie-break in best(), and pointer order would make the
+      // chosen tile (and thus the lowered access sequence) vary from
+      // compile to compile.
+      auto Key = std::make_tuple(E.Array->Name, D, S);
       Candidate &Cand = Cands[Key];
       if (Cand.RefCount == 0) {
         Cand.Array = E.Array;
@@ -100,7 +104,7 @@ private:
   }
 
   const ScalarSymbol *Var;
-  std::map<std::tuple<const ArraySymbol *, unsigned, int64_t>, Candidate>
+  std::map<std::tuple<std::string, unsigned, int64_t>, Candidate>
       Cands;
 };
 

@@ -100,6 +100,21 @@ TEST_P(IndexMapPropertyTest, RoundTripAndPartition) {
   EXPECT_EQ(Sum, Param.N);
 }
 
+TEST_P(IndexMapPropertyTest, StepOwnerLocalMatchesDirectForms) {
+  // The incremental step used by the engine's addressing-translation
+  // cache must track ownerOf/localOf exactly across every chunk and
+  // cycle boundary.
+  const MapParam &Param = GetParam();
+  DimMap M = DimMap::make({Param.Kind, Param.K}, Param.N, Param.P);
+  int64_t Owner = ownerOf(M, 1);
+  int64_t Local = localOf(M, 1);
+  for (int64_t I = 2; I <= M.N; ++I) {
+    stepOwnerLocal(M, I, Owner, Local);
+    ASSERT_EQ(Owner, ownerOf(M, I)) << "I=" << I;
+    ASSERT_EQ(Local, localOf(M, I)) << "I=" << I;
+  }
+}
+
 TEST_P(IndexMapPropertyTest, PaddedSizeBoundsRealPortions) {
   const MapParam &Param = GetParam();
   DimMap M = DimMap::make({Param.Kind, Param.K}, Param.N, Param.P);

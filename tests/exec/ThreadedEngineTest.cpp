@@ -1,0 +1,437 @@
+//===- tests/exec/ThreadedEngineTest.cpp - Host-threaded epoch tests ------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// The host thread pool must be invisible in the simulation: for every
+// workload, policy, and processor count, running with HostThreads > 1
+// must produce *bit-identical* results to the serial engine -- same
+// wall cycles, same timed cycles, same memory-system counters, same
+// array contents.  These tests run each program twice per thread count
+// and compare everything.  They also pin down when epochs are allowed
+// to thread (RunResult::ThreadedEpochs) and when they must fall back.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/Driver.h"
+
+using namespace dsm;
+
+namespace {
+
+numa::MachineConfig machine() {
+  numa::MachineConfig C;
+  C.NumNodes = 4;
+  C.ProcsPerNode = 2; // 8 simulated processors.
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 8 << 20;
+  C.L1 = numa::CacheConfig{1024, 32, 2};
+  C.L2 = numa::CacheConfig{16 * 1024, 128, 2};
+  C.TlbEntries = 16;
+  return C;
+}
+
+/// Everything observable about one run.
+struct Observed {
+  exec::RunResult R;
+  std::vector<double> Checksums; // Weighted, per requested array.
+  bool Failed = false;
+  std::string FailMessage;
+};
+
+Observed runOnce(const std::vector<SourceFile> &Sources, int Procs,
+                 int HostThreads, const std::vector<std::string> &Arrays,
+                 bool ArgChecks = false,
+                 numa::PlacementPolicy Policy =
+                     numa::PlacementPolicy::FirstTouch) {
+  auto Prog = buildProgram(Sources, CompileOptions{});
+  EXPECT_TRUE(bool(Prog)) << Prog.error().str();
+  Observed Obs;
+  if (!Prog)
+    return Obs;
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = Procs;
+  ROpts.HostThreads = HostThreads;
+  ROpts.DefaultPolicy = Policy;
+  ROpts.RuntimeArgChecks = ArgChecks;
+  exec::Engine E(*Prog, Mem, ROpts);
+  auto R = E.run();
+  if (!R) {
+    Obs.Failed = true;
+    Obs.FailMessage = R.error().str();
+    return Obs;
+  }
+  Obs.R = *R;
+  for (const std::string &A : Arrays) {
+    auto Sum = E.arrayWeightedChecksum(A);
+    EXPECT_TRUE(bool(Sum)) << Sum.error().str();
+    Obs.Checksums.push_back(Sum ? *Sum : 0.0);
+  }
+  return Obs;
+}
+
+/// Runs serial and threaded and requires bit-exact equality.  Returns
+/// the threaded observation for extra assertions.
+Observed expectBitExact(const std::vector<SourceFile> &Sources, int Procs,
+                        int HostThreads,
+                        const std::vector<std::string> &Arrays,
+                        bool ArgChecks = false,
+                        numa::PlacementPolicy Policy =
+                            numa::PlacementPolicy::FirstTouch) {
+  Observed Serial =
+      runOnce(Sources, Procs, 1, Arrays, ArgChecks, Policy);
+  Observed Threaded =
+      runOnce(Sources, Procs, HostThreads, Arrays, ArgChecks, Policy);
+  EXPECT_EQ(Serial.Failed, Threaded.Failed);
+  EXPECT_EQ(Serial.FailMessage, Threaded.FailMessage);
+  EXPECT_EQ(Serial.R.WallCycles, Threaded.R.WallCycles)
+      << "P=" << Procs << " T=" << HostThreads;
+  EXPECT_EQ(Serial.R.TimedCycles, Threaded.R.TimedCycles);
+  EXPECT_TRUE(Serial.R.Counters == Threaded.R.Counters)
+      << "serial:\n"
+      << Serial.R.Counters.str() << "threaded:\n"
+      << Threaded.R.Counters.str();
+  EXPECT_EQ(Serial.R.ParallelRegions, Threaded.R.ParallelRegions);
+  EXPECT_EQ(Serial.R.RedistributeCycles, Threaded.R.RedistributeCycles);
+  EXPECT_EQ(Serial.R.ThreadedEpochs, 0u);
+  EXPECT_EQ(Serial.Checksums.size(), Threaded.Checksums.size());
+  if (Serial.Checksums.size() != Threaded.Checksums.size())
+    return Threaded;
+  for (size_t I = 0; I < Serial.Checksums.size(); ++I)
+    EXPECT_EQ(Serial.Checksums[I], Threaded.Checksums[I])
+        << "array " << Arrays[I] << " differs (bit-exact required)";
+  return Threaded;
+}
+
+const char *transposeSrc(const char *Directives) {
+  static std::string Buf;
+  Buf = std::string(R"(
+      program transp
+      integer i, j, r
+      real*8 A(24, 24), B(24, 24)
+)") + Directives +
+        R"(      do j = 1, 24
+        do i = 1, 24
+          B(i,j) = i + 2*j
+          A(i,j) = 0.0
+        enddo
+      enddo
+      call dsm_timer_start
+      do r = 1, 3
+c$doacross local(i,j)
+      do i = 1, 24
+        do j = 1, 24
+          A(j,i) = B(i,j)
+        enddo
+      enddo
+      enddo
+      call dsm_timer_stop
+      end
+)";
+  return Buf.c_str();
+}
+
+TEST(ThreadedEngineTest, TransposeFirstTouch) {
+  for (int T : {3, 4}) {
+    Observed Obs = expectBitExact({{"t.f", transposeSrc("")}}, 8, T,
+                                  {"a", "b"});
+    EXPECT_GT(Obs.R.ThreadedEpochs, 0u);
+  }
+}
+
+TEST(ThreadedEngineTest, TransposeRoundRobinPolicy) {
+  Observed Obs =
+      expectBitExact({{"t.f", transposeSrc("")}}, 8, 4, {"a", "b"},
+                     /*ArgChecks=*/false,
+                     numa::PlacementPolicy::RoundRobin);
+  EXPECT_GT(Obs.R.ThreadedEpochs, 0u);
+}
+
+TEST(ThreadedEngineTest, TransposeRegularDistribution) {
+  Observed Obs = expectBitExact(
+      {{"t.f", transposeSrc("c$distribute A(*, block), B(block, *)\n")}},
+      8, 4, {"a", "b"});
+  EXPECT_GT(Obs.R.ThreadedEpochs, 0u);
+}
+
+TEST(ThreadedEngineTest, TransposeReshaped) {
+  // Reshaped layouts exercise the addressing-translation cache in both
+  // the serial and the recording interpreters; results must not move.
+  Observed Obs = expectBitExact(
+      {{"t.f",
+        transposeSrc("c$distribute_reshape A(*, block), B(block, *)\n")}},
+      8, 4, {"a", "b"});
+  EXPECT_GT(Obs.R.ThreadedEpochs, 0u);
+}
+
+TEST(ThreadedEngineTest, ConvolutionNestReshaped) {
+  const char *Src = R"(
+      program conv2
+      integer i, j, r
+      real*8 A(20, 20), B(20, 20)
+c$distribute_reshape A(block, block), B(block, block)
+      do j = 1, 20
+        do i = 1, 20
+          B(i,j) = i + 3*j
+          A(i,j) = 0.0
+        enddo
+      enddo
+      call dsm_timer_start
+      do r = 1, 2
+c$doacross nest(j,i) local(i,j) affinity(j,i) = data(A(i,j))
+      do j = 2, 19
+        do i = 2, 19
+          A(i,j) = (B(i-1,j) + B(i,j-1) + B(i,j) + B(i,j+1) + B(i+1,j)) / 5.0
+        enddo
+      enddo
+      enddo
+      call dsm_timer_stop
+      end
+)";
+  Observed Obs = expectBitExact({{"t.f", Src}}, 8, 4, {"a", "b"});
+  EXPECT_GT(Obs.R.ThreadedEpochs, 0u);
+}
+
+TEST(ThreadedEngineTest, LuFourDimensional) {
+  const char *Src = R"(
+      program lu
+      integer m, j, k, l, it
+      real*8 U(5, 8, 8, 3), V(5, 8, 8, 3)
+c$distribute_reshape U(*, block, block, *), V(*, block, block, *)
+      do l = 1, 3
+c$doacross nest(k,j) local(m,j,k,l)
+      do k = 1, 8
+        do j = 1, 8
+          do m = 1, 5
+            U(m,j,k,l) = m + j + 2*k + 3*l
+            V(m,j,k,l) = 0.0
+          enddo
+        enddo
+      enddo
+      enddo
+      call dsm_timer_start
+      do it = 1, 2
+      do l = 1, 3
+c$doacross nest(k,j) local(m,j,k,l) affinity(k,j) = data(U(1,j,k,1))
+      do k = 2, 7
+        do j = 2, 7
+          do m = 1, 5
+            V(m,j,k,l) = U(m,j,k,l) + 0.25 * (U(m,j-1,k,l) + &
+              U(m,j+1,k,l) + U(m,j,k-1,l) + U(m,j,k+1,l))
+          enddo
+        enddo
+      enddo
+      enddo
+      enddo
+      call dsm_timer_stop
+      end
+)";
+  Observed Obs = expectBitExact({{"t.f", Src}}, 8, 3, {"u", "v"});
+  // The very first epoch of the initialization loop allocates U and V
+  // and must run serially; everything after threads.
+  EXPECT_GT(Obs.R.ThreadedEpochs, 0u);
+  EXPECT_LT(Obs.R.ThreadedEpochs, Obs.R.ParallelRegions);
+}
+
+TEST(ThreadedEngineTest, CyclicChunkDistribution) {
+  // cyclic(3) stresses the incremental owner/local stepping of the
+  // translation cache at chunk and cycle boundaries.
+  const char *Src = R"(
+      program cyc
+      integer i, r
+      real*8 A(100), B(100)
+c$distribute_reshape A(cyclic(3)), B(cyclic)
+      do i = 1, 100
+        A(i) = i
+        B(i) = 0.0
+      enddo
+      do r = 1, 2
+c$doacross local(i)
+      do i = 1, 100
+        B(i) = B(i) + A(i) * r
+      enddo
+      enddo
+      end
+)";
+  Observed Obs = expectBitExact({{"t.f", Src}}, 8, 4, {"a", "b"});
+  EXPECT_GT(Obs.R.ThreadedEpochs, 0u);
+}
+
+TEST(ThreadedEngineTest, CallInsideEpochWithArgChecks) {
+  // Worker threads call a subroutine on a reshaped array portion with
+  // runtime argument checks enabled: the check table is hit
+  // concurrently and the verdicts must match the serial run.
+  const char *MainSrc = R"(
+      program main
+      integer p, b
+      real*8 A(64)
+c$distribute_reshape A(block)
+      do p = 1, 64
+        A(p) = p
+      enddo
+      b = dsm_blocksize(A, 1)
+c$doacross local(p)
+      do p = 0, 7
+        call scale(A(p * b + 1), b)
+      enddo
+      end
+)";
+  const char *SubSrc = R"(
+      subroutine scale(X, n)
+      integer i, n
+      real*8 X(n)
+      do i = 1, n
+        X(i) = X(i) * 2.0
+      enddo
+      end
+)";
+  Observed Obs =
+      expectBitExact({{"m.f", MainSrc}, {"s.f", SubSrc}}, 8, 4, {"a"},
+                     /*ArgChecks=*/true);
+  EXPECT_GT(Obs.R.ThreadedEpochs, 0u);
+}
+
+TEST(ThreadedEngineTest, RedistributeBetweenEpochs) {
+  // Redistribution between epochs bumps the translation-cache
+  // generation and changes page placement; both runs must agree.
+  const char *Src = R"(
+      program main
+      integer i, r
+      real*8 A(64, 16)
+c$distribute A(*, block)
+      do r = 1, 16
+        do i = 1, 64
+          A(i,r) = i + r
+        enddo
+      enddo
+c$doacross local(i, r) affinity(r) = data(A(1, r))
+      do r = 1, 16
+        do i = 1, 64
+          A(i,r) = A(i,r) + 1.0
+        enddo
+      enddo
+c$redistribute A(*, cyclic)
+c$doacross local(i, r) affinity(r) = data(A(1, r))
+      do r = 1, 16
+        do i = 1, 64
+          A(i,r) = A(i,r) * 2.0
+        enddo
+      enddo
+      end
+)";
+  Observed Obs = expectBitExact({{"t.f", Src}}, 8, 4, {"a"});
+  EXPECT_GT(Obs.R.ThreadedEpochs, 0u);
+  EXPECT_GT(Obs.R.RedistributeCycles, 0u);
+}
+
+TEST(ThreadedEngineTest, ScalarReductionFallsBack) {
+  // s = s + ... reads a root-frame scalar the epoch writes: a carried
+  // dependency the analysis must refuse to thread.
+  const char *Src = R"(
+      program red
+      integer i
+      real*8 s, A(32)
+c$distribute A(block)
+      do i = 1, 32
+        A(i) = i
+      enddo
+      s = 0.0
+c$doacross local(i)
+      do i = 1, 32
+        s = s + A(i)
+      enddo
+      A(1) = s
+      end
+)";
+  Observed Obs = expectBitExact({{"t.f", Src}}, 8, 4, {"a"});
+  EXPECT_EQ(Obs.R.ThreadedEpochs, 0u);
+  EXPECT_GT(Obs.R.ParallelRegions, 0u);
+}
+
+TEST(ThreadedEngineTest, LastWriterScalarMerges) {
+  // A scalar written (not read) by every cell: the serial loop leaves
+  // the last cell's value; the merge must reproduce it.
+  const char *Src = R"(
+      program lw
+      integer i, t
+      real*8 A(32)
+c$distribute A(block)
+      do i = 1, 32
+        A(i) = 0.0
+      enddo
+c$doacross local(i, t)
+      do i = 1, 32
+        t = i * 10
+        A(i) = t
+      enddo
+      A(1) = t
+      end
+)";
+  Observed Obs = expectBitExact({{"t.f", Src}}, 8, 4, {"a"});
+  EXPECT_GT(Obs.R.ThreadedEpochs, 0u);
+}
+
+TEST(ThreadedEngineTest, FailingCellReportsSerialDiagnostic) {
+  // Cells past the bound fail; the lowest failing cell must surface
+  // the same diagnostic as the serial run's first failure.
+  const char *Src = R"(
+      program oob
+      integer i, j
+      real*8 A(8)
+      do i = 1, 8
+        A(i) = 0.0
+      enddo
+c$doacross local(i, j)
+      do i = 1, 8
+        j = i + 4
+        A(j) = 1.0
+      enddo
+      end
+)";
+  Observed Serial = runOnce({{"t.f", Src}}, 8, 1, {});
+  Observed Threaded = runOnce({{"t.f", Src}}, 8, 4, {});
+  EXPECT_TRUE(Serial.Failed);
+  EXPECT_TRUE(Threaded.Failed);
+  EXPECT_EQ(Serial.FailMessage, Threaded.FailMessage);
+}
+
+TEST(ThreadedEngineTest, HostThreadsFromEnvironment) {
+  // HostThreads = 0 defers to DSM_HOST_THREADS.
+  setenv("DSM_HOST_THREADS", "4", 1);
+  Observed Env = runOnce({{"t.f", transposeSrc("")}}, 8, 0, {"a"});
+  unsetenv("DSM_HOST_THREADS");
+  Observed Serial = runOnce({{"t.f", transposeSrc("")}}, 8, 1, {"a"});
+  EXPECT_GT(Env.R.ThreadedEpochs, 0u);
+  EXPECT_EQ(Env.R.WallCycles, Serial.R.WallCycles);
+  EXPECT_EQ(Env.Checksums[0], Serial.Checksums[0]);
+}
+
+TEST(ThreadedEngineTest, FunctionalModeThreads) {
+  // Perf = false records no traces at all but must still produce the
+  // same array contents.
+  auto Prog = buildProgram({{"t.f", transposeSrc("")}}, CompileOptions{});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  double Sums[2];
+  int Idx = 0;
+  for (int T : {1, 4}) {
+    numa::MemorySystem Mem(machine());
+    exec::RunOptions ROpts;
+    ROpts.NumProcs = 8;
+    ROpts.HostThreads = T;
+    ROpts.Perf = false;
+    exec::Engine E(*Prog, Mem, ROpts);
+    auto R = E.run();
+    ASSERT_TRUE(bool(R)) << R.error().str();
+    EXPECT_EQ(R->WallCycles, 0u);
+    auto Sum = E.arrayWeightedChecksum("a");
+    ASSERT_TRUE(bool(Sum));
+    Sums[Idx++] = *Sum;
+  }
+  EXPECT_EQ(Sums[0], Sums[1]);
+}
+
+} // namespace
