@@ -35,6 +35,11 @@ RunOutcome dsmbench::runVersion(const std::string &BenchName,
   ROpts.DefaultPolicy = V == Version::RoundRobin
                             ? numa::PlacementPolicy::RoundRobin
                             : numa::PlacementPolicy::FirstTouch;
+  // Locality metrics ride along into BENCH_results.json; set
+  // DSM_BENCH_METRICS=0 for a bare run (e.g. when timing the engine
+  // itself -- see bench_obs_overhead for the disabled-cost contract).
+  const char *ME = std::getenv("DSM_BENCH_METRICS");
+  ROpts.CollectMetrics = !(ME && ME[0] == '0');
   exec::Engine Engine(*Prog, Mem, ROpts);
   auto T0 = std::chrono::steady_clock::now();
   auto Run = Engine.run();
@@ -52,6 +57,7 @@ RunOutcome dsmbench::runVersion(const std::string &BenchName,
   Out.HostSeconds =
       std::chrono::duration<double>(T1 - T0).count();
   Out.ThreadedEpochs = Run->ThreadedEpochs;
+  Out.Metrics = std::move(Run->Metrics);
   if (!ChecksumArray.empty()) {
     auto Sum = Engine.arrayWeightedChecksum(ChecksumArray);
     if (!Sum) {
@@ -133,11 +139,47 @@ void dsmbench::appendJsonResult(const std::string &Bench,
                "{\"bench\": \"%s\", \"label\": \"%s\", \"procs\": %d, "
                "\"host_threads\": %d, \"sim_cycles\": %llu, "
                "\"host_seconds\": %.6f, \"threaded_epochs\": %u, "
-               "\"git_sha\": \"%s\"}\n",
+               "\"git_sha\": \"%s\"",
                Bench.c_str(), Label.c_str(), NumProcs, HostThreads,
                static_cast<unsigned long long>(Out.Cycles),
                Out.HostSeconds, Out.ThreadedEpochs,
                Sha && *Sha ? Sha : "unknown");
+  if (Out.Metrics.Collected) {
+    uint64_t Local = 0, Remote = 0;
+    std::fprintf(F, ", \"arrays\": [");
+    bool First = true;
+    for (const auto &A : Out.Metrics.Arrays) {
+      Local += A.LocalMemAccesses;
+      Remote += A.RemoteMemAccesses;
+      std::fprintf(F,
+                   "%s{\"name\": \"%s\", \"kind\": \"%s\", "
+                   "\"local\": %llu, \"remote\": %llu, "
+                   "\"remote_frac\": %.4f, \"tlb_misses\": %llu, "
+                   "\"invalidations\": %llu, \"pages_placed\": %llu, "
+                   "\"page_migrations\": %llu}",
+                   First ? "" : ", ", A.Name.c_str(), A.Kind.c_str(),
+                   static_cast<unsigned long long>(A.LocalMemAccesses),
+                   static_cast<unsigned long long>(A.RemoteMemAccesses),
+                   A.remoteFraction(),
+                   static_cast<unsigned long long>(A.TlbMisses),
+                   static_cast<unsigned long long>(A.Invalidations),
+                   static_cast<unsigned long long>(A.PageFaults +
+                                                   A.PagesPlaced),
+                   static_cast<unsigned long long>(A.PageMigrations));
+      First = false;
+    }
+    double Frac =
+        Local + Remote
+            ? static_cast<double>(Remote) /
+                  static_cast<double>(Local + Remote)
+            : 0.0;
+    std::fprintf(F,
+                 "], \"mem_local\": %llu, \"mem_remote\": %llu, "
+                 "\"remote_frac\": %.4f",
+                 static_cast<unsigned long long>(Local),
+                 static_cast<unsigned long long>(Remote), Frac);
+  }
+  std::fprintf(F, "}\n");
   std::fclose(F);
 }
 
@@ -150,8 +192,11 @@ double dsmbench::runHostThreadComparison(const std::string &BenchName,
                             NumProcs, MC, ChecksumArray, 1);
   RunOutcome T = runVersion(BenchName, Gen, V, /*Serial=*/false,
                             NumProcs, MC, ChecksumArray, HostThreads);
+  bool MetricsMatch =
+      S.Metrics.Arrays == T.Metrics.Arrays &&
+      S.Metrics.Nodes == T.Metrics.Nodes;
   if (S.Cycles != T.Cycles || S.Checksum != T.Checksum ||
-      !(S.Counters == T.Counters)) {
+      !(S.Counters == T.Counters) || !MetricsMatch) {
     std::fprintf(stderr,
                  "%s (%s, P=%d): host-threaded run is NOT bit-identical "
                  "to serial (cycles %llu vs %llu) -- engine bug\n",
@@ -186,6 +231,15 @@ int dsmbench::reportShapeChecks(const std::vector<ShapeCheck> &Checks,
     Failures += !Ok;
     std::printf("#   [%s] %s\n", Ok ? "PASS" : "DEVIATION",
                 C.Claim.c_str());
+  }
+  // DSM_SHAPE_CHECKS=0 reports deviations but does not fail the run;
+  // the smoke harness uses problem sizes far too small to reproduce
+  // the paper's speedup shapes.
+  const char *SC = std::getenv("DSM_SHAPE_CHECKS");
+  if (SC && SC[0] == '0' && Failures) {
+    std::printf("#   (DSM_SHAPE_CHECKS=0: %d deviation(s) ignored)\n",
+                Failures);
+    return 0;
   }
   return Failures;
 }

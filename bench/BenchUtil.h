@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/Driver.h"
+#include "obs/Metrics.h"
 
 namespace dsmbench {
 
@@ -58,6 +59,9 @@ struct RunOutcome {
   /// Host-side wall time of Engine::run() (excludes compilation).
   double HostSeconds = 0.0;
   unsigned ThreadedEpochs = 0;
+  /// Per-array/per-node locality breakdown (collected unless
+  /// DSM_BENCH_METRICS=0; Metrics.Collected says whether it is live).
+  dsm::obs::MetricsSnapshot Metrics;
 };
 
 /// Builds and runs one version at one processor count.  Aborts the

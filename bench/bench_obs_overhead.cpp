@@ -1,0 +1,144 @@
+//===- bench/bench_obs_overhead.cpp - Observability overhead check --------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Measures the host-side cost of the tracing/metrics layer on the
+// Figure 5 transpose workload in three modes:
+//
+//   disabled  -- no observer attached (the default for every Engine
+//                user); the only residual cost is a null-pointer check
+//                on the simulator's slow paths, which must not be
+//                measurable;
+//   metrics   -- in-memory per-array/per-node aggregation;
+//   tracing   -- metrics plus the JSONL and Chrome sinks writing to an
+//                in-memory stream.
+//
+// The simulation itself must be byte-identical in all three modes
+// (same cycles, same checksum) -- the process exits non-zero if not.
+// Host timings are printed and JSON-recorded for trend tracking; the
+// disabled mode's host_seconds feeds the "no slowdown vs the untraced
+// engine" acceptance check across commits.
+//
+//===----------------------------------------------------------------------===//
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "bench/BenchUtil.h"
+#include "bench/Workloads.h"
+#include "obs/Recorder.h"
+
+using namespace dsm;
+using namespace dsmbench;
+
+namespace {
+
+struct ModeResult {
+  double BestSeconds = 1e99;
+  uint64_t Cycles = 0;
+  double Checksum = 0.0;
+};
+
+enum class Mode { Disabled, Metrics, Tracing };
+
+ModeResult measure(link::Program &Prog, Mode M, int Procs, int Iters) {
+  ModeResult Res;
+  for (int It = 0; It < Iters; ++It) {
+    numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
+    exec::RunOptions ROpts;
+    ROpts.NumProcs = Procs;
+    obs::Recorder Rec;
+    std::ostringstream JsonlOut, ChromeOut;
+    obs::JsonlTraceWriter Jsonl(JsonlOut);
+    obs::ChromeTraceWriter Chrome(ChromeOut);
+    if (M != Mode::Disabled) {
+      ROpts.Observer = &Rec;
+      ROpts.CollectMetrics = true;
+    }
+    if (M == Mode::Tracing) {
+      Rec.addSink(&Jsonl);
+      Rec.addSink(&Chrome);
+    }
+    exec::Engine E(Prog, Mem, ROpts);
+    auto T0 = std::chrono::steady_clock::now();
+    auto R = E.run();
+    auto T1 = std::chrono::steady_clock::now();
+    if (!R) {
+      std::fprintf(stderr, "obs_overhead: run failed:\n%s\n",
+                   R.error().str().c_str());
+      std::exit(1);
+    }
+    double Secs = std::chrono::duration<double>(T1 - T0).count();
+    Res.BestSeconds = Secs < Res.BestSeconds ? Secs : Res.BestSeconds;
+    Res.Cycles = R->TimedCycles ? R->TimedCycles : R->WallCycles;
+    auto Sum = E.arrayWeightedChecksum("a");
+    if (!Sum) {
+      std::fprintf(stderr, "obs_overhead: checksum failed\n");
+      std::exit(1);
+    }
+    Res.Checksum = *Sum;
+  }
+  return Res;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int N = 256;
+  int Reps = 3;
+  int Iters = 5;
+  if (argc > 1)
+    N = std::atoi(argv[1]);
+  if (argc > 2)
+    Reps = std::atoi(argv[2]);
+  if (argc > 3)
+    Iters = std::atoi(argv[3]);
+  const int Procs = 16;
+
+  std::string Src =
+      transposeWorkload(N, Reps)(Version::Regular, /*Serial=*/false);
+  CompileOptions COpts;
+  auto Prog = buildProgram({{"transp.f", Src}}, COpts);
+  if (!Prog) {
+    std::fprintf(stderr, "obs_overhead: compile failed:\n%s\n",
+                 Prog.error().str().c_str());
+    return 1;
+  }
+
+  std::printf("# observability overhead, transpose %dx%d reps=%d "
+              "P=%d (best of %d)\n",
+              N, N, Reps, Procs, Iters);
+  ModeResult Disabled = measure(*Prog, Mode::Disabled, Procs, Iters);
+  ModeResult Metrics = measure(*Prog, Mode::Metrics, Procs, Iters);
+  ModeResult Tracing = measure(*Prog, Mode::Tracing, Procs, Iters);
+
+  int Failures = 0;
+  auto Report = [&](const char *Label, const ModeResult &R) {
+    std::printf("%-10s %9.4fs  (%.2fx of disabled)  %llu cycles\n",
+                Label, R.BestSeconds,
+                Disabled.BestSeconds > 0
+                    ? R.BestSeconds / Disabled.BestSeconds
+                    : 0.0,
+                static_cast<unsigned long long>(R.Cycles));
+    if (R.Cycles != Disabled.Cycles ||
+        R.Checksum != Disabled.Checksum) {
+      std::fprintf(stderr,
+                   "FAIL: %s changed the simulation (%llu vs %llu "
+                   "cycles) -- observers must be passive\n",
+                   Label, static_cast<unsigned long long>(R.Cycles),
+                   static_cast<unsigned long long>(Disabled.Cycles));
+      ++Failures;
+    }
+    RunOutcome Out;
+    Out.Cycles = R.Cycles;
+    Out.Checksum = R.Checksum;
+    Out.HostSeconds = R.BestSeconds;
+    appendJsonResult("obs_overhead", Label, Procs, 1, Out);
+  };
+  Report("disabled", Disabled);
+  Report("metrics", Metrics);
+  Report("tracing", Tracing);
+  return Failures ? 2 : 0;
+}

@@ -3,8 +3,18 @@
 # collects machine-readable results into BENCH_results.json.
 #
 # Usage: ./run_benches.sh [BUILD_DIR]     (default: build)
-set -e
-cd "$(dirname "$0")"
+#
+# Environment:
+#   DSM_BENCH_SMOKE=1    tiny problem sizes, shape deviations ignored
+#                        (used by the `bench_smoke` ctest)
+#   DSM_BENCH_RESULTS=F  write the JSON array to F instead of
+#                        BENCH_results.json
+#   DSM_BENCH_METRICS=0  skip per-array locality collection
+#
+# Exits non-zero if any benchmark binary fails (compile/run/checksum
+# errors, or paper-shape deviations outside smoke mode).
+set -u
+cd "$(dirname "$0")" || exit 1
 
 BUILD_DIR=${1:-build}
 if [ ! -d "$BUILD_DIR/bench" ]; then
@@ -22,27 +32,67 @@ require_bin() {
   fi
 }
 
+SMOKE=${DSM_BENCH_SMOKE:-0}
+RESULTS=${DSM_BENCH_RESULTS:-$(pwd)/BENCH_results.json}
+if [ "$SMOKE" = 1 ]; then
+  # Sizes chosen so the whole suite finishes in seconds; the speedup
+  # shapes are meaningless at this scale, so deviations don't fail.
+  DSM_SHAPE_CHECKS=0
+  export DSM_SHAPE_CHECKS
+fi
+
+# Problem sizes: "<bench> <args...>"; smoke mode shrinks every figure.
+bench_args() {
+  if [ "$SMOKE" = 1 ]; then
+    case $1 in
+    bench_fig4_lu) echo "48 4 1" ;;
+    bench_fig5_transpose) echo "128 1" ;;
+    bench_fig6_conv_small) echo "96 1" ;;
+    bench_fig7_conv_large) echo "96 1" ;;
+    bench_table2_reshape_opts) echo "64" ;;
+    bench_obs_overhead) echo "96 1 2" ;;
+    *) echo "" ;;
+    esac
+  else
+    echo ""
+  fi
+}
+
 # Benchmarks append one JSON object per measured run to this file; the
 # git revision tags every record.
 DSM_GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 export DSM_GIT_SHA
-DSM_BENCH_JSON=$(pwd)/BENCH_results.jsonl
+DSM_BENCH_JSON=$(pwd)/BENCH_results.jsonl.$$
 export DSM_BENCH_JSON
 : > "$DSM_BENCH_JSON"
+trap 'rm -f "$DSM_BENCH_JSON"' EXIT
+
+FAILED=""
 
 for b in bench_table2_reshape_opts bench_fig4_lu bench_fig5_transpose \
          bench_fig6_conv_small bench_fig7_conv_large \
-         bench_piece_analysis; do
+         bench_piece_analysis bench_obs_overhead; do
   require_bin $b
   echo "==== $b ===="
-  "$BUILD_DIR/bench/$b" || echo "($b reported shape deviations)"
+  # shellcheck disable=SC2046  # word-splitting the args is intended
+  if ! "$BUILD_DIR/bench/$b" $(bench_args $b); then
+    echo "FAIL: $b exited non-zero" >&2
+    FAILED="$FAILED $b"
+  fi
   echo
 done
 for b in bench_table1_addressing bench_fig2_affinity bench_divmod_fp \
          bench_prelink_cloning; do
   require_bin $b
   echo "==== $b ===="
-  "$BUILD_DIR/bench/$b" --benchmark_min_time=0.02 2>&1 | grep -E 'BM_|Benchmark|^--'
+  # Capture first so a non-zero exit isn't masked by the grep filter.
+  OUT=$("$BUILD_DIR/bench/$b" --benchmark_min_time=0.02 2>&1)
+  STATUS=$?
+  printf '%s\n' "$OUT" | grep -E 'BM_|Benchmark|^--'
+  if [ $STATUS -ne 0 ]; then
+    echo "FAIL: $b exited non-zero ($STATUS)" >&2
+    FAILED="$FAILED $b"
+  fi
   echo
 done
 
@@ -51,6 +101,10 @@ done
   printf '[\n'
   sed '$!s/$/,/' "$DSM_BENCH_JSON"
   printf ']\n'
-} > BENCH_results.json
-rm -f "$DSM_BENCH_JSON"
-echo "wrote BENCH_results.json ($(grep -c '"bench"' BENCH_results.json) records)"
+} > "$RESULTS"
+echo "wrote $RESULTS ($(grep -c '"bench"' "$RESULTS") records)"
+
+if [ -n "$FAILED" ]; then
+  echo "error: benchmark failures:$FAILED" >&2
+  exit 1
+fi

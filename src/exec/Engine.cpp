@@ -49,6 +49,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "obs/Recorder.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 
@@ -108,6 +109,12 @@ struct Engine::Impl {
   /// entries, since layouts mutate in place.
   uint64_t TransGeneration = 0;
 
+  /// The run's recorder: the caller's (RunOptions::Observer), or an
+  /// internal one when only CollectMetrics was asked for.  Null when
+  /// observability is off entirely.
+  obs::Recorder *Obs = nullptr;
+  std::unique_ptr<obs::Recorder> OwnedObs;
+
   Impl(link::Program &Prog, numa::MemorySystem &Mem, RunOptions Opts,
        runtime::Runtime &Rt)
       : Prog(Prog), Mem(Mem), Opts(Opts), Rt(Rt),
@@ -118,6 +125,60 @@ struct Engine::Impl {
       HT = Env ? std::atoi(Env) : 1;
     }
     HostThreads = HT > 1 ? HT : 1;
+    if (Opts.Observer) {
+      Obs = Opts.Observer;
+    } else if (Opts.CollectMetrics) {
+      OwnedObs = std::make_unique<obs::Recorder>();
+      Obs = OwnedObs.get();
+    }
+    if (Obs && Opts.CollectMetrics)
+      Obs->enableMetrics();
+  }
+
+  /// Registers a freshly allocated array (and its address ranges) with
+  /// the recorder so slow-path events attribute to it by name.
+  void noteArrayAlloc(const std::string &Name,
+                      const ArrayInstance &Inst) {
+    if (!Obs)
+      return;
+    const dist::ArrayLayout &L = Inst.Layout;
+    bool Dist = L.spec().anyDistributed();
+    const char *Kind =
+        L.isReshaped() ? "reshaped" : Dist ? "regular" : "flat";
+    int64_t Cells = Dist ? L.grid().totalCells() : 1;
+    int Id = Obs->registerArray(Name, Kind, Dist ? L.spec().str() : "",
+                                L.totalBytes(), Cells);
+    if (Inst.isReshaped()) {
+      Obs->addArrayRange(Id, Inst.ProcArrayBase,
+                         static_cast<uint64_t>(Cells) * 8);
+      for (uint64_t Base : Inst.PortionBases)
+        Obs->addArrayRange(Id, Base, L.portionBytes());
+    } else {
+      Obs->addArrayRange(Id, Inst.Base, L.totalBytes());
+    }
+  }
+
+  /// Builds and emits the epoch_end record (Perf mode, Obs attached).
+  void emitEpochEnd(unsigned Id, int64_t Cells, obs::ScheduleKind K,
+                    uint64_t Start, uint64_t Wall, uint64_t MaxProc,
+                    uint64_t Barrier, const numa::Counters &Before) {
+    obs::EpochEndEvent E;
+    E.Epoch = Id;
+    E.Cells = Cells;
+    E.Schedule = K;
+    E.StartCycle = Start;
+    E.WallCycles = Wall;
+    E.MaxProcCycles = MaxProc;
+    E.BarrierCycles = Barrier;
+    E.Delta = Mem.counters() - Before;
+    for (int N = 0; N < Mem.config().NumNodes; ++N) {
+      uint64_t R = Mem.epochNodeRequests(N);
+      if (R > E.BusiestNodeRequests) {
+        E.BusiestNodeRequests = R;
+        E.BusiestNode = N;
+      }
+    }
+    Obs->epochEnd(E);
   }
 
   bool isCommonScalar(const ScalarSymbol *S) const {
@@ -364,6 +425,7 @@ struct Engine::Impl {
         auto Inst = std::make_unique<ArrayInstance>(S.Rt.allocate(Layout));
         S.OwnedInstances.push_back(std::move(Inst));
         Slot = S.OwnedInstances.back().get();
+        S.noteArrayAlloc(A->Name, *Slot);
         // Constant-shaped locals are allocated once (Fortran-77 static
         // storage); adjustable ones are re-created per activation.
         bool AllConst = true;
@@ -780,10 +842,22 @@ struct Engine::Impl {
           fail("cannot redistribute an array view");
           return;
         }
+        uint64_t AtCycle = Clock;
         uint64_t Cycles = S.Rt.redistribute(*Inst, St.RedistSpec);
         charge(Cycles);
         S.Result.RedistributeCycles += Cycles;
         ++S.TransGeneration; // Layouts changed under cached entries.
+        if (S.Obs) {
+          obs::RedistributeEvent E;
+          E.Array = St.RedistArray->Name;
+          E.NewDist = St.RedistSpec.str();
+          E.Cycles = Cycles;
+          E.PagesMoved = S.Costs.MigratePageCycles
+                             ? Cycles / S.Costs.MigratePageCycles
+                             : 0;
+          E.AtCycle = AtCycle;
+          S.Obs->redistribute(E);
+        }
         return;
       }
       }
@@ -844,8 +918,16 @@ struct Engine::Impl {
       }
 
       uint64_t MaxClock = Start;
-      if (S.Opts.Perf)
+      unsigned EpochId = S.Result.ParallelRegions;
+      numa::Counters ObsBefore;
+      if (S.Opts.Perf) {
         S.Mem.beginEpoch();
+        if (S.Obs) {
+          ObsBefore = S.Mem.counters();
+          S.Obs->epochBegin({EpochId, Cells, obs::ScheduleKind::Serial,
+                             Start});
+        }
+      }
       for (int64_t Cell = 0; Cell < Cells; ++Cell) {
         CurProc = static_cast<int>(Cell);
         Clock = Start;
@@ -864,6 +946,10 @@ struct Engine::Impl {
       if (S.Opts.Perf) {
         uint64_t Wall = S.Mem.epochWallTime(MaxClock - Start);
         Clock = Start + Wall + barrierCost(Cells);
+        if (S.Obs)
+          S.emitEpochEnd(EpochId, Cells, obs::ScheduleKind::Serial,
+                         Start, Wall, MaxClock - Start,
+                         barrierCost(Cells), ObsBefore);
       }
     }
 
@@ -925,6 +1011,13 @@ struct Engine::Impl {
       // the exact global sequence the serial engine would have issued.
       if (S.Opts.Perf) {
         S.Mem.beginEpoch();
+        unsigned EpochId = S.Result.ParallelRegions;
+        numa::Counters ObsBefore;
+        if (S.Obs) {
+          ObsBefore = S.Mem.counters();
+          S.Obs->epochBegin({EpochId, Cells,
+                             obs::ScheduleKind::Threaded, Start});
+        }
         uint64_t MaxClock = Start;
         for (int64_t Cell = 0; Cell < Cells; ++Cell) {
           Ctx &C = *CellCtxs[static_cast<size_t>(Cell)];
@@ -937,6 +1030,10 @@ struct Engine::Impl {
         }
         uint64_t Wall = S.Mem.epochWallTime(MaxClock - Start);
         Clock = Start + Wall + barrierCost(Cells);
+        if (S.Obs)
+          S.emitEpochEnd(EpochId, Cells, obs::ScheduleKind::Threaded,
+                         Start, Wall, MaxClock - Start,
+                         barrierCost(Cells), ObsBefore);
       }
       CurProc = SavedProc;
       ++S.Result.ThreadedEpochs;
@@ -1523,6 +1620,7 @@ struct Engine::Impl {
           Inst->Layout = dist::ArrayLayout::make(Spec, AI.Dims, 1);
           Inst->Base = FlatBase + static_cast<uint64_t>(AI.OffsetElems) * 8;
         }
+        noteArrayAlloc(AI.Name, *Inst);
         CommonArrayInstances[{Name, AI.OffsetElems}] =
             OwnedInstances.emplace_back(std::move(Inst)).get();
       }
@@ -1533,6 +1631,30 @@ struct Engine::Impl {
     assignSlots();
     Main.TransCache.assign(static_cast<size_t>(NumTransSlots), {});
     Mem.setDefaultPolicy(Opts.DefaultPolicy);
+
+    // Attach the recorder before any allocation so placement events
+    // are observed; detach on every exit path.
+    struct ObsGuard {
+      numa::MemorySystem *Mem = nullptr;
+      ~ObsGuard() {
+        if (Mem)
+          Mem->setObserver(nullptr);
+      }
+    } Guard;
+    if (Obs) {
+      Mem.setObserver(Obs);
+      Guard.Mem = &Mem;
+      obs::RunMeta M;
+      M.NumProcs = Opts.NumProcs;
+      M.NumNodes = Mem.config().NumNodes;
+      M.HostThreads = HostThreads;
+      M.PageSize = Mem.pageSize();
+      M.Policy = Opts.DefaultPolicy == numa::PlacementPolicy::FirstTouch
+                     ? "first-touch"
+                     : "round-robin";
+      Obs->runBegin(M);
+    }
+
     setupCommons();
     if (Main.Failed)
       return std::move(Main.Fail);
@@ -1556,6 +1678,18 @@ struct Engine::Impl {
 
     Result.WallCycles = Main.Clock;
     Result.Counters = Mem.counters();
+    if (Obs) {
+      obs::RunEndEvent E;
+      E.WallCycles = Result.WallCycles;
+      E.TimedCycles = Result.TimedCycles;
+      E.ParallelRegions = Result.ParallelRegions;
+      E.ThreadedEpochs = Result.ThreadedEpochs;
+      E.RedistributeCycles = Result.RedistributeCycles;
+      E.Totals = Result.Counters;
+      Obs->runEnd(E);
+      if (Obs->metricsEnabled())
+        Result.Metrics = Obs->snapshot();
+    }
     return Result;
   }
 };

@@ -44,9 +44,14 @@
 
 #include "link/Program.h"
 #include "numa/MemorySystem.h"
+#include "obs/Metrics.h"
 #include "runtime/ArgCheck.h"
 #include "runtime/Runtime.h"
 #include "support/Error.h"
+
+namespace dsm::obs {
+class Recorder;
+} // namespace dsm::obs
 
 namespace dsm::exec {
 
@@ -62,6 +67,17 @@ struct RunOptions {
   /// environment (defaulting to 1).  Simulated results are bit-exact
   /// across all values.
   int HostThreads = 0;
+  /// Observability (DESIGN.md Section 9).  When set, the engine
+  /// attaches this recorder to the memory system for the duration of
+  /// run() and feeds it run/array/epoch/redistribute events; attach
+  /// file sinks to it for --trace output.  Not owned.
+  obs::Recorder *Observer = nullptr;
+  /// Aggregate per-array / per-node locality metrics into
+  /// RunResult::Metrics.  Works with or without an external Observer
+  /// (without one, the engine uses an internal recorder).  Off by
+  /// default: disabled observability costs nothing on the access fast
+  /// path (see bench_obs_overhead).
+  bool CollectMetrics = false;
 };
 
 /// Outcome of one execution.
@@ -78,6 +94,9 @@ struct RunResult {
   /// Epochs that actually ran on the host thread pool (0 when
   /// HostThreads <= 1 or every epoch fell back to the serial loop).
   unsigned ThreadedEpochs = 0;
+  /// Per-array / per-node locality breakdown; populated only when
+  /// RunOptions::CollectMetrics was set (Metrics.Collected says so).
+  obs::MetricsSnapshot Metrics;
 
   double tlbMissFraction() const {
     return WallCycles == 0 ? 0.0

@@ -57,6 +57,27 @@ struct Counters {
   /// tests to assert bit-exact accounting).
   bool operator==(const Counters &O) const = default;
 
+  /// Memberwise difference; \p O must be a snapshot taken earlier from
+  /// the same monotonically-growing counters (per-epoch deltas).
+  Counters operator-(const Counters &O) const {
+    Counters D;
+    D.Loads = Loads - O.Loads;
+    D.Stores = Stores - O.Stores;
+    D.L1Misses = L1Misses - O.L1Misses;
+    D.L2Misses = L2Misses - O.L2Misses;
+    D.TlbMisses = TlbMisses - O.TlbMisses;
+    D.TlbMissCycles = TlbMissCycles - O.TlbMissCycles;
+    D.LocalMemAccesses = LocalMemAccesses - O.LocalMemAccesses;
+    D.RemoteMemAccesses = RemoteMemAccesses - O.RemoteMemAccesses;
+    D.MemStallCycles = MemStallCycles - O.MemStallCycles;
+    D.Invalidations = Invalidations - O.Invalidations;
+    D.DirtyInterventions = DirtyInterventions - O.DirtyInterventions;
+    D.Writebacks = Writebacks - O.Writebacks;
+    D.PageMigrations = PageMigrations - O.PageMigrations;
+    D.PageFaults = PageFaults - O.PageFaults;
+    return D;
+  }
+
   /// One-line human-readable rendering.
   std::string str() const;
 };

@@ -59,6 +59,8 @@ void MemorySystem::placePage(uint64_t VPage, int Node, FrameMode Mode) {
   PI.Node = A.Node;
   PI.Frame = A.Frame;
   PI.Mapped = true;
+  if (Obs)
+    Obs->onPagePlace(VPage, A.Node, Mode == FrameMode::Colored);
 }
 
 void MemorySystem::placeRange(uint64_t Addr, uint64_t Bytes, int Node,
@@ -96,11 +98,14 @@ void MemorySystem::migratePage(uint64_t VPage, int NewNode) {
   for (uint64_t Off = 0; Off < Config.PageSize; Off += Config.L2.LineBytes)
     Dir.erase(OldPhysBase + Off);
 
+  int OldNode = PI.Node;
   Frames.free(PI.Node, PI.Frame);
   PhysMem::Allocation A = Frames.alloc(NewNode, VPage, FrameMode::Hashed);
   PI.Node = A.Node;
   PI.Frame = A.Frame;
   ++Stats.PageMigrations;
+  if (Obs)
+    Obs->onPageMigrate(VPage, OldNode, A.Node);
 }
 
 int MemorySystem::pageHomeNode(uint64_t VPage) const {
@@ -140,6 +145,8 @@ MemorySystem::PageInfo &MemorySystem::faultIn(uint64_t VPage, int Proc,
   PI.Node = A.Node;
   PI.Frame = A.Frame;
   PI.Mapped = true;
+  if (Obs)
+    Obs->onPageFault(VPage, A.Node, Proc);
   return PI;
 }
 
@@ -154,7 +161,8 @@ bool MemorySystem::invalidateLineEverywhere(int Proc, uint64_t PhysLine) {
 
 uint64_t MemorySystem::coherenceAction(int Proc, uint64_t PhysLine,
                                        bool IsWrite, int HomeNode,
-                                       bool PaidMemLatency) {
+                                       bool PaidMemLatency,
+                                       uint64_t VAddr) {
   DirEntry &E = Dir.entry(PhysLine);
   uint64_t Extra = 0;
 
@@ -197,6 +205,8 @@ uint64_t MemorySystem::coherenceAction(int Proc, uint64_t PhysLine,
     ++NumInvalidated;
   });
   Stats.Invalidations += NumInvalidated;
+  if (Obs && NumInvalidated)
+    Obs->onInvalidations(VAddr, NumInvalidated);
   if (!PaidMemLatency) {
     // Upgrade transaction to the home directory.
     Extra += Topo.memoryLatency(nodeOfProc(Proc), HomeNode);
@@ -228,6 +238,8 @@ uint64_t MemorySystem::access(int Proc, uint64_t Addr, unsigned Bytes,
     ++Stats.TlbMisses;
     Cycles += Costs.TlbMiss;
     Stats.TlbMissCycles += Costs.TlbMiss;
+    if (Obs)
+      Obs->onTlbMiss(Proc, Addr);
   }
   PageInfo *PIPtr;
   if (P.LastVPage == VPage) {
@@ -249,7 +261,7 @@ uint64_t MemorySystem::access(int Proc, uint64_t Addr, unsigned Bytes,
   if (R1.Hit) {
     Cycles += Costs.L1Hit;
     Cycles += coherenceAction(Proc, PhysLine, IsWrite, HomeNode,
-                              /*PaidMemLatency=*/false);
+                              /*PaidMemLatency=*/false, Addr);
     return Cycles;
   }
   ++Stats.L1Misses;
@@ -273,7 +285,7 @@ uint64_t MemorySystem::access(int Proc, uint64_t Addr, unsigned Bytes,
   if (R2.Hit) {
     Cycles += Costs.L2Hit;
     Cycles += coherenceAction(Proc, PhysLine, IsWrite, HomeNode,
-                              /*PaidMemLatency=*/false);
+                              /*PaidMemLatency=*/false, Addr);
     Stats.MemStallCycles += Cycles > Costs.L1Hit ? Cycles - Costs.L1Hit : 0;
     return Cycles;
   }
@@ -306,8 +318,10 @@ uint64_t MemorySystem::access(int Proc, uint64_t Addr, unsigned Bytes,
   else
     ++Stats.RemoteMemAccesses;
   ++EpochRequests[HomeNode];
+  if (Obs)
+    Obs->onMemAccess(Proc, MyNode, HomeNode, Addr, IsWrite);
   Cycles += coherenceAction(Proc, PhysLine, IsWrite, HomeNode,
-                            /*PaidMemLatency=*/true);
+                            /*PaidMemLatency=*/true, Addr);
   Stats.MemStallCycles += Cycles > Costs.L1Hit ? Cycles - Costs.L1Hit : 0;
   return Cycles;
 }

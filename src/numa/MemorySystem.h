@@ -33,6 +33,7 @@
 #include "numa/Counters.h"
 #include "numa/Directory.h"
 #include "numa/MachineConfig.h"
+#include "numa/Observer.h"
 #include "numa/PhysMem.h"
 #include "numa/Tlb.h"
 #include "numa/Topology.h"
@@ -133,6 +134,12 @@ public:
   const Counters &counters() const { return Stats; }
   void resetStats() { Stats = Counters(); }
 
+  /// Attaches (or, with nullptr, detaches) the event observer.  The
+  /// observer is invoked only on slow paths -- see numa/Observer.h for
+  /// the cost contract.  Not owned.
+  void setObserver(SimObserver *O) { Obs = O; }
+  SimObserver *observer() const { return Obs; }
+
   /// Drops all cache/TLB contents (not page mappings or data).
   void flushCachesAndTlbs();
 
@@ -165,8 +172,11 @@ private:
 
   /// Directory actions for an access that reached the coherence point.
   /// Invalidates / downgrades other processors' cached copies as needed.
+  /// \p VAddr is the virtual address, used only for observer
+  /// attribution.
   uint64_t coherenceAction(int Proc, uint64_t PhysLine, bool IsWrite,
-                           int HomeNode, bool PaidMemLatency);
+                           int HomeNode, bool PaidMemLatency,
+                           uint64_t VAddr);
 
   /// Invalidates one 128 B coherence unit from a processor's caches.
   bool invalidateLineEverywhere(int Proc, uint64_t PhysLine);
@@ -189,6 +199,7 @@ private:
   std::vector<std::unique_ptr<ProcState>> Procs;
   std::vector<uint64_t> EpochRequests;
   Counters Stats;
+  SimObserver *Obs = nullptr;
 };
 
 } // namespace dsm::numa

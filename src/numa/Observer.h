@@ -1,0 +1,94 @@
+//===- numa/Observer.h - Memory-system event observer -----------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hook interface the memory system (and the runtime above it) invokes
+/// on its *slow* paths: TLB misses, accesses that reach a home memory,
+/// coherence invalidations, page faults, placements and migrations, and
+/// per-processor pool growth.  MemorySystem holds a nullable pointer to
+/// one observer; every call site is guarded by a single predicted null
+/// check on an already-miss path, so an unobserved run pays nothing on
+/// cache hits and one untaken branch per miss (the "zero cost when
+/// disabled" contract of DESIGN.md Section 9, verified by
+/// bench_obs_overhead).
+///
+/// All hooks fire on the engine's replay/serial path only -- never from
+/// host worker threads -- so implementations need no locking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_NUMA_OBSERVER_H
+#define DSM_NUMA_OBSERVER_H
+
+#include <cstdint>
+
+namespace dsm::numa {
+
+/// Observer of simulated machine events.  Default implementations do
+/// nothing so sinks override only what they consume.
+class SimObserver {
+public:
+  virtual ~SimObserver() = default;
+
+  /// A data-TLB miss by \p Proc translating \p Addr.
+  virtual void onTlbMiss(int Proc, uint64_t Addr) {
+    (void)Proc;
+    (void)Addr;
+  }
+
+  /// An access that missed both caches and was served by the memory of
+  /// \p HomeNode on behalf of \p Proc (running on \p ProcNode).
+  virtual void onMemAccess(int Proc, int ProcNode, int HomeNode,
+                           uint64_t Addr, bool IsWrite) {
+    (void)Proc;
+    (void)ProcNode;
+    (void)HomeNode;
+    (void)Addr;
+    (void)IsWrite;
+  }
+
+  /// A write to \p Addr invalidated \p Count sharers' cached copies.
+  virtual void onInvalidations(uint64_t Addr, unsigned Count) {
+    (void)Addr;
+    (void)Count;
+  }
+
+  /// Page \p VPage faulted in on \p Node under the default policy on
+  /// behalf of \p Proc.
+  virtual void onPageFault(uint64_t VPage, int Node, int Proc) {
+    (void)VPage;
+    (void)Node;
+    (void)Proc;
+  }
+
+  /// Page \p VPage was explicitly placed (or re-placed) on \p Node;
+  /// \p Colored marks cache-colored pool frames (reshaped portions).
+  virtual void onPagePlace(uint64_t VPage, int Node, bool Colored) {
+    (void)VPage;
+    (void)Node;
+    (void)Colored;
+  }
+
+  /// Page \p VPage migrated from \p FromNode to \p ToNode
+  /// (c$redistribute remap).
+  virtual void onPageMigrate(uint64_t VPage, int FromNode, int ToNode) {
+    (void)VPage;
+    (void)FromNode;
+    (void)ToNode;
+  }
+
+  /// The runtime grew \p OwnerProc's portion pool by \p Bytes of memory
+  /// local to \p Node.
+  virtual void onPoolGrow(int OwnerProc, int Node, uint64_t Bytes) {
+    (void)OwnerProc;
+    (void)Node;
+    (void)Bytes;
+  }
+};
+
+} // namespace dsm::numa
+
+#endif // DSM_NUMA_OBSERVER_H

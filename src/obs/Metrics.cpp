@@ -1,0 +1,66 @@
+//===- obs/Metrics.cpp - Aggregated locality metrics ----------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <cstdio>
+
+using namespace dsm;
+using namespace dsm::obs;
+
+const ArrayLocality *MetricsSnapshot::array(const std::string &Name) const {
+  for (const ArrayLocality &A : Arrays)
+    if (A.Name == Name)
+      return &A;
+  return nullptr;
+}
+
+std::string MetricsSnapshot::str() const {
+  std::string Out;
+  char Buf[256];
+  auto Line = [&](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    Out += Buf;
+    Out += '\n';
+  };
+  if (!Collected)
+    return "(metrics not collected)\n";
+  Line("epochs: %u (%u threaded), redistributes: %u", Epochs,
+       ThreadedEpochs, Redistributes);
+  Line("%-12s %-9s %-18s %10s %10s %7s %8s %8s %6s", "array", "kind",
+       "dist", "local", "remote", "remote%", "tlbmiss", "inval",
+       "pages");
+  for (const ArrayLocality &A : Arrays)
+    Line("%-12s %-9s %-18s %10llu %10llu %6.1f%% %8llu %8llu %6llu",
+         A.Name.c_str(), A.Kind.c_str(),
+         A.Dist.empty() ? "-" : A.Dist.c_str(),
+         static_cast<unsigned long long>(A.LocalMemAccesses),
+         static_cast<unsigned long long>(A.RemoteMemAccesses),
+         100.0 * A.remoteFraction(),
+         static_cast<unsigned long long>(A.TlbMisses),
+         static_cast<unsigned long long>(A.Invalidations),
+         static_cast<unsigned long long>(A.PageFaults + A.PagesPlaced +
+                                         A.PageMigrations));
+  Line("%-6s %12s %12s %8s %8s %8s %8s", "node", "local-req",
+       "remote-req", "faults", "placed", "mig-in", "mig-out");
+  size_t Skipped = 0;
+  for (size_t N = 0; N < Nodes.size(); ++N) {
+    if (Nodes[N] == NodeLocality()) {
+      ++Skipped; // Idle node: elide the all-zero row.
+      continue;
+    }
+    Line("%-6zu %12llu %12llu %8llu %8llu %8llu %8llu", N,
+         static_cast<unsigned long long>(Nodes[N].LocalRequests),
+         static_cast<unsigned long long>(Nodes[N].RemoteRequests),
+         static_cast<unsigned long long>(Nodes[N].PageFaults),
+         static_cast<unsigned long long>(Nodes[N].PagesPlaced),
+         static_cast<unsigned long long>(Nodes[N].PagesMigratedIn),
+         static_cast<unsigned long long>(Nodes[N].PagesMigratedOut));
+  }
+  if (Skipped)
+    Line("(%zu idle nodes omitted)", Skipped);
+  return Out;
+}

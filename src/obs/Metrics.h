@@ -1,0 +1,116 @@
+//===- obs/Metrics.h - Aggregated locality metrics --------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory aggregation backend of the observability layer
+/// (DESIGN.md Section 9): per-array and per-node locality counters plus
+/// per-epoch summaries, built by obs::Recorder and surfaced on
+/// exec::RunResult::Metrics.  This is what lets a bench (or a user) see
+/// *why* a distribution helps -- e.g. that first-touch leaves 90% of
+/// transpose traffic remote while reshaping makes it local -- instead of
+/// a bare cycle count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_OBS_METRICS_H
+#define DSM_OBS_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsm::obs {
+
+/// Locality counters attributed to one allocated array (all portions of
+/// a reshaped array, including its processor-array pointer table).
+struct ArrayLocality {
+  std::string Name; ///< Source-level name, lower case.
+  std::string Kind; ///< "flat", "regular", or "reshaped".
+  std::string Dist; ///< Distribution spec text; empty for flat arrays.
+  uint64_t Bytes = 0;
+  int64_t Cells = 1; ///< Grid cells (1 for undistributed arrays).
+
+  uint64_t LocalMemAccesses = 0;  ///< L2 misses served by the home node.
+  uint64_t RemoteMemAccesses = 0; ///< L2 misses served remotely.
+  uint64_t TlbMisses = 0;
+  uint64_t Invalidations = 0; ///< Sharer copies killed by writes.
+  uint64_t PageFaults = 0;    ///< Policy (lazy) placements.
+  uint64_t PagesPlaced = 0;   ///< Explicit placement requests honored.
+  uint64_t PageMigrations = 0;
+
+  uint64_t memAccesses() const {
+    return LocalMemAccesses + RemoteMemAccesses;
+  }
+  /// Fraction of memory-level accesses served remotely (0 when the
+  /// array never reached memory).
+  double remoteFraction() const {
+    uint64_t Total = memAccesses();
+    return Total == 0 ? 0.0
+                      : static_cast<double>(RemoteMemAccesses) /
+                            static_cast<double>(Total);
+  }
+
+  bool operator==(const ArrayLocality &O) const = default;
+};
+
+/// Traffic served by (not issued from) one node's memory.
+struct NodeLocality {
+  uint64_t LocalRequests = 0;  ///< Served for processors on this node.
+  uint64_t RemoteRequests = 0; ///< Served for processors elsewhere.
+  uint64_t PageFaults = 0;
+  uint64_t PagesPlaced = 0;
+  uint64_t PagesMigratedIn = 0;
+  uint64_t PagesMigratedOut = 0;
+  uint64_t PoolBytes = 0; ///< Reshaped-portion pool storage homed here.
+
+  bool operator==(const NodeLocality &O) const = default;
+};
+
+/// One parallel epoch as the engine executed it.
+struct EpochSummary {
+  unsigned Id = 0; ///< 1-based, in execution order.
+  int64_t Cells = 0;
+  bool Threaded = false; ///< Ran on the host pool (record+replay).
+  uint64_t StartCycle = 0;
+  uint64_t WallCycles = 0;    ///< max(compute, node service) time.
+  uint64_t BarrierCycles = 0; ///< Log-tree barrier cost added after.
+  int BusiestNode = -1;
+  uint64_t BusiestNodeRequests = 0;
+  uint64_t LocalMemAccesses = 0;
+  uint64_t RemoteMemAccesses = 0;
+
+  /// Everything except the host-side schedule decision, which is the
+  /// one field allowed to differ between HostThreads values.
+  bool sameSimulation(const EpochSummary &O) const {
+    return Id == O.Id && Cells == O.Cells &&
+           StartCycle == O.StartCycle && WallCycles == O.WallCycles &&
+           BarrierCycles == O.BarrierCycles &&
+           BusiestNode == O.BusiestNode &&
+           BusiestNodeRequests == O.BusiestNodeRequests &&
+           LocalMemAccesses == O.LocalMemAccesses &&
+           RemoteMemAccesses == O.RemoteMemAccesses;
+  }
+};
+
+/// The aggregated picture of one run.
+struct MetricsSnapshot {
+  bool Collected = false; ///< False when metrics were never enabled.
+  unsigned Epochs = 0;
+  unsigned ThreadedEpochs = 0;
+  unsigned Redistributes = 0;
+  std::vector<ArrayLocality> Arrays; ///< In allocation order.
+  std::vector<NodeLocality> Nodes;   ///< Indexed by node id.
+  std::vector<EpochSummary> EpochLog;
+
+  const ArrayLocality *array(const std::string &Name) const;
+
+  /// Human-readable multi-line report (the --metrics output).
+  std::string str() const;
+};
+
+} // namespace dsm::obs
+
+#endif // DSM_OBS_METRICS_H

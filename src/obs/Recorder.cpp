@@ -1,0 +1,248 @@
+//===- obs/Recorder.cpp - Trace/metrics recording frontend ----------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Recorder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace dsm;
+using namespace dsm::obs;
+
+//===----------------------------------------------------------------------===//
+// Engine-facing events.
+//===----------------------------------------------------------------------===//
+
+void Recorder::runBegin(const RunMeta &M) {
+  Meta = M;
+  PageSize = M.PageSize;
+  if (MetricsOn) {
+    Agg.Collected = true;
+    Agg.Nodes.assign(static_cast<size_t>(M.NumNodes), NodeLocality());
+  }
+  for (TraceSink *S : Sinks)
+    S->onRunBegin(M);
+}
+
+int Recorder::registerArray(const std::string &Name,
+                            const std::string &Kind,
+                            const std::string &Dist, uint64_t Bytes,
+                            int64_t Cells) {
+  int Id = static_cast<int>(Agg.Arrays.size());
+  ArrayLocality A;
+  A.Name = Name;
+  A.Kind = Kind;
+  A.Dist = Dist;
+  A.Bytes = Bytes;
+  A.Cells = Cells;
+  Agg.Arrays.push_back(std::move(A));
+  ArrayEvent E;
+  E.Id = Id;
+  E.Name = Name;
+  E.Kind = Kind;
+  E.Dist = Dist;
+  E.Bytes = Bytes;
+  E.Cells = Cells;
+  for (TraceSink *S : Sinks)
+    S->onArray(E);
+  return Id;
+}
+
+void Recorder::addArrayRange(int Id, uint64_t Base, uint64_t Bytes) {
+  if (Bytes == 0)
+    return;
+  assert(Id >= 0 && static_cast<size_t>(Id) < Agg.Arrays.size());
+  Ranges[Base] = Range{Base + Bytes, Id};
+  if (!MetricsOn || Unclaimed.empty() || PageSize == 0)
+    return;
+  uint64_t End = Base + Bytes;
+  ArrayLocality &A = Agg.Arrays[static_cast<size_t>(Id)];
+  auto Claim = [&](const PendingPage &P) {
+    uint64_t PStart = P.VPage * PageSize;
+    if (PStart + PageSize <= Base || PStart >= End)
+      return false;
+    if (std::strcmp(P.Why, "migrate") == 0)
+      ++A.PageMigrations;
+    else if (std::strcmp(P.Why, "fault") == 0)
+      ++A.PageFaults;
+    else
+      ++A.PagesPlaced;
+    return true;
+  };
+  Unclaimed.erase(
+      std::remove_if(Unclaimed.begin(), Unclaimed.end(), Claim),
+      Unclaimed.end());
+}
+
+void Recorder::epochBegin(const EpochBeginEvent &E) {
+  for (TraceSink *S : Sinks)
+    S->onEpochBegin(E);
+}
+
+void Recorder::epochEnd(const EpochEndEvent &E) {
+  if (MetricsOn) {
+    ++Agg.Epochs;
+    if (E.Schedule == ScheduleKind::Threaded)
+      ++Agg.ThreadedEpochs;
+    EpochSummary Sum;
+    Sum.Id = E.Epoch;
+    Sum.Cells = E.Cells;
+    Sum.Threaded = E.Schedule == ScheduleKind::Threaded;
+    Sum.StartCycle = E.StartCycle;
+    Sum.WallCycles = E.WallCycles;
+    Sum.BarrierCycles = E.BarrierCycles;
+    Sum.BusiestNode = E.BusiestNode;
+    Sum.BusiestNodeRequests = E.BusiestNodeRequests;
+    Sum.LocalMemAccesses = E.Delta.LocalMemAccesses;
+    Sum.RemoteMemAccesses = E.Delta.RemoteMemAccesses;
+    Agg.EpochLog.push_back(Sum);
+  }
+  for (TraceSink *S : Sinks)
+    S->onEpochEnd(E);
+}
+
+void Recorder::redistribute(const RedistributeEvent &E) {
+  if (MetricsOn)
+    ++Agg.Redistributes;
+  for (TraceSink *S : Sinks)
+    S->onRedistribute(E);
+}
+
+void Recorder::runEnd(const RunEndEvent &E) {
+  for (TraceSink *S : Sinks)
+    S->onRunEnd(E);
+}
+
+MetricsSnapshot Recorder::snapshot() const { return Agg; }
+
+//===----------------------------------------------------------------------===//
+// Attribution.
+//===----------------------------------------------------------------------===//
+
+ArrayLocality *Recorder::arrayAt(uint64_t Addr) {
+  if (Addr >= LastBase && Addr < LastEnd)
+    return &Agg.Arrays[static_cast<size_t>(LastId)];
+  auto It = Ranges.upper_bound(Addr);
+  if (It == Ranges.begin())
+    return nullptr;
+  --It;
+  if (Addr >= It->second.End)
+    return nullptr;
+  LastBase = It->first;
+  LastEnd = It->second.End;
+  LastId = It->second.Id;
+  return &Agg.Arrays[static_cast<size_t>(LastId)];
+}
+
+NodeLocality *Recorder::node(int N) {
+  if (N < 0 || static_cast<size_t>(N) >= Agg.Nodes.size())
+    return nullptr;
+  return &Agg.Nodes[static_cast<size_t>(N)];
+}
+
+//===----------------------------------------------------------------------===//
+// numa::SimObserver callbacks.
+//===----------------------------------------------------------------------===//
+
+void Recorder::onTlbMiss(int Proc, uint64_t Addr) {
+  (void)Proc;
+  if (!MetricsOn)
+    return;
+  if (ArrayLocality *A = arrayAt(Addr))
+    ++A->TlbMisses;
+}
+
+void Recorder::onMemAccess(int Proc, int ProcNode, int HomeNode,
+                           uint64_t Addr, bool IsWrite) {
+  (void)Proc;
+  (void)IsWrite;
+  if (!MetricsOn)
+    return;
+  bool Local = ProcNode == HomeNode;
+  if (ArrayLocality *A = arrayAt(Addr)) {
+    if (Local)
+      ++A->LocalMemAccesses;
+    else
+      ++A->RemoteMemAccesses;
+  }
+  if (NodeLocality *N = node(HomeNode)) {
+    if (Local)
+      ++N->LocalRequests;
+    else
+      ++N->RemoteRequests;
+  }
+}
+
+void Recorder::onInvalidations(uint64_t Addr, unsigned Count) {
+  if (!MetricsOn)
+    return;
+  if (ArrayLocality *A = arrayAt(Addr))
+    A->Invalidations += Count;
+}
+
+void Recorder::onPageFault(uint64_t VPage, int Node_, int Proc) {
+  (void)Proc;
+  if (MetricsOn) {
+    if (ArrayLocality *A = arrayAt(VPage * PageSize))
+      ++A->PageFaults;
+    else
+      Unclaimed.push_back({VPage, "fault"});
+    if (NodeLocality *N = node(Node_))
+      ++N->PageFaults;
+  }
+  PageEvent E;
+  E.VPage = VPage;
+  E.Node = Node_;
+  E.Why = "fault";
+  for (TraceSink *S : Sinks)
+    S->onPage(E);
+}
+
+void Recorder::onPagePlace(uint64_t VPage, int Node_, bool Colored) {
+  if (MetricsOn) {
+    if (ArrayLocality *A = arrayAt(VPage * PageSize))
+      ++A->PagesPlaced;
+    else
+      Unclaimed.push_back({VPage, Colored ? "colored" : "place"});
+    if (NodeLocality *N = node(Node_))
+      ++N->PagesPlaced;
+  }
+  PageEvent E;
+  E.VPage = VPage;
+  E.Node = Node_;
+  E.Why = Colored ? "colored" : "place";
+  for (TraceSink *S : Sinks)
+    S->onPage(E);
+}
+
+void Recorder::onPageMigrate(uint64_t VPage, int FromNode, int ToNode) {
+  if (MetricsOn) {
+    if (ArrayLocality *A = arrayAt(VPage * PageSize))
+      ++A->PageMigrations;
+    else
+      Unclaimed.push_back({VPage, "migrate"});
+    if (NodeLocality *N = node(ToNode))
+      ++N->PagesMigratedIn;
+    if (NodeLocality *N = node(FromNode))
+      ++N->PagesMigratedOut;
+  }
+  PageEvent E;
+  E.VPage = VPage;
+  E.Node = ToNode;
+  E.FromNode = FromNode;
+  E.Why = "migrate";
+  for (TraceSink *S : Sinks)
+    S->onPage(E);
+}
+
+void Recorder::onPoolGrow(int OwnerProc, int Node_, uint64_t Bytes) {
+  (void)OwnerProc;
+  if (!MetricsOn)
+    return;
+  if (NodeLocality *N = node(Node_))
+    N->PoolBytes += Bytes;
+}

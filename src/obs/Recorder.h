@@ -1,0 +1,122 @@
+//===- obs/Recorder.h - Trace/metrics recording frontend --------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one object the execution engine talks to.  A Recorder
+///
+///  * receives the engine's coarse events (run, array allocation,
+///    epoch begin/end, redistribute) and fans them out to any number of
+///    attached TraceSinks;
+///  * implements numa::SimObserver, aggregating the memory system's
+///    slow-path callbacks into per-array / per-node locality counters
+///    (attribution uses an interval map over the registered array
+///    address ranges with a last-range cache -- array accesses are
+///    heavily clustered);
+///  * surfaces the aggregate as a MetricsSnapshot.
+///
+/// All calls arrive from the engine's single replay/serial thread; no
+/// locking.  Attach with MemorySystem::setObserver() or, more simply,
+/// via exec::RunOptions::Observer which also scopes the attachment to
+/// one run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_OBS_RECORDER_H
+#define DSM_OBS_RECORDER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "numa/Observer.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+namespace dsm::obs {
+
+class Recorder : public numa::SimObserver {
+public:
+  /// Attaches a sink (not owned; must outlive the recorder's run).
+  void addSink(TraceSink *S) { Sinks.push_back(S); }
+
+  /// Turns on metric aggregation (off by default: a recorder that only
+  /// feeds file sinks skips the per-event bookkeeping).
+  void enableMetrics(bool On = true) { MetricsOn = On; }
+  bool metricsEnabled() const { return MetricsOn; }
+
+  //===--------------------------------------------------------------===//
+  // Engine-facing event entry points.
+  //===--------------------------------------------------------------===//
+
+  void runBegin(const RunMeta &M);
+
+  /// Registers an allocated array and returns its dense id.  Address
+  /// ranges are added separately (a reshaped array has one per portion
+  /// plus its processor-array table).
+  int registerArray(const std::string &Name, const std::string &Kind,
+                    const std::string &Dist, uint64_t Bytes,
+                    int64_t Cells);
+
+  /// Attributes [\p Base, \p Base + \p Bytes) to array \p Id.  Ranges
+  /// must not overlap (allocations are page-padded and never reused).
+  void addArrayRange(int Id, uint64_t Base, uint64_t Bytes);
+
+  void epochBegin(const EpochBeginEvent &E);
+  void epochEnd(const EpochEndEvent &E);
+  void redistribute(const RedistributeEvent &E);
+  void runEnd(const RunEndEvent &E);
+
+  MetricsSnapshot snapshot() const;
+
+  //===--------------------------------------------------------------===//
+  // numa::SimObserver (memory-system slow paths).
+  //===--------------------------------------------------------------===//
+
+  void onTlbMiss(int Proc, uint64_t Addr) override;
+  void onMemAccess(int Proc, int ProcNode, int HomeNode, uint64_t Addr,
+                   bool IsWrite) override;
+  void onInvalidations(uint64_t Addr, unsigned Count) override;
+  void onPageFault(uint64_t VPage, int Node, int Proc) override;
+  void onPagePlace(uint64_t VPage, int Node, bool Colored) override;
+  void onPageMigrate(uint64_t VPage, int FromNode, int ToNode) override;
+  void onPoolGrow(int OwnerProc, int Node, uint64_t Bytes) override;
+
+private:
+  /// Array owning \p Addr, or nullptr for unregistered storage
+  /// (scalars, slot table, pool padding).
+  ArrayLocality *arrayAt(uint64_t Addr);
+  NodeLocality *node(int N);
+
+  struct Range {
+    uint64_t End = 0;
+    int Id = -1;
+  };
+  std::vector<TraceSink *> Sinks;
+  bool MetricsOn = false;
+  RunMeta Meta;
+  uint64_t PageSize = 0;
+
+  std::map<uint64_t, Range> Ranges; ///< Base -> range, non-overlapping.
+  uint64_t LastBase = ~0ull;        ///< One-entry lookup cache.
+  uint64_t LastEnd = 0;
+  int LastId = -1;
+
+  /// Page events that predate their array's registration (placement
+  /// runs inside Runtime::allocate, before the engine knows the
+  /// addresses); addArrayRange claims overlapping entries.
+  struct PendingPage {
+    uint64_t VPage = 0;
+    const char *Why = "fault";
+  };
+  std::vector<PendingPage> Unclaimed;
+
+  MetricsSnapshot Agg;
+};
+
+} // namespace dsm::obs
+
+#endif // DSM_OBS_RECORDER_H

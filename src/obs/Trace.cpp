@@ -1,0 +1,187 @@
+//===- obs/Trace.cpp - Structured trace events and sinks ------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <ostream>
+
+using namespace dsm;
+using namespace dsm::obs;
+
+const char *dsm::obs::scheduleKindName(ScheduleKind K) {
+  return K == ScheduleKind::Serial ? "serial" : "threaded";
+}
+
+std::string dsm::obs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JSONL writer.
+//===----------------------------------------------------------------------===//
+
+namespace {
+void writeCounters(std::ostream &OS, const numa::Counters &C) {
+  OS << "\"loads\": " << C.Loads << ", \"stores\": " << C.Stores
+     << ", \"l1_misses\": " << C.L1Misses
+     << ", \"l2_misses\": " << C.L2Misses
+     << ", \"tlb_misses\": " << C.TlbMisses
+     << ", \"tlb_miss_cycles\": " << C.TlbMissCycles
+     << ", \"local_mem\": " << C.LocalMemAccesses
+     << ", \"remote_mem\": " << C.RemoteMemAccesses
+     << ", \"mem_stall_cycles\": " << C.MemStallCycles
+     << ", \"invalidations\": " << C.Invalidations
+     << ", \"dirty_interventions\": " << C.DirtyInterventions
+     << ", \"writebacks\": " << C.Writebacks
+     << ", \"page_migrations\": " << C.PageMigrations
+     << ", \"page_faults\": " << C.PageFaults;
+}
+} // namespace
+
+void JsonlTraceWriter::onRunBegin(const RunMeta &M) {
+  OS << "{\"ev\": \"run_begin\", \"procs\": " << M.NumProcs
+     << ", \"nodes\": " << M.NumNodes
+     << ", \"host_threads\": " << M.HostThreads
+     << ", \"page_size\": " << M.PageSize << ", \"policy\": \""
+     << jsonEscape(M.Policy) << "\"}\n";
+}
+
+void JsonlTraceWriter::onArray(const ArrayEvent &E) {
+  OS << "{\"ev\": \"array\", \"id\": " << E.Id << ", \"name\": \""
+     << jsonEscape(E.Name) << "\", \"kind\": \"" << jsonEscape(E.Kind)
+     << "\", \"dist\": \"" << jsonEscape(E.Dist)
+     << "\", \"bytes\": " << E.Bytes << ", \"cells\": " << E.Cells
+     << "}\n";
+}
+
+void JsonlTraceWriter::onEpochBegin(const EpochBeginEvent &E) {
+  OS << "{\"ev\": \"epoch_begin\", \"epoch\": " << E.Epoch
+     << ", \"cells\": " << E.Cells << ", \"schedule\": \""
+     << scheduleKindName(E.Schedule) << "\", \"cycle\": " << E.StartCycle
+     << "}\n";
+}
+
+void JsonlTraceWriter::onEpochEnd(const EpochEndEvent &E) {
+  OS << "{\"ev\": \"epoch_end\", \"epoch\": " << E.Epoch
+     << ", \"cells\": " << E.Cells << ", \"schedule\": \""
+     << scheduleKindName(E.Schedule) << "\", \"cycle\": " << E.StartCycle
+     << ", \"wall_cycles\": " << E.WallCycles
+     << ", \"max_proc_cycles\": " << E.MaxProcCycles
+     << ", \"barrier_cycles\": " << E.BarrierCycles
+     << ", \"busiest_node\": " << E.BusiestNode
+     << ", \"busiest_requests\": " << E.BusiestNodeRequests << ", ";
+  writeCounters(OS, E.Delta);
+  OS << "}\n";
+}
+
+void JsonlTraceWriter::onPage(const PageEvent &E) {
+  OS << "{\"ev\": \"page\", \"page\": " << E.VPage << ", \"node\": "
+     << E.Node;
+  if (E.FromNode >= 0)
+    OS << ", \"from\": " << E.FromNode;
+  OS << ", \"why\": \"" << E.Why << "\"}\n";
+}
+
+void JsonlTraceWriter::onRedistribute(const RedistributeEvent &E) {
+  OS << "{\"ev\": \"redistribute\", \"array\": \"" << jsonEscape(E.Array)
+     << "\", \"dist\": \"" << jsonEscape(E.NewDist)
+     << "\", \"pages_moved\": " << E.PagesMoved
+     << ", \"cycles\": " << E.Cycles << ", \"cycle\": " << E.AtCycle
+     << "}\n";
+}
+
+void JsonlTraceWriter::onRunEnd(const RunEndEvent &E) {
+  OS << "{\"ev\": \"run_end\", \"wall_cycles\": " << E.WallCycles
+     << ", \"timed_cycles\": " << E.TimedCycles
+     << ", \"parallel_regions\": " << E.ParallelRegions
+     << ", \"threaded_epochs\": " << E.ThreadedEpochs
+     << ", \"redistribute_cycles\": " << E.RedistributeCycles << ", ";
+  writeCounters(OS, E.Totals);
+  OS << "}\n";
+  OS.flush();
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome-trace writer.
+//===----------------------------------------------------------------------===//
+
+void ChromeTraceWriter::onRunBegin(const RunMeta &M) { Meta = M; }
+
+void ChromeTraceWriter::onEpochEnd(const EpochEndEvent &E) {
+  Epochs.push_back(E);
+}
+
+void ChromeTraceWriter::onRedistribute(const RedistributeEvent &E) {
+  Redists.push_back(E);
+}
+
+void ChromeTraceWriter::onRunEnd(const RunEndEvent &E) {
+  // One process, three tracks: epochs (tid 0), redistributes (tid 1),
+  // and a counter track for the memory-locality mix.  Simulated cycles
+  // map to trace microseconds.
+  OS << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  OS << "{\"ph\": \"M\", \"pid\": 0, \"name\": \"process_name\", "
+        "\"args\": {\"name\": \"dsm simulated machine (" << Meta.NumProcs
+     << " procs, " << Meta.NumNodes << " nodes)\"}},\n";
+  OS << "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": "
+        "\"thread_name\", \"args\": {\"name\": \"parallel epochs\"}},\n";
+  OS << "{\"ph\": \"M\", \"pid\": 0, \"tid\": 1, \"name\": "
+        "\"thread_name\", \"args\": {\"name\": \"redistributes\"}}";
+  for (const EpochEndEvent &Ep : Epochs) {
+    OS << ",\n{\"ph\": \"X\", \"pid\": 0, \"tid\": 0, \"name\": \"epoch "
+       << Ep.Epoch << "\", \"cat\": \"" << scheduleKindName(Ep.Schedule)
+       << "\", \"ts\": " << Ep.StartCycle
+       << ", \"dur\": " << (Ep.WallCycles + Ep.BarrierCycles)
+       << ", \"args\": {\"cells\": " << Ep.Cells << ", \"schedule\": \""
+       << scheduleKindName(Ep.Schedule)
+       << "\", \"wall_cycles\": " << Ep.WallCycles
+       << ", \"barrier_cycles\": " << Ep.BarrierCycles
+       << ", \"busiest_node\": " << Ep.BusiestNode
+       << ", \"busiest_requests\": " << Ep.BusiestNodeRequests
+       << ", \"local_mem\": " << Ep.Delta.LocalMemAccesses
+       << ", \"remote_mem\": " << Ep.Delta.RemoteMemAccesses
+       << ", \"tlb_misses\": " << Ep.Delta.TlbMisses << "}}";
+    OS << ",\n{\"ph\": \"C\", \"pid\": 0, \"name\": \"mem accesses\", "
+          "\"ts\": " << Ep.StartCycle << ", \"args\": {\"local\": "
+       << Ep.Delta.LocalMemAccesses << ", \"remote\": "
+       << Ep.Delta.RemoteMemAccesses << "}}";
+  }
+  for (const RedistributeEvent &R : Redists)
+    OS << ",\n{\"ph\": \"X\", \"pid\": 0, \"tid\": 1, \"name\": "
+          "\"redistribute " << jsonEscape(R.Array) << " "
+       << jsonEscape(R.NewDist) << "\", \"cat\": \"redistribute\", "
+          "\"ts\": " << R.AtCycle << ", \"dur\": " << R.Cycles
+       << ", \"args\": {\"pages_moved\": " << R.PagesMoved << "}}";
+  OS << "\n], \"otherData\": {\"wall_cycles\": " << E.WallCycles
+     << ", \"timed_cycles\": " << E.TimedCycles << "}}\n";
+  OS.flush();
+}

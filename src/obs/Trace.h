@@ -1,0 +1,166 @@
+//===- obs/Trace.h - Structured trace events and sinks ----------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event taxonomy and sink interface of the observability layer
+/// (DESIGN.md Section 9).  A TraceSink receives *coarse* structured
+/// events -- run/array/epoch/page/redistribute, never per-access
+/// callbacks -- so a trace of a figure-sized run stays manageable.  Two
+/// file backends are provided:
+///
+///  * JsonlTraceWriter: one JSON object per line, the stable schema
+///    golden-tested under tests/obs;
+///  * ChromeTraceWriter: a chrome://tracing / Perfetto "traceEvents"
+///    timeline of the run's epochs (1 simulated cycle = 1 trace
+///    microsecond), with redistributes as instant events and the
+///    local/remote mix as counter tracks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_OBS_TRACE_H
+#define DSM_OBS_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "numa/Counters.h"
+
+namespace dsm::obs {
+
+/// How the engine executed an epoch's cells on the host.
+enum class ScheduleKind {
+  Serial,  ///< Classic one-cell-at-a-time interpreter loop.
+  Threaded ///< Record+replay on the host thread pool.
+};
+const char *scheduleKindName(ScheduleKind K);
+
+/// Identification of the run, emitted once up front.
+struct RunMeta {
+  int NumProcs = 0;
+  int NumNodes = 0;
+  int HostThreads = 1;
+  uint64_t PageSize = 0;
+  std::string Policy; ///< "first-touch" or "round-robin".
+};
+
+/// One allocated array (regular arrays once; a reshaped array's pool
+/// portions are aggregated under the same record).
+struct ArrayEvent {
+  int Id = 0; ///< Dense, in allocation order.
+  std::string Name;
+  std::string Kind; ///< "flat", "regular", or "reshaped".
+  std::string Dist; ///< Spec text; empty for flat arrays.
+  uint64_t Bytes = 0;
+  int64_t Cells = 1;
+};
+
+struct EpochBeginEvent {
+  unsigned Epoch = 0; ///< 1-based, execution order.
+  int64_t Cells = 0;
+  ScheduleKind Schedule = ScheduleKind::Serial;
+  uint64_t StartCycle = 0;
+};
+
+struct EpochEndEvent {
+  unsigned Epoch = 0;
+  int64_t Cells = 0;
+  ScheduleKind Schedule = ScheduleKind::Serial;
+  uint64_t StartCycle = 0;
+  uint64_t WallCycles = 0;    ///< max(compute, node service time).
+  uint64_t MaxProcCycles = 0; ///< Slowest participant's compute time.
+  uint64_t BarrierCycles = 0;
+  int BusiestNode = -1;
+  uint64_t BusiestNodeRequests = 0;
+  numa::Counters Delta; ///< Machine counters for this epoch alone.
+};
+
+struct PageEvent {
+  uint64_t VPage = 0;
+  int Node = -1;     ///< Destination node.
+  int FromNode = -1; ///< Migrations only.
+  /// "fault" (policy placement), "place" (explicit request), "colored"
+  /// (pool frame), or "migrate".
+  const char *Why = "fault";
+};
+
+struct RedistributeEvent {
+  std::string Array;
+  std::string NewDist;
+  uint64_t PagesMoved = 0;
+  uint64_t Cycles = 0;
+  uint64_t AtCycle = 0; ///< Engine clock when the remap started.
+};
+
+struct RunEndEvent {
+  uint64_t WallCycles = 0;
+  uint64_t TimedCycles = 0;
+  unsigned ParallelRegions = 0;
+  unsigned ThreadedEpochs = 0;
+  uint64_t RedistributeCycles = 0;
+  numa::Counters Totals;
+};
+
+/// Consumer of structured trace events.  Every hook defaults to a
+/// no-op; implementations override what they render.  Events arrive in
+/// execution order from a single thread.
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+  virtual void onRunBegin(const RunMeta &M) { (void)M; }
+  virtual void onArray(const ArrayEvent &E) { (void)E; }
+  virtual void onEpochBegin(const EpochBeginEvent &E) { (void)E; }
+  virtual void onEpochEnd(const EpochEndEvent &E) { (void)E; }
+  virtual void onPage(const PageEvent &E) { (void)E; }
+  virtual void onRedistribute(const RedistributeEvent &E) { (void)E; }
+  /// Final event; writers flush here, so a sink is complete (and its
+  /// stream reusable) once onRunEnd returns.
+  virtual void onRunEnd(const RunEndEvent &E) { (void)E; }
+};
+
+/// Writes one JSON object per line ("ev" field discriminates).  The
+/// stream must outlive the writer; nothing is buffered past onRunEnd.
+class JsonlTraceWriter : public TraceSink {
+public:
+  explicit JsonlTraceWriter(std::ostream &OS) : OS(OS) {}
+  void onRunBegin(const RunMeta &M) override;
+  void onArray(const ArrayEvent &E) override;
+  void onEpochBegin(const EpochBeginEvent &E) override;
+  void onEpochEnd(const EpochEndEvent &E) override;
+  void onPage(const PageEvent &E) override;
+  void onRedistribute(const RedistributeEvent &E) override;
+  void onRunEnd(const RunEndEvent &E) override;
+
+private:
+  std::ostream &OS;
+};
+
+/// Buffers epoch/redistribute events and writes a complete Chrome
+/// "traceEvents" JSON document on onRunEnd.  Page events are omitted --
+/// the timeline is about epochs, and a large run places thousands of
+/// pages.
+class ChromeTraceWriter : public TraceSink {
+public:
+  explicit ChromeTraceWriter(std::ostream &OS) : OS(OS) {}
+  void onRunBegin(const RunMeta &M) override;
+  void onEpochEnd(const EpochEndEvent &E) override;
+  void onRedistribute(const RedistributeEvent &E) override;
+  void onRunEnd(const RunEndEvent &E) override;
+
+private:
+  std::ostream &OS;
+  RunMeta Meta;
+  std::vector<EpochEndEvent> Epochs;
+  std::vector<RedistributeEvent> Redists;
+};
+
+/// Escapes \p S for inclusion in a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+} // namespace dsm::obs
+
+#endif // DSM_OBS_TRACE_H

@@ -33,6 +33,8 @@ uint64_t Runtime::poolAlloc(int Proc, uint64_t Bytes) {
                    Mem.pageSize();
     P.Cur = Mem.allocOnNode(ChunkBytes, Mem.nodeOfProc(Proc));
     P.End = P.Cur + ChunkBytes;
+    if (numa::SimObserver *Obs = Mem.observer())
+      Obs->onPoolGrow(Proc, Mem.nodeOfProc(Proc), ChunkBytes);
   }
   uint64_t Addr = P.Cur;
   P.Cur += Bytes;

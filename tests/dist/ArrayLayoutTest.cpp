@@ -8,6 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "support/Rng.h"
+
 using namespace dsm::dist;
 
 namespace {
@@ -105,6 +110,93 @@ TEST(ArrayLayoutTest, PortionBytesCoverWholeArray) {
   EXPECT_GE(L.portionBytes() *
                 static_cast<uint64_t>(L.grid().totalCells()),
             L.totalBytes());
+}
+
+/// Checks every element of one layout: linearization round-trips,
+/// cellOfLinear agrees with cellOf, cells stay inside the grid, and for
+/// reshaped layouts the portion addressing is collision-free and
+/// invertible and contiguousRunElems is a sound lower bound.
+void checkLayout(const ArrayLayout &L) {
+  int64_t Cells = L.grid().totalCells();
+  ASSERT_GE(Cells, 1);
+  std::vector<std::vector<bool>> Seen;
+  if (L.isReshaped())
+    Seen.assign(static_cast<size_t>(Cells),
+                std::vector<bool>(
+                    static_cast<size_t>(L.portionElems()), false));
+  for (int64_t Lin = 0; Lin < L.totalElems(); ++Lin) {
+    std::vector<int64_t> Idx = L.delinearize(Lin);
+    ASSERT_EQ(L.linearIndex(Idx.data()), Lin);
+    int64_t Cell = L.cellOf(Idx.data());
+    ASSERT_GE(Cell, 0);
+    ASSERT_LT(Cell, Cells);
+    ASSERT_EQ(L.cellOfLinear(Lin), Cell);
+    if (!L.isReshaped())
+      continue;
+    int64_t Local = L.localLinearIndex(Idx.data());
+    ASSERT_GE(Local, 0);
+    ASSERT_LT(Local, L.portionElems());
+    ASSERT_FALSE(Seen[Cell][Local]) << "two elements share a local slot";
+    Seen[Cell][Local] = true;
+
+    // globalFromLocal inverts the per-dimension (cell, local) map.
+    std::vector<int64_t> Locals(L.rank());
+    for (unsigned D = 0; D < L.rank(); ++D)
+      Locals[D] = localOf(L.dimMap(D), Idx[D]);
+    ASSERT_EQ(L.globalFromLocal(Cell, Locals), Idx);
+
+    // Everything inside the promised run stays with this owner and is
+    // stored contiguously in its portion (soundness; the run need not
+    // be maximal).
+    int64_t Run = L.contiguousRunElems(Idx.data());
+    ASSERT_GE(Run, 1);
+    ASSERT_LE(Run, L.dimSizes()[0] - Idx[0] + 1)
+        << "run walks off the end of dimension 1";
+    std::vector<int64_t> Next = Idx;
+    for (int64_t J = 1; J < Run; ++J) {
+      ++Next[0];
+      ASSERT_EQ(L.cellOf(Next.data()), Cell) << "run crosses owners";
+      ASSERT_EQ(L.localLinearIndex(Next.data()), Local + J)
+          << "run is not contiguous in the portion";
+    }
+  }
+  // The padded portions jointly cover the array.
+  if (L.isReshaped()) {
+    ASSERT_GE(L.portionBytes() * static_cast<uint64_t>(Cells),
+              L.totalBytes());
+  }
+}
+
+TEST(ArrayLayoutPropertyTest, SeededRandomLayouts) {
+  // Random rank/extents/distribution/processor-count combinations,
+  // regular and reshaped; failures replay from the SplitMix64 seed.
+  dsm::SplitMix64 R(0xA11ACA7EDULL);
+  const int64_t ProcChoices[] = {1, 2, 4, 6, 8, 16};
+  for (int Case = 0; Case < 200; ++Case) {
+    unsigned Rank = static_cast<unsigned>(R.nextInRange(1, 3));
+    DistSpec S;
+    std::vector<int64_t> Dims;
+    bool AnyDist = false;
+    std::string Desc;
+    for (unsigned D = 0; D < Rank; ++D) {
+      DistKind Kind = static_cast<DistKind>(R.nextBelow(4));
+      AnyDist |= Kind != DistKind::None;
+      int64_t Chunk = Kind == DistKind::BlockCyclic
+                          ? R.nextInRange(1, 4)
+                          : 1;
+      S.Dims.push_back({Kind, Chunk});
+      Dims.push_back(R.nextInRange(1, 12));
+      Desc += (D ? "," : "(") + std::to_string(Dims.back());
+    }
+    if (!AnyDist) // Give the spec at least one distributed dim.
+      S.Dims[0] = {DistKind::Block, 1};
+    S.Reshaped = R.nextBelow(2) == 0;
+    int64_t Procs = ProcChoices[R.nextBelow(6)];
+    SCOPED_TRACE("case " + std::to_string(Case) + " dims " + Desc +
+                 ") procs " + std::to_string(Procs) +
+                 (S.Reshaped ? " reshaped" : " regular"));
+    checkLayout(ArrayLayout::make(S, Dims, Procs));
+  }
 }
 
 TEST(ArrayLayoutTest, LuDistributionCells) {

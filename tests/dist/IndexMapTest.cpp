@@ -12,7 +12,10 @@
 
 #include <gtest/gtest.h>
 
-#include <tuple>
+#include <string>
+#include <vector>
+
+#include "support/Rng.h"
 
 using namespace dsm::dist;
 
@@ -63,83 +66,87 @@ TEST(IndexMapTest, UndistributedDimension) {
   }
 }
 
-struct MapParam {
-  DistKind Kind;
-  int64_t N;
-  int64_t P;
-  int64_t K;
-};
+const char *kindName(DistKind K) {
+  switch (K) {
+  case DistKind::None:
+    return "*";
+  case DistKind::Block:
+    return "block";
+  case DistKind::Cyclic:
+    return "cyclic";
+  case DistKind::BlockCyclic:
+    return "cyclic(k)";
+  }
+  return "?";
+}
 
-class IndexMapPropertyTest : public ::testing::TestWithParam<MapParam> {};
-
-TEST_P(IndexMapPropertyTest, RoundTripAndPartition) {
-  const MapParam &Param = GetParam();
-  DimMap M = DimMap::make({Param.Kind, Param.K}, Param.N, Param.P);
-
-  // Every index has exactly one owner and round-trips through
-  // (owner, local) -> global.
+/// All Table-1 properties for one (Kind, N, P, K) combination in one
+/// O(N) pass: every index has exactly one owner, (owner, local)
+/// round-trips through globalOf, the incremental stepOwnerLocal form
+/// tracks the direct forms across every chunk/cycle boundary, and the
+/// per-processor portions partition N within the padded bound.
+void checkDimMap(DistKind Kind, int64_t N, int64_t P, int64_t K) {
+  SCOPED_TRACE(std::string("kind=") + kindName(Kind) +
+               " N=" + std::to_string(N) + " P=" + std::to_string(P) +
+               " k=" + std::to_string(K));
+  DimMap M = DimMap::make({Kind, K}, N, P);
+  int64_t Padded = paddedPortionSize(M);
   std::vector<int64_t> Counts(M.P, 0);
-  for (int64_t I = 1; I <= Param.N; ++I) {
+  int64_t StepOwner = 0, StepLocal = 0;
+  for (int64_t I = 1; I <= N; ++I) {
     int64_t Owner = ownerOf(M, I);
+    int64_t Local = localOf(M, I);
     ASSERT_GE(Owner, 0);
     ASSERT_LT(Owner, M.P);
-    int64_t Local = localOf(M, I);
     ASSERT_GE(Local, 0);
-    ASSERT_LT(Local, paddedPortionSize(M))
+    ASSERT_LT(Local, Padded)
         << "local offset exceeds the padded portion";
-    EXPECT_EQ(globalOf(M, Owner, Local), I);
+    ASSERT_EQ(globalOf(M, Owner, Local), I) << "I=" << I;
+    if (I == 1) {
+      StepOwner = Owner;
+      StepLocal = Local;
+    } else {
+      stepOwnerLocal(M, I, StepOwner, StepLocal);
+      ASSERT_EQ(StepOwner, Owner) << "I=" << I;
+      ASSERT_EQ(StepLocal, Local) << "I=" << I;
+    }
     ++Counts[Owner];
   }
-
-  // portionCount agrees with enumeration and the portions partition N.
   int64_t Sum = 0;
   for (int64_t Proc = 0; Proc < M.P; ++Proc) {
-    EXPECT_EQ(portionCount(M, Proc), Counts[Proc]) << "proc " << Proc;
+    ASSERT_EQ(portionCount(M, Proc), Counts[Proc]) << "proc " << Proc;
+    ASSERT_LE(Counts[Proc], Padded) << "proc " << Proc;
     Sum += Counts[Proc];
   }
-  EXPECT_EQ(Sum, Param.N);
+  ASSERT_EQ(Sum, N) << "portions must partition the dimension";
 }
 
-TEST_P(IndexMapPropertyTest, StepOwnerLocalMatchesDirectForms) {
-  // The incremental step used by the engine's addressing-translation
-  // cache must track ownerOf/localOf exactly across every chunk and
-  // cycle boundary.
-  const MapParam &Param = GetParam();
-  DimMap M = DimMap::make({Param.Kind, Param.K}, Param.N, Param.P);
-  int64_t Owner = ownerOf(M, 1);
-  int64_t Local = localOf(M, 1);
-  for (int64_t I = 2; I <= M.N; ++I) {
-    stepOwnerLocal(M, I, Owner, Local);
-    ASSERT_EQ(Owner, ownerOf(M, I)) << "I=" << I;
-    ASSERT_EQ(Local, localOf(M, I)) << "I=" << I;
+TEST(IndexMapPropertyTest, ExhaustiveSmall) {
+  // Every (kind, N, P) with N <= 32 and P <= 9, plus a spread of chunk
+  // sizes for cyclic(k) -- covers every boundary alignment: P | N,
+  // P > N, K | N, K*P | N, and all their negations.
+  for (int64_t N = 1; N <= 32; ++N)
+    for (int64_t P = 1; P <= 9; ++P) {
+      for (DistKind Kind :
+           {DistKind::None, DistKind::Block, DistKind::Cyclic})
+        checkDimMap(Kind, N, P, 1);
+      for (int64_t K : {1, 2, 3, 5, 7})
+        checkDimMap(DistKind::BlockCyclic, N, P, K);
+    }
+}
+
+TEST(IndexMapPropertyTest, SeededRandomLarge) {
+  // Large extents, processor counts, and chunk sizes the exhaustive
+  // sweep cannot reach; the SplitMix64 seed makes failures replayable.
+  dsm::SplitMix64 R(0x1dcaf5eedULL);
+  for (int Case = 0; Case < 400; ++Case) {
+    SCOPED_TRACE("case " + std::to_string(Case));
+    DistKind Kind = static_cast<DistKind>(R.nextBelow(4));
+    int64_t N = R.nextInRange(1, 5000);
+    int64_t P = R.nextInRange(1, 64);
+    int64_t K = R.nextInRange(1, 33);
+    checkDimMap(Kind, N, P, K);
   }
 }
-
-TEST_P(IndexMapPropertyTest, PaddedSizeBoundsRealPortions) {
-  const MapParam &Param = GetParam();
-  DimMap M = DimMap::make({Param.Kind, Param.K}, Param.N, Param.P);
-  int64_t Padded = paddedPortionSize(M);
-  for (int64_t Proc = 0; Proc < M.P; ++Proc)
-    EXPECT_LE(portionCount(M, Proc), Padded);
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    AllKinds, IndexMapPropertyTest,
-    ::testing::Values(
-        MapParam{DistKind::Block, 100, 4, 1},
-        MapParam{DistKind::Block, 101, 4, 1},
-        MapParam{DistKind::Block, 7, 8, 1},
-        MapParam{DistKind::Block, 1, 1, 1},
-        MapParam{DistKind::Block, 1000, 13, 1},
-        MapParam{DistKind::Cyclic, 100, 4, 1},
-        MapParam{DistKind::Cyclic, 97, 8, 1},
-        MapParam{DistKind::Cyclic, 5, 8, 1},
-        MapParam{DistKind::Cyclic, 64, 64, 1},
-        MapParam{DistKind::BlockCyclic, 100, 4, 5},
-        MapParam{DistKind::BlockCyclic, 103, 4, 5},
-        MapParam{DistKind::BlockCyclic, 100, 7, 3},
-        MapParam{DistKind::BlockCyclic, 12, 5, 8},
-        MapParam{DistKind::BlockCyclic, 1000, 8, 5},
-        MapParam{DistKind::None, 50, 6, 1}));
 
 } // namespace

@@ -1,0 +1,382 @@
+//===- tests/exec/DifferentialFuzzTest.cpp - Serial vs threaded fuzz ------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Differential fuzzing of the host-threaded epoch engine: a seeded
+// generator produces random-but-data-race-free DSM Fortran programs
+// (c$distribute / c$distribute_reshape / c$redistribute plus doacross
+// epochs with affinity, schedtype, nest, and scalar-reduction
+// fallbacks), and every program is run twice -- HostThreads=1 and
+// HostThreads=4.  The two runs must be bit-identical: same cycles,
+// same memory-system counters, same array contents, and the same
+// observability metrics.  On failure the seed is printed so the case
+// can be replayed.
+//
+// The suite carries the ctest label `fuzz` (see CMakeLists.txt); CI
+// runs it under TSan as well.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/Driver.h"
+#include "obs/Metrics.h"
+#include "support/Rng.h"
+
+using namespace dsm;
+
+namespace {
+
+// Same small machine as ThreadedEngineTest: 4 nodes x 2 procs, 1 KB
+// pages so even tiny arrays span several pages and nodes.
+numa::MachineConfig machine() {
+  numa::MachineConfig C;
+  C.NumNodes = 4;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 8 << 20;
+  C.L1 = numa::CacheConfig{1024, 32, 2};
+  C.L2 = numa::CacheConfig{16 * 1024, 128, 2};
+  C.TlbEntries = 16;
+  return C;
+}
+
+struct GenCase {
+  std::string Src;
+  std::vector<std::string> Arrays; // Checksum targets (lowercase).
+};
+
+/// One distributed dimension: "*", "block", "cyclic", "cyclic(k)".
+std::string dimDist(SplitMix64 &R, bool AllowStar) {
+  switch (R.nextBelow(AllowStar ? 5 : 4)) {
+  case 0:
+    return "block";
+  case 1:
+    return "cyclic";
+  case 2:
+    return "cyclic(2)";
+  case 3:
+    return "cyclic(3)";
+  default:
+    return "*";
+  }
+}
+
+/// A 2-D distribution with at least one distributed dimension.
+std::string dist2d(SplitMix64 &R) {
+  switch (R.nextBelow(3)) {
+  case 0:
+    return "(*, " + dimDist(R, false) + ")";
+  case 1:
+    return "(" + dimDist(R, false) + ", *)";
+  default:
+    return "(" + dimDist(R, false) + ", " + dimDist(R, false) + ")";
+  }
+}
+
+/// Which dimension (1-based) of the pattern is distributed; 0 if the
+/// requested one is "*".
+int distributedDim(const std::string &Pattern, int Dim) {
+  // Patterns are exactly "(x, y)" or "(x)"; crude but sufficient.
+  size_t Comma = Pattern.find(',');
+  std::string Part =
+      Dim == 1 ? Pattern.substr(1, (Comma == std::string::npos
+                                        ? Pattern.size() - 2
+                                        : Comma - 1))
+               : Pattern.substr(Comma + 1,
+                                Pattern.size() - Comma - 2);
+  return Part.find('*') == std::string::npos ? Dim : 0;
+}
+
+GenCase generate(uint64_t Seed) {
+  SplitMix64 R(Seed);
+  GenCase C;
+  bool TwoD = R.nextBelow(4) != 0; // 2-D three times out of four.
+  int N = TwoD ? static_cast<int>(R.nextInRange(12, 24))
+               : static_cast<int>(R.nextInRange(48, 96));
+  int InitK = static_cast<int>(R.nextInRange(1, 5));
+
+  // Distribution kind per array: 0 none, 1 c$distribute, 2 reshape.
+  int KindA = static_cast<int>(R.nextBelow(3));
+  int KindB = static_cast<int>(R.nextBelow(3));
+  std::string DistA = TwoD ? dist2d(R)
+                           : "(" + dimDist(R, false) + ")";
+  std::string DistB = TwoD ? dist2d(R)
+                           : "(" + dimDist(R, false) + ")";
+
+  std::string Dims = TwoD ? "(" + std::to_string(N) + ", " +
+                                std::to_string(N) + ")"
+                          : "(" + std::to_string(N) + ")";
+  std::string S;
+  S += "      program fuzz\n";
+  S += "      integer i, j\n";
+  S += "      real*8 s, A" + Dims + ", B" + Dims + "\n";
+  auto Directive = [&](int Kind, const char *Name,
+                       const std::string &Pattern) {
+    if (Kind == 1)
+      S += std::string("c$distribute ") + Name + Pattern + "\n";
+    else if (Kind == 2)
+      S += std::string("c$distribute_reshape ") + Name + Pattern + "\n";
+  };
+  Directive(KindA, "A", DistA);
+  Directive(KindB, "B", DistB);
+
+  // Serial initialization (also the first-touch placement pass).
+  if (TwoD) {
+    S += "      do j = 1, " + std::to_string(N) + "\n";
+    S += "        do i = 1, " + std::to_string(N) + "\n";
+    S += "          A(i,j) = i + " + std::to_string(InitK) + "*j\n";
+    S += "          B(i,j) = 0.0\n";
+    S += "        enddo\n";
+    S += "      enddo\n";
+  } else {
+    S += "      do i = 1, " + std::to_string(N) + "\n";
+    S += "        A(i) = i * " + std::to_string(InitK) + "\n";
+    S += "        B(i) = 0.0\n";
+    S += "      enddo\n";
+  }
+
+  bool Timed = R.nextBelow(2) == 0;
+  if (Timed)
+    S += "      call dsm_timer_start\n";
+
+  // Optional affinity clause: the parallel var must index a
+  // distributed dimension of the named array with unit coefficient.
+  auto affinity = [&](const char *Var, int VarDim) -> std::string {
+    if (!TwoD || R.nextBelow(2))
+      return "";
+    const char *Arr = nullptr;
+    if (KindA != 0 && distributedDim(DistA, VarDim) == VarDim)
+      Arr = "A";
+    else if (KindB != 0 && distributedDim(DistB, VarDim) == VarDim)
+      Arr = "B";
+    if (!Arr)
+      return "";
+    std::string Ref = VarDim == 1 ? std::string(Var) + ", 1"
+                                  : std::string("1, ") + Var;
+    return std::string(" affinity(") + Var + ") = data(" + Arr + "(" +
+           Ref + "))";
+  };
+  auto schedtype = [&]() -> std::string {
+    switch (R.nextBelow(3)) {
+    case 0:
+      return " schedtype(simple)";
+    case 1:
+      return " schedtype(interleave)";
+    default:
+      return "";
+    }
+  };
+
+  int Epochs = static_cast<int>(R.nextInRange(1, 3));
+  for (int E = 0; E < Epochs; ++E) {
+    // Optional redistribute of a `c$distribute` (regular) array
+    // between epochs.
+    if (E > 0 && R.nextBelow(3) == 0) {
+      if (KindA == 1)
+        S += "c$redistribute A" + (TwoD ? dist2d(R)
+                                        : "(" + dimDist(R, false) + ")") +
+             "\n";
+      else if (KindB == 1)
+        S += "c$redistribute B" + (TwoD ? dist2d(R)
+                                        : "(" + dimDist(R, false) + ")") +
+             "\n";
+    }
+    std::string NStr = std::to_string(N);
+    int EpochKind = static_cast<int>(R.nextBelow(TwoD ? 5 : 3));
+    std::string Scale = std::to_string(E + 2) + ".0";
+    if (TwoD) {
+      switch (EpochKind) {
+      case 0: // Transpose: cell i writes column i of B.
+        S += "c$doacross local(i, j)" + affinity("i", 2) + "\n";
+        S += "      do i = 1, " + NStr + "\n";
+        S += "        do j = 1, " + NStr + "\n";
+        S += "          B(j,i) = A(i,j) * " + Scale + "\n";
+        S += "        enddo\n";
+        S += "      enddo\n";
+        break;
+      case 1: // Read-modify-write of B at the same position.
+        S += "c$doacross local(i, j)" + schedtype() + "\n";
+        S += "      do i = 1, " + NStr + "\n";
+        S += "        do j = 1, " + NStr + "\n";
+        S += "          B(i,j) = B(i,j) + A(i,j) * " + Scale + "\n";
+        S += "        enddo\n";
+        S += "      enddo\n";
+        break;
+      case 2: // Column stencil, parallel over j; reads A only.
+        S += "c$doacross local(i, j)" + affinity("j", 2) + "\n";
+        S += "      do j = 2, " + std::to_string(N - 1) + "\n";
+        S += "        do i = 1, " + NStr + "\n";
+        S += "          B(i,j) = A(i,j-1) + A(i,j) + A(i,j+1)\n";
+        S += "        enddo\n";
+        S += "      enddo\n";
+        break;
+      case 3: // Scalar reduction: must fall back to the serial path.
+        S += "      s = 0.0\n";
+        S += "c$doacross local(i, j)\n";
+        S += "      do i = 1, " + NStr + "\n";
+        S += "        do j = 1, " + NStr + "\n";
+        S += "          s = s + A(i,j)\n";
+        S += "        enddo\n";
+        S += "      enddo\n";
+        S += "      B(1,1) = s\n";
+        break;
+      default: // Perfect nest with the nest clause.
+        S += "c$doacross nest(j,i) local(i, j)\n";
+        S += "      do j = 1, " + NStr + "\n";
+        S += "        do i = 1, " + NStr + "\n";
+        S += "          B(i,j) = A(i,j) * " + Scale + " + 1.0\n";
+        S += "        enddo\n";
+        S += "      enddo\n";
+        break;
+      }
+    } else {
+      switch (EpochKind) {
+      case 0:
+        S += "c$doacross local(i)" + schedtype() + "\n";
+        S += "      do i = 1, " + NStr + "\n";
+        S += "        B(i) = A(i) * " + Scale + "\n";
+        S += "      enddo\n";
+        break;
+      case 1:
+        S += "c$doacross local(i)\n";
+        S += "      do i = 1, " + NStr + "\n";
+        S += "        B(i) = B(i) + A(i)\n";
+        S += "      enddo\n";
+        break;
+      default:
+        S += "      s = 0.0\n";
+        S += "c$doacross local(i)\n";
+        S += "      do i = 1, " + NStr + "\n";
+        S += "        s = s + A(i)\n";
+        S += "      enddo\n";
+        S += "      B(1) = s\n";
+        break;
+      }
+    }
+  }
+  if (Timed)
+    S += "      call dsm_timer_stop\n";
+  S += "      end\n";
+
+  C.Src = std::move(S);
+  C.Arrays = {"a", "b"};
+  return C;
+}
+
+struct RunObs {
+  exec::RunResult R;
+  std::vector<double> Checksums;
+  bool Failed = false;
+  std::string FailMessage;
+};
+
+RunObs runOnce(link::Program &Prog, int HostThreads,
+               const std::vector<std::string> &Arrays) {
+  RunObs Obs;
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 8;
+  ROpts.HostThreads = HostThreads;
+  ROpts.CollectMetrics = true;
+  exec::Engine E(Prog, Mem, ROpts);
+  auto R = E.run();
+  if (!R) {
+    Obs.Failed = true;
+    Obs.FailMessage = R.error().str();
+    return Obs;
+  }
+  Obs.R = std::move(*R);
+  for (const std::string &A : Arrays) {
+    auto Sum = E.arrayWeightedChecksum(A);
+    EXPECT_TRUE(bool(Sum)) << Sum.error().str();
+    Obs.Checksums.push_back(Sum ? *Sum : 0.0);
+  }
+  return Obs;
+}
+
+/// Runs one generated case serial and threaded; returns the threaded
+/// epoch count (0 on failure) so shards can assert aggregate coverage.
+unsigned checkCase(uint64_t Seed) {
+  GenCase C = generate(Seed);
+  SCOPED_TRACE("fuzz seed " + std::to_string(Seed) + "; program:\n" +
+               C.Src);
+  auto Prog = buildProgram({{"fuzz.f", C.Src}}, CompileOptions{});
+  EXPECT_TRUE(bool(Prog))
+      << "compile failed: " << Prog.error().str();
+  if (!Prog)
+    return 0;
+  RunObs Serial = runOnce(*Prog, 1, C.Arrays);
+  RunObs Threaded = runOnce(*Prog, 4, C.Arrays);
+  EXPECT_FALSE(Serial.Failed) << Serial.FailMessage;
+  EXPECT_EQ(Serial.Failed, Threaded.Failed);
+  EXPECT_EQ(Serial.FailMessage, Threaded.FailMessage);
+  if (Serial.Failed || Threaded.Failed)
+    return 0;
+
+  EXPECT_EQ(Serial.R.WallCycles, Threaded.R.WallCycles);
+  EXPECT_EQ(Serial.R.TimedCycles, Threaded.R.TimedCycles);
+  EXPECT_TRUE(Serial.R.Counters == Threaded.R.Counters)
+      << "serial:\n"
+      << Serial.R.Counters.str() << "threaded:\n"
+      << Threaded.R.Counters.str();
+  EXPECT_EQ(Serial.R.ParallelRegions, Threaded.R.ParallelRegions);
+  EXPECT_EQ(Serial.R.RedistributeCycles, Threaded.R.RedistributeCycles);
+  EXPECT_EQ(Serial.R.ThreadedEpochs, 0u);
+  for (size_t I = 0; I < Serial.Checksums.size(); ++I)
+    EXPECT_EQ(Serial.Checksums[I], Threaded.Checksums[I])
+        << "array " << C.Arrays[I] << " differs";
+
+  // The observability layer must be equally invisible: identical
+  // per-array and per-node aggregates, and epoch logs that differ only
+  // in the schedule flag.
+  EXPECT_TRUE(Serial.R.Metrics.Arrays == Threaded.R.Metrics.Arrays);
+  EXPECT_TRUE(Serial.R.Metrics.Nodes == Threaded.R.Metrics.Nodes);
+  EXPECT_EQ(Serial.R.Metrics.Epochs, Threaded.R.Metrics.Epochs);
+  EXPECT_EQ(Serial.R.Metrics.Redistributes,
+            Threaded.R.Metrics.Redistributes);
+  EXPECT_EQ(Serial.R.Metrics.EpochLog.size(),
+            Threaded.R.Metrics.EpochLog.size());
+  if (Serial.R.Metrics.EpochLog.size() !=
+      Threaded.R.Metrics.EpochLog.size())
+    return 0;
+  for (size_t I = 0; I < Serial.R.Metrics.EpochLog.size(); ++I)
+    EXPECT_TRUE(Serial.R.Metrics.EpochLog[I].sameSimulation(
+        Threaded.R.Metrics.EpochLog[I]))
+        << "epoch " << I << " diverged";
+  EXPECT_EQ(Serial.R.Metrics.ThreadedEpochs, 0u);
+  EXPECT_EQ(Threaded.R.Metrics.ThreadedEpochs,
+            Threaded.R.ThreadedEpochs);
+  return Threaded.R.ThreadedEpochs;
+}
+
+// 200 seeded cases, sharded so ctest can run them in parallel.
+constexpr int CasesPerShard = 20;
+constexpr int NumShards = 10;
+
+class DifferentialFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialFuzzTest, SerialAndThreadedAgree) {
+  int Shard = GetParam();
+  unsigned TotalThreaded = 0;
+  for (int I = 0; I < CasesPerShard; ++I) {
+    uint64_t Seed = 0xD5F00000u + Shard * CasesPerShard + I;
+    TotalThreaded += checkCase(Seed);
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  // The generator must actually exercise the threaded path: across a
+  // shard's 20 cases at least one epoch has to thread.
+  EXPECT_GT(TotalThreaded, 0u)
+      << "shard " << Shard << " never exercised the threaded engine";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, DifferentialFuzzTest,
+                         ::testing::Range(0, NumShards));
+
+} // namespace

@@ -1,0 +1,198 @@
+//===- tools/dsm_run.cpp - Command-line compile-and-run driver ------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Compiles DSM Fortran sources and runs them on the simulated
+// Origin-2000, with the observability layer on the command line:
+//
+//   dsm_run --procs=16 --metrics --trace=run.jsonl
+//           --chrome-trace=run.trace.json prog.f
+//
+// --metrics prints the per-array / per-node locality breakdown;
+// --trace writes the JSONL event stream; --chrome-trace writes a
+// Perfetto/chrome://tracing timeline of the run's parallel epochs.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/Driver.h"
+#include "obs/Recorder.h"
+
+using namespace dsm;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] source.f [source2.f ...]\n"
+      "\n"
+      "options:\n"
+      "  --procs=N            simulated processors (default 8)\n"
+      "  --threads=N          host threads for epoch execution\n"
+      "                       (default: DSM_HOST_THREADS or 1)\n"
+      "  --policy=P           page placement for undirected pages:\n"
+      "                       first-touch (default) or round-robin\n"
+      "  --machine=M          scaled (default) or origin2000\n"
+      "  --metrics            print per-array/per-node locality metrics\n"
+      "  --trace=FILE         write the JSONL event trace to FILE\n"
+      "  --chrome-trace=FILE  write a chrome://tracing / Perfetto\n"
+      "                       timeline of the run's epochs to FILE\n"
+      "  --checksum=ARRAY     print ARRAY's (weighted) checksum\n"
+      "  --no-transform       skip the optimization pipeline\n"
+      "  --arg-checks         enable runtime argument checks\n",
+      Argv0);
+  return 2;
+}
+
+bool flagValue(const char *Arg, const char *Name, std::string &Out) {
+  size_t N = std::strlen(Name);
+  if (std::strncmp(Arg, Name, N) != 0 || Arg[N] != '=')
+    return false;
+  Out = Arg + N + 1;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 8;
+  CompileOptions COpts;
+  numa::MachineConfig MC = numa::MachineConfig::scaledOrigin();
+  bool Metrics = false;
+  std::string TracePath, ChromePath, ChecksumArray;
+  std::vector<SourceFile> Sources;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    std::string V;
+    if (flagValue(Arg, "--procs", V)) {
+      ROpts.NumProcs = std::atoi(V.c_str());
+    } else if (flagValue(Arg, "--threads", V)) {
+      ROpts.HostThreads = std::atoi(V.c_str());
+    } else if (flagValue(Arg, "--policy", V)) {
+      if (V == "first-touch") {
+        ROpts.DefaultPolicy = numa::PlacementPolicy::FirstTouch;
+      } else if (V == "round-robin") {
+        ROpts.DefaultPolicy = numa::PlacementPolicy::RoundRobin;
+      } else {
+        std::fprintf(stderr, "unknown --policy '%s'\n", V.c_str());
+        return 2;
+      }
+    } else if (flagValue(Arg, "--machine", V)) {
+      if (V == "scaled") {
+        MC = numa::MachineConfig::scaledOrigin();
+      } else if (V == "origin2000") {
+        MC = numa::MachineConfig::origin2000();
+      } else {
+        std::fprintf(stderr, "unknown --machine '%s'\n", V.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--metrics") == 0) {
+      Metrics = true;
+    } else if (flagValue(Arg, "--trace", V)) {
+      TracePath = V;
+    } else if (flagValue(Arg, "--chrome-trace", V)) {
+      ChromePath = V;
+    } else if (flagValue(Arg, "--checksum", V)) {
+      ChecksumArray = V;
+    } else if (std::strcmp(Arg, "--no-transform") == 0) {
+      COpts.Transform = false;
+    } else if (std::strcmp(Arg, "--arg-checks") == 0) {
+      ROpts.RuntimeArgChecks = true;
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg);
+      return usage(argv[0]);
+    } else {
+      std::ifstream In(Arg);
+      if (!In) {
+        std::fprintf(stderr, "cannot read '%s'\n", Arg);
+        return 2;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      Sources.push_back({Arg, SS.str()});
+    }
+  }
+  if (Sources.empty())
+    return usage(argv[0]);
+  if (ROpts.NumProcs < 1 || ROpts.NumProcs > MC.numProcs()) {
+    std::fprintf(stderr, "--procs must be in 1..%d for this machine\n",
+                 MC.numProcs());
+    return 2;
+  }
+
+  auto Prog = buildProgram(Sources, COpts);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Prog.error().str().c_str());
+    return 1;
+  }
+
+  obs::Recorder Rec;
+  std::ofstream TraceFile, ChromeFile;
+  obs::JsonlTraceWriter Jsonl(TraceFile);
+  obs::ChromeTraceWriter Chrome(ChromeFile);
+  if (!TracePath.empty()) {
+    TraceFile.open(TracePath);
+    if (!TraceFile) {
+      std::fprintf(stderr, "cannot write '%s'\n", TracePath.c_str());
+      return 2;
+    }
+    Rec.addSink(&Jsonl);
+  }
+  if (!ChromePath.empty()) {
+    ChromeFile.open(ChromePath);
+    if (!ChromeFile) {
+      std::fprintf(stderr, "cannot write '%s'\n", ChromePath.c_str());
+      return 2;
+    }
+    Rec.addSink(&Chrome);
+  }
+  ROpts.Observer = &Rec;
+  ROpts.CollectMetrics = Metrics;
+
+  numa::MemorySystem Mem(MC);
+  exec::Engine Engine(*Prog, Mem, ROpts);
+  auto Run = Engine.run();
+  if (!Run) {
+    std::fprintf(stderr, "%s", Run.error().str().c_str());
+    return 1;
+  }
+
+  std::printf("wall cycles:  %llu\n",
+              static_cast<unsigned long long>(Run->WallCycles));
+  if (Run->TimedCycles)
+    std::printf("timed cycles: %llu\n",
+                static_cast<unsigned long long>(Run->TimedCycles));
+  std::printf("epochs: %u (%u threaded), redistribute cycles: %llu\n",
+              Run->ParallelRegions, Run->ThreadedEpochs,
+              static_cast<unsigned long long>(Run->RedistributeCycles));
+  std::printf("counters: %s\n", Run->Counters.str().c_str());
+  if (Metrics)
+    std::printf("%s", Run->Metrics.str().c_str());
+  if (!ChecksumArray.empty()) {
+    auto Sum = Engine.arrayWeightedChecksum(ChecksumArray);
+    if (!Sum) {
+      std::fprintf(stderr, "%s", Sum.error().str().c_str());
+      return 1;
+    }
+    std::printf("weighted checksum of '%s': %.17g\n",
+                ChecksumArray.c_str(), *Sum);
+  }
+  if (!TracePath.empty())
+    std::printf("wrote %s\n", TracePath.c_str());
+  if (!ChromePath.empty())
+    std::printf("wrote %s (open in https://ui.perfetto.dev)\n",
+                ChromePath.c_str());
+  return 0;
+}
