@@ -102,6 +102,14 @@ struct Engine::Impl {
   ArgCheckTable ArgTable;
   RunResult Result;
 
+  /// Non-fatal diagnostics the run accumulates (degraded allocations,
+  /// partial redistributes, warn-mode shape violations); copied into
+  /// RunResult::Diags at the end of run().
+  Error RunDiags;
+  /// Argument-shape violations warn instead of failing the run
+  /// (RunOptions::ArgChecksWarnOnly or DSM_SHAPE_CHECKS=warn).
+  bool ArgChecksWarn = false;
+
   /// Slots handed out to reshaped ArrayElem expressions for the
   /// per-context addressing-translation cache.
   int NumTransSlots = 0;
@@ -133,6 +141,11 @@ struct Engine::Impl {
     }
     if (Obs && Opts.CollectMetrics)
       Obs->enableMetrics();
+    ArgChecksWarn = Opts.ArgChecksWarnOnly;
+    if (!ArgChecksWarn) {
+      const char *Shape = std::getenv("DSM_SHAPE_CHECKS");
+      ArgChecksWarn = Shape && std::string(Shape) == "warn";
+    }
   }
 
   /// Registers a freshly allocated array (and its address ranges) with
@@ -422,7 +435,8 @@ struct Engine::Impl {
           return nullptr;
         dist::ArrayLayout Layout =
             dist::ArrayLayout::make(specOf(A), Dims, S.Rt.numProcs());
-        auto Inst = std::make_unique<ArrayInstance>(S.Rt.allocate(Layout));
+        auto Inst = std::make_unique<ArrayInstance>(
+            S.Rt.allocate(Layout, &S.RunDiags));
         S.OwnedInstances.push_back(std::move(Inst));
         Slot = S.OwnedInstances.back().get();
         S.noteArrayAlloc(A->Name, *Slot);
@@ -843,19 +857,27 @@ struct Engine::Impl {
           return;
         }
         uint64_t AtCycle = Clock;
-        uint64_t Cycles = S.Rt.redistribute(*Inst, St.RedistSpec);
-        charge(Cycles);
-        S.Result.RedistributeCycles += Cycles;
+        runtime::RedistributeResult RR =
+            S.Rt.redistribute(*Inst, St.RedistSpec);
+        charge(RR.Cycles);
+        S.Result.RedistributeCycles += RR.Cycles;
         ++S.TransGeneration; // Layouts changed under cached entries.
+        if (RR.PagesFailed)
+          S.RunDiags.addWarning(formatString(
+              "redistribute of '%s' was partial: %llu page(s) kept "
+              "their old home after %llu retries",
+              St.RedistArray->Name.c_str(),
+              static_cast<unsigned long long>(RR.PagesFailed),
+              static_cast<unsigned long long>(RR.Retries)));
         if (S.Obs) {
           obs::RedistributeEvent E;
           E.Array = St.RedistArray->Name;
           E.NewDist = St.RedistSpec.str();
-          E.Cycles = Cycles;
-          E.PagesMoved = S.Costs.MigratePageCycles
-                             ? Cycles / S.Costs.MigratePageCycles
-                             : 0;
+          E.Cycles = RR.Cycles;
+          E.PagesMoved = RR.PagesMoved;
           E.AtCycle = AtCycle;
+          E.Retries = RR.Retries;
+          E.PagesFailed = RR.PagesFailed;
           S.Obs->redistribute(E);
         }
         return;
@@ -1222,8 +1244,16 @@ struct Engine::Impl {
                                             FormalDist, Callee->Name,
                                             Formal.Array->Name);
           if (E) {
-            Failed = true;
-            Fail.take(std::move(E));
+            if (S.ArgChecksWarn) {
+              // Warn mode: record the violation and keep running --
+              // the checks diagnose shape mismatches, they are not
+              // needed for memory safety in the simulator.
+              for (const Diagnostic &D : E.diagnostics())
+                S.RunDiags.addWarning(D.Message, D.File, D.Line);
+            } else {
+              Failed = true;
+              Fail.take(std::move(E));
+            }
           }
         }
       }
@@ -1613,7 +1643,7 @@ struct Engine::Impl {
         if (AI.HasDist) {
           dist::ArrayLayout Layout =
               dist::ArrayLayout::make(AI.Dist, AI.Dims, Rt.numProcs());
-          *Inst = Rt.allocate(Layout);
+          *Inst = Rt.allocate(Layout, &RunDiags);
         } else {
           dist::DistSpec Spec;
           Spec.Dims.resize(AI.Dims.size());
@@ -1632,15 +1662,26 @@ struct Engine::Impl {
     Main.TransCache.assign(static_cast<size_t>(NumTransSlots), {});
     Mem.setDefaultPolicy(Opts.DefaultPolicy);
 
-    // Attach the recorder before any allocation so placement events
-    // are observed; detach on every exit path.
+    // Attach the recorder and fault injector before any allocation so
+    // placement events (and injected faults) are observed; detach on
+    // every exit path.
     struct ObsGuard {
       numa::MemorySystem *Mem = nullptr;
+      bool Fault = false;
       ~ObsGuard() {
-        if (Mem)
+        if (Mem) {
           Mem->setObserver(nullptr);
+          if (Fault)
+            Mem->setFaultInjector(nullptr);
+        }
       }
     } Guard;
+    if (Opts.Fault) {
+      Opts.Fault->reset(); // Same schedule for every run.
+      Mem.setFaultInjector(Opts.Fault);
+      Guard.Mem = &Mem;
+      Guard.Fault = true;
+    }
     if (Obs) {
       Mem.setObserver(Obs);
       Guard.Mem = &Mem;
@@ -1678,6 +1719,16 @@ struct Engine::Impl {
 
     Result.WallCycles = Main.Clock;
     Result.Counters = Mem.counters();
+    if (Opts.Fault) {
+      Result.Faults = Opts.Fault->counters();
+      if (Result.Faults.CapacityOverflows)
+        RunDiags.addWarning(formatString(
+            "%llu frame-capacity overflow(s): pages were placed past a "
+            "node's soft cap or left unbacked; results are unaffected",
+            static_cast<unsigned long long>(
+                Result.Faults.CapacityOverflows)));
+    }
+    Result.Diags = RunDiags.diagnostics();
     if (Obs) {
       obs::RunEndEvent E;
       E.WallCycles = Result.WallCycles;

@@ -42,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/Injector.h"
 #include "link/Program.h"
 #include "numa/MemorySystem.h"
 #include "obs/Metrics.h"
@@ -78,6 +79,17 @@ struct RunOptions {
   /// default: disabled observability costs nothing on the access fast
   /// path (see bench_obs_overhead).
   bool CollectMetrics = false;
+  /// Fault injection (DESIGN.md Section 10).  When set, the engine
+  /// attaches this injector to the memory system for the duration of
+  /// run(), resetting its counters and decision sequences first so
+  /// repeated runs see the identical fault schedule.  Placements become
+  /// hints that can fail; cycles may change, results never do.  Not
+  /// owned.
+  fault::Injector *Fault = nullptr;
+  /// Downgrade runtime argument-shape violations (paper Section 6) from
+  /// run-aborting errors to warnings collected in RunResult::Diags.
+  /// Also enabled by DSM_SHAPE_CHECKS=warn in the environment.
+  bool ArgChecksWarnOnly = false;
 };
 
 /// Outcome of one execution.
@@ -97,6 +109,12 @@ struct RunResult {
   /// Per-array / per-node locality breakdown; populated only when
   /// RunOptions::CollectMetrics was set (Metrics.Collected says so).
   obs::MetricsSnapshot Metrics;
+  /// What the fault injector did (all zero without RunOptions::Fault).
+  fault::FaultCounters Faults;
+  /// Non-fatal diagnostics the run accumulated: degraded allocations,
+  /// partial redistributes, warn-mode argument-check violations.  The
+  /// run completed; these say what it had to work around.
+  std::vector<Diagnostic> Diags;
 
   double tlbMissFraction() const {
     return WallCycles == 0 ? 0.0

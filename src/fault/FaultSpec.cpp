@@ -1,0 +1,199 @@
+//===- fault/FaultSpec.cpp - Fault-injection configuration ----------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultSpec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::fault;
+
+namespace {
+
+std::string trim(const std::string &S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (End != S.c_str() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseI64(const std::string &S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  long long V = std::strtoll(S.c_str(), &End, 10);
+  if (End != S.c_str() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseProb(const std::string &S, double &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  double V = std::strtod(S.c_str(), &End);
+  if (End != S.c_str() + S.size() || V < 0.0 || V > 1.0)
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseIndexList(const std::string &S, std::vector<uint64_t> &Out) {
+  Out.clear();
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Comma = S.find(',', Pos);
+    std::string Item =
+        trim(S.substr(Pos, Comma == std::string::npos ? std::string::npos
+                                                      : Comma - Pos));
+    uint64_t V;
+    if (!parseU64(Item, V) || V == 0)
+      return false;
+    Out.push_back(V);
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  std::sort(Out.begin(), Out.end());
+  return true;
+}
+
+} // namespace
+
+Expected<FaultSpec> FaultSpec::parse(const std::string &Text,
+                                     const std::string &Name) {
+  FaultSpec Spec;
+  Error Err;
+  int LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    std::string Line = Text.substr(
+        Pos, Nl == std::string::npos ? std::string::npos : Nl - Pos);
+    Pos = Nl == std::string::npos ? Text.size() + 1 : Nl + 1;
+    ++LineNo;
+    if (size_t Hash = Line.find('#'); Hash != std::string::npos)
+      Line.resize(Hash);
+    Line = std::string(trim(Line));
+    if (Line.empty())
+      continue;
+    size_t Eq = Line.find('=');
+    if (Eq == std::string::npos) {
+      Err.addError("expected key = value", Name, LineNo);
+      continue;
+    }
+    std::string Key(trim(Line.substr(0, Eq)));
+    std::string Val(trim(Line.substr(Eq + 1)));
+    bool Ok = true;
+    if (Key == "seed") {
+      Ok = parseU64(Val, Spec.Seed);
+    } else if (Key == "place_deny_prob") {
+      Ok = parseProb(Val, Spec.PlaceDenyProb);
+    } else if (Key == "place_deny_at") {
+      Ok = parseIndexList(Val, Spec.PlaceDenyAt);
+    } else if (Key == "migrate_deny_prob") {
+      Ok = parseProb(Val, Spec.MigrateDenyProb);
+    } else if (Key == "migrate_deny_at") {
+      Ok = parseIndexList(Val, Spec.MigrateDenyAt);
+    } else if (Key == "latency_spike_prob") {
+      Ok = parseProb(Val, Spec.LatencySpikeProb);
+    } else if (Key == "latency_spike_cycles") {
+      Ok = parseU64(Val, Spec.LatencySpikeCycles);
+    } else if (Key == "tlb_fail_prob") {
+      Ok = parseProb(Val, Spec.TlbFailProb);
+    } else if (Key == "frame_cap") {
+      Ok = parseI64(Val, Spec.FrameCap) && Spec.FrameCap >= -1;
+    } else if (Key.rfind("frame_cap.", 0) == 0) {
+      int64_t Node = -1, Cap = -1;
+      Ok = parseI64(Key.substr(10), Node) && Node >= 0 &&
+           parseI64(Val, Cap) && Cap >= -1;
+      if (Ok)
+        Spec.NodeFrameCaps[static_cast<int>(Node)] = Cap;
+    } else if (Key == "degrade_reshaped") {
+      Spec.DegradeReshaped = Val == "1" || Val == "true";
+      Ok = Spec.DegradeReshaped || Val == "0" || Val == "false";
+    } else if (Key == "retry_budget") {
+      uint64_t V;
+      Ok = parseU64(Val, V) && V <= 1000;
+      if (Ok)
+        Spec.RetryBudget = static_cast<unsigned>(V);
+    } else if (Key == "retry_backoff_cycles") {
+      Ok = parseU64(Val, Spec.RetryBackoffCycles);
+    } else {
+      Err.addError("unknown fault-spec key '" + Key + "'", Name, LineNo);
+      continue;
+    }
+    if (!Ok)
+      Err.addError("invalid value '" + Val + "' for key '" + Key + "'",
+                   Name, LineNo);
+  }
+  if (Err)
+    return Err;
+  return Spec;
+}
+
+std::string FaultSpec::str() const {
+  std::string Out;
+  auto Add = [&](const std::string &S) {
+    Out += S;
+    Out += '\n';
+  };
+  auto List = [](const std::vector<uint64_t> &V) {
+    std::string S;
+    for (uint64_t X : V) {
+      if (!S.empty())
+        S += ',';
+      S += std::to_string(X);
+    }
+    return S;
+  };
+  if (Seed != 1)
+    Add("seed = " + std::to_string(Seed));
+  if (PlaceDenyProb > 0)
+    Add(formatString("place_deny_prob = %g", PlaceDenyProb));
+  if (!PlaceDenyAt.empty())
+    Add("place_deny_at = " + List(PlaceDenyAt));
+  if (MigrateDenyProb > 0)
+    Add(formatString("migrate_deny_prob = %g", MigrateDenyProb));
+  if (!MigrateDenyAt.empty())
+    Add("migrate_deny_at = " + List(MigrateDenyAt));
+  if (LatencySpikeProb > 0) {
+    Add(formatString("latency_spike_prob = %g", LatencySpikeProb));
+    Add("latency_spike_cycles = " + std::to_string(LatencySpikeCycles));
+  }
+  if (TlbFailProb > 0)
+    Add(formatString("tlb_fail_prob = %g", TlbFailProb));
+  if (FrameCap >= 0)
+    Add("frame_cap = " + std::to_string(FrameCap));
+  for (const auto &[Node, Cap] : NodeFrameCaps)
+    Add("frame_cap." + std::to_string(Node) + " = " +
+        std::to_string(Cap));
+  if (DegradeReshaped)
+    Add("degrade_reshaped = 1");
+  if (RetryBudget != 3)
+    Add("retry_budget = " + std::to_string(RetryBudget));
+  if (RetryBackoffCycles != 200)
+    Add("retry_backoff_cycles = " + std::to_string(RetryBackoffCycles));
+  return Out;
+}

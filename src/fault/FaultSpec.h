@@ -1,0 +1,122 @@
+//===- fault/FaultSpec.h - Fault-injection configuration --------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarative configuration of the fault injector (DESIGN.md Section
+/// 10).  A FaultSpec says *which* failures a run should experience --
+/// per-node frame-capacity limits, probabilistic or scheduled placement
+/// and migration denials, interconnect latency spikes, transient TLB
+/// fill failures -- and with what seed, so a fault schedule is fully
+/// deterministic and reproducible across host thread counts.
+///
+/// Specs are parsed from a small key = value text format (the
+/// --fault-spec file of tools/dsm_run):
+///
+///   # placement pressure plus flaky migrations
+///   seed = 42
+///   frame_cap = 24          # soft per-node frame limit (all nodes)
+///   frame_cap.3 = 4         # override for node 3
+///   place_deny_prob = 0.25
+///   place_deny_at = 1,5,9   # additionally deny these decision indices
+///   migrate_deny_prob = 0.5
+///   migrate_deny_at = 2
+///   latency_spike_prob = 0.1
+///   latency_spike_cycles = 2000
+///   tlb_fail_prob = 0.05
+///   degrade_reshaped = 1
+///   retry_budget = 3
+///   retry_backoff_cycles = 200
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_FAULT_FAULTSPEC_H
+#define DSM_FAULT_FAULTSPEC_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/Error.h"
+
+namespace dsm::fault {
+
+/// One run's fault schedule.  A default-constructed spec injects
+/// nothing; every knob is independent and composable.
+struct FaultSpec {
+  /// Seed of every probabilistic decision.  Decisions are keyed by
+  /// (seed, decision kind, per-kind sequence number), so a schedule is
+  /// a pure function of the serial decision order -- identical for
+  /// HostThreads = 1 and N (all injection points sit on the engine's
+  /// serial/replay path).
+  uint64_t Seed = 1;
+
+  /// Probability that an explicit placePage request is refused.
+  double PlaceDenyProb = 0.0;
+  /// Decision indices (1-based, per placePage call) denied regardless
+  /// of probability; sorted ascending by the parser.
+  std::vector<uint64_t> PlaceDenyAt;
+
+  /// Probability that a migratePage request is refused (each retry
+  /// draws a fresh decision).
+  double MigrateDenyProb = 0.0;
+  std::vector<uint64_t> MigrateDenyAt;
+
+  /// Probability that a memory-level access suffers an interconnect
+  /// latency spike of LatencySpikeCycles extra cycles.
+  double LatencySpikeProb = 0.0;
+  uint64_t LatencySpikeCycles = 1000;
+
+  /// Probability that a TLB fill transiently fails and is retried
+  /// (costing a second TLB-miss penalty).
+  double TlbFailProb = 0.0;
+
+  /// Soft per-node frame capacity: placement prefers nodes below the
+  /// cap and falls back by topology distance.  -1 means uncapped.  The
+  /// cap is soft -- when every node is capped the allocator breaches it
+  /// rather than fail, counting a capacity overflow -- so semantics
+  /// never depend on it.
+  int64_t FrameCap = -1;
+  /// Per-node overrides of FrameCap.
+  std::map<int, int64_t> NodeFrameCaps;
+
+  /// Force reshaped-array allocation to degrade to a contiguous
+  /// block-placed fallback (the same degradation real memory pressure
+  /// triggers), exercising the addressing-compatibility invariant.
+  bool DegradeReshaped = false;
+
+  /// Bounded retry budget for denied migrations (runtime::redistribute)
+  /// and the simulated backoff cost charged per retry.
+  unsigned RetryBudget = 3;
+  uint64_t RetryBackoffCycles = 200;
+
+  /// True when any knob can actually inject a fault.
+  bool enabled() const {
+    return PlaceDenyProb > 0 || !PlaceDenyAt.empty() ||
+           MigrateDenyProb > 0 || !MigrateDenyAt.empty() ||
+           LatencySpikeProb > 0 || TlbFailProb > 0 || FrameCap >= 0 ||
+           !NodeFrameCaps.empty() || DegradeReshaped;
+  }
+
+  /// Effective frame cap of \p Node, or -1 when uncapped.
+  int64_t frameCapFor(int Node) const {
+    auto It = NodeFrameCaps.find(Node);
+    return It != NodeFrameCaps.end() ? It->second : FrameCap;
+  }
+
+  /// Parses the key = value format above.  \p Name labels diagnostics
+  /// (typically the file path).  Unknown keys, out-of-range
+  /// probabilities, and malformed numbers are errors.
+  static Expected<FaultSpec> parse(const std::string &Text,
+                                   const std::string &Name = "<fault-spec>");
+
+  /// Renders the spec back in parseable form (non-default keys only).
+  std::string str() const;
+};
+
+} // namespace dsm::fault
+
+#endif // DSM_FAULT_FAULTSPEC_H

@@ -1,0 +1,42 @@
+//===- fault/Injector.cpp - Deterministic fault injection -----------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/Injector.h"
+
+#include <algorithm>
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::fault;
+
+std::string FaultCounters::str() const {
+  return formatString(
+      "place denied=%llu fallback=%llu | migrate denied=%llu "
+      "retries=%llu | latency spikes=%llu (+%llu cyc) | tlb retries=%llu "
+      "| capacity overflows=%llu | degraded arrays=%llu",
+      static_cast<unsigned long long>(PlacementsDenied),
+      static_cast<unsigned long long>(PlacementFallbacks),
+      static_cast<unsigned long long>(MigrationsDenied),
+      static_cast<unsigned long long>(MigrationRetries),
+      static_cast<unsigned long long>(LatencySpikes),
+      static_cast<unsigned long long>(LatencySpikeCycles),
+      static_cast<unsigned long long>(TlbFillRetries),
+      static_cast<unsigned long long>(CapacityOverflows),
+      static_cast<unsigned long long>(DegradedArrays));
+}
+
+double Injector::draw(uint64_t Salt, uint64_t Seq, uint64_t Key) const {
+  uint64_t X = hashMix64(Spec.Seed ^ hashMix64(Salt)) ^
+               hashMix64(Seq * 0x9e3779b97f4a7c15ULL + Key);
+  return static_cast<double>(hashMix64(X) >> 11) * 0x1.0p-53;
+}
+
+bool Injector::scheduled(const std::vector<uint64_t> &Sorted,
+                         uint64_t Seq) {
+  return std::binary_search(Sorted.begin(), Sorted.end(), Seq);
+}

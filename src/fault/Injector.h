@@ -1,0 +1,166 @@
+//===- fault/Injector.h - Deterministic fault injection ---------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault injector the memory system and runtime consult on their
+/// slow paths.  It mirrors the numa::SimObserver attachment pattern: a
+/// nullable raw pointer held by numa::MemorySystem, checked only where
+/// a decision is needed, so a run without an injector pays nothing.
+///
+/// Every decision is a pure function of (spec seed, decision kind,
+/// per-kind sequence number, site key).  All injection points sit on
+/// the engine's serial/replay path, where the decision order is
+/// provably identical for HostThreads = 1 and N, so a fault schedule
+/// is deterministic and bit-reproducible across host parallelism.
+///
+/// The core invariant (proved by tests/fault/FaultMatrixTest): faults
+/// perturb *placement* and *cycles* only.  Functional data is keyed by
+/// virtual address and never moves, so no fault schedule can change a
+/// program's results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_FAULT_INJECTOR_H
+#define DSM_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <string>
+
+#include "fault/FaultSpec.h"
+
+namespace dsm::fault {
+
+/// What the injector (and the fallback machinery reacting to it) did
+/// during one run.  All zero when no injector was attached.
+struct FaultCounters {
+  uint64_t PlacementsDenied = 0;  ///< placePage requests refused.
+  uint64_t PlacementFallbacks = 0; ///< Pages placed on a neighbor node.
+  uint64_t MigrationsDenied = 0;  ///< migratePage requests refused.
+  uint64_t MigrationRetries = 0;  ///< Redistribute retry attempts.
+  uint64_t LatencySpikes = 0;     ///< Memory accesses hit by a spike.
+  uint64_t LatencySpikeCycles = 0; ///< Total extra cycles charged.
+  uint64_t TlbFillRetries = 0;    ///< Transient TLB-fill failures.
+  uint64_t CapacityOverflows = 0; ///< Soft-cap breaches + unbacked pages.
+  uint64_t DegradedArrays = 0;    ///< Reshaped allocs degraded to block.
+
+  bool any() const {
+    return PlacementsDenied || PlacementFallbacks || MigrationsDenied ||
+           MigrationRetries || LatencySpikes || TlbFillRetries ||
+           CapacityOverflows || DegradedArrays;
+  }
+
+  /// One-line human-readable summary.
+  std::string str() const;
+
+  bool operator==(const FaultCounters &O) const = default;
+};
+
+/// Seeded decision engine over a FaultSpec.  Not thread-safe by design:
+/// every caller sits on the engine's serial/replay path (the same
+/// contract as numa::SimObserver).
+class Injector {
+public:
+  explicit Injector(FaultSpec Spec) : Spec(std::move(Spec)) {}
+
+  const FaultSpec &spec() const { return Spec; }
+  FaultCounters &counters() { return Counters; }
+  const FaultCounters &counters() const { return Counters; }
+
+  /// Resets counters and decision sequence numbers; the engine calls
+  /// this at the start of every run so repeated runs with one injector
+  /// see the identical fault schedule.
+  void reset() {
+    Counters = FaultCounters();
+    PlaceSeq = MigrateSeq = LatencySeq = TlbSeq = DegradeSeq = 0;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Decision points.  Each call consumes one draw of its kind; callers
+  // must invoke them from the serial path only.
+  //===--------------------------------------------------------------===//
+
+  /// Should this placePage request be refused?
+  bool denyPlacePage(uint64_t VPage, int Node) {
+    ++PlaceSeq;
+    if (scheduled(Spec.PlaceDenyAt, PlaceSeq))
+      return true;
+    return Spec.PlaceDenyProb > 0 &&
+           draw(0x70616765 /*'page'*/, PlaceSeq, VPage ^ hashNode(Node)) <
+               Spec.PlaceDenyProb;
+  }
+
+  /// Should this migratePage request be refused?  Each retry draws
+  /// again, so a bounded retry loop can eventually succeed.
+  bool denyMigratePage(uint64_t VPage, int Node) {
+    ++MigrateSeq;
+    if (scheduled(Spec.MigrateDenyAt, MigrateSeq))
+      return true;
+    return Spec.MigrateDenyProb > 0 &&
+           draw(0x6d696772 /*'migr'*/, MigrateSeq,
+                VPage ^ hashNode(Node)) < Spec.MigrateDenyProb;
+  }
+
+  /// Extra interconnect cycles for one memory-level access (0 = none).
+  uint64_t drawLatencySpike(int FromNode, int HomeNode) {
+    if (Spec.LatencySpikeProb <= 0)
+      return 0;
+    ++LatencySeq;
+    if (draw(0x6c617463 /*'latc'*/, LatencySeq,
+             hashNode(FromNode) * 31 + hashNode(HomeNode)) >=
+        Spec.LatencySpikeProb)
+      return 0;
+    return Spec.LatencySpikeCycles;
+  }
+
+  /// Does this TLB fill transiently fail (forcing a retry walk)?
+  bool failTlbFill(int Proc, uint64_t VPage) {
+    if (Spec.TlbFailProb <= 0)
+      return false;
+    ++TlbSeq;
+    return draw(0x746c6266 /*'tlbf'*/, TlbSeq,
+                VPage ^ hashNode(Proc)) < Spec.TlbFailProb;
+  }
+
+  /// Is \p Node at or above its soft frame cap given \p FramesUsed?
+  bool overFrameCap(int Node, uint64_t FramesUsed) const {
+    int64_t Cap = Spec.frameCapFor(Node);
+    return Cap >= 0 && FramesUsed >= static_cast<uint64_t>(Cap);
+  }
+
+  /// Should this reshaped allocation degrade to the block fallback?
+  bool degradeReshapedAlloc() {
+    if (!Spec.DegradeReshaped)
+      return false;
+    ++DegradeSeq;
+    return true;
+  }
+
+  unsigned retryBudget() const { return Spec.RetryBudget; }
+  uint64_t retryBackoffCycles() const { return Spec.RetryBackoffCycles; }
+
+private:
+  /// Uniform double in [0, 1) as a pure function of the spec seed, a
+  /// decision-kind salt, the per-kind sequence number, and a site key.
+  double draw(uint64_t Salt, uint64_t Seq, uint64_t Key) const;
+
+  static uint64_t hashNode(int N) {
+    return static_cast<uint64_t>(N) * 0x9e3779b97f4a7c15ULL;
+  }
+
+  static bool scheduled(const std::vector<uint64_t> &Sorted, uint64_t Seq);
+
+  FaultSpec Spec;
+  FaultCounters Counters;
+  uint64_t PlaceSeq = 0;
+  uint64_t MigrateSeq = 0;
+  uint64_t LatencySeq = 0;
+  uint64_t TlbSeq = 0;
+  uint64_t DegradeSeq = 0;
+};
+
+} // namespace dsm::fault
+
+#endif // DSM_FAULT_INJECTOR_H

@@ -7,9 +7,11 @@
 #include "numa/MemorySystem.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstring>
 
+#include "fault/Injector.h"
 #include "support/Error.h"
 
 using namespace dsm;
@@ -47,20 +49,104 @@ uint64_t MemorySystem::allocOnNode(uint64_t Bytes, int Node) {
   return Addr;
 }
 
+std::optional<PhysMem::Allocation>
+MemorySystem::allocFrame(int Pref, uint64_t VPage, FrameMode Mode,
+                         bool AvoidPref) {
+  unsigned MaxHop =
+      std::bit_width(static_cast<unsigned>(Config.NumNodes));
+  int Passes = Inj ? 2 : 1;
+  for (int Pass = 0; Pass < Passes; ++Pass) {
+    for (unsigned Hop = 0; Hop <= MaxHop; ++Hop) {
+      for (int N = 0; N < Config.NumNodes; ++N) {
+        unsigned H = static_cast<unsigned>(
+            std::popcount(static_cast<unsigned>(N) ^
+                          static_cast<unsigned>(Pref)));
+        if (H != Hop)
+          continue;
+        if (AvoidPref && N == Pref)
+          continue;
+        if (Pass == 0 && Inj &&
+            Inj->overFrameCap(N, Frames.framesUsed(N)))
+          continue;
+        if (auto A = Frames.allocOn(N, VPage, Mode)) {
+          if (Pass == 1) {
+            // Every node was over its soft cap; breach it rather than
+            // fail -- the cap is a fault hint, not a hard limit.
+            ++Inj->counters().CapacityOverflows;
+            if (Obs)
+              Obs->onFaultInjected("capacity_overflow", VPage, N);
+          }
+          return A;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void MemorySystem::makeUnbacked(PageInfo &PI, uint64_t VPage,
+                                int HomeNode) {
+  // Pseudo physical page index past every real frame keeps cache and
+  // directory indexing collision-free:
+  //   physBase(Node, Frame) == (NumNodes * FramesPerNode + Seq) * PageSize
+  uint64_t FPN = Frames.framesPerNode();
+  PI.Node = HomeNode;
+  PI.Frame =
+      (static_cast<uint64_t>(Config.NumNodes - HomeNode)) * FPN +
+      OverflowSeq++;
+  PI.Mapped = true;
+  PI.Backed = false;
+  if (Inj)
+    ++Inj->counters().CapacityOverflows;
+  if (Obs)
+    Obs->onFaultInjected("unbacked_page", VPage, HomeNode);
+}
+
 void MemorySystem::placePage(uint64_t VPage, int Node, FrameMode Mode) {
   assert(Node >= 0 && Node < Config.NumNodes && "node out of range");
   PageInfo &PI = Pages[VPage];
-  if (PI.Mapped) {
-    if (PI.Node == Node)
-      return;
-    Frames.free(PI.Node, PI.Frame);
+  bool AvoidPref = false;
+  if (Inj && Inj->denyPlacePage(VPage, Node)) {
+    ++Inj->counters().PlacementsDenied;
+    if (Obs)
+      Obs->onFaultInjected("place_denied", VPage, Node);
+    if (PI.Mapped)
+      return; // Denied re-placement: the page stays where it is.
+    AvoidPref = true; // Fall back to a neighbor by topology distance.
   }
-  PhysMem::Allocation A = Frames.alloc(Node, VPage, Mode);
-  PI.Node = A.Node;
-  PI.Frame = A.Frame;
+  if (PI.Mapped && PI.Node == Node)
+    return;
+  bool HadOld = PI.Mapped && PI.Backed;
+  int OldNode = PI.Node;
+  uint64_t OldFrame = PI.Frame;
+  if (HadOld)
+    Frames.free(OldNode, OldFrame);
+  std::optional<PhysMem::Allocation> A =
+      allocFrame(Node, VPage, Mode, AvoidPref);
+  if (!A) {
+    if (HadOld) {
+      // Machine full: keep the old backing (placement is only a hint).
+      bool Repinned = Frames.allocSpecific(OldNode, OldFrame);
+      assert(Repinned && "frame taken while page owned it");
+      (void)Repinned;
+      return;
+    }
+    if (PI.Mapped)
+      return; // Already unbacked; nothing to improve.
+    makeUnbacked(PI, VPage, Node);
+    return;
+  }
+  PI.Node = A->Node;
+  PI.Frame = A->Frame;
   PI.Mapped = true;
+  PI.Backed = true;
+  if (Inj && A->Node != Node) {
+    ++Inj->counters().PlacementFallbacks;
+    if (Obs)
+      Obs->onFaultInjected("place_fallback", VPage, A->Node);
+  }
   if (Obs)
-    Obs->onPagePlace(VPage, A.Node, Mode == FrameMode::Colored);
+    Obs->onPagePlace(VPage, A->Node, Mode == FrameMode::Colored);
 }
 
 void MemorySystem::placeRange(uint64_t Addr, uint64_t Bytes, int Node,
@@ -73,15 +159,21 @@ void MemorySystem::placeRange(uint64_t Addr, uint64_t Bytes, int Node,
     placePage(VPage, Node, Mode);
 }
 
-void MemorySystem::migratePage(uint64_t VPage, int NewNode) {
+bool MemorySystem::migratePage(uint64_t VPage, int NewNode) {
   auto It = Pages.find(VPage);
   if (It == Pages.end() || !It->second.Mapped) {
     placePage(VPage, NewNode, FrameMode::Hashed);
-    return;
+    return true;
   }
   PageInfo &PI = It->second;
   if (PI.Node == NewNode)
-    return;
+    return true;
+  if (Inj && Inj->denyMigratePage(VPage, NewNode)) {
+    ++Inj->counters().MigrationsDenied;
+    if (Obs)
+      Obs->onFaultInjected("migrate_denied", VPage, NewNode);
+    return false;
+  }
 
   // Shoot down stale translations and cached lines under the old
   // physical address.
@@ -99,13 +191,32 @@ void MemorySystem::migratePage(uint64_t VPage, int NewNode) {
     Dir.erase(OldPhysBase + Off);
 
   int OldNode = PI.Node;
-  Frames.free(PI.Node, PI.Frame);
-  PhysMem::Allocation A = Frames.alloc(NewNode, VPage, FrameMode::Hashed);
-  PI.Node = A.Node;
-  PI.Frame = A.Frame;
+  bool HadOld = PI.Backed;
+  uint64_t OldFrame = PI.Frame;
+  if (HadOld)
+    Frames.free(OldNode, OldFrame);
+  std::optional<PhysMem::Allocation> A =
+      allocFrame(NewNode, VPage, FrameMode::Hashed, /*AvoidPref=*/false);
+  if (!A) {
+    // Machine full: the move fails, the page keeps its old backing.
+    if (HadOld) {
+      bool Repinned = Frames.allocSpecific(OldNode, OldFrame);
+      assert(Repinned && "frame taken while page owned it");
+      (void)Repinned;
+    }
+    if (Inj)
+      ++Inj->counters().CapacityOverflows;
+    if (Obs)
+      Obs->onFaultInjected("capacity_overflow", VPage, NewNode);
+    return false;
+  }
+  PI.Node = A->Node;
+  PI.Frame = A->Frame;
+  PI.Backed = true;
   ++Stats.PageMigrations;
   if (Obs)
-    Obs->onPageMigrate(VPage, OldNode, A.Node);
+    Obs->onPageMigrate(VPage, OldNode, A->Node);
+  return true;
 }
 
 int MemorySystem::pageHomeNode(uint64_t VPage) const {
@@ -141,12 +252,27 @@ MemorySystem::PageInfo &MemorySystem::faultIn(uint64_t VPage, int Proc,
     Node = static_cast<int>(RoundRobinNext++ %
                             static_cast<uint64_t>(Config.NumNodes));
   }
-  PhysMem::Allocation A = Frames.alloc(Node, VPage, FrameMode::Hashed);
-  PI.Node = A.Node;
-  PI.Frame = A.Frame;
+  std::optional<PhysMem::Allocation> A =
+      allocFrame(Node, VPage, FrameMode::Hashed, /*AvoidPref=*/false);
+  if (!A) {
+    makeUnbacked(PI, VPage, Node);
+    if (Obs)
+      Obs->onPageFault(VPage, Node, Proc);
+    return PI;
+  }
+  PI.Node = A->Node;
+  PI.Frame = A->Frame;
   PI.Mapped = true;
+  PI.Backed = true;
+  if (Inj && A->Node != Node &&
+      Inj->overFrameCap(Node, Frames.framesUsed(Node))) {
+    // A soft cap on the policy's choice redirected this fault.
+    ++Inj->counters().PlacementFallbacks;
+    if (Obs)
+      Obs->onFaultInjected("place_fallback", VPage, A->Node);
+  }
   if (Obs)
-    Obs->onPageFault(VPage, A.Node, Proc);
+    Obs->onPageFault(VPage, A->Node, Proc);
   return PI;
 }
 
@@ -236,8 +362,17 @@ uint64_t MemorySystem::access(int Proc, uint64_t Addr, unsigned Bytes,
   // Address translation.
   if (!P.Dtlb.access(VPage)) {
     ++Stats.TlbMisses;
-    Cycles += Costs.TlbMiss;
-    Stats.TlbMissCycles += Costs.TlbMiss;
+    uint64_t MissCycles = Costs.TlbMiss;
+    if (Inj && Inj->failTlbFill(Proc, VPage)) {
+      // Transient fill failure: the walk is retried, doubling the
+      // penalty.  Translation still succeeds -- only cycles change.
+      MissCycles += Costs.TlbMiss;
+      ++Inj->counters().TlbFillRetries;
+      if (Obs)
+        Obs->onFaultInjected("tlb_retry", VPage, nodeOfProc(Proc));
+    }
+    Cycles += MissCycles;
+    Stats.TlbMissCycles += MissCycles;
     if (Obs)
       Obs->onTlbMiss(Proc, Addr);
   }
@@ -312,6 +447,15 @@ uint64_t MemorySystem::access(int Proc, uint64_t Addr, unsigned Bytes,
 
   // Memory (through the home node's hub/directory).
   uint64_t Latency = Topo.memoryLatency(MyNode, HomeNode);
+  if (Inj) {
+    if (uint64_t Spike = Inj->drawLatencySpike(MyNode, HomeNode)) {
+      Latency += Spike;
+      ++Inj->counters().LatencySpikes;
+      Inj->counters().LatencySpikeCycles += Spike;
+      if (Obs)
+        Obs->onFaultInjected("latency_spike", VPage, HomeNode);
+    }
+  }
   Cycles += Costs.L2Hit + Latency;
   if (HomeNode == MyNode)
     ++Stats.LocalMemAccesses;

@@ -38,6 +38,10 @@
 #include "numa/Tlb.h"
 #include "numa/Topology.h"
 
+namespace dsm::fault {
+class Injector;
+} // namespace dsm::fault
+
 namespace dsm::numa {
 
 /// OS page-placement policy for pages not explicitly placed.
@@ -72,6 +76,12 @@ public:
   /// Re-requests override earlier ones: "a page requested by multiple
   /// processors is simply allocated from within the local memory of the
   /// processor to last request the page" (paper Section 8.3).
+  ///
+  /// Placement is a *hint*: under an attached fault::Injector the
+  /// request may be denied (the page stays put, or -- for an unmapped
+  /// page -- is placed on the nearest node by topology distance), and
+  /// under memory pressure the page may end up elsewhere or unbacked.
+  /// None of this affects functional data, which is virtual-keyed.
   void placePage(uint64_t VPage, int Node, FrameMode Mode);
 
   /// Places every page overlapping [Addr, Addr+Bytes).
@@ -79,8 +89,10 @@ public:
 
   /// Moves a mapped page to \p NewNode (redistribute); charges the cost
   /// to the counters and shoots down TLBs and caches.  No-op if the page
-  /// already lives there or was never mapped.
-  void migratePage(uint64_t VPage, int NewNode);
+  /// already lives there or was never mapped.  Returns false when an
+  /// attached fault::Injector denied the request (a later retry may
+  /// succeed) or no frame could be found; true otherwise.
+  bool migratePage(uint64_t VPage, int NewNode);
 
   void setDefaultPolicy(PlacementPolicy P) { DefaultPolicy = P; }
   PlacementPolicy defaultPolicy() const { return DefaultPolicy; }
@@ -140,6 +152,14 @@ public:
   void setObserver(SimObserver *O) { Obs = O; }
   SimObserver *observer() const { return Obs; }
 
+  /// Attaches (or, with nullptr, detaches) the fault injector.  Same
+  /// contract as the observer: a nullable pointer consulted only on
+  /// already-slow paths (placement, migration, fault-in, TLB miss,
+  /// memory-level access), so a run without faults pays nothing.  Not
+  /// owned.
+  void setFaultInjector(fault::Injector *I) { Inj = I; }
+  fault::Injector *faultInjector() const { return Inj; }
+
   /// Drops all cache/TLB contents (not page mappings or data).
   void flushCachesAndTlbs();
 
@@ -151,6 +171,13 @@ private:
     int Node = -1;
     uint64_t Frame = 0;
     bool Mapped = false;
+    /// False for "unbacked" pages mapped when no physical frame could
+    /// be found anywhere (true exhaustion, or every node over its
+    /// fault-injected cap).  An unbacked page has a unique pseudo
+    /// physical address past the real frames, is never freed through
+    /// PhysMem, and behaves normally otherwise -- functional data is
+    /// virtual-keyed, so only cycle costs are affected.
+    bool Backed = false;
   };
 
   struct ProcState {
@@ -169,6 +196,18 @@ private:
   /// Returns the page info, faulting it in under the default policy (on
   /// behalf of \p Proc) if unmapped.  \p Cycles accumulates fault cost.
   PageInfo &faultIn(uint64_t VPage, int Proc, uint64_t &Cycles);
+
+  /// Hop-ordered frame allocation honoring fault-injected soft caps:
+  /// first pass prefers nodes under cap, second pass (injector only)
+  /// breaches caps rather than fail.  \p AvoidPref skips the preferred
+  /// node (its placement request was denied).  std::nullopt only when
+  /// the machine is truly full.
+  std::optional<PhysMem::Allocation>
+  allocFrame(int Pref, uint64_t VPage, FrameMode Mode, bool AvoidPref);
+
+  /// Maps \p VPage as an unbacked page homed on \p HomeNode (see
+  /// PageInfo::Backed).
+  void makeUnbacked(PageInfo &PI, uint64_t VPage, int HomeNode);
 
   /// Directory actions for an access that reached the coherence point.
   /// Invalidates / downgrades other processors' cached copies as needed.
@@ -200,6 +239,9 @@ private:
   std::vector<uint64_t> EpochRequests;
   Counters Stats;
   SimObserver *Obs = nullptr;
+  fault::Injector *Inj = nullptr;
+  /// Sequence number giving unbacked pages unique pseudo frames.
+  uint64_t OverflowSeq = 0;
 };
 
 } // namespace dsm::numa

@@ -87,6 +87,21 @@ public:
     (void)Node;
     (void)Bytes;
   }
+
+  /// A fault was injected (or a fallback taken in reaction to one).
+  /// \p Kind is a static string: "place_denied", "place_fallback",
+  /// "migrate_denied", "migrate_retry", "latency_spike", "tlb_retry",
+  /// "capacity_overflow", "unbacked_page", or "degraded_array".
+  /// \p VPage / \p Node identify the affected page and node where
+  /// meaningful (0 / -1 otherwise).  Fires only when a fault::Injector
+  /// is attached or the machine degrades under true memory exhaustion;
+  /// a healthy unfaulted run never reaches these call sites.
+  virtual void onFaultInjected(const char *Kind, uint64_t VPage,
+                               int Node) {
+    (void)Kind;
+    (void)VPage;
+    (void)Node;
+  }
 };
 
 } // namespace dsm::numa

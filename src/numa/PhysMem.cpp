@@ -9,7 +9,6 @@
 #include <bit>
 #include <cassert>
 
-#include "support/Error.h"
 #include "support/Rng.h"
 
 using namespace dsm;
@@ -52,7 +51,20 @@ uint64_t PhysMem::findFrame(int Node, uint64_t VPage, FrameMode Mode) {
   return FramesPerNode;
 }
 
-PhysMem::Allocation PhysMem::alloc(int Node, uint64_t VPage, FrameMode Mode) {
+std::optional<PhysMem::Allocation> PhysMem::allocOn(int Node,
+                                                    uint64_t VPage,
+                                                    FrameMode Mode) {
+  assert(Node >= 0 && Node < NumNodes && "node out of range");
+  uint64_t F = findFrame(Node, VPage, Mode);
+  if (F >= FramesPerNode)
+    return std::nullopt;
+  Used[Node][F] = true;
+  ++UsedCount[Node];
+  return Allocation{Node, F};
+}
+
+std::optional<PhysMem::Allocation> PhysMem::alloc(int Node, uint64_t VPage,
+                                                  FrameMode Mode) {
   assert(Node >= 0 && Node < NumNodes && "node out of range");
   // Visit nodes in increasing hop distance from the preferred node; ties
   // broken by index, matching nearest-neighbour spill on the hypercube.
@@ -65,15 +77,21 @@ PhysMem::Allocation PhysMem::alloc(int Node, uint64_t VPage, FrameMode Mode) {
                         static_cast<unsigned>(Node)));
       if (H != Hop)
         continue;
-      uint64_t F = findFrame(N, VPage, Mode);
-      if (F < FramesPerNode) {
-        Used[N][F] = true;
-        ++UsedCount[N];
-        return Allocation{N, F};
-      }
+      if (auto A = allocOn(N, VPage, Mode))
+        return A;
     }
   }
-  reportFatalError("simulated machine out of physical memory");
+  return std::nullopt;
+}
+
+bool PhysMem::allocSpecific(int Node, uint64_t Frame) {
+  assert(Node >= 0 && Node < NumNodes && "node out of range");
+  assert(Frame < FramesPerNode && "frame out of range");
+  if (Used[Node][Frame])
+    return false;
+  Used[Node][Frame] = true;
+  ++UsedCount[Node];
+  return true;
 }
 
 void PhysMem::free(int Node, uint64_t Frame) {

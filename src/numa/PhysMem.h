@@ -24,6 +24,7 @@
 #define DSM_NUMA_PHYSMEM_H
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "numa/MachineConfig.h"
@@ -44,12 +45,24 @@ public:
 
   /// Allocates a frame on \p Node (or, if full, the nearest node with
   /// space by hop count).  \p VPage drives the color/hash choice.
-  /// Returns {node, frame}; aborts if the whole machine is full.
+  /// Returns {node, frame}, or std::nullopt when the whole machine is
+  /// full -- callers degrade gracefully instead of the process dying.
   struct Allocation {
     int Node;
     uint64_t Frame;
   };
-  Allocation alloc(int Node, uint64_t VPage, FrameMode Mode);
+  std::optional<Allocation> alloc(int Node, uint64_t VPage, FrameMode Mode);
+
+  /// Allocates a frame on \p Node only (no spill); std::nullopt when
+  /// the node is full.  Lets MemorySystem walk its own fallback order
+  /// under fault-injected capacity limits.
+  std::optional<Allocation> allocOn(int Node, uint64_t VPage,
+                                    FrameMode Mode);
+
+  /// Re-marks a specific frame used (re-pinning a page whose
+  /// replacement allocation failed).  Returns false if the frame is
+  /// already taken.
+  bool allocSpecific(int Node, uint64_t Frame);
 
   /// Releases \p Frame on \p Node.
   void free(int Node, uint64_t Frame);

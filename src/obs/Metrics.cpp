@@ -62,5 +62,20 @@ std::string MetricsSnapshot::str() const {
   }
   if (Skipped)
     Line("(%zu idle nodes omitted)", Skipped);
+  if (Faults.any()) {
+    Line("faults: place denied=%llu fallback=%llu, migrate denied=%llu "
+         "retries=%llu, latency spikes=%llu, tlb retries=%llu, "
+         "capacity overflows=%llu, degraded arrays=%llu, "
+         "partial redistributes=%llu",
+         static_cast<unsigned long long>(Faults.PlacementsDenied),
+         static_cast<unsigned long long>(Faults.PlacementFallbacks),
+         static_cast<unsigned long long>(Faults.MigrationsDenied),
+         static_cast<unsigned long long>(Faults.MigrationRetries),
+         static_cast<unsigned long long>(Faults.LatencySpikes),
+         static_cast<unsigned long long>(Faults.TlbFillRetries),
+         static_cast<unsigned long long>(Faults.CapacityOverflows),
+         static_cast<unsigned long long>(Faults.DegradedArrays),
+         static_cast<unsigned long long>(Faults.RedistributesPartial));
+  }
   return Out;
 }

@@ -95,6 +95,30 @@ struct EpochSummary {
   }
 };
 
+/// Fault-injection and graceful-degradation counters as *observed*
+/// through the trace channel (DESIGN.md Section 10).  All zero in an
+/// unfaulted run; the injector's own authoritative copy is surfaced
+/// separately on exec::RunResult::Faults.
+struct FaultStats {
+  uint64_t PlacementsDenied = 0;
+  uint64_t PlacementFallbacks = 0;
+  uint64_t MigrationsDenied = 0;
+  uint64_t MigrationRetries = 0;
+  uint64_t LatencySpikes = 0;
+  uint64_t TlbFillRetries = 0;
+  uint64_t CapacityOverflows = 0;
+  uint64_t DegradedArrays = 0;
+  uint64_t RedistributesPartial = 0; ///< Remaps that left pages behind.
+
+  bool any() const {
+    return PlacementsDenied || PlacementFallbacks || MigrationsDenied ||
+           MigrationRetries || LatencySpikes || TlbFillRetries ||
+           CapacityOverflows || DegradedArrays || RedistributesPartial;
+  }
+
+  bool operator==(const FaultStats &O) const = default;
+};
+
 /// The aggregated picture of one run.
 struct MetricsSnapshot {
   bool Collected = false; ///< False when metrics were never enabled.
@@ -104,6 +128,7 @@ struct MetricsSnapshot {
   std::vector<ArrayLocality> Arrays; ///< In allocation order.
   std::vector<NodeLocality> Nodes;   ///< Indexed by node id.
   std::vector<EpochSummary> EpochLog;
+  FaultStats Faults; ///< Fault/fallback events seen this run.
 
   const ArrayLocality *array(const std::string &Name) const;
 

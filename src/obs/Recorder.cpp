@@ -106,8 +106,11 @@ void Recorder::epochEnd(const EpochEndEvent &E) {
 }
 
 void Recorder::redistribute(const RedistributeEvent &E) {
-  if (MetricsOn)
+  if (MetricsOn) {
     ++Agg.Redistributes;
+    if (E.PagesFailed > 0)
+      ++Agg.Faults.RedistributesPartial;
+  }
   for (TraceSink *S : Sinks)
     S->onRedistribute(E);
 }
@@ -245,4 +248,34 @@ void Recorder::onPoolGrow(int OwnerProc, int Node_, uint64_t Bytes) {
     return;
   if (NodeLocality *N = node(Node_))
     N->PoolBytes += Bytes;
+}
+
+void Recorder::onFaultInjected(const char *Kind, uint64_t VPage,
+                               int Node_) {
+  if (MetricsOn) {
+    FaultStats &F = Agg.Faults;
+    if (std::strcmp(Kind, "place_denied") == 0)
+      ++F.PlacementsDenied;
+    else if (std::strcmp(Kind, "place_fallback") == 0)
+      ++F.PlacementFallbacks;
+    else if (std::strcmp(Kind, "migrate_denied") == 0)
+      ++F.MigrationsDenied;
+    else if (std::strcmp(Kind, "migrate_retry") == 0)
+      ++F.MigrationRetries;
+    else if (std::strcmp(Kind, "latency_spike") == 0)
+      ++F.LatencySpikes;
+    else if (std::strcmp(Kind, "tlb_retry") == 0)
+      ++F.TlbFillRetries;
+    else if (std::strcmp(Kind, "capacity_overflow") == 0 ||
+             std::strcmp(Kind, "unbacked_page") == 0)
+      ++F.CapacityOverflows;
+    else if (std::strcmp(Kind, "degraded_array") == 0)
+      ++F.DegradedArrays;
+  }
+  FaultEvent E;
+  E.Kind = Kind;
+  E.VPage = VPage;
+  E.Node = Node_;
+  for (TraceSink *S : Sinks)
+    S->onFault(E);
 }

@@ -84,6 +84,8 @@ public:
   void onPagePlace(uint64_t VPage, int Node, bool Colored) override;
   void onPageMigrate(uint64_t VPage, int FromNode, int ToNode) override;
   void onPoolGrow(int OwnerProc, int Node, uint64_t Bytes) override;
+  void onFaultInjected(const char *Kind, uint64_t VPage,
+                       int Node) override;
 
 private:
   /// Array owning \p Addr, or nullptr for unregistered storage

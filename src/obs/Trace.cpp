@@ -115,8 +115,18 @@ void JsonlTraceWriter::onRedistribute(const RedistributeEvent &E) {
   OS << "{\"ev\": \"redistribute\", \"array\": \"" << jsonEscape(E.Array)
      << "\", \"dist\": \"" << jsonEscape(E.NewDist)
      << "\", \"pages_moved\": " << E.PagesMoved
-     << ", \"cycles\": " << E.Cycles << ", \"cycle\": " << E.AtCycle
-     << "}\n";
+     << ", \"cycles\": " << E.Cycles << ", \"cycle\": " << E.AtCycle;
+  // Fault-only fields stay off the no-fault schema (golden-tested).
+  if (E.Retries)
+    OS << ", \"retries\": " << E.Retries;
+  if (E.PagesFailed)
+    OS << ", \"pages_failed\": " << E.PagesFailed;
+  OS << "}\n";
+}
+
+void JsonlTraceWriter::onFault(const FaultEvent &E) {
+  OS << "{\"ev\": \"fault\", \"kind\": \"" << E.Kind
+     << "\", \"page\": " << E.VPage << ", \"node\": " << E.Node << "}\n";
 }
 
 void JsonlTraceWriter::onRunEnd(const RunEndEvent &E) {

@@ -94,6 +94,22 @@ struct RedistributeEvent {
   uint64_t PagesMoved = 0;
   uint64_t Cycles = 0;
   uint64_t AtCycle = 0; ///< Engine clock when the remap started.
+  /// Fault-injection bookkeeping: retry attempts spent on denied
+  /// migrations and pages left at their old home after the retry
+  /// budget.  Serialized only when nonzero, keeping the no-fault JSONL
+  /// schema byte-stable.
+  uint64_t Retries = 0;
+  uint64_t PagesFailed = 0;
+};
+
+/// One injected fault or degradation fallback (see
+/// numa::SimObserver::onFaultInjected for the Kind vocabulary).  Only
+/// emitted when a fault::Injector is attached or the machine degrades
+/// under true exhaustion, so no-fault traces are unchanged.
+struct FaultEvent {
+  const char *Kind = "";
+  uint64_t VPage = 0;
+  int Node = -1;
 };
 
 struct RunEndEvent {
@@ -117,6 +133,7 @@ public:
   virtual void onEpochEnd(const EpochEndEvent &E) { (void)E; }
   virtual void onPage(const PageEvent &E) { (void)E; }
   virtual void onRedistribute(const RedistributeEvent &E) { (void)E; }
+  virtual void onFault(const FaultEvent &E) { (void)E; }
   /// Final event; writers flush here, so a sink is complete (and its
   /// stream reusable) once onRunEnd returns.
   virtual void onRunEnd(const RunEndEvent &E) { (void)E; }
@@ -133,6 +150,7 @@ public:
   void onEpochEnd(const EpochEndEvent &E) override;
   void onPage(const PageEvent &E) override;
   void onRedistribute(const RedistributeEvent &E) override;
+  void onFault(const FaultEvent &E) override;
   void onRunEnd(const RunEndEvent &E) override;
 
 private:

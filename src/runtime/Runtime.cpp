@@ -9,6 +9,8 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "fault/Injector.h"
+
 using namespace dsm;
 using namespace dsm::runtime;
 using namespace dsm::numa;
@@ -75,7 +77,8 @@ void Runtime::placeRegular(const dist::ArrayLayout &Layout, uint64_t Base) {
     Mem.placePage(Page, Mem.nodeOfProc(Proc), FrameMode::Hashed);
 }
 
-ArrayInstance Runtime::allocate(const dist::ArrayLayout &Layout) {
+ArrayInstance Runtime::allocate(const dist::ArrayLayout &Layout,
+                                Error *Diags) {
   ArrayInstance Inst;
   Inst.Layout = Layout;
 
@@ -90,9 +93,35 @@ ArrayInstance Runtime::allocate(const dist::ArrayLayout &Layout) {
   // the owning processor's local pool, plus the processor array.
   int64_t Cells = Layout.grid().totalCells();
   Inst.PortionBases.resize(static_cast<size_t>(Cells));
-  for (int64_t Cell = 0; Cell < Cells; ++Cell)
-    Inst.PortionBases[static_cast<size_t>(Cell)] =
-        poolAlloc(procOfCell(Cell), Layout.portionBytes());
+  fault::Injector *Inj = Mem.faultInjector();
+  if (Inj && Inj->degradeReshapedAlloc()) {
+    // Degraded fallback: the pool allocator is treated as unavailable,
+    // so carve the portions out of one contiguous allocation placed
+    // block-style on the owners' nodes.  The descriptor keeps the same
+    // shape (processor array + portion bases), so lowered PortionElem
+    // code -- and therefore every checksum -- is unchanged; only
+    // locality suffers.
+    uint64_t PB = Layout.portionBytes();
+    uint64_t Base =
+        Mem.allocVirtual(static_cast<uint64_t>(Cells) * PB);
+    for (int64_t Cell = 0; Cell < Cells; ++Cell) {
+      uint64_t Portion = Base + static_cast<uint64_t>(Cell) * PB;
+      Inst.PortionBases[static_cast<size_t>(Cell)] = Portion;
+      Mem.placeRange(Portion, PB, Mem.nodeOfProc(procOfCell(Cell)),
+                     FrameMode::Hashed);
+    }
+    ++Inj->counters().DegradedArrays;
+    if (numa::SimObserver *Obs = Mem.observer())
+      Obs->onFaultInjected("degraded_array", Mem.pageOf(Base), -1);
+    if (Diags)
+      Diags->addWarning(
+          "reshaped allocation degraded to regular block layout "
+          "(fault injection); results are unaffected, locality is");
+  } else {
+    for (int64_t Cell = 0; Cell < Cells; ++Cell)
+      Inst.PortionBases[static_cast<size_t>(Cell)] =
+          poolAlloc(procOfCell(Cell), Layout.portionBytes());
+  }
 
   Inst.ProcArrayBase =
       Mem.allocVirtual(static_cast<uint64_t>(Cells) * 8);
@@ -107,8 +136,9 @@ ArrayInstance Runtime::allocate(const dist::ArrayLayout &Layout) {
   return Inst;
 }
 
-uint64_t Runtime::redistribute(ArrayInstance &Inst,
-                               const dist::DistSpec &NewSpec) {
+RedistributeResult
+Runtime::redistribute(ArrayInstance &Inst,
+                      const dist::DistSpec &NewSpec) {
   assert(!Inst.Layout.isReshaped() &&
          "reshaped arrays cannot be redistributed (checked by sema)");
   dist::ArrayLayout NewLayout =
@@ -142,14 +172,31 @@ uint64_t Runtime::redistribute(ArrayInstance &Inst,
   }
   CloseRun(Total);
 
-  uint64_t Moved = 0;
+  RedistributeResult R;
+  fault::Injector *Inj = Mem.faultInjector();
+  unsigned Budget = Inj ? Inj->retryBudget() : 0;
   for (const auto &[Page, Proc] : PageOwner) {
     int Node = Mem.nodeOfProc(Proc);
-    if (Mem.pageHomeNode(Page) != Node) {
-      Mem.migratePage(Page, Node);
-      ++Moved;
+    if (Mem.pageHomeNode(Page) == Node)
+      continue;
+    // Best-effort: retry a denied migration up to the budget, charging
+    // backoff each attempt; a page that still will not move stays at
+    // its old home (wrong locality, right values).
+    bool Done = Mem.migratePage(Page, Node);
+    for (unsigned Try = 0; !Done && Try < Budget; ++Try) {
+      ++R.Retries;
+      R.Cycles += Inj->retryBackoffCycles();
+      ++Inj->counters().MigrationRetries;
+      if (numa::SimObserver *Obs = Mem.observer())
+        Obs->onFaultInjected("migrate_retry", Page, Node);
+      Done = Mem.migratePage(Page, Node);
     }
+    if (Done)
+      ++R.PagesMoved;
+    else
+      ++R.PagesFailed;
   }
   Inst.Layout = std::move(NewLayout);
-  return Moved * Mem.config().Costs.MigratePageCycles;
+  R.Cycles += R.PagesMoved * Mem.config().Costs.MigratePageCycles;
+  return R;
 }

@@ -21,8 +21,20 @@
 
 #include "numa/MemorySystem.h"
 #include "runtime/ArrayInstance.h"
+#include "support/Error.h"
 
 namespace dsm::runtime {
+
+/// Outcome of one best-effort redistribute (see DESIGN.md Section 10).
+/// Without a fault injector every migration succeeds on the first try,
+/// so Retries and PagesFailed are zero and Cycles reduces to the
+/// classic PagesMoved * MigratePageCycles accounting.
+struct RedistributeResult {
+  uint64_t Cycles = 0;      ///< Remap cost including retry backoff.
+  uint64_t PagesMoved = 0;  ///< Pages now homed per the new spec.
+  uint64_t PagesFailed = 0; ///< Pages left behind after the budget.
+  uint64_t Retries = 0;     ///< Extra migration attempts spent.
+};
 
 /// Per-run runtime services over the simulated machine.
 class Runtime {
@@ -41,13 +53,22 @@ public:
   ///    portion overlaps; the last requester wins (paper Section 8.3).
   ///  * Reshaped: one portion per grid cell from the owning processor's
   ///    local pool, plus the processor array (paper Figure 3).
-  ArrayInstance allocate(const dist::ArrayLayout &Layout);
+  ///
+  /// Under fault injection a reshaped allocation may degrade to a
+  /// contiguous block carved into portions (same descriptor shape, so
+  /// lowered code runs unchanged); when it does, a warning is appended
+  /// to \p Diags if provided.
+  ArrayInstance allocate(const dist::ArrayLayout &Layout,
+                         Error *Diags = nullptr);
 
   /// Implements c$redistribute: recomputes regular placement for the
-  /// new spec and migrates pages.  Returns the cycle cost of the remap.
-  /// The instance's layout is updated in place.
-  uint64_t redistribute(ArrayInstance &Inst,
-                        const dist::DistSpec &NewSpec);
+  /// new spec and migrates pages.  Migration is best-effort: a denied
+  /// page is retried up to the injector's budget (each retry charging
+  /// backoff cycles) and then left at its old home -- correctness never
+  /// depends on placement, only cycles do.  The instance's layout is
+  /// updated in place either way.
+  RedistributeResult redistribute(ArrayInstance &Inst,
+                                  const dist::DistSpec &NewSpec);
 
   /// 0-based machine processor executing grid cell \p Cell of any
   /// array: cells map to processors directly.

@@ -129,6 +129,35 @@ TEST(ArgCheckTest, OversizedFormalUndetectedWithoutChecks) {
   EXPECT_TRUE(bool(R)) << (R ? "" : R.error().str());
 }
 
+TEST(ArgCheckTest, WarnModeDowngradesViolationToDiagnostic) {
+  // DSM_SHAPE_CHECKS=warn (or RunOptions::ArgChecksWarnOnly): the same
+  // oversized formal that hard-stops above now completes the run and
+  // surfaces the violation as a recoverable warning in RunResult.
+  link::Program P = compile({PaperMainOk, R"(
+      subroutine mysub(X)
+      real*8 X(6)
+      integer j
+      do j = 1, 6
+        X(j) = j
+      enddo
+      end
+)"});
+  numa::MemorySystem Mem(smallMachine());
+  exec::RunOptions Opts = checkedRun(8);
+  Opts.ArgChecksWarnOnly = true;
+  exec::Engine E(P, Mem, Opts);
+  auto R = E.run();
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  ASSERT_FALSE(R->Diags.empty());
+  bool Found = false;
+  for (const Diagnostic &D : R->Diags) {
+    EXPECT_NE(D.Kind, DiagKind::Error);
+    if (D.Message.find("portion") != std::string::npos)
+      Found = true;
+  }
+  EXPECT_TRUE(Found) << "expected a portion-size warning";
+}
+
 TEST(ArgCheckTest, WholeArrayShapeMismatchRejected) {
   // Passing the entire reshaped array requires the formal to match the
   // actual exactly in rank and extents.

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/Driver.h"
+#include "fault/Injector.h"
 #include "obs/Metrics.h"
 #include "support/Rng.h"
 
@@ -277,13 +278,15 @@ struct RunObs {
 };
 
 RunObs runOnce(link::Program &Prog, int HostThreads,
-               const std::vector<std::string> &Arrays) {
+               const std::vector<std::string> &Arrays,
+               fault::Injector *Inj = nullptr) {
   RunObs Obs;
   numa::MemorySystem Mem(machine());
   exec::RunOptions ROpts;
   ROpts.NumProcs = 8;
   ROpts.HostThreads = HostThreads;
   ROpts.CollectMetrics = true;
+  ROpts.Fault = Inj;
   exec::Engine E(Prog, Mem, ROpts);
   auto R = E.run();
   if (!R) {
@@ -378,5 +381,111 @@ TEST_P(DifferentialFuzzTest, SerialAndThreadedAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Shards, DifferentialFuzzTest,
                          ::testing::Range(0, NumShards));
+
+/// A random fault schedule: every injector knob is drawn, often at
+/// aggressive settings, so the fallback paths are the common case.
+fault::FaultSpec randomSpec(uint64_t Seed) {
+  SplitMix64 R(Seed ^ 0xFA17FA17u);
+  fault::FaultSpec S;
+  S.Seed = R.nextInRange(1, 1u << 20);
+  auto Prob = [&R]() -> double {
+    switch (R.nextBelow(4)) {
+    case 0:
+      return 0.0;
+    case 1:
+      return 0.1;
+    case 2:
+      return 0.5;
+    default:
+      return 1.0;
+    }
+  };
+  S.PlaceDenyProb = Prob();
+  S.MigrateDenyProb = Prob();
+  S.LatencySpikeProb = Prob() * 0.5; // Spikes fire per access; keep rare.
+  S.LatencySpikeCycles = R.nextInRange(100, 5000);
+  S.TlbFailProb = Prob() * 0.5;
+  if (R.nextBelow(3) == 0)
+    S.FrameCap = static_cast<int64_t>(R.nextBelow(64));
+  if (R.nextBelow(3) == 0)
+    S.NodeFrameCaps[static_cast<int>(R.nextBelow(4))] =
+        static_cast<int64_t>(R.nextBelow(8));
+  S.DegradeReshaped = R.nextBelow(3) == 0;
+  S.RetryBudget = static_cast<unsigned>(R.nextBelow(5));
+  S.RetryBackoffCycles = R.nextInRange(50, 500);
+  return S;
+}
+
+/// Runs one generated case four ways -- fault-free baseline, then under
+/// a random fault schedule serial and threaded -- and requires that
+/// faults never change results: faulted checksums equal the baseline,
+/// and the two faulted runs are bit-identical in every observable.
+uint64_t checkFaultCase(uint64_t Seed) {
+  GenCase C = generate(Seed);
+  fault::FaultSpec Spec = randomSpec(Seed);
+  SCOPED_TRACE("fault-fuzz seed " + std::to_string(Seed) + "; spec:\n" +
+               Spec.str() + "program:\n" + C.Src);
+  auto Prog = buildProgram({{"fuzz.f", C.Src}}, CompileOptions{});
+  EXPECT_TRUE(bool(Prog)) << "compile failed: " << Prog.error().str();
+  if (!Prog)
+    return 0;
+  RunObs Baseline = runOnce(*Prog, 1, C.Arrays);
+  EXPECT_FALSE(Baseline.Failed) << Baseline.FailMessage;
+  if (Baseline.Failed)
+    return 0;
+
+  // The engine resets the injector at run start, so one injector gives
+  // both runs the identical schedule.
+  fault::Injector Inj(Spec);
+  RunObs Serial = runOnce(*Prog, 1, C.Arrays, &Inj);
+  RunObs Threaded = runOnce(*Prog, 4, C.Arrays, &Inj);
+  EXPECT_FALSE(Serial.Failed) << Serial.FailMessage;
+  EXPECT_FALSE(Threaded.Failed) << Threaded.FailMessage;
+  if (Serial.Failed || Threaded.Failed)
+    return 0;
+
+  // Semantics preservation: no fault schedule may change results.
+  for (size_t I = 0; I < Baseline.Checksums.size(); ++I) {
+    EXPECT_EQ(Serial.Checksums[I], Baseline.Checksums[I])
+        << "faults changed array " << C.Arrays[I];
+    EXPECT_EQ(Threaded.Checksums[I], Baseline.Checksums[I])
+        << "faults changed array " << C.Arrays[I] << " (threaded)";
+  }
+  // Determinism: faulted serial and faulted threaded are bit-identical.
+  EXPECT_EQ(Serial.R.WallCycles, Threaded.R.WallCycles);
+  EXPECT_TRUE(Serial.R.Counters == Threaded.R.Counters);
+  EXPECT_TRUE(Serial.R.Faults == Threaded.R.Faults)
+      << "serial: " << Serial.R.Faults.str()
+      << "\nthreaded: " << Threaded.R.Faults.str();
+  EXPECT_TRUE(Serial.R.Metrics.Faults == Threaded.R.Metrics.Faults);
+  EXPECT_EQ(Serial.R.Diags.size(), Threaded.R.Diags.size());
+  return Serial.R.Faults.PlacementsDenied + Serial.R.Faults.MigrationsDenied +
+         Serial.R.Faults.LatencySpikes + Serial.R.Faults.TlbFillRetries +
+         Serial.R.Faults.PlacementFallbacks +
+         Serial.R.Faults.CapacityOverflows + Serial.R.Faults.DegradedArrays;
+}
+
+constexpr int FaultCasesPerShard = 10;
+constexpr int FaultShards = 5;
+
+class FaultDifferentialFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultDifferentialFuzzTest, FaultsNeverChangeResults) {
+  int Shard = GetParam();
+  uint64_t TotalInjected = 0;
+  for (int I = 0; I < FaultCasesPerShard; ++I) {
+    uint64_t Seed = 0xFA010000u + Shard * FaultCasesPerShard + I;
+    TotalInjected += checkFaultCase(Seed);
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  // The schedules must actually inject: a shard where nothing ever
+  // fired is not testing the fallback paths.
+  EXPECT_GT(TotalInjected, 0u)
+      << "shard " << Shard << " never injected a fault";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, FaultDifferentialFuzzTest,
+                         ::testing::Range(0, FaultShards));
 
 } // namespace

@@ -1,0 +1,271 @@
+//===- tests/fault/FaultMatrixTest.cpp - Semantics under faults -----------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// The fault model's headline invariant (DESIGN.md Section 10): any
+// fault schedule may change *cycles*, but never *results*.  A grid of
+// FaultSpecs -- placement denials, migration denials, latency spikes,
+// TLB failures, soft frame caps, degraded reshaped allocation, and all
+// of it at once -- is run serial and with HostThreads = 4 against a
+// program that exercises every injection point (regular placement,
+// redistribute, reshaped portions, parallel epochs).  Every faulted
+// run's checksums must be bit-identical to the unfaulted baseline, and
+// each schedule must itself be bit-identical across host thread counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/Injector.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/Driver.h"
+#include "obs/Recorder.h"
+#include "obs/Trace.h"
+
+using namespace dsm;
+
+namespace {
+
+numa::MachineConfig machine() {
+  numa::MachineConfig C;
+  C.NumNodes = 4;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 8 << 20;
+  C.L1 = numa::CacheConfig{1024, 32, 2};
+  C.L2 = numa::CacheConfig{16 * 1024, 128, 2};
+  C.TlbEntries = 16;
+  return C;
+}
+
+// Exercises every injection point: regular placement (c$distribute +
+// placeRegular), reshaped portions (pool allocation, degradable),
+// parallel epochs (memory accesses, TLB fills), and a redistribute
+// (migratePage with retry).
+const char *matrixProgram() {
+  return R"(
+      program fmx
+      integer i, j, n
+      parameter (n = 24)
+      real*8 A(n,n), B(n)
+c$distribute A(*, block)
+c$distribute_reshape B(block)
+      do j = 1, n
+        do i = 1, n
+          A(i,j) = i + j * 0.5
+        enddo
+      enddo
+      do i = 1, n
+        B(i) = i * 1.5
+      enddo
+c$doacross local(i, j)
+      do j = 1, n
+        do i = 1, n
+          A(i,j) = A(i,j) * 2.0 + 1.0
+        enddo
+      enddo
+c$redistribute A(*, cyclic)
+c$doacross local(i, j)
+      do j = 1, n
+        do i = 1, n
+          A(i,j) = A(i,j) + B(i)
+        enddo
+      enddo
+      end
+)";
+}
+
+struct RunOutcome {
+  exec::RunResult R;
+  double SumA = 0.0;
+  double SumB = 0.0;
+};
+
+RunOutcome runProgram(link::Program &Prog, int HostThreads,
+                      fault::Injector *Inj) {
+  RunOutcome Out;
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 8;
+  ROpts.HostThreads = HostThreads;
+  ROpts.CollectMetrics = true;
+  ROpts.Fault = Inj;
+  exec::Engine E(Prog, Mem, ROpts);
+  auto R = E.run();
+  EXPECT_TRUE(bool(R)) << R.error().str();
+  if (!R)
+    return Out;
+  Out.R = std::move(*R);
+  auto SA = E.arrayWeightedChecksum("a");
+  auto SB = E.arrayWeightedChecksum("b");
+  EXPECT_TRUE(bool(SA) && bool(SB));
+  Out.SumA = SA ? *SA : 0.0;
+  Out.SumB = SB ? *SB : 0.0;
+  return Out;
+}
+
+class FaultMatrixTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(FaultMatrixTest, ChecksumsNeverChange) {
+  auto Prog = buildProgram({{"fmx.f", matrixProgram()}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+
+  RunOutcome Baseline = runProgram(*Prog, 1, nullptr);
+  EXPECT_EQ(Baseline.R.Faults, fault::FaultCounters());
+
+  auto Spec = fault::FaultSpec::parse(GetParam());
+  ASSERT_TRUE(bool(Spec)) << Spec.error().str();
+  fault::Injector Inj(*Spec);
+
+  // The engine resets the injector at run start, so one injector can
+  // serve both runs and each sees the identical schedule.
+  RunOutcome Serial = runProgram(*Prog, 1, &Inj);
+  RunOutcome Threaded = runProgram(*Prog, 4, &Inj);
+
+  // The invariant: faults perturb placement and cycles, never values.
+  EXPECT_EQ(Serial.SumA, Baseline.SumA);
+  EXPECT_EQ(Serial.SumB, Baseline.SumB);
+  EXPECT_EQ(Threaded.SumA, Baseline.SumA);
+  EXPECT_EQ(Threaded.SumB, Baseline.SumB);
+
+  // And the faulted simulation itself is bit-identical across host
+  // thread counts: same cycles, same machine counters, same schedule.
+  EXPECT_EQ(Serial.R.WallCycles, Threaded.R.WallCycles);
+  EXPECT_TRUE(Serial.R.Counters == Threaded.R.Counters)
+      << "serial:\n"
+      << Serial.R.Counters.str() << "threaded:\n"
+      << Threaded.R.Counters.str();
+  EXPECT_TRUE(Serial.R.Faults == Threaded.R.Faults)
+      << "serial:  " << Serial.R.Faults.str()
+      << "threaded: " << Threaded.R.Faults.str();
+  EXPECT_TRUE(Serial.R.Metrics.Faults == Threaded.R.Metrics.Faults);
+  EXPECT_EQ(Serial.R.Diags.size(), Threaded.R.Diags.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FaultMatrixTest,
+    ::testing::Values(
+        "place_deny_prob = 0.5\nseed = 7\n",
+        "place_deny_at = 1, 2, 3, 4, 5\n",
+        "migrate_deny_prob = 1.0\n",      // Every retry fails too.
+        "migrate_deny_prob = 0.6\nseed = 21\nretry_budget = 5\n",
+        "frame_cap = 4\n",
+        "frame_cap = 2\nframe_cap.0 = 0\n",
+        "latency_spike_prob = 0.3\nlatency_spike_cycles = 5000\n",
+        "tlb_fail_prob = 0.4\nseed = 3\n",
+        "degrade_reshaped = 1\n",
+        // Everything at once.
+        "seed = 1337\nplace_deny_prob = 0.4\nmigrate_deny_prob = 0.5\n"
+        "latency_spike_prob = 0.2\ntlb_fail_prob = 0.2\nframe_cap = 3\n"
+        "degrade_reshaped = 1\nretry_budget = 2\n"));
+
+TEST(FaultMatrixTest, CountersAndDiagnosticsSurface) {
+  auto Prog = buildProgram({{"fmx.f", matrixProgram()}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+
+  auto Spec = fault::FaultSpec::parse(
+      "seed = 5\nplace_deny_prob = 0.5\nmigrate_deny_prob = 1.0\n"
+      "degrade_reshaped = 1\nframe_cap = 2\n");
+  ASSERT_TRUE(bool(Spec));
+  fault::Injector Inj(*Spec);
+  RunOutcome Out = runProgram(*Prog, 1, &Inj);
+
+  // The schedule above must actually bite, and both surfaces -- the
+  // injector's own counters on RunResult and the observed aggregates in
+  // Metrics -- must agree with each other.
+  const fault::FaultCounters &F = Out.R.Faults;
+  EXPECT_GT(F.PlacementsDenied, 0u);
+  EXPECT_GT(F.MigrationsDenied, 0u);
+  EXPECT_GT(F.MigrationRetries, 0u);
+  EXPECT_EQ(F.DegradedArrays, 1u);
+  const obs::FaultStats &M = Out.R.Metrics.Faults;
+  EXPECT_EQ(M.PlacementsDenied, F.PlacementsDenied);
+  EXPECT_EQ(M.MigrationsDenied, F.MigrationsDenied);
+  EXPECT_EQ(M.MigrationRetries, F.MigrationRetries);
+  EXPECT_EQ(M.DegradedArrays, F.DegradedArrays);
+  EXPECT_EQ(M.RedistributesPartial, 1u);
+
+  // A partial redistribute and a degraded array each leave a warning
+  // diagnostic on the result; none is error-severity (the run
+  // completed).
+  bool SawPartial = false, SawDegraded = false;
+  for (const Diagnostic &D : Out.R.Diags) {
+    EXPECT_NE(D.Kind, DiagKind::Error) << D.Message;
+    if (D.Message.find("partial") != std::string::npos)
+      SawPartial = true;
+    if (D.Message.find("degraded") != std::string::npos)
+      SawDegraded = true;
+  }
+  EXPECT_TRUE(SawPartial);
+  EXPECT_TRUE(SawDegraded);
+
+  // The metrics report prints the fault section when anything fired.
+  EXPECT_NE(Out.R.Metrics.str().find("faults:"), std::string::npos);
+}
+
+TEST(FaultMatrixTest, FaultEventsFlowIntoJsonlTrace) {
+  auto Prog = buildProgram({{"fmx.f", matrixProgram()}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+
+  auto Spec =
+      fault::FaultSpec::parse("place_deny_at = 1\nmigrate_deny_prob = 1.0\n");
+  ASSERT_TRUE(bool(Spec));
+  fault::Injector Inj(*Spec);
+
+  std::ostringstream Trace;
+  obs::JsonlTraceWriter Writer(Trace);
+  obs::Recorder Rec;
+  Rec.addSink(&Writer);
+
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 8;
+  ROpts.Observer = &Rec;
+  ROpts.Fault = &Inj;
+  exec::Engine E(*Prog, Mem, ROpts);
+  auto R = E.run();
+  ASSERT_TRUE(bool(R)) << R.error().str();
+
+  std::string T = Trace.str();
+  EXPECT_NE(T.find("\"ev\": \"fault\""), std::string::npos);
+  EXPECT_NE(T.find("\"kind\": \"place_denied\""), std::string::npos);
+  EXPECT_NE(T.find("\"kind\": \"migrate_denied\""), std::string::npos);
+  EXPECT_NE(T.find("\"kind\": \"migrate_retry\""), std::string::npos);
+  // The partial redistribute serializes its fault-only fields.
+  EXPECT_NE(T.find("\"pages_failed\": "), std::string::npos);
+  EXPECT_NE(T.find("\"retries\": "), std::string::npos);
+}
+
+// True memory exhaustion (no injector): a machine with far fewer
+// frames than the program's pages must degrade -- overflow pages map
+// unbacked past physical memory -- instead of aborting, and results
+// must match a machine with plenty of memory.
+TEST(FaultMatrixTest, TrueExhaustionDegradesGracefully) {
+  auto Prog = buildProgram({{"fmx.f", matrixProgram()}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+
+  RunOutcome Roomy = runProgram(*Prog, 1, nullptr);
+
+  numa::MachineConfig Tiny = machine();
+  Tiny.NodeMemoryBytes = 2 * 1024; // 2 frames per node, 8 total.
+  numa::MemorySystem Mem(Tiny);
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 8;
+  ROpts.CollectMetrics = true;
+  exec::Engine E(*Prog, Mem, ROpts);
+  auto R = E.run();
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  auto SA = E.arrayWeightedChecksum("a");
+  auto SB = E.arrayWeightedChecksum("b");
+  ASSERT_TRUE(bool(SA) && bool(SB));
+  EXPECT_EQ(*SA, Roomy.SumA);
+  EXPECT_EQ(*SB, Roomy.SumB);
+  // The degradation is observable even without an injector.
+  EXPECT_GT(R->Metrics.Faults.CapacityOverflows, 0u);
+}
+
+} // namespace

@@ -1,0 +1,189 @@
+//===- tests/fault/InjectorTest.cpp - FaultSpec and Injector units --------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Unit tests of the fault-injection layer in isolation: the key = value
+// spec parser (round-trips, diagnostics with file/line), and the seeded
+// decision engine (pure-function determinism, scheduled denials, soft
+// frame caps, reset semantics).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/Injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace dsm;
+using namespace dsm::fault;
+
+namespace {
+
+TEST(FaultSpecTest, DefaultInjectsNothing) {
+  FaultSpec S;
+  EXPECT_FALSE(S.enabled());
+  EXPECT_EQ(S.Seed, 1u);
+  EXPECT_EQ(S.FrameCap, -1);
+  EXPECT_EQ(S.frameCapFor(0), -1);
+  EXPECT_EQ(S.RetryBudget, 3u);
+}
+
+TEST(FaultSpecTest, ParsesEveryKey) {
+  auto S = FaultSpec::parse(R"(
+# full configuration
+seed = 42
+frame_cap = 24
+frame_cap.3 = 4
+place_deny_prob = 0.25
+place_deny_at = 9, 1, 5
+migrate_deny_prob = 0.5
+migrate_deny_at = 2
+latency_spike_prob = 0.1
+latency_spike_cycles = 2000
+tlb_fail_prob = 0.05
+degrade_reshaped = 1
+retry_budget = 7
+retry_backoff_cycles = 300
+)");
+  ASSERT_TRUE(bool(S)) << S.error().str();
+  EXPECT_EQ(S->Seed, 42u);
+  EXPECT_EQ(S->FrameCap, 24);
+  EXPECT_EQ(S->frameCapFor(3), 4);
+  EXPECT_EQ(S->frameCapFor(0), 24);
+  EXPECT_DOUBLE_EQ(S->PlaceDenyProb, 0.25);
+  EXPECT_EQ(S->PlaceDenyAt, (std::vector<uint64_t>{1, 5, 9}))
+      << "index lists must come back sorted";
+  EXPECT_DOUBLE_EQ(S->MigrateDenyProb, 0.5);
+  EXPECT_EQ(S->MigrateDenyAt, (std::vector<uint64_t>{2}));
+  EXPECT_DOUBLE_EQ(S->LatencySpikeProb, 0.1);
+  EXPECT_EQ(S->LatencySpikeCycles, 2000u);
+  EXPECT_DOUBLE_EQ(S->TlbFailProb, 0.05);
+  EXPECT_TRUE(S->DegradeReshaped);
+  EXPECT_EQ(S->RetryBudget, 7u);
+  EXPECT_EQ(S->RetryBackoffCycles, 300u);
+  EXPECT_TRUE(S->enabled());
+}
+
+TEST(FaultSpecTest, StrRoundTrips) {
+  auto S = FaultSpec::parse("seed = 9\nplace_deny_prob = 0.125\n"
+                            "frame_cap.2 = 6\nmigrate_deny_at = 3,8\n");
+  ASSERT_TRUE(bool(S));
+  auto S2 = FaultSpec::parse(S->str());
+  ASSERT_TRUE(bool(S2)) << S2.error().str();
+  EXPECT_EQ(S2->Seed, 9u);
+  EXPECT_DOUBLE_EQ(S2->PlaceDenyProb, 0.125);
+  EXPECT_EQ(S2->frameCapFor(2), 6);
+  EXPECT_EQ(S2->MigrateDenyAt, (std::vector<uint64_t>{3, 8}));
+}
+
+TEST(FaultSpecTest, RejectsMalformedInput) {
+  // Each bad line must produce an error naming the spec and the line.
+  auto Bad = [](const std::string &Text) {
+    auto S = FaultSpec::parse(Text, "bad.fault");
+    EXPECT_FALSE(bool(S)) << "accepted: " << Text;
+    if (!S) {
+      EXPECT_FALSE(S.error().diagnostics().empty());
+      EXPECT_EQ(S.error().diagnostics()[0].File, "bad.fault");
+      EXPECT_GT(S.error().diagnostics()[0].Line, 0);
+    }
+  };
+  Bad("no_such_key = 1\n");
+  Bad("seed\n");                     // Missing '='.
+  Bad("seed = banana\n");
+  Bad("place_deny_prob = 1.5\n");    // Out of [0, 1].
+  Bad("place_deny_prob = -0.1\n");
+  Bad("place_deny_at = 0\n");        // Indices are 1-based.
+  Bad("frame_cap.x = 3\n");
+  Bad("retry_budget = -2\n");
+}
+
+TEST(FaultSpecTest, CollectsMultipleErrors) {
+  auto S = FaultSpec::parse("seed = x\nbogus = 1\ntlb_fail_prob = 2\n");
+  ASSERT_FALSE(bool(S));
+  EXPECT_EQ(S.error().diagnostics().size(), 3u);
+}
+
+TEST(InjectorTest, DecisionsAreDeterministic) {
+  FaultSpec Spec;
+  Spec.Seed = 1234;
+  Spec.PlaceDenyProb = 0.3;
+  Spec.MigrateDenyProb = 0.3;
+  Spec.LatencySpikeProb = 0.2;
+  Spec.TlbFailProb = 0.2;
+  Injector A(Spec), B(Spec);
+  for (int I = 0; I < 200; ++I) {
+    uint64_t Page = static_cast<uint64_t>(I) * 3;
+    int Node = I % 4;
+    EXPECT_EQ(A.denyPlacePage(Page, Node), B.denyPlacePage(Page, Node));
+    EXPECT_EQ(A.denyMigratePage(Page, Node),
+              B.denyMigratePage(Page, Node));
+    EXPECT_EQ(A.drawLatencySpike(Node, 3 - Node),
+              B.drawLatencySpike(Node, 3 - Node));
+    EXPECT_EQ(A.failTlbFill(I % 8, Page), B.failTlbFill(I % 8, Page));
+  }
+}
+
+TEST(InjectorTest, ProbabilityRoughlyHolds) {
+  FaultSpec Spec;
+  Spec.Seed = 7;
+  Spec.PlaceDenyProb = 0.25;
+  Injector Inj(Spec);
+  int Denied = 0;
+  const int N = 4000;
+  for (int I = 0; I < N; ++I)
+    Denied += Inj.denyPlacePage(static_cast<uint64_t>(I), I % 8);
+  // 0.25 +- generous slack; this is a sanity check, not a statistics
+  // exam.
+  EXPECT_GT(Denied, N / 8);
+  EXPECT_LT(Denied, N / 2);
+}
+
+TEST(InjectorTest, ScheduledDenialsHitExactIndices) {
+  FaultSpec Spec;
+  Spec.PlaceDenyAt = {1, 4};
+  Injector Inj(Spec);
+  std::vector<bool> Got;
+  for (int I = 0; I < 6; ++I)
+    Got.push_back(Inj.denyPlacePage(100, 0));
+  EXPECT_EQ(Got, (std::vector<bool>{true, false, false, true, false,
+                                    false}));
+}
+
+TEST(InjectorTest, FrameCapsAreSoftAdvice) {
+  FaultSpec Spec;
+  Spec.FrameCap = 8;
+  Spec.NodeFrameCaps[2] = 2;
+  Injector Inj(Spec);
+  EXPECT_FALSE(Inj.overFrameCap(0, 7));
+  EXPECT_TRUE(Inj.overFrameCap(0, 8));
+  EXPECT_TRUE(Inj.overFrameCap(2, 2));
+  EXPECT_FALSE(Inj.overFrameCap(2, 1));
+}
+
+TEST(InjectorTest, ResetReplaysTheSameSchedule) {
+  FaultSpec Spec;
+  Spec.Seed = 99;
+  Spec.PlaceDenyProb = 0.4;
+  Injector Inj(Spec);
+  std::vector<bool> First;
+  for (int I = 0; I < 50; ++I)
+    First.push_back(Inj.denyPlacePage(static_cast<uint64_t>(I), 1));
+  Inj.counters().PlacementsDenied = 5; // Pretend the run counted.
+  Inj.reset();
+  EXPECT_EQ(Inj.counters(), FaultCounters());
+  std::vector<bool> Second;
+  for (int I = 0; I < 50; ++I)
+    Second.push_back(Inj.denyPlacePage(static_cast<uint64_t>(I), 1));
+  EXPECT_EQ(First, Second);
+}
+
+TEST(InjectorTest, CountersReportAny) {
+  FaultCounters C;
+  EXPECT_FALSE(C.any());
+  C.TlbFillRetries = 1;
+  EXPECT_TRUE(C.any());
+  EXPECT_NE(C.str().find("tlb"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+//===- tests/numa/FaultFallbackTest.cpp - Placement fallback under faults -===//
+//
+// Part of the dsm-dist-repro project.
+//
+// MemorySystem-level graceful degradation: denied placements leave
+// pages where they are (or divert them to a neighbor), soft frame caps
+// redirect placement by topology distance, and a truly full machine
+// maps pages unbacked instead of killing the process.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numa/MemorySystem.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/Injector.h"
+
+using namespace dsm;
+using namespace dsm::numa;
+
+namespace {
+
+MachineConfig tinyConfig() {
+  MachineConfig C;
+  C.NumNodes = 4;
+  C.ProcsPerNode = 1;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 8 * 1024; // 8 frames per node.
+  C.L1 = CacheConfig{1024, 32, 2};
+  C.L2 = CacheConfig{4 * 1024, 128, 2};
+  C.TlbEntries = 8;
+  return C;
+}
+
+TEST(FaultFallbackTest, DeniedPlacementLeavesMappedPagePut) {
+  MemorySystem Mem(tinyConfig());
+  uint64_t Base = Mem.allocVirtual(Mem.pageSize());
+  uint64_t Page = Mem.pageOf(Base);
+  Mem.placePage(Page, 1, FrameMode::Hashed);
+  ASSERT_EQ(Mem.pageHomeNode(Page), 1);
+
+  fault::FaultSpec Spec;
+  Spec.PlaceDenyAt = {1}; // Deny the next request.
+  fault::Injector Inj(Spec);
+  Mem.setFaultInjector(&Inj);
+  Mem.placePage(Page, 3, FrameMode::Hashed);
+  EXPECT_EQ(Mem.pageHomeNode(Page), 1) << "denied re-place must not move";
+  EXPECT_EQ(Inj.counters().PlacementsDenied, 1u);
+
+  // The next (undenied) request moves it normally.
+  Mem.placePage(Page, 3, FrameMode::Hashed);
+  EXPECT_EQ(Mem.pageHomeNode(Page), 3);
+  Mem.setFaultInjector(nullptr);
+}
+
+TEST(FaultFallbackTest, DeniedFreshPlacementFallsBackToNeighbor) {
+  MemorySystem Mem(tinyConfig());
+  uint64_t Base = Mem.allocVirtual(Mem.pageSize());
+  uint64_t Page = Mem.pageOf(Base);
+
+  fault::FaultSpec Spec;
+  Spec.PlaceDenyAt = {1};
+  fault::Injector Inj(Spec);
+  Mem.setFaultInjector(&Inj);
+  Mem.placePage(Page, 0, FrameMode::Hashed);
+  // The unmapped page still gets a frame -- on a hop-1 neighbor of the
+  // denied node (hypercube neighbors of 0 are 1 and 2).
+  int Home = Mem.pageHomeNode(Page);
+  EXPECT_TRUE(Home == 1 || Home == 2) << "home " << Home;
+  EXPECT_EQ(Inj.counters().PlacementsDenied, 1u);
+  EXPECT_EQ(Inj.counters().PlacementFallbacks, 1u);
+  Mem.setFaultInjector(nullptr);
+}
+
+TEST(FaultFallbackTest, FrameCapRedirectsByTopologyDistance) {
+  MemorySystem Mem(tinyConfig());
+  fault::FaultSpec Spec;
+  Spec.NodeFrameCaps[0] = 2; // Node 0 may hold only 2 frames.
+  fault::Injector Inj(Spec);
+  Mem.setFaultInjector(&Inj);
+
+  uint64_t Base = Mem.allocVirtual(6 * Mem.pageSize());
+  for (int I = 0; I < 6; ++I)
+    Mem.placePage(Mem.pageOf(Base) + I, 0, FrameMode::Hashed);
+  // First two land on node 0; the rest fall back to hop-1 neighbors.
+  EXPECT_EQ(Mem.pagesOnNode(0), 2u);
+  EXPECT_EQ(Mem.pagesOnNode(1) + Mem.pagesOnNode(2), 4u);
+  EXPECT_EQ(Inj.counters().PlacementFallbacks, 4u);
+  EXPECT_EQ(Inj.counters().CapacityOverflows, 0u)
+      << "other nodes had room; no cap was breached";
+  Mem.setFaultInjector(nullptr);
+}
+
+TEST(FaultFallbackTest, AllNodesCappedBreachesSoftly) {
+  MemorySystem Mem(tinyConfig());
+  fault::FaultSpec Spec;
+  Spec.FrameCap = 0; // Nothing is allowed anywhere...
+  fault::Injector Inj(Spec);
+  Mem.setFaultInjector(&Inj);
+
+  uint64_t Base = Mem.allocVirtual(Mem.pageSize());
+  uint64_t Page = Mem.pageOf(Base);
+  Mem.placePage(Page, 2, FrameMode::Hashed);
+  // ...so the cap is breached (it is soft) and the page lands on the
+  // requested node anyway, counting an overflow.
+  EXPECT_EQ(Mem.pageHomeNode(Page), 2);
+  EXPECT_EQ(Inj.counters().CapacityOverflows, 1u);
+  Mem.setFaultInjector(nullptr);
+}
+
+TEST(FaultFallbackTest, ExhaustedNodeFallsBackInsteadOfDying) {
+  // The pre-fault-model behavior was abort() inside PhysMem; exhausting
+  // a node must now spill placement to a neighbor.
+  MachineConfig C = tinyConfig();
+  MemorySystem Mem(C);
+  uint64_t FPN = C.framesPerNode();
+  uint64_t Base = Mem.allocVirtual((FPN + 1) * C.PageSize);
+  for (uint64_t I = 0; I <= FPN; ++I)
+    Mem.placePage(Mem.pageOf(Base) + I, 0, FrameMode::Hashed);
+  EXPECT_EQ(Mem.pagesOnNode(0), FPN);
+  EXPECT_EQ(Mem.pagesOnNode(1) + Mem.pagesOnNode(2), 1u);
+}
+
+TEST(FaultFallbackTest, FullMachineMapsPagesUnbacked) {
+  MachineConfig C = tinyConfig();
+  C.NodeMemoryBytes = 2 * 1024; // 2 frames per node, 8 in total.
+  MemorySystem Mem(C);
+  uint64_t Total = static_cast<uint64_t>(C.NumNodes) * 2;
+  uint64_t Base = Mem.allocVirtual((Total + 3) * C.PageSize);
+  // Fill the machine, then keep placing: the overflow pages still map
+  // (home = requested node) and stay readable/writable.
+  for (uint64_t I = 0; I < Total + 3; ++I)
+    Mem.placePage(Mem.pageOf(Base) + I, static_cast<int>(I % 4),
+                  FrameMode::Hashed);
+  for (uint64_t I = 0; I < Total + 3; ++I)
+    EXPECT_GE(Mem.pageHomeNode(Mem.pageOf(Base) + I), 0);
+  Mem.writeF64(Base + (Total + 2) * C.PageSize, 42.5);
+  EXPECT_DOUBLE_EQ(Mem.readF64(Base + (Total + 2) * C.PageSize), 42.5);
+  // Accesses to unbacked pages charge cycles without tripping anything.
+  uint64_t Cycles =
+      Mem.access(0, Base + (Total + 2) * C.PageSize, 8, false);
+  EXPECT_GT(Cycles, 0u);
+}
+
+TEST(FaultFallbackTest, DeniedMigrationReturnsFalseAndKeepsPage) {
+  MemorySystem Mem(tinyConfig());
+  uint64_t Base = Mem.allocVirtual(Mem.pageSize());
+  uint64_t Page = Mem.pageOf(Base);
+  Mem.placePage(Page, 0, FrameMode::Hashed);
+
+  fault::FaultSpec Spec;
+  Spec.MigrateDenyAt = {1};
+  fault::Injector Inj(Spec);
+  Mem.setFaultInjector(&Inj);
+  EXPECT_FALSE(Mem.migratePage(Page, 3));
+  EXPECT_EQ(Mem.pageHomeNode(Page), 0);
+  EXPECT_EQ(Inj.counters().MigrationsDenied, 1u);
+  // Second attempt (decision index 2) is allowed.
+  EXPECT_TRUE(Mem.migratePage(Page, 3));
+  EXPECT_EQ(Mem.pageHomeNode(Page), 3);
+  Mem.setFaultInjector(nullptr);
+}
+
+TEST(FaultFallbackTest, LatencySpikesOnlyAddCycles) {
+  MachineConfig C = tinyConfig();
+  MemorySystem Slow(C), Fast(C);
+  fault::FaultSpec Spec;
+  Spec.LatencySpikeProb = 1.0;
+  Spec.LatencySpikeCycles = 777;
+  fault::Injector Inj(Spec);
+  Slow.setFaultInjector(&Inj);
+
+  uint64_t SB = Slow.allocVirtual(64), FB = Fast.allocVirtual(64);
+  Slow.writeF64(SB, 1.5);
+  Fast.writeF64(FB, 1.5);
+  uint64_t SlowCycles = Slow.access(0, SB, 8, false);
+  uint64_t FastCycles = Fast.access(0, FB, 8, false);
+  EXPECT_EQ(SlowCycles, FastCycles + 777)
+      << "a spike adds exactly its configured cycles";
+  EXPECT_EQ(Inj.counters().LatencySpikes, 1u);
+  EXPECT_EQ(Inj.counters().LatencySpikeCycles, 777u);
+  EXPECT_DOUBLE_EQ(Slow.readF64(SB), 1.5);
+  Slow.setFaultInjector(nullptr);
+}
+
+TEST(FaultFallbackTest, TlbFailureDoublesMissCost) {
+  MachineConfig C = tinyConfig();
+  MemorySystem Flaky(C), Clean(C);
+  fault::FaultSpec Spec;
+  Spec.TlbFailProb = 1.0;
+  fault::Injector Inj(Spec);
+  Flaky.setFaultInjector(&Inj);
+
+  uint64_t FB = Flaky.allocVirtual(64), CB = Clean.allocVirtual(64);
+  uint64_t FlakyCycles = Flaky.access(0, FB, 8, true);
+  uint64_t CleanCycles = Clean.access(0, CB, 8, true);
+  EXPECT_EQ(FlakyCycles, CleanCycles + C.Costs.TlbMiss);
+  EXPECT_EQ(Inj.counters().TlbFillRetries, 1u);
+  Flaky.setFaultInjector(nullptr);
+}
+
+} // namespace

@@ -24,7 +24,8 @@ MachineConfig tinyConfig() {
 TEST(PhysMemTest, AllocOnPreferredNode) {
   PhysMem M(tinyConfig());
   auto A = M.alloc(2, 0, FrameMode::Hashed);
-  EXPECT_EQ(A.Node, 2);
+  ASSERT_TRUE(A);
+  EXPECT_EQ(A->Node, 2);
   EXPECT_EQ(M.framesUsed(2), 1u);
 }
 
@@ -35,7 +36,9 @@ TEST(PhysMemTest, SpillsToNearestNodeWhenFull) {
   EXPECT_EQ(M.framesUsed(0), 8u);
   // Node 0 full; hop-1 neighbours are nodes 1 and 2.
   auto A = M.alloc(0, 99, FrameMode::Hashed);
-  EXPECT_TRUE(A.Node == 1 || A.Node == 2) << "spilled to node " << A.Node;
+  ASSERT_TRUE(A);
+  EXPECT_TRUE(A->Node == 1 || A->Node == 2)
+      << "spilled to node " << A->Node;
 }
 
 TEST(PhysMemTest, ColoredAllocationMatchesPageColor) {
@@ -45,19 +48,22 @@ TEST(PhysMemTest, ColoredAllocationMatchesPageColor) {
   ASSERT_EQ(Colors, 2u);
   for (uint64_t VPage = 0; VPage < 6; ++VPage) {
     auto A = M.alloc(1, VPage, FrameMode::Colored);
-    EXPECT_EQ(A.Frame % Colors, VPage % Colors)
-        << "vpage " << VPage << " got frame " << A.Frame;
+    ASSERT_TRUE(A);
+    EXPECT_EQ(A->Frame % Colors, VPage % Colors)
+        << "vpage " << VPage << " got frame " << A->Frame;
   }
 }
 
 TEST(PhysMemTest, FreeMakesFrameReusable) {
   PhysMem M(tinyConfig());
   auto A = M.alloc(3, 0, FrameMode::Colored);
-  M.free(A.Node, A.Frame);
+  ASSERT_TRUE(A);
+  M.free(A->Node, A->Frame);
   EXPECT_EQ(M.framesUsed(3), 0u);
   auto B = M.alloc(3, 0, FrameMode::Colored);
-  EXPECT_EQ(B.Node, 3);
-  EXPECT_EQ(B.Frame, A.Frame);
+  ASSERT_TRUE(B);
+  EXPECT_EQ(B->Node, 3);
+  EXPECT_EQ(B->Frame, A->Frame);
 }
 
 TEST(PhysMemTest, PhysicalAddressesAreGloballyUnique) {
@@ -67,6 +73,46 @@ TEST(PhysMemTest, PhysicalAddressesAreGloballyUnique) {
   EXPECT_EQ(M.physBase(0, 7), 7 * C.PageSize);
   EXPECT_EQ(M.physBase(1, 0), 8 * C.PageSize);
   EXPECT_EQ(M.physBase(3, 7), 31 * C.PageSize);
+}
+
+// Exhausting every frame on every node must yield a status, not kill
+// the process (the machine-full abort was replaced by graceful
+// degradation: callers fall back or map the page unbacked).
+TEST(PhysMemTest, ExhaustionReturnsEmptyInsteadOfAborting) {
+  MachineConfig C = tinyConfig();
+  PhysMem M(C);
+  uint64_t TotalFrames =
+      static_cast<uint64_t>(C.NumNodes) * C.framesPerNode();
+  for (uint64_t I = 0; I < TotalFrames; ++I)
+    ASSERT_TRUE(M.alloc(static_cast<int>(I % C.NumNodes), I,
+                        FrameMode::Hashed));
+  auto A = M.alloc(0, 999, FrameMode::Hashed);
+  EXPECT_FALSE(A.has_value());
+  // Freeing one frame makes allocation possible again.
+  M.free(1, 0);
+  auto B = M.alloc(0, 999, FrameMode::Hashed);
+  ASSERT_TRUE(B);
+  EXPECT_EQ(B->Node, 1);
+}
+
+TEST(PhysMemTest, AllocOnStaysOnNode) {
+  PhysMem M(tinyConfig());
+  for (int I = 0; I < 8; ++I)
+    ASSERT_TRUE(M.allocOn(2, static_cast<uint64_t>(I), FrameMode::Hashed));
+  // Node 2 full: allocOn never spills.
+  EXPECT_FALSE(M.allocOn(2, 99, FrameMode::Hashed).has_value());
+  EXPECT_EQ(M.framesUsed(2), 8u);
+  EXPECT_EQ(M.framesUsed(0), 0u);
+}
+
+TEST(PhysMemTest, AllocSpecificRepinsExactFrame) {
+  PhysMem M(tinyConfig());
+  auto A = M.alloc(1, 7, FrameMode::Hashed);
+  ASSERT_TRUE(A);
+  M.free(A->Node, A->Frame);
+  EXPECT_TRUE(M.allocSpecific(A->Node, A->Frame));
+  // Taken now; a second claim must fail.
+  EXPECT_FALSE(M.allocSpecific(A->Node, A->Frame));
 }
 
 } // namespace

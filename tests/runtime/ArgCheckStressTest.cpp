@@ -1,0 +1,137 @@
+//===- tests/runtime/ArgCheckStressTest.cpp - Concurrent table stress ------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Host worker threads executing the simulated processors of one epoch
+// hit the Section 6 argument hash table concurrently.  This stress test
+// hammers one ArgCheckTable from 8 threads doing register / lookup /
+// verify / unregister on overlapping address sets; it is meant to run
+// under TSan (the ctest tsan job) and must be clean.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ArgCheck.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/Rng.h"
+
+using namespace dsm;
+using namespace dsm::runtime;
+
+namespace {
+
+dist::DistSpec blockSpec() {
+  dist::DistSpec S;
+  S.Dims.push_back({dist::DistKind::Block, 1});
+  S.Reshaped = true;
+  return S;
+}
+
+ArgInfo portionInfo(uint64_t Bytes) {
+  ArgInfo Info;
+  Info.WholeArray = false;
+  Info.PortionBytes = Bytes;
+  return Info;
+}
+
+TEST(ArgCheckStressTest, ConcurrentRegisterVerifyUnregister) {
+  constexpr int NumThreads = 8;
+  constexpr int OpsPerThread = 4000;
+  // A small shared address set forces real contention: every address is
+  // touched by every thread.
+  constexpr uint64_t NumAddrs = 16;
+
+  ArgCheckTable T;
+  std::atomic<uint64_t> Mismatches{0};
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumThreads);
+
+  for (int Tid = 0; Tid < NumThreads; ++Tid) {
+    Threads.emplace_back([&T, &Mismatches, Tid] {
+      SplitMix64 R(0xA26C5E55u + static_cast<uint64_t>(Tid));
+      // Addresses this thread has registered and not yet unregistered,
+      // in stack order (mirrors nested calls).
+      std::vector<uint64_t> Live;
+      for (int Op = 0; Op < OpsPerThread; ++Op) {
+        uint64_t Addr = 0x10000 + R.nextBelow(NumAddrs) * 0x100;
+        switch (R.nextBelow(4)) {
+        case 0: { // Register a portion; size keyed to the thread.
+          T.registerArg(Addr, portionInfo(8 * (1 + R.nextBelow(64))));
+          Live.push_back(Addr);
+          break;
+        }
+        case 1: { // Register a whole array.
+          ArgInfo Info;
+          Info.WholeArray = true;
+          Info.Dims = {static_cast<int64_t>(1 + R.nextBelow(100))};
+          Info.Dist = blockSpec();
+          T.registerArg(Addr, Info);
+          Live.push_back(Addr);
+          break;
+        }
+        case 2: { // Verify: any outcome is fine, racing is not.
+          Error E = T.verifyFormal(Addr, {4}, nullptr, "stress", "x");
+          if (E)
+            ++Mismatches;
+          // lookup() under concurrency: the pointer may be stale the
+          // instant it returns, but the call itself must be safe.
+          (void)T.lookup(Addr);
+          break;
+        }
+        default: { // Unregister our own most recent registration.
+          if (!Live.empty()) {
+            T.unregisterArg(Live.back());
+            Live.pop_back();
+          }
+          break;
+        }
+        }
+      }
+      // Drain: leave the table balanced for this thread.
+      while (!Live.empty()) {
+        T.unregisterArg(Live.back());
+        Live.pop_back();
+      }
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  // Every thread drained its own registrations, so the table is empty.
+  for (uint64_t I = 0; I < NumAddrs; ++I)
+    EXPECT_EQ(T.lookup(0x10000 + I * 0x100), nullptr);
+  // Shape mismatches must have been *reported* (proves verify really
+  // ran against live entries), just never crashed.
+  EXPECT_GT(Mismatches.load(), 0u);
+}
+
+TEST(ArgCheckStressTest, StackedEntriesSurviveInterleaving) {
+  // Two threads stack entries on the *same* address (recursive-call
+  // shape); each thread's pops must remove entries without corrupting
+  // the vector another thread is growing.
+  ArgCheckTable T;
+  constexpr uint64_t Addr = 0x9000;
+  constexpr int Rounds = 5000;
+
+  auto Worker = [&T](uint64_t Bytes) {
+    for (int I = 0; I < Rounds; ++I) {
+      T.registerArg(Addr, portionInfo(Bytes));
+      T.registerArg(Addr, portionInfo(Bytes * 2));
+      (void)T.verifyFormal(Addr, {1}, nullptr, "stress", "x");
+      T.unregisterArg(Addr);
+      T.unregisterArg(Addr);
+    }
+  };
+  std::thread A(Worker, 8), B(Worker, 16);
+  A.join();
+  B.join();
+  EXPECT_EQ(T.lookup(Addr), nullptr);
+}
+
+} // namespace

@@ -118,8 +118,11 @@ TEST(RuntimeTest, RedistributeMovesPagesAndUpdatesLayout) {
 
   DistSpec NewSpec =
       spec({{DistKind::None, 1}, {DistKind::Cyclic, 1}}, false);
-  uint64_t Cost = Rt.redistribute(Inst, NewSpec);
-  EXPECT_GT(Cost, 0u);
+  RedistributeResult RR = Rt.redistribute(Inst, NewSpec);
+  EXPECT_GT(RR.Cycles, 0u);
+  EXPECT_GT(RR.PagesMoved, 0u);
+  EXPECT_EQ(RR.PagesFailed, 0u);
+  EXPECT_EQ(RR.Retries, 0u);
   EXPECT_EQ(Inst.Layout.dimMap(1).Kind, DistKind::Cyclic);
   // Column 2 belongs to processor 1 (node 0) under cyclic; column 9 to
   // processor 0 again, etc.  Spot-check column 3 -> proc 2 -> node 1.

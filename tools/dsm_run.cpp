@@ -20,11 +20,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/Driver.h"
+#include "fault/Injector.h"
 #include "obs/Recorder.h"
 
 using namespace dsm;
@@ -49,7 +51,11 @@ int usage(const char *Argv0) {
       "                       timeline of the run's epochs to FILE\n"
       "  --checksum=ARRAY     print ARRAY's (weighted) checksum\n"
       "  --no-transform       skip the optimization pipeline\n"
-      "  --arg-checks         enable runtime argument checks\n",
+      "  --arg-checks         enable runtime argument checks\n"
+      "  --fault-spec=FILE    inject faults per FILE (key = value; see\n"
+      "                       src/fault/FaultSpec.h); DSM_FAULT_SPEC\n"
+      "                       names a default file.  Faults change\n"
+      "                       cycles, never results\n",
       Argv0);
   return 2;
 }
@@ -70,7 +76,9 @@ int main(int argc, char **argv) {
   CompileOptions COpts;
   numa::MachineConfig MC = numa::MachineConfig::scaledOrigin();
   bool Metrics = false;
-  std::string TracePath, ChromePath, ChecksumArray;
+  std::string TracePath, ChromePath, ChecksumArray, FaultSpecPath;
+  if (const char *Env = std::getenv("DSM_FAULT_SPEC"))
+    FaultSpecPath = Env;
   std::vector<SourceFile> Sources;
 
   for (int I = 1; I < argc; ++I) {
@@ -110,6 +118,8 @@ int main(int argc, char **argv) {
       COpts.Transform = false;
     } else if (std::strcmp(Arg, "--arg-checks") == 0) {
       ROpts.RuntimeArgChecks = true;
+    } else if (flagValue(Arg, "--fault-spec", V)) {
+      FaultSpecPath = V;
     } else if (Arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", Arg);
       return usage(argv[0]);
@@ -161,6 +171,24 @@ int main(int argc, char **argv) {
   ROpts.Observer = &Rec;
   ROpts.CollectMetrics = Metrics;
 
+  std::unique_ptr<fault::Injector> Inj;
+  if (!FaultSpecPath.empty()) {
+    std::ifstream In(FaultSpecPath);
+    if (!In) {
+      std::fprintf(stderr, "cannot read '%s'\n", FaultSpecPath.c_str());
+      return 2;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    auto Spec = fault::FaultSpec::parse(SS.str(), FaultSpecPath);
+    if (!Spec) {
+      std::fprintf(stderr, "%s", Spec.error().str().c_str());
+      return 1;
+    }
+    Inj = std::make_unique<fault::Injector>(*Spec);
+    ROpts.Fault = Inj.get();
+  }
+
   numa::MemorySystem Mem(MC);
   exec::Engine Engine(*Prog, Mem, ROpts);
   auto Run = Engine.run();
@@ -178,6 +206,10 @@ int main(int argc, char **argv) {
               Run->ParallelRegions, Run->ThreadedEpochs,
               static_cast<unsigned long long>(Run->RedistributeCycles));
   std::printf("counters: %s\n", Run->Counters.str().c_str());
+  for (const Diagnostic &D : Run->Diags)
+    std::fprintf(stderr, "%s\n", D.str().c_str());
+  if (Run->Faults.any())
+    std::printf("faults: %s\n", Run->Faults.str().c_str());
   if (Metrics)
     std::printf("%s", Run->Metrics.str().c_str());
   if (!ChecksumArray.empty()) {
