@@ -14,60 +14,115 @@
 using namespace dsm;
 using namespace dsmbench;
 
+Session &dsmbench::benchSession() {
+  static Session S;
+  return S;
+}
+
+namespace {
+
+/// Builds the RunRequest for one (version, procs) cell; the program is
+/// attached by the caller (compiled through the shared session).
+RunRequest makeRequest(Version V, bool Serial, int NumProcs,
+                       const numa::MachineConfig &MC,
+                       const std::string &ChecksumArray,
+                       int HostThreads) {
+  RunRequest Req;
+  Req.Machine = MC;
+  Req.Opts.NumProcs = Serial ? 1 : NumProcs;
+  Req.Opts.HostThreads = HostThreads;
+  Req.Opts.DefaultPolicy = V == Version::RoundRobin
+                               ? numa::PlacementPolicy::RoundRobin
+                               : numa::PlacementPolicy::FirstTouch;
+  // Locality metrics ride along into BENCH_results.json; set
+  // DSM_BENCH_METRICS=0 for a bare run (e.g. when timing the engine
+  // itself -- see bench_obs_overhead for the disabled-cost contract).
+  const char *ME = std::getenv("DSM_BENCH_METRICS");
+  Req.Opts.CollectMetrics = !(ME && ME[0] == '0');
+  if (!ChecksumArray.empty())
+    Req.ChecksumArrays.push_back(ChecksumArray);
+  return Req;
+}
+
+RunOutcome outcomeOf(const std::string &BenchName, Version V,
+                     int NumProcs, JobResult R) {
+  if (!R.ok()) {
+    std::fprintf(stderr, "%s (%s, P=%d): run failed:\n%s\n",
+                 BenchName.c_str(), versionName(V), NumProcs,
+                 R.Err.str().c_str());
+    std::exit(1);
+  }
+  exec::RunResult &Run = R.Output->Result;
+  RunOutcome Out;
+  Out.Cycles = Run.TimedCycles ? Run.TimedCycles : Run.WallCycles;
+  Out.Counters = Run.Counters;
+  Out.ParallelRegions = Run.ParallelRegions;
+  Out.HostSeconds = R.Output->HostSeconds;
+  Out.ThreadedEpochs = Run.ThreadedEpochs;
+  Out.Metrics = std::move(Run.Metrics);
+  if (!R.Output->Checksums.empty())
+    Out.Checksum = R.Output->Checksums[0].second; // weighted
+  return Out;
+}
+
+ProgramHandle compileVersion(const std::string &BenchName,
+                             const SourceGen &Gen, Version V,
+                             bool Serial) {
+  auto Prog = benchSession().compile({{BenchName + ".f", Gen(V, Serial)}});
+  if (!Prog) {
+    std::fprintf(stderr, "%s: compile failed:\n%s\n", BenchName.c_str(),
+                 Prog.error().str().c_str());
+    std::exit(1);
+  }
+  return *Prog;
+}
+
+void checkAgainstSerial(const std::string &BenchName, Version V, int P,
+                        double Checksum, double SerialChecksum,
+                        const std::string &ChecksumArray) {
+  if (!ChecksumArray.empty() &&
+      std::fabs(Checksum - SerialChecksum) >
+          1e-6 * (1.0 + std::fabs(SerialChecksum))) {
+    std::fprintf(stderr,
+                 "%s (%s, P=%d): checksum mismatch: %.17g vs serial "
+                 "%.17g\n",
+                 BenchName.c_str(), versionName(V), P, Checksum,
+                 SerialChecksum);
+    std::exit(1);
+  }
+}
+
+void appendCacheJson(const std::string &Bench) {
+  const char *Path = std::getenv("DSM_BENCH_JSON");
+  if (!Path || !*Path)
+    return;
+  FILE *F = std::fopen(Path, "a");
+  if (!F)
+    return;
+  CacheStats Stats = benchSession().cacheStats();
+  std::fprintf(F,
+               "{\"bench\": \"%s\", \"label\": \"compile-cache\", "
+               "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+               "\"cached_programs\": %zu}\n",
+               Bench.c_str(),
+               static_cast<unsigned long long>(Stats.Hits),
+               static_cast<unsigned long long>(Stats.Misses),
+               Stats.Programs);
+  std::fclose(F);
+}
+
+} // namespace
+
 RunOutcome dsmbench::runVersion(const std::string &BenchName,
                                 const SourceGen &Gen, Version V,
                                 bool Serial, int NumProcs,
                                 const numa::MachineConfig &MC,
                                 const std::string &ChecksumArray,
                                 int HostThreads) {
-  std::string Src = Gen(V, Serial);
-  CompileOptions COpts; // Full optimization, as shipped.
-  auto Prog = buildProgram({{BenchName + ".f", Src}}, COpts);
-  if (!Prog) {
-    std::fprintf(stderr, "%s: compile failed:\n%s\n", BenchName.c_str(),
-                 Prog.error().str().c_str());
-    std::exit(1);
-  }
-  numa::MemorySystem Mem(MC);
-  exec::RunOptions ROpts;
-  ROpts.NumProcs = Serial ? 1 : NumProcs;
-  ROpts.HostThreads = HostThreads;
-  ROpts.DefaultPolicy = V == Version::RoundRobin
-                            ? numa::PlacementPolicy::RoundRobin
-                            : numa::PlacementPolicy::FirstTouch;
-  // Locality metrics ride along into BENCH_results.json; set
-  // DSM_BENCH_METRICS=0 for a bare run (e.g. when timing the engine
-  // itself -- see bench_obs_overhead for the disabled-cost contract).
-  const char *ME = std::getenv("DSM_BENCH_METRICS");
-  ROpts.CollectMetrics = !(ME && ME[0] == '0');
-  exec::Engine Engine(*Prog, Mem, ROpts);
-  auto T0 = std::chrono::steady_clock::now();
-  auto Run = Engine.run();
-  auto T1 = std::chrono::steady_clock::now();
-  if (!Run) {
-    std::fprintf(stderr, "%s (%s, P=%d): run failed:\n%s\n",
-                 BenchName.c_str(), versionName(V), NumProcs,
-                 Run.error().str().c_str());
-    std::exit(1);
-  }
-  RunOutcome Out;
-  Out.Cycles = Run->TimedCycles ? Run->TimedCycles : Run->WallCycles;
-  Out.Counters = Run->Counters;
-  Out.ParallelRegions = Run->ParallelRegions;
-  Out.HostSeconds =
-      std::chrono::duration<double>(T1 - T0).count();
-  Out.ThreadedEpochs = Run->ThreadedEpochs;
-  Out.Metrics = std::move(Run->Metrics);
-  if (!ChecksumArray.empty()) {
-    auto Sum = Engine.arrayWeightedChecksum(ChecksumArray);
-    if (!Sum) {
-      std::fprintf(stderr, "%s: checksum failed: %s\n", BenchName.c_str(),
-                   Sum.error().str().c_str());
-      std::exit(1);
-    }
-    Out.Checksum = *Sum;
-  }
-  return Out;
+  RunRequest Req =
+      makeRequest(V, Serial, NumProcs, MC, ChecksumArray, HostThreads);
+  Req.Program = compileVersion(BenchName, Gen, V, Serial);
+  return outcomeOf(BenchName, V, NumProcs, session::runOne(Req));
 }
 
 SweepResult dsmbench::runSweep(const std::string &BenchName,
@@ -82,26 +137,52 @@ SweepResult dsmbench::runSweep(const std::string &BenchName,
   R.SerialCycles = Serial.Cycles;
   R.SerialChecksum = Serial.Checksum;
   appendJsonResult(BenchName, "serial", 1, 1, Serial);
-  for (Version V : {Version::FirstTouch, Version::RoundRobin,
-                    Version::Regular, Version::Reshaped}) {
-    auto &Row = R.Runs[V];
-    for (int P : Procs) {
-      Row.push_back(
-          runVersion(BenchName, Gen, V, /*Serial=*/false, P, MC,
-                     ChecksumArray));
-      appendJsonResult(BenchName, versionName(V), P, 1, Row.back());
-      if (!ChecksumArray.empty() &&
-          std::fabs(Row.back().Checksum - Serial.Checksum) >
-              1e-6 * (1.0 + std::fabs(Serial.Checksum))) {
-        std::fprintf(stderr,
-                     "%s (%s, P=%d): checksum mismatch: %.17g vs serial "
-                     "%.17g\n",
-                     BenchName.c_str(), versionName(V), P,
-                     Row.back().Checksum, Serial.Checksum);
-        std::exit(1);
+
+  const Version Versions[] = {Version::FirstTouch, Version::RoundRobin,
+                              Version::Regular, Version::Reshaped};
+  const char *BatchEnv = std::getenv("DSM_BENCH_BATCH");
+  bool Batch = BatchEnv && BatchEnv[0] == '1';
+  if (!Batch) {
+    for (Version V : Versions) {
+      auto &Row = R.Runs[V];
+      for (int P : Procs) {
+        Row.push_back(runVersion(BenchName, Gen, V, /*Serial=*/false, P,
+                                 MC, ChecksumArray));
+        appendJsonResult(BenchName, versionName(V), P, 1, Row.back());
+        checkAgainstSerial(BenchName, V, P, Row.back().Checksum,
+                           Serial.Checksum, ChecksumArray);
       }
     }
+    appendCacheJson(BenchName);
+    return R;
   }
+
+  // DSM_BENCH_BATCH=1: the whole (version, procs) grid as one
+  // concurrent batch.  Each version's program is compiled exactly once
+  // (the shared session cache) and shared by its processor-count runs.
+  std::vector<RunRequest> Requests;
+  for (Version V : Versions) {
+    ProgramHandle Prog = compileVersion(BenchName, Gen, V, false);
+    for (int P : Procs) {
+      RunRequest Req = makeRequest(V, false, P, MC, ChecksumArray, 1);
+      Req.Program = Prog;
+      Req.Label = std::string(versionName(V)) + "/P" + std::to_string(P);
+      Requests.push_back(std::move(Req));
+    }
+  }
+  std::vector<JobResult> Results = benchSession().runBatch(Requests);
+  size_t Idx = 0;
+  for (Version V : Versions) {
+    auto &Row = R.Runs[V];
+    for (int P : Procs) {
+      Row.push_back(outcomeOf(BenchName, V, P, std::move(Results[Idx])));
+      ++Idx;
+      appendJsonResult(BenchName, versionName(V), P, 1, Row.back());
+      checkAgainstSerial(BenchName, V, P, Row.back().Checksum,
+                         Serial.Checksum, ChecksumArray);
+    }
+  }
+  appendCacheJson(BenchName);
   return R;
 }
 

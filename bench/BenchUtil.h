@@ -27,10 +27,15 @@
 #include <string>
 #include <vector>
 
-#include "core/Driver.h"
+#include "api/Dsm.h"
 #include "obs/Metrics.h"
 
 namespace dsmbench {
+
+/// The process-wide benchmark session: every compile goes through its
+/// program cache, so a proc sweep compiles each workload version once
+/// instead of once per processor count.
+dsm::Session &benchSession();
 
 enum class Version { FirstTouch, RoundRobin, Regular, Reshaped };
 inline const char *versionName(Version V) {
@@ -106,7 +111,12 @@ struct SweepResult {
   }
 };
 
-/// Runs the full four-version sweep.
+/// Runs the full four-version sweep.  Every version is compiled once
+/// through benchSession() and reused across processor counts; with
+/// DSM_BENCH_BATCH=1 the (version, procs) grid additionally executes
+/// as one concurrent batch instead of serially.  Either way a
+/// cache-stats record goes to DSM_BENCH_JSON so regressions in
+/// compile-once behavior show up in BENCH_results.json.
 SweepResult runSweep(const std::string &BenchName, const SourceGen &Gen,
                      const std::vector<int> &Procs,
                      const dsm::numa::MachineConfig &MC,

@@ -42,13 +42,13 @@ uint64_t simulate(bool FpDivMod) {
   CompileOptions COpts;
   COpts.Xform.Level = xform::ReshapeOptLevel::None; // Keep the div/mod.
   COpts.Xform.FpDivMod = FpDivMod;
-  auto Prog = buildProgram({{"k.f", kernelSource()}}, COpts);
+  auto Prog = dsm::compile({{"k.f", kernelSource()}}, COpts);
   if (!Prog)
     return 0;
   numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
   exec::RunOptions ROpts;
   ROpts.NumProcs = 1;
-  exec::Engine E(*Prog, Mem, ROpts);
+  exec::Engine E(**Prog, Mem, ROpts);
   auto R = E.run();
   return R ? R->TimedCycles : 0;
 }

@@ -60,13 +60,13 @@ c$doacross local(i) affinity(i) = data(A(i))
 )",
                        N, Dist.c_str());
   }
-  auto Prog = buildProgram({{"k.f", Src}}, CompileOptions{});
+  auto Prog = dsm::compile({{"k.f", Src}}, CompileOptions{});
   if (!Prog)
     return 0;
   numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
   exec::RunOptions ROpts;
   ROpts.NumProcs = Procs;
-  exec::Engine E(*Prog, Mem, ROpts);
+  exec::Engine E(**Prog, Mem, ROpts);
   auto R = E.run();
   return R ? R->TimedCycles : 0;
 }

@@ -126,10 +126,9 @@ int main(int argc, char **argv) {
 
   // Honest host-side timing of the threaded engine on this workload
   // (bit-identical simulated results are asserted inside).
-  int HostThreads = 8;
-  if (const char *E = std::getenv("DSM_HOST_THREADS"))
-    if (std::atoi(E) > 1)
-      HostThreads = std::atoi(E);
+  int HostThreads = dsm::exec::RunOptions::fromEnv().HostThreads;
+  if (HostThreads <= 1)
+    HostThreads = 8;
   runHostThreadComparison("fig4_lu", luWorkload(N, Nz, Iters),
                           Version::Reshaped, 64, HostThreads, MC, "v");
   return Failures == 0 ? 0 : 2;

@@ -107,10 +107,9 @@ int main(int argc, char **argv) {
   // The speedup below is honest host wall time on this machine -- on a
   // single-CPU host it stays near (or below) 1x; the bit-identical
   // check is what must always hold.
-  int HostThreads = 8;
-  if (const char *E = std::getenv("DSM_HOST_THREADS"))
-    if (std::atoi(E) > 1)
-      HostThreads = std::atoi(E);
+  int HostThreads = dsm::exec::RunOptions::fromEnv().HostThreads;
+  if (HostThreads <= 1)
+    HostThreads = 8;
   std::printf("# host CPUs available: %u\n",
               std::thread::hardware_concurrency());
   runHostThreadComparison("fig5_transpose", transposeWorkload(N, Reps),

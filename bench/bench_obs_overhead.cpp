@@ -43,7 +43,7 @@ struct ModeResult {
 
 enum class Mode { Disabled, Metrics, Tracing };
 
-ModeResult measure(link::Program &Prog, Mode M, int Procs, int Iters) {
+ModeResult measure(const link::Program &Prog, Mode M, int Procs, int Iters) {
   ModeResult Res;
   for (int It = 0; It < Iters; ++It) {
     numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
@@ -100,7 +100,7 @@ int main(int argc, char **argv) {
   std::string Src =
       transposeWorkload(N, Reps)(Version::Regular, /*Serial=*/false);
   CompileOptions COpts;
-  auto Prog = buildProgram({{"transp.f", Src}}, COpts);
+  auto Prog = dsm::compile({{"transp.f", Src}}, COpts);
   if (!Prog) {
     std::fprintf(stderr, "obs_overhead: compile failed:\n%s\n",
                  Prog.error().str().c_str());
@@ -110,9 +110,9 @@ int main(int argc, char **argv) {
   std::printf("# observability overhead, transpose %dx%d reps=%d "
               "P=%d (best of %d)\n",
               N, N, Reps, Procs, Iters);
-  ModeResult Disabled = measure(*Prog, Mode::Disabled, Procs, Iters);
-  ModeResult Metrics = measure(*Prog, Mode::Metrics, Procs, Iters);
-  ModeResult Tracing = measure(*Prog, Mode::Tracing, Procs, Iters);
+  ModeResult Disabled = measure(**Prog, Mode::Disabled, Procs, Iters);
+  ModeResult Metrics = measure(**Prog, Mode::Metrics, Procs, Iters);
+  ModeResult Tracing = measure(**Prog, Mode::Tracing, Procs, Iters);
 
   int Failures = 0;
   auto Report = [&](const char *Label, const ModeResult &R) {

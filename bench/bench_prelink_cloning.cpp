@@ -54,13 +54,13 @@ void BM_PrelinkChain(benchmark::State &State) {
   int Distinct = static_cast<int>(State.range(1));
   unsigned Clones = 0, Recompiles = 0;
   for (auto _ : State) {
-    auto Prog = buildProgram(chainProgram(Depth, Distinct),
+    auto Prog = dsm::compile(chainProgram(Depth, Distinct),
                              CompileOptions{});
     if (!Prog)
       State.SkipWithError("link failed");
     else {
-      Clones = Prog->ClonesCreated;
-      Recompiles = Prog->Recompilations;
+      Clones = (*Prog)->ClonesCreated;
+      Recompiles = (*Prog)->Recompilations;
     }
   }
   State.counters["clones"] = Clones;
@@ -88,12 +88,12 @@ void BM_PrelinkSharedClone(benchmark::State &State) {
     Main += "      end\n";
     const char *Sub = "      subroutine work(X)\n      real*8 X(64)\n"
                       "      X(1) = X(1) + 1.0\n      end\n";
-    auto Prog = buildProgram({{"m.f", Main}, {"w.f", Sub}},
+    auto Prog = dsm::compile({{"m.f", Main}, {"w.f", Sub}},
                              CompileOptions{});
     if (!Prog)
       State.SkipWithError("link failed");
     else
-      Clones = Prog->ClonesCreated;
+      Clones = (*Prog)->ClonesCreated;
   }
   State.counters["clones"] = Clones;
 }

@@ -45,13 +45,13 @@ uint64_t simulate(const std::string &Src, xform::ReshapeOptLevel Level,
                   int Procs) {
   CompileOptions COpts;
   COpts.Xform.Level = Level;
-  auto Prog = buildProgram({{"k.f", Src}}, COpts);
+  auto Prog = dsm::compile({{"k.f", Src}}, COpts);
   if (!Prog)
     return 0;
   numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
   exec::RunOptions ROpts;
   ROpts.NumProcs = Procs;
-  exec::Engine E(*Prog, Mem, ROpts);
+  exec::Engine E(**Prog, Mem, ROpts);
   auto R = E.run();
   return R ? R->TimedCycles : 0;
 }

@@ -33,7 +33,7 @@ uint64_t runConfig(const SourceGen &Gen, bool Reshaped,
   std::string Src = Gen(Reshaped ? Version::Reshaped
                                  : Version::FirstTouch,
                         /*Serial=*/!Reshaped);
-  auto Prog = buildProgram({{"table2.f", Src}}, COpts);
+  auto Prog = dsm::compile({{"table2.f", Src}}, COpts);
   if (!Prog) {
     std::fprintf(stderr, "table2: compile failed:\n%s\n",
                  Prog.error().str().c_str());
@@ -42,7 +42,7 @@ uint64_t runConfig(const SourceGen &Gen, bool Reshaped,
   numa::MemorySystem Mem(MC);
   exec::RunOptions ROpts;
   ROpts.NumProcs = 1; // Table 2 is a uniprocessor comparison.
-  exec::Engine Engine(*Prog, Mem, ROpts);
+  exec::Engine Engine(**Prog, Mem, ROpts);
   auto Run = Engine.run();
   if (!Run) {
     std::fprintf(stderr, "table2: run failed:\n%s\n",

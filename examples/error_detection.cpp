@@ -16,7 +16,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/Driver.h"
+#include "api/Dsm.h"
 
 using namespace dsm;
 
@@ -25,7 +25,7 @@ namespace {
 void showCompileOrLink(const char *Title,
                        std::vector<SourceFile> Sources) {
   std::printf("--- %s ---\n", Title);
-  auto Prog = buildProgram(Sources, CompileOptions{});
+  auto Prog = dsm::compile(Sources);
   if (Prog) {
     std::printf("unexpectedly compiled cleanly!\n\n");
     return;
@@ -35,23 +35,21 @@ void showCompileOrLink(const char *Title,
 
 void showRuntime(const char *Title, std::vector<SourceFile> Sources) {
   std::printf("--- %s ---\n", Title);
-  auto Prog = buildProgram(Sources, CompileOptions{});
+  auto Prog = dsm::compile(Sources);
   if (!Prog) {
     std::printf("(failed earlier than expected)\n%s\n\n",
                 Prog.error().str().c_str());
     return;
   }
-  numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
   exec::RunOptions ROpts;
   ROpts.NumProcs = 8;
   ROpts.RuntimeArgChecks = true; // The paper's optional runtime checks.
-  exec::Engine Engine(*Prog, Mem, ROpts);
-  auto Run = Engine.run();
-  if (Run) {
+  auto Out = dsm::run(*Prog, numa::MachineConfig::scaledOrigin(), ROpts);
+  if (Out) {
     std::printf("unexpectedly ran cleanly!\n\n");
     return;
   }
-  std::printf("%s\n\n", Run.error().str().c_str());
+  std::printf("%s\n\n", Out.error().str().c_str());
 }
 
 } // namespace

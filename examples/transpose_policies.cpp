@@ -17,7 +17,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "core/Driver.h"
+#include "api/Dsm.h"
 #include "support/StringUtils.h"
 
 using namespace dsm;
@@ -87,31 +87,30 @@ int main(int argc, char **argv) {
               "remote miss", "local miss", "tlb cycles");
 
   for (const Policy &P : Policies) {
-    auto Prog = buildProgram({{"transp.f", P.Source}}, CompileOptions{});
+    auto Prog = dsm::compile({{"transp.f", P.Source}});
     if (!Prog) {
       std::fprintf(stderr, "%s: compile error:\n%s\n", P.Name,
                    Prog.error().str().c_str());
       return 1;
     }
-    numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
     exec::RunOptions ROpts;
     ROpts.NumProcs = Procs;
     ROpts.DefaultPolicy = P.Default;
-    exec::Engine Engine(*Prog, Mem, ROpts);
-    auto Run = Engine.run();
-    if (!Run) {
+    auto Out = dsm::run(*Prog, numa::MachineConfig::scaledOrigin(), ROpts);
+    if (!Out) {
       std::fprintf(stderr, "%s: run error:\n%s\n", P.Name,
-                   Run.error().str().c_str());
+                   Out.error().str().c_str());
       return 1;
     }
+    const exec::RunResult &Run = Out->Result;
     std::printf("%-12s %14llu %12llu %12llu %12llu\n", P.Name,
-                static_cast<unsigned long long>(Run->TimedCycles),
+                static_cast<unsigned long long>(Run.TimedCycles),
                 static_cast<unsigned long long>(
-                    Run->Counters.RemoteMemAccesses),
+                    Run.Counters.RemoteMemAccesses),
                 static_cast<unsigned long long>(
-                    Run->Counters.LocalMemAccesses),
+                    Run.Counters.LocalMemAccesses),
                 static_cast<unsigned long long>(
-                    Run->Counters.TlbMissCycles));
+                    Run.Counters.TlbMissCycles));
   }
 
   std::printf(

@@ -16,7 +16,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/Driver.h"
+#include "api/Dsm.h"
 #include "support/StringUtils.h"
 
 using namespace dsm;
@@ -88,31 +88,30 @@ int main() {
   int Idx = 0;
   for (bool Redistribute : {false, true}) {
     std::string Src = adiSource(N, Sweeps, Redistribute);
-    auto Prog = buildProgram({{"adi.f", Src}}, CompileOptions{});
+    auto Prog = dsm::compile({{"adi.f", Src}});
     if (!Prog) {
       std::fprintf(stderr, "compile error:\n%s\n",
                    Prog.error().str().c_str());
       return 1;
     }
-    numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
     exec::RunOptions ROpts;
     ROpts.NumProcs = Procs;
-    exec::Engine Engine(*Prog, Mem, ROpts);
-    auto Run = Engine.run();
-    if (!Run) {
-      std::fprintf(stderr, "run error:\n%s\n", Run.error().str().c_str());
+    auto Out = dsm::run(*Prog, numa::MachineConfig::scaledOrigin(), ROpts,
+                        {"a"});
+    if (!Out) {
+      std::fprintf(stderr, "run error:\n%s\n", Out.error().str().c_str());
       return 1;
     }
-    auto Sum = Engine.arrayWeightedChecksum("a");
-    Checksum[Idx++] = Sum ? *Sum : 0.0;
+    const exec::RunResult &Run = Out->Result;
+    Checksum[Idx++] = Out->Checksums[0].second;
     std::printf("%-24s %14llu %12llu %12llu\n",
                 Redistribute ? "redistribute per phase"
                              : "static (*,block) only",
-                static_cast<unsigned long long>(Run->TimedCycles),
+                static_cast<unsigned long long>(Run.TimedCycles),
                 static_cast<unsigned long long>(
-                    Run->Counters.RemoteMemAccesses),
+                    Run.Counters.RemoteMemAccesses),
                 static_cast<unsigned long long>(
-                    Run->Counters.PageMigrations));
+                    Run.Counters.PageMigrations));
   }
 
   std::printf("\nresults identical: %s\n",

@@ -10,6 +10,12 @@
 #   DSM_BENCH_RESULTS=F  write the JSON array to F instead of
 #                        BENCH_results.json
 #   DSM_BENCH_METRICS=0  skip per-array locality collection
+#   DSM_BENCH_BATCH=1    run each figure's (version, procs) grid as one
+#                        concurrent batch through the session layer;
+#                        every version still compiles exactly once (the
+#                        compile-cache records in BENCH_results.json
+#                        prove it) and simulated results are identical
+#                        to the serial harness
 #
 # Exits non-zero if any benchmark binary fails (compile/run/checksum
 # errors, or paper-shape deviations outside smoke mode).
@@ -33,6 +39,10 @@ require_bin() {
 }
 
 SMOKE=${DSM_BENCH_SMOKE:-0}
+BATCH=${DSM_BENCH_BATCH:-0}
+if [ "$BATCH" = 1 ]; then
+  export DSM_BENCH_BATCH
+fi
 RESULTS=${DSM_BENCH_RESULTS:-$(pwd)/BENCH_results.json}
 if [ "$SMOKE" = 1 ]; then
   # Sizes chosen so the whole suite finishes in seconds; the speedup

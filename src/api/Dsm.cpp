@@ -1,0 +1,33 @@
+//===- api/Dsm.cpp - Stable public facade ----------------------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Dsm.h"
+
+using namespace dsm;
+
+Expected<ProgramHandle> dsm::compile(const std::vector<SourceFile> &Sources,
+                                     const CompileOptions &Opts) {
+  auto Prog = detail::buildProgramImpl(Sources, Opts);
+  if (!Prog)
+    return Prog.takeError();
+  return ProgramHandle(
+      std::make_shared<const link::Program>(std::move(*Prog)));
+}
+
+Expected<RunOutput>
+dsm::run(const ProgramHandle &Prog, const numa::MachineConfig &Machine,
+         const exec::RunOptions &Opts,
+         const std::vector<std::string> &ChecksumArrays) {
+  RunRequest Req;
+  Req.Program = Prog;
+  Req.Machine = Machine;
+  Req.Opts = Opts;
+  Req.ChecksumArrays = ChecksumArrays;
+  JobResult R = session::runOne(Req);
+  if (!R.ok())
+    return std::move(R.Err);
+  return std::move(*R.Output);
+}

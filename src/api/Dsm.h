@@ -1,0 +1,64 @@
+//===- api/Dsm.h - Stable public facade -------------------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one header a user of this library includes.  Three verbs:
+///
+///   dsm::compile  -- sources + options -> shared immutable ProgramHandle
+///   dsm::run      -- ProgramHandle + machine + options -> RunOutput
+///   dsm::Session  -- compile-once/run-many: a program cache plus a
+///                    concurrent batch runner (see session/Session.h)
+///
+/// \code
+///   auto Prog = dsm::compile({{"main.f", Source}});
+///   if (!Prog) ...;
+///   dsm::exec::RunOptions Opts;
+///   Opts.NumProcs = 8;
+///   auto Out = dsm::run(*Prog, dsm::numa::MachineConfig::scaledOrigin(),
+///                       Opts, {"A"});
+///   // Out->Result.WallCycles, Out->Checksums[0].first ...
+/// \endcode
+///
+/// A ProgramHandle is a shared_ptr<const link::Program>: compiled once,
+/// immutable, and executable by any number of concurrent engines.  The
+/// old dsm::buildProgram / dsm::buildAndRun entry points (core/Driver.h)
+/// are deprecated wrappers over these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_API_DSM_H
+#define DSM_API_DSM_H
+
+#include "session/Session.h"
+
+namespace dsm {
+
+// The facade re-exports the session-layer vocabulary under the library
+// namespace; these aliases ARE the stable public spelling.
+using session::CacheStats;
+using session::JobResult;
+using session::ProgramHandle;
+using session::RunOutput;
+using session::RunRequest;
+using session::Session;
+using session::SessionOptions;
+
+/// Compiles sources into a shared immutable program (uncached; use a
+/// Session to cache across calls).
+Expected<ProgramHandle> compile(const std::vector<SourceFile> &Sources,
+                                const CompileOptions &Opts = {});
+
+/// Runs \p Prog once on \p Machine.  \p ChecksumArrays are main-unit
+/// arrays to checksum after the run (plain and position-weighted, in
+/// order, in RunOutput::Checksums).
+Expected<RunOutput> run(const ProgramHandle &Prog,
+                        const numa::MachineConfig &Machine,
+                        const exec::RunOptions &Opts = {},
+                        const std::vector<std::string> &ChecksumArrays = {});
+
+} // namespace dsm
+
+#endif // DSM_API_DSM_H

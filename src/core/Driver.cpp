@@ -12,8 +12,8 @@
 using namespace dsm;
 
 Expected<link::Program>
-dsm::buildProgram(const std::vector<SourceFile> &Sources,
-                  const CompileOptions &Opts) {
+dsm::detail::buildProgramImpl(const std::vector<SourceFile> &Sources,
+                              const CompileOptions &Opts) {
   std::vector<std::unique_ptr<ir::Module>> Modules;
   for (const SourceFile &S : Sources) {
     auto M = lang::parseSource(S.Text, S.Name);
@@ -39,8 +39,23 @@ dsm::buildProgram(const std::vector<SourceFile> &Sources,
         if (Error E = ir::verifyProcedure(*P))
           return E;
       }
+    // The passes introduce new symbols and reshaped references;
+    // re-finalize so slot assignments cover them.  After this the
+    // program is immutable and safe to share across engines.
+    link::finalizeProgram(*Prog);
   }
   return Prog;
+}
+
+// The deprecated entry points forward to the implementation; suppress
+// the self-referential deprecation warnings their definitions trigger.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+Expected<link::Program>
+dsm::buildProgram(const std::vector<SourceFile> &Sources,
+                  const CompileOptions &Opts) {
+  return detail::buildProgramImpl(Sources, Opts);
 }
 
 Expected<BuildAndRunResult>
@@ -49,7 +64,7 @@ dsm::buildAndRun(const std::vector<SourceFile> &Sources,
                  const numa::MachineConfig &MC,
                  const exec::RunOptions &ROpts,
                  const std::string &ChecksumArray) {
-  auto Prog = buildProgram(Sources, COpts);
+  auto Prog = detail::buildProgramImpl(Sources, COpts);
   if (!Prog)
     return Prog.takeError();
   numa::MemorySystem Mem(MC);
@@ -71,3 +86,5 @@ dsm::buildAndRun(const std::vector<SourceFile> &Sources,
   }
   return Out;
 }
+
+#pragma GCC diagnostic pop

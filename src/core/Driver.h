@@ -49,10 +49,26 @@ struct CompileOptions {
   bool Transform = true;
 };
 
+namespace detail {
+/// Implementation behind dsm::compile and the deprecated buildProgram:
+/// parse, check, link (with reshape propagation and cloning), optimize,
+/// and finalize a whole program.  Not part of the public API; use
+/// dsm::compile (api/Dsm.h).
+Expected<link::Program>
+buildProgramImpl(const std::vector<SourceFile> &Sources,
+                 const CompileOptions &Opts);
+} // namespace detail
+
 /// Parses, checks, links (with reshape propagation and cloning), and
 /// optimizes a whole program.
-Expected<link::Program> buildProgram(const std::vector<SourceFile> &Sources,
-                                     const CompileOptions &Opts = {});
+///
+/// Deprecated: use dsm::compile (api/Dsm.h), which returns a shared
+/// immutable ProgramHandle that the session layer can cache and run
+/// concurrently; dsm::Session adds compile-once/run-many caching on
+/// top.
+[[deprecated("use dsm::compile from api/Dsm.h")]] Expected<link::Program>
+buildProgram(const std::vector<SourceFile> &Sources,
+             const CompileOptions &Opts = {});
 
 /// Convenience: build + run in one call; returns the result and leaves
 /// inspection to the caller-provided engine if needed.
@@ -61,6 +77,10 @@ struct BuildAndRunResult {
   double Checksum = 0.0; ///< Checksum of \p ChecksumArray if requested.
   double WeightedChecksum = 0.0; ///< Position-weighted variant.
 };
+
+/// Deprecated: use dsm::run (api/Dsm.h) with a handle from
+/// dsm::compile, or dsm::Session for cached/batched execution.
+[[deprecated("use dsm::compile + dsm::run from api/Dsm.h")]]
 Expected<BuildAndRunResult>
 buildAndRun(const std::vector<SourceFile> &Sources,
             const CompileOptions &COpts, const numa::MachineConfig &MC,

@@ -82,7 +82,7 @@ bool isTimerCall(const std::string &Name) {
 struct Engine::Impl {
   //===-- Shared state (one per engine) ------------------------------===//
 
-  link::Program &Prog;
+  const link::Program &Prog;
   numa::MemorySystem &Mem;
   RunOptions Opts;
   runtime::Runtime &Rt;
@@ -110,9 +110,12 @@ struct Engine::Impl {
   /// (RunOptions::ArgChecksWarnOnly or DSM_SHAPE_CHECKS=warn).
   bool ArgChecksWarn = false;
 
-  /// Slots handed out to reshaped ArrayElem expressions for the
-  /// per-context addressing-translation cache.
+  /// Translation-cache slot count, copied from the finalized program.
   int NumTransSlots = 0;
+  /// Where this engine is in its single-run lifecycle; array inspection
+  /// is only valid in the Completed state.
+  enum class RunState { NotRun, Running, Completed, Failed };
+  RunState State = RunState::NotRun;
   /// Bumped on every redistribute; invalidates all translation-cache
   /// entries, since layouts mutate in place.
   uint64_t TransGeneration = 0;
@@ -123,29 +126,22 @@ struct Engine::Impl {
   obs::Recorder *Obs = nullptr;
   std::unique_ptr<obs::Recorder> OwnedObs;
 
-  Impl(link::Program &Prog, numa::MemorySystem &Mem, RunOptions Opts,
-       runtime::Runtime &Rt)
-      : Prog(Prog), Mem(Mem), Opts(Opts), Rt(Rt),
+  Impl(const link::Program &Prog, numa::MemorySystem &Mem,
+       RunOptions Opts, runtime::Runtime &Rt)
+      : Prog(Prog), Mem(Mem), Opts(RunOptions::fromEnv(Opts)), Rt(Rt),
         Costs(Mem.config().Costs) {
-    int HT = Opts.HostThreads;
-    if (HT <= 0) {
-      const char *Env = std::getenv("DSM_HOST_THREADS");
-      HT = Env ? std::atoi(Env) : 1;
-    }
-    HostThreads = HT > 1 ? HT : 1;
-    if (Opts.Observer) {
-      Obs = Opts.Observer;
-    } else if (Opts.CollectMetrics) {
+    HostThreads =
+        this->Opts.HostThreads > 1 ? this->Opts.HostThreads : 1;
+    NumTransSlots = Prog.NumTransSlots;
+    if (this->Opts.Observer) {
+      Obs = this->Opts.Observer;
+    } else if (this->Opts.CollectMetrics) {
       OwnedObs = std::make_unique<obs::Recorder>();
       Obs = OwnedObs.get();
     }
-    if (Obs && Opts.CollectMetrics)
+    if (Obs && this->Opts.CollectMetrics)
       Obs->enableMetrics();
-    ArgChecksWarn = Opts.ArgChecksWarnOnly;
-    if (!ArgChecksWarn) {
-      const char *Shape = std::getenv("DSM_SHAPE_CHECKS");
-      ArgChecksWarn = Shape && std::string(Shape) == "warn";
-    }
+    ArgChecksWarn = this->Opts.ArgChecksWarnOnly;
   }
 
   /// Registers a freshly allocated array (and its address ranges) with
@@ -1590,49 +1586,6 @@ struct Engine::Impl {
 
   //===-- Startup -----------------------------------------------------===//
 
-  void assignTransSlotsExpr(Expr &E) {
-    if (E.Kind == ExprKind::ArrayElem && E.Array &&
-        E.Array->isReshaped() && !E.Ops.empty())
-      E.TransSlot = NumTransSlots++;
-    for (ExprPtr &Op : E.Ops)
-      if (Op)
-        assignTransSlotsExpr(*Op);
-  }
-
-  void assignTransSlotsBlock(Block &B) {
-    for (StmtPtr &StPtr : B) {
-      Stmt &St = *StPtr;
-      for (ExprPtr *E :
-           {&St.Lhs, &St.Rhs, &St.Lb, &St.Ub, &St.Step, &St.Cond})
-        if (*E)
-          assignTransSlotsExpr(**E);
-      for (ExprPtr &E : St.ProcExtents)
-        if (E)
-          assignTransSlotsExpr(*E);
-      for (ExprPtr &E : St.Args)
-        if (E)
-          assignTransSlotsExpr(*E);
-      assignTransSlotsBlock(St.Body);
-      assignTransSlotsBlock(St.Then);
-      assignTransSlotsBlock(St.Else);
-    }
-  }
-
-  void assignSlots() {
-    NumTransSlots = 0;
-    for (auto &M : Prog.Modules) {
-      for (auto &P : M->Procedures) {
-        int Slot = 0;
-        for (auto &Sym : P->Scalars)
-          Sym->SlotIndex = Slot++;
-        Slot = 0;
-        for (auto &A : P->Arrays)
-          A->SlotIndex = Slot++;
-        assignTransSlotsBlock(P->Body);
-      }
-    }
-  }
-
   void setupCommons() {
     for (auto &[Name, Info] : Prog.Commons) {
       uint64_t FlatBase =
@@ -1658,7 +1611,14 @@ struct Engine::Impl {
   }
 
   Expected<RunResult> run() {
-    assignSlots();
+    if (State != RunState::NotRun)
+      return Error::make(
+          "Engine::run() may only be called once per engine");
+    if (!Prog.Finalized || !Prog.Main)
+      return Error::make(
+          "program is not finalized; compile it with dsm::compile (or "
+          "link it with link::linkProgram) before running");
+    State = RunState::Running;
     Main.TransCache.assign(static_cast<size_t>(NumTransSlots), {});
     Mem.setDefaultPolicy(Opts.DefaultPolicy);
 
@@ -1697,8 +1657,10 @@ struct Engine::Impl {
     }
 
     setupCommons();
-    if (Main.Failed)
+    if (Main.Failed) {
+      State = RunState::Failed;
       return std::move(Main.Fail);
+    }
 
     // Activate the main frame (kept alive for post-run inspection).
     auto MainFrame = std::make_unique<Frame>();
@@ -1714,8 +1676,10 @@ struct Engine::Impl {
                                       : Value::ofInt(Sym->InitInt));
 
     Main.execBlock(Prog.Main->Body);
-    if (Main.Failed)
+    if (Main.Failed) {
+      State = RunState::Failed;
       return std::move(Main.Fail);
+    }
 
     Result.WallCycles = Main.Clock;
     Result.Counters = Mem.counters();
@@ -1741,7 +1705,55 @@ struct Engine::Impl {
       if (Obs->metricsEnabled())
         Result.Metrics = Obs->snapshot();
     }
+    State = RunState::Completed;
     return Result;
+  }
+
+  /// Read-only lookup of a main-unit array for post-run inspection.
+  /// Unlike Ctx::arrayInstance this never allocates: inspecting an
+  /// array the program never materialized is an error, not a silent
+  /// checksum over fresh zeros.
+  Expected<ArrayInstance *> inspectArray(const std::string &ArrayName) {
+    switch (State) {
+    case RunState::NotRun:
+    case RunState::Running:
+      return Error::make("run() has not completed; array contents are "
+                         "only available after a successful run");
+    case RunState::Failed:
+      return Error::make(
+          "run() failed; array contents are unavailable");
+    case RunState::Completed:
+      break;
+    }
+    const ArraySymbol *A = Prog.Main->findArray(ArrayName);
+    if (!A)
+      return Error::make("no array '" + ArrayName +
+                         "' in the main unit");
+    // Follow EQUIVALENCE chains to the storage owner, preferring the
+    // instance the main frame bound during the run.
+    const Frame &Root = *Main.FrameStack.front();
+    for (const ArraySymbol *Cursor = A; Cursor;
+         Cursor = Cursor->EquivalencedTo) {
+      if (Cursor->SlotIndex >= 0 &&
+          static_cast<size_t>(Cursor->SlotIndex) < Root.Arrays.size() &&
+          Root.Arrays[static_cast<size_t>(Cursor->SlotIndex)])
+        return Root.Arrays[static_cast<size_t>(Cursor->SlotIndex)];
+      if (!Cursor->EquivalencedTo) {
+        if (Cursor->Storage == StorageClass::Common) {
+          auto SlotIt = Prog.CommonArraySlots.find(Cursor);
+          if (SlotIt != Prog.CommonArraySlots.end()) {
+            auto InstIt = CommonArrayInstances.find(SlotIt->second);
+            if (InstIt != CommonArrayInstances.end())
+              return InstIt->second;
+          }
+        }
+        auto StaticIt = StaticLocals.find(Cursor);
+        if (StaticIt != StaticLocals.end())
+          return StaticIt->second;
+      }
+    }
+    return Error::make("array '" + ArrayName +
+                       "' was never allocated by the run");
   }
 };
 
@@ -1749,7 +1761,7 @@ struct Engine::Impl {
 // Public interface
 //===----------------------------------------------------------------------===//
 
-Engine::Engine(link::Program &Prog, numa::MemorySystem &Mem,
+Engine::Engine(const link::Program &Prog, numa::MemorySystem &Mem,
                RunOptions Opts)
     : Rt(Mem, Opts.NumProcs) {
   I = std::make_unique<Impl>(Prog, Mem, Opts, Rt);
@@ -1759,58 +1771,72 @@ Engine::~Engine() = default;
 
 Expected<RunResult> Engine::run() { return I->run(); }
 
+RunOptions RunOptions::fromEnv(RunOptions Base) {
+  if (Base.HostThreads <= 0) {
+    const char *Env = std::getenv("DSM_HOST_THREADS");
+    int HT = Env ? std::atoi(Env) : 1;
+    Base.HostThreads = HT > 1 ? HT : 1;
+  }
+  if (!Base.ArgChecksWarnOnly) {
+    const char *Shape = std::getenv("DSM_SHAPE_CHECKS");
+    Base.ArgChecksWarnOnly = Shape && std::string(Shape) == "warn";
+  }
+  return Base;
+}
+
+Error RunOptions::validate(const numa::MachineConfig *MC) const {
+  Error E;
+  if (NumProcs < 1)
+    E.addError(formatString("NumProcs must be >= 1 (got %d)", NumProcs));
+  else if (MC && NumProcs > MC->numProcs())
+    E.addError(formatString(
+        "NumProcs %d exceeds the machine's %d processors", NumProcs,
+        MC->numProcs()));
+  if (HostThreads < 0)
+    E.addError(formatString("HostThreads must be >= 0 (got %d)",
+                            HostThreads));
+  if (MaxCallDepth < 1)
+    E.addError("MaxCallDepth must be >= 1");
+  return E;
+}
+
 Expected<double>
 Engine::readArrayF64(const std::string &ArrayName,
                      const std::vector<int64_t> &Idx) {
-  if (I->Main.FrameStack.empty())
-    return Error::make("program has not been run");
-  ArraySymbol *A = I->Prog.Main->findArray(ArrayName);
-  if (!A)
-    return Error::make("no array '" + ArrayName + "' in the main unit");
-  ArrayInstance *Inst = I->Main.arrayInstance(A);
-  if (!Inst || I->Main.Failed)
-    return Error::make("array '" + ArrayName + "' is not allocated");
-  if (Idx.size() != Inst->Layout.rank())
+  auto Inst = I->inspectArray(ArrayName);
+  if (!Inst)
+    return Inst.takeError();
+  if (Idx.size() != (*Inst)->Layout.rank())
     return Error::make("index rank mismatch");
-  for (unsigned D = 0; D < Inst->Layout.rank(); ++D)
-    if (Idx[D] < 1 || Idx[D] > Inst->Layout.dimSizes()[D])
+  for (unsigned D = 0; D < (*Inst)->Layout.rank(); ++D)
+    if (Idx[D] < 1 || Idx[D] > (*Inst)->Layout.dimSizes()[D])
       return Error::make("index out of bounds");
-  return I->Mem.readF64(Inst->addressOf(Idx.data()));
+  return I->Mem.readF64((*Inst)->addressOf(Idx.data()));
 }
 
 Expected<double> Engine::arrayChecksum(const std::string &ArrayName) {
-  if (I->Main.FrameStack.empty())
-    return Error::make("program has not been run");
-  ArraySymbol *A = I->Prog.Main->findArray(ArrayName);
-  if (!A)
-    return Error::make("no array '" + ArrayName + "' in the main unit");
-  ArrayInstance *Inst = I->Main.arrayInstance(A);
-  if (!Inst || I->Main.Failed)
-    return Error::make("array '" + ArrayName + "' is not allocated");
+  auto Inst = I->inspectArray(ArrayName);
+  if (!Inst)
+    return Inst.takeError();
   double Sum = 0.0;
-  int64_t Total = Inst->Layout.totalElems();
+  int64_t Total = (*Inst)->Layout.totalElems();
   for (int64_t L = 0; L < Total; ++L) {
-    std::vector<int64_t> Idx = Inst->Layout.delinearize(L);
-    Sum += I->Mem.readF64(Inst->addressOf(Idx.data()));
+    std::vector<int64_t> Idx = (*Inst)->Layout.delinearize(L);
+    Sum += I->Mem.readF64((*Inst)->addressOf(Idx.data()));
   }
   return Sum;
 }
 
 Expected<double>
 Engine::arrayWeightedChecksum(const std::string &ArrayName) {
-  if (I->Main.FrameStack.empty())
-    return Error::make("program has not been run");
-  ArraySymbol *A = I->Prog.Main->findArray(ArrayName);
-  if (!A)
-    return Error::make("no array '" + ArrayName + "' in the main unit");
-  ArrayInstance *Inst = I->Main.arrayInstance(A);
-  if (!Inst || I->Main.Failed)
-    return Error::make("array '" + ArrayName + "' is not allocated");
+  auto Inst = I->inspectArray(ArrayName);
+  if (!Inst)
+    return Inst.takeError();
   double Sum = 0.0;
-  int64_t Total = Inst->Layout.totalElems();
+  int64_t Total = (*Inst)->Layout.totalElems();
   for (int64_t L = 0; L < Total; ++L) {
-    std::vector<int64_t> Idx = Inst->Layout.delinearize(L);
-    Sum += I->Mem.readF64(Inst->addressOf(Idx.data())) *
+    std::vector<int64_t> Idx = (*Inst)->Layout.delinearize(L);
+    Sum += I->Mem.readF64((*Inst)->addressOf(Idx.data())) *
            static_cast<double>(L + 1);
   }
   return Sum;

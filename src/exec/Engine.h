@@ -90,6 +90,19 @@ struct RunOptions {
   /// run-aborting errors to warnings collected in RunResult::Diags.
   /// Also enabled by DSM_SHAPE_CHECKS=warn in the environment.
   bool ArgChecksWarnOnly = false;
+
+  /// Returns \p Base with every environment-controlled field resolved:
+  /// HostThreads <= 0 reads DSM_HOST_THREADS (defaulting to 1), and
+  /// DSM_SHAPE_CHECKS=warn turns on ArgChecksWarnOnly.  This is the one
+  /// place the engine-facing environment variables are interpreted; the
+  /// engine itself applies it on construction, so callers only need it
+  /// to inspect the resolved values up front.
+  static RunOptions fromEnv(RunOptions Base);
+  static RunOptions fromEnv() { return fromEnv(RunOptions()); }
+
+  /// Checks the options for internal consistency (and against \p MC's
+  /// processor count when given).  Returns a false-y Error on success.
+  Error validate(const numa::MachineConfig *MC = nullptr) const;
 };
 
 /// Outcome of one execution.
@@ -125,21 +138,30 @@ struct RunResult {
 
 /// One engine executes one program on one machine.  After run(), array
 /// contents can be inspected for validation.
+///
+/// The program is taken by const reference and never mutated: a
+/// finalized link::Program (see link::finalizeProgram) can back any
+/// number of engines concurrently, which is what the session layer's
+/// compile-once/run-many batch execution relies on.
 class Engine {
 public:
-  Engine(link::Program &Prog, numa::MemorySystem &Mem, RunOptions Opts);
+  Engine(const link::Program &Prog, numa::MemorySystem &Mem,
+         RunOptions Opts);
   ~Engine();
 
-  /// Executes the program from its main unit.
+  /// Executes the program from its main unit.  May be called at most
+  /// once per engine; subsequent calls return an Error.
   Expected<RunResult> run();
 
   /// Reads an element of an array declared in the main unit (or a
-  /// COMMON member) after run(); 1-based indices.
+  /// COMMON member); 1-based indices.  Returns an Error before run()
+  /// has been called, after a failed run, or when the program never
+  /// allocated the array (inspection never allocates).
   Expected<double> readArrayF64(const std::string &ArrayName,
                                 const std::vector<int64_t> &Idx);
 
   /// Checksum (sum of elements) of a main-unit array, for golden-run
-  /// comparisons.
+  /// comparisons.  Same preconditions as readArrayF64().
   Expected<double> arrayChecksum(const std::string &ArrayName);
 
   /// Position-weighted checksum (sum of element * (1 + column-major

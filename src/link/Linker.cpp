@@ -489,5 +489,65 @@ void PreLinker::layoutCommons() {
 Expected<Program>
 dsm::link::linkProgram(std::vector<std::unique_ptr<Module>> Modules) {
   PreLinker L(std::move(Modules));
-  return L.run();
+  auto P = L.run();
+  if (P)
+    finalizeProgram(*P);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Program finalization
+//===----------------------------------------------------------------------===//
+//
+// Slot assignment used to happen inside the execution engine, which
+// made Engine construction mutate the program -- impossible to share
+// one compiled Program across concurrent engines.  It is a pure
+// function of the (post-transform) IR, so it belongs to compile time.
+
+namespace {
+
+void assignTransSlotsExpr(Expr &E, int &NumTransSlots) {
+  if (E.Kind == ExprKind::ArrayElem && E.Array &&
+      E.Array->isReshaped() && !E.Ops.empty())
+    E.TransSlot = NumTransSlots++;
+  for (ExprPtr &Op : E.Ops)
+    if (Op)
+      assignTransSlotsExpr(*Op, NumTransSlots);
+}
+
+void assignTransSlotsBlock(Block &B, int &NumTransSlots) {
+  for (StmtPtr &StPtr : B) {
+    Stmt &St = *StPtr;
+    for (ExprPtr *E :
+         {&St.Lhs, &St.Rhs, &St.Lb, &St.Ub, &St.Step, &St.Cond})
+      if (*E)
+        assignTransSlotsExpr(**E, NumTransSlots);
+    for (ExprPtr &E : St.ProcExtents)
+      if (E)
+        assignTransSlotsExpr(*E, NumTransSlots);
+    for (ExprPtr &E : St.Args)
+      if (E)
+        assignTransSlotsExpr(*E, NumTransSlots);
+    assignTransSlotsBlock(St.Body, NumTransSlots);
+    assignTransSlotsBlock(St.Then, NumTransSlots);
+    assignTransSlotsBlock(St.Else, NumTransSlots);
+  }
+}
+
+} // namespace
+
+void dsm::link::finalizeProgram(Program &Prog) {
+  Prog.NumTransSlots = 0;
+  for (auto &M : Prog.Modules) {
+    for (auto &P : M->Procedures) {
+      int Slot = 0;
+      for (auto &Sym : P->Scalars)
+        Sym->SlotIndex = Slot++;
+      Slot = 0;
+      for (auto &A : P->Arrays)
+        A->SlotIndex = Slot++;
+      assignTransSlotsBlock(P->Body, Prog.NumTransSlots);
+    }
+  }
+  Prog.Finalized = true;
 }

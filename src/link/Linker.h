@@ -33,9 +33,20 @@ ShadowFile buildShadowFile(const ir::Module &M);
 
 /// Links the modules into a Program: resolves procedures, propagates
 /// reshape directives (cloning as needed), and checks COMMON
-/// consistency.  Consumes the modules.
+/// consistency.  Consumes the modules.  The returned program is
+/// finalized (see finalizeProgram); callers that transform it
+/// afterwards must re-finalize.
 Expected<Program>
 linkProgram(std::vector<std::unique_ptr<ir::Module>> Modules);
+
+/// Assigns frame slots to every scalar/array symbol and translation-
+/// cache slots to every reshaped reference, then marks the program
+/// Finalized.  Idempotent; must be re-run after any IR-rewriting pass
+/// (the transform pipeline introduces new symbols and references).
+/// After finalization the program is read-only to the execution
+/// engine, which is what lets one compiled Program back many
+/// concurrent runs.
+void finalizeProgram(Program &Prog);
 
 } // namespace dsm::link
 

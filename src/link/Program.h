@@ -64,6 +64,14 @@ struct Program {
   /// Number of times the pre-linker "re-invoked the compiler".
   unsigned Recompilations = 0;
 
+  /// Set by finalizeProgram(): every scalar/array symbol has its frame
+  /// slot and every reshaped reference its translation-cache slot.  A
+  /// finalized program is immutable at run time, so one Program can be
+  /// shared (const) by any number of concurrent engines.
+  bool Finalized = false;
+  /// Number of translation-cache slots finalizeProgram() handed out.
+  int NumTransSlots = 0;
+
   ir::Procedure *findProcedure(const std::string &Name) const {
     auto It = Procedures.find(Name);
     return It == Procedures.end() ? nullptr : It->second;

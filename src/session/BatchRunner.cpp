@@ -1,0 +1,106 @@
+//===- session/BatchRunner.cpp - Concurrent job execution ------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "session/BatchRunner.h"
+
+#include <chrono>
+#include <memory>
+
+#include "fault/Injector.h"
+#include "numa/MemorySystem.h"
+#include "support/ThreadPool.h"
+
+using namespace dsm;
+using namespace dsm::session;
+
+Error RunRequest::validate() const {
+  if (!Program)
+    return Error::make("run request has no program");
+  if (!Program->Finalized)
+    return Error::make("run request program is not finalized; "
+                       "compile it with dsm::compile or Session::compile");
+  if (Opts.Observer)
+    return Error::make(
+        "run request must not carry an external Observer; use "
+        "RunOptions::CollectMetrics (observers are not shareable "
+        "across batch jobs)");
+  if (Opts.Fault)
+    return Error::make(
+        "run request must not carry an external fault Injector; set "
+        "RunRequest::Fault to a FaultSpec so the job owns its schedule");
+  return Opts.validate(&Machine);
+}
+
+JobResult session::runOne(const RunRequest &Req, size_t Index) {
+  JobResult R;
+  R.Index = Index;
+  R.Label = Req.Label;
+
+  if (Error E = Req.validate()) {
+    R.Err = std::move(E);
+    return R;
+  }
+
+  exec::RunOptions Opts = Req.Opts;
+  std::unique_ptr<fault::Injector> Inj;
+  if (Req.Fault) {
+    Inj = std::make_unique<fault::Injector>(*Req.Fault);
+    Opts.Fault = Inj.get();
+  }
+
+  numa::MemorySystem Mem(Req.Machine);
+  exec::Engine Engine(*Req.Program, Mem, Opts);
+
+  auto Start = std::chrono::steady_clock::now();
+  auto Run = Engine.run();
+  auto End = std::chrono::steady_clock::now();
+  if (!Run) {
+    R.Err = Run.takeError();
+    return R;
+  }
+
+  RunOutput Out;
+  Out.Result = std::move(*Run);
+  Out.HostSeconds = std::chrono::duration<double>(End - Start).count();
+  for (const std::string &Name : Req.ChecksumArrays) {
+    auto Sum = Engine.arrayChecksum(Name);
+    if (!Sum) {
+      R.Err = Sum.takeError();
+      return R;
+    }
+    auto WSum = Engine.arrayWeightedChecksum(Name);
+    if (!WSum) {
+      R.Err = WSum.takeError();
+      return R;
+    }
+    Out.Checksums.emplace_back(*Sum, *WSum);
+  }
+  R.Output = std::move(Out);
+  return R;
+}
+
+std::vector<JobResult>
+BatchRunner::runAll(const std::vector<RunRequest> &Jobs) const {
+  std::vector<JobResult> Results(Jobs.size());
+  if (Jobs.empty())
+    return Results;
+  if (Workers <= 1 || Jobs.size() == 1) {
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      Results[I] = runOne(Jobs[I], I);
+    return Results;
+  }
+  // Each index writes only its own pre-sized slot, so no locking is
+  // needed around Results.  A fresh pool per batch keeps BatchRunner
+  // reentrancy-free (support::ThreadPool::parallelFor is not
+  // reentrant, but distinct pool objects nest fine -- each job's
+  // engine may spin up its own pool for threaded epochs).
+  support::ThreadPool Pool(Workers);
+  Pool.parallelFor(static_cast<int64_t>(Jobs.size()), [&](int64_t I) {
+    Results[static_cast<size_t>(I)] =
+        runOne(Jobs[static_cast<size_t>(I)], static_cast<size_t>(I));
+  });
+  return Results;
+}

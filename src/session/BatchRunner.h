@@ -1,0 +1,107 @@
+//===- session/BatchRunner.h - Concurrent job execution ---------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The run-many half of the session layer: a RunRequest names one job
+/// (a shared compiled program + machine + run options), runOne()
+/// executes it in complete isolation -- its own MemorySystem, Engine,
+/// and fault Injector -- and BatchRunner fans a vector of jobs out
+/// across host threads.  Because engines take the program const and
+/// every piece of mutable state is per-job, N concurrent jobs on one
+/// ProgramHandle are bit-identical to running them one at a time
+/// (tests/session/BatchRunnerTest proves it, under TSan in CI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_SESSION_BATCHRUNNER_H
+#define DSM_SESSION_BATCHRUNNER_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/Engine.h"
+#include "fault/FaultSpec.h"
+#include "numa/MachineConfig.h"
+#include "session/ProgramCache.h"
+
+namespace dsm::session {
+
+/// One job: run \p Program on \p Machine with \p Opts.
+struct RunRequest {
+  /// Free-form job name carried into the JobResult (batch manifests use
+  /// it to label JSONL records).
+  std::string Label;
+
+  /// The compiled program; must be finalized (anything dsm::compile or
+  /// ProgramCache hands out is).
+  ProgramHandle Program;
+
+  numa::MachineConfig Machine = numa::MachineConfig::scaledOrigin();
+
+  /// Engine options.  The Observer and Fault pointers must be null in a
+  /// request: observers are single-run objects, and a shared pointer
+  /// would be mutated from several job threads at once.  Use \p Fault
+  /// below for fault injection and RunOptions::CollectMetrics for
+  /// locality metrics -- both are per-job by construction.
+  exec::RunOptions Opts;
+
+  /// When set, the job builds a private fault::Injector from this spec,
+  /// so its deterministic schedule is independent of every other job.
+  std::optional<fault::FaultSpec> Fault;
+
+  /// Main-unit arrays to checksum after the run (plain and
+  /// position-weighted); failures to resolve a name fail the job.
+  std::vector<std::string> ChecksumArrays;
+
+  /// Structural validation (null/unfinalized program, non-null external
+  /// pointers, RunOptions::validate against Machine).
+  Error validate() const;
+};
+
+/// What a successful job produced.
+struct RunOutput {
+  exec::RunResult Result;
+  /// (plain, weighted) checksum per entry of ChecksumArrays, in order.
+  std::vector<std::pair<double, double>> Checksums;
+  /// Host-side wall time of the engine run (not simulated cycles).
+  double HostSeconds = 0.0;
+};
+
+/// Outcome of one job: either an Output or an Err.
+struct JobResult {
+  size_t Index = 0; ///< Position in the submitted batch.
+  std::string Label;
+  std::optional<RunOutput> Output;
+  Error Err;
+
+  bool ok() const { return Output.has_value(); }
+};
+
+/// Runs one request in isolation on the calling thread.
+JobResult runOne(const RunRequest &Req, size_t Index = 0);
+
+/// Executes batches of independent jobs on a host thread pool.
+class BatchRunner {
+public:
+  /// \p Workers is the number of jobs in flight at once (including the
+  /// calling thread); <= 1 runs the batch serially.
+  explicit BatchRunner(unsigned Workers) : Workers(Workers ? Workers : 1) {}
+
+  unsigned workers() const { return Workers; }
+
+  /// Runs every job and returns results in submission order.  Job
+  /// failures are reported per-job, never thrown across the batch.
+  std::vector<JobResult> runAll(const std::vector<RunRequest> &Jobs) const;
+
+private:
+  unsigned Workers;
+};
+
+} // namespace dsm::session
+
+#endif // DSM_SESSION_BATCHRUNNER_H

@@ -1,0 +1,164 @@
+//===- session/ProgramCache.cpp - Compile-once program cache ---------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "session/ProgramCache.h"
+
+using namespace dsm;
+using namespace dsm::session;
+
+namespace {
+
+constexpr uint64_t FnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t FnvPrime = 0x100000001b3ull;
+
+void hashBytes(uint64_t &H, const void *Data, size_t Len) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= FnvPrime;
+  }
+}
+
+void hashString(uint64_t &H, const std::string &S) {
+  // Length-prefix each field so ("ab","c") and ("a","bc") differ.
+  uint64_t Len = S.size();
+  hashBytes(H, &Len, sizeof Len);
+  hashBytes(H, S.data(), S.size());
+}
+
+void hashInt(uint64_t &H, int64_t V) { hashBytes(H, &V, sizeof V); }
+
+} // namespace
+
+uint64_t ProgramCache::keyOf(const std::vector<SourceFile> &Sources,
+                             const CompileOptions &Opts) {
+  uint64_t H = FnvOffset;
+  hashInt(H, static_cast<int64_t>(Sources.size()));
+  for (const SourceFile &S : Sources) {
+    hashString(H, S.Name);
+    hashString(H, S.Text);
+  }
+  hashInt(H, Opts.Transform ? 1 : 0);
+  hashInt(H, Opts.Xform.Parallelize ? 1 : 0);
+  hashInt(H, static_cast<int64_t>(Opts.Xform.Level));
+  hashInt(H, Opts.Xform.FpDivMod ? 1 : 0);
+  return H;
+}
+
+Expected<ProgramHandle>
+ProgramCache::getOrCompile(const std::vector<SourceFile> &Sources,
+                           const CompileOptions &Opts) {
+  const uint64_t Key = keyOf(Sources, Opts);
+  std::shared_ptr<Slot> S;
+  bool Owner = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Slots.find(Key);
+    if (It != Slots.end()) {
+      // Served from cache -- or joining a compile already in flight;
+      // either way no second compile happens, which is what Hits
+      // counts.
+      ++Stats.Hits;
+      S = It->second;
+      touchLocked(Key);
+    } else {
+      ++Stats.Misses;
+      S = std::make_shared<Slot>();
+      Slots.emplace(Key, S);
+      Owner = true;
+    }
+  }
+
+  if (!Owner) {
+    std::unique_lock<std::mutex> Lock(S->Mu);
+    S->ReadyCv.wait(Lock, [&] { return S->Ready; });
+    if (!S->Prog)
+      return Error(S->Err);
+    return S->Prog;
+  }
+
+  // We own the slot: compile outside every lock so unrelated keys are
+  // never serialized behind this one.
+  auto Prog = detail::buildProgramImpl(Sources, Opts);
+  ProgramHandle Handle;
+  {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    if (Prog) {
+      Handle = std::make_shared<const link::Program>(std::move(*Prog));
+      S->Prog = Handle;
+    } else {
+      S->Err = Prog.takeError();
+    }
+    S->Ready = true;
+  }
+  S->ReadyCv.notify_all();
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Handle) {
+    // Failures are reported to every waiter but not cached: a later
+    // request with fixed sources hashes differently anyway, and an
+    // identical retry should re-diagnose.
+    Slots.erase(Key);
+    Error E(S->Err);
+    return E;
+  }
+  ++Stats.Programs;
+  touchLocked(Key);
+  evictLocked();
+  return Handle;
+}
+
+void ProgramCache::touchLocked(uint64_t Key) {
+  auto It = RecencyPos.find(Key);
+  if (It != RecencyPos.end()) {
+    Recency.erase(It->second);
+    RecencyPos.erase(It);
+  }
+  // In-flight keys are not in Recency yet; they are added once the
+  // compile lands (the owner calls touchLocked again on success).
+  auto SlotIt = Slots.find(Key);
+  if (SlotIt == Slots.end())
+    return;
+  bool Ready;
+  {
+    std::lock_guard<std::mutex> SlotLock(SlotIt->second->Mu);
+    Ready = SlotIt->second->Ready;
+  }
+  if (!Ready)
+    return;
+  Recency.push_front(Key);
+  RecencyPos.emplace(Key, Recency.begin());
+}
+
+void ProgramCache::evictLocked() {
+  if (MaxPrograms == 0)
+    return;
+  while (Stats.Programs > MaxPrograms && !Recency.empty()) {
+    uint64_t Victim = Recency.back();
+    Recency.pop_back();
+    RecencyPos.erase(Victim);
+    Slots.erase(Victim); // Outstanding ProgramHandles stay valid.
+    --Stats.Programs;
+    ++Stats.Evictions;
+  }
+}
+
+CacheStats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+void ProgramCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Only completed entries are dropped; joining an in-flight compile
+  // through a stale slot is still correct.
+  for (uint64_t Key : Recency) {
+    Slots.erase(Key);
+    --Stats.Programs;
+  }
+  Recency.clear();
+  RecencyPos.clear();
+}

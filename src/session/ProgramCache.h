@@ -1,0 +1,106 @@
+//===- session/ProgramCache.h - Compile-once program cache ------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-hash-keyed cache of immutable compiled programs: the key
+/// is a hash of the source files (names and text) plus every
+/// CompileOptions field, so two requests for the same program at the
+/// same optimization configuration share one link::Program.  Programs
+/// are finalized at compile time and handed out as
+/// shared_ptr<const link::Program>, which any number of concurrent
+/// engines can execute (DESIGN.md Section 11).
+///
+/// The cache is thread-safe and deduplicates in-flight compilations:
+/// when N threads request the same key at once, one compiles and the
+/// others wait for the result -- the compile-hit counter is how the
+/// batch acceptance test proves an 8-job manifest compiled exactly
+/// once.  Compile failures are reported to every waiter but never
+/// cached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_SESSION_PROGRAMCACHE_H
+#define DSM_SESSION_PROGRAMCACHE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/Driver.h"
+#include "link/Program.h"
+
+namespace dsm::session {
+
+/// A shared, immutable, finalized compiled program.  The one public
+/// currency of the session layer: engines take it const, the cache
+/// refcounts it, eviction can never invalidate a running job.
+using ProgramHandle = std::shared_ptr<const link::Program>;
+
+/// Cache accounting (monotonic over the cache's lifetime).
+struct CacheStats {
+  uint64_t Hits = 0;      ///< Requests served from a cached program.
+  uint64_t Misses = 0;    ///< Requests that had to compile.
+  uint64_t Evictions = 0; ///< Programs dropped by the LRU bound.
+  size_t Programs = 0;    ///< Programs resident right now.
+};
+
+class ProgramCache {
+public:
+  /// \p MaxPrograms bounds resident compiled programs (LRU eviction);
+  /// 0 means unbounded.
+  explicit ProgramCache(size_t MaxPrograms = 0)
+      : MaxPrograms(MaxPrograms) {}
+
+  ProgramCache(const ProgramCache &) = delete;
+  ProgramCache &operator=(const ProgramCache &) = delete;
+
+  /// Returns the cached program for (Sources, Opts), compiling it on
+  /// first request.  Safe to call from any number of threads; an
+  /// in-flight compilation of the same key is joined, not repeated.
+  Expected<ProgramHandle>
+  getOrCompile(const std::vector<SourceFile> &Sources,
+               const CompileOptions &Opts = {});
+
+  /// The cache key: a 64-bit FNV-1a content hash of every source
+  /// (name and text) and every CompileOptions field.
+  static uint64_t keyOf(const std::vector<SourceFile> &Sources,
+                        const CompileOptions &Opts);
+
+  CacheStats stats() const;
+
+  /// Drops every resident program (outstanding handles stay valid).
+  void clear();
+
+private:
+  /// One cache slot; filled exactly once under its own mutex so
+  /// waiters block on the slot, not the whole cache.
+  struct Slot {
+    std::mutex Mu;
+    std::condition_variable ReadyCv;
+    bool Ready = false;
+    ProgramHandle Prog; ///< Null when the compile failed.
+    Error Err;
+  };
+
+  void touchLocked(uint64_t Key);
+  void evictLocked();
+
+  const size_t MaxPrograms;
+  mutable std::mutex Mu;
+  std::unordered_map<uint64_t, std::shared_ptr<Slot>> Slots;
+  /// Completed keys, most recently used first.
+  std::list<uint64_t> Recency;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> RecencyPos;
+  CacheStats Stats;
+};
+
+} // namespace dsm::session
+
+#endif // DSM_SESSION_PROGRAMCACHE_H

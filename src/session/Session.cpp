@@ -1,0 +1,58 @@
+//===- session/Session.cpp - Compile-once/run-many sessions ----------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "session/Session.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+using namespace dsm;
+using namespace dsm::session;
+
+SessionOptions SessionOptions::fromEnv(SessionOptions Base) {
+  if (Base.Workers <= 0) {
+    if (const char *Env = std::getenv("DSM_SESSION_WORKERS"))
+      Base.Workers = std::atoi(Env);
+    if (Base.Workers <= 0) {
+      unsigned HW = std::thread::hardware_concurrency();
+      Base.Workers = static_cast<int>(std::clamp(HW, 1u, 8u));
+    }
+  }
+  if (Base.DefaultFaultSpecPath.empty())
+    if (const char *Env = std::getenv("DSM_FAULT_SPEC"))
+      Base.DefaultFaultSpecPath = Env;
+  return Base;
+}
+
+Error SessionOptions::validate() const {
+  if (Workers < 0)
+    return Error::make("SessionOptions::Workers must be >= 0 (0 = auto)");
+  if (Workers > 1024)
+    return Error::make("SessionOptions::Workers is implausibly large "
+                       "(max 1024)");
+  return Error::success();
+}
+
+Session::Session(SessionOptions Opts)
+    : Opts(SessionOptions::fromEnv(std::move(Opts))),
+      Cache(this->Opts.MaxCachedPrograms),
+      Runner(static_cast<unsigned>(std::max(this->Opts.Workers, 1))) {}
+
+Expected<ProgramHandle>
+Session::compile(const std::vector<SourceFile> &Sources,
+                 const CompileOptions &COpts) {
+  return Cache.getOrCompile(Sources, COpts);
+}
+
+JobResult Session::run(const RunRequest &Req) const {
+  return runOne(Req);
+}
+
+std::vector<JobResult>
+Session::runBatch(const std::vector<RunRequest> &Jobs) const {
+  return Runner.runAll(Jobs);
+}

@@ -1,0 +1,100 @@
+//===- session/Session.h - Compile-once/run-many sessions -------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// dsm::session::Session ties the two halves of the layer together: a
+/// ProgramCache (compile each distinct (sources, options) pair once)
+/// and a BatchRunner (run many independent jobs concurrently).  A
+/// Session is thread-safe: any number of threads may compile and run
+/// through one Session at once, sharing the cache.
+///
+/// \code
+///   dsm::session::Session S;
+///   auto Prog = S.compile({{"main.f", Source}});
+///   dsm::session::RunRequest Job;
+///   Job.Program = *Prog;            // shared across any number of jobs
+///   Job.Opts.NumProcs = 8;
+///   auto Results = S.runBatch({Job, Job, Job});
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_SESSION_SESSION_H
+#define DSM_SESSION_SESSION_H
+
+#include <string>
+#include <vector>
+
+#include "session/BatchRunner.h"
+#include "session/ProgramCache.h"
+
+namespace dsm::session {
+
+/// Session-wide configuration.
+struct SessionOptions {
+  /// Jobs in flight at once in runBatch (including the calling
+  /// thread).  0 resolves to min(hardware_concurrency, 8) at session
+  /// construction.
+  int Workers = 0;
+
+  /// Bound on resident compiled programs (LRU); 0 = unbounded.
+  size_t MaxCachedPrograms = 0;
+
+  /// Fault-spec file applied by tools to every job that does not name
+  /// its own (the DSM_FAULT_SPEC environment variable).  The session
+  /// itself never reads the file -- tools resolve it into
+  /// RunRequest::Fault -- but it lives here so all environment
+  /// interpretation happens in one fromEnv call.
+  std::string DefaultFaultSpecPath;
+
+  /// Returns \p Base with every environment-controlled field resolved:
+  /// Workers <= 0 reads DSM_SESSION_WORKERS, and an empty
+  /// DefaultFaultSpecPath reads DSM_FAULT_SPEC.
+  static SessionOptions fromEnv(SessionOptions Base);
+  static SessionOptions fromEnv() { return fromEnv(SessionOptions()); }
+
+  /// Checks the options for consistency; returns a false-y Error on
+  /// success.
+  Error validate() const;
+};
+
+/// A compile-once/run-many execution session.
+class Session {
+public:
+  /// Applies SessionOptions::fromEnv to \p Opts; invalid options are
+  /// clamped to their nearest valid value (construction cannot fail --
+  /// call SessionOptions::validate first to diagnose instead).
+  explicit Session(SessionOptions Opts = {});
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// The resolved options this session runs with.
+  const SessionOptions &options() const { return Opts; }
+
+  /// Compiles (or fetches from cache) the program for (Sources, COpts).
+  Expected<ProgramHandle> compile(const std::vector<SourceFile> &Sources,
+                                  const CompileOptions &COpts = {});
+
+  /// Runs one job in isolation on the calling thread.
+  JobResult run(const RunRequest &Req) const;
+
+  /// Runs a batch of independent jobs, options().Workers at a time;
+  /// results come back in submission order, failures per-job.
+  std::vector<JobResult> runBatch(const std::vector<RunRequest> &Jobs) const;
+
+  /// Compile-cache accounting (hits prove compile-once).
+  CacheStats cacheStats() const { return Cache.stats(); }
+
+private:
+  SessionOptions Opts;
+  ProgramCache Cache;
+  BatchRunner Runner;
+};
+
+} // namespace dsm::session
+
+#endif // DSM_SESSION_SESSION_H

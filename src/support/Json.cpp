@@ -1,0 +1,316 @@
+//===- support/Json.cpp - Minimal JSON parsing helpers ---------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::json;
+
+const Value *Value::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+const Value &Value::operator[](const std::string &Key) const {
+  static const Value Null;
+  const Value *V = find(Key);
+  return V ? *V : Null;
+}
+
+namespace dsm::json {
+
+class Parser {
+public:
+  Parser(std::string_view Text, const std::string &File)
+      : Text(Text), File(File) {}
+
+  Expected<Value> run() {
+    Value V;
+    if (!parseValue(V))
+      return std::move(Err);
+    skipWs();
+    if (Pos != Text.size()) {
+      fail("trailing characters after JSON document");
+      return std::move(Err);
+    }
+    return V;
+  }
+
+private:
+  std::string_view Text;
+  const std::string &File;
+  size_t Pos = 0;
+  int Line = 1;
+  Error Err;
+
+  void fail(const std::string &Message) {
+    if (!Err)
+      Err.addError(Message, File, Line);
+  }
+
+  void skipWs() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n')
+        ++Line;
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect(char C, const char *Where) {
+    if (consume(C))
+      return true;
+    fail(formatString("expected '%c' in %s", C, Where));
+    return false;
+  }
+
+  bool parseValue(Value &Out) {
+    skipWs();
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    char C = Text[Pos];
+    switch (C) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"':
+      Out.K = Value::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+    case 'f':
+      return parseKeyword(C == 't' ? "true" : "false", Out);
+    case 'n':
+      return parseKeyword("null", Out);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseKeyword(std::string_view KW, Value &Out) {
+    if (Text.substr(Pos, KW.size()) != KW) {
+      fail("invalid literal");
+      return false;
+    }
+    Pos += KW.size();
+    if (KW == "true" || KW == "false") {
+      Out.K = Value::Kind::Bool;
+      Out.B = KW == "true";
+    } else {
+      Out.K = Value::Kind::Null;
+    }
+    return true;
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    bool Integral = true;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E' || C == '-' ||
+                 C == '+') {
+        if (C == '.' || C == 'e' || C == 'E')
+          Integral = false;
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (Pos == Start) {
+      fail("invalid JSON value");
+      return false;
+    }
+    std::string Lit(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    Out.K = Value::Kind::Number;
+    Out.Num = std::strtod(Lit.c_str(), &End);
+    if (!End || *End != '\0') {
+      fail("malformed number '" + Lit + "'");
+      return false;
+    }
+    Out.Int = Integral ? std::strtoll(Lit.c_str(), nullptr, 10)
+                       : static_cast<int64_t>(Out.Num);
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    skipWs();
+    if (!expect('"', "string"))
+      return false;
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C == '\n') {
+        fail("unterminated string");
+        return false;
+      }
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          fail("truncated \\u escape");
+          return false;
+        }
+        std::string Hex(Text.substr(Pos, 4));
+        Pos += 4;
+        unsigned Code =
+            static_cast<unsigned>(std::strtoul(Hex.c_str(), nullptr, 16));
+        // UTF-8 encode the BMP code point (surrogate pairs are beyond
+        // what tool manifests need; they decode as two 3-byte units).
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        fail(formatString("invalid escape '\\%c'", E));
+        return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parseArray(Value &Out) {
+    expect('[', "array");
+    Out.K = Value::Kind::Array;
+    skipWs();
+    if (consume(']'))
+      return true;
+    for (;;) {
+      Value Elem;
+      if (!parseValue(Elem))
+        return false;
+      Out.Arr.push_back(std::move(Elem));
+      if (consume(']'))
+        return true;
+      if (!expect(',', "array"))
+        return false;
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    expect('{', "object");
+    Out.K = Value::Kind::Object;
+    skipWs();
+    if (consume('}'))
+      return true;
+    for (;;) {
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      if (!expect(':', "object"))
+        return false;
+      Value Member;
+      if (!parseValue(Member))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(Member));
+      if (consume('}'))
+        return true;
+      if (!expect(',', "object"))
+        return false;
+    }
+  }
+};
+
+} // namespace dsm::json
+
+Expected<Value> json::parse(std::string_view Text,
+                            const std::string &File) {
+  return Parser(Text, File).run();
+}
+
+std::string json::escape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out.push_back(C);
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,92 @@
+//===- support/Json.h - Minimal JSON parsing helpers ------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dependency-free JSON reader for tool inputs (batch manifests,
+/// configuration snippets) plus the string-escaping helper the JSONL
+/// writers share.  Parsing is strict (trailing garbage is an error) and
+/// returns Expected so malformed manifests produce diagnostics with
+/// line numbers instead of aborts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_SUPPORT_JSON_H
+#define DSM_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/Error.h"
+
+namespace dsm::json {
+
+/// One parsed JSON value.  Numbers are kept as double plus an exact
+/// int64 when the literal was integral.
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool(bool Default = false) const {
+    return isBool() ? B : Default;
+  }
+  double asNumber(double Default = 0.0) const {
+    return isNumber() ? Num : Default;
+  }
+  int64_t asInt(int64_t Default = 0) const {
+    return isNumber() ? Int : Default;
+  }
+  const std::string &asString() const { return Str; }
+
+  const std::vector<Value> &array() const { return Arr; }
+
+  /// Object member lookup; null when absent or not an object.
+  const Value *find(const std::string &Key) const;
+  /// Object member access that never fails: absent keys yield a shared
+  /// Null value, so chained lookups read cleanly.
+  const Value &operator[](const std::string &Key) const;
+
+  /// Members in source order (objects keep their manifest order so job
+  /// lists stay stable).
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Obj;
+  }
+
+private:
+  friend class Parser;
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  int64_t Int = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+};
+
+/// Parses one JSON document; \p File names the source in diagnostics.
+Expected<Value> parse(std::string_view Text,
+                      const std::string &File = "<json>");
+
+/// Escapes \p S for embedding in a JSON string literal (no quotes
+/// added).
+std::string escape(std::string_view S);
+
+} // namespace dsm::json
+
+#endif // DSM_SUPPORT_JSON_H

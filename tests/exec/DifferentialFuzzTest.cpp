@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "core/Driver.h"
+#include "api/Dsm.h"
 #include "fault/Injector.h"
 #include "obs/Metrics.h"
 #include "support/Rng.h"
@@ -277,7 +277,7 @@ struct RunObs {
   std::string FailMessage;
 };
 
-RunObs runOnce(link::Program &Prog, int HostThreads,
+RunObs runOnce(const link::Program &Prog, int HostThreads,
                const std::vector<std::string> &Arrays,
                fault::Injector *Inj = nullptr) {
   RunObs Obs;
@@ -309,13 +309,13 @@ unsigned checkCase(uint64_t Seed) {
   GenCase C = generate(Seed);
   SCOPED_TRACE("fuzz seed " + std::to_string(Seed) + "; program:\n" +
                C.Src);
-  auto Prog = buildProgram({{"fuzz.f", C.Src}}, CompileOptions{});
+  auto Prog = dsm::compile({{"fuzz.f", C.Src}});
   EXPECT_TRUE(bool(Prog))
       << "compile failed: " << Prog.error().str();
   if (!Prog)
     return 0;
-  RunObs Serial = runOnce(*Prog, 1, C.Arrays);
-  RunObs Threaded = runOnce(*Prog, 4, C.Arrays);
+  RunObs Serial = runOnce(**Prog, 1, C.Arrays);
+  RunObs Threaded = runOnce(**Prog, 4, C.Arrays);
   EXPECT_FALSE(Serial.Failed) << Serial.FailMessage;
   EXPECT_EQ(Serial.Failed, Threaded.Failed);
   EXPECT_EQ(Serial.FailMessage, Threaded.FailMessage);
@@ -425,11 +425,11 @@ uint64_t checkFaultCase(uint64_t Seed) {
   fault::FaultSpec Spec = randomSpec(Seed);
   SCOPED_TRACE("fault-fuzz seed " + std::to_string(Seed) + "; spec:\n" +
                Spec.str() + "program:\n" + C.Src);
-  auto Prog = buildProgram({{"fuzz.f", C.Src}}, CompileOptions{});
+  auto Prog = dsm::compile({{"fuzz.f", C.Src}});
   EXPECT_TRUE(bool(Prog)) << "compile failed: " << Prog.error().str();
   if (!Prog)
     return 0;
-  RunObs Baseline = runOnce(*Prog, 1, C.Arrays);
+  RunObs Baseline = runOnce(**Prog, 1, C.Arrays);
   EXPECT_FALSE(Baseline.Failed) << Baseline.FailMessage;
   if (Baseline.Failed)
     return 0;
@@ -437,8 +437,8 @@ uint64_t checkFaultCase(uint64_t Seed) {
   // The engine resets the injector at run start, so one injector gives
   // both runs the identical schedule.
   fault::Injector Inj(Spec);
-  RunObs Serial = runOnce(*Prog, 1, C.Arrays, &Inj);
-  RunObs Threaded = runOnce(*Prog, 4, C.Arrays, &Inj);
+  RunObs Serial = runOnce(**Prog, 1, C.Arrays, &Inj);
+  RunObs Threaded = runOnce(**Prog, 4, C.Arrays, &Inj);
   EXPECT_FALSE(Serial.Failed) << Serial.FailMessage;
   EXPECT_FALSE(Threaded.Failed) << Threaded.FailMessage;
   if (Serial.Failed || Threaded.Failed)

@@ -1,0 +1,144 @@
+//===- tests/exec/EngineAccessorTest.cpp - Inspection preconditions --------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// readArrayF64 / arrayChecksum / arrayWeightedChecksum promise a proper
+// Error (never a bogus value or a crash) when called before run(),
+// after a failed run, or for an array the program never allocated; and
+// run() itself errors on a second call.  The session layer's checksum
+// reporting leans on these contracts.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "api/Dsm.h"
+#include "exec/Engine.h"
+
+using namespace dsm;
+
+namespace {
+
+numa::MachineConfig machine() {
+  numa::MachineConfig C;
+  C.NumNodes = 4;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 4 << 20;
+  C.L1 = numa::CacheConfig{1024, 32, 2};
+  C.L2 = numa::CacheConfig{16 * 1024, 128, 2};
+  C.TlbEntries = 8;
+  return C;
+}
+
+const char *GoodSrc = R"(
+      program main
+      integer i
+      real*8 A(64)
+c$distribute_reshape A(block)
+      do i = 1, 64
+        A(i) = i
+      enddo
+      end
+)";
+
+TEST(EngineAccessorTest, InspectionBeforeRunErrors) {
+  auto Prog = dsm::compile({{"t.f", GoodSrc}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 4;
+  exec::Engine E(**Prog, Mem, ROpts);
+
+  auto V = E.readArrayF64("a", {1});
+  ASSERT_FALSE(bool(V));
+  EXPECT_NE(V.takeError().str().find("run"), std::string::npos);
+  EXPECT_FALSE(bool(E.arrayChecksum("a")));
+  EXPECT_FALSE(bool(E.arrayWeightedChecksum("a")));
+}
+
+TEST(EngineAccessorTest, InspectionAfterSuccessfulRunWorks) {
+  auto Prog = dsm::compile({{"t.f", GoodSrc}});
+  ASSERT_TRUE(bool(Prog));
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 4;
+  exec::Engine E(**Prog, Mem, ROpts);
+  ASSERT_TRUE(bool(E.run()));
+
+  auto V = E.readArrayF64("a", {64});
+  ASSERT_TRUE(bool(V)) << V.error().str();
+  EXPECT_DOUBLE_EQ(*V, 64.0);
+  auto Sum = E.arrayChecksum("a");
+  ASSERT_TRUE(bool(Sum));
+  EXPECT_DOUBLE_EQ(*Sum, 64.0 * 65.0 / 2.0);
+}
+
+TEST(EngineAccessorTest, InspectionAfterFailedRunErrors) {
+  // An oversized formal trips the Section 6 runtime check, so run()
+  // fails; inspection afterwards must report that, not partial state.
+  const char *Main = R"(
+      program main
+      integer i
+      real*8 A(100)
+c$distribute_reshape A(cyclic(5))
+      do i = 1, 100, 5
+        call mysub(A(i))
+      enddo
+      end
+)";
+  const char *Sub = R"(
+      subroutine mysub(X)
+      real*8 X(6)
+      integer j
+      do j = 1, 6
+        X(j) = j
+      enddo
+      end
+)";
+  auto Prog = dsm::compile({{"m.f", Main}, {"s.f", Sub}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 4;
+  ROpts.RuntimeArgChecks = true;
+  exec::Engine E(**Prog, Mem, ROpts);
+  ASSERT_FALSE(bool(E.run()));
+
+  auto Sum = E.arrayChecksum("a");
+  ASSERT_FALSE(bool(Sum));
+  EXPECT_NE(Sum.takeError().str().find("fail"), std::string::npos);
+  EXPECT_FALSE(bool(E.readArrayF64("a", {1})));
+}
+
+TEST(EngineAccessorTest, UnknownAndUnallocatedArraysError) {
+  auto Prog = dsm::compile({{"t.f", GoodSrc}});
+  ASSERT_TRUE(bool(Prog));
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 4;
+  exec::Engine E(**Prog, Mem, ROpts);
+  ASSERT_TRUE(bool(E.run()));
+
+  auto V = E.arrayChecksum("nosuch");
+  ASSERT_FALSE(bool(V));
+  EXPECT_NE(V.takeError().str().find("nosuch"), std::string::npos);
+  // Out-of-bounds indices error rather than read wild addresses.
+  EXPECT_FALSE(bool(E.readArrayF64("a", {65})));
+  EXPECT_FALSE(bool(E.readArrayF64("a", {0})));
+}
+
+TEST(EngineAccessorTest, RunTwiceErrors) {
+  auto Prog = dsm::compile({{"t.f", GoodSrc}});
+  ASSERT_TRUE(bool(Prog));
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 4;
+  exec::Engine E(**Prog, Mem, ROpts);
+  ASSERT_TRUE(bool(E.run()));
+  auto Second = E.run();
+  ASSERT_FALSE(bool(Second));
+  EXPECT_NE(Second.takeError().str().find("once"), std::string::npos);
+}
+
+} // namespace

@@ -10,7 +10,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/Driver.h"
+#include "api/Dsm.h"
 
 using namespace dsm;
 
@@ -28,13 +28,17 @@ numa::MachineConfig machine() {
   return C;
 }
 
-Expected<BuildAndRunResult> run(std::vector<SourceFile> Sources,
-                                int Procs,
-                                const std::string &Array = "") {
+Expected<dsm::RunOutput> run(std::vector<SourceFile> Sources, int Procs,
+                             const std::string &Array = "") {
+  auto Prog = dsm::compile(Sources, CompileOptions{});
+  if (!Prog)
+    return Prog.takeError();
   exec::RunOptions ROpts;
   ROpts.NumProcs = Procs;
-  return buildAndRun(std::move(Sources), CompileOptions{}, machine(),
-                     ROpts, Array);
+  std::vector<std::string> Arrays;
+  if (!Array.empty())
+    Arrays.push_back(Array);
+  return dsm::run(*Prog, machine(), ROpts, Arrays);
 }
 
 TEST(EngineFeaturesTest, DistQueriesReflectTheLayout) {
@@ -51,12 +55,12 @@ c$distribute B(block)
       B(5) = dsm_blocksize(B, 1)
       end
 )";
-  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  auto Prog = dsm::compile({{"t.f", Src}});
   ASSERT_TRUE(bool(Prog)) << Prog.error().str();
   numa::MemorySystem Mem(machine());
   exec::RunOptions ROpts;
   ROpts.NumProcs = 6;
-  exec::Engine E(*Prog, Mem, ROpts);
+  exec::Engine E(**Prog, Mem, ROpts);
   ASSERT_TRUE(bool(E.run()));
   EXPECT_DOUBLE_EQ(*E.readArrayF64("b", {2}), 6.0);
   EXPECT_DOUBLE_EQ(*E.readArrayF64("b", {3}), 5.0);
@@ -89,7 +93,7 @@ TEST(EngineFeaturesTest, AdjustableFormalArrays) {
 )"}},
                4, "a");
   ASSERT_TRUE(bool(R)) << R.error().str();
-  EXPECT_DOUBLE_EQ(R->Checksum, 60.0 + 30.0);
+  EXPECT_DOUBLE_EQ(R->Checksums[0].first, 60.0 + 30.0);
 }
 
 TEST(EngineFeaturesTest, CommonScalarsAreShared) {
@@ -114,7 +118,7 @@ TEST(EngineFeaturesTest, CommonScalarsAreShared) {
 )"}},
                1, "a");
   ASSERT_TRUE(bool(R)) << R.error().str();
-  EXPECT_DOUBLE_EQ(R->Checksum, 3.0);
+  EXPECT_DOUBLE_EQ(R->Checksums[0].first, 3.0);
 }
 
 TEST(EngineFeaturesTest, DynamicSchedtypeExecutesEveryIteration) {
@@ -134,7 +138,7 @@ c$doacross local(i) schedtype(dynamic)
   for (int P : {1, 3, 8}) {
     auto R = run({{"t.f", Src}}, P, "a");
     ASSERT_TRUE(bool(R)) << R.error().str();
-    EXPECT_DOUBLE_EQ(R->Checksum, 97.0) << "P=" << P;
+    EXPECT_DOUBLE_EQ(R->Checksums[0].first, 97.0) << "P=" << P;
   }
 }
 
@@ -153,7 +157,7 @@ TEST(EngineFeaturesTest, EquivalencedArraysShareStorage) {
                1, "a");
   ASSERT_TRUE(bool(R)) << R.error().str();
   // A sees B's write: sum(1..10) - 3 + 100.
-  EXPECT_DOUBLE_EQ(R->Checksum, 55.0 - 3.0 + 100.0);
+  EXPECT_DOUBLE_EQ(R->Checksums[0].first, 55.0 - 3.0 + 100.0);
 }
 
 TEST(EngineFeaturesTest, DeepRecursionDiagnosed) {
@@ -196,13 +200,13 @@ TEST(EngineFeaturesTest, TooManyProcessorsDiagnosed) {
       A(1) = 0.0
       end
 )";
-  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  auto Prog = dsm::compile({{"t.f", Src}});
   ASSERT_TRUE(bool(Prog)) << Prog.error().str();
   numa::MemorySystem Mem(machine()); // 8 processors total.
   exec::RunOptions ROpts;
   ROpts.NumProcs = 9;
   EXPECT_DEATH(
-      { exec::Engine E(*Prog, Mem, ROpts); },
+      { exec::Engine E(**Prog, Mem, ROpts); },
       "more processors");
 }
 
@@ -231,7 +235,7 @@ c$doacross local(i, r) affinity(r) = data(A(1, r))
   for (int P : {1, 4, 8}) {
     auto R = run({{"t.f", Src}}, P, "a");
     ASSERT_TRUE(bool(R)) << R.error().str();
-    EXPECT_DOUBLE_EQ(R->Checksum, 64.0 * 16.0) << "P=" << P;
+    EXPECT_DOUBLE_EQ(R->Checksums[0].first, 64.0 * 16.0) << "P=" << P;
   }
 }
 

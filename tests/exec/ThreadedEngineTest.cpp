@@ -16,7 +16,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/Driver.h"
+#include "api/Dsm.h"
 
 using namespace dsm;
 
@@ -47,7 +47,7 @@ Observed runOnce(const std::vector<SourceFile> &Sources, int Procs,
                  bool ArgChecks = false,
                  numa::PlacementPolicy Policy =
                      numa::PlacementPolicy::FirstTouch) {
-  auto Prog = buildProgram(Sources, CompileOptions{});
+  auto Prog = dsm::compile(Sources);
   EXPECT_TRUE(bool(Prog)) << Prog.error().str();
   Observed Obs;
   if (!Prog)
@@ -58,7 +58,7 @@ Observed runOnce(const std::vector<SourceFile> &Sources, int Procs,
   ROpts.HostThreads = HostThreads;
   ROpts.DefaultPolicy = Policy;
   ROpts.RuntimeArgChecks = ArgChecks;
-  exec::Engine E(*Prog, Mem, ROpts);
+  exec::Engine E(**Prog, Mem, ROpts);
   auto R = E.run();
   if (!R) {
     Obs.Failed = true;
@@ -413,7 +413,7 @@ TEST(ThreadedEngineTest, HostThreadsFromEnvironment) {
 TEST(ThreadedEngineTest, FunctionalModeThreads) {
   // Perf = false records no traces at all but must still produce the
   // same array contents.
-  auto Prog = buildProgram({{"t.f", transposeSrc("")}}, CompileOptions{});
+  auto Prog = dsm::compile({{"t.f", transposeSrc("")}});
   ASSERT_TRUE(bool(Prog)) << Prog.error().str();
   double Sums[2];
   int Idx = 0;
@@ -423,7 +423,7 @@ TEST(ThreadedEngineTest, FunctionalModeThreads) {
     ROpts.NumProcs = 8;
     ROpts.HostThreads = T;
     ROpts.Perf = false;
-    exec::Engine E(*Prog, Mem, ROpts);
+    exec::Engine E(**Prog, Mem, ROpts);
     auto R = E.run();
     ASSERT_TRUE(bool(R)) << R.error().str();
     EXPECT_EQ(R->WallCycles, 0u);

@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "core/Driver.h"
+#include "api/Dsm.h"
 #include "obs/Recorder.h"
 #include "obs/Trace.h"
 
@@ -85,7 +85,7 @@ struct RunOutcome {
   double SumB = 0.0;
 };
 
-RunOutcome runProgram(link::Program &Prog, int HostThreads,
+RunOutcome runProgram(const link::Program &Prog, int HostThreads,
                       fault::Injector *Inj) {
   RunOutcome Out;
   numa::MemorySystem Mem(machine());
@@ -111,10 +111,10 @@ RunOutcome runProgram(link::Program &Prog, int HostThreads,
 class FaultMatrixTest : public ::testing::TestWithParam<const char *> {};
 
 TEST_P(FaultMatrixTest, ChecksumsNeverChange) {
-  auto Prog = buildProgram({{"fmx.f", matrixProgram()}});
+  auto Prog = dsm::compile({{"fmx.f", matrixProgram()}});
   ASSERT_TRUE(bool(Prog)) << Prog.error().str();
 
-  RunOutcome Baseline = runProgram(*Prog, 1, nullptr);
+  RunOutcome Baseline = runProgram(**Prog, 1, nullptr);
   EXPECT_EQ(Baseline.R.Faults, fault::FaultCounters());
 
   auto Spec = fault::FaultSpec::parse(GetParam());
@@ -123,8 +123,8 @@ TEST_P(FaultMatrixTest, ChecksumsNeverChange) {
 
   // The engine resets the injector at run start, so one injector can
   // serve both runs and each sees the identical schedule.
-  RunOutcome Serial = runProgram(*Prog, 1, &Inj);
-  RunOutcome Threaded = runProgram(*Prog, 4, &Inj);
+  RunOutcome Serial = runProgram(**Prog, 1, &Inj);
+  RunOutcome Threaded = runProgram(**Prog, 4, &Inj);
 
   // The invariant: faults perturb placement and cycles, never values.
   EXPECT_EQ(Serial.SumA, Baseline.SumA);
@@ -164,7 +164,7 @@ INSTANTIATE_TEST_SUITE_P(
         "degrade_reshaped = 1\nretry_budget = 2\n"));
 
 TEST(FaultMatrixTest, CountersAndDiagnosticsSurface) {
-  auto Prog = buildProgram({{"fmx.f", matrixProgram()}});
+  auto Prog = dsm::compile({{"fmx.f", matrixProgram()}});
   ASSERT_TRUE(bool(Prog)) << Prog.error().str();
 
   auto Spec = fault::FaultSpec::parse(
@@ -172,7 +172,7 @@ TEST(FaultMatrixTest, CountersAndDiagnosticsSurface) {
       "degrade_reshaped = 1\nframe_cap = 2\n");
   ASSERT_TRUE(bool(Spec));
   fault::Injector Inj(*Spec);
-  RunOutcome Out = runProgram(*Prog, 1, &Inj);
+  RunOutcome Out = runProgram(**Prog, 1, &Inj);
 
   // The schedule above must actually bite, and both surfaces -- the
   // injector's own counters on RunResult and the observed aggregates in
@@ -208,7 +208,7 @@ TEST(FaultMatrixTest, CountersAndDiagnosticsSurface) {
 }
 
 TEST(FaultMatrixTest, FaultEventsFlowIntoJsonlTrace) {
-  auto Prog = buildProgram({{"fmx.f", matrixProgram()}});
+  auto Prog = dsm::compile({{"fmx.f", matrixProgram()}});
   ASSERT_TRUE(bool(Prog)) << Prog.error().str();
 
   auto Spec =
@@ -226,7 +226,7 @@ TEST(FaultMatrixTest, FaultEventsFlowIntoJsonlTrace) {
   ROpts.NumProcs = 8;
   ROpts.Observer = &Rec;
   ROpts.Fault = &Inj;
-  exec::Engine E(*Prog, Mem, ROpts);
+  exec::Engine E(**Prog, Mem, ROpts);
   auto R = E.run();
   ASSERT_TRUE(bool(R)) << R.error().str();
 
@@ -245,10 +245,10 @@ TEST(FaultMatrixTest, FaultEventsFlowIntoJsonlTrace) {
 // unbacked past physical memory -- instead of aborting, and results
 // must match a machine with plenty of memory.
 TEST(FaultMatrixTest, TrueExhaustionDegradesGracefully) {
-  auto Prog = buildProgram({{"fmx.f", matrixProgram()}});
+  auto Prog = dsm::compile({{"fmx.f", matrixProgram()}});
   ASSERT_TRUE(bool(Prog)) << Prog.error().str();
 
-  RunOutcome Roomy = runProgram(*Prog, 1, nullptr);
+  RunOutcome Roomy = runProgram(**Prog, 1, nullptr);
 
   numa::MachineConfig Tiny = machine();
   Tiny.NodeMemoryBytes = 2 * 1024; // 2 frames per node, 8 total.
@@ -256,7 +256,7 @@ TEST(FaultMatrixTest, TrueExhaustionDegradesGracefully) {
   exec::RunOptions ROpts;
   ROpts.NumProcs = 8;
   ROpts.CollectMetrics = true;
-  exec::Engine E(*Prog, Mem, ROpts);
+  exec::Engine E(**Prog, Mem, ROpts);
   auto R = E.run();
   ASSERT_TRUE(bool(R)) << R.error().str();
   auto SA = E.arrayWeightedChecksum("a");

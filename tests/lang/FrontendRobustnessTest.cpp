@@ -7,7 +7,7 @@
 // abort, crash, or hang.  A seeded mutator corrupts valid programs in
 // assorted ways (byte deletion/insertion/substitution, line shuffling,
 // truncation, directive corruption, garbage appends) and every mutant
-// is fed through buildProgram.  Accepting a mutant is fine; dying on
+// is fed through dsm::compile.  Accepting a mutant is fine; dying on
 // one is the bug.  This is what lets tools/dsm_run promise a clean
 // nonzero exit on any input.
 //
@@ -19,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "core/Driver.h"
+#include "api/Dsm.h"
 #include "support/Rng.h"
 
 using namespace dsm;
@@ -167,7 +167,7 @@ TEST(FrontendRobustnessTest, MutatedProgramsNeverAbort) {
       Src = mutate(std::move(Src), R);
     SCOPED_TRACE("mutation seed " + std::to_string(Seed) +
                  "; program:\n" + Src);
-    auto Prog = buildProgram({{"mut.f", Src}});
+    auto Prog = dsm::compile({{"mut.f", Src}});
     if (Prog) {
       ++Accepted;
     } else {
@@ -199,7 +199,7 @@ TEST(FrontendRobustnessTest, HostileInputsAreRejectedCleanly) {
   };
   for (const char *Src : Hostile) {
     SCOPED_TRACE(std::string("input: ") + Src);
-    auto Prog = buildProgram({{"hostile.f", Src}});
+    auto Prog = dsm::compile({{"hostile.f", Src}});
     if (!Prog)
       EXPECT_FALSE(Prog.error().str().empty());
   }

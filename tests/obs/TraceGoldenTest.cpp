@@ -39,7 +39,7 @@
 #include <string>
 #include <vector>
 
-#include "core/Driver.h"
+#include "api/Dsm.h"
 #include "exec/Engine.h"
 
 using namespace dsm;
@@ -108,7 +108,7 @@ struct Traces {
 
 Traces runReference(int HostThreads) {
   auto Prog =
-      buildProgram({{"goldref.f", referenceSrc()}}, CompileOptions{});
+      dsm::compile({{"goldref.f", referenceSrc()}});
   EXPECT_TRUE(bool(Prog)) << Prog.error().str();
   Traces T;
   if (!Prog)
@@ -124,7 +124,7 @@ Traces runReference(int HostThreads) {
   ROpts.NumProcs = 8;
   ROpts.HostThreads = HostThreads;
   ROpts.Observer = &Rec;
-  exec::Engine E(*Prog, Mem, ROpts);
+  exec::Engine E(**Prog, Mem, ROpts);
   auto R = E.run();
   EXPECT_TRUE(bool(R)) << R.error().str();
   T.Jsonl = JsonlOut.str();

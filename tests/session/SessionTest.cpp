@@ -1,0 +1,281 @@
+//===- tests/session/SessionTest.cpp - Session-layer coverage --------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Covers the compile-once/run-many contract of src/session: program
+// cache accounting (hits prove a source compiled exactly once),
+// bit-identical results between serial and concurrent batch execution
+// (including fault-injected and metrics-collecting jobs), and a
+// concurrent compile+run stress test that the CI TSan job repeats under
+// the `batch` label.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/Dsm.h"
+#include "obs/Recorder.h"
+
+using namespace dsm;
+
+namespace {
+
+// A workload touching enough machinery to make bit-identity meaningful:
+// reshaped distribution, affinity scheduling, a timed region, and a
+// redistribute between two phases.
+std::string workload(int Extra) {
+  return R"(
+      program work
+      integer i, n
+      parameter (n = 4096)
+      real*8 A(n)
+c$distribute_reshape A(block)
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, n
+        A(i) = i + )" +
+         std::to_string(Extra) + R"(
+      enddo
+      call dsm_timer_start
+c$doacross local(i) affinity(i) = data(A(i))
+      do i = 1, n
+        A(i) = (A(i) + i) / 2.0
+      enddo
+      call dsm_timer_stop
+      end
+)";
+}
+
+numa::MachineConfig machine() {
+  numa::MachineConfig C;
+  C.NumNodes = 8;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 8 << 20;
+  C.L1 = numa::CacheConfig{1024, 32, 2};
+  C.L2 = numa::CacheConfig{16 * 1024, 128, 2};
+  C.TlbEntries = 16;
+  return C;
+}
+
+RunRequest request(const ProgramHandle &Prog, int Procs,
+                   const std::string &Label) {
+  RunRequest Req;
+  Req.Label = Label;
+  Req.Program = Prog;
+  Req.Machine = machine();
+  Req.Opts.NumProcs = Procs;
+  Req.ChecksumArrays = {"a"};
+  return Req;
+}
+
+TEST(ProgramCacheTest, SecondCompileIsAHit) {
+  Session S;
+  auto P1 = S.compile({{"w.f", workload(0)}});
+  ASSERT_TRUE(bool(P1)) << P1.error().str();
+  auto P2 = S.compile({{"w.f", workload(0)}});
+  ASSERT_TRUE(bool(P2)) << P2.error().str();
+  EXPECT_EQ(P1->get(), P2->get()) << "cache must return the same program";
+  CacheStats St = S.cacheStats();
+  EXPECT_EQ(St.Misses, 1u);
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Programs, 1u);
+}
+
+TEST(ProgramCacheTest, DistinctSourcesAndOptionsMiss) {
+  Session S;
+  ASSERT_TRUE(bool(S.compile({{"w.f", workload(0)}})));
+  ASSERT_TRUE(bool(S.compile({{"w.f", workload(1)}})));
+  CompileOptions NoXform;
+  NoXform.Transform = false;
+  ASSERT_TRUE(bool(S.compile({{"w.f", workload(0)}}, NoXform)));
+  // Renaming the file changes the key too: diagnostics carry the name.
+  ASSERT_TRUE(bool(S.compile({{"x.f", workload(0)}})));
+  CacheStats St = S.cacheStats();
+  EXPECT_EQ(St.Misses, 4u);
+  EXPECT_EQ(St.Hits, 0u);
+  EXPECT_EQ(St.Programs, 4u);
+}
+
+TEST(ProgramCacheTest, LruEvictionKeepsHandlesValid) {
+  SessionOptions Opts;
+  Opts.MaxCachedPrograms = 1;
+  Session S(Opts);
+  auto P1 = S.compile({{"w.f", workload(0)}});
+  ASSERT_TRUE(bool(P1));
+  auto P2 = S.compile({{"w.f", workload(1)}});
+  ASSERT_TRUE(bool(P2));
+  CacheStats St = S.cacheStats();
+  EXPECT_EQ(St.Evictions, 1u);
+  EXPECT_EQ(St.Programs, 1u);
+  // The evicted program stays alive through the outstanding handle.
+  JobResult R = S.run(request(*P1, 4, "evicted"));
+  EXPECT_TRUE(R.ok()) << R.Err.str();
+  // Re-requesting the evicted key recompiles (miss, not hit).
+  ASSERT_TRUE(bool(S.compile({{"w.f", workload(0)}})));
+  EXPECT_EQ(S.cacheStats().Misses, 3u);
+}
+
+TEST(ProgramCacheTest, FailedCompilesAreNotCached) {
+  Session S;
+  auto Bad = S.compile({{"bad.f", "      program p\n      real*8 A(\n"}});
+  EXPECT_FALSE(bool(Bad));
+  EXPECT_EQ(S.cacheStats().Programs, 0u);
+  auto Bad2 = S.compile({{"bad.f", "      program p\n      real*8 A(\n"}});
+  EXPECT_FALSE(bool(Bad2)) << "retry must re-diagnose, not hit a cache";
+}
+
+// Serial (Workers=1) and concurrent (Workers=8) batches must be
+// bit-identical in every simulated observable: cycles, counters,
+// checksums, locality metrics, and fault-injector decisions.
+TEST(BatchRunnerTest, ConcurrentBatchIsBitIdenticalToSerial) {
+  Session S;
+  auto Prog = S.compile({{"w.f", workload(0)}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+
+  std::vector<RunRequest> Jobs;
+  for (int Procs : {1, 2, 4, 8, 16}) {
+    RunRequest Req = request(*Prog, Procs, "p" + std::to_string(Procs));
+    Req.Opts.CollectMetrics = true;
+    Jobs.push_back(Req);
+  }
+  // A fault-injected job: deterministic per-job injector.
+  auto Spec = fault::FaultSpec::parse(
+      "seed = 7\nplace_deny_prob = 0.2\nlatency_spike_prob = 0.01\n");
+  ASSERT_TRUE(bool(Spec)) << Spec.error().str();
+  RunRequest Faulty = request(*Prog, 8, "faulty");
+  Faulty.Fault = *Spec;
+  Jobs.push_back(Faulty);
+
+  session::BatchRunner Serial(1), Wide(8);
+  std::vector<JobResult> A = Serial.runAll(Jobs);
+  std::vector<JobResult> B = Wide.runAll(Jobs);
+  ASSERT_EQ(A.size(), Jobs.size());
+  ASSERT_EQ(B.size(), Jobs.size());
+
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    ASSERT_TRUE(A[I].ok()) << A[I].Label << ": " << A[I].Err.str();
+    ASSERT_TRUE(B[I].ok()) << B[I].Label << ": " << B[I].Err.str();
+    const exec::RunResult &RA = A[I].Output->Result;
+    const exec::RunResult &RB = B[I].Output->Result;
+    EXPECT_EQ(RA.WallCycles, RB.WallCycles) << A[I].Label;
+    EXPECT_EQ(RA.TimedCycles, RB.TimedCycles) << A[I].Label;
+    EXPECT_EQ(RA.Counters.Loads, RB.Counters.Loads) << A[I].Label;
+    EXPECT_EQ(RA.Counters.Stores, RB.Counters.Stores) << A[I].Label;
+    EXPECT_EQ(RA.Counters.RemoteMemAccesses, RB.Counters.RemoteMemAccesses)
+        << A[I].Label;
+    EXPECT_EQ(RA.Counters.PageMigrations, RB.Counters.PageMigrations)
+        << A[I].Label;
+    EXPECT_EQ(RA.Faults.PlacementsDenied, RB.Faults.PlacementsDenied)
+        << A[I].Label;
+    EXPECT_EQ(RA.Faults.LatencySpikeCycles, RB.Faults.LatencySpikeCycles)
+        << A[I].Label;
+    EXPECT_EQ(RA.Metrics.Collected, RB.Metrics.Collected) << A[I].Label;
+    EXPECT_EQ(RA.Metrics.Epochs, RB.Metrics.Epochs) << A[I].Label;
+    ASSERT_EQ(A[I].Output->Checksums.size(), 1u);
+    ASSERT_EQ(B[I].Output->Checksums.size(), 1u);
+    EXPECT_EQ(A[I].Output->Checksums[0].first,
+              B[I].Output->Checksums[0].first)
+        << A[I].Label;
+    EXPECT_EQ(A[I].Output->Checksums[0].second,
+              B[I].Output->Checksums[0].second)
+        << A[I].Label;
+  }
+  // The fault job actually injected something, so the identity above
+  // covered the injector path, not a no-op.
+  EXPECT_TRUE(A.back().Output->Result.Faults.any());
+}
+
+TEST(BatchRunnerTest, PerJobFailuresDoNotPoisonTheBatch) {
+  Session S;
+  auto Prog = S.compile({{"w.f", workload(0)}});
+  ASSERT_TRUE(bool(Prog));
+  std::vector<RunRequest> Jobs;
+  Jobs.push_back(request(*Prog, 4, "good"));
+  RunRequest Bad = request(*Prog, 4, "bad-array");
+  Bad.ChecksumArrays = {"nosuch"};
+  Jobs.push_back(Bad);
+  RunRequest Unvalidated = request(*Prog, 4, "bad-opts");
+  Unvalidated.Opts.NumProcs = -3;
+  Jobs.push_back(Unvalidated);
+
+  std::vector<JobResult> R = S.runBatch(Jobs);
+  ASSERT_EQ(R.size(), 3u);
+  EXPECT_TRUE(R[0].ok()) << R[0].Err.str();
+  EXPECT_FALSE(R[1].ok());
+  EXPECT_FALSE(R[2].ok());
+  EXPECT_EQ(R[0].Label, "good");
+  EXPECT_EQ(R[1].Index, 1u);
+}
+
+TEST(BatchRunnerTest, ExternalObserverPointersAreRejected) {
+  Session S;
+  auto Prog = S.compile({{"w.f", workload(0)}});
+  ASSERT_TRUE(bool(Prog));
+  RunRequest Req = request(*Prog, 4, "obs");
+  obs::Recorder Rec;
+  Req.Opts.Observer = &Rec;
+  JobResult R = S.run(Req);
+  EXPECT_FALSE(R.ok()) << "shared mutable observers must be refused";
+}
+
+// Many threads compiling (same and distinct sources) and running
+// batches against one Session concurrently; the CI TSan job runs this
+// under the `batch` label to prove the cache and runner are race-free.
+TEST(SessionStressTest, ConcurrentCompileAndRunAreRaceFree) {
+  SessionOptions Opts;
+  Opts.Workers = 4;
+  Opts.MaxCachedPrograms = 3; // force concurrent evictions too
+  Session S(Opts);
+
+  std::atomic<int> Failures{0};
+  auto Worker = [&](int Id) {
+    for (int Round = 0; Round < 3; ++Round) {
+      // Half the threads share one source (cache hits), half use a
+      // per-thread variant (misses + evictions).
+      int Extra = (Id % 2 == 0) ? 0 : Id;
+      auto Prog = S.compile({{"w.f", workload(Extra)}});
+      if (!Prog) {
+        ++Failures;
+        return;
+      }
+      std::vector<RunRequest> Jobs = {
+          request(*Prog, 4, "t" + std::to_string(Id)),
+          request(*Prog, 8, "t" + std::to_string(Id)),
+      };
+      for (const JobResult &R : S.runBatch(Jobs))
+        if (!R.ok())
+          ++Failures;
+    }
+  };
+  std::vector<std::thread> Threads;
+  for (int Id = 0; Id < 8; ++Id)
+    Threads.emplace_back(Worker, Id);
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+
+  CacheStats St = S.cacheStats();
+  // 5 distinct sources (Extra in {0,1,3,5,7}), each compiled at least
+  // once; every recompile after an eviction is a miss, never a wrong
+  // hit.
+  EXPECT_GE(St.Misses, 5u);
+  EXPECT_LE(St.Programs, 3u);
+}
+
+TEST(SessionTest, OptionsValidateAndClamp) {
+  SessionOptions Bad;
+  Bad.Workers = -2;
+  EXPECT_TRUE(bool(Bad.validate()));
+  SessionOptions Good;
+  Good.Workers = 8;
+  EXPECT_FALSE(bool(Good.validate()));
+  Session S; // Workers=0 resolves to a positive count
+  EXPECT_GE(S.options().Workers, 1);
+}
+
+} // namespace

@@ -245,11 +245,11 @@ c$doacross local(i) affinity(i) = data(X(i))
   CompileOptions C = withLevel(GetParam().Level, GetParam().FpDivMod);
   exec::RunOptions ROpts;
   ROpts.NumProcs = 8;
-  auto R = buildAndRun({{"m.f", Main}, {"s.f", Sub}}, C, testMachine(),
-                       ROpts, "a");
+  auto R = compileAndRun({{"m.f", Main}, {"s.f", Sub}}, C, testMachine(),
+                         ROpts, "a");
   ASSERT_TRUE(bool(R)) << R.error().str();
   // sum(1..64) + 62*0.5.
-  EXPECT_DOUBLE_EQ(R->Checksum, 2080.0 + 31.0);
+  EXPECT_DOUBLE_EQ(R->Checksums[0].first, 2080.0 + 31.0);
 }
 
 TEST_P(AllLevelsTest, PortionArgumentSurvivesLowering) {
@@ -279,8 +279,8 @@ c$distribute_reshape A(cyclic(5))
   exec::RunOptions ROpts;
   ROpts.NumProcs = 8;
   ROpts.RuntimeArgChecks = true;
-  auto R = buildAndRun({{"m.f", Main}, {"s.f", Sub}}, C, testMachine(),
-                       ROpts, "a");
+  auto R = compileAndRun({{"m.f", Main}, {"s.f", Sub}}, C, testMachine(),
+                         ROpts, "a");
   ASSERT_TRUE(bool(R)) << R.error().str();
   // A(i) for chunk starting at 6: A(8) = 6 + 10*3.
   CompileOptions Golden;
@@ -288,10 +288,10 @@ c$distribute_reshape A(cyclic(5))
   exec::RunOptions GOpts;
   GOpts.NumProcs = 1;
   GOpts.Perf = false;
-  auto G = buildAndRun({{"m.f", Main}, {"s.f", Sub}}, Golden,
-                       testMachine(), GOpts, "a");
+  auto G = compileAndRun({{"m.f", Main}, {"s.f", Sub}}, Golden,
+                         testMachine(), GOpts, "a");
   ASSERT_TRUE(bool(G)) << G.error().str();
-  EXPECT_DOUBLE_EQ(R->WeightedChecksum, G->WeightedChecksum);
+  EXPECT_DOUBLE_EQ(R->Checksums[0].second, G->Checksums[0].second);
 }
 
 } // namespace

@@ -98,9 +98,9 @@ TEST(OptLevelTest, HoistingReducesIndirectLoads) {
   ROpts.NumProcs = 4;
 
   auto CountLoads = [&](CompileOptions C) -> uint64_t {
-    auto R = buildAndRun({{"t.f", Src}}, C, testMachine(), ROpts);
+    auto R = compileAndRun({{"t.f", Src}}, C, testMachine(), ROpts);
     EXPECT_TRUE(bool(R)) << (R ? "" : R.error().str());
-    return R ? R->Run.Counters.Loads : 0;
+    return R ? R->Result.Counters.Loads : 0;
   };
   uint64_t TilePeelLoads =
       CountLoads(withLevel(ReshapeOptLevel::TilePeel, true));

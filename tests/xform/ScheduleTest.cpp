@@ -219,10 +219,10 @@ c$doacross local(i)
 )";
   exec::RunOptions ROpts;
   ROpts.NumProcs = 4;
-  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  auto Prog = dsm::compile({{"t.f", Src}});
   ASSERT_TRUE(bool(Prog)) << Prog.error().str();
   numa::MemorySystem Mem(testMachine());
-  exec::Engine E(*Prog, Mem, ROpts);
+  exec::Engine E(**Prog, Mem, ROpts);
   auto R = E.run();
   ASSERT_TRUE(bool(R)) << R.error().str();
   EXPECT_EQ(R->ParallelRegions, 2u);

@@ -12,20 +12,20 @@
 
 #include <gtest/gtest.h>
 
-#include "core/Driver.h"
+#include "api/Dsm.h"
 
 using namespace dsm;
 using namespace dsm::ir;
 
 namespace {
 
-link::Program build(const char *Src,
+ProgramHandle build(const char *Src,
                     xform::ReshapeOptLevel L = xform::ReshapeOptLevel::Full) {
   CompileOptions C;
   C.Xform.Level = L;
-  auto P = buildProgram({{"t.f", Src}}, C);
+  auto P = dsm::compile({{"t.f", Src}}, C);
   EXPECT_TRUE(bool(P)) << (P ? "" : P.error().str());
-  return P ? std::move(*P) : link::Program();
+  return P ? *P : nullptr;
 }
 
 /// Counts statements of a kind anywhere in a block.
@@ -81,7 +81,7 @@ unsigned countExprs(const Block &B, ExprKind K) {
 }
 
 TEST(StructureTest, DoacrossBecomesParallelDo) {
-  link::Program P = build(R"(
+  ProgramHandle P = build(R"(
       program main
       integer i
       real*8 A(64)
@@ -91,12 +91,12 @@ c$doacross local(i)
       enddo
       end
 )");
-  ASSERT_TRUE(P.Main);
-  EXPECT_EQ(countKind(P.Main->Body, StmtKind::ParallelDo), 1u);
+  ASSERT_TRUE(P && P->Main);
+  EXPECT_EQ(countKind(P->Main->Body, StmtKind::ParallelDo), 1u);
 }
 
 TEST(StructureTest, AffinityLoopCarriesTileContext) {
-  link::Program P = build(R"(
+  ProgramHandle P = build(R"(
       program main
       integer i
       real*8 A(64)
@@ -107,14 +107,14 @@ c$doacross local(i) affinity(i) = data(A(i))
       enddo
       end
 )");
-  ASSERT_TRUE(P.Main);
-  EXPECT_EQ(countTiledLoops(P.Main->Body), 1u);
+  ASSERT_TRUE(P && P->Main);
+  EXPECT_EQ(countTiledLoops(P->Main->Body), 1u);
   // All reshaped references are lowered; none remain at ArrayElem.
-  EXPECT_GT(countExprs(P.Main->Body, ExprKind::PortionElem), 0u);
+  EXPECT_GT(countExprs(P->Main->Body, ExprKind::PortionElem), 0u);
 }
 
 TEST(StructureTest, StencilPeelsIntoThreeLoops) {
-  link::Program P = build(R"(
+  ProgramHandle P = build(R"(
       program main
       integer i
       real*8 A(64), B(64)
@@ -125,12 +125,12 @@ c$doacross local(i) affinity(i) = data(A(i))
       enddo
       end
 )");
-  ASSERT_TRUE(P.Main);
+  ASSERT_TRUE(P && P->Main);
   // Front peel + interior + back peel inside the parallel region.
-  unsigned Loops = countKind(P.Main->Body, StmtKind::Do);
+  unsigned Loops = countKind(P->Main->Body, StmtKind::Do);
   EXPECT_GE(Loops, 3u);
   // The interior retains a tile context; the peels do not.
-  EXPECT_EQ(countTiledLoops(P.Main->Body), 1u);
+  EXPECT_EQ(countTiledLoops(P->Main->Body), 1u);
 }
 
 TEST(StructureTest, FullLevelHoistsPortionPointers) {
@@ -145,11 +145,11 @@ c$doacross local(i) affinity(i) = data(A(i))
       enddo
       end
 )";
-  link::Program Full = build(Src, xform::ReshapeOptLevel::Full);
-  link::Program Tile = build(Src, xform::ReshapeOptLevel::TilePeel);
+  ProgramHandle Full = build(Src, xform::ReshapeOptLevel::Full);
+  ProgramHandle Tile = build(Src, xform::ReshapeOptLevel::TilePeel);
   // Hoisting introduces PortionPtr assignments (absent at TilePeel).
-  EXPECT_GT(countExprs(Full.Main->Body, ExprKind::PortionPtr), 0u);
-  EXPECT_EQ(countExprs(Tile.Main->Body, ExprKind::PortionPtr), 0u);
+  EXPECT_GT(countExprs(Full->Main->Body, ExprKind::PortionPtr), 0u);
+  EXPECT_EQ(countExprs(Tile->Main->Body, ExprKind::PortionPtr), 0u);
 }
 
 TEST(StructureTest, NaiveLevelKeepsDivMod) {
@@ -164,7 +164,7 @@ c$doacross local(i) affinity(i) = data(A(i))
       enddo
       end
 )";
-  auto CountDivMod = [](const link::Program &P) {
+  auto CountDivMod = [](const ProgramHandle &P) {
     unsigned N = 0;
     std::function<void(const Expr &)> Walk = [&](const Expr &E) {
       if (E.Kind == ExprKind::Bin &&
@@ -186,11 +186,11 @@ c$doacross local(i) affinity(i) = data(A(i))
             WalkBlock(S->Else);
           }
         };
-    WalkBlock(P.Main->Body);
+    WalkBlock(P->Main->Body);
     return N;
   };
-  link::Program Naive = build(Src, xform::ReshapeOptLevel::None);
-  link::Program Full = build(Src, xform::ReshapeOptLevel::Full);
+  ProgramHandle Naive = build(Src, xform::ReshapeOptLevel::None);
+  ProgramHandle Full = build(Src, xform::ReshapeOptLevel::Full);
   EXPECT_GT(CountDivMod(Naive), 0u)
       << "naive lowering computes owners with div/mod";
   // At Full the loop body is free of div/mod (only loop-entry bound
@@ -199,7 +199,7 @@ c$doacross local(i) affinity(i) = data(A(i))
 }
 
 TEST(StructureTest, NestWithoutAffinityIsCoalesced) {
-  link::Program P = build(R"(
+  ProgramHandle P = build(R"(
       program main
       integer i, j
       real*8 A(16, 16)
@@ -211,14 +211,14 @@ c$doacross nest(j,i) local(i,j)
       enddo
       end
 )");
-  ASSERT_TRUE(P.Main);
+  ASSERT_TRUE(P && P->Main);
   // Coalescing flattens the two loops into one (plus the ParallelDo).
-  EXPECT_EQ(countKind(P.Main->Body, StmtKind::ParallelDo), 1u);
-  EXPECT_EQ(countKind(P.Main->Body, StmtKind::Do), 1u);
+  EXPECT_EQ(countKind(P->Main->Body, StmtKind::ParallelDo), 1u);
+  EXPECT_EQ(countKind(P->Main->Body, StmtKind::Do), 1u);
 }
 
 TEST(StructureTest, SerialLoopGainsProcTile) {
-  link::Program P = build(R"(
+  ProgramHandle P = build(R"(
       program main
       integer i
       real*8 A(64)
@@ -228,7 +228,7 @@ c$distribute_reshape A(block)
       enddo
       end
 )");
-  ASSERT_TRUE(P.Main);
+  ASSERT_TRUE(P && P->Main);
   bool FoundProcTile = false;
   std::function<void(const Block &)> Walk = [&](const Block &B) {
     for (const StmtPtr &S : B) {
@@ -236,7 +236,7 @@ c$distribute_reshape A(block)
       Walk(S->Body);
     }
   };
-  Walk(P.Main->Body);
+  Walk(P->Main->Body);
   EXPECT_TRUE(FoundProcTile)
       << "Section 7.1 applies tiling to serial loops too";
 }

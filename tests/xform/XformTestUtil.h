@@ -9,7 +9,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/Driver.h"
+#include "api/Dsm.h"
 
 namespace dsm::testutil {
 
@@ -25,6 +25,22 @@ inline numa::MachineConfig testMachine() {
   return C;
 }
 
+/// Compiles \p Sources through the facade and runs the program on \p MC,
+/// optionally checksumming one array.  The one-stop helper for tests that
+/// don't need an explicit Engine.
+inline Expected<RunOutput>
+compileAndRun(const std::vector<SourceFile> &Sources,
+              const CompileOptions &COpts, const numa::MachineConfig &MC,
+              const exec::RunOptions &ROpts, const std::string &Array = "") {
+  auto Prog = dsm::compile(Sources, COpts);
+  if (!Prog)
+    return Prog.takeError();
+  std::vector<std::string> Arrays;
+  if (!Array.empty())
+    Arrays.push_back(Array);
+  return dsm::run(*Prog, MC, ROpts, Arrays);
+}
+
 /// Compiles and runs \p Src at the given opt configuration and processor
 /// count, returning the checksum of \p Array.  Fails the test on any
 /// pipeline error.
@@ -35,14 +51,14 @@ inline double checksumOf(const std::string &Src, const std::string &Array,
   exec::RunOptions ROpts;
   ROpts.NumProcs = NumProcs;
   ROpts.Perf = Perf;
-  auto R = buildAndRun({{"test.f", Src}}, COpts, testMachine(), ROpts,
-                       Array);
+  auto R = compileAndRun({{"test.f", Src}}, COpts, testMachine(), ROpts,
+                         Array);
   EXPECT_TRUE(bool(R)) << (R ? "" : R.error().str());
   if (!R)
     return -1e308;
   if (Cycles)
-    *Cycles = R->Run.WallCycles;
-  return Weighted ? R->WeightedChecksum : R->Checksum;
+    *Cycles = R->Result.WallCycles;
+  return Weighted ? R->Checksums[0].second : R->Checksums[0].first;
 }
 
 /// Position-weighted checksum: catches misdirected stores that plain

@@ -5,14 +5,24 @@
 //===----------------------------------------------------------------------===//
 //
 // Compiles DSM Fortran sources and runs them on the simulated
-// Origin-2000, with the observability layer on the command line:
+// Origin-2000.  Three modes:
 //
-//   dsm_run --procs=16 --metrics --trace=run.jsonl
-//           --chrome-trace=run.trace.json prog.f
+//   dsm_run --procs=16 --metrics --trace=run.jsonl prog.f
 //
-// --metrics prints the per-array / per-node locality breakdown;
-// --trace writes the JSONL event stream; --chrome-trace writes a
-// Perfetto/chrome://tracing timeline of the run's parallel epochs.
+// single run with the observability layer on the command line;
+//
+//   dsm_run --batch=manifest.json --jobs=8 --results=out.jsonl
+//
+// a JSON manifest of independent jobs executed concurrently through a
+// dsm::Session -- each distinct (sources, options) pair is compiled
+// exactly once (the final JSONL record reports the cache hit/miss
+// counts that prove it);
+//
+//   dsm_run --sweep=procs=1,2,4,8:policy=first-touch,round-robin prog.f
+//
+// the cross-product of the sweep axes as a batch over the command-line
+// sources.  Batch and sweep emit one JSONL record per job plus a
+// trailing cache-stats record.
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,9 +35,10 @@
 #include <string>
 #include <vector>
 
-#include "core/Driver.h"
+#include "api/Dsm.h"
 #include "fault/Injector.h"
 #include "obs/Recorder.h"
+#include "support/Json.h"
 
 using namespace dsm;
 
@@ -37,6 +48,8 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options] source.f [source2.f ...]\n"
+      "       %s --batch=manifest.json [--jobs=N] [--results=FILE]\n"
+      "       %s --sweep=AXES [options] source.f [...]\n"
       "\n"
       "options:\n"
       "  --procs=N            simulated processors (default 8)\n"
@@ -55,8 +68,18 @@ int usage(const char *Argv0) {
       "  --fault-spec=FILE    inject faults per FILE (key = value; see\n"
       "                       src/fault/FaultSpec.h); DSM_FAULT_SPEC\n"
       "                       names a default file.  Faults change\n"
-      "                       cycles, never results\n",
-      Argv0);
+      "                       cycles, never results\n"
+      "\n"
+      "batch/sweep options:\n"
+      "  --batch=FILE         run the jobs of a JSON manifest (see\n"
+      "                       docs in tools/dsm_run.cpp)\n"
+      "  --sweep=AXES         axes 'procs=1,2:policy=a,b:threads=1,4:\n"
+      "                       machine=scaled'; cross-product becomes\n"
+      "                       the batch\n"
+      "  --jobs=N             concurrent jobs (default: session auto)\n"
+      "  --results=FILE       write JSONL results there (default:\n"
+      "                       stdout)\n",
+      Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -68,44 +91,417 @@ bool flagValue(const char *Arg, const char *Name, std::string &Out) {
   return true;
 }
 
+Expected<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return Error::make("cannot read '" + Path + "'");
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+bool parsePolicy(const std::string &V, numa::PlacementPolicy &Out) {
+  if (V == "first-touch") {
+    Out = numa::PlacementPolicy::FirstTouch;
+    return true;
+  }
+  if (V == "round-robin") {
+    Out = numa::PlacementPolicy::RoundRobin;
+    return true;
+  }
+  return false;
+}
+
+bool parseMachine(const std::string &V, numa::MachineConfig &Out) {
+  if (V == "scaled") {
+    Out = numa::MachineConfig::scaledOrigin();
+    return true;
+  }
+  if (V == "origin2000") {
+    Out = numa::MachineConfig::origin2000();
+    return true;
+  }
+  return false;
+}
+
+/// One batch job before compilation: sources + compile options + the
+/// run request scaffolding.  Distinct jobs may share sources; the
+/// session cache compiles each distinct pair once.
+struct JobSpec {
+  std::string Label;
+  std::vector<SourceFile> Sources;
+  CompileOptions COpts;
+  RunRequest Req; // Program filled in after compilation.
+  std::string PolicyName = "first-touch";
+  std::string MachineName = "scaled";
+};
+
+Error parseCompileOptions(const json::Value &V, CompileOptions &Out) {
+  if (V.isNull())
+    return Error::success();
+  if (!V.isObject())
+    return Error::make("manifest 'options' must be an object");
+  if (const json::Value *T = V.find("transform"))
+    Out.Transform = T->asBool(true);
+  if (const json::Value *P = V.find("parallelize"))
+    Out.Xform.Parallelize = P->asBool(true);
+  if (const json::Value *F = V.find("fp_divmod"))
+    Out.Xform.FpDivMod = F->asBool(true);
+  if (const json::Value *L = V.find("opt_level")) {
+    const std::string &S = L->asString();
+    if (S == "none")
+      Out.Xform.Level = xform::ReshapeOptLevel::None;
+    else if (S == "tile-peel")
+      Out.Xform.Level = xform::ReshapeOptLevel::TilePeel;
+    else if (S == "full" || S.empty())
+      Out.Xform.Level = xform::ReshapeOptLevel::Full;
+    else
+      return Error::make("unknown opt_level '" + S + "'");
+  }
+  return Error::success();
+}
+
+/// Manifest 'sources' entries are file paths (strings) or inline
+/// sources ({"name": ..., "text": ...}).
+Error parseSources(const json::Value &V, std::vector<SourceFile> &Out) {
+  if (!V.isArray())
+    return Error::make("manifest 'sources' must be an array");
+  for (const json::Value &S : V.array()) {
+    if (S.isString()) {
+      auto Text = readFile(S.asString());
+      if (!Text)
+        return Error(Text.error());
+      Out.push_back({S.asString(), std::move(*Text)});
+    } else if (S.isObject()) {
+      Out.push_back({S["name"].asString(), S["text"].asString()});
+    } else {
+      return Error::make("manifest source entries must be path strings "
+                         "or {name, text} objects");
+    }
+  }
+  if (Out.empty())
+    return Error::make("manifest 'sources' is empty");
+  return Error::success();
+}
+
+Error loadFaultSpec(const std::string &Path, RunRequest &Req) {
+  auto Text = readFile(Path);
+  if (!Text)
+    return Error(Text.error());
+  auto Spec = fault::FaultSpec::parse(*Text, Path);
+  if (!Spec)
+    return Error(Spec.error());
+  Req.Fault = std::move(*Spec);
+  return Error::success();
+}
+
+Error parseManifest(const std::string &Path,
+                    const std::string &DefaultFaultSpec,
+                    std::vector<JobSpec> &Out) {
+  auto Text = readFile(Path);
+  if (!Text)
+    return Error(Text.error());
+  auto Doc = json::parse(*Text, Path);
+  if (!Doc)
+    return Error(Doc.error());
+  if (!Doc->isObject())
+    return Error::make("manifest root must be an object", Path);
+
+  std::vector<SourceFile> BaseSources;
+  if (const json::Value *S = Doc->find("sources"))
+    if (Error E = parseSources(*S, BaseSources))
+      return E;
+  CompileOptions BaseCOpts;
+  if (Error E = parseCompileOptions((*Doc)["options"], BaseCOpts))
+    return E;
+
+  const json::Value &Jobs = (*Doc)["jobs"];
+  if (!Jobs.isArray() || Jobs.array().empty())
+    return Error::make("manifest needs a non-empty 'jobs' array", Path);
+
+  size_t Index = 0;
+  for (const json::Value &J : Jobs.array()) {
+    if (!J.isObject())
+      return Error::make("manifest job entries must be objects", Path);
+    JobSpec Spec;
+    Spec.Sources = BaseSources;
+    Spec.COpts = BaseCOpts;
+    if (const json::Value *S = J.find("sources")) {
+      Spec.Sources.clear();
+      if (Error E = parseSources(*S, Spec.Sources))
+        return E;
+    }
+    if (Spec.Sources.empty())
+      return Error::make("job has no sources (set manifest-level or "
+                         "per-job 'sources')",
+                         Path);
+    if (const json::Value *O = J.find("options"))
+      if (Error E = parseCompileOptions(*O, Spec.COpts))
+        return E;
+
+    Spec.Label = J["label"].asString();
+    if (Spec.Label.empty())
+      Spec.Label = "job" + std::to_string(Index);
+    Spec.Req.Label = Spec.Label;
+    if (const json::Value *P = J.find("procs"))
+      Spec.Req.Opts.NumProcs = static_cast<int>(P->asInt(1));
+    if (const json::Value *T = J.find("threads"))
+      Spec.Req.Opts.HostThreads = static_cast<int>(T->asInt(1));
+    if (const json::Value *P = J.find("policy")) {
+      Spec.PolicyName = P->asString();
+      if (!parsePolicy(Spec.PolicyName, Spec.Req.Opts.DefaultPolicy))
+        return Error::make("unknown policy '" + Spec.PolicyName + "'",
+                           Path);
+    }
+    if (const json::Value *M = J.find("machine")) {
+      Spec.MachineName = M->asString();
+      if (!parseMachine(Spec.MachineName, Spec.Req.Machine))
+        return Error::make("unknown machine '" + Spec.MachineName + "'",
+                           Path);
+    }
+    Spec.Req.Opts.CollectMetrics = J["metrics"].asBool(false);
+    if (const json::Value *A = J.find("arg_checks"))
+      Spec.Req.Opts.RuntimeArgChecks = A->asBool(false);
+    const json::Value &CS = J["checksum"];
+    if (CS.isString()) {
+      Spec.Req.ChecksumArrays.push_back(CS.asString());
+    } else if (CS.isArray()) {
+      for (const json::Value &A : CS.array())
+        Spec.Req.ChecksumArrays.push_back(A.asString());
+    }
+    std::string FaultPath = J["fault_spec"].asString();
+    if (FaultPath.empty())
+      FaultPath = DefaultFaultSpec;
+    if (!FaultPath.empty())
+      if (Error E = loadFaultSpec(FaultPath, Spec.Req))
+        return E;
+    Out.push_back(std::move(Spec));
+    ++Index;
+  }
+  return Error::success();
+}
+
+std::vector<std::string> splitList(const std::string &S, char Sep) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == Sep) {
+      Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
+  }
+  Out.push_back(Cur);
+  return Out;
+}
+
+/// Expands '--sweep=procs=1,2:policy=a,b' over \p Base into the
+/// cross-product of the axes (procs, policy, threads, machine).
+Error expandSweep(const std::string &Axes, const JobSpec &Base,
+                  std::vector<JobSpec> &Out) {
+  std::vector<int> Procs{Base.Req.Opts.NumProcs};
+  std::vector<std::string> Policies{Base.PolicyName};
+  std::vector<int> Threads{Base.Req.Opts.HostThreads};
+  std::vector<std::string> Machines{Base.MachineName};
+
+  for (const std::string &Axis : splitList(Axes, ':')) {
+    size_t Eq = Axis.find('=');
+    if (Eq == std::string::npos)
+      return Error::make("sweep axis '" + Axis + "' is not name=v1,v2");
+    std::string Name = Axis.substr(0, Eq);
+    std::vector<std::string> Values = splitList(Axis.substr(Eq + 1), ',');
+    if (Name == "procs" || Name == "threads") {
+      std::vector<int> Nums;
+      for (const std::string &V : Values) {
+        int N = std::atoi(V.c_str());
+        if (N < 1)
+          return Error::make("bad " + Name + " value '" + V + "'");
+        Nums.push_back(N);
+      }
+      (Name == "procs" ? Procs : Threads) = std::move(Nums);
+    } else if (Name == "policy") {
+      numa::PlacementPolicy Ignored;
+      for (const std::string &V : Values)
+        if (!parsePolicy(V, Ignored))
+          return Error::make("unknown policy '" + V + "'");
+      Policies = std::move(Values);
+    } else if (Name == "machine") {
+      numa::MachineConfig Ignored;
+      for (const std::string &V : Values)
+        if (!parseMachine(V, Ignored))
+          return Error::make("unknown machine '" + V + "'");
+      Machines = std::move(Values);
+    } else {
+      return Error::make("unknown sweep axis '" + Name + "'");
+    }
+  }
+
+  for (const std::string &M : Machines)
+    for (const std::string &P : Policies)
+      for (int T : Threads)
+        for (int N : Procs) {
+          JobSpec Spec = Base;
+          Spec.Req.Opts.NumProcs = N;
+          Spec.Req.Opts.HostThreads = T;
+          Spec.PolicyName = P;
+          parsePolicy(P, Spec.Req.Opts.DefaultPolicy);
+          Spec.MachineName = M;
+          parseMachine(M, Spec.Req.Machine);
+          Spec.Label = "procs=" + std::to_string(N) + ",policy=" + P +
+                       ",threads=" + std::to_string(T) + ",machine=" + M;
+          Spec.Req.Label = Spec.Label;
+          Out.push_back(std::move(Spec));
+        }
+  return Error::success();
+}
+
+void emitJobRecord(std::FILE *Stream, const JobSpec &Spec,
+                   const JobResult &R) {
+  std::fprintf(Stream,
+               "{\"type\":\"job\",\"index\":%zu,\"label\":\"%s\","
+               "\"procs\":%d,\"policy\":\"%s\",\"threads\":%d,"
+               "\"machine\":\"%s\",\"ok\":%s",
+               R.Index, json::escape(R.Label).c_str(),
+               Spec.Req.Opts.NumProcs,
+               json::escape(Spec.PolicyName).c_str(),
+               Spec.Req.Opts.HostThreads,
+               json::escape(Spec.MachineName).c_str(),
+               R.ok() ? "true" : "false");
+  if (!R.ok()) {
+    std::fprintf(Stream, ",\"error\":\"%s\"}\n",
+                 json::escape(R.Err.str()).c_str());
+    return;
+  }
+  const exec::RunResult &Run = R.Output->Result;
+  std::fprintf(Stream,
+               ",\"wall_cycles\":%llu,\"timed_cycles\":%llu,"
+               "\"epochs\":%u,\"threaded_epochs\":%u,"
+               "\"redistribute_cycles\":%llu,\"host_seconds\":%.6f",
+               static_cast<unsigned long long>(Run.WallCycles),
+               static_cast<unsigned long long>(Run.TimedCycles),
+               Run.ParallelRegions, Run.ThreadedEpochs,
+               static_cast<unsigned long long>(Run.RedistributeCycles),
+               R.Output->HostSeconds);
+  if (Run.Faults.any())
+    std::fprintf(
+        Stream,
+        ",\"placements_denied\":%llu,\"migrations_denied\":%llu,"
+        "\"latency_spikes\":%llu,\"degraded_arrays\":%llu",
+        static_cast<unsigned long long>(Run.Faults.PlacementsDenied),
+        static_cast<unsigned long long>(Run.Faults.MigrationsDenied),
+        static_cast<unsigned long long>(Run.Faults.LatencySpikes),
+        static_cast<unsigned long long>(Run.Faults.DegradedArrays));
+  if (!R.Output->Checksums.empty()) {
+    std::fprintf(Stream, ",\"checksums\":[");
+    for (size_t I = 0; I < R.Output->Checksums.size(); ++I)
+      std::fprintf(Stream, "%s{\"array\":\"%s\",\"sum\":%.17g,"
+                           "\"weighted\":%.17g}",
+                   I ? "," : "",
+                   json::escape(Spec.Req.ChecksumArrays[I]).c_str(),
+                   R.Output->Checksums[I].first,
+                   R.Output->Checksums[I].second);
+    std::fprintf(Stream, "]");
+  }
+  std::fprintf(Stream, "}\n");
+}
+
+int runBatchMode(std::vector<JobSpec> Jobs, int Workers,
+                 const std::string &ResultsPath) {
+  SessionOptions SOpts;
+  if (Workers > 0)
+    SOpts.Workers = Workers;
+  Session S(SOpts);
+
+  // Compile every distinct (sources, options) pair through the session
+  // cache: N jobs over one program -> one miss, N-1 hits.
+  std::vector<RunRequest> Requests;
+  Requests.reserve(Jobs.size());
+  for (JobSpec &Spec : Jobs) {
+    auto Prog = S.compile(Spec.Sources, Spec.COpts);
+    if (!Prog) {
+      std::fprintf(stderr, "%s: compile failed:\n%s", Spec.Label.c_str(),
+                   Prog.error().str().c_str());
+      return 1;
+    }
+    Spec.Req.Program = *Prog;
+    Requests.push_back(Spec.Req);
+  }
+
+  std::vector<JobResult> Results = S.runBatch(Requests);
+
+  std::FILE *Stream = stdout;
+  std::FILE *Owned = nullptr;
+  if (!ResultsPath.empty()) {
+    Owned = std::fopen(ResultsPath.c_str(), "w");
+    if (!Owned) {
+      std::fprintf(stderr, "cannot write '%s'\n", ResultsPath.c_str());
+      return 2;
+    }
+    Stream = Owned;
+  }
+
+  size_t Failed = 0;
+  for (size_t I = 0; I < Results.size(); ++I) {
+    emitJobRecord(Stream, Jobs[I], Results[I]);
+    if (!Results[I].ok()) {
+      ++Failed;
+      std::fprintf(stderr, "job '%s' failed:\n%s",
+                   Results[I].Label.c_str(), Results[I].Err.str().c_str());
+    }
+  }
+  CacheStats Stats = S.cacheStats();
+  std::fprintf(Stream,
+               "{\"type\":\"cache\",\"hits\":%llu,\"misses\":%llu,"
+               "\"evictions\":%llu,\"programs\":%zu}\n",
+               static_cast<unsigned long long>(Stats.Hits),
+               static_cast<unsigned long long>(Stats.Misses),
+               static_cast<unsigned long long>(Stats.Evictions),
+               Stats.Programs);
+  if (Owned)
+    std::fclose(Owned);
+  std::fprintf(stderr,
+               "%zu jobs, %zu failed; compile cache: %llu hits, "
+               "%llu misses\n",
+               Results.size(), Failed,
+               static_cast<unsigned long long>(Stats.Hits),
+               static_cast<unsigned long long>(Stats.Misses));
+  return Failed ? 1 : 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  exec::RunOptions ROpts;
-  ROpts.NumProcs = 8;
-  CompileOptions COpts;
-  numa::MachineConfig MC = numa::MachineConfig::scaledOrigin();
+  JobSpec Base;
+  Base.Req.Opts.NumProcs = 8;
+  Base.Req.Opts.HostThreads =
+      exec::RunOptions::fromEnv(Base.Req.Opts).HostThreads;
   bool Metrics = false;
-  std::string TracePath, ChromePath, ChecksumArray, FaultSpecPath;
-  if (const char *Env = std::getenv("DSM_FAULT_SPEC"))
-    FaultSpecPath = Env;
-  std::vector<SourceFile> Sources;
+  std::string TracePath, ChromePath, ChecksumArray;
+  std::string BatchPath, SweepAxes, ResultsPath;
+  int Workers = 0;
+  SessionOptions SessionEnv = SessionOptions::fromEnv();
+  std::string FaultSpecPath = SessionEnv.DefaultFaultSpecPath;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
     std::string V;
     if (flagValue(Arg, "--procs", V)) {
-      ROpts.NumProcs = std::atoi(V.c_str());
+      Base.Req.Opts.NumProcs = std::atoi(V.c_str());
     } else if (flagValue(Arg, "--threads", V)) {
-      ROpts.HostThreads = std::atoi(V.c_str());
+      Base.Req.Opts.HostThreads = std::atoi(V.c_str());
     } else if (flagValue(Arg, "--policy", V)) {
-      if (V == "first-touch") {
-        ROpts.DefaultPolicy = numa::PlacementPolicy::FirstTouch;
-      } else if (V == "round-robin") {
-        ROpts.DefaultPolicy = numa::PlacementPolicy::RoundRobin;
-      } else {
+      if (!parsePolicy(V, Base.Req.Opts.DefaultPolicy)) {
         std::fprintf(stderr, "unknown --policy '%s'\n", V.c_str());
         return 2;
       }
+      Base.PolicyName = V;
     } else if (flagValue(Arg, "--machine", V)) {
-      if (V == "scaled") {
-        MC = numa::MachineConfig::scaledOrigin();
-      } else if (V == "origin2000") {
-        MC = numa::MachineConfig::origin2000();
-      } else {
+      if (!parseMachine(V, Base.Req.Machine)) {
         std::fprintf(stderr, "unknown --machine '%s'\n", V.c_str());
         return 2;
       }
+      Base.MachineName = V;
     } else if (std::strcmp(Arg, "--metrics") == 0) {
       Metrics = true;
     } else if (flagValue(Arg, "--trace", V)) {
@@ -115,34 +511,74 @@ int main(int argc, char **argv) {
     } else if (flagValue(Arg, "--checksum", V)) {
       ChecksumArray = V;
     } else if (std::strcmp(Arg, "--no-transform") == 0) {
-      COpts.Transform = false;
+      Base.COpts.Transform = false;
     } else if (std::strcmp(Arg, "--arg-checks") == 0) {
-      ROpts.RuntimeArgChecks = true;
+      Base.Req.Opts.RuntimeArgChecks = true;
     } else if (flagValue(Arg, "--fault-spec", V)) {
       FaultSpecPath = V;
+    } else if (flagValue(Arg, "--batch", V)) {
+      BatchPath = V;
+    } else if (flagValue(Arg, "--sweep", V)) {
+      SweepAxes = V;
+    } else if (flagValue(Arg, "--jobs", V)) {
+      Workers = std::atoi(V.c_str());
+    } else if (flagValue(Arg, "--results", V)) {
+      ResultsPath = V;
     } else if (Arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", Arg);
       return usage(argv[0]);
     } else {
-      std::ifstream In(Arg);
-      if (!In) {
-        std::fprintf(stderr, "cannot read '%s'\n", Arg);
+      auto Text = readFile(Arg);
+      if (!Text) {
+        std::fprintf(stderr, "%s", Text.error().str().c_str());
         return 2;
       }
-      std::ostringstream SS;
-      SS << In.rdbuf();
-      Sources.push_back({Arg, SS.str()});
+      Base.Sources.push_back({Arg, std::move(*Text)});
     }
   }
-  if (Sources.empty())
+
+  if (!BatchPath.empty()) {
+    std::vector<JobSpec> Jobs;
+    if (Error E = parseManifest(BatchPath, FaultSpecPath, Jobs)) {
+      std::fprintf(stderr, "%s", E.str().c_str());
+      return 2;
+    }
+    return runBatchMode(std::move(Jobs), Workers, ResultsPath);
+  }
+
+  if (Base.Sources.empty())
     return usage(argv[0]);
+
+  if (!SweepAxes.empty()) {
+    Base.Req.Opts.CollectMetrics = Metrics;
+    if (!ChecksumArray.empty())
+      Base.Req.ChecksumArrays.push_back(ChecksumArray);
+    if (!FaultSpecPath.empty())
+      if (Error E = loadFaultSpec(FaultSpecPath, Base.Req)) {
+        std::fprintf(stderr, "%s", E.str().c_str());
+        return 2;
+      }
+    std::vector<JobSpec> Jobs;
+    if (Error E = expandSweep(SweepAxes, Base, Jobs)) {
+      std::fprintf(stderr, "%s", E.str().c_str());
+      return 2;
+    }
+    return runBatchMode(std::move(Jobs), Workers, ResultsPath);
+  }
+
+  //===------------------------------------------------------------===//
+  // Single-run mode.
+  //===------------------------------------------------------------===//
+
+  exec::RunOptions ROpts = Base.Req.Opts;
+  numa::MachineConfig MC = Base.Req.Machine;
   if (ROpts.NumProcs < 1 || ROpts.NumProcs > MC.numProcs()) {
     std::fprintf(stderr, "--procs must be in 1..%d for this machine\n",
                  MC.numProcs());
     return 2;
   }
 
-  auto Prog = buildProgram(Sources, COpts);
+  auto Prog = dsm::compile(Base.Sources, Base.COpts);
   if (!Prog) {
     std::fprintf(stderr, "%s", Prog.error().str().c_str());
     return 1;
@@ -173,24 +609,19 @@ int main(int argc, char **argv) {
 
   std::unique_ptr<fault::Injector> Inj;
   if (!FaultSpecPath.empty()) {
-    std::ifstream In(FaultSpecPath);
-    if (!In) {
-      std::fprintf(stderr, "cannot read '%s'\n", FaultSpecPath.c_str());
+    RunRequest FaultReq;
+    if (Error E = loadFaultSpec(FaultSpecPath, FaultReq)) {
+      std::fprintf(stderr, "%s", E.str().c_str());
       return 2;
     }
-    std::ostringstream SS;
-    SS << In.rdbuf();
-    auto Spec = fault::FaultSpec::parse(SS.str(), FaultSpecPath);
-    if (!Spec) {
-      std::fprintf(stderr, "%s", Spec.error().str().c_str());
-      return 1;
-    }
-    Inj = std::make_unique<fault::Injector>(*Spec);
+    Inj = std::make_unique<fault::Injector>(*FaultReq.Fault);
     ROpts.Fault = Inj.get();
   }
 
+  // Tracing needs an external Observer, which the batch path forbids
+  // by design, so the single-run mode drives the engine directly.
   numa::MemorySystem Mem(MC);
-  exec::Engine Engine(*Prog, Mem, ROpts);
+  exec::Engine Engine(**Prog, Mem, ROpts);
   auto Run = Engine.run();
   if (!Run) {
     std::fprintf(stderr, "%s", Run.error().str().c_str());
