@@ -26,11 +26,12 @@ namespace {
 RunRequest makeRequest(Version V, bool Serial, int NumProcs,
                        const numa::MachineConfig &MC,
                        const std::string &ChecksumArray,
-                       int HostThreads) {
+                       int HostThreads, EngineKind Engine) {
   RunRequest Req;
   Req.Machine = MC;
   Req.Opts.NumProcs = Serial ? 1 : NumProcs;
   Req.Opts.HostThreads = HostThreads;
+  Req.Opts.Engine = Engine;
   Req.Opts.DefaultPolicy = V == Version::RoundRobin
                                ? numa::PlacementPolicy::RoundRobin
                                : numa::PlacementPolicy::FirstTouch;
@@ -59,6 +60,7 @@ RunOutcome outcomeOf(const std::string &BenchName, Version V,
   Out.ParallelRegions = Run.ParallelRegions;
   Out.HostSeconds = R.Output->HostSeconds;
   Out.ThreadedEpochs = Run.ThreadedEpochs;
+  Out.Engine = Run.Engine;
   Out.Metrics = std::move(Run.Metrics);
   if (!R.Output->Checksums.empty())
     Out.Checksum = R.Output->Checksums[0].second; // weighted
@@ -111,6 +113,27 @@ void appendCacheJson(const std::string &Bench) {
   std::fclose(F);
 }
 
+/// One record per bench comparing the two engines on the serial
+/// baseline; host_speedup is interp seconds / bytecode seconds.
+void appendEngineSpeedupJson(const std::string &Bench,
+                             const RunOutcome &Interp,
+                             const RunOutcome &Bytecode, double Speedup) {
+  const char *Path = std::getenv("DSM_BENCH_JSON");
+  if (!Path || !*Path)
+    return;
+  FILE *F = std::fopen(Path, "a");
+  if (!F)
+    return;
+  std::fprintf(F,
+               "{\"bench\": \"%s\", \"label\": \"engine-speedup\", "
+               "\"interp_seconds\": %.6f, \"bytecode_seconds\": %.6f, "
+               "\"host_speedup\": %.3f, \"sim_cycles\": %llu}\n",
+               Bench.c_str(), Interp.HostSeconds, Bytecode.HostSeconds,
+               Speedup,
+               static_cast<unsigned long long>(Bytecode.Cycles));
+  std::fclose(F);
+}
+
 } // namespace
 
 RunOutcome dsmbench::runVersion(const std::string &BenchName,
@@ -118,9 +141,9 @@ RunOutcome dsmbench::runVersion(const std::string &BenchName,
                                 bool Serial, int NumProcs,
                                 const numa::MachineConfig &MC,
                                 const std::string &ChecksumArray,
-                                int HostThreads) {
-  RunRequest Req =
-      makeRequest(V, Serial, NumProcs, MC, ChecksumArray, HostThreads);
+                                int HostThreads, EngineKind Engine) {
+  RunRequest Req = makeRequest(V, Serial, NumProcs, MC, ChecksumArray,
+                               HostThreads, Engine);
   Req.Program = compileVersion(BenchName, Gen, V, Serial);
   return outcomeOf(BenchName, V, NumProcs, session::runOne(Req));
 }
@@ -132,11 +155,46 @@ SweepResult dsmbench::runSweep(const std::string &BenchName,
                                const std::string &ChecksumArray) {
   SweepResult R;
   R.Procs = Procs;
-  RunOutcome Serial = runVersion(BenchName, Gen, Version::FirstTouch,
-                                 /*Serial=*/true, 1, MC, ChecksumArray);
+  // The serial baseline runs under both engines: the interpreter is
+  // the semantic reference, the bytecode VM must reproduce it bit for
+  // bit, and the pair yields the per-bench engine host_speedup record.
+  RunOutcome SerialInterp =
+      runVersion(BenchName, Gen, Version::FirstTouch, /*Serial=*/true, 1,
+                 MC, ChecksumArray, 1, EngineKind::Interp);
+  RunOutcome Serial =
+      runVersion(BenchName, Gen, Version::FirstTouch, /*Serial=*/true, 1,
+                 MC, ChecksumArray, 1, EngineKind::Bytecode);
+  bool EngineMetricsMatch =
+      SerialInterp.Metrics.Arrays == Serial.Metrics.Arrays &&
+      SerialInterp.Metrics.Nodes == Serial.Metrics.Nodes;
+  if (SerialInterp.Cycles != Serial.Cycles ||
+      SerialInterp.Checksum != Serial.Checksum ||
+      !(SerialInterp.Counters == Serial.Counters) ||
+      !EngineMetricsMatch) {
+    std::fprintf(stderr,
+                 "%s: bytecode engine is NOT bit-identical to the "
+                 "interpreter on the serial baseline (cycles %llu vs "
+                 "%llu) -- engine bug\n",
+                 BenchName.c_str(),
+                 static_cast<unsigned long long>(SerialInterp.Cycles),
+                 static_cast<unsigned long long>(Serial.Cycles));
+    std::exit(1);
+  }
   R.SerialCycles = Serial.Cycles;
   R.SerialChecksum = Serial.Checksum;
+  R.EngineHostSpeedup = Serial.HostSeconds > 0
+                            ? SerialInterp.HostSeconds / Serial.HostSeconds
+                            : 0;
+  std::printf("# engines: serial interp %.3fs, bytecode %.3fs -> %.2fx "
+              "host speedup; simulated results bit-identical (%llu "
+              "cycles)\n",
+              SerialInterp.HostSeconds, Serial.HostSeconds,
+              R.EngineHostSpeedup,
+              static_cast<unsigned long long>(Serial.Cycles));
   appendJsonResult(BenchName, "serial", 1, 1, Serial);
+  appendJsonResult(BenchName, "serial-interp", 1, 1, SerialInterp);
+  appendEngineSpeedupJson(BenchName, SerialInterp, Serial,
+                          R.EngineHostSpeedup);
 
   const Version Versions[] = {Version::FirstTouch, Version::RoundRobin,
                               Version::Regular, Version::Reshaped};
@@ -164,7 +222,8 @@ SweepResult dsmbench::runSweep(const std::string &BenchName,
   for (Version V : Versions) {
     ProgramHandle Prog = compileVersion(BenchName, Gen, V, false);
     for (int P : Procs) {
-      RunRequest Req = makeRequest(V, false, P, MC, ChecksumArray, 1);
+      RunRequest Req = makeRequest(V, false, P, MC, ChecksumArray, 1,
+                                   EngineKind::Auto);
       Req.Program = Prog;
       Req.Label = std::string(versionName(V)) + "/P" + std::to_string(P);
       Requests.push_back(std::move(Req));
@@ -217,11 +276,13 @@ void dsmbench::appendJsonResult(const std::string &Bench,
   }
   const char *Sha = std::getenv("DSM_GIT_SHA");
   std::fprintf(F,
-               "{\"bench\": \"%s\", \"label\": \"%s\", \"procs\": %d, "
+               "{\"bench\": \"%s\", \"label\": \"%s\", \"engine\": \"%s\", "
+               "\"procs\": %d, "
                "\"host_threads\": %d, \"sim_cycles\": %llu, "
                "\"host_seconds\": %.6f, \"threaded_epochs\": %u, "
                "\"git_sha\": \"%s\"",
-               Bench.c_str(), Label.c_str(), NumProcs, HostThreads,
+               Bench.c_str(), Label.c_str(), engineName(Out.Engine),
+               NumProcs, HostThreads,
                static_cast<unsigned long long>(Out.Cycles),
                Out.HostSeconds, Out.ThreadedEpochs,
                Sha && *Sha ? Sha : "unknown");

@@ -37,6 +37,19 @@ namespace dsmbench {
 /// instead of once per processor count.
 dsm::Session &benchSession();
 
+using EngineKind = dsm::exec::RunOptions::EngineKind;
+inline const char *engineName(EngineKind K) {
+  switch (K) {
+  case EngineKind::Auto:
+    return "auto";
+  case EngineKind::Interp:
+    return "interp";
+  case EngineKind::Bytecode:
+    return "bytecode";
+  }
+  return "?";
+}
+
 enum class Version { FirstTouch, RoundRobin, Regular, Reshaped };
 inline const char *versionName(Version V) {
   switch (V) {
@@ -64,6 +77,8 @@ struct RunOutcome {
   /// Host-side wall time of Engine::run() (excludes compilation).
   double HostSeconds = 0.0;
   unsigned ThreadedEpochs = 0;
+  /// The engine that actually ran (from RunResult; never Auto).
+  EngineKind Engine = EngineKind::Interp;
   /// Per-array/per-node locality breakdown (collected unless
   /// DSM_BENCH_METRICS=0; Metrics.Collected says whether it is live).
   dsm::obs::MetricsSnapshot Metrics;
@@ -73,12 +88,15 @@ struct RunOutcome {
 /// process with a message on any pipeline error (benchmarks are
 /// programs, not tests).  HostThreads is the engine's host-pool size
 /// (1 = classic serial interpreter); simulated results are identical
-/// for every value.
+/// for every value.  Engine selects the execution engine (Auto =
+/// DSM_ENGINE or the bytecode default); simulated results are again
+/// identical for every choice.
 RunOutcome runVersion(const std::string &BenchName, const SourceGen &Gen,
                       Version V, bool Serial, int NumProcs,
                       const dsm::numa::MachineConfig &MC,
                       const std::string &ChecksumArray,
-                      int HostThreads = 1);
+                      int HostThreads = 1,
+                      EngineKind Engine = EngineKind::Auto);
 
 /// Appends one JSON record for a measured run to the file named by the
 /// DSM_BENCH_JSON environment variable (one object per line; no-op when
@@ -101,6 +119,10 @@ double runHostThreadComparison(const std::string &BenchName,
 struct SweepResult {
   uint64_t SerialCycles = 0;
   double SerialChecksum = 0.0;
+  /// Host speedup of the bytecode engine over the tree-walking
+  /// interpreter on the serial baseline (interp seconds / bytecode
+  /// seconds), measured by runSweep.
+  double EngineHostSpeedup = 0.0;
   std::vector<int> Procs;
   /// [version][proc index] simulated cycles.
   std::map<Version, std::vector<RunOutcome>> Runs;
@@ -111,7 +133,11 @@ struct SweepResult {
   }
 };
 
-/// Runs the full four-version sweep.  Every version is compiled once
+/// Runs the full four-version sweep.  The serial baseline runs under
+/// both engines (tree-walking interpreter and bytecode VM), verifying
+/// that the simulated results are bit-identical and recording the
+/// interp-vs-bytecode host_speedup to DSM_BENCH_JSON; the sweep itself
+/// uses the ambient engine.  Every version is compiled once
 /// through benchSession() and reused across processor counts; with
 /// DSM_BENCH_BATCH=1 the (version, procs) grid additionally executes
 /// as one concurrent batch instead of serially.  Either way a

@@ -1,0 +1,188 @@
+//===- bench/bench_dispatch.cpp - Engine dispatch-loop cost ----------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Micro-benchmark for the execution engines themselves: the same
+// program runs under the tree-walking interpreter and under the
+// bytecode VM (DSM_ENGINE selectable at run time, forced per run
+// here), and google-benchmark wall time measures the host-side
+// dispatch cost.  Two kernels separate the two regimes:
+//
+//  * scalar: loop-nest arithmetic with no array accesses -- pure
+//    dispatch, where the flat bytecode loop should shine;
+//  * stream: an array sweep, where the simulated memory system
+//    bounds both engines and the fused LoadElem/StoreElem fast path
+//    only trims the edges.
+//
+// Both engines must produce identical simulated cycles; the ratio
+// benchmarks report interp_over_bytecode host speedup.
+//
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/BenchUtil.h"
+
+using namespace dsm;
+using namespace dsmbench;
+
+namespace {
+
+const char *scalarKernel() {
+  return R"(
+      program main
+      integer i, j, n
+      real*8 s, t
+      parameter (n = 700)
+      s = 0.0
+      t = 1.0000003
+      call dsm_timer_start
+      do i = 1, n
+        do j = 1, n
+          s = s + t * j - (i + 2) * 0.5
+          t = t * 0.9999999 + 0.0000001
+          if (t .gt. 2.0) then
+            t = t - 1.0
+          endif
+        enddo
+      enddo
+      call dsm_timer_stop
+      end
+)";
+}
+
+const char *streamKernel() {
+  return R"(
+      program main
+      integer i, r, n, reps
+      parameter (n = 65536, reps = 8)
+      real*8 A(n), B(n)
+      do i = 1, n
+        A(i) = i
+        B(i) = n - i
+      enddo
+      call dsm_timer_start
+      do r = 1, reps
+        do i = 1, n
+          A(i) = A(i) + B(i) * 0.5
+        enddo
+      enddo
+      call dsm_timer_stop
+      end
+)";
+}
+
+ProgramHandle compileOnce(const char *Name, const char *Source) {
+  auto Prog = benchSession().compile({{std::string(Name) + ".f", Source}});
+  if (!Prog) {
+    std::fprintf(stderr, "bench_dispatch: compile failed:\n%s\n",
+                 Prog.error().str().c_str());
+    std::exit(1);
+  }
+  return *Prog;
+}
+
+ProgramHandle scalarProgram() {
+  static ProgramHandle P = compileOnce("scalar", scalarKernel());
+  return P;
+}
+
+ProgramHandle streamProgram() {
+  static ProgramHandle P = compileOnce("stream", streamKernel());
+  return P;
+}
+
+struct RunStats {
+  uint64_t Cycles = 0;
+  double Seconds = 0.0;
+};
+
+/// One engine run on a fresh machine; the program (and its compiled
+/// bytecode, cached on the linked program) is reused across runs.
+RunStats runOnce(ProgramHandle Prog, EngineKind Engine) {
+  numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
+  exec::RunOptions Opts;
+  Opts.NumProcs = 1;
+  Opts.Engine = Engine;
+  exec::Engine E(*Prog, Mem, Opts);
+  auto T0 = std::chrono::steady_clock::now();
+  auto R = E.run();
+  auto T1 = std::chrono::steady_clock::now();
+  if (!R) {
+    std::fprintf(stderr, "bench_dispatch: run failed:\n%s\n",
+                 R.error().str().c_str());
+    std::exit(1);
+  }
+  return {R->TimedCycles,
+          std::chrono::duration<double>(T1 - T0).count()};
+}
+
+void engineBench(benchmark::State &State, ProgramHandle Prog,
+                 EngineKind Engine) {
+  uint64_t Cycles = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Cycles = runOnce(Prog, Engine).Cycles);
+  State.counters["sim_cycles"] = static_cast<double>(Cycles);
+}
+
+void BM_ScalarDispatch_Interp(benchmark::State &State) {
+  engineBench(State, scalarProgram(), EngineKind::Interp);
+}
+BENCHMARK(BM_ScalarDispatch_Interp);
+
+void BM_ScalarDispatch_Bytecode(benchmark::State &State) {
+  engineBench(State, scalarProgram(), EngineKind::Bytecode);
+}
+BENCHMARK(BM_ScalarDispatch_Bytecode);
+
+void BM_StreamDispatch_Interp(benchmark::State &State) {
+  engineBench(State, streamProgram(), EngineKind::Interp);
+}
+BENCHMARK(BM_StreamDispatch_Interp);
+
+void BM_StreamDispatch_Bytecode(benchmark::State &State) {
+  engineBench(State, streamProgram(), EngineKind::Bytecode);
+}
+BENCHMARK(BM_StreamDispatch_Bytecode);
+
+/// Medians over a few runs; asserts bit-identical simulated cycles and
+/// reports the host-speedup ratios directly.
+void BM_EngineSpeedupCheck(benchmark::State &State) {
+  auto Ratio = [](ProgramHandle Prog, const char *Name) {
+    double InterpBest = 1e9, BytecodeBest = 1e9;
+    uint64_t IC = 0, BC = 0;
+    for (int I = 0; I < 3; ++I) {
+      RunStats RI = runOnce(Prog, EngineKind::Interp);
+      RunStats RB = runOnce(Prog, EngineKind::Bytecode);
+      InterpBest = std::min(InterpBest, RI.Seconds);
+      BytecodeBest = std::min(BytecodeBest, RB.Seconds);
+      IC = RI.Cycles;
+      BC = RB.Cycles;
+    }
+    if (IC != BC) {
+      std::fprintf(stderr,
+                   "bench_dispatch: %s: engines disagree on simulated "
+                   "cycles (%llu vs %llu) -- engine bug\n",
+                   Name, static_cast<unsigned long long>(IC),
+                   static_cast<unsigned long long>(BC));
+      std::exit(1);
+    }
+    return InterpBest / BytecodeBest;
+  };
+  double Scalar = 0, Stream = 0;
+  for (auto _ : State) {
+    Scalar = Ratio(scalarProgram(), "scalar");
+    Stream = Ratio(streamProgram(), "stream");
+  }
+  State.counters["scalar_interp_over_bytecode"] = Scalar;
+  State.counters["stream_interp_over_bytecode"] = Stream;
+}
+BENCHMARK(BM_EngineSpeedupCheck);
+
+} // namespace
+
+BENCHMARK_MAIN();

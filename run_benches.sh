@@ -91,8 +91,8 @@ for b in bench_table2_reshape_opts bench_fig4_lu bench_fig5_transpose \
   fi
   echo
 done
-for b in bench_table1_addressing bench_fig2_affinity bench_divmod_fp \
-         bench_prelink_cloning; do
+for b in bench_table1_addressing bench_dispatch bench_fig2_affinity \
+         bench_divmod_fp bench_prelink_cloning; do
   require_bin $b
   echo "==== $b ===="
   # Capture first so a non-zero exit isn't masked by the grep filter.

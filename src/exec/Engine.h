@@ -91,12 +91,37 @@ struct RunOptions {
   /// Also enabled by DSM_SHAPE_CHECKS=warn in the environment.
   bool ArgChecksWarnOnly = false;
 
+  /// Which execution engine runs the program.  Both are bit-identical
+  /// (same checksums, sim cycles, metrics, and fault accounting); they
+  /// differ only in host speed.
+  enum class EngineKind {
+    /// Resolve from DSM_ENGINE ("interp" or "bytecode"); unset means
+    /// Bytecode.  An unrecognized value surfaces as an Error from
+    /// validate() and run(), never an abort.
+    Auto,
+    /// The reference tree-walking interpreter.
+    Interp,
+    /// Compiles each procedure and epoch body once to a flat
+    /// register-based bytecode and executes it with a tight dispatch
+    /// loop (DESIGN.md Section 12).  The compiled code is cached on
+    /// the link::Program, so engines sharing a session::ProgramHandle
+    /// share it too.
+    Bytecode,
+  };
+  EngineKind Engine = EngineKind::Auto;
+
+  /// Resolves Auto against DSM_ENGINE; explicit kinds pass through
+  /// untouched.  Returns an Error for unrecognized DSM_ENGINE values.
+  static Expected<EngineKind> resolveEngine(EngineKind K);
+
   /// Returns \p Base with every environment-controlled field resolved:
-  /// HostThreads <= 0 reads DSM_HOST_THREADS (defaulting to 1), and
-  /// DSM_SHAPE_CHECKS=warn turns on ArgChecksWarnOnly.  This is the one
-  /// place the engine-facing environment variables are interpreted; the
-  /// engine itself applies it on construction, so callers only need it
-  /// to inspect the resolved values up front.
+  /// HostThreads <= 0 reads DSM_HOST_THREADS (defaulting to 1),
+  /// DSM_SHAPE_CHECKS=warn turns on ArgChecksWarnOnly, and
+  /// Engine == Auto reads DSM_ENGINE (an invalid value keeps Auto so
+  /// validate()/run() can report it as a proper Error).  This is the
+  /// one place the engine-facing environment variables are
+  /// interpreted; the engine itself applies it on construction, so
+  /// callers only need it to inspect the resolved values up front.
   static RunOptions fromEnv(RunOptions Base);
   static RunOptions fromEnv() { return fromEnv(RunOptions()); }
 
@@ -128,6 +153,9 @@ struct RunResult {
   /// partial redistributes, warn-mode argument-check violations.  The
   /// run completed; these say what it had to work around.
   std::vector<Diagnostic> Diags;
+
+  /// The engine that actually executed the run (never Auto).
+  RunOptions::EngineKind Engine = RunOptions::EngineKind::Interp;
 
   double tlbMissFraction() const {
     return WallCycles == 0 ? 0.0

@@ -1,0 +1,1779 @@
+//===- exec/EngineImpl.h - Engine internals (private) -----------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution engine's shared internals: Engine::Impl (per-run
+/// state, startup, epoch-eligibility analysis) and its nested Ctx (one
+/// interpreter context -- frames, clock, translation/page caches, the
+/// tree-walking evalExpr/execStmt reference implementation).  Private
+/// to the exec library: Engine.cpp implements the public interface on
+/// top of it, bytecode/Vm.cpp implements Ctx::execCode, the bytecode
+/// dispatch loop that shares every helper (memAccess, funcData,
+/// translateReshaped, scalar/array resolution) with the tree walker so
+/// the two engines stay bit-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_EXEC_ENGINEIMPL_H
+#define DSM_EXEC_ENGINEIMPL_H
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "exec/Engine.h"
+#include "obs/Recorder.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+
+namespace dsm::exec {
+
+// Private header: the exec TUs share the ir/runtime vocabulary.
+using namespace dsm::ir;
+using namespace dsm::runtime;
+
+namespace bc {
+struct Code;
+struct CompiledProgram;
+} // namespace bc
+
+/// The program's cached compiled bytecode, built on first use
+/// (defined in exec/bytecode/Vm.cpp).
+std::shared_ptr<const bc::CompiledProgram>
+bytecodeFor(const link::Program &Prog);
+
+/// A scalar value; the live member is determined by the expression type.
+struct Value {
+  int64_t I = 0;
+  double F = 0.0;
+
+  static Value ofInt(int64_t V) { return Value{V, 0.0}; }
+  static Value ofFp(double V) { return Value{0, V}; }
+};
+
+inline bool isTimerCall(const std::string &Name) {
+  return Name == "dsm_timer_start" || Name == "dsm_timer_stop";
+}
+
+//===----------------------------------------------------------------------===//
+// Engine implementation
+//===----------------------------------------------------------------------===//
+
+struct Engine::Impl {
+  //===-- Shared state (one per engine) ------------------------------===//
+
+  const link::Program &Prog;
+  numa::MemorySystem &Mem;
+  RunOptions Opts;
+  runtime::Runtime &Rt;
+  const numa::CostModel &Costs;
+
+  /// Resolved host parallelism (Opts.HostThreads, or DSM_HOST_THREADS
+  /// when that is 0; minimum 1).
+  int HostThreads = 1;
+  std::unique_ptr<support::ThreadPool> Pool;
+
+  std::vector<std::unique_ptr<ArrayInstance>> OwnedInstances;
+  std::unordered_map<const ArraySymbol *, ArrayInstance *> StaticLocals;
+  std::unordered_map<std::string, uint64_t> CommonBases;
+  std::map<std::pair<std::string, int64_t>, ArrayInstance *>
+      CommonArrayInstances;
+  std::map<std::pair<std::string, int64_t>, Value> CommonScalarValues;
+  ArgCheckTable ArgTable;
+  RunResult Result;
+
+  /// Non-fatal diagnostics the run accumulates (degraded allocations,
+  /// partial redistributes, warn-mode shape violations); copied into
+  /// RunResult::Diags at the end of run().
+  Error RunDiags;
+  /// Argument-shape violations warn instead of failing the run
+  /// (RunOptions::ArgChecksWarnOnly or DSM_SHAPE_CHECKS=warn).
+  bool ArgChecksWarn = false;
+
+  /// Translation-cache slot count, copied from the finalized program.
+  int NumTransSlots = 0;
+  /// Where this engine is in its single-run lifecycle; array inspection
+  /// is only valid in the Completed state.
+  enum class RunState { NotRun, Running, Completed, Failed };
+  RunState State = RunState::NotRun;
+  /// Bumped on every redistribute; invalidates all translation-cache
+  /// entries, since layouts mutate in place.
+  uint64_t TransGeneration = 0;
+
+  /// The run's recorder: the caller's (RunOptions::Observer), or an
+  /// internal one when only CollectMetrics was asked for.  Null when
+  /// observability is off entirely.
+  obs::Recorder *Obs = nullptr;
+  std::unique_ptr<obs::Recorder> OwnedObs;
+
+  /// The program's compiled bytecode (exec/bytecode/); null when the
+  /// run resolved to the tree-walking interpreter.  Shared through
+  /// link::Program::EngineArtifacts, so engines running the same
+  /// ProgramHandle -- batch jobs, host threads -- compile once.
+  std::shared_ptr<const bc::CompiledProgram> BC;
+
+  Impl(const link::Program &Prog, numa::MemorySystem &Mem,
+       RunOptions Opts, runtime::Runtime &Rt)
+      : Prog(Prog), Mem(Mem), Opts(RunOptions::fromEnv(Opts)), Rt(Rt),
+        Costs(Mem.config().Costs) {
+    HostThreads =
+        this->Opts.HostThreads > 1 ? this->Opts.HostThreads : 1;
+    NumTransSlots = Prog.NumTransSlots;
+    if (this->Opts.Observer) {
+      Obs = this->Opts.Observer;
+    } else if (this->Opts.CollectMetrics) {
+      OwnedObs = std::make_unique<obs::Recorder>();
+      Obs = OwnedObs.get();
+    }
+    if (Obs && this->Opts.CollectMetrics)
+      Obs->enableMetrics();
+    ArgChecksWarn = this->Opts.ArgChecksWarnOnly;
+  }
+
+  /// Registers a freshly allocated array (and its address ranges) with
+  /// the recorder so slow-path events attribute to it by name.
+  void noteArrayAlloc(const std::string &Name,
+                      const ArrayInstance &Inst) {
+    if (!Obs)
+      return;
+    const dist::ArrayLayout &L = Inst.Layout;
+    bool Dist = L.spec().anyDistributed();
+    const char *Kind =
+        L.isReshaped() ? "reshaped" : Dist ? "regular" : "flat";
+    int64_t Cells = Dist ? L.grid().totalCells() : 1;
+    int Id = Obs->registerArray(Name, Kind, Dist ? L.spec().str() : "",
+                                L.totalBytes(), Cells);
+    if (Inst.isReshaped()) {
+      Obs->addArrayRange(Id, Inst.ProcArrayBase,
+                         static_cast<uint64_t>(Cells) * 8);
+      for (uint64_t Base : Inst.PortionBases)
+        Obs->addArrayRange(Id, Base, L.portionBytes());
+    } else {
+      Obs->addArrayRange(Id, Inst.Base, L.totalBytes());
+    }
+  }
+
+  /// Builds and emits the epoch_end record (Perf mode, Obs attached).
+  void emitEpochEnd(unsigned Id, int64_t Cells, obs::ScheduleKind K,
+                    uint64_t Start, uint64_t Wall, uint64_t MaxProc,
+                    uint64_t Barrier, const numa::Counters &Before) {
+    obs::EpochEndEvent E;
+    E.Epoch = Id;
+    E.Cells = Cells;
+    E.Schedule = K;
+    E.StartCycle = Start;
+    E.WallCycles = Wall;
+    E.MaxProcCycles = MaxProc;
+    E.BarrierCycles = Barrier;
+    E.Delta = Mem.counters() - Before;
+    for (int N = 0; N < Mem.config().NumNodes; ++N) {
+      uint64_t R = Mem.epochNodeRequests(N);
+      if (R > E.BusiestNodeRequests) {
+        E.BusiestNodeRequests = R;
+        E.BusiestNode = N;
+      }
+    }
+    Obs->epochEnd(E);
+  }
+
+  bool isCommonScalar(const ScalarSymbol *S) const {
+    return !Prog.CommonScalarSlots.empty() &&
+           Prog.CommonScalarSlots.find(S) != Prog.CommonScalarSlots.end();
+  }
+
+  //===-- Frames ------------------------------------------------------===//
+
+  struct Frame {
+    const Procedure *Proc = nullptr;
+    std::vector<Value> Scalars;
+    std::vector<ArrayInstance *> Arrays;
+  };
+
+  //===-- Execution context -------------------------------------------===//
+  //
+  // All state one interpreter needs: the main context lives for the
+  // whole run; worker contexts live for one recorded cell.
+
+  struct Ctx {
+    Impl &S;
+
+    std::vector<std::unique_ptr<Frame>> FrameStack;
+    Frame *Cur = nullptr;
+    int CurProc = 0;
+    uint64_t Clock = 0;
+    unsigned Depth = 0;
+    bool Failed = false;
+    Error Fail;
+    uint64_t TimerStart = 0;
+    bool TimerRunning = false;
+
+    /// Phase-1 recording mode (worker contexts only): memAccess
+    /// appends to Trace instead of touching the memory system, and
+    /// mutations of shared engine state are forbidden.
+    bool Recording = false;
+    std::vector<uint64_t> Trace; ///< (Addr | IsWrite) words; Addr 8-aligned.
+    /// Root-frame scalar slots this cell wrote (merged by cell order).
+    std::vector<uint8_t> RootWritten;
+    /// Views created while recording; spliced into S.OwnedInstances at
+    /// the barrier.
+    std::vector<std::unique_ptr<ArrayInstance>> LocalOwned;
+    std::vector<std::unique_ptr<ArrayInstance>> *OwnedSink;
+
+    /// Addressing-translation cache (paper Section 7 in simulator
+    /// form): remembers the per-dimension owner/local decomposition of
+    /// the last index vector a reshaped reference translated, so the
+    /// common +1-in-one-dimension step needs no div/mod.  Simulated
+    /// cycle charges are unchanged; this only removes host work.
+    struct TransEntry {
+      const ArrayInstance *Inst = nullptr;
+      uint64_t Gen = ~0ull;
+      int64_t Idx[8];
+      int64_t Owner[8];
+      int64_t Local[8];
+      int64_t Cell = 0;
+      int64_t LocalLinear = 0;
+    };
+    std::vector<TransEntry> TransCache;
+
+    /// Direct-mapped functional-page pointer cache over the (locked)
+    /// MemorySystem::funcPageData lookup.
+    struct PageSlot {
+      uint64_t VPage = ~0ull;
+      uint8_t *Data = nullptr;
+    };
+    std::array<PageSlot, 64> PageCache;
+    const uint64_t PageBytes;
+
+    explicit Ctx(Impl &S)
+        : S(S), OwnedSink(&S.OwnedInstances), PageBytes(S.Mem.pageSize()) {
+      TransCache.resize(static_cast<size_t>(S.NumTransSlots));
+    }
+
+    //===-- Helpers --------------------------------------------------===//
+
+    void fail(const std::string &Message, int Line = 0) {
+      if (Failed)
+        return;
+      Failed = true;
+      Fail.addError(Message, Line ? Cur->Proc->Name : "", Line);
+    }
+
+    void charge(uint64_t Cycles) {
+      if (S.Opts.Perf)
+        Clock += Cycles;
+    }
+
+    /// A simulated memory access: charged in Perf mode only.  While
+    /// recording, the access is queued for the phase-2 replay instead.
+    void memAccess(uint64_t Addr, bool IsWrite) {
+      if (!S.Opts.Perf)
+        return;
+      if (Recording) {
+        assert((Addr & 7) == 0 && "engine accesses are 8-aligned");
+        Trace.push_back(Addr | (IsWrite ? 1u : 0u));
+        return;
+      }
+      Clock += S.Mem.access(CurProc, Addr, 8, IsWrite);
+    }
+
+    uint64_t barrierCost(int64_t Procs) const {
+      unsigned Levels =
+          Procs <= 1 ? 0
+                     : std::bit_width(static_cast<uint64_t>(Procs - 1));
+      return S.Costs.BarrierBase + S.Costs.BarrierPerLevel * Levels;
+    }
+
+    /// Functional-data pointer for \p Addr through the page cache.
+    uint8_t *funcData(uint64_t Addr) {
+      uint64_t VPage = Addr / PageBytes;
+      PageSlot &P = PageCache[VPage & (PageCache.size() - 1)];
+      if (P.VPage != VPage) {
+        P.Data = S.Mem.funcPageData(VPage);
+        P.VPage = VPage;
+      }
+      return P.Data + Addr % PageBytes;
+    }
+
+    //===-- Scalars --------------------------------------------------===//
+
+    Value getScalar(const ScalarSymbol *Sym) {
+      if (!S.Prog.CommonScalarSlots.empty()) {
+        auto It = S.Prog.CommonScalarSlots.find(Sym);
+        if (It != S.Prog.CommonScalarSlots.end()) {
+          // find() not operator[]: common values are read concurrently
+          // during epochs and must not be default-inserted.
+          auto VIt = S.CommonScalarValues.find(It->second);
+          return VIt == S.CommonScalarValues.end() ? Value()
+                                                   : VIt->second;
+        }
+      }
+      assert(Sym->SlotIndex >= 0 && "scalar not slotted");
+      return Cur->Scalars[static_cast<size_t>(Sym->SlotIndex)];
+    }
+
+    void setScalar(const ScalarSymbol *Sym, Value V) {
+      if (!S.Prog.CommonScalarSlots.empty()) {
+        auto It = S.Prog.CommonScalarSlots.find(Sym);
+        if (It != S.Prog.CommonScalarSlots.end()) {
+          if (Recording) {
+            fail("internal: COMMON scalar '" + Sym->Name +
+                 "' written inside a threaded epoch");
+            return;
+          }
+          S.CommonScalarValues[It->second] = V;
+          return;
+        }
+      }
+      assert(Sym->SlotIndex >= 0 && "scalar not slotted");
+      Cur->Scalars[static_cast<size_t>(Sym->SlotIndex)] = V;
+      if (Recording && Cur == FrameStack.front().get())
+        RootWritten[static_cast<size_t>(Sym->SlotIndex)] = 1;
+    }
+
+    //===-- Arrays ---------------------------------------------------===//
+
+    static dist::DistSpec specOf(const ArraySymbol *A) {
+      if (A->HasDist)
+        return A->Dist;
+      dist::DistSpec Spec;
+      Spec.Dims.resize(A->rank());
+      return Spec;
+    }
+
+    ArrayInstance *makeLinearView(uint64_t Base,
+                                  std::vector<int64_t> Dims) {
+      dist::DistSpec Spec;
+      Spec.Dims.resize(Dims.size());
+      auto Inst = std::make_unique<ArrayInstance>();
+      Inst->Layout = dist::ArrayLayout::make(Spec, std::move(Dims), 1);
+      Inst->Base = Base;
+      Inst->IsView = true;
+      OwnedSink->push_back(std::move(Inst));
+      return OwnedSink->back().get();
+    }
+
+    /// Evaluates an array's declared extents in the current frame.
+    bool evalDims(const ArraySymbol *A, std::vector<int64_t> &Dims) {
+      Dims.clear();
+      for (const ExprPtr &D : A->DimSizes) {
+        Value V = evalExpr(*D);
+        if (Failed)
+          return false;
+        if (V.I < 1) {
+          fail("array '" + A->Name + "' has nonpositive extent " +
+               std::to_string(V.I));
+          return false;
+        }
+        Dims.push_back(V.I);
+      }
+      return true;
+    }
+
+    ArrayInstance *arrayInstance(const ArraySymbol *A) {
+      assert(A->SlotIndex >= 0 && "array not slotted");
+      ArrayInstance *&Slot =
+          Cur->Arrays[static_cast<size_t>(A->SlotIndex)];
+      if (Slot)
+        return Slot;
+      switch (A->Storage) {
+      case StorageClass::Formal:
+        fail("formal array '" + A->Name + "' used without a binding");
+        return nullptr;
+      case StorageClass::Common: {
+        auto SlotIt = S.Prog.CommonArraySlots.find(A);
+        if (SlotIt == S.Prog.CommonArraySlots.end()) {
+          fail("common array '" + A->Name + "' has no slot");
+          return nullptr;
+        }
+        auto InstIt = S.CommonArrayInstances.find(SlotIt->second);
+        assert(InstIt != S.CommonArrayInstances.end() &&
+               "common instance not created at startup");
+        Slot = InstIt->second;
+        return Slot;
+      }
+      case StorageClass::Local: {
+        // EQUIVALENCE: share the target's storage.
+        if (A->EquivalencedTo) {
+          ArrayInstance *Target = arrayInstance(A->EquivalencedTo);
+          if (!Target)
+            return nullptr;
+          Slot = Target;
+          return Slot;
+        }
+        auto StaticIt = S.StaticLocals.find(A);
+        if (StaticIt != S.StaticLocals.end()) {
+          Slot = StaticIt->second;
+          return Slot;
+        }
+        if (Recording) {
+          // Epoch eligibility should have sent this epoch down the
+          // serial path; never allocate concurrently.
+          fail("internal: array '" + A->Name +
+               "' allocated inside a threaded epoch");
+          return nullptr;
+        }
+        std::vector<int64_t> Dims;
+        if (!evalDims(A, Dims))
+          return nullptr;
+        dist::ArrayLayout Layout =
+            dist::ArrayLayout::make(specOf(A), Dims, S.Rt.numProcs());
+        auto Inst = std::make_unique<ArrayInstance>(
+            S.Rt.allocate(Layout, &S.RunDiags));
+        S.OwnedInstances.push_back(std::move(Inst));
+        Slot = S.OwnedInstances.back().get();
+        S.noteArrayAlloc(A->Name, *Slot);
+        // Constant-shaped locals are allocated once (Fortran-77 static
+        // storage); adjustable ones are re-created per activation.
+        bool AllConst = true;
+        for (const ExprPtr &D : A->DimSizes) {
+          int64_t V;
+          AllConst &= constEvalInt(*D, V);
+        }
+        if (AllConst)
+          S.StaticLocals[A] = Slot;
+        return Slot;
+      }
+      }
+      return nullptr;
+    }
+
+    //===-- Expression evaluation ------------------------------------===//
+
+    uint64_t opCost(BinOp Op, ScalarType OperandType) const {
+      switch (Op) {
+      case BinOp::FDiv:
+      case BinOp::IDivFp:
+      case BinOp::IModFp:
+        return S.Costs.FpDiv;
+      case BinOp::IDiv:
+      case BinOp::IMod:
+        return S.Costs.IntDiv;
+      default:
+        return OperandType == ScalarType::F64 ? S.Costs.FpOp
+                                              : S.Costs.IntOp;
+      }
+    }
+
+    Value evalExpr(const Expr &E) {
+      if (Failed)
+        return Value();
+      switch (E.Kind) {
+      case ExprKind::IntLit:
+        return Value::ofInt(E.IntVal);
+      case ExprKind::FpLit:
+        return Value::ofFp(E.FpVal);
+      case ExprKind::ScalarUse:
+        return getScalar(E.Scalar);
+      case ExprKind::Neg: {
+        Value V = evalExpr(*E.Ops[0]);
+        charge(E.Type == ScalarType::F64 ? S.Costs.FpOp : S.Costs.IntOp);
+        return E.Type == ScalarType::F64 ? Value::ofFp(-V.F)
+                                         : Value::ofInt(-V.I);
+      }
+      case ExprKind::Bin:
+        return evalBin(E);
+      case ExprKind::Intrinsic:
+        return evalIntrinsic(E);
+      case ExprKind::ArrayElem:
+        return accessElement(E, /*Store=*/nullptr);
+      case ExprKind::PortionElem:
+        return accessPortionElem(E, /*Store=*/nullptr);
+      case ExprKind::PortionPtr:
+        return evalPortionPtr(E);
+      case ExprKind::DistQuery:
+        return evalDistQuery(E);
+      }
+      return Value();
+    }
+
+    Value evalBin(const Expr &E) {
+      Value L = evalExpr(*E.Ops[0]);
+      Value R = evalExpr(*E.Ops[1]);
+      if (Failed)
+        return Value();
+      ScalarType OpType = E.Ops[0]->Type;
+      charge(opCost(E.Op, OpType));
+      bool Fp = OpType == ScalarType::F64;
+      switch (E.Op) {
+      case BinOp::Add:
+        return Fp ? Value::ofFp(L.F + R.F) : Value::ofInt(L.I + R.I);
+      case BinOp::Sub:
+        return Fp ? Value::ofFp(L.F - R.F) : Value::ofInt(L.I - R.I);
+      case BinOp::Mul:
+        return Fp ? Value::ofFp(L.F * R.F) : Value::ofInt(L.I * R.I);
+      case BinOp::FDiv:
+        return Value::ofFp(L.F / R.F);
+      case BinOp::IDiv:
+      case BinOp::IDivFp:
+        if (R.I == 0) {
+          fail("integer division by zero");
+          return Value();
+        }
+        return Value::ofInt(L.I / R.I);
+      case BinOp::IMod:
+      case BinOp::IModFp:
+        if (R.I == 0) {
+          fail("integer modulo by zero");
+          return Value();
+        }
+        return Value::ofInt(L.I % R.I);
+      case BinOp::Min:
+        return Fp ? Value::ofFp(L.F < R.F ? L.F : R.F)
+                  : Value::ofInt(L.I < R.I ? L.I : R.I);
+      case BinOp::Max:
+        return Fp ? Value::ofFp(L.F > R.F ? L.F : R.F)
+                  : Value::ofInt(L.I > R.I ? L.I : R.I);
+      case BinOp::CmpLt:
+        return Value::ofInt(Fp ? L.F < R.F : L.I < R.I);
+      case BinOp::CmpLe:
+        return Value::ofInt(Fp ? L.F <= R.F : L.I <= R.I);
+      case BinOp::CmpGt:
+        return Value::ofInt(Fp ? L.F > R.F : L.I > R.I);
+      case BinOp::CmpGe:
+        return Value::ofInt(Fp ? L.F >= R.F : L.I >= R.I);
+      case BinOp::CmpEq:
+        return Value::ofInt(Fp ? L.F == R.F : L.I == R.I);
+      case BinOp::CmpNe:
+        return Value::ofInt(Fp ? L.F != R.F : L.I != R.I);
+      case BinOp::LogAnd:
+        return Value::ofInt((L.I != 0) && (R.I != 0));
+      case BinOp::LogOr:
+        return Value::ofInt((L.I != 0) || (R.I != 0));
+      }
+      return Value();
+    }
+
+    Value evalIntrinsic(const Expr &E) {
+      Value V = evalExpr(*E.Ops[0]);
+      if (Failed)
+        return Value();
+      switch (E.Intr) {
+      case IntrinsicKind::Sqrt:
+        charge(2 * S.Costs.FpDiv);
+        if (V.F < 0) {
+          fail("sqrt of negative value");
+          return Value();
+        }
+        return Value::ofFp(std::sqrt(V.F));
+      case IntrinsicKind::Abs:
+        charge(E.Type == ScalarType::F64 ? S.Costs.FpOp : S.Costs.IntOp);
+        return E.Type == ScalarType::F64 ? Value::ofFp(std::fabs(V.F))
+                                         : Value::ofInt(std::abs(V.I));
+      case IntrinsicKind::ToF64:
+        charge(S.Costs.FpOp);
+        return Value::ofFp(static_cast<double>(V.I));
+      case IntrinsicKind::ToI64:
+        charge(S.Costs.FpOp);
+        return Value::ofInt(static_cast<int64_t>(V.F));
+      }
+      return Value();
+    }
+
+    Value evalDistQuery(const Expr &E) {
+      if (E.DQ == DistQueryKind::TotalProcs)
+        return Value::ofInt(S.Rt.numProcs());
+      ArrayInstance *Inst = arrayInstance(E.Array);
+      if (!Inst)
+        return Value();
+      const dist::ArrayLayout &L = Inst->Layout;
+      if (E.Dim >= L.rank()) {
+        fail("distribution query dimension out of range");
+        return Value();
+      }
+      const dist::DimMap &M = L.dimMap(E.Dim);
+      switch (E.DQ) {
+      case DistQueryKind::NumProcs:
+        return Value::ofInt(M.P);
+      case DistQueryKind::BlockSize:
+        return Value::ofInt(M.B);
+      case DistQueryKind::Chunk:
+        return Value::ofInt(M.K);
+      case DistQueryKind::DimSize:
+        return Value::ofInt(M.N);
+      case DistQueryKind::PortionExtent:
+        return Value::ofInt(L.portionExtent(E.Dim));
+      case DistQueryKind::TotalProcs:
+        break;
+      }
+      return Value();
+    }
+
+    /// Cell/local-offset translation of a reshaped reference through
+    /// the per-context cache.  Produces exactly cellOf(Idx) and
+    /// localLinearIndex(Idx); the cache only changes how much host
+    /// arithmetic re-derives them.
+    void translateReshaped(const Expr &E, const ArrayInstance *Inst,
+                           const dist::ArrayLayout &L, const int64_t *Idx,
+                           unsigned Rank, int64_t &Cell,
+                           int64_t &LocalLinear) {
+      TransEntry &T = TransCache[static_cast<size_t>(E.TransSlot)];
+      if (T.Inst != Inst || T.Gen != S.TransGeneration) {
+        T.Inst = Inst;
+        T.Gen = S.TransGeneration;
+        int64_t C = 0, LL = 0, GStride = 1, PStride = 1;
+        for (unsigned D = 0; D < Rank; ++D) {
+          T.Idx[D] = Idx[D];
+          T.Owner[D] = dist::ownerOf(L.dimMap(D), Idx[D]);
+          T.Local[D] = dist::localOf(L.dimMap(D), Idx[D]);
+          C += T.Owner[D] * GStride;
+          LL += T.Local[D] * PStride;
+          GStride *= L.grid().Extents[D];
+          PStride *= L.portionExtent(D);
+        }
+        T.Cell = C;
+        T.LocalLinear = LL;
+      } else {
+        int64_t GStride = 1, PStride = 1;
+        for (unsigned D = 0; D < Rank; ++D) {
+          if (Idx[D] != T.Idx[D]) {
+            int64_t O = T.Owner[D], Lo = T.Local[D];
+            if (Idx[D] == T.Idx[D] + 1) {
+              dist::stepOwnerLocal(L.dimMap(D), Idx[D], O, Lo);
+            } else {
+              O = dist::ownerOf(L.dimMap(D), Idx[D]);
+              Lo = dist::localOf(L.dimMap(D), Idx[D]);
+            }
+            T.Cell += (O - T.Owner[D]) * GStride;
+            T.LocalLinear += (Lo - T.Local[D]) * PStride;
+            T.Owner[D] = O;
+            T.Local[D] = Lo;
+            T.Idx[D] = Idx[D];
+          }
+          GStride *= L.grid().Extents[D];
+          PStride *= L.portionExtent(D);
+        }
+      }
+      Cell = T.Cell;
+      LocalLinear = T.LocalLinear;
+    }
+
+    /// High-level A(i1..ir): loads when Store is null, else stores *Store.
+    Value accessElement(const Expr &E, const Value *Store) {
+      ArrayInstance *Inst = arrayInstance(E.Array);
+      if (!Inst)
+        return Value();
+      const dist::ArrayLayout &L = Inst->Layout;
+      unsigned Rank = L.rank();
+      if (E.Ops.size() != Rank) {
+        fail("subscript count mismatch on '" + E.Array->Name + "'");
+        return Value();
+      }
+      int64_t Idx[8];
+      assert(Rank <= 8 && "rank limit");
+      for (unsigned D = 0; D < Rank; ++D) {
+        Idx[D] = evalExpr(*E.Ops[D]).I;
+        if (Failed)
+          return Value();
+        if (Idx[D] < 1 || Idx[D] > L.dimSizes()[D]) {
+          fail(formatString(
+              "subscript %u of '%s' out of bounds: %lld not in [1, %lld]",
+              D + 1, E.Array->Name.c_str(),
+              static_cast<long long>(Idx[D]),
+              static_cast<long long>(L.dimSizes()[D])));
+          return Value();
+        }
+      }
+
+      uint64_t Addr;
+      if (!Inst->isReshaped()) {
+        Addr = Inst->Base +
+               static_cast<uint64_t>(L.linearIndex(Idx)) * 8;
+        charge(S.Costs.IntOp * 2 * Rank); // Index arithmetic.
+      } else {
+        // Unlowered (naive) reshaped reference: a div and a mod per
+        // distributed dimension plus the indirect load (paper Table 1).
+        // The translation cache removes host div/mods; the simulated
+        // charges below are exactly the uncached ones.
+        int64_t Cell, Local;
+        if (E.TransSlot >= 0 &&
+            static_cast<size_t>(E.TransSlot) < TransCache.size()) {
+          translateReshaped(E, Inst, L, Idx, Rank, Cell, Local);
+        } else {
+          Cell = L.cellOf(Idx);
+          Local = L.localLinearIndex(Idx);
+        }
+        charge(S.Costs.IntDiv * 2 * L.spec().numDistributedDims());
+        charge(S.Costs.IntOp * 2 * Rank);
+        memAccess(Inst->ProcArrayBase + static_cast<uint64_t>(Cell) * 8,
+                  /*IsWrite=*/false);
+        Addr = Inst->PortionBases[static_cast<size_t>(Cell)] +
+               static_cast<uint64_t>(Local) * 8;
+      }
+      return finishAccess(E, Addr, Store);
+    }
+
+    /// Lowered reshaped reference A[cell][local] (paper Table 1); the
+    /// two children are the pre-linearized cell and local-offset
+    /// expressions.
+    Value accessPortionElem(const Expr &E, const Value *Store) {
+      ArrayInstance *Inst = arrayInstance(E.Array);
+      if (!Inst)
+        return Value();
+      assert(E.Ops.size() == 2 && "PortionElem has cell + local children");
+      uint64_t Base;
+      if (E.Scalar) {
+        // Hoisted portion base (Section 7.2): no indirect load here.
+        Base = static_cast<uint64_t>(getScalar(E.Scalar).I);
+      } else {
+        Value Cell = evalExpr(*E.Ops[0]);
+        if (Failed)
+          return Value();
+        if (Cell.I < 0 ||
+            Cell.I >= Inst->Layout.grid().totalCells()) {
+          fail(formatString("processor-array index %lld out of range on "
+                            "'%s'",
+                            static_cast<long long>(Cell.I),
+                            E.Array->Name.c_str()));
+          return Value();
+        }
+        memAccess(Inst->ProcArrayBase + static_cast<uint64_t>(Cell.I) * 8,
+                  /*IsWrite=*/false);
+        Base = Inst->PortionBases[static_cast<size_t>(Cell.I)];
+      }
+      Value Local = evalExpr(*E.Ops[1]);
+      if (Failed)
+        return Value();
+      if (Local.I < 0 || Local.I >= Inst->Layout.portionElems()) {
+        fail(formatString("portion offset %lld out of range on '%s'",
+                          static_cast<long long>(Local.I),
+                          E.Array->Name.c_str()));
+        return Value();
+      }
+      charge(S.Costs.IntOp * 2); // base + 8*local.
+      uint64_t Addr = Base + static_cast<uint64_t>(Local.I) * 8;
+      return finishAccess(E, Addr, Store);
+    }
+
+    Value evalPortionPtr(const Expr &E) {
+      ArrayInstance *Inst = arrayInstance(E.Array);
+      if (!Inst)
+        return Value();
+      Value Cell = evalExpr(*E.Ops[0]);
+      if (Failed)
+        return Value();
+      if (Cell.I < 0 || Cell.I >= Inst->Layout.grid().totalCells()) {
+        fail("processor-array index out of range on '" + E.Array->Name +
+             "'");
+        return Value();
+      }
+      charge(S.Costs.IntOp * 2);
+      memAccess(Inst->ProcArrayBase + static_cast<uint64_t>(Cell.I) * 8,
+                /*IsWrite=*/false);
+      return Value::ofInt(static_cast<int64_t>(
+          Inst->PortionBases[static_cast<size_t>(Cell.I)]));
+    }
+
+    Value finishAccess(const Expr &E, uint64_t Addr, const Value *Store) {
+      memAccess(Addr, Store != nullptr);
+      uint8_t *Data = funcData(Addr);
+      if (Store) {
+        if (E.Type == ScalarType::F64)
+          std::memcpy(Data, &Store->F, 8);
+        else
+          std::memcpy(Data, &Store->I, 8);
+        return *Store;
+      }
+      Value V;
+      if (E.Type == ScalarType::F64)
+        std::memcpy(&V.F, Data, 8);
+      else
+        std::memcpy(&V.I, Data, 8);
+      return V;
+    }
+
+    //===-- Statements -----------------------------------------------===//
+
+    void execBlock(const Block &B) {
+      for (const StmtPtr &St : B) {
+        if (Failed)
+          return;
+        execStmt(*St);
+      }
+    }
+
+    //===-- Bytecode dispatch (exec/bytecode/Vm.cpp) -----------------===//
+    //
+    // The engine's two unit entry points.  They run the unit's
+    // compiled code when the bytecode engine is on (S.BC) and the
+    // unit compiled, and fall back to the tree-walking execBlock
+    // otherwise; both paths are bit-identical.
+
+    void execBody(const Procedure *P);
+    void execEpochBody(const Stmt &St);
+    void execCode(const bc::Code &Code);
+
+    void execStmt(const Stmt &St) {
+      switch (St.Kind) {
+      case StmtKind::Assign: {
+        Value V = evalExpr(*St.Rhs);
+        if (Failed)
+          return;
+        switch (St.Lhs->Kind) {
+        case ExprKind::ScalarUse:
+          setScalar(St.Lhs->Scalar, V);
+          return;
+        case ExprKind::ArrayElem:
+          accessElement(*St.Lhs, &V);
+          return;
+        case ExprKind::PortionElem:
+          accessPortionElem(*St.Lhs, &V);
+          return;
+        default:
+          fail("invalid assignment target");
+          return;
+        }
+      }
+      case StmtKind::Do:
+        return execDo(St);
+      case StmtKind::ParallelDo:
+        return execParallelDo(St);
+      case StmtKind::If: {
+        Value C = evalExpr(*St.Cond);
+        if (Failed)
+          return;
+        charge(S.Costs.IntOp);
+        execBlock(C.I != 0 ? St.Then : St.Else);
+        return;
+      }
+      case StmtKind::Call:
+        return execCall(St);
+      case StmtKind::Redistribute: {
+        if (Recording) {
+          fail("internal: redistribute inside a threaded epoch");
+          return;
+        }
+        ArrayInstance *Inst = arrayInstance(St.RedistArray);
+        if (!Inst)
+          return;
+        if (Inst->IsView) {
+          fail("cannot redistribute an array view");
+          return;
+        }
+        uint64_t AtCycle = Clock;
+        runtime::RedistributeResult RR =
+            S.Rt.redistribute(*Inst, St.RedistSpec);
+        charge(RR.Cycles);
+        S.Result.RedistributeCycles += RR.Cycles;
+        ++S.TransGeneration; // Layouts changed under cached entries.
+        if (RR.PagesFailed)
+          S.RunDiags.addWarning(formatString(
+              "redistribute of '%s' was partial: %llu page(s) kept "
+              "their old home after %llu retries",
+              St.RedistArray->Name.c_str(),
+              static_cast<unsigned long long>(RR.PagesFailed),
+              static_cast<unsigned long long>(RR.Retries)));
+        if (S.Obs) {
+          obs::RedistributeEvent E;
+          E.Array = St.RedistArray->Name;
+          E.NewDist = St.RedistSpec.str();
+          E.Cycles = RR.Cycles;
+          E.PagesMoved = RR.PagesMoved;
+          E.AtCycle = AtCycle;
+          E.Retries = RR.Retries;
+          E.PagesFailed = RR.PagesFailed;
+          S.Obs->redistribute(E);
+        }
+        return;
+      }
+      }
+    }
+
+    void execDo(const Stmt &St) {
+      Value Lb = evalExpr(*St.Lb);
+      Value Ub = evalExpr(*St.Ub);
+      Value Step = evalExpr(*St.Step);
+      if (Failed)
+        return;
+      if (Step.I == 0) {
+        fail("DO loop with zero step", St.SourceLine);
+        return;
+      }
+      for (int64_t I = Lb.I; Step.I > 0 ? I <= Ub.I : I >= Ub.I;
+           I += Step.I) {
+        setScalar(St.IndVar, Value::ofInt(I));
+        charge(2 * S.Costs.IntOp); // Increment + branch.
+        execBlock(St.Body);
+        if (Failed)
+          return;
+      }
+    }
+
+    void execParallelDo(const Stmt &St) {
+      if (Recording) {
+        fail("internal: nested parallel region in a threaded epoch");
+        return;
+      }
+      ++S.Result.ParallelRegions;
+      unsigned NumVars = static_cast<unsigned>(St.ProcVars.size());
+      int64_t Extents[4];
+      int64_t Cells = 1;
+      assert(NumVars >= 1 && NumVars <= 4 && "grid rank limit");
+      for (unsigned D = 0; D < NumVars; ++D) {
+        Extents[D] = evalExpr(*St.ProcExtents[D]).I;
+        if (Failed)
+          return;
+        if (Extents[D] < 1) {
+          fail("parallel region with nonpositive processor extent");
+          return;
+        }
+        Cells *= Extents[D];
+      }
+      if (Cells > S.Rt.numProcs()) {
+        fail(formatString("parallel region needs %lld processors but the "
+                          "run has %d",
+                          static_cast<long long>(Cells), S.Rt.numProcs()));
+        return;
+      }
+
+      int SavedProc = CurProc;
+      uint64_t Start = Clock;
+      if (S.HostThreads > 1 && Cells > 1 && S.epochEligible(St, *this)) {
+        execEpochThreaded(St, Extents, NumVars, Cells, SavedProc, Start);
+        return;
+      }
+
+      uint64_t MaxClock = Start;
+      unsigned EpochId = S.Result.ParallelRegions;
+      numa::Counters ObsBefore;
+      if (S.Opts.Perf) {
+        S.Mem.beginEpoch();
+        if (S.Obs) {
+          ObsBefore = S.Mem.counters();
+          S.Obs->epochBegin({EpochId, Cells, obs::ScheduleKind::Serial,
+                             Start});
+        }
+      }
+      for (int64_t Cell = 0; Cell < Cells; ++Cell) {
+        CurProc = static_cast<int>(Cell);
+        Clock = Start;
+        int64_t Rest = Cell;
+        for (unsigned D = 0; D < NumVars; ++D) {
+          setScalar(St.ProcVars[D], Value::ofInt(Rest % Extents[D]));
+          Rest /= Extents[D];
+        }
+        execEpochBody(St);
+        if (Failed)
+          return;
+        if (Clock > MaxClock)
+          MaxClock = Clock;
+      }
+      CurProc = SavedProc;
+      if (S.Opts.Perf) {
+        uint64_t Wall = S.Mem.epochWallTime(MaxClock - Start);
+        Clock = Start + Wall + barrierCost(Cells);
+        if (S.Obs)
+          S.emitEpochEnd(EpochId, Cells, obs::ScheduleKind::Serial,
+                         Start, Wall, MaxClock - Start,
+                         barrierCost(Cells), ObsBefore);
+      }
+    }
+
+    /// Record+replay execution of one eligible epoch on the host pool.
+    void execEpochThreaded(const Stmt &St, const int64_t *Extents,
+                           unsigned NumVars, int64_t Cells, int SavedProc,
+                           uint64_t Start) {
+      if (!S.Pool)
+        S.Pool = std::make_unique<support::ThreadPool>(
+            static_cast<unsigned>(S.HostThreads));
+
+      // Phase 1: run every cell functionally in parallel, recording.
+      std::vector<std::unique_ptr<Ctx>> CellCtxs(
+          static_cast<size_t>(Cells));
+      const Frame &Root = *Cur;
+      unsigned RootDepth = Depth;
+      S.Pool->parallelFor(Cells, [&](int64_t Cell) {
+        auto C = std::make_unique<Ctx>(S);
+        C->Recording = true;
+        C->OwnedSink = &C->LocalOwned;
+        C->CurProc = static_cast<int>(Cell);
+        C->Clock = Start;
+        C->Depth = RootDepth;
+        C->FrameStack.push_back(std::make_unique<Frame>(Root));
+        C->Cur = C->FrameStack.back().get();
+        C->RootWritten.assign(Root.Scalars.size(), 0);
+        int64_t Rest = Cell;
+        for (unsigned D = 0; D < NumVars; ++D) {
+          C->setScalar(St.ProcVars[D], Value::ofInt(Rest % Extents[D]));
+          Rest /= Extents[D];
+        }
+        C->execEpochBody(St);
+        CellCtxs[static_cast<size_t>(Cell)] = std::move(C);
+      });
+
+      // The serial loop stops at the first failing cell; the lowest
+      // failing cell carries the same diagnostics it would have raised.
+      for (auto &C : CellCtxs)
+        if (C->Failed) {
+          Failed = true;
+          Fail.take(std::move(C->Fail));
+          CurProc = SavedProc;
+          return;
+        }
+
+      // Deterministic merge in ascending cell order: for every root
+      // scalar the highest-numbered writing cell wins, exactly as the
+      // serial loop's last writer.
+      for (auto &C : CellCtxs) {
+        const Frame &F = *C->FrameStack.front();
+        for (size_t Slot = 0; Slot < C->RootWritten.size(); ++Slot)
+          if (C->RootWritten[Slot])
+            Cur->Scalars[Slot] = F.Scalars[Slot];
+        for (auto &Inst : C->LocalOwned)
+          S.OwnedInstances.push_back(std::move(Inst));
+      }
+
+      // Phase 2: replay the access streams serially in cell order --
+      // the exact global sequence the serial engine would have issued.
+      if (S.Opts.Perf) {
+        S.Mem.beginEpoch();
+        unsigned EpochId = S.Result.ParallelRegions;
+        numa::Counters ObsBefore;
+        if (S.Obs) {
+          ObsBefore = S.Mem.counters();
+          S.Obs->epochBegin({EpochId, Cells,
+                             obs::ScheduleKind::Threaded, Start});
+        }
+        uint64_t MaxClock = Start;
+        for (int64_t Cell = 0; Cell < Cells; ++Cell) {
+          Ctx &C = *CellCtxs[static_cast<size_t>(Cell)];
+          uint64_t CellClock = C.Clock; // Start + operation cycles.
+          for (uint64_t T : C.Trace)
+            CellClock += S.Mem.access(static_cast<int>(Cell), T & ~1ull,
+                                      8, (T & 1) != 0);
+          if (CellClock > MaxClock)
+            MaxClock = CellClock;
+        }
+        uint64_t Wall = S.Mem.epochWallTime(MaxClock - Start);
+        Clock = Start + Wall + barrierCost(Cells);
+        if (S.Obs)
+          S.emitEpochEnd(EpochId, Cells, obs::ScheduleKind::Threaded,
+                         Start, Wall, MaxClock - Start,
+                         barrierCost(Cells), ObsBefore);
+      }
+      CurProc = SavedProc;
+      ++S.Result.ThreadedEpochs;
+    }
+
+    //===-- Calls ----------------------------------------------------===//
+
+    void execCall(const Stmt &St) {
+      // Runtime-library calls (not user procedures).
+      if (St.Callee == "dsm_timer_start") {
+        if (Recording) {
+          fail("internal: timer started inside a threaded epoch");
+          return;
+        }
+        if (TimerRunning) {
+          fail("dsm_timer_start while the timer is already running",
+               St.SourceLine);
+          return;
+        }
+        TimerRunning = true;
+        TimerStart = Clock;
+        return;
+      }
+      if (St.Callee == "dsm_timer_stop") {
+        if (Recording) {
+          fail("internal: timer stopped inside a threaded epoch");
+          return;
+        }
+        if (!TimerRunning) {
+          fail("dsm_timer_stop without dsm_timer_start", St.SourceLine);
+          return;
+        }
+        TimerRunning = false;
+        S.Result.TimedCycles += Clock - TimerStart;
+        return;
+      }
+      const Procedure *Callee = S.Prog.findProcedure(St.Callee);
+      if (!Callee) {
+        fail("call to unknown procedure '" + St.Callee + "'",
+             St.SourceLine);
+        return;
+      }
+      if (Depth + 1 > S.Opts.MaxCallDepth) {
+        fail("maximum call depth exceeded calling '" + St.Callee + "'",
+             St.SourceLine);
+        return;
+      }
+      if (St.Args.size() != Callee->Formals.size()) {
+        fail(formatString("'%s' called with %zu arguments, takes %zu",
+                          Callee->Name.c_str(), St.Args.size(),
+                          Callee->Formals.size()),
+             St.SourceLine);
+        return;
+      }
+      charge(S.Costs.CallOverhead);
+
+      // Evaluate actuals in the caller's frame.
+      struct ArgBind {
+        bool IsArray = false;
+        Value V;                       // Scalars.
+        ArrayInstance *Inst = nullptr; // Whole arrays.
+        bool IsElement = false;
+        uint64_t ElemAddr = 0;
+        uint64_t CheckKey = 0; // Address registered for runtime checks.
+        bool Registered = false;
+      };
+      std::vector<ArgBind> Binds(St.Args.size());
+      for (size_t I = 0; I < St.Args.size(); ++I) {
+        const Expr &Arg = *St.Args[I];
+        const FormalParam &Formal = Callee->Formals[I];
+        ArgBind &B = Binds[I];
+        if (Formal.Scalar) {
+          B.V = evalExpr(Arg);
+          if (Failed)
+            return;
+          // Fortran-style implicit conversion at the call boundary.
+          if (Formal.Scalar->Type == ScalarType::F64 &&
+              Arg.Type == ScalarType::I64)
+            B.V = Value::ofFp(static_cast<double>(B.V.I));
+          if (Formal.Scalar->Type == ScalarType::I64 &&
+              Arg.Type == ScalarType::F64)
+            B.V = Value::ofInt(static_cast<int64_t>(B.V.F));
+          continue;
+        }
+        // Array formal.
+        if (Arg.Kind != ExprKind::ArrayElem) {
+          fail(formatString("argument %zu of '%s' must be an array",
+                            I + 1, Callee->Name.c_str()),
+               St.SourceLine);
+          return;
+        }
+        B.IsArray = true;
+        ArrayInstance *ActInst = arrayInstance(Arg.Array);
+        if (!ActInst)
+          return;
+        if (Arg.Ops.empty()) {
+          // Whole-array argument.
+          B.Inst = ActInst;
+          B.CheckKey = ActInst->isReshaped() ? ActInst->ProcArrayBase
+                                             : ActInst->Base;
+          if (S.Opts.RuntimeArgChecks && ActInst->isReshaped()) {
+            ArgInfo Info;
+            Info.WholeArray = true;
+            Info.Dims = ActInst->Layout.dimSizes();
+            Info.Dist = ActInst->Layout.spec();
+            S.ArgTable.registerArg(B.CheckKey, std::move(Info));
+            B.Registered = true;
+          }
+        } else {
+          // Element argument: the callee sees a plain array starting at
+          // this element's address (paper Section 3.2.1).
+          B.IsElement = true;
+          const dist::ArrayLayout &L = ActInst->Layout;
+          if (Arg.Ops.size() != L.rank()) {
+            fail("subscript count mismatch on '" + Arg.Array->Name + "'");
+            return;
+          }
+          int64_t Idx[8];
+          for (unsigned D = 0; D < L.rank(); ++D) {
+            Idx[D] = evalExpr(*Arg.Ops[D]).I;
+            if (Failed)
+              return;
+            if (Idx[D] < 1 || Idx[D] > L.dimSizes()[D]) {
+              fail("argument subscript out of bounds on '" +
+                   Arg.Array->Name + "'");
+              return;
+            }
+          }
+          B.ElemAddr = ActInst->addressOf(Idx);
+          B.CheckKey = B.ElemAddr;
+          if (S.Opts.RuntimeArgChecks && ActInst->isReshaped()) {
+            ArgInfo Info;
+            Info.WholeArray = false;
+            Info.PortionBytes =
+                static_cast<uint64_t>(L.contiguousRunElems(Idx)) * 8;
+            S.ArgTable.registerArg(B.CheckKey, std::move(Info));
+            B.Registered = true;
+          }
+        }
+      }
+
+      // Activate the callee frame.
+      auto NewFrame = std::make_unique<Frame>();
+      NewFrame->Proc = Callee;
+      NewFrame->Scalars.resize(Callee->Scalars.size());
+      NewFrame->Arrays.assign(Callee->Arrays.size(), nullptr);
+      Frame *Saved = Cur;
+      FrameStack.push_back(std::move(NewFrame));
+      Cur = FrameStack.back().get();
+      ++Depth;
+
+      // Initialize PARAMETER constants and bind scalar formals.
+      for (const auto &Sym : Callee->Scalars)
+        if (Sym->HasInit)
+          setScalar(Sym.get(), Sym->Type == ScalarType::F64
+                                   ? Value::ofFp(Sym->InitFp)
+                                   : Value::ofInt(Sym->InitInt));
+      for (size_t I = 0; I < St.Args.size(); ++I)
+        if (Callee->Formals[I].Scalar)
+          setScalar(Callee->Formals[I].Scalar, Binds[I].V);
+
+      // Bind array formals (views need the scalars bound first, since
+      // their declared extents may reference formal scalars).
+      for (size_t I = 0; I < St.Args.size() && !Failed; ++I) {
+        const FormalParam &Formal = Callee->Formals[I];
+        if (!Formal.Array)
+          continue;
+        const ArgBind &B = Binds[I];
+        ArrayInstance *Bound = nullptr;
+        std::vector<int64_t> FormalDims;
+        if (!evalDims(Formal.Array, FormalDims))
+          break;
+        if (B.IsElement) {
+          Bound = makeLinearView(B.ElemAddr, FormalDims);
+        } else {
+          Bound = B.Inst;
+          // Whole reshaped arrays must match the formal exactly; a
+          // mismatch here is a compile/link bug or a user error the
+          // runtime checks catch below.
+        }
+        Cur->Arrays[static_cast<size_t>(Formal.Array->SlotIndex)] = Bound;
+        if (S.Opts.RuntimeArgChecks) {
+          const dist::DistSpec *FormalDist =
+              Formal.Array->isReshaped() ? &Formal.Array->Dist : nullptr;
+          Error E = S.ArgTable.verifyFormal(B.CheckKey, FormalDims,
+                                            FormalDist, Callee->Name,
+                                            Formal.Array->Name);
+          if (E) {
+            if (S.ArgChecksWarn) {
+              // Warn mode: record the violation and keep running --
+              // the checks diagnose shape mismatches, they are not
+              // needed for memory safety in the simulator.
+              for (const Diagnostic &D : E.diagnostics())
+                S.RunDiags.addWarning(D.Message, D.File, D.Line);
+            } else {
+              Failed = true;
+              Fail.take(std::move(E));
+            }
+          }
+        }
+      }
+
+      if (!Failed)
+        execBody(Callee);
+
+      // Return: unregister checked arguments, pop the frame.
+      for (const ArgBind &B : Binds)
+        if (B.Registered)
+          S.ArgTable.unregisterArg(B.CheckKey);
+      --Depth;
+      FrameStack.pop_back();
+      Cur = Saved;
+      charge(S.Costs.CallOverhead);
+    }
+  };
+
+  Ctx Main{*this};
+
+  //===-- Epoch eligibility analysis ---------------------------------===//
+  //
+  // Static (memoized per statement / procedure): the transitive body
+  // must be free of constructs that mutate shared engine state, and no
+  // root-frame scalar may be read before it is written (the serial
+  // loop would leak the previous cell's value into such a read).
+  // Dynamic (cheap, per epoch entry): every array the body can touch
+  // must already be materialized, so no worker ever allocates.
+
+  struct ProcScan {
+    bool Ok = false;
+    std::vector<const Procedure *> Callees; ///< Transitive.
+    std::vector<const ArraySymbol *> Arrays; ///< Referenced in body.
+  };
+  std::unordered_map<const Procedure *, ProcScan> ProcMemo;
+  std::unordered_set<const Procedure *> ProcInProgress;
+
+  struct EpochInfo {
+    bool Eligible = false;
+    std::vector<const Procedure *> Callees;
+    std::vector<const ArraySymbol *> RootArrays;
+  };
+  std::unordered_map<const Stmt *, EpochInfo> EpochMemo;
+
+  /// Collects arrays referenced by \p E (procedure-level scan; no
+  /// hazard analysis -- callee frames are fresh per call).
+  static void noteProcExpr(const Expr &E,
+                           std::set<const ArraySymbol *> &Arrays) {
+    if (E.Array &&
+        (E.Kind == ExprKind::ArrayElem ||
+         E.Kind == ExprKind::PortionElem ||
+         E.Kind == ExprKind::PortionPtr ||
+         (E.Kind == ExprKind::DistQuery &&
+          E.DQ != DistQueryKind::TotalProcs)))
+      Arrays.insert(E.Array);
+    for (const ExprPtr &Op : E.Ops)
+      if (Op)
+        noteProcExpr(*Op, Arrays);
+  }
+
+  bool scanProcBlock(const Block &B, std::set<const Procedure *> &Callees,
+                     std::set<const ArraySymbol *> &Arrays) {
+    for (const StmtPtr &StPtr : B) {
+      const Stmt &St = *StPtr;
+      switch (St.Kind) {
+      case StmtKind::Assign:
+        if (St.Lhs->Kind == ExprKind::ScalarUse &&
+            isCommonScalar(St.Lhs->Scalar))
+          return false;
+        noteProcExpr(*St.Rhs, Arrays);
+        noteProcExpr(*St.Lhs, Arrays);
+        break;
+      case StmtKind::Do:
+        if (isCommonScalar(St.IndVar))
+          return false;
+        noteProcExpr(*St.Lb, Arrays);
+        noteProcExpr(*St.Ub, Arrays);
+        noteProcExpr(*St.Step, Arrays);
+        if (!scanProcBlock(St.Body, Callees, Arrays))
+          return false;
+        break;
+      case StmtKind::If:
+        noteProcExpr(*St.Cond, Arrays);
+        if (!scanProcBlock(St.Then, Callees, Arrays) ||
+            !scanProcBlock(St.Else, Callees, Arrays))
+          return false;
+        break;
+      case StmtKind::Call: {
+        if (isTimerCall(St.Callee))
+          return false;
+        const Procedure *Q = Prog.findProcedure(St.Callee);
+        if (!Q || !scanProcedure(Q))
+          return false;
+        for (const ExprPtr &Arg : St.Args)
+          noteProcExpr(*Arg, Arrays);
+        Callees.insert(Q);
+        const ProcScan &QS = ProcMemo[Q];
+        Callees.insert(QS.Callees.begin(), QS.Callees.end());
+        break;
+      }
+      case StmtKind::ParallelDo:
+      case StmtKind::Redistribute:
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// True when \p P can safely execute inside a threaded epoch (given
+  /// its constant-shaped locals are staged; that part is dynamic).
+  bool scanProcedure(const Procedure *P) {
+    auto It = ProcMemo.find(P);
+    if (It != ProcMemo.end())
+      return It->second.Ok;
+    if (!ProcInProgress.insert(P).second)
+      return false; // Recursion: stay on the serial path.
+    ProcScan PS;
+    PS.Ok = true;
+    // Adjustable locals are re-allocated per activation.
+    for (const auto &A : P->Arrays) {
+      if (A->Storage != StorageClass::Local || A->EquivalencedTo)
+        continue;
+      for (const ExprPtr &D : A->DimSizes) {
+        int64_t V;
+        if (!constEvalInt(*D, V)) {
+          PS.Ok = false;
+          break;
+        }
+      }
+      if (!PS.Ok)
+        break;
+    }
+    std::set<const Procedure *> Callees;
+    std::set<const ArraySymbol *> Arrays;
+    if (PS.Ok)
+      PS.Ok = scanProcBlock(P->Body, Callees, Arrays);
+    PS.Callees.assign(Callees.begin(), Callees.end());
+    PS.Arrays.assign(Arrays.begin(), Arrays.end());
+    ProcInProgress.erase(P);
+    return ProcMemo.emplace(P, std::move(PS)).first->second.Ok;
+  }
+
+  /// Pass 1 over the epoch body: every root-frame scalar it may write.
+  static void collectRootWrites(const Block &B,
+                                std::set<const ScalarSymbol *> &W) {
+    for (const StmtPtr &StPtr : B) {
+      const Stmt &St = *StPtr;
+      switch (St.Kind) {
+      case StmtKind::Assign:
+        if (St.Lhs->Kind == ExprKind::ScalarUse)
+          W.insert(St.Lhs->Scalar);
+        break;
+      case StmtKind::Do:
+        W.insert(St.IndVar);
+        collectRootWrites(St.Body, W);
+        break;
+      case StmtKind::If:
+        collectRootWrites(St.Then, W);
+        collectRootWrites(St.Else, W);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  /// Read check for pass 2: a read of a scalar the body writes later
+  /// (not yet definitely written here) would observe the previous
+  /// cell's value under the serial loop -- a carried dependency we
+  /// refuse to thread.  Also records referenced arrays.
+  bool checkReads(const Expr &E, const std::set<const ScalarSymbol *> &WA,
+                  const std::set<const ScalarSymbol *> &DW,
+                  std::set<const ArraySymbol *> &Arrays) {
+    if (E.Kind == ExprKind::ScalarUse)
+      return !WA.count(E.Scalar) || DW.count(E.Scalar);
+    if (E.Scalar && E.Kind == ExprKind::PortionElem &&
+        WA.count(E.Scalar) && !DW.count(E.Scalar))
+      return false; // Hoisted portion-base temp read before assignment.
+    if (E.Array &&
+        (E.Kind == ExprKind::ArrayElem ||
+         E.Kind == ExprKind::PortionElem ||
+         E.Kind == ExprKind::PortionPtr ||
+         (E.Kind == ExprKind::DistQuery &&
+          E.DQ != DistQueryKind::TotalProcs)))
+      Arrays.insert(E.Array);
+    for (const ExprPtr &Op : E.Ops)
+      if (Op && !checkReads(*Op, WA, DW, Arrays))
+        return false;
+    return true;
+  }
+
+  bool scanRootBlock(const Block &B,
+                     const std::set<const ScalarSymbol *> &WA,
+                     std::set<const ScalarSymbol *> &DW, EpochInfo &EI,
+                     std::set<const Procedure *> &Callees,
+                     std::set<const ArraySymbol *> &Arrays) {
+    for (const StmtPtr &StPtr : B) {
+      const Stmt &St = *StPtr;
+      switch (St.Kind) {
+      case StmtKind::Assign:
+        if (!checkReads(*St.Rhs, WA, DW, Arrays))
+          return false;
+        if (St.Lhs->Kind == ExprKind::ScalarUse) {
+          if (isCommonScalar(St.Lhs->Scalar))
+            return false;
+          DW.insert(St.Lhs->Scalar);
+        } else if (!checkReads(*St.Lhs, WA, DW, Arrays)) {
+          return false;
+        }
+        break;
+      case StmtKind::Do: {
+        if (isCommonScalar(St.IndVar))
+          return false;
+        if (!checkReads(*St.Lb, WA, DW, Arrays) ||
+            !checkReads(*St.Ub, WA, DW, Arrays) ||
+            !checkReads(*St.Step, WA, DW, Arrays))
+          return false;
+        // Writes inside the loop are not definite afterwards (the trip
+        // count may be zero), so the body scans on a copy.
+        std::set<const ScalarSymbol *> Inner = DW;
+        Inner.insert(St.IndVar);
+        if (!scanRootBlock(St.Body, WA, Inner, EI, Callees, Arrays))
+          return false;
+        break;
+      }
+      case StmtKind::If: {
+        if (!checkReads(*St.Cond, WA, DW, Arrays))
+          return false;
+        std::set<const ScalarSymbol *> ThenDW = DW, ElseDW = DW;
+        if (!scanRootBlock(St.Then, WA, ThenDW, EI, Callees, Arrays) ||
+            !scanRootBlock(St.Else, WA, ElseDW, EI, Callees, Arrays))
+          return false;
+        // Definite only when written on both paths.
+        for (const ScalarSymbol *Sym : ThenDW)
+          if (ElseDW.count(Sym))
+            DW.insert(Sym);
+        break;
+      }
+      case StmtKind::Call: {
+        if (isTimerCall(St.Callee))
+          return false;
+        const Procedure *Q = Prog.findProcedure(St.Callee);
+        if (!Q || !scanProcedure(Q))
+          return false;
+        for (const ExprPtr &Arg : St.Args)
+          if (!checkReads(*Arg, WA, DW, Arrays))
+            return false;
+        Callees.insert(Q);
+        const ProcScan &QS = ProcMemo[Q];
+        Callees.insert(QS.Callees.begin(), QS.Callees.end());
+        break;
+      }
+      case StmtKind::ParallelDo:
+      case StmtKind::Redistribute:
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool scanEpoch(const Stmt &St, EpochInfo &EI) {
+    for (const ScalarSymbol *V : St.ProcVars)
+      if (isCommonScalar(V))
+        return false;
+    std::set<const ScalarSymbol *> WA;
+    collectRootWrites(St.Body, WA);
+    for (const ScalarSymbol *Sym : WA)
+      if (isCommonScalar(Sym))
+        return false;
+    std::set<const ScalarSymbol *> DW(St.ProcVars.begin(),
+                                      St.ProcVars.end());
+    std::set<const Procedure *> Callees;
+    std::set<const ArraySymbol *> Arrays;
+    if (!scanRootBlock(St.Body, WA, DW, EI, Callees, Arrays))
+      return false;
+    EI.Callees.assign(Callees.begin(), Callees.end());
+    EI.RootArrays.assign(Arrays.begin(), Arrays.end());
+    return true;
+  }
+
+  /// Can \p A be resolved in \p C's current frame without allocating?
+  bool resolvableWithoutAlloc(const ArraySymbol *A, const Ctx &C) const {
+    if (A->SlotIndex >= 0 &&
+        C.Cur->Arrays[static_cast<size_t>(A->SlotIndex)])
+      return true;
+    const ArraySymbol *Cursor = A;
+    while (Cursor->EquivalencedTo) {
+      Cursor = Cursor->EquivalencedTo;
+      if (Cursor->SlotIndex >= 0 &&
+          C.Cur->Arrays[static_cast<size_t>(Cursor->SlotIndex)])
+        return true;
+    }
+    if (Cursor->Storage == StorageClass::Common)
+      return true;
+    if (Cursor->Storage == StorageClass::Formal)
+      return false; // Unbound formal: let the serial path diagnose it.
+    return StaticLocals.find(Cursor) != StaticLocals.end();
+  }
+
+  /// Is every array a (transitive) callee may touch already staged?
+  bool calleeArraysStaged(const Procedure *P) const {
+    auto It = ProcMemo.find(P);
+    assert(It != ProcMemo.end() && "callee scanned during analysis");
+    for (const ArraySymbol *A : It->second.Arrays) {
+      const ArraySymbol *Cursor = A;
+      while (Cursor->EquivalencedTo)
+        Cursor = Cursor->EquivalencedTo;
+      if (Cursor->Storage == StorageClass::Local &&
+          StaticLocals.find(Cursor) == StaticLocals.end())
+        return false;
+      // Common and formal arrays resolve without allocation.
+    }
+    return true;
+  }
+
+  bool epochEligible(const Stmt &St, const Ctx &C) {
+    auto It = EpochMemo.find(&St);
+    if (It == EpochMemo.end()) {
+      EpochInfo EI;
+      EI.Eligible = scanEpoch(St, EI);
+      It = EpochMemo.emplace(&St, std::move(EI)).first;
+    }
+    const EpochInfo &EI = It->second;
+    if (!EI.Eligible)
+      return false;
+    for (const ArraySymbol *A : EI.RootArrays)
+      if (!resolvableWithoutAlloc(A, C))
+        return false;
+    for (const Procedure *P : EI.Callees)
+      if (!calleeArraysStaged(P))
+        return false;
+    return true;
+  }
+
+  //===-- Startup -----------------------------------------------------===//
+
+  void setupCommons() {
+    for (auto &[Name, Info] : Prog.Commons) {
+      uint64_t FlatBase =
+          Mem.allocVirtual(static_cast<uint64_t>(Info.TotalElems) * 8);
+      CommonBases[Name] = FlatBase;
+      for (const link::CommonArrayInfo &AI : Info.Arrays) {
+        auto Inst = std::make_unique<ArrayInstance>();
+        if (AI.HasDist) {
+          dist::ArrayLayout Layout =
+              dist::ArrayLayout::make(AI.Dist, AI.Dims, Rt.numProcs());
+          *Inst = Rt.allocate(Layout, &RunDiags);
+        } else {
+          dist::DistSpec Spec;
+          Spec.Dims.resize(AI.Dims.size());
+          Inst->Layout = dist::ArrayLayout::make(Spec, AI.Dims, 1);
+          Inst->Base = FlatBase + static_cast<uint64_t>(AI.OffsetElems) * 8;
+        }
+        noteArrayAlloc(AI.Name, *Inst);
+        CommonArrayInstances[{Name, AI.OffsetElems}] =
+            OwnedInstances.emplace_back(std::move(Inst)).get();
+      }
+    }
+  }
+
+  Expected<RunResult> run() {
+    if (State != RunState::NotRun)
+      return Error::make(
+          "Engine::run() may only be called once per engine");
+    if (!Prog.Finalized || !Prog.Main)
+      return Error::make(
+          "program is not finalized; compile it with dsm::compile (or "
+          "link it with link::linkProgram) before running");
+    // Resolve the execution engine (DSM_ENGINE for Auto); an invalid
+    // environment value is a proper Error here, never an abort.  The
+    // compiled bytecode is fetched from (or built into) the program's
+    // artifact cache; see exec/bytecode/.
+    auto EK = RunOptions::resolveEngine(Opts.Engine);
+    if (!EK)
+      return EK.takeError();
+    Result.Engine = *EK;
+    if (*EK == RunOptions::EngineKind::Bytecode)
+      BC = bytecodeFor(Prog);
+    State = RunState::Running;
+    Main.TransCache.assign(static_cast<size_t>(NumTransSlots), {});
+    Mem.setDefaultPolicy(Opts.DefaultPolicy);
+
+    // Attach the recorder and fault injector before any allocation so
+    // placement events (and injected faults) are observed; detach on
+    // every exit path.
+    struct ObsGuard {
+      numa::MemorySystem *Mem = nullptr;
+      bool Fault = false;
+      ~ObsGuard() {
+        if (Mem) {
+          Mem->setObserver(nullptr);
+          if (Fault)
+            Mem->setFaultInjector(nullptr);
+        }
+      }
+    } Guard;
+    if (Opts.Fault) {
+      Opts.Fault->reset(); // Same schedule for every run.
+      Mem.setFaultInjector(Opts.Fault);
+      Guard.Mem = &Mem;
+      Guard.Fault = true;
+    }
+    if (Obs) {
+      Mem.setObserver(Obs);
+      Guard.Mem = &Mem;
+      obs::RunMeta M;
+      M.NumProcs = Opts.NumProcs;
+      M.NumNodes = Mem.config().NumNodes;
+      M.HostThreads = HostThreads;
+      M.PageSize = Mem.pageSize();
+      M.Policy = Opts.DefaultPolicy == numa::PlacementPolicy::FirstTouch
+                     ? "first-touch"
+                     : "round-robin";
+      Obs->runBegin(M);
+    }
+
+    setupCommons();
+    if (Main.Failed) {
+      State = RunState::Failed;
+      return std::move(Main.Fail);
+    }
+
+    // Activate the main frame (kept alive for post-run inspection).
+    auto MainFrame = std::make_unique<Frame>();
+    MainFrame->Proc = Prog.Main;
+    MainFrame->Scalars.resize(Prog.Main->Scalars.size());
+    MainFrame->Arrays.assign(Prog.Main->Arrays.size(), nullptr);
+    Main.FrameStack.push_back(std::move(MainFrame));
+    Main.Cur = Main.FrameStack.back().get();
+    for (const auto &Sym : Prog.Main->Scalars)
+      if (Sym->HasInit)
+        Main.setScalar(Sym.get(), Sym->Type == ScalarType::F64
+                                      ? Value::ofFp(Sym->InitFp)
+                                      : Value::ofInt(Sym->InitInt));
+
+    Main.execBody(Prog.Main);
+    if (Main.Failed) {
+      State = RunState::Failed;
+      return std::move(Main.Fail);
+    }
+
+    Result.WallCycles = Main.Clock;
+    Result.Counters = Mem.counters();
+    if (Opts.Fault) {
+      Result.Faults = Opts.Fault->counters();
+      if (Result.Faults.CapacityOverflows)
+        RunDiags.addWarning(formatString(
+            "%llu frame-capacity overflow(s): pages were placed past a "
+            "node's soft cap or left unbacked; results are unaffected",
+            static_cast<unsigned long long>(
+                Result.Faults.CapacityOverflows)));
+    }
+    Result.Diags = RunDiags.diagnostics();
+    if (Obs) {
+      obs::RunEndEvent E;
+      E.WallCycles = Result.WallCycles;
+      E.TimedCycles = Result.TimedCycles;
+      E.ParallelRegions = Result.ParallelRegions;
+      E.ThreadedEpochs = Result.ThreadedEpochs;
+      E.RedistributeCycles = Result.RedistributeCycles;
+      E.Totals = Result.Counters;
+      Obs->runEnd(E);
+      if (Obs->metricsEnabled())
+        Result.Metrics = Obs->snapshot();
+    }
+    State = RunState::Completed;
+    return Result;
+  }
+
+  /// Read-only lookup of a main-unit array for post-run inspection.
+  /// Unlike Ctx::arrayInstance this never allocates: inspecting an
+  /// array the program never materialized is an error, not a silent
+  /// checksum over fresh zeros.
+  Expected<ArrayInstance *> inspectArray(const std::string &ArrayName) {
+    switch (State) {
+    case RunState::NotRun:
+    case RunState::Running:
+      return Error::make("run() has not completed; array contents are "
+                         "only available after a successful run");
+    case RunState::Failed:
+      return Error::make(
+          "run() failed; array contents are unavailable");
+    case RunState::Completed:
+      break;
+    }
+    const ArraySymbol *A = Prog.Main->findArray(ArrayName);
+    if (!A)
+      return Error::make("no array '" + ArrayName +
+                         "' in the main unit");
+    // Follow EQUIVALENCE chains to the storage owner, preferring the
+    // instance the main frame bound during the run.
+    const Frame &Root = *Main.FrameStack.front();
+    for (const ArraySymbol *Cursor = A; Cursor;
+         Cursor = Cursor->EquivalencedTo) {
+      if (Cursor->SlotIndex >= 0 &&
+          static_cast<size_t>(Cursor->SlotIndex) < Root.Arrays.size() &&
+          Root.Arrays[static_cast<size_t>(Cursor->SlotIndex)])
+        return Root.Arrays[static_cast<size_t>(Cursor->SlotIndex)];
+      if (!Cursor->EquivalencedTo) {
+        if (Cursor->Storage == StorageClass::Common) {
+          auto SlotIt = Prog.CommonArraySlots.find(Cursor);
+          if (SlotIt != Prog.CommonArraySlots.end()) {
+            auto InstIt = CommonArrayInstances.find(SlotIt->second);
+            if (InstIt != CommonArrayInstances.end())
+              return InstIt->second;
+          }
+        }
+        auto StaticIt = StaticLocals.find(Cursor);
+        if (StaticIt != StaticLocals.end())
+          return StaticIt->second;
+      }
+    }
+    return Error::make("array '" + ArrayName +
+                       "' was never allocated by the run");
+  }
+};
+
+} // namespace dsm::exec
+
+#endif // DSM_EXEC_ENGINEIMPL_H

@@ -1,0 +1,181 @@
+//===- exec/bytecode/Bytecode.h - Flat register bytecode --------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode engine's program representation (DESIGN.md Section 12).
+/// Each execution unit -- a procedure body or a ParallelDo epoch body --
+/// compiles once to a contiguous vector of fixed-size instructions over
+/// a small file of operand registers, replacing the interpreter's
+/// recursive evalExpr/execStmt tree walk with a flat dispatch loop.
+///
+/// The compiled code is a *linearization* of the interpreter, not a new
+/// semantics: every instruction charges exactly the simulated cycles the
+/// corresponding tree node charges, issues the same memory accesses in
+/// the same order, and fails with the same messages, so the two engines
+/// are bit-identical (the differential fuzzer holds them to that).
+/// Constructs that touch shared engine state -- calls, parallel epochs,
+/// redistributes, timers, distribution queries -- compile to escape
+/// instructions that re-enter the interpreter for that node.
+///
+/// Simulated cycle charges are encoded as a (cost class, multiplier)
+/// pair rather than resolved cycle counts, so one compiled program is
+/// shareable across engines with different cost models (and Perf off
+/// simply zeroes the VM's class table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_EXEC_BYTECODE_BYTECODE_H
+#define DSM_EXEC_BYTECODE_BYTECODE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/Ir.h"
+
+namespace dsm::exec::bc {
+
+/// Cost classes resolved against the live numa::CostModel once per
+/// dispatch-loop entry.
+enum CostClass : uint8_t {
+  CostNone = 0,
+  CostIntOp,
+  CostFpOp,
+  CostIntDiv,
+  CostFpDiv,
+  NumCostClasses,
+};
+
+/// Register-file bounds.  The compiler allocates registers as an
+/// expression stack plus a few loop-persistent slots, so real programs
+/// stay far below these; a unit that would exceed them simply keeps
+/// running on the tree-walker.
+inline constexpr int MaxRegs = 224;
+inline constexpr int MaxInstRegs = 64;
+
+/// Every opcode, as an X-macro so the VM's threaded-dispatch label
+/// table (exec/bytecode/Vm.cpp) stays in sync with the enum by
+/// construction.  Semantics:
+///
+/// Constants and scalars:
+///   LdImmI    R[A] = X.IVal          LdImmF  R[A] = X.FVal
+///   LdSlot    R[A] = frame scalar slot Imm
+///   LdCommon  R[A] = COMMON scalar X.Sym
+///   StSlot    frame scalar slot Imm = R[A] (tracks root writes)
+///   StCommon  COMMON scalar X.Sym = R[A] (fails while recording)
+///
+/// Arithmetic: R[A] = R[B] op R[C]; the cost is charged first, the
+/// division-by-zero checks run after the charge (as evalBin does).
+/// NegI/NegF are R[A] = -R[B]; SqrtOp..CvtFI are R[A] = f(R[B]).
+///
+/// Control flow (absolute instruction indices in Imm):
+///   Jmp        pc = Imm
+///   JmpIfZero  charge; if R[A].I == 0 then pc = Imm
+///   DoRange    fail "DO loop with zero step" if R[C].I == 0 (X.St)
+///   DoHead     loop head: test R[A] against R[B]/R[C], store the
+///              induction scalar (frame slot X.IVal), charge 2*IntOp;
+///              exit to Imm
+///   DoHeadCommon  same, COMMON induction variable X.Sym (setScalar)
+///   DoLatch    R[A].I += R[C].I; pc = Imm (back to the DoHead)
+///
+/// Memory.  ResolveArr/ChkIdx keep the interpreter's exact
+/// side-effect order (instance resolution may allocate; each
+/// subscript is bounds-checked right after it is evaluated):
+///   ResolveArr   IR[A] = arrayInstance(X.E->Array); Imm&1 also
+///                checks the subscript count
+///   ChkIdx       bounds-check R[A] as subscript Imm of IR[B] (X.E)
+///   LoadElem     R[A] = element of IR[B] at indices R[C..C+rank)
+///   StoreElem    element of IR[B] at R[C..) = R[A]
+///   LoadElemF    fused resolve+check+load: R[A] = element of X.E's
+///                array at indices R[C..C+rank).  Emitted only when
+///                every subscript expression is fail-free, so batching
+///                the per-dimension checks after all the subscript
+///                evaluations is unobservable.
+///   StoreElemF   fused store: element at R[C..) = R[A]
+///   PortionBase  R[A] = portion base of cell R[C] of IR[B] (checked,
+///                one simulated processor-array load)
+///   LoadPortion  R[A] = IR[Imm] element at base R[B] + local R[C]
+///                (base comes from X.E->Scalar when hoisted)
+///   StorePortion IR[Imm] element at base R[B] + local R[C] = R[A]
+///   PortionPtrOp R[A] = portion base pointer of cell R[C] of IR[B]
+///
+/// Escapes into the tree-walker for the rare or stateful constructs
+/// (calls, epochs, redistributes, timers, distribution queries):
+/// bit-identical by construction.
+///   EvalExpr  R[A] = evalExpr(*X.E)
+///   ExecStmt  execStmt(*X.St)
+#define DSM_BC_OP_LIST(X)                                                \
+  X(LdImmI) X(LdImmF) X(LdSlot) X(LdCommon) X(StSlot) X(StCommon)        \
+  X(AddI) X(AddF) X(SubI) X(SubF) X(MulI) X(MulF) X(FDivOp)              \
+  X(IDivOp) X(IModOp)                                                    \
+  X(MinI) X(MinF) X(MaxI) X(MaxF)                                        \
+  X(LtI) X(LtF) X(LeI) X(LeF) X(GtI) X(GtF) X(GeI) X(GeF)                \
+  X(EqI) X(EqF) X(NeI) X(NeF)                                            \
+  X(AndL) X(OrL)                                                         \
+  X(NegI) X(NegF)                                                        \
+  X(SqrtOp) X(AbsI) X(AbsF) X(CvtIF) X(CvtFI)                            \
+  X(Jmp) X(JmpIfZero) X(DoRange) X(DoHead) X(DoHeadCommon) X(DoLatch)    \
+  X(ResolveArr) X(ChkIdx) X(LoadElem) X(StoreElem)                       \
+  X(LoadElemF) X(StoreElemF)                                             \
+  X(PortionBase) X(LoadPortion) X(StorePortion) X(PortionPtrOp)          \
+  X(EvalExpr) X(ExecStmt) X(Ret)
+
+enum class Op : uint8_t {
+#define DSM_BC_DEF_ENUM(Name) Name,
+  DSM_BC_OP_LIST(DSM_BC_DEF_ENUM)
+#undef DSM_BC_DEF_ENUM
+};
+
+struct Insn {
+  Op Opc = Op::Ret;
+  uint8_t A = 0, B = 0, C = 0;
+  uint8_t CostKind = CostNone;
+  uint16_t CostMul = 0;
+  int32_t Imm = 0;
+  union Payload {
+    int64_t IVal;
+    double FVal;
+    const ir::Expr *E;
+    const ir::Stmt *St;
+    const ir::ScalarSymbol *Sym;
+    Payload() : IVal(0) {}
+  } X = {};
+};
+
+/// One compiled execution unit.
+struct Code {
+  std::vector<Insn> Insns;
+  uint16_t NumRegs = 0;
+  uint16_t NumInstRegs = 0;
+};
+
+/// The whole program's compiled units, built once per link::Program
+/// (cached in Program::EngineArtifacts, so engines sharing a
+/// session::ProgramHandle share the bytecode) and immutable afterwards.
+struct CompiledProgram {
+  /// Procedure bodies, keyed by the IR procedure.
+  std::unordered_map<const ir::Procedure *, Code> Procs;
+  /// ParallelDo epoch bodies, keyed by the ParallelDo statement; used
+  /// by both the serial cell loop and the threaded recording phase.
+  std::unordered_map<const ir::Stmt *, Code> Epochs;
+
+  unsigned UnitsCompiled = 0;
+  unsigned UnitsFallback = 0;
+  size_t TotalInsns = 0;
+
+  const Code *procCode(const ir::Procedure *P) const {
+    auto It = Procs.find(P);
+    return It == Procs.end() ? nullptr : &It->second;
+  }
+  const Code *epochCode(const ir::Stmt *St) const {
+    auto It = Epochs.find(St);
+    return It == Epochs.end() ? nullptr : &It->second;
+  }
+};
+
+} // namespace dsm::exec::bc
+
+#endif // DSM_EXEC_BYTECODE_BYTECODE_H

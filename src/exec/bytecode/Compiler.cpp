@@ -1,0 +1,627 @@
+//===- exec/bytecode/Compiler.cpp - IR -> bytecode compiler ----------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The compiler is a post-order linearization of the interpreter's exact
+// evaluation order (Engine's Ctx::evalExpr/execStmt): operands first,
+// each subscript bounds-checked right after it is evaluated, the
+// operation's cycle charge attached to the instruction that performs
+// it.  Registers are allocated as an expression stack -- each
+// subexpression's result lands at the stack position where evaluation
+// of that subexpression began -- plus three loop-persistent slots per
+// DO nest (lower bound reused as the private counter, upper bound,
+// step, exactly the interpreter's C++ locals).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/bytecode/Compiler.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+using namespace dsm;
+using namespace dsm::exec::bc;
+using namespace dsm::ir;
+
+namespace {
+
+class UnitCompiler {
+public:
+  UnitCompiler(const link::Program &Prog) : Prog(Prog) {}
+
+  std::optional<Code> compile(const Block &Body) {
+    compileBlock(Body);
+    emit({Op::Ret});
+    if (!Ok)
+      return std::nullopt;
+    C.NumRegs = static_cast<uint16_t>(MaxSP);
+    C.NumInstRegs = static_cast<uint16_t>(MaxISP);
+    return std::move(C);
+  }
+
+private:
+  const link::Program &Prog;
+  Code C;
+  int SP = 0, MaxSP = 0;
+  int ISP = 0, MaxISP = 0;
+  bool Ok = true;
+
+  //===-- Emission helpers --------------------------------------------===//
+
+  size_t emit(Insn I) {
+    C.Insns.push_back(I);
+    return C.Insns.size() - 1;
+  }
+
+  int32_t pc() const { return static_cast<int32_t>(C.Insns.size()); }
+
+  void patch(size_t At, int32_t Target) { C.Insns[At].Imm = Target; }
+
+  int push() {
+    if (SP >= MaxRegs) {
+      Ok = false;
+      return 0;
+    }
+    if (++SP > MaxSP)
+      MaxSP = SP;
+    return SP - 1;
+  }
+
+  int ipush() {
+    if (ISP >= MaxInstRegs) {
+      Ok = false;
+      return 0;
+    }
+    if (++ISP > MaxISP)
+      MaxISP = ISP;
+    return ISP - 1;
+  }
+
+  static uint8_t reg(int R) { return static_cast<uint8_t>(R); }
+
+  bool isCommonScalar(const ScalarSymbol *Sym) const {
+    return !Prog.CommonScalarSlots.empty() &&
+           Prog.CommonScalarSlots.find(Sym) !=
+               Prog.CommonScalarSlots.end();
+  }
+
+  //===-- Cost encoding -----------------------------------------------===//
+
+  /// (class, multiplier) for a binary op, mirroring Ctx::opCost.
+  static CostClass binCost(BinOp Op, ScalarType OperandType) {
+    switch (Op) {
+    case BinOp::FDiv:
+    case BinOp::IDivFp:
+    case BinOp::IModFp:
+      return CostFpDiv;
+    case BinOp::IDiv:
+    case BinOp::IMod:
+      return CostIntDiv;
+    default:
+      return OperandType == ScalarType::F64 ? CostFpOp : CostIntOp;
+    }
+  }
+
+  //===-- Expressions -------------------------------------------------===//
+
+  /// Compiles \p E; the result lands at the register this call
+  /// allocates (the entry stack position), which is returned.
+  int compileExpr(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit: {
+      int R = push();
+      Insn I{Op::LdImmI, reg(R)};
+      I.X.IVal = E.IntVal;
+      emit(I);
+      return R;
+    }
+    case ExprKind::FpLit: {
+      int R = push();
+      Insn I{Op::LdImmF, reg(R)};
+      I.X.FVal = E.FpVal;
+      emit(I);
+      return R;
+    }
+    case ExprKind::ScalarUse: {
+      int R = push();
+      if (isCommonScalar(E.Scalar)) {
+        Insn I{Op::LdCommon, reg(R)};
+        I.X.Sym = E.Scalar;
+        emit(I);
+      } else {
+        if (E.Scalar->SlotIndex < 0) {
+          Ok = false;
+          return R;
+        }
+        Insn I{Op::LdSlot, reg(R)};
+        I.Imm = E.Scalar->SlotIndex;
+        emit(I);
+      }
+      return R;
+    }
+    case ExprKind::Neg: {
+      if (E.Ops.size() != 1) {
+        Ok = false;
+        return push();
+      }
+      int R = compileExpr(*E.Ops[0]);
+      bool Fp = E.Type == ScalarType::F64;
+      Insn I{Fp ? Op::NegF : Op::NegI, reg(R), reg(R)};
+      I.CostKind = Fp ? CostFpOp : CostIntOp;
+      I.CostMul = 1;
+      emit(I);
+      return R;
+    }
+    case ExprKind::Bin:
+      return compileBin(E);
+    case ExprKind::Intrinsic:
+      return compileIntrinsic(E);
+    case ExprKind::ArrayElem:
+      return compileElemAccess(E, /*ValueReg=*/-1);
+    case ExprKind::PortionElem:
+      return compilePortionAccess(E, /*ValueReg=*/-1);
+    case ExprKind::PortionPtr: {
+      if (E.Ops.size() != 1) {
+        Ok = false;
+        return push();
+      }
+      int Base = SP;
+      int IA = ipush();
+      Insn RA{Op::ResolveArr, reg(IA)};
+      RA.X.E = &E;
+      emit(RA);
+      int Cell = compileExpr(*E.Ops[0]);
+      SP = Base;
+      int Dst = push();
+      Insn I{Op::PortionPtrOp, reg(Dst), reg(IA), reg(Cell)};
+      I.CostKind = CostIntOp;
+      I.CostMul = 2;
+      I.X.E = &E;
+      emit(I);
+      --ISP;
+      return Dst;
+    }
+    case ExprKind::DistQuery: {
+      // Queries read distribution parameters through arrayInstance
+      // (which may allocate); the interpreter is the reference for
+      // that, so escape.
+      int R = push();
+      Insn I{Op::EvalExpr, reg(R)};
+      I.X.E = &E;
+      emit(I);
+      return R;
+    }
+    }
+    Ok = false;
+    return push();
+  }
+
+  int compileBin(const Expr &E) {
+    if (E.Ops.size() != 2) {
+      Ok = false;
+      return push();
+    }
+    int L = compileExpr(*E.Ops[0]);
+    int R = compileExpr(*E.Ops[1]);
+    ScalarType OpType = E.Ops[0]->Type;
+    bool Fp = OpType == ScalarType::F64;
+    Op Opc;
+    switch (E.Op) {
+    case BinOp::Add:
+      Opc = Fp ? Op::AddF : Op::AddI;
+      break;
+    case BinOp::Sub:
+      Opc = Fp ? Op::SubF : Op::SubI;
+      break;
+    case BinOp::Mul:
+      Opc = Fp ? Op::MulF : Op::MulI;
+      break;
+    case BinOp::FDiv:
+      Opc = Op::FDivOp;
+      break;
+    case BinOp::IDiv:
+    case BinOp::IDivFp:
+      Opc = Op::IDivOp;
+      break;
+    case BinOp::IMod:
+    case BinOp::IModFp:
+      Opc = Op::IModOp;
+      break;
+    case BinOp::Min:
+      Opc = Fp ? Op::MinF : Op::MinI;
+      break;
+    case BinOp::Max:
+      Opc = Fp ? Op::MaxF : Op::MaxI;
+      break;
+    case BinOp::CmpLt:
+      Opc = Fp ? Op::LtF : Op::LtI;
+      break;
+    case BinOp::CmpLe:
+      Opc = Fp ? Op::LeF : Op::LeI;
+      break;
+    case BinOp::CmpGt:
+      Opc = Fp ? Op::GtF : Op::GtI;
+      break;
+    case BinOp::CmpGe:
+      Opc = Fp ? Op::GeF : Op::GeI;
+      break;
+    case BinOp::CmpEq:
+      Opc = Fp ? Op::EqF : Op::EqI;
+      break;
+    case BinOp::CmpNe:
+      Opc = Fp ? Op::NeF : Op::NeI;
+      break;
+    case BinOp::LogAnd:
+      Opc = Op::AndL;
+      break;
+    case BinOp::LogOr:
+      Opc = Op::OrL;
+      break;
+    default:
+      Ok = false;
+      Opc = Op::AddI;
+      break;
+    }
+    Insn I{Opc, reg(L), reg(L), reg(R)};
+    I.CostKind = binCost(E.Op, OpType);
+    I.CostMul = 1;
+    emit(I);
+    --SP;
+    return L;
+  }
+
+  int compileIntrinsic(const Expr &E) {
+    if (E.Ops.size() != 1) {
+      Ok = false;
+      return push();
+    }
+    int R = compileExpr(*E.Ops[0]);
+    Insn I{Op::SqrtOp, reg(R), reg(R)};
+    switch (E.Intr) {
+    case IntrinsicKind::Sqrt:
+      I.Opc = Op::SqrtOp;
+      I.CostKind = CostFpDiv;
+      I.CostMul = 2;
+      break;
+    case IntrinsicKind::Abs:
+      I.Opc = E.Type == ScalarType::F64 ? Op::AbsF : Op::AbsI;
+      I.CostKind = E.Type == ScalarType::F64 ? CostFpOp : CostIntOp;
+      I.CostMul = 1;
+      break;
+    case IntrinsicKind::ToF64:
+      I.Opc = Op::CvtIF;
+      I.CostKind = CostFpOp;
+      I.CostMul = 1;
+      break;
+    case IntrinsicKind::ToI64:
+      I.Opc = Op::CvtFI;
+      I.CostKind = CostFpOp;
+      I.CostMul = 1;
+      break;
+    }
+    emit(I);
+    return R;
+  }
+
+  /// Whether evaluating \p E can call fail(): division/modulo by
+  /// zero, negative sqrt, array bounds, or anything behind an
+  /// interpreter escape.  Fail-free subscripts are pure register
+  /// arithmetic -- no memory-access stream, no observer events -- so
+  /// an element access may batch its resolve and bounds checks after
+  /// all its subscript evaluations (one fused instruction) without
+  /// any observable reordering: only the relative order of cycle
+  /// charges moves, and sums commute.
+  static bool exprCanFail(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+    case ExprKind::FpLit:
+    case ExprKind::ScalarUse:
+      return false;
+    case ExprKind::Bin:
+      switch (E.Op) {
+      case BinOp::IDiv:
+      case BinOp::IMod:
+      case BinOp::IDivFp:
+      case BinOp::IModFp:
+        return true;
+      default:
+        break;
+      }
+      break;
+    case ExprKind::Neg:
+      break;
+    case ExprKind::Intrinsic:
+      if (E.Intr == IntrinsicKind::Sqrt)
+        return true;
+      break;
+    default:
+      // ArrayElem/PortionElem/PortionPtr (bounds), DistQuery (escape).
+      return true;
+    }
+    for (const ExprPtr &Child : E.Ops)
+      if (exprCanFail(*Child))
+        return true;
+    return false;
+  }
+
+  /// A(i1..ir): a load when ValueReg < 0, else a store of R[ValueReg].
+  int compileElemAccess(const Expr &E, int ValueReg) {
+    if (E.Ops.size() > 8) {
+      Ok = false;
+      return ValueReg < 0 ? push() : ValueReg;
+    }
+    bool FailFreeIdx = true;
+    for (const ExprPtr &Idx : E.Ops)
+      FailFreeIdx &= !exprCanFail(*Idx);
+    if (FailFreeIdx) {
+      // Fast form: subscripts land in contiguous registers, then one
+      // fused instruction resolves the instance, bounds-checks every
+      // dimension, and performs the access.
+      int Base = SP;
+      for (const ExprPtr &Idx : E.Ops)
+        compileExpr(*Idx); // Lands at Base + D.
+      SP = Base;
+      int Dst = ValueReg;
+      if (ValueReg < 0)
+        Dst = push(); // == Base; the VM reads the indices first.
+      Insn I{ValueReg < 0 ? Op::LoadElemF : Op::StoreElemF, reg(Dst), 0,
+             reg(Base)};
+      I.X.E = &E;
+      emit(I);
+      return Dst;
+    }
+    int Base = SP;
+    int IA = ipush();
+    Insn RA{Op::ResolveArr, reg(IA)};
+    RA.Imm = 1; // Subscript-count check.
+    RA.X.E = &E;
+    emit(RA);
+    for (unsigned D = 0; D < E.Ops.size(); ++D) {
+      int R = compileExpr(*E.Ops[D]);
+      Insn CK{Op::ChkIdx, reg(R), reg(IA)};
+      CK.Imm = static_cast<int32_t>(D);
+      CK.X.E = &E;
+      emit(CK);
+    }
+    SP = Base;
+    int Dst = ValueReg;
+    if (ValueReg < 0)
+      Dst = push(); // == Base; the VM reads the indices first.
+    Insn I{ValueReg < 0 ? Op::LoadElem : Op::StoreElem, reg(Dst),
+           reg(IA), reg(Base)};
+    I.X.E = &E;
+    emit(I);
+    --ISP;
+    return Dst;
+  }
+
+  /// Lowered A[cell][local]: load when ValueReg < 0, else store.
+  int compilePortionAccess(const Expr &E, int ValueReg) {
+    if (E.Ops.size() != 2) {
+      Ok = false;
+      return ValueReg < 0 ? push() : ValueReg;
+    }
+    int Base = SP;
+    int IA = ipush();
+    Insn RA{Op::ResolveArr, reg(IA)};
+    RA.X.E = &E;
+    emit(RA);
+    int BaseReg = 0;
+    if (!E.Scalar) {
+      int Cell = compileExpr(*E.Ops[0]);
+      BaseReg = push();
+      Insn PB{Op::PortionBase, reg(BaseReg), reg(IA), reg(Cell)};
+      PB.X.E = &E;
+      emit(PB);
+    }
+    int Local = compileExpr(*E.Ops[1]);
+    int Dst = ValueReg;
+    if (ValueReg < 0) {
+      // The result overwrites the subexpression's base slot; the VM
+      // reads the base/local registers before writing it.
+      Dst = Base;
+    }
+    Insn I{ValueReg < 0 ? Op::LoadPortion : Op::StorePortion, reg(Dst),
+           reg(BaseReg), reg(Local)};
+    I.Imm = IA;
+    I.CostKind = CostIntOp;
+    I.CostMul = 2;
+    I.X.E = &E;
+    emit(I);
+    SP = Base;
+    if (ValueReg < 0)
+      push(); // Re-occupy the result slot.
+    --ISP;
+    return Dst;
+  }
+
+  //===-- Statements --------------------------------------------------===//
+
+  void compileBlock(const Block &B) {
+    for (const StmtPtr &St : B) {
+      if (!Ok)
+        return;
+      compileStmt(*St);
+    }
+  }
+
+  void escapeStmt(const Stmt &St) {
+    Insn I{Op::ExecStmt};
+    I.X.St = &St;
+    emit(I);
+  }
+
+  void compileStmt(const Stmt &St) {
+    switch (St.Kind) {
+    case StmtKind::Assign:
+      return compileAssign(St);
+    case StmtKind::Do:
+      return compileDo(St);
+    case StmtKind::If:
+      return compileIf(St);
+    case StmtKind::ParallelDo:
+    case StmtKind::Call:
+    case StmtKind::Redistribute:
+      // Stateful constructs re-enter the interpreter; calls dispatch
+      // back into the callee's compiled body from there.
+      return escapeStmt(St);
+    }
+    Ok = false;
+  }
+
+  void compileAssign(const Stmt &St) {
+    switch (St.Lhs->Kind) {
+    case ExprKind::ScalarUse: {
+      int V = compileExpr(*St.Rhs);
+      if (isCommonScalar(St.Lhs->Scalar)) {
+        Insn I{Op::StCommon, reg(V)};
+        I.X.Sym = St.Lhs->Scalar;
+        emit(I);
+      } else {
+        if (St.Lhs->Scalar->SlotIndex < 0) {
+          Ok = false;
+          return;
+        }
+        Insn I{Op::StSlot, reg(V)};
+        I.Imm = St.Lhs->Scalar->SlotIndex;
+        emit(I);
+      }
+      --SP;
+      return;
+    }
+    case ExprKind::ArrayElem: {
+      int V = compileExpr(*St.Rhs);
+      compileElemAccess(*St.Lhs, V);
+      --SP;
+      return;
+    }
+    case ExprKind::PortionElem: {
+      int V = compileExpr(*St.Rhs);
+      compilePortionAccess(*St.Lhs, V);
+      --SP;
+      return;
+    }
+    default:
+      // The interpreter evaluates the RHS and then fails with
+      // "invalid assignment target"; the escape reproduces that.
+      return escapeStmt(St);
+    }
+  }
+
+  void compileDo(const Stmt &St) {
+    int L = compileExpr(*St.Lb);
+    int U = compileExpr(*St.Ub);
+    int S = compileExpr(*St.Step);
+    Insn RG{Op::DoRange, 0, 0, reg(S)};
+    RG.X.St = &St;
+    emit(RG);
+    int32_t Head = pc();
+    bool Common = isCommonScalar(St.IndVar);
+    if (!Common && St.IndVar->SlotIndex < 0) {
+      Ok = false;
+      return;
+    }
+    Insn HD{Common ? Op::DoHeadCommon : Op::DoHead, reg(L), reg(U),
+            reg(S)};
+    HD.CostKind = CostIntOp;
+    HD.CostMul = 2;
+    if (Common)
+      HD.X.Sym = St.IndVar;
+    else
+      HD.X.IVal = St.IndVar->SlotIndex; // No pointer chase per iteration.
+    size_t HeadAt = emit(HD);
+    compileBlock(St.Body);
+    Insn LT{Op::DoLatch, reg(L), 0, reg(S)};
+    LT.Imm = Head;
+    emit(LT);
+    patch(HeadAt, pc());
+    SP -= 3;
+  }
+
+  void compileIf(const Stmt &St) {
+    int Cond = compileExpr(*St.Cond);
+    Insn BR{Op::JmpIfZero, reg(Cond)};
+    BR.CostKind = CostIntOp;
+    BR.CostMul = 1;
+    size_t BrAt = emit(BR);
+    --SP;
+    compileBlock(St.Then);
+    if (St.Else.empty()) {
+      patch(BrAt, pc());
+      return;
+    }
+    size_t JmpAt = emit({Op::Jmp});
+    patch(BrAt, pc());
+    compileBlock(St.Else);
+    patch(JmpAt, pc());
+  }
+};
+
+/// Collects every ParallelDo statement in a block, recursively.
+void collectEpochs(const Block &B, std::vector<const Stmt *> &Out) {
+  for (const StmtPtr &StPtr : B) {
+    const Stmt &St = *StPtr;
+    switch (St.Kind) {
+    case StmtKind::Do:
+      collectEpochs(St.Body, Out);
+      break;
+    case StmtKind::If:
+      collectEpochs(St.Then, Out);
+      collectEpochs(St.Else, Out);
+      break;
+    case StmtKind::ParallelDo:
+      Out.push_back(&St);
+      collectEpochs(St.Body, Out);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+} // namespace
+
+namespace dsm::exec::bc {
+
+std::shared_ptr<const CompiledProgram>
+compileProgram(const link::Program &Prog) {
+  auto CP = std::make_shared<CompiledProgram>();
+  auto addUnit = [&](const Block &Body, auto &Map, auto Key) {
+    if (auto Code = UnitCompiler(Prog).compile(Body)) {
+      CP->TotalInsns += Code->Insns.size();
+      ++CP->UnitsCompiled;
+      Map.emplace(Key, std::move(*Code));
+    } else {
+      ++CP->UnitsFallback;
+    }
+  };
+  std::vector<const Stmt *> Epochs;
+  for (const auto &[Name, P] : Prog.Procedures) {
+    (void)Name;
+    addUnit(P->Body, CP->Procs, static_cast<const Procedure *>(P));
+    collectEpochs(P->Body, Epochs);
+  }
+  for (const Stmt *St : Epochs)
+    addUnit(St->Body, CP->Epochs, St);
+  if (const char *Dbg = std::getenv("DSM_BC_STATS"); Dbg && Dbg[0] == '1')
+    std::fprintf(stderr,
+                 "dsm-bc: %u units compiled (%zu insns), %u fall back "
+                 "to the interpreter\n",
+                 CP->UnitsCompiled, CP->TotalInsns, CP->UnitsFallback);
+  return CP;
+}
+
+std::shared_ptr<const CompiledProgram>
+getOrCompile(const link::Program &Prog) {
+  auto Any = Prog.EngineArtifacts.getOrSet(
+      [&]() -> std::shared_ptr<const void> {
+        return compileProgram(Prog);
+      });
+  return std::static_pointer_cast<const CompiledProgram>(Any);
+}
+
+} // namespace dsm::exec::bc

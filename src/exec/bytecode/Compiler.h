@@ -1,0 +1,39 @@
+//===- exec/bytecode/Compiler.h - IR -> bytecode compiler -------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a finalized link::Program's procedure and epoch bodies to
+/// bc::Code units (see Bytecode.h).  Compilation never fails: a unit
+/// the compiler cannot handle (register-file overflow, unslotted
+/// symbols) is simply left out of the CompiledProgram and keeps
+/// executing on the tree-walking interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_EXEC_BYTECODE_COMPILER_H
+#define DSM_EXEC_BYTECODE_COMPILER_H
+
+#include <memory>
+
+#include "exec/bytecode/Bytecode.h"
+#include "link/Program.h"
+
+namespace dsm::exec::bc {
+
+/// Compiles every procedure body and every ParallelDo epoch body of
+/// \p Prog.  The program must be finalized (frame slots assigned).
+std::shared_ptr<const CompiledProgram>
+compileProgram(const link::Program &Prog);
+
+/// The cached compiled code for \p Prog, building it on first use
+/// (thread-safe; stored in Prog.EngineArtifacts so every engine
+/// sharing the program compiles at most once).
+std::shared_ptr<const CompiledProgram>
+getOrCompile(const link::Program &Prog);
+
+} // namespace dsm::exec::bc
+
+#endif // DSM_EXEC_BYTECODE_COMPILER_H

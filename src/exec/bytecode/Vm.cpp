@@ -1,0 +1,714 @@
+//===- exec/bytecode/Vm.cpp - Bytecode dispatch loop -----------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ctx::execCode is the bytecode engine's inner loop: a flat walk over
+// one compiled unit's instruction vector with operands in registers.
+// It is a drop-in replacement for the tree-walking execBlock and must
+// stay *bit-identical* to it -- same simulated cycle charges in the
+// same order, same memory-access stream (so cache/TLB/directory state
+// and counters match), same failure messages, same recording-mode
+// restrictions.  To that end every handler is a transcription of the
+// corresponding interpreter case (see EngineImpl.h), the memory
+// opcodes fuse the interpreter's fast paths -- per-context
+// addressing-translation cache, direct-mapped functional-page cache --
+// and everything slow or stateful (full numa::MemorySystem accesses
+// with observer/fault hooks, calls, epochs, redistributes, timers,
+// distribution queries) goes through the same code the interpreter
+// uses.
+//
+// Dispatch is direct-threaded (computed goto) on GNU-compatible
+// compilers, with a portable switch fallback; the VM_CASE/VM_NEXT
+// macros keep the two shapes textually identical, and the label table
+// is generated from the same X-macro as the opcode enum, so they
+// cannot drift apart.
+//
+// Cycle charges come from a per-entry cost table resolved against the
+// live cost model, zeroed when Perf is off, so the hot path has no
+// Perf branch for pure operations; memory accesses keep the exact
+// memAccess semantics (record in phase 1, MemorySystem::access
+// otherwise).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/EngineImpl.h"
+
+#include "exec/bytecode/Bytecode.h"
+#include "exec/bytecode/Compiler.h"
+
+using namespace dsm;
+using namespace dsm::exec;
+using namespace dsm::ir;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DSM_BC_THREADED 1
+#else
+#define DSM_BC_THREADED 0
+#endif
+
+namespace dsm::exec {
+
+std::shared_ptr<const bc::CompiledProgram>
+bytecodeFor(const link::Program &Prog) {
+  return bc::getOrCompile(Prog);
+}
+
+void Engine::Impl::Ctx::execBody(const Procedure *P) {
+  if (S.BC)
+    if (const bc::Code *C = S.BC->procCode(P)) {
+      execCode(*C);
+      return;
+    }
+  execBlock(P->Body);
+}
+
+void Engine::Impl::Ctx::execEpochBody(const Stmt &St) {
+  if (S.BC)
+    if (const bc::Code *C = S.BC->epochCode(&St)) {
+      execCode(*C);
+      return;
+    }
+  execBlock(St.Body);
+}
+
+void Engine::Impl::Ctx::execCode(const bc::Code &Code) {
+  // Per-entry cost table: CostTab[CostNone] stays 0, and Perf off
+  // zeroes everything, making every baked charge a plain add.
+  uint64_t CostTab[bc::NumCostClasses] = {};
+  if (S.Opts.Perf) {
+    CostTab[bc::CostIntOp] = S.Costs.IntOp;
+    CostTab[bc::CostFpOp] = S.Costs.FpOp;
+    CostTab[bc::CostIntDiv] = S.Costs.IntDiv;
+    CostTab[bc::CostFpDiv] = S.Costs.FpDiv;
+  }
+
+  Value Regs[bc::MaxRegs];
+  ArrayInstance *IRegs[bc::MaxInstRegs] = {};
+  assert(Code.NumRegs <= bc::MaxRegs &&
+         Code.NumInstRegs <= bc::MaxInstRegs &&
+         "compiler enforces the register-file bounds");
+
+  // Element address of an already-checked subscript tuple: the
+  // interpreter's accessElement tail, shared by the split and fused
+  // access opcodes.  Charges the addressing cycles and, for reshaped
+  // arrays, issues the simulated processor-array load.
+  auto elemAddr = [&](const Expr &E, ArrayInstance *Inst,
+                      const int64_t *Idx, unsigned Rank) -> uint64_t {
+    const dist::ArrayLayout &L = Inst->Layout;
+    if (!Inst->isReshaped()) {
+      Clock += CostTab[bc::CostIntOp] * 2 * Rank;
+      return Inst->Base + static_cast<uint64_t>(L.linearIndex(Idx)) * 8;
+    }
+    int64_t Cell, Local;
+    if (E.TransSlot >= 0 &&
+        static_cast<size_t>(E.TransSlot) < TransCache.size()) {
+      translateReshaped(E, Inst, L, Idx, Rank, Cell, Local);
+    } else {
+      Cell = L.cellOf(Idx);
+      Local = L.localLinearIndex(Idx);
+    }
+    Clock += CostTab[bc::CostIntDiv] * 2 *
+             static_cast<uint64_t>(L.spec().numDistributedDims());
+    Clock += CostTab[bc::CostIntOp] * 2 * Rank;
+    memAccess(Inst->ProcArrayBase + static_cast<uint64_t>(Cell) * 8,
+              /*IsWrite=*/false);
+    return Inst->PortionBases[static_cast<size_t>(Cell)] +
+           static_cast<uint64_t>(Local) * 8;
+  };
+
+  // Fused resolve for LoadElemF/StoreElemF: instance resolution, the
+  // subscript-count check, and the per-dimension bounds checks in one
+  // pass over the index registers.  Returns null after fail()-ing (or
+  // with Failed already set by arrayInstance).
+  auto fusedResolve = [&](const bc::Insn &In,
+                          int64_t *Idx) -> ArrayInstance * {
+    const Expr &E = *In.X.E;
+    ArrayInstance *Inst = arrayInstance(E.Array);
+    if (!Inst || Failed)
+      return nullptr;
+    const dist::ArrayLayout &L = Inst->Layout;
+    if (E.Ops.size() != L.rank()) {
+      fail("subscript count mismatch on '" + E.Array->Name + "'");
+      return nullptr;
+    }
+    unsigned Rank = static_cast<unsigned>(E.Ops.size());
+    for (unsigned D = 0; D < Rank; ++D) {
+      int64_t V = Idx[D] = Regs[In.C + D].I;
+      if (V < 1 || V > L.dimSizes()[D]) {
+        fail(formatString(
+            "subscript %u of '%s' out of bounds: %lld not in [1, %lld]",
+            D + 1, E.Array->Name.c_str(), static_cast<long long>(V),
+            static_cast<long long>(L.dimSizes()[D])));
+        return nullptr;
+      }
+    }
+    return Inst;
+  };
+
+  const bc::Insn *Insns = Code.Insns.data();
+  int32_t PC = 0;
+  const bc::Insn *InP = nullptr;
+
+#if DSM_BC_THREADED
+  static const void *const Labels[] = {
+#define DSM_BC_DEF_LABEL(Name) &&L_##Name,
+      DSM_BC_OP_LIST(DSM_BC_DEF_LABEL)
+#undef DSM_BC_DEF_LABEL
+  };
+#define VM_CASE(Name) L_##Name:
+#define VM_NEXT()                                                        \
+  do {                                                                   \
+    InP = &Insns[PC++];                                                  \
+    goto *Labels[static_cast<size_t>(InP->Opc)];                         \
+  } while (0)
+  VM_NEXT();
+#else
+#define VM_CASE(Name) case bc::Op::Name:
+#define VM_NEXT() break
+  for (;;) {
+    InP = &Insns[PC++];
+    switch (InP->Opc) {
+#endif
+
+  //===-- Constants and scalars ----------------------------------------===//
+
+  VM_CASE(LdImmI) {
+    const bc::Insn &In = *InP;
+    Regs[In.A] = Value::ofInt(In.X.IVal);
+    VM_NEXT();
+  }
+  VM_CASE(LdImmF) {
+    const bc::Insn &In = *InP;
+    Regs[In.A] = Value::ofFp(In.X.FVal);
+    VM_NEXT();
+  }
+  VM_CASE(LdSlot) {
+    const bc::Insn &In = *InP;
+    Regs[In.A] = Cur->Scalars[static_cast<size_t>(In.Imm)];
+    VM_NEXT();
+  }
+  VM_CASE(LdCommon) {
+    const bc::Insn &In = *InP;
+    Regs[In.A] = getScalar(In.X.Sym);
+    VM_NEXT();
+  }
+  VM_CASE(StSlot) {
+    const bc::Insn &In = *InP;
+    size_t Slot = static_cast<size_t>(In.Imm);
+    Cur->Scalars[Slot] = Regs[In.A];
+    if (Recording && Cur == FrameStack.front().get())
+      RootWritten[Slot] = 1;
+    VM_NEXT();
+  }
+  VM_CASE(StCommon) {
+    const bc::Insn &In = *InP;
+    setScalar(In.X.Sym, Regs[In.A]);
+    if (Failed)
+      return;
+    VM_NEXT();
+  }
+
+  //===-- Arithmetic ---------------------------------------------------===//
+
+  VM_CASE(AddI) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].I + Regs[In.C].I);
+    VM_NEXT();
+  }
+  VM_CASE(AddF) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofFp(Regs[In.B].F + Regs[In.C].F);
+    VM_NEXT();
+  }
+  VM_CASE(SubI) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].I - Regs[In.C].I);
+    VM_NEXT();
+  }
+  VM_CASE(SubF) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofFp(Regs[In.B].F - Regs[In.C].F);
+    VM_NEXT();
+  }
+  VM_CASE(MulI) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].I * Regs[In.C].I);
+    VM_NEXT();
+  }
+  VM_CASE(MulF) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofFp(Regs[In.B].F * Regs[In.C].F);
+    VM_NEXT();
+  }
+  VM_CASE(FDivOp) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofFp(Regs[In.B].F / Regs[In.C].F);
+    VM_NEXT();
+  }
+  VM_CASE(IDivOp) {
+    const bc::Insn &In = *InP;
+    // The charge lands before the zero check, exactly as evalBin.
+    Clock += CostTab[In.CostKind];
+    int64_t L = Regs[In.B].I, R = Regs[In.C].I;
+    if (R == 0) {
+      fail("integer division by zero");
+      return;
+    }
+    Regs[In.A] = Value::ofInt(L / R);
+    VM_NEXT();
+  }
+  VM_CASE(IModOp) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    int64_t L = Regs[In.B].I, R = Regs[In.C].I;
+    if (R == 0) {
+      fail("integer modulo by zero");
+      return;
+    }
+    Regs[In.A] = Value::ofInt(L % R);
+    VM_NEXT();
+  }
+  VM_CASE(MinI) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    int64_t L = Regs[In.B].I, R = Regs[In.C].I;
+    Regs[In.A] = Value::ofInt(L < R ? L : R);
+    VM_NEXT();
+  }
+  VM_CASE(MinF) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    double L = Regs[In.B].F, R = Regs[In.C].F;
+    Regs[In.A] = Value::ofFp(L < R ? L : R);
+    VM_NEXT();
+  }
+  VM_CASE(MaxI) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    int64_t L = Regs[In.B].I, R = Regs[In.C].I;
+    Regs[In.A] = Value::ofInt(L > R ? L : R);
+    VM_NEXT();
+  }
+  VM_CASE(MaxF) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    double L = Regs[In.B].F, R = Regs[In.C].F;
+    Regs[In.A] = Value::ofFp(L > R ? L : R);
+    VM_NEXT();
+  }
+  VM_CASE(LtI) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].I < Regs[In.C].I);
+    VM_NEXT();
+  }
+  VM_CASE(LtF) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].F < Regs[In.C].F);
+    VM_NEXT();
+  }
+  VM_CASE(LeI) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].I <= Regs[In.C].I);
+    VM_NEXT();
+  }
+  VM_CASE(LeF) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].F <= Regs[In.C].F);
+    VM_NEXT();
+  }
+  VM_CASE(GtI) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].I > Regs[In.C].I);
+    VM_NEXT();
+  }
+  VM_CASE(GtF) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].F > Regs[In.C].F);
+    VM_NEXT();
+  }
+  VM_CASE(GeI) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].I >= Regs[In.C].I);
+    VM_NEXT();
+  }
+  VM_CASE(GeF) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].F >= Regs[In.C].F);
+    VM_NEXT();
+  }
+  VM_CASE(EqI) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].I == Regs[In.C].I);
+    VM_NEXT();
+  }
+  VM_CASE(EqF) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].F == Regs[In.C].F);
+    VM_NEXT();
+  }
+  VM_CASE(NeI) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].I != Regs[In.C].I);
+    VM_NEXT();
+  }
+  VM_CASE(NeF) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(Regs[In.B].F != Regs[In.C].F);
+    VM_NEXT();
+  }
+  VM_CASE(AndL) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] =
+        Value::ofInt((Regs[In.B].I != 0) && (Regs[In.C].I != 0));
+    VM_NEXT();
+  }
+  VM_CASE(OrL) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] =
+        Value::ofInt((Regs[In.B].I != 0) || (Regs[In.C].I != 0));
+    VM_NEXT();
+  }
+  VM_CASE(NegI) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(-Regs[In.B].I);
+    VM_NEXT();
+  }
+  VM_CASE(NegF) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofFp(-Regs[In.B].F);
+    VM_NEXT();
+  }
+  VM_CASE(SqrtOp) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind] * In.CostMul;
+    double V = Regs[In.B].F;
+    if (V < 0) {
+      fail("sqrt of negative value");
+      return;
+    }
+    Regs[In.A] = Value::ofFp(std::sqrt(V));
+    VM_NEXT();
+  }
+  VM_CASE(AbsI) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(std::abs(Regs[In.B].I));
+    VM_NEXT();
+  }
+  VM_CASE(AbsF) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofFp(std::fabs(Regs[In.B].F));
+    VM_NEXT();
+  }
+  VM_CASE(CvtIF) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofFp(static_cast<double>(Regs[In.B].I));
+    VM_NEXT();
+  }
+  VM_CASE(CvtFI) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    Regs[In.A] = Value::ofInt(static_cast<int64_t>(Regs[In.B].F));
+    VM_NEXT();
+  }
+
+  //===-- Control flow -------------------------------------------------===//
+
+  VM_CASE(Jmp) {
+    PC = InP->Imm;
+    VM_NEXT();
+  }
+  VM_CASE(JmpIfZero) {
+    const bc::Insn &In = *InP;
+    Clock += CostTab[In.CostKind];
+    if (Regs[In.A].I == 0)
+      PC = In.Imm;
+    VM_NEXT();
+  }
+  VM_CASE(DoRange) {
+    const bc::Insn &In = *InP;
+    if (Regs[In.C].I == 0) {
+      fail("DO loop with zero step", In.X.St->SourceLine);
+      return;
+    }
+    VM_NEXT();
+  }
+  VM_CASE(DoHead) {
+    const bc::Insn &In = *InP;
+    int64_t I = Regs[In.A].I, Ub = Regs[In.B].I, Step = Regs[In.C].I;
+    if (!(Step > 0 ? I <= Ub : I >= Ub)) {
+      PC = In.Imm;
+      VM_NEXT();
+    }
+    size_t Slot = static_cast<size_t>(In.X.IVal);
+    Cur->Scalars[Slot] = Value::ofInt(I);
+    if (Recording && Cur == FrameStack.front().get())
+      RootWritten[Slot] = 1;
+    Clock += CostTab[In.CostKind] * In.CostMul; // Increment + branch.
+    VM_NEXT();
+  }
+  VM_CASE(DoHeadCommon) {
+    const bc::Insn &In = *InP;
+    int64_t I = Regs[In.A].I, Ub = Regs[In.B].I, Step = Regs[In.C].I;
+    if (!(Step > 0 ? I <= Ub : I >= Ub)) {
+      PC = In.Imm;
+      VM_NEXT();
+    }
+    setScalar(In.X.Sym, Value::ofInt(I));
+    Clock += CostTab[In.CostKind] * In.CostMul;
+    if (Failed)
+      return;
+    VM_NEXT();
+  }
+  VM_CASE(DoLatch) {
+    const bc::Insn &In = *InP;
+    Regs[In.A].I += Regs[In.C].I;
+    PC = In.Imm;
+    VM_NEXT();
+  }
+
+  //===-- Memory -------------------------------------------------------===//
+
+  VM_CASE(ResolveArr) {
+    const bc::Insn &In = *InP;
+    const Expr &E = *In.X.E;
+    ArrayInstance *Inst = arrayInstance(E.Array);
+    if (!Inst || Failed)
+      return;
+    if ((In.Imm & 1) && E.Ops.size() != Inst->Layout.rank()) {
+      fail("subscript count mismatch on '" + E.Array->Name + "'");
+      return;
+    }
+    IRegs[In.A] = Inst;
+    VM_NEXT();
+  }
+  VM_CASE(ChkIdx) {
+    const bc::Insn &In = *InP;
+    const dist::ArrayLayout &L = IRegs[In.B]->Layout;
+    unsigned D = static_cast<unsigned>(In.Imm);
+    int64_t V = Regs[In.A].I;
+    if (V < 1 || V > L.dimSizes()[D]) {
+      fail(formatString(
+          "subscript %u of '%s' out of bounds: %lld not in [1, %lld]",
+          D + 1, In.X.E->Array->Name.c_str(), static_cast<long long>(V),
+          static_cast<long long>(L.dimSizes()[D])));
+      return;
+    }
+    VM_NEXT();
+  }
+  VM_CASE(LoadElem) {
+    const bc::Insn &In = *InP;
+    // The A(i1..ir) access: the interpreter's accessElement with the
+    // subscripts already evaluated and checked, sharing its
+    // translation cache and page cache.
+    const Expr &E = *In.X.E;
+    unsigned Rank = static_cast<unsigned>(E.Ops.size());
+    int64_t Idx[8];
+    for (unsigned D = 0; D < Rank; ++D)
+      Idx[D] = Regs[In.C + D].I;
+    uint64_t Addr = elemAddr(E, IRegs[In.B], Idx, Rank);
+    memAccess(Addr, /*IsWrite=*/false);
+    uint8_t *Data = funcData(Addr);
+    Value V;
+    if (E.Type == ScalarType::F64)
+      std::memcpy(&V.F, Data, 8);
+    else
+      std::memcpy(&V.I, Data, 8);
+    Regs[In.A] = V;
+    VM_NEXT();
+  }
+  VM_CASE(StoreElem) {
+    const bc::Insn &In = *InP;
+    const Expr &E = *In.X.E;
+    unsigned Rank = static_cast<unsigned>(E.Ops.size());
+    int64_t Idx[8];
+    for (unsigned D = 0; D < Rank; ++D)
+      Idx[D] = Regs[In.C + D].I;
+    uint64_t Addr = elemAddr(E, IRegs[In.B], Idx, Rank);
+    memAccess(Addr, /*IsWrite=*/true);
+    uint8_t *Data = funcData(Addr);
+    if (E.Type == ScalarType::F64)
+      std::memcpy(Data, &Regs[In.A].F, 8);
+    else
+      std::memcpy(Data, &Regs[In.A].I, 8);
+    VM_NEXT();
+  }
+  VM_CASE(LoadElemF) {
+    const bc::Insn &In = *InP;
+    // Fused resolve + checks + load, emitted only when every
+    // subscript expression is fail-free (Compiler.cpp), which makes
+    // batching the checks after the subscript evaluations
+    // unobservable.
+    const Expr &E = *In.X.E;
+    int64_t Idx[8];
+    ArrayInstance *Inst = fusedResolve(In, Idx);
+    if (!Inst)
+      return;
+    uint64_t Addr =
+        elemAddr(E, Inst, Idx, static_cast<unsigned>(E.Ops.size()));
+    memAccess(Addr, /*IsWrite=*/false);
+    uint8_t *Data = funcData(Addr);
+    Value V;
+    if (E.Type == ScalarType::F64)
+      std::memcpy(&V.F, Data, 8);
+    else
+      std::memcpy(&V.I, Data, 8);
+    Regs[In.A] = V;
+    VM_NEXT();
+  }
+  VM_CASE(StoreElemF) {
+    const bc::Insn &In = *InP;
+    const Expr &E = *In.X.E;
+    int64_t Idx[8];
+    ArrayInstance *Inst = fusedResolve(In, Idx);
+    if (!Inst)
+      return;
+    uint64_t Addr =
+        elemAddr(E, Inst, Idx, static_cast<unsigned>(E.Ops.size()));
+    memAccess(Addr, /*IsWrite=*/true);
+    uint8_t *Data = funcData(Addr);
+    if (E.Type == ScalarType::F64)
+      std::memcpy(Data, &Regs[In.A].F, 8);
+    else
+      std::memcpy(Data, &Regs[In.A].I, 8);
+    VM_NEXT();
+  }
+  VM_CASE(PortionBase) {
+    const bc::Insn &In = *InP;
+    const Expr &E = *In.X.E;
+    ArrayInstance *Inst = IRegs[In.B];
+    int64_t Cell = Regs[In.C].I;
+    if (Cell < 0 || Cell >= Inst->Layout.grid().totalCells()) {
+      fail(formatString("processor-array index %lld out of range on "
+                        "'%s'",
+                        static_cast<long long>(Cell),
+                        E.Array->Name.c_str()));
+      return;
+    }
+    memAccess(Inst->ProcArrayBase + static_cast<uint64_t>(Cell) * 8,
+              /*IsWrite=*/false);
+    Regs[In.A] = Value::ofInt(static_cast<int64_t>(
+        Inst->PortionBases[static_cast<size_t>(Cell)]));
+    VM_NEXT();
+  }
+  VM_CASE(LoadPortion) {
+    const bc::Insn &In = *InP;
+    const Expr &E = *In.X.E;
+    ArrayInstance *Inst = IRegs[In.Imm];
+    uint64_t Base = E.Scalar
+                        ? static_cast<uint64_t>(getScalar(E.Scalar).I)
+                        : static_cast<uint64_t>(Regs[In.B].I);
+    int64_t Local = Regs[In.C].I;
+    if (Local < 0 || Local >= Inst->Layout.portionElems()) {
+      fail(formatString("portion offset %lld out of range on '%s'",
+                        static_cast<long long>(Local),
+                        E.Array->Name.c_str()));
+      return;
+    }
+    Clock += CostTab[In.CostKind] * In.CostMul; // base + 8*local.
+    uint64_t Addr = Base + static_cast<uint64_t>(Local) * 8;
+    memAccess(Addr, /*IsWrite=*/false);
+    uint8_t *Data = funcData(Addr);
+    Value V;
+    if (E.Type == ScalarType::F64)
+      std::memcpy(&V.F, Data, 8);
+    else
+      std::memcpy(&V.I, Data, 8);
+    Regs[In.A] = V;
+    VM_NEXT();
+  }
+  VM_CASE(StorePortion) {
+    const bc::Insn &In = *InP;
+    const Expr &E = *In.X.E;
+    ArrayInstance *Inst = IRegs[In.Imm];
+    uint64_t Base = E.Scalar
+                        ? static_cast<uint64_t>(getScalar(E.Scalar).I)
+                        : static_cast<uint64_t>(Regs[In.B].I);
+    int64_t Local = Regs[In.C].I;
+    if (Local < 0 || Local >= Inst->Layout.portionElems()) {
+      fail(formatString("portion offset %lld out of range on '%s'",
+                        static_cast<long long>(Local),
+                        E.Array->Name.c_str()));
+      return;
+    }
+    Clock += CostTab[In.CostKind] * In.CostMul;
+    uint64_t Addr = Base + static_cast<uint64_t>(Local) * 8;
+    memAccess(Addr, /*IsWrite=*/true);
+    uint8_t *Data = funcData(Addr);
+    if (E.Type == ScalarType::F64)
+      std::memcpy(Data, &Regs[In.A].F, 8);
+    else
+      std::memcpy(Data, &Regs[In.A].I, 8);
+    VM_NEXT();
+  }
+  VM_CASE(PortionPtrOp) {
+    const bc::Insn &In = *InP;
+    const Expr &E = *In.X.E;
+    ArrayInstance *Inst = IRegs[In.B];
+    int64_t Cell = Regs[In.C].I;
+    if (Cell < 0 || Cell >= Inst->Layout.grid().totalCells()) {
+      fail("processor-array index out of range on '" + E.Array->Name +
+           "'");
+      return;
+    }
+    Clock += CostTab[In.CostKind] * In.CostMul;
+    memAccess(Inst->ProcArrayBase + static_cast<uint64_t>(Cell) * 8,
+              /*IsWrite=*/false);
+    Regs[In.A] = Value::ofInt(static_cast<int64_t>(
+        Inst->PortionBases[static_cast<size_t>(Cell)]));
+    VM_NEXT();
+  }
+
+  //===-- Escapes ------------------------------------------------------===//
+
+  VM_CASE(EvalExpr) {
+    const bc::Insn &In = *InP;
+    Regs[In.A] = evalExpr(*In.X.E);
+    if (Failed)
+      return;
+    VM_NEXT();
+  }
+  VM_CASE(ExecStmt) {
+    execStmt(*InP->X.St);
+    if (Failed)
+      return;
+    VM_NEXT();
+  }
+  VM_CASE(Ret) { return; }
+
+#if !DSM_BC_THREADED
+    }
+  }
+#endif
+#undef VM_CASE
+#undef VM_NEXT
+}
+
+} // namespace dsm::exec

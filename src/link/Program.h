@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +24,36 @@
 #include "ir/Ir.h"
 
 namespace dsm::link {
+
+/// One-shot, thread-safe slot for a derived artifact a consumer builds
+/// lazily from a finalized program (the bytecode engine caches its
+/// compiled code here, so every engine sharing one ProgramHandle
+/// compiles at most once).  Type-erased so link stays independent of
+/// exec.  Moving a Program resets the slot; programs are only moved
+/// during construction, before they are shared.
+class ArtifactSlot {
+public:
+  ArtifactSlot() = default;
+  ArtifactSlot(ArtifactSlot &&) noexcept {}
+  ArtifactSlot &operator=(ArtifactSlot &&) noexcept {
+    return *this;
+  }
+
+  /// Returns the cached artifact, building it first via \p Make if the
+  /// slot is empty.  Concurrent callers block until the first build
+  /// finishes and then share its result.
+  template <typename MakeFn>
+  std::shared_ptr<const void> getOrSet(MakeFn &&Make) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Ptr)
+      Ptr = Make();
+    return Ptr;
+  }
+
+private:
+  mutable std::mutex Mu;
+  mutable std::shared_ptr<const void> Ptr;
+};
 
 /// Canonical description of one array member of a COMMON block.
 struct CommonArrayInfo {
@@ -71,6 +102,11 @@ struct Program {
   bool Finalized = false;
   /// Number of translation-cache slots finalizeProgram() handed out.
   int NumTransSlots = 0;
+
+  /// Lazily built derived artifacts keyed to this program's finalized
+  /// IR (currently the bytecode engine's compiled code).  Logically
+  /// not part of the program, hence usable through const handles.
+  ArtifactSlot EngineArtifacts;
 
   ir::Procedure *findProcedure(const std::string &Name) const {
     auto It = Procedures.find(Name);

@@ -138,10 +138,25 @@ private:
   ActiveTile *findContext(const ArraySymbol *A, unsigned Dim,
                           const Expr &Sub, int64_t *Delta);
 
-  ExprPtr buildNaiveOwner(ArraySymbol *A, unsigned Dim,
-                          const Expr &Sub);
-  ExprPtr buildNaiveLocal(ArraySymbol *A, unsigned Dim, ExprPtr E0);
+  /// \p MemoQueries routes the DistQuery leaves through memoQuery();
+  /// only callers whose result provably lands after the outermost
+  /// scope's PreStmts may set it (CSE can move naive chains above an
+  /// enclosing tiled loop's pre-statements, so those stay inline).
+  ExprPtr buildNaiveOwner(ArraySymbol *A, unsigned Dim, const Expr &Sub,
+                          bool MemoQueries = false);
+  ExprPtr buildNaiveLocal(ArraySymbol *A, unsigned Dim, ExprPtr E0,
+                          bool MemoQueries = false);
   ExprPtr buildPortionElem(Expr &Ref);
+
+  /// At Full level, each distinct DistQuery leaf -- block size,
+  /// processor count, chunk, portion extent, all distribution
+  /// constants of a reshaped array -- is computed once into a temp
+  /// before the outermost tiled loop and reused at every
+  /// strength-reduction site in the nest, instead of being re-cloned
+  /// into every div/mod chain; the lowered (and hence bytecode-
+  /// compiled) program shrinks accordingly.  Outside a tiled loop, or
+  /// below Full, the query stays inline.
+  ExprPtr memoQuery(DistQueryKind K, ArraySymbol *A, unsigned Dim);
 
   ScalarSymbol *inductionTempFor(ActiveTile &T, const Stmt *OwnerLoop);
 
@@ -222,6 +237,22 @@ private:
     return useE(Temp);
   }
 };
+
+ExprPtr Lowerer::memoQuery(DistQueryKind K, ArraySymbol *A,
+                           unsigned Dim) {
+  if (Level != ReshapeOptLevel::Full || Scopes.empty())
+    return queryE(K, A, Dim);
+  LoopScope &Scope = Scopes.front();
+  std::string Key = "dq|" + std::to_string(static_cast<int>(K)) + "|" +
+                    A->Name + "|" + std::to_string(Dim);
+  auto It = Scope.HoistCache.find(Key);
+  if (It != Scope.HoistCache.end())
+    return useE(It->second);
+  ScalarSymbol *Temp = Proc.addTemp("dq", ScalarType::I64);
+  Scope.PreStmts.push_back(makeAssign(useE(Temp), queryE(K, A, Dim)));
+  Scope.HoistCache.emplace(Key, Temp);
+  return useE(Temp);
+}
 
 ExprPtr Lowerer::hoistInvariant(ExprPtr E, const char *Hint) {
   if (Level != ReshapeOptLevel::Full || Scopes.empty())
@@ -484,17 +515,19 @@ Lowerer::ActiveTile *Lowerer::findContext(const ArraySymbol *A,
 }
 
 ExprPtr Lowerer::buildNaiveOwner(ArraySymbol *A, unsigned Dim,
-                                 const Expr &Sub) {
+                                 const Expr &Sub, bool MemoQueries) {
+  auto Q = [&](DistQueryKind K) {
+    return MemoQueries ? memoQuery(K, A, Dim) : queryE(K, A, Dim);
+  };
   ExprPtr E0 = addConstE(cloneExpr(Sub), -1); // 0-based element.
   switch (A->Dist.Dims[Dim].Kind) {
   case dist::DistKind::Block:
-    return divE(std::move(E0),
-                queryE(DistQueryKind::BlockSize, A, Dim));
+    return divE(std::move(E0), Q(DistQueryKind::BlockSize));
   case dist::DistKind::Cyclic:
-    return modE(std::move(E0), queryE(DistQueryKind::NumProcs, A, Dim));
+    return modE(std::move(E0), Q(DistQueryKind::NumProcs));
   case dist::DistKind::BlockCyclic:
-    return modE(divE(std::move(E0), queryE(DistQueryKind::Chunk, A, Dim)),
-                queryE(DistQueryKind::NumProcs, A, Dim));
+    return modE(divE(std::move(E0), Q(DistQueryKind::Chunk)),
+                Q(DistQueryKind::NumProcs));
   case dist::DistKind::None:
     break;
   }
@@ -502,24 +535,24 @@ ExprPtr Lowerer::buildNaiveOwner(ArraySymbol *A, unsigned Dim,
 }
 
 ExprPtr Lowerer::buildNaiveLocal(ArraySymbol *A, unsigned Dim,
-                                 ExprPtr E0) {
+                                 ExprPtr E0, bool MemoQueries) {
+  auto Q = [&](DistQueryKind K) {
+    return MemoQueries ? memoQuery(K, A, Dim) : queryE(K, A, Dim);
+  };
   switch (A->Dist.Dims[Dim].Kind) {
   case dist::DistKind::None:
     return E0;
   case dist::DistKind::Block:
-    return modE(std::move(E0),
-                queryE(DistQueryKind::BlockSize, A, Dim));
+    return modE(std::move(E0), Q(DistQueryKind::BlockSize));
   case dist::DistKind::Cyclic:
-    return divE(std::move(E0), queryE(DistQueryKind::NumProcs, A, Dim));
+    return divE(std::move(E0), Q(DistQueryKind::NumProcs));
   case dist::DistKind::BlockCyclic: {
     // (e / (k*P)) * k + e mod k.
-    ExprPtr KP = mulE(queryE(DistQueryKind::Chunk, A, Dim),
-                      queryE(DistQueryKind::NumProcs, A, Dim));
+    ExprPtr KP = mulE(Q(DistQueryKind::Chunk),
+                      Q(DistQueryKind::NumProcs));
     ExprPtr Row = divE(cloneExpr(*E0), std::move(KP));
-    ExprPtr InChunk =
-        modE(std::move(E0), queryE(DistQueryKind::Chunk, A, Dim));
-    return addE(mulE(std::move(Row),
-                     queryE(DistQueryKind::Chunk, A, Dim)),
+    ExprPtr InChunk = modE(std::move(E0), Q(DistQueryKind::Chunk));
+    return addE(mulE(std::move(Row), Q(DistQueryKind::Chunk)),
                 std::move(InChunk));
   }
   }
@@ -563,7 +596,7 @@ ScalarSymbol *Lowerer::inductionTempFor(ActiveTile &T,
       mulConstE(cloneExpr(*OwnerLoop->Lb), T.Tile->Scale),
       T.Tile->Offset - 1);
   ExprPtr Init = buildNaiveLocal(T.Tile->Array, T.Tile->Dim,
-                                 std::move(E0));
+                                 std::move(E0), /*MemoQueries=*/true);
   Scope.PreStmts.push_back(makeAssign(useE(Temp), std::move(Init)));
 
   Scope.IncrStmts.push_back(
@@ -597,7 +630,7 @@ ExprPtr Lowerer::buildPortionElem(Expr &Ref) {
                           : std::move(Coord);
     Cell = Cell ? addE(std::move(Cell), std::move(Term))
                 : std::move(Term);
-    ExprPtr P = queryE(DistQueryKind::NumProcs, A, D);
+    ExprPtr P = memoQuery(DistQueryKind::NumProcs, A, D);
     Stride = Stride ? hoistInvariant(
                           mulE(std::move(Stride), std::move(P)), "cstr")
                     : std::move(P);
@@ -624,7 +657,7 @@ ExprPtr Lowerer::buildPortionElem(Expr &Ref) {
         // local = e - 1 - p*b  (symbolic-step fallback).
         LocalD = subE(addConstE(cloneExpr(*Ref.Ops[D]), -1),
                       mulE(useE(Ctx->Tile->ProcVar),
-                           queryE(DistQueryKind::BlockSize, A, D)));
+                           memoQuery(DistQueryKind::BlockSize, A, D)));
       }
     } else if (Ctx) {
       // Cyclic / cyclic(k): strength-reduced induction temp.
@@ -639,7 +672,7 @@ ExprPtr Lowerer::buildPortionElem(Expr &Ref) {
                        : std::move(LocalD);
     Local = Local ? addE(std::move(Local), std::move(Term))
                   : std::move(Term);
-    ExprPtr PE = queryE(DistQueryKind::PortionExtent, A, D);
+    ExprPtr PE = memoQuery(DistQueryKind::PortionExtent, A, D);
     PStride = PStride
                   ? hoistInvariant(
                         mulE(std::move(PStride), std::move(PE)), "pstr")

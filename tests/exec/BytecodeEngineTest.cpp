@@ -1,0 +1,247 @@
+//===- tests/exec/BytecodeEngineTest.cpp - Engine selection tests ---------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Engine-selection contract (DESIGN.md Section 12): RunOptions::Engine
+// / DSM_ENGINE pick between the tree-walking interpreter and the
+// bytecode VM, Auto resolves from the environment with bytecode as the
+// default, a bad DSM_ENGINE value surfaces as a proper Error from
+// validate() and run() (never an abort), and RunResult::Engine reports
+// what actually ran.  Plus a direct spot check that the two engines
+// are bit-identical on a mixed scalar/array/parallel program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "api/Dsm.h"
+
+using namespace dsm;
+
+namespace {
+
+using EngineKind = exec::RunOptions::EngineKind;
+
+/// Scoped DSM_ENGINE override; restores the prior value on exit so
+/// tests compose with an externally-set engine (CI runs the whole
+/// suite under DSM_ENGINE=interp too).
+class ScopedEngineEnv {
+public:
+  explicit ScopedEngineEnv(const char *Value) {
+    const char *Old = std::getenv("DSM_ENGINE");
+    HadOld = Old != nullptr;
+    if (HadOld)
+      OldValue = Old;
+    if (Value)
+      setenv("DSM_ENGINE", Value, 1);
+    else
+      unsetenv("DSM_ENGINE");
+  }
+  ~ScopedEngineEnv() {
+    if (HadOld)
+      setenv("DSM_ENGINE", OldValue.c_str(), 1);
+    else
+      unsetenv("DSM_ENGINE");
+  }
+
+private:
+  bool HadOld = false;
+  std::string OldValue;
+};
+
+numa::MachineConfig machine() {
+  numa::MachineConfig C;
+  C.NumNodes = 2;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 8 << 20;
+  return C;
+}
+
+const char *kProgram = R"(
+      program main
+      integer i, n
+      parameter (n = 64)
+      real*8 s, A(n), B(n)
+c$distribute A(block)
+      do i = 1, n
+        A(i) = i * 1.5
+        B(i) = 0.0
+      enddo
+      call dsm_timer_start
+c$doacross local(i)
+      do i = 1, n
+        B(i) = A(i) * 2.0 + 1.0
+      enddo
+      s = 0.0
+      do i = 1, n
+        s = s + B(i)
+      enddo
+      call dsm_timer_stop
+      end
+)";
+
+TEST(EngineSelection, ResolveExplicitKindsIgnoreEnvironment) {
+  ScopedEngineEnv Env("bogus");
+  auto I = exec::RunOptions::resolveEngine(EngineKind::Interp);
+  ASSERT_TRUE(bool(I));
+  EXPECT_EQ(*I, EngineKind::Interp);
+  auto B = exec::RunOptions::resolveEngine(EngineKind::Bytecode);
+  ASSERT_TRUE(bool(B));
+  EXPECT_EQ(*B, EngineKind::Bytecode);
+}
+
+TEST(EngineSelection, AutoDefaultsToBytecode) {
+  ScopedEngineEnv Env(nullptr);
+  auto K = exec::RunOptions::resolveEngine(EngineKind::Auto);
+  ASSERT_TRUE(bool(K));
+  EXPECT_EQ(*K, EngineKind::Bytecode);
+}
+
+TEST(EngineSelection, AutoReadsEnvironmentRoundTrip) {
+  {
+    ScopedEngineEnv Env("interp");
+    auto K = exec::RunOptions::resolveEngine(EngineKind::Auto);
+    ASSERT_TRUE(bool(K));
+    EXPECT_EQ(*K, EngineKind::Interp);
+    EXPECT_EQ(exec::RunOptions::fromEnv().Engine, EngineKind::Interp);
+  }
+  {
+    ScopedEngineEnv Env("bytecode");
+    auto K = exec::RunOptions::resolveEngine(EngineKind::Auto);
+    ASSERT_TRUE(bool(K));
+    EXPECT_EQ(*K, EngineKind::Bytecode);
+    EXPECT_EQ(exec::RunOptions::fromEnv().Engine, EngineKind::Bytecode);
+  }
+  {
+    ScopedEngineEnv Env("");
+    auto K = exec::RunOptions::resolveEngine(EngineKind::Auto);
+    ASSERT_TRUE(bool(K));
+    EXPECT_EQ(*K, EngineKind::Bytecode);
+  }
+}
+
+TEST(EngineSelection, BadValueIsAnErrorNotAnAbort) {
+  ScopedEngineEnv Env("jit");
+  auto K = exec::RunOptions::resolveEngine(EngineKind::Auto);
+  ASSERT_FALSE(bool(K));
+  EXPECT_NE(K.error().str().find("invalid DSM_ENGINE value 'jit'"),
+            std::string::npos)
+      << K.error().str();
+
+  // fromEnv keeps Auto so validate() can report the same error.
+  exec::RunOptions Opts = exec::RunOptions::fromEnv();
+  EXPECT_EQ(Opts.Engine, EngineKind::Auto);
+  Error E = Opts.validate();
+  ASSERT_TRUE(bool(E));
+  EXPECT_NE(E.str().find("invalid DSM_ENGINE value 'jit'"),
+            std::string::npos)
+      << E.str();
+}
+
+TEST(EngineSelection, RunSurfacesBadEnvironmentAsError) {
+  ScopedEngineEnv Env("jit");
+  auto Prog = dsm::compile({{"main.f", kProgram}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions Opts;
+  Opts.NumProcs = 4;
+  exec::Engine E(**Prog, Mem, Opts);
+  auto R = E.run();
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().str().find("invalid DSM_ENGINE value 'jit'"),
+            std::string::npos)
+      << R.error().str();
+}
+
+TEST(EngineSelection, RunResultRecordsTheEngineThatRan) {
+  ScopedEngineEnv Env(nullptr);
+  auto Prog = dsm::compile({{"main.f", kProgram}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  for (EngineKind K : {EngineKind::Auto, EngineKind::Interp,
+                       EngineKind::Bytecode}) {
+    numa::MemorySystem Mem(machine());
+    exec::RunOptions Opts;
+    Opts.NumProcs = 4;
+    Opts.Engine = K;
+    exec::Engine E(**Prog, Mem, Opts);
+    auto R = E.run();
+    ASSERT_TRUE(bool(R)) << R.error().str();
+    EXPECT_EQ(R->Engine, K == EngineKind::Interp ? EngineKind::Interp
+                                                 : EngineKind::Bytecode);
+  }
+}
+
+TEST(EngineSelection, EnginesAreBitIdentical) {
+  ScopedEngineEnv Env(nullptr);
+  auto Prog = dsm::compile({{"main.f", kProgram}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+
+  auto RunWith = [&](EngineKind K, double &Checksum) {
+    numa::MemorySystem Mem(machine());
+    exec::RunOptions Opts;
+    Opts.NumProcs = 4;
+    Opts.CollectMetrics = true;
+    Opts.Engine = K;
+    exec::Engine E(**Prog, Mem, Opts);
+    auto R = E.run();
+    EXPECT_TRUE(bool(R)) << R.error().str();
+    auto Sum = E.arrayWeightedChecksum("b");
+    EXPECT_TRUE(bool(Sum)) << Sum.error().str();
+    Checksum = Sum ? *Sum : 0.0;
+    return R ? std::move(*R) : exec::RunResult();
+  };
+
+  double InterpSum = 0.0, BytecodeSum = 0.0;
+  exec::RunResult I = RunWith(EngineKind::Interp, InterpSum);
+  exec::RunResult B = RunWith(EngineKind::Bytecode, BytecodeSum);
+  EXPECT_EQ(I.WallCycles, B.WallCycles);
+  EXPECT_EQ(I.TimedCycles, B.TimedCycles);
+  EXPECT_TRUE(I.Counters == B.Counters)
+      << "interp:\n"
+      << I.Counters.str() << "bytecode:\n"
+      << B.Counters.str();
+  EXPECT_EQ(I.ParallelRegions, B.ParallelRegions);
+  EXPECT_EQ(InterpSum, BytecodeSum);
+  EXPECT_TRUE(I.Metrics.Arrays == B.Metrics.Arrays);
+  EXPECT_TRUE(I.Metrics.Nodes == B.Metrics.Nodes);
+}
+
+/// Both engines must report runtime failures with the identical
+/// message -- here an out-of-bounds subscript whose index comes from a
+/// scalar, hitting the VM's fused bounds check.
+TEST(EngineSelection, FailureMessagesMatch) {
+  const char *Bad = R"(
+      program main
+      integer i
+      real*8 A(8)
+      do i = 1, 8
+        A(i) = i
+      enddo
+      i = 9
+      A(1) = A(i)
+      end
+)";
+  auto Prog = dsm::compile({{"main.f", Bad}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  std::string Msgs[2];
+  EngineKind Kinds[2] = {EngineKind::Interp, EngineKind::Bytecode};
+  for (int K = 0; K < 2; ++K) {
+    numa::MemorySystem Mem(machine());
+    exec::RunOptions Opts;
+    Opts.Engine = Kinds[K];
+    exec::Engine E(**Prog, Mem, Opts);
+    auto R = E.run();
+    ASSERT_FALSE(bool(R));
+    Msgs[K] = R.error().str();
+  }
+  EXPECT_EQ(Msgs[0], Msgs[1]);
+  EXPECT_NE(Msgs[1].find("out of bounds"), std::string::npos) << Msgs[1];
+}
+
+} // namespace

@@ -2,15 +2,16 @@
 //
 // Part of the dsm-dist-repro project.
 //
-// Differential fuzzing of the host-threaded epoch engine: a seeded
-// generator produces random-but-data-race-free DSM Fortran programs
+// Differential fuzzing of the execution engines: a seeded generator
+// produces random-but-data-race-free DSM Fortran programs
 // (c$distribute / c$distribute_reshape / c$redistribute plus doacross
 // epochs with affinity, schedtype, nest, and scalar-reduction
-// fallbacks), and every program is run twice -- HostThreads=1 and
-// HostThreads=4.  The two runs must be bit-identical: same cycles,
-// same memory-system counters, same array contents, and the same
-// observability metrics.  On failure the seed is printed so the case
-// can be replayed.
+// fallbacks), and every program is run as a three-way oracle -- the
+// tree-walking interpreter serial (the reference), the bytecode VM
+// serial, and the bytecode VM with HostThreads=4.  All three runs
+// must be bit-identical: same cycles, same memory-system counters,
+// same array contents, and the same observability metrics.  On
+// failure the seed is printed so the case can be replayed.
 //
 // The suite carries the ctest label `fuzz` (see CMakeLists.txt); CI
 // runs it under TSan as well.
@@ -277,9 +278,12 @@ struct RunObs {
   std::string FailMessage;
 };
 
+using EngineKind = exec::RunOptions::EngineKind;
+
 RunObs runOnce(const link::Program &Prog, int HostThreads,
                const std::vector<std::string> &Arrays,
-               fault::Injector *Inj = nullptr) {
+               fault::Injector *Inj = nullptr,
+               EngineKind Engine = EngineKind::Bytecode) {
   RunObs Obs;
   numa::MemorySystem Mem(machine());
   exec::RunOptions ROpts;
@@ -287,6 +291,7 @@ RunObs runOnce(const link::Program &Prog, int HostThreads,
   ROpts.HostThreads = HostThreads;
   ROpts.CollectMetrics = true;
   ROpts.Fault = Inj;
+  ROpts.Engine = Engine;
   exec::Engine E(Prog, Mem, ROpts);
   auto R = E.run();
   if (!R) {
@@ -303,8 +308,10 @@ RunObs runOnce(const link::Program &Prog, int HostThreads,
   return Obs;
 }
 
-/// Runs one generated case serial and threaded; returns the threaded
-/// epoch count (0 on failure) so shards can assert aggregate coverage.
+/// Runs one generated case as a three-way oracle -- interpreter
+/// serial (the reference), bytecode serial, bytecode threaded; returns
+/// the threaded epoch count (0 on failure) so shards can assert
+/// aggregate coverage.
 unsigned checkCase(uint64_t Seed) {
   GenCase C = generate(Seed);
   SCOPED_TRACE("fuzz seed " + std::to_string(Seed) + "; program:\n" +
@@ -314,13 +321,37 @@ unsigned checkCase(uint64_t Seed) {
       << "compile failed: " << Prog.error().str();
   if (!Prog)
     return 0;
+  RunObs Ref = runOnce(**Prog, 1, C.Arrays, nullptr, EngineKind::Interp);
   RunObs Serial = runOnce(**Prog, 1, C.Arrays);
   RunObs Threaded = runOnce(**Prog, 4, C.Arrays);
-  EXPECT_FALSE(Serial.Failed) << Serial.FailMessage;
+  EXPECT_FALSE(Ref.Failed) << Ref.FailMessage;
+  EXPECT_EQ(Ref.Failed, Serial.Failed);
+  EXPECT_EQ(Ref.FailMessage, Serial.FailMessage);
   EXPECT_EQ(Serial.Failed, Threaded.Failed);
   EXPECT_EQ(Serial.FailMessage, Threaded.FailMessage);
-  if (Serial.Failed || Threaded.Failed)
+  if (Ref.Failed || Serial.Failed || Threaded.Failed)
     return 0;
+
+  // Interpreter vs bytecode VM, both serial: the engines must agree on
+  // every observable before the threading comparison even starts.
+  EXPECT_EQ(Ref.R.Engine, EngineKind::Interp);
+  EXPECT_EQ(Serial.R.Engine, EngineKind::Bytecode);
+  EXPECT_EQ(Ref.R.WallCycles, Serial.R.WallCycles);
+  EXPECT_EQ(Ref.R.TimedCycles, Serial.R.TimedCycles);
+  EXPECT_TRUE(Ref.R.Counters == Serial.R.Counters)
+      << "interp:\n"
+      << Ref.R.Counters.str() << "bytecode:\n"
+      << Serial.R.Counters.str();
+  EXPECT_EQ(Ref.R.ParallelRegions, Serial.R.ParallelRegions);
+  EXPECT_EQ(Ref.R.RedistributeCycles, Serial.R.RedistributeCycles);
+  for (size_t I = 0; I < Ref.Checksums.size(); ++I)
+    EXPECT_EQ(Ref.Checksums[I], Serial.Checksums[I])
+        << "array " << C.Arrays[I] << " differs between engines";
+  EXPECT_TRUE(Ref.R.Metrics.Arrays == Serial.R.Metrics.Arrays);
+  EXPECT_TRUE(Ref.R.Metrics.Nodes == Serial.R.Metrics.Nodes);
+  EXPECT_EQ(Ref.R.Metrics.Epochs, Serial.R.Metrics.Epochs);
+  EXPECT_EQ(Ref.R.Metrics.EpochLog.size(),
+            Serial.R.Metrics.EpochLog.size());
 
   EXPECT_EQ(Serial.R.WallCycles, Threaded.R.WallCycles);
   EXPECT_EQ(Serial.R.TimedCycles, Threaded.R.TimedCycles);
@@ -416,10 +447,12 @@ fault::FaultSpec randomSpec(uint64_t Seed) {
   return S;
 }
 
-/// Runs one generated case four ways -- fault-free baseline, then under
-/// a random fault schedule serial and threaded -- and requires that
-/// faults never change results: faulted checksums equal the baseline,
-/// and the two faulted runs are bit-identical in every observable.
+/// Runs one generated case several ways -- fault-free baseline, then
+/// under a random fault schedule as the same three-way engine oracle
+/// (interpreter serial, bytecode serial, bytecode threaded) -- and
+/// requires that faults never change results: faulted checksums equal
+/// the baseline, and all faulted runs are bit-identical in every
+/// observable, including the fault accounting.
 uint64_t checkFaultCase(uint64_t Seed) {
   GenCase C = generate(Seed);
   fault::FaultSpec Spec = randomSpec(Seed);
@@ -435,14 +468,26 @@ uint64_t checkFaultCase(uint64_t Seed) {
     return 0;
 
   // The engine resets the injector at run start, so one injector gives
-  // both runs the identical schedule.
+  // every run the identical schedule.
   fault::Injector Inj(Spec);
+  RunObs Ref = runOnce(**Prog, 1, C.Arrays, &Inj, EngineKind::Interp);
   RunObs Serial = runOnce(**Prog, 1, C.Arrays, &Inj);
   RunObs Threaded = runOnce(**Prog, 4, C.Arrays, &Inj);
+  EXPECT_FALSE(Ref.Failed) << Ref.FailMessage;
   EXPECT_FALSE(Serial.Failed) << Serial.FailMessage;
   EXPECT_FALSE(Threaded.Failed) << Threaded.FailMessage;
-  if (Serial.Failed || Threaded.Failed)
+  if (Ref.Failed || Serial.Failed || Threaded.Failed)
     return 0;
+
+  // Interpreter vs bytecode under the identical fault schedule.
+  EXPECT_EQ(Ref.R.WallCycles, Serial.R.WallCycles);
+  EXPECT_TRUE(Ref.R.Counters == Serial.R.Counters);
+  EXPECT_TRUE(Ref.R.Faults == Serial.R.Faults)
+      << "interp: " << Ref.R.Faults.str()
+      << "\nbytecode: " << Serial.R.Faults.str();
+  for (size_t I = 0; I < Ref.Checksums.size(); ++I)
+    EXPECT_EQ(Ref.Checksums[I], Serial.Checksums[I])
+        << "array " << C.Arrays[I] << " differs between engines";
 
   // Semantics preservation: no fault schedule may change results.
   for (size_t I = 0; I < Baseline.Checksums.size(); ++I) {

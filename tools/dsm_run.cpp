@@ -58,6 +58,10 @@ int usage(const char *Argv0) {
       "  --policy=P           page placement for undirected pages:\n"
       "                       first-touch (default) or round-robin\n"
       "  --machine=M          scaled (default) or origin2000\n"
+      "  --engine=E           execution engine: bytecode (default),\n"
+      "                       interp, or auto (read DSM_ENGINE); both\n"
+      "                       engines are bit-identical, they differ\n"
+      "                       only in host speed\n"
       "  --metrics            print per-array/per-node locality metrics\n"
       "  --trace=FILE         write the JSONL event trace to FILE\n"
       "  --chrome-trace=FILE  write a chrome://tracing / Perfetto\n"
@@ -107,6 +111,23 @@ bool parsePolicy(const std::string &V, numa::PlacementPolicy &Out) {
   }
   if (V == "round-robin") {
     Out = numa::PlacementPolicy::RoundRobin;
+    return true;
+  }
+  return false;
+}
+
+bool parseEngine(const std::string &V,
+                 exec::RunOptions::EngineKind &Out) {
+  if (V == "interp") {
+    Out = exec::RunOptions::EngineKind::Interp;
+    return true;
+  }
+  if (V == "bytecode") {
+    Out = exec::RunOptions::EngineKind::Bytecode;
+    return true;
+  }
+  if (V == "auto") {
+    Out = exec::RunOptions::EngineKind::Auto;
     return true;
   }
   return false;
@@ -502,6 +523,14 @@ int main(int argc, char **argv) {
         return 2;
       }
       Base.MachineName = V;
+    } else if (flagValue(Arg, "--engine", V)) {
+      if (!parseEngine(V, Base.Req.Opts.Engine)) {
+        std::fprintf(stderr,
+                     "unknown --engine '%s' (expected 'interp', "
+                     "'bytecode', or 'auto')\n",
+                     V.c_str());
+        return 2;
+      }
     } else if (std::strcmp(Arg, "--metrics") == 0) {
       Metrics = true;
     } else if (flagValue(Arg, "--trace", V)) {
