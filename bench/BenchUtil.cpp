@@ -134,6 +134,27 @@ void appendEngineSpeedupJson(const std::string &Bench,
   std::fclose(F);
 }
 
+/// One record per bench isolating the strip-fusion layer on the serial
+/// baseline; host_speedup is bytecode-nofuse seconds / fused seconds.
+void appendFuseSpeedupJson(const std::string &Bench,
+                           const RunOutcome &NoFuse,
+                           const RunOutcome &Fused, double Speedup) {
+  const char *Path = std::getenv("DSM_BENCH_JSON");
+  if (!Path || !*Path)
+    return;
+  FILE *F = std::fopen(Path, "a");
+  if (!F)
+    return;
+  std::fprintf(F,
+               "{\"bench\": \"%s\", \"label\": \"fuse-speedup\", "
+               "\"nofuse_seconds\": %.6f, \"fused_seconds\": %.6f, "
+               "\"host_speedup\": %.3f, \"sim_cycles\": %llu}\n",
+               Bench.c_str(), NoFuse.HostSeconds, Fused.HostSeconds,
+               Speedup,
+               static_cast<unsigned long long>(Fused.Cycles));
+  std::fclose(F);
+}
+
 } // namespace
 
 RunOutcome dsmbench::runVersion(const std::string &BenchName,
@@ -195,6 +216,36 @@ SweepResult dsmbench::runSweep(const std::string &BenchName,
   appendJsonResult(BenchName, "serial-interp", 1, 1, SerialInterp);
   appendEngineSpeedupJson(BenchName, SerialInterp, Serial,
                           R.EngineHostSpeedup);
+
+  // Third serial run with strip fusion off: isolates the LoopBody
+  // batch layer (fused vs unfused bytecode) with its own bit-identity
+  // check and fuse-speedup record.
+  RunOutcome SerialNoFuse =
+      runVersion(BenchName, Gen, Version::FirstTouch, /*Serial=*/true, 1,
+                 MC, ChecksumArray, 1, EngineKind::BytecodeNoFuse);
+  bool NoFuseMetricsMatch =
+      SerialNoFuse.Metrics.Arrays == Serial.Metrics.Arrays &&
+      SerialNoFuse.Metrics.Nodes == Serial.Metrics.Nodes;
+  if (SerialNoFuse.Cycles != Serial.Cycles ||
+      SerialNoFuse.Checksum != Serial.Checksum ||
+      !(SerialNoFuse.Counters == Serial.Counters) ||
+      !NoFuseMetricsMatch) {
+    std::fprintf(stderr,
+                 "%s: fused bytecode engine is NOT bit-identical to "
+                 "bytecode-nofuse on the serial baseline (cycles %llu "
+                 "vs %llu) -- strip-fusion bug\n",
+                 BenchName.c_str(),
+                 static_cast<unsigned long long>(SerialNoFuse.Cycles),
+                 static_cast<unsigned long long>(Serial.Cycles));
+    std::exit(1);
+  }
+  double FuseSpeedup = Serial.HostSeconds > 0
+                           ? SerialNoFuse.HostSeconds / Serial.HostSeconds
+                           : 0;
+  std::printf("# strip fusion: serial nofuse %.3fs, fused %.3fs -> "
+              "%.2fx host speedup; simulated results bit-identical\n",
+              SerialNoFuse.HostSeconds, Serial.HostSeconds, FuseSpeedup);
+  appendFuseSpeedupJson(BenchName, SerialNoFuse, Serial, FuseSpeedup);
 
   const Version Versions[] = {Version::FirstTouch, Version::RoundRobin,
                               Version::Regular, Version::Reshaped};

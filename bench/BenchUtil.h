@@ -46,6 +46,8 @@ inline const char *engineName(EngineKind K) {
     return "interp";
   case EngineKind::Bytecode:
     return "bytecode";
+  case EngineKind::BytecodeNoFuse:
+    return "bytecode-nofuse";
   }
   return "?";
 }

@@ -149,6 +149,39 @@ void BM_StreamDispatch_Bytecode(benchmark::State &State) {
 }
 BENCHMARK(BM_StreamDispatch_Bytecode);
 
+void BM_StreamDispatch_BytecodeNoFuse(benchmark::State &State) {
+  engineBench(State, streamProgram(), EngineKind::BytecodeNoFuse);
+}
+BENCHMARK(BM_StreamDispatch_BytecodeNoFuse);
+
+/// Fused-strip throughput: the stream kernel's innermost sweeps run as
+/// LoopBody strips, so fused-vs-nofuse isolates the strip layer's
+/// host-side win.  Simulated cycles must be bit-identical -- the strip
+/// batch path is an optimization of the VM, never of the model.
+void BM_FusedStripCheck(benchmark::State &State) {
+  double FusedBest = 1e9, NoFuseBest = 1e9;
+  uint64_t FC = 0, NC = 0;
+  for (auto _ : State) {
+    RunStats RF = runOnce(streamProgram(), EngineKind::Bytecode);
+    RunStats RN = runOnce(streamProgram(), EngineKind::BytecodeNoFuse);
+    FusedBest = std::min(FusedBest, RF.Seconds);
+    NoFuseBest = std::min(NoFuseBest, RN.Seconds);
+    FC = RF.Cycles;
+    NC = RN.Cycles;
+  }
+  if (FC != NC) {
+    std::fprintf(stderr,
+                 "bench_dispatch: stream: fused and unfused bytecode "
+                 "disagree on simulated cycles (%llu vs %llu) -- "
+                 "strip-fusion bug\n",
+                 static_cast<unsigned long long>(FC),
+                 static_cast<unsigned long long>(NC));
+    std::exit(1);
+  }
+  State.counters["nofuse_over_fused"] = NoFuseBest / FusedBest;
+}
+BENCHMARK(BM_FusedStripCheck);
+
 /// Medians over a few runs; asserts bit-identical simulated cycles and
 /// reports the host-speedup ratios directly.
 void BM_EngineSpeedupCheck(benchmark::State &State) {

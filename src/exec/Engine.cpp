@@ -42,8 +42,11 @@ RunOptions::resolveEngine(EngineKind K) {
     return EngineKind::Interp;
   if (V == "bytecode")
     return EngineKind::Bytecode;
+  if (V == "bytecode-nofuse")
+    return EngineKind::BytecodeNoFuse;
   return Error::make(formatString(
-      "invalid DSM_ENGINE value '%s' (expected 'interp' or 'bytecode')",
+      "invalid DSM_ENGINE value '%s' (expected 'interp', 'bytecode', "
+      "or 'bytecode-nofuse')",
       Env));
 }
 

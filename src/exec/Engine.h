@@ -91,22 +91,30 @@ struct RunOptions {
   /// Also enabled by DSM_SHAPE_CHECKS=warn in the environment.
   bool ArgChecksWarnOnly = false;
 
-  /// Which execution engine runs the program.  Both are bit-identical
-  /// (same checksums, sim cycles, metrics, and fault accounting); they
-  /// differ only in host speed.
+  /// Which execution engine runs the program.  All of them are
+  /// bit-identical (same checksums, sim cycles, metrics, and fault
+  /// accounting); they differ only in host speed.
   enum class EngineKind {
-    /// Resolve from DSM_ENGINE ("interp" or "bytecode"); unset means
-    /// Bytecode.  An unrecognized value surfaces as an Error from
-    /// validate() and run(), never an abort.
+    /// Resolve from DSM_ENGINE ("interp", "bytecode", or
+    /// "bytecode-nofuse"); unset means Bytecode.  An unrecognized
+    /// value surfaces as an Error from validate() and run(), never an
+    /// abort.
     Auto,
     /// The reference tree-walking interpreter.
     Interp,
     /// Compiles each procedure and epoch body once to a flat
     /// register-based bytecode and executes it with a tight dispatch
-    /// loop (DESIGN.md Section 12).  The compiled code is cached on
-    /// the link::Program, so engines sharing a session::ProgramHandle
+    /// loop (DESIGN.md Section 12), with the loop-superinstruction
+    /// layer on: eligible innermost loops run as strip-mined batches
+    /// (DESIGN.md Section 13).  The compiled code is cached on the
+    /// link::Program, so engines sharing a session::ProgramHandle
     /// share it too.
     Bytecode,
+    /// The same bytecode and compiled image with strips disabled:
+    /// every loop iteration takes one dispatch per instruction.  The
+    /// A/B baseline for the fusion layer (and the 4-way differential
+    /// fuzzer's unfused oracle).
+    BytecodeNoFuse,
   };
   EngineKind Engine = EngineKind::Auto;
 

@@ -45,6 +45,7 @@ using namespace dsm::runtime;
 namespace bc {
 struct Code;
 struct CompiledProgram;
+struct StripInfo;
 } // namespace bc
 
 /// The program's cached compiled bytecode, built on first use
@@ -121,6 +122,9 @@ struct Engine::Impl {
   /// link::Program::EngineArtifacts, so engines running the same
   /// ProgramHandle -- batch jobs, host threads -- compile once.
   std::shared_ptr<const bc::CompiledProgram> BC;
+  /// Whether LoopBody superinstructions may run strips (Bytecode yes,
+  /// BytecodeNoFuse no); irrelevant without BC.
+  bool FuseStrips = false;
 
   Impl(const link::Program &Prog, numa::MemorySystem &Mem,
        RunOptions Opts, runtime::Runtime &Rt)
@@ -811,6 +815,15 @@ struct Engine::Impl {
     void execBody(const Procedure *P);
     void execEpochBody(const Stmt &St);
     void execCode(const bc::Code &Code);
+    /// Runs a fused loop's remaining iterations as one strip-mined
+    /// batch (the LoopBody superinstruction's fast path).  Returns
+    /// false when the strip cannot engage yet -- some access site's
+    /// array instance is not resolved, so the caller falls through to
+    /// the scalar body for this iteration (the natural first-iteration
+    /// peel, which performs any allocation in exact scalar order).  On
+    /// true the loop ran to completion (or Failed is set).
+    bool execStrip(const bc::Code &Code, const bc::StripInfo &Strip,
+                   Value *Regs, const uint64_t *CostTab);
 
     void execStmt(const Stmt &St) {
       switch (St.Kind) {
@@ -1633,8 +1646,13 @@ struct Engine::Impl {
     if (!EK)
       return EK.takeError();
     Result.Engine = *EK;
-    if (*EK == RunOptions::EngineKind::Bytecode)
+    if (*EK == RunOptions::EngineKind::Bytecode ||
+        *EK == RunOptions::EngineKind::BytecodeNoFuse) {
       BC = bytecodeFor(Prog);
+      // Both bytecode engines share the fused compiled image; the
+      // nofuse A/B baseline simply never activates LoopBody strips.
+      FuseStrips = *EK == RunOptions::EngineKind::Bytecode;
+    }
     State = RunState::Running;
     Main.TransCache.assign(static_cast<size_t>(NumTransSlots), {});
     Mem.setDefaultPolicy(Opts.DefaultPolicy);

@@ -30,6 +30,7 @@
 #ifndef DSM_EXEC_BYTECODE_BYTECODE_H
 #define DSM_EXEC_BYTECODE_BYTECODE_H
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -80,6 +81,16 @@ inline constexpr int MaxInstRegs = 64;
 ///              exit to Imm
 ///   DoHeadCommon  same, COMMON induction variable X.Sym (setScalar)
 ///   DoLatch    R[A].I += R[C].I; pc = Imm (back to the DoHead)
+///   LoopBody   a DoHead whose loop body the fusion pass (Fuse.cpp)
+///              proved to be a fail-free straight-line strip; D indexes
+///              the Code::Strips descriptor.  Executes exact DoHead
+///              semantics, then -- when the engine has strips enabled
+///              and every access site is already resolved -- runs the
+///              remaining iterations in one dispatch (Ctx::execStrip)
+///              and exits to Imm.  Otherwise it falls through to the
+///              scalar body, so the first iteration (which may
+///              allocate) and the unfused engine take the DoHead path
+///              bit-for-bit.
 ///
 /// Memory.  ResolveArr/ChkIdx keep the interpreter's exact
 /// side-effect order (instance resolution may allocate; each
@@ -118,6 +129,7 @@ inline constexpr int MaxInstRegs = 64;
   X(NegI) X(NegF)                                                        \
   X(SqrtOp) X(AbsI) X(AbsF) X(CvtIF) X(CvtFI)                            \
   X(Jmp) X(JmpIfZero) X(DoRange) X(DoHead) X(DoHeadCommon) X(DoLatch)    \
+  X(LoopBody)                                                            \
   X(ResolveArr) X(ChkIdx) X(LoadElem) X(StoreElem)                       \
   X(LoadElemF) X(StoreElemF)                                             \
   X(PortionBase) X(LoadPortion) X(StorePortion) X(PortionPtrOp)          \
@@ -133,6 +145,9 @@ struct Insn {
   Op Opc = Op::Ret;
   uint8_t A = 0, B = 0, C = 0;
   uint8_t CostKind = CostNone;
+  /// LoopBody only: index into Code::Strips (lives in what was a pad
+  /// byte, so Insn stays 24 bytes; at most 256 strips per unit).
+  uint8_t D = 0;
   uint16_t CostMul = 0;
   int32_t Imm = 0;
   union Payload {
@@ -145,9 +160,33 @@ struct Insn {
   } X = {};
 };
 
+/// Strip descriptor for one fused innermost loop (Op::LoopBody): the
+/// body bounds, the number of element-access sites (each gets a
+/// numa::BatchAccess translation slot -- the "base address + affine
+/// page-run" state -- at strip entry), and the per-iteration cost
+/// skeleton.  The skeleton is kept as per-cost-class charge *counts*,
+/// not cycles, so one compiled image serves engines with different
+/// cost models; the VM resolves it against its live cost table once
+/// per strip entry.
+struct StripInfo {
+  int32_t Head = 0;      ///< Index of the LoopBody instruction.
+  int32_t BodyBegin = 0; ///< Head + 1.
+  int32_t BodyEnd = 0;   ///< Index of the loop's DoLatch.
+  uint16_t NumSites = 0; ///< LoadElemF/StoreElemF sites in the body.
+  /// PurePrefix[k][Cls] = CostTab[Cls] charge units accumulated by the
+  /// pure register instructions among the first k body instructions
+  /// (access-site addressing charges are excluded: those are charged
+  /// at the site, where a bounds failure can cut an iteration short).
+  /// PurePrefix[BodyEnd - BodyBegin] is the full per-iteration
+  /// skeleton, charged as one add on every completed iteration; a
+  /// failing iteration charges the exact prefix instead.
+  std::vector<std::array<uint32_t, NumCostClasses>> PurePrefix;
+};
+
 /// One compiled execution unit.
 struct Code {
   std::vector<Insn> Insns;
+  std::vector<StripInfo> Strips; ///< LoopBody descriptors (Insn::D).
   uint16_t NumRegs = 0;
   uint16_t NumInstRegs = 0;
 };
@@ -165,6 +204,12 @@ struct CompiledProgram {
   unsigned UnitsCompiled = 0;
   unsigned UnitsFallback = 0;
   size_t TotalInsns = 0;
+  /// Fusion-pass statistics (Fuse.cpp): innermost loops collapsed to
+  /// LoopBody superinstructions, and loops considered but rejected
+  /// (fail-capable ops, control flow, escapes, or portion accesses in
+  /// the body).
+  unsigned LoopsFused = 0;
+  unsigned LoopsBailed = 0;
 
   const Code *procCode(const ir::Procedure *P) const {
     auto It = Procs.find(P);

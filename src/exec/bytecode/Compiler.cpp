@@ -18,6 +18,8 @@
 
 #include "exec/bytecode/Compiler.h"
 
+#include "exec/bytecode/Fuse.h"
+
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -592,6 +594,7 @@ compileProgram(const link::Program &Prog) {
   auto CP = std::make_shared<CompiledProgram>();
   auto addUnit = [&](const Block &Body, auto &Map, auto Key) {
     if (auto Code = UnitCompiler(Prog).compile(Body)) {
+      fuseLoops(*Code, CP->LoopsFused, CP->LoopsBailed);
       CP->TotalInsns += Code->Insns.size();
       ++CP->UnitsCompiled;
       Map.emplace(Key, std::move(*Code));
@@ -610,8 +613,9 @@ compileProgram(const link::Program &Prog) {
   if (const char *Dbg = std::getenv("DSM_BC_STATS"); Dbg && Dbg[0] == '1')
     std::fprintf(stderr,
                  "dsm-bc: %u units compiled (%zu insns), %u fall back "
-                 "to the interpreter\n",
-                 CP->UnitsCompiled, CP->TotalInsns, CP->UnitsFallback);
+                 "to the interpreter; %u loops fused, %u bailed\n",
+                 CP->UnitsCompiled, CP->TotalInsns, CP->UnitsFallback,
+                 CP->LoopsFused, CP->LoopsBailed);
   return CP;
 }
 

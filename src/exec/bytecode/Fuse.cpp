@@ -1,0 +1,134 @@
+//===- exec/bytecode/Fuse.cpp - Loop-superinstruction fusion ---------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Recognizes the compileDo shape directly in the instruction stream:
+// a DoHead at H with exit Imm = X implies (by construction) that the
+// matching DoLatch sits at X-1 with a back edge to H, and the body is
+// Insns[H+1 .. X-2].  A loop fuses when every body instruction is in
+// the strip-body set: pure register ops that cannot fail, branch, or
+// touch engine state, plus the fused element accesses LoadElemF /
+// StoreElemF (whose only fail path, the bounds check, the strip loop
+// reproduces exactly).  Everything else -- nested loops, IFs, calls,
+// epochs, redistributes, COMMON traffic, split or portion accesses,
+// div/mod/sqrt -- keeps the scalar DoHead.
+//
+// The descriptor's cost skeleton is a prefix sum of the pure ops'
+// (cost class, multiplier) charges per body position: a completed
+// iteration charges the full skeleton as one add, and an iteration
+// cut short by a bounds failure charges the exact prefix, so the
+// simulated clock cannot diverge from the unfused engine by even one
+// cycle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/bytecode/Fuse.h"
+
+#include <cassert>
+
+using namespace dsm::exec::bc;
+
+namespace dsm::exec::bc {
+
+bool isStripBodyOp(Op Opc) {
+  switch (Opc) {
+  case Op::LdImmI:
+  case Op::LdImmF:
+  case Op::LdSlot:
+  case Op::StSlot:
+  case Op::AddI:
+  case Op::AddF:
+  case Op::SubI:
+  case Op::SubF:
+  case Op::MulI:
+  case Op::MulF:
+  case Op::FDivOp: // IEEE: x/0 is inf, never a failure.
+  case Op::MinI:
+  case Op::MinF:
+  case Op::MaxI:
+  case Op::MaxF:
+  case Op::LtI:
+  case Op::LtF:
+  case Op::LeI:
+  case Op::LeF:
+  case Op::GtI:
+  case Op::GtF:
+  case Op::GeI:
+  case Op::GeF:
+  case Op::EqI:
+  case Op::EqF:
+  case Op::NeI:
+  case Op::NeF:
+  case Op::AndL:
+  case Op::OrL:
+  case Op::NegI:
+  case Op::NegF:
+  case Op::AbsI:
+  case Op::AbsF:
+  case Op::CvtIF:
+  case Op::CvtFI:
+  case Op::LoadElemF:
+  case Op::StoreElemF:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void fuseLoops(Code &C, unsigned &LoopsFused, unsigned &LoopsBailed) {
+  const int32_t N = static_cast<int32_t>(C.Insns.size());
+  for (int32_t H = 0; H < N; ++H) {
+    Insn &Head = C.Insns[static_cast<size_t>(H)];
+    if (Head.Opc != Op::DoHead)
+      continue;
+    int32_t Exit = Head.Imm;
+    // compileDo guarantees the latch right before the exit with a back
+    // edge to the head; anything else is not a fusable shape.
+    if (Exit < H + 2 || Exit > N)
+      continue;
+    const Insn &Latch = C.Insns[static_cast<size_t>(Exit - 1)];
+    if (Latch.Opc != Op::DoLatch || Latch.Imm != H ||
+        Latch.A != Head.A || Latch.C != Head.C)
+      continue;
+
+    bool Eligible = true;
+    uint16_t NumSites = 0;
+    for (int32_t P = H + 1; P < Exit - 1 && Eligible; ++P) {
+      const Insn &In = C.Insns[static_cast<size_t>(P)];
+      if (!isStripBodyOp(In.Opc))
+        Eligible = false;
+      else if (In.Opc == Op::LoadElemF || In.Opc == Op::StoreElemF)
+        ++NumSites;
+    }
+    if (!Eligible || C.Strips.size() >= 256) {
+      ++LoopsBailed;
+      continue;
+    }
+
+    StripInfo Strip;
+    Strip.Head = H;
+    Strip.BodyBegin = H + 1;
+    Strip.BodyEnd = Exit - 1;
+    Strip.NumSites = NumSites;
+    size_t BodyLen = static_cast<size_t>(Strip.BodyEnd - Strip.BodyBegin);
+    Strip.PurePrefix.resize(BodyLen + 1);
+    std::array<uint32_t, NumCostClasses> Acc = {};
+    Strip.PurePrefix[0] = Acc;
+    for (size_t K = 0; K < BodyLen; ++K) {
+      const Insn &In =
+          C.Insns[static_cast<size_t>(Strip.BodyBegin) + K];
+      if (In.Opc != Op::LoadElemF && In.Opc != Op::StoreElemF)
+        Acc[In.CostKind] += In.CostMul;
+      Strip.PurePrefix[K + 1] = Acc;
+    }
+
+    Head.Opc = Op::LoopBody;
+    Head.D = static_cast<uint8_t>(C.Strips.size());
+    C.Strips.push_back(std::move(Strip));
+    ++LoopsFused;
+  }
+}
+
+} // namespace dsm::exec::bc

@@ -1,0 +1,40 @@
+//===- exec/bytecode/Fuse.h - Loop-superinstruction fusion ------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The post-compile fusion pass (DESIGN.md Section 13): rewrites each
+/// innermost DoHead whose body is a provably fail-free straight-line
+/// sequence of register arithmetic and fused element accesses into a
+/// LoopBody superinstruction with a StripInfo descriptor, letting the
+/// VM execute the whole remaining iteration space in one dispatch with
+/// strip-mined (numa::BatchAccess) memory batching.  The rewrite is
+/// purely a host-speed transform: a LoopBody executes exact DoHead
+/// semantics and the strip loop replays the body's charges and access
+/// stream bit-identically, so fused and unfused engines share one
+/// compiled image (the unfused engine simply never activates strips).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_EXEC_BYTECODE_FUSE_H
+#define DSM_EXEC_BYTECODE_FUSE_H
+
+#include "exec/bytecode/Bytecode.h"
+
+namespace dsm::exec::bc {
+
+/// Whether \p Opc may appear in a fused strip body: pure register ops
+/// (no fail paths, no control flow, no COMMON/scalar escapes) plus the
+/// fused element accesses.  Exposed for the fusion unit tests.
+bool isStripBodyOp(Op Opc);
+
+/// Runs the fusion pass over \p C, rewriting eligible DoHeads to
+/// LoopBody and filling C.Strips; accumulates statistics into
+/// \p LoopsFused / \p LoopsBailed.
+void fuseLoops(Code &C, unsigned &LoopsFused, unsigned &LoopsBailed);
+
+} // namespace dsm::exec::bc
+
+#endif // DSM_EXEC_BYTECODE_FUSE_H

@@ -493,6 +493,34 @@ void Engine::Impl::Ctx::execCode(const bc::Code &Code) {
     PC = In.Imm;
     VM_NEXT();
   }
+  VM_CASE(LoopBody) {
+    // A fused DoHead (Fuse.cpp).  The head itself is a transcription
+    // of the DoHead handler; then, when strips are enabled and every
+    // access site's instance is already resolved, the remaining
+    // iterations run in one strip-mined batch and the loop exits in a
+    // single dispatch.  The first iteration of a loop whose sites are
+    // still unresolved falls through to the scalar body -- a natural
+    // peel that performs allocation, placement, and observer events in
+    // exact interpreter order.
+    const bc::Insn &In = *InP;
+    int64_t I = Regs[In.A].I, Ub = Regs[In.B].I, Step = Regs[In.C].I;
+    if (!(Step > 0 ? I <= Ub : I >= Ub)) {
+      PC = In.Imm;
+      VM_NEXT();
+    }
+    size_t Slot = static_cast<size_t>(In.X.IVal);
+    Cur->Scalars[Slot] = Value::ofInt(I);
+    if (Recording && Cur == FrameStack.front().get())
+      RootWritten[Slot] = 1;
+    Clock += CostTab[In.CostKind] * In.CostMul; // Increment + branch.
+    if (S.FuseStrips &&
+        execStrip(Code, Code.Strips[In.D], Regs, CostTab)) {
+      if (Failed)
+        return;
+      PC = In.Imm;
+    }
+    VM_NEXT();
+  }
 
   //===-- Memory -------------------------------------------------------===//
 
@@ -709,6 +737,323 @@ void Engine::Impl::Ctx::execCode(const bc::Code &Code) {
 #endif
 #undef VM_CASE
 #undef VM_NEXT
+}
+
+bool Engine::Impl::Ctx::execStrip(const bc::Code &Code,
+                                  const bc::StripInfo &Strip,
+                                  Value *Regs,
+                                  const uint64_t *CostTab) {
+  const bc::Insn &Head = Code.Insns[static_cast<size_t>(Strip.Head)];
+  const bc::Insn *Body = Code.Insns.data() + Strip.BodyBegin;
+  const int32_t BodyLen = Strip.BodyEnd - Strip.BodyBegin;
+
+  // Per-site strip state: the resolved instance plus the
+  // numa::BatchAccess page-run translation for the data access (and,
+  // for reshaped arrays, the processor-array indirection).  AddrCycles
+  // is the site's addressing charge resolved against the live cost
+  // table (intdiv per distributed dimension + intop per rank for
+  // reshaped, intop per rank otherwise); the two elemAddr adds commute
+  // into one.
+  struct SiteState {
+    runtime::ArrayInstance *Inst = nullptr;
+    const dist::ArrayLayout *L = nullptr;
+    unsigned Rank = 0;
+    bool Reshaped = false;
+    bool UseTrans = false;
+    uint64_t AddrCycles = 0;
+    /// Column-major extents and element strides, copied out of the
+    /// layout so the flat-array address computation inlines here
+    /// instead of calling ArrayLayout::linearIndex per access.
+    int64_t Dims[8] = {};
+    int64_t Strides[8] = {};
+    numa::BatchAccess Data;
+    numa::BatchAccess ProcArr;
+  };
+  constexpr int MaxSites = 32;
+  if (Strip.NumSites > MaxSites)
+    return false;
+  SiteState Sites[MaxSites];
+
+  // Engage only when every site's instance is already memoized: then
+  // the per-access arrayInstance call is a pure lookup, so hoisting it
+  // here moves no allocation, placement, or observer event.  A site
+  // that is not ready (or whose subscript count mismatches -- the
+  // scalar path owns that failure) keeps this iteration scalar.
+  int NumSites = 0;
+  for (int32_t P = 0; P < BodyLen; ++P) {
+    const bc::Insn &In = Body[P];
+    if (In.Opc != bc::Op::LoadElemF && In.Opc != bc::Op::StoreElemF)
+      continue;
+    const Expr &E = *In.X.E;
+    ArrayInstance *Inst =
+        Cur->Arrays[static_cast<size_t>(E.Array->SlotIndex)];
+    if (!Inst)
+      return false;
+    SiteState &St = Sites[NumSites++];
+    St.Inst = Inst;
+    St.L = &Inst->Layout;
+    if (E.Ops.size() != St.L->rank())
+      return false;
+    St.Rank = static_cast<unsigned>(E.Ops.size());
+    if (St.Rank > 8)
+      return false;
+    St.Reshaped = Inst->isReshaped();
+    St.UseTrans = E.TransSlot >= 0 &&
+                  static_cast<size_t>(E.TransSlot) < TransCache.size();
+    int64_t Stride = 1;
+    for (unsigned D = 0; D < St.Rank; ++D) {
+      St.Dims[D] = St.L->dimSizes()[D];
+      St.Strides[D] = Stride;
+      Stride *= St.Dims[D];
+    }
+    St.AddrCycles = CostTab[bc::CostIntOp] * 2 * St.Rank;
+    if (St.Reshaped)
+      St.AddrCycles +=
+          CostTab[bc::CostIntDiv] * 2 *
+          static_cast<uint64_t>(St.L->spec().numDistributedDims());
+  }
+
+  // Strip-resolved constants: the head's per-iteration charge and the
+  // body's pure-op cost skeleton (see StripInfo::PurePrefix).
+  const uint64_t HeadCycles = CostTab[Head.CostKind] * Head.CostMul;
+  const auto &FullPure = Strip.PurePrefix[static_cast<size_t>(BodyLen)];
+  uint64_t TotalPure = 0;
+  for (unsigned Cls = 0; Cls < bc::NumCostClasses; ++Cls)
+    TotalPure += static_cast<uint64_t>(FullPure[Cls]) * CostTab[Cls];
+
+  const int64_t Step = Regs[Head.C].I;
+  const int64_t Ub = Regs[Head.B].I;
+  const size_t Slot = static_cast<size_t>(Head.X.IVal);
+  const bool MarkRoot = Recording && Cur == FrameStack.front().get();
+  const bool Perf = S.Opts.Perf;
+
+  // The batched memAccess: records in phase 1 and otherwise charges
+  // through the site's BatchAccess fast path (MemorySystem falls back
+  // to the full per-access pipeline -- with its observer and
+  // fault-injector hooks -- the moment an access leaves the settled
+  // page run).
+  auto stripAccess = [&](numa::BatchAccess &Site, uint64_t Addr,
+                         bool IsWrite) {
+    if (!Perf)
+      return;
+    if (Recording) {
+      Trace.push_back(Addr | (IsWrite ? 1u : 0u));
+      return;
+    }
+    Clock += S.Mem.batchAccess(CurProc, Addr, 8, IsWrite, Site);
+  };
+
+  // An iteration cut short by a bounds failure charges the pure ops
+  // that preceded the failing access, exactly as the scalar VM did
+  // op by op.
+  auto chargePrefix = [&](int32_t P) {
+    const auto &Pre = Strip.PurePrefix[static_cast<size_t>(P)];
+    for (unsigned Cls = 0; Cls < bc::NumCostClasses; ++Cls)
+      Clock += static_cast<uint64_t>(Pre[Cls]) * CostTab[Cls];
+  };
+
+  // The caller (the LoopBody head) has already stored the induction
+  // slot and charged the head for the current iteration; each pass of
+  // this loop runs the body, then the latch and next head inline.
+  for (;;) {
+    int Site = 0;
+    for (int32_t P = 0; P < BodyLen; ++P) {
+      const bc::Insn &In = Body[P];
+      switch (In.Opc) {
+      case bc::Op::LdImmI:
+        Regs[In.A] = Value::ofInt(In.X.IVal);
+        break;
+      case bc::Op::LdImmF:
+        Regs[In.A] = Value::ofFp(In.X.FVal);
+        break;
+      case bc::Op::LdSlot:
+        Regs[In.A] = Cur->Scalars[static_cast<size_t>(In.Imm)];
+        break;
+      case bc::Op::StSlot: {
+        size_t St = static_cast<size_t>(In.Imm);
+        Cur->Scalars[St] = Regs[In.A];
+        if (MarkRoot)
+          RootWritten[St] = 1;
+        break;
+      }
+      case bc::Op::AddI:
+        Regs[In.A] = Value::ofInt(Regs[In.B].I + Regs[In.C].I);
+        break;
+      case bc::Op::AddF:
+        Regs[In.A] = Value::ofFp(Regs[In.B].F + Regs[In.C].F);
+        break;
+      case bc::Op::SubI:
+        Regs[In.A] = Value::ofInt(Regs[In.B].I - Regs[In.C].I);
+        break;
+      case bc::Op::SubF:
+        Regs[In.A] = Value::ofFp(Regs[In.B].F - Regs[In.C].F);
+        break;
+      case bc::Op::MulI:
+        Regs[In.A] = Value::ofInt(Regs[In.B].I * Regs[In.C].I);
+        break;
+      case bc::Op::MulF:
+        Regs[In.A] = Value::ofFp(Regs[In.B].F * Regs[In.C].F);
+        break;
+      case bc::Op::FDivOp:
+        Regs[In.A] = Value::ofFp(Regs[In.B].F / Regs[In.C].F);
+        break;
+      case bc::Op::MinI: {
+        int64_t L = Regs[In.B].I, R = Regs[In.C].I;
+        Regs[In.A] = Value::ofInt(L < R ? L : R);
+        break;
+      }
+      case bc::Op::MinF: {
+        double L = Regs[In.B].F, R = Regs[In.C].F;
+        Regs[In.A] = Value::ofFp(L < R ? L : R);
+        break;
+      }
+      case bc::Op::MaxI: {
+        int64_t L = Regs[In.B].I, R = Regs[In.C].I;
+        Regs[In.A] = Value::ofInt(L > R ? L : R);
+        break;
+      }
+      case bc::Op::MaxF: {
+        double L = Regs[In.B].F, R = Regs[In.C].F;
+        Regs[In.A] = Value::ofFp(L > R ? L : R);
+        break;
+      }
+      case bc::Op::LtI:
+        Regs[In.A] = Value::ofInt(Regs[In.B].I < Regs[In.C].I);
+        break;
+      case bc::Op::LtF:
+        Regs[In.A] = Value::ofInt(Regs[In.B].F < Regs[In.C].F);
+        break;
+      case bc::Op::LeI:
+        Regs[In.A] = Value::ofInt(Regs[In.B].I <= Regs[In.C].I);
+        break;
+      case bc::Op::LeF:
+        Regs[In.A] = Value::ofInt(Regs[In.B].F <= Regs[In.C].F);
+        break;
+      case bc::Op::GtI:
+        Regs[In.A] = Value::ofInt(Regs[In.B].I > Regs[In.C].I);
+        break;
+      case bc::Op::GtF:
+        Regs[In.A] = Value::ofInt(Regs[In.B].F > Regs[In.C].F);
+        break;
+      case bc::Op::GeI:
+        Regs[In.A] = Value::ofInt(Regs[In.B].I >= Regs[In.C].I);
+        break;
+      case bc::Op::GeF:
+        Regs[In.A] = Value::ofInt(Regs[In.B].F >= Regs[In.C].F);
+        break;
+      case bc::Op::EqI:
+        Regs[In.A] = Value::ofInt(Regs[In.B].I == Regs[In.C].I);
+        break;
+      case bc::Op::EqF:
+        Regs[In.A] = Value::ofInt(Regs[In.B].F == Regs[In.C].F);
+        break;
+      case bc::Op::NeI:
+        Regs[In.A] = Value::ofInt(Regs[In.B].I != Regs[In.C].I);
+        break;
+      case bc::Op::NeF:
+        Regs[In.A] = Value::ofInt(Regs[In.B].F != Regs[In.C].F);
+        break;
+      case bc::Op::AndL:
+        Regs[In.A] =
+            Value::ofInt((Regs[In.B].I != 0) && (Regs[In.C].I != 0));
+        break;
+      case bc::Op::OrL:
+        Regs[In.A] =
+            Value::ofInt((Regs[In.B].I != 0) || (Regs[In.C].I != 0));
+        break;
+      case bc::Op::NegI:
+        Regs[In.A] = Value::ofInt(-Regs[In.B].I);
+        break;
+      case bc::Op::NegF:
+        Regs[In.A] = Value::ofFp(-Regs[In.B].F);
+        break;
+      case bc::Op::AbsI:
+        Regs[In.A] = Value::ofInt(std::abs(Regs[In.B].I));
+        break;
+      case bc::Op::AbsF:
+        Regs[In.A] = Value::ofFp(std::fabs(Regs[In.B].F));
+        break;
+      case bc::Op::CvtIF:
+        Regs[In.A] = Value::ofFp(static_cast<double>(Regs[In.B].I));
+        break;
+      case bc::Op::CvtFI:
+        Regs[In.A] = Value::ofInt(static_cast<int64_t>(Regs[In.B].F));
+        break;
+      case bc::Op::LoadElemF:
+      case bc::Op::StoreElemF: {
+        SiteState &St = Sites[Site++];
+        const Expr &E = *In.X.E;
+        const bool IsWrite = In.Opc == bc::Op::StoreElemF;
+        int64_t Idx[8];
+        int64_t Linear = 0;
+        for (unsigned D = 0; D < St.Rank; ++D) {
+          int64_t V = Idx[D] = Regs[In.C + D].I;
+          if (V < 1 || V > St.Dims[D]) {
+            chargePrefix(P);
+            fail(formatString("subscript %u of '%s' out of bounds: "
+                              "%lld not in [1, %lld]",
+                              D + 1, E.Array->Name.c_str(),
+                              static_cast<long long>(V),
+                              static_cast<long long>(St.Dims[D])));
+            return true;
+          }
+          Linear += (V - 1) * St.Strides[D];
+        }
+        uint64_t Addr;
+        if (!St.Reshaped) {
+          Clock += St.AddrCycles;
+          Addr = St.Inst->Base + static_cast<uint64_t>(Linear) * 8;
+        } else {
+          int64_t Cell, Local;
+          if (St.UseTrans) {
+            translateReshaped(E, St.Inst, *St.L, Idx, St.Rank, Cell,
+                              Local);
+          } else {
+            Cell = St.L->cellOf(Idx);
+            Local = St.L->localLinearIndex(Idx);
+          }
+          Clock += St.AddrCycles;
+          stripAccess(St.ProcArr,
+                      St.Inst->ProcArrayBase +
+                          static_cast<uint64_t>(Cell) * 8,
+                      /*IsWrite=*/false);
+          Addr = St.Inst->PortionBases[static_cast<size_t>(Cell)] +
+                 static_cast<uint64_t>(Local) * 8;
+        }
+        stripAccess(St.Data, Addr, IsWrite);
+        uint8_t *Data = funcData(Addr);
+        if (IsWrite) {
+          if (E.Type == ScalarType::F64)
+            std::memcpy(Data, &Regs[In.A].F, 8);
+          else
+            std::memcpy(Data, &Regs[In.A].I, 8);
+        } else {
+          Value V;
+          if (E.Type == ScalarType::F64)
+            std::memcpy(&V.F, Data, 8);
+          else
+            std::memcpy(&V.I, Data, 8);
+          Regs[In.A] = V;
+        }
+        break;
+      }
+      default:
+        assert(false && "non-strip op in a fused body");
+        return true;
+      }
+    }
+    Clock += TotalPure;
+
+    // DoLatch, then the next DoHead, inline.
+    Regs[Head.A].I += Step;
+    int64_t I = Regs[Head.A].I;
+    if (!(Step > 0 ? I <= Ub : I >= Ub))
+      return true;
+    Cur->Scalars[Slot] = Value::ofInt(I);
+    if (MarkRoot)
+      RootWritten[Slot] = 1;
+    Clock += HeadCycles;
+  }
 }
 
 } // namespace dsm::exec

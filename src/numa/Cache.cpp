@@ -6,6 +6,7 @@
 
 #include "numa/Cache.h"
 
+#include <bit>
 #include <cassert>
 #include <cstddef>
 
@@ -17,6 +18,9 @@ Cache::Cache(const CacheConfig &Config)
   assert(LineBytes > 0 && (LineBytes & (LineBytes - 1)) == 0 &&
          "line size must be a power of two");
   assert(NumSets > 0 && "cache must have at least one set");
+  LineShift = static_cast<unsigned>(std::countr_zero(LineBytes));
+  if ((NumSets & (NumSets - 1)) == 0)
+    SetShift = std::countr_zero(NumSets);
   Ways.resize(NumSets * Assoc);
 }
 

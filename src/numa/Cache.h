@@ -42,6 +42,22 @@ public:
   /// Probes without filling or LRU update.
   bool contains(uint64_t Addr) const;
 
+  /// Commits an access only on hit: identical to a hitting access()
+  /// (clock tick, LRU stamp, dirty update) when the line is resident,
+  /// returning true; on miss touches nothing and returns false so the
+  /// caller can fall back to access(), whose tick then counts the one
+  /// real access.  The strip-mined batch path pairs this with
+  /// Tlb::accessMru to make the expected L1-hit case a single probe.
+  bool accessIfHit(uint64_t Addr, bool IsWrite) {
+    if (Way *W = findWay(Addr)) {
+      ++Clock;
+      W->LruStamp = Clock;
+      W->Dirty |= IsWrite;
+      return true;
+    }
+    return false;
+  }
+
   /// Removes the line containing \p Addr if present.  Returns true if the
   /// invalidated line was dirty.
   bool invalidate(uint64_t Addr);
@@ -64,16 +80,26 @@ private:
     bool Dirty = false;
   };
 
+  // Line size is asserted to be a power of two and set counts are in
+  // practice too, so indexing is shift/mask on the hot path (SetShift
+  // < 0 keeps the div/mod fallback for exotic configurations).
   unsigned setIndex(uint64_t Addr) const {
-    return static_cast<unsigned>((Addr / LineBytes) % NumSets);
+    uint64_t Line = Addr >> LineShift;
+    return static_cast<unsigned>(SetShift >= 0 ? Line & (NumSets - 1)
+                                               : Line % NumSets);
   }
-  uint64_t tagOf(uint64_t Addr) const { return Addr / LineBytes / NumSets; }
+  uint64_t tagOf(uint64_t Addr) const {
+    uint64_t Line = Addr >> LineShift;
+    return SetShift >= 0 ? Line >> SetShift : Line / NumSets;
+  }
 
   Way *findWay(uint64_t Addr);
   const Way *findWay(uint64_t Addr) const;
 
   uint64_t LineBytes;
   uint64_t NumSets;
+  unsigned LineShift = 0;
+  int SetShift = -1;
   unsigned Assoc;
   uint32_t Clock = 0;
   std::vector<Way> Ways; ///< NumSets x Assoc, row-major by set.

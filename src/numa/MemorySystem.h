@@ -44,6 +44,26 @@ class Injector;
 
 namespace dsm::numa {
 
+/// Per-call-site state for strip-mined access batching
+/// (MemorySystem::batchAccess).  One instance per static access site of
+/// a fused loop strip; it caches the site's current (page, page-run)
+/// translation -- VPage plus the affine virtual-to-physical offset that
+/// holds for every address on that page -- and whether the site's
+/// coherence state has "settled" (the directory already records this
+/// processor as sharer/owner, so the per-access directory lookup is a
+/// provable no-op).  The descriptor is only valid while no other
+/// simulated processor runs and no page is migrated or flushed, which
+/// the VM guarantees by keeping its lifetime inside one strip
+/// execution.
+struct BatchAccess {
+  uint64_t VPage = ~0ull;        ///< Cached page, ~0 when unset.
+  uint64_t PhysMinusVirt = 0;    ///< Phys = Addr + PhysMinusVirt on VPage.
+  uint64_t PhysL2Line = ~0ull;   ///< Coherence unit the settle applies to.
+  bool ReadSettled = false;      ///< Dir already has Proc as sharer/owner.
+  bool WriteSettled = false;     ///< Dir already has Proc as owner.
+  void reset() { *this = BatchAccess(); }
+};
+
 /// OS page-placement policy for pages not explicitly placed.
 enum class PlacementPolicy {
   FirstTouch, ///< Page allocated on the node of the faulting processor.
@@ -110,6 +130,20 @@ public:
   /// Simulates one aligned load/store of \p Bytes by \p Proc.  Returns
   /// the cycles charged to that processor.
   uint64_t access(int Proc, uint64_t Addr, unsigned Bytes, bool IsWrite);
+
+  /// Strip-mined variant of access() used by the bytecode VM's fused
+  /// loops: bit-identical cycles, counters, and cache/TLB/directory
+  /// state transitions, with the per-site translation and settled
+  /// coherence lookup amortized through \p Site.  The fast path covers
+  /// exactly the accesses whose full pipeline is a pure L1 hit with a
+  /// no-op directory action -- it still performs the real TLB and L1
+  /// LRU updates -- and everything else (first touch, TLB or cache
+  /// miss, unsettled coherence, page-run boundary) falls through to
+  /// access(), re-priming \p Site from the result.  Observer and
+  /// fault-injector hooks only exist on those slow paths, so attaching
+  /// either never changes what this function observes or charges.
+  uint64_t batchAccess(int Proc, uint64_t Addr, unsigned Bytes,
+                       bool IsWrite, BatchAccess &Site);
 
   //===--------------------------------------------------------------===//
   // Functional data (virtual-address keyed; unaffected by placement).

@@ -60,6 +60,21 @@ public:
     return false;
   }
 
+  /// MRU-only probe: one compare, no state change.  True means a
+  /// subsequent access(\p VPage) is guaranteed to take the MRU fast
+  /// path (hit, stamp refresh, nothing else).  False says nothing --
+  /// the page may still be resident in a non-MRU slot -- so callers
+  /// must treat it as "take the full path", never as a miss.  The
+  /// strip-mined batch path uses this to keep the expected
+  /// stay-on-page case at two compares total.
+  bool mruContains(uint64_t VPage) const {
+    if (Mru < Entries.size()) {
+      const Entry &M = Entries[Mru];
+      return M.Valid && M.VPage == VPage;
+    }
+    return false;
+  }
+
   /// Drops the mapping for \p VPage (TLB shootdown on migration).
   void invalidate(uint64_t VPage) {
     for (Entry &E : Entries)

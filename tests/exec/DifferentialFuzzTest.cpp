@@ -6,12 +6,16 @@
 // produces random-but-data-race-free DSM Fortran programs
 // (c$distribute / c$distribute_reshape / c$redistribute plus doacross
 // epochs with affinity, schedtype, nest, and scalar-reduction
-// fallbacks), and every program is run as a three-way oracle -- the
+// fallbacks), and every program is run as a four-way oracle -- the
 // tree-walking interpreter serial (the reference), the bytecode VM
-// serial, and the bytecode VM with HostThreads=4.  All three runs
-// must be bit-identical: same cycles, same memory-system counters,
-// same array contents, and the same observability metrics.  On
-// failure the seed is printed so the case can be replayed.
+// with strip fusion off (bytecode-nofuse) serial, the fused bytecode
+// VM serial, and the fused bytecode VM with HostThreads=4.  All four
+// runs must be bit-identical: same cycles, same memory-system
+// counters, same array contents, and the same observability metrics.
+// The fault shards rerun the oracle under randomized injector
+// schedules whose latency spikes and TLB-fill retries force the
+// strip batch path into its mid-strip scalar fallback.  On failure
+// the seed is printed so the case can be replayed.
 //
 // The suite carries the ctest label `fuzz` (see CMakeLists.txt); CI
 // runs it under TSan as well.
@@ -308,10 +312,42 @@ RunObs runOnce(const link::Program &Prog, int HostThreads,
   return Obs;
 }
 
-/// Runs one generated case as a three-way oracle -- interpreter
-/// serial (the reference), bytecode serial, bytecode threaded; returns
-/// the threaded epoch count (0 on failure) so shards can assert
-/// aggregate coverage.
+/// Compares two completed runs on every engine-level observable:
+/// cycles, counters, parallel/redistribute accounting, checksums, and
+/// the metrics aggregates.
+void expectRunsAgree(const RunObs &A, const RunObs &B,
+                     const std::vector<std::string> &Arrays,
+                     const char *NameA, const char *NameB) {
+  EXPECT_EQ(A.R.WallCycles, B.R.WallCycles)
+      << NameA << " vs " << NameB;
+  EXPECT_EQ(A.R.TimedCycles, B.R.TimedCycles)
+      << NameA << " vs " << NameB;
+  EXPECT_TRUE(A.R.Counters == B.R.Counters)
+      << NameA << ":\n"
+      << A.R.Counters.str() << NameB << ":\n"
+      << B.R.Counters.str();
+  EXPECT_EQ(A.R.ParallelRegions, B.R.ParallelRegions)
+      << NameA << " vs " << NameB;
+  EXPECT_EQ(A.R.RedistributeCycles, B.R.RedistributeCycles)
+      << NameA << " vs " << NameB;
+  for (size_t I = 0; I < A.Checksums.size(); ++I)
+    EXPECT_EQ(A.Checksums[I], B.Checksums[I])
+        << "array " << Arrays[I] << " differs between " << NameA
+        << " and " << NameB;
+  EXPECT_TRUE(A.R.Metrics.Arrays == B.R.Metrics.Arrays)
+      << NameA << " vs " << NameB;
+  EXPECT_TRUE(A.R.Metrics.Nodes == B.R.Metrics.Nodes)
+      << NameA << " vs " << NameB;
+  EXPECT_EQ(A.R.Metrics.Epochs, B.R.Metrics.Epochs)
+      << NameA << " vs " << NameB;
+  EXPECT_EQ(A.R.Metrics.EpochLog.size(), B.R.Metrics.EpochLog.size())
+      << NameA << " vs " << NameB;
+}
+
+/// Runs one generated case as a four-way oracle -- interpreter serial
+/// (the reference), bytecode-nofuse serial, fused bytecode serial,
+/// fused bytecode threaded; returns the threaded epoch count (0 on
+/// failure) so shards can assert aggregate coverage.
 unsigned checkCase(uint64_t Seed) {
   GenCase C = generate(Seed);
   SCOPED_TRACE("fuzz seed " + std::to_string(Seed) + "; program:\n" +
@@ -322,36 +358,27 @@ unsigned checkCase(uint64_t Seed) {
   if (!Prog)
     return 0;
   RunObs Ref = runOnce(**Prog, 1, C.Arrays, nullptr, EngineKind::Interp);
+  RunObs NoFuse =
+      runOnce(**Prog, 1, C.Arrays, nullptr, EngineKind::BytecodeNoFuse);
   RunObs Serial = runOnce(**Prog, 1, C.Arrays);
   RunObs Threaded = runOnce(**Prog, 4, C.Arrays);
   EXPECT_FALSE(Ref.Failed) << Ref.FailMessage;
+  EXPECT_EQ(Ref.Failed, NoFuse.Failed);
+  EXPECT_EQ(Ref.FailMessage, NoFuse.FailMessage);
   EXPECT_EQ(Ref.Failed, Serial.Failed);
   EXPECT_EQ(Ref.FailMessage, Serial.FailMessage);
   EXPECT_EQ(Serial.Failed, Threaded.Failed);
   EXPECT_EQ(Serial.FailMessage, Threaded.FailMessage);
-  if (Ref.Failed || Serial.Failed || Threaded.Failed)
+  if (Ref.Failed || NoFuse.Failed || Serial.Failed || Threaded.Failed)
     return 0;
 
-  // Interpreter vs bytecode VM, both serial: the engines must agree on
-  // every observable before the threading comparison even starts.
+  // The three serial engines must agree on every observable before the
+  // threading comparison even starts.
   EXPECT_EQ(Ref.R.Engine, EngineKind::Interp);
+  EXPECT_EQ(NoFuse.R.Engine, EngineKind::BytecodeNoFuse);
   EXPECT_EQ(Serial.R.Engine, EngineKind::Bytecode);
-  EXPECT_EQ(Ref.R.WallCycles, Serial.R.WallCycles);
-  EXPECT_EQ(Ref.R.TimedCycles, Serial.R.TimedCycles);
-  EXPECT_TRUE(Ref.R.Counters == Serial.R.Counters)
-      << "interp:\n"
-      << Ref.R.Counters.str() << "bytecode:\n"
-      << Serial.R.Counters.str();
-  EXPECT_EQ(Ref.R.ParallelRegions, Serial.R.ParallelRegions);
-  EXPECT_EQ(Ref.R.RedistributeCycles, Serial.R.RedistributeCycles);
-  for (size_t I = 0; I < Ref.Checksums.size(); ++I)
-    EXPECT_EQ(Ref.Checksums[I], Serial.Checksums[I])
-        << "array " << C.Arrays[I] << " differs between engines";
-  EXPECT_TRUE(Ref.R.Metrics.Arrays == Serial.R.Metrics.Arrays);
-  EXPECT_TRUE(Ref.R.Metrics.Nodes == Serial.R.Metrics.Nodes);
-  EXPECT_EQ(Ref.R.Metrics.Epochs, Serial.R.Metrics.Epochs);
-  EXPECT_EQ(Ref.R.Metrics.EpochLog.size(),
-            Serial.R.Metrics.EpochLog.size());
+  expectRunsAgree(Ref, NoFuse, C.Arrays, "interp", "bytecode-nofuse");
+  expectRunsAgree(Ref, Serial, C.Arrays, "interp", "bytecode");
 
   EXPECT_EQ(Serial.R.WallCycles, Threaded.R.WallCycles);
   EXPECT_EQ(Serial.R.TimedCycles, Threaded.R.TimedCycles);
@@ -448,11 +475,13 @@ fault::FaultSpec randomSpec(uint64_t Seed) {
 }
 
 /// Runs one generated case several ways -- fault-free baseline, then
-/// under a random fault schedule as the same three-way engine oracle
-/// (interpreter serial, bytecode serial, bytecode threaded) -- and
-/// requires that faults never change results: faulted checksums equal
-/// the baseline, and all faulted runs are bit-identical in every
-/// observable, including the fault accounting.
+/// under a random fault schedule as the same four-way engine oracle
+/// (interpreter serial, bytecode-nofuse serial, fused bytecode serial,
+/// fused bytecode threaded) -- and requires that faults never change
+/// results: faulted checksums equal the baseline, and all faulted runs
+/// are bit-identical in every observable, including the fault
+/// accounting.  The spikes and TLB-fill retries land mid-strip in the
+/// fused runs, forcing the batch path's scalar fallback.
 uint64_t checkFaultCase(uint64_t Seed) {
   GenCase C = generate(Seed);
   fault::FaultSpec Spec = randomSpec(Seed);
@@ -471,23 +500,35 @@ uint64_t checkFaultCase(uint64_t Seed) {
   // every run the identical schedule.
   fault::Injector Inj(Spec);
   RunObs Ref = runOnce(**Prog, 1, C.Arrays, &Inj, EngineKind::Interp);
+  RunObs NoFuse =
+      runOnce(**Prog, 1, C.Arrays, &Inj, EngineKind::BytecodeNoFuse);
   RunObs Serial = runOnce(**Prog, 1, C.Arrays, &Inj);
   RunObs Threaded = runOnce(**Prog, 4, C.Arrays, &Inj);
   EXPECT_FALSE(Ref.Failed) << Ref.FailMessage;
+  EXPECT_FALSE(NoFuse.Failed) << NoFuse.FailMessage;
   EXPECT_FALSE(Serial.Failed) << Serial.FailMessage;
   EXPECT_FALSE(Threaded.Failed) << Threaded.FailMessage;
-  if (Ref.Failed || Serial.Failed || Threaded.Failed)
+  if (Ref.Failed || NoFuse.Failed || Serial.Failed || Threaded.Failed)
     return 0;
 
-  // Interpreter vs bytecode under the identical fault schedule.
+  // The serial engines under the identical fault schedule: unfused and
+  // fused bytecode against the interpreter reference.
+  EXPECT_EQ(Ref.R.WallCycles, NoFuse.R.WallCycles);
+  EXPECT_TRUE(Ref.R.Counters == NoFuse.R.Counters);
+  EXPECT_TRUE(Ref.R.Faults == NoFuse.R.Faults)
+      << "interp: " << Ref.R.Faults.str()
+      << "\nbytecode-nofuse: " << NoFuse.R.Faults.str();
   EXPECT_EQ(Ref.R.WallCycles, Serial.R.WallCycles);
   EXPECT_TRUE(Ref.R.Counters == Serial.R.Counters);
   EXPECT_TRUE(Ref.R.Faults == Serial.R.Faults)
       << "interp: " << Ref.R.Faults.str()
       << "\nbytecode: " << Serial.R.Faults.str();
-  for (size_t I = 0; I < Ref.Checksums.size(); ++I)
+  for (size_t I = 0; I < Ref.Checksums.size(); ++I) {
+    EXPECT_EQ(Ref.Checksums[I], NoFuse.Checksums[I])
+        << "array " << C.Arrays[I] << " differs between engines";
     EXPECT_EQ(Ref.Checksums[I], Serial.Checksums[I])
         << "array " << C.Arrays[I] << " differs between engines";
+  }
 
   // Semantics preservation: no fault schedule may change results.
   for (size_t I = 0; I < Baseline.Checksums.size(); ++I) {

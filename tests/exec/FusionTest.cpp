@@ -1,0 +1,398 @@
+//===- tests/exec/FusionTest.cpp - Loop-superinstruction fusion tests -----===//
+//
+// Part of the dsm-dist-repro project.
+//
+// The strip-fusion layer (DESIGN.md Section 13): which loop shapes the
+// post-compile pass collapses into LoopBody superinstructions, which
+// shapes make it bail, the structural invariants of the emitted strip
+// descriptors, bit-identity of the fused engine against bytecode-nofuse
+// and the interpreter (including mid-strip bounds failures and
+// fault-injected runs), and the one-compiled-image contract: fused and
+// unfused engines -- and concurrent engines on other threads -- share
+// the same EngineArtifacts-cached CompiledProgram.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/bytecode/Compiler.h"
+#include "exec/bytecode/Fuse.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/Dsm.h"
+#include "exec/Engine.h"
+#include "exec/bytecode/Bytecode.h"
+#include "fault/Injector.h"
+
+using namespace dsm;
+
+namespace {
+
+using EngineKind = exec::RunOptions::EngineKind;
+
+numa::MachineConfig machine() {
+  numa::MachineConfig C;
+  C.NumNodes = 2;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 8 << 20;
+  C.L1 = numa::CacheConfig{1024, 32, 2};
+  C.L2 = numa::CacheConfig{16 * 1024, 128, 2};
+  C.TlbEntries = 16;
+  return C;
+}
+
+ProgramHandle compileOrDie(const std::string &Src) {
+  auto Prog = dsm::compile({{"fusion.f", Src}});
+  EXPECT_TRUE(bool(Prog)) << Prog.error().str();
+  return Prog ? *Prog : nullptr;
+}
+
+struct Outcome {
+  bool Failed = false;
+  std::string FailMessage;
+  uint64_t WallCycles = 0;
+  uint64_t TimedCycles = 0;
+  numa::Counters Counters;
+  fault::FaultCounters Faults;
+  double Checksum = 0.0;
+};
+
+Outcome runEngine(const link::Program &Prog, EngineKind Kind,
+                  const char *ChecksumArray = "b",
+                  fault::Injector *Inj = nullptr) {
+  Outcome O;
+  numa::MemorySystem Mem(machine());
+  exec::RunOptions Opts;
+  Opts.NumProcs = 4;
+  Opts.Engine = Kind;
+  Opts.Fault = Inj;
+  exec::Engine E(Prog, Mem, Opts);
+  auto R = E.run();
+  if (!R) {
+    O.Failed = true;
+    O.FailMessage = R.error().str();
+    return O;
+  }
+  O.WallCycles = R->WallCycles;
+  O.TimedCycles = R->TimedCycles;
+  O.Counters = R->Counters;
+  O.Faults = R->Faults;
+  if (ChecksumArray) {
+    auto Sum = E.arrayWeightedChecksum(ChecksumArray);
+    EXPECT_TRUE(bool(Sum)) << Sum.error().str();
+    O.Checksum = Sum ? *Sum : 0.0;
+  }
+  return O;
+}
+
+/// Every LoopBody superinstruction must carry a well-formed strip
+/// descriptor: head/latch indices that bracket the body, a pure-cost
+/// prefix table with one row per body prefix, and a site count that
+/// matches the element accesses actually in the body.
+void checkStripInvariants(const exec::bc::Code &Code) {
+  for (size_t I = 0; I < Code.Insns.size(); ++I) {
+    const exec::bc::Insn &In = Code.Insns[I];
+    if (In.Opc != exec::bc::Op::LoopBody)
+      continue;
+    ASSERT_LT(In.D, Code.Strips.size());
+    const exec::bc::StripInfo &S = Code.Strips[In.D];
+    EXPECT_EQ(S.Head, static_cast<int32_t>(I));
+    EXPECT_EQ(S.BodyBegin, S.Head + 1);
+    EXPECT_GT(S.BodyEnd, S.BodyBegin);
+    ASSERT_LT(static_cast<size_t>(S.BodyEnd), Code.Insns.size());
+    EXPECT_EQ(Code.Insns[static_cast<size_t>(S.BodyEnd)].Opc,
+              exec::bc::Op::DoLatch);
+    EXPECT_EQ(S.PurePrefix.size(),
+              static_cast<size_t>(S.BodyEnd - S.BodyBegin) + 1);
+    unsigned Sites = 0;
+    for (int32_t P = S.BodyBegin; P < S.BodyEnd; ++P) {
+      exec::bc::Op Opc = Code.Insns[static_cast<size_t>(P)].Opc;
+      EXPECT_TRUE(exec::bc::isStripBodyOp(Opc));
+      if (Opc == exec::bc::Op::LoadElemF ||
+          Opc == exec::bc::Op::StoreElemF)
+        ++Sites;
+    }
+    EXPECT_EQ(S.NumSites, Sites);
+  }
+}
+
+unsigned totalStrips(const exec::bc::CompiledProgram &CP) {
+  unsigned N = 0;
+  for (const auto &[P, Code] : CP.Procs)
+    N += static_cast<unsigned>(Code.Strips.size());
+  for (const auto &[S, Code] : CP.Epochs)
+    N += static_cast<unsigned>(Code.Strips.size());
+  return N;
+}
+
+TEST(FusionTest, FusesInnermostArrayLoops) {
+  ProgramHandle Prog = compileOrDie(R"(
+      program main
+      integer i, j, n
+      parameter (n = 20)
+      real*8 a(n,n), b(n,n)
+      do j = 1, n
+        do i = 1, n
+          a(i,j) = i + 2*j
+          b(i,j) = 0.0
+        enddo
+      enddo
+      do j = 1, n
+        do i = 1, n
+          b(i,j) = a(i,j) * 2.0 + 1.0
+        enddo
+      enddo
+      end
+)");
+  ASSERT_TRUE(Prog);
+  auto CP = exec::bc::getOrCompile(*Prog);
+  ASSERT_TRUE(CP);
+  // The two innermost i-loops fuse; the j-loops contain nested control
+  // flow and bail.
+  EXPECT_GE(CP->LoopsFused, 2u);
+  EXPECT_GE(CP->LoopsBailed, 2u);
+  EXPECT_GE(totalStrips(*CP), 2u);
+  for (const auto &[P, Code] : CP->Procs)
+    checkStripInvariants(Code);
+  for (const auto &[S, Code] : CP->Epochs)
+    checkStripInvariants(Code);
+}
+
+TEST(FusionTest, FusesInsideParallelEpochBodies) {
+  ProgramHandle Prog = compileOrDie(R"(
+      program main
+      integer i, j, n
+      parameter (n = 16)
+      real*8 a(n,n), b(n,n)
+c$distribute a(*, block)
+      do j = 1, n
+        do i = 1, n
+          a(i,j) = i + j
+          b(i,j) = 0.0
+        enddo
+      enddo
+c$doacross local(i, j)
+      do j = 1, n
+        do i = 1, n
+          b(i,j) = a(i,j) + 1.0
+        enddo
+      enddo
+      end
+)");
+  ASSERT_TRUE(Prog);
+  auto CP = exec::bc::getOrCompile(*Prog);
+  ASSERT_TRUE(CP);
+  unsigned EpochStrips = 0;
+  for (const auto &[S, Code] : CP->Epochs) {
+    checkStripInvariants(Code);
+    EpochStrips += static_cast<unsigned>(Code.Strips.size());
+  }
+  EXPECT_GE(EpochStrips, 1u)
+      << "the doacross body's inner loop should fuse";
+}
+
+TEST(FusionTest, BailsOnFailCapableAndControlFlowBodies) {
+  // Integer division can fail (divide by zero) and if-blocks are
+  // control flow; neither body may fuse.  The idiv loop also shows the
+  // bail is per-loop: the clean loop right next to it still fuses.
+  ProgramHandle Prog = compileOrDie(R"(
+      program main
+      integer i, n
+      parameter (n = 24)
+      real*8 a(n), b(n)
+      do i = 1, n
+        a(i) = i
+        b(i) = 1.0
+      enddo
+      do i = 1, n
+        b(i) = a(i / 2 + 1)
+      enddo
+      do i = 1, n
+        if (a(i) .gt. 4.0) then
+          b(i) = b(i) + 1.0
+        endif
+      enddo
+      end
+)");
+  ASSERT_TRUE(Prog);
+  auto CP = exec::bc::getOrCompile(*Prog);
+  ASSERT_TRUE(CP);
+  // Only the initialization loop fuses.
+  EXPECT_EQ(CP->LoopsFused, 1u);
+  EXPECT_GE(CP->LoopsBailed, 2u);
+}
+
+TEST(FusionTest, FusedMatchesNoFuseAndInterp) {
+  ProgramHandle Prog = compileOrDie(R"(
+      program main
+      integer i, j, n
+      parameter (n = 24)
+      real*8 a(n,n), b(n,n)
+c$distribute_reshape a(*, block)
+      do j = 1, n
+        do i = 1, n
+          a(i,j) = i * 0.25 + j
+          b(i,j) = 0.0
+        enddo
+      enddo
+      call dsm_timer_start
+      do j = 1, n
+        do i = 1, n
+          b(i,j) = a(i,j) * 1.5 + b(i,j)
+        enddo
+      enddo
+      call dsm_timer_stop
+      end
+)");
+  ASSERT_TRUE(Prog);
+  Outcome Interp = runEngine(*Prog, EngineKind::Interp);
+  Outcome NoFuse = runEngine(*Prog, EngineKind::BytecodeNoFuse);
+  Outcome Fused = runEngine(*Prog, EngineKind::Bytecode);
+  ASSERT_FALSE(Interp.Failed) << Interp.FailMessage;
+  ASSERT_FALSE(NoFuse.Failed) << NoFuse.FailMessage;
+  ASSERT_FALSE(Fused.Failed) << Fused.FailMessage;
+  EXPECT_EQ(Interp.WallCycles, Fused.WallCycles);
+  EXPECT_EQ(NoFuse.WallCycles, Fused.WallCycles);
+  EXPECT_EQ(Interp.TimedCycles, Fused.TimedCycles);
+  EXPECT_TRUE(Interp.Counters == Fused.Counters)
+      << "interp:\n"
+      << Interp.Counters.str() << "fused:\n"
+      << Fused.Counters.str();
+  EXPECT_TRUE(NoFuse.Counters == Fused.Counters);
+  EXPECT_EQ(Interp.Checksum, Fused.Checksum);
+  EXPECT_EQ(NoFuse.Checksum, Fused.Checksum);
+}
+
+TEST(FusionTest, MidStripBoundsFailureMatchesScalarEngines) {
+  // The out-of-bounds store lands mid-loop (i = 13 of 16 writes
+  // b(i+4) past the bound), well inside an otherwise fusable strip:
+  // the fused engine must fail with the interpreter's exact message.
+  ProgramHandle Prog = compileOrDie(R"(
+      program main
+      integer i, n
+      parameter (n = 16)
+      real*8 a(n), b(n)
+      do i = 1, n
+        a(i) = i
+        b(i) = 0.0
+      enddo
+      do i = 1, n
+        b(i + 4) = a(i)
+      enddo
+      end
+)");
+  ASSERT_TRUE(Prog);
+  Outcome Interp = runEngine(*Prog, EngineKind::Interp, nullptr);
+  Outcome NoFuse = runEngine(*Prog, EngineKind::BytecodeNoFuse, nullptr);
+  Outcome Fused = runEngine(*Prog, EngineKind::Bytecode, nullptr);
+  EXPECT_TRUE(Interp.Failed);
+  EXPECT_TRUE(NoFuse.Failed);
+  EXPECT_TRUE(Fused.Failed);
+  EXPECT_NE(Interp.FailMessage.find("out of bounds"), std::string::npos)
+      << Interp.FailMessage;
+  EXPECT_EQ(Interp.FailMessage, NoFuse.FailMessage);
+  EXPECT_EQ(Interp.FailMessage, Fused.FailMessage);
+}
+
+TEST(FusionTest, FaultScheduleForcesFallbackBitIdentically) {
+  ProgramHandle Prog = compileOrDie(R"(
+      program main
+      integer i, r, n
+      parameter (n = 96)
+      real*8 a(n), b(n)
+c$distribute a(block)
+      do i = 1, n
+        a(i) = i
+        b(i) = 0.0
+      enddo
+      do r = 1, 4
+        do i = 1, n
+          b(i) = b(i) + a(i) * 0.5
+        enddo
+      enddo
+      end
+)");
+  ASSERT_TRUE(Prog);
+  fault::FaultSpec Spec;
+  Spec.Seed = 1234;
+  Spec.LatencySpikeProb = 0.5;
+  Spec.LatencySpikeCycles = 700;
+  Spec.TlbFailProb = 0.3;
+  Spec.RetryBudget = 2;
+  Spec.RetryBackoffCycles = 100;
+  fault::Injector Inj(Spec);
+  Outcome Interp = runEngine(*Prog, EngineKind::Interp, "b", &Inj);
+  Outcome NoFuse =
+      runEngine(*Prog, EngineKind::BytecodeNoFuse, "b", &Inj);
+  Outcome Fused = runEngine(*Prog, EngineKind::Bytecode, "b", &Inj);
+  ASSERT_FALSE(Interp.Failed) << Interp.FailMessage;
+  ASSERT_FALSE(NoFuse.Failed) << NoFuse.FailMessage;
+  ASSERT_FALSE(Fused.Failed) << Fused.FailMessage;
+  EXPECT_GT(Fused.Faults.LatencySpikes, 0u)
+      << "the schedule never fired; the test is vacuous";
+  EXPECT_EQ(Interp.WallCycles, Fused.WallCycles);
+  EXPECT_EQ(NoFuse.WallCycles, Fused.WallCycles);
+  EXPECT_TRUE(Interp.Counters == Fused.Counters);
+  EXPECT_TRUE(Interp.Faults == Fused.Faults)
+      << "interp: " << Interp.Faults.str()
+      << "\nfused: " << Fused.Faults.str();
+  EXPECT_TRUE(NoFuse.Faults == Fused.Faults);
+  EXPECT_EQ(Interp.Checksum, Fused.Checksum);
+}
+
+TEST(FusionTest, CompiledImageSharedAcrossEnginesAndThreads) {
+  ProgramHandle Prog = compileOrDie(R"(
+      program main
+      integer i, n
+      parameter (n = 32)
+      real*8 a(n), b(n)
+      do i = 1, n
+        a(i) = i
+        b(i) = a(i) * 3.0
+      enddo
+      end
+)");
+  ASSERT_TRUE(Prog);
+  // One image, fused by construction, shared by both bytecode engines:
+  // getOrCompile returns the same cached object every time, and running
+  // the nofuse engine first must not strip the image for the fused one.
+  auto CP1 = exec::bc::getOrCompile(*Prog);
+  ASSERT_TRUE(CP1);
+  EXPECT_GE(CP1->LoopsFused, 1u);
+  Outcome NoFuse = runEngine(*Prog, EngineKind::BytecodeNoFuse);
+  Outcome Fused = runEngine(*Prog, EngineKind::Bytecode);
+  ASSERT_FALSE(NoFuse.Failed);
+  ASSERT_FALSE(Fused.Failed);
+  EXPECT_EQ(NoFuse.WallCycles, Fused.WallCycles);
+  EXPECT_EQ(NoFuse.Checksum, Fused.Checksum);
+  auto CP2 = exec::bc::getOrCompile(*Prog);
+  EXPECT_EQ(CP1.get(), CP2.get()) << "compiled image was rebuilt";
+
+  // Concurrent batch workers on the same program: every thread sees
+  // the one image and bit-identical results.
+  constexpr int Workers = 4;
+  std::vector<Outcome> Results(Workers);
+  std::vector<const exec::bc::CompiledProgram *> Images(Workers);
+  std::vector<std::thread> Threads;
+  for (int W = 0; W < Workers; ++W)
+    Threads.emplace_back([&, W] {
+      Images[W] = exec::bc::getOrCompile(*Prog).get();
+      Results[W] = runEngine(*Prog, W % 2 == 0
+                                        ? EngineKind::Bytecode
+                                        : EngineKind::BytecodeNoFuse);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int W = 0; W < Workers; ++W) {
+    EXPECT_EQ(Images[W], CP1.get());
+    ASSERT_FALSE(Results[W].Failed) << Results[W].FailMessage;
+    EXPECT_EQ(Results[W].WallCycles, Fused.WallCycles);
+    EXPECT_EQ(Results[W].Checksum, Fused.Checksum);
+  }
+}
+
+} // namespace

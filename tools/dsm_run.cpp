@@ -59,9 +59,11 @@ int usage(const char *Argv0) {
       "                       first-touch (default) or round-robin\n"
       "  --machine=M          scaled (default) or origin2000\n"
       "  --engine=E           execution engine: bytecode (default),\n"
-      "                       interp, or auto (read DSM_ENGINE); both\n"
-      "                       engines are bit-identical, they differ\n"
-      "                       only in host speed\n"
+      "                       bytecode-nofuse (strip fusion off, the\n"
+      "                       A/B baseline), interp, or auto (read\n"
+      "                       DSM_ENGINE); all engines are\n"
+      "                       bit-identical, they differ only in host\n"
+      "                       speed\n"
       "  --metrics            print per-array/per-node locality metrics\n"
       "  --trace=FILE         write the JSONL event trace to FILE\n"
       "  --chrome-trace=FILE  write a chrome://tracing / Perfetto\n"
@@ -124,6 +126,10 @@ bool parseEngine(const std::string &V,
   }
   if (V == "bytecode") {
     Out = exec::RunOptions::EngineKind::Bytecode;
+    return true;
+  }
+  if (V == "bytecode-nofuse") {
+    Out = exec::RunOptions::EngineKind::BytecodeNoFuse;
     return true;
   }
   if (V == "auto") {
@@ -527,7 +533,7 @@ int main(int argc, char **argv) {
       if (!parseEngine(V, Base.Req.Opts.Engine)) {
         std::fprintf(stderr,
                      "unknown --engine '%s' (expected 'interp', "
-                     "'bytecode', or 'auto')\n",
+                     "'bytecode', 'bytecode-nofuse', or 'auto')\n",
                      V.c_str());
         return 2;
       }
