@@ -9,11 +9,15 @@
 //                user); the only residual cost is a null-pointer check
 //                on the simulator's slow paths, which must not be
 //                measurable;
+//   inj_idle  -- a fault injector attached but with every knob at its
+//                default, so no fault ever fires and no buggify
+//                registry is built; proves the injection and
+//                DSM_BUGGIFY hook points are inert when disabled;
 //   metrics   -- in-memory per-array/per-node aggregation;
 //   tracing   -- metrics plus the JSONL and Chrome sinks writing to an
 //                in-memory stream.
 //
-// The simulation itself must be byte-identical in all three modes
+// The simulation itself must be byte-identical in all four modes
 // (same cycles, same checksum) -- the process exits non-zero if not.
 // Host timings are printed and JSON-recorded for trend tracking; the
 // disabled mode's host_seconds feeds the "no slowdown vs the untraced
@@ -28,6 +32,7 @@
 
 #include "bench/BenchUtil.h"
 #include "bench/Workloads.h"
+#include "fault/Injector.h"
 #include "obs/Recorder.h"
 
 using namespace dsm;
@@ -41,10 +46,13 @@ struct ModeResult {
   double Checksum = 0.0;
 };
 
-enum class Mode { Disabled, Metrics, Tracing };
+enum class Mode { Disabled, InjIdle, Metrics, Tracing };
 
 ModeResult measure(const link::Program &Prog, Mode M, int Procs, int Iters) {
   ModeResult Res;
+  // Nothing armed: no schedule, no buggify registry.  Every hook is
+  // one pointer/flag test that must cost nothing measurable.
+  fault::Injector IdleInj{fault::FaultSpec{}};
   for (int It = 0; It < Iters; ++It) {
     numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
     exec::RunOptions ROpts;
@@ -53,7 +61,9 @@ ModeResult measure(const link::Program &Prog, Mode M, int Procs, int Iters) {
     std::ostringstream JsonlOut, ChromeOut;
     obs::JsonlTraceWriter Jsonl(JsonlOut);
     obs::ChromeTraceWriter Chrome(ChromeOut);
-    if (M != Mode::Disabled) {
+    if (M == Mode::InjIdle)
+      ROpts.Fault = &IdleInj;
+    if (M != Mode::Disabled && M != Mode::InjIdle) {
       ROpts.Observer = &Rec;
       ROpts.CollectMetrics = true;
     }
@@ -111,6 +121,7 @@ int main(int argc, char **argv) {
               "P=%d (best of %d)\n",
               N, N, Reps, Procs, Iters);
   ModeResult Disabled = measure(**Prog, Mode::Disabled, Procs, Iters);
+  ModeResult InjIdle = measure(**Prog, Mode::InjIdle, Procs, Iters);
   ModeResult Metrics = measure(**Prog, Mode::Metrics, Procs, Iters);
   ModeResult Tracing = measure(**Prog, Mode::Tracing, Procs, Iters);
 
@@ -138,6 +149,7 @@ int main(int argc, char **argv) {
     appendJsonResult("obs_overhead", Label, Procs, 1, Out);
   };
   Report("disabled", Disabled);
+  Report("inj_idle", InjIdle);
   Report("metrics", Metrics);
   Report("tracing", Tracing);
   return Failures ? 2 : 0;

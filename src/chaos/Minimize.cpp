@@ -1,0 +1,243 @@
+//===- chaos/Minimize.cpp - Delta-debugging scenario minimizer ------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaos/Minimize.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+using namespace dsm;
+using namespace dsm::chaos;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t Nl = S.find('\n', Pos);
+    if (Nl == std::string::npos) {
+      Out.push_back(S.substr(Pos));
+      break;
+    }
+    Out.push_back(S.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  return Out;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// Drives one minimization run: owns the budget and the keep/reject
+/// decision so every phase is a few lines.
+class Minimizer {
+public:
+  Minimizer(Scenario Best, std::string Signature,
+            const ScenarioPredicate &P, int MaxEvals)
+      : Best(std::move(Best)), Signature(std::move(Signature)), P(P),
+        MaxEvals(MaxEvals) {}
+
+  /// Evaluates \p Candidate; adopts it as the new best when it still
+  /// fails with the original signature.  Returns true when adopted.
+  bool tryKeep(const Scenario &Candidate) {
+    if (Evals >= MaxEvals) {
+      HitBudget = true;
+      return false;
+    }
+    ++Evals;
+    if (P(Candidate) != Signature)
+      return false;
+    Best = Candidate;
+    return true;
+  }
+
+  bool budgetLeft() const { return Evals < MaxEvals; }
+
+  Scenario Best;
+  const std::string Signature;
+  const ScenarioPredicate &P;
+  const int MaxEvals;
+  int Evals = 0;
+  bool HitBudget = false;
+};
+
+/// Phase 1: shrink the execution matrix -- fewer legs, no batch, one
+/// host thread per surviving leg.
+bool shrinkMatrix(Minimizer &M) {
+  bool Changed = false;
+  if (M.Best.BatchWorkers > 0) {
+    Scenario C = M.Best;
+    C.BatchWorkers = 0;
+    Changed |= M.tryKeep(C);
+  }
+  // Drop non-reference legs back to front (the reference leg stays:
+  // every comparison is against it).
+  for (size_t I = M.Best.Legs.size(); I-- > 1;) {
+    if (M.Best.Legs.size() <= 2)
+      break; // Need at least one comparison leg for a divergence bug.
+    Scenario C = M.Best;
+    C.Legs.erase(C.Legs.begin() + static_cast<long>(I));
+    Changed |= M.tryKeep(C);
+  }
+  for (size_t I = 0; I < M.Best.Legs.size(); ++I) {
+    if (M.Best.Legs[I].HostThreads == 1)
+      continue;
+    Scenario C = M.Best;
+    C.Legs[I].HostThreads = 1;
+    Changed |= M.tryKeep(C);
+  }
+  return Changed;
+}
+
+/// Phase 2: reset each FaultSpec knob to its default, one at a time.
+bool shrinkSpec(Minimizer &M) {
+  const fault::FaultSpec Default;
+  bool Changed = false;
+  auto tryKnob = [&](auto Apply) {
+    Scenario C = M.Best;
+    Apply(C.Spec);
+    if (!(C.Spec == M.Best.Spec))
+      Changed |= M.tryKeep(C);
+  };
+  tryKnob([&](fault::FaultSpec &S) { S.PlaceDenyProb = 0; });
+  tryKnob([&](fault::FaultSpec &S) { S.PlaceDenyAt.clear(); });
+  tryKnob([&](fault::FaultSpec &S) { S.MigrateDenyProb = 0; });
+  tryKnob([&](fault::FaultSpec &S) { S.MigrateDenyAt.clear(); });
+  tryKnob([&](fault::FaultSpec &S) {
+    S.LatencySpikeProb = 0;
+    S.LatencySpikeCycles = Default.LatencySpikeCycles;
+  });
+  tryKnob([&](fault::FaultSpec &S) { S.TlbFailProb = 0; });
+  tryKnob([&](fault::FaultSpec &S) {
+    S.FrameCap = -1;
+    S.NodeFrameCaps.clear();
+  });
+  tryKnob([&](fault::FaultSpec &S) { S.DegradeReshaped = false; });
+  tryKnob([&](fault::FaultSpec &S) {
+    S.RetryBudget = Default.RetryBudget;
+    S.RetryBackoffCycles = Default.RetryBackoffCycles;
+  });
+  tryKnob([&](fault::FaultSpec &S) {
+    S.BuggifyProb = 0;
+    S.BuggifySeed = 0;
+  });
+  tryKnob([&](fault::FaultSpec &S) { S.Seed = Default.Seed; });
+  return Changed;
+}
+
+/// Phase 3a: ddmin over program lines.  Tries removing chunks of
+/// decreasing size; candidates that no longer compile fail the
+/// predicate naturally.
+bool shrinkProgramLines(Minimizer &M) {
+  bool Changed = false;
+  std::vector<std::string> Lines = splitLines(M.Best.ProgramSrc);
+  size_t Chunk = Lines.size() / 2;
+  while (Chunk >= 1 && M.budgetLeft()) {
+    bool Removed = false;
+    for (size_t Start = 0; Start + Chunk <= Lines.size() && M.budgetLeft();) {
+      std::vector<std::string> Candidate;
+      Candidate.reserve(Lines.size() - Chunk);
+      Candidate.insert(Candidate.end(), Lines.begin(),
+                       Lines.begin() + static_cast<long>(Start));
+      Candidate.insert(Candidate.end(),
+                       Lines.begin() + static_cast<long>(Start + Chunk),
+                       Lines.end());
+      Scenario C = M.Best;
+      C.ProgramSrc = joinLines(Candidate);
+      if (M.tryKeep(C)) {
+        Lines = std::move(Candidate);
+        Removed = true;
+        Changed = true;
+        // Keep Start: the next chunk slid into this position.
+      } else {
+        Start += Chunk;
+      }
+    }
+    if (!Removed || Chunk == 1)
+      Chunk /= 2;
+    // After a successful pass at this chunk size, retry the same size
+    // before halving (classic ddmin would re-raise granularity; a
+    // same-size retry is cheaper and converges for line lists).
+  }
+  return Changed;
+}
+
+/// Phase 3b: shrink decimal integer literals in the program -- try 1,
+/// then halve while the failure persists.  Keeps array extents and trip
+/// counts small so corpus reproducers stay readable.
+bool shrinkProgramLiterals(Minimizer &M) {
+  bool Changed = false;
+  for (size_t Pos = 0; Pos < M.Best.ProgramSrc.size() && M.budgetLeft();) {
+    const std::string &Src = M.Best.ProgramSrc;
+    if (!std::isdigit(static_cast<unsigned char>(Src[Pos]))) {
+      ++Pos;
+      continue;
+    }
+    // An identifier character before the digit means this is part of a
+    // name (e.g. "a2"), not a literal.
+    if (Pos > 0 && (std::isalnum(static_cast<unsigned char>(Src[Pos - 1])) ||
+                    Src[Pos - 1] == '_')) {
+      ++Pos;
+      continue;
+    }
+    size_t End = Pos;
+    while (End < Src.size() &&
+           std::isdigit(static_cast<unsigned char>(Src[End])))
+      ++End;
+    uint64_t Value = std::stoull(Src.substr(Pos, End - Pos));
+    auto tryValue = [&](uint64_t V) {
+      Scenario C = M.Best;
+      C.ProgramSrc = Src.substr(0, Pos) + std::to_string(V) +
+                     Src.substr(End);
+      if (!M.tryKeep(C))
+        return false;
+      End = Pos + std::to_string(V).size();
+      Changed = true;
+      return true;
+    };
+    if (Value > 1 && !tryValue(1)) {
+      uint64_t V = Value / 2;
+      while (V > 1 && M.budgetLeft() && tryValue(V))
+        V /= 2;
+    }
+    Pos = End + 1;
+  }
+  return Changed;
+}
+
+} // namespace
+
+Scenario dsm::chaos::minimizeScenario(Scenario Failing,
+                                      const std::string &Signature,
+                                      const ScenarioPredicate &P,
+                                      int MaxEvals, MinimizeStats *Stats) {
+  Minimizer M(std::move(Failing), Signature, P, MaxEvals);
+  int Before = static_cast<int>(splitLines(M.Best.ProgramSrc).size());
+  bool Changed = true;
+  while (Changed && M.budgetLeft()) {
+    Changed = false;
+    Changed |= shrinkMatrix(M);
+    Changed |= shrinkSpec(M);
+    Changed |= shrinkProgramLines(M);
+    Changed |= shrinkProgramLiterals(M);
+  }
+  if (Stats) {
+    Stats->Evaluations = M.Evals;
+    Stats->ProgramLinesBefore = Before;
+    Stats->ProgramLinesAfter =
+        static_cast<int>(splitLines(M.Best.ProgramSrc).size());
+    Stats->HitEvalBudget = M.HitBudget;
+  }
+  return M.Best;
+}

@@ -1,0 +1,59 @@
+//===- chaos/Minimize.h - Delta-debugging scenario minimizer ----*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// minimizeScenario shrinks a failing Scenario while preserving its
+/// failure signature, so swarm hits can be checked into
+/// tests/fault/corpus/ as small readable reproducers.  It is classic
+/// ddmin over three axes, looped to a fixpoint under an evaluation
+/// budget:
+///
+///   1. matrix shrink -- drop non-reference legs, zero BatchWorkers,
+///      reduce HostThreads to 1;
+///   2. spec shrink -- reset each FaultSpec knob to its default;
+///   3. program shrink -- delta-debug program lines (chunked halving,
+///      then single lines), then shrink integer literals (to 1, then
+///      by halving).
+///
+/// The predicate is any signature function (normally oracleSignature
+/// from Swarm.h); a candidate is kept only when its signature equals
+/// the original failure's, so minimization cannot wander onto a
+/// different bug.  Candidates that no longer compile simply produce a
+/// different signature and are rejected -- no special casing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_CHAOS_MINIMIZE_H
+#define DSM_CHAOS_MINIMIZE_H
+
+#include <functional>
+#include <string>
+
+#include "chaos/Scenario.h"
+
+namespace dsm::chaos {
+
+/// Maps a candidate scenario to its failure signature ("" = passes).
+using ScenarioPredicate = std::function<std::string(const Scenario &)>;
+
+struct MinimizeStats {
+  int Evaluations = 0;        ///< Predicate calls spent.
+  int ProgramLinesBefore = 0; ///< Program line count going in.
+  int ProgramLinesAfter = 0;  ///< ... and coming out.
+  bool HitEvalBudget = false; ///< Stopped by MaxEvals, not fixpoint.
+};
+
+/// Shrinks \p Failing while \p P keeps returning \p Signature.
+/// \p MaxEvals bounds predicate calls (each runs the whole scenario
+/// matrix, so this is the cost knob).  Returns the smallest
+/// reproducer found; always still fails with \p Signature.
+Scenario minimizeScenario(Scenario Failing, const std::string &Signature,
+                          const ScenarioPredicate &P, int MaxEvals = 400,
+                          MinimizeStats *Stats = nullptr);
+
+} // namespace dsm::chaos
+
+#endif // DSM_CHAOS_MINIMIZE_H

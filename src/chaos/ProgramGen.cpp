@@ -1,0 +1,338 @@
+//===- chaos/ProgramGen.cpp - Seeded DSM-Fortran program generator --------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Extracted from tests/exec/DifferentialFuzzTest.cpp so the chaos
+// swarm and the fuzzer share one generator.  The Classic profile must
+// keep drawing from the seed in exactly the historical order: the
+// fuzzer's shard-coverage assertions (every shard threads at least one
+// epoch, every fault shard injects) were tuned against it, and swarm
+// scenario seeds stay replayable across versions only if the program a
+// seed denotes never changes.  Profile-specific draws therefore happen
+// strictly inside profile-guarded branches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaos/ProgramGen.h"
+
+#include "support/Rng.h"
+
+using namespace dsm;
+using namespace dsm::chaos;
+
+namespace {
+
+/// One distributed dimension: "*", "block", "cyclic", "cyclic(k)".
+std::string dimDist(SplitMix64 &R, bool AllowStar) {
+  switch (R.nextBelow(AllowStar ? 5 : 4)) {
+  case 0:
+    return "block";
+  case 1:
+    return "cyclic";
+  case 2:
+    return "cyclic(2)";
+  case 3:
+    return "cyclic(3)";
+  default:
+    return "*";
+  }
+}
+
+/// A 2-D distribution with at least one distributed dimension.
+std::string dist2d(SplitMix64 &R) {
+  switch (R.nextBelow(3)) {
+  case 0:
+    return "(*, " + dimDist(R, false) + ")";
+  case 1:
+    return "(" + dimDist(R, false) + ", *)";
+  default:
+    return "(" + dimDist(R, false) + ", " + dimDist(R, false) + ")";
+  }
+}
+
+/// Which dimension (1-based) of the pattern is distributed; 0 if the
+/// requested one is "*".
+int distributedDim(const std::string &Pattern, int Dim) {
+  // Patterns are exactly "(x, y)" or "(x)"; crude but sufficient.
+  size_t Comma = Pattern.find(',');
+  std::string Part =
+      Dim == 1 ? Pattern.substr(1, (Comma == std::string::npos
+                                        ? Pattern.size() - 2
+                                        : Comma - 1))
+               : Pattern.substr(Comma + 1,
+                                Pattern.size() - Comma - 2);
+  return Part.find('*') == std::string::npos ? Dim : 0;
+}
+
+} // namespace
+
+const char *dsm::chaos::profileName(GenProfile P) {
+  switch (P) {
+  case GenProfile::Classic:
+    return "classic";
+  case GenProfile::RedistStorm:
+    return "redist-storm";
+  case GenProfile::EpochHeavy:
+    return "epoch-heavy";
+  }
+  return "classic";
+}
+
+Expected<GenProfile> dsm::chaos::parseProfile(const std::string &Name) {
+  if (Name == "classic")
+    return GenProfile::Classic;
+  if (Name == "redist-storm")
+    return GenProfile::RedistStorm;
+  if (Name == "epoch-heavy")
+    return GenProfile::EpochHeavy;
+  return Error::make("unknown generator profile '" + Name +
+                     "' (classic, redist-storm, epoch-heavy)");
+}
+
+GenProgram dsm::chaos::generateProgram(uint64_t Seed, GenProfile Profile) {
+  SplitMix64 R(Seed);
+  GenProgram C;
+  bool TwoD = R.nextBelow(4) != 0; // 2-D three times out of four.
+  int N = TwoD ? static_cast<int>(R.nextInRange(12, 24))
+               : static_cast<int>(R.nextInRange(48, 96));
+  if (Profile == GenProfile::EpochHeavy)
+    // Small arrays keep many-epoch programs fast; redrawn after the
+    // classic draws above so Classic's stream is untouched.
+    N = TwoD ? static_cast<int>(R.nextInRange(8, 14))
+             : static_cast<int>(R.nextInRange(24, 48));
+  int InitK = static_cast<int>(R.nextInRange(1, 5));
+
+  // Distribution kind per array: 0 none, 1 c$distribute, 2 reshape.
+  int KindA = static_cast<int>(R.nextBelow(3));
+  int KindB = static_cast<int>(R.nextBelow(3));
+  if (Profile == GenProfile::RedistStorm && KindA != 1 && KindB != 1)
+    // A storm needs at least one regular distributed array to
+    // redistribute.
+    (R.nextBelow(2) ? KindA : KindB) = 1;
+  std::string DistA = TwoD ? dist2d(R)
+                           : "(" + dimDist(R, false) + ")";
+  std::string DistB = TwoD ? dist2d(R)
+                           : "(" + dimDist(R, false) + ")";
+
+  std::string Dims = TwoD ? "(" + std::to_string(N) + ", " +
+                                std::to_string(N) + ")"
+                          : "(" + std::to_string(N) + ")";
+  std::string S;
+  S += "      program fuzz\n";
+  S += "      integer i, j\n";
+  S += "      real*8 s, A" + Dims + ", B" + Dims + "\n";
+  auto Directive = [&](int Kind, const char *Name,
+                       const std::string &Pattern) {
+    if (Kind == 1)
+      S += std::string("c$distribute ") + Name + Pattern + "\n";
+    else if (Kind == 2)
+      S += std::string("c$distribute_reshape ") + Name + Pattern + "\n";
+  };
+  Directive(KindA, "A", DistA);
+  Directive(KindB, "B", DistB);
+
+  // Serial initialization (also the first-touch placement pass).
+  if (TwoD) {
+    S += "      do j = 1, " + std::to_string(N) + "\n";
+    S += "        do i = 1, " + std::to_string(N) + "\n";
+    S += "          A(i,j) = i + " + std::to_string(InitK) + "*j\n";
+    S += "          B(i,j) = 0.0\n";
+    S += "        enddo\n";
+    S += "      enddo\n";
+  } else {
+    S += "      do i = 1, " + std::to_string(N) + "\n";
+    S += "        A(i) = i * " + std::to_string(InitK) + "\n";
+    S += "        B(i) = 0.0\n";
+    S += "      enddo\n";
+  }
+
+  bool Timed = R.nextBelow(2) == 0;
+  if (Timed)
+    S += "      call dsm_timer_start\n";
+
+  // Optional affinity clause: the parallel var must index a
+  // distributed dimension of the named array with unit coefficient.
+  auto affinity = [&](const char *Var, int VarDim) -> std::string {
+    if (!TwoD || R.nextBelow(2))
+      return "";
+    const char *Arr = nullptr;
+    if (KindA != 0 && distributedDim(DistA, VarDim) == VarDim)
+      Arr = "A";
+    else if (KindB != 0 && distributedDim(DistB, VarDim) == VarDim)
+      Arr = "B";
+    if (!Arr)
+      return "";
+    std::string Ref = VarDim == 1 ? std::string(Var) + ", 1"
+                                  : std::string("1, ") + Var;
+    return std::string(" affinity(") + Var + ") = data(" + Arr + "(" +
+           Ref + "))";
+  };
+  auto schedtype = [&]() -> std::string {
+    switch (R.nextBelow(3)) {
+    case 0:
+      return " schedtype(simple)";
+    case 1:
+      return " schedtype(interleave)";
+    default:
+      return "";
+    }
+  };
+
+  int Epochs = static_cast<int>(R.nextInRange(1, 3));
+  if (Profile == GenProfile::RedistStorm)
+    Epochs = static_cast<int>(R.nextInRange(3, 6));
+  else if (Profile == GenProfile::EpochHeavy)
+    Epochs = static_cast<int>(R.nextInRange(4, 8));
+
+  // A redistribute of a `c$distribute` (regular) array; between epochs
+  // in every profile, before most epochs (and after the last one) in a
+  // storm.
+  auto redistribute = [&]() {
+    if (KindA == 1)
+      S += "c$redistribute A" + (TwoD ? dist2d(R)
+                                      : "(" + dimDist(R, false) + ")") +
+           "\n";
+    else if (KindB == 1)
+      S += "c$redistribute B" + (TwoD ? dist2d(R)
+                                      : "(" + dimDist(R, false) + ")") +
+           "\n";
+  };
+
+  for (int E = 0; E < Epochs; ++E) {
+    if (Profile == GenProfile::RedistStorm) {
+      if (R.nextBelow(3) != 0)
+        redistribute();
+    } else if (E > 0 && R.nextBelow(3) == 0) {
+      redistribute();
+    }
+    std::string NStr = std::to_string(N);
+    int EpochKind = static_cast<int>(R.nextBelow(TwoD ? 5 : 3));
+    std::string Scale = std::to_string(E + 2) + ".0";
+    if (TwoD) {
+      switch (EpochKind) {
+      case 0: // Transpose: cell i writes column i of B.
+        S += "c$doacross local(i, j)" + affinity("i", 2) + "\n";
+        S += "      do i = 1, " + NStr + "\n";
+        S += "        do j = 1, " + NStr + "\n";
+        S += "          B(j,i) = A(i,j) * " + Scale + "\n";
+        S += "        enddo\n";
+        S += "      enddo\n";
+        break;
+      case 1: // Read-modify-write of B at the same position.
+        S += "c$doacross local(i, j)" + schedtype() + "\n";
+        S += "      do i = 1, " + NStr + "\n";
+        S += "        do j = 1, " + NStr + "\n";
+        S += "          B(i,j) = B(i,j) + A(i,j) * " + Scale + "\n";
+        S += "        enddo\n";
+        S += "      enddo\n";
+        break;
+      case 2: // Column stencil, parallel over j; reads A only.
+        S += "c$doacross local(i, j)" + affinity("j", 2) + "\n";
+        S += "      do j = 2, " + std::to_string(N - 1) + "\n";
+        S += "        do i = 1, " + NStr + "\n";
+        S += "          B(i,j) = A(i,j-1) + A(i,j) + A(i,j+1)\n";
+        S += "        enddo\n";
+        S += "      enddo\n";
+        break;
+      case 3: // Scalar reduction: must fall back to the serial path.
+        S += "      s = 0.0\n";
+        S += "c$doacross local(i, j)\n";
+        S += "      do i = 1, " + NStr + "\n";
+        S += "        do j = 1, " + NStr + "\n";
+        S += "          s = s + A(i,j)\n";
+        S += "        enddo\n";
+        S += "      enddo\n";
+        S += "      B(1,1) = s\n";
+        break;
+      default: // Perfect nest with the nest clause.
+        S += "c$doacross nest(j,i) local(i, j)\n";
+        S += "      do j = 1, " + NStr + "\n";
+        S += "        do i = 1, " + NStr + "\n";
+        S += "          B(i,j) = A(i,j) * " + Scale + " + 1.0\n";
+        S += "        enddo\n";
+        S += "      enddo\n";
+        break;
+      }
+    } else {
+      switch (EpochKind) {
+      case 0:
+        S += "c$doacross local(i)" + schedtype() + "\n";
+        S += "      do i = 1, " + NStr + "\n";
+        S += "        B(i) = A(i) * " + Scale + "\n";
+        S += "      enddo\n";
+        break;
+      case 1:
+        S += "c$doacross local(i)\n";
+        S += "      do i = 1, " + NStr + "\n";
+        S += "        B(i) = B(i) + A(i)\n";
+        S += "      enddo\n";
+        break;
+      default:
+        S += "      s = 0.0\n";
+        S += "c$doacross local(i)\n";
+        S += "      do i = 1, " + NStr + "\n";
+        S += "        s = s + A(i)\n";
+        S += "      enddo\n";
+        S += "      B(1) = s\n";
+        break;
+      }
+    }
+  }
+  if (Profile == GenProfile::RedistStorm)
+    // A trailing redistribute: pure placement churn whose cost lands
+    // after the last epoch's metrics delta.
+    redistribute();
+  if (Timed)
+    S += "      call dsm_timer_stop\n";
+  S += "      end\n";
+
+  C.Src = std::move(S);
+  C.Arrays = {"a", "b"};
+  return C;
+}
+
+fault::FaultSpec dsm::chaos::randomFaultSpec(uint64_t Seed) {
+  SplitMix64 R(Seed ^ 0xFA17FA17u);
+  fault::FaultSpec S;
+  S.Seed = R.nextInRange(1, 1u << 20);
+  auto Prob = [&R]() -> double {
+    switch (R.nextBelow(4)) {
+    case 0:
+      return 0.0;
+    case 1:
+      return 0.1;
+    case 2:
+      return 0.5;
+    default:
+      return 1.0;
+    }
+  };
+  S.PlaceDenyProb = Prob();
+  S.MigrateDenyProb = Prob();
+  S.LatencySpikeProb = Prob() * 0.5; // Spikes fire per access; keep rare.
+  S.LatencySpikeCycles = R.nextInRange(100, 5000);
+  S.TlbFailProb = Prob() * 0.5;
+  if (R.nextBelow(3) == 0)
+    S.FrameCap = static_cast<int64_t>(R.nextBelow(64));
+  if (R.nextBelow(3) == 0)
+    S.NodeFrameCaps[static_cast<int>(R.nextBelow(4))] =
+        static_cast<int64_t>(R.nextBelow(8));
+  S.DegradeReshaped = R.nextBelow(3) == 0;
+  S.RetryBudget = static_cast<unsigned>(R.nextBelow(5));
+  S.RetryBackoffCycles = R.nextInRange(50, 500);
+  return S;
+}
+
+numa::MachineConfig dsm::chaos::swarmMachine() {
+  numa::MachineConfig C;
+  C.NumNodes = 4;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 8 << 20;
+  C.L1 = numa::CacheConfig{1024, 32, 2};
+  C.L2 = numa::CacheConfig{16 * 1024, 128, 2};
+  C.TlbEntries = 16;
+  return C;
+}

@@ -1,0 +1,73 @@
+//===- chaos/ProgramGen.h - Seeded DSM-Fortran program generator -*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seeded random-program generator shared by the differential
+/// fuzzer (tests/exec/DifferentialFuzzTest.cpp) and the chaos swarm
+/// (DESIGN.md Section 14).  It produces random-but-data-race-free DSM
+/// Fortran programs: c$distribute / c$distribute_reshape /
+/// c$redistribute directives plus doacross epochs with affinity,
+/// schedtype, nest, and scalar-reduction fallbacks, always over two
+/// checksummable arrays A and B.
+///
+/// Three shapes: Classic is the fuzzer's original distribution
+/// (byte-identical output for a given seed -- the fuzzer's seed corpus
+/// must stay replayable), RedistStorm redistributes aggressively
+/// between many epochs, and EpochHeavy runs many small epochs so the
+/// per-epoch machinery (threading eligibility, metrics deltas, strip
+/// re-priming) dominates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_CHAOS_PROGRAMGEN_H
+#define DSM_CHAOS_PROGRAMGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/FaultSpec.h"
+#include "numa/MachineConfig.h"
+#include "support/Error.h"
+
+namespace dsm::chaos {
+
+/// One generated program plus its checksum targets.
+struct GenProgram {
+  std::string Src;
+  std::vector<std::string> Arrays; ///< Checksum targets (lowercase).
+};
+
+/// Which program shape to draw.
+enum class GenProfile {
+  Classic,     ///< The fuzzer's original distribution (1-3 epochs).
+  RedistStorm, ///< 3-6 epochs, redistribute before most of them.
+  EpochHeavy,  ///< 4-8 small epochs.
+};
+
+/// The profile's stable spelling ("classic", "redist-storm",
+/// "epoch-heavy") -- used by the .scenario file format.
+const char *profileName(GenProfile P);
+Expected<GenProfile> parseProfile(const std::string &Name);
+
+/// Generates the program for (Seed, Profile).  Classic reproduces the
+/// pre-extraction fuzzer generator byte for byte.
+GenProgram generateProgram(uint64_t Seed,
+                           GenProfile Profile = GenProfile::Classic);
+
+/// A random fault schedule: every injector knob is drawn, often at
+/// aggressive settings, so the fallback paths are the common case.
+/// Identical to the fuzzer's historical randomSpec (no buggify knobs;
+/// the scenario generator arms those separately).
+fault::FaultSpec randomFaultSpec(uint64_t Seed);
+
+/// The swarm/fuzzer machine: 4 nodes x 2 procs, 1 KB pages so even
+/// tiny arrays span several pages and nodes, small caches and TLB.
+numa::MachineConfig swarmMachine();
+
+} // namespace dsm::chaos
+
+#endif // DSM_CHAOS_PROGRAMGEN_H

@@ -1,0 +1,293 @@
+//===- chaos/Scenario.cpp - One chaos-swarm test scenario -----------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaos/Scenario.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/Rng.h"
+
+using namespace dsm;
+using namespace dsm::chaos;
+
+using EngineKind = exec::RunOptions::EngineKind;
+
+const char *dsm::chaos::engineName(EngineKind K) {
+  switch (K) {
+  case EngineKind::Interp:
+    return "interp";
+  case EngineKind::Bytecode:
+    return "bytecode";
+  case EngineKind::BytecodeNoFuse:
+    return "bytecode-nofuse";
+  case EngineKind::Auto:
+    break;
+  }
+  return "auto";
+}
+
+Expected<EngineKind> dsm::chaos::parseEngineName(const std::string &Name) {
+  if (Name == "interp")
+    return EngineKind::Interp;
+  if (Name == "bytecode")
+    return EngineKind::Bytecode;
+  if (Name == "bytecode-nofuse")
+    return EngineKind::BytecodeNoFuse;
+  return Error::make("unknown engine '" + Name +
+                     "' (interp, bytecode, bytecode-nofuse)");
+}
+
+Scenario Scenario::generate(uint64_t Seed) {
+  Scenario S;
+  S.Seed = Seed;
+  // Scenario-level draws come from a stream distinct from the program
+  // generator's (which seeds SplitMix64 with Seed directly).
+  SplitMix64 R(hashMix64(Seed ^ 0x5CE4A210ull));
+
+  switch (R.nextBelow(4)) {
+  case 0:
+  case 1:
+    S.Profile = GenProfile::Classic;
+    break;
+  case 2:
+    S.Profile = GenProfile::RedistStorm;
+    break;
+  default:
+    S.Profile = GenProfile::EpochHeavy;
+    break;
+  }
+  GenProgram P = generateProgram(Seed, S.Profile);
+  S.ProgramSrc = std::move(P.Src);
+  S.Arrays = std::move(P.Arrays);
+
+  // Fault schedule: 1/4 of scenarios run fault-free (pure engine
+  // matrix), the rest under the fuzzer's aggressive random specs.
+  if (R.nextBelow(4) != 0)
+    S.Spec = randomFaultSpec(Seed);
+  // Buggify: off / moderate / aggressive / always.  The probabilities
+  // are exactly representable through %g so specs round-trip.
+  switch (R.nextBelow(4)) {
+  case 0:
+    break;
+  case 1:
+    S.Spec.BuggifyProb = 0.25;
+    break;
+  case 2:
+    S.Spec.BuggifyProb = 0.5;
+    break;
+  default:
+    S.Spec.BuggifyProb = 1.0;
+    break;
+  }
+  if (S.Spec.BuggifyProb > 0)
+    S.Spec.BuggifySeed = R.nextInRange(1, 1u << 20);
+
+  // The matrix.  The interp reference and the serial fused bytecode
+  // leg always run; the rest is drawn.
+  S.Legs.push_back({EngineKind::Interp, 1});
+  S.Legs.push_back({EngineKind::Bytecode, 1});
+  if (R.nextBelow(2) == 0)
+    S.Legs.push_back({EngineKind::BytecodeNoFuse, 1});
+  S.Legs.push_back(
+      {EngineKind::Bytecode, R.nextBelow(2) == 0 ? 2 : 4});
+  if (R.nextBelow(3) == 0)
+    S.Legs.push_back({EngineKind::Interp, 4});
+  if (R.nextBelow(3) == 0)
+    S.BatchWorkers = R.nextBelow(2) == 0 ? 2 : 4;
+  return S;
+}
+
+std::string Scenario::print() const {
+  std::string Out;
+  Out += "# dsm_swarm scenario v1\n";
+  Out += "seed = " + std::to_string(Seed) + "\n";
+  Out += "profile = " + std::string(profileName(Profile)) + "\n";
+  Out += "procs = " + std::to_string(NumProcs) + "\n";
+  std::string ArrayList;
+  for (const std::string &A : Arrays) {
+    if (!ArrayList.empty())
+      ArrayList += ',';
+    ArrayList += A;
+  }
+  Out += "arrays = " + ArrayList + "\n";
+  std::string LegList;
+  for (const ScenarioLeg &L : Legs) {
+    if (!LegList.empty())
+      LegList += ',';
+    LegList += std::string(engineName(L.Engine)) + ":" +
+               std::to_string(L.HostThreads);
+  }
+  Out += "legs = " + LegList + "\n";
+  Out += "batch_workers = " + std::to_string(BatchWorkers) + "\n";
+  Out += "spec {\n";
+  Out += Spec.str(); // Already newline-terminated per key.
+  Out += "}\n";
+  Out += "program {\n";
+  Out += ProgramSrc;
+  if (!ProgramSrc.empty() && ProgramSrc.back() != '\n')
+    Out += '\n';
+  Out += "}\n";
+  return Out;
+}
+
+namespace {
+
+std::string trim(const std::string &S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (End != S.c_str() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+std::vector<std::string> splitCommas(const std::string &S) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Comma = S.find(',', Pos);
+    Out.push_back(trim(S.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos)));
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  if (Out.size() == 1 && Out[0].empty())
+    Out.clear();
+  return Out;
+}
+
+} // namespace
+
+Expected<Scenario> Scenario::parse(const std::string &Text,
+                                   const std::string &Name) {
+  Scenario S;
+  S.Legs.clear();
+  Error Err;
+  // Block state: 0 = top level, 1 = spec, 2 = program.
+  int Block = 0;
+  std::string SpecText, ProgText;
+  bool SawSpec = false, SawProgram = false;
+  int LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    std::string Raw = Text.substr(
+        Pos, Nl == std::string::npos ? std::string::npos : Nl - Pos);
+    Pos = Nl == std::string::npos ? Text.size() + 1 : Nl + 1;
+    ++LineNo;
+    if (Block != 0) {
+      if (trim(Raw) == "}") {
+        Block = 0;
+        continue;
+      }
+      (Block == 1 ? SpecText : ProgText) += Raw + "\n";
+      continue;
+    }
+    std::string Line = Raw;
+    if (size_t Hash = Line.find('#'); Hash != std::string::npos)
+      Line.resize(Hash);
+    Line = trim(Line);
+    if (Line.empty())
+      continue;
+    if (Line == "spec {") {
+      if (SawSpec)
+        Err.addError("duplicate spec block", Name, LineNo);
+      Block = 1;
+      SawSpec = true;
+      continue;
+    }
+    if (Line == "program {") {
+      if (SawProgram)
+        Err.addError("duplicate program block", Name, LineNo);
+      Block = 2;
+      SawProgram = true;
+      continue;
+    }
+    size_t Eq = Line.find('=');
+    if (Eq == std::string::npos) {
+      Err.addError("expected key = value or a block opener", Name,
+                   LineNo);
+      continue;
+    }
+    std::string Key = trim(Line.substr(0, Eq));
+    std::string Val = trim(Line.substr(Eq + 1));
+    bool Ok = true;
+    if (Key == "seed") {
+      Ok = parseU64(Val, S.Seed);
+    } else if (Key == "profile") {
+      auto P = parseProfile(Val);
+      if (P)
+        S.Profile = *P;
+      else
+        Ok = false;
+    } else if (Key == "procs") {
+      uint64_t V = 0;
+      Ok = parseU64(Val, V) && V >= 1 && V <= 1024;
+      if (Ok)
+        S.NumProcs = static_cast<int>(V);
+    } else if (Key == "arrays") {
+      S.Arrays = splitCommas(Val);
+    } else if (Key == "legs") {
+      for (const std::string &Item : splitCommas(Val)) {
+        size_t Colon = Item.find(':');
+        std::string Eng =
+            Colon == std::string::npos ? Item : Item.substr(0, Colon);
+        auto K = parseEngineName(trim(Eng));
+        uint64_t HT = 1;
+        bool HtOk =
+            Colon == std::string::npos ||
+            (parseU64(trim(Item.substr(Colon + 1)), HT) && HT >= 1 &&
+             HT <= 64);
+        if (!K || !HtOk) {
+          Ok = false;
+          break;
+        }
+        S.Legs.push_back({*K, static_cast<int>(HT)});
+      }
+    } else if (Key == "batch_workers") {
+      uint64_t V = 0;
+      Ok = parseU64(Val, V) && V <= 64;
+      if (Ok)
+        S.BatchWorkers = static_cast<int>(V);
+    } else {
+      Err.addError("unknown scenario key '" + Key + "'", Name, LineNo);
+      continue;
+    }
+    if (!Ok)
+      Err.addError("invalid value '" + Val + "' for key '" + Key + "'",
+                   Name, LineNo);
+  }
+  if (Block != 0)
+    Err.addError("unterminated block (missing '}')", Name, LineNo);
+  if (!SawProgram)
+    Err.addError("scenario has no program block", Name, LineNo);
+  if (S.Legs.empty())
+    Err.addError("scenario has no legs", Name, LineNo);
+  if (SawSpec) {
+    auto Spec = fault::FaultSpec::parse(SpecText, Name + ":spec");
+    if (Spec)
+      S.Spec = *Spec;
+    else
+      Err.addError(Spec.error().str(), Name, LineNo);
+  }
+  S.ProgramSrc = std::move(ProgText);
+  if (Err)
+    return Err;
+  return S;
+}

@@ -1,0 +1,105 @@
+//===- chaos/Scenario.h - One chaos-swarm test scenario ---------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Scenario is one self-contained chaos test case (DESIGN.md Section
+/// 14): a generated program, a FaultSpec (fault schedule + buggify
+/// knobs), and an execution matrix -- engine x HostThreads legs plus an
+/// optional concurrent batch width.  Scenario::generate(Seed) draws all
+/// of it deterministically; runScenario (Swarm.h) runs the matrix and
+/// checks the full oracle.
+///
+/// Scenarios serialize to a line-oriented text format so minimized
+/// reproducers can live in tests/fault/corpus/ and replay via
+/// `dsm_swarm --replay=file.scenario`:
+///
+///   # dsm_swarm scenario v1
+///   seed = 42
+///   profile = classic
+///   procs = 8
+///   arrays = a,b
+///   legs = interp:1,bytecode:1,bytecode:4
+///   batch_workers = 4
+///   spec {
+///   place_deny_prob = 0.5
+///   buggify_prob = 0.25
+///   }
+///   program {
+///         program fuzz
+///         ...
+///         end
+///   }
+///
+/// Inside `spec {` / `program {` blocks every line up to the closing
+/// `}` (alone on its line) is raw block content; elsewhere `#` starts a
+/// comment.  print() and parse() round-trip exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_CHAOS_SCENARIO_H
+#define DSM_CHAOS_SCENARIO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/ProgramGen.h"
+#include "exec/Engine.h"
+#include "fault/FaultSpec.h"
+#include "support/Error.h"
+
+namespace dsm::chaos {
+
+/// One leg of the execution matrix.  HostThreads is explicit (>= 1),
+/// never 0/"from environment": replays must be bit-reproducible under
+/// DSM_HOST_THREADS variation.
+struct ScenarioLeg {
+  exec::RunOptions::EngineKind Engine =
+      exec::RunOptions::EngineKind::Bytecode;
+  int HostThreads = 1;
+
+  bool operator==(const ScenarioLeg &O) const = default;
+};
+
+/// The engine kind's stable spelling ("interp", "bytecode",
+/// "bytecode-nofuse"); Auto is not representable in a scenario.
+const char *engineName(exec::RunOptions::EngineKind K);
+Expected<exec::RunOptions::EngineKind>
+parseEngineName(const std::string &Name);
+
+struct Scenario {
+  uint64_t Seed = 0;
+  GenProfile Profile = GenProfile::Classic;
+  int NumProcs = 8;
+  /// Main-unit arrays to checksum (lowercase).
+  std::vector<std::string> Arrays;
+  /// Fault schedule + buggify knobs shared by every leg.
+  fault::FaultSpec Spec;
+  /// The matrix: Legs[0] is the reference every other leg (and every
+  /// batch job) is compared against.
+  std::vector<ScenarioLeg> Legs;
+  /// When > 0, additionally run 2 x BatchWorkers identical jobs
+  /// concurrently through a session (cache + BatchRunner) on
+  /// BatchWorkers workers; each job must be bit-identical to the
+  /// serial bytecode leg.
+  int BatchWorkers = 0;
+  std::string ProgramSrc;
+
+  /// Draws a complete scenario from a seed: profile, program, spec
+  /// (faults and buggify), matrix.
+  static Scenario generate(uint64_t Seed);
+
+  /// Serializes to the v1 text format above; parse(print()) == *this.
+  std::string print() const;
+  static Expected<Scenario> parse(const std::string &Text,
+                                  const std::string &Name = "<scenario>");
+
+  bool operator==(const Scenario &O) const = default;
+};
+
+} // namespace dsm::chaos
+
+#endif // DSM_CHAOS_SCENARIO_H

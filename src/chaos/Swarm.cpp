@@ -1,0 +1,369 @@
+//===- chaos/Swarm.cpp - Scenario oracle, bucketing, reports --------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaos/Swarm.h"
+
+#include <cstring>
+#include <memory>
+#include <set>
+
+#include "api/Dsm.h"
+#include "fault/Injector.h"
+#include "obs/Metrics.h"
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::chaos;
+
+using EngineKind = exec::RunOptions::EngineKind;
+
+namespace {
+
+/// One completed leg's observables.
+struct LegRun {
+  bool Failed = false;
+  std::string FailMessage;
+  exec::RunResult R;
+  std::vector<double> Checksums; ///< Weighted, one per Scenario::Arrays.
+};
+
+LegRun runLeg(const link::Program &Prog, const Scenario &S,
+              const ScenarioLeg &Leg, fault::Injector *Inj) {
+  LegRun Out;
+  numa::MemorySystem Mem(swarmMachine());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = S.NumProcs;
+  // Explicit, never 0: replays must not see DSM_HOST_THREADS.
+  ROpts.HostThreads = Leg.HostThreads >= 1 ? Leg.HostThreads : 1;
+  ROpts.CollectMetrics = true;
+  ROpts.Fault = Inj;
+  ROpts.Engine = Leg.Engine;
+  exec::Engine E(Prog, Mem, ROpts);
+  auto R = E.run();
+  if (!R) {
+    Out.Failed = true;
+    Out.FailMessage = R.error().str();
+    return Out;
+  }
+  Out.R = std::move(*R);
+  for (const std::string &A : S.Arrays) {
+    auto Sum = E.arrayWeightedChecksum(A);
+    if (!Sum) {
+      Out.Failed = true;
+      Out.FailMessage = "checksum '" + A + "': " + Sum.error().str();
+      return Out;
+    }
+    Out.Checksums.push_back(*Sum);
+  }
+  return Out;
+}
+
+/// First divergent oracle field between the reference and \p L, or ""
+/// when bit-identical.  \p Detail gets a human-readable description.
+std::string compareLegs(const LegRun &Ref, const LegRun &L,
+                        const std::vector<std::string> &Arrays,
+                        std::string &Detail) {
+  auto D = [&](const std::string &Field, const std::string &Text) {
+    Detail = Field + ": " + Text;
+    return Field;
+  };
+  if (Ref.Failed != L.Failed)
+    return D("run_failed", Ref.Failed ? "reference failed, leg ran"
+                                      : "leg failed: " + L.FailMessage);
+  if (Ref.FailMessage != L.FailMessage)
+    return D("fail_message",
+             "'" + Ref.FailMessage + "' vs '" + L.FailMessage + "'");
+  if (Ref.Failed)
+    return ""; // Consistent failure is graceful degradation.
+  if (Ref.R.WallCycles != L.R.WallCycles)
+    return D("wall_cycles", std::to_string(Ref.R.WallCycles) + " vs " +
+                                std::to_string(L.R.WallCycles));
+  if (Ref.R.TimedCycles != L.R.TimedCycles)
+    return D("timed_cycles", std::to_string(Ref.R.TimedCycles) + " vs " +
+                                 std::to_string(L.R.TimedCycles));
+  if (!(Ref.R.Counters == L.R.Counters))
+    return D("counters",
+             Ref.R.Counters.str() + " vs " + L.R.Counters.str());
+  if (Ref.R.ParallelRegions != L.R.ParallelRegions)
+    return D("parallel_regions",
+             std::to_string(Ref.R.ParallelRegions) + " vs " +
+                 std::to_string(L.R.ParallelRegions));
+  if (Ref.R.RedistributeCycles != L.R.RedistributeCycles)
+    return D("redistribute_cycles",
+             std::to_string(Ref.R.RedistributeCycles) + " vs " +
+                 std::to_string(L.R.RedistributeCycles));
+  if (!(Ref.R.Faults == L.R.Faults))
+    return D("fault_counters",
+             Ref.R.Faults.str() + " vs " + L.R.Faults.str());
+  if (Ref.R.Diags.size() != L.R.Diags.size())
+    return D("diags", std::to_string(Ref.R.Diags.size()) + " vs " +
+                          std::to_string(L.R.Diags.size()));
+  for (size_t I = 0; I < Ref.Checksums.size(); ++I)
+    if (Ref.Checksums[I] != L.Checksums[I])
+      return D("checksum:" + Arrays[I],
+               formatString("%.17g vs %.17g", Ref.Checksums[I],
+                            L.Checksums[I]));
+  if (!(Ref.R.Metrics.Arrays == L.R.Metrics.Arrays))
+    return D("metrics_arrays", "per-array aggregates differ");
+  if (!(Ref.R.Metrics.Nodes == L.R.Metrics.Nodes))
+    return D("metrics_nodes", "per-node aggregates differ");
+  if (Ref.R.Metrics.Epochs != L.R.Metrics.Epochs)
+    return D("metrics_epochs",
+             std::to_string(Ref.R.Metrics.Epochs) + " vs " +
+                 std::to_string(L.R.Metrics.Epochs));
+  if (Ref.R.Metrics.Redistributes != L.R.Metrics.Redistributes)
+    return D("metrics_redistributes",
+             std::to_string(Ref.R.Metrics.Redistributes) + " vs " +
+                 std::to_string(L.R.Metrics.Redistributes));
+  if (Ref.R.Metrics.EpochLog.size() != L.R.Metrics.EpochLog.size())
+    return D("metrics_epoch_log",
+             std::to_string(Ref.R.Metrics.EpochLog.size()) + " vs " +
+                 std::to_string(L.R.Metrics.EpochLog.size()) +
+                 " entries");
+  for (size_t I = 0; I < Ref.R.Metrics.EpochLog.size(); ++I)
+    if (!Ref.R.Metrics.EpochLog[I].sameSimulation(
+            L.R.Metrics.EpochLog[I]))
+      return D("metrics_epoch_log",
+               "epoch " + std::to_string(I) + " diverged");
+  if (!(Ref.R.Metrics.Faults == L.R.Metrics.Faults))
+    return D("metrics_faults", "fault statistics differ");
+  return "";
+}
+
+/// Incremental FNV-1a digest of the run observables.
+struct Digest {
+  uint64_t H = 0xcbf29ce484222325ull;
+  void bytes(const void *Data, size_t Len) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < Len; ++I) {
+      H ^= P[I];
+      H *= 0x100000001b3ull;
+    }
+  }
+  void u64(uint64_t V) { bytes(&V, sizeof V); }
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof Bits);
+    u64(Bits);
+  }
+  void str(const std::string &S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+  std::string hex() const { return formatString("%016llx",
+      static_cast<unsigned long long>(H)); }
+};
+
+uint64_t sumFaults(const fault::FaultCounters &F) {
+  return F.PlacementsDenied + F.PlacementFallbacks + F.MigrationsDenied +
+         F.MigrationRetries + F.LatencySpikes + F.TlbFillRetries +
+         F.CapacityOverflows + F.DegradedArrays;
+}
+
+} // namespace
+
+ScenarioOutcome dsm::chaos::runScenario(const Scenario &S) {
+  ScenarioOutcome Out;
+  std::set<std::string> Tags;
+  auto fail = [&](const std::string &Field, const std::string &Detail) {
+    Out.Ok = false;
+    Out.FirstDivergence = Field;
+    Out.Detail = Detail;
+  };
+
+  auto Prog = dsm::compile({{"swarm.f", S.ProgramSrc}});
+  if (!Prog) {
+    fail("compile_error", Prog.error().str());
+    Out.Signature = "compile_error";
+    return Out;
+  }
+
+  std::vector<ScenarioLeg> Legs = S.Legs;
+  if (Legs.empty())
+    Legs.push_back({EngineKind::Bytecode, 1});
+
+  // One injector for the whole matrix: the engine resets it at run
+  // start, so every leg sees the identical schedule.
+  fault::Injector Inj(S.Spec);
+  fault::Injector *InjPtr = S.Spec.enabled() ? &Inj : nullptr;
+
+  // Fault-free baseline on the reference leg's engine, for the
+  // semantics-preservation half of the oracle.
+  LegRun Baseline;
+  if (InjPtr)
+    Baseline = runLeg(**Prog, S, Legs[0], nullptr);
+
+  Digest Dig;
+  LegRun Ref;
+  std::string Detail;
+  for (size_t I = 0; I < Legs.size(); ++I) {
+    LegRun L = runLeg(**Prog, S, Legs[I], InjPtr);
+    // Tag accounting comes from serial legs only: host-only hooks on
+    // pool threads draw in scheduling order, so a threaded leg's
+    // fired-tag *set* is not replay-stable, and the report must be.
+    if (InjPtr && Inj.buggify() && Legs[I].HostThreads == 1) {
+      for (const std::string &T : Inj.buggify()->firedTags())
+        Tags.insert(T);
+      Out.BuggifyFires += Inj.buggify()->totalFired();
+    }
+    if (I == 0) {
+      Ref = std::move(L);
+      if (!Ref.Failed) {
+        Dig.u64(Ref.R.WallCycles);
+        Dig.u64(Ref.R.TimedCycles);
+        Dig.str(Ref.R.Counters.str());
+        Dig.u64(Ref.R.ParallelRegions);
+        Dig.u64(Ref.R.RedistributeCycles);
+        Dig.str(Ref.R.Faults.str());
+        Dig.u64(Ref.R.Metrics.Epochs);
+        Dig.u64(Ref.R.Metrics.EpochLog.size());
+        Out.FaultsInjected = sumFaults(Ref.R.Faults);
+      } else {
+        Dig.str(Ref.FailMessage);
+      }
+      for (double C : Ref.Checksums)
+        Dig.f64(C);
+      continue;
+    }
+    if (Out.Ok) {
+      std::string Field = compareLegs(Ref, L, S.Arrays, Detail);
+      if (!Field.empty())
+        fail(Field, "leg " + std::to_string(I) + " (" +
+                        engineName(Legs[I].Engine) + ":" +
+                        std::to_string(Legs[I].HostThreads) + ") vs " +
+                        "leg 0 (" + engineName(Legs[0].Engine) + ":" +
+                        std::to_string(Legs[0].HostThreads) + ") -- " +
+                        Detail);
+    }
+  }
+
+  // Graceful degradation: no fault schedule may change results.
+  if (Out.Ok && InjPtr && !Ref.Failed) {
+    if (Baseline.Failed)
+      fail("faults_changed_results",
+           "fault-free baseline failed: " + Baseline.FailMessage);
+    else
+      for (size_t I = 0; I < Ref.Checksums.size(); ++I)
+        if (Ref.Checksums[I] != Baseline.Checksums[I]) {
+          fail("faults_changed_results",
+               "array " + S.Arrays[I] + ": " +
+                   formatString("%.17g (faulted) vs %.17g (baseline)",
+                                Ref.Checksums[I], Baseline.Checksums[I]));
+          break;
+        }
+  }
+
+  // The concurrent batch half: 2 x BatchWorkers identical jobs through
+  // a chaos-armed session must each reproduce the serial bytecode leg.
+  if (S.BatchWorkers > 0 && !Ref.Failed) {
+    std::unique_ptr<fault::Buggify> SessChaos;
+    if (S.Spec.BuggifyProb > 0)
+      SessChaos = std::make_unique<fault::Buggify>(
+          S.Spec.buggifySeedOrDefault() ^ 0x5e55u, S.Spec.BuggifyProb);
+    session::SessionOptions SOpts;
+    SOpts.Workers = S.BatchWorkers;
+    SOpts.MaxCachedPrograms = 2; // A bound, so cache_evict can fire.
+    SOpts.Chaos = SessChaos.get();
+    session::Session Sess(SOpts);
+    // Two compiles of the same source: the second joins the cache (or
+    // recompiles after a buggified eviction -- both must succeed).
+    auto H1 = Sess.compile({{"swarm.f", S.ProgramSrc}});
+    auto H2 = Sess.compile({{"swarm.f", S.ProgramSrc}});
+    if (!H1 || !H2) {
+      if (Out.Ok)
+        fail("batch_compile",
+             (!H1 ? H1.error() : H2.error()).str());
+    } else {
+      // Every batch job is compared against a direct serial
+      // fused-bytecode run (re-run here because non-reference legs are
+      // compared then discarded above).
+      ScenarioLeg TargetLeg = {EngineKind::Bytecode, 1};
+      LegRun Direct = runLeg(**Prog, S, TargetLeg, InjPtr);
+      const LegRun *Target = &Direct;
+
+      session::RunRequest Req;
+      Req.Label = "swarm-batch";
+      Req.Program = *H2;
+      Req.Machine = swarmMachine();
+      Req.Opts.NumProcs = S.NumProcs;
+      Req.Opts.HostThreads = 1;
+      Req.Opts.Engine = EngineKind::Bytecode;
+      Req.Opts.CollectMetrics = true;
+      if (S.Spec.enabled())
+        Req.Fault = S.Spec;
+      Req.ChecksumArrays = S.Arrays;
+      std::vector<session::RunRequest> Jobs(
+          static_cast<size_t>(2 * S.BatchWorkers), Req);
+      std::vector<session::JobResult> Results = Sess.runBatch(Jobs);
+      for (size_t J = 0; Out.Ok && J < Results.size(); ++J) {
+        const session::JobResult &JR = Results[J];
+        if (!JR.ok()) {
+          if (!Target->Failed)
+            fail("batch_run_failed", "job " + std::to_string(J) + ": " +
+                                         JR.Err.str());
+          continue;
+        }
+        if (Target->Failed) {
+          fail("batch_run_failed",
+               "job " + std::to_string(J) + " ran; direct leg failed");
+          continue;
+        }
+        const exec::RunResult &R = JR.Output->Result;
+        auto batchFail = [&](const char *Field,
+                             const std::string &Text) {
+          fail(Field, "job " + std::to_string(J) + ": " + Text);
+        };
+        if (R.WallCycles != Target->R.WallCycles)
+          batchFail("batch_wall_cycles",
+                    std::to_string(R.WallCycles) + " vs " +
+                        std::to_string(Target->R.WallCycles));
+        else if (!(R.Counters == Target->R.Counters))
+          batchFail("batch_counters", "memory-system counters differ");
+        else if (!(R.Faults == Target->R.Faults))
+          batchFail("batch_faults", R.Faults.str() + " vs " +
+                                        Target->R.Faults.str());
+        else if (R.ParallelRegions != Target->R.ParallelRegions)
+          batchFail("batch_parallel_regions", "differ");
+        else
+          for (size_t I = 0; I < JR.Output->Checksums.size(); ++I)
+            if (JR.Output->Checksums[I].second != Target->Checksums[I]) {
+              batchFail("batch_checksum",
+                        "array " + S.Arrays[I] + " differs");
+              break;
+            }
+      }
+      if (!Results.empty() && Results[0].ok()) {
+        Dig.u64(Results[0].Output->Result.WallCycles);
+        for (const auto &[Plain, Weighted] : Results[0].Output->Checksums)
+          Dig.f64(Weighted);
+      }
+      if (SessChaos) {
+        for (const std::string &T : SessChaos->firedTags())
+          Tags.insert(T);
+        Out.BuggifyFires += SessChaos->totalFired();
+      }
+    }
+  }
+
+  Out.FiredTags.assign(Tags.begin(), Tags.end());
+  Out.Digest = Dig.hex();
+  if (!Out.Ok) {
+    Out.Signature = Out.FirstDivergence;
+    if (!Out.FiredTags.empty()) {
+      Out.Signature += "|";
+      for (size_t I = 0; I < Out.FiredTags.size(); ++I) {
+        if (I)
+          Out.Signature += ",";
+        Out.Signature += Out.FiredTags[I];
+      }
+    }
+  }
+  return Out;
+}
+
+std::string dsm::chaos::oracleSignature(const Scenario &S) {
+  return runScenario(S).Signature;
+}

@@ -1,0 +1,72 @@
+//===- chaos/Swarm.h - Scenario oracle, bucketing, reports ------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// runScenario executes one Scenario's whole matrix and checks the
+/// full oracle (DESIGN.md Section 14):
+///
+///  - every leg is bit-identical to Legs[0] in every engine observable
+///    (cycles, counters, fault accounting, checksums, metrics);
+///  - graceful degradation: faults and buggify never abort a run or
+///    change array results (faulted checksums == a fault-free baseline
+///    run's);
+///  - batch jobs through a chaos-armed session reproduce the serial
+///    bytecode leg bit for bit.
+///
+/// A failing scenario gets a normalized signature -- the first
+/// divergent oracle field plus the sorted set of buggify tags that
+/// fired -- which the swarm driver buckets on, so one root cause maps
+/// to one bucket no matter how many seeds hit it.  The outcome also
+/// carries a digest of the reference leg's observables: two replays of
+/// one scenario (on any host, any DSM_HOST_THREADS) must produce the
+/// identical digest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_CHAOS_SWARM_H
+#define DSM_CHAOS_SWARM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/Scenario.h"
+
+namespace dsm::chaos {
+
+/// What running one scenario produced.
+struct ScenarioOutcome {
+  bool Ok = true;
+  /// First divergent oracle field ("" when Ok), e.g. "wall_cycles",
+  /// "checksum:b", "batch_counters", "faults_changed_results".
+  std::string FirstDivergence;
+  /// Buggify tags that fired across the matrix, sorted and deduped.
+  std::vector<std::string> FiredTags;
+  /// Normalized bucket key: FirstDivergence + "|" + joined FiredTags.
+  /// Empty when Ok.
+  std::string Signature;
+  /// Human-readable detail of the failure ("" when Ok).
+  std::string Detail;
+  /// FNV-1a digest (hex) of the reference leg's observables and every
+  /// leg's checksums; bit-reproducible across replays.
+  std::string Digest;
+  /// Faults the reference leg injected (sum over FaultCounters).
+  uint64_t FaultsInjected = 0;
+  /// Buggify firings summed over every leg.
+  uint64_t BuggifyFires = 0;
+};
+
+/// Runs the scenario's full matrix and oracle.  Never throws or
+/// aborts; any violation is reported through the outcome.
+ScenarioOutcome runScenario(const Scenario &S);
+
+/// Convenience predicate for the minimizer: runs the oracle and
+/// returns the failure signature ("" when the scenario passes).
+std::string oracleSignature(const Scenario &S);
+
+} // namespace dsm::chaos
+
+#endif // DSM_CHAOS_SWARM_H

@@ -125,6 +125,12 @@ struct Engine::Impl {
   /// Whether LoopBody superinstructions may run strips (Bytecode yes,
   /// BytecodeNoFuse no); irrelevant without BC.
   bool FuseStrips = false;
+  /// The run's buggify registry (Opts.Fault's, cached at run start so
+  /// the VM's strip dispatch pays one pointer test); null when chaos
+  /// is off.  The "strip_bail" hook it arms is host-only: a forced
+  /// bail takes the scalar loop, which is bit-identical by the fusion
+  /// pass's contract.
+  fault::Buggify *Chaos = nullptr;
 
   Impl(const link::Program &Prog, numa::MemorySystem &Mem,
        RunOptions Opts, runtime::Runtime &Rt)
@@ -1674,6 +1680,7 @@ struct Engine::Impl {
     if (Opts.Fault) {
       Opts.Fault->reset(); // Same schedule for every run.
       Mem.setFaultInjector(Opts.Fault);
+      Chaos = Opts.Fault->buggify();
       Guard.Mem = &Mem;
       Guard.Fault = true;
     }

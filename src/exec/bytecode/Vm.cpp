@@ -513,7 +513,10 @@ void Engine::Impl::Ctx::execCode(const bc::Code &Code) {
     if (Recording && Cur == FrameStack.front().get())
       RootWritten[Slot] = 1;
     Clock += CostTab[In.CostKind] * In.CostMul; // Increment + branch.
+    // Buggify (host-only): a forced bail takes the scalar loop below,
+    // which the fusion pass guarantees is bit-identical to the strip.
     if (S.FuseStrips &&
+        !DSM_BUGGIFY(S.Chaos, "strip_bail", In.D) &&
         execStrip(Code, Code.Strips[In.D], Regs, CostTab)) {
       if (Failed)
         return;
@@ -771,6 +774,10 @@ bool Engine::Impl::Ctx::execStrip(const bc::Code &Code,
   };
   constexpr int MaxSites = 32;
   if (Strip.NumSites > MaxSites)
+    return false;
+  // Buggify (host-only): decline the strip this time around, forcing
+  // one more scalar peel iteration exactly as an unresolved site would.
+  if (DSM_BUGGIFY(S.Chaos, "strip_peel", Strip.Head))
     return false;
   SiteState Sites[MaxSites];
 

@@ -1,0 +1,69 @@
+//===- fault/Buggify.cpp - Seeded rare-branch amplification ---------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/Buggify.h"
+
+#include "support/Rng.h"
+
+using namespace dsm;
+using namespace dsm::fault;
+
+namespace {
+
+/// FNV-1a over the tag name: the per-tag salt, so tags draw from
+/// independent streams even at equal sequence numbers.
+uint64_t hashTag(const char *Tag) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (const char *P = Tag; *P; ++P) {
+    H ^= static_cast<unsigned char>(*P);
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+} // namespace
+
+bool Buggify::fire(const char *Tag, uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  TagState &T = Tags[Tag];
+  ++T.Seq;
+  // Same mixing discipline as Injector::draw: pure in all four inputs.
+  uint64_t X = hashMix64(Seed ^ hashMix64(hashTag(Tag))) ^
+               hashMix64(T.Seq * 0x9e3779b97f4a7c15ULL + Key);
+  bool Fire =
+      static_cast<double>(hashMix64(X) >> 11) * 0x1.0p-53 < Prob;
+  if (Fire)
+    ++T.Fired;
+  return Fire;
+}
+
+void Buggify::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Tags.clear();
+}
+
+std::vector<std::string> Buggify::firedTags() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::string> Out;
+  for (const auto &[Tag, State] : Tags)
+    if (State.Fired)
+      Out.push_back(Tag); // Map order is already sorted.
+  return Out;
+}
+
+uint64_t Buggify::firedCount(const std::string &Tag) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Tags.find(Tag);
+  return It != Tags.end() ? It->second.Fired : 0;
+}
+
+uint64_t Buggify::totalFired() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t N = 0;
+  for (const auto &[Tag, State] : Tags)
+    N += State.Fired;
+  return N;
+}

@@ -1,0 +1,100 @@
+//===- fault/Buggify.h - Seeded rare-branch amplification -------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FoundationDB-style BUGGIFY: a seeded registry that deterministically
+/// forces rare/slow branches to be taken often under test (DESIGN.md
+/// Section 14).  Production code plants hooks with
+///
+///   if (DSM_BUGGIFY(B, "phys_full", Key)) { ...take the rare branch... }
+///
+/// where B is a `Buggify *` that is null in ordinary runs: the macro is
+/// then a single pointer test, so hooks cost nothing when chaos is off.
+/// When armed (FaultSpec::BuggifyProb > 0 builds one inside the
+/// Injector), each hook fires with probability BuggifyProb as a pure
+/// function of (buggify seed, tag, per-tag sequence number, site key) --
+/// the same mixing discipline as Injector::draw, so a firing schedule is
+/// reproducible from the spec alone.
+///
+/// Per-tag sequence counters isolate tags from each other: a leg that
+/// evaluates the host-only "strip_bail" hook a different number of times
+/// (e.g. the interp engine never does) draws nothing from the sequence
+/// of the sim-affecting "place_deny" hook.  Tags fall in two classes:
+///
+///  - sim-affecting ("place_deny", "migrate_deny", "phys_full",
+///    "tlb_retry", "redistribute_partial", "redistribute_retry"): sit
+///    exactly on the Injector's serial/replay decision points, so they
+///    fire identically on every engine / HostThreads matrix leg.
+///  - host-only ("strip_bail", "strip_peel", "batch_slow",
+///    "cache_evict", "compile_wait_retry"): may fire differently per
+///    leg but sit on branches that are provably unobservable in the
+///    simulation.
+///
+/// Firings are counted per tag on the Buggify object itself (never in
+/// FaultCounters, whose bit-identity across legs is an oracle field).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_FAULT_BUGGIFY_H
+#define DSM_FAULT_BUGGIFY_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dsm::fault {
+
+/// Seeded per-tag firing registry.  Thread-safe (host-only hooks run on
+/// pool threads); every decision is pure in (Seed, Tag, Seq, Key).
+class Buggify {
+public:
+  Buggify(uint64_t Seed, double Prob) : Seed(Seed), Prob(Prob) {}
+
+  uint64_t seed() const { return Seed; }
+  double prob() const { return Prob; }
+
+  /// Draws the next decision for \p Tag at site \p Key.  Use through
+  /// DSM_BUGGIFY so disabled runs never reach here.
+  bool fire(const char *Tag, uint64_t Key);
+
+  /// Clears sequence numbers and firing counts; the engine calls this
+  /// (via Injector::reset) at run start so every run -- and every
+  /// matrix leg reusing one injector -- sees the identical schedule.
+  void reset();
+
+  /// Tags that fired at least once since the last reset, sorted.
+  std::vector<std::string> firedTags() const;
+
+  /// Firings of one tag since the last reset.
+  uint64_t firedCount(const std::string &Tag) const;
+
+  /// Total firings across all tags since the last reset.
+  uint64_t totalFired() const;
+
+private:
+  struct TagState {
+    uint64_t Seq = 0;   ///< Decisions drawn for this tag.
+    uint64_t Fired = 0; ///< Decisions that came up "fire".
+  };
+
+  const uint64_t Seed;
+  const double Prob;
+  mutable std::mutex Mu;
+  std::map<std::string, TagState, std::less<>> Tags;
+};
+
+} // namespace dsm::fault
+
+/// Plants a buggify hook: false (one pointer test) when \p B is null,
+/// otherwise one seeded draw for (\p Tag, \p Key).  Tag must be a
+/// string literal naming the rare branch; Key disambiguates sites that
+/// share a tag (a page number, a strip index -- any stable integer).
+#define DSM_BUGGIFY(B, Tag, Key)                                          \
+  ((B) != nullptr && (B)->fire((Tag), static_cast<uint64_t>(Key)))
+
+#endif // DSM_FAULT_BUGGIFY_H

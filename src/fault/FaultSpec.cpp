@@ -140,6 +140,10 @@ Expected<FaultSpec> FaultSpec::parse(const std::string &Text,
         Spec.RetryBudget = static_cast<unsigned>(V);
     } else if (Key == "retry_backoff_cycles") {
       Ok = parseU64(Val, Spec.RetryBackoffCycles);
+    } else if (Key == "buggify_prob") {
+      Ok = parseProb(Val, Spec.BuggifyProb);
+    } else if (Key == "buggify_seed") {
+      Ok = parseU64(Val, Spec.BuggifySeed);
     } else {
       Err.addError("unknown fault-spec key '" + Key + "'", Name, LineNo);
       continue;
@@ -178,10 +182,12 @@ std::string FaultSpec::str() const {
     Add(formatString("migrate_deny_prob = %g", MigrateDenyProb));
   if (!MigrateDenyAt.empty())
     Add("migrate_deny_at = " + List(MigrateDenyAt));
-  if (LatencySpikeProb > 0) {
+  if (LatencySpikeProb > 0)
     Add(formatString("latency_spike_prob = %g", LatencySpikeProb));
+  // Printed whenever non-default (not only alongside a probability) so
+  // parse(str()) round-trips field-for-field.
+  if (LatencySpikeCycles != 1000)
     Add("latency_spike_cycles = " + std::to_string(LatencySpikeCycles));
-  }
   if (TlbFailProb > 0)
     Add(formatString("tlb_fail_prob = %g", TlbFailProb));
   if (FrameCap >= 0)
@@ -195,5 +201,9 @@ std::string FaultSpec::str() const {
     Add("retry_budget = " + std::to_string(RetryBudget));
   if (RetryBackoffCycles != 200)
     Add("retry_backoff_cycles = " + std::to_string(RetryBackoffCycles));
+  if (BuggifyProb > 0)
+    Add(formatString("buggify_prob = %g", BuggifyProb));
+  if (BuggifySeed != 0)
+    Add("buggify_seed = " + std::to_string(BuggifySeed));
   return Out;
 }

@@ -29,6 +29,8 @@
 ///   degrade_reshaped = 1
 ///   retry_budget = 3
 ///   retry_backoff_cycles = 200
+///   buggify_prob = 0.25     # arm DSM_BUGGIFY rare-branch hooks
+///   buggify_seed = 7        # 0 / absent = derive from seed
 ///
 //===----------------------------------------------------------------------===//
 
@@ -93,12 +95,25 @@ struct FaultSpec {
   unsigned RetryBudget = 3;
   uint64_t RetryBackoffCycles = 200;
 
+  /// Probability that each armed DSM_BUGGIFY hook fires (DESIGN.md
+  /// Section 14).  0 disables the buggify layer entirely: the Injector
+  /// builds no registry and every hook is one null pointer test.
+  double BuggifyProb = 0.0;
+  /// Seed of the buggify firing schedule; 0 derives it from Seed so a
+  /// spec with one seed line still perturbs both layers.
+  uint64_t BuggifySeed = 0;
+
   /// True when any knob can actually inject a fault.
   bool enabled() const {
     return PlaceDenyProb > 0 || !PlaceDenyAt.empty() ||
            MigrateDenyProb > 0 || !MigrateDenyAt.empty() ||
            LatencySpikeProb > 0 || TlbFailProb > 0 || FrameCap >= 0 ||
-           !NodeFrameCaps.empty() || DegradeReshaped;
+           !NodeFrameCaps.empty() || DegradeReshaped || BuggifyProb > 0;
+  }
+
+  /// Effective seed of the buggify layer.
+  uint64_t buggifySeedOrDefault() const {
+    return BuggifySeed ? BuggifySeed : Seed ^ 0xb166u /*'bugg'-ish*/;
   }
 
   /// Effective frame cap of \p Node, or -1 when uncapped.
@@ -114,7 +129,12 @@ struct FaultSpec {
                                    const std::string &Name = "<fault-spec>");
 
   /// Renders the spec back in parseable form (non-default keys only).
+  /// Round-trips: parse(str()) reproduces the spec exactly, for any
+  /// spec whose probabilities survive %g formatting (six significant
+  /// digits; the chaos generator only draws such values).
   std::string str() const;
+
+  bool operator==(const FaultSpec &O) const = default;
 };
 
 } // namespace dsm::fault

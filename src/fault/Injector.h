@@ -27,8 +27,10 @@
 #define DSM_FAULT_INJECTOR_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "fault/Buggify.h"
 #include "fault/FaultSpec.h"
 
 namespace dsm::fault {
@@ -63,18 +65,32 @@ struct FaultCounters {
 /// contract as numa::SimObserver).
 class Injector {
 public:
-  explicit Injector(FaultSpec Spec) : Spec(std::move(Spec)) {}
+  explicit Injector(FaultSpec S) : Spec(std::move(S)) {
+    if (Spec.BuggifyProb > 0)
+      Bug = std::make_unique<Buggify>(Spec.buggifySeedOrDefault(),
+                                      Spec.BuggifyProb);
+  }
 
   const FaultSpec &spec() const { return Spec; }
   FaultCounters &counters() { return Counters; }
   const FaultCounters &counters() const { return Counters; }
 
-  /// Resets counters and decision sequence numbers; the engine calls
-  /// this at the start of every run so repeated runs with one injector
-  /// see the identical fault schedule.
+  /// The buggify registry, or null when the spec leaves it disarmed.
+  /// Pass straight to DSM_BUGGIFY; hook firings are accounted here (per
+  /// tag), never in FaultCounters, whose cross-leg bit-identity is an
+  /// oracle field while host-only hooks may fire per leg.
+  Buggify *buggify() { return Bug.get(); }
+  const Buggify *buggify() const { return Bug.get(); }
+
+  /// Resets counters and decision sequence numbers (including the
+  /// buggify registry); the engine calls this at the start of every run
+  /// so repeated runs with one injector see the identical fault
+  /// schedule.
   void reset() {
     Counters = FaultCounters();
     PlaceSeq = MigrateSeq = LatencySeq = TlbSeq = DegradeSeq = 0;
+    if (Bug)
+      Bug->reset();
   }
 
   //===--------------------------------------------------------------===//
@@ -154,6 +170,7 @@ private:
 
   FaultSpec Spec;
   FaultCounters Counters;
+  std::unique_ptr<Buggify> Bug; ///< Armed iff Spec.BuggifyProb > 0.
   uint64_t PlaceSeq = 0;
   uint64_t MigrateSeq = 0;
   uint64_t LatencySeq = 0;

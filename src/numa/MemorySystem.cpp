@@ -66,8 +66,10 @@ MemorySystem::allocFrame(int Pref, uint64_t VPage, FrameMode Mode,
         if (AvoidPref && N == Pref)
           continue;
         if (Pass == 0 && Inj &&
-            Inj->overFrameCap(N, Frames.framesUsed(N)))
-          continue;
+            (Inj->overFrameCap(N, Frames.framesUsed(N)) ||
+             DSM_BUGGIFY(Inj->buggify(), "phys_full",
+                         VPage * 31 + static_cast<uint64_t>(N))))
+          continue; // Buggify: pretend N is full; take the spill pass.
         if (auto A = Frames.allocOn(N, VPage, Mode)) {
           if (Pass == 1) {
             // Every node was over its soft cap; breach it rather than
@@ -106,7 +108,10 @@ void MemorySystem::placePage(uint64_t VPage, int Node, FrameMode Mode) {
   assert(Node >= 0 && Node < Config.NumNodes && "node out of range");
   PageInfo &PI = Pages[VPage];
   bool AvoidPref = false;
-  if (Inj && Inj->denyPlacePage(VPage, Node)) {
+  // denyPlacePage always runs first so PlaceSeq advances identically
+  // whether or not the buggify layer is armed.
+  if (Inj && (Inj->denyPlacePage(VPage, Node) ||
+              DSM_BUGGIFY(Inj->buggify(), "place_deny", VPage))) {
     ++Inj->counters().PlacementsDenied;
     if (Obs)
       Obs->onFaultInjected("place_denied", VPage, Node);
@@ -168,7 +173,8 @@ bool MemorySystem::migratePage(uint64_t VPage, int NewNode) {
   PageInfo &PI = It->second;
   if (PI.Node == NewNode)
     return true;
-  if (Inj && Inj->denyMigratePage(VPage, NewNode)) {
+  if (Inj && (Inj->denyMigratePage(VPage, NewNode) ||
+              DSM_BUGGIFY(Inj->buggify(), "migrate_deny", VPage))) {
     ++Inj->counters().MigrationsDenied;
     if (Obs)
       Obs->onFaultInjected("migrate_denied", VPage, NewNode);
@@ -363,7 +369,8 @@ uint64_t MemorySystem::access(int Proc, uint64_t Addr, unsigned Bytes,
   if (!P.Dtlb.access(VPage)) {
     ++Stats.TlbMisses;
     uint64_t MissCycles = Costs.TlbMiss;
-    if (Inj && Inj->failTlbFill(Proc, VPage)) {
+    if (Inj && (Inj->failTlbFill(Proc, VPage) ||
+                DSM_BUGGIFY(Inj->buggify(), "tlb_retry", VPage))) {
       // Transient fill failure: the walk is retried, doubling the
       // penalty.  Translation still succeeds -- only cycles change.
       MissCycles += Costs.TlbMiss;
@@ -490,9 +497,15 @@ uint64_t MemorySystem::batchAccess(int Proc, uint64_t Addr, unsigned Bytes,
   // fall-through access() then performs the one real access.  The
   // skipped work -- page-table memo, physBase recomputation, and the
   // settled coherenceAction -- is all provably state- and cost-free.
+  // Buggify (host-only tag): force the committed slow path for an
+  // otherwise-eligible access.  Equivalence of the two paths is the
+  // memo's core invariant, so firing is unobservable in the simulation
+  // -- which is exactly what the swarm oracle then proves.  The check
+  // runs last so it only draws when the fast path would be taken.
   if (VPage == Site.VPage &&
       (IsWrite ? Site.WriteSettled : Site.ReadSettled) &&
-      P.Dtlb.mruContains(VPage)) {
+      P.Dtlb.mruContains(VPage) &&
+      !(Inj && DSM_BUGGIFY(Inj->buggify(), "batch_slow", Addr))) {
     uint64_t Phys = Addr + Site.PhysMinusVirt;
     if ((Phys & ~(Config.L2.LineBytes - 1)) == Site.PhysL2Line &&
         P.L1.accessIfHit(Phys, IsWrite)) {

@@ -182,6 +182,14 @@ Runtime::redistribute(ArrayInstance &Inst,
     // Best-effort: retry a denied migration up to the budget, charging
     // backoff each attempt; a page that still will not move stays at
     // its old home (wrong locality, right values).
+    fault::Buggify *Chaos = Inj ? Inj->buggify() : nullptr;
+    if (DSM_BUGGIFY(Chaos, "redistribute_partial", Page)) {
+      // Buggify: the move is abandoned outright (as if every retry
+      // were denied) -- the partial-redistribute path with no denial
+      // spec armed.
+      ++R.PagesFailed;
+      continue;
+    }
     bool Done = Mem.migratePage(Page, Node);
     for (unsigned Try = 0; !Done && Try < Budget; ++Try) {
       ++R.Retries;
@@ -190,6 +198,15 @@ Runtime::redistribute(ArrayInstance &Inst,
       if (numa::SimObserver *Obs = Mem.observer())
         Obs->onFaultInjected("migrate_retry", Page, Node);
       Done = Mem.migratePage(Page, Node);
+    }
+    if (Done && DSM_BUGGIFY(Chaos, "redistribute_retry", Page)) {
+      // Buggify: charge one spurious retry/backoff on a move that
+      // succeeded, exercising the backoff accounting alone.
+      ++R.Retries;
+      R.Cycles += Inj->retryBackoffCycles();
+      ++Inj->counters().MigrationRetries;
+      if (numa::SimObserver *Obs = Mem.observer())
+        Obs->onFaultInjected("migrate_retry", Page, Node);
     }
     if (Done)
       ++R.PagesMoved;

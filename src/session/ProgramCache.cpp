@@ -6,6 +6,8 @@
 
 #include "session/ProgramCache.h"
 
+#include <chrono>
+
 using namespace dsm;
 using namespace dsm::session;
 
@@ -74,7 +76,15 @@ ProgramCache::getOrCompile(const std::vector<SourceFile> &Sources,
 
   if (!Owner) {
     std::unique_lock<std::mutex> Lock(S->Mu);
-    S->ReadyCv.wait(Lock, [&] { return S->Ready; });
+    if (DSM_BUGGIFY(Chaos, "compile_wait_retry", Key)) {
+      // Buggify: join the in-flight compile through the timed-wait
+      // loop, exercising the re-check against spurious wakeups that
+      // the predicate wait normally hides.
+      while (!S->Ready)
+        S->ReadyCv.wait_for(Lock, std::chrono::milliseconds(1));
+    } else {
+      S->ReadyCv.wait(Lock, [&] { return S->Ready; });
+    }
     if (!S->Prog)
       return Error(S->Err);
     return S->Prog;
@@ -108,6 +118,11 @@ ProgramCache::getOrCompile(const std::vector<SourceFile> &Sources,
   ++Stats.Programs;
   touchLocked(Key);
   evictLocked();
+  if (MaxPrograms != 0 && DSM_BUGGIFY(Chaos, "cache_evict", Key))
+    // Buggify: evict the LRU victim even under the bound, exercising
+    // eviction-then-recompile churn (outstanding handles stay valid;
+    // this very Handle survives by refcount).
+    evictOneLocked();
   return Handle;
 }
 
@@ -136,14 +151,19 @@ void ProgramCache::touchLocked(uint64_t Key) {
 void ProgramCache::evictLocked() {
   if (MaxPrograms == 0)
     return;
-  while (Stats.Programs > MaxPrograms && !Recency.empty()) {
-    uint64_t Victim = Recency.back();
-    Recency.pop_back();
-    RecencyPos.erase(Victim);
-    Slots.erase(Victim); // Outstanding ProgramHandles stay valid.
-    --Stats.Programs;
-    ++Stats.Evictions;
-  }
+  while (Stats.Programs > MaxPrograms && !Recency.empty())
+    evictOneLocked();
+}
+
+void ProgramCache::evictOneLocked() {
+  if (Recency.empty())
+    return;
+  uint64_t Victim = Recency.back();
+  Recency.pop_back();
+  RecencyPos.erase(Victim);
+  Slots.erase(Victim); // Outstanding ProgramHandles stay valid.
+  --Stats.Programs;
+  ++Stats.Evictions;
 }
 
 CacheStats ProgramCache::stats() const {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/Driver.h"
+#include "fault/Buggify.h"
 #include "link/Program.h"
 
 namespace dsm::session {
@@ -54,9 +55,13 @@ struct CacheStats {
 class ProgramCache {
 public:
   /// \p MaxPrograms bounds resident compiled programs (LRU eviction);
-  /// 0 means unbounded.
-  explicit ProgramCache(size_t MaxPrograms = 0)
-      : MaxPrograms(MaxPrograms) {}
+  /// 0 means unbounded.  \p Chaos (optional, not owned, must outlive
+  /// the cache) arms the cache's DSM_BUGGIFY hooks -- forced LRU
+  /// eviction and the timed-wait variant of in-flight compile joins --
+  /// for the chaos swarm (DESIGN.md Section 14).
+  explicit ProgramCache(size_t MaxPrograms = 0,
+                        fault::Buggify *Chaos = nullptr)
+      : MaxPrograms(MaxPrograms), Chaos(Chaos) {}
 
   ProgramCache(const ProgramCache &) = delete;
   ProgramCache &operator=(const ProgramCache &) = delete;
@@ -91,8 +96,10 @@ private:
 
   void touchLocked(uint64_t Key);
   void evictLocked();
+  void evictOneLocked();
 
   const size_t MaxPrograms;
+  fault::Buggify *const Chaos;
   mutable std::mutex Mu;
   std::unordered_map<uint64_t, std::shared_ptr<Slot>> Slots;
   /// Completed keys, most recently used first.

@@ -39,7 +39,7 @@ Error SessionOptions::validate() const {
 
 Session::Session(SessionOptions Opts)
     : Opts(SessionOptions::fromEnv(std::move(Opts))),
-      Cache(this->Opts.MaxCachedPrograms),
+      Cache(this->Opts.MaxCachedPrograms, this->Opts.Chaos),
       Runner(static_cast<unsigned>(std::max(this->Opts.Workers, 1))) {}
 
 Expected<ProgramHandle>

@@ -50,6 +50,13 @@ struct SessionOptions {
   /// interpretation happens in one fromEnv call.
   std::string DefaultFaultSpecPath;
 
+  /// Arms the session layer's DSM_BUGGIFY hooks (forced cache
+  /// eviction, timed compile-join waits) for the chaos swarm.  Not
+  /// owned; must outlive the session; null = hooks cost one pointer
+  /// test.  Distinct from per-job fault injection: RunRequest::Fault
+  /// arms the *engine's* chaos per job, this arms the *cache's*.
+  fault::Buggify *Chaos = nullptr;
+
   /// Returns \p Base with every environment-controlled field resolved:
   /// Workers <= 0 reads DSM_SESSION_WORKERS, and an empty
   /// DefaultFaultSpecPath reads DSM_FAULT_SPEC.

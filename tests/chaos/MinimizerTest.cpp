@@ -1,0 +1,142 @@
+//===- tests/chaos/MinimizerTest.cpp - Delta-debugger convergence ---------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Tests of the scenario minimizer on synthetic known-bad scenarios: a
+// predicate that "fails" on a known program fragment lets us check
+// convergence (the program shrinks past the acceptance floor), failure
+// preservation (the signature is identical at every step), matrix and
+// spec shrinking, and the evaluation budget.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaos/Minimize.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace dsm;
+using namespace dsm::chaos;
+
+namespace {
+
+using EngineKind = exec::RunOptions::EngineKind;
+
+/// A 12-line program where only two lines matter to the synthetic bug.
+Scenario syntheticFailing() {
+  Scenario S;
+  S.Seed = 1;
+  S.Arrays = {"a"};
+  S.ProgramSrc = "      program synth\n"
+                 "      integer i\n"
+                 "      real*8 s, a(100), b(100)\n"
+                 "      do i = 1, 100\n"
+                 "        a(i) = i * 2.0\n"
+                 "        b(i) = 0.0\n"
+                 "      enddo\n"
+                 "      s = 0.0\n"
+                 "c$doacross local(i)\n"
+                 "      do i = 1, 100\n"
+                 "        b(i) = a(i) + 1.0\n"
+                 "      enddo\n"
+                 "      a(1) = 7.0\n"
+                 "      b(1) = 42.0\n"
+                 "      end\n";
+  S.Spec.PlaceDenyProb = 0.5;
+  S.Spec.TlbFailProb = 0.25;
+  S.Spec.BuggifyProb = 0.25;
+  S.Spec.BuggifySeed = 5;
+  S.Legs = {{EngineKind::Interp, 1},
+            {EngineKind::Bytecode, 1},
+            {EngineKind::BytecodeNoFuse, 1},
+            {EngineKind::Bytecode, 4},
+            {EngineKind::Interp, 4}};
+  S.BatchWorkers = 4;
+  return S;
+}
+
+/// The synthetic bug: present exactly when both key lines survive.
+/// Textual, so minimization exercises the ddmin plumbing without
+/// paying for real oracle runs.
+std::string syntheticSignature(const Scenario &S) {
+  bool HasA = S.ProgramSrc.find("a(1) = 7.0") != std::string::npos;
+  bool HasB = S.ProgramSrc.find("b(1) = 42.0") != std::string::npos;
+  return HasA && HasB ? "synthetic_bug|strip_bail" : "";
+}
+
+TEST(MinimizerTest, ShrinksSyntheticScenario) {
+  Scenario Failing = syntheticFailing();
+  MinimizeStats Stats;
+  Scenario Min = minimizeScenario(Failing, "synthetic_bug|strip_bail",
+                                  syntheticSignature, 400, &Stats);
+
+  // Still fails with the same signature -- the minimizer's contract.
+  EXPECT_EQ(syntheticSignature(Min), "synthetic_bug|strip_bail");
+  // Both key lines survive, and at least 5 of the irrelevant lines are
+  // gone (the acceptance floor for the delta debugger).
+  EXPECT_NE(Min.ProgramSrc.find("a(1) = 7.0"), std::string::npos);
+  EXPECT_NE(Min.ProgramSrc.find("b(1) = 42.0"), std::string::npos);
+  EXPECT_GE(Stats.ProgramLinesBefore, 10);
+  EXPECT_LE(Stats.ProgramLinesAfter, Stats.ProgramLinesBefore - 5)
+      << "minimized program:\n"
+      << Min.ProgramSrc;
+  EXPECT_GT(Stats.Evaluations, 0);
+  EXPECT_FALSE(Stats.HitEvalBudget);
+
+  // The matrix shrank: the failure does not depend on extra legs,
+  // batch jobs, or threading, so none survive.
+  EXPECT_EQ(Min.BatchWorkers, 0);
+  EXPECT_EQ(Min.Legs.size(), 2u)
+      << "reference plus one comparison leg";
+  for (const ScenarioLeg &L : Min.Legs)
+    EXPECT_EQ(L.HostThreads, 1);
+
+  // The spec shrank to the default (the failure ignores it).
+  EXPECT_TRUE(Min.Spec == fault::FaultSpec());
+}
+
+TEST(MinimizerTest, PreservesSpecKnobsTheFailureNeedsAndShrinksLiterals) {
+  Scenario Failing = syntheticFailing();
+  // This bug needs buggify on AND the key program line; knob zeroing
+  // must keep BuggifyProb while clearing everything else.
+  auto Pred = [](const Scenario &S) -> std::string {
+    if (S.Spec.BuggifyProb > 0 &&
+        S.ProgramSrc.find("b(1) = 42.0") != std::string::npos)
+      return "needs_buggify";
+    return "";
+  };
+  Scenario Min =
+      minimizeScenario(Failing, "needs_buggify", Pred, 400, nullptr);
+  EXPECT_EQ(Pred(Min), "needs_buggify");
+  EXPECT_GT(Min.Spec.BuggifyProb, 0.0);
+  EXPECT_EQ(Min.Spec.PlaceDenyProb, 0.0);
+  EXPECT_EQ(Min.Spec.TlbFailProb, 0.0);
+  // Integer-literal shrinking: the irrelevant array extent 100 cannot
+  // survive (42 and 7 sit inside the key lines' text and must).
+  EXPECT_EQ(Min.ProgramSrc.find("100"), std::string::npos)
+      << "minimized program:\n"
+      << Min.ProgramSrc;
+}
+
+TEST(MinimizerTest, RespectsEvalBudget) {
+  Scenario Failing = syntheticFailing();
+  MinimizeStats Stats;
+  Scenario Min = minimizeScenario(Failing, "synthetic_bug|strip_bail",
+                                  syntheticSignature, 5, &Stats);
+  EXPECT_LE(Stats.Evaluations, 5);
+  EXPECT_TRUE(Stats.HitEvalBudget);
+  // Whatever came out still reproduces.
+  EXPECT_EQ(syntheticSignature(Min), "synthetic_bug|strip_bail");
+}
+
+TEST(MinimizerTest, PassingScenarioIsReturnedUnchangedByContract) {
+  // A predicate that never matches the signature keeps the original:
+  // every candidate is rejected.
+  Scenario Failing = syntheticFailing();
+  auto Never = [](const Scenario &) -> std::string { return ""; };
+  Scenario Min = minimizeScenario(Failing, "some_sig", Never, 50, nullptr);
+  EXPECT_TRUE(Min == Failing);
+}
+
+} // namespace

@@ -20,16 +20,31 @@
 // The suite carries the ctest label `fuzz` (see CMakeLists.txt); CI
 // runs it under TSan as well.
 //
+// Reproducing one case: set DSM_FUZZ_SEED=<n> to run exactly that
+// seed (through both the plain and the fault oracle) and skip the
+// rest of the shards, e.g.
+//
+//   DSM_FUZZ_SEED=3589934592 ctest -R Fuzz --output-on-failure
+//
+// The per-shard coverage assertions are skipped in that mode, since a
+// single case need not thread or inject.
+//
+// The program generator and the random fault schedules live in
+// chaos/ProgramGen.h, shared with the chaos swarm (tools/dsm_swarm),
+// which extends them with redistribute-storm and epoch-heavy shapes.
+//
 //===----------------------------------------------------------------------===//
 
 #include "exec/Engine.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "api/Dsm.h"
+#include "chaos/ProgramGen.h"
 #include "fault/Injector.h"
 #include "obs/Metrics.h"
 #include "support/Rng.h"
@@ -38,241 +53,14 @@ using namespace dsm;
 
 namespace {
 
-// Same small machine as ThreadedEngineTest: 4 nodes x 2 procs, 1 KB
-// pages so even tiny arrays span several pages and nodes.
-numa::MachineConfig machine() {
-  numa::MachineConfig C;
-  C.NumNodes = 4;
-  C.ProcsPerNode = 2;
-  C.PageSize = 1024;
-  C.NodeMemoryBytes = 8 << 20;
-  C.L1 = numa::CacheConfig{1024, 32, 2};
-  C.L2 = numa::CacheConfig{16 * 1024, 128, 2};
-  C.TlbEntries = 16;
-  return C;
-}
-
-struct GenCase {
-  std::string Src;
-  std::vector<std::string> Arrays; // Checksum targets (lowercase).
-};
-
-/// One distributed dimension: "*", "block", "cyclic", "cyclic(k)".
-std::string dimDist(SplitMix64 &R, bool AllowStar) {
-  switch (R.nextBelow(AllowStar ? 5 : 4)) {
-  case 0:
-    return "block";
-  case 1:
-    return "cyclic";
-  case 2:
-    return "cyclic(2)";
-  case 3:
-    return "cyclic(3)";
-  default:
-    return "*";
-  }
-}
-
-/// A 2-D distribution with at least one distributed dimension.
-std::string dist2d(SplitMix64 &R) {
-  switch (R.nextBelow(3)) {
-  case 0:
-    return "(*, " + dimDist(R, false) + ")";
-  case 1:
-    return "(" + dimDist(R, false) + ", *)";
-  default:
-    return "(" + dimDist(R, false) + ", " + dimDist(R, false) + ")";
-  }
-}
-
-/// Which dimension (1-based) of the pattern is distributed; 0 if the
-/// requested one is "*".
-int distributedDim(const std::string &Pattern, int Dim) {
-  // Patterns are exactly "(x, y)" or "(x)"; crude but sufficient.
-  size_t Comma = Pattern.find(',');
-  std::string Part =
-      Dim == 1 ? Pattern.substr(1, (Comma == std::string::npos
-                                        ? Pattern.size() - 2
-                                        : Comma - 1))
-               : Pattern.substr(Comma + 1,
-                                Pattern.size() - Comma - 2);
-  return Part.find('*') == std::string::npos ? Dim : 0;
-}
-
-GenCase generate(uint64_t Seed) {
-  SplitMix64 R(Seed);
-  GenCase C;
-  bool TwoD = R.nextBelow(4) != 0; // 2-D three times out of four.
-  int N = TwoD ? static_cast<int>(R.nextInRange(12, 24))
-               : static_cast<int>(R.nextInRange(48, 96));
-  int InitK = static_cast<int>(R.nextInRange(1, 5));
-
-  // Distribution kind per array: 0 none, 1 c$distribute, 2 reshape.
-  int KindA = static_cast<int>(R.nextBelow(3));
-  int KindB = static_cast<int>(R.nextBelow(3));
-  std::string DistA = TwoD ? dist2d(R)
-                           : "(" + dimDist(R, false) + ")";
-  std::string DistB = TwoD ? dist2d(R)
-                           : "(" + dimDist(R, false) + ")";
-
-  std::string Dims = TwoD ? "(" + std::to_string(N) + ", " +
-                                std::to_string(N) + ")"
-                          : "(" + std::to_string(N) + ")";
-  std::string S;
-  S += "      program fuzz\n";
-  S += "      integer i, j\n";
-  S += "      real*8 s, A" + Dims + ", B" + Dims + "\n";
-  auto Directive = [&](int Kind, const char *Name,
-                       const std::string &Pattern) {
-    if (Kind == 1)
-      S += std::string("c$distribute ") + Name + Pattern + "\n";
-    else if (Kind == 2)
-      S += std::string("c$distribute_reshape ") + Name + Pattern + "\n";
-  };
-  Directive(KindA, "A", DistA);
-  Directive(KindB, "B", DistB);
-
-  // Serial initialization (also the first-touch placement pass).
-  if (TwoD) {
-    S += "      do j = 1, " + std::to_string(N) + "\n";
-    S += "        do i = 1, " + std::to_string(N) + "\n";
-    S += "          A(i,j) = i + " + std::to_string(InitK) + "*j\n";
-    S += "          B(i,j) = 0.0\n";
-    S += "        enddo\n";
-    S += "      enddo\n";
-  } else {
-    S += "      do i = 1, " + std::to_string(N) + "\n";
-    S += "        A(i) = i * " + std::to_string(InitK) + "\n";
-    S += "        B(i) = 0.0\n";
-    S += "      enddo\n";
-  }
-
-  bool Timed = R.nextBelow(2) == 0;
-  if (Timed)
-    S += "      call dsm_timer_start\n";
-
-  // Optional affinity clause: the parallel var must index a
-  // distributed dimension of the named array with unit coefficient.
-  auto affinity = [&](const char *Var, int VarDim) -> std::string {
-    if (!TwoD || R.nextBelow(2))
-      return "";
-    const char *Arr = nullptr;
-    if (KindA != 0 && distributedDim(DistA, VarDim) == VarDim)
-      Arr = "A";
-    else if (KindB != 0 && distributedDim(DistB, VarDim) == VarDim)
-      Arr = "B";
-    if (!Arr)
-      return "";
-    std::string Ref = VarDim == 1 ? std::string(Var) + ", 1"
-                                  : std::string("1, ") + Var;
-    return std::string(" affinity(") + Var + ") = data(" + Arr + "(" +
-           Ref + "))";
-  };
-  auto schedtype = [&]() -> std::string {
-    switch (R.nextBelow(3)) {
-    case 0:
-      return " schedtype(simple)";
-    case 1:
-      return " schedtype(interleave)";
-    default:
-      return "";
-    }
-  };
-
-  int Epochs = static_cast<int>(R.nextInRange(1, 3));
-  for (int E = 0; E < Epochs; ++E) {
-    // Optional redistribute of a `c$distribute` (regular) array
-    // between epochs.
-    if (E > 0 && R.nextBelow(3) == 0) {
-      if (KindA == 1)
-        S += "c$redistribute A" + (TwoD ? dist2d(R)
-                                        : "(" + dimDist(R, false) + ")") +
-             "\n";
-      else if (KindB == 1)
-        S += "c$redistribute B" + (TwoD ? dist2d(R)
-                                        : "(" + dimDist(R, false) + ")") +
-             "\n";
-    }
-    std::string NStr = std::to_string(N);
-    int EpochKind = static_cast<int>(R.nextBelow(TwoD ? 5 : 3));
-    std::string Scale = std::to_string(E + 2) + ".0";
-    if (TwoD) {
-      switch (EpochKind) {
-      case 0: // Transpose: cell i writes column i of B.
-        S += "c$doacross local(i, j)" + affinity("i", 2) + "\n";
-        S += "      do i = 1, " + NStr + "\n";
-        S += "        do j = 1, " + NStr + "\n";
-        S += "          B(j,i) = A(i,j) * " + Scale + "\n";
-        S += "        enddo\n";
-        S += "      enddo\n";
-        break;
-      case 1: // Read-modify-write of B at the same position.
-        S += "c$doacross local(i, j)" + schedtype() + "\n";
-        S += "      do i = 1, " + NStr + "\n";
-        S += "        do j = 1, " + NStr + "\n";
-        S += "          B(i,j) = B(i,j) + A(i,j) * " + Scale + "\n";
-        S += "        enddo\n";
-        S += "      enddo\n";
-        break;
-      case 2: // Column stencil, parallel over j; reads A only.
-        S += "c$doacross local(i, j)" + affinity("j", 2) + "\n";
-        S += "      do j = 2, " + std::to_string(N - 1) + "\n";
-        S += "        do i = 1, " + NStr + "\n";
-        S += "          B(i,j) = A(i,j-1) + A(i,j) + A(i,j+1)\n";
-        S += "        enddo\n";
-        S += "      enddo\n";
-        break;
-      case 3: // Scalar reduction: must fall back to the serial path.
-        S += "      s = 0.0\n";
-        S += "c$doacross local(i, j)\n";
-        S += "      do i = 1, " + NStr + "\n";
-        S += "        do j = 1, " + NStr + "\n";
-        S += "          s = s + A(i,j)\n";
-        S += "        enddo\n";
-        S += "      enddo\n";
-        S += "      B(1,1) = s\n";
-        break;
-      default: // Perfect nest with the nest clause.
-        S += "c$doacross nest(j,i) local(i, j)\n";
-        S += "      do j = 1, " + NStr + "\n";
-        S += "        do i = 1, " + NStr + "\n";
-        S += "          B(i,j) = A(i,j) * " + Scale + " + 1.0\n";
-        S += "        enddo\n";
-        S += "      enddo\n";
-        break;
-      }
-    } else {
-      switch (EpochKind) {
-      case 0:
-        S += "c$doacross local(i)" + schedtype() + "\n";
-        S += "      do i = 1, " + NStr + "\n";
-        S += "        B(i) = A(i) * " + Scale + "\n";
-        S += "      enddo\n";
-        break;
-      case 1:
-        S += "c$doacross local(i)\n";
-        S += "      do i = 1, " + NStr + "\n";
-        S += "        B(i) = B(i) + A(i)\n";
-        S += "      enddo\n";
-        break;
-      default:
-        S += "      s = 0.0\n";
-        S += "c$doacross local(i)\n";
-        S += "      do i = 1, " + NStr + "\n";
-        S += "        s = s + A(i)\n";
-        S += "      enddo\n";
-        S += "      B(1) = s\n";
-        break;
-      }
-    }
-  }
-  if (Timed)
-    S += "      call dsm_timer_stop\n";
-  S += "      end\n";
-
-  C.Src = std::move(S);
-  C.Arrays = {"a", "b"};
-  return C;
+/// DSM_FUZZ_SEED=<n>: run exactly one generated case.  Returns true
+/// (and sets \p Seed) when the override is active.
+bool fuzzSeedOverride(uint64_t &Seed) {
+  const char *Env = std::getenv("DSM_FUZZ_SEED");
+  if (!Env || !*Env)
+    return false;
+  Seed = std::strtoull(Env, nullptr, 10);
+  return true;
 }
 
 struct RunObs {
@@ -289,7 +77,9 @@ RunObs runOnce(const link::Program &Prog, int HostThreads,
                fault::Injector *Inj = nullptr,
                EngineKind Engine = EngineKind::Bytecode) {
   RunObs Obs;
-  numa::MemorySystem Mem(machine());
+  // Same small machine as ThreadedEngineTest: 4 nodes x 2 procs, 1 KB
+  // pages so even tiny arrays span several pages and nodes.
+  numa::MemorySystem Mem(chaos::swarmMachine());
   exec::RunOptions ROpts;
   ROpts.NumProcs = 8;
   ROpts.HostThreads = HostThreads;
@@ -349,7 +139,7 @@ void expectRunsAgree(const RunObs &A, const RunObs &B,
 /// fused bytecode threaded; returns the threaded epoch count (0 on
 /// failure) so shards can assert aggregate coverage.
 unsigned checkCase(uint64_t Seed) {
-  GenCase C = generate(Seed);
+  chaos::GenProgram C = chaos::generateProgram(Seed);
   SCOPED_TRACE("fuzz seed " + std::to_string(Seed) + "; program:\n" +
                C.Src);
   auto Prog = dsm::compile({{"fuzz.f", C.Src}});
@@ -424,6 +214,12 @@ class DifferentialFuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(DifferentialFuzzTest, SerialAndThreadedAgree) {
   int Shard = GetParam();
+  if (uint64_t Seed = 0; fuzzSeedOverride(Seed)) {
+    if (Shard != 0)
+      GTEST_SKIP() << "DSM_FUZZ_SEED set; shard 0 runs the case";
+    checkCase(Seed);
+    return;
+  }
   unsigned TotalThreaded = 0;
   for (int I = 0; I < CasesPerShard; ++I) {
     uint64_t Seed = 0xD5F00000u + Shard * CasesPerShard + I;
@@ -440,40 +236,6 @@ TEST_P(DifferentialFuzzTest, SerialAndThreadedAgree) {
 INSTANTIATE_TEST_SUITE_P(Shards, DifferentialFuzzTest,
                          ::testing::Range(0, NumShards));
 
-/// A random fault schedule: every injector knob is drawn, often at
-/// aggressive settings, so the fallback paths are the common case.
-fault::FaultSpec randomSpec(uint64_t Seed) {
-  SplitMix64 R(Seed ^ 0xFA17FA17u);
-  fault::FaultSpec S;
-  S.Seed = R.nextInRange(1, 1u << 20);
-  auto Prob = [&R]() -> double {
-    switch (R.nextBelow(4)) {
-    case 0:
-      return 0.0;
-    case 1:
-      return 0.1;
-    case 2:
-      return 0.5;
-    default:
-      return 1.0;
-    }
-  };
-  S.PlaceDenyProb = Prob();
-  S.MigrateDenyProb = Prob();
-  S.LatencySpikeProb = Prob() * 0.5; // Spikes fire per access; keep rare.
-  S.LatencySpikeCycles = R.nextInRange(100, 5000);
-  S.TlbFailProb = Prob() * 0.5;
-  if (R.nextBelow(3) == 0)
-    S.FrameCap = static_cast<int64_t>(R.nextBelow(64));
-  if (R.nextBelow(3) == 0)
-    S.NodeFrameCaps[static_cast<int>(R.nextBelow(4))] =
-        static_cast<int64_t>(R.nextBelow(8));
-  S.DegradeReshaped = R.nextBelow(3) == 0;
-  S.RetryBudget = static_cast<unsigned>(R.nextBelow(5));
-  S.RetryBackoffCycles = R.nextInRange(50, 500);
-  return S;
-}
-
 /// Runs one generated case several ways -- fault-free baseline, then
 /// under a random fault schedule as the same four-way engine oracle
 /// (interpreter serial, bytecode-nofuse serial, fused bytecode serial,
@@ -483,8 +245,10 @@ fault::FaultSpec randomSpec(uint64_t Seed) {
 /// accounting.  The spikes and TLB-fill retries land mid-strip in the
 /// fused runs, forcing the batch path's scalar fallback.
 uint64_t checkFaultCase(uint64_t Seed) {
-  GenCase C = generate(Seed);
-  fault::FaultSpec Spec = randomSpec(Seed);
+  chaos::GenProgram C = chaos::generateProgram(Seed);
+  // Every injector knob is drawn, often at aggressive settings, so the
+  // fallback paths are the common case.
+  fault::FaultSpec Spec = chaos::randomFaultSpec(Seed);
   SCOPED_TRACE("fault-fuzz seed " + std::to_string(Seed) + "; spec:\n" +
                Spec.str() + "program:\n" + C.Src);
   auto Prog = dsm::compile({{"fuzz.f", C.Src}});
@@ -558,6 +322,12 @@ class FaultDifferentialFuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(FaultDifferentialFuzzTest, FaultsNeverChangeResults) {
   int Shard = GetParam();
+  if (uint64_t Seed = 0; fuzzSeedOverride(Seed)) {
+    if (Shard != 0)
+      GTEST_SKIP() << "DSM_FUZZ_SEED set; shard 0 runs the case";
+    checkFaultCase(Seed);
+    return;
+  }
   uint64_t TotalInjected = 0;
   for (int I = 0; I < FaultCasesPerShard; ++I) {
     uint64_t Seed = 0xFA010000u + Shard * FaultCasesPerShard + I;

@@ -1,0 +1,216 @@
+//===- tests/fault/BuggifyTest.cpp - BUGGIFY hook registry units ----------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Unit tests of the seeded Buggify registry (DESIGN.md Section 14):
+// determinism (same seed -> the identical firing sequence), the
+// disabled case (a null registry never fires and the DSM_BUGGIFY macro
+// is one pointer test), reset semantics, tag isolation, and the
+// engine-level invariant that an armed buggify layer keeps every
+// execution-matrix leg bit-identical while never appearing in the
+// FaultCounters the legs are compared on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/Buggify.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/Dsm.h"
+#include "exec/Engine.h"
+#include "fault/Injector.h"
+#include "numa/MemorySystem.h"
+
+using namespace dsm;
+using namespace dsm::fault;
+
+namespace {
+
+TEST(BuggifyTest, SameSeedSameFiringSequence) {
+  Buggify A(42, 0.5), B(42, 0.5);
+  std::vector<bool> FiresA, FiresB;
+  for (uint64_t I = 0; I < 200; ++I) {
+    FiresA.push_back(A.fire("strip_bail", I % 7));
+    FiresB.push_back(B.fire("strip_bail", I % 7));
+  }
+  EXPECT_EQ(FiresA, FiresB);
+  EXPECT_GT(A.totalFired(), 0u);
+  EXPECT_LT(A.totalFired(), 200u) << "p=0.5 should not always fire";
+  EXPECT_EQ(A.totalFired(), B.totalFired());
+}
+
+TEST(BuggifyTest, DifferentSeedsDiverge) {
+  Buggify A(1, 0.5), B(2, 0.5);
+  std::vector<bool> FiresA, FiresB;
+  for (uint64_t I = 0; I < 200; ++I) {
+    FiresA.push_back(A.fire("tag", I));
+    FiresB.push_back(B.fire("tag", I));
+  }
+  EXPECT_NE(FiresA, FiresB);
+}
+
+TEST(BuggifyTest, TagStreamsAreIsolated) {
+  // The firing pattern of one tag must not depend on how often other
+  // tags are drawn (per-tag sequence counters).
+  Buggify A(7, 0.5), B(7, 0.5);
+  std::vector<bool> FiresA, FiresB;
+  for (uint64_t I = 0; I < 100; ++I) {
+    FiresA.push_back(A.fire("alpha", I));
+    FiresB.push_back(B.fire("alpha", I));
+    B.fire("beta", I); // Extra draws on an unrelated tag.
+  }
+  EXPECT_EQ(FiresA, FiresB);
+}
+
+TEST(BuggifyTest, ProbabilityExtremes) {
+  Buggify Always(9, 1.0), Never(9, 0.0);
+  for (uint64_t I = 0; I < 50; ++I) {
+    EXPECT_TRUE(Always.fire("t", I));
+    EXPECT_FALSE(Never.fire("t", I));
+  }
+  EXPECT_EQ(Always.totalFired(), 50u);
+  EXPECT_EQ(Never.totalFired(), 0u);
+}
+
+TEST(BuggifyTest, NullRegistryNeverFires) {
+  Buggify *B = nullptr;
+  // The macro's whole disabled cost: one null test; the tag and key
+  // expressions are still evaluated, so keep them effect-free at call
+  // sites.
+  for (uint64_t I = 0; I < 10; ++I)
+    EXPECT_FALSE(DSM_BUGGIFY(B, "anything", I));
+}
+
+TEST(BuggifyTest, ResetReplaysTheSchedule) {
+  Buggify B(5, 0.5);
+  std::vector<bool> First, Second;
+  for (uint64_t I = 0; I < 100; ++I)
+    First.push_back(B.fire("t", I));
+  uint64_t FiredFirst = B.totalFired();
+  B.reset();
+  EXPECT_EQ(B.totalFired(), 0u);
+  EXPECT_TRUE(B.firedTags().empty());
+  for (uint64_t I = 0; I < 100; ++I)
+    Second.push_back(B.fire("t", I));
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(B.totalFired(), FiredFirst);
+}
+
+TEST(BuggifyTest, FiredTagsAreSortedAndCounted) {
+  Buggify B(3, 1.0);
+  B.fire("zeta", 1);
+  B.fire("alpha", 1);
+  B.fire("alpha", 2);
+  B.fire("mu", 1);
+  EXPECT_EQ(B.firedTags(),
+            (std::vector<std::string>{"alpha", "mu", "zeta"}));
+  EXPECT_EQ(B.firedCount("alpha"), 2u);
+  EXPECT_EQ(B.firedCount("never-drawn"), 0u);
+  EXPECT_EQ(B.totalFired(), 4u);
+}
+
+TEST(BuggifyTest, ThreadSafeUnderConcurrentDraws) {
+  // Pool threads draw host-only tags concurrently during phase-1
+  // recording; the registry must tolerate that (TSan covers the rest).
+  Buggify B(11, 0.5);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&B, T] {
+      for (uint64_t I = 0; I < 500; ++I)
+        B.fire(T % 2 ? "even" : "odd", I);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(B.firedCount("even") + B.firedCount("odd"), B.totalFired());
+  EXPECT_GT(B.totalFired(), 0u);
+}
+
+TEST(BuggifyTest, InjectorBuildsRegistryOnlyWhenArmed) {
+  FaultSpec Off;
+  Off.PlaceDenyProb = 0.5; // Faults armed, buggify not.
+  Injector Plain(Off);
+  EXPECT_EQ(Plain.buggify(), nullptr);
+
+  FaultSpec On;
+  On.BuggifyProb = 0.5;
+  On.BuggifySeed = 99;
+  Injector Armed(On);
+  ASSERT_NE(Armed.buggify(), nullptr);
+  EXPECT_EQ(Armed.buggify()->seed(), 99u);
+  EXPECT_EQ(Armed.buggify()->prob(), 0.5);
+  Armed.buggify()->fire("t", 1);
+  Armed.reset();
+  EXPECT_EQ(Armed.buggify()->totalFired(), 0u)
+      << "Injector::reset must clear the buggify schedule too";
+}
+
+// The engine-level oracle: with buggify armed at p=1 the whole
+// execution matrix (interp/bytecode/bytecode-threaded) stays
+// bit-identical, buggify firings never land in FaultCounters, and
+// results equal a chaos-free run's.
+TEST(BuggifyTest, ArmedMatrixStaysBitIdentical) {
+  const char *Src = "      program chaos\n"
+                    "      integer i\n"
+                    "      real*8 a(64), b(64)\n"
+                    "c$distribute a(block)\n"
+                    "      do i = 1, 64\n"
+                    "        a(i) = i * 1.5\n"
+                    "      enddo\n"
+                    "c$doacross local(i)\n"
+                    "      do i = 1, 64\n"
+                    "        b(i) = a(i) + 2.0\n"
+                    "      enddo\n"
+                    "c$redistribute a(cyclic)\n"
+                    "c$doacross local(i)\n"
+                    "      do i = 1, 64\n"
+                    "        b(i) = b(i) + a(i)\n"
+                    "      enddo\n"
+                    "      end\n";
+  auto Prog = dsm::compile({{"chaos.f", Src}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+
+  using EngineKind = exec::RunOptions::EngineKind;
+  auto runWith = [&](Injector *Inj, EngineKind K, int HostThreads) {
+    numa::MemorySystem Mem{numa::MachineConfig::scaledOrigin()};
+    exec::RunOptions Opts;
+    Opts.NumProcs = 4;
+    Opts.HostThreads = HostThreads;
+    Opts.Fault = Inj;
+    Opts.Engine = K;
+    exec::Engine E(**Prog, Mem, Opts);
+    auto R = E.run();
+    EXPECT_TRUE(bool(R)) << "buggify must never abort a run";
+    auto Sum = E.arrayWeightedChecksum("b");
+    EXPECT_TRUE(bool(Sum));
+    return std::pair(R ? R->WallCycles : 0,
+                     std::pair(Sum ? *Sum : 0.0,
+                               R ? R->Faults : FaultCounters()));
+  };
+
+  auto Clean = runWith(nullptr, EngineKind::Interp, 1);
+
+  FaultSpec Spec;
+  Spec.BuggifyProb = 1.0;
+  Spec.BuggifySeed = 1234;
+  Injector Inj(Spec);
+  auto Interp = runWith(&Inj, EngineKind::Interp, 1);
+  EXPECT_GT(Inj.buggify()->totalFired(), 0u);
+  auto Byte = runWith(&Inj, EngineKind::Bytecode, 1);
+  auto NoFuse = runWith(&Inj, EngineKind::BytecodeNoFuse, 1);
+  auto Threaded = runWith(&Inj, EngineKind::Bytecode, 4);
+
+  // Same cycles, same checksums, same fault accounting across legs:
+  // sim-affecting buggify effects land in the shared FaultCounters on
+  // the serial decision path, so they too must be leg-identical.
+  EXPECT_EQ(Interp, Byte);
+  EXPECT_EQ(Interp, NoFuse);
+  EXPECT_EQ(Interp, Threaded);
+  // And results never change: same checksum as the chaos-free run.
+  EXPECT_EQ(Clean.second.first, Interp.second.first);
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+//===- tests/fault/CorpusTest.cpp - Replay the checked-in scenarios -------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// Replays every .scenario file under tests/fault/corpus/ through the
+// full chaos oracle (ctest label `corpus`; CI repeats it under TSan).
+// Each corpus entry must parse, pass the whole execution-matrix
+// oracle, and produce the identical observables digest on a second
+// replay -- the bit-reproducibility contract behind
+// `dsm_swarm --replay`.  The corpus is where minimized swarm findings
+// land; entries are born via `dsm_swarm --emit` or `--minimize`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaos/Swarm.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dsm;
+using namespace dsm::chaos;
+
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(DSM_CORPUS_DIR))
+    if (Entry.path().extension() == ".scenario")
+      Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+TEST(CorpusTest, CorpusIsNonEmpty) {
+  EXPECT_GE(corpusFiles().size(), 3u)
+      << "the corpus must keep at least three scenarios";
+}
+
+TEST(CorpusTest, EveryScenarioReplaysCleanAndBitReproducibly) {
+  for (const std::string &Path : corpusFiles()) {
+    SCOPED_TRACE(Path);
+    std::ifstream In(Path, std::ios::binary);
+    ASSERT_TRUE(In) << "cannot open " << Path;
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    auto S = Scenario::parse(Buf.str(), Path);
+    ASSERT_TRUE(bool(S)) << S.error().str();
+
+    ScenarioOutcome First = runScenario(*S);
+    EXPECT_TRUE(First.Ok)
+        << First.Signature << ": " << First.Detail;
+    ScenarioOutcome Second = runScenario(*S);
+    EXPECT_EQ(First.Digest, Second.Digest)
+        << "corpus replay must be bit-reproducible";
+    EXPECT_EQ(First.FiredTags, Second.FiredTags);
+    EXPECT_EQ(First.FaultsInjected, Second.FaultsInjected);
+    EXPECT_EQ(First.BuggifyFires, Second.BuggifyFires);
+  }
+}
+
+TEST(CorpusTest, CorpusCoversFaultsAndBuggify) {
+  // The corpus as a whole must exercise the chaos machinery: at least
+  // one entry injects faults and at least one fires buggify hooks.
+  uint64_t Faults = 0, Fires = 0;
+  for (const std::string &Path : corpusFiles()) {
+    std::ifstream In(Path, std::ios::binary);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    auto S = Scenario::parse(Buf.str(), Path);
+    ASSERT_TRUE(bool(S)) << S.error().str();
+    ScenarioOutcome O = runScenario(*S);
+    Faults += O.FaultsInjected;
+    Fires += O.BuggifyFires;
+  }
+  EXPECT_GT(Faults, 0u);
+  EXPECT_GT(Fires, 0u);
+}
+
+} // namespace

@@ -13,7 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <vector>
+
+#include "support/Rng.h"
 
 using namespace dsm;
 using namespace dsm::fault;
@@ -184,6 +187,77 @@ TEST(InjectorTest, CountersReportAny) {
   C.TlbFillRetries = 1;
   EXPECT_TRUE(C.any());
   EXPECT_NE(C.str().find("tlb"), std::string::npos);
+}
+
+/// A random canonical spec: sorted deny lists and probabilities of the
+/// form k/64, which are binary fractions and therefore exact under the
+/// %g formatting str() uses.
+FaultSpec randomCanonicalSpec(uint64_t Seed) {
+  SplitMix64 R(Seed);
+  FaultSpec S;
+  S.Seed = R.nextInRange(1, 1u << 20);
+  auto Prob = [&R]() {
+    return static_cast<double>(R.nextBelow(65)) / 64.0;
+  };
+  S.PlaceDenyProb = Prob();
+  if (R.nextBelow(2)) {
+    std::set<uint64_t> At;
+    for (unsigned I = 0, N = 1 + static_cast<unsigned>(R.nextBelow(4));
+         I < N; ++I)
+      At.insert(R.nextInRange(1, 100));
+    S.PlaceDenyAt.assign(At.begin(), At.end());
+  }
+  S.MigrateDenyProb = Prob();
+  if (R.nextBelow(2))
+    S.MigrateDenyAt = {R.nextInRange(1, 100)};
+  S.LatencySpikeProb = Prob();
+  S.LatencySpikeCycles = R.nextInRange(1, 5000);
+  S.TlbFailProb = Prob();
+  if (R.nextBelow(2))
+    S.FrameCap = static_cast<int64_t>(R.nextBelow(64));
+  if (R.nextBelow(2))
+    S.NodeFrameCaps[static_cast<int>(R.nextBelow(8))] =
+        static_cast<int64_t>(R.nextBelow(16));
+  S.DegradeReshaped = R.nextBelow(2) == 0;
+  S.RetryBudget = static_cast<unsigned>(R.nextBelow(8));
+  S.RetryBackoffCycles = R.nextInRange(1, 1000);
+  S.BuggifyProb = Prob();
+  if (S.BuggifyProb > 0 && R.nextBelow(2))
+    S.BuggifySeed = R.nextInRange(1, 1u << 20);
+  return S;
+}
+
+// Property: parse(str(spec)) == spec for every canonical spec.  This
+// is what lets minimized chaos scenarios embed their fault schedule in
+// a .scenario file and replay it bit-exactly.
+TEST(FaultSpecTest, PrintParseRoundTripProperty) {
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    FaultSpec S = randomCanonicalSpec(Seed * 0x9E3779B9u);
+    std::string Text = S.str();
+    auto Back = FaultSpec::parse(Text, "round-trip");
+    ASSERT_TRUE(bool(Back))
+        << "seed " << Seed << ": " << Back.error().str() << "\nspec:\n"
+        << Text;
+    EXPECT_TRUE(*Back == S) << "seed " << Seed
+                            << " did not round-trip; printed form:\n"
+                            << Text << "reprinted:\n"
+                            << Back->str();
+  }
+}
+
+// The buggify knobs ride the same parser and printer.
+TEST(FaultSpecTest, BuggifyKnobsParseAndPrint) {
+  auto S = FaultSpec::parse("buggify_prob = 0.25\nbuggify_seed = 7\n");
+  ASSERT_TRUE(bool(S)) << S.error().str();
+  EXPECT_DOUBLE_EQ(S->BuggifyProb, 0.25);
+  EXPECT_EQ(S->BuggifySeed, 7u);
+  EXPECT_TRUE(S->enabled()) << "buggify alone must arm the injector";
+  EXPECT_EQ(S->buggifySeedOrDefault(), 7u);
+  FaultSpec Derived;
+  Derived.Seed = 42;
+  EXPECT_EQ(Derived.buggifySeedOrDefault(), 42u ^ 0xb166u)
+      << "seed 0 derives the buggify stream from the spec seed";
+  EXPECT_NE(S->str().find("buggify_prob"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,324 @@
+//===- tools/dsm_swarm.cpp - Deterministic chaos-swarm driver -------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs seeded chaos scenarios (DESIGN.md Section 14) against the full
+// execution-matrix oracle and buckets failures by normalized
+// signature.  Four modes:
+//
+//   dsm_swarm --seeds=1000 --jobs=8 --report=swarm.json
+//
+// the swarm: scenarios Scenario::generate(start..start+N-1) run across
+// a host thread pool; any oracle violation is bucketed by signature
+// (first divergent field + fired buggify tags) so one root cause maps
+// to one bucket; exit 1 when any bucket is non-empty;
+//
+//   dsm_swarm --replay=tests/fault/corpus/foo.scenario
+//
+// replays one scenario file and prints its outcome as JSON; the
+// digest is bit-reproducible across invocations and host thread
+// counts;
+//
+//   dsm_swarm --emit=SEED --out=foo.scenario
+//
+// writes the generated scenario for SEED in the replayable text
+// format (how corpus entries are born);
+//
+//   dsm_swarm --minimize=failing.scenario --out=min.scenario
+//
+// delta-debugs a failing scenario to a minimal reproducer with the
+// same failure signature.
+//
+// Reports never contain timestamps or host-dependent data, so a
+// replayed run's JSON is byte-comparable.  Timing goes to stderr.
+//
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/Minimize.h"
+#include "chaos/Swarm.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+
+using namespace dsm;
+using namespace dsm::chaos;
+
+namespace {
+
+struct Options {
+  uint64_t Seeds = 0;
+  uint64_t Start = 1;
+  unsigned Jobs = 1;
+  std::string Report;
+  std::string Replay;
+  bool HaveEmit = false;
+  uint64_t Emit = 0;
+  std::string Minimize;
+  std::string Out;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --seeds=N [--start=S] [--jobs=K] [--report=FILE]\n"
+      "       %s --replay=FILE [--report=FILE]\n"
+      "       %s --emit=SEED --out=FILE\n"
+      "       %s --minimize=FILE --out=FILE [--max-evals=N]\n",
+      Argv0, Argv0, Argv0, Argv0);
+  return 2;
+}
+
+bool parseU64Arg(const char *Val, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(Val, &End, 10);
+  return End != Val && *End == '\0';
+}
+
+std::string jsonOutcome(const Scenario &S, const ScenarioOutcome &O,
+                        const char *SourceName) {
+  std::ostringstream Os;
+  Os << "{\"scenario\": \"" << json::escape(SourceName) << "\",\n"
+     << " \"seed\": " << S.Seed << ",\n"
+     << " \"ok\": " << (O.Ok ? "true" : "false") << ",\n"
+     << " \"digest\": \"" << O.Digest << "\",\n"
+     << " \"fault_injections\": " << O.FaultsInjected << ",\n"
+     << " \"buggify_fires\": " << O.BuggifyFires << ",\n"
+     << " \"fired_tags\": [";
+  for (size_t I = 0; I < O.FiredTags.size(); ++I)
+    Os << (I ? ", " : "") << "\"" << json::escape(O.FiredTags[I]) << "\"";
+  Os << "]";
+  if (!O.Ok)
+    Os << ",\n \"signature\": \"" << json::escape(O.Signature) << "\",\n"
+       << " \"detail\": \"" << json::escape(O.Detail) << "\"";
+  Os << "}\n";
+  return Os.str();
+}
+
+bool writeFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::binary);
+  Out << Text;
+  return static_cast<bool>(Out);
+}
+
+int runReplay(const Options &Opt) {
+  std::ifstream In(Opt.Replay, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "dsm_swarm: cannot open '%s'\n",
+                 Opt.Replay.c_str());
+    return 2;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  auto S = Scenario::parse(Buf.str(), Opt.Replay);
+  if (!S) {
+    std::fprintf(stderr, "%s", S.error().str().c_str());
+    return 2;
+  }
+  ScenarioOutcome O = runScenario(*S);
+  std::string Json = jsonOutcome(*S, O, Opt.Replay.c_str());
+  if (!Opt.Report.empty() && !writeFile(Opt.Report, Json)) {
+    std::fprintf(stderr, "dsm_swarm: cannot write '%s'\n",
+                 Opt.Report.c_str());
+    return 2;
+  }
+  std::fputs(Json.c_str(), stdout);
+  return O.Ok ? 0 : 1;
+}
+
+int runEmit(const Options &Opt) {
+  Scenario S = Scenario::generate(Opt.Emit);
+  std::string Text = S.print();
+  if (Opt.Out.empty()) {
+    std::fputs(Text.c_str(), stdout);
+    return 0;
+  }
+  if (!writeFile(Opt.Out, Text)) {
+    std::fprintf(stderr, "dsm_swarm: cannot write '%s'\n",
+                 Opt.Out.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int runMinimize(const Options &Opt, int MaxEvals) {
+  std::ifstream In(Opt.Minimize, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "dsm_swarm: cannot open '%s'\n",
+                 Opt.Minimize.c_str());
+    return 2;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  auto S = Scenario::parse(Buf.str(), Opt.Minimize);
+  if (!S) {
+    std::fprintf(stderr, "%s", S.error().str().c_str());
+    return 2;
+  }
+  std::string Signature = oracleSignature(*S);
+  if (Signature.empty()) {
+    std::fprintf(stderr,
+                 "dsm_swarm: '%s' passes the oracle; nothing to minimize\n",
+                 Opt.Minimize.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "minimizing signature: %s\n", Signature.c_str());
+  MinimizeStats Stats;
+  Scenario Min = minimizeScenario(*S, Signature, oracleSignature, MaxEvals,
+                                  &Stats);
+  std::fprintf(stderr,
+               "minimized in %d evaluations: %d -> %d program lines%s\n",
+               Stats.Evaluations, Stats.ProgramLinesBefore,
+               Stats.ProgramLinesAfter,
+               Stats.HitEvalBudget ? " (eval budget hit)" : "");
+  std::string Text = Min.print();
+  if (Opt.Out.empty())
+    std::fputs(Text.c_str(), stdout);
+  else if (!writeFile(Opt.Out, Text)) {
+    std::fprintf(stderr, "dsm_swarm: cannot write '%s'\n",
+                 Opt.Out.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+struct Bucket {
+  uint64_t Count = 0;
+  std::vector<uint64_t> Seeds; ///< First few seeds that hit it.
+  std::string Detail;          ///< From the first hit.
+};
+
+int runSwarm(const Options &Opt) {
+  std::vector<ScenarioOutcome> Outcomes(Opt.Seeds);
+  std::atomic<uint64_t> Done{0};
+  support::ThreadPool Pool(Opt.Jobs);
+  Pool.parallelFor(static_cast<int64_t>(Opt.Seeds), [&](int64_t I) {
+    Scenario S = Scenario::generate(Opt.Start + static_cast<uint64_t>(I));
+    Outcomes[static_cast<size_t>(I)] = runScenario(S);
+    uint64_t N = ++Done;
+    if (N % 100 == 0)
+      std::fprintf(stderr, "  %llu/%llu scenarios\n",
+                   static_cast<unsigned long long>(N),
+                   static_cast<unsigned long long>(Opt.Seeds));
+  });
+
+  // Bucket serially in seed order so the report is deterministic.
+  std::map<std::string, Bucket> Buckets;
+  uint64_t Failures = 0, FaultsInjected = 0, BuggifyFires = 0;
+  for (size_t I = 0; I < Outcomes.size(); ++I) {
+    const ScenarioOutcome &O = Outcomes[I];
+    FaultsInjected += O.FaultsInjected;
+    BuggifyFires += O.BuggifyFires;
+    if (O.Ok)
+      continue;
+    ++Failures;
+    Bucket &B = Buckets[O.Signature];
+    if (B.Count == 0)
+      B.Detail = O.Detail;
+    if (B.Seeds.size() < 10)
+      B.Seeds.push_back(Opt.Start + I);
+    ++B.Count;
+  }
+
+  std::ostringstream Os;
+  Os << "{\"version\": 1,\n"
+     << " \"seeds\": " << Opt.Seeds << ",\n"
+     << " \"start\": " << Opt.Start << ",\n"
+     << " \"failures\": " << Failures << ",\n"
+     << " \"fault_injections\": " << FaultsInjected << ",\n"
+     << " \"buggify_fires\": " << BuggifyFires << ",\n"
+     << " \"buckets\": [";
+  bool First = true;
+  for (const auto &[Signature, B] : Buckets) {
+    Os << (First ? "" : ",") << "\n  {\"signature\": \""
+       << json::escape(Signature) << "\",\n   \"count\": " << B.Count
+       << ",\n   \"seeds\": [";
+    for (size_t I = 0; I < B.Seeds.size(); ++I)
+      Os << (I ? ", " : "") << B.Seeds[I];
+    Os << "],\n   \"detail\": \"" << json::escape(B.Detail) << "\"}";
+    First = false;
+  }
+  Os << (Buckets.empty() ? "]" : "\n ]") << "}\n";
+  std::string Json = Os.str();
+
+  if (!Opt.Report.empty() && !writeFile(Opt.Report, Json)) {
+    std::fprintf(stderr, "dsm_swarm: cannot write '%s'\n",
+                 Opt.Report.c_str());
+    return 2;
+  }
+  std::fputs(Json.c_str(), stdout);
+  std::fprintf(stderr,
+               "%llu scenarios, %llu failures in %zu buckets, "
+               "%llu faults injected, %llu buggify fires\n",
+               static_cast<unsigned long long>(Opt.Seeds),
+               static_cast<unsigned long long>(Failures), Buckets.size(),
+               static_cast<unsigned long long>(FaultsInjected),
+               static_cast<unsigned long long>(BuggifyFires));
+  return Failures ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  uint64_t MaxEvals = 400;
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    auto valueOf = [&](const char *Prefix) -> const char * {
+      size_t N = std::strlen(Prefix);
+      return std::strncmp(A, Prefix, N) == 0 ? A + N : nullptr;
+    };
+    bool Ok = true;
+    if (const char *V = valueOf("--seeds="))
+      Ok = parseU64Arg(V, Opt.Seeds) && Opt.Seeds > 0;
+    else if (const char *V = valueOf("--start="))
+      Ok = parseU64Arg(V, Opt.Start);
+    else if (const char *V = valueOf("--jobs=")) {
+      uint64_t J = 0;
+      Ok = parseU64Arg(V, J) && J >= 1 && J <= 256;
+      Opt.Jobs = static_cast<unsigned>(J);
+    } else if (const char *V = valueOf("--report=")) {
+      Opt.Report = V;
+    } else if (const char *V = valueOf("--replay=")) {
+      Opt.Replay = V;
+    } else if (const char *V = valueOf("--emit=")) {
+      Ok = parseU64Arg(V, Opt.Emit);
+      Opt.HaveEmit = Ok;
+    } else if (const char *V = valueOf("--minimize=")) {
+      Opt.Minimize = V;
+    } else if (const char *V = valueOf("--out=")) {
+      Opt.Out = V;
+    } else if (const char *V = valueOf("--max-evals=")) {
+      Ok = parseU64Arg(V, MaxEvals) && MaxEvals >= 1;
+    } else {
+      Ok = false;
+    }
+    if (!Ok) {
+      std::fprintf(stderr, "dsm_swarm: bad argument '%s'\n", A);
+      return usage(Argv[0]);
+    }
+  }
+
+  int Modes = (Opt.Seeds > 0) + !Opt.Replay.empty() + Opt.HaveEmit +
+              !Opt.Minimize.empty();
+  if (Modes != 1)
+    return usage(Argv[0]);
+  if (!Opt.Replay.empty())
+    return runReplay(Opt);
+  if (Opt.HaveEmit)
+    return runEmit(Opt);
+  if (!Opt.Minimize.empty())
+    return runMinimize(Opt, static_cast<int>(MaxEvals));
+  return runSwarm(Opt);
+}
