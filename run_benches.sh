@@ -16,6 +16,12 @@
 #                        compile-cache records in BENCH_results.json
 #                        prove it) and simulated results are identical
 #                        to the serial harness
+#   DSM_BENCH_SERVE=1    additionally boot dsm_serve on an ephemeral
+#                        port, drive it with dsm_loadgen (concurrent
+#                        clients, wire results verified bit-identical
+#                        to direct runs), SIGTERM-drain it, and record
+#                        the p50/p99 latency, shed rate, and cache hit
+#                        rate as a "serve_loadgen" record
 #
 # Exits non-zero if any benchmark binary fails (compile/run/checksum
 # errors, or paper-shape deviations outside smoke mode).
@@ -105,6 +111,58 @@ for b in bench_table1_addressing bench_dispatch bench_fig2_affinity \
   fi
   echo
 done
+
+# Optional service-level benchmark: real daemon, real sockets.  The
+# loadgen process appends its own "serve_loadgen" record (p50/p99,
+# shed rate, cache hit rate) to $DSM_BENCH_JSON, so it lands in the
+# results array like every other bench.
+if [ "${DSM_BENCH_SERVE:-0}" = 1 ]; then
+  for t in dsm_serve dsm_loadgen; do
+    if [ ! -x "$BUILD_DIR/tools/$t" ]; then
+      echo "error: '$BUILD_DIR/tools/$t' is missing -- rebuild first." >&2
+      exit 1
+    fi
+  done
+  echo "==== serve_loadgen ===="
+  SERVE_LOG=$DSM_BENCH_JSON.serve_log
+  "$BUILD_DIR/tools/dsm_serve" --port=0 --workers=4 > "$SERVE_LOG" 2>&1 &
+  SERVE_PID=$!
+  SERVE_PORT=""
+  i=0
+  while [ $i -lt 100 ]; do
+    SERVE_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$SERVE_LOG")
+    [ -n "$SERVE_PORT" ] && break
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then break; fi
+    sleep 0.1
+    i=$((i + 1))
+  done
+  if [ -z "$SERVE_PORT" ]; then
+    echo "FAIL: dsm_serve never became ready" >&2
+    cat "$SERVE_LOG" >&2
+    kill "$SERVE_PID" 2>/dev/null
+    FAILED="$FAILED serve_loadgen"
+  else
+    if [ "$SMOKE" = 1 ]; then
+      LG_ARGS="--clients=2 --requests=3 --variants=1"
+    else
+      LG_ARGS="--clients=8 --requests=16 --variants=3"
+    fi
+    # shellcheck disable=SC2086  # word-splitting the args is intended
+    if ! "$BUILD_DIR/tools/dsm_loadgen" --port="$SERVE_PORT" $LG_ARGS; then
+      echo "FAIL: dsm_loadgen exited non-zero" >&2
+      FAILED="$FAILED serve_loadgen"
+    fi
+    kill -TERM "$SERVE_PID" 2>/dev/null
+    if ! wait "$SERVE_PID"; then
+      echo "FAIL: dsm_serve did not drain cleanly" >&2
+      cat "$SERVE_LOG" >&2
+      FAILED="$FAILED serve_drain"
+    fi
+  fi
+  rm -f "$SERVE_LOG"
+  echo
+fi
 
 # Wrap the collected JSON lines into one JSON array.
 {

@@ -1,0 +1,149 @@
+//===- serve/Client.cpp - dsm_serve client with retry/backoff --------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::serve;
+
+using Clock = std::chrono::steady_clock;
+
+Error Client::connect() {
+  auto S = support::Socket::connectTo(Opts.Host, Opts.Port,
+                                      Opts.ConnectTimeoutMs);
+  if (!S)
+    return S.takeError();
+  Sock = std::move(*S);
+  Sock.setReadTimeout(Opts.ReadTimeoutMs);
+  return Error::success();
+}
+
+Expected<Response> Client::call(const Request &R) {
+  if (!Sock.valid())
+    if (Error E = connect())
+      return E;
+
+  Request Send = R;
+  if (Send.Id == 0)
+    Send.Id = NextId++;
+  if (Error E = Sock.writeFrame(encodeRequest(Send))) {
+    Sock.close();
+    return E;
+  }
+
+  std::string Payload;
+  support::FrameStatus FS = Sock.readFrame(Payload);
+  if (FS != support::FrameStatus::Ok) {
+    Sock.close();
+    return Error::make(std::string("response frame: ") +
+                       support::frameStatusName(FS));
+  }
+  auto Resp = decodeResponse(Payload);
+  if (!Resp) {
+    Sock.close();
+    return Resp.takeError();
+  }
+  return Resp;
+}
+
+int64_t Client::backoffMs(int Attempt, int64_t ServerHintMs) {
+  int64_t Base;
+  if (ServerHintMs > 0) {
+    Base = ServerHintMs;
+  } else {
+    Base = Opts.BaseBackoffMs << std::min(Attempt, 16);
+    Base = std::min(Base, Opts.MaxBackoffMs);
+  }
+  // Full jitter in [Base/2, Base]: desynchronizes a fleet of clients
+  // that were all shed by the same queue-full instant.
+  if (Base <= 1)
+    return Base;
+  return Base / 2 + Jitter.nextInRange(0, Base - Base / 2);
+}
+
+Expected<Response> Client::callWithRetry(const Request &R,
+                                         CallTrace *Trace) {
+  CallTrace Local;
+  CallTrace &T = Trace ? *Trace : Local;
+  T = CallTrace();
+
+  const bool HasDeadline = R.DeadlineMs > 0;
+  const Clock::time_point Deadline =
+      HasDeadline ? Clock::now() + std::chrono::milliseconds(R.DeadlineMs)
+                  : Clock::time_point::max();
+
+  Error LastErr = Error::success();
+  Status LastShed = Status::Overloaded;
+  for (int Attempt = 0; Attempt <= Opts.MaxRetries; ++Attempt) {
+    Request Send = R;
+    if (HasDeadline) {
+      auto RemainMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          Deadline - Clock::now())
+                          .count();
+      if (RemainMs <= 0)
+        break;
+      // Propagate the REMAINING budget, not the original, so the
+      // server's queue cancellation reflects this client's true
+      // patience on every attempt.
+      Send.DeadlineMs = RemainMs;
+    }
+
+    ++T.Attempts;
+    auto Resp = call(Send);
+    int64_t HintMs = 0;
+    if (!Resp) {
+      LastErr = Resp.takeError();
+      ++T.TransportRetries;
+    } else if (isRetryable(Resp->St)) {
+      LastShed = Resp->St;
+      LastErr = Error::make("server answered " +
+                            std::string(statusName(Resp->St)) +
+                            (Resp->ErrorMsg.empty() ? ""
+                                                    : ": " + Resp->ErrorMsg));
+      ++T.Sheds;
+      HintMs = Resp->RetryAfterMs;
+    } else {
+      return Resp;
+    }
+
+    if (Attempt == Opts.MaxRetries)
+      break;
+    int64_t SleepMs = backoffMs(Attempt, HintMs);
+    if (HasDeadline) {
+      auto RemainMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          Deadline - Clock::now())
+                          .count();
+      if (RemainMs <= 0)
+        break;
+      SleepMs = std::min<int64_t>(SleepMs, RemainMs);
+    }
+    if (SleepMs > 0) {
+      T.BackoffMs += static_cast<double>(SleepMs);
+      std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+    }
+  }
+
+  if (HasDeadline && Clock::now() >= Deadline) {
+    // The budget died before the server said yes: report it the same
+    // way the server would, so callers see one taxonomy.
+    Response Out;
+    Out.Id = R.Id;
+    Out.St = Status::DeadlineExceeded;
+    Out.ErrorMsg = formatString(
+        "client-side deadline of %lld ms exhausted after %d attempt(s)",
+        (long long)R.DeadlineMs, T.Attempts);
+    return Out;
+  }
+  (void)LastShed;
+  return Error::make("request failed after " + std::to_string(T.Attempts) +
+                     " attempt(s): " + LastErr.str());
+}

@@ -1,0 +1,99 @@
+//===- serve/Client.h - dsm_serve client with retry/backoff -----*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the dsm_serve protocol: one connection, blocking
+/// request/response calls, and a retry policy that encodes the error
+/// taxonomy's contract:
+///
+///  * `overloaded` / `shutting_down` and transport loss are retried
+///    with jittered exponential backoff; an explicit retry_after_ms
+///    hint from the server overrides the exponential schedule.
+///  * `bad_request`, `error`, and `deadline_exceeded` are never
+///    retried -- resending an invalid or expired request unchanged
+///    cannot succeed.
+///  * A request deadline bounds the WHOLE retry loop: each attempt
+///    carries the remaining budget on the wire (so the server's queue
+///    cancellation stays meaningful), and when the budget is gone the
+///    client reports deadline_exceeded itself rather than retrying
+///    forever.
+///
+/// Backoff jitter comes from a seeded SplitMix64 so loadgen runs are
+/// reproducible: same seed, same retry schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_SERVE_CLIENT_H
+#define DSM_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "serve/Protocol.h"
+#include "support/Rng.h"
+#include "support/Socket.h"
+
+namespace dsm::serve {
+
+struct ClientOptions {
+  std::string Host = "127.0.0.1";
+  int Port = 0;
+  int ConnectTimeoutMs = 5000;
+  /// Bounds each response wait; covers queueing + the run itself.
+  int ReadTimeoutMs = 120000;
+  /// Attempts beyond the first for retryable outcomes.
+  int MaxRetries = 8;
+  int64_t BaseBackoffMs = 10;
+  int64_t MaxBackoffMs = 2000;
+  /// Seeds the backoff jitter (reproducible retry schedules).
+  uint64_t JitterSeed = 1;
+};
+
+/// Outcome bookkeeping a caller (dsm_loadgen) reads after each call.
+struct CallTrace {
+  int Attempts = 0;      ///< Total send attempts (>= 1).
+  int Sheds = 0;         ///< overloaded/shutting_down answers seen.
+  int TransportRetries = 0; ///< Reconnects after transport loss.
+  double BackoffMs = 0.0;   ///< Total time slept between attempts.
+};
+
+/// One connection to a dsm_serve daemon.  Not thread-safe: loadgen
+/// gives each worker thread its own Client.
+class Client {
+public:
+  explicit Client(ClientOptions Opts) : Opts(std::move(Opts)),
+                                        Jitter(this->Opts.JitterSeed) {}
+
+  const ClientOptions &options() const { return Opts; }
+  bool connected() const { return Sock.valid(); }
+
+  /// Connects (or reconnects).  call()/callWithRetry() connect lazily,
+  /// so this is only needed to probe reachability.
+  Error connect();
+
+  void close() { Sock.close(); }
+
+  /// One request / one response, no retries.  Transport failures
+  /// invalidate the connection (the next call reconnects).
+  Expected<Response> call(const Request &R);
+
+  /// call() wrapped in the retry policy described in the file header.
+  /// \p Trace (optional) receives attempt/shed/backoff accounting.
+  Expected<Response> callWithRetry(const Request &R,
+                                   CallTrace *Trace = nullptr);
+
+private:
+  int64_t backoffMs(int Attempt, int64_t ServerHintMs);
+
+  ClientOptions Opts;
+  support::Socket Sock;
+  SplitMix64 Jitter;
+  uint64_t NextId = 1;
+};
+
+} // namespace dsm::serve
+
+#endif // DSM_SERVE_CLIENT_H

@@ -1,0 +1,339 @@
+//===- serve/Protocol.cpp - dsm_serve wire protocol ------------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <cstdio>
+
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::serve;
+
+const char *serve::statusName(Status S) {
+  switch (S) {
+  case Status::Ok:
+    return "ok";
+  case Status::BadRequest:
+    return "bad_request";
+  case Status::Err:
+    return "error";
+  case Status::Overloaded:
+    return "overloaded";
+  case Status::DeadlineExceeded:
+    return "deadline_exceeded";
+  case Status::ShuttingDown:
+    return "shutting_down";
+  }
+  return "?";
+}
+
+bool serve::parseStatus(const std::string &Name, Status &Out) {
+  for (Status S :
+       {Status::Ok, Status::BadRequest, Status::Err, Status::Overloaded,
+        Status::DeadlineExceeded, Status::ShuttingDown})
+    if (Name == statusName(S)) {
+      Out = S;
+      return true;
+    }
+  return false;
+}
+
+const char *serve::opName(Op O) {
+  switch (O) {
+  case Op::Ping:
+    return "ping";
+  case Op::Compile:
+    return "compile";
+  case Op::Run:
+    return "run";
+  case Op::Stats:
+    return "stats";
+  }
+  return "?";
+}
+
+static bool parseOp(const std::string &Name, Op &Out) {
+  for (Op O : {Op::Ping, Op::Compile, Op::Run, Op::Stats})
+    if (Name == opName(O)) {
+      Out = O;
+      return true;
+    }
+  return false;
+}
+
+static Error parseCompileOptions(const json::Value &V,
+                                 CompileOptions &Out) {
+  if (V.isNull())
+    return Error::success();
+  if (!V.isObject())
+    return Error::make("'options' must be an object");
+  if (const json::Value *T = V.find("transform"))
+    Out.Transform = T->asBool(true);
+  if (const json::Value *P = V.find("parallelize"))
+    Out.Xform.Parallelize = P->asBool(true);
+  if (const json::Value *F = V.find("fp_divmod"))
+    Out.Xform.FpDivMod = F->asBool(true);
+  if (const json::Value *L = V.find("opt_level")) {
+    const std::string &S = L->asString();
+    if (S == "none")
+      Out.Xform.Level = xform::ReshapeOptLevel::None;
+    else if (S == "tile-peel")
+      Out.Xform.Level = xform::ReshapeOptLevel::TilePeel;
+    else if (S == "full" || S.empty())
+      Out.Xform.Level = xform::ReshapeOptLevel::Full;
+    else
+      return Error::make("unknown opt_level '" + S + "'");
+  }
+  return Error::success();
+}
+
+static const char *optLevelName(xform::ReshapeOptLevel L) {
+  switch (L) {
+  case xform::ReshapeOptLevel::None:
+    return "none";
+  case xform::ReshapeOptLevel::TilePeel:
+    return "tile-peel";
+  case xform::ReshapeOptLevel::Full:
+    return "full";
+  }
+  return "full";
+}
+
+Expected<Request> serve::decodeRequest(const std::string &Payload) {
+  auto Doc = json::parse(Payload, "<frame>");
+  if (!Doc)
+    return Error(Doc.error());
+  const json::Value &V = *Doc;
+  if (!V.isObject())
+    return Error::make("request frame must be a JSON object");
+
+  Request R;
+  const std::string &OpStr = V["op"].asString();
+  if (!parseOp(OpStr, R.Kind))
+    return Error::make(OpStr.empty() ? "request has no 'op'"
+                                     : "unknown op '" + OpStr + "'");
+  R.Id = static_cast<uint64_t>(V["id"].asInt(0));
+  R.DeadlineMs = V["deadline_ms"].asInt(0);
+  if (R.DeadlineMs < 0)
+    return Error::make("deadline_ms must be >= 0");
+  R.Label = V["label"].asString();
+
+  if (R.Kind == Op::Ping || R.Kind == Op::Stats)
+    return R;
+
+  const json::Value &Sources = V["sources"];
+  if (!Sources.isArray() || Sources.array().empty())
+    return Error::make("'" + OpStr +
+                       "' needs a non-empty 'sources' array");
+  for (const json::Value &S : Sources.array()) {
+    if (!S.isObject() || !S["text"].isString())
+      return Error::make(
+          "source entries must be {name, text} objects (the wire "
+          "protocol never reads server-side paths)");
+    std::string Name = S["name"].asString();
+    if (Name.empty())
+      Name = "source" + std::to_string(R.Sources.size()) + ".f";
+    R.Sources.push_back({std::move(Name), S["text"].asString()});
+  }
+  if (Error E = parseCompileOptions(V["options"], R.COpts))
+    return E;
+
+  if (R.Kind == Op::Run) {
+    if (const json::Value *P = V.find("procs"))
+      R.Procs = static_cast<int>(P->asInt(8));
+    if (const json::Value *T = V.find("threads"))
+      R.Threads = static_cast<int>(T->asInt(1));
+    if (const json::Value *P = V.find("policy"))
+      R.Policy = P->asString();
+    if (const json::Value *M = V.find("machine"))
+      R.Machine = M->asString();
+    if (const json::Value *E = V.find("engine"))
+      R.Engine = E->asString();
+    R.Metrics = V["metrics"].asBool(false);
+    R.ArgChecks = V["arg_checks"].asBool(false);
+    const json::Value &CS = V["checksum"];
+    if (CS.isString()) {
+      R.ChecksumArrays.push_back(CS.asString());
+    } else if (CS.isArray()) {
+      for (const json::Value &A : CS.array())
+        R.ChecksumArrays.push_back(A.asString());
+    }
+    // Validate the named configurations at decode time so a typo is a
+    // bad_request, not a queued job that fails later.
+    session::RunRequest Ignored;
+    if (Error E = toRunRequest(R, Ignored))
+      return E;
+  }
+  return R;
+}
+
+std::string serve::encodeRequest(const Request &R) {
+  std::string Out = formatString(
+      "{\"op\":\"%s\",\"id\":%llu,\"deadline_ms\":%lld", opName(R.Kind),
+      static_cast<unsigned long long>(R.Id),
+      static_cast<long long>(R.DeadlineMs));
+  if (!R.Label.empty())
+    Out += ",\"label\":\"" + json::escape(R.Label) + "\"";
+  if (R.Kind == Op::Compile || R.Kind == Op::Run) {
+    Out += ",\"sources\":[";
+    for (size_t I = 0; I < R.Sources.size(); ++I)
+      Out += formatString("%s{\"name\":\"%s\",\"text\":\"%s\"}",
+                          I ? "," : "",
+                          json::escape(R.Sources[I].Name).c_str(),
+                          json::escape(R.Sources[I].Text).c_str());
+    Out += "]";
+    Out += formatString(
+        ",\"options\":{\"transform\":%s,\"parallelize\":%s,"
+        "\"fp_divmod\":%s,\"opt_level\":\"%s\"}",
+        R.COpts.Transform ? "true" : "false",
+        R.COpts.Xform.Parallelize ? "true" : "false",
+        R.COpts.Xform.FpDivMod ? "true" : "false",
+        optLevelName(R.COpts.Xform.Level));
+  }
+  if (R.Kind == Op::Run) {
+    Out += formatString(
+        ",\"procs\":%d,\"threads\":%d,\"policy\":\"%s\","
+        "\"machine\":\"%s\",\"engine\":\"%s\",\"metrics\":%s,"
+        "\"arg_checks\":%s",
+        R.Procs, R.Threads, json::escape(R.Policy).c_str(),
+        json::escape(R.Machine).c_str(),
+        json::escape(R.Engine).c_str(), R.Metrics ? "true" : "false",
+        R.ArgChecks ? "true" : "false");
+    Out += ",\"checksum\":[";
+    for (size_t I = 0; I < R.ChecksumArrays.size(); ++I)
+      Out += formatString(
+          "%s\"%s\"", I ? "," : "",
+          json::escape(R.ChecksumArrays[I]).c_str());
+    Out += "]";
+  }
+  Out += "}";
+  return Out;
+}
+
+Error serve::toRunRequest(const Request &R, session::RunRequest &Out) {
+  Out.Label = R.Label;
+  Out.Opts.NumProcs = R.Procs;
+  Out.Opts.HostThreads = R.Threads > 0 ? R.Threads : 1;
+  Out.Opts.CollectMetrics = R.Metrics;
+  Out.Opts.RuntimeArgChecks = R.ArgChecks;
+  Out.ChecksumArrays = R.ChecksumArrays;
+
+  if (R.Policy == "first-touch")
+    Out.Opts.DefaultPolicy = numa::PlacementPolicy::FirstTouch;
+  else if (R.Policy == "round-robin")
+    Out.Opts.DefaultPolicy = numa::PlacementPolicy::RoundRobin;
+  else
+    return Error::make("unknown policy '" + R.Policy + "'");
+
+  if (R.Machine == "scaled")
+    Out.Machine = numa::MachineConfig::scaledOrigin();
+  else if (R.Machine == "origin2000")
+    Out.Machine = numa::MachineConfig::origin2000();
+  else
+    return Error::make("unknown machine '" + R.Machine + "'");
+
+  using EngineKind = exec::RunOptions::EngineKind;
+  if (R.Engine == "interp")
+    Out.Opts.Engine = EngineKind::Interp;
+  else if (R.Engine == "bytecode")
+    Out.Opts.Engine = EngineKind::Bytecode;
+  else if (R.Engine == "bytecode-nofuse")
+    Out.Opts.Engine = EngineKind::BytecodeNoFuse;
+  else if (R.Engine == "auto" || R.Engine.empty())
+    Out.Opts.Engine = EngineKind::Auto;
+  else
+    return Error::make("unknown engine '" + R.Engine + "'");
+
+  if (R.Procs < 1 || R.Procs > Out.Machine.numProcs())
+    return Error::make(formatString(
+        "procs must be in 1..%d for machine '%s'",
+        Out.Machine.numProcs(), R.Machine.c_str()));
+  return Error::success();
+}
+
+std::string serve::encodeResponse(const Response &R) {
+  std::string Out = formatString(
+      "{\"id\":%llu,\"status\":\"%s\"",
+      static_cast<unsigned long long>(R.Id), statusName(R.St));
+  if (!R.ErrorMsg.empty())
+    Out += ",\"error\":\"" + json::escape(R.ErrorMsg) + "\"";
+  if (R.RetryAfterMs > 0)
+    Out += formatString(",\"retry_after_ms\":%lld",
+                        static_cast<long long>(R.RetryAfterMs));
+  // Escaped-string transport: the parser has no serializer, so the
+  // stats object rides as a string and round-trips verbatim.
+  if (R.St == Status::Ok && !R.StatsJson.empty())
+    Out += ",\"stats\":\"" + json::escape(R.StatsJson) + "\"";
+  if (R.St == Status::Ok && R.CacheHit)
+    Out += ",\"cache_hit\":true";
+  // Top-level (not result-gated): deadline_exceeded answers also
+  // report how long the request sat in the queue.
+  if (R.QueueMs > 0.0)
+    Out += formatString(",\"queue_ms\":%.3f", R.QueueMs);
+  if (R.HasResult) {
+    Out += formatString(
+        ",\"wall_cycles\":%llu,\"timed_cycles\":%llu,"
+        "\"redistribute_cycles\":%llu,\"epochs\":%u,"
+        "\"threaded_epochs\":%u,\"host_seconds\":%.6f,"
+        "\"counters\":\"%s\"",
+        static_cast<unsigned long long>(R.WallCycles),
+        static_cast<unsigned long long>(R.TimedCycles),
+        static_cast<unsigned long long>(R.RedistributeCycles),
+        R.Epochs, R.ThreadedEpochs, R.HostSeconds,
+        json::escape(R.Counters).c_str());
+    if (!R.Faults.empty())
+      Out += ",\"faults\":\"" + json::escape(R.Faults) + "\"";
+    Out += ",\"checksums\":[";
+    for (size_t I = 0; I < R.Checksums.size(); ++I)
+      Out += formatString(
+          "%s{\"array\":\"%s\",\"sum\":%.17g,\"weighted\":%.17g}",
+          I ? "," : "", json::escape(R.Checksums[I].Array).c_str(),
+          R.Checksums[I].Sum, R.Checksums[I].Weighted);
+    Out += "]";
+  }
+  Out += "}";
+  return Out;
+}
+
+Expected<Response> serve::decodeResponse(const std::string &Payload) {
+  auto Doc = json::parse(Payload, "<frame>");
+  if (!Doc)
+    return Error(Doc.error());
+  const json::Value &V = *Doc;
+  if (!V.isObject())
+    return Error::make("response frame must be a JSON object");
+
+  Response R;
+  R.Id = static_cast<uint64_t>(V["id"].asInt(0));
+  const std::string &St = V["status"].asString();
+  if (!parseStatus(St, R.St))
+    return Error::make(St.empty() ? "response has no 'status'"
+                                  : "unknown status '" + St + "'");
+  R.ErrorMsg = V["error"].asString();
+  R.RetryAfterMs = V["retry_after_ms"].asInt(0);
+  R.CacheHit = V["cache_hit"].asBool(false);
+  R.StatsJson = V["stats"].asString();
+  R.QueueMs = V["queue_ms"].asNumber(0.0);
+  if (const json::Value *W = V.find("wall_cycles")) {
+    R.HasResult = true;
+    R.WallCycles = static_cast<uint64_t>(W->asInt(0));
+    R.TimedCycles = static_cast<uint64_t>(V["timed_cycles"].asInt(0));
+    R.RedistributeCycles =
+        static_cast<uint64_t>(V["redistribute_cycles"].asInt(0));
+    R.Epochs = static_cast<unsigned>(V["epochs"].asInt(0));
+    R.ThreadedEpochs =
+        static_cast<unsigned>(V["threaded_epochs"].asInt(0));
+    R.HostSeconds = V["host_seconds"].asNumber(0.0);
+    R.Counters = V["counters"].asString();
+    R.Faults = V["faults"].asString();
+    for (const json::Value &C : V["checksums"].array())
+      R.Checksums.push_back({C["array"].asString(),
+                             C["sum"].asNumber(0.0),
+                             C["weighted"].asNumber(0.0)});
+  }
+  return R;
+}

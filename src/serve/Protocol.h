@@ -1,0 +1,143 @@
+//===- serve/Protocol.h - dsm_serve wire protocol ---------------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dsm_serve wire protocol (DESIGN.md Section 15): length-prefixed
+/// frames (support/Socket.h) each carrying one JSON object.  Requests
+/// name an op; every request gets exactly one response whose "status"
+/// comes from a closed error taxonomy:
+///
+///   ok                the op succeeded; result fields are present
+///   bad_request       the frame was unparseable or semantically
+///                     invalid; do not retry unchanged
+///   error             the op ran and failed (compile error, run
+///                     error); do not retry unchanged
+///   overloaded        the admission queue or the per-client budget is
+///                     full; retry after retry_after_ms
+///   deadline_exceeded the request's deadline_ms elapsed before the
+///                     server could finish it; the work was cancelled
+///   shutting_down     the server is draining; connect elsewhere/later
+///
+/// Results carry simulated cycles, the counters string, and %.17g
+/// checksums, so a wire result can be compared bit-for-bit against a
+/// direct in-process dsm::run (the serve tests and dsm_loadgen do).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_SERVE_PROTOCOL_H
+#define DSM_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "session/Session.h"
+#include "support/Json.h"
+
+namespace dsm::serve {
+
+/// Response status taxonomy.  Retryable: Overloaded, ShuttingDown
+/// (elsewhere), and transport loss; never BadRequest or Err.
+enum class Status {
+  Ok,
+  BadRequest,
+  Err,
+  Overloaded,
+  DeadlineExceeded,
+  ShuttingDown,
+};
+
+const char *statusName(Status S);
+bool parseStatus(const std::string &Name, Status &Out);
+
+/// True for outcomes a client may retry without changing the request.
+inline bool isRetryable(Status S) {
+  return S == Status::Overloaded || S == Status::ShuttingDown;
+}
+
+enum class Op { Ping, Compile, Run, Stats };
+
+const char *opName(Op O);
+
+/// One decoded request.  Compile carries sources/options only; Run
+/// additionally carries the execution parameters.
+struct Request {
+  Op Kind = Op::Ping;
+  uint64_t Id = 0;
+  /// Relative deadline; 0 = none.  The server cancels queued work
+  /// whose deadline has passed and answers deadline_exceeded.
+  int64_t DeadlineMs = 0;
+  std::string Label;
+
+  std::vector<SourceFile> Sources;
+  CompileOptions COpts;
+
+  int Procs = 8;
+  int Threads = 1;
+  std::string Policy = "first-touch";
+  std::string Machine = "scaled";
+  std::string Engine = "auto";
+  bool Metrics = false;
+  bool ArgChecks = false;
+  std::vector<std::string> ChecksumArrays;
+};
+
+/// Decodes a frame payload.  A false-y result means bad_request; the
+/// Error message is safe to echo to the peer.
+Expected<Request> decodeRequest(const std::string &Payload);
+
+/// Encodes \p R as a frame payload (client side).
+std::string encodeRequest(const Request &R);
+
+/// Builds the session-layer run request for \p R (resolving policy /
+/// machine / engine names); the program handle is attached by the
+/// caller after the shared-cache compile.
+Error toRunRequest(const Request &R, session::RunRequest &Out);
+
+/// One response.  Result fields are meaningful when St == Ok and the
+/// request was a Run.
+struct Response {
+  uint64_t Id = 0;
+  Status St = Status::Ok;
+  std::string ErrorMsg;
+  /// Backoff hint for Overloaded (clients honor it; see serve/Client).
+  int64_t RetryAfterMs = 0;
+
+  bool HasResult = false;
+  uint64_t WallCycles = 0;
+  uint64_t TimedCycles = 0;
+  uint64_t RedistributeCycles = 0;
+  unsigned Epochs = 0;
+  unsigned ThreadedEpochs = 0;
+  /// numa::Counters::str() of the run -- the wire bit-identity oracle.
+  std::string Counters;
+  /// fault::FaultCounters::str() when any fault fired, else empty.
+  std::string Faults;
+  double HostSeconds = 0.0;
+  /// Milliseconds the request waited in the admission queue.
+  double QueueMs = 0.0;
+  /// (array, plain, weighted) checksums, %.17g round-tripped.
+  struct Checksum {
+    std::string Array;
+    double Sum = 0.0;
+    double Weighted = 0.0;
+  };
+  std::vector<Checksum> Checksums;
+
+  /// Compile: whether the shared cache already had the program.
+  bool CacheHit = false;
+
+  /// Stats: the server's stats object as a JSON document (carried on
+  /// the wire as an escaped string so it round-trips verbatim).
+  std::string StatsJson;
+};
+
+std::string encodeResponse(const Response &R);
+Expected<Response> decodeResponse(const std::string &Payload);
+
+} // namespace dsm::serve
+
+#endif // DSM_SERVE_PROTOCOL_H

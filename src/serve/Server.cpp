@@ -1,0 +1,710 @@
+//===- serve/Server.cpp - Fault-tolerant dsm_serve daemon ------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+using namespace dsm;
+using namespace dsm::serve;
+
+using Clock = std::chrono::steady_clock;
+
+static double msBetween(Clock::time_point A, Clock::time_point B) {
+  return std::chrono::duration<double, std::milli>(B - A).count();
+}
+
+//===----------------------------------------------------------------------===//
+// Options / stats
+//===----------------------------------------------------------------------===//
+
+ServerOptions ServerOptions::fromEnv(ServerOptions Base) {
+  if (Base.Workers <= 0) {
+    if (const char *E = std::getenv("DSM_SERVE_WORKERS"))
+      Base.Workers = std::atoi(E);
+    if (Base.Workers <= 0) {
+      unsigned HW = std::thread::hardware_concurrency();
+      Base.Workers = static_cast<int>(std::min(HW ? HW : 1u, 8u));
+    }
+  }
+  return Base;
+}
+
+Error ServerOptions::validate() const {
+  if (Port < 0 || Port > 65535)
+    return Error::make("serve: bad port " + std::to_string(Port));
+  if (Workers < 0)
+    return Error::make("serve: negative worker count");
+  if (QueueDepth == 0)
+    return Error::make("serve: queue depth must be >= 1");
+  if (MaxClientRequests == 0)
+    return Error::make("serve: per-client budget must be >= 1");
+  if (MaxConnections == 0)
+    return Error::make("serve: connection cap must be >= 1");
+  if (MaxFrameBytes < 1024)
+    return Error::make("serve: frame cap below 1 KiB is unusable");
+  return Error::success();
+}
+
+std::string ServerStats::json() const {
+  std::string S = "{";
+  S += formatString("\"accepted\":%llu,",
+                             (unsigned long long)Accepted);
+  S += formatString("\"conn_rejected\":%llu,",
+                             (unsigned long long)ConnRejected);
+  S += formatString("\"requests\":%llu,",
+                             (unsigned long long)Requests);
+  S += formatString("\"ok\":%llu,", (unsigned long long)Ok);
+  S += formatString("\"run_errors\":%llu,",
+                             (unsigned long long)RunErrors);
+  S += formatString("\"bad_frames\":%llu,",
+                             (unsigned long long)BadFrames);
+  S += formatString("\"bad_requests\":%llu,",
+                             (unsigned long long)BadRequests);
+  S += formatString("\"overloaded\":%llu,",
+                             (unsigned long long)Overloaded);
+  S += formatString("\"deadline_exceeded\":%llu,",
+                             (unsigned long long)DeadlineExceeded);
+  S += formatString("\"shed_shutting_down\":%llu,",
+                             (unsigned long long)ShedShuttingDown);
+  S += formatString("\"cancelled\":%llu,",
+                             (unsigned long long)Cancelled);
+  S += formatString("\"queue_peak\":%llu,",
+                             (unsigned long long)QueuePeak);
+  S += formatString(
+      "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
+      "\"programs\":%llu}",
+      (unsigned long long)Cache.Hits, (unsigned long long)Cache.Misses,
+      (unsigned long long)Cache.Evictions,
+      (unsigned long long)Cache.Programs);
+  S += "}";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Internal structures
+//===----------------------------------------------------------------------===//
+
+/// One accepted connection.  Shared between its reader thread, any
+/// queued tasks that will answer on it, and LiveConns (for drain).
+struct Server::Conn {
+  support::Socket Sock;
+  uint64_t Id = 0;
+  /// Serializes frame writes: the reader thread (protocol errors, ping,
+  /// stats, compile) and workers (run results) both reply here.
+  std::mutex WriteMu;
+  /// Set when the reader exits (peer gone) or a write fails.  Queued
+  /// tasks for a gone client are dropped, and RunRequest::Cancel points
+  /// here so the batch layer skips them too.
+  std::atomic<bool> Gone{false};
+  /// Queued + running requests for this client (admission budget).
+  std::atomic<size_t> Outstanding{0};
+};
+
+/// One admitted run request waiting for (or on) a worker.
+struct Server::Task {
+  std::shared_ptr<Conn> C;
+  Request R;                 ///< Wire request (id, label, checksums).
+  session::RunRequest RReq;  ///< Resolved job, program attached.
+  Clock::time_point Enqueued;
+  Clock::time_point Deadline; ///< time_point::max() when none.
+};
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+static session::SessionOptions sessionOptionsFor(const ServerOptions &O) {
+  session::SessionOptions S;
+  // The server's own worker pool replaces the session's batch pool.
+  S.Workers = 1;
+  S.MaxCachedPrograms = O.MaxCachedPrograms;
+  S.Chaos = O.Chaos;
+  return S;
+}
+
+Server::Server(ServerOptions InOpts)
+    : Opts(ServerOptions::fromEnv(std::move(InOpts))),
+      Sess(sessionOptionsFor(Opts)) {}
+
+Server::~Server() {
+  requestDrain();
+  waitDrained();
+}
+
+Error Server::start() {
+  if (Error E = Opts.validate())
+    return E;
+  if (Started)
+    return Error::make("serve: start() called twice");
+
+  if (!Opts.EventsPath.empty()) {
+    Events = std::fopen(Opts.EventsPath.c_str(), "w");
+    if (!Events)
+      return Error::make("serve: cannot open events log '" +
+                         Opts.EventsPath + "'");
+  }
+
+  auto L = support::Listener::listenOn(Opts.Port);
+  if (!L) {
+    if (Events) {
+      std::fclose(Events);
+      Events = nullptr;
+    }
+    return L.takeError();
+  }
+  Listen = std::move(*L);
+  BoundPort = Listen.port();
+
+  Started = true;
+  Acceptor = std::thread([this] { acceptLoop(); });
+  for (int I = 0; I < Opts.Workers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+  return Error::success();
+}
+
+void Server::requestDrain() {
+  Draining.store(true, std::memory_order_release);
+}
+
+void Server::waitDrained() {
+  std::lock_guard<std::mutex> DL(DrainMu);
+  if (!Started || DrainComplete.load(std::memory_order_acquire))
+    return;
+  Draining.store(true, std::memory_order_release);
+
+  // 1. Stop accepting: the accept loop exits on its next <=100ms poll
+  //    tick; only then is the listener fd closed (never from under a
+  //    live poll).
+  if (Acceptor.joinable())
+    Acceptor.join();
+  Listen.close();
+
+  if (DSM_BUGGIFY(Opts.Chaos, "serve_drain_stall", 0))
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  // 2. Quiesce the queue: connections can no longer admit work
+  //    (handleRun sheds with shutting_down once Draining is set), so
+  //    waiting for empty+idle delivers every in-flight result.
+  {
+    std::unique_lock<std::mutex> L(QueueMu);
+    IdleCv.wait(L, [this] { return Queue.empty() && RunningTasks == 0; });
+    StopWorkers = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+
+  // 3. Unblock idle readers.  Snapshot under the lock, shut down
+  //    outside it: shutdownBoth() only half-closes, the fd stays owned
+  //    by the Conn until its thread unwinds, so there is no
+  //    close-vs-recv race.
+  std::vector<std::shared_ptr<Conn>> Snapshot;
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    Snapshot = LiveConns;
+  }
+  for (const std::shared_ptr<Conn> &C : Snapshot)
+    C->Sock.shutdownBoth();
+
+  std::vector<std::thread> Threads;
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    Threads.swap(ConnThreads);
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  // 4. Flush accounting.
+  {
+    std::lock_guard<std::mutex> L(EventsMu);
+    if (Events) {
+      std::fprintf(Events, "{\"event\":\"drained\",\"stats\":%s}\n",
+                   stats().json().c_str());
+      std::fclose(Events);
+      Events = nullptr;
+    }
+  }
+  DrainComplete.store(true, std::memory_order_release);
+}
+
+ServerStats Server::stats() const {
+  ServerStats S;
+  {
+    std::lock_guard<std::mutex> L(StatsMu);
+    S = Counters;
+  }
+  S.Cache = Sess.cacheStats();
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Accept / connection loops
+//===----------------------------------------------------------------------===//
+
+void Server::acceptLoop() {
+  while (!Draining.load(std::memory_order_acquire)) {
+    auto S = Listen.acceptOnce(100);
+    if (!S) {
+      // Hard accept failure (fd limit, listener torn down): without a
+      // listener the server can only finish what it has.
+      S.takeError();
+      break;
+    }
+    if (!S->valid())
+      continue; // timeout tick; re-check Draining
+    if (Draining.load(std::memory_order_acquire))
+      break; // drop the late socket; its destructor closes it
+
+    uint64_t Id;
+    {
+      std::lock_guard<std::mutex> L(ConnMu);
+      Id = NextConnId++;
+    }
+    if (DSM_BUGGIFY(Opts.Chaos, "serve_accept_stall", Id))
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+    bool OverCap;
+    {
+      std::lock_guard<std::mutex> L(ConnMu);
+      OverCap = LiveConns.size() >= Opts.MaxConnections;
+      if (!OverCap) {
+        auto C = std::make_shared<Conn>();
+        C->Sock = std::move(*S);
+        C->Id = Id;
+        // A peer that floods requests but never reads responses must
+        // not wedge a worker in send(): bound every write.
+        C->Sock.setWriteTimeout(10000);
+        LiveConns.push_back(C);
+        ConnThreads.emplace_back([this, C] { connLoop(C); });
+      }
+    }
+    if (OverCap) {
+      // Best-effort shed frame outside ConnMu, then close.
+      Response R;
+      R.St = Status::Overloaded;
+      R.ErrorMsg = "connection limit reached";
+      R.RetryAfterMs = 100;
+      support::Socket Sock = std::move(*S);
+      Sock.setWriteTimeout(1000);
+      (void)Sock.writeFrame(encodeResponse(R));
+    }
+    std::lock_guard<std::mutex> SL(StatsMu);
+    if (OverCap)
+      ++Counters.ConnRejected;
+    else
+      ++Counters.Accepted;
+  }
+}
+
+void Server::connLoop(std::shared_ptr<Conn> C) {
+  for (;;) {
+    std::string Payload;
+    support::FrameStatus FS = C->Sock.readFrame(Payload, Opts.MaxFrameBytes);
+    if (FS == support::FrameStatus::Ok) {
+      if (DSM_BUGGIFY(Opts.Chaos, "serve_frame_stall", C->Id))
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      handleFrame(C, Payload);
+      continue;
+    }
+    if (FS == support::FrameStatus::Closed)
+      break; // clean EOF at a frame boundary (or drain's shutdownBoth)
+    if (FS == support::FrameStatus::Malformed) {
+      // Zero-length prefix: the stream is still in sync; answer and
+      // keep the connection.
+      {
+        std::lock_guard<std::mutex> SL(StatsMu);
+        ++Counters.BadFrames;
+      }
+      Response R;
+      R.St = Status::BadRequest;
+      R.ErrorMsg = "zero-length frame";
+      reply(C, R);
+      continue;
+    }
+    // TooLarge: the prefix may be lying, so the stream cannot be
+    // resynced -- answer once and drop the connection.  Truncated /
+    // IoError: the peer is gone or hostile; just drop.
+    {
+      std::lock_guard<std::mutex> SL(StatsMu);
+      ++Counters.BadFrames;
+    }
+    if (FS == support::FrameStatus::TooLarge) {
+      Response R;
+      R.St = Status::BadRequest;
+      R.ErrorMsg = formatString(
+          "frame exceeds %u-byte cap", (unsigned)Opts.MaxFrameBytes);
+      reply(C, R);
+    }
+    break;
+  }
+
+  // Mark the client gone first (workers drop its queued tasks), then
+  // unlink from LiveConns.  The shared_ptr keeps the socket alive for
+  // any task already holding it.
+  C->Gone.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> L(ConnMu);
+  LiveConns.erase(std::remove(LiveConns.begin(), LiveConns.end(), C),
+                  LiveConns.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Request handling
+//===----------------------------------------------------------------------===//
+
+void Server::handleFrame(const std::shared_ptr<Conn> &C,
+                         const std::string &Payload) {
+  auto Req = decodeRequest(Payload);
+  if (!Req) {
+    {
+      std::lock_guard<std::mutex> SL(StatsMu);
+      ++Counters.BadRequests;
+    }
+    Response R;
+    R.St = Status::BadRequest;
+    R.ErrorMsg = Req.takeError().str();
+    reply(C, R);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> SL(StatsMu);
+    ++Counters.Requests;
+  }
+
+  Request &Q = *Req;
+  switch (Q.Kind) {
+  case Op::Ping: {
+    Response R;
+    R.Id = Q.Id;
+    R.St = Draining.load(std::memory_order_acquire) ? Status::ShuttingDown
+                                                    : Status::Ok;
+    if (R.St == Status::Ok) {
+      std::lock_guard<std::mutex> SL(StatsMu);
+      ++Counters.Ok;
+    } else {
+      std::lock_guard<std::mutex> SL(StatsMu);
+      ++Counters.ShedShuttingDown;
+    }
+    reply(C, R);
+    event(C, Q.Id, opName(Op::Ping), Q.Label, R.St, 0.0, 0.0);
+    return;
+  }
+  case Op::Stats: {
+    Response R;
+    R.Id = Q.Id;
+    R.St = Status::Ok;
+    R.StatsJson = stats().json();
+    {
+      std::lock_guard<std::mutex> SL(StatsMu);
+      ++Counters.Ok;
+    }
+    reply(C, R);
+    event(C, Q.Id, opName(Op::Stats), Q.Label, Status::Ok, 0.0, 0.0);
+    return;
+  }
+  case Op::Compile: {
+    Response R;
+    R.Id = Q.Id;
+    if (Draining.load(std::memory_order_acquire)) {
+      R.St = Status::ShuttingDown;
+      R.ErrorMsg = "server is draining";
+      std::lock_guard<std::mutex> SL(StatsMu);
+      ++Counters.ShedShuttingDown;
+    } else {
+      // Hit detection via the shared cache's miss counter: exact even
+      // under concurrency is not required (it is advisory), but a
+      // same-connection recompile is always reported correctly.
+      uint64_t MissesBefore = Sess.cacheStats().Misses;
+      auto Start = Clock::now();
+      auto P = Sess.compile(Q.Sources, Q.COpts);
+      R.QueueMs = msBetween(Start, Clock::now());
+      if (!P) {
+        R.St = Status::Err;
+        R.ErrorMsg = P.takeError().str();
+        std::lock_guard<std::mutex> SL(StatsMu);
+        ++Counters.RunErrors;
+      } else {
+        R.St = Status::Ok;
+        R.CacheHit = Sess.cacheStats().Misses == MissesBefore;
+        std::lock_guard<std::mutex> SL(StatsMu);
+        ++Counters.Ok;
+      }
+    }
+    reply(C, R);
+    event(C, Q.Id, opName(Op::Compile), Q.Label, R.St, 0.0, R.QueueMs);
+    return;
+  }
+  case Op::Run:
+    handleRun(C, std::move(Q));
+    return;
+  }
+}
+
+void Server::handleRun(const std::shared_ptr<Conn> &C, Request R) {
+  Response Resp;
+  Resp.Id = R.Id;
+
+  if (Draining.load(std::memory_order_acquire)) {
+    Resp.St = Status::ShuttingDown;
+    Resp.ErrorMsg = "server is draining";
+    {
+      std::lock_guard<std::mutex> SL(StatsMu);
+      ++Counters.ShedShuttingDown;
+    }
+    reply(C, Resp);
+    event(C, R.Id, opName(Op::Run), R.Label, Resp.St, 0.0, 0.0);
+    return;
+  }
+
+  // Per-client budget first: one greedy client saturates its own
+  // budget, never the shared queue.
+  if (C->Outstanding.load(std::memory_order_acquire) >=
+      Opts.MaxClientRequests) {
+    Resp.St = Status::Overloaded;
+    Resp.ErrorMsg = "per-client request budget exhausted";
+    {
+      std::lock_guard<std::mutex> L(QueueMu);
+      Resp.RetryAfterMs = retryAfterMsLocked();
+    }
+    {
+      std::lock_guard<std::mutex> SL(StatsMu);
+      ++Counters.Overloaded;
+    }
+    reply(C, Resp);
+    event(C, R.Id, opName(Op::Run), R.Label, Resp.St, 0.0, 0.0);
+    return;
+  }
+
+  Task T;
+  T.C = C;
+  if (Error E = toRunRequest(R, T.RReq)) {
+    Resp.St = Status::BadRequest;
+    Resp.ErrorMsg = E.str();
+    {
+      std::lock_guard<std::mutex> SL(StatsMu);
+      ++Counters.BadRequests;
+    }
+    reply(C, Resp);
+    event(C, R.Id, opName(Op::Run), R.Label, Resp.St, 0.0, 0.0);
+    return;
+  }
+
+  // Compile (or fetch) on the connection thread so the worker pool
+  // only ever runs engines; the shared cache makes the hot path a
+  // lookup.
+  auto P = Sess.compile(R.Sources, R.COpts);
+  if (!P) {
+    Resp.St = Status::Err;
+    Resp.ErrorMsg = P.takeError().str();
+    {
+      std::lock_guard<std::mutex> SL(StatsMu);
+      ++Counters.RunErrors;
+    }
+    reply(C, Resp);
+    event(C, R.Id, opName(Op::Run), R.Label, Resp.St, 0.0, 0.0);
+    return;
+  }
+  T.RReq.Program = *P;
+  T.RReq.Cancel = &C->Gone;
+  T.Enqueued = Clock::now();
+  T.Deadline = R.DeadlineMs > 0
+                   ? T.Enqueued + std::chrono::milliseconds(R.DeadlineMs)
+                   : Clock::time_point::max();
+  T.R = std::move(R);
+
+  std::string Label = T.R.Label;
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    // Re-check under the queue lock: once drain's quiescence wait is
+    // armed, nothing may slip into the queue (a slow compile above
+    // could otherwise outlive the first Draining check).
+    if (Draining.load(std::memory_order_acquire)) {
+      Resp.St = Status::ShuttingDown;
+      Resp.ErrorMsg = "server is draining";
+    } else if (Queue.size() >= Opts.QueueDepth ||
+               DSM_BUGGIFY(Opts.Chaos, "serve_admit_shed", T.R.Id)) {
+      Resp.St = Status::Overloaded;
+      Resp.ErrorMsg = "admission queue full";
+      Resp.RetryAfterMs = retryAfterMsLocked();
+    } else {
+      Queue.push_back(std::move(T));
+      C->Outstanding.fetch_add(1, std::memory_order_acq_rel);
+      std::lock_guard<std::mutex> SL(StatsMu);
+      Counters.QueuePeak =
+          std::max<uint64_t>(Counters.QueuePeak, Queue.size());
+    }
+  }
+  if (Resp.St != Status::Ok) {
+    {
+      std::lock_guard<std::mutex> SL(StatsMu);
+      if (Resp.St == Status::Overloaded)
+        ++Counters.Overloaded;
+      else
+        ++Counters.ShedShuttingDown;
+    }
+    reply(C, Resp);
+    event(C, Resp.Id, opName(Op::Run), Label, Resp.St, 0.0, 0.0);
+    return;
+  }
+  QueueCv.notify_one();
+}
+
+void Server::workerLoop() {
+  for (;;) {
+    Task T;
+    {
+      std::unique_lock<std::mutex> L(QueueMu);
+      QueueCv.wait(L, [this] { return StopWorkers || !Queue.empty(); });
+      if (Queue.empty()) {
+        if (StopWorkers)
+          return;
+        continue;
+      }
+      T = std::move(Queue.front());
+      Queue.pop_front();
+      ++RunningTasks;
+    }
+
+    auto Picked = Clock::now();
+    double QueueMs = msBetween(T.Enqueued, Picked);
+    Response Resp;
+    Resp.Id = T.R.Id;
+    Resp.QueueMs = QueueMs;
+    double RunMs = 0.0;
+
+    if (T.C->Gone.load(std::memory_order_acquire)) {
+      // Client vanished while the request was queued: nothing to
+      // answer; just account for the cancelled work.
+      {
+        std::lock_guard<std::mutex> SL(StatsMu);
+        ++Counters.Cancelled;
+      }
+      Resp.St = Status::Err;
+      Resp.ErrorMsg = "client disconnected";
+    } else if (Picked > T.Deadline) {
+      Resp.St = Status::DeadlineExceeded;
+      Resp.ErrorMsg = formatString(
+          "deadline of %lld ms elapsed after %.1f ms in queue",
+          (long long)T.R.DeadlineMs, QueueMs);
+      {
+        std::lock_guard<std::mutex> SL(StatsMu);
+        ++Counters.DeadlineExceeded;
+      }
+      reply(T.C, Resp);
+    } else {
+      session::JobResult JR = Sess.run(T.RReq);
+      RunMs = msBetween(Picked, Clock::now());
+      if (!JR.ok()) {
+        // A run cancelled at pickup (client died between our Gone check
+        // and the batch layer's) is accounting-only, like above.
+        if (T.C->Gone.load(std::memory_order_acquire)) {
+          std::lock_guard<std::mutex> SL(StatsMu);
+          ++Counters.Cancelled;
+          Resp.St = Status::Err;
+          Resp.ErrorMsg = "client disconnected";
+        } else {
+          Resp.St = Status::Err;
+          Resp.ErrorMsg = JR.Err.str();
+          {
+            std::lock_guard<std::mutex> SL(StatsMu);
+            ++Counters.RunErrors;
+          }
+          reply(T.C, Resp);
+        }
+      } else {
+        const session::RunOutput &Out = *JR.Output;
+        Resp.St = Status::Ok;
+        Resp.HasResult = true;
+        Resp.WallCycles = Out.Result.WallCycles;
+        Resp.TimedCycles = Out.Result.TimedCycles;
+        Resp.RedistributeCycles = Out.Result.RedistributeCycles;
+        Resp.Epochs = Out.Result.ParallelRegions;
+        Resp.ThreadedEpochs = Out.Result.ThreadedEpochs;
+        Resp.Counters = Out.Result.Counters.str();
+        if (Out.Result.Faults.any())
+          Resp.Faults = Out.Result.Faults.str();
+        Resp.HostSeconds = Out.HostSeconds;
+        for (size_t I = 0; I < Out.Checksums.size(); ++I) {
+          Response::Checksum CS;
+          CS.Array = I < T.R.ChecksumArrays.size()
+                         ? T.R.ChecksumArrays[I]
+                         : std::string();
+          CS.Sum = Out.Checksums[I].first;
+          CS.Weighted = Out.Checksums[I].second;
+          Resp.Checksums.push_back(std::move(CS));
+        }
+        {
+          std::lock_guard<std::mutex> SL(StatsMu);
+          ++Counters.Ok;
+        }
+        reply(T.C, Resp);
+      }
+    }
+
+    event(T.C, T.R.Id, opName(Op::Run), T.R.Label, Resp.St, QueueMs,
+          RunMs);
+    T.C->Outstanding.fetch_sub(1, std::memory_order_acq_rel);
+
+    {
+      std::lock_guard<std::mutex> L(QueueMu);
+      --RunningTasks;
+      if (RunMs > 0.0)
+        ServiceEwmaMs = ServiceEwmaMs > 0.0
+                            ? 0.8 * ServiceEwmaMs + 0.2 * RunMs
+                            : RunMs;
+    }
+    IdleCv.notify_all();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+void Server::reply(const std::shared_ptr<Conn> &C, const Response &R) {
+  if (C->Gone.load(std::memory_order_acquire))
+    return;
+  std::lock_guard<std::mutex> L(C->WriteMu);
+  if (Error E = C->Sock.writeFrame(encodeResponse(R))) {
+    // Peer stopped reading (or vanished): mark it gone and wake the
+    // reader so the connection unwinds instead of wedging on writes.
+    (void)E.str();
+    C->Gone.store(true, std::memory_order_release);
+    C->Sock.shutdownBoth();
+  }
+}
+
+void Server::event(const std::shared_ptr<Conn> &C, uint64_t Id,
+                   const char *OpName, const std::string &Label,
+                   Status St, double QueueMs, double RunMs) {
+  std::lock_guard<std::mutex> L(EventsMu);
+  if (!Events)
+    return;
+  std::fprintf(Events,
+               "{\"conn\":%llu,\"id\":%llu,\"op\":\"%s\","
+               "\"label\":\"%s\",\"status\":\"%s\",\"queue_ms\":%.3f,"
+               "\"run_ms\":%.3f}\n",
+               (unsigned long long)C->Id, (unsigned long long)Id, OpName,
+               json::escape(Label).c_str(), statusName(St),
+               QueueMs, RunMs);
+}
+
+int64_t Server::retryAfterMsLocked() const {
+  // Queue-depth * service-time / workers: how long until a retry would
+  // plausibly find a free slot.  Clamped so clients neither spin nor
+  // stall.
+  double Base = ServiceEwmaMs > 0.0 ? ServiceEwmaMs : 25.0;
+  double Depth = static_cast<double>(Queue.size() + RunningTasks + 1);
+  double W = static_cast<double>(std::max(Opts.Workers, 1));
+  double Ms = Base * Depth / W;
+  return static_cast<int64_t>(std::clamp(Ms, 5.0, 2000.0));
+}

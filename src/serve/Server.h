@@ -1,0 +1,195 @@
+//===- serve/Server.h - Fault-tolerant dsm_serve daemon ---------*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-running network service over the session layer (DESIGN.md
+/// Section 15): per-client connections share one server-side program
+/// cache, run requests execute on a bounded worker pool behind a
+/// bounded admission queue, and robustness is the contract:
+///
+///  * Admission control: when the queue (or a client's own outstanding
+///    budget) is full, requests are shed immediately with `overloaded`
+///    and a retry_after_ms hint -- the server never buffers unbounded
+///    work and never stalls the connection.
+///  * Deadlines: a run whose deadline_ms elapses while queued is
+///    cancelled and answered `deadline_exceeded`; started work is
+///    never interrupted (results stay deterministic).
+///  * Hostile input: malformed, oversize, truncated, or trickled
+///    frames get `bad_request` or a dropped connection -- never a
+///    crash, never a wedged acceptor (each connection has its own
+///    reader thread, so one misbehaving peer cannot starve others).
+///  * Graceful drain: requestDrain() stops accepting and admitting,
+///    waitDrained() delivers every in-flight result, unblocks idle
+///    readers, joins every thread, and flushes stats -- SIGTERM in the
+///    dsm_serve tool maps to exactly this pair.
+///
+/// The server's slow paths carry DSM_BUGGIFY hooks (serve_accept_stall,
+/// serve_frame_stall, serve_admit_shed, serve_drain_stall) so the
+/// chaos-swarm methodology extends to the service: all four are
+/// host-only and correctness-preserving (a forced shed is recovered by
+/// client retry; stalls only widen race windows).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_SERVE_SERVER_H
+#define DSM_SERVE_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/Buggify.h"
+#include "serve/Protocol.h"
+#include "session/Session.h"
+#include "support/Socket.h"
+
+namespace dsm::serve {
+
+struct ServerOptions {
+  /// TCP port (loopback only); 0 binds an ephemeral port, readable
+  /// from Server::port() after start().
+  int Port = 0;
+  /// Worker threads executing run requests; 0 resolves like
+  /// SessionOptions::Workers (min(hardware_concurrency, 8)).
+  int Workers = 0;
+  /// Bound on run requests waiting for a worker; a full queue sheds
+  /// with `overloaded` + retry_after_ms.
+  size_t QueueDepth = 64;
+  /// Per-connection bound on outstanding (queued + running) requests:
+  /// one greedy client saturates its own budget, not the queue.
+  size_t MaxClientRequests = 16;
+  /// Cap on one frame's payload; oversize length prefixes are refused
+  /// without allocating.
+  uint32_t MaxFrameBytes = support::DefaultMaxFrameBytes;
+  /// Cap on concurrent connections; excess accepts are answered with
+  /// an `overloaded` frame and closed.
+  size_t MaxConnections = 128;
+  /// LRU bound for the shared compile cache (0 = unbounded).
+  size_t MaxCachedPrograms = 0;
+  /// Per-request JSONL event log path (empty = off).
+  std::string EventsPath;
+  /// Arms the serve DSM_BUGGIFY hooks (not owned; may be null).
+  fault::Buggify *Chaos = nullptr;
+
+  /// Resolves Workers <= 0 from DSM_SERVE_WORKERS, then like the
+  /// session layer.
+  static ServerOptions fromEnv(ServerOptions Base);
+  Error validate() const;
+};
+
+/// Monotonic counters; every request ends in exactly one outcome
+/// bucket (the loadgen acceptance check sums them).
+struct ServerStats {
+  uint64_t Accepted = 0;        ///< Connections accepted.
+  uint64_t ConnRejected = 0;    ///< Connections shed at the cap.
+  uint64_t Requests = 0;        ///< Frames decoded into requests.
+  uint64_t Ok = 0;
+  uint64_t RunErrors = 0;       ///< Compile/run failures (status=error).
+  uint64_t BadFrames = 0;       ///< Torn/oversize/zero-length frames.
+  uint64_t BadRequests = 0;     ///< Undecodable or invalid requests.
+  uint64_t Overloaded = 0;      ///< Shed at admission.
+  uint64_t DeadlineExceeded = 0;
+  uint64_t ShedShuttingDown = 0;
+  uint64_t Cancelled = 0;       ///< Queued work whose client vanished.
+  uint64_t QueuePeak = 0;
+  session::CacheStats Cache;
+  std::string json() const;
+};
+
+/// One dsm_serve instance.  Thread-safe: start() once, then
+/// requestDrain()/stats() from any thread; waitDrained() (or the
+/// destructor) completes shutdown.
+class Server {
+public:
+  explicit Server(ServerOptions Opts = {});
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds, listens, and spawns the accept loop and worker pool.
+  /// Returns a false-y Error on success.
+  Error start();
+
+  /// The bound port (valid after a successful start()).
+  int port() const { return BoundPort; }
+
+  const ServerOptions &options() const { return Opts; }
+
+  /// Stops accepting connections and admitting new work; in-flight
+  /// requests keep running.  Async and idempotent.
+  void requestDrain();
+
+  /// Blocks until every in-flight result is delivered, every thread
+  /// joined, and the event log flushed.  Idempotent.
+  void waitDrained();
+
+  bool draining() const {
+    return Draining.load(std::memory_order_acquire);
+  }
+
+  ServerStats stats() const;
+
+private:
+  struct Conn;
+  struct Task;
+
+  void acceptLoop();
+  void connLoop(std::shared_ptr<Conn> C);
+  void workerLoop();
+  void handleFrame(const std::shared_ptr<Conn> &C,
+                   const std::string &Payload);
+  void handleRun(const std::shared_ptr<Conn> &C, Request R);
+  void reply(const std::shared_ptr<Conn> &C, const Response &R);
+  void event(const std::shared_ptr<Conn> &C, uint64_t Id,
+             const char *OpName, const std::string &Label, Status St,
+             double QueueMs, double RunMs);
+  int64_t retryAfterMsLocked() const;
+
+  ServerOptions Opts;
+  session::Session Sess;
+  support::Listener Listen;
+  int BoundPort = 0;
+  bool Started = false;
+
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> DrainComplete{false};
+
+  std::thread Acceptor;
+  std::vector<std::thread> Workers;
+
+  mutable std::mutex ConnMu;
+  std::vector<std::shared_ptr<Conn>> LiveConns;
+  std::vector<std::thread> ConnThreads;
+  uint64_t NextConnId = 1;
+
+  mutable std::mutex QueueMu;
+  std::condition_variable QueueCv;  ///< Workers wait for tasks.
+  std::condition_variable IdleCv;   ///< Drain waits for quiescence.
+  std::deque<Task> Queue;
+  size_t RunningTasks = 0;
+  bool StopWorkers = false;
+  /// EWMA of run service time, feeding retry_after_ms.
+  double ServiceEwmaMs = 0.0;
+
+  mutable std::mutex StatsMu;
+  ServerStats Counters;
+
+  std::mutex EventsMu;
+  std::FILE *Events = nullptr;
+
+  std::mutex DrainMu; ///< Serializes waitDrained callers.
+};
+
+} // namespace dsm::serve
+
+#endif // DSM_SERVE_SERVER_H

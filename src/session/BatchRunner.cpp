@@ -44,6 +44,12 @@ JobResult session::runOne(const RunRequest &Req, size_t Index) {
     return R;
   }
 
+  if (Req.Cancel && Req.Cancel->load(std::memory_order_acquire)) {
+    R.Err = Error::make("job '" + Req.Label +
+                        "' cancelled before start");
+    return R;
+  }
+
   exec::RunOptions Opts = Req.Opts;
   std::unique_ptr<fault::Injector> Inj;
   if (Req.Fault) {
@@ -102,5 +108,9 @@ BatchRunner::runAll(const std::vector<RunRequest> &Jobs) const {
     Results[static_cast<size_t>(I)] =
         runOne(Jobs[static_cast<size_t>(I)], static_cast<size_t>(I));
   });
+  // Explicit drain (rather than relying on the destructor) so every
+  // worker has fully unwound before Results is read: no thread still
+  // holds a reference to a slot when the batch returns.
+  Pool.drain();
   return Results;
 }

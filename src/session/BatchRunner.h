@@ -19,6 +19,7 @@
 #ifndef DSM_SESSION_BATCHRUNNER_H
 #define DSM_SESSION_BATCHRUNNER_H
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <utility>
@@ -57,6 +58,15 @@ struct RunRequest {
   /// Main-unit arrays to checksum after the run (plain and
   /// position-weighted); failures to resolve a name fail the job.
   std::vector<std::string> ChecksumArrays;
+
+  /// Cooperative cancellation of queued work (not owned; may be null;
+  /// must outlive the job).  Checked once when the job is picked up:
+  /// if it reads true the job fails with a "cancelled before start"
+  /// error instead of running.  dsm_serve sets it for requests whose
+  /// deadline elapsed or whose client disconnected while the request
+  /// was still waiting for a worker; a job that has already started is
+  /// never interrupted (results stay deterministic).
+  const std::atomic<bool> *Cancel = nullptr;
 
   /// Structural validation (null/unfinalized program, non-null external
   /// pointers, RunOptions::validate against Machine).

@@ -32,6 +32,14 @@ const Value &Value::operator[](const std::string &Key) const {
 
 namespace dsm::json {
 
+/// Containers may nest at most this deep.  The parser recurses once
+/// per nesting level, so without a bound a frame of a few hundred
+/// kilobytes of '[' characters overflows the stack; with it, the
+/// deepest possible recursion is small and fixed and hostile input
+/// gets a proper diagnostic instead.  Far deeper than any manifest or
+/// wire request the tools produce (those nest < 10 levels).
+static constexpr int MaxNestingDepth = 96;
+
 class Parser {
 public:
   Parser(std::string_view Text, const std::string &File)
@@ -54,11 +62,17 @@ private:
   const std::string &File;
   size_t Pos = 0;
   int Line = 1;
+  int Depth = 0;
   Error Err;
 
+  /// Every parse diagnostic carries the byte offset where the parser
+  /// stopped: network frames are one long line, so the line number
+  /// alone cannot locate the problem.
   void fail(const std::string &Message) {
     if (!Err)
-      Err.addError(Message, File, Line);
+      Err.addError(
+          formatString("%s (at byte %zu)", Message.c_str(), Pos), File,
+          Line);
   }
 
   void skipWs() {
@@ -236,19 +250,34 @@ private:
     return false;
   }
 
+  bool enter() {
+    if (++Depth > MaxNestingDepth) {
+      fail(formatString("containers nested deeper than %d levels",
+                        MaxNestingDepth));
+      return false;
+    }
+    return true;
+  }
+
   bool parseArray(Value &Out) {
     expect('[', "array");
+    if (!enter())
+      return false;
     Out.K = Value::Kind::Array;
     skipWs();
-    if (consume(']'))
+    if (consume(']')) {
+      --Depth;
       return true;
+    }
     for (;;) {
       Value Elem;
       if (!parseValue(Elem))
         return false;
       Out.Arr.push_back(std::move(Elem));
-      if (consume(']'))
+      if (consume(']')) {
+        --Depth;
         return true;
+      }
       if (!expect(',', "array"))
         return false;
     }
@@ -256,10 +285,14 @@ private:
 
   bool parseObject(Value &Out) {
     expect('{', "object");
+    if (!enter())
+      return false;
     Out.K = Value::Kind::Object;
     skipWs();
-    if (consume('}'))
+    if (consume('}')) {
+      --Depth;
       return true;
+    }
     for (;;) {
       std::string Key;
       if (!parseString(Key))
@@ -270,8 +303,10 @@ private:
       if (!parseValue(Member))
         return false;
       Out.Obj.emplace_back(std::move(Key), std::move(Member));
-      if (consume('}'))
+      if (consume('}')) {
+        --Depth;
         return true;
+      }
       if (!expect(',', "object"))
         return false;
     }

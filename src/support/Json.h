@@ -6,10 +6,14 @@
 ///
 /// \file
 /// A small dependency-free JSON reader for tool inputs (batch manifests,
-/// configuration snippets) plus the string-escaping helper the JSONL
-/// writers share.  Parsing is strict (trailing garbage is an error) and
-/// returns Expected so malformed manifests produce diagnostics with
-/// line numbers instead of aborts.
+/// configuration snippets, dsm_serve wire frames) plus the
+/// string-escaping helper the JSONL writers share.  Parsing is strict
+/// (trailing garbage is an error) and hardened against hostile input:
+/// unterminated strings, truncated escapes, and containers nested
+/// deeper than a fixed bound all produce a proper Error carrying the
+/// line number and byte offset -- never an abort or unbounded
+/// recursion.  The serve tests feed the same malformed frames to this
+/// parser and to a live server (tests/support/JsonRobustnessTest.cpp).
 ///
 //===----------------------------------------------------------------------===//
 

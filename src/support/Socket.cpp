@@ -1,0 +1,270 @@
+//===- support/Socket.cpp - TCP sockets + length-prefixed frames -----------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace dsm;
+using namespace dsm::support;
+
+const char *support::frameStatusName(FrameStatus S) {
+  switch (S) {
+  case FrameStatus::Ok:
+    return "ok";
+  case FrameStatus::Closed:
+    return "closed";
+  case FrameStatus::Truncated:
+    return "truncated";
+  case FrameStatus::TooLarge:
+    return "too-large";
+  case FrameStatus::Malformed:
+    return "malformed";
+  case FrameStatus::IoError:
+    return "io-error";
+  }
+  return "?";
+}
+
+static Error errnoError(const std::string &What) {
+  return Error::make(What + ": " + std::strerror(errno));
+}
+
+Socket &Socket::operator=(Socket &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void Socket::shutdownWrite() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_WR);
+}
+
+void Socket::shutdownBoth() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+void Socket::setReadTimeout(int Ms) {
+  if (Fd < 0)
+    return;
+  struct timeval Tv = {};
+  if (Ms > 0) {
+    Tv.tv_sec = Ms / 1000;
+    Tv.tv_usec = (Ms % 1000) * 1000;
+  }
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+}
+
+void Socket::setWriteTimeout(int Ms) {
+  if (Fd < 0)
+    return;
+  struct timeval Tv = {};
+  if (Ms > 0) {
+    Tv.tv_sec = Ms / 1000;
+    Tv.tv_usec = (Ms % 1000) * 1000;
+  }
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+}
+
+Expected<Socket> Socket::connectTo(const std::string &Host, int Port,
+                                   int TimeoutMs) {
+  if (Port <= 0 || Port > 65535)
+    return Error::make("connect: bad port " + std::to_string(Port));
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return errnoError("socket");
+  Socket S(Fd);
+
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1)
+    return Error::make("connect: bad address '" + Host +
+                       "' (numeric IPv4 only)");
+
+  // Non-blocking connect so a dead host costs TimeoutMs, not the
+  // kernel's multi-minute SYN retry budget.
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+  int Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                     sizeof(Addr));
+  if (Rc != 0 && errno != EINPROGRESS)
+    return errnoError("connect to " + Host + ":" + std::to_string(Port));
+  if (Rc != 0) {
+    struct pollfd Pfd = {Fd, POLLOUT, 0};
+    int Pr;
+    do {
+      Pr = ::poll(&Pfd, 1, TimeoutMs);
+    } while (Pr < 0 && errno == EINTR);
+    if (Pr == 0)
+      return Error::make("connect to " + Host + ":" +
+                         std::to_string(Port) + ": timed out");
+    if (Pr < 0)
+      return errnoError("poll");
+    int SoErr = 0;
+    socklen_t Len = sizeof(SoErr);
+    ::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &Len);
+    if (SoErr != 0)
+      return Error::make("connect to " + Host + ":" +
+                         std::to_string(Port) + ": " +
+                         std::strerror(SoErr));
+  }
+  ::fcntl(Fd, F_SETFL, Flags);
+
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return std::move(S);
+}
+
+Error Socket::writeAll(const void *Data, size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return errnoError("send");
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return Error::success();
+}
+
+FrameStatus Socket::readExact(void *Data, size_t Len) {
+  char *P = static_cast<char *>(Data);
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = ::recv(Fd, P + Got, Len - Got, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        // Read timeout: the peer is half-open or glacial; a partial
+        // frame is as unusable as a torn one.
+        return Got == 0 ? FrameStatus::Closed : FrameStatus::Truncated;
+      return FrameStatus::IoError;
+    }
+    if (N == 0)
+      return Got == 0 ? FrameStatus::Closed : FrameStatus::Truncated;
+    Got += static_cast<size_t>(N);
+  }
+  return FrameStatus::Ok;
+}
+
+Error Socket::writeFrame(const std::string &Payload) {
+  if (Payload.size() > 0xffffffffu)
+    return Error::make("frame payload exceeds 4 GiB");
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  unsigned char Hdr[4] = {static_cast<unsigned char>(Len >> 24),
+                          static_cast<unsigned char>(Len >> 16),
+                          static_cast<unsigned char>(Len >> 8),
+                          static_cast<unsigned char>(Len)};
+  if (Error E = writeAll(Hdr, sizeof(Hdr)))
+    return E;
+  return writeAll(Payload.data(), Payload.size());
+}
+
+FrameStatus Socket::readFrame(std::string &Payload, uint32_t MaxBytes) {
+  unsigned char Hdr[4];
+  FrameStatus S = readExact(Hdr, sizeof(Hdr));
+  if (S != FrameStatus::Ok)
+    return S;
+  uint32_t Len = (static_cast<uint32_t>(Hdr[0]) << 24) |
+                 (static_cast<uint32_t>(Hdr[1]) << 16) |
+                 (static_cast<uint32_t>(Hdr[2]) << 8) |
+                 static_cast<uint32_t>(Hdr[3]);
+  if (Len == 0)
+    return FrameStatus::Malformed;
+  if (Len > MaxBytes)
+    // Do NOT allocate or drain Len bytes: the prefix may be lying.
+    return FrameStatus::TooLarge;
+  Payload.resize(Len);
+  S = readExact(Payload.data(), Len);
+  if (S == FrameStatus::Closed)
+    // Header arrived but the body did not: that is a torn frame.
+    return FrameStatus::Truncated;
+  return S;
+}
+
+Expected<Listener> Listener::listenOn(int Port, int Backlog) {
+  if (Port < 0 || Port > 65535)
+    return Error::make("listen: bad port " + std::to_string(Port));
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return errnoError("socket");
+  Listener L;
+  L.Fd = Fd;
+
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return errnoError("bind to port " + std::to_string(Port));
+  if (::listen(Fd, Backlog) != 0)
+    return errnoError("listen");
+
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) != 0)
+    return errnoError("getsockname");
+  L.BoundPort = ntohs(Addr.sin_port);
+  return std::move(L);
+}
+
+Expected<Socket> Listener::acceptOnce(int TimeoutMs) {
+  if (Fd < 0)
+    return Error::make("accept on closed listener");
+  struct pollfd Pfd = {Fd, POLLIN, 0};
+  int Pr;
+  do {
+    Pr = ::poll(&Pfd, 1, TimeoutMs);
+  } while (Pr < 0 && errno == EINTR);
+  if (Pr == 0)
+    return Socket(); // timeout: caller re-checks its shutdown flag
+  if (Pr < 0)
+    return errnoError("poll");
+  int Client = ::accept(Fd, nullptr, nullptr);
+  if (Client < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK)
+      return Socket(); // transient; treat like a timeout tick
+    return errnoError("accept");
+  }
+  int One = 1;
+  ::setsockopt(Client, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Socket(Client);
+}
+
+void Listener::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}

@@ -1,0 +1,157 @@
+//===- support/Socket.h - TCP sockets + length-prefixed frames --*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin RAII wrappers over POSIX TCP sockets plus the length-prefixed
+/// framing the dsm_serve wire protocol uses: every message is a 4-byte
+/// big-endian payload length followed by that many bytes of JSON.
+///
+/// Everything returns Expected/Error instead of throwing or aborting,
+/// and every read loop survives the conditions a public network
+/// surface sees: partial reads (the kernel hands back one byte at a
+/// time), EINTR, peers that vanish mid-frame, and length prefixes that
+/// lie (oversize or zero).  An oversize or malformed prefix is
+/// reported as FrameError::TooLarge / Malformed so the server can
+/// answer with a protocol error before closing, rather than dying.
+///
+/// SIGPIPE is disabled per-send (MSG_NOSIGNAL), so writing to a
+/// half-closed connection fails with an Error, never a signal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_SUPPORT_SOCKET_H
+#define DSM_SUPPORT_SOCKET_H
+
+#include <cstdint>
+#include <string>
+
+#include "support/Error.h"
+
+namespace dsm::support {
+
+/// Default cap on one frame's payload (4 MiB): large enough for any
+/// source bundle the tools ship, small enough that a hostile length
+/// prefix cannot make the peer allocate unbounded memory.
+inline constexpr uint32_t DefaultMaxFrameBytes = 4u << 20;
+
+/// Why readFrame failed, for callers that answer differently per
+/// condition (the server sends bad_request for TooLarge/Malformed but
+/// just drops Closed connections).
+enum class FrameStatus {
+  Ok,        ///< A whole frame arrived.
+  Closed,    ///< Peer closed cleanly at a frame boundary.
+  Truncated, ///< Peer vanished mid-frame (half-open, reset, timeout).
+  TooLarge,  ///< Length prefix exceeds the frame cap.
+  Malformed, ///< Length prefix is zero.
+  IoError,   ///< read()/write() failed hard.
+};
+
+const char *frameStatusName(FrameStatus S);
+
+/// One connected TCP socket (client side or an accepted server
+/// connection).  Move-only RAII over the fd.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  Socket(Socket &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Socket &operator=(Socket &&O) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+  ~Socket() { close(); }
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Connects to Host:Port with a bounded wait.
+  static Expected<Socket> connectTo(const std::string &Host, int Port,
+                                    int TimeoutMs = 5000);
+
+  /// Sends the whole buffer, riding out partial writes and EINTR.
+  Error writeAll(const void *Data, size_t Len);
+
+  /// Reads exactly \p Len bytes.  FrameStatus::Ok on success; Closed if
+  /// the peer ended the stream before the first byte, Truncated if it
+  /// ended mid-buffer or the per-read timeout expired.
+  FrameStatus readExact(void *Data, size_t Len);
+
+  /// Writes one length-prefixed frame.
+  Error writeFrame(const std::string &Payload);
+
+  /// Reads one length-prefixed frame into \p Payload.  Never allocates
+  /// more than \p MaxBytes.
+  FrameStatus readFrame(std::string &Payload,
+                        uint32_t MaxBytes = DefaultMaxFrameBytes);
+
+  /// Bounds every subsequent blocking read; <= 0 restores "wait
+  /// forever".  A timeout mid-frame surfaces as Truncated.
+  void setReadTimeout(int Ms);
+
+  /// Bounds every subsequent blocking write; <= 0 restores "wait
+  /// forever".  The server sets this so a peer that requests work but
+  /// never reads responses cannot wedge a worker in send().
+  void setWriteTimeout(int Ms);
+
+  /// Half-closes the write side (the test suite uses this to simulate
+  /// half-open peers).
+  void shutdownWrite();
+
+  /// Shuts down both directions without closing the fd: a reader
+  /// blocked in recv() on another thread wakes with end-of-stream.
+  /// The server's drain uses this to unblock idle connection readers;
+  /// the fd itself stays owned (and valid) until the destructor.
+  void shutdownBoth();
+
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1 (the service is a local /
+/// lab daemon, not an internet listener).
+class Listener {
+public:
+  Listener() = default;
+  Listener(Listener &&O) noexcept : Fd(O.Fd), BoundPort(O.BoundPort) {
+    O.Fd = -1;
+  }
+  Listener &operator=(Listener &&O) noexcept {
+    if (this != &O) {
+      close();
+      Fd = O.Fd;
+      BoundPort = O.BoundPort;
+      O.Fd = -1;
+    }
+    return *this;
+  }
+  Listener(const Listener &) = delete;
+  Listener &operator=(const Listener &) = delete;
+  ~Listener() { close(); }
+
+  /// Binds and listens on \p Port; 0 picks an ephemeral port (the
+  /// bound port is then available from port()).
+  static Expected<Listener> listenOn(int Port, int Backlog = 64);
+
+  bool valid() const { return Fd >= 0; }
+  int port() const { return BoundPort; }
+
+  /// Waits up to \p TimeoutMs for a connection.  Returns an invalid
+  /// Socket on timeout (not an error), so an accept loop can poll a
+  /// shutdown flag between waits.
+  Expected<Socket> acceptOnce(int TimeoutMs);
+
+  /// Unblocks any acceptOnce in progress and stops accepting.
+  void close();
+
+private:
+  int Fd = -1;
+  int BoundPort = 0;
+};
+
+} // namespace dsm::support
+
+#endif // DSM_SUPPORT_SOCKET_H

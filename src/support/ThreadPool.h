@@ -15,6 +15,13 @@
 /// uneven cost) and the calling thread participates, so a pool of size
 /// N uses N-1 background workers.
 ///
+/// Shutdown is explicit and deterministic: drain() waits for any
+/// in-flight job to complete, then joins every background worker;
+/// parallelFor calls issued at or after the drain run inline on the
+/// caller (the work still completes, just serially).  The destructor
+/// is drain(), so destroying a pool while another thread is mid-
+/// parallelFor finishes that job before any member is torn down.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DSM_SUPPORT_THREADPOOL_H
@@ -45,18 +52,44 @@ public:
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  ~ThreadPool() {
+  ~ThreadPool() { drain(); }
+
+  unsigned size() const {
+    return static_cast<unsigned>(Background.size()) + 1;
+  }
+
+  /// Rejects new work and shuts the pool down deterministically: waits
+  /// until any in-flight parallelFor has handed out and completed all
+  /// of its indices, then joins every background worker.  Idempotent
+  /// and safe to race with parallelFor from other threads -- a
+  /// parallelFor that observes the drain runs its job inline instead.
+  void drain() {
     {
-      std::lock_guard<std::mutex> Lock(Mu);
+      std::unique_lock<std::mutex> Lock(Mu);
+      if (ShuttingDown) {
+        // Another drainer won; wait until it has finished joining so
+        // every caller of drain() gets the same postcondition.
+        DrainedCv.wait(Lock, [this] { return Drained; });
+        return;
+      }
       ShuttingDown = true;
+      // No new job can be armed once ShuttingDown is set, so waiting
+      // for the in-flight parallelFor call (if any) to fully unwind --
+      // indices all executed, workers parked, caller past its member
+      // accesses -- cannot miss work.
+      JobDone.wait(Lock, [this] {
+        return Pending.load(std::memory_order_acquire) == 0 &&
+               InDrain == 0 && ActiveCalls == 0;
+      });
     }
     JobReady.notify_all();
     for (std::thread &T : Background)
       T.join();
-  }
-
-  unsigned size() const {
-    return static_cast<unsigned>(Background.size()) + 1;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Drained = true;
+    }
+    DrainedCv.notify_all();
   }
 
   /// Runs Fn(0) .. Fn(N-1) across the pool and the calling thread;
@@ -71,10 +104,20 @@ public:
     }
     {
       // Workers from the previous job may still be unwinding out of
-      // drain(); wait until every one is parked before rearming the
-      // counters they read.
+      // runJob(); wait until every one is parked before rearming the
+      // counters they read.  A concurrent drain() wins the race: once
+      // ShuttingDown is set the workers are (being) joined, so the job
+      // runs inline on this thread instead.
       std::unique_lock<std::mutex> Lock(Mu);
-      JobDone.wait(Lock, [this] { return InDrain == 0; });
+      JobDone.wait(Lock,
+                   [this] { return InDrain == 0 || ShuttingDown; });
+      if (ShuttingDown) {
+        Lock.unlock();
+        for (int64_t I = 0; I < N; ++I)
+          Fn(I);
+        return;
+      }
+      ++ActiveCalls;
       Job = std::move(Fn);
       JobEnd = N;
       Next.store(0, std::memory_order_relaxed);
@@ -82,15 +125,20 @@ public:
       ++JobGeneration;
     }
     JobReady.notify_all();
-    drain();
+    runJob();
     std::unique_lock<std::mutex> Lock(Mu);
     JobDone.wait(Lock, [this] {
       return Pending.load(std::memory_order_acquire) == 0;
     });
+    // Tell a concurrent drain() this call is past its last member
+    // access (the unlock below); destruction is safe once ActiveCalls
+    // is zero again.
+    --ActiveCalls;
+    JobDone.notify_all();
   }
 
 private:
-  void drain() {
+  void runJob() {
     for (;;) {
       int64_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= JobEnd)
@@ -116,7 +164,7 @@ private:
         SeenGeneration = JobGeneration;
         ++InDrain;
       }
-      drain();
+      runJob();
       {
         std::lock_guard<std::mutex> Lock(Mu);
         --InDrain;
@@ -129,11 +177,14 @@ private:
   std::mutex Mu;
   std::condition_variable JobReady;
   std::condition_variable JobDone;
+  std::condition_variable DrainedCv;
   std::function<void(int64_t)> Job;
   int64_t JobEnd = 0;
   uint64_t JobGeneration = 0;
   int InDrain = 0;
+  int ActiveCalls = 0;
   bool ShuttingDown = false;
+  bool Drained = false;
   std::atomic<int64_t> Next{0};
   std::atomic<int64_t> Pending{0};
 };

@@ -1,0 +1,438 @@
+//===- tests/serve/ServeTest.cpp - dsm_serve lifecycle & robustness --------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The service's contract, exercised in-process (no daemon binary):
+//
+//  * results over the wire are bit-identical to direct session runs,
+//    under concurrent clients sharing the server cache;
+//  * deadlines cancel queued work with `deadline_exceeded`;
+//  * a full admission queue sheds with `overloaded` + retry_after_ms,
+//    and the client's retry loop recovers every shed;
+//  * malformed / oversize / truncated frames and mid-request
+//    disconnects never kill the server;
+//  * drain delivers in-flight results and joins every thread (these
+//    tests run under TSan in CI -- a leaked or racing thread fails
+//    there).
+//
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "session/Session.h"
+#include "support/MalformedFrames.h"
+#include "support/Socket.h"
+
+using namespace dsm;
+using namespace dsm::serve;
+
+namespace {
+
+std::string makeSource(const std::string &Name, int N) {
+  std::string S;
+  S += "      program " + Name + "\n";
+  S += "      integer i, n\n";
+  S += "      parameter (n = " + std::to_string(N) + ")\n";
+  S += "      real*8 a(n)\n";
+  S += "c$distribute_reshape a(block)\n";
+  S += "c$doacross local(i) affinity(i) = data(a(i))\n";
+  S += "      do i = 1, n\n";
+  S += "        a(i) = i * 0.5\n";
+  S += "      enddo\n";
+  S += "      call dsm_timer_start\n";
+  S += "c$doacross local(i) affinity(i) = data(a(i))\n";
+  S += "      do i = 1, n\n";
+  S += "        a(i) = (a(i) + i) / 2.0\n";
+  S += "      enddo\n";
+  S += "      call dsm_timer_stop\n";
+  S += "      end\n";
+  return S;
+}
+
+Request runRequest(const std::string &Name, int N, int Procs = 4) {
+  Request R;
+  R.Kind = Op::Run;
+  R.Label = Name;
+  R.Sources.push_back({Name + ".f", makeSource(Name, N)});
+  R.Procs = Procs;
+  R.ChecksumArrays = {"a"};
+  return R;
+}
+
+ClientOptions clientFor(const Server &S, uint64_t Seed = 1) {
+  ClientOptions O;
+  O.Port = S.port();
+  O.JitterSeed = Seed;
+  return O;
+}
+
+TEST(Serve, PingStatsAndBadOp) {
+  Server S;
+  ASSERT_FALSE(S.start());
+  Client C(clientFor(S));
+
+  Request Ping;
+  Ping.Kind = Op::Ping;
+  auto R = C.call(Ping);
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(R->St, Status::Ok);
+
+  Request Stats;
+  Stats.Kind = Op::Stats;
+  R = C.call(Stats);
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(R->St, Status::Ok);
+  EXPECT_NE(R->StatsJson.find("\"requests\""), std::string::npos);
+
+  // An unknown op decodes to bad_request, not a dropped connection.
+  support::Socket Raw = std::move(*support::Socket::connectTo("127.0.0.1", S.port()));
+  ASSERT_FALSE(Raw.writeFrame("{\"op\":\"explode\",\"id\":9}"));
+  std::string Payload;
+  ASSERT_EQ(Raw.readFrame(Payload), support::FrameStatus::Ok);
+  auto Resp = decodeResponse(Payload);
+  ASSERT_TRUE(bool(Resp));
+  EXPECT_EQ(Resp->St, Status::BadRequest);
+}
+
+TEST(Serve, WireResultsBitIdenticalToDirectRun) {
+  ServerOptions Opts;
+  Opts.Workers = 4;
+  Server S(Opts);
+  ASSERT_FALSE(S.start());
+
+  const int Variants = 3;
+  std::vector<Request> Reqs;
+  for (int V = 0; V < Variants; ++V)
+    Reqs.push_back(runRequest("wire" + std::to_string(V), 2048 + 512 * V));
+
+  // Direct in-process references (separate session: determinism, not
+  // shared state, must make them equal).
+  struct Ref {
+    uint64_t Wall, Timed;
+    std::string Counters;
+    double Sum, Weighted;
+  };
+  std::vector<Ref> Refs;
+  session::Session Local;
+  for (const Request &Q : Reqs) {
+    session::RunRequest Job;
+    ASSERT_FALSE(toRunRequest(Q, Job));
+    auto P = Local.compile(Q.Sources, Q.COpts);
+    ASSERT_TRUE(bool(P));
+    Job.Program = *P;
+    session::JobResult JR = Local.run(Job);
+    ASSERT_TRUE(JR.ok()) << JR.Err.str();
+    Refs.push_back({JR.Output->Result.WallCycles,
+                    JR.Output->Result.TimedCycles,
+                    JR.Output->Result.Counters.str(),
+                    JR.Output->Checksums[0].first,
+                    JR.Output->Checksums[0].second});
+  }
+
+  // 6 concurrent clients x 4 requests over the shared server cache.
+  const int NumClients = 6, PerClient = 4;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Fleet;
+  for (int CI = 0; CI < NumClients; ++CI) {
+    Fleet.emplace_back([&, CI] {
+      Client C(clientFor(S, 100 + CI));
+      for (int RI = 0; RI < PerClient; ++RI) {
+        int V = (CI + RI) % Variants;
+        auto R = C.callWithRetry(Reqs[V]);
+        if (!R || R->St != Status::Ok || !R->HasResult ||
+            R->WallCycles != Refs[V].Wall ||
+            R->TimedCycles != Refs[V].Timed ||
+            R->Counters != Refs[V].Counters ||
+            R->Checksums.size() != 1 ||
+            R->Checksums[0].Sum != Refs[V].Sum ||
+            R->Checksums[0].Weighted != Refs[V].Weighted)
+          ++Failures;
+      }
+    });
+  }
+  for (std::thread &T : Fleet)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+
+  // Compile-once across all clients: the shared cache compiled each
+  // variant exactly once.
+  ServerStats St = S.stats();
+  EXPECT_EQ(St.Cache.Misses, static_cast<uint64_t>(Variants));
+  EXPECT_GE(St.Cache.Hits,
+            static_cast<uint64_t>(NumClients * PerClient - Variants));
+}
+
+TEST(Serve, DeadlineExceededWhileQueued) {
+  ServerOptions Opts;
+  Opts.Workers = 1; // one worker: easy to keep busy
+  Server S(Opts);
+  ASSERT_FALSE(S.start());
+
+  // Occupy the only worker with three pipelined slow jobs (well under
+  // the queue and per-client bounds, so none shed)...
+  support::Socket Raw = std::move(*support::Socket::connectTo("127.0.0.1", S.port()));
+  Request Slow = runRequest("slowjob", 120000, 8);
+  for (int I = 0; I < 3; ++I) {
+    Slow.Id = static_cast<uint64_t>(I + 1);
+    ASSERT_FALSE(Raw.writeFrame(encodeRequest(Slow)));
+  }
+  // Give the reader time to compile and enqueue them.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // ...then a 1ms-deadline request lands behind them in the queue and
+  // must be cancelled there.  call() (not callWithRetry):
+  // deadline_exceeded is terminal, and we want the server's answer,
+  // not the client's local one.
+  Client C(clientFor(S, 3));
+  Request Quick = runRequest("quickjob", 2048);
+  Quick.DeadlineMs = 1;
+  auto R = C.call(Quick);
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(R->St, Status::DeadlineExceeded) << R->ErrorMsg;
+  EXPECT_GT(R->QueueMs, 0.0);
+  EXPECT_GE(S.stats().DeadlineExceeded, 1u);
+  for (int I = 0; I < 3; ++I) {
+    std::string Payload;
+    ASSERT_EQ(Raw.readFrame(Payload), support::FrameStatus::Ok);
+    auto Resp = decodeResponse(Payload);
+    ASSERT_TRUE(bool(Resp));
+    EXPECT_EQ(Resp->St, Status::Ok);
+  }
+}
+
+TEST(Serve, OverloadShedsAndRetryRecovers) {
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.QueueDepth = 1;
+  Opts.MaxClientRequests = 16;
+  Server S(Opts);
+  ASSERT_FALSE(S.start());
+
+  // Raw pipelining: 8 runs back-to-back on one connection overflow a
+  // depth-1 queue; every response must still arrive, each either ok or
+  // overloaded with a usable retry hint.
+  support::Socket Raw = std::move(*support::Socket::connectTo("127.0.0.1", S.port()));
+  Request Q = runRequest("shedme", 60000, 8);
+  const int Burst = 8;
+  for (int I = 0; I < Burst; ++I) {
+    Request R = Q;
+    R.Id = static_cast<uint64_t>(I + 1);
+    ASSERT_FALSE(Raw.writeFrame(encodeRequest(R)));
+  }
+  int Ok = 0, Shed = 0;
+  for (int I = 0; I < Burst; ++I) {
+    std::string Payload;
+    ASSERT_EQ(Raw.readFrame(Payload), support::FrameStatus::Ok);
+    auto Resp = decodeResponse(Payload);
+    ASSERT_TRUE(bool(Resp));
+    if (Resp->St == Status::Ok) {
+      ++Ok;
+    } else {
+      ASSERT_EQ(Resp->St, Status::Overloaded);
+      EXPECT_GT(Resp->RetryAfterMs, 0);
+      ++Shed;
+    }
+  }
+  EXPECT_GT(Ok, 0);
+  EXPECT_GT(Shed, 0);
+  EXPECT_GE(S.stats().Overloaded, static_cast<uint64_t>(Shed));
+
+  // The retrying client recovers every shed: 4 concurrent clients all
+  // end ok against the same depth-1 queue.
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Fleet;
+  for (int CI = 0; CI < 4; ++CI) {
+    Fleet.emplace_back([&, CI] {
+      Client C(clientFor(S, 40 + CI));
+      for (int RI = 0; RI < 3; ++RI) {
+        auto R = C.callWithRetry(Q);
+        if (!R || R->St != Status::Ok)
+          ++Failures;
+      }
+    });
+  }
+  for (std::thread &T : Fleet)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+TEST(Serve, MalformedFramesNeverKillTheServer) {
+  Server S;
+  ASSERT_FALSE(S.start());
+
+  // Every payload from the shared malformed-JSON corpus gets a
+  // bad_request on a surviving connection.
+  support::Socket Raw = std::move(*support::Socket::connectTo("127.0.0.1", S.port()));
+  for (const std::string &Bad : dsm::testing::malformedJsonCorpus()) {
+    if (Bad.size() > support::DefaultMaxFrameBytes)
+      continue;
+    ASSERT_FALSE(Raw.writeFrame(Bad));
+    std::string Payload;
+    ASSERT_EQ(Raw.readFrame(Payload), support::FrameStatus::Ok);
+    auto Resp = decodeResponse(Payload);
+    ASSERT_TRUE(bool(Resp));
+    EXPECT_EQ(Resp->St, Status::BadRequest);
+  }
+
+  // A lying oversize length prefix: one bad_request, then the server
+  // closes (the stream cannot be resynced).
+  {
+    support::Socket Liar =
+        std::move(*support::Socket::connectTo("127.0.0.1", S.port()));
+    unsigned char Hdr[4] = {0xff, 0xff, 0xff, 0xff};
+    ASSERT_FALSE(Liar.writeAll(Hdr, sizeof(Hdr)));
+    std::string Payload;
+    ASSERT_EQ(Liar.readFrame(Payload), support::FrameStatus::Ok);
+    auto Resp = decodeResponse(Payload);
+    ASSERT_TRUE(bool(Resp));
+    EXPECT_EQ(Resp->St, Status::BadRequest);
+    EXPECT_EQ(Liar.readFrame(Payload), support::FrameStatus::Closed);
+  }
+
+  // A torn frame (header promises 100 bytes, peer dies after 10).
+  {
+    support::Socket Torn =
+        std::move(*support::Socket::connectTo("127.0.0.1", S.port()));
+    unsigned char Hdr[4] = {0, 0, 0, 100};
+    ASSERT_FALSE(Torn.writeAll(Hdr, sizeof(Hdr)));
+    ASSERT_FALSE(Torn.writeAll("0123456789", 10));
+    Torn.close();
+  }
+
+  // A half-open peer: header then silence; drain must not hang on it
+  // (covered by the destructor at the end of this test).
+  support::Socket HalfOpen =
+      std::move(*support::Socket::connectTo("127.0.0.1", S.port()));
+  unsigned char Hdr[4] = {0, 0, 0, 50};
+  ASSERT_FALSE(HalfOpen.writeAll(Hdr, sizeof(Hdr)));
+
+  // After all of that, a fresh client still gets service.
+  Client C(clientFor(S));
+  Request Ping;
+  Ping.Kind = Op::Ping;
+  auto R = C.call(Ping);
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(R->St, Status::Ok);
+  EXPECT_GE(S.stats().BadFrames, 1u);
+}
+
+TEST(Serve, DisconnectMidRequestCancelsQueuedWork) {
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  Server S(Opts);
+  ASSERT_FALSE(S.start());
+
+  // Fill the worker, then enqueue from a connection that dies.
+  Client Busy(clientFor(S, 7));
+  Request Slow = runRequest("slowjob2", 120000, 8);
+  std::thread Occupier([&] {
+    auto R = Busy.callWithRetry(Slow);
+    ASSERT_TRUE(bool(R));
+    EXPECT_EQ(R->St, Status::Ok);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    support::Socket Raw =
+        std::move(*support::Socket::connectTo("127.0.0.1", S.port()));
+    Request Doomed = runRequest("doomed", 2048);
+    Doomed.Id = 42;
+    ASSERT_FALSE(Raw.writeFrame(encodeRequest(Doomed)));
+    // Say nothing more; vanish with the request queued.
+  }
+  Occupier.join();
+  S.requestDrain();
+  S.waitDrained();
+  // The doomed request must have been admitted-and-cancelled (client
+  // gone) or answered into the void -- never left pending, never run
+  // to a reply on a dead socket that wedges a worker.
+  ServerStats St = S.stats();
+  EXPECT_GE(St.Requests, 2u);
+}
+
+TEST(Serve, DrainDeliversInFlightAndShedsNewWork) {
+  ServerOptions Opts;
+  Opts.Workers = 2;
+  Server S(Opts);
+  ASSERT_FALSE(S.start());
+
+  Request Slow = runRequest("drainjob", 60000, 8);
+  std::atomic<int> OkSeen{0};
+  std::vector<std::thread> Fleet;
+  for (int CI = 0; CI < 3; ++CI) {
+    Fleet.emplace_back([&, CI] {
+      Client C(clientFor(S, 70 + CI));
+      auto R = C.call(Slow); // no retry: drain answers exactly once
+      if (R && R->St == Status::Ok && R->HasResult)
+        ++OkSeen;
+    });
+  }
+  // Let the requests get admitted, then drain mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  S.requestDrain();
+  EXPECT_TRUE(S.draining());
+  for (std::thread &T : Fleet)
+    T.join();
+  // Admitted work was delivered, not dropped.
+  EXPECT_GE(OkSeen.load(), 1);
+
+  // New work after the drain flag: shutting_down (when the reader is
+  // still alive) or a dead/never-accepted connection (bounded read
+  // timeout so an unaccepted backlog connection cannot hang the test).
+  ClientOptions LateOpts = clientFor(S, 99);
+  LateOpts.ReadTimeoutMs = 2000;
+  Client Late(LateOpts);
+  Request Ping;
+  Ping.Kind = Op::Ping;
+  auto R = Late.call(Ping);
+  if (R)
+    EXPECT_EQ(R->St, Status::ShuttingDown);
+  S.waitDrained();
+
+  // Idempotent, and stats survive the drain.
+  S.waitDrained();
+  ServerStats St = S.stats();
+  EXPECT_EQ(St.Ok + St.RunErrors + St.Overloaded + St.DeadlineExceeded +
+                St.ShedShuttingDown + St.Cancelled + St.BadRequests,
+            St.Requests);
+}
+
+TEST(Serve, EveryRequestEndsInExactlyOneBucket) {
+  ServerOptions Opts;
+  Opts.Workers = 2;
+  Opts.QueueDepth = 2;
+  Server S(Opts);
+  ASSERT_FALSE(S.start());
+
+  Request Q = runRequest("bucket", 20000, 4);
+  std::vector<std::thread> Fleet;
+  for (int CI = 0; CI < 4; ++CI) {
+    Fleet.emplace_back([&, CI] {
+      Client C(clientFor(S, 200 + CI));
+      for (int RI = 0; RI < 4; ++RI) {
+        Request R = Q;
+        if (RI % 2 == 1)
+          R.DeadlineMs = (CI % 2 == 0) ? 1 : 10000;
+        (void)C.callWithRetry(R);
+      }
+    });
+  }
+  for (std::thread &T : Fleet)
+    T.join();
+  S.requestDrain();
+  S.waitDrained();
+  ServerStats St = S.stats();
+  EXPECT_EQ(St.Ok + St.RunErrors + St.Overloaded + St.DeadlineExceeded +
+                St.ShedShuttingDown + St.Cancelled + St.BadRequests,
+            St.Requests);
+}
+
+} // namespace

@@ -1,0 +1,67 @@
+//===- tests/support/JsonRobustnessTest.cpp - Hostile-input parsing --------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// json::parse against the malformed-frame corpus dsm_serve must
+// survive: every entry yields a proper Error (with a byte offset in
+// the message) rather than a crash, an abort, or unbounded recursion.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "support/Json.h"
+
+#include "MalformedFrames.h"
+
+using namespace dsm;
+
+TEST(JsonRobustness, MalformedCorpusAllRejected) {
+  for (const std::string &Doc : dsm::testing::malformedJsonCorpus()) {
+    auto V = json::parse(Doc, "corpus");
+    ASSERT_FALSE(V) << "accepted malformed document: "
+                    << Doc.substr(0, 40);
+    EXPECT_FALSE(V.error().str().empty());
+  }
+}
+
+TEST(JsonRobustness, DiagnosticsCarryByteOffset) {
+  auto V = json::parse("{\"key\": \"unterminated", "frame");
+  ASSERT_FALSE(V);
+  EXPECT_NE(V.error().str().find("at byte"), std::string::npos)
+      << V.error().str();
+}
+
+TEST(JsonRobustness, OverdeepNestingIsBounded) {
+  // Exactly at the bound parses; one past it is rejected with a
+  // diagnostic naming the limit.
+  auto Nest = [](int Depth) {
+    return std::string(Depth, '[') + std::string(Depth, ']');
+  };
+  EXPECT_TRUE(json::parse(Nest(96), "deep"));
+  auto V = json::parse(Nest(97), "deep");
+  ASSERT_FALSE(V);
+  EXPECT_NE(V.error().str().find("nested deeper"), std::string::npos)
+      << V.error().str();
+}
+
+TEST(JsonRobustness, UnterminatedStringReportsOffset) {
+  auto V = json::parse("\"abc", "frame");
+  ASSERT_FALSE(V);
+  EXPECT_NE(V.error().str().find("unterminated string"),
+            std::string::npos);
+}
+
+TEST(JsonRobustness, WellFormedStillParses) {
+  // The hardening must not reject ordinary wire requests.
+  const char *Doc = "{\"op\":\"run\",\"id\":7,\"deadline_ms\":250,"
+                    "\"sources\":[{\"name\":\"m.f\",\"text\":\"end\"}],"
+                    "\"checksum\":[\"a\"],\"nested\":[[[[1]]]]}";
+  auto V = json::parse(Doc, "frame");
+  ASSERT_TRUE(V) << V.error().str();
+  EXPECT_EQ((*V)["op"].asString(), "run");
+  EXPECT_EQ((*V)["id"].asInt(), 7);
+  EXPECT_EQ((*V)["sources"].array().size(), 1u);
+}

@@ -1,0 +1,63 @@
+//===- tests/support/MalformedFrames.h - Hostile JSON corpus ----*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared malformed-input corpus: every entry is a byte string that
+/// must never crash a consumer.  JsonRobustnessTest feeds them to
+/// json::parse directly; the serve tests wrap the same bytes in wire
+/// frames and feed them to a live dsm_serve, which must answer
+/// bad_request (or close the connection) and keep serving.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_TESTS_SUPPORT_MALFORMEDFRAMES_H
+#define DSM_TESTS_SUPPORT_MALFORMEDFRAMES_H
+
+#include <string>
+#include <vector>
+
+namespace dsm::testing {
+
+inline std::vector<std::string> malformedJsonCorpus() {
+  std::vector<std::string> Corpus = {
+      "",                              // empty document
+      "   \t\r\n ",                    // whitespace only
+      "{",                             // unterminated object
+      "[",                             // unterminated array
+      "}",                             // closer with no opener
+      "{\"op\"",                       // key with no colon
+      "{\"op\":}",                     // member with no value
+      "{\"op\":\"run\",}",             // trailing comma
+      "[1,2,",                         // array cut at comma
+      "\"unterminated",                // unterminated string
+      "\"newline\nin string\"",        // raw newline inside string
+      "\"bad escape \\q\"",            // invalid escape
+      "\"trunc \\u12",                 // truncated \u escape
+      "{\"a\":01e}",                   // malformed number
+      "nul",                           // truncated keyword
+      "truefalse",                     // two keywords fused
+      "{} trailing",                   // trailing garbage
+      "{\"a\":1} {\"b\":2}",           // two documents in one frame
+      std::string("\x00\x01\x02\xff\xfe binary junk", 19), // raw bytes
+      "{\"op\":\"run\" \"id\":1}",     // missing comma
+  };
+  // Overdeep nesting: without the parser's depth bound these would
+  // recurse once per byte and overflow the stack long before 200k.
+  Corpus.push_back(std::string(200000, '['));
+  std::string Deep;
+  for (int I = 0; I < 100000; ++I)
+    Deep += "{\"k\":";
+  Corpus.push_back(Deep);
+  std::string Mixed;
+  for (int I = 0; I < 100000; ++I)
+    Mixed += "[{\"x\":";
+  Corpus.push_back(Mixed);
+  return Corpus;
+}
+
+} // namespace dsm::testing
+
+#endif // DSM_TESTS_SUPPORT_MALFORMEDFRAMES_H

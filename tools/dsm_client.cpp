@@ -1,0 +1,207 @@
+//===- tools/dsm_client.cpp - One-shot dsm_serve client -------------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Sends one request to a dsm_serve daemon and prints the response:
+//
+//   dsm_client --port=7411 prog.f                      # compile + run
+//   dsm_client --port=7411 --op=ping
+//   dsm_client --port=7411 --op=stats
+//   dsm_client --port=7411 --deadline-ms=2000 prog.f
+//
+// Retryable outcomes (`overloaded`, `shutting_down`, transport loss)
+// are retried with jittered exponential backoff, honoring the server's
+// retry_after_ms hint; --deadline-ms bounds the whole retry loop and
+// is propagated to the server as the remaining budget per attempt.
+//
+// Exit codes: 0 ok, 1 error/bad_request, 2 usage, 3 deadline_exceeded,
+// 4 transport failure / retries exhausted.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/Client.h"
+
+using namespace dsm;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port=N [options] [source.f ...]\n"
+      "\n"
+      "options:\n"
+      "  --host=H          server address (default 127.0.0.1)\n"
+      "  --op=OP           ping | compile | run (default) | stats\n"
+      "  --label=S         job label for the server's event log\n"
+      "  --deadline-ms=N   total budget for the request including\n"
+      "                    retries; queued work past it is cancelled\n"
+      "  --retries=N       max retry attempts (default 8)\n"
+      "  --jitter-seed=N   backoff jitter seed (reproducible retries)\n"
+      "  --procs=N         simulated processors (default 8)\n"
+      "  --threads=N       host threads for epoch execution\n"
+      "  --policy=P        first-touch (default) or round-robin\n"
+      "  --machine=M       scaled (default) or origin2000\n"
+      "  --engine=E        bytecode | bytecode-nofuse | interp | auto\n"
+      "  --checksum=ARRAY  checksum ARRAY after the run (repeatable)\n"
+      "  --metrics         collect locality metrics server-side\n"
+      "  --no-transform    skip the optimization pipeline\n",
+      Argv0);
+  return 2;
+}
+
+bool flagValue(const char *Arg, const char *Name, std::string &Out) {
+  size_t N = std::strlen(Name);
+  if (std::strncmp(Arg, Name, N) != 0 || Arg[N] != '=')
+    return false;
+  Out = Arg + N + 1;
+  return true;
+}
+
+Expected<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return Error::make("cannot read '" + Path + "'");
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+void printResponse(const serve::Response &R, const serve::CallTrace &T) {
+  std::printf("status: %s\n", serve::statusName(R.St));
+  if (!R.ErrorMsg.empty())
+    std::printf("message: %s\n", R.ErrorMsg.c_str());
+  if (T.Attempts > 1)
+    std::printf("attempts: %d (sheds %d, transport retries %d, "
+                "backoff %.0f ms)\n",
+                T.Attempts, T.Sheds, T.TransportRetries, T.BackoffMs);
+  if (R.HasResult) {
+    std::printf("cycles: %llu (timed %llu, redistribute %llu)\n",
+                (unsigned long long)R.WallCycles,
+                (unsigned long long)R.TimedCycles,
+                (unsigned long long)R.RedistributeCycles);
+    std::printf("epochs: %u (threaded %u)\n", R.Epochs, R.ThreadedEpochs);
+    std::printf("counters: %s\n", R.Counters.c_str());
+    if (!R.Faults.empty())
+      std::printf("faults: %s\n", R.Faults.c_str());
+    std::printf("host-seconds: %.6f  queue-ms: %.3f\n", R.HostSeconds,
+                R.QueueMs);
+    for (const auto &CS : R.Checksums)
+      std::printf("checksum %s: %.17g (weighted %.17g)\n",
+                  CS.Array.c_str(), CS.Sum, CS.Weighted);
+  }
+  if (R.St == serve::Status::Ok && !R.StatsJson.empty())
+    std::printf("stats: %s\n", R.StatsJson.c_str());
+  if (R.CacheHit)
+    std::printf("cache: hit\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  serve::ClientOptions COpts;
+  serve::Request Req;
+  Req.Kind = serve::Op::Run;
+  std::vector<std::string> Paths;
+  std::string OpName = "run";
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string V;
+    if (flagValue(Argv[I], "--port", V))
+      COpts.Port = std::atoi(V.c_str());
+    else if (flagValue(Argv[I], "--host", V))
+      COpts.Host = V;
+    else if (flagValue(Argv[I], "--op", V))
+      OpName = V;
+    else if (flagValue(Argv[I], "--label", V))
+      Req.Label = V;
+    else if (flagValue(Argv[I], "--deadline-ms", V))
+      Req.DeadlineMs = std::atoll(V.c_str());
+    else if (flagValue(Argv[I], "--retries", V))
+      COpts.MaxRetries = std::atoi(V.c_str());
+    else if (flagValue(Argv[I], "--jitter-seed", V))
+      COpts.JitterSeed = static_cast<uint64_t>(std::atoll(V.c_str()));
+    else if (flagValue(Argv[I], "--procs", V))
+      Req.Procs = std::atoi(V.c_str());
+    else if (flagValue(Argv[I], "--threads", V))
+      Req.Threads = std::atoi(V.c_str());
+    else if (flagValue(Argv[I], "--policy", V))
+      Req.Policy = V;
+    else if (flagValue(Argv[I], "--machine", V))
+      Req.Machine = V;
+    else if (flagValue(Argv[I], "--engine", V))
+      Req.Engine = V;
+    else if (flagValue(Argv[I], "--checksum", V))
+      Req.ChecksumArrays.push_back(V);
+    else if (std::strcmp(Argv[I], "--metrics") == 0)
+      Req.Metrics = true;
+    else if (std::strcmp(Argv[I], "--no-transform") == 0)
+      Req.COpts.Transform = false;
+    else if (Argv[I][0] == '-')
+      return usage(Argv[0]);
+    else
+      Paths.push_back(Argv[I]);
+  }
+  if (COpts.Port <= 0) {
+    std::fprintf(stderr, "dsm_client: --port is required\n");
+    return usage(Argv[0]);
+  }
+
+  if (OpName == "ping")
+    Req.Kind = serve::Op::Ping;
+  else if (OpName == "compile")
+    Req.Kind = serve::Op::Compile;
+  else if (OpName == "run")
+    Req.Kind = serve::Op::Run;
+  else if (OpName == "stats")
+    Req.Kind = serve::Op::Stats;
+  else {
+    std::fprintf(stderr, "dsm_client: unknown --op=%s\n", OpName.c_str());
+    return usage(Argv[0]);
+  }
+
+  if (Req.Kind == serve::Op::Run || Req.Kind == serve::Op::Compile) {
+    if (Paths.empty()) {
+      std::fprintf(stderr, "dsm_client: %s needs at least one source\n",
+                   OpName.c_str());
+      return usage(Argv[0]);
+    }
+    for (const std::string &P : Paths) {
+      auto Text = readFile(P);
+      if (!Text) {
+        std::fprintf(stderr, "dsm_client: %s\n", Text.takeError().str().c_str());
+        return 1;
+      }
+      Req.Sources.push_back({P, std::move(*Text)});
+    }
+  }
+  if (Req.Label.empty())
+    Req.Label = Paths.empty() ? OpName : Paths.front();
+
+  serve::Client Client(COpts);
+  serve::CallTrace Trace;
+  auto Resp = Client.callWithRetry(Req, &Trace);
+  if (!Resp) {
+    std::fprintf(stderr, "dsm_client: %s\n", Resp.takeError().str().c_str());
+    return 4;
+  }
+  printResponse(*Resp, Trace);
+  switch (Resp->St) {
+  case serve::Status::Ok:
+    return 0;
+  case serve::Status::DeadlineExceeded:
+    return 3;
+  default:
+    return 1;
+  }
+}

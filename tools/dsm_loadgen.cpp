@@ -1,0 +1,422 @@
+//===- tools/dsm_loadgen.cpp - Concurrent load generator for dsm_serve ----===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives a dsm_serve daemon with N concurrent client connections, each
+// replaying a compile + run mix, and reports:
+//
+//   * p50 / p99 request latency (wall time including retries),
+//   * shed rate (overloaded / shutting_down answers per attempt),
+//   * cache hit rate (from the server's stats op),
+//   * the outcome of every request -- the acceptance criterion is that
+//     each one ends ok / overloaded-recovered-by-retry /
+//     deadline_exceeded, never a transport error or a hang.
+//
+// Every ok run result is also checked bit-for-bit (cycles, the
+// counters string, %.17g checksums) against a direct in-process
+// execution of the same program: the wire adds latency, never
+// divergence.  Any mismatch or unrecovered request makes the exit
+// status non-zero.
+//
+//   dsm_loadgen --port=7411 --clients=8 --requests=16
+//
+// With DSM_BENCH_JSON set (the run_benches.sh convention) a one-line
+// JSON record tagged "bench":"serve_loadgen" is appended there.
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/Client.h"
+#include "session/Session.h"
+#include "support/StringUtils.h"
+
+using namespace dsm;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port=N [options] [source.f ...]\n"
+      "\n"
+      "options:\n"
+      "  --host=H          server address (default 127.0.0.1)\n"
+      "  --clients=N       concurrent connections (default 4)\n"
+      "  --requests=N      requests per client (default 8)\n"
+      "  --compile-every=K every Kth request is a compile op, the rest\n"
+      "                    are runs (default 4; 0 = runs only)\n"
+      "  --variants=V      distinct program variants when using the\n"
+      "                    built-in workload (default 2; exercises the\n"
+      "                    shared cache)\n"
+      "  --deadline-ms=N   per-request budget (0 = none); expired\n"
+      "                    requests must end deadline_exceeded\n"
+      "  --retries=N       max retries per request (default 8)\n"
+      "  --procs=N         simulated processors (default 8)\n"
+      "  --threads=N       host threads per run (default 1)\n"
+      "  --seed=N          jitter-seed base (default 1)\n"
+      "  --no-verify       skip the direct-run bit-identity check\n"
+      "  --results=FILE    write the full JSON report there\n"
+      "\n"
+      "With source files, all clients replay those sources; otherwise\n"
+      "a built-in stencil workload with --variants distinct sizes is\n"
+      "used.\n",
+      Argv0);
+  return 2;
+}
+
+bool flagValue(const char *Arg, const char *Name, std::string &Out) {
+  size_t N = std::strlen(Name);
+  if (std::strncmp(Arg, Name, N) != 0 || Arg[N] != '=')
+    return false;
+  Out = Arg + N + 1;
+  return true;
+}
+
+/// The built-in workload: a block-distributed sweep whose size depends
+/// on the variant, so V variants occupy V cache slots.
+std::string builtinSource(int Variant) {
+  int N = 20000 + Variant * 4096;
+  return formatString(R"(
+      program loadgen%d
+      integer i, n
+      parameter (n = %d)
+      real*8 a(n)
+c$distribute_reshape a(block)
+c$doacross local(i) affinity(i) = data(a(i))
+      do i = 1, n
+        a(i) = i * 0.5
+      enddo
+      call dsm_timer_start
+c$doacross local(i) affinity(i) = data(a(i))
+      do i = 1, n
+        a(i) = (a(i) + i) / 2.0
+      enddo
+      call dsm_timer_stop
+      end
+)",
+                      Variant, N);
+}
+
+Expected<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return Error::make("cannot read '" + Path + "'");
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// The local oracle for one variant: what a direct in-process run of
+/// the same request must produce.
+struct Reference {
+  uint64_t WallCycles = 0;
+  uint64_t TimedCycles = 0;
+  std::string Counters;
+  std::vector<std::pair<double, double>> Checksums;
+};
+
+struct ClientReport {
+  std::vector<double> LatenciesMs;
+  uint64_t Ok = 0;
+  uint64_t DeadlineExceeded = 0;
+  uint64_t Failed = 0; ///< Retries exhausted / transport dead.
+  uint64_t Mismatches = 0;
+  uint64_t Attempts = 0;
+  uint64_t Sheds = 0;
+  double BackoffMs = 0.0;
+};
+
+double percentile(std::vector<double> &V, double P) {
+  if (V.empty())
+    return 0.0;
+  std::sort(V.begin(), V.end());
+  size_t I = static_cast<size_t>(P * static_cast<double>(V.size() - 1));
+  return V[I];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  serve::ClientOptions COpts;
+  int Clients = 4;
+  int Requests = 8;
+  int CompileEvery = 4;
+  int Variants = 2;
+  int64_t DeadlineMs = 0;
+  int Procs = 8;
+  int Threads = 1;
+  uint64_t SeedBase = 1;
+  bool Verify = true;
+  std::string ResultsPath;
+  std::vector<std::string> Paths;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string V;
+    if (flagValue(Argv[I], "--port", V))
+      COpts.Port = std::atoi(V.c_str());
+    else if (flagValue(Argv[I], "--host", V))
+      COpts.Host = V;
+    else if (flagValue(Argv[I], "--clients", V))
+      Clients = std::atoi(V.c_str());
+    else if (flagValue(Argv[I], "--requests", V))
+      Requests = std::atoi(V.c_str());
+    else if (flagValue(Argv[I], "--compile-every", V))
+      CompileEvery = std::atoi(V.c_str());
+    else if (flagValue(Argv[I], "--variants", V))
+      Variants = std::atoi(V.c_str());
+    else if (flagValue(Argv[I], "--deadline-ms", V))
+      DeadlineMs = std::atoll(V.c_str());
+    else if (flagValue(Argv[I], "--retries", V))
+      COpts.MaxRetries = std::atoi(V.c_str());
+    else if (flagValue(Argv[I], "--procs", V))
+      Procs = std::atoi(V.c_str());
+    else if (flagValue(Argv[I], "--threads", V))
+      Threads = std::atoi(V.c_str());
+    else if (flagValue(Argv[I], "--seed", V))
+      SeedBase = static_cast<uint64_t>(std::atoll(V.c_str()));
+    else if (std::strcmp(Argv[I], "--no-verify") == 0)
+      Verify = false;
+    else if (flagValue(Argv[I], "--results", V))
+      ResultsPath = V;
+    else if (Argv[I][0] == '-')
+      return usage(Argv[0]);
+    else
+      Paths.push_back(Argv[I]);
+  }
+  if (COpts.Port <= 0) {
+    std::fprintf(stderr, "dsm_loadgen: --port is required\n");
+    return usage(Argv[0]);
+  }
+  if (Clients < 1 || Requests < 1 || Variants < 1)
+    return usage(Argv[0]);
+
+  // Build the request variants.
+  std::vector<serve::Request> Templates;
+  if (!Paths.empty()) {
+    serve::Request R;
+    R.Kind = serve::Op::Run;
+    for (const std::string &P : Paths) {
+      auto Text = readFile(P);
+      if (!Text) {
+        std::fprintf(stderr, "dsm_loadgen: %s\n",
+                     Text.takeError().str().c_str());
+        return 1;
+      }
+      R.Sources.push_back({P, std::move(*Text)});
+    }
+    R.Label = Paths.front();
+    Templates.push_back(std::move(R));
+  } else {
+    for (int V = 0; V < Variants; ++V) {
+      serve::Request R;
+      R.Kind = serve::Op::Run;
+      R.Label = formatString("builtin-v%d", V);
+      R.Sources.push_back(
+          {formatString("loadgen%d.f", V), builtinSource(V)});
+      R.ChecksumArrays = {"a"};
+      Templates.push_back(std::move(R));
+    }
+  }
+  for (serve::Request &R : Templates) {
+    R.Procs = Procs;
+    R.Threads = Threads;
+    R.DeadlineMs = DeadlineMs;
+  }
+
+  // Local oracles: run each variant once in-process.
+  std::vector<Reference> Refs(Templates.size());
+  if (Verify) {
+    session::Session Local;
+    for (size_t V = 0; V < Templates.size(); ++V) {
+      session::RunRequest Job;
+      if (Error E = serve::toRunRequest(Templates[V], Job)) {
+        std::fprintf(stderr, "dsm_loadgen: bad request template: %s\n",
+                     E.str().c_str());
+        return 1;
+      }
+      auto P = Local.compile(Templates[V].Sources, Templates[V].COpts);
+      if (!P) {
+        std::fprintf(stderr, "dsm_loadgen: compile: %s\n",
+                     P.takeError().str().c_str());
+        return 1;
+      }
+      Job.Program = *P;
+      session::JobResult JR = Local.run(Job);
+      if (!JR.ok()) {
+        std::fprintf(stderr, "dsm_loadgen: reference run: %s\n",
+                     JR.Err.str().c_str());
+        return 1;
+      }
+      Refs[V].WallCycles = JR.Output->Result.WallCycles;
+      Refs[V].TimedCycles = JR.Output->Result.TimedCycles;
+      Refs[V].Counters = JR.Output->Result.Counters.str();
+      Refs[V].Checksums = JR.Output->Checksums;
+    }
+  }
+
+  // Fire the fleet.
+  std::vector<ClientReport> Reports(static_cast<size_t>(Clients));
+  std::vector<std::thread> Fleet;
+  auto WallStart = std::chrono::steady_clock::now();
+  for (int CI = 0; CI < Clients; ++CI) {
+    Fleet.emplace_back([&, CI] {
+      ClientReport &Rep = Reports[static_cast<size_t>(CI)];
+      serve::ClientOptions MyOpts = COpts;
+      MyOpts.JitterSeed = SeedBase + static_cast<uint64_t>(CI) * 7919;
+      serve::Client Cl(MyOpts);
+      for (int RI = 0; RI < Requests; ++RI) {
+        size_t V = static_cast<size_t>(CI + RI) % Templates.size();
+        serve::Request R = Templates[V];
+        if (CompileEvery > 0 && RI % CompileEvery == CompileEvery - 1)
+          R.Kind = serve::Op::Compile;
+        auto T0 = std::chrono::steady_clock::now();
+        serve::CallTrace Trace;
+        auto Resp = Cl.callWithRetry(R, &Trace);
+        auto T1 = std::chrono::steady_clock::now();
+        Rep.Attempts += static_cast<uint64_t>(Trace.Attempts);
+        Rep.Sheds += static_cast<uint64_t>(Trace.Sheds);
+        Rep.BackoffMs += Trace.BackoffMs;
+        Rep.LatenciesMs.push_back(
+            std::chrono::duration<double, std::milli>(T1 - T0).count());
+        if (!Resp) {
+          ++Rep.Failed;
+          continue;
+        }
+        if (Resp->St == serve::Status::DeadlineExceeded) {
+          ++Rep.DeadlineExceeded;
+          continue;
+        }
+        if (Resp->St != serve::Status::Ok) {
+          ++Rep.Failed;
+          continue;
+        }
+        ++Rep.Ok;
+        if (Verify && Resp->HasResult) {
+          const Reference &Ref = Refs[V];
+          bool Same = Resp->WallCycles == Ref.WallCycles &&
+                      Resp->TimedCycles == Ref.TimedCycles &&
+                      Resp->Counters == Ref.Counters &&
+                      Resp->Checksums.size() == Ref.Checksums.size();
+          for (size_t K = 0; Same && K < Ref.Checksums.size(); ++K)
+            Same = Resp->Checksums[K].Sum == Ref.Checksums[K].first &&
+                   Resp->Checksums[K].Weighted == Ref.Checksums[K].second;
+          if (!Same)
+            ++Rep.Mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread &T : Fleet)
+    T.join();
+  double WallSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - WallStart)
+                           .count();
+
+  // Final server-side stats (cache hit rate).
+  double CacheHitRate = 0.0;
+  std::string ServerStatsJson;
+  {
+    serve::Client Cl(COpts);
+    serve::Request R;
+    R.Kind = serve::Op::Stats;
+    auto Resp = Cl.callWithRetry(R);
+    if (Resp && Resp->St == serve::Status::Ok)
+      ServerStatsJson = Resp->StatsJson;
+  }
+
+  ClientReport Total;
+  std::vector<double> AllMs;
+  for (const ClientReport &Rep : Reports) {
+    Total.Ok += Rep.Ok;
+    Total.DeadlineExceeded += Rep.DeadlineExceeded;
+    Total.Failed += Rep.Failed;
+    Total.Mismatches += Rep.Mismatches;
+    Total.Attempts += Rep.Attempts;
+    Total.Sheds += Rep.Sheds;
+    Total.BackoffMs += Rep.BackoffMs;
+    AllMs.insert(AllMs.end(), Rep.LatenciesMs.begin(),
+                 Rep.LatenciesMs.end());
+  }
+  double P50 = percentile(AllMs, 0.50);
+  double P99 = percentile(AllMs, 0.99);
+  double ShedRate =
+      Total.Attempts ? static_cast<double>(Total.Sheds) /
+                           static_cast<double>(Total.Attempts)
+                     : 0.0;
+  // Cache hits/misses from the server's stats JSON (string scrape keeps
+  // the tool decoupled from the stats schema).
+  if (!ServerStatsJson.empty()) {
+    auto Scrape = [&](const char *Key) -> double {
+      size_t Pos = ServerStatsJson.find(Key);
+      if (Pos == std::string::npos)
+        return 0.0;
+      Pos = ServerStatsJson.find(':', Pos);
+      return Pos == std::string::npos
+                 ? 0.0
+                 : std::atof(ServerStatsJson.c_str() + Pos + 1);
+    };
+    double Hits = Scrape("\"hits\"");
+    double Misses = Scrape("\"misses\"");
+    if (Hits + Misses > 0)
+      CacheHitRate = Hits / (Hits + Misses);
+  }
+
+  uint64_t Issued =
+      static_cast<uint64_t>(Clients) * static_cast<uint64_t>(Requests);
+  std::printf("dsm_loadgen: %d client(s) x %d request(s) in %.2fs\n",
+              Clients, Requests, WallSeconds);
+  std::printf("  outcomes: ok=%llu deadline_exceeded=%llu failed=%llu "
+              "(of %llu)\n",
+              (unsigned long long)Total.Ok,
+              (unsigned long long)Total.DeadlineExceeded,
+              (unsigned long long)Total.Failed,
+              (unsigned long long)Issued);
+  std::printf("  latency: p50=%.1fms p99=%.1fms  shed-rate=%.3f "
+              "(%llu shed / %llu attempts, %.0fms backoff)\n",
+              P50, P99, ShedRate, (unsigned long long)Total.Sheds,
+              (unsigned long long)Total.Attempts, Total.BackoffMs);
+  std::printf("  cache-hit-rate=%.3f  mismatches=%llu\n", CacheHitRate,
+              (unsigned long long)Total.Mismatches);
+  if (!ServerStatsJson.empty())
+    std::printf("  server: %s\n", ServerStatsJson.c_str());
+
+  std::string Record = formatString(
+      "{\"bench\":\"serve_loadgen\",\"clients\":%d,\"requests\":%d,"
+      "\"procs\":%d,\"threads\":%d,\"deadline_ms\":%lld,"
+      "\"wall_seconds\":%.3f,\"ok\":%llu,\"deadline_exceeded\":%llu,"
+      "\"failed\":%llu,\"mismatches\":%llu,\"p50_ms\":%.3f,"
+      "\"p99_ms\":%.3f,\"shed_rate\":%.4f,\"attempts\":%llu,"
+      "\"sheds\":%llu,\"cache_hit_rate\":%.4f}",
+      Clients, Requests, Procs, Threads, (long long)DeadlineMs,
+      WallSeconds, (unsigned long long)Total.Ok,
+      (unsigned long long)Total.DeadlineExceeded,
+      (unsigned long long)Total.Failed,
+      (unsigned long long)Total.Mismatches, P50, P99, ShedRate,
+      (unsigned long long)Total.Attempts,
+      (unsigned long long)Total.Sheds, CacheHitRate);
+  if (const char *BenchJson = std::getenv("DSM_BENCH_JSON")) {
+    if (std::FILE *F = std::fopen(BenchJson, "a")) {
+      std::fprintf(F, "%s\n", Record.c_str());
+      std::fclose(F);
+    }
+  }
+  if (!ResultsPath.empty()) {
+    std::ofstream Out(ResultsPath);
+    Out << Record << "\n";
+  }
+
+  return Total.Failed == 0 && Total.Mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+//===- tools/dsm_serve.cpp - The dsm compile-and-run daemon ---------------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Long-running service over the session layer: clients connect over
+// loopback TCP, send length-prefixed JSON requests (ping / compile /
+// run / stats), and share one server-side program cache.  See
+// DESIGN.md Section 15 for the protocol and the admission / deadline /
+// drain state machine.
+//
+//   dsm_serve --port=7411 --workers=4 --queue-depth=64
+//
+// SIGTERM and SIGINT trigger a graceful drain: stop accepting, finish
+// and deliver every in-flight request, then exit 0 with final stats on
+// stdout.
+//
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "fault/Buggify.h"
+#include "serve/Server.h"
+
+using namespace dsm;
+
+namespace {
+
+volatile std::sig_atomic_t GSignal = 0;
+
+void onSignal(int Sig) { GSignal = Sig; }
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "\n"
+      "options:\n"
+      "  --port=N                TCP port on 127.0.0.1 (default 7411;\n"
+      "                          0 picks an ephemeral port)\n"
+      "  --workers=N             run-executing worker threads\n"
+      "                          (default: DSM_SERVE_WORKERS or auto)\n"
+      "  --queue-depth=N         admission queue bound (default 64);\n"
+      "                          a full queue sheds with `overloaded`\n"
+      "  --max-client-requests=N per-connection outstanding bound\n"
+      "                          (default 16)\n"
+      "  --max-connections=N     concurrent connection cap (default 128)\n"
+      "  --cache-max=N           LRU bound on cached programs\n"
+      "                          (default 0 = unbounded)\n"
+      "  --events=FILE           per-request JSONL event log\n"
+      "  --buggify-seed=N        arm the serve chaos hooks with this\n"
+      "  --buggify-prob=P        seed/probability (see DESIGN.md S.14)\n",
+      Argv0);
+  return 2;
+}
+
+bool flagValue(const char *Arg, const char *Name, std::string &Out) {
+  size_t N = std::strlen(Name);
+  if (std::strncmp(Arg, Name, N) != 0 || Arg[N] != '=')
+    return false;
+  Out = Arg + N + 1;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  serve::ServerOptions Opts;
+  Opts.Port = 7411;
+  uint64_t BuggifySeed = 0;
+  double BuggifyProb = 0.0;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string V;
+    if (flagValue(Argv[I], "--port", V))
+      Opts.Port = std::atoi(V.c_str());
+    else if (flagValue(Argv[I], "--workers", V))
+      Opts.Workers = std::atoi(V.c_str());
+    else if (flagValue(Argv[I], "--queue-depth", V))
+      Opts.QueueDepth = static_cast<size_t>(std::atoll(V.c_str()));
+    else if (flagValue(Argv[I], "--max-client-requests", V))
+      Opts.MaxClientRequests = static_cast<size_t>(std::atoll(V.c_str()));
+    else if (flagValue(Argv[I], "--max-connections", V))
+      Opts.MaxConnections = static_cast<size_t>(std::atoll(V.c_str()));
+    else if (flagValue(Argv[I], "--cache-max", V))
+      Opts.MaxCachedPrograms = static_cast<size_t>(std::atoll(V.c_str()));
+    else if (flagValue(Argv[I], "--events", V))
+      Opts.EventsPath = V;
+    else if (flagValue(Argv[I], "--buggify-seed", V))
+      BuggifySeed = static_cast<uint64_t>(std::atoll(V.c_str()));
+    else if (flagValue(Argv[I], "--buggify-prob", V))
+      BuggifyProb = std::atof(V.c_str());
+    else
+      return usage(Argv[0]);
+  }
+
+  std::unique_ptr<fault::Buggify> Chaos;
+  if (BuggifyProb > 0.0) {
+    Chaos = std::make_unique<fault::Buggify>(BuggifySeed, BuggifyProb);
+    Opts.Chaos = Chaos.get();
+  }
+
+  struct sigaction SA = {};
+  SA.sa_handler = onSignal;
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+
+  serve::Server Server(Opts);
+  if (Error E = Server.start()) {
+    std::fprintf(stderr, "dsm_serve: %s\n", E.str().c_str());
+    return 1;
+  }
+  // The port line is the readiness handshake: wrappers (tests, the CI
+  // smoke job) wait for it before connecting.
+  std::printf("dsm_serve: listening on 127.0.0.1:%d (workers=%d, "
+              "queue-depth=%zu)\n",
+              Server.port(), Server.options().Workers,
+              Server.options().QueueDepth);
+  std::fflush(stdout);
+
+  while (GSignal == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::printf("dsm_serve: signal %d, draining\n", (int)GSignal);
+  std::fflush(stdout);
+  Server.requestDrain();
+  Server.waitDrained();
+  std::printf("dsm_serve: drained; stats %s\n",
+              Server.stats().json().c_str());
+  if (Chaos && Chaos->totalFired() > 0) {
+    std::printf("dsm_serve: buggify fired %llu time(s):",
+                (unsigned long long)Chaos->totalFired());
+    for (const std::string &Tag : Chaos->firedTags())
+      std::printf(" %s=%llu", Tag.c_str(),
+                  (unsigned long long)Chaos->firedCount(Tag));
+    std::printf("\n");
+  }
+  return 0;
+}
