@@ -1,0 +1,207 @@
+//===- bench/bench_redistribute.cpp - Redistribution planner bench --------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// A redistribute-heavy workload for the transfer planner (DESIGN.md
+// Section 16): a matrix flips between row-block and column-block
+// distribution every phase, with a parallel epoch after each flip, then
+// shrinks the active processor set with onto(p') and grows it back.
+// The interesting numbers are the planner's, not the epochs': pages
+// actually moved (planned) versus the naive re-request count, and the
+// peak scratch-frame footprint of the round schedule.  The run repeats
+// across the interpreter, the bytecode VM, and a threaded host pool,
+// which must all be bit-identical -- including across the onto(p')
+// resizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/BenchUtil.h"
+
+using namespace dsm;
+using namespace dsmbench;
+
+namespace {
+
+/// \p Phases alternating (block,*) <-> (*,block) redistributes with an
+/// epoch after each, then an onto(\p ShrinkTo) shrink and an
+/// onto(\p GrowTo) grow, each with its own epoch.
+std::string redistProgram(int N, int Phases, int ShrinkTo, int GrowTo) {
+  std::string NS = std::to_string(N);
+  std::string S;
+  S += "      program rdb\n";
+  S += "      integer i, j, n\n";
+  S += "      parameter (n = " + NS + ")\n";
+  S += "      real*8 A(n,n)\n";
+  S += "c$distribute A(block,*)\n";
+  S += "      do j = 1, n\n";
+  S += "        do i = 1, n\n";
+  S += "          A(i,j) = i + j * 0.5\n";
+  S += "        enddo\n";
+  S += "      enddo\n";
+  auto Epoch = [&](const std::string &Scale) {
+    S += "c$doacross local(i, j)\n";
+    S += "      do j = 1, n\n";
+    S += "        do i = 1, n\n";
+    S += "          A(i,j) = A(i,j) * " + Scale + " + 1.0\n";
+    S += "        enddo\n";
+    S += "      enddo\n";
+  };
+  for (int P = 0; P < Phases; ++P) {
+    S += P % 2 == 0 ? "c$redistribute A(*,block)\n"
+                    : "c$redistribute A(block,*)\n";
+    Epoch(P % 2 == 0 ? "1.25" : "0.75");
+  }
+  S += "c$redistribute A(block,*) onto(" + std::to_string(ShrinkTo) +
+       ")\n";
+  Epoch("1.5");
+  S += "c$redistribute A(*,block) onto(" + std::to_string(GrowTo) +
+       ")\n";
+  Epoch("0.5");
+  S += "      end\n";
+  return S;
+}
+
+struct Obs {
+  exec::RunResult R;
+  double Sum = 0.0;
+};
+
+Obs runOnce(const link::Program &Prog, const numa::MachineConfig &MC,
+            int NumProcs, int HostThreads, EngineKind Engine) {
+  numa::MemorySystem Mem(MC);
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = NumProcs;
+  ROpts.HostThreads = HostThreads;
+  ROpts.Engine = Engine;
+  exec::Engine E(Prog, Mem, ROpts);
+  auto R = E.run();
+  if (!R) {
+    std::fprintf(stderr, "bench_redistribute: run failed: %s\n",
+                 R.error().str().c_str());
+    std::exit(1);
+  }
+  Obs O;
+  O.R = std::move(*R);
+  auto Sum = E.arrayWeightedChecksum("a");
+  if (!Sum) {
+    std::fprintf(stderr, "bench_redistribute: checksum failed: %s\n",
+                 Sum.error().str().c_str());
+    std::exit(1);
+  }
+  O.Sum = *Sum;
+  return O;
+}
+
+void appendPlanJson(const runtime::RedistReport &R, uint64_t WallCycles,
+                    int Procs) {
+  const char *Path = std::getenv("DSM_BENCH_JSON");
+  if (!Path || !*Path)
+    return;
+  FILE *F = std::fopen(Path, "a");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot append to DSM_BENCH_JSON=%s\n",
+                 Path);
+    return;
+  }
+  std::fprintf(
+      F,
+      "{\"bench\": \"redistribute\", \"label\": \"plan\", "
+      "\"procs\": %d, \"pages_naive\": %llu, \"pages_planned\": %llu, "
+      "\"pages_skipped\": %llu, \"rounds\": %llu, "
+      "\"peak_scratch\": %llu, \"predicted_cycles\": %llu, "
+      "\"redistribute_cycles\": %llu, \"new_procs\": %d, "
+      "\"sim_cycles\": %llu}\n",
+      Procs, static_cast<unsigned long long>(R.NaivePageMoves),
+      static_cast<unsigned long long>(R.PlannedPageMoves),
+      static_cast<unsigned long long>(R.NaivePageMoves -
+                                      R.PlannedPageMoves),
+      static_cast<unsigned long long>(R.Rounds),
+      static_cast<unsigned long long>(R.PeakScratchFrames),
+      static_cast<unsigned long long>(R.PredictedCycles),
+      static_cast<unsigned long long>(R.Cycles), R.NewProcs,
+      static_cast<unsigned long long>(WallCycles));
+  std::fclose(F);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int N = 256;
+  int Phases = 4;
+  if (argc > 1)
+    N = std::atoi(argv[1]);
+  if (argc > 2)
+    Phases = std::atoi(argv[2]);
+
+  numa::MachineConfig MC = numa::MachineConfig::scaledOrigin();
+  const int Procs = 32, ShrinkTo = 8, GrowTo = 32;
+
+  std::printf("# Redistribution planner: %dx%d, %d row/column flips + "
+              "onto(%d)/onto(%d) resize, P=%d\n",
+              N, N, Phases, ShrinkTo, GrowTo, Procs);
+  std::printf("# machine: %d nodes x %d procs, %llu B pages, scratch "
+              "budget %u frames\n",
+              MC.NumNodes, MC.ProcsPerNode,
+              static_cast<unsigned long long>(MC.PageSize),
+              MC.RedistScratchFrames);
+
+  auto Prog =
+      dsm::compile({{"rdb.f", redistProgram(N, Phases, ShrinkTo, GrowTo)}});
+  if (!Prog) {
+    std::fprintf(stderr, "bench_redistribute: compile failed: %s\n",
+                 Prog.error().str().c_str());
+    return 1;
+  }
+
+  Obs Interp = runOnce(**Prog, MC, Procs, 1, EngineKind::Interp);
+  Obs Serial = runOnce(**Prog, MC, Procs, 1, EngineKind::Bytecode);
+  Obs Threaded = runOnce(**Prog, MC, Procs, 8, EngineKind::Bytecode);
+
+  int Failures = 0;
+  auto Check = [&](bool Ok, const char *What) {
+    std::printf("%s: %s\n", Ok ? "PASS" : "FAIL", What);
+    if (!Ok)
+      ++Failures;
+  };
+
+  // Bit-identity across engines and host thread counts, through both
+  // onto(p') resizes.
+  Check(Interp.R.WallCycles == Serial.R.WallCycles &&
+            Serial.R.WallCycles == Threaded.R.WallCycles,
+        "wall cycles identical across interp/bytecode/threaded");
+  Check(Interp.R.Counters == Serial.R.Counters &&
+            Serial.R.Counters == Threaded.R.Counters,
+        "machine counters identical across legs");
+  Check(Interp.Sum == Serial.Sum && Serial.Sum == Threaded.Sum,
+        "checksum identical across legs");
+  Check(Interp.R.Redist == Serial.R.Redist &&
+            Serial.R.Redist == Threaded.R.Redist,
+        "redistribution reports identical across legs");
+
+  const runtime::RedistReport &R = Serial.R.Redist;
+  Check(R.PlannedPageMoves < R.NaivePageMoves,
+        "planner moves fewer pages than the naive re-request loop");
+  Check(R.PeakScratchFrames <= MC.RedistScratchFrames,
+        "peak scratch within the machine budget");
+  Check(R.PagesFailed == 0 && R.Retries == 0 &&
+            R.Cycles == R.PredictedCycles,
+        "fault-free execution matches the plan's predicted cost");
+  Check(R.NewProcs == GrowTo, "final onto() resize landed");
+
+  std::printf("# plan: %llu/%llu pages moved (%llu already home), "
+              "%llu rounds, peak scratch %llu frames, %llu predicted "
+              "cycles\n",
+              static_cast<unsigned long long>(R.PlannedPageMoves),
+              static_cast<unsigned long long>(R.NaivePageMoves),
+              static_cast<unsigned long long>(R.NaivePageMoves -
+                                              R.PlannedPageMoves),
+              static_cast<unsigned long long>(R.Rounds),
+              static_cast<unsigned long long>(R.PeakScratchFrames),
+              static_cast<unsigned long long>(R.PredictedCycles));
+  appendPlanJson(R, Serial.R.WallCycles, Procs);
+  return Failures == 0 ? 0 : 2;
+}

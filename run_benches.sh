@@ -67,6 +67,7 @@ bench_args() {
     bench_fig7_conv_large) echo "96 1" ;;
     bench_table2_reshape_opts) echo "64" ;;
     bench_obs_overhead) echo "96 1 2" ;;
+    bench_redistribute) echo "64 2" ;;
     *) echo "" ;;
     esac
   else
@@ -87,7 +88,7 @@ FAILED=""
 
 for b in bench_table2_reshape_opts bench_fig4_lu bench_fig5_transpose \
          bench_fig6_conv_small bench_fig7_conv_large \
-         bench_piece_analysis bench_obs_overhead; do
+         bench_piece_analysis bench_obs_overhead bench_redistribute; do
   require_bin $b
   echo "==== $b ===="
   # shellcheck disable=SC2046  # word-splitting the args is intended

@@ -23,9 +23,12 @@
 /// \endcode
 ///
 /// A ProgramHandle is a shared_ptr<const link::Program>: compiled once,
-/// immutable, and executable by any number of concurrent engines.  The
-/// old dsm::buildProgram / dsm::buildAndRun entry points (core/Driver.h)
-/// are deprecated wrappers over these.
+/// immutable, and executable by any number of concurrent engines.
+///
+/// This header is the ONLY public entry point.  The old
+/// dsm::buildProgram / dsm::buildAndRun shims (core/Driver.h) have been
+/// removed; the main build compiles with
+/// -Werror=deprecated-declarations to keep it that way.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +48,14 @@ using session::RunOutput;
 using session::RunRequest;
 using session::Session;
 using session::SessionOptions;
+
+/// What one c$redistribute did (and, on RunResult::Redist, the per-run
+/// aggregate): executed cost and retries plus the planner's accounting
+/// -- naive vs planned page-moves, all-to-all rounds, peak scratch
+/// frames, predicted cycles, and the onto(p') resize if any.  Field
+/// names are stable and shared with the JSONL trace schema and the
+/// serve wire protocol (DESIGN.md Section 16).
+using runtime::RedistReport;
 
 /// Compiles sources into a shared immutable program (uncached; use a
 /// Session to cache across calls).

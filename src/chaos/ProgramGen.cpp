@@ -189,15 +189,15 @@ GenProgram dsm::chaos::generateProgram(uint64_t Seed, GenProfile Profile) {
   // A redistribute of a `c$distribute` (regular) array; between epochs
   // in every profile, before most epochs (and after the last one) in a
   // storm.
-  auto redistribute = [&]() {
+  auto redistribute = [&](const std::string &Onto = "") {
     if (KindA == 1)
       S += "c$redistribute A" + (TwoD ? dist2d(R)
                                       : "(" + dimDist(R, false) + ")") +
-           "\n";
+           Onto + "\n";
     else if (KindB == 1)
       S += "c$redistribute B" + (TwoD ? dist2d(R)
                                       : "(" + dimDist(R, false) + ")") +
-           "\n";
+           Onto + "\n";
   };
 
   for (int E = 0; E < Epochs; ++E) {
@@ -280,10 +280,19 @@ GenProgram dsm::chaos::generateProgram(uint64_t Seed, GenProfile Profile) {
       }
     }
   }
-  if (Profile == GenProfile::RedistStorm)
+  if (Profile == GenProfile::RedistStorm) {
     // A trailing redistribute: pure placement churn whose cost lands
-    // after the last epoch's metrics delta.
-    redistribute();
+    // after the last epoch's metrics delta.  Half the time it carries
+    // an onto(p') resize -- safe only here, after the last epoch, since
+    // affinity loops over non-redistributed arrays would otherwise
+    // demand the old processor count.  (These draws stay inside the
+    // RedistStorm guard so the Classic/EpochHeavy streams are
+    // byte-identical to before.)
+    std::string Onto;
+    if ((KindA == 1 || KindB == 1) && R.nextBelow(2) == 0)
+      Onto = " onto(" + std::to_string(R.nextInRange(1, 8)) + ")";
+    redistribute(Onto);
+  }
   if (Timed)
     S += "      call dsm_timer_stop\n";
   S += "      end\n";

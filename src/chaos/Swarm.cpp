@@ -95,6 +95,29 @@ std::string compareLegs(const LegRun &Ref, const LegRun &L,
     return D("redistribute_cycles",
              std::to_string(Ref.R.RedistributeCycles) + " vs " +
                  std::to_string(L.R.RedistributeCycles));
+  if (!(Ref.R.Redist == L.R.Redist))
+    return D("redist_report",
+             formatString("planned %llu/%llu rounds %llu scratch %llu "
+                          "procs %d vs %llu/%llu rounds %llu scratch "
+                          "%llu procs %d",
+                          static_cast<unsigned long long>(
+                              Ref.R.Redist.PlannedPageMoves),
+                          static_cast<unsigned long long>(
+                              Ref.R.Redist.NaivePageMoves),
+                          static_cast<unsigned long long>(
+                              Ref.R.Redist.Rounds),
+                          static_cast<unsigned long long>(
+                              Ref.R.Redist.PeakScratchFrames),
+                          Ref.R.Redist.NewProcs,
+                          static_cast<unsigned long long>(
+                              L.R.Redist.PlannedPageMoves),
+                          static_cast<unsigned long long>(
+                              L.R.Redist.NaivePageMoves),
+                          static_cast<unsigned long long>(
+                              L.R.Redist.Rounds),
+                          static_cast<unsigned long long>(
+                              L.R.Redist.PeakScratchFrames),
+                          L.R.Redist.NewProcs));
   if (!(Ref.R.Faults == L.R.Faults))
     return D("fault_counters",
              Ref.R.Faults.str() + " vs " + L.R.Faults.str());
@@ -118,6 +141,12 @@ std::string compareLegs(const LegRun &Ref, const LegRun &L,
     return D("metrics_redistributes",
              std::to_string(Ref.R.Metrics.Redistributes) + " vs " +
                  std::to_string(L.R.Metrics.Redistributes));
+  if (Ref.R.Metrics.RedistNaivePages != L.R.Metrics.RedistNaivePages ||
+      Ref.R.Metrics.RedistPlannedPages != L.R.Metrics.RedistPlannedPages ||
+      Ref.R.Metrics.RedistRounds != L.R.Metrics.RedistRounds ||
+      Ref.R.Metrics.RedistPeakScratch != L.R.Metrics.RedistPeakScratch ||
+      Ref.R.Metrics.ProcResizes != L.R.Metrics.ProcResizes)
+    return D("metrics_redist_plan", "redistribution-plan aggregates differ");
   if (Ref.R.Metrics.EpochLog.size() != L.R.Metrics.EpochLog.size())
     return D("metrics_epoch_log",
              std::to_string(Ref.R.Metrics.EpochLog.size()) + " vs " +
@@ -217,6 +246,11 @@ ScenarioOutcome dsm::chaos::runScenario(const Scenario &S) {
         Dig.str(Ref.R.Counters.str());
         Dig.u64(Ref.R.ParallelRegions);
         Dig.u64(Ref.R.RedistributeCycles);
+        Dig.u64(Ref.R.Redist.PlannedPageMoves);
+        Dig.u64(Ref.R.Redist.NaivePageMoves);
+        Dig.u64(Ref.R.Redist.Rounds);
+        Dig.u64(Ref.R.Redist.PeakScratchFrames);
+        Dig.u64(static_cast<uint64_t>(Ref.R.Redist.NewProcs));
         Dig.str(Ref.R.Faults.str());
         Dig.u64(Ref.R.Metrics.Epochs);
         Dig.u64(Ref.R.Metrics.EpochLog.size());

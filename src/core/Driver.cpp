@@ -46,45 +46,3 @@ dsm::detail::buildProgramImpl(const std::vector<SourceFile> &Sources,
   }
   return Prog;
 }
-
-// The deprecated entry points forward to the implementation; suppress
-// the self-referential deprecation warnings their definitions trigger.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-Expected<link::Program>
-dsm::buildProgram(const std::vector<SourceFile> &Sources,
-                  const CompileOptions &Opts) {
-  return detail::buildProgramImpl(Sources, Opts);
-}
-
-Expected<BuildAndRunResult>
-dsm::buildAndRun(const std::vector<SourceFile> &Sources,
-                 const CompileOptions &COpts,
-                 const numa::MachineConfig &MC,
-                 const exec::RunOptions &ROpts,
-                 const std::string &ChecksumArray) {
-  auto Prog = detail::buildProgramImpl(Sources, COpts);
-  if (!Prog)
-    return Prog.takeError();
-  numa::MemorySystem Mem(MC);
-  exec::Engine Engine(*Prog, Mem, ROpts);
-  auto Run = Engine.run();
-  if (!Run)
-    return Run.takeError();
-  BuildAndRunResult Out;
-  Out.Run = *Run;
-  if (!ChecksumArray.empty()) {
-    auto Sum = Engine.arrayChecksum(ChecksumArray);
-    if (!Sum)
-      return Sum.takeError();
-    Out.Checksum = *Sum;
-    auto WSum = Engine.arrayWeightedChecksum(ChecksumArray);
-    if (!WSum)
-      return WSum.takeError();
-    Out.WeightedChecksum = *WSum;
-  }
-  return Out;
-}
-
-#pragma GCC diagnostic pop

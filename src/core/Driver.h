@@ -5,21 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The top-level API a user of this library sees: compile DSM Fortran
-/// sources (with the paper's data-distribution directives), link them
-/// (propagating reshape directives and cloning subroutines), and run
-/// the result on a simulated Origin-2000.
-///
-/// Typical use:
-/// \code
-///   dsm::CompileOptions Opts;                // defaults = full opt
-///   auto Prog = dsm::buildProgram({{"main.f", Source}}, Opts);
-///   dsm::numa::MemorySystem Mem(dsm::numa::MachineConfig::scaledOrigin());
-///   dsm::exec::RunOptions Run;
-///   Run.NumProcs = 16;
-///   dsm::exec::Engine Engine(*Prog, Mem, Run);
-///   auto Result = Engine.run();
-/// \endcode
+/// Compilation inputs shared by the whole stack: source files, the
+/// transformation-pipeline options, and the compile implementation the
+/// dsm::compile facade (api/Dsm.h) wraps.  This header is NOT the
+/// public API -- include api/Dsm.h and use dsm::compile / dsm::run /
+/// dsm::Session.  (The old buildProgram/buildAndRun shims that used to
+/// live here are gone.)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,42 +41,13 @@ struct CompileOptions {
 };
 
 namespace detail {
-/// Implementation behind dsm::compile and the deprecated buildProgram:
-/// parse, check, link (with reshape propagation and cloning), optimize,
-/// and finalize a whole program.  Not part of the public API; use
-/// dsm::compile (api/Dsm.h).
+/// Implementation behind dsm::compile: parse, check, link (with
+/// reshape propagation and cloning), optimize, and finalize a whole
+/// program.  Not part of the public API; use dsm::compile (api/Dsm.h).
 Expected<link::Program>
 buildProgramImpl(const std::vector<SourceFile> &Sources,
                  const CompileOptions &Opts);
 } // namespace detail
-
-/// Parses, checks, links (with reshape propagation and cloning), and
-/// optimizes a whole program.
-///
-/// Deprecated: use dsm::compile (api/Dsm.h), which returns a shared
-/// immutable ProgramHandle that the session layer can cache and run
-/// concurrently; dsm::Session adds compile-once/run-many caching on
-/// top.
-[[deprecated("use dsm::compile from api/Dsm.h")]] Expected<link::Program>
-buildProgram(const std::vector<SourceFile> &Sources,
-             const CompileOptions &Opts = {});
-
-/// Convenience: build + run in one call; returns the result and leaves
-/// inspection to the caller-provided engine if needed.
-struct BuildAndRunResult {
-  exec::RunResult Run;
-  double Checksum = 0.0; ///< Checksum of \p ChecksumArray if requested.
-  double WeightedChecksum = 0.0; ///< Position-weighted variant.
-};
-
-/// Deprecated: use dsm::run (api/Dsm.h) with a handle from
-/// dsm::compile, or dsm::Session for cached/batched execution.
-[[deprecated("use dsm::compile + dsm::run from api/Dsm.h")]]
-Expected<BuildAndRunResult>
-buildAndRun(const std::vector<SourceFile> &Sources,
-            const CompileOptions &COpts, const numa::MachineConfig &MC,
-            const exec::RunOptions &ROpts,
-            const std::string &ChecksumArray = "");
 
 } // namespace dsm
 

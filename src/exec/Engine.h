@@ -148,6 +148,11 @@ struct RunResult {
   numa::Counters Counters;
   unsigned ParallelRegions = 0;
   uint64_t RedistributeCycles = 0;
+  /// Aggregated redistribution report (runtime/RedistPlan.h): planned
+  /// vs naive page-moves, rounds, peak scratch frames, retries, and
+  /// the last onto(p') resize.  All zero when the program never
+  /// redistributes.
+  runtime::RedistReport Redist;
   unsigned ClonesExecuted = 0;
   /// Epochs that actually ran on the host thread pool (0 when
   /// HostThreads <= 1 or every epoch fell back to the serial loop).

@@ -878,12 +878,25 @@ struct Engine::Impl {
           fail("cannot redistribute an array view");
           return;
         }
+        if (St.RedistNewProcs > S.Mem.numProcs()) {
+          fail(formatString(
+                   "redistribute onto(%lld) exceeds the machine's %d "
+                   "processors",
+                   static_cast<long long>(St.RedistNewProcs),
+                   S.Mem.numProcs()),
+               St.SourceLine);
+          return;
+        }
         uint64_t AtCycle = Clock;
-        runtime::RedistributeResult RR =
-            S.Rt.redistribute(*Inst, St.RedistSpec);
+        runtime::RedistReport RR = S.Rt.redistribute(
+            *Inst, St.RedistSpec,
+            static_cast<int>(St.RedistNewProcs));
         charge(RR.Cycles);
         S.Result.RedistributeCycles += RR.Cycles;
-        ++S.TransGeneration; // Layouts changed under cached entries.
+        S.Result.Redist.accumulate(RR);
+        ++S.TransGeneration; // Layouts (and possibly the active
+                             // processor count) changed under cached
+                             // entries.
         if (RR.PagesFailed)
           S.RunDiags.addWarning(formatString(
               "redistribute of '%s' was partial: %llu page(s) kept "
@@ -900,6 +913,12 @@ struct Engine::Impl {
           E.AtCycle = AtCycle;
           E.Retries = RR.Retries;
           E.PagesFailed = RR.PagesFailed;
+          E.NaivePageMoves = RR.NaivePageMoves;
+          E.PlannedPageMoves = RR.PlannedPageMoves;
+          E.Rounds = RR.Rounds;
+          E.PeakScratchFrames = RR.PeakScratchFrames;
+          E.PredictedCycles = RR.PredictedCycles;
+          E.NewProcs = RR.NewProcs;
           S.Obs->redistribute(E);
         }
         return;

@@ -370,6 +370,7 @@ StmtPtr dsm::ir::cloneStmt(const Stmt &S, const SymbolRemap *Remap) {
     C->Args.push_back(cloneExpr(*A, Remap));
   C->RedistArray = mapArray(S.RedistArray, Remap);
   C->RedistSpec = S.RedistSpec;
+  C->RedistNewProcs = S.RedistNewProcs;
   return C;
 }
 

@@ -308,6 +308,8 @@ struct Stmt {
   // Redistribute.
   ArraySymbol *RedistArray = nullptr;
   dist::DistSpec RedistSpec;
+  /// onto(p'): new active processor count; 0 keeps the current count.
+  int64_t RedistNewProcs = 0;
 
   explicit Stmt(StmtKind Kind) : Kind(Kind) {}
 };

@@ -217,7 +217,10 @@ static void printStmtInto(const Stmt &S, unsigned Indent,
   }
   case StmtKind::Redistribute:
     Out += Pad + "redistribute " + S.RedistArray->Name + " " +
-           S.RedistSpec.str() + "\n";
+           S.RedistSpec.str();
+    if (S.RedistNewProcs > 0)
+      Out += " onto(" + std::to_string(S.RedistNewProcs) + ")";
+    Out += "\n";
     return;
   }
 }

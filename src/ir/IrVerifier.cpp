@@ -176,6 +176,8 @@ private:
         error("redistribute without a target array");
       else if (S.RedistSpec.Dims.size() != S.RedistArray->rank())
         error("redistribute rank mismatch");
+      else if (S.RedistNewProcs < 0)
+        error("redistribute onto() with a negative processor count");
       return;
     }
   }

@@ -102,7 +102,12 @@ private:
   void parseEquivalenceDecl();
   void parseParameterDecl();
   void parseDirective(Block &Body);
-  dist::DistSpec parseDistSpec(bool Reshaped);
+  /// Parses "(dist, ...)" plus an optional onto clause.  With a null
+  /// \p OntoProcs (declarations) onto(...) carries grid weights; with a
+  /// non-null one (redistribute) it is onto(p'), the new active
+  /// processor count, stored through the pointer.
+  dist::DistSpec parseDistSpec(bool Reshaped,
+                               int64_t *OntoProcs = nullptr);
   void parseDoacross();
   void parseStatementInto(Block &Body);
   StmtPtr parseDoLoop();
@@ -404,7 +409,7 @@ void Parser::parseParameterDecl() {
 // Directives
 //===----------------------------------------------------------------------===//
 
-dist::DistSpec Parser::parseDistSpec(bool Reshaped) {
+dist::DistSpec Parser::parseDistSpec(bool Reshaped, int64_t *OntoProcs) {
   dist::DistSpec Spec;
   Spec.Reshaped = Reshaped;
   expect(TokKind::LParen, "after array name in distribution directive");
@@ -439,13 +444,26 @@ dist::DistSpec Parser::parseDistSpec(bool Reshaped) {
 
   if (acceptIdent("onto")) {
     expect(TokKind::LParen, "after 'onto'");
-    do {
-      if (at(TokKind::IntLit))
-        Spec.OntoWeights.push_back(advance().IntVal);
-      else
-        error("onto weights must be integer literals");
-    } while (accept(TokKind::Comma));
-    expect(TokKind::RParen, "after onto weights");
+    if (OntoProcs) {
+      // Redistribute form: onto(p') names the new active processor
+      // count for the rest of the run, not grid weights.
+      if (at(TokKind::IntLit)) {
+        *OntoProcs = advance().IntVal;
+        if (*OntoProcs < 1)
+          error("onto(p) processor count must be positive");
+      } else {
+        error("onto(p) processor count must be an integer literal");
+      }
+      expect(TokKind::RParen, "after onto processor count");
+    } else {
+      do {
+        if (at(TokKind::IntLit))
+          Spec.OntoWeights.push_back(advance().IntVal);
+        else
+          error("onto weights must be integer literals");
+      } while (accept(TokKind::Comma));
+      expect(TokKind::RParen, "after onto weights");
+    }
   }
   return Spec;
 }
@@ -484,11 +502,13 @@ void Parser::parseDirective(Block &Body) {
   if (Name == "redistribute") {
     std::string ArrayName = expectIdent("in redistribute directive");
     ArraySymbol *A = lookupArray(ArrayName);
-    dist::DistSpec Spec = parseDistSpec(false);
+    int64_t OntoProcs = 0;
+    dist::DistSpec Spec = parseDistSpec(false, &OntoProcs);
     auto S = std::make_unique<Stmt>(StmtKind::Redistribute);
     S->SourceLine = Line;
     S->RedistArray = A;
     S->RedistSpec = std::move(Spec);
+    S->RedistNewProcs = OntoProcs;
     if (!A)
       error("redistribute names undeclared array '" + ArrayName + "'");
     else

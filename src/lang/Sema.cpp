@@ -124,9 +124,14 @@ void Checker::checkStmt(const Procedure &P, const Stmt &S) {
             "distribution");
       break;
     }
-    if (S.RedistSpec.Dims.size() != A->rank())
+    if (S.RedistSpec.Dims.size() != A->rank()) {
       error(S.SourceLine,
             "redistribute rank does not match array '" + A->Name + "'");
+      break;
+    }
+    if (S.RedistNewProcs < 0)
+      error(S.SourceLine, "redistribute onto(p) processor count must "
+                          "be positive");
     break;
   }
   case StmtKind::Do:

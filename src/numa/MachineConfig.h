@@ -67,6 +67,11 @@ struct MachineConfig {
   CacheConfig L1{32 * 1024, 32, 2};
   CacheConfig L2{4ull << 20, 128, 2};
   unsigned TlbEntries = 64;
+  /// Scratch frames a redistribution may keep in flight at once: each
+  /// page move in a transfer round occupies one frame until it lands,
+  /// so a round larger than this budget drains in waves
+  /// (runtime/RedistPlan.h; DESIGN.md Section 16).
+  unsigned RedistScratchFrames = 8;
   CostModel Costs;
 
   int numProcs() const { return NumNodes * ProcsPerNode; }

@@ -30,6 +30,16 @@ std::string MetricsSnapshot::str() const {
     return "(metrics not collected)\n";
   Line("epochs: %u (%u threaded), redistributes: %u", Epochs,
        ThreadedEpochs, Redistributes);
+  if (Redistributes)
+    Line("redistribute plan: %llu/%llu pages moved (%llu already home), "
+         "%llu rounds, peak scratch %llu frames, %u resizes",
+         static_cast<unsigned long long>(RedistPlannedPages),
+         static_cast<unsigned long long>(RedistNaivePages),
+         static_cast<unsigned long long>(RedistNaivePages -
+                                         RedistPlannedPages),
+         static_cast<unsigned long long>(RedistRounds),
+         static_cast<unsigned long long>(RedistPeakScratch),
+         ProcResizes);
   Line("%-12s %-9s %-18s %10s %10s %7s %8s %8s %6s", "array", "kind",
        "dist", "local", "remote", "remote%", "tlbmiss", "inval",
        "pages");

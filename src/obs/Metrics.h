@@ -125,6 +125,15 @@ struct MetricsSnapshot {
   unsigned Epochs = 0;
   unsigned ThreadedEpochs = 0;
   unsigned Redistributes = 0;
+  /// Redistribution-planner aggregates (runtime/RedistPlan.h): summed
+  /// naive vs planned page-moves and rounds across every redistribute,
+  /// the run-wide peak of in-flight scratch frames, and how many
+  /// redistributes resized the active processor set (onto(p')).
+  uint64_t RedistNaivePages = 0;
+  uint64_t RedistPlannedPages = 0;
+  uint64_t RedistRounds = 0;
+  uint64_t RedistPeakScratch = 0;
+  unsigned ProcResizes = 0;
   std::vector<ArrayLocality> Arrays; ///< In allocation order.
   std::vector<NodeLocality> Nodes;   ///< Indexed by node id.
   std::vector<EpochSummary> EpochLog;

@@ -108,6 +108,13 @@ void Recorder::epochEnd(const EpochEndEvent &E) {
 void Recorder::redistribute(const RedistributeEvent &E) {
   if (MetricsOn) {
     ++Agg.Redistributes;
+    Agg.RedistNaivePages += E.NaivePageMoves;
+    Agg.RedistPlannedPages += E.PlannedPageMoves;
+    Agg.RedistRounds += E.Rounds;
+    if (E.PeakScratchFrames > Agg.RedistPeakScratch)
+      Agg.RedistPeakScratch = E.PeakScratchFrames;
+    if (E.NewProcs)
+      ++Agg.ProcResizes;
     if (E.PagesFailed > 0)
       ++Agg.Faults.RedistributesPartial;
   }

@@ -115,8 +115,16 @@ void JsonlTraceWriter::onRedistribute(const RedistributeEvent &E) {
   OS << "{\"ev\": \"redistribute\", \"array\": \"" << jsonEscape(E.Array)
      << "\", \"dist\": \"" << jsonEscape(E.NewDist)
      << "\", \"pages_moved\": " << E.PagesMoved
+     << ", \"pages_naive\": " << E.NaivePageMoves
+     << ", \"pages_planned\": " << E.PlannedPageMoves
+     << ", \"rounds\": " << E.Rounds
+     << ", \"peak_scratch\": " << E.PeakScratchFrames
+     << ", \"predicted_cycles\": " << E.PredictedCycles
      << ", \"cycles\": " << E.Cycles << ", \"cycle\": " << E.AtCycle;
-  // Fault-only fields stay off the no-fault schema (golden-tested).
+  // Resize- and fault-only fields stay off the plain schema
+  // (golden-tested).
+  if (E.NewProcs)
+    OS << ", \"new_procs\": " << E.NewProcs;
   if (E.Retries)
     OS << ", \"retries\": " << E.Retries;
   if (E.PagesFailed)
@@ -190,7 +198,10 @@ void ChromeTraceWriter::onRunEnd(const RunEndEvent &E) {
           "\"redistribute " << jsonEscape(R.Array) << " "
        << jsonEscape(R.NewDist) << "\", \"cat\": \"redistribute\", "
           "\"ts\": " << R.AtCycle << ", \"dur\": " << R.Cycles
-       << ", \"args\": {\"pages_moved\": " << R.PagesMoved << "}}";
+       << ", \"args\": {\"pages_moved\": " << R.PagesMoved
+       << ", \"pages_naive\": " << R.NaivePageMoves
+       << ", \"rounds\": " << R.Rounds
+       << ", \"peak_scratch\": " << R.PeakScratchFrames << "}}";
   OS << "\n], \"otherData\": {\"wall_cycles\": " << E.WallCycles
      << ", \"timed_cycles\": " << E.TimedCycles << "}}\n";
   OS.flush();

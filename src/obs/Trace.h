@@ -100,6 +100,17 @@ struct RedistributeEvent {
   /// schema byte-stable.
   uint64_t Retries = 0;
   uint64_t PagesFailed = 0;
+  /// Planner accounting (runtime/RedistPlan.h): pages the naive
+  /// placement loop would re-request vs pages the plan actually moves,
+  /// the all-to-all rounds executed, the peak in-flight scratch
+  /// frames, and the no-fault cycle prediction.
+  uint64_t NaivePageMoves = 0;
+  uint64_t PlannedPageMoves = 0;
+  uint64_t Rounds = 0;
+  uint64_t PeakScratchFrames = 0;
+  uint64_t PredictedCycles = 0;
+  /// Nonzero when the redistribute resized the run (onto(p')).
+  int NewProcs = 0;
 };
 
 /// One injected fault or degradation fallback (see

@@ -1,0 +1,95 @@
+//===- runtime/RedistPlan.cpp - Redistribution transfer planner -----------===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RedistPlan.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "numa/MemorySystem.h"
+
+using namespace dsm;
+using namespace dsm::runtime;
+
+RedistPlan dsm::runtime::planRedistribution(const numa::MemorySystem &Mem,
+                                            const dist::ArrayLayout &NewLayout,
+                                            uint64_t Base, int NumProcs) {
+  // Target node of every page under the new distribution: the same
+  // last-requester rule as initial placement (each processor requests
+  // the pages its portion overlaps; the highest-numbered requester wins
+  // each page), computed in one pass over same-owner runs of the
+  // column-major layout.
+  std::unordered_map<uint64_t, int> PageOwner;
+  int64_t Total = NewLayout.totalElems();
+  int64_t RunStart = 0;
+  int64_t RunCell = NewLayout.cellOfLinear(0);
+  auto CloseRun = [&](int64_t End) {
+    int Proc = static_cast<int>(RunCell) % NumProcs;
+    uint64_t FirstPage =
+        Mem.pageOf(Base + static_cast<uint64_t>(RunStart) * 8);
+    uint64_t LastPage =
+        Mem.pageOf(Base + static_cast<uint64_t>(End) * 8 - 1);
+    for (uint64_t Page = FirstPage; Page <= LastPage; ++Page) {
+      auto [It, Inserted] = PageOwner.try_emplace(Page, Proc);
+      if (!Inserted && It->second < Proc)
+        It->second = Proc;
+    }
+  };
+  for (int64_t L = 1; L < Total; ++L) {
+    int64_t Cell = NewLayout.cellOfLinear(L);
+    if (Cell != RunCell) {
+      CloseRun(L);
+      RunStart = L;
+      RunCell = Cell;
+    }
+  }
+  CloseRun(Total);
+
+  RedistPlan Plan;
+  Plan.NaivePageMoves = PageOwner.size();
+
+  // Minimal move set: drop every page whose home already matches, then
+  // bucket the rest by node shift.  Round k holds the moves with
+  // (to - from) mod NumNodes == k, so within a round each node sends to
+  // (and receives from) exactly one partner.
+  int NumNodes = Mem.config().NumNodes;
+  std::vector<std::vector<PageMove>> ByShift(
+      static_cast<size_t>(NumNodes));
+  for (const auto &[Page, Proc] : PageOwner) {
+    int To = Mem.nodeOfProc(Proc);
+    int From = Mem.pageHomeNode(Page);
+    if (From == To)
+      continue;
+    int Shift = ((To - From) % NumNodes + NumNodes) % NumNodes;
+    ByShift[static_cast<size_t>(Shift)].push_back({Page, From, To});
+  }
+
+  uint64_t Budget = Mem.config().RedistScratchFrames;
+  if (Budget == 0)
+    Budget = 1;
+  for (int Shift = 0; Shift < NumNodes; ++Shift) {
+    std::vector<PageMove> &Moves = ByShift[static_cast<size_t>(Shift)];
+    if (Moves.empty())
+      continue;
+    // Deterministic execution order within the round (the bucket order
+    // above is hash-map order).
+    std::sort(Moves.begin(), Moves.end(),
+              [](const PageMove &A, const PageMove &B) {
+                return A.Page < B.Page;
+              });
+    Plan.PlannedPageMoves += Moves.size();
+    uint64_t InFlight = std::min<uint64_t>(Moves.size(), Budget);
+    if (InFlight > Plan.PeakScratchFrames)
+      Plan.PeakScratchFrames = InFlight;
+    TransferRound Round;
+    Round.Shift = Shift;
+    Round.Moves = std::move(Moves);
+    Plan.Rounds.push_back(std::move(Round));
+  }
+  Plan.PredictedCycles =
+      Plan.PlannedPageMoves * Mem.config().Costs.MigratePageCycles;
+  return Plan;
+}

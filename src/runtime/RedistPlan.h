@@ -1,0 +1,132 @@
+//===- runtime/RedistPlan.h - Redistribution transfer planner ---*- C++ -*-===//
+//
+// Part of the dsm-dist-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The redistribution planner (DESIGN.md Section 16).  Given an array's
+/// current page homes and the placement the new distribution wants, it
+/// computes the minimal set of pages that actually change home --
+/// already-home pages are skipped instead of re-requested -- and groups
+/// the moves into per-(source-node, target-node) transfer rounds
+/// scheduled as an all-to-all shift decomposition: round k carries
+/// every move whose target node is (source + k) mod NumNodes, so no
+/// node receives from two different sources in the same round.  Each
+/// in-flight move occupies one scratch frame; a round larger than the
+/// machine's `RedistScratchFrames` budget drains in waves, which bounds
+/// the peak scratch footprint the plan reports.
+///
+/// The all-to-all decomposition follows Rink et al. ("Memory-efficient
+/// array redistribution through portable collective communication") and
+/// the resizable-run semantics follow Sudarsan & Ribbens ("Efficient
+/// Multidimensional Data Redistribution for Resizable Parallel
+/// Computations"); see PAPERS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSM_RUNTIME_REDISTPLAN_H
+#define DSM_RUNTIME_REDISTPLAN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/ArrayLayout.h"
+
+namespace dsm::numa {
+class MemorySystem;
+}
+
+namespace dsm::runtime {
+
+/// One page whose home changes under the new distribution.
+struct PageMove {
+  uint64_t Page = 0; ///< Virtual page number.
+  int FromNode = 0;  ///< Current home.
+  int ToNode = 0;    ///< Home the new distribution wants.
+
+  bool operator==(const PageMove &O) const = default;
+};
+
+/// One all-to-all round: every move shares the same node shift
+/// (ToNode - FromNode) mod NumNodes, so each node talks to exactly one
+/// partner per direction.  Moves are sorted by page number, making the
+/// execution order a pure function of the plan.
+struct TransferRound {
+  int Shift = 0;
+  std::vector<PageMove> Moves;
+};
+
+/// The transfer schedule for one redistribute.
+struct RedistPlan {
+  std::vector<TransferRound> Rounds; ///< Non-empty rounds, by shift.
+  /// Pages the naive placement loop would re-request (every page the
+  /// new distribution maps, home-change or not).
+  uint64_t NaivePageMoves = 0;
+  /// Pages whose home actually changes -- the moves the plan executes.
+  uint64_t PlannedPageMoves = 0;
+  /// max over rounds of min(round size, scratch budget).
+  uint64_t PeakScratchFrames = 0;
+  /// PlannedPageMoves * MigratePageCycles: what execution will charge
+  /// when no fault fires.
+  uint64_t PredictedCycles = 0;
+
+  uint64_t skippedPages() const {
+    return NaivePageMoves - PlannedPageMoves;
+  }
+};
+
+/// Outcome of one executed redistribute (the public report type,
+/// re-exported from api/Dsm.h; field names are stable and shared with
+/// the JSONL trace schema and the serve wire protocol).  Without a
+/// fault injector every migration succeeds on the first try, so Retries
+/// and PagesFailed are zero and Cycles equals PredictedCycles.
+struct RedistReport {
+  uint64_t Cycles = 0;      ///< Remap cost including retry backoff.
+  uint64_t PagesMoved = 0;  ///< Pages now homed per the new spec.
+  uint64_t PagesFailed = 0; ///< Pages left behind after the budget.
+  uint64_t Retries = 0;     ///< Extra migration attempts spent.
+
+  // Planner accounting (see RedistPlan).
+  uint64_t NaivePageMoves = 0;
+  uint64_t PlannedPageMoves = 0;
+  uint64_t Rounds = 0;
+  uint64_t PeakScratchFrames = 0;
+  uint64_t PredictedCycles = 0;
+
+  /// Nonzero when the redistribute carried onto(p'): the active
+  /// processor count after the transition.
+  int NewProcs = 0;
+
+  bool operator==(const RedistReport &O) const = default;
+
+  /// Folds one redistribute into a per-run aggregate (sums, except the
+  /// scratch peak, which is a max, and NewProcs, which is the last
+  /// resize).
+  void accumulate(const RedistReport &R) {
+    Cycles += R.Cycles;
+    PagesMoved += R.PagesMoved;
+    PagesFailed += R.PagesFailed;
+    Retries += R.Retries;
+    NaivePageMoves += R.NaivePageMoves;
+    PlannedPageMoves += R.PlannedPageMoves;
+    Rounds += R.Rounds;
+    if (R.PeakScratchFrames > PeakScratchFrames)
+      PeakScratchFrames = R.PeakScratchFrames;
+    PredictedCycles += R.PredictedCycles;
+    if (R.NewProcs)
+      NewProcs = R.NewProcs;
+  }
+};
+
+/// Computes the transfer schedule that rehomes the pages of the array
+/// at \p Base (already laid out in memory) to the placement \p
+/// NewLayout wants under \p NumProcs active processors.  Pure: reads
+/// page homes from \p Mem but changes nothing.
+RedistPlan planRedistribution(const numa::MemorySystem &Mem,
+                              const dist::ArrayLayout &NewLayout,
+                              uint64_t Base, int NumProcs);
+
+} // namespace dsm::runtime
+
+#endif // DSM_RUNTIME_REDISTPLAN_H

@@ -136,82 +136,83 @@ ArrayInstance Runtime::allocate(const dist::ArrayLayout &Layout,
   return Inst;
 }
 
-RedistributeResult
-Runtime::redistribute(ArrayInstance &Inst,
-                      const dist::DistSpec &NewSpec) {
+void Runtime::resizeProcs(int NewProcs) {
+  assert(NewProcs >= 1 && NewProcs <= Mem.numProcs() &&
+         "resized run uses more processors than the machine has");
+  NumProcs = NewProcs;
+  // Grow the pool table for new processors; on a shrink the retired
+  // processors' pools stay intact (their portions remain addressable
+  // and poolBytesUsed stays meaningful) and are reused on a re-grow.
+  if (Pools.size() < static_cast<size_t>(NewProcs)) {
+    Pools.resize(static_cast<size_t>(NewProcs));
+    PoolUsed.resize(static_cast<size_t>(NewProcs), 0);
+  }
+}
+
+RedistReport Runtime::redistribute(ArrayInstance &Inst,
+                                   const dist::DistSpec &NewSpec,
+                                   int NewProcs) {
   assert(!Inst.Layout.isReshaped() &&
          "reshaped arrays cannot be redistributed (checked by sema)");
+  RedistReport R;
+  if (NewProcs > 0 && NewProcs != NumProcs) {
+    resizeProcs(NewProcs);
+    R.NewProcs = NewProcs;
+  }
   dist::ArrayLayout NewLayout =
       dist::ArrayLayout::make(NewSpec, Inst.Layout.dimSizes(), NumProcs);
 
-  // Compute the target node of every page under the new distribution
-  // (same last-requester rule as initial placement), then migrate.
-  std::unordered_map<uint64_t, int> PageOwner;
-  int64_t Total = NewLayout.totalElems();
-  int64_t RunStart = 0;
-  int64_t RunCell = NewLayout.cellOfLinear(0);
-  auto CloseRun = [&](int64_t End) {
-    int Proc = procOfCell(RunCell);
-    uint64_t FirstPage =
-        Mem.pageOf(Inst.Base + static_cast<uint64_t>(RunStart) * 8);
-    uint64_t LastPage =
-        Mem.pageOf(Inst.Base + static_cast<uint64_t>(End) * 8 - 1);
-    for (uint64_t Page = FirstPage; Page <= LastPage; ++Page) {
-      auto [It, Inserted] = PageOwner.try_emplace(Page, Proc);
-      if (!Inserted && It->second < Proc)
-        It->second = Proc;
-    }
-  };
-  for (int64_t L = 1; L < Total; ++L) {
-    int64_t Cell = NewLayout.cellOfLinear(L);
-    if (Cell != RunCell) {
-      CloseRun(L);
-      RunStart = L;
-      RunCell = Cell;
-    }
-  }
-  CloseRun(Total);
+  // Plan first: the minimal move set (already-home pages skipped, not
+  // re-requested) grouped into all-to-all shift rounds with a bounded
+  // scratch footprint.
+  RedistPlan Plan = planRedistribution(Mem, NewLayout, Inst.Base, NumProcs);
+  R.NaivePageMoves = Plan.NaivePageMoves;
+  R.PlannedPageMoves = Plan.PlannedPageMoves;
+  R.Rounds = Plan.Rounds.size();
+  R.PeakScratchFrames = Plan.PeakScratchFrames;
+  R.PredictedCycles = Plan.PredictedCycles;
 
-  RedistributeResult R;
+  // Execute round by round, moves in plan order (deterministic, so the
+  // fault injector's sequence-keyed draws hit the same pages on every
+  // leg).  Each move is best-effort: a denied migration is retried up
+  // to the budget, charging backoff each attempt; a page that still
+  // will not move stays at its old home (wrong locality, right
+  // values).
   fault::Injector *Inj = Mem.faultInjector();
   unsigned Budget = Inj ? Inj->retryBudget() : 0;
-  for (const auto &[Page, Proc] : PageOwner) {
-    int Node = Mem.nodeOfProc(Proc);
-    if (Mem.pageHomeNode(Page) == Node)
-      continue;
-    // Best-effort: retry a denied migration up to the budget, charging
-    // backoff each attempt; a page that still will not move stays at
-    // its old home (wrong locality, right values).
-    fault::Buggify *Chaos = Inj ? Inj->buggify() : nullptr;
-    if (DSM_BUGGIFY(Chaos, "redistribute_partial", Page)) {
-      // Buggify: the move is abandoned outright (as if every retry
-      // were denied) -- the partial-redistribute path with no denial
-      // spec armed.
-      ++R.PagesFailed;
-      continue;
+  fault::Buggify *Chaos = Inj ? Inj->buggify() : nullptr;
+  for (const TransferRound &Round : Plan.Rounds) {
+    for (const PageMove &M : Round.Moves) {
+      if (DSM_BUGGIFY(Chaos, "redistribute_partial", M.Page)) {
+        // Buggify: the move is abandoned outright (as if every retry
+        // were denied) -- the partial-redistribute path with no denial
+        // spec armed.
+        ++R.PagesFailed;
+        continue;
+      }
+      bool Done = Mem.migratePage(M.Page, M.ToNode);
+      for (unsigned Try = 0; !Done && Try < Budget; ++Try) {
+        ++R.Retries;
+        R.Cycles += Inj->retryBackoffCycles();
+        ++Inj->counters().MigrationRetries;
+        if (numa::SimObserver *Obs = Mem.observer())
+          Obs->onFaultInjected("migrate_retry", M.Page, M.ToNode);
+        Done = Mem.migratePage(M.Page, M.ToNode);
+      }
+      if (Done && DSM_BUGGIFY(Chaos, "redistribute_retry", M.Page)) {
+        // Buggify: charge one spurious retry/backoff on a move that
+        // succeeded, exercising the backoff accounting alone.
+        ++R.Retries;
+        R.Cycles += Inj->retryBackoffCycles();
+        ++Inj->counters().MigrationRetries;
+        if (numa::SimObserver *Obs = Mem.observer())
+          Obs->onFaultInjected("migrate_retry", M.Page, M.ToNode);
+      }
+      if (Done)
+        ++R.PagesMoved;
+      else
+        ++R.PagesFailed;
     }
-    bool Done = Mem.migratePage(Page, Node);
-    for (unsigned Try = 0; !Done && Try < Budget; ++Try) {
-      ++R.Retries;
-      R.Cycles += Inj->retryBackoffCycles();
-      ++Inj->counters().MigrationRetries;
-      if (numa::SimObserver *Obs = Mem.observer())
-        Obs->onFaultInjected("migrate_retry", Page, Node);
-      Done = Mem.migratePage(Page, Node);
-    }
-    if (Done && DSM_BUGGIFY(Chaos, "redistribute_retry", Page)) {
-      // Buggify: charge one spurious retry/backoff on a move that
-      // succeeded, exercising the backoff accounting alone.
-      ++R.Retries;
-      R.Cycles += Inj->retryBackoffCycles();
-      ++Inj->counters().MigrationRetries;
-      if (numa::SimObserver *Obs = Mem.observer())
-        Obs->onFaultInjected("migrate_retry", Page, Node);
-    }
-    if (Done)
-      ++R.PagesMoved;
-    else
-      ++R.PagesFailed;
   }
   Inst.Layout = std::move(NewLayout);
   R.Cycles += R.PagesMoved * Mem.config().Costs.MigratePageCycles;

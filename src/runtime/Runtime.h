@@ -21,20 +21,10 @@
 
 #include "numa/MemorySystem.h"
 #include "runtime/ArrayInstance.h"
+#include "runtime/RedistPlan.h"
 #include "support/Error.h"
 
 namespace dsm::runtime {
-
-/// Outcome of one best-effort redistribute (see DESIGN.md Section 10).
-/// Without a fault injector every migration succeeds on the first try,
-/// so Retries and PagesFailed are zero and Cycles reduces to the
-/// classic PagesMoved * MigratePageCycles accounting.
-struct RedistributeResult {
-  uint64_t Cycles = 0;      ///< Remap cost including retry backoff.
-  uint64_t PagesMoved = 0;  ///< Pages now homed per the new spec.
-  uint64_t PagesFailed = 0; ///< Pages left behind after the budget.
-  uint64_t Retries = 0;     ///< Extra migration attempts spent.
-};
 
 /// Per-run runtime services over the simulated machine.
 class Runtime {
@@ -61,17 +51,33 @@ public:
   ArrayInstance allocate(const dist::ArrayLayout &Layout,
                          Error *Diags = nullptr);
 
-  /// Implements c$redistribute: recomputes regular placement for the
-  /// new spec and migrates pages.  Migration is best-effort: a denied
-  /// page is retried up to the injector's budget (each retry charging
-  /// backoff cycles) and then left at its old home -- correctness never
-  /// depends on placement, only cycles do.  The instance's layout is
-  /// updated in place either way.
-  RedistributeResult redistribute(ArrayInstance &Inst,
-                                  const dist::DistSpec &NewSpec);
+  /// Implements c$redistribute: plans the minimal transfer schedule
+  /// (runtime/RedistPlan.h) for the new spec, then executes it round by
+  /// round.  Migration is best-effort: a denied page is retried up to
+  /// the injector's budget (each retry charging backoff cycles) and
+  /// then left at its old home -- correctness never depends on
+  /// placement, only cycles do.  The instance's layout is updated in
+  /// place either way.
+  ///
+  /// \p NewProcs, when positive, resizes the active processor set
+  /// before the remap (the c$redistribute ... onto(p') form); the new
+  /// layout is computed against the resized run.
+  RedistReport redistribute(ArrayInstance &Inst,
+                            const dist::DistSpec &NewSpec,
+                            int NewProcs = 0);
+
+  /// Shrinks or grows the active processor set mid-run (onto(p')).
+  /// Growing extends the per-processor pool table; shrinking keeps the
+  /// pool storage of the retired processors valid (their reshaped
+  /// portions remain addressable).  Arrays allocated before the resize
+  /// keep their old layouts; subsequent allocations, redistributes, and
+  /// parallel epochs see the new count.
+  void resizeProcs(int NewProcs);
 
   /// 0-based machine processor executing grid cell \p Cell of any
-  /// array: cells map to processors directly.
+  /// array: cells map to processors directly.  Versioned by onto(p'):
+  /// after a resize this maps against the new active set, which is why
+  /// engines must drop translation caches across a redistribute.
   int procOfCell(int64_t Cell) const {
     return static_cast<int>(Cell) % NumProcs;
   }

@@ -285,6 +285,18 @@ std::string serve::encodeResponse(const Response &R) {
         static_cast<unsigned long long>(R.RedistributeCycles),
         R.Epochs, R.ThreadedEpochs, R.HostSeconds,
         json::escape(R.Counters).c_str());
+    // Planner accounting rides along only when the run redistributed,
+    // keeping redistribute-free responses unchanged.
+    if (R.RedistPagesNaive || R.RedistPagesPlanned || R.RedistRounds)
+      Out += formatString(
+          ",\"redist_pages_naive\":%llu,\"redist_pages_planned\":%llu,"
+          "\"redist_rounds\":%llu,\"redist_peak_scratch\":%llu",
+          static_cast<unsigned long long>(R.RedistPagesNaive),
+          static_cast<unsigned long long>(R.RedistPagesPlanned),
+          static_cast<unsigned long long>(R.RedistRounds),
+          static_cast<unsigned long long>(R.RedistPeakScratch));
+    if (R.RedistNewProcs)
+      Out += formatString(",\"redist_new_procs\":%d", R.RedistNewProcs);
     if (!R.Faults.empty())
       Out += ",\"faults\":\"" + json::escape(R.Faults) + "\"";
     Out += ",\"checksums\":[";
@@ -324,6 +336,15 @@ Expected<Response> serve::decodeResponse(const std::string &Payload) {
     R.TimedCycles = static_cast<uint64_t>(V["timed_cycles"].asInt(0));
     R.RedistributeCycles =
         static_cast<uint64_t>(V["redistribute_cycles"].asInt(0));
+    R.RedistPagesNaive =
+        static_cast<uint64_t>(V["redist_pages_naive"].asInt(0));
+    R.RedistPagesPlanned =
+        static_cast<uint64_t>(V["redist_pages_planned"].asInt(0));
+    R.RedistRounds = static_cast<uint64_t>(V["redist_rounds"].asInt(0));
+    R.RedistPeakScratch =
+        static_cast<uint64_t>(V["redist_peak_scratch"].asInt(0));
+    R.RedistNewProcs =
+        static_cast<int>(V["redist_new_procs"].asInt(0));
     R.Epochs = static_cast<unsigned>(V["epochs"].asInt(0));
     R.ThreadedEpochs =
         static_cast<unsigned>(V["threaded_epochs"].asInt(0));

@@ -110,6 +110,14 @@ struct Response {
   uint64_t WallCycles = 0;
   uint64_t TimedCycles = 0;
   uint64_t RedistributeCycles = 0;
+  /// Redistribution-planner accounting (runtime::RedistReport field
+  /// names prefixed "redist_" on the wire); all zero when the program
+  /// never redistributes.
+  uint64_t RedistPagesNaive = 0;
+  uint64_t RedistPagesPlanned = 0;
+  uint64_t RedistRounds = 0;
+  uint64_t RedistPeakScratch = 0;
+  int RedistNewProcs = 0; ///< Last onto(p') resize; 0 = none.
   unsigned Epochs = 0;
   unsigned ThreadedEpochs = 0;
   /// numa::Counters::str() of the run -- the wire bit-identity oracle.

@@ -627,6 +627,11 @@ void Server::workerLoop() {
         Resp.WallCycles = Out.Result.WallCycles;
         Resp.TimedCycles = Out.Result.TimedCycles;
         Resp.RedistributeCycles = Out.Result.RedistributeCycles;
+        Resp.RedistPagesNaive = Out.Result.Redist.NaivePageMoves;
+        Resp.RedistPagesPlanned = Out.Result.Redist.PlannedPageMoves;
+        Resp.RedistRounds = Out.Result.Redist.Rounds;
+        Resp.RedistPeakScratch = Out.Result.Redist.PeakScratchFrames;
+        Resp.RedistNewProcs = Out.Result.Redist.NewProcs;
         Resp.Epochs = Out.Result.ParallelRegions;
         Resp.ThreadedEpochs = Out.Result.ThreadedEpochs;
         Resp.Counters = Out.Result.Counters.str();

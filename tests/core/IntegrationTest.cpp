@@ -11,12 +11,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/Driver.h"
-
-// This file deliberately stays on the deprecated buildProgram/buildAndRun
-// entry points: it is the regression coverage that keeps them working for
-// out-of-tree callers until they are removed.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "api/Dsm.h"
 
 using namespace dsm;
 
@@ -81,18 +76,18 @@ c$distribute_reshape W(block)
       enddo
       end
 )";
-  auto Prog = buildProgram({{"main.f", MainSrc},
+  auto Prog = dsm::compile({{"main.f", MainSrc},
                             {"smooth.f", SmoothSrc},
                             {"finish.f", FinishSrc}},
                            CompileOptions{});
   ASSERT_TRUE(bool(Prog)) << Prog.error().str();
-  EXPECT_EQ(Prog->ClonesCreated, 1u);
+  EXPECT_EQ((*Prog)->ClonesCreated, 1u);
 
   numa::MemorySystem Mem(machine());
   exec::RunOptions ROpts;
   ROpts.NumProcs = 8;
   ROpts.RuntimeArgChecks = true;
-  exec::Engine E(*Prog, Mem, ROpts);
+  exec::Engine E(**Prog, Mem, ROpts);
   auto R = E.run();
   ASSERT_TRUE(bool(R)) << R.error().str();
   // Spot value: W(1) = 1 (untouched by smooth) * 2.
@@ -126,12 +121,12 @@ c$distribute_reshape A(block)
       enddo
       end
 )";
-  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  auto Prog = dsm::compile({{"t.f", Src}}, CompileOptions{});
   ASSERT_TRUE(bool(Prog)) << Prog.error().str();
   numa::MemorySystem Mem(machine());
   exec::RunOptions ROpts;
   ROpts.NumProcs = 4;
-  exec::Engine E(*Prog, Mem, ROpts);
+  exec::Engine E(**Prog, Mem, ROpts);
   auto R = E.run();
   ASSERT_TRUE(bool(R)) << R.error().str();
   // With 4 procs, b = 25: element 30 belongs to proc 1 -> value 2.
@@ -154,12 +149,12 @@ c$distribute_reshape A(block, block) onto(1, 4)
       A(3,1) = n2
       end
 )";
-  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  auto Prog = dsm::compile({{"t.f", Src}}, CompileOptions{});
   ASSERT_TRUE(bool(Prog)) << Prog.error().str();
   numa::MemorySystem Mem(machine());
   exec::RunOptions ROpts;
   ROpts.NumProcs = 16;
-  exec::Engine E(*Prog, Mem, ROpts);
+  exec::Engine E(**Prog, Mem, ROpts);
   ASSERT_TRUE(bool(E.run()));
   double N1 = *E.readArrayF64("a", {2, 1});
   double N2 = *E.readArrayF64("a", {3, 1});
@@ -185,10 +180,10 @@ TEST(IntegrationTest, TimersMeasureOnlyTheRegion) {
       enddo
       end
 )";
-  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  auto Prog = dsm::compile({{"t.f", Src}}, CompileOptions{});
   ASSERT_TRUE(bool(Prog)) << Prog.error().str();
   numa::MemorySystem Mem(machine());
-  exec::Engine E(*Prog, Mem, exec::RunOptions{});
+  exec::Engine E(**Prog, Mem, exec::RunOptions{});
   auto R = E.run();
   ASSERT_TRUE(bool(R)) << R.error().str();
   EXPECT_GT(R->TimedCycles, 0u);
@@ -204,10 +199,10 @@ TEST(IntegrationTest, UnbalancedTimerIsAnError) {
       call dsm_timer_stop
       end
 )";
-  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  auto Prog = dsm::compile({{"t.f", Src}}, CompileOptions{});
   ASSERT_TRUE(bool(Prog)) << Prog.error().str();
   numa::MemorySystem Mem(machine());
-  exec::Engine E(*Prog, Mem, exec::RunOptions{});
+  exec::Engine E(**Prog, Mem, exec::RunOptions{});
   auto R = E.run();
   ASSERT_FALSE(bool(R));
   EXPECT_NE(R.takeError().str().find("dsm_timer_stop"),
@@ -253,7 +248,7 @@ c$doacross local(i)
       end
 )";
   auto Run = [&](const char *Src) -> uint64_t {
-    auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+    auto Prog = dsm::compile({{"t.f", Src}}, CompileOptions{});
     EXPECT_TRUE(bool(Prog));
     if (!Prog)
       return 0;
@@ -263,7 +258,7 @@ c$doacross local(i)
     numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
     exec::RunOptions ROpts;
     ROpts.NumProcs = 32;
-    exec::Engine E(*Prog, Mem, ROpts);
+    exec::Engine E(**Prog, Mem, ROpts);
     auto R = E.run();
     EXPECT_TRUE(bool(R));
     return R ? R->TimedCycles : 0;
@@ -288,13 +283,13 @@ c$doacross local(i) affinity(i) = data(A(i))
       enddo
       end
 )";
-  auto Prog = buildProgram({{"t.f", Src}}, CompileOptions{});
+  auto Prog = dsm::compile({{"t.f", Src}}, CompileOptions{});
   ASSERT_TRUE(bool(Prog)) << Prog.error().str();
   for (int P : {1, 2, 5, 11, 16}) {
     numa::MemorySystem Mem(machine());
     exec::RunOptions ROpts;
     ROpts.NumProcs = P;
-    exec::Engine E(*Prog, Mem, ROpts);
+    exec::Engine E(**Prog, Mem, ROpts);
     auto R = E.run();
     ASSERT_TRUE(bool(R)) << "P=" << P << ": " << R.error().str();
     EXPECT_DOUBLE_EQ(*E.arrayChecksum("a"), 3.0 * 120 * 121 / 2)

@@ -120,6 +120,9 @@ void expectRunsAgree(const RunObs &A, const RunObs &B,
       << NameA << " vs " << NameB;
   EXPECT_EQ(A.R.RedistributeCycles, B.R.RedistributeCycles)
       << NameA << " vs " << NameB;
+  EXPECT_TRUE(A.R.Redist == B.R.Redist)
+      << "redistribution reports differ between " << NameA << " and "
+      << NameB;
   for (size_t I = 0; I < A.Checksums.size(); ++I)
     EXPECT_EQ(A.Checksums[I], B.Checksums[I])
         << "array " << Arrays[I] << " differs between " << NameA
@@ -178,6 +181,7 @@ unsigned checkCase(uint64_t Seed) {
       << Threaded.R.Counters.str();
   EXPECT_EQ(Serial.R.ParallelRegions, Threaded.R.ParallelRegions);
   EXPECT_EQ(Serial.R.RedistributeCycles, Threaded.R.RedistributeCycles);
+  EXPECT_TRUE(Serial.R.Redist == Threaded.R.Redist);
   EXPECT_EQ(Serial.R.ThreadedEpochs, 0u);
   for (size_t I = 0; I < Serial.Checksums.size(); ++I)
     EXPECT_EQ(Serial.Checksums[I], Threaded.Checksums[I])

@@ -1,0 +1,377 @@
+//===- tests/runtime/RedistPlanTest.cpp - Redistribution planner ----------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// The redistribution planner's contract (DESIGN.md Section 16), at two
+// layers.  Runtime-layer: a plan never moves a page to its current
+// home, its rounds partition the move set under the all-to-all shift
+// rule, the reported scratch peak respects the machine budget, and
+// without faults the predicted cost equals what execution charges.
+// Engine-layer: `c$redistribute ... onto(p')` resizes the active
+// processor set mid-run bit-identically across the interpreter, both
+// bytecode variants, and host thread counts -- including under a
+// migration-fault schedule -- and an onto() that exceeds the machine
+// fails gracefully.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RedistPlan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/Dsm.h"
+#include "fault/Injector.h"
+#include "runtime/Runtime.h"
+
+using namespace dsm;
+using namespace dsm::dist;
+using namespace dsm::numa;
+using namespace dsm::runtime;
+
+namespace {
+
+MachineConfig testConfig() {
+  MachineConfig C;
+  C.NumNodes = 4;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 8 << 20;
+  C.L1 = CacheConfig{1024, 32, 2};
+  C.L2 = CacheConfig{16 * 1024, 128, 2};
+  return C;
+}
+
+DistSpec spec(std::initializer_list<DimDist> Dims, bool Reshaped = false) {
+  DistSpec S;
+  S.Dims = Dims;
+  S.Reshaped = Reshaped;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime-layer planner properties
+//===----------------------------------------------------------------------===//
+
+// Redistributing onto the same distribution plans zero moves: every
+// page is already home, and executing the no-op plan is free.
+TEST(RedistPlanTest, IdentityRedistributePlansNothing) {
+  MemorySystem Mem(testConfig());
+  Runtime Rt(Mem, 8);
+  ArrayLayout L = ArrayLayout::make(
+      spec({{DistKind::None, 1}, {DistKind::Block, 1}}), {128, 64},
+      Rt.numProcs());
+  ArrayInstance Inst = Rt.allocate(L);
+
+  RedistPlan Plan = planRedistribution(Mem, L, Inst.Base, Rt.numProcs());
+  EXPECT_GT(Plan.NaivePageMoves, 0u);
+  EXPECT_EQ(Plan.PlannedPageMoves, 0u);
+  EXPECT_EQ(Plan.skippedPages(), Plan.NaivePageMoves);
+  EXPECT_TRUE(Plan.Rounds.empty());
+  EXPECT_EQ(Plan.PeakScratchFrames, 0u);
+  EXPECT_EQ(Plan.PredictedCycles, 0u);
+
+  RedistReport RR = Rt.redistribute(Inst, L.spec());
+  EXPECT_EQ(RR.PagesMoved, 0u);
+  EXPECT_EQ(RR.Cycles, 0u);
+  EXPECT_EQ(RR.NaivePageMoves, Plan.NaivePageMoves);
+}
+
+// Structural invariants of a non-trivial plan: every move starts at the
+// page's current home and ends elsewhere, each round holds exactly the
+// moves of its shift, no page appears twice, the rounds sum to the
+// planned total, and the scratch peak is min(largest round, budget).
+TEST(RedistPlanTest, RoundsPartitionMovesUnderShiftRule) {
+  MemorySystem Mem(testConfig());
+  Runtime Rt(Mem, 8);
+  ArrayLayout L = ArrayLayout::make(
+      spec({{DistKind::None, 1}, {DistKind::Block, 1}}), {128, 64},
+      Rt.numProcs());
+  ArrayInstance Inst = Rt.allocate(L);
+  ArrayLayout NewL = ArrayLayout::make(
+      spec({{DistKind::None, 1}, {DistKind::Cyclic, 1}}), {128, 64},
+      Rt.numProcs());
+
+  RedistPlan Plan =
+      planRedistribution(Mem, NewL, Inst.Base, Rt.numProcs());
+  ASSERT_GT(Plan.PlannedPageMoves, 0u);
+
+  const int NumNodes = Mem.config().NumNodes;
+  const uint64_t Budget = Mem.config().RedistScratchFrames;
+  std::set<uint64_t> Seen;
+  uint64_t Total = 0, LargestRound = 0;
+  int PrevShift = 0;
+  for (const TransferRound &Round : Plan.Rounds) {
+    ASSERT_FALSE(Round.Moves.empty());
+    EXPECT_GT(Round.Shift, 0);
+    EXPECT_LT(Round.Shift, NumNodes);
+    EXPECT_GT(Round.Shift, PrevShift) << "rounds must come in shift order";
+    PrevShift = Round.Shift;
+    LargestRound = std::max<uint64_t>(LargestRound, Round.Moves.size());
+    uint64_t PrevPage = 0;
+    for (size_t I = 0; I < Round.Moves.size(); ++I) {
+      const PageMove &M = Round.Moves[I];
+      EXPECT_EQ(M.FromNode, Mem.pageHomeNode(M.Page))
+          << "a move must start at the page's current home";
+      EXPECT_NE(M.FromNode, M.ToNode)
+          << "an already-home page must be skipped, not re-requested";
+      EXPECT_EQ((M.ToNode - M.FromNode + NumNodes) % NumNodes, Round.Shift);
+      EXPECT_TRUE(Seen.insert(M.Page).second)
+          << "page " << M.Page << " planned twice";
+      if (I > 0) {
+        EXPECT_GT(M.Page, PrevPage) << "moves must be sorted by page";
+      }
+      PrevPage = M.Page;
+      ++Total;
+    }
+  }
+  EXPECT_EQ(Total, Plan.PlannedPageMoves);
+  EXPECT_LE(Plan.PlannedPageMoves, Plan.NaivePageMoves);
+  EXPECT_EQ(Plan.PeakScratchFrames,
+            std::min<uint64_t>(LargestRound, Budget));
+  EXPECT_LE(Plan.PeakScratchFrames, Budget);
+}
+
+// Without faults the plan is an exact cost oracle: execution charges
+// PlannedPageMoves * MigratePageCycles, nothing more.
+TEST(RedistPlanTest, PlanCostMatchesExecutedCyclesWithoutFaults) {
+  MemorySystem Mem(testConfig());
+  Runtime Rt(Mem, 8);
+  ArrayLayout L = ArrayLayout::make(
+      spec({{DistKind::None, 1}, {DistKind::Block, 1}}), {128, 64},
+      Rt.numProcs());
+  ArrayInstance Inst = Rt.allocate(L);
+
+  DistSpec NewSpec = spec({{DistKind::None, 1}, {DistKind::Cyclic, 1}});
+  RedistPlan Plan = planRedistribution(
+      Mem,
+      ArrayLayout::make(NewSpec, {128, 64}, Rt.numProcs()), Inst.Base,
+      Rt.numProcs());
+  RedistReport RR = Rt.redistribute(Inst, NewSpec);
+
+  EXPECT_EQ(RR.PagesMoved, Plan.PlannedPageMoves);
+  EXPECT_EQ(RR.Cycles, Plan.PredictedCycles);
+  EXPECT_EQ(RR.PredictedCycles, RR.Cycles);
+  EXPECT_EQ(RR.Retries, 0u);
+  EXPECT_EQ(RR.PagesFailed, 0u);
+  EXPECT_EQ(RR.Rounds, Plan.Rounds.size());
+  EXPECT_EQ(RR.PeakScratchFrames, Plan.PeakScratchFrames);
+}
+
+// onto(p') at the runtime layer: shrink keeps pool storage, grow brings
+// processors back, and the report carries the resize.
+TEST(RedistPlanTest, RedistributeOntoResizesActiveProcs) {
+  MemorySystem Mem(testConfig());
+  Runtime Rt(Mem, 8);
+  ArrayLayout L = ArrayLayout::make(spec({{DistKind::Block, 1}}), {256},
+                                    Rt.numProcs());
+  ArrayInstance Inst = Rt.allocate(L);
+
+  RedistReport Shrink =
+      Rt.redistribute(Inst, spec({{DistKind::Cyclic, 1}}), 4);
+  EXPECT_EQ(Shrink.NewProcs, 4);
+  EXPECT_EQ(Rt.numProcs(), 4);
+  EXPECT_EQ(Inst.Layout.grid().totalCells(), 4);
+
+  RedistReport Grow =
+      Rt.redistribute(Inst, spec({{DistKind::Block, 1}}), 8);
+  EXPECT_EQ(Grow.NewProcs, 8);
+  EXPECT_EQ(Rt.numProcs(), 8);
+  EXPECT_EQ(Inst.Layout.grid().totalCells(), 8);
+
+  // Aggregation keeps the last resize and the scratch maximum.
+  RedistReport Agg;
+  Agg.accumulate(Shrink);
+  Agg.accumulate(Grow);
+  EXPECT_EQ(Agg.NewProcs, 8);
+  EXPECT_EQ(Agg.PagesMoved, Shrink.PagesMoved + Grow.PagesMoved);
+  EXPECT_EQ(Agg.PeakScratchFrames,
+            std::max(Shrink.PeakScratchFrames, Grow.PeakScratchFrames));
+}
+
+//===----------------------------------------------------------------------===//
+// Engine-layer onto(p') bit-identity
+//===----------------------------------------------------------------------===//
+
+// Shrinks to 4 processors mid-run, runs an epoch there, then grows back
+// to 8 for a final epoch.  Every parallel loop is non-affinity, so its
+// extent is a runtime TotalProcs query that adapts to the resize.
+const char *ontoProgram() {
+  return R"(
+      program rpl
+      integer i, j, n
+      parameter (n = 24)
+      real*8 A(n,n)
+c$distribute A(*, block)
+      do j = 1, n
+        do i = 1, n
+          A(i,j) = i + j * 0.5
+        enddo
+      enddo
+c$doacross local(i, j)
+      do j = 1, n
+        do i = 1, n
+          A(i,j) = A(i,j) * 2.0
+        enddo
+      enddo
+c$redistribute A(*, cyclic) onto(4)
+c$doacross local(i, j)
+      do j = 1, n
+        do i = 1, n
+          A(i,j) = A(i,j) + 1.0
+        enddo
+      enddo
+c$redistribute A(*, block) onto(8)
+c$doacross local(i, j)
+      do j = 1, n
+        do i = 1, n
+          A(i,j) = A(i,j) * 0.5 + j
+        enddo
+      enddo
+      end
+)";
+}
+
+using EngineKind = exec::RunOptions::EngineKind;
+
+struct RunObs {
+  exec::RunResult R;
+  double Sum = 0.0;
+  bool Failed = false;
+  std::string FailMessage;
+};
+
+RunObs runOnce(const link::Program &Prog, int HostThreads,
+               EngineKind Engine = EngineKind::Bytecode,
+               fault::Injector *Inj = nullptr) {
+  RunObs Obs;
+  numa::MemorySystem Mem(testConfig());
+  exec::RunOptions ROpts;
+  ROpts.NumProcs = 8;
+  ROpts.HostThreads = HostThreads;
+  ROpts.CollectMetrics = true;
+  ROpts.Engine = Engine;
+  ROpts.Fault = Inj;
+  exec::Engine E(Prog, Mem, ROpts);
+  auto R = E.run();
+  if (!R) {
+    Obs.Failed = true;
+    Obs.FailMessage = R.error().str();
+    return Obs;
+  }
+  Obs.R = std::move(*R);
+  auto Sum = E.arrayWeightedChecksum("a");
+  EXPECT_TRUE(bool(Sum)) << Sum.error().str();
+  Obs.Sum = Sum ? *Sum : 0.0;
+  return Obs;
+}
+
+void expectAgree(const RunObs &A, const RunObs &B, const char *NameA,
+                 const char *NameB) {
+  EXPECT_EQ(A.R.WallCycles, B.R.WallCycles) << NameA << " vs " << NameB;
+  EXPECT_TRUE(A.R.Counters == B.R.Counters)
+      << NameA << ":\n"
+      << A.R.Counters.str() << NameB << ":\n"
+      << B.R.Counters.str();
+  EXPECT_EQ(A.R.RedistributeCycles, B.R.RedistributeCycles)
+      << NameA << " vs " << NameB;
+  EXPECT_TRUE(A.R.Redist == B.R.Redist)
+      << "redistribution reports differ between " << NameA << " and "
+      << NameB;
+  EXPECT_EQ(A.Sum, B.Sum) << NameA << " vs " << NameB;
+}
+
+TEST(RedistPlanTest, OntoResizeBitIdenticalAcrossEngines) {
+  auto Prog = dsm::compile({{"rpl.f", ontoProgram()}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+
+  RunObs Ref = runOnce(**Prog, 1, EngineKind::Interp);
+  RunObs NoFuse = runOnce(**Prog, 1, EngineKind::BytecodeNoFuse);
+  RunObs Serial = runOnce(**Prog, 1);
+  RunObs Threaded = runOnce(**Prog, 4);
+  ASSERT_FALSE(Ref.Failed) << Ref.FailMessage;
+  ASSERT_FALSE(NoFuse.Failed) << NoFuse.FailMessage;
+  ASSERT_FALSE(Serial.Failed) << Serial.FailMessage;
+  ASSERT_FALSE(Threaded.Failed) << Threaded.FailMessage;
+
+  expectAgree(Ref, NoFuse, "interp", "bytecode-nofuse");
+  expectAgree(Ref, Serial, "interp", "bytecode");
+  expectAgree(Serial, Threaded, "bytecode", "bytecode-threaded");
+
+  // The aggregated report saw both resizes and kept the last.
+  EXPECT_EQ(Ref.R.Redist.NewProcs, 8);
+  EXPECT_GT(Ref.R.Redist.PlannedPageMoves, 0u);
+  EXPECT_GE(Ref.R.Redist.NaivePageMoves, Ref.R.Redist.PlannedPageMoves);
+  EXPECT_EQ(Ref.R.Redist.PredictedCycles, Ref.R.Redist.Cycles);
+  EXPECT_EQ(Ref.R.Redist.Cycles, Ref.R.RedistributeCycles);
+}
+
+TEST(RedistPlanTest, OntoBeyondMachineFailsGracefully) {
+  auto Prog = dsm::compile({{"rpl.f", R"(
+      program rplbad
+      integer i, n
+      parameter (n = 32)
+      real*8 A(n)
+c$distribute A(block)
+      do i = 1, n
+        A(i) = i
+      enddo
+c$redistribute A(cyclic) onto(16)
+      end
+)"}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+  RunObs Out = runOnce(**Prog, 1);
+  ASSERT_TRUE(Out.Failed);
+  EXPECT_NE(Out.FailMessage.find("onto(16)"), std::string::npos)
+      << Out.FailMessage;
+  EXPECT_NE(Out.FailMessage.find("8 processors"), std::string::npos)
+      << Out.FailMessage;
+}
+
+// The fault leg: a migration-denial schedule may change cycles and
+// retry counts but never values, and the faulted run stays
+// bit-identical across host thread counts.
+TEST(RedistPlanTest, OntoUnderFaultScheduleKeepsChecksums) {
+  auto Prog = dsm::compile({{"rpl.f", ontoProgram()}});
+  ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+
+  RunObs Baseline = runOnce(**Prog, 1);
+  ASSERT_FALSE(Baseline.Failed) << Baseline.FailMessage;
+
+  auto Spec = fault::FaultSpec::parse(
+      "seed = 21\nmigrate_deny_prob = 0.6\nretry_budget = 5\n");
+  ASSERT_TRUE(bool(Spec)) << Spec.error().str();
+  fault::Injector Inj(*Spec);
+
+  RunObs Serial = runOnce(**Prog, 1, EngineKind::Bytecode, &Inj);
+  RunObs Threaded = runOnce(**Prog, 4, EngineKind::Bytecode, &Inj);
+  ASSERT_FALSE(Serial.Failed) << Serial.FailMessage;
+  ASSERT_FALSE(Threaded.Failed) << Threaded.FailMessage;
+
+  EXPECT_EQ(Serial.Sum, Baseline.Sum);
+  EXPECT_EQ(Threaded.Sum, Baseline.Sum);
+  EXPECT_EQ(Serial.R.WallCycles, Threaded.R.WallCycles);
+  EXPECT_TRUE(Serial.R.Counters == Threaded.R.Counters);
+  EXPECT_TRUE(Serial.R.Redist == Threaded.R.Redist);
+  EXPECT_TRUE(Serial.R.Faults == Threaded.R.Faults);
+
+  // The naive count is a pure function of the new layouts, so it
+  // matches the baseline even under faults.  The planned count need
+  // not: a page the schedule pinned in place changes the *next*
+  // redistribute's starting homes, and the planner replans from
+  // wherever the pages actually are.
+  EXPECT_EQ(Serial.R.Redist.NaivePageMoves,
+            Baseline.R.Redist.NaivePageMoves);
+  EXPECT_GT(Serial.R.Redist.Retries, 0u);
+  // Cost decomposition under faults: migrations that landed plus the
+  // 200-cycle default backoff per retry.
+  EXPECT_EQ(Serial.R.Redist.Cycles,
+            Serial.R.Redist.PagesMoved *
+                    testConfig().Costs.MigratePageCycles +
+                Serial.R.Redist.Retries * 200);
+}
+
+} // namespace

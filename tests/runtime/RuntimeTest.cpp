@@ -118,11 +118,21 @@ TEST(RuntimeTest, RedistributeMovesPagesAndUpdatesLayout) {
 
   DistSpec NewSpec =
       spec({{DistKind::None, 1}, {DistKind::Cyclic, 1}}, false);
-  RedistributeResult RR = Rt.redistribute(Inst, NewSpec);
+  RedistReport RR = Rt.redistribute(Inst, NewSpec);
   EXPECT_GT(RR.Cycles, 0u);
   EXPECT_GT(RR.PagesMoved, 0u);
   EXPECT_EQ(RR.PagesFailed, 0u);
   EXPECT_EQ(RR.Retries, 0u);
+  // Planner accounting: every page that moved was planned, the plan
+  // skipped only already-home pages, and with no faults the predicted
+  // cost is exact.
+  EXPECT_EQ(RR.PlannedPageMoves, RR.PagesMoved);
+  EXPECT_GE(RR.NaivePageMoves, RR.PlannedPageMoves);
+  EXPECT_GT(RR.Rounds, 0u);
+  EXPECT_LE(RR.PeakScratchFrames,
+            static_cast<uint64_t>(Mem.config().RedistScratchFrames));
+  EXPECT_EQ(RR.PredictedCycles, RR.Cycles);
+  EXPECT_EQ(RR.NewProcs, 0);
   EXPECT_EQ(Inst.Layout.dimMap(1).Kind, DistKind::Cyclic);
   // Column 2 belongs to processor 1 (node 0) under cyclic; column 9 to
   // processor 0 again, etc.  Spot-check column 3 -> proc 2 -> node 1.
