@@ -6,6 +6,7 @@
 
 #include "bench/BenchUtil.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -43,6 +44,21 @@ RunRequest makeRequest(Version V, bool Serial, int NumProcs,
   if (!ChecksumArray.empty())
     Req.ChecksumArrays.push_back(ChecksumArray);
   return Req;
+}
+
+/// Host-timing repetitions per measured run (DSM_BENCH_REPS, default 3).
+/// The recorded host_seconds is the median over the reps; simulated
+/// results are bit-identical across reps, so only the timing repeats.
+int benchReps() {
+  const char *E = std::getenv("DSM_BENCH_REPS");
+  int N = E && *E ? std::atoi(E) : 3;
+  return N < 1 ? 1 : N;
+}
+
+double medianSeconds(std::vector<double> Secs) {
+  std::sort(Secs.begin(), Secs.end());
+  size_t N = Secs.size();
+  return N % 2 ? Secs[N / 2] : 0.5 * (Secs[N / 2 - 1] + Secs[N / 2]);
 }
 
 RunOutcome outcomeOf(const std::string &BenchName, Version V,
@@ -127,10 +143,12 @@ void appendEngineSpeedupJson(const std::string &Bench,
   std::fprintf(F,
                "{\"bench\": \"%s\", \"label\": \"engine-speedup\", "
                "\"interp_seconds\": %.6f, \"bytecode_seconds\": %.6f, "
-               "\"host_speedup\": %.3f, \"sim_cycles\": %llu}\n",
+               "\"host_speedup\": %.3f, \"sim_cycles\": %llu, "
+               "\"reps\": %d}\n",
                Bench.c_str(), Interp.HostSeconds, Bytecode.HostSeconds,
                Speedup,
-               static_cast<unsigned long long>(Bytecode.Cycles));
+               static_cast<unsigned long long>(Bytecode.Cycles),
+               Bytecode.Reps);
   std::fclose(F);
 }
 
@@ -148,10 +166,36 @@ void appendFuseSpeedupJson(const std::string &Bench,
   std::fprintf(F,
                "{\"bench\": \"%s\", \"label\": \"fuse-speedup\", "
                "\"nofuse_seconds\": %.6f, \"fused_seconds\": %.6f, "
-               "\"host_speedup\": %.3f, \"sim_cycles\": %llu}\n",
+               "\"host_speedup\": %.3f, \"sim_cycles\": %llu, "
+               "\"reps\": %d}\n",
                Bench.c_str(), NoFuse.HostSeconds, Fused.HostSeconds,
                Speedup,
-               static_cast<unsigned long long>(Fused.Cycles));
+               static_cast<unsigned long long>(Fused.Cycles),
+               Fused.Reps);
+  std::fclose(F);
+}
+
+/// One record per bench isolating the run-length batching layer on the
+/// serial baseline; host_speedup is bytecode-norunbatch seconds /
+/// run-batched seconds (DESIGN.md Section 17).
+void appendRunBatchSpeedupJson(const std::string &Bench,
+                               const RunOutcome &NoRunBatch,
+                               const RunOutcome &Batched, double Speedup) {
+  const char *Path = std::getenv("DSM_BENCH_JSON");
+  if (!Path || !*Path)
+    return;
+  FILE *F = std::fopen(Path, "a");
+  if (!F)
+    return;
+  std::fprintf(F,
+               "{\"bench\": \"%s\", \"label\": \"runbatch-speedup\", "
+               "\"norunbatch_seconds\": %.6f, \"runbatch_seconds\": %.6f, "
+               "\"host_speedup\": %.3f, \"sim_cycles\": %llu, "
+               "\"reps\": %d}\n",
+               Bench.c_str(), NoRunBatch.HostSeconds, Batched.HostSeconds,
+               Speedup,
+               static_cast<unsigned long long>(Batched.Cycles),
+               Batched.Reps);
   std::fclose(F);
 }
 
@@ -166,7 +210,15 @@ RunOutcome dsmbench::runVersion(const std::string &BenchName,
   RunRequest Req = makeRequest(V, Serial, NumProcs, MC, ChecksumArray,
                                HostThreads, Engine);
   Req.Program = compileVersion(BenchName, Gen, V, Serial);
-  return outcomeOf(BenchName, V, NumProcs, session::runOne(Req));
+  int Reps = benchReps();
+  RunOutcome Out = outcomeOf(BenchName, V, NumProcs, session::runOne(Req));
+  std::vector<double> Secs{Out.HostSeconds};
+  for (int I = 1; I < Reps; ++I)
+    Secs.push_back(
+        outcomeOf(BenchName, V, NumProcs, session::runOne(Req)).HostSeconds);
+  Out.HostSeconds = medianSeconds(std::move(Secs));
+  Out.Reps = Reps;
+  return Out;
 }
 
 SweepResult dsmbench::runSweep(const std::string &BenchName,
@@ -246,6 +298,40 @@ SweepResult dsmbench::runSweep(const std::string &BenchName,
               "%.2fx host speedup; simulated results bit-identical\n",
               SerialNoFuse.HostSeconds, Serial.HostSeconds, FuseSpeedup);
   appendFuseSpeedupJson(BenchName, SerialNoFuse, Serial, FuseSpeedup);
+
+  // Fourth serial run with run-length batching off: isolates the
+  // page-run fast path (DESIGN.md Section 17) with its own bit-identity
+  // check and runbatch-speedup record.
+  RunOutcome SerialNoRunBatch =
+      runVersion(BenchName, Gen, Version::FirstTouch, /*Serial=*/true, 1,
+                 MC, ChecksumArray, 1, EngineKind::BytecodeNoRunBatch);
+  bool NoRunBatchMetricsMatch =
+      SerialNoRunBatch.Metrics.Arrays == Serial.Metrics.Arrays &&
+      SerialNoRunBatch.Metrics.Nodes == Serial.Metrics.Nodes;
+  if (SerialNoRunBatch.Cycles != Serial.Cycles ||
+      SerialNoRunBatch.Checksum != Serial.Checksum ||
+      !(SerialNoRunBatch.Counters == Serial.Counters) ||
+      !NoRunBatchMetricsMatch) {
+    std::fprintf(stderr,
+                 "%s: run-batched bytecode engine is NOT bit-identical "
+                 "to bytecode-norunbatch on the serial baseline (cycles "
+                 "%llu vs %llu) -- run-batching bug\n",
+                 BenchName.c_str(),
+                 static_cast<unsigned long long>(SerialNoRunBatch.Cycles),
+                 static_cast<unsigned long long>(Serial.Cycles));
+    std::exit(1);
+  }
+  double RunBatchSpeedup =
+      Serial.HostSeconds > 0
+          ? SerialNoRunBatch.HostSeconds / Serial.HostSeconds
+          : 0;
+  std::printf("# run batching: serial norunbatch %.3fs, run-batched "
+              "%.3fs -> %.2fx host speedup; simulated results "
+              "bit-identical\n",
+              SerialNoRunBatch.HostSeconds, Serial.HostSeconds,
+              RunBatchSpeedup);
+  appendRunBatchSpeedupJson(BenchName, SerialNoRunBatch, Serial,
+                            RunBatchSpeedup);
 
   const Version Versions[] = {Version::FirstTouch, Version::RoundRobin,
                               Version::Regular, Version::Reshaped};
@@ -330,12 +416,13 @@ void dsmbench::appendJsonResult(const std::string &Bench,
                "{\"bench\": \"%s\", \"label\": \"%s\", \"engine\": \"%s\", "
                "\"procs\": %d, "
                "\"host_threads\": %d, \"sim_cycles\": %llu, "
-               "\"host_seconds\": %.6f, \"threaded_epochs\": %u, "
+               "\"host_seconds\": %.6f, \"reps\": %d, "
+               "\"threaded_epochs\": %u, "
                "\"git_sha\": \"%s\"",
                Bench.c_str(), Label.c_str(), engineName(Out.Engine),
                NumProcs, HostThreads,
                static_cast<unsigned long long>(Out.Cycles),
-               Out.HostSeconds, Out.ThreadedEpochs,
+               Out.HostSeconds, Out.Reps, Out.ThreadedEpochs,
                Sha && *Sha ? Sha : "unknown");
   if (Out.Metrics.Collected) {
     uint64_t Local = 0, Remote = 0;

@@ -48,6 +48,8 @@ inline const char *engineName(EngineKind K) {
     return "bytecode";
   case EngineKind::BytecodeNoFuse:
     return "bytecode-nofuse";
+  case EngineKind::BytecodeNoRunBatch:
+    return "bytecode-norunbatch";
   }
   return "?";
 }
@@ -77,7 +79,12 @@ struct RunOutcome {
   dsm::numa::Counters Counters;
   unsigned ParallelRegions = 0;
   /// Host-side wall time of Engine::run() (excludes compilation).
+  /// With DSM_BENCH_REPS > 1 (default 3) this is the median over the
+  /// repetitions, which keeps one scheduler hiccup from whipsawing the
+  /// recorded speedups; simulated results are identical across reps.
   double HostSeconds = 0.0;
+  /// Repetitions behind HostSeconds (recorded in the JSON output).
+  int Reps = 1;
   unsigned ThreadedEpochs = 0;
   /// The engine that actually ran (from RunResult; never Auto).
   EngineKind Engine = EngineKind::Interp;
@@ -136,10 +143,11 @@ struct SweepResult {
 };
 
 /// Runs the full four-version sweep.  The serial baseline runs under
-/// both engines (tree-walking interpreter and bytecode VM), verifying
-/// that the simulated results are bit-identical and recording the
-/// interp-vs-bytecode host_speedup to DSM_BENCH_JSON; the sweep itself
-/// uses the ambient engine.  Every version is compiled once
+/// four engine configurations (tree-walking interpreter, bytecode VM,
+/// bytecode-nofuse, bytecode-norunbatch), verifying that the simulated
+/// results are bit-identical and recording the engine-speedup,
+/// fuse-speedup, and runbatch-speedup host-timing records to
+/// DSM_BENCH_JSON; the sweep itself uses the ambient engine.  Every version is compiled once
 /// through benchSession() and reused across processor counts; with
 /// DSM_BENCH_BATCH=1 the (version, procs) grid additionally executes
 /// as one concurrent batch instead of serially.  Either way a

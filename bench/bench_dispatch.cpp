@@ -154,6 +154,11 @@ void BM_StreamDispatch_BytecodeNoFuse(benchmark::State &State) {
 }
 BENCHMARK(BM_StreamDispatch_BytecodeNoFuse);
 
+void BM_StreamDispatch_BytecodeNoRunBatch(benchmark::State &State) {
+  engineBench(State, streamProgram(), EngineKind::BytecodeNoRunBatch);
+}
+BENCHMARK(BM_StreamDispatch_BytecodeNoRunBatch);
+
 /// Fused-strip throughput: the stream kernel's innermost sweeps run as
 /// LoopBody strips, so fused-vs-nofuse isolates the strip layer's
 /// host-side win.  Simulated cycles must be bit-identical -- the strip
@@ -181,6 +186,35 @@ void BM_FusedStripCheck(benchmark::State &State) {
   State.counters["nofuse_over_fused"] = NoFuseBest / FusedBest;
 }
 BENCHMARK(BM_FusedStripCheck);
+
+/// Run-batched strip throughput: the stream kernel's repeated sweeps
+/// are long pure-hit runs, so run-batched-vs-norunbatch isolates the
+/// window protocol plus the per-access run-continuation tier (DESIGN.md
+/// Section 17).  Simulated cycles must be bit-identical -- run
+/// batching is an optimization of the VM, never of the model.
+void BM_RunBatchedStripCheck(benchmark::State &State) {
+  double BatchedBest = 1e9, NoBatchBest = 1e9;
+  uint64_t BC = 0, NC = 0;
+  for (auto _ : State) {
+    RunStats RB = runOnce(streamProgram(), EngineKind::Bytecode);
+    RunStats RN = runOnce(streamProgram(), EngineKind::BytecodeNoRunBatch);
+    BatchedBest = std::min(BatchedBest, RB.Seconds);
+    NoBatchBest = std::min(NoBatchBest, RN.Seconds);
+    BC = RB.Cycles;
+    NC = RN.Cycles;
+  }
+  if (BC != NC) {
+    std::fprintf(stderr,
+                 "bench_dispatch: stream: run-batched and unbatched "
+                 "bytecode disagree on simulated cycles (%llu vs %llu) "
+                 "-- run-batching bug\n",
+                 static_cast<unsigned long long>(BC),
+                 static_cast<unsigned long long>(NC));
+    std::exit(1);
+  }
+  State.counters["norunbatch_over_runbatch"] = NoBatchBest / BatchedBest;
+}
+BENCHMARK(BM_RunBatchedStripCheck);
 
 /// Medians over a few runs; asserts bit-identical simulated cycles and
 /// reports the host-speedup ratios directly.

@@ -3,22 +3,30 @@
 // Part of the dsm-dist-repro project.
 //
 // Measures the host-side cost of the tracing/metrics layer on the
-// Figure 5 transpose workload in three modes:
+// Figure 5 transpose workload in five modes:
 //
-//   disabled  -- no observer attached (the default for every Engine
-//                user); the only residual cost is a null-pointer check
-//                on the simulator's slow paths, which must not be
-//                measurable;
-//   inj_idle  -- a fault injector attached but with every knob at its
-//                default, so no fault ever fires and no buggify
-//                registry is built; proves the injection and
-//                DSM_BUGGIFY hook points are inert when disabled;
-//   metrics   -- in-memory per-array/per-node aggregation;
-//   tracing   -- metrics plus the JSONL and Chrome sinks writing to an
-//                in-memory stream.
+//   disabled   -- no observer attached (the default for every Engine
+//                 user), run-batched bytecode engine; the only
+//                 residual cost is a null-pointer check on the
+//                 simulator's slow paths, which must not be
+//                 measurable;
+//   norunbatch -- no observer, run-batched windows off
+//                 (bytecode-norunbatch); together with `disabled`
+//                 this shows the run-batching layer keeps its win
+//                 with the observability hooks compiled in but idle;
+//   inj_idle   -- a fault injector attached but with every knob at
+//                 its default, so no fault ever fires and no buggify
+//                 registry is built; proves the injection and
+//                 DSM_BUGGIFY hook points are inert when disabled;
+//   metrics    -- in-memory per-array/per-node aggregation;
+//   tracing    -- metrics plus the JSONL and Chrome sinks writing to
+//                 an in-memory stream.
 //
-// The simulation itself must be byte-identical in all four modes
-// (same cycles, same checksum) -- the process exits non-zero if not.
+// An attached observer is one of the run-batched fast path's defined
+// fallbacks (DESIGN.md Section 17): recording runs take the scalar
+// per-access path so every event is emitted, and the simulation must
+// still be byte-identical in all five modes (same cycles, same
+// checksum) -- the process exits non-zero if not.
 // Host timings are printed and JSON-recorded for trend tracking; the
 // disabled mode's host_seconds feeds the "no slowdown vs the untraced
 // engine" acceptance check across commits.
@@ -46,7 +54,7 @@ struct ModeResult {
   double Checksum = 0.0;
 };
 
-enum class Mode { Disabled, InjIdle, Metrics, Tracing };
+enum class Mode { Disabled, NoRunBatch, InjIdle, Metrics, Tracing };
 
 ModeResult measure(const link::Program &Prog, Mode M, int Procs, int Iters) {
   ModeResult Res;
@@ -57,13 +65,18 @@ ModeResult measure(const link::Program &Prog, Mode M, int Procs, int Iters) {
     numa::MemorySystem Mem(numa::MachineConfig::scaledOrigin());
     exec::RunOptions ROpts;
     ROpts.NumProcs = Procs;
+    // Pin the engine so DSM_ENGINE in the environment cannot skew the
+    // run-batched-vs-not comparison.
+    ROpts.Engine = M == Mode::NoRunBatch
+                       ? exec::RunOptions::EngineKind::BytecodeNoRunBatch
+                       : exec::RunOptions::EngineKind::Bytecode;
     obs::Recorder Rec;
     std::ostringstream JsonlOut, ChromeOut;
     obs::JsonlTraceWriter Jsonl(JsonlOut);
     obs::ChromeTraceWriter Chrome(ChromeOut);
     if (M == Mode::InjIdle)
       ROpts.Fault = &IdleInj;
-    if (M != Mode::Disabled && M != Mode::InjIdle) {
+    if (M != Mode::Disabled && M != Mode::NoRunBatch && M != Mode::InjIdle) {
       ROpts.Observer = &Rec;
       ROpts.CollectMetrics = true;
     }
@@ -121,6 +134,7 @@ int main(int argc, char **argv) {
               "P=%d (best of %d)\n",
               N, N, Reps, Procs, Iters);
   ModeResult Disabled = measure(**Prog, Mode::Disabled, Procs, Iters);
+  ModeResult NoRunBatch = measure(**Prog, Mode::NoRunBatch, Procs, Iters);
   ModeResult InjIdle = measure(**Prog, Mode::InjIdle, Procs, Iters);
   ModeResult Metrics = measure(**Prog, Mode::Metrics, Procs, Iters);
   ModeResult Tracing = measure(**Prog, Mode::Tracing, Procs, Iters);
@@ -149,6 +163,7 @@ int main(int argc, char **argv) {
     appendJsonResult("obs_overhead", Label, Procs, 1, Out);
   };
   Report("disabled", Disabled);
+  Report("norunbatch", NoRunBatch);
   Report("inj_idle", InjIdle);
   Report("metrics", Metrics);
   Report("tracing", Tracing);

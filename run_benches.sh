@@ -10,6 +10,10 @@
 #   DSM_BENCH_RESULTS=F  write the JSON array to F instead of
 #                        BENCH_results.json
 #   DSM_BENCH_METRICS=0  skip per-array locality collection
+#   DSM_BENCH_REPS=N     host-timing repetitions per measured run; the
+#                        median host_seconds is recorded (default 3,
+#                        smoke default 1; simulated results are
+#                        identical across reps)
 #   DSM_BENCH_BATCH=1    run each figure's (version, procs) grid as one
 #                        concurrent batch through the session layer;
 #                        every version still compiles exactly once (the
@@ -55,6 +59,10 @@ if [ "$SMOKE" = 1 ]; then
   # shapes are meaningless at this scale, so deviations don't fail.
   DSM_SHAPE_CHECKS=0
   export DSM_SHAPE_CHECKS
+  # One timing rep in smoke mode: the ctest wrapper only checks that
+  # the harness runs, not the timings.
+  DSM_BENCH_REPS=${DSM_BENCH_REPS:-1}
+  export DSM_BENCH_REPS
 fi
 
 # Problem sizes: "<bench> <args...>"; smoke mode shrinks every figure.

@@ -24,6 +24,8 @@ const char *dsm::chaos::engineName(EngineKind K) {
     return "bytecode";
   case EngineKind::BytecodeNoFuse:
     return "bytecode-nofuse";
+  case EngineKind::BytecodeNoRunBatch:
+    return "bytecode-norunbatch";
   case EngineKind::Auto:
     break;
   }
@@ -37,8 +39,11 @@ Expected<EngineKind> dsm::chaos::parseEngineName(const std::string &Name) {
     return EngineKind::Bytecode;
   if (Name == "bytecode-nofuse")
     return EngineKind::BytecodeNoFuse;
-  return Error::make("unknown engine '" + Name +
-                     "' (interp, bytecode, bytecode-nofuse)");
+  if (Name == "bytecode-norunbatch")
+    return EngineKind::BytecodeNoRunBatch;
+  return Error::make(
+      "unknown engine '" + Name +
+      "' (interp, bytecode, bytecode-nofuse, bytecode-norunbatch)");
 }
 
 Scenario Scenario::generate(uint64_t Seed) {
@@ -92,6 +97,8 @@ Scenario Scenario::generate(uint64_t Seed) {
   S.Legs.push_back({EngineKind::Bytecode, 1});
   if (R.nextBelow(2) == 0)
     S.Legs.push_back({EngineKind::BytecodeNoFuse, 1});
+  if (R.nextBelow(2) == 0)
+    S.Legs.push_back({EngineKind::BytecodeNoRunBatch, 1});
   S.Legs.push_back(
       {EngineKind::Bytecode, R.nextBelow(2) == 0 ? 2 : 4});
   if (R.nextBelow(3) == 0)

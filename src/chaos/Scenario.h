@@ -65,7 +65,8 @@ struct ScenarioLeg {
 };
 
 /// The engine kind's stable spelling ("interp", "bytecode",
-/// "bytecode-nofuse"); Auto is not representable in a scenario.
+/// "bytecode-nofuse", "bytecode-norunbatch"); Auto is not
+/// representable in a scenario.
 const char *engineName(exec::RunOptions::EngineKind K);
 Expected<exec::RunOptions::EngineKind>
 parseEngineName(const std::string &Name);

@@ -44,9 +44,11 @@ RunOptions::resolveEngine(EngineKind K) {
     return EngineKind::Bytecode;
   if (V == "bytecode-nofuse")
     return EngineKind::BytecodeNoFuse;
+  if (V == "bytecode-norunbatch")
+    return EngineKind::BytecodeNoRunBatch;
   return Error::make(formatString(
       "invalid DSM_ENGINE value '%s' (expected 'interp', 'bytecode', "
-      "or 'bytecode-nofuse')",
+      "'bytecode-nofuse', or 'bytecode-norunbatch')",
       Env));
 }
 

@@ -95,26 +95,32 @@ struct RunOptions {
   /// bit-identical (same checksums, sim cycles, metrics, and fault
   /// accounting); they differ only in host speed.
   enum class EngineKind {
-    /// Resolve from DSM_ENGINE ("interp", "bytecode", or
-    /// "bytecode-nofuse"); unset means Bytecode.  An unrecognized
-    /// value surfaces as an Error from validate() and run(), never an
-    /// abort.
+    /// Resolve from DSM_ENGINE ("interp", "bytecode",
+    /// "bytecode-nofuse", or "bytecode-norunbatch"); unset means
+    /// Bytecode.  An unrecognized value surfaces as an Error from
+    /// validate() and run(), never an abort.
     Auto,
     /// The reference tree-walking interpreter.
     Interp,
     /// Compiles each procedure and epoch body once to a flat
     /// register-based bytecode and executes it with a tight dispatch
     /// loop (DESIGN.md Section 12), with the loop-superinstruction
-    /// layer on: eligible innermost loops run as strip-mined batches
-    /// (DESIGN.md Section 13).  The compiled code is cached on the
-    /// link::Program, so engines sharing a session::ProgramHandle
-    /// share it too.
+    /// layer on -- eligible innermost loops run as strip-mined batches
+    /// (DESIGN.md Section 13) -- and run-length batched memory windows
+    /// on top of the strips (DESIGN.md Section 17).  The compiled code
+    /// is cached on the link::Program, so engines sharing a
+    /// session::ProgramHandle share it too.
     Bytecode,
     /// The same bytecode and compiled image with strips disabled:
     /// every loop iteration takes one dispatch per instruction.  The
-    /// A/B baseline for the fusion layer (and the 4-way differential
+    /// A/B baseline for the fusion layer (and the differential
     /// fuzzer's unfused oracle).
     BytecodeNoFuse,
+    /// Strips on, run-length batched memory windows off: every strip
+    /// access goes through scalar batchAccess.  The A/B baseline for
+    /// the run-batching layer (and the 5-way differential fuzzer's
+    /// strip-scalar oracle).
+    BytecodeNoRunBatch,
   };
   EngineKind Engine = EngineKind::Auto;
 

@@ -122,9 +122,13 @@ struct Engine::Impl {
   /// link::Program::EngineArtifacts, so engines running the same
   /// ProgramHandle -- batch jobs, host threads -- compile once.
   std::shared_ptr<const bc::CompiledProgram> BC;
-  /// Whether LoopBody superinstructions may run strips (Bytecode yes,
-  /// BytecodeNoFuse no); irrelevant without BC.
+  /// Whether LoopBody superinstructions may run strips (Bytecode and
+  /// BytecodeNoRunBatch yes, BytecodeNoFuse no); irrelevant without BC.
   bool FuseStrips = false;
+  /// Whether strips may open run-length batched memory windows over
+  /// their access sites (DESIGN.md Section 17): Bytecode yes,
+  /// BytecodeNoRunBatch/BytecodeNoFuse no; irrelevant without strips.
+  bool RunBatch = false;
   /// The run's buggify registry (Opts.Fault's, cached at run start so
   /// the VM's strip dispatch pays one pointer test); null when chaos
   /// is off.  The "strip_bail" hook it arms is host-only: a forced
@@ -263,6 +267,28 @@ struct Engine::Impl {
     };
     std::array<PageSlot, 64> PageCache;
     const uint64_t PageBytes;
+
+    /// Persistent per-strip site memos (run-batched engines only,
+    /// DESIGN.md Section 17): the numa::BatchAccess page-run state for
+    /// each data-access site of a fused strip, keyed by the strip's
+    /// head pc and carried across strip executions.  Consecutive
+    /// executions of the same strip usually continue in the very L1
+    /// line the previous one ended on, so a fresh-per-execution memo
+    /// would send every execution's first access down the full
+    /// pipeline for nothing.  Every memo field is revalidated against
+    /// live TLB/cache/page state per access, so staleness (epochs,
+    /// redistribution, rebinding the strip to another array instance)
+    /// only costs the shortcut, never correctness.  The settled flags
+    /// are per-processor facts, though, so the memo set is reset
+    /// whenever the executing processor changes.
+    struct StripMemos {
+      int Proc = -1;
+      int NumSites = 0;
+      numa::BatchAccess Data[32];
+    };
+    /// Keyed by the StripInfo's address (stable once a Code is
+    /// compiled, and unique across procedures, unlike the head pc).
+    std::unordered_map<const void *, StripMemos> SiteMemos;
 
     explicit Ctx(Impl &S)
         : S(S), OwnedSink(&S.OwnedInstances), PageBytes(S.Mem.pageSize()) {
@@ -1672,11 +1698,15 @@ struct Engine::Impl {
       return EK.takeError();
     Result.Engine = *EK;
     if (*EK == RunOptions::EngineKind::Bytecode ||
-        *EK == RunOptions::EngineKind::BytecodeNoFuse) {
+        *EK == RunOptions::EngineKind::BytecodeNoFuse ||
+        *EK == RunOptions::EngineKind::BytecodeNoRunBatch) {
       BC = bytecodeFor(Prog);
-      // Both bytecode engines share the fused compiled image; the
-      // nofuse A/B baseline simply never activates LoopBody strips.
-      FuseStrips = *EK == RunOptions::EngineKind::Bytecode;
+      // All bytecode engines share the fused compiled image; the
+      // nofuse A/B baseline simply never activates LoopBody strips,
+      // and the norunbatch baseline runs strips with every access
+      // through scalar batchAccess.
+      FuseStrips = *EK != RunOptions::EngineKind::BytecodeNoFuse;
+      RunBatch = *EK == RunOptions::EngineKind::Bytecode;
     }
     State = RunState::Running;
     Main.TransCache.assign(static_cast<size_t>(NumTransSlots), {});

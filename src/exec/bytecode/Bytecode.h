@@ -160,6 +160,19 @@ struct Insn {
   } X = {};
 };
 
+/// Per-site affine stride classification (Fuse.cpp): whether every
+/// subscript of an element-access site is an affine function of the
+/// loop counter across the iterations of one strip execution, and each
+/// subscript's stride per counter unit.  The VM combines DimStride with
+/// the instance's runtime layout strides and the loop step to recognize
+/// sites whose address advances by exactly one element per iteration --
+/// the precondition for run-length batched windows (DESIGN.md
+/// Section 17).  Conservative: Affine=false only disables batching.
+struct SiteAffinity {
+  bool Affine = false;
+  std::array<int64_t, 8> DimStride = {}; ///< d(subscript_D)/d(counter).
+};
+
 /// Strip descriptor for one fused innermost loop (Op::LoopBody): the
 /// body bounds, the number of element-access sites (each gets a
 /// numa::BatchAccess translation slot -- the "base address + affine
@@ -181,6 +194,9 @@ struct StripInfo {
   /// skeleton, charged as one add on every completed iteration; a
   /// failing iteration charges the exact prefix instead.
   std::vector<std::array<uint32_t, NumCostClasses>> PurePrefix;
+  /// Per-site affine classification, in body (= site-visit) order;
+  /// size NumSites.
+  std::vector<SiteAffinity> Sites;
 };
 
 /// One compiled execution unit.

@@ -26,9 +26,227 @@
 
 #include "exec/bytecode/Fuse.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace dsm::exec::bc;
+
+namespace {
+
+/// Abstract value for the affine classification walk: when Known, the
+/// register holds Base + Stride * counter for some loop-invariant Base
+/// (with integer arithmetic exact -- any possible overflow demotes to
+/// unknown, since wrapped values are no longer affine).  HasConst
+/// additionally pins the value to the compile-time constant Const
+/// (implying Stride == 0), which MulI needs to scale a stride.
+struct AffVal {
+  bool Known = false;
+  int64_t Stride = 0;
+  bool HasConst = false;
+  int64_t Const = 0;
+  static AffVal unknown() { return {}; }
+  static AffVal invariant() { return {true, 0, false, 0}; }
+  static AffVal constant(int64_t V) { return {true, 0, true, V}; }
+  static AffVal counter() { return {true, 1, false, 0}; }
+};
+
+/// Fills Strip.Sites by abstract interpretation of the straight-line
+/// body over AffVal.  Slot reads resolve to: the value the body itself
+/// stored earlier this iteration, else the loop counter for the
+/// induction slot (the head re-stores it every iteration), else
+/// loop-invariant -- unless the body stores the slot somewhere, in
+/// which case its body-entry value on iterations past the first is
+/// whatever the previous iteration left and the single-pass walk must
+/// call it unknown.
+void classifySites(const Code &C, StripInfo &Strip, int64_t IndSlot) {
+  Strip.Sites.assign(Strip.NumSites, SiteAffinity());
+  std::vector<AffVal> Reg(C.NumRegs);
+  std::vector<int32_t> StoredSlots;
+  for (int32_t P = Strip.BodyBegin; P < Strip.BodyEnd; ++P) {
+    const Insn &In = C.Insns[static_cast<size_t>(P)];
+    if (In.Opc == Op::StSlot)
+      StoredSlots.push_back(In.Imm);
+  }
+  std::vector<std::pair<int32_t, AffVal>> Overrides;
+  auto readSlot = [&](int32_t Slot) {
+    for (const auto &KV : Overrides)
+      if (KV.first == Slot)
+        return KV.second;
+    if (Slot == IndSlot)
+      return AffVal::counter();
+    if (std::find(StoredSlots.begin(), StoredSlots.end(), Slot) !=
+        StoredSlots.end())
+      return AffVal::unknown();
+    return AffVal::invariant();
+  };
+  auto addSub = [](const AffVal &L, const AffVal &R, bool Sub) {
+    AffVal V;
+    if (!L.Known || !R.Known)
+      return V;
+    int64_t S, K = 0;
+    if (Sub ? __builtin_sub_overflow(L.Stride, R.Stride, &S)
+            : __builtin_add_overflow(L.Stride, R.Stride, &S))
+      return V;
+    if (L.HasConst && R.HasConst &&
+        !(Sub ? __builtin_sub_overflow(L.Const, R.Const, &K)
+              : __builtin_add_overflow(L.Const, R.Const, &K)))
+      return AffVal::constant(K);
+    V.Known = true;
+    V.Stride = S;
+    return V;
+  };
+  auto mulByConst = [](const AffVal &V, int64_t K) {
+    AffVal R;
+    int64_t S;
+    if (__builtin_mul_overflow(V.Stride, K, &S))
+      return R;
+    if (V.HasConst) {
+      int64_t P;
+      if (!__builtin_mul_overflow(V.Const, K, &P))
+        return AffVal::constant(P);
+      return R;
+    }
+    R.Known = true;
+    R.Stride = S;
+    return R;
+  };
+  auto invariantOnly = [](const AffVal &L, const AffVal &R) {
+    return L.Known && L.Stride == 0 && R.Known && R.Stride == 0
+               ? AffVal::invariant()
+               : AffVal::unknown();
+  };
+
+  uint16_t SiteIdx = 0;
+  for (int32_t P = Strip.BodyBegin; P < Strip.BodyEnd; ++P) {
+    const Insn &In = C.Insns[static_cast<size_t>(P)];
+    switch (In.Opc) {
+    case Op::LdImmI:
+      Reg[In.A] = AffVal::constant(In.X.IVal);
+      break;
+    case Op::LdImmF:
+      Reg[In.A] = AffVal::invariant();
+      break;
+    case Op::LdSlot:
+      Reg[In.A] = readSlot(In.Imm);
+      break;
+    case Op::StSlot: {
+      auto It = std::find_if(Overrides.begin(), Overrides.end(),
+                             [&](const auto &KV) { return KV.first == In.Imm; });
+      if (It != Overrides.end())
+        It->second = Reg[In.A];
+      else
+        Overrides.emplace_back(In.Imm, Reg[In.A]);
+      break;
+    }
+    case Op::AddI:
+      Reg[In.A] = addSub(Reg[In.B], Reg[In.C], /*Sub=*/false);
+      break;
+    case Op::SubI:
+      Reg[In.A] = addSub(Reg[In.B], Reg[In.C], /*Sub=*/true);
+      break;
+    case Op::MulI: {
+      const AffVal &L = Reg[In.B], &R = Reg[In.C];
+      if (L.HasConst)
+        Reg[In.A] = mulByConst(R, L.Const);
+      else if (R.HasConst)
+        Reg[In.A] = mulByConst(L, R.Const);
+      else
+        Reg[In.A] = invariantOnly(L, R); // invariant * invariant only
+      break;
+    }
+    case Op::NegI: {
+      const AffVal &V = Reg[In.B];
+      Reg[In.A] = V.Known ? mulByConst(V, -1) : AffVal::unknown();
+      break;
+    }
+    case Op::MinI:
+    case Op::MaxI: {
+      // min/max of two affine values with EQUAL strides is affine with
+      // that stride (the winner's invariant base is just unknown).
+      const AffVal &L = Reg[In.B], &R = Reg[In.C];
+      if (L.HasConst && R.HasConst)
+        Reg[In.A] = AffVal::constant(In.Opc == Op::MinI
+                                         ? std::min(L.Const, R.Const)
+                                         : std::max(L.Const, R.Const));
+      else if (L.Known && R.Known && L.Stride == R.Stride) {
+        Reg[In.A] = AffVal();
+        Reg[In.A].Known = true;
+        Reg[In.A].Stride = L.Stride;
+      } else
+        Reg[In.A] = AffVal::unknown();
+      break;
+    }
+    case Op::AbsI: {
+      const AffVal &V = Reg[In.B];
+      if (V.HasConst && V.Const != INT64_MIN)
+        Reg[In.A] = AffVal::constant(V.Const < 0 ? -V.Const : V.Const);
+      else if (V.Known && V.Stride == 0)
+        Reg[In.A] = AffVal::invariant();
+      else
+        Reg[In.A] = AffVal::unknown();
+      break;
+    }
+    // Float arithmetic: rounding breaks exact affineness, so only
+    // loop-invariant operands yield a (loop-invariant) result.
+    case Op::AddF:
+    case Op::SubF:
+    case Op::MulF:
+    case Op::FDivOp:
+    case Op::MinF:
+    case Op::MaxF:
+    case Op::LtI:
+    case Op::LtF:
+    case Op::LeI:
+    case Op::LeF:
+    case Op::GtI:
+    case Op::GtF:
+    case Op::GeI:
+    case Op::GeF:
+    case Op::EqI:
+    case Op::EqF:
+    case Op::NeI:
+    case Op::NeF:
+    case Op::AndL:
+    case Op::OrL:
+      Reg[In.A] = invariantOnly(Reg[In.B], Reg[In.C]);
+      break;
+    case Op::NegF:
+    case Op::AbsF:
+    case Op::CvtIF:
+    case Op::CvtFI: {
+      const AffVal &V = Reg[In.B];
+      Reg[In.A] = V.Known && V.Stride == 0 ? AffVal::invariant()
+                                           : AffVal::unknown();
+      break;
+    }
+    case Op::LoadElemF:
+    case Op::StoreElemF: {
+      SiteAffinity &Site = Strip.Sites[SiteIdx++];
+      size_t Rank = In.X.E->Ops.size();
+      if (Rank <= Site.DimStride.size()) {
+        Site.Affine = true;
+        for (size_t D = 0; D < Rank; ++D) {
+          const AffVal &V = Reg[static_cast<size_t>(In.C) + D];
+          Site.Affine &= V.Known;
+          Site.DimStride[D] = V.Stride;
+        }
+      }
+      if (In.Opc == Op::LoadElemF)
+        Reg[In.A] = AffVal::unknown();
+      break;
+    }
+    default:
+      // Not a strip-body op; fuseLoops filtered these, but stay
+      // conservative rather than assert on future whitelist growth.
+      for (AffVal &V : Reg)
+        V = AffVal::unknown();
+      break;
+    }
+  }
+  assert(SiteIdx == Strip.NumSites && "site count drifted");
+}
+
+} // namespace
 
 namespace dsm::exec::bc {
 
@@ -123,6 +341,7 @@ void fuseLoops(Code &C, unsigned &LoopsFused, unsigned &LoopsBailed) {
         Acc[In.CostKind] += In.CostMul;
       Strip.PurePrefix[K + 1] = Acc;
     }
+    classifySites(C, Strip, Head.X.IVal);
 
     Head.Opc = Op::LoopBody;
     Head.D = static_cast<uint8_t>(C.Strips.size());

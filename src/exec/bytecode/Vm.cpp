@@ -769,8 +769,14 @@ bool Engine::Impl::Ctx::execStrip(const bc::Code &Code,
     /// instead of calling ArrayLayout::linearIndex per access.
     int64_t Dims[8] = {};
     int64_t Strides[8] = {};
-    numa::BatchAccess Data;
     numa::BatchAccess ProcArr;
+    /// Run-length batching state (DESIGN.md Section 17): whether the
+    /// site writes, and the address the next iteration's access must
+    /// hit for an open window to stay valid (last address + 8, since
+    /// windows require exactly one element of advance per iteration).
+    bool IsWrite = false;
+    bool HavePred = false;
+    uint64_t PredAddr = 0;
   };
   constexpr int MaxSites = 32;
   if (Strip.NumSites > MaxSites)
@@ -805,6 +811,7 @@ bool Engine::Impl::Ctx::execStrip(const bc::Code &Code,
     if (St.Rank > 8)
       return false;
     St.Reshaped = Inst->isReshaped();
+    St.IsWrite = In.Opc == bc::Op::StoreElemF;
     St.UseTrans = E.TransSlot >= 0 &&
                   static_cast<size_t>(E.TransSlot) < TransCache.size();
     int64_t Stride = 1;
@@ -834,11 +841,73 @@ bool Engine::Impl::Ctx::execStrip(const bc::Code &Code,
   const bool MarkRoot = Recording && Cur == FrameStack.front().get();
   const bool Perf = S.Opts.Perf;
 
+  // Run-length batched windows (DESIGN.md Section 17): eligible only
+  // when every site is a flat (non-reshaped) access whose address
+  // provably advances by exactly one element per iteration -- the
+  // fuse-time affine subscript strides combined with this instance's
+  // layout strides and the live loop step.  Recording mode keeps the
+  // scalar trace; a fault injector disables window opens wholesale
+  // inside MemorySystem::openRun (fault-armed pages and per-access
+  // buggify draws must see every access).
+  bool RunBatch = S.RunBatch && Perf && !Recording && NumSites > 0 &&
+                  Strip.Sites.size() == static_cast<size_t>(NumSites);
+  if (RunBatch) {
+    for (int I = 0; I < NumSites && RunBatch; ++I) {
+      const bc::SiteAffinity &A = Strip.Sites[static_cast<size_t>(I)];
+      const SiteState &St = Sites[I];
+      int64_t ElemStride = 0, PerIter = 0;
+      bool Ovf = false;
+      for (unsigned D = 0; D < St.Rank; ++D) {
+        int64_t T;
+        Ovf |= __builtin_mul_overflow(A.DimStride[D], St.Strides[D], &T) ||
+               __builtin_add_overflow(ElemStride, T, &ElemStride);
+      }
+      Ovf |= __builtin_mul_overflow(ElemStride, Step, &PerIter);
+      if (!A.Affine || St.Reshaped || Ovf || PerIter != 1)
+        RunBatch = false;
+    }
+    // Buggify (host-only): decline windows for this strip execution;
+    // the scalar batchAccess path is bit-identical by construction.
+    if (RunBatch && DSM_BUGGIFY(S.Chaos, "run_bail", Strip.Head))
+      RunBatch = false;
+  }
+  // Data-site memos: persistent across executions of this strip for
+  // run-batched engines (Ctx::SiteMemos -- consecutive executions
+  // usually continue in the L1 line the previous one ended on), fresh
+  // locals otherwise so the norunbatch A/B leg measures the unbatched
+  // engine as it was.
+  numa::BatchAccess LocalMemos[MaxSites];
+  numa::BatchAccess *Memos = LocalMemos;
+  const bool RunCont = S.RunBatch && Perf && !Recording;
+  if (RunCont) {
+    StripMemos &M = SiteMemos[&Strip];
+    if (M.Proc != CurProc || M.NumSites != NumSites) {
+      M.Proc = CurProc;
+      M.NumSites = NumSites;
+      std::fill_n(M.Data, static_cast<size_t>(NumSites),
+                  numa::BatchAccess());
+    }
+    Memos = M.Data;
+  }
+  numa::RunWindow RW;
+  RW.NumSites = NumSites;
+  if (RunBatch)
+    for (int I = 0; I < NumSites; ++I) {
+      RW.Sites[I].Site = &Memos[I];
+      RW.Sites[I].IsWrite = Sites[I].IsWrite;
+    }
+  int NumPred = 0;     // sites with a predicted next address
+  unsigned WinLeft = 0; // iterations the open window still covers
+  unsigned WinDone = 0; // iterations completed inside the window
+
   // The batched memAccess: records in phase 1 and otherwise charges
   // through the site's BatchAccess fast path (MemorySystem falls back
   // to the full per-access pipeline -- with its observer and
   // fault-injector hooks -- the moment an access leaves the settled
-  // page run).
+  // page run).  Run-batched engines take the run-continuation entry
+  // instead: same fallback, but repeated hits on the site's current
+  // L1 line skip the whole pipeline (and a fault injector makes
+  // runAccess delegate wholesale, so chaos runs see every access).
   auto stripAccess = [&](numa::BatchAccess &Site, uint64_t Addr,
                          bool IsWrite) {
     if (!Perf)
@@ -847,7 +916,8 @@ bool Engine::Impl::Ctx::execStrip(const bc::Code &Code,
       Trace.push_back(Addr | (IsWrite ? 1u : 0u));
       return;
     }
-    Clock += S.Mem.batchAccess(CurProc, Addr, 8, IsWrite, Site);
+    Clock += RunCont ? S.Mem.runAccess(CurProc, Addr, 8, IsWrite, Site)
+                     : S.Mem.batchAccess(CurProc, Addr, 8, IsWrite, Site);
   };
 
   // An iteration cut short by a bounds failure charges the pure ops
@@ -863,6 +933,25 @@ bool Engine::Impl::Ctx::execStrip(const bc::Code &Code,
   // slot and charged the head for the current iteration; each pass of
   // this loop runs the body, then the latch and next head inline.
   for (;;) {
+    // Try to open a window over the coming iterations once every site
+    // has a predicted address (i.e. after at least one scalar
+    // iteration primed the memos).  openRun bounds the window by L1
+    // line geometry; capping it at the remaining iteration count keeps
+    // every window wholly inside the loop.
+    if (RunBatch && WinLeft == 0 && NumPred == NumSites) {
+      uint64_t AbsStep = Step > 0
+                             ? static_cast<uint64_t>(Step)
+                             : 0 - static_cast<uint64_t>(Step);
+      uint64_t Diff = Step > 0
+                          ? static_cast<uint64_t>(Ub) -
+                                static_cast<uint64_t>(Regs[Head.A].I)
+                          : static_cast<uint64_t>(Regs[Head.A].I) -
+                                static_cast<uint64_t>(Ub);
+      for (int I = 0; I < NumSites; ++I)
+        RW.Sites[I].Addr = Sites[I].PredAddr;
+      WinLeft = S.Mem.openRun(CurProc, RW, Diff / AbsStep + 1);
+      WinDone = 0;
+    }
     int Site = 0;
     for (int32_t P = 0; P < BodyLen; ++P) {
       const bc::Insn &In = Body[P];
@@ -996,6 +1085,13 @@ bool Engine::Impl::Ctx::execStrip(const bc::Code &Code,
         for (unsigned D = 0; D < St.Rank; ++D) {
           int64_t V = Idx[D] = Regs[In.C + D].I;
           if (V < 1 || V > St.Dims[D]) {
+            // Flush the window's completed accesses before failing;
+            // cycle charges commute, so settling the bill here keeps
+            // the clock identical to the scalar order.
+            if (WinLeft) {
+              Clock += S.Mem.commitRun(CurProc, RW, WinDone, Site - 1);
+              WinLeft = 0;
+            }
             chargePrefix(P);
             fail(formatString("subscript %u of '%s' out of bounds: "
                               "%lld not in [1, %lld]",
@@ -1027,7 +1123,27 @@ bool Engine::Impl::Ctx::execStrip(const bc::Code &Code,
           Addr = St.Inst->PortionBases[static_cast<size_t>(Cell)] +
                  static_cast<uint64_t>(Local) * 8;
         }
-        stripAccess(St.Data, Addr, IsWrite);
+        if (WinLeft) {
+          if (Addr == St.PredAddr) {
+            // Batched: proven pure hit, settled at window commit.
+            St.PredAddr += 8;
+          } else {
+            // Misprediction (defense in depth -- the affine proof
+            // makes this unreachable): flush what completed, then go
+            // scalar from here on.
+            Clock += S.Mem.commitRun(CurProc, RW, WinDone, Site - 1);
+            WinLeft = 0;
+            stripAccess(Memos[Site - 1], Addr, IsWrite);
+            St.PredAddr = Addr + 8;
+          }
+        } else {
+          stripAccess(Memos[Site - 1], Addr, IsWrite);
+          if (RunBatch) {
+            NumPred += !St.HavePred;
+            St.HavePred = true;
+            St.PredAddr = Addr + 8;
+          }
+        }
         uint8_t *Data = funcData(Addr);
         if (IsWrite) {
           if (E.Type == ScalarType::F64)
@@ -1050,12 +1166,22 @@ bool Engine::Impl::Ctx::execStrip(const bc::Code &Code,
       }
     }
     Clock += TotalPure;
+    if (WinLeft && ++WinDone == WinLeft) {
+      Clock += S.Mem.commitRun(CurProc, RW, WinDone, 0);
+      WinLeft = 0;
+    }
 
     // DoLatch, then the next DoHead, inline.
     Regs[Head.A].I += Step;
     int64_t I = Regs[Head.A].I;
-    if (!(Step > 0 ? I <= Ub : I >= Ub))
+    if (!(Step > 0 ? I <= Ub : I >= Ub)) {
+      // Windows are capped at the remaining iteration count, so the
+      // commit above always ran before an exit; keep a defensive
+      // flush anyway.
+      if (WinLeft)
+        Clock += S.Mem.commitRun(CurProc, RW, WinDone, 0);
       return true;
+    }
     Cur->Scalars[Slot] = Value::ofInt(I);
     if (MarkRoot)
       RootWritten[Slot] = 1;

@@ -58,6 +58,53 @@ public:
     return false;
   }
 
+  /// Run-batched commit for the line containing \p Addr
+  /// (MemorySystem::commitRun): stamps the line as if its most recent
+  /// hit happened \p LastTick clock ticks after the current clock and
+  /// ORs in the dirty bit, without advancing the clock -- the caller
+  /// stamps every line a window touched (in ascending tick order, so
+  /// colliding stamps resolve exactly as the scalar sequence would)
+  /// and then advances the shared clock once via advanceClock().
+  /// Equivalent to interleaved accessIfHit calls at those positions.
+  /// Returns false, touching nothing, if the line is not resident.
+  bool accessRun(uint64_t Addr, uint32_t LastTick, bool IsWrite) {
+    if (Way *W = findWay(Addr)) {
+      W->LruStamp = Clock + LastTick;
+      W->Dirty |= IsWrite;
+      return true;
+    }
+    return false;
+  }
+
+  /// Second half of the accessRun protocol: one clock advance covering
+  /// every access of a committed window.
+  void advanceClock(uint32_t Ticks) { Clock += Ticks; }
+
+  /// Opaque handle to the way currently holding \p Addr's line, or
+  /// nullptr if not resident.  Ways never move, so the handle stays
+  /// usable across later accesses; accessVia revalidates it by tag on
+  /// every use (run-continuation memo, MemorySystem::runAccess).
+  void *wayHandle(uint64_t Addr) { return findWay(Addr); }
+
+  /// accessIfHit through a cached wayHandle: if the handle still holds
+  /// \p Addr's line, commits the hit (clock tick, LRU stamp, dirty
+  /// update) and returns true; if the way was since evicted or refilled
+  /// with another line, touches nothing and returns false.  The line
+  /// may then still be resident in a sibling way -- the caller's
+  /// fallback (the scalar batchAccess pipeline) handles that case
+  /// identically, just without the shortcut.  \p Addr must lie on the
+  /// same line the handle was obtained for (the tag only disambiguates
+  /// within that line's set).
+  bool accessVia(void *Handle, uint64_t Addr, bool IsWrite) {
+    Way *W = static_cast<Way *>(Handle);
+    if (!W || !W->Valid || W->Tag != tagOf(Addr))
+      return false;
+    ++Clock;
+    W->LruStamp = Clock;
+    W->Dirty |= IsWrite;
+    return true;
+  }
+
   /// Removes the line containing \p Addr if present.  Returns true if the
   /// invalidated line was dirty.
   bool invalidate(uint64_t Addr);

@@ -532,6 +532,255 @@ uint64_t MemorySystem::batchAccess(int Proc, uint64_t Addr, unsigned Bytes,
   return Cycles;
 }
 
+unsigned MemorySystem::openRun(int Proc, RunWindow &W, uint64_t MaxIters) {
+  // A fault injector must see every access (fault-armed pages, buggify
+  // draws keyed per access); batching is wholesale-disabled then.
+  if (Inj || W.NumSites <= 0 || MaxIters == 0)
+    return 0;
+  ProcState &P = *Procs[Proc];
+  const uint64_t L1Line = Config.L1.LineBytes;
+  const uint64_t L2Line = Config.L2.LineBytes;
+  uint64_t Cap = MaxIters;
+  for (int I = 0; I < W.NumSites; ++I) {
+    RunSite &S = W.Sites[I];
+    BatchAccess &M = *S.Site;
+    // The same settled-coherence proof as batchAccess's fast path: the
+    // memo's page translation is exact and the directory already
+    // records Proc for this coherence unit.
+    uint64_t VPage = pageOf(S.Addr);
+    if (VPage != M.VPage || !(S.IsWrite ? M.WriteSettled : M.ReadSettled))
+      return 0;
+    uint64_t Phys = S.Addr + M.PhysMinusVirt;
+    if ((Phys & ~(L2Line - 1)) != M.PhysL2Line)
+      return 0;
+    // Residency: the whole window must be pure hits.  The scalar path
+    // tolerates TLB scan hits (non-MRU), so a plain resident entry is
+    // enough; its index is cached across windows and revalidated.
+    if (P.Dtlb.pageAt(M.TlbIdx) != VPage) {
+      M.TlbIdx = P.Dtlb.findEntry(VPage);
+      if (M.TlbIdx == SIZE_MAX)
+        return 0;
+    }
+    if (!P.L1.contains(Phys))
+      return 0;
+    S.VPage = VPage;
+    S.Phys = Phys;
+    // The run ends at the current L1 line's edge: the next line's
+    // residency is unknown (and, measured, almost never resident when
+    // this site is the sweep's leading edge -- probing it is pure
+    // overhead), and staying inside the L1 line also stays inside the
+    // settled L2 line.  Runs that outlive the window continue through
+    // the runAccess per-access tier instead.
+    uint64_t ToLineEnd = (L1Line - (Phys & (L1Line - 1))) / 8;
+    Cap = std::min(Cap, ToLineEnd);
+  }
+  W.PreMruPage = P.Dtlb.mruPage();
+  return static_cast<unsigned>(Cap);
+}
+
+uint64_t MemorySystem::commitRun(int Proc, RunWindow &W, unsigned FullIters,
+                                 int PartialSites) {
+  const int S = W.NumSites;
+  const uint64_t NAcc = uint64_t(FullIters) * S + PartialSites;
+  if (NAcc == 0)
+    return 0;
+  ProcState &P = *Procs[Proc];
+
+  // Counters: every access is a Load or Store; nothing else moves on a
+  // pure-hit access (no misses, no memory requests, no observer/fault
+  // hooks -- those exist only on slow paths).
+  uint64_t Loads = 0, Stores = 0;
+  for (int I = 0; I < S; ++I)
+    (W.Sites[I].IsWrite ? Stores : Loads) += FullIters + (I < PartialSites);
+  Stats.Loads += Loads;
+  Stats.Stores += Stores;
+
+  // L1 and TLB LRU stamps.  In the interleaved scalar sequence, access
+  // number k (1-based) stamps its line and TLB entry with clock+k; only
+  // the LAST access per line / per TLB entry survives.  A site's run
+  // may cross L1 lines (the settled L2 line bounds it, openRun verified
+  // every touched line resident), so per site each touched line gets
+  // one stamp event at the site's last access on it, 1-based position
+  // j*S + I + 1 for iteration j.  Events are applied in ascending
+  // position order with plain assignment, so collisions on a line
+  // shared by several sites resolve exactly as the scalar sequence
+  // would; then each clock advances once for all NAcc ticks.
+  struct StampEvent {
+    uint64_t Pos;
+    uint64_t Addr;
+    bool IsWrite;
+  };
+  StampEvent Events[RunWindow::MaxSites * 16];
+  int NumEvents = 0;
+  const uint64_t L1Line = Config.L1.LineBytes;
+  assert(Config.L2.LineBytes / L1Line <= 16 &&
+         "StampEvent buffer sized for <= 16 L1 lines per L2 line");
+  for (int I = 0; I < S; ++I) {
+    uint64_t N = FullIters + (I < PartialSites);
+    if (N == 0)
+      continue;
+    const uint64_t Phys = W.Sites[I].Phys;
+    for (uint64_t J = 0; J < N;) {
+      // Last iteration still on the current L1 line.
+      uint64_t LineEnd = (Phys + 8 * J) | (L1Line - 1);
+      uint64_t JLast = std::min(N - 1, (LineEnd + 1 - Phys) / 8 - 1);
+      Events[NumEvents++] = {JLast * S + I + 1, Phys + 8 * JLast,
+                             W.Sites[I].IsWrite};
+      J = JLast + 1;
+    }
+  }
+  // Positions are distinct (one event per (iteration, site) pair);
+  // insertion sort -- a handful of events per window.
+  for (int I = 1; I < NumEvents; ++I) {
+    StampEvent E = Events[I];
+    int J = I;
+    for (; J > 0 && Events[J - 1].Pos > E.Pos; --J)
+      Events[J] = Events[J - 1];
+    Events[J] = E;
+  }
+  for (int I = 0; I < NumEvents; ++I) {
+    bool Hit = P.L1.accessRun(Events[I].Addr,
+                              static_cast<uint32_t>(Events[I].Pos),
+                              Events[I].IsWrite);
+    assert(Hit && "run window line evicted between open and commit");
+    (void)Hit;
+  }
+  // The TLB entry is per page, constant across a site's run: one stamp
+  // at the site's overall last position.  Sites past the partial cut
+  // (n = Full) strictly precede sites inside it (n = Full + 1), so the
+  // two loops apply stamps in ascending position order.
+  auto StampTlb = [&](int I) {
+    uint32_t N = FullIters + (I < PartialSites);
+    if (N == 0)
+      return;
+    uint32_t Pos = (N - 1) * static_cast<uint32_t>(S) +
+                   static_cast<uint32_t>(I) + 1;
+    P.Dtlb.runStamp(W.Sites[I].Site->TlbIdx, Pos);
+  };
+  for (int I = PartialSites; I < S; ++I)
+    StampTlb(I);
+  for (int I = 0; I < PartialSites; ++I)
+    StampTlb(I);
+  P.L1.advanceClock(static_cast<uint32_t>(NAcc));
+  P.Dtlb.advanceClock(static_cast<uint32_t>(NAcc));
+  int LastSite = PartialSites > 0 ? PartialSites - 1 : S - 1;
+  P.Dtlb.setMru(W.Sites[LastSite].Site->TlbIdx);
+
+  // Fast/slow classification.  A scalar access takes batchAccess's fast
+  // path iff the TLB MRU already holds its page, i.e. iff the
+  // immediately preceding access (in global order) touched the same
+  // page; otherwise it goes through the committed access() pipeline --
+  // still a pure hit (TLB scan hit, L1 hit, settled no-op coherence;
+  // same cycles and counters) but with two extra memo side effects
+  // reproduced here: the per-processor page memo and the site's
+  // settled-flag re-prime.
+  auto SlowAt = [&](uint64_t J, int I) {
+    uint64_t PrevPage = I > 0        ? W.Sites[I - 1].VPage
+                        : J > 0      ? W.Sites[S - 1].VPage
+                                     : W.PreMruPage;
+    return W.Sites[I].VPage != PrevPage;
+  };
+  // Site memos: a slow access re-primes ReadSettled=true,
+  // WriteSettled=IsWrite (translation fields recompute to identical
+  // values inside the settled line).  Steady-state slowness depends
+  // only on the site, so checking iterations 0 and 1 covers all.
+  for (int I = 0; I < S; ++I) {
+    uint32_t N = FullIters + (I < PartialSites);
+    if (N == 0)
+      continue;
+    if (SlowAt(0, I) || (N > 1 && SlowAt(1, I))) {
+      W.Sites[I].Site->ReadSettled = true;
+      W.Sites[I].Site->WriteSettled = W.Sites[I].IsWrite;
+    }
+  }
+  // Page memo: page of the last slow access, if any.  When any site
+  // pair disagrees on page, every iteration has a slow access and this
+  // scan exits within one iteration's worth of positions; when all
+  // sites share one page, only position 1 can be slow.
+  for (uint64_t Pos = NAcc; Pos > 0; --Pos) {
+    uint64_t J = (Pos - 1) / S;
+    int I = static_cast<int>((Pos - 1) % S);
+    if (SlowAt(J, I)) {
+      P.LastVPage = W.Sites[I].VPage;
+      P.LastPI = &Pages[W.Sites[I].VPage];
+      break;
+    }
+  }
+  return NAcc * Config.Costs.L1Hit;
+}
+
+uint64_t MemorySystem::runAccess(int Proc, uint64_t Addr, unsigned Bytes,
+                                 bool IsWrite, BatchAccess &Site) {
+  // Fault-armed pages and buggify draws must see the scalar path.
+  if (Inj)
+    return batchAccess(Proc, Addr, Bytes, IsWrite, Site);
+  ProcState &P = *Procs[Proc];
+  uint64_t Phys = Addr + Site.PhysMinusVirt; // exact iff still on VPage
+  // Two fast-path tiers, both requiring the settled flag for the
+  // access kind and a TLB entry still mapping the page:
+  //  - same cached L1 line: pins everything positional (the page, so
+  //    Phys is exact and the TLB comparison is against the right page,
+  //    and the settled L2 line), and accessVia commits the hit in the
+  //    same call that proves it, touching nothing on failure;
+  //  - new L1 line inside the settled L2 line (the run crossing an L1
+  //    line boundary): exactly batchAccess's fast-path proof -- same
+  //    128-aligned virtual block implies same page since the
+  //    phys-minus-virt offset is page-aligned -- with accessIfHit
+  //    committing, after which the line memo is re-primed.  The MRU
+  //    obligation batchAccess carries is replaced by the cached TLB
+  //    index plus the replay below.
+  if ((IsWrite ? Site.WriteSettled : Site.ReadSettled) &&
+      P.Dtlb.pageAt(Site.TlbIdx) == Site.VPage) {
+    bool Hit;
+    if ((Phys & ~(Config.L1.LineBytes - 1)) == Site.LineBase) {
+      Hit = P.L1.accessVia(Site.L1Way, Phys, IsWrite);
+    } else if ((Phys & ~(Config.L2.LineBytes - 1)) == Site.PhysL2Line &&
+               P.L1.accessIfHit(Phys, IsWrite)) {
+      Hit = true;
+      Site.L1Way = P.L1.wayHandle(Phys);
+      Site.LineBase = Phys & ~(Config.L1.LineBytes - 1);
+    } else {
+      Hit = false;
+    }
+    if (Hit) {
+      if (IsWrite)
+        ++Stats.Stores;
+      else
+        ++Stats.Loads;
+      // The TLB hit is identical for both scalar pipelines (clock
+      // tick, stamp, MRU install); which pipeline the scalar reference
+      // takes depends on whether the MRU entry already held the page.
+      bool WasMru = P.Dtlb.mruIs(Site.TlbIdx);
+      P.Dtlb.accessAt(Site.TlbIdx);
+      if (!WasMru) {
+        // The scalar reference rejects batchAccess's fast path here
+        // (MRU miss) and runs the committed access() pipeline -- same
+        // cycles and counters on a pure hit, plus two memo side
+        // effects replayed from the run memo's cached pointers: the
+        // per-processor page memo and the site's settled-flag
+        // re-prime.
+        if (P.LastVPage != Site.VPage) {
+          P.LastVPage = Site.VPage;
+          P.LastPI = static_cast<PageInfo *>(Site.PI);
+        }
+        Site.ReadSettled = true;
+        Site.WriteSettled = IsWrite;
+      }
+      return Config.Costs.L1Hit;
+    }
+  }
+  // Reference pipeline, then refresh the run memo from its outcome: the
+  // access just performed leaves its line resident, its page in the
+  // TLB, and its PageInfo allocated.
+  uint64_t Cycles = batchAccess(Proc, Addr, Bytes, IsWrite, Site);
+  Phys = Addr + Site.PhysMinusVirt;
+  Site.L1Way = P.L1.wayHandle(Phys);
+  Site.LineBase = Site.L1Way ? Phys & ~(Config.L1.LineBytes - 1) : 1;
+  Site.TlbIdx = P.Dtlb.findEntry(Site.VPage);
+  Site.PI = &Pages[Site.VPage];
+  return Cycles;
+}
+
 //===----------------------------------------------------------------------===//
 // Functional data.
 //===----------------------------------------------------------------------===//

@@ -61,7 +61,50 @@ struct BatchAccess {
   uint64_t PhysL2Line = ~0ull;   ///< Coherence unit the settle applies to.
   bool ReadSettled = false;      ///< Dir already has Proc as sharer/owner.
   bool WriteSettled = false;     ///< Dir already has Proc as owner.
+  // Run-continuation memo (runAccess; RunBatch engines only).  Refreshed
+  // by every slow access, revalidated per use, so staleness only costs
+  // the shortcut, never correctness.
+  uint64_t LineBase = 1;    ///< Phys base of the cached L1 line (1 = none;
+                            ///< deliberately misaligned so it never matches).
+  void *L1Way = nullptr;    ///< Cache::wayHandle for LineBase's line.
+  size_t TlbIdx = SIZE_MAX; ///< Tlb::findEntry index for VPage.
+  void *PI = nullptr;       ///< The page's PageInfo, for the page memo.
   void reset() { *this = BatchAccess(); }
+};
+
+/// One access site's slot in a RunWindow (MemorySystem::openRun).  The
+/// VM fills Site/Addr/IsWrite before each open; the translation fields
+/// are cached by openRun and private to the window protocol (the TLB
+/// index lives in the site memo, shared with runAccess).  Deliberately
+/// uninitialized: a RunWindow lives on the VM's hot path (one per strip
+/// execution), and zero-filling MaxSites slots costs more than the
+/// windows save on short strips.
+struct RunSite {
+  BatchAccess *Site; ///< The site's strip memo.
+  uint64_t Addr;     ///< Virtual address of the first access.
+  bool IsWrite;
+  // Filled by openRun:
+  uint64_t VPage;
+  uint64_t Phys;
+};
+
+/// A run-length batched window over a fused strip's access sites
+/// (DESIGN.md Section 17).  The VM proves -- via openRun -- that the
+/// next W iterations' accesses, 8 bytes apart per site per iteration,
+/// are all pure L1 hits with settled coherence (each site's run stays
+/// inside its current -- verified resident -- L1 line, and therefore
+/// inside its settled L2 line), executes those iterations without
+/// touching the memory system, and then commits the window with one
+/// commitRun call that reproduces the scalar batchAccess sequence's
+/// cycles, counters, and cache/TLB state bit-exactly via closed forms.
+struct RunWindow {
+  static constexpr int MaxSites = 32; ///< Matches the VM's strip cap.
+  RunSite Sites[MaxSites];
+  int NumSites = 0;
+  /// TLB MRU page at window open; decides whether the very first access
+  /// would have taken the scalar fast path (affects only memo/page-memo
+  /// re-priming, never cycles).
+  uint64_t PreMruPage = ~0ull;
 };
 
 /// OS page-placement policy for pages not explicitly placed.
@@ -144,6 +187,54 @@ public:
   /// either never changes what this function observes or charges.
   uint64_t batchAccess(int Proc, uint64_t Addr, unsigned Bytes,
                        bool IsWrite, BatchAccess &Site);
+
+  /// Run-length batched entry (ISSUE: accessRun): tries to open a
+  /// batched window of up to \p MaxIters iterations over \p W's sites,
+  /// where site s of iteration j accesses W.Sites[s].Addr + 8*j.
+  /// Returns the window length W' (0 = not provably equivalent; caller
+  /// runs scalar).  A nonzero return proves every access in the window
+  /// is a pure L1 hit with resident TLB entry and settled (no-op)
+  /// coherence, so the VM may run those iterations without calling
+  /// batchAccess and settle the bill afterwards with commitRun.  The
+  /// proof holds because nothing between open and commit touches this
+  /// processor's caches, TLB, directory, or page table.  Returns 0
+  /// whenever a fault injector is attached (fault-armed pages must see
+  /// every access; scalar fallback keeps buggify draws identical).
+  /// Observers are compatible with batching: they hook only slow paths,
+  /// which pure-hit windows never take.
+  unsigned openRun(int Proc, RunWindow &W, uint64_t MaxIters);
+
+  /// Commits a window opened by openRun after \p FullIters complete
+  /// iterations plus the first \p PartialSites sites of one more
+  /// iteration (mid-iteration flushes happen on bounds failures and
+  /// address mispredictions).  Charges cycles (returned), Loads/Stores,
+  /// and replays the interleaved scalar sequence's L1 LRU stamps, TLB
+  /// stamps/MRU, page-table memo, and site-memo re-primes via closed
+  /// forms -- bit-identical to FullIters*NumSites+PartialSites scalar
+  /// batchAccess calls.
+  uint64_t commitRun(int Proc, RunWindow &W, unsigned FullIters,
+                     int PartialSites);
+
+  /// The run-continuation fast path (RunBatch engines only): a
+  /// batchAccess with a cheaper per-access proof against the site's
+  /// run memo.  Both tiers require the settled flag for the access
+  /// kind and the cached TLB index still mapping the page; then either
+  /// (a) the access stays on the cached L1 line (which pins page, L2
+  /// line, and translation) and Cache::accessVia's tag revalidation
+  /// commits it, or (b) the run crossed into a new L1 line inside the
+  /// settled L2 line -- batchAccess's own fast-path proof, minus its
+  /// MRU obligation -- and Cache::accessIfHit commits it, re-priming
+  /// the line memo.  On success it reproduces the scalar pipeline's
+  /// side effects bit-exactly, including the non-MRU case the plain
+  /// batchAccess fast path rejects: there the committed access()
+  /// pipeline's TLB scan hit, page-memo refresh, and site re-prime are
+  /// replayed from cached pointers.  Any failed check falls back to
+  /// batchAccess itself (the reference pipeline) and refreshes the
+  /// memo from its outcome, so staleness can never diverge.  Delegates
+  /// wholesale when a fault injector is attached (fault-armed pages
+  /// and buggify draws must see the scalar path).
+  uint64_t runAccess(int Proc, uint64_t Addr, unsigned Bytes, bool IsWrite,
+                     BatchAccess &Site);
 
   //===--------------------------------------------------------------===//
   // Functional data (virtual-address keyed; unaffected by placement).

@@ -75,6 +75,58 @@ public:
     return false;
   }
 
+  /// Resident-entry lookup with no state change: index of the valid
+  /// entry holding \p VPage, or SIZE_MAX if the page is not resident.
+  /// The run-batched strip path uses this once per window open; the
+  /// index stays valid for reuse as long as pageAt(Idx) still returns
+  /// \p VPage (entries never move and the TLB never holds duplicates).
+  size_t findEntry(uint64_t VPage) const {
+    for (const Entry &E : Entries)
+      if (E.Valid && E.VPage == VPage)
+        return static_cast<size_t>(&E - Entries.data());
+    return SIZE_MAX;
+  }
+
+  /// Page held by entry \p Idx, or ~0 if the slot is invalid or out of
+  /// range.  Pure probe, for validating cached findEntry indices.
+  uint64_t pageAt(size_t Idx) const {
+    if (Idx < Entries.size() && Entries[Idx].Valid)
+      return Entries[Idx].VPage;
+    return ~0ull;
+  }
+
+  /// Page held by the MRU entry, or ~0 if there is none.  Pure probe.
+  uint64_t mruPage() const { return pageAt(Mru); }
+
+  /// Run-batched commit (MemorySystem::commitRun): re-stamps resident
+  /// entry \p Idx as if its most recent hit happened \p LastTick clock
+  /// ticks after the current clock.  The caller stamps every entry a
+  /// window touched in ascending tick order, advances the clock once
+  /// with advanceClock(), and installs the final MRU with setMru() --
+  /// together equivalent to the interleaved scalar access() sequence
+  /// when every access hits.
+  void runStamp(size_t Idx, uint32_t LastTick) {
+    Entries[Idx].LruStamp = Clock + LastTick;
+  }
+  void advanceClock(uint32_t Ticks) { Clock += Ticks; }
+  void setMru(size_t Idx) { Mru = Idx; }
+
+  /// Whether entry \p Idx is the MRU entry.  Pure probe; the
+  /// run-continuation path (MemorySystem::runAccess) uses it to decide
+  /// which scalar pipeline it is reproducing before committing the hit.
+  bool mruIs(size_t Idx) const { return Mru == Idx; }
+
+  /// Commits a hit on resident entry \p Idx: clock tick, LRU stamp,
+  /// MRU update.  Bit-identical to a hitting access() for the page the
+  /// entry holds -- the MRU fast path leaves Mru already equal to Idx,
+  /// and the scan path sets it, so the unconditional store covers both.
+  /// The caller must have validated pageAt(Idx) against its page.
+  void accessAt(size_t Idx) {
+    ++Clock;
+    Entries[Idx].LruStamp = Clock;
+    Mru = Idx;
+  }
+
   /// Drops the mapping for \p VPage (TLB shootdown on migration).
   void invalidate(uint64_t VPage) {
     for (Entry &E : Entries)

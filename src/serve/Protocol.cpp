@@ -243,6 +243,8 @@ Error serve::toRunRequest(const Request &R, session::RunRequest &Out) {
     Out.Opts.Engine = EngineKind::Bytecode;
   else if (R.Engine == "bytecode-nofuse")
     Out.Opts.Engine = EngineKind::BytecodeNoFuse;
+  else if (R.Engine == "bytecode-norunbatch")
+    Out.Opts.Engine = EngineKind::BytecodeNoRunBatch;
   else if (R.Engine == "auto" || R.Engine.empty())
     Out.Opts.Engine = EngineKind::Auto;
   else

@@ -6,11 +6,12 @@
 // produces random-but-data-race-free DSM Fortran programs
 // (c$distribute / c$distribute_reshape / c$redistribute plus doacross
 // epochs with affinity, schedtype, nest, and scalar-reduction
-// fallbacks), and every program is run as a four-way oracle -- the
+// fallbacks), and every program is run as a five-way oracle -- the
 // tree-walking interpreter serial (the reference), the bytecode VM
-// with strip fusion off (bytecode-nofuse) serial, the fused bytecode
-// VM serial, and the fused bytecode VM with HostThreads=4.  All four
-// runs must be bit-identical: same cycles, same memory-system
+// with strip fusion off (bytecode-nofuse) serial, the fused VM with
+// run batching off (bytecode-norunbatch) serial, the fused+run-batched
+// bytecode VM serial, and the fused+run-batched VM with HostThreads=4.
+// All five runs must be bit-identical: same cycles, same memory-system
 // counters, same array contents, and the same observability metrics.
 // The fault shards rerun the oracle under randomized injector
 // schedules whose latency spikes and TLB-fill retries force the
@@ -137,10 +138,11 @@ void expectRunsAgree(const RunObs &A, const RunObs &B,
       << NameA << " vs " << NameB;
 }
 
-/// Runs one generated case as a four-way oracle -- interpreter serial
-/// (the reference), bytecode-nofuse serial, fused bytecode serial,
-/// fused bytecode threaded; returns the threaded epoch count (0 on
-/// failure) so shards can assert aggregate coverage.
+/// Runs one generated case as a five-way oracle -- interpreter serial
+/// (the reference), bytecode-nofuse serial, bytecode-norunbatch
+/// serial, fused run-batched bytecode serial, fused run-batched
+/// bytecode threaded; returns the threaded epoch count (0 on failure)
+/// so shards can assert aggregate coverage.
 unsigned checkCase(uint64_t Seed) {
   chaos::GenProgram C = chaos::generateProgram(Seed);
   SCOPED_TRACE("fuzz seed " + std::to_string(Seed) + "; program:\n" +
@@ -153,24 +155,32 @@ unsigned checkCase(uint64_t Seed) {
   RunObs Ref = runOnce(**Prog, 1, C.Arrays, nullptr, EngineKind::Interp);
   RunObs NoFuse =
       runOnce(**Prog, 1, C.Arrays, nullptr, EngineKind::BytecodeNoFuse);
+  RunObs NoRunBatch = runOnce(**Prog, 1, C.Arrays, nullptr,
+                              EngineKind::BytecodeNoRunBatch);
   RunObs Serial = runOnce(**Prog, 1, C.Arrays);
   RunObs Threaded = runOnce(**Prog, 4, C.Arrays);
   EXPECT_FALSE(Ref.Failed) << Ref.FailMessage;
   EXPECT_EQ(Ref.Failed, NoFuse.Failed);
   EXPECT_EQ(Ref.FailMessage, NoFuse.FailMessage);
+  EXPECT_EQ(Ref.Failed, NoRunBatch.Failed);
+  EXPECT_EQ(Ref.FailMessage, NoRunBatch.FailMessage);
   EXPECT_EQ(Ref.Failed, Serial.Failed);
   EXPECT_EQ(Ref.FailMessage, Serial.FailMessage);
   EXPECT_EQ(Serial.Failed, Threaded.Failed);
   EXPECT_EQ(Serial.FailMessage, Threaded.FailMessage);
-  if (Ref.Failed || NoFuse.Failed || Serial.Failed || Threaded.Failed)
+  if (Ref.Failed || NoFuse.Failed || NoRunBatch.Failed || Serial.Failed ||
+      Threaded.Failed)
     return 0;
 
-  // The three serial engines must agree on every observable before the
+  // The four serial engines must agree on every observable before the
   // threading comparison even starts.
   EXPECT_EQ(Ref.R.Engine, EngineKind::Interp);
   EXPECT_EQ(NoFuse.R.Engine, EngineKind::BytecodeNoFuse);
+  EXPECT_EQ(NoRunBatch.R.Engine, EngineKind::BytecodeNoRunBatch);
   EXPECT_EQ(Serial.R.Engine, EngineKind::Bytecode);
   expectRunsAgree(Ref, NoFuse, C.Arrays, "interp", "bytecode-nofuse");
+  expectRunsAgree(Ref, NoRunBatch, C.Arrays, "interp",
+                  "bytecode-norunbatch");
   expectRunsAgree(Ref, Serial, C.Arrays, "interp", "bytecode");
 
   EXPECT_EQ(Serial.R.WallCycles, Threaded.R.WallCycles);
@@ -241,9 +251,10 @@ INSTANTIATE_TEST_SUITE_P(Shards, DifferentialFuzzTest,
                          ::testing::Range(0, NumShards));
 
 /// Runs one generated case several ways -- fault-free baseline, then
-/// under a random fault schedule as the same four-way engine oracle
-/// (interpreter serial, bytecode-nofuse serial, fused bytecode serial,
-/// fused bytecode threaded) -- and requires that faults never change
+/// under a random fault schedule as the same five-way engine oracle
+/// (interpreter serial, bytecode-nofuse serial, bytecode-norunbatch
+/// serial, fused run-batched bytecode serial and threaded) -- and
+/// requires that faults never change
 /// results: faulted checksums equal the baseline, and all faulted runs
 /// are bit-identical in every observable, including the fault
 /// accounting.  The spikes and TLB-fill retries land mid-strip in the
@@ -270,22 +281,32 @@ uint64_t checkFaultCase(uint64_t Seed) {
   RunObs Ref = runOnce(**Prog, 1, C.Arrays, &Inj, EngineKind::Interp);
   RunObs NoFuse =
       runOnce(**Prog, 1, C.Arrays, &Inj, EngineKind::BytecodeNoFuse);
+  RunObs NoRunBatch = runOnce(**Prog, 1, C.Arrays, &Inj,
+                              EngineKind::BytecodeNoRunBatch);
   RunObs Serial = runOnce(**Prog, 1, C.Arrays, &Inj);
   RunObs Threaded = runOnce(**Prog, 4, C.Arrays, &Inj);
   EXPECT_FALSE(Ref.Failed) << Ref.FailMessage;
   EXPECT_FALSE(NoFuse.Failed) << NoFuse.FailMessage;
+  EXPECT_FALSE(NoRunBatch.Failed) << NoRunBatch.FailMessage;
   EXPECT_FALSE(Serial.Failed) << Serial.FailMessage;
   EXPECT_FALSE(Threaded.Failed) << Threaded.FailMessage;
-  if (Ref.Failed || NoFuse.Failed || Serial.Failed || Threaded.Failed)
+  if (Ref.Failed || NoFuse.Failed || NoRunBatch.Failed || Serial.Failed ||
+      Threaded.Failed)
     return 0;
 
-  // The serial engines under the identical fault schedule: unfused and
-  // fused bytecode against the interpreter reference.
+  // The serial engines under the identical fault schedule: unfused,
+  // unbatched, and fused run-batched bytecode against the interpreter
+  // reference.
   EXPECT_EQ(Ref.R.WallCycles, NoFuse.R.WallCycles);
   EXPECT_TRUE(Ref.R.Counters == NoFuse.R.Counters);
   EXPECT_TRUE(Ref.R.Faults == NoFuse.R.Faults)
       << "interp: " << Ref.R.Faults.str()
       << "\nbytecode-nofuse: " << NoFuse.R.Faults.str();
+  EXPECT_EQ(Ref.R.WallCycles, NoRunBatch.R.WallCycles);
+  EXPECT_TRUE(Ref.R.Counters == NoRunBatch.R.Counters);
+  EXPECT_TRUE(Ref.R.Faults == NoRunBatch.R.Faults)
+      << "interp: " << Ref.R.Faults.str()
+      << "\nbytecode-norunbatch: " << NoRunBatch.R.Faults.str();
   EXPECT_EQ(Ref.R.WallCycles, Serial.R.WallCycles);
   EXPECT_TRUE(Ref.R.Counters == Serial.R.Counters);
   EXPECT_TRUE(Ref.R.Faults == Serial.R.Faults)
@@ -293,6 +314,8 @@ uint64_t checkFaultCase(uint64_t Seed) {
       << "\nbytecode: " << Serial.R.Faults.str();
   for (size_t I = 0; I < Ref.Checksums.size(); ++I) {
     EXPECT_EQ(Ref.Checksums[I], NoFuse.Checksums[I])
+        << "array " << C.Arrays[I] << " differs between engines";
+    EXPECT_EQ(Ref.Checksums[I], NoRunBatch.Checksums[I])
         << "array " << C.Arrays[I] << " differs between engines";
     EXPECT_EQ(Ref.Checksums[I], Serial.Checksums[I])
         << "array " << C.Arrays[I] << " differs between engines";

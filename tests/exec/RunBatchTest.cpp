@@ -1,0 +1,324 @@
+//===- tests/exec/RunBatchTest.cpp - Run-length batched strip tests -------===//
+//
+// Part of the dsm-dist-repro project.
+//
+// The run-length batched memory-simulation fast path (DESIGN.md
+// Section 17): page/line boundary shapes where runs straddle L1 lines
+// and page ends, the eligibility bails (non-unit loop step, the loop
+// counter striding a non-innermost dimension), mid-run bounds failures
+// reproducing the interpreter's exact diagnostic, fault-armed runs
+// falling back to the scalar path, and multi-leg bit-identity of the
+// run-batched engine against interp / bytecode-nofuse /
+// bytecode-norunbatch -- including under fault schedules and on a
+// redistribute-storm chaos scenario with a threaded leg.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/Dsm.h"
+#include "chaos/ProgramGen.h"
+#include "fault/Injector.h"
+
+using namespace dsm;
+
+namespace {
+
+using EngineKind = exec::RunOptions::EngineKind;
+
+numa::MachineConfig machine() {
+  numa::MachineConfig C;
+  C.NumNodes = 2;
+  C.ProcsPerNode = 2;
+  C.PageSize = 1024;
+  C.NodeMemoryBytes = 8 << 20;
+  C.L1 = numa::CacheConfig{1024, 32, 2};
+  C.L2 = numa::CacheConfig{16 * 1024, 128, 2};
+  C.TlbEntries = 16;
+  return C;
+}
+
+ProgramHandle compileOrDie(const std::string &Src) {
+  auto Prog = dsm::compile({{"runbatch.f", Src}});
+  EXPECT_TRUE(bool(Prog)) << Prog.error().str();
+  return Prog ? *Prog : nullptr;
+}
+
+struct Outcome {
+  bool Failed = false;
+  std::string FailMessage;
+  uint64_t WallCycles = 0;
+  uint64_t TimedCycles = 0;
+  numa::Counters Counters;
+  fault::FaultCounters Faults;
+  std::vector<double> Checksums;
+};
+
+Outcome runEngine(const link::Program &Prog, EngineKind Kind,
+                  const std::vector<std::string> &Arrays,
+                  fault::Injector *Inj = nullptr, int HostThreads = 1,
+                  const numa::MachineConfig &MC = machine(),
+                  int NumProcs = 4) {
+  Outcome O;
+  numa::MemorySystem Mem(MC);
+  exec::RunOptions Opts;
+  Opts.NumProcs = NumProcs;
+  Opts.HostThreads = HostThreads;
+  Opts.Engine = Kind;
+  Opts.Fault = Inj;
+  exec::Engine E(Prog, Mem, Opts);
+  auto R = E.run();
+  if (!R) {
+    O.Failed = true;
+    O.FailMessage = R.error().str();
+    return O;
+  }
+  O.WallCycles = R->WallCycles;
+  O.TimedCycles = R->TimedCycles;
+  O.Counters = R->Counters;
+  O.Faults = R->Faults;
+  for (const std::string &A : Arrays) {
+    auto Sum = E.arrayWeightedChecksum(A);
+    EXPECT_TRUE(bool(Sum)) << Sum.error().str();
+    O.Checksums.push_back(Sum ? *Sum : 0.0);
+  }
+  return O;
+}
+
+/// All engines in \p Legs must agree with Legs[0] on every observable.
+void expectAllAgree(const std::vector<std::pair<const char *, Outcome>> &Legs) {
+  const Outcome &Ref = Legs[0].second;
+  ASSERT_FALSE(Ref.Failed) << Legs[0].first << ": " << Ref.FailMessage;
+  for (size_t I = 1; I < Legs.size(); ++I) {
+    const Outcome &O = Legs[I].second;
+    ASSERT_FALSE(O.Failed) << Legs[I].first << ": " << O.FailMessage;
+    EXPECT_EQ(Ref.WallCycles, O.WallCycles)
+        << Legs[0].first << " vs " << Legs[I].first;
+    EXPECT_EQ(Ref.TimedCycles, O.TimedCycles)
+        << Legs[0].first << " vs " << Legs[I].first;
+    EXPECT_TRUE(Ref.Counters == O.Counters)
+        << Legs[0].first << ":\n"
+        << Ref.Counters.str() << Legs[I].first << ":\n"
+        << O.Counters.str();
+    EXPECT_TRUE(Ref.Faults == O.Faults)
+        << Legs[0].first << ": " << Ref.Faults.str() << "\n"
+        << Legs[I].first << ": " << O.Faults.str();
+    ASSERT_EQ(Ref.Checksums.size(), O.Checksums.size());
+    for (size_t C = 0; C < Ref.Checksums.size(); ++C)
+      EXPECT_EQ(Ref.Checksums[C], O.Checksums[C])
+          << "checksum " << C << ": " << Legs[0].first << " vs "
+          << Legs[I].first;
+  }
+}
+
+/// Convenience: run the four serial legs on one program.
+std::vector<std::pair<const char *, Outcome>>
+fourLegs(const link::Program &Prog, const std::vector<std::string> &Arrays,
+         fault::Injector *Inj = nullptr) {
+  return {
+      {"interp", runEngine(Prog, EngineKind::Interp, Arrays, Inj)},
+      {"bytecode-nofuse",
+       runEngine(Prog, EngineKind::BytecodeNoFuse, Arrays, Inj)},
+      {"bytecode-norunbatch",
+       runEngine(Prog, EngineKind::BytecodeNoRunBatch, Arrays, Inj)},
+      {"bytecode", runEngine(Prog, EngineKind::Bytecode, Arrays, Inj)},
+  };
+}
+
+TEST(RunBatchTest, RunsStraddleLineAndPageBoundaries) {
+  // 1000 elements x 8 B = 8000 B: with 1 KB pages and 32 B L1 lines a
+  // unit-stride sweep crosses 250 line edges and 7 page ends per pass.
+  // The first pass misses its way through; the later passes are long
+  // pure-hit runs, so both the window protocol and the per-access
+  // run-continuation tier straddle every boundary kind repeatedly.
+  ProgramHandle Prog = compileOrDie(R"(
+      program main
+      integer i, r, n
+      parameter (n = 1000)
+      real*8 a(n), b(n)
+c$distribute a(block)
+      do i = 1, n
+        a(i) = i * 0.5
+        b(i) = 0.0
+      enddo
+      do r = 1, 3
+        do i = 1, n
+          b(i) = b(i) + a(i) * 1.25
+        enddo
+      enddo
+      end
+)");
+  ASSERT_TRUE(Prog);
+  expectAllAgree(fourLegs(*Prog, {"a", "b"}));
+}
+
+TEST(RunBatchTest, NonUnitLoopStepBailsBitIdentically) {
+  // A step-2 loop advances each site by two elements per iteration:
+  // the affine classification proves PerIter != 1 and the strip never
+  // opens a window.  The bail must be invisible in the simulation.
+  ProgramHandle Prog = compileOrDie(R"(
+      program main
+      integer i, n
+      parameter (n = 512)
+      real*8 a(n), b(n)
+      do i = 1, n
+        a(i) = i
+        b(i) = 1.0
+      enddo
+      do i = 1, n, 2
+        b(i) = a(i) * 2.0
+      enddo
+      end
+)");
+  ASSERT_TRUE(Prog);
+  expectAllAgree(fourLegs(*Prog, {"a", "b"}));
+}
+
+TEST(RunBatchTest, OuterDimensionCounterBailsBitIdentically) {
+  // The inner counter subscripts the second (column) dimension, so the
+  // per-iteration address stride is n elements, not one: the rank-wise
+  // affine combination rejects the strip for batching, and the
+  // transposed sweep runs scalar -- still bit-identical.
+  ProgramHandle Prog = compileOrDie(R"(
+      program main
+      integer i, j, n
+      parameter (n = 48)
+      real*8 a(n,n), b(n,n)
+      do j = 1, n
+        do i = 1, n
+          a(i,j) = i + 2*j
+          b(i,j) = 0.0
+        enddo
+      enddo
+      do i = 1, n
+        do j = 1, n
+          b(i,j) = a(i,j) + 1.0
+        enddo
+      enddo
+      end
+)");
+  ASSERT_TRUE(Prog);
+  expectAllAgree(fourLegs(*Prog, {"a", "b"}));
+}
+
+TEST(RunBatchTest, MidRunBoundsFailureMatchesInterp) {
+  // The failing store lands mid-strip with a window open over the
+  // surrounding pure-hit iterations (the second sweep re-reads hot
+  // lines): the run-batched engine must flush the window's completed
+  // accesses and fail with the interpreter's exact diagnostic.
+  ProgramHandle Prog = compileOrDie(R"(
+      program main
+      integer i, n
+      parameter (n = 64)
+      real*8 a(n), b(n)
+      do i = 1, n
+        a(i) = i
+        b(i) = 0.0
+      enddo
+      do i = 1, n
+        b(i + 8) = a(i)
+      enddo
+      end
+)");
+  ASSERT_TRUE(Prog);
+  Outcome Interp = runEngine(*Prog, EngineKind::Interp, {});
+  Outcome NoRunBatch =
+      runEngine(*Prog, EngineKind::BytecodeNoRunBatch, {});
+  Outcome Batched = runEngine(*Prog, EngineKind::Bytecode, {});
+  EXPECT_TRUE(Interp.Failed);
+  EXPECT_TRUE(NoRunBatch.Failed);
+  EXPECT_TRUE(Batched.Failed);
+  EXPECT_NE(Interp.FailMessage.find("out of bounds"), std::string::npos)
+      << Interp.FailMessage;
+  EXPECT_EQ(Interp.FailMessage, NoRunBatch.FailMessage);
+  EXPECT_EQ(Interp.FailMessage, Batched.FailMessage);
+}
+
+TEST(RunBatchTest, FaultArmedRunsFallBackScalar) {
+  // With an injector attached, openRun refuses every window and
+  // runAccess delegates wholesale, so fault-armed pages see each
+  // access: the schedule's spikes and TLB-fill retries must land
+  // identically across all engines, counters and fault accounting
+  // included.
+  ProgramHandle Prog = compileOrDie(R"(
+      program main
+      integer i, r, n
+      parameter (n = 96)
+      real*8 a(n), b(n)
+c$distribute a(block)
+      do i = 1, n
+        a(i) = i
+        b(i) = 0.0
+      enddo
+      do r = 1, 4
+        do i = 1, n
+          b(i) = b(i) + a(i) * 0.5
+        enddo
+      enddo
+      end
+)");
+  ASSERT_TRUE(Prog);
+  fault::FaultSpec Spec;
+  Spec.Seed = 4321;
+  Spec.LatencySpikeProb = 0.5;
+  Spec.LatencySpikeCycles = 900;
+  Spec.TlbFailProb = 0.3;
+  Spec.RetryBudget = 2;
+  Spec.RetryBackoffCycles = 100;
+  fault::Injector Inj(Spec);
+  auto Legs = fourLegs(*Prog, {"a", "b"}, &Inj);
+  EXPECT_GT(Legs.back().second.Faults.LatencySpikes, 0u)
+      << "the schedule never fired; the test is vacuous";
+  expectAllAgree(Legs);
+}
+
+TEST(RunBatchTest, RedistStormScenarioBitIdentical) {
+  // A redistribute-storm chaos program (3-6 epochs, redistributes
+  // before most): every redistribution rewrites placements under the
+  // persistent site memos, whose staleness must cost only the
+  // shortcut.  Five legs -- the four serial engines plus the
+  // run-batched engine threaded -- with and without a fault schedule.
+  for (uint64_t Seed : {0x5B00001ull, 0x5B00007ull}) {
+    chaos::GenProgram C =
+        chaos::generateProgram(Seed, chaos::GenProfile::RedistStorm);
+    SCOPED_TRACE("redist-storm seed " + std::to_string(Seed) +
+                 "; program:\n" + C.Src);
+    auto Prog = dsm::compile({{"storm.f", C.Src}});
+    ASSERT_TRUE(bool(Prog)) << Prog.error().str();
+
+    auto Run = [&](EngineKind K, fault::Injector *Inj, int HostThreads) {
+      return runEngine(**Prog, K, C.Arrays, Inj, HostThreads,
+                       chaos::swarmMachine(), /*NumProcs=*/8);
+    };
+    std::vector<std::pair<const char *, Outcome>> Legs = {
+        {"interp", Run(EngineKind::Interp, nullptr, 1)},
+        {"bytecode-nofuse", Run(EngineKind::BytecodeNoFuse, nullptr, 1)},
+        {"bytecode-norunbatch",
+         Run(EngineKind::BytecodeNoRunBatch, nullptr, 1)},
+        {"bytecode", Run(EngineKind::Bytecode, nullptr, 1)},
+        {"bytecode ht=4", Run(EngineKind::Bytecode, nullptr, 4)},
+    };
+    expectAllAgree(Legs);
+
+    // Same storm under a random fault schedule (one injector: the
+    // engine resets it at run start, so every leg sees the identical
+    // schedule).
+    fault::Injector Inj(chaos::randomFaultSpec(Seed));
+    std::vector<std::pair<const char *, Outcome>> FaultLegs = {
+        {"interp", Run(EngineKind::Interp, &Inj, 1)},
+        {"bytecode-nofuse", Run(EngineKind::BytecodeNoFuse, &Inj, 1)},
+        {"bytecode-norunbatch",
+         Run(EngineKind::BytecodeNoRunBatch, &Inj, 1)},
+        {"bytecode", Run(EngineKind::Bytecode, &Inj, 1)},
+        {"bytecode ht=4", Run(EngineKind::Bytecode, &Inj, 4)},
+    };
+    expectAllAgree(FaultLegs);
+  }
+}
+
+} // namespace

@@ -52,7 +52,8 @@ int usage(const char *Argv0) {
       "  --threads=N       host threads for epoch execution\n"
       "  --policy=P        first-touch (default) or round-robin\n"
       "  --machine=M       scaled (default) or origin2000\n"
-      "  --engine=E        bytecode | bytecode-nofuse | interp | auto\n"
+      "  --engine=E        bytecode | bytecode-nofuse |\n"
+      "                    bytecode-norunbatch | interp | auto\n"
       "  --checksum=ARRAY  checksum ARRAY after the run (repeatable)\n"
       "  --metrics         collect locality metrics server-side\n"
       "  --no-transform    skip the optimization pipeline\n",

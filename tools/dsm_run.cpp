@@ -59,11 +59,12 @@ int usage(const char *Argv0) {
       "                       first-touch (default) or round-robin\n"
       "  --machine=M          scaled (default) or origin2000\n"
       "  --engine=E           execution engine: bytecode (default),\n"
-      "                       bytecode-nofuse (strip fusion off, the\n"
-      "                       A/B baseline), interp, or auto (read\n"
-      "                       DSM_ENGINE); all engines are\n"
-      "                       bit-identical, they differ only in host\n"
-      "                       speed\n"
+      "                       bytecode-nofuse (strip fusion off),\n"
+      "                       bytecode-norunbatch (strips on, run\n"
+      "                       batching off; the A/B baselines),\n"
+      "                       interp, or auto (read DSM_ENGINE); all\n"
+      "                       engines are bit-identical, they differ\n"
+      "                       only in host speed\n"
       "  --metrics            print per-array/per-node locality metrics\n"
       "  --trace=FILE         write the JSONL event trace to FILE\n"
       "  --chrome-trace=FILE  write a chrome://tracing / Perfetto\n"
@@ -130,6 +131,10 @@ bool parseEngine(const std::string &V,
   }
   if (V == "bytecode-nofuse") {
     Out = exec::RunOptions::EngineKind::BytecodeNoFuse;
+    return true;
+  }
+  if (V == "bytecode-norunbatch") {
+    Out = exec::RunOptions::EngineKind::BytecodeNoRunBatch;
     return true;
   }
   if (V == "auto") {
@@ -533,7 +538,8 @@ int main(int argc, char **argv) {
       if (!parseEngine(V, Base.Req.Opts.Engine)) {
         std::fprintf(stderr,
                      "unknown --engine '%s' (expected 'interp', "
-                     "'bytecode', 'bytecode-nofuse', or 'auto')\n",
+                     "'bytecode', 'bytecode-nofuse', "
+                     "'bytecode-norunbatch', or 'auto')\n",
                      V.c_str());
         return 2;
       }
